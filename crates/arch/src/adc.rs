@@ -1,0 +1,151 @@
+//! The reconfigurable ADC.
+
+use odin_units::{Joules, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// The tile's reconfigurable successive-approximation ADC (Table I:
+/// 96 per tile, precision 3–6 bits).
+///
+/// Following §IV, the precision tracks the OU height: an `R`-row OU
+/// accumulates at most `R` unit currents per bitline, so `⌈log₂ R⌉`
+/// bits suffice; lower LSBs are disabled below that. Sensing delay and
+/// conversion energy scale with the active bit count (SAR: one
+/// capacitor-settling + comparison per bit).
+///
+/// # Examples
+///
+/// ```
+/// use odin_arch::ReconfigurableAdc;
+///
+/// let adc = ReconfigurableAdc::paper();
+/// assert_eq!(adc.bits_for_rows(16), 4);
+/// assert_eq!(adc.bits_for_rows(4), 3);   // clamped to the minimum
+/// assert_eq!(adc.bits_for_rows(128), 6); // clamped to the maximum
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigurableAdc {
+    min_bits: u8,
+    max_bits: u8,
+    latency_per_bit: Seconds,
+    energy_per_bit_row: Joules,
+}
+
+impl ReconfigurableAdc {
+    /// The Table I ADC: 3–6 bits, representative 32 nm SAR timing.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            min_bits: 3,
+            max_bits: 6,
+            latency_per_bit: Seconds::from_nanos(0.1),
+            energy_per_bit_row: Joules::from_picojoules(0.1),
+        }
+    }
+
+    /// Minimum configurable precision.
+    #[must_use]
+    pub fn min_bits(&self) -> u8 {
+        self.min_bits
+    }
+
+    /// Maximum configurable precision.
+    #[must_use]
+    pub fn max_bits(&self) -> u8 {
+        self.max_bits
+    }
+
+    /// The precision used for an OU of `rows` wordlines:
+    /// `⌈log₂ rows⌉` clamped to the configurable range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero.
+    #[must_use]
+    pub fn bits_for_rows(&self, rows: usize) -> u8 {
+        assert!(rows > 0, "OU height must be nonzero");
+        let needed = (usize::BITS - (rows - 1).leading_zeros()).max(1) as u8;
+        needed.clamp(self.min_bits, self.max_bits)
+    }
+
+    /// Conversion latency at a given precision.
+    #[must_use]
+    pub fn conversion_latency(&self, bits: u8) -> Seconds {
+        self.latency_per_bit * f64::from(bits)
+    }
+
+    /// Conversion energy at a given precision for an OU of `rows`
+    /// accumulated unit currents (sense amplifier effort grows with the
+    /// summed current, giving Eq. 2's `log₂R · R` product).
+    #[must_use]
+    pub fn conversion_energy(&self, bits: u8, rows: usize) -> Joules {
+        self.energy_per_bit_row * (f64::from(bits) * rows as f64)
+    }
+}
+
+impl Default for ReconfigurableAdc {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn precision_tracks_log2_rows() {
+        let adc = ReconfigurableAdc::paper();
+        assert_eq!(adc.bits_for_rows(8), 3);
+        assert_eq!(adc.bits_for_rows(16), 4);
+        assert_eq!(adc.bits_for_rows(32), 5);
+        assert_eq!(adc.bits_for_rows(64), 6);
+        // Non-powers of two round up.
+        assert_eq!(adc.bits_for_rows(9), 4);
+        assert_eq!(adc.bits_for_rows(33), 6);
+    }
+
+    #[test]
+    fn clamping() {
+        let adc = ReconfigurableAdc::paper();
+        assert_eq!(adc.bits_for_rows(1), 3);
+        assert_eq!(adc.bits_for_rows(2), 3);
+        assert_eq!(adc.bits_for_rows(128), 6);
+        assert_eq!(adc.bits_for_rows(1024), 6);
+    }
+
+    #[test]
+    fn latency_and_energy_scale_with_bits() {
+        let adc = ReconfigurableAdc::paper();
+        assert!(adc.conversion_latency(6) > adc.conversion_latency(3));
+        assert!(
+            adc.conversion_energy(6, 16).value()
+                > adc.conversion_energy(3, 16).value()
+        );
+        assert!(
+            adc.conversion_energy(4, 32).value()
+                > adc.conversion_energy(4, 16).value()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_rows_panics() {
+        let _ = ReconfigurableAdc::paper().bits_for_rows(0);
+    }
+
+    proptest! {
+        #[test]
+        fn bits_always_in_range(rows in 1usize..100_000) {
+            let adc = ReconfigurableAdc::paper();
+            let b = adc.bits_for_rows(rows);
+            prop_assert!((3..=6).contains(&b));
+        }
+
+        #[test]
+        fn bits_monotone_in_rows(rows in 1usize..1000, extra in 0usize..1000) {
+            let adc = ReconfigurableAdc::paper();
+            prop_assert!(adc.bits_for_rows(rows + extra) >= adc.bits_for_rows(rows));
+        }
+    }
+}

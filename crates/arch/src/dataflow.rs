@@ -1,0 +1,204 @@
+//! Cycle-level trace of one OU compute cycle through the Fig. 2
+//! pipeline.
+//!
+//! Fig. 2's datapath: input activations land in the input register
+//! (IR), the OU controller drives the selected wordlines, cell
+//! currents settle into the sample-and-hold array, the reconfigurable
+//! ADC converts the `C` active bitlines one after another, and results
+//! retire into the output register (OR). This module materializes that
+//! sequence as timed events — useful for visualization, for checking
+//! the latency model against its own structure, and as documentation
+//! of what `OuCostModel::cycle_latency` abstracts.
+
+use odin_units::Seconds;
+use odin_xbar::OuShape;
+use serde::Serialize;
+
+use crate::adc::ReconfigurableAdc;
+
+/// A pipeline stage of the OU datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Stage {
+    /// Fetch operands from the input register / eDRAM.
+    FetchInputs,
+    /// OU controller asserts the selected wordlines.
+    DriveWordlines,
+    /// Analog settle + sample into the S&H array.
+    SampleHold,
+    /// One ADC conversion of one bitline.
+    AdcConvert {
+        /// Which of the `C` bitlines this conversion serves.
+        bitline: usize,
+    },
+    /// Retire results into the output register.
+    WriteOutput,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stage::FetchInputs => write!(f, "fetch-inputs"),
+            Stage::DriveWordlines => write!(f, "drive-wordlines"),
+            Stage::SampleHold => write!(f, "sample-hold"),
+            Stage::AdcConvert { bitline } => write!(f, "adc-convert[{bitline}]"),
+            Stage::WriteOutput => write!(f, "write-output"),
+        }
+    }
+}
+
+/// One timed event in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PipelineEvent {
+    /// The stage.
+    pub stage: Stage,
+    /// Start time relative to the cycle's beginning.
+    pub start: Seconds,
+    /// Stage duration.
+    pub duration: Seconds,
+}
+
+impl PipelineEvent {
+    /// End time of the event.
+    #[must_use]
+    pub fn end(&self) -> Seconds {
+        self.start + self.duration
+    }
+}
+
+/// The trace of one OU compute cycle.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DataflowTrace {
+    shape: OuShape,
+    adc_bits: u8,
+    events: Vec<PipelineEvent>,
+}
+
+impl DataflowTrace {
+    /// Fixed stage durations (representative 32 nm figures): operand
+    /// fetch, wordline drive, analog settle, OR write.
+    const FETCH: f64 = 0.3e-9;
+    const DRIVE: f64 = 0.2e-9;
+    const SETTLE: f64 = 0.3e-9;
+    const RETIRE: f64 = 0.2e-9;
+
+    /// Builds the trace for one OU activation of `shape` using `adc`.
+    #[must_use]
+    pub fn for_activation(shape: OuShape, adc: &ReconfigurableAdc) -> Self {
+        let bits = adc.bits_for_rows(shape.rows());
+        let mut events = Vec::with_capacity(4 + shape.cols());
+        let mut t = 0.0;
+        let mut push = |stage: Stage, duration: f64, t: &mut f64| {
+            events.push(PipelineEvent {
+                stage,
+                start: Seconds::new(*t),
+                duration: Seconds::new(duration),
+            });
+            *t += duration;
+        };
+        push(Stage::FetchInputs, Self::FETCH, &mut t);
+        push(Stage::DriveWordlines, Self::DRIVE, &mut t);
+        push(Stage::SampleHold, Self::SETTLE, &mut t);
+        let conversion = adc.conversion_latency(bits).value();
+        for bitline in 0..shape.cols() {
+            push(Stage::AdcConvert { bitline }, conversion, &mut t);
+        }
+        push(Stage::WriteOutput, Self::RETIRE, &mut t);
+        Self {
+            shape,
+            adc_bits: bits,
+            events,
+        }
+    }
+
+    /// The OU shape traced.
+    #[must_use]
+    pub fn shape(&self) -> OuShape {
+        self.shape
+    }
+
+    /// ADC precision used.
+    #[must_use]
+    pub fn adc_bits(&self) -> u8 {
+        self.adc_bits
+    }
+
+    /// The events in time order.
+    #[must_use]
+    pub fn events(&self) -> &[PipelineEvent] {
+        &self.events
+    }
+
+    /// Total cycle latency (end of the last event).
+    #[must_use]
+    pub fn total_latency(&self) -> Seconds {
+        self.events.last().map_or(Seconds::ZERO, PipelineEvent::end)
+    }
+
+    /// Fraction of the cycle spent in ADC conversions — the
+    /// "ADC is the critical part of the pipeline" observation (§III.B)
+    /// made quantitative.
+    #[must_use]
+    pub fn adc_fraction(&self) -> f64 {
+        let adc: f64 = self
+            .events
+            .iter()
+            .filter(|e| matches!(e.stage, Stage::AdcConvert { .. }))
+            .map(|e| e.duration.value())
+            .sum();
+        adc / self.total_latency().value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(r: usize, c: usize) -> DataflowTrace {
+        DataflowTrace::for_activation(OuShape::new(r, c), &ReconfigurableAdc::paper())
+    }
+
+    #[test]
+    fn events_are_contiguous_and_ordered() {
+        let t = trace(16, 16);
+        assert_eq!(t.events().len(), 4 + 16);
+        for w in t.events().windows(2) {
+            assert!((w[1].start - w[0].end()).value().abs() < 1e-15);
+        }
+        assert_eq!(t.events()[0].stage, Stage::FetchInputs);
+        assert_eq!(t.events().last().unwrap().stage, Stage::WriteOutput);
+    }
+
+    #[test]
+    fn adc_dominates_the_cycle() {
+        // §III.B: the ADC is the pipeline bottleneck.
+        let t = trace(16, 16);
+        assert!(t.adc_fraction() > 0.5, "adc fraction {}", t.adc_fraction());
+        assert_eq!(t.adc_bits(), 4);
+    }
+
+    #[test]
+    fn wider_ous_take_longer_to_convert() {
+        assert!(trace(16, 32).total_latency() > trace(16, 8).total_latency());
+        // Taller OUs raise the precision, lengthening each conversion.
+        assert!(trace(64, 16).total_latency() > trace(8, 16).total_latency());
+    }
+
+    #[test]
+    fn stage_display_is_informative() {
+        assert_eq!(Stage::AdcConvert { bitline: 3 }.to_string(), "adc-convert[3]");
+        assert_eq!(Stage::FetchInputs.to_string(), "fetch-inputs");
+    }
+
+    #[test]
+    fn trace_latency_tracks_cost_model_shape() {
+        // Both the trace and OuCostModel put C·bits·t_adc at the core
+        // of the cycle latency; their ratio across shapes must agree
+        // to within the fixed-term difference.
+        let a = trace(16, 32).total_latency().value();
+        let b = trace(16, 8).total_latency().value();
+        // ADC part quadruples; fixed parts identical.
+        let adc = |c: usize| c as f64 * 0.4e-9;
+        let expect = (1.0e-9 + adc(32)) / (1.0e-9 + adc(8));
+        assert!(((a / b) - expect).abs() < 0.05, "ratio {} vs {expect}", a / b);
+    }
+}

@@ -1,0 +1,52 @@
+//! PIM tile / PE / system architecture model for Odin.
+//!
+//! This crate turns OU geometry and cycle counts into physical costs:
+//!
+//! * [`ReconfigurableAdc`] — the 3–6-bit reconfigurable ADC whose
+//!   precision tracks the OU height (`⌈log₂ R⌉`, Table I / §IV).
+//! * [`TileConfig`] — the Table I tile: 96 crossbars of 128×128 cells,
+//!   96 ADCs, 64 KB eDRAM, IR/OR registers, OU controller, 0.28 mm².
+//! * [`OuCostModel`] — per-layer energy (Eq. 2 shape) and latency
+//!   (Eq. 1 shape) with the per-cycle fixed overheads that make
+//!   too-fine OUs expensive.
+//! * [`SystemConfig`] — the 36-PE, 4-tiles-per-PE accelerator with its
+//!   mesh NoC.
+//! * [`OverheadLedger`] — the §V.E online-learning overhead accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use odin_arch::{OuCostModel, ReconfigurableAdc};
+//! use odin_xbar::OuShape;
+//!
+//! let model = OuCostModel::paper();
+//! let coarse = model.layer_cost(OuShape::new(16, 16), 1_000, 100, 10);
+//! let fine = model.layer_cost(OuShape::new(8, 4), 8_000, 800, 10);
+//! // Fine OUs burn more total energy on per-cycle overheads.
+//! assert!(fine.energy > coarse.energy);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adc;
+mod cost;
+mod dataflow;
+mod index;
+mod movement;
+mod overhead;
+mod placement;
+mod sim;
+mod system;
+mod tile;
+
+pub use adc::ReconfigurableAdc;
+pub use cost::{LayerCost, OuCostModel};
+pub use dataflow::{DataflowTrace, PipelineEvent, Stage};
+pub use index::IndexBufferModel;
+pub use movement::DataMovementModel;
+pub use overhead::OverheadLedger;
+pub use placement::{LayerPlacement, Placement, PlacementError};
+pub use sim::{simulate_layer, TileSimReport};
+pub use system::SystemConfig;
+pub use tile::{TileComponent, TileConfig};

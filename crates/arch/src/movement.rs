@@ -1,0 +1,210 @@
+//! Activation data-movement costs: eDRAM buffer traffic and NoC
+//! transfers between layers.
+//!
+//! The OU choice does not change how many activation bytes move — the
+//! paper treats data movement as part of the substrate — but a
+//! production model must still charge for it: inputs stream from the
+//! tile's eDRAM into the input register for every MVM, and outputs hop
+//! the mesh to whichever PE holds the next layer.
+
+use odin_noc::{MeshNoc, NodeId};
+use odin_units::{Joules, Seconds};
+use serde::Serialize;
+
+use crate::cost::LayerCost;
+use crate::system::SystemConfig;
+
+/// Per-layer activation traffic model.
+///
+/// Activations are 8-bit (the usual quantized-inference width on PIM
+/// substrates). Input bytes are read from eDRAM once per output
+/// position; output bytes are written back and shipped over the mesh
+/// at the uniform-traffic mean hop distance.
+///
+/// # Examples
+///
+/// ```
+/// use odin_arch::{DataMovementModel, SystemConfig};
+///
+/// let m = DataMovementModel::new(SystemConfig::paper());
+/// let cost = m.layer_cost(1152, 128, 64);
+/// assert!(cost.energy.as_microjoules() > 0.0);
+/// ```
+#[derive(Debug, Clone, Serialize)]
+pub struct DataMovementModel {
+    system: SystemConfig,
+    mean_hops: f64,
+}
+
+impl DataMovementModel {
+    /// Builds the model for a system configuration.
+    #[must_use]
+    pub fn new(system: SystemConfig) -> Self {
+        let noc: &MeshNoc = system.noc();
+        // Uniform traffic: average the mean hop count over sources.
+        let nodes = noc.nodes();
+        let mean_hops = (0..nodes)
+            .map(|i| noc.mean_hops_from(NodeId::new(i)).expect("node in range"))
+            .sum::<f64>()
+            / nodes as f64;
+        Self { system, mean_hops }
+    }
+
+    /// The uniform-traffic mean hop count of the mesh.
+    #[must_use]
+    pub fn mean_hops(&self) -> f64 {
+        self.mean_hops
+    }
+
+    /// The system configuration.
+    #[must_use]
+    pub fn system(&self) -> &SystemConfig {
+        &self.system
+    }
+
+    /// Bytes read from eDRAM to feed one layer (8-bit activations,
+    /// `fan_in` values per output position).
+    #[must_use]
+    pub fn input_bytes(&self, fan_in: usize, positions: usize) -> u64 {
+        (fan_in as u64) * (positions as u64)
+    }
+
+    /// Bytes produced by one layer (8-bit activations).
+    #[must_use]
+    pub fn output_bytes(&self, fan_out: usize, positions: usize) -> u64 {
+        (fan_out as u64) * (positions as u64)
+    }
+
+    /// The energy/latency of moving one layer's activations: eDRAM
+    /// reads for the inputs, eDRAM writes plus a mean-distance mesh
+    /// transfer for the outputs.
+    ///
+    /// Latency counts only the NoC serialization (eDRAM accesses hide
+    /// behind compute through the IR/OR double buffering of the tile).
+    #[must_use]
+    pub fn layer_cost(&self, fan_in: usize, fan_out: usize, positions: usize) -> LayerCost {
+        let in_bytes = self.input_bytes(fan_in, positions);
+        let out_bytes = self.output_bytes(fan_out, positions);
+        let edram: Joules = self.system.edram_read_energy(in_bytes + out_bytes);
+        let noc = self.system.noc();
+        let router = noc.router();
+        let flits = router.flits_for(out_bytes);
+        let hop_energy = router.energy_per_flit_hop() * (flits as f64 * self.mean_hops);
+        let hop_cycles =
+            router.cycles_per_hop().count() as f64 * self.mean_hops + (flits.saturating_sub(1)) as f64;
+        let latency = Seconds::new(hop_cycles / self.system.tile().clock_hz());
+        LayerCost {
+            energy: edram + hop_energy,
+            latency,
+        }
+    }
+}
+
+impl DataMovementModel {
+    /// Placement-aware variant of the per-layer cost: instead of the
+    /// uniform-traffic mean hop distance, charge the *actual* mesh
+    /// distance from the layer's PE to its successor's PE under a
+    /// [`crate::Placement`]. Contiguous placement keeps consecutive
+    /// layers adjacent, so this is typically cheaper than the mean-hop
+    /// model.
+    #[must_use]
+    pub fn network_cost_placed(
+        &self,
+        network: &odin_dnn::NetworkDescriptor,
+        placement: &crate::Placement,
+    ) -> LayerCost {
+        let noc = self.system.noc();
+        let router = noc.router();
+        let mut total = LayerCost {
+            energy: Joules::ZERO,
+            latency: Seconds::ZERO,
+        };
+        for (i, layer) in network.layers().iter().enumerate() {
+            let in_bytes = self.input_bytes(layer.fan_in(), layer.output_positions());
+            let out_bytes = self.output_bytes(layer.fan_out(), layer.output_positions());
+            total.energy += self.system.edram_read_energy(in_bytes + out_bytes);
+            let hops = match (placement.pe_of(i), placement.pe_of(i + 1)) {
+                (Some(a), Some(b)) => noc.hops(a, b).unwrap_or(0),
+                _ => 0, // final layer: results stay local
+            };
+            if hops > 0 {
+                let flits = router.flits_for(out_bytes);
+                total.energy += router.energy_per_flit_hop() * (flits * hops) as f64;
+                let cycles =
+                    router.cycles_per_hop().count() * hops + flits.saturating_sub(1);
+                total.latency += Seconds::new(cycles as f64 / self.system.tile().clock_hz());
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DataMovementModel {
+        DataMovementModel::new(SystemConfig::paper())
+    }
+
+    #[test]
+    fn mean_hops_of_6x6_mesh() {
+        // Mean Manhattan distance on a 6×6 mesh is 4 exactly (over
+        // ordered pairs with distinct endpoints it is 140/35 = 4).
+        let m = model();
+        assert!((m.mean_hops() - 4.0).abs() < 0.1, "mean hops {}", m.mean_hops());
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let m = model();
+        assert_eq!(m.input_bytes(1152, 64), 1152 * 64);
+        assert_eq!(m.output_bytes(128, 64), 128 * 64);
+    }
+
+    #[test]
+    fn cost_scales_with_traffic() {
+        let m = model();
+        let small = m.layer_cost(64, 64, 16);
+        let big = m.layer_cost(64, 64, 160);
+        assert!((big.energy / small.energy - 10.0).abs() < 0.5);
+        assert!(big.latency >= small.latency);
+    }
+
+    #[test]
+    fn movement_is_small_next_to_compute() {
+        // The movement term must not distort the OU economics: for a
+        // VGG-scale layer it is well under the ~µJ-scale compute cost.
+        let m = model();
+        let cost = m.layer_cost(4608, 512, 16);
+        assert!(cost.energy.as_microjoules() < 0.2, "{}", cost.energy);
+    }
+
+    #[test]
+    fn contiguous_placement_beats_uniform_traffic() {
+        use odin_dnn::zoo::{self, Dataset};
+        let m = model();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let placement = crate::Placement::greedy(&net, m.system()).unwrap();
+        let placed = m.network_cost_placed(&net, &placement);
+        let uniform: LayerCost = net
+            .layers()
+            .iter()
+            .map(|l| m.layer_cost(l.fan_in(), l.fan_out(), l.output_positions()))
+            .sum();
+        assert!(
+            placed.energy <= uniform.energy,
+            "placed {} vs uniform {}",
+            placed.energy,
+            uniform.energy
+        );
+    }
+
+    #[test]
+    fn zero_positions_costs_only_a_header_flit() {
+        let m = model();
+        let cost = m.layer_cost(128, 128, 0);
+        // No payload: just the header flit crossing the mean distance.
+        assert!(cost.energy.value() < 1e-11, "{}", cost.energy);
+    }
+}

@@ -1,0 +1,175 @@
+//! §V.E overhead accounting for the online-learning hardware.
+
+use odin_units::{Joules, Seconds, SquareMillimeters, Watts};
+use serde::{Deserialize, Serialize};
+
+use crate::system::SystemConfig;
+
+/// The §V.E overhead ledger for layer-wise OU computation and online
+/// learning:
+///
+/// * OU + ADC controllers (registers, muxes, comparators): 0.005 mm²
+///   — 1.8 % of the 0.28 mm² tile.
+/// * OU-size prediction (policy forward pass): 0.14 mW, 0.9 % latency
+///   penalty versus static homogeneous 16×16 inference.
+/// * OU policy update (100 epochs on the 50-example buffer): 0.22 µJ,
+///   amortized over the inference runs between updates.
+/// * Total online-learning hardware: 0.076 mm² — 0.2 % of the 36-PE
+///   system.
+///
+/// # Examples
+///
+/// ```
+/// use odin_arch::{OverheadLedger, SystemConfig};
+///
+/// let ledger = OverheadLedger::paper();
+/// let pct = ledger.controller_tile_percent(&SystemConfig::paper());
+/// assert!((pct - 1.8).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverheadLedger {
+    controller_area: SquareMillimeters,
+    prediction_power: Watts,
+    prediction_latency_penalty: f64,
+    policy_update_energy: Joules,
+    total_learning_area: SquareMillimeters,
+}
+
+impl OverheadLedger {
+    /// The §V.E figures.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            controller_area: SquareMillimeters::new(0.005),
+            prediction_power: Watts::from_milli(0.14),
+            prediction_latency_penalty: 0.009,
+            policy_update_energy: Joules::from_microjoules(0.22),
+            total_learning_area: SquareMillimeters::new(0.076),
+        }
+    }
+
+    /// OU + ADC controller area per tile.
+    #[must_use]
+    pub fn controller_area(&self) -> SquareMillimeters {
+        self.controller_area
+    }
+
+    /// Power drawn by the policy forward pass.
+    #[must_use]
+    pub fn prediction_power(&self) -> Watts {
+        self.prediction_power
+    }
+
+    /// Fractional latency penalty of OU-size prediction versus static
+    /// 16×16 inference (0.009 = 0.9 %).
+    #[must_use]
+    pub fn prediction_latency_penalty(&self) -> f64 {
+        self.prediction_latency_penalty
+    }
+
+    /// Energy of one policy update (100 epochs over the 50-example
+    /// buffer on the digital PIM core).
+    #[must_use]
+    pub fn policy_update_energy(&self) -> Joules {
+        self.policy_update_energy
+    }
+
+    /// Total online-learning hardware area.
+    #[must_use]
+    pub fn total_learning_area(&self) -> SquareMillimeters {
+        self.total_learning_area
+    }
+
+    /// Controller area as a percentage of the tile (§V.E: 1.8 %).
+    #[must_use]
+    pub fn controller_tile_percent(&self, system: &SystemConfig) -> f64 {
+        self.controller_area.percent_of(system.tile().total_area())
+    }
+
+    /// Learning-hardware area as a percentage of the whole system
+    /// (§V.E: 0.2 %).
+    #[must_use]
+    pub fn learning_system_percent(&self, system: &SystemConfig) -> f64 {
+        self.total_learning_area.percent_of(system.compute_area())
+    }
+
+    /// Prediction energy added to one inference of latency
+    /// `inference_latency` (power × time).
+    #[must_use]
+    pub fn prediction_energy(&self, inference_latency: Seconds) -> Joules {
+        self.prediction_power * inference_latency
+    }
+
+    /// Prediction latency added to one inference.
+    #[must_use]
+    pub fn prediction_latency(&self, inference_latency: Seconds) -> Seconds {
+        inference_latency * self.prediction_latency_penalty
+    }
+
+    /// Policy-update energy amortized per inference run, given `runs`
+    /// runs between updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is zero.
+    #[must_use]
+    pub fn amortized_update_energy(&self, runs: u64) -> Joules {
+        assert!(runs > 0, "amortization window must be nonzero");
+        self.policy_update_energy / runs as f64
+    }
+}
+
+impl Default for OverheadLedger {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_percentages() {
+        let ledger = OverheadLedger::paper();
+        let sys = SystemConfig::paper();
+        let tile_pct = ledger.controller_tile_percent(&sys);
+        assert!((tile_pct - 1.8).abs() < 0.1, "tile pct {tile_pct}");
+        let sys_pct = ledger.learning_system_percent(&sys);
+        assert!((sys_pct - 0.19).abs() < 0.05, "system pct {sys_pct}");
+    }
+
+    #[test]
+    fn prediction_costs_scale_with_inference() {
+        let ledger = OverheadLedger::paper();
+        let lat = Seconds::from_micros(10.0);
+        let e = ledger.prediction_energy(lat);
+        assert!((e.value() - 0.14e-3 * 10e-6).abs() < 1e-15);
+        let l = ledger.prediction_latency(lat);
+        assert!((l.value() - 10e-6 * 0.009).abs() < 1e-15);
+    }
+
+    #[test]
+    fn update_energy_amortizes() {
+        let ledger = OverheadLedger::paper();
+        let per_run = ledger.amortized_update_energy(100);
+        assert!((per_run.as_microjoules() - 0.0022).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_window_panics() {
+        let _ = OverheadLedger::paper().amortized_update_energy(0);
+    }
+
+    #[test]
+    fn accessors() {
+        let l = OverheadLedger::paper();
+        assert!((l.prediction_power().as_milli() - 0.14).abs() < 1e-12);
+        assert!((l.prediction_latency_penalty() - 0.009).abs() < 1e-12);
+        assert!((l.policy_update_energy().as_microjoules() - 0.22).abs() < 1e-12);
+        assert!((l.controller_area().value() - 0.005).abs() < 1e-12);
+        assert!((l.total_learning_area().value() - 0.076).abs() < 1e-12);
+        assert_eq!(OverheadLedger::default(), l);
+    }
+}

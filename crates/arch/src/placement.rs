@@ -1,0 +1,277 @@
+//! Mapping network layers onto the 36-PE accelerator.
+//!
+//! Every layer needs `Xbar_j` crossbars; the system offers 96 per tile,
+//! four tiles per PE. The placer assigns layers to PEs greedily and
+//! contiguously in execution order — the standard ISAAC-style layout,
+//! which keeps consecutive layers near each other on the mesh so
+//! activation traffic travels few hops.
+
+use odin_dnn::NetworkDescriptor;
+use odin_noc::NodeId;
+use odin_xbar::LayerMapping;
+use serde::Serialize;
+
+use crate::system::SystemConfig;
+
+/// One layer's placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct LayerPlacement {
+    /// The layer index.
+    pub layer: usize,
+    /// The PE whose tiles hold (the majority of) this layer's
+    /// crossbars.
+    pub pe: NodeId,
+    /// Crossbars the layer occupies.
+    pub crossbars: usize,
+}
+
+/// A complete network placement.
+#[derive(Debug, Clone, Serialize)]
+pub struct Placement {
+    assignments: Vec<LayerPlacement>,
+    crossbars_used: usize,
+    crossbars_available: usize,
+}
+
+/// Errors from placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlacementError {
+    /// The network needs more crossbars than the system has.
+    InsufficientCapacity {
+        /// Crossbars required.
+        needed: usize,
+        /// Crossbars available.
+        available: usize,
+    },
+    /// A layer could not be mapped onto the crossbar geometry.
+    Unmappable {
+        /// The layer index.
+        layer: usize,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::InsufficientCapacity { needed, available } => {
+                write!(f, "network needs {needed} crossbars, system has {available}")
+            }
+            PlacementError::Unmappable { layer } => {
+                write!(f, "layer {layer} cannot be mapped onto the crossbars")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+impl Placement {
+    /// Greedy contiguous placement: walk the PEs in row-major mesh
+    /// order, filling each with consecutive layers until its crossbar
+    /// budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::InsufficientCapacity`] when the
+    /// network does not fit, or [`PlacementError::Unmappable`] for
+    /// degenerate layers.
+    pub fn greedy(network: &NetworkDescriptor, system: &SystemConfig) -> Result<Self, PlacementError> {
+        let per_pe = system.tiles_per_pe() * system.tile().crossbars_per_tile();
+        let pes = system.pe_count();
+        let crossbar_size = system.tile().crossbar_size();
+
+        let mut assignments = Vec::with_capacity(network.layers().len());
+        let mut pe = 0usize;
+        let mut used_in_pe = 0usize;
+        let mut total = 0usize;
+        for layer in network.layers() {
+            let mapping = LayerMapping::new(layer.fan_in(), layer.fan_out(), crossbar_size)
+                .map_err(|_| PlacementError::Unmappable {
+                    layer: layer.index(),
+                })?;
+            let need = mapping.crossbar_count();
+            total += need;
+            // Move to the next PE when this one cannot take the layer
+            // (layers bigger than a PE still start on a fresh PE and
+            // spill; the dominant PE is recorded).
+            if used_in_pe + need > per_pe && used_in_pe > 0 {
+                pe += 1;
+                used_in_pe = 0;
+            }
+            let spill = (used_in_pe + need).saturating_sub(per_pe);
+            if pe >= pes {
+                return Err(PlacementError::InsufficientCapacity {
+                    needed: total,
+                    available: pes * per_pe,
+                });
+            }
+            assignments.push(LayerPlacement {
+                layer: layer.index(),
+                pe: NodeId::new(pe),
+                crossbars: need,
+            });
+            if spill > 0 {
+                // Continue filling subsequent PEs with the remainder.
+                let mut rest = spill;
+                while rest > per_pe {
+                    pe += 1;
+                    rest -= per_pe;
+                }
+                pe += 1;
+                used_in_pe = rest;
+                if pe > pes || (pe == pes && rest > 0) {
+                    return Err(PlacementError::InsufficientCapacity {
+                        needed: total,
+                        available: pes * per_pe,
+                    });
+                }
+                if used_in_pe == 0 && pe > 0 {
+                    pe -= 1;
+                }
+            } else {
+                used_in_pe += need;
+            }
+        }
+        Ok(Self {
+            assignments,
+            crossbars_used: total,
+            crossbars_available: pes * per_pe,
+        })
+    }
+
+    /// Per-layer assignments in execution order.
+    #[must_use]
+    pub fn assignments(&self) -> &[LayerPlacement] {
+        &self.assignments
+    }
+
+    /// Total crossbars the network occupies.
+    #[must_use]
+    pub fn crossbars_used(&self) -> usize {
+        self.crossbars_used
+    }
+
+    /// System crossbar capacity.
+    #[must_use]
+    pub fn crossbars_available(&self) -> usize {
+        self.crossbars_available
+    }
+
+    /// Fraction of the system's crossbars in use.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.crossbars_used as f64 / self.crossbars_available as f64
+    }
+
+    /// The PE holding a given layer.
+    #[must_use]
+    pub fn pe_of(&self, layer: usize) -> Option<NodeId> {
+        self.assignments
+            .iter()
+            .find(|a| a.layer == layer)
+            .map(|a| a.pe)
+    }
+
+    /// Total mesh hops activation traffic crosses between consecutive
+    /// layers (the quantity contiguous placement minimizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recorded PE is outside the system's mesh (cannot
+    /// happen for placements produced by [`Placement::greedy`]).
+    #[must_use]
+    pub fn total_transition_hops(&self, system: &SystemConfig) -> u64 {
+        self.assignments
+            .windows(2)
+            .map(|w| {
+                system
+                    .noc()
+                    .hops(w[0].pe, w[1].pe)
+                    .expect("placement PEs are on the mesh")
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odin_dnn::zoo::{self, Dataset};
+
+    #[test]
+    fn every_paper_workload_places() {
+        let system = SystemConfig::paper();
+        for net in zoo::paper_workloads() {
+            let placement = Placement::greedy(&net, &system)
+                .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+            assert_eq!(placement.assignments().len(), net.layers().len());
+            assert!(placement.utilization() <= 1.0, "{}", net.name());
+            assert!(placement.utilization() > 0.0);
+        }
+    }
+
+    #[test]
+    fn consecutive_layers_stay_close() {
+        let system = SystemConfig::paper();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let placement = Placement::greedy(&net, &system).unwrap();
+        // Contiguous fill: consecutive layers are on the same or
+        // adjacent-index PEs, so per-transition hops stay small.
+        let hops = placement.total_transition_hops(&system);
+        let transitions = (net.layers().len() - 1) as u64;
+        assert!(
+            hops <= 3 * transitions,
+            "mean transition hops {}",
+            hops as f64 / transitions as f64
+        );
+    }
+
+    #[test]
+    fn placement_is_monotone_in_pe_index() {
+        let system = SystemConfig::paper();
+        let net = zoo::resnet50(Dataset::TinyImageNet);
+        let placement = Placement::greedy(&net, &system).unwrap();
+        for w in placement.assignments().windows(2) {
+            assert!(w[1].pe.index() >= w[0].pe.index());
+        }
+        assert_eq!(placement.pe_of(0), Some(placement.assignments()[0].pe));
+        assert_eq!(placement.pe_of(9999), None);
+    }
+
+    #[test]
+    fn oversized_network_is_rejected() {
+        let system = SystemConfig::paper();
+        // A synthetic monster: ~50× DenseNet.
+        let layers: Vec<odin_dnn::LayerDescriptor> = (0..400)
+            .map(|j| {
+                odin_dnn::LayerDescriptor::new(
+                    j,
+                    format!("huge{j}"),
+                    odin_dnn::LayerKind::Linear {
+                        inputs: 8192,
+                        outputs: 8192,
+                    },
+                    1,
+                    0.0,
+                    1.0,
+                )
+            })
+            .collect();
+        let net = odin_dnn::NetworkDescriptor::new("huge".into(), "none".into(), layers);
+        assert!(matches!(
+            Placement::greedy(&net, &system),
+            Err(PlacementError::InsufficientCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PlacementError::InsufficientCapacity {
+            needed: 100,
+            available: 50,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(PlacementError::Unmappable { layer: 3 }.to_string().contains('3'));
+    }
+}

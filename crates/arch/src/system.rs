@@ -1,0 +1,135 @@
+//! The 36-PE accelerator.
+
+use odin_noc::MeshNoc;
+use odin_units::{Joules, SquareMillimeters};
+use serde::Serialize;
+
+use crate::tile::TileConfig;
+
+/// The full Odin-enabled accelerator: 36 ReRAM PEs on a 6×6 mesh, four
+/// tiles per PE (§V.A), plus a dedicated digital PIM core for policy
+/// gradient computation (following ReHy).
+///
+/// # Examples
+///
+/// ```
+/// use odin_arch::SystemConfig;
+///
+/// let sys = SystemConfig::paper();
+/// assert_eq!(sys.pe_count(), 36);
+/// assert_eq!(sys.total_crossbars(), 36 * 4 * 96);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SystemConfig {
+    tile: TileConfig,
+    tiles_per_pe: usize,
+    noc: MeshNoc,
+    edram_read_energy_per_byte: Joules,
+}
+
+impl SystemConfig {
+    /// The paper's 36-PE system.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            tile: TileConfig::paper(),
+            tiles_per_pe: 4,
+            noc: MeshNoc::paper_6x6(),
+            // Representative 32 nm eDRAM: ~1 pJ/byte read.
+            edram_read_energy_per_byte: Joules::from_picojoules(1.0),
+        }
+    }
+
+    /// The tile configuration.
+    #[must_use]
+    pub fn tile(&self) -> &TileConfig {
+        &self.tile
+    }
+
+    /// Tiles per PE (4).
+    #[must_use]
+    pub fn tiles_per_pe(&self) -> usize {
+        self.tiles_per_pe
+    }
+
+    /// The mesh NoC.
+    #[must_use]
+    pub fn noc(&self) -> &MeshNoc {
+        &self.noc
+    }
+
+    /// Number of PEs (mesh nodes).
+    #[must_use]
+    pub fn pe_count(&self) -> usize {
+        self.noc.nodes()
+    }
+
+    /// Total crossbars in the system.
+    #[must_use]
+    pub fn total_crossbars(&self) -> usize {
+        self.pe_count() * self.tiles_per_pe * self.tile.crossbars_per_tile()
+    }
+
+    /// Total weight capacity (differential pairs) of the system.
+    #[must_use]
+    pub fn total_weight_capacity(&self) -> usize {
+        self.pe_count() * self.tiles_per_pe * self.tile.weight_capacity()
+    }
+
+    /// Total compute silicon area (tiles only, before online-learning
+    /// overheads).
+    #[must_use]
+    pub fn compute_area(&self) -> SquareMillimeters {
+        self.tile.total_area() * (self.pe_count() * self.tiles_per_pe) as f64
+    }
+
+    /// eDRAM read energy for fetching `bytes` of activations.
+    #[must_use]
+    pub fn edram_read_energy(&self, bytes: u64) -> Joules {
+        self.edram_read_energy_per_byte * bytes as f64
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_system_dimensions() {
+        let sys = SystemConfig::paper();
+        assert_eq!(sys.pe_count(), 36);
+        assert_eq!(sys.tiles_per_pe(), 4);
+        assert_eq!(sys.total_crossbars(), 13_824);
+        assert_eq!(sys.total_weight_capacity(), 36 * 4 * 96 * 128 * 64);
+    }
+
+    #[test]
+    fn compute_area_is_tiles_times_area() {
+        let sys = SystemConfig::paper();
+        let expect = sys.tile().total_area().value() * 144.0;
+        assert!((sys.compute_area().value() - expect).abs() < 1e-9);
+        // ≈ 40 mm² — the £V.E 0.076 mm² overhead is ~0.2 % of this.
+        assert!(sys.compute_area().value() > 30.0);
+    }
+
+    #[test]
+    fn capacity_fits_resnet18() {
+        // ResNet18 has ~11 M weights; the system stores 28 M pairs.
+        let sys = SystemConfig::paper();
+        assert!(sys.total_weight_capacity() > 11_000_000);
+    }
+
+    #[test]
+    fn edram_energy_scales() {
+        let sys = SystemConfig::paper();
+        let one = sys.edram_read_energy(1);
+        let kb = sys.edram_read_energy(1024);
+        assert!((kb.value() / one.value() - 1024.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,208 @@
+//! The Table I tile: component inventory with areas.
+
+use odin_units::SquareMillimeters;
+use serde::Serialize;
+
+/// One line of the Table I tile inventory.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TileComponent {
+    /// Component name as printed in Table I.
+    pub name: &'static str,
+    /// Specification string as printed in Table I.
+    pub spec: &'static str,
+    /// Silicon area.
+    pub area: SquareMillimeters,
+}
+
+/// The ReRAM tile of Table I: 1.2 GHz, 32 nm, 0.28 mm².
+///
+/// # Examples
+///
+/// ```
+/// use odin_arch::TileConfig;
+///
+/// let tile = TileConfig::paper();
+/// assert_eq!(tile.crossbars_per_tile(), 96);
+/// assert!((tile.total_area().value() - 0.28).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TileConfig {
+    clock_hz: f64,
+    crossbars_per_tile: usize,
+    crossbar_size: usize,
+    bits_per_cell: u8,
+    adcs_per_tile: usize,
+    edram_bytes: usize,
+    components: Vec<TileComponent>,
+}
+
+impl TileConfig {
+    /// The Table I tile.
+    #[must_use]
+    pub fn paper() -> Self {
+        let mm2 = SquareMillimeters::new;
+        let components = vec![
+            TileComponent {
+                name: "eDRAM buffer",
+                spec: "size:64KB",
+                area: mm2(0.083),
+            },
+            TileComponent {
+                name: "eDRAM bus",
+                spec: "buswidth:384",
+                area: mm2(0.09),
+            },
+            TileComponent {
+                name: "Router",
+                spec: "flit:32, port 8",
+                area: mm2(0.0375),
+            },
+            TileComponent {
+                name: "Sigmoid, S+A, Maxpool",
+                spec: "number:2,96,1",
+                area: mm2(0.0038),
+            },
+            TileComponent {
+                name: "OR, IR",
+                spec: "size:3KB, 2KB",
+                area: mm2(0.0282),
+            },
+            TileComponent {
+                name: "OU Control",
+                spec: "number:1",
+                area: mm2(0.0048),
+            },
+            TileComponent {
+                name: "ADC (with control)",
+                spec: "number:96; reconfigurable precision 3 to 6 bits",
+                area: mm2(0.03),
+            },
+            TileComponent {
+                name: "DAC, S+H",
+                spec: "number:96×128",
+                area: mm2(0.0025),
+            },
+            TileComponent {
+                name: "Memristor array",
+                spec: "number:96, size:128×128, bits/cell:2, OU size: varying",
+                area: mm2(0.0024),
+            },
+        ];
+        Self {
+            clock_hz: 1.2e9,
+            crossbars_per_tile: 96,
+            crossbar_size: 128,
+            bits_per_cell: 2,
+            adcs_per_tile: 96,
+            edram_bytes: 64 * 1024,
+            components,
+        }
+    }
+
+    /// Tile clock frequency in hertz (1.2 GHz).
+    #[must_use]
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// Crossbars per tile (96).
+    #[must_use]
+    pub fn crossbars_per_tile(&self) -> usize {
+        self.crossbars_per_tile
+    }
+
+    /// Crossbar dimension (128).
+    #[must_use]
+    pub fn crossbar_size(&self) -> usize {
+        self.crossbar_size
+    }
+
+    /// Bits stored per ReRAM cell (2).
+    #[must_use]
+    pub fn bits_per_cell(&self) -> u8 {
+        self.bits_per_cell
+    }
+
+    /// ADCs per tile (96 — one per crossbar).
+    #[must_use]
+    pub fn adcs_per_tile(&self) -> usize {
+        self.adcs_per_tile
+    }
+
+    /// eDRAM buffer capacity in bytes (64 KB).
+    #[must_use]
+    pub fn edram_bytes(&self) -> usize {
+        self.edram_bytes
+    }
+
+    /// The component inventory, in Table I order.
+    #[must_use]
+    pub fn components(&self) -> &[TileComponent] {
+        &self.components
+    }
+
+    /// Total tile area (≈ 0.28 mm²).
+    #[must_use]
+    pub fn total_area(&self) -> SquareMillimeters {
+        self.components.iter().map(|c| c.area).sum()
+    }
+
+    /// Weights storable per tile:
+    /// `crossbars × (c × c/2)` differential pairs.
+    #[must_use]
+    pub fn weight_capacity(&self) -> usize {
+        self.crossbars_per_tile * self.crossbar_size * (self.crossbar_size / 2)
+    }
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_inventory_sums_to_tile_area() {
+        let tile = TileConfig::paper();
+        // 0.083+0.09+0.0375+0.0038+0.0282+0.0048+0.03+0.0025+0.0024
+        // = 0.2822 mm² — Table I headline rounds to 0.28.
+        let total = tile.total_area().value();
+        assert!((total - 0.2822).abs() < 1e-9, "total {total}");
+        assert_eq!(tile.components().len(), 9);
+    }
+
+    #[test]
+    fn paper_parameters() {
+        let tile = TileConfig::paper();
+        assert_eq!(tile.crossbars_per_tile(), 96);
+        assert_eq!(tile.crossbar_size(), 128);
+        assert_eq!(tile.bits_per_cell(), 2);
+        assert_eq!(tile.adcs_per_tile(), 96);
+        assert_eq!(tile.edram_bytes(), 65536);
+        assert!((tile.clock_hz() - 1.2e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn weight_capacity() {
+        let tile = TileConfig::paper();
+        // 96 crossbars × 128 rows × 64 differential columns.
+        assert_eq!(tile.weight_capacity(), 96 * 128 * 64);
+    }
+
+    #[test]
+    fn ou_control_is_small_fraction() {
+        // §V.E: OU/ADC controller ≈ 1.8 % of the tile.
+        let tile = TileConfig::paper();
+        let ou = tile
+            .components()
+            .iter()
+            .find(|c| c.name == "OU Control")
+            .unwrap();
+        let pct = ou.area.percent_of(tile.total_area());
+        assert!(pct < 2.0, "OU control {pct}% of tile");
+    }
+}

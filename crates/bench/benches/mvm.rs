@@ -1,0 +1,59 @@
+//! Criterion microbenchmarks of the crossbar substrate: OU cycle
+//! counting and the non-ideal MVM path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odin_device::{DeviceParams, WeightCodec};
+use odin_units::Seconds;
+use odin_xbar::{mvm, CrossbarConfig, LayerMapping, NonIdealityModel, OuScheduler, OuShape};
+use rand::{Rng, SeedableRng};
+
+fn bench_cycle_count(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mask: Vec<Vec<bool>> = (0..128)
+        .map(|_| (0..64).map(|_| rng.gen::<f64>() < 0.4).collect())
+        .collect();
+    let mut group = c.benchmark_group("ou_cycle_count");
+    for shape in [OuShape::new(8, 4), OuShape::new(16, 16), OuShape::new(64, 64)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shape),
+            &shape,
+            |b, &s| {
+                let scheduler = OuScheduler::new(s);
+                b.iter(|| scheduler.count_cycles(std::hint::black_box(&mask)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_nonideal_mvm(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let rows = 64;
+    let cols = 32;
+    let weights: Vec<Vec<f64>> = (0..rows)
+        .map(|_| (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let cfg = CrossbarConfig::paper_128();
+    let mapping = LayerMapping::new(rows, cols, cfg.size()).unwrap();
+    let codec = WeightCodec::new(&DeviceParams::paper(), 1.0);
+    let now = Seconds::new(1.0);
+    let xbars = mvm::program_layer(&mapping, &weights, &codec, &cfg, now, &mut rng).unwrap();
+    let nonideal = NonIdealityModel::for_config(&cfg);
+    let input: Vec<f64> = (0..rows).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+    let mut group = c.benchmark_group("nonideal_mvm");
+    for shape in [OuShape::new(8, 8), OuShape::new(32, 32)] {
+        group.bench_with_input(BenchmarkId::from_parameter(shape), &shape, |b, &s| {
+            let engine = mvm::NonIdealMvm::new(&mapping, &xbars, &nonideal, &codec, s);
+            b.iter(|| {
+                engine
+                    .execute(&weights, std::hint::black_box(&input), now, &mut rng)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle_count, bench_nonideal_mvm);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion microbenchmarks of whole inference runs: one Odin
+//! decision pass over VGG11 versus the homogeneous baselines' cost
+//! evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odin_core::baselines::HomogeneousRuntime;
+use odin_core::{OdinConfig, OdinRuntime};
+use odin_dnn::zoo::{self, Dataset};
+use odin_units::Seconds;
+use odin_xbar::{CrossbarConfig, OuShape};
+use rand::SeedableRng;
+
+fn bench_runtime(c: &mut Criterion) {
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut odin = OdinRuntime::new(OdinConfig::paper(), &mut rng);
+    let mut t = 1.0f64;
+    c.bench_function("odin_inference_vgg11", |b| {
+        b.iter(|| {
+            t += 1.0;
+            odin.run_inference(&net, Seconds::new(t)).unwrap()
+        });
+    });
+
+    let mut homog =
+        HomogeneousRuntime::new(CrossbarConfig::paper_128(), OuShape::new(16, 16), 0.005).unwrap();
+    let mut t2 = 1.0f64;
+    c.bench_function("homogeneous_inference_vgg11", |b| {
+        b.iter(|| {
+            t2 += 1.0;
+            homog.run_inference(&net, Seconds::new(t2)).unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion microbenchmarks of the OU-configuration searches — the
+//! timing side of the §V.B overhead comparison (the EX comparator
+//! chain is ~3× the RB one).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odin_core::search::{find_best, SearchStrategy};
+use odin_core::AnalyticModel;
+use odin_dnn::zoo::{self, Dataset};
+use odin_units::Seconds;
+use odin_xbar::CrossbarConfig;
+
+fn bench_search(c: &mut Criterion) {
+    let model = AnalyticModel::new(CrossbarConfig::paper_128()).unwrap();
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let layer = net.layers()[4].clone();
+    let age = Seconds::new(1e2);
+
+    let mut group = c.benchmark_group("ou_search");
+    for (label, strategy) in [
+        ("rb_k1", SearchStrategy::ResourceBounded { k: 1 }),
+        ("rb_k3", SearchStrategy::ResourceBounded { k: 3 }),
+        ("rb_k5", SearchStrategy::ResourceBounded { k: 5 }),
+        ("exhaustive", SearchStrategy::Exhaustive),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |b, &s| {
+            b.iter(|| {
+                find_best(&model, std::hint::black_box(&layer), age, 0.005, (2, 2), s)
+                    .unwrap()
+                    .evaluations
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

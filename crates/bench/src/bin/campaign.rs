@@ -1,0 +1,215 @@
+//! General campaign runner: any zoo model, any dataset, any fabric.
+//!
+//! ```sh
+//! cargo run --release -p odin-bench --bin campaign -- \
+//!     --model resnet18 --dataset cifar10 --crossbar 128 \
+//!     --eta 0.005 --runs 100 --end 1e8 --strategy rb3
+//! # or a homogeneous baseline:
+//! cargo run --release -p odin-bench --bin campaign -- \
+//!     --model vgg11 --homogeneous 16x16
+//! ```
+
+use odin_core::baselines::HomogeneousRuntime;
+use odin_core::search::SearchStrategy;
+use odin_core::{CampaignReport, OdinConfig, TimeSchedule};
+use odin_dnn::zoo::{self, Dataset};
+use odin_dnn::NetworkDescriptor;
+use odin_xbar::{CrossbarConfig, OuShape};
+
+struct Args {
+    model: String,
+    dataset: String,
+    crossbar: usize,
+    eta: f64,
+    runs: usize,
+    start: f64,
+    end: f64,
+    strategy: String,
+    homogeneous: Option<String>,
+    activation_sparsity: bool,
+    confidence: Option<f64>,
+    seed: u64,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            model: "resnet18".into(),
+            dataset: "cifar10".into(),
+            crossbar: 128,
+            eta: 0.005,
+            runs: 100,
+            start: 1.0,
+            end: 1e8,
+            strategy: "rb3".into(),
+            homogeneous: None,
+            activation_sparsity: false,
+            confidence: None,
+            seed: 0xD47E_2025,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next().ok_or_else(|| format!("missing value for {name}"))
+            };
+            match flag.as_str() {
+                "--model" => args.model = value("--model")?,
+                "--dataset" => args.dataset = value("--dataset")?,
+                "--crossbar" => {
+                    args.crossbar = value("--crossbar")?
+                        .parse()
+                        .map_err(|e| format!("--crossbar: {e}"))?;
+                }
+                "--eta" => {
+                    args.eta = value("--eta")?.parse().map_err(|e| format!("--eta: {e}"))?;
+                }
+                "--runs" => {
+                    args.runs = value("--runs")?
+                        .parse()
+                        .map_err(|e| format!("--runs: {e}"))?;
+                }
+                "--start" => {
+                    args.start = value("--start")?
+                        .parse()
+                        .map_err(|e| format!("--start: {e}"))?;
+                }
+                "--end" => {
+                    args.end = value("--end")?.parse().map_err(|e| format!("--end: {e}"))?;
+                }
+                "--strategy" => args.strategy = value("--strategy")?,
+                "--homogeneous" => args.homogeneous = Some(value("--homogeneous")?),
+                "--activation-sparsity" => args.activation_sparsity = true,
+                "--confidence" => {
+                    args.confidence = Some(
+                        value("--confidence")?
+                            .parse()
+                            .map_err(|e| format!("--confidence: {e}"))?,
+                    );
+                }
+                "--seed" => {
+                    args.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown flag {other}\n{USAGE}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+const USAGE: &str = "usage: campaign [--model NAME] [--dataset cifar10|cifar100|tinyimagenet]
+                [--crossbar 128|64|32] [--eta F] [--runs N] [--start S] [--end S]
+                [--strategy rb1|rb3|rb5|ex] [--homogeneous RxC]
+                [--activation-sparsity] [--confidence F] [--seed N]";
+
+fn dataset(name: &str) -> Result<Dataset, String> {
+    match name {
+        "cifar10" => Ok(Dataset::Cifar10),
+        "cifar100" => Ok(Dataset::Cifar100),
+        "tinyimagenet" => Ok(Dataset::TinyImageNet),
+        other => Err(format!("unknown dataset {other}")),
+    }
+}
+
+fn model(name: &str, ds: Dataset) -> Result<NetworkDescriptor, String> {
+    match name {
+        "resnet18" => Ok(zoo::resnet18(ds)),
+        "resnet34" => Ok(zoo::resnet34(ds)),
+        "resnet50" => Ok(zoo::resnet50(ds)),
+        "vgg11" => Ok(zoo::vgg11(ds)),
+        "vgg16" => Ok(zoo::vgg16(ds)),
+        "vgg19" => Ok(zoo::vgg19(ds)),
+        "googlenet" => Ok(zoo::googlenet(ds)),
+        "densenet121" => Ok(zoo::densenet121(ds)),
+        "vit" => Ok(zoo::vit(ds)),
+        other => Err(format!("unknown model {other}")),
+    }
+}
+
+fn strategy(name: &str) -> Result<SearchStrategy, String> {
+    match name {
+        "rb1" => Ok(SearchStrategy::ResourceBounded { k: 1 }),
+        "rb3" => Ok(SearchStrategy::ResourceBounded { k: 3 }),
+        "rb5" => Ok(SearchStrategy::ResourceBounded { k: 5 }),
+        "ex" => Ok(SearchStrategy::Exhaustive),
+        other => Err(format!("unknown strategy {other}")),
+    }
+}
+
+fn shape(spec: &str) -> Result<OuShape, String> {
+    let (r, c) = spec
+        .split_once(['x', '×'])
+        .ok_or_else(|| format!("bad OU spec {spec}, expected RxC"))?;
+    Ok(OuShape::new(
+        r.parse().map_err(|e| format!("OU rows: {e}"))?,
+        c.parse().map_err(|e| format!("OU cols: {e}"))?,
+    ))
+}
+
+fn summarize(report: &CampaignReport) {
+    println!("strategy        : {}", report.strategy);
+    println!("runs            : {}", report.runs.len());
+    println!("inference energy: {}", report.inference_energy());
+    println!("total energy    : {}", report.total_energy());
+    println!("total latency   : {}", report.total_latency());
+    println!("total EDP       : {}", report.total_edp());
+    println!("reprogrammings  : {}", report.reprogram_count());
+    println!("policy updates  : {}", report.policy_updates());
+    println!("mismatch rate   : {:.1}%", report.mismatch_rate() * 100.0);
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse()?;
+    let ds = dataset(&args.dataset)?;
+    let net = model(&args.model, ds)?;
+    let crossbar = CrossbarConfig::builder()
+        .size(args.crossbar)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let schedule = TimeSchedule::geometric(args.start, args.end, args.runs);
+    println!(
+        "campaign: {} on {} — {} layers, {:.1} M weights, {}×{} crossbars\n",
+        net.name(),
+        ds,
+        net.layers().len(),
+        net.total_weights() as f64 / 1e6,
+        args.crossbar,
+        args.crossbar
+    );
+
+    let report = if let Some(spec) = &args.homogeneous {
+        let mut rt = HomogeneousRuntime::new(crossbar, shape(spec)?, args.eta)
+            .map_err(|e| e.to_string())?;
+        rt.run_campaign(&net, &schedule).map_err(|e| e.to_string())?
+    } else {
+        let config = OdinConfig::builder()
+            .crossbar(crossbar)
+            .eta(args.eta)
+            .strategy(strategy(&args.strategy)?)
+            .exploit_activation_sparsity(args.activation_sparsity)
+            .confidence_escalation(args.confidence)
+            .build()
+            .map_err(|e| e.to_string())?;
+        let ctx = odin_bench::ExperimentContext {
+            config,
+            schedule: schedule.clone(),
+            seed: args.seed,
+        };
+        let mut rt = ctx.odin_for(&net, ds).map_err(|e| e.to_string())?;
+        rt.run_campaign(&net, &schedule).map_err(|e| e.to_string())?
+    };
+    summarize(&report);
+    if let Ok(path) = odin_bench::experiments::write_json("campaign", &report) {
+        println!("[json: {}]", path.display());
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 3 of the paper. Pass `--quick` for the reduced
+//! schedule.
+
+fn main() {
+    let ctx = odin_bench::context_from_args();
+    match odin_bench::experiments::fig3::run(&ctx) {
+        Ok(result) => odin_bench::emit("fig3", &result),
+        Err(e) => {
+            eprintln!("fig3 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

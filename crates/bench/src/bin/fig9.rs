@@ -1,0 +1,13 @@
+//! Regenerates Fig. 9 of the paper. Pass `--quick` for the reduced
+//! schedule.
+
+fn main() {
+    let ctx = odin_bench::context_from_args();
+    match odin_bench::experiments::fig9::run(&ctx) {
+        Ok(result) => odin_bench::emit("fig9", &result),
+        Err(e) => {
+            eprintln!("fig9 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

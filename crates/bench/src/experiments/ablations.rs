@@ -1,0 +1,566 @@
+//! Ablation studies of Odin's design choices (DESIGN.md §5): buffer
+//! size, search bound K, feature masking, and the η threshold.
+
+use odin_core::search::SearchStrategy;
+use odin_core::{offline, OdinConfig, OdinError, OdinRuntime};
+use odin_dnn::zoo::{self, Dataset};
+use odin_units::Seconds;
+use serde::Serialize;
+
+use crate::setup::ExperimentContext;
+
+/// Buffer-size sweep row.
+#[derive(Debug, Clone, Serialize)]
+pub struct BufferRow {
+    /// Buffer capacity.
+    pub capacity: usize,
+    /// Policy updates fired during the campaign.
+    pub updates: usize,
+    /// Mismatch rate over the final quarter of the campaign.
+    pub late_mismatch_rate: f64,
+    /// Buffer storage in bytes.
+    pub storage_bytes: usize,
+}
+
+/// The buffer-size ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct BufferAblation {
+    /// One row per capacity.
+    pub rows: Vec<BufferRow>,
+}
+
+impl std::fmt::Display for BufferAblation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Ablation — training-buffer capacity (paper: 50)")?;
+        writeln!(
+            f,
+            "{:>9} {:>8} {:>20} {:>9}",
+            "capacity", "updates", "late mismatch rate", "bytes"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>9} {:>8} {:>20.3} {:>9}",
+                r.capacity, r.updates, r.late_mismatch_rate, r.storage_bytes
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn late_mismatch(report: &odin_core::CampaignReport) -> f64 {
+    let start = report.runs.len() * 3 / 4;
+    let late = &report.runs[start..];
+    let total: usize = late.iter().map(|r| r.decisions.len()).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mismatches: usize = late
+        .iter()
+        .flat_map(|r| &r.decisions)
+        .filter(|d| d.mismatch)
+        .count();
+    mismatches as f64 / total as f64
+}
+
+/// Runs the buffer-capacity sweep on the unseen VGG11.
+///
+/// # Errors
+///
+/// Propagates mapping failures.
+pub fn buffer_sweep(ctx: &ExperimentContext) -> Result<BufferAblation, OdinError> {
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let mut rows = Vec::new();
+    for capacity in [10usize, 25, 50, 100] {
+        let config = OdinConfig::builder()
+            .buffer_capacity(capacity)
+            .build()?;
+        let base = ctx.odin_for(&net, Dataset::Cifar10)?;
+        let mut rt = OdinRuntime::with_policy(config, base.policy().clone());
+        let report = rt.run_campaign(&net, &ctx.schedule)?;
+        rows.push(BufferRow {
+            capacity,
+            updates: report.policy_updates(),
+            late_mismatch_rate: late_mismatch(&report),
+            storage_bytes: odin_policy::ReplayBuffer::new(capacity).storage_bytes(),
+        });
+    }
+    Ok(BufferAblation { rows })
+}
+
+/// Search-bound sweep row.
+#[derive(Debug, Clone, Serialize)]
+pub struct KRow {
+    /// Strategy label.
+    pub label: String,
+    /// Total campaign EDP (J·s).
+    pub total_edp: f64,
+    /// Mean search evaluations per layer decision.
+    pub evaluations_per_layer: f64,
+}
+
+/// The K-bound ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct KAblation {
+    /// One row per strategy.
+    pub rows: Vec<KRow>,
+}
+
+impl std::fmt::Display for KAblation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Ablation — search bound K (paper: K = 3)")?;
+        writeln!(f, "{:<10} {:>14} {:>12}", "strategy", "EDP (J·s)", "evals/layer")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<10} {:>14.4e} {:>12.1}",
+                r.label, r.total_edp, r.evaluations_per_layer
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the K sweep (K ∈ {1, 3, 5} and exhaustive) on VGG11.
+///
+/// # Errors
+///
+/// Propagates mapping failures.
+pub fn k_sweep(ctx: &ExperimentContext) -> Result<KAblation, OdinError> {
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let strategies = [
+        SearchStrategy::ResourceBounded { k: 1 },
+        SearchStrategy::ResourceBounded { k: 3 },
+        SearchStrategy::ResourceBounded { k: 5 },
+        SearchStrategy::Exhaustive,
+    ];
+    let mut rows = Vec::new();
+    for strategy in strategies {
+        let config = OdinConfig::builder().strategy(strategy).build()?;
+        let base = ctx.odin_for(&net, Dataset::Cifar10)?;
+        let mut rt = OdinRuntime::with_policy(config, base.policy().clone());
+        let report = rt.run_campaign(&net, &ctx.schedule)?;
+        let decisions: usize = report.runs.iter().map(|r| r.decisions.len()).sum();
+        let evals: usize = report
+            .runs
+            .iter()
+            .flat_map(|r| &r.decisions)
+            .map(|d| d.search_evaluations)
+            .sum();
+        rows.push(KRow {
+            label: strategy.to_string(),
+            total_edp: report.total_edp().value(),
+            evaluations_per_layer: evals as f64 / decisions.max(1) as f64,
+        });
+    }
+    Ok(KAblation { rows })
+}
+
+/// Feature-masking ablation row.
+#[derive(Debug, Clone, Serialize)]
+pub struct FeatureRow {
+    /// Which feature was masked ("none", "time", "sparsity").
+    pub masked: String,
+    /// Exact agreement with exhaustive labels on the held-out model.
+    pub agreement: f64,
+    /// Within-K(=3) agreement.
+    pub agreement_within_k: f64,
+}
+
+/// The feature ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct FeatureAblation {
+    /// One row per masking.
+    pub rows: Vec<FeatureRow>,
+}
+
+impl std::fmt::Display for FeatureAblation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Ablation — policy input features")?;
+        writeln!(f, "{:<10} {:>10} {:>12}", "masked", "exact", "within-K")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<10} {:>10.3} {:>12.3}",
+                r.masked, r.agreement, r.agreement_within_k
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the feature ablation: mask Φ₄ (time) or Φ₂ (sparsity) at
+/// prediction time and measure agreement with exhaustive labels.
+///
+/// # Errors
+///
+/// Propagates mapping failures.
+pub fn feature_ablation(ctx: &ExperimentContext) -> Result<FeatureAblation, OdinError> {
+    let model = ctx.analytic();
+    let eta = ctx.config.eta();
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let policy = ctx.odin_for(&net, Dataset::Cifar10)?.policy().clone();
+    let labels = offline::label_examples(
+        &model,
+        &[net],
+        eta,
+        &offline::default_sample_ages(),
+        500,
+    )?;
+
+    let mask = |which: &str| -> Vec<odin_policy::TrainingExample> {
+        labels
+            .iter()
+            .map(|ex| {
+                let mut f = ex.features;
+                match which {
+                    "time" => f[3] = 0.0,
+                    "sparsity" => f[1] = 0.0,
+                    _ => {}
+                }
+                odin_policy::TrainingExample::new(f, ex.row_level, ex.col_level)
+            })
+            .collect()
+    };
+
+    let mut rows = Vec::new();
+    for which in ["none", "time", "sparsity"] {
+        let masked = mask(which);
+        rows.push(FeatureRow {
+            masked: which.to_string(),
+            agreement: policy.agreement(&masked),
+            agreement_within_k: policy.agreement_within(&masked, 3),
+        });
+    }
+    Ok(FeatureAblation { rows })
+}
+
+/// Activation-sparsity extension row.
+#[derive(Debug, Clone, Serialize)]
+pub struct ActivationRow {
+    /// Workload name.
+    pub network: String,
+    /// Campaign EDP with weight-only sparsity (the paper's setting).
+    pub weight_only_edp: f64,
+    /// Campaign EDP with joint weight+activation skipping.
+    pub joint_edp: f64,
+    /// EDP reduction from the extension.
+    pub gain: f64,
+}
+
+/// The activation-sparsity extension study.
+#[derive(Debug, Clone, Serialize)]
+pub struct ActivationAblation {
+    /// One row per workload evaluated.
+    pub rows: Vec<ActivationRow>,
+}
+
+impl std::fmt::Display for ActivationAblation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Extension — joint weight/activation sparsity (Sparse-ReRAM-engine lineage)"
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>16} {:>14} {:>8}",
+            "network", "weight-only EDP", "joint EDP", "gain"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<12} {:>16.4e} {:>14.4e} {:>7.2}×",
+                r.network, r.weight_only_edp, r.joint_edp, r.gain
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the activation-sparsity extension study on three CIFAR-10
+/// workloads.
+///
+/// # Errors
+///
+/// Propagates mapping failures.
+pub fn activation_sweep(ctx: &ExperimentContext) -> Result<ActivationAblation, OdinError> {
+    let mut rows = Vec::new();
+    for net in [
+        zoo::vgg11(Dataset::Cifar10),
+        zoo::resnet18(Dataset::Cifar10),
+        zoo::vit(Dataset::Cifar10),
+    ] {
+        let base_policy = ctx.odin_for(&net, Dataset::Cifar10)?.policy().clone();
+        let run = |joint: bool, policy| -> Result<f64, OdinError> {
+            let config = OdinConfig::builder()
+                .exploit_activation_sparsity(joint)
+                .build()?;
+            let mut rt = OdinRuntime::with_policy(config, policy);
+            Ok(rt.run_campaign(&net, &ctx.schedule)?.total_edp().value())
+        };
+        let weight_only_edp = run(false, base_policy.clone())?;
+        let joint_edp = run(true, base_policy)?;
+        rows.push(ActivationRow {
+            network: net.name().to_string(),
+            weight_only_edp,
+            joint_edp,
+            gain: weight_only_edp / joint_edp,
+        });
+    }
+    Ok(ActivationAblation { rows })
+}
+
+/// Thermal-coupling extension row.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThermalRow {
+    /// Sustained tile power (watts).
+    pub power_w: f64,
+    /// Die temperature (°C).
+    pub temperature_c: f64,
+    /// Drift acceleration factor.
+    pub acceleration: f64,
+    /// Reprogramming passes over the campaign.
+    pub reprograms: usize,
+    /// Total campaign EDP (J·s).
+    pub total_edp: f64,
+}
+
+/// The thermal-coupling extension study.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThermalAblation {
+    /// One row per power level.
+    pub rows: Vec<ThermalRow>,
+}
+
+impl std::fmt::Display for ThermalAblation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Extension — thermal drift acceleration (TEFLON lineage, VGG11 + 16×16)"
+        )?;
+        writeln!(
+            f,
+            "{:>8} {:>8} {:>7} {:>11} {:>14}",
+            "P (W)", "T (°C)", "accel", "reprograms", "EDP (J·s)"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>8.1} {:>8.1} {:>6.1}× {:>11} {:>14.4e}",
+                r.power_w, r.temperature_c, r.acceleration, r.reprograms, r.total_edp
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the thermal sweep: hotter tiles drift faster, so the
+/// homogeneous 16×16 baseline reprograms more often and pays more
+/// total EDP.
+///
+/// # Errors
+///
+/// Propagates mapping failures.
+pub fn thermal_sweep(ctx: &ExperimentContext) -> Result<ThermalAblation, OdinError> {
+    use odin_device::ThermalModel;
+    use odin_units::{Seconds, Watts};
+    use odin_xbar::{NonIdealityModel, OuShape};
+
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let thermal = ThermalModel::paper();
+    let mut rows = Vec::new();
+    for power_w in [0.0, 0.5, 1.0, 2.0] {
+        let acceleration = thermal.acceleration_at_power(Watts::new(power_w));
+        let base = NonIdealityModel::for_config(ctx.config.crossbar());
+        let tau = NonIdealityModel::DEFAULT_DRIFT_TIMESCALE / acceleration;
+        let heated = base.with_drift_timescale(Seconds::new(tau));
+        let analytic = ctx.analytic().with_nonideality(heated);
+        // HomogeneousRuntime builds its own model, so drive the
+        // reprogram-or-run loop directly against the heated one.
+        let mut reprograms = 0usize;
+        let mut last_programmed = 0.0f64;
+        let mut energy = 0.0f64;
+        let mut latency = 0.0f64;
+        for t in ctx.schedule.times() {
+            let age = Seconds::new((t.value() - last_programmed).max(0.0));
+            let worst = analytic.worst_impact(&net, OuShape::new(16, 16), age);
+            let age = if worst >= ctx.config.eta() {
+                reprograms += 1;
+                last_programmed = t.value();
+                let cost = analytic.reprogram_cost(&net);
+                energy += cost.energy().value();
+                latency += cost.latency().value();
+                Seconds::ZERO
+            } else {
+                age
+            };
+            let cost = analytic.evaluate_network(&net, OuShape::new(16, 16), age)?;
+            energy += cost.energy.value();
+            latency += cost.latency.value();
+        }
+        rows.push(ThermalRow {
+            power_w,
+            temperature_c: thermal.temperature(Watts::new(power_w)),
+            acceleration,
+            reprograms,
+            total_edp: energy * latency,
+        });
+    }
+    Ok(ThermalAblation { rows })
+}
+
+/// η-threshold sweep row.
+#[derive(Debug, Clone, Serialize)]
+pub struct EtaRow {
+    /// The threshold η.
+    pub eta: f64,
+    /// Reprogramming passes over the campaign.
+    pub reprograms: usize,
+    /// Total campaign EDP (J·s).
+    pub total_edp: f64,
+    /// Mean chosen OU product at `t₀`.
+    pub fresh_mean_product: f64,
+}
+
+/// The η ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct EtaAblation {
+    /// One row per η.
+    pub rows: Vec<EtaRow>,
+}
+
+impl std::fmt::Display for EtaAblation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Ablation — non-ideality threshold η (paper: 0.5%)")?;
+        writeln!(
+            f,
+            "{:>8} {:>11} {:>14} {:>16}",
+            "η", "reprograms", "EDP (J·s)", "fresh mean R·C"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>8.4} {:>11} {:>14.4e} {:>16.1}",
+                r.eta, r.reprograms, r.total_edp, r.fresh_mean_product
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the η sweep on VGG11.
+///
+/// # Errors
+///
+/// Propagates mapping failures.
+pub fn eta_sweep(ctx: &ExperimentContext) -> Result<EtaAblation, OdinError> {
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let mut rows = Vec::new();
+    for eta in [0.002, 0.0035, 0.005, 0.01, 0.02] {
+        let config = OdinConfig::builder().eta(eta).build()?;
+        let mut rng = ctx.rng();
+        let all = zoo::all_models(Dataset::Cifar10);
+        let known = offline::leave_one_out(&all, net.name());
+        let policy = offline::bootstrap_policy(
+            &ctx.analytic(),
+            &known,
+            eta,
+            ctx.config.policy().clone(),
+            &mut rng,
+        )?;
+        let mut rt = OdinRuntime::with_policy(config, policy);
+        let fresh = rt.run_inference(&net, Seconds::new(1.0))?;
+        let fresh_mean_product = fresh
+            .decisions
+            .iter()
+            .map(|d| d.chosen.area() as f64)
+            .sum::<f64>()
+            / fresh.decisions.len().max(1) as f64;
+        let report = rt.run_campaign(&net, &ctx.schedule)?;
+        rows.push(EtaRow {
+            eta,
+            reprograms: report.reprogram_count(),
+            total_edp: report.total_edp().value(),
+            fresh_mean_product,
+        });
+    }
+    Ok(EtaAblation { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odin_core::TimeSchedule;
+
+    fn quick_ctx() -> ExperimentContext {
+        let mut ctx = ExperimentContext::quick();
+        ctx.schedule = TimeSchedule::geometric(1.0, 1e8, 40);
+        ctx
+    }
+
+    #[test]
+    fn buffer_sweep_smaller_buffers_update_more() {
+        let result = buffer_sweep(&quick_ctx()).unwrap();
+        assert_eq!(result.rows.len(), 4);
+        assert!(result.rows[0].updates >= result.rows[3].updates);
+        assert!(result.to_string().contains("capacity"));
+    }
+
+    #[test]
+    fn k_sweep_evaluations_grow_with_k() {
+        let result = k_sweep(&quick_ctx()).unwrap();
+        assert_eq!(result.rows.len(), 4);
+        assert!(result.rows[0].evaluations_per_layer < result.rows[2].evaluations_per_layer);
+        // Exhaustive evaluates the full 36-shape grid per layer.
+        assert!((result.rows[3].evaluations_per_layer - 36.0).abs() < 1.0);
+        assert!(result.to_string().contains("K"));
+    }
+
+    #[test]
+    fn feature_masking_hurts_agreement() {
+        let result = feature_ablation(&quick_ctx()).unwrap();
+        let get = |m: &str| result.rows.iter().find(|r| r.masked == m).unwrap().clone();
+        let none = get("none");
+        let time = get("time");
+        assert!(none.agreement >= time.agreement, "time feature is load-bearing");
+        assert!(none.agreement_within_k > 0.8);
+        assert!(result.to_string().contains("features"));
+    }
+
+    #[test]
+    fn activation_sparsity_always_helps() {
+        let result = activation_sweep(&quick_ctx()).unwrap();
+        assert_eq!(result.rows.len(), 3);
+        for r in &result.rows {
+            assert!(r.gain >= 1.0, "{}: {}", r.network, r.gain);
+        }
+        // ReLU CNNs benefit more than the GELU transformer.
+        let gain = |name: &str| result.rows.iter().find(|r| r.network == name).unwrap().gain;
+        assert!(gain("vgg11") > gain("vit"), "vgg {} vit {}", gain("vgg11"), gain("vit"));
+        assert!(result.to_string().contains("activation"));
+    }
+
+    #[test]
+    fn thermal_sweep_hotter_means_more_reprogramming() {
+        let result = thermal_sweep(&quick_ctx()).unwrap();
+        assert_eq!(result.rows.len(), 4);
+        let cold = &result.rows[0];
+        let hot = &result.rows[3];
+        assert!((cold.acceleration - 1.0).abs() < 1e-9);
+        assert!((hot.acceleration - 4.0).abs() < 1e-6);
+        assert!(hot.reprograms > cold.reprograms);
+        assert!(hot.total_edp > cold.total_edp);
+        assert!(result.to_string().contains("thermal"));
+    }
+
+    #[test]
+    fn eta_sweep_tighter_threshold_reprograms_more() {
+        let result = eta_sweep(&quick_ctx()).unwrap();
+        assert_eq!(result.rows.len(), 5);
+        let tightest = &result.rows[0];
+        let loosest = &result.rows[4];
+        assert!(tightest.reprograms >= loosest.reprograms);
+        assert!(tightest.fresh_mean_product <= loosest.fresh_mean_product);
+        assert!(result.to_string().contains("η"));
+    }
+}

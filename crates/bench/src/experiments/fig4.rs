@@ -1,0 +1,113 @@
+//! Fig. 4: the OU-size distribution of ResNet18's layers shifts
+//! toward fine-grained shapes as conductance drift accumulates.
+
+use std::collections::BTreeMap;
+
+use odin_core::OdinError;
+use odin_dnn::zoo::{self, Dataset};
+use odin_units::Seconds;
+use serde::Serialize;
+
+use crate::setup::ExperimentContext;
+
+/// The OU-size histogram at one time instant.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Snapshot {
+    /// The time instant (seconds since programming).
+    pub time: f64,
+    /// `R·C` product → number of DNN layers using that size.
+    pub histogram: BTreeMap<usize, usize>,
+}
+
+impl Fig4Snapshot {
+    /// The layer-count-weighted mean OU product.
+    #[must_use]
+    pub fn mean_product(&self) -> f64 {
+        let (sum, n) = self
+            .histogram
+            .iter()
+            .fold((0usize, 0usize), |(s, n), (&p, &c)| (s + p * c, n + c));
+        if n == 0 {
+            return 0.0;
+        }
+        sum as f64 / n as f64
+    }
+}
+
+/// The Fig. 4 result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Result {
+    /// Snapshots in time order.
+    pub snapshots: Vec<Fig4Snapshot>,
+}
+
+impl std::fmt::Display for Fig4Result {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Fig. 4 — ResNet18 OU-size distribution shift under drift"
+        )?;
+        for snap in &self.snapshots {
+            writeln!(
+                f,
+                "t = {:>10.2e} s   mean R·C = {:>7.1}",
+                snap.time,
+                snap.mean_product()
+            )?;
+            for (product, count) in &snap.histogram {
+                writeln!(f, "    R·C {product:>5}: {count:>3} layers")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The Fig. 4 sample instants.
+#[must_use]
+pub fn sample_times() -> Vec<f64> {
+    vec![1.0, 1e2, 1e4, 1e6, 5e7]
+}
+
+/// Runs the Fig. 4 experiment: the OU histogram of ResNet18 under an
+/// adapting Odin runtime at increasing drift ages.
+///
+/// # Errors
+///
+/// Propagates mapping failures.
+pub fn run(ctx: &ExperimentContext) -> Result<Fig4Result, OdinError> {
+    let net = zoo::resnet18(Dataset::Cifar10);
+    let mut odin = ctx.odin_for(&net, Dataset::Cifar10)?;
+    let mut snapshots = Vec::new();
+    for t in sample_times() {
+        let record = odin.run_inference(&net, Seconds::new(t))?;
+        let mut histogram = BTreeMap::new();
+        for d in &record.decisions {
+            *histogram.entry(d.chosen.area()).or_insert(0) += 1;
+        }
+        snapshots.push(Fig4Snapshot { time: t, histogram });
+    }
+    Ok(Fig4Result { snapshots })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_shifts_left_over_time() {
+        let result = run(&ExperimentContext::quick()).unwrap();
+        assert_eq!(result.snapshots.len(), 5);
+        let first = result.snapshots.first().unwrap().mean_product();
+        let last = result.snapshots.last().unwrap().mean_product();
+        assert!(
+            last < first,
+            "mean OU product must shrink with drift: {first} → {last}"
+        );
+        // Every snapshot covers all 21 layers.
+        for snap in &result.snapshots {
+            let layers: usize = snap.histogram.values().sum();
+            assert_eq!(layers, 21);
+        }
+        assert!(result.to_string().contains("Fig. 4"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Fig. 5: layer-wise OU configurations for the unseen VGG11 — the
+//! offline-optimal assignment versus what Odin's online policy (with
+//! resource-bounded and exhaustive search) selects at `t = t₀`,
+//! `1e2 s` and `1e4 s`.
+
+use odin_core::search::SearchStrategy;
+use odin_core::{OdinConfig, OdinError, TimeSchedule};
+use odin_dnn::zoo::{self, Dataset};
+use odin_units::Seconds;
+use odin_xbar::OuShape;
+use serde::Serialize;
+
+use crate::setup::ExperimentContext;
+
+/// Layer-wise OU products for one strategy at one instant.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5Series {
+    /// Strategy label ("offline", "odin-RB", "odin-EX").
+    pub label: String,
+    /// `R·C` per layer, in layer order.
+    pub products: Vec<usize>,
+}
+
+/// The three-panel Fig. 5 result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5Result {
+    /// One panel per sampled instant: `(time, series)`.
+    pub panels: Vec<(f64, Vec<Fig5Series>)>,
+}
+
+impl Fig5Result {
+    /// Mean absolute log₂ gap between a strategy's products and the
+    /// offline-optimal products in one panel (lower = closer match).
+    #[must_use]
+    pub fn gap_to_offline(&self, panel: usize, label: &str) -> Option<f64> {
+        let (_, series) = self.panels.get(panel)?;
+        let offline = &series.iter().find(|s| s.label == "offline")?.products;
+        let target = &series.iter().find(|s| s.label == label)?.products;
+        let n = offline.len().min(target.len());
+        if n == 0 {
+            return None;
+        }
+        let sum: f64 = offline
+            .iter()
+            .zip(target)
+            .map(|(&a, &b)| ((a as f64).log2() - (b as f64).log2()).abs())
+            .sum();
+        Some(sum / n as f64)
+    }
+}
+
+impl std::fmt::Display for Fig5Result {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Fig. 5 — VGG11 (unseen) layer-wise OU: offline vs online RB/EX"
+        )?;
+        for (t, series) in &self.panels {
+            writeln!(f, "t = {t:.2e} s")?;
+            for s in series {
+                let joined: Vec<String> =
+                    s.products.iter().map(std::string::ToString::to_string).collect();
+                writeln!(f, "  {:<10} [{}]", s.label, joined.join(", "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The Fig. 5 sample instants (panels a–c).
+#[must_use]
+pub fn sample_times() -> Vec<f64> {
+    vec![1.0, 1e2, 1e4]
+}
+
+fn layer_products(
+    runtime: &mut odin_core::OdinRuntime,
+    net: &odin_dnn::NetworkDescriptor,
+    t: f64,
+) -> Result<Vec<usize>, OdinError> {
+    let record = runtime.run_inference(net, Seconds::new(t))?;
+    Ok(record.decisions.iter().map(|d| d.chosen.area()).collect())
+}
+
+/// Runs the Fig. 5 experiment.
+///
+/// The "offline" reference is the exhaustive-search optimum computed
+/// with full knowledge of VGG11 (what a designer would precompute);
+/// the online runtimes start from a leave-one-out policy and adapt
+/// between panels by running the inference runs of the schedule that
+/// fall before each sample instant.
+///
+/// # Errors
+///
+/// Propagates mapping failures.
+pub fn run(ctx: &ExperimentContext) -> Result<Fig5Result, OdinError> {
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let model = ctx.analytic();
+    let eta = ctx.config.eta();
+
+    let rb_cfg = ctx.config.clone();
+    let ex_cfg = OdinConfig::builder()
+        .crossbar(ctx.config.crossbar().clone())
+        .eta(eta)
+        .strategy(SearchStrategy::Exhaustive)
+        .build()?;
+    let mut rb = ctx.odin_for(&net, Dataset::Cifar10)?;
+    let mut ex = odin_core::OdinRuntime::with_policy(
+        ex_cfg,
+        ctx.odin_for(&net, Dataset::Cifar10)?.policy().clone(),
+    );
+    drop(rb_cfg);
+
+    // Warm the online runtimes over the schedule between panels.
+    let mut panels = Vec::new();
+    let mut previous = 0.0f64;
+    for t in sample_times() {
+        // Adaptation runs strictly between the previous panel and this
+        // one.
+        let warmup: Vec<f64> = TimeSchedule::paper()
+            .times()
+            .iter()
+            .map(|s| s.value())
+            .filter(|&x| x > previous && x < t)
+            .collect();
+        for &w in &warmup {
+            let _ = rb.run_inference(&net, Seconds::new(w))?;
+            let _ = ex.run_inference(&net, Seconds::new(w))?;
+        }
+        previous = t;
+
+        // Offline-optimal assignment at this drift age.
+        let mut offline = Vec::new();
+        for layer in net.layers() {
+            let best = odin_core::search::find_best(
+                &model,
+                layer,
+                Seconds::new(t),
+                eta,
+                (0, 0),
+                SearchStrategy::Exhaustive,
+            )?
+            .best
+            .map_or(OuShape::new(4, 4), |e| e.shape);
+            offline.push(best.area());
+        }
+
+        let series = vec![
+            Fig5Series {
+                label: "offline".into(),
+                products: offline,
+            },
+            Fig5Series {
+                label: "odin-RB".into(),
+                products: layer_products(&mut rb, &net, t)?,
+            },
+            Fig5Series {
+                label: "odin-EX".into(),
+                products: layer_products(&mut ex, &net, t)?,
+            },
+        ];
+        panels.push((t, series));
+    }
+    Ok(Fig5Result { panels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_converges_toward_offline() {
+        let result = run(&ExperimentContext::quick()).unwrap();
+        assert_eq!(result.panels.len(), 3);
+        // By the second panel (t = 1e2 s, after adaptation runs) RB
+        // closely follows the offline assignment (§V.B).
+        let late_rb = result.gap_to_offline(1, "odin-RB").unwrap();
+        assert!(late_rb < 1.0, "RB gap at 1e2 s: {late_rb}");
+        // EX is at least as close as RB in the first panel.
+        let rb0 = result.gap_to_offline(0, "odin-RB").unwrap();
+        let ex0 = result.gap_to_offline(0, "odin-EX").unwrap();
+        assert!(ex0 <= rb0 + 1e-9, "EX {ex0} vs RB {rb0}");
+        assert!(result.to_string().contains("VGG11"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Fig. 6: energy and latency of Odin versus homogeneous OUs for
+//! VGG11 (CIFAR-10), normalized to the 16×16 configuration's
+//! *inference* energy and latency. Includes the reprogramming counts
+//! §V.C quotes (43 for 16×16, 2 for 8×4, once for Odin).
+
+use odin_core::baselines::paper_baselines;
+use odin_core::{CampaignReport, OdinError};
+use odin_dnn::zoo::{self, Dataset};
+use serde::Serialize;
+
+use crate::setup::ExperimentContext;
+
+/// One strategy's row in the Fig. 6 comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6Row {
+    /// Strategy label ("odin", "16×16", …).
+    pub label: String,
+    /// Total energy (inference + reprogramming) / 16×16 inference
+    /// energy.
+    pub energy_norm: f64,
+    /// Total latency / 16×16 inference latency.
+    pub latency_norm: f64,
+    /// Reprogramming passes over the campaign.
+    pub reprograms: usize,
+}
+
+/// The Fig. 6 result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6Result {
+    /// Workload name.
+    pub network: String,
+    /// Rows: Odin first, then the homogeneous baselines.
+    pub rows: Vec<Fig6Row>,
+}
+
+impl Fig6Result {
+    /// Odin's energy advantage over a baseline label.
+    #[must_use]
+    pub fn energy_gain_over(&self, label: &str) -> Option<f64> {
+        let odin = self.rows.iter().find(|r| r.label == "odin")?;
+        let base = self.rows.iter().find(|r| r.label == label)?;
+        Some(base.energy_norm / odin.energy_norm)
+    }
+
+    /// Odin's latency advantage over a baseline label.
+    #[must_use]
+    pub fn latency_gain_over(&self, label: &str) -> Option<f64> {
+        let odin = self.rows.iter().find(|r| r.label == "odin")?;
+        let base = self.rows.iter().find(|r| r.label == label)?;
+        Some(base.latency_norm / odin.latency_norm)
+    }
+}
+
+impl std::fmt::Display for Fig6Result {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Fig. 6 — {} total energy/latency (normalized to 16×16 inference)",
+            self.network
+        )?;
+        writeln!(f, "{:<10} {:>12} {:>12} {:>11}", "config", "energy", "latency", "reprograms")?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<10} {:>12.3} {:>12.3} {:>11}",
+                row.label, row.energy_norm, row.latency_norm, row.reprograms
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn norms(report: &CampaignReport, e0: f64, t0: f64) -> (f64, f64) {
+    (
+        report.total_energy().value() / e0,
+        report.total_latency().value() / t0,
+    )
+}
+
+/// Runs the Fig. 6 experiment.
+///
+/// # Errors
+///
+/// Propagates mapping failures.
+pub fn run(ctx: &ExperimentContext) -> Result<Fig6Result, OdinError> {
+    let net = zoo::vgg11(Dataset::Cifar10);
+    // Normalization denominators: the 16×16 baseline's inference-only
+    // energy and latency.
+    let mut sixteen = ctx.homogeneous(odin_xbar::OuShape::new(16, 16))?;
+    let ref_report = sixteen.run_campaign(&net, &ctx.schedule)?;
+    let e0 = ref_report.inference_energy().value();
+    let t0 = ref_report.inference_latency().value();
+
+    let mut rows = Vec::new();
+    let mut odin = ctx.odin_for(&net, Dataset::Cifar10)?;
+    let odin_report = odin.run_campaign(&net, &ctx.schedule)?;
+    let (energy_norm, latency_norm) = norms(&odin_report, e0, t0);
+    rows.push(Fig6Row {
+        label: "odin".into(),
+        energy_norm,
+        latency_norm,
+        reprograms: odin_report.reprogram_count(),
+    });
+
+    for (label, shape) in paper_baselines() {
+        let report = if shape == odin_xbar::OuShape::new(16, 16) {
+            ref_report.clone()
+        } else {
+            ctx.homogeneous(shape)?.run_campaign(&net, &ctx.schedule)?
+        };
+        let (energy_norm, latency_norm) = norms(&report, e0, t0);
+        rows.push(Fig6Row {
+            label: label.to_string(),
+            energy_norm,
+            latency_norm,
+            reprograms: report.reprogram_count(),
+        });
+    }
+    Ok(Fig6Result {
+        network: net.name().to_string(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_shape_holds() {
+        let result = run(&ExperimentContext::quick()).unwrap();
+        assert_eq!(result.rows.len(), 5);
+        // Odin beats every homogeneous baseline on total energy and
+        // latency (§V.C: 6.4×, 4×, 1.4×, 3× energy; up to 7.5×
+        // latency).
+        for label in ["16×16", "16×4", "9×8", "8×4"] {
+            let eg = result.energy_gain_over(label).unwrap();
+            assert!(eg > 1.0, "energy gain over {label}: {eg}");
+            let lg = result.latency_gain_over(label).unwrap();
+            assert!(lg > 1.0, "latency gain over {label}: {lg}");
+        }
+        // 16×16 reprograms the most; Odin the least.
+        let reprog = |l: &str| {
+            result
+                .rows
+                .iter()
+                .find(|r| r.label == l)
+                .unwrap()
+                .reprograms
+        };
+        assert!(reprog("16×16") > reprog("8×4"));
+        assert!(reprog("odin") <= reprog("8×4"));
+        // Display is printable and non-empty.
+        assert!(result.to_string().contains("Fig. 6"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Fig. 7: inference accuracy over the inference runs for VGG11
+//! (CIFAR-10) with homogeneous OUs (with and without reprogramming)
+//! and Odin.
+//!
+//! Two variants are produced:
+//!
+//! * the **analytic** curves use [`odin_core::accuracy::AccuracyModel`]
+//!   on the zoo descriptor (calibrated: 16×16 without reprogramming
+//!   loses ≈ 22 %);
+//! * the **functional** curve trains a small CNN on synthetic data and
+//!   evaluates it with per-layer non-ideality noise injected into real
+//!   weights — the PytorX substitution exercised end to end.
+
+use odin_core::accuracy::{noise_impacts, AccuracyModel};
+use odin_core::OdinError;
+use odin_dnn::dataset::SyntheticImages;
+use odin_dnn::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
+use odin_dnn::zoo::{self, Dataset};
+use odin_dnn::{NoiseSpec, Sequential, Trainer, TrainerConfig};
+use odin_units::Seconds;
+use odin_xbar::OuShape;
+use serde::Serialize;
+
+use crate::setup::ExperimentContext;
+
+/// One accuracy trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Series {
+    /// Strategy label ("16×16", "16×16 (no reprogram)", "odin", …).
+    pub label: String,
+    /// Accuracy (fraction) per sampled run.
+    pub accuracy: Vec<f64>,
+}
+
+/// The Fig. 7 result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Result {
+    /// Run times sampled (seconds).
+    pub times: Vec<f64>,
+    /// Analytic accuracy traces.
+    pub series: Vec<Fig7Series>,
+    /// Functional (trained small CNN, noise-injected) trace for the
+    /// 16×16-no-reprogramming case.
+    pub functional_16x16_no_reprogram: Vec<f64>,
+    /// The functional model's clean test accuracy.
+    pub functional_clean_accuracy: f64,
+}
+
+impl Fig7Result {
+    /// Final-run accuracy of a labelled series.
+    #[must_use]
+    pub fn final_accuracy(&self, label: &str) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|s| s.label == label)?
+            .accuracy
+            .last()
+            .copied()
+    }
+}
+
+impl std::fmt::Display for Fig7Result {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Fig. 7 — VGG11 (CIFAR-10) accuracy over inference runs")?;
+        write!(f, "{:<28}", "t (s):")?;
+        for t in &self.times {
+            write!(f, " {t:>9.1e}")?;
+        }
+        writeln!(f)?;
+        for s in &self.series {
+            write!(f, "{:<28}", s.label)?;
+            for a in &s.accuracy {
+                write!(f, " {:>9.3}", a)?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "{:<28}", "functional 16×16 no-rep")?;
+        for a in &self.functional_16x16_no_reprogram {
+            write!(f, " {a:>9.3}")?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "functional clean accuracy: {:.3}",
+            self.functional_clean_accuracy
+        )
+    }
+}
+
+/// Ideal (fault-free) accuracy assumed for the analytic VGG11 curves.
+pub const IDEAL_ACCURACY: f64 = 0.92;
+
+/// Runs the Fig. 7 experiment.
+///
+/// # Errors
+///
+/// Propagates mapping failures.
+pub fn run(ctx: &ExperimentContext) -> Result<Fig7Result, OdinError> {
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let model = ctx.analytic();
+    let eta = ctx.config.eta();
+    let acc = AccuracyModel::new(IDEAL_ACCURACY, 0.1);
+    let times: Vec<f64> = ctx.schedule.times().iter().map(|s| s.value()).collect();
+
+    let mut series = Vec::new();
+    for (label, shape, reprogram) in [
+        ("16×16", OuShape::new(16, 16), true),
+        ("16×16 (no reprogram)", OuShape::new(16, 16), false),
+        ("8×4", OuShape::new(8, 4), true),
+        ("8×4 (no reprogram)", OuShape::new(8, 4), false),
+    ] {
+        let mut rt = ctx.homogeneous(shape)?;
+        if !reprogram {
+            rt = rt.without_reprogramming();
+        }
+        let report = rt.run_campaign(&net, &ctx.schedule)?;
+        let accuracy = report
+            .runs
+            .iter()
+            .map(|r| acc.accuracy_at(&model, &net, shape, r.age, eta))
+            .collect();
+        series.push(Fig7Series {
+            label: label.to_string(),
+            accuracy,
+        });
+    }
+
+    // Odin keeps every layer within η by construction, so its trace is
+    // the worst per-run violation ratio of the *chosen* shapes.
+    let mut odin = ctx.odin_for(&net, Dataset::Cifar10)?;
+    let report = odin.run_campaign(&net, &ctx.schedule)?;
+    let odin_accuracy = report
+        .runs
+        .iter()
+        .map(|r| {
+            let worst = r
+                .decisions
+                .iter()
+                .map(|d| d.eval.impact)
+                .fold(0.0, f64::max);
+            acc.accuracy(worst / eta)
+        })
+        .collect();
+    series.push(Fig7Series {
+        label: "odin".to_string(),
+        accuracy: odin_accuracy,
+    });
+
+    // Functional path: small CNN, synthetic 10-class data, noise
+    // injection scaled by the analytic per-layer impacts of an aging,
+    // never-reprogrammed 16×16 configuration.
+    let mut rng = ctx.rng();
+    let data = SyntheticImages::generate(10, 1, 8, 400, 0.5, &mut rng);
+    let (train, test) = data.split(0.8);
+    let mut cnn = Sequential::new();
+    cnn.push(Conv2d::new(1, 6, 3, &mut rng));
+    cnn.push(Relu::new());
+    cnn.push(MaxPool2d::new());
+    cnn.push(Flatten::new());
+    cnn.push(Dense::new(6 * 4 * 4, 10, &mut rng));
+    let trainer = Trainer::new(TrainerConfig {
+        learning_rate: 0.05,
+        batch_size: 8,
+        epochs: 12,
+    });
+    trainer.fit(&mut cnn, &train);
+    let clean = trainer.accuracy(&mut cnn, &test);
+
+    // Map the VGG11 analytic impacts onto the 2 parameterized layers
+    // of the small CNN (first layer ← most sensitive, last ← least),
+    // amplified by the violation ratio the accuracy model responds to,
+    // and averaged over repeated noise draws.
+    let functional: Vec<f64> = times
+        .iter()
+        .map(|&t| {
+            let impacts = noise_impacts(&model, &net, OuShape::new(16, 16), Seconds::new(t));
+            let first = impacts.first().copied().unwrap_or(0.0);
+            let last = impacts.last().copied().unwrap_or(0.0);
+            let scale = |i: f64| ((i / eta - 1.0).max(0.0) * 0.5).min(1.0);
+            let spec = NoiseSpec {
+                layer_impacts: vec![scale(first), scale(last)],
+            };
+            const REPS: usize = 5;
+            (0..REPS)
+                .map(|_| {
+                    trainer
+                        .noisy_accuracy(&mut cnn, &test, &spec, &mut rng)
+                        .expect("spec matches the two parameterized layers")
+                })
+                .sum::<f64>()
+                / REPS as f64
+        })
+        .collect();
+
+    Ok(Fig7Result {
+        times,
+        series,
+        functional_16x16_no_reprogram: functional,
+        functional_clean_accuracy: clean,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_shape_holds() {
+        let mut ctx = ExperimentContext::quick();
+        ctx.schedule = odin_core::TimeSchedule::geometric(1.0, 1e8, 25);
+        let result = run(&ctx).unwrap();
+
+        // With reprogramming, accuracy never collapses.
+        let rep = result.final_accuracy("16×16").unwrap();
+        assert!(rep > IDEAL_ACCURACY - 0.05, "reprogrammed 16×16: {rep}");
+        // Without reprogramming, 16×16 drops ≈ 22 % (0.12–0.32 band).
+        let no_rep = result.final_accuracy("16×16 (no reprogram)").unwrap();
+        let drop = IDEAL_ACCURACY - no_rep;
+        assert!((0.10..0.35).contains(&drop), "16×16 no-reprogram drop {drop}");
+        // Fine OUs degrade less without reprogramming.
+        let fine = result.final_accuracy("8×4 (no reprogram)").unwrap();
+        assert!(fine > no_rep);
+        // Odin holds accuracy.
+        let odin = result.final_accuracy("odin").unwrap();
+        assert!(odin > IDEAL_ACCURACY - 0.02, "odin: {odin}");
+
+        // Functional path: trained model works and degrades over time.
+        assert!(result.functional_clean_accuracy > 0.7);
+        let f_first = result.functional_16x16_no_reprogram.first().unwrap();
+        let f_last = result.functional_16x16_no_reprogram.last().unwrap();
+        assert!(f_last < f_first, "functional curve must degrade: {f_first} → {f_last}");
+    }
+}

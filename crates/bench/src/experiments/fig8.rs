@@ -1,0 +1,178 @@
+//! Fig. 8: total EDP of the Odin-enabled accelerator versus static
+//! homogeneous OUs across all nine §V.A workloads, normalized to the
+//! 16×16 configuration's inference EDP. The paper reports average
+//! reductions of 3.9×, 2.5×, 1.5× and 1.9× versus 16×16, 16×4, 9×8
+//! and 8×4.
+
+use odin_core::baselines::paper_baselines;
+use odin_core::OdinError;
+use odin_dnn::zoo;
+use odin_xbar::OuShape;
+use serde::Serialize;
+
+use crate::setup::{workload_dataset, ExperimentContext};
+
+/// One workload's normalized EDPs.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8Row {
+    /// Workload name ("resnet18", …).
+    pub network: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Odin's total EDP / 16×16 inference EDP.
+    pub odin: f64,
+    /// Each homogeneous baseline's total EDP / 16×16 inference EDP,
+    /// in `paper_baselines()` order.
+    pub baselines: Vec<(String, f64)>,
+}
+
+/// The Fig. 8 result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8Result {
+    /// Per-workload rows.
+    pub rows: Vec<Fig8Row>,
+}
+
+impl Fig8Result {
+    /// Odin's mean EDP reduction versus one baseline label (geometric
+    /// mean across workloads, the robust average for ratios).
+    #[must_use]
+    pub fn mean_gain_over(&self, label: &str) -> Option<f64> {
+        let mut log_sum = 0.0;
+        let mut n = 0usize;
+        for row in &self.rows {
+            let base = row.baselines.iter().find(|(l, _)| l == label)?;
+            log_sum += (base.1 / row.odin).ln();
+            n += 1;
+        }
+        (n > 0).then(|| (log_sum / n as f64).exp())
+    }
+
+    /// Odin's best-case EDP reduction over any baseline (the headline
+    /// "up to 8.7×" comes from the Fig. 9 crossbar sweep; Fig. 8's
+    /// own maximum is reported here).
+    #[must_use]
+    pub fn max_gain(&self) -> f64 {
+        self.rows
+            .iter()
+            .flat_map(|row| row.baselines.iter().map(move |(_, v)| v / row.odin))
+            .fold(0.0, f64::max)
+    }
+}
+
+impl std::fmt::Display for Fig8Result {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Fig. 8 — total EDP normalized to 16×16 inference EDP (lower is better)"
+        )?;
+        write!(f, "{:<12} {:<13} {:>8}", "network", "dataset", "odin")?;
+        for (label, _) in paper_baselines() {
+            write!(f, " {label:>8}")?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(
+                f,
+                "{:<12} {:<13} {:>8.3}",
+                row.network, row.dataset, row.odin
+            )?;
+            for (_, v) in &row.baselines {
+                write!(f, " {v:>8.3}")?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f)?;
+        for (label, _) in paper_baselines() {
+            if let Some(gain) = self.mean_gain_over(label) {
+                writeln!(f, "odin vs {label:<6} mean EDP reduction: {gain:.2}×")?;
+            }
+        }
+        writeln!(f, "max single-workload reduction: {:.2}×", self.max_gain())
+    }
+}
+
+/// Runs the Fig. 8 experiment over every §V.A workload.
+///
+/// # Errors
+///
+/// Propagates mapping failures.
+pub fn run(ctx: &ExperimentContext) -> Result<Fig8Result, OdinError> {
+    let mut rows = Vec::new();
+    for net in zoo::paper_workloads() {
+        let dataset = workload_dataset(net.name());
+        let mut sixteen = ctx.homogeneous(OuShape::new(16, 16))?;
+        let ref_report = sixteen.run_campaign(&net, &ctx.schedule)?;
+        let edp0 = ref_report.inference_edp().value();
+
+        let mut odin = ctx.odin_for(&net, dataset)?;
+        let odin_report = odin.run_campaign(&net, &ctx.schedule)?;
+        let odin_norm = odin_report.total_edp().value() / edp0;
+
+        let mut baselines = Vec::new();
+        for (label, shape) in paper_baselines() {
+            let report = if shape == OuShape::new(16, 16) {
+                ref_report.clone()
+            } else {
+                ctx.homogeneous(shape)?.run_campaign(&net, &ctx.schedule)?
+            };
+            baselines.push((label.to_string(), report.total_edp().value() / edp0));
+        }
+        rows.push(Fig8Row {
+            network: net.name().to_string(),
+            dataset: dataset.name().to_string(),
+            odin: odin_norm,
+            baselines,
+        });
+    }
+    Ok(Fig8Result { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_ordering_holds_on_subset() {
+        // Full Fig. 8 is exercised by the binary; keep the test to two
+        // workloads for speed and check the qualitative claims.
+        let ctx = ExperimentContext::quick();
+        let mut rows = Vec::new();
+        for net in [
+            zoo::vgg11(odin_dnn::zoo::Dataset::Cifar10),
+            zoo::resnet18(odin_dnn::zoo::Dataset::Cifar10),
+        ] {
+            let dataset = workload_dataset(net.name());
+            let mut sixteen = ctx.homogeneous(OuShape::new(16, 16)).unwrap();
+            let ref_report = sixteen.run_campaign(&net, &ctx.schedule).unwrap();
+            let edp0 = ref_report.inference_edp().value();
+            let mut odin = ctx.odin_for(&net, dataset).unwrap();
+            let odin_report = odin.run_campaign(&net, &ctx.schedule).unwrap();
+            let mut baselines = Vec::new();
+            for (label, shape) in paper_baselines() {
+                let report = if shape == OuShape::new(16, 16) {
+                    ref_report.clone()
+                } else {
+                    ctx.homogeneous(shape)
+                        .unwrap()
+                        .run_campaign(&net, &ctx.schedule)
+                        .unwrap()
+                };
+                baselines.push((label.to_string(), report.total_edp().value() / edp0));
+            }
+            rows.push(Fig8Row {
+                network: net.name().to_string(),
+                dataset: dataset.name().to_string(),
+                odin: odin_report.total_edp().value() / edp0,
+                baselines,
+            });
+        }
+        let result = Fig8Result { rows };
+        for (label, _) in paper_baselines() {
+            let gain = result.mean_gain_over(label).unwrap();
+            assert!(gain > 1.0, "odin must beat {label}: {gain}");
+        }
+        assert!(result.max_gain() > 1.5);
+        assert!(result.to_string().contains("Fig. 8"));
+    }
+}

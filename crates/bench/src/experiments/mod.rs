@@ -1,0 +1,54 @@
+//! One module per paper table/figure, plus the ablation studies.
+//!
+//! Every experiment exposes a `run(&ExperimentContext) -> Result<T>`
+//! where `T: Display + Serialize`; the corresponding binary prints the
+//! table and drops a JSON record under `results/`.
+
+pub mod ablations;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod overhead;
+pub mod search_overhead;
+pub mod table1;
+pub mod validate;
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Writes an experiment's JSON record under `results/` (created on
+/// demand, workspace root when run via `cargo run`).
+///
+/// # Errors
+///
+/// Returns I/O errors from directory creation or writing.
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut file = std::fs::File::create(&path)?;
+    let json = serde_json::to_string_pretty(value).map_err(std::io::Error::other)?;
+    file.write_all(json.as_bytes())?;
+    Ok(path)
+}
+
+/// Formats a ratio column like the paper ("3.9×").
+#[must_use]
+pub fn ratio(value: f64) -> String {
+    format!("{value:.2}×")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(3.94), "3.94×");
+        assert_eq!(ratio(1.0), "1.00×");
+    }
+}

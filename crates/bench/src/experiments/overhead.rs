@@ -1,0 +1,159 @@
+//! §V.E: the online-learning overhead ledger, with the measured
+//! prediction/update overheads of a real campaign next to the paper's
+//! reported constants.
+
+use odin_arch::{IndexBufferModel, OverheadLedger, SystemConfig};
+use odin_core::OdinError;
+use odin_device::EnduranceModel;
+use odin_dnn::zoo::{self, Dataset};
+use odin_xbar::{OuGrid, OuShape};
+use serde::Serialize;
+
+use crate::setup::ExperimentContext;
+
+/// The §V.E overhead report.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadResult {
+    /// OU/ADC controller area (mm²) and percent of the tile.
+    pub controller_area_mm2: f64,
+    /// Controller area as percent of the tile (paper: 1.8 %).
+    pub controller_tile_pct: f64,
+    /// Prediction power (mW, paper: 0.14).
+    pub prediction_power_mw: f64,
+    /// Measured latency penalty of prediction vs inference (paper:
+    /// 0.9 %).
+    pub measured_latency_penalty_pct: f64,
+    /// Policy update energy (µJ, paper: 0.22).
+    pub update_energy_uj: f64,
+    /// Total learning-hardware area (mm²) and system percent.
+    pub learning_area_mm2: f64,
+    /// Learning hardware as percent of the 36-PE system (paper: 0.2 %).
+    pub learning_system_pct: f64,
+    /// Policy updates observed over the campaign.
+    pub policy_updates: usize,
+    /// Overhead energy share of the campaign (percent).
+    pub overhead_energy_pct: f64,
+    /// §II extension: bytes an offline-compression scheme would need
+    /// to support the whole OU grid for this one DNN.
+    pub offline_index_bytes: u64,
+    /// Odin's runtime OU-controller state (bytes, constant).
+    pub odin_controller_bytes: u64,
+    /// Endurance extension: array-lifetime gain of Odin versus the
+    /// homogeneous 16×16 baseline (ratio of reprogram counts).
+    pub lifetime_gain_vs_16x16: f64,
+}
+
+impl std::fmt::Display for OverheadResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "§V.E — online-learning overhead analysis")?;
+        writeln!(
+            f,
+            "OU/ADC controller area:   {:.4} mm² ({:.1}% of tile; paper 0.005 mm², 1.8%)",
+            self.controller_area_mm2, self.controller_tile_pct
+        )?;
+        writeln!(
+            f,
+            "OU-size prediction:       {:.2} mW, {:.2}% latency penalty (paper 0.14 mW, 0.9%)",
+            self.prediction_power_mw, self.measured_latency_penalty_pct
+        )?;
+        writeln!(
+            f,
+            "policy update energy:     {:.2} µJ over {} updates (paper 0.22 µJ)",
+            self.update_energy_uj, self.policy_updates
+        )?;
+        writeln!(
+            f,
+            "learning hardware:        {:.3} mm² ({:.2}% of system; paper 0.076 mm², 0.2%)",
+            self.learning_area_mm2, self.learning_system_pct
+        )?;
+        writeln!(
+            f,
+            "overhead energy share:    {:.3}% of campaign energy",
+            self.overhead_energy_pct
+        )?;
+        writeln!(
+            f,
+            "index storage (§II):      offline full-grid tables {:.1} MB vs Odin controller {} B",
+            self.offline_index_bytes as f64 / (1024.0 * 1024.0),
+            self.odin_controller_bytes
+        )?;
+        writeln!(
+            f,
+            "array lifetime:           {:.0}× the 16×16 baseline (endurance extension)",
+            self.lifetime_gain_vs_16x16
+        )
+    }
+}
+
+/// Runs the overhead experiment: ledger constants plus a measured
+/// VGG11 campaign.
+///
+/// # Errors
+///
+/// Propagates mapping failures.
+pub fn run(ctx: &ExperimentContext) -> Result<OverheadResult, OdinError> {
+    let ledger = OverheadLedger::paper();
+    let system = SystemConfig::paper();
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let mut odin = ctx.odin_for(&net, Dataset::Cifar10)?;
+    let report = odin.run_campaign(&net, &ctx.schedule)?;
+
+    let inference_latency: f64 = report.runs.iter().map(|r| r.inference.latency.value()).sum();
+    let overhead_latency: f64 = report.runs.iter().map(|r| r.overhead.latency.value()).sum();
+    let overhead_energy: f64 = report.runs.iter().map(|r| r.overhead.energy.value()).sum();
+
+    let index = IndexBufferModel::new();
+    let grid: Vec<OuShape> = OuGrid::for_crossbar(ctx.config.crossbar().size())
+        .iter()
+        .collect();
+    let mut baseline = ctx.homogeneous(OuShape::new(16, 16))?;
+    let baseline_report = baseline.run_campaign(&net, &ctx.schedule)?;
+    let endurance = EnduranceModel::paper();
+    let lifetime_gain_vs_16x16 = endurance.lifetime_ratio(
+        report.reprogram_count() as u64,
+        baseline_report.reprogram_count().max(1) as u64,
+    );
+
+    Ok(OverheadResult {
+        offline_index_bytes: index.offline_bytes(&net, &grid),
+        odin_controller_bytes: index.odin_controller_bytes(),
+        lifetime_gain_vs_16x16,
+        controller_area_mm2: ledger.controller_area().value(),
+        controller_tile_pct: ledger.controller_tile_percent(&system),
+        prediction_power_mw: ledger.prediction_power().as_milli(),
+        measured_latency_penalty_pct: overhead_latency / inference_latency * 100.0,
+        update_energy_uj: ledger.policy_update_energy().as_microjoules(),
+        learning_area_mm2: ledger.total_learning_area().value(),
+        learning_system_pct: ledger.learning_system_percent(&system),
+        policy_updates: report.policy_updates(),
+        overhead_energy_pct: overhead_energy / report.total_energy().value() * 100.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_match_section_v_e() {
+        let result = run(&ExperimentContext::quick()).unwrap();
+        assert!((result.controller_tile_pct - 1.8).abs() < 0.1);
+        assert!((result.prediction_power_mw - 0.14).abs() < 1e-9);
+        assert!((result.update_energy_uj - 0.22).abs() < 1e-9);
+        assert!((result.learning_system_pct - 0.2).abs() < 0.1);
+        assert!(
+            result.measured_latency_penalty_pct < 1.0,
+            "latency penalty {}%",
+            result.measured_latency_penalty_pct
+        );
+        assert!(result.overhead_energy_pct < 5.0);
+        assert!(result.to_string().contains("overhead"));
+        // §II extension: offline full-grid index tables dwarf Odin's
+        // constant controller state.
+        assert!(result.offline_index_bytes > 1024 * 1024);
+        assert!(result.odin_controller_bytes < 64);
+        // Endurance extension: Odin's arrays outlive the 16×16
+        // baseline's by its reprogram-count advantage.
+        assert!(result.lifetime_gain_vs_16x16 >= 2.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Table I (tile configuration) and Table II (ReRAM crossbar system
+//! parameters), printed from the models rather than hard-coded prose.
+
+use odin_arch::{OverheadLedger, SystemConfig};
+use odin_device::DeviceParams;
+use odin_xbar::CrossbarConfig;
+use serde::Serialize;
+
+/// The combined Table I / Table II report.
+#[derive(Debug, Clone, Serialize)]
+pub struct TableReport {
+    /// Component name, spec, area (mm²) — Table I rows.
+    pub tile_components: Vec<(String, String, f64)>,
+    /// Total tile area (mm²).
+    pub tile_area: f64,
+    /// Table II parameter rows: name, description, value string.
+    pub crossbar_params: Vec<(String, String, String)>,
+    /// System totals.
+    pub pe_count: usize,
+    /// Total crossbars in the accelerator.
+    pub total_crossbars: usize,
+    /// Compute area of the accelerator (mm²).
+    pub system_area: f64,
+    /// §V.E controller overhead as a percent of the tile.
+    pub controller_pct: f64,
+}
+
+impl std::fmt::Display for TableReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Table I — tile configuration (1.2 GHz, 32 nm)")?;
+        writeln!(f, "{:<24} {:<48} {:>10}", "component", "specification", "area mm²")?;
+        for (name, spec, area) in &self.tile_components {
+            writeln!(f, "{name:<24} {spec:<48} {area:>10.4}")?;
+        }
+        writeln!(f, "{:<73} {:>10.4}", "total", self.tile_area)?;
+        writeln!(f)?;
+        writeln!(f, "Table II — ReRAM crossbar system parameters")?;
+        for (name, desc, value) in &self.crossbar_params {
+            writeln!(f, "{name:<12} {desc:<28} {value}")?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "system: {} PEs, {} crossbars, {:.1} mm² compute area, OU/ADC controller {:.1}% of tile",
+            self.pe_count, self.total_crossbars, self.system_area, self.controller_pct
+        )
+    }
+}
+
+/// Builds the Table I/II report from the architecture models.
+#[must_use]
+pub fn run() -> TableReport {
+    let system = SystemConfig::paper();
+    let tile = system.tile();
+    let device = DeviceParams::paper();
+    let crossbar = CrossbarConfig::paper_128();
+    let ledger = OverheadLedger::paper();
+
+    let tile_components = tile
+        .components()
+        .iter()
+        .map(|c| (c.name.to_string(), c.spec.to_string(), c.area.value()))
+        .collect();
+    let crossbar_params = vec![
+        (
+            "R_wire".to_string(),
+            "crossbar wire resistance".to_string(),
+            format!("{} ohm", crossbar.wire_resistance().value()),
+        ),
+        (
+            "G_ON/G_OFF".to_string(),
+            "ON/OFF state conductance".to_string(),
+            format!(
+                "{:.0}/{:.2} µS",
+                device.g_on().as_micro(),
+                device.g_off().as_micro()
+            ),
+        ),
+        (
+            "v".to_string(),
+            "drift coefficient".to_string(),
+            format!("{} s⁻¹", device.drift_coefficient()),
+        ),
+    ];
+    TableReport {
+        tile_components,
+        tile_area: tile.total_area().value(),
+        crossbar_params,
+        pe_count: system.pe_count(),
+        total_crossbars: system.total_crossbars(),
+        system_area: system.compute_area().value(),
+        controller_pct: ledger.controller_tile_percent(&system),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_reproduce_paper_numbers() {
+        let report = run();
+        assert_eq!(report.tile_components.len(), 9);
+        assert!((report.tile_area - 0.2822).abs() < 1e-6);
+        assert_eq!(report.pe_count, 36);
+        assert_eq!(report.total_crossbars, 13_824);
+        assert!((report.controller_pct - 1.8).abs() < 0.1);
+        let text = report.to_string();
+        assert!(text.contains("Table I"));
+        assert!(text.contains("333"));
+        assert!(text.contains("0.2"));
+    }
+}

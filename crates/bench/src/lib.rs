@@ -1,0 +1,39 @@
+//! The Odin experiment harness: one entry point per table/figure of
+//! the paper, shared by the `fig*`/`table*` binaries and the
+//! integration tests.
+//!
+//! Every experiment returns a serializable result struct whose
+//! `Display` prints the same rows/series the paper reports, so
+//! `cargo run -p odin-bench --bin fig8` regenerates the Fig. 8 data.
+//! EXPERIMENTS.md records paper-vs-measured for each.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod setup;
+
+pub use setup::ExperimentContext;
+
+/// Builds the experiment context for a binary: `--quick` (or
+/// `ODIN_QUICK=1`) selects the reduced 60-run schedule, anything else
+/// the full 200-run paper schedule.
+#[must_use]
+pub fn context_from_args() -> ExperimentContext {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("ODIN_QUICK").is_ok_and(|v| v == "1");
+    if quick {
+        ExperimentContext::quick()
+    } else {
+        ExperimentContext::paper()
+    }
+}
+
+/// Prints an experiment result and records its JSON under `results/`.
+pub fn emit<T: std::fmt::Display + serde::Serialize>(name: &str, result: &T) {
+    println!("{result}");
+    match experiments::write_json(name, result) {
+        Ok(path) => println!("[json: {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write results/{name}.json: {e}"),
+    }
+}

@@ -1,0 +1,143 @@
+//! Shared experiment setup.
+
+use odin_core::baselines::HomogeneousRuntime;
+use odin_core::offline::{bootstrap_policy, leave_one_out};
+use odin_core::{OdinConfig, OdinRuntime, TimeSchedule};
+use odin_core::{AnalyticModel, OdinError};
+use odin_dnn::zoo::{self, Dataset};
+use odin_dnn::NetworkDescriptor;
+use odin_xbar::OuShape;
+use rand::SeedableRng;
+
+/// Everything an experiment binary needs: the paper configuration, the
+/// campaign schedule, and deterministic seeding.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// The Odin configuration (paper defaults unless overridden).
+    pub config: OdinConfig,
+    /// The campaign schedule (t₀ = 1 s … 1e8 s).
+    pub schedule: TimeSchedule,
+    /// RNG seed for policy initialization.
+    pub seed: u64,
+}
+
+impl ExperimentContext {
+    /// The paper setup: 128×128 crossbars, η = 0.5 %, RB(K=3),
+    /// 200 geometrically spaced runs over `1 s … 1e8 s`.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            config: OdinConfig::paper(),
+            schedule: TimeSchedule::paper(),
+            seed: 0xD47E_2025,
+        }
+    }
+
+    /// A reduced schedule for fast smoke runs and tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            schedule: TimeSchedule::geometric(1.0, 1e8, 60),
+            ..Self::paper()
+        }
+    }
+
+    /// A deterministic RNG for this context.
+    #[must_use]
+    pub fn rng(&self) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(self.seed)
+    }
+
+    /// The analytic model for this context's crossbar.
+    ///
+    /// # Panics
+    ///
+    /// Panics only for degenerate crossbars, which `OdinConfig`
+    /// validation excludes.
+    #[must_use]
+    pub fn analytic(&self) -> AnalyticModel {
+        AnalyticModel::new(self.config.crossbar().clone()).expect("validated crossbar")
+    }
+
+    /// An Odin runtime bootstrapped leave-one-out for `target` (§V.A:
+    /// the offline policy comes from the other model families on the
+    /// same dataset).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping failures from offline labelling.
+    pub fn odin_for(
+        &self,
+        target: &NetworkDescriptor,
+        dataset: Dataset,
+    ) -> Result<OdinRuntime, OdinError> {
+        let mut rng = self.rng();
+        let all = zoo::all_models(dataset);
+        let known = leave_one_out(&all, target.name());
+        let policy = bootstrap_policy(
+            &self.analytic(),
+            &known,
+            self.config.eta(),
+            self.config.policy().clone(),
+            &mut rng,
+        )?;
+        Ok(OdinRuntime::with_policy(self.config.clone(), policy))
+    }
+
+    /// A homogeneous baseline runtime on this context's fabric.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn homogeneous(&self, shape: OuShape) -> Result<HomogeneousRuntime, OdinError> {
+        HomogeneousRuntime::new(self.config.crossbar().clone(), shape, self.config.eta())
+    }
+}
+
+impl Default for ExperimentContext {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The dataset each §V.A workload pairs with.
+#[must_use]
+pub fn workload_dataset(name: &str) -> Dataset {
+    match name {
+        "resnet34" | "vgg16" => Dataset::Cifar100,
+        "resnet50" | "vgg19" => Dataset::TinyImageNet,
+        _ => Dataset::Cifar10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contexts_are_deterministic() {
+        let a = ExperimentContext::paper();
+        let b = ExperimentContext::paper();
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.schedule, b.schedule);
+        let x: u64 = rand::Rng::gen(&mut a.rng());
+        let y: u64 = rand::Rng::gen(&mut b.rng());
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn workload_datasets_match_paper() {
+        assert_eq!(workload_dataset("resnet18"), Dataset::Cifar10);
+        assert_eq!(workload_dataset("vgg16"), Dataset::Cifar100);
+        assert_eq!(workload_dataset("vgg19"), Dataset::TinyImageNet);
+        assert_eq!(workload_dataset("vit"), Dataset::Cifar10);
+    }
+
+    #[test]
+    fn odin_runtime_bootstraps() {
+        let ctx = ExperimentContext::quick();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let rt = ctx.odin_for(&net, Dataset::Cifar10).unwrap();
+        assert!(rt.policy().updates() >= 1, "offline fit counts as update");
+    }
+}

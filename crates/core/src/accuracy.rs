@@ -1,0 +1,209 @@
+//! The non-ideality → predictive-accuracy bridge (Fig. 7).
+//!
+//! Odin never measures accuracy at runtime — η on the non-ideality is
+//! the surrogate (§III). The accuracy axis of Fig. 7 therefore needs a
+//! model of what happens when the surrogate is *violated*: η is
+//! calibrated so that `impact < η` means negligible loss, and beyond
+//! it accuracy decays toward chance with the violation ratio.
+//!
+//! Two paths are provided:
+//!
+//! * [`AccuracyModel`] — the analytic proxy used for the zoo models
+//!   (no trained weights exist for them): calibrated so the 16×16
+//!   no-reprogramming curve loses ≈ 22 % by `1e8 s` as the paper
+//!   reports.
+//! * [`noise_impacts`] — per-layer raw impacts for the functional
+//!   path: feed them to [`odin_dnn::Trainer::noisy_accuracy`] on a
+//!   really-trained small CNN (the harness's Fig. 7 variant).
+
+use odin_dnn::NetworkDescriptor;
+use odin_units::Seconds;
+use odin_xbar::OuShape;
+use serde::{Deserialize, Serialize};
+
+use crate::analytic::AnalyticModel;
+
+/// Analytic accuracy proxy: decays from the ideal accuracy toward
+/// chance as the worst sensitivity-weighted impact exceeds η.
+///
+/// ```text
+/// ratio ≤ 1:  accuracy = ideal
+/// ratio > 1:  accuracy = ideal − max_drop·(1 − e^(−β·(ratio − 1)))
+/// ```
+///
+/// Defaults: `max_drop` = 0.35, `β` = 0.85 — chosen so a VGG11 16×16
+/// configuration left undisturbed from `t₀` to `1e8 s` loses ≈ 22 %
+/// (§V.C, Fig. 7), while anything that keeps the constraint satisfied
+/// (reprogramming baselines, Odin) stays at ideal accuracy.
+///
+/// # Examples
+///
+/// ```
+/// use odin_core::accuracy::AccuracyModel;
+///
+/// let m = AccuracyModel::new(0.92, 0.1);
+/// assert_eq!(m.accuracy(0.5), 0.92);   // within budget
+/// assert!(m.accuracy(3.0) < 0.8);      // violated badly
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyModel {
+    ideal: f64,
+    chance: f64,
+    max_drop: f64,
+    beta: f64,
+}
+
+impl AccuracyModel {
+    /// Creates a model with the calibrated decay constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ chance < ideal ≤ 1`.
+    #[must_use]
+    pub fn new(ideal: f64, chance: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&ideal) && chance >= 0.0 && chance < ideal,
+            "need 0 ≤ chance < ideal ≤ 1"
+        );
+        Self {
+            ideal,
+            chance,
+            max_drop: 0.35,
+            beta: 0.85,
+        }
+    }
+
+    /// Overrides the saturation drop (calibration hook).
+    #[must_use]
+    pub fn with_max_drop(mut self, max_drop: f64) -> Self {
+        self.max_drop = max_drop;
+        self
+    }
+
+    /// The fault-free accuracy.
+    #[must_use]
+    pub fn ideal(&self) -> f64 {
+        self.ideal
+    }
+
+    /// Accuracy at a given violation ratio (worst weighted impact
+    /// divided by η). Never below chance.
+    #[must_use]
+    pub fn accuracy(&self, violation_ratio: f64) -> f64 {
+        if violation_ratio <= 1.0 {
+            return self.ideal;
+        }
+        let drop = self.max_drop * (1.0 - (-self.beta * (violation_ratio - 1.0)).exp());
+        (self.ideal - drop).max(self.chance)
+    }
+
+    /// Accuracy of a homogeneous configuration at programming age
+    /// `age`.
+    #[must_use]
+    pub fn accuracy_at(
+        &self,
+        model: &AnalyticModel,
+        network: &NetworkDescriptor,
+        shape: OuShape,
+        age: Seconds,
+        eta: f64,
+    ) -> f64 {
+        let worst = model.worst_impact(network, shape, age);
+        self.accuracy(worst / eta)
+    }
+}
+
+/// Per-layer raw (sensitivity-weighted) impacts of a homogeneous
+/// configuration at a programming age — the `NoiseSpec` input for the
+/// functional small-CNN accuracy path.
+#[must_use]
+pub fn noise_impacts(
+    model: &AnalyticModel,
+    network: &NetworkDescriptor,
+    shape: OuShape,
+    age: Seconds,
+) -> Vec<f64> {
+    network
+        .layers()
+        .iter()
+        .map(|l| l.sensitivity() * model.nonideality().accuracy_impact(shape, age))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odin_dnn::zoo::{self, Dataset};
+    use odin_xbar::CrossbarConfig;
+    use proptest::prelude::*;
+
+    fn analytic() -> AnalyticModel {
+        AnalyticModel::new(CrossbarConfig::paper_128()).unwrap()
+    }
+
+    #[test]
+    fn within_budget_is_ideal() {
+        let m = AccuracyModel::new(0.9, 0.1);
+        assert_eq!(m.accuracy(0.0), 0.9);
+        assert_eq!(m.accuracy(1.0), 0.9);
+        assert_eq!(m.ideal(), 0.9);
+    }
+
+    #[test]
+    fn fig7_16x16_no_reprogram_drops_about_22_percent() {
+        let analytic = analytic();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let acc_model = AccuracyModel::new(0.92, 0.1);
+        let fresh = acc_model.accuracy_at(&analytic, &net, OuShape::new(16, 16), Seconds::ZERO, 0.005);
+        assert_eq!(fresh, 0.92);
+        let end = acc_model.accuracy_at(
+            &analytic,
+            &net,
+            OuShape::new(16, 16),
+            Seconds::new(1e8),
+            0.005,
+        );
+        let drop = fresh - end;
+        assert!(
+            (0.12..0.32).contains(&drop),
+            "16×16 no-reprogram drop {drop} (paper: 22 %)"
+        );
+    }
+
+    #[test]
+    fn finer_ous_degrade_later() {
+        let analytic = analytic();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let acc_model = AccuracyModel::new(0.92, 0.1);
+        let t = Seconds::new(1e8);
+        let coarse = acc_model.accuracy_at(&analytic, &net, OuShape::new(16, 16), t, 0.005);
+        let fine = acc_model.accuracy_at(&analytic, &net, OuShape::new(8, 4), t, 0.005);
+        assert!(fine > coarse, "fine {fine} vs coarse {coarse}");
+    }
+
+    #[test]
+    fn noise_impacts_follow_sensitivity() {
+        let analytic = analytic();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let impacts = noise_impacts(&analytic, &net, OuShape::new(16, 16), Seconds::new(1e6));
+        assert_eq!(impacts.len(), net.layers().len());
+        assert!(impacts[0] > *impacts.last().unwrap());
+        assert!(impacts.iter().all(|&i| i > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "chance < ideal")]
+    fn invalid_bounds_panic() {
+        let _ = AccuracyModel::new(0.5, 0.6);
+    }
+
+    proptest! {
+        #[test]
+        fn accuracy_monotone_in_violation(r1 in 0.0f64..10.0, dr in 0.0f64..10.0) {
+            let m = AccuracyModel::new(0.9, 0.1);
+            prop_assert!(m.accuracy(r1 + dr) <= m.accuracy(r1));
+            prop_assert!(m.accuracy(r1) >= 0.1);
+            prop_assert!(m.accuracy(r1) <= 0.9);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Odin runtime configuration.
+
+use odin_policy::PolicyConfig;
+use odin_xbar::CrossbarConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::error::OdinError;
+use crate::search::SearchStrategy;
+
+/// Everything Algorithm 1 is parameterized by.
+///
+/// # Examples
+///
+/// ```
+/// use odin_core::OdinConfig;
+///
+/// let cfg = OdinConfig::paper();
+/// assert!((cfg.eta() - 0.005).abs() < 1e-12);
+/// let strict = OdinConfig::builder().eta(0.001).build()?;
+/// assert!((strict.eta() - 0.001).abs() < 1e-12);
+/// # Ok::<(), odin_core::OdinError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OdinConfig {
+    crossbar: CrossbarConfig,
+    eta: f64,
+    strategy: SearchStrategy,
+    policy: PolicyConfig,
+    buffer_capacity: usize,
+    count_overheads: bool,
+    #[serde(default)]
+    exploit_activation_sparsity: bool,
+    #[serde(default)]
+    confidence_escalation: Option<f64>,
+}
+
+impl OdinConfig {
+    /// The §V.A configuration: 128×128 crossbars, η = 0.5 %, RB search
+    /// with K = 3, 50-example buffer, overheads charged.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            crossbar: CrossbarConfig::paper_128(),
+            eta: 0.005,
+            strategy: SearchStrategy::paper(),
+            policy: PolicyConfig::paper(),
+            buffer_capacity: 50,
+            count_overheads: true,
+            exploit_activation_sparsity: false,
+            confidence_escalation: None,
+        }
+    }
+
+    /// Starts a builder from the paper configuration.
+    #[must_use]
+    pub fn builder() -> OdinConfigBuilder {
+        OdinConfigBuilder {
+            inner: Self::paper(),
+        }
+    }
+
+    /// The crossbar fabric.
+    #[must_use]
+    pub fn crossbar(&self) -> &CrossbarConfig {
+        &self.crossbar
+    }
+
+    /// The non-ideality threshold η (fraction of `G_ON`).
+    #[must_use]
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// The search strategy for `(R, C)*`.
+    #[must_use]
+    pub fn strategy(&self) -> SearchStrategy {
+        self.strategy
+    }
+
+    /// The policy hyper-parameters.
+    #[must_use]
+    pub fn policy(&self) -> &PolicyConfig {
+        &self.policy
+    }
+
+    /// Training-buffer capacity (50 in §IV).
+    #[must_use]
+    pub fn buffer_capacity(&self) -> usize {
+        self.buffer_capacity
+    }
+
+    /// Whether §V.E prediction/update overheads are charged to the
+    /// energy/latency ledgers.
+    #[must_use]
+    pub fn count_overheads(&self) -> bool {
+        self.count_overheads
+    }
+
+    /// Whether OU scheduling additionally skips zero input activations
+    /// (extension; the paper's evaluation exploits weight sparsity
+    /// only).
+    #[must_use]
+    pub fn exploit_activation_sparsity(&self) -> bool {
+        self.exploit_activation_sparsity
+    }
+
+    /// Confidence threshold below which a resource-bounded layer
+    /// decision escalates to the exhaustive search (uncertainty-aware
+    /// extension in the lineage of the authors' own online-learning
+    /// work \[27\]; `None` = paper behaviour).
+    #[must_use]
+    pub fn confidence_escalation(&self) -> Option<f64> {
+        self.confidence_escalation
+    }
+}
+
+impl Default for OdinConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Builder for [`OdinConfig`].
+#[derive(Debug, Clone)]
+pub struct OdinConfigBuilder {
+    inner: OdinConfig,
+}
+
+impl OdinConfigBuilder {
+    /// Sets the crossbar fabric.
+    #[must_use]
+    pub fn crossbar(mut self, crossbar: CrossbarConfig) -> Self {
+        self.inner.crossbar = crossbar;
+        self
+    }
+
+    /// Sets the non-ideality threshold η.
+    #[must_use]
+    pub fn eta(mut self, eta: f64) -> Self {
+        self.inner.eta = eta;
+        self
+    }
+
+    /// Sets the search strategy.
+    #[must_use]
+    pub fn strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.inner.strategy = strategy;
+        self
+    }
+
+    /// Sets the policy hyper-parameters.
+    #[must_use]
+    pub fn policy(mut self, policy: PolicyConfig) -> Self {
+        self.inner.policy = policy;
+        self
+    }
+
+    /// Sets the training-buffer capacity.
+    #[must_use]
+    pub fn buffer_capacity(mut self, capacity: usize) -> Self {
+        self.inner.buffer_capacity = capacity;
+        self
+    }
+
+    /// Enables or disables overhead accounting.
+    #[must_use]
+    pub fn count_overheads(mut self, on: bool) -> Self {
+        self.inner.count_overheads = on;
+        self
+    }
+
+    /// Enables joint weight/activation sparsity exploitation.
+    #[must_use]
+    pub fn exploit_activation_sparsity(mut self, on: bool) -> Self {
+        self.inner.exploit_activation_sparsity = on;
+        self
+    }
+
+    /// Escalates low-confidence policy decisions to exhaustive search
+    /// (threshold on the product of the two heads' max probabilities).
+    #[must_use]
+    pub fn confidence_escalation(mut self, threshold: Option<f64>) -> Self {
+        self.inner.confidence_escalation = threshold;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::InvalidConfig`] for a non-positive η, a
+    /// zero buffer, or a zero-`k` resource bound.
+    pub fn build(self) -> Result<OdinConfig, OdinError> {
+        let c = &self.inner;
+        if !c.eta.is_finite() || c.eta <= 0.0 || c.eta >= 1.0 {
+            return Err(OdinError::InvalidConfig {
+                name: "eta",
+                reason: "must be in (0, 1)",
+            });
+        }
+        if c.buffer_capacity == 0 {
+            return Err(OdinError::InvalidConfig {
+                name: "buffer_capacity",
+                reason: "must be nonzero",
+            });
+        }
+        if let SearchStrategy::ResourceBounded { k: 0 } = c.strategy {
+            return Err(OdinError::InvalidConfig {
+                name: "strategy",
+                reason: "resource bound k must be nonzero",
+            });
+        }
+        if let Some(t) = c.confidence_escalation {
+            if !t.is_finite() || !(0.0..=1.0).contains(&t) {
+                return Err(OdinError::InvalidConfig {
+                    name: "confidence_escalation",
+                    reason: "threshold must be in [0, 1]",
+                });
+            }
+        }
+        Ok(self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = OdinConfig::paper();
+        assert_eq!(c.buffer_capacity(), 50);
+        assert_eq!(c.strategy(), SearchStrategy::ResourceBounded { k: 3 });
+        assert!(c.count_overheads());
+        assert_eq!(c.crossbar().size(), 128);
+        assert_eq!(OdinConfig::default(), c);
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(OdinConfig::builder().eta(0.0).build().is_err());
+        assert!(OdinConfig::builder().eta(1.5).build().is_err());
+        assert!(OdinConfig::builder().buffer_capacity(0).build().is_err());
+        assert!(OdinConfig::builder()
+            .strategy(SearchStrategy::ResourceBounded { k: 0 })
+            .build()
+            .is_err());
+        let ok = OdinConfig::builder()
+            .eta(0.01)
+            .buffer_capacity(25)
+            .strategy(SearchStrategy::Exhaustive)
+            .count_overheads(false)
+            .build()
+            .unwrap();
+        assert_eq!(ok.buffer_capacity(), 25);
+        assert!(!ok.count_overheads());
+    }
+}

@@ -1,0 +1,68 @@
+//! Core-layer error type.
+
+/// Errors produced by the Odin core framework.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OdinError {
+    /// A configuration value failed validation.
+    InvalidConfig {
+        /// The parameter name.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// A layer could not be mapped onto the crossbar fabric.
+    Mapping(odin_xbar::XbarError),
+}
+
+impl std::fmt::Display for OdinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OdinError::InvalidConfig { name, reason } => {
+                write!(f, "invalid odin configuration `{name}`: {reason}")
+            }
+            OdinError::Mapping(e) => write!(f, "layer mapping failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OdinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OdinError::Mapping(e) => Some(e),
+            OdinError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<odin_xbar::XbarError> for OdinError {
+    fn from(e: odin_xbar::XbarError) -> Self {
+        OdinError::Mapping(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = OdinError::from(odin_xbar::XbarError::EmptyWeightMatrix);
+        assert!(e.to_string().contains("mapping"));
+        assert!(e.source().is_some());
+        let e = OdinError::InvalidConfig {
+            name: "eta",
+            reason: "must be positive",
+        };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("eta"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<OdinError>();
+    }
+}

@@ -1,0 +1,160 @@
+//! The feature vector Φ (§III.A).
+
+use odin_dnn::LayerDescriptor;
+use odin_units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// The four input features of the OU policy, normalized to `[0, 1]`:
+///
+/// * Φ₁ — layer identifier, `j / (n − 1)` (early layers → 0).
+/// * Φ₂ — row sparsity of the pruned layer.
+/// * Φ₃ — kernel size, `k / 7` (7×7 is the largest credible kernel).
+/// * Φ₄ — inference time elapsed since programming,
+///   `log₁₀(1 + t) / 8` (the horizon is `1e8 s`).
+///
+/// # Examples
+///
+/// ```
+/// use odin_core::LayerFeatures;
+/// use odin_dnn::{LayerDescriptor, LayerKind};
+/// use odin_units::Seconds;
+///
+/// let layer = LayerDescriptor::new(
+///     2,
+///     "conv".into(),
+///     LayerKind::Conv { kernel: 3, in_channels: 64, out_channels: 64 },
+///     1024,
+///     0.5,
+///     0.8,
+/// );
+/// let phi = LayerFeatures::extract(&layer, 21, Seconds::new(1e4));
+/// let v = phi.as_array();
+/// assert!((v[0] - 0.1).abs() < 1e-12);     // 2 / 20
+/// assert!((v[1] - 0.5).abs() < 1e-12);     // sparsity
+/// assert!((v[2] - 3.0 / 7.0).abs() < 1e-12);
+/// assert!((v[3] - 0.5).abs() < 1e-3);      // log10(1e4)/8
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerFeatures {
+    layer_id: f64,
+    sparsity: f64,
+    kernel: f64,
+    time: f64,
+}
+
+impl LayerFeatures {
+    /// Normalization cap for the kernel-size feature.
+    pub const MAX_KERNEL: f64 = 7.0;
+    /// Normalization cap for `log₁₀(1 + t)`.
+    pub const MAX_LOG_TIME: f64 = 8.0;
+
+    /// Extracts features for one layer of an `n`-layer network at
+    /// elapsed time `t` since the last programming pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `network_layers` is zero or `t` is negative.
+    #[must_use]
+    pub fn extract(layer: &LayerDescriptor, network_layers: usize, elapsed: Seconds) -> Self {
+        assert!(network_layers > 0, "network must have layers");
+        assert!(elapsed.value() >= 0.0, "elapsed time must be non-negative");
+        let denom = (network_layers - 1).max(1) as f64;
+        Self {
+            layer_id: (layer.index() as f64 / denom).min(1.0),
+            sparsity: layer.sparsity(),
+            kernel: (layer.kernel_size() as f64 / Self::MAX_KERNEL).min(1.0),
+            time: ((1.0 + elapsed.value()).log10() / Self::MAX_LOG_TIME).clamp(0.0, 1.0),
+        }
+    }
+
+    /// The normalized feature array `[Φ₁, Φ₂, Φ₃, Φ₄]` in the layout
+    /// the policy MLP consumes.
+    #[must_use]
+    pub fn as_array(&self) -> [f64; 4] {
+        [self.layer_id, self.sparsity, self.kernel, self.time]
+    }
+
+    /// Drops the time feature (ablation: is Φ₄ load-bearing?).
+    #[must_use]
+    pub fn without_time(mut self) -> Self {
+        self.time = 0.0;
+        self
+    }
+
+    /// Drops the sparsity feature (ablation).
+    #[must_use]
+    pub fn without_sparsity(mut self) -> Self {
+        self.sparsity = 0.0;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odin_dnn::LayerKind;
+    use proptest::prelude::*;
+
+    fn layer(index: usize, kernel: usize, sparsity: f64) -> LayerDescriptor {
+        LayerDescriptor::new(
+            index,
+            format!("l{index}"),
+            LayerKind::Conv {
+                kernel,
+                in_channels: 8,
+                out_channels: 8,
+            },
+            16,
+            sparsity,
+            1.0,
+        )
+    }
+
+    #[test]
+    fn normalization_endpoints() {
+        let first = LayerFeatures::extract(&layer(0, 3, 0.0), 10, Seconds::ZERO);
+        assert_eq!(first.as_array()[0], 0.0);
+        assert_eq!(first.as_array()[3], 0.0);
+        let last = LayerFeatures::extract(&layer(9, 7, 1.0), 10, Seconds::new(1e8));
+        assert!((last.as_array()[0] - 1.0).abs() < 1e-12);
+        assert!((last.as_array()[2] - 1.0).abs() < 1e-12);
+        assert!((last.as_array()[3] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn single_layer_network() {
+        let phi = LayerFeatures::extract(&layer(0, 1, 0.2), 1, Seconds::new(1.0));
+        assert_eq!(phi.as_array()[0], 0.0);
+    }
+
+    #[test]
+    fn ablation_masks() {
+        let phi = LayerFeatures::extract(&layer(5, 3, 0.7), 10, Seconds::new(1e6));
+        assert_eq!(phi.without_time().as_array()[3], 0.0);
+        assert_eq!(phi.without_sparsity().as_array()[1], 0.0);
+        // Other features untouched.
+        assert_eq!(phi.without_time().as_array()[1], phi.as_array()[1]);
+    }
+
+    proptest! {
+        #[test]
+        fn features_always_normalized(
+            idx in 0usize..200, n in 1usize..200,
+            k in 1usize..8, sparsity in 0.0f64..1.0,
+            t in 0.0f64..1e9
+        ) {
+            prop_assume!(idx < n);
+            let phi = LayerFeatures::extract(&layer(idx, k, sparsity), n, Seconds::new(t));
+            for v in phi.as_array() {
+                prop_assert!((0.0..=1.0).contains(&v), "feature {v} out of range");
+            }
+        }
+
+        #[test]
+        fn time_feature_monotone(t1 in 0.0f64..1e8, dt in 0.0f64..1e8) {
+            let a = LayerFeatures::extract(&layer(0, 3, 0.5), 2, Seconds::new(t1));
+            let b = LayerFeatures::extract(&layer(0, 3, 0.5), 2, Seconds::new(t1 + dt));
+            prop_assert!(b.as_array()[3] >= a.as_array()[3]);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! **Odin**: learning to optimize operation-unit configuration for
+//! energy-efficient DNN inferencing (DATE 2025) — the core framework.
+//!
+//! This crate ties the substrates together into Algorithm 1:
+//!
+//! 1. [`LayerFeatures`] — the four-feature vector Φ (layer id,
+//!    sparsity, kernel size, inference time) extracted per layer.
+//! 2. [`AnalyticModel`] — Eq. 1–4 evaluation of a candidate OU shape:
+//!    energy, latency, EDP and non-ideality for one layer at one
+//!    programming age.
+//! 3. [`search`] — the resource-bounded (±1 level, ≤ K steps) and
+//!    exhaustive searches for the best configuration `(R, C)*`.
+//! 4. [`OdinRuntime`] — the online loop: predict → search → (maybe)
+//!    reprogram → (maybe) buffer the corrected example → (maybe)
+//!    update the policy.
+//! 5. [`baselines`] — the homogeneous static-OU runtimes
+//!    (16×16, 16×4, 9×8, 8×4) the paper compares against.
+//! 6. [`offline`] — leave-one-out bootstrap of the policy from known
+//!    DNNs (≤ 500 examples).
+//! 7. [`accuracy`] — the non-ideality → predictive-accuracy bridge.
+//!
+//! # Examples
+//!
+//! ```
+//! use odin_core::{OdinConfig, OdinRuntime, TimeSchedule};
+//! use odin_dnn::zoo::{self, Dataset};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let net = zoo::vgg11(Dataset::Cifar10);
+//! let mut runtime = OdinRuntime::new(OdinConfig::paper(), &mut rng);
+//! let report = runtime
+//!     .run_campaign(&net, &TimeSchedule::geometric(1.0, 1e4, 20))
+//!     .expect("VGG11 maps onto the fabric");
+//! assert_eq!(report.runs.len(), 20);
+//! assert!(report.total_energy().value() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod baselines;
+pub mod offline;
+pub mod search;
+
+mod analytic;
+mod config;
+mod error;
+mod features;
+mod runtime;
+mod schedule;
+
+pub use analytic::{AnalyticModel, CandidateEval};
+pub use config::OdinConfig;
+pub use error::OdinError;
+pub use features::LayerFeatures;
+pub use runtime::{CampaignReport, InferenceRecord, LayerDecision, OdinRuntime};
+pub use schedule::TimeSchedule;

@@ -1,0 +1,612 @@
+//! The Odin online-learning runtime (Algorithm 1).
+
+use odin_arch::{LayerCost, OverheadLedger};
+use odin_device::ReprogramCost;
+use odin_dnn::NetworkDescriptor;
+use odin_policy::{OuPolicy, ReplayBuffer, TrainingExample};
+use odin_units::{EnergyDelayProduct, Joules, Seconds};
+use odin_xbar::OuShape;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::analytic::{AnalyticModel, CandidateEval};
+use crate::config::OdinConfig;
+use crate::error::OdinError;
+use crate::features::LayerFeatures;
+use crate::schedule::TimeSchedule;
+use crate::search::{find_best, SearchStrategy};
+
+/// One layer's OU decision in one inference run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerDecision {
+    /// The layer index `j`.
+    pub layer_index: usize,
+    /// What the current policy predicted (Algorithm 1 line 5).
+    pub predicted: OuShape,
+    /// The best configuration `(R, C)*` the search found (line 6).
+    pub chosen: OuShape,
+    /// Full evaluation of the chosen configuration.
+    pub eval: CandidateEval,
+    /// `true` when prediction and best differ (line 9).
+    pub mismatch: bool,
+    /// Candidates the search evaluated (§V.B overhead proxy).
+    pub search_evaluations: usize,
+}
+
+/// The ledger of one inference run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceRecord {
+    /// Wall-clock time of the run.
+    pub time: Seconds,
+    /// Programming age the run executed at (zero right after a
+    /// reprogram).
+    pub age: Seconds,
+    /// Whether this run triggered a reprogramming pass (lines 7–8).
+    pub reprogrammed: bool,
+    /// The reprogramming cost, when one happened.
+    pub reprogram: Option<ReprogramCost>,
+    /// Per-layer decisions.
+    pub decisions: Vec<LayerDecision>,
+    /// Inference energy/latency of the run (all layers).
+    pub inference: LayerCost,
+    /// §V.E prediction/update overheads charged to the run.
+    pub overhead: LayerCost,
+    /// Whether the policy was updated after this run (line 11).
+    pub policy_updated: bool,
+}
+
+impl InferenceRecord {
+    /// Total energy of the run including reprogramming and overheads.
+    #[must_use]
+    pub fn total_energy(&self) -> Joules {
+        let mut e = self.inference.energy + self.overhead.energy;
+        if let Some(r) = &self.reprogram {
+            e += r.energy();
+        }
+        e
+    }
+
+    /// Total latency of the run including reprogramming and overheads.
+    #[must_use]
+    pub fn total_latency(&self) -> Seconds {
+        let mut t = self.inference.latency + self.overhead.latency;
+        if let Some(r) = &self.reprogram {
+            t += r.latency();
+        }
+        t
+    }
+}
+
+/// The aggregated outcome of a campaign of inference runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// The workload name.
+    pub network: String,
+    /// A label for the strategy that produced this report
+    /// (`"odin-RB(k=3)"`, `"homogeneous-16×16"`, …).
+    pub strategy: String,
+    /// Per-run records, in time order.
+    pub runs: Vec<InferenceRecord>,
+}
+
+impl CampaignReport {
+    /// Total energy across all runs (inference + reprogram +
+    /// overheads).
+    #[must_use]
+    pub fn total_energy(&self) -> Joules {
+        self.runs.iter().map(InferenceRecord::total_energy).sum()
+    }
+
+    /// Total latency across all runs.
+    #[must_use]
+    pub fn total_latency(&self) -> Seconds {
+        self.runs.iter().map(InferenceRecord::total_latency).sum()
+    }
+
+    /// Campaign EDP: total energy × total latency (the Fig. 8 metric).
+    #[must_use]
+    pub fn total_edp(&self) -> EnergyDelayProduct {
+        self.total_energy() * self.total_latency()
+    }
+
+    /// Inference-only energy (the Fig. 8 normalization denominator
+    /// uses the 16×16 baseline's inference-only EDP).
+    #[must_use]
+    pub fn inference_energy(&self) -> Joules {
+        self.runs.iter().map(|r| r.inference.energy).sum()
+    }
+
+    /// Inference-only latency.
+    #[must_use]
+    pub fn inference_latency(&self) -> Seconds {
+        self.runs.iter().map(|r| r.inference.latency).sum()
+    }
+
+    /// Inference-only EDP.
+    #[must_use]
+    pub fn inference_edp(&self) -> EnergyDelayProduct {
+        self.inference_energy() * self.inference_latency()
+    }
+
+    /// Energy spent reprogramming.
+    #[must_use]
+    pub fn reprogram_energy(&self) -> Joules {
+        self.runs
+            .iter()
+            .filter_map(|r| r.reprogram.as_ref())
+            .map(ReprogramCost::energy)
+            .sum()
+    }
+
+    /// Number of reprogramming passes (Fig. 6's 43 vs 2 vs 1).
+    #[must_use]
+    pub fn reprogram_count(&self) -> usize {
+        self.runs.iter().filter(|r| r.reprogrammed).count()
+    }
+
+    /// Number of policy updates.
+    #[must_use]
+    pub fn policy_updates(&self) -> usize {
+        self.runs.iter().filter(|r| r.policy_updated).count()
+    }
+
+    /// Fraction of layer decisions where the policy disagreed with the
+    /// search (adaptation progress indicator).
+    #[must_use]
+    pub fn mismatch_rate(&self) -> f64 {
+        let total: usize = self.runs.iter().map(|r| r.decisions.len()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mismatches: usize = self
+            .runs
+            .iter()
+            .flat_map(|r| &r.decisions)
+            .filter(|d| d.mismatch)
+            .count();
+        mismatches as f64 / total as f64
+    }
+}
+
+/// The Odin online-learning runtime: policy prediction, bounded
+/// search, reprogramming, and buffered policy updates.
+///
+/// See the crate-level example for typical use.
+#[derive(Debug)]
+pub struct OdinRuntime {
+    config: OdinConfig,
+    model: AnalyticModel,
+    policy: OuPolicy,
+    buffer: ReplayBuffer,
+    overheads: OverheadLedger,
+    last_programmed: Seconds,
+}
+
+impl OdinRuntime {
+    /// Creates a runtime with a freshly initialized (untrained)
+    /// policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's crossbar is degenerate (cannot
+    /// happen for configurations built via [`OdinConfig::builder`]).
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(config: OdinConfig, rng: &mut R) -> Self {
+        let policy = OuPolicy::new(config.policy().clone(), rng);
+        Self::with_policy(config, policy)
+    }
+
+    /// Creates a runtime seeded with an offline-bootstrapped policy
+    /// (§V.A trains on N−1 known DNNs first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's crossbar is degenerate.
+    #[must_use]
+    pub fn with_policy(config: OdinConfig, policy: OuPolicy) -> Self {
+        let model = AnalyticModel::new(config.crossbar().clone())
+            .expect("validated crossbar config")
+            .with_activation_sparsity(config.exploit_activation_sparsity());
+        let buffer = ReplayBuffer::new(config.buffer_capacity());
+        Self {
+            config,
+            model,
+            policy,
+            buffer,
+            overheads: OverheadLedger::paper(),
+            last_programmed: Seconds::ZERO,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &OdinConfig {
+        &self.config
+    }
+
+    /// The analytic model in use.
+    #[must_use]
+    pub fn model(&self) -> &AnalyticModel {
+        &self.model
+    }
+
+    /// The current policy.
+    #[must_use]
+    pub fn policy(&self) -> &OuPolicy {
+        &self.policy
+    }
+
+    /// Entries waiting in the training buffer.
+    #[must_use]
+    pub fn buffered_examples(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Executes one inference run at wall-clock time `now`
+    /// (Algorithm 1 lines 3–13).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::Mapping`] when a layer cannot be mapped
+    /// onto the fabric.
+    pub fn run_inference(
+        &mut self,
+        network: &NetworkDescriptor,
+        now: Seconds,
+    ) -> Result<InferenceRecord, OdinError> {
+        let age = Seconds::new((now.value() - self.last_programmed.value()).max(0.0));
+        let (decisions, reprogrammed) = match self.decide_all(network, age)? {
+            Some(decisions) => (decisions, false),
+            None => {
+                // Lines 7–8: no OU satisfies the constraint anywhere on
+                // the grid — reprogram and redo the run fresh.
+                self.last_programmed = now;
+                let fresh = self
+                    .decide_all(network, Seconds::ZERO)?
+                    .expect("fresh arrays always admit the smallest OU");
+                (fresh, true)
+            }
+        };
+        let age = if reprogrammed { Seconds::ZERO } else { age };
+        let reprogram = reprogrammed.then(|| self.model.reprogram_cost(network));
+
+        // Lines 9–11: buffer corrections and update when full. The
+        // reprogram branch skips learning for this run, as in the
+        // pseudocode.
+        let mut policy_updated = false;
+        if !reprogrammed {
+            for d in decisions.iter().filter(|d| d.mismatch) {
+                let layer = &network.layers()[d.layer_index];
+                let phi = LayerFeatures::extract(layer, network.layers().len(), age);
+                let (row, col) = self
+                    .model
+                    .grid()
+                    .levels_of(d.chosen)
+                    .expect("search results are on the grid");
+                self.buffer
+                    .push(TrainingExample::new(phi.as_array(), row, col));
+            }
+            if self.buffer.is_full() {
+                let examples = self.buffer.drain();
+                self.policy.update_online(&examples);
+                policy_updated = true;
+            }
+        }
+
+        let compute: LayerCost = decisions.iter().map(|d| d.eval.cost).sum();
+        let inference = compute.seq(self.model.movement_cost(network));
+        let overhead = if self.config.count_overheads() {
+            let mut oh = LayerCost {
+                energy: self.overheads.prediction_energy(inference.latency),
+                latency: self.overheads.prediction_latency(inference.latency),
+            };
+            if policy_updated {
+                oh.energy += self.overheads.policy_update_energy();
+            }
+            oh
+        } else {
+            LayerCost::ZERO
+        };
+
+        Ok(InferenceRecord {
+            time: now,
+            age,
+            reprogrammed,
+            reprogram,
+            decisions,
+            inference,
+            overhead,
+            policy_updated,
+        })
+    }
+
+    /// Runs a whole campaign over a time schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first mapping failure.
+    pub fn run_campaign(
+        &mut self,
+        network: &NetworkDescriptor,
+        schedule: &TimeSchedule,
+    ) -> Result<CampaignReport, OdinError> {
+        let mut runs = Vec::with_capacity(schedule.runs());
+        for t in schedule.times() {
+            runs.push(self.run_inference(network, t)?);
+        }
+        Ok(CampaignReport {
+            network: network.name().to_string(),
+            strategy: format!("odin-{}", self.config.strategy()),
+            runs,
+        })
+    }
+
+    /// Decides every layer at a given age; `None` when some layer has
+    /// no feasible OU even under exhaustive search (reprogram needed).
+    fn decide_all(
+        &self,
+        network: &NetworkDescriptor,
+        age: Seconds,
+    ) -> Result<Option<Vec<LayerDecision>>, OdinError> {
+        let n = network.layers().len();
+        let grid = self.model.grid();
+        let eta = self.config.eta();
+        let mut decisions = Vec::with_capacity(n);
+        for layer in network.layers() {
+            let phi = LayerFeatures::extract(layer, n, age);
+            let seed = self.policy.predict(&phi.as_array());
+            let (seed_r, seed_c) = grid.clamp_levels(seed.0, seed.1);
+            let predicted = grid.shape(seed_r, seed_c);
+            // Uncertainty-aware extension: a low-confidence prediction
+            // is a poor hill-climb seed, so spend the exhaustive
+            // budget on that layer instead.
+            let strategy = match self.config.confidence_escalation() {
+                Some(threshold) => {
+                    let (pa, pb) = self.policy.predict_proba(&phi.as_array());
+                    let conf = max_prob(&pa) * max_prob(&pb);
+                    if conf < threshold {
+                        SearchStrategy::Exhaustive
+                    } else {
+                        self.config.strategy()
+                    }
+                }
+                None => self.config.strategy(),
+            };
+            let mut outcome = find_best(
+                &self.model,
+                layer,
+                age,
+                eta,
+                (seed_r, seed_c),
+                strategy,
+            )?;
+            if outcome.best.is_none() && !matches!(strategy, SearchStrategy::Exhaustive) {
+                // The bounded neighborhood may miss feasible shapes far
+                // from the seed; verify on the full grid before pulling
+                // the reprogram trigger.
+                let escalated = find_best(
+                    &self.model,
+                    layer,
+                    age,
+                    eta,
+                    (seed_r, seed_c),
+                    SearchStrategy::Exhaustive,
+                )?;
+                outcome = crate::search::SearchOutcome {
+                    best: escalated.best,
+                    evaluations: outcome.evaluations + escalated.evaluations,
+                };
+            }
+            let Some(eval) = outcome.best else {
+                return Ok(None);
+            };
+            decisions.push(LayerDecision {
+                layer_index: layer.index(),
+                predicted,
+                chosen: eval.shape,
+                eval,
+                mismatch: predicted != eval.shape,
+                search_evaluations: outcome.evaluations,
+            });
+        }
+        Ok(Some(decisions))
+    }
+}
+
+fn max_prob(p: &[f64]) -> f64 {
+    p.iter().copied().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odin_dnn::zoo::{self, Dataset};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(41)
+    }
+
+    fn runtime() -> OdinRuntime {
+        OdinRuntime::new(OdinConfig::paper(), &mut rng())
+    }
+
+    #[test]
+    fn fresh_run_needs_no_reprogramming() {
+        let mut rt = runtime();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let rec = rt.run_inference(&net, Seconds::new(1.0)).unwrap();
+        assert!(!rec.reprogrammed);
+        assert_eq!(rec.decisions.len(), 9);
+        assert!(rec.inference.energy.value() > 0.0);
+        assert!(rec.total_energy() >= rec.inference.energy);
+    }
+
+    #[test]
+    fn every_decision_is_feasible_and_on_grid() {
+        let mut rt = runtime();
+        let net = zoo::resnet18(Dataset::Cifar10);
+        let rec = rt.run_inference(&net, Seconds::new(1.0)).unwrap();
+        let grid = rt.model().grid();
+        for d in &rec.decisions {
+            assert!(d.eval.feasible(rt.config().eta()), "layer {}", d.layer_index);
+            assert!(grid.levels_of(d.chosen).is_some());
+        }
+    }
+
+    #[test]
+    fn early_layers_get_smaller_ous_than_late_ones() {
+        // The Fig. 3 shape: sensitivity forces fine OUs early.
+        let mut rt = runtime();
+        let net = zoo::resnet18(Dataset::Cifar10);
+        let rec = rt.run_inference(&net, Seconds::new(1.0)).unwrap();
+        let first = rec.decisions.first().unwrap().chosen.area();
+        let max_late = rec
+            .decisions
+            .iter()
+            .rev()
+            .take(5)
+            .map(|d| d.chosen.area())
+            .max()
+            .unwrap();
+        assert!(
+            max_late > first,
+            "late layers should afford bigger OUs: first {first}, late max {max_late}"
+        );
+    }
+
+    #[test]
+    fn far_future_run_triggers_reprogram() {
+        let mut rt = runtime();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        // Age so large even 4×4 violates η.
+        let rec = rt.run_inference(&net, Seconds::new(1e12)).unwrap();
+        assert!(rec.reprogrammed);
+        assert_eq!(rec.age, Seconds::ZERO);
+        assert!(rec.reprogram.is_some());
+        // After reprogramming the clock reset: an immediate next run is
+        // fresh again.
+        let rec2 = rt.run_inference(&net, Seconds::new(1e12 + 1.0)).unwrap();
+        assert!(!rec2.reprogrammed);
+    }
+
+    #[test]
+    fn mismatches_fill_buffer_and_update_policy() {
+        // An untrained policy disagrees with the search a lot; with a
+        // small buffer, updates fire quickly.
+        let cfg = OdinConfig::builder().buffer_capacity(10).build().unwrap();
+        let mut rt = OdinRuntime::new(cfg, &mut rng());
+        let net = zoo::vgg16(Dataset::Cifar100);
+        let mut updated = false;
+        for t in [1.0, 2.0, 3.0, 4.0] {
+            let rec = rt.run_inference(&net, Seconds::new(t)).unwrap();
+            updated |= rec.policy_updated;
+        }
+        assert!(updated, "policy should have been updated at least once");
+        assert_eq!(rt.policy().updates() > 0, true);
+    }
+
+    #[test]
+    fn campaign_aggregates_consistently() {
+        let mut rt = runtime();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let report = rt
+            .run_campaign(&net, &TimeSchedule::geometric(1.0, 1e6, 25))
+            .unwrap();
+        assert_eq!(report.runs.len(), 25);
+        let sum: f64 = report.runs.iter().map(|r| r.total_energy().value()).sum();
+        assert!((report.total_energy().value() - sum).abs() < 1e-12 * sum.max(1.0));
+        assert!(report.total_edp() >= report.inference_edp());
+        assert!(report.mismatch_rate() <= 1.0);
+        assert!(report.strategy.starts_with("odin-RB"));
+    }
+
+    #[test]
+    fn adaptation_reduces_mismatch_rate() {
+        let mut rt = runtime();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        // Run many times at similar ages so the policy can absorb the
+        // stationary mapping.
+        let schedule = TimeSchedule::linear(1.0, 1.0, 120);
+        let report = rt.run_campaign(&net, &schedule).unwrap();
+        let first: usize = report.runs[..20]
+            .iter()
+            .flat_map(|r| &r.decisions)
+            .filter(|d| d.mismatch)
+            .count();
+        let last: usize = report.runs[100..]
+            .iter()
+            .flat_map(|r| &r.decisions)
+            .filter(|d| d.mismatch)
+            .count();
+        assert!(
+            last < first,
+            "mismatches should fall as the policy adapts: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn confidence_escalation_spends_more_search_on_uncertain_layers() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        // An untrained policy is maximally uncertain: with a high
+        // threshold every layer escalates to the 36-shape exhaustive
+        // search.
+        let escalating = OdinConfig::builder()
+            .confidence_escalation(Some(0.99))
+            .build()
+            .unwrap();
+        let mut rt_esc = OdinRuntime::new(escalating, &mut rng());
+        let rec_esc = rt_esc.run_inference(&net, Seconds::new(1.0)).unwrap();
+        let plain = OdinConfig::paper();
+        let mut rt_plain = OdinRuntime::new(plain, &mut rng());
+        let rec_plain = rt_plain.run_inference(&net, Seconds::new(1.0)).unwrap();
+        let evals = |rec: &InferenceRecord| -> usize {
+            rec.decisions.iter().map(|d| d.search_evaluations).sum()
+        };
+        assert!(
+            evals(&rec_esc) > 2 * evals(&rec_plain),
+            "escalation must widen the search: {} vs {}",
+            evals(&rec_esc),
+            evals(&rec_plain)
+        );
+        // And the widened search never produces a worse layer EDP.
+        for (e, p) in rec_esc.decisions.iter().zip(&rec_plain.decisions) {
+            assert!(e.eval.edp <= p.eval.edp * 1.0 + odin_units::EnergyDelayProduct::new(1e-30));
+        }
+    }
+
+    #[test]
+    fn confidence_threshold_validated() {
+        assert!(OdinConfig::builder()
+            .confidence_escalation(Some(1.5))
+            .build()
+            .is_err());
+        assert!(OdinConfig::builder()
+            .confidence_escalation(Some(f64::NAN))
+            .build()
+            .is_err());
+        assert!(OdinConfig::builder()
+            .confidence_escalation(Some(0.5))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn overheads_can_be_disabled() {
+        let cfg = OdinConfig::builder().count_overheads(false).build().unwrap();
+        let mut rt = OdinRuntime::new(cfg, &mut rng());
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let rec = rt.run_inference(&net, Seconds::new(1.0)).unwrap();
+        assert_eq!(rec.overhead, LayerCost::ZERO);
+    }
+
+    #[test]
+    fn overhead_is_small_fraction_of_inference() {
+        // §V.E: 0.9 % latency penalty.
+        let mut rt = runtime();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let rec = rt.run_inference(&net, Seconds::new(1.0)).unwrap();
+        let penalty = rec.overhead.latency / rec.inference.latency;
+        assert!(penalty < 0.01, "latency penalty {penalty}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Inference-time schedules.
+
+use odin_units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// When the inference runs of a campaign happen on the wall clock.
+///
+/// The paper's evaluation spans `t₀ = 1 s` to `1e8 s` (Figs. 4–7);
+/// covering eight decades with a bounded number of simulated runs
+/// requires geometric spacing, with linear spacing available for
+/// short-horizon studies.
+///
+/// # Examples
+///
+/// ```
+/// use odin_core::TimeSchedule;
+///
+/// let s = TimeSchedule::geometric(1.0, 1e8, 9);
+/// let times = s.times();
+/// assert_eq!(times.len(), 9);
+/// assert!((times[0].value() - 1.0).abs() < 1e-9);
+/// assert!((times[8].value() - 1e8).abs() < 1.0);
+/// assert!((times[4].value() - 1e4).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TimeSchedule {
+    /// `runs` instants geometrically spaced over `[start, end]`.
+    Geometric {
+        /// First inference instant (seconds).
+        start: f64,
+        /// Last inference instant (seconds).
+        end: f64,
+        /// Number of runs.
+        runs: usize,
+    },
+    /// `runs` instants linearly spaced: `start, start + step, …`.
+    Linear {
+        /// First inference instant (seconds).
+        start: f64,
+        /// Spacing between runs (seconds).
+        step: f64,
+        /// Number of runs.
+        runs: usize,
+    },
+}
+
+impl TimeSchedule {
+    /// The paper's horizon: `t₀ = 1 s` to `1e8 s`, 200 runs.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::geometric(1.0, 1e8, 200)
+    }
+
+    /// A geometric schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < start ≤ end` and `runs ≥ 1`.
+    #[must_use]
+    pub fn geometric(start: f64, end: f64, runs: usize) -> Self {
+        assert!(start > 0.0 && end >= start, "need 0 < start ≤ end");
+        assert!(runs >= 1, "need at least one run");
+        Self::Geometric { start, end, runs }
+    }
+
+    /// A linear schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start ≥ 0`, `step > 0` and `runs ≥ 1`.
+    #[must_use]
+    pub fn linear(start: f64, step: f64, runs: usize) -> Self {
+        assert!(start >= 0.0 && step > 0.0, "need start ≥ 0 and step > 0");
+        assert!(runs >= 1, "need at least one run");
+        Self::Linear { start, step, runs }
+    }
+
+    /// Number of runs.
+    #[must_use]
+    pub fn runs(&self) -> usize {
+        match *self {
+            TimeSchedule::Geometric { runs, .. } | TimeSchedule::Linear { runs, .. } => runs,
+        }
+    }
+
+    /// The inference instants, in order.
+    #[must_use]
+    pub fn times(&self) -> Vec<Seconds> {
+        match *self {
+            TimeSchedule::Geometric { start, end, runs } => {
+                if runs == 1 {
+                    return vec![Seconds::new(start)];
+                }
+                let ratio = (end / start).powf(1.0 / (runs - 1) as f64);
+                (0..runs)
+                    .map(|i| Seconds::new(start * ratio.powi(i as i32)))
+                    .collect()
+            }
+            TimeSchedule::Linear { start, step, runs } => (0..runs)
+                .map(|i| Seconds::new(start + step * i as f64))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_schedule_covers_horizon() {
+        let times = TimeSchedule::paper().times();
+        assert_eq!(times.len(), 200);
+        assert!((times[0].value() - 1.0).abs() < 1e-9);
+        assert!((times[199].value() - 1e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn linear_spacing() {
+        let times = TimeSchedule::linear(10.0, 5.0, 4).times();
+        let v: Vec<f64> = times.iter().map(|t| t.value()).collect();
+        assert_eq!(v, vec![10.0, 15.0, 20.0, 25.0]);
+    }
+
+    #[test]
+    fn single_run_geometric() {
+        let times = TimeSchedule::geometric(2.0, 100.0, 1).times();
+        assert_eq!(times.len(), 1);
+        assert!((times[0].value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "start ≤ end")]
+    fn invalid_geometric_panics() {
+        let _ = TimeSchedule::geometric(10.0, 1.0, 5);
+    }
+
+    proptest! {
+        #[test]
+        fn times_strictly_increasing(
+            start in 0.1f64..100.0, factor in 1.5f64..1e6, runs in 2usize..100
+        ) {
+            let s = TimeSchedule::geometric(start, start * factor, runs);
+            let times = s.times();
+            prop_assert_eq!(times.len(), runs);
+            for w in times.windows(2) {
+                prop_assert!(w[1] > w[0]);
+            }
+        }
+    }
+}

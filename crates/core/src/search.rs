@@ -1,0 +1,297 @@
+//! The search for the best OU configuration `(R, C)*`
+//! (Algorithm 1 line 6).
+
+use odin_dnn::LayerDescriptor;
+use odin_units::Seconds;
+use serde::{Deserialize, Serialize};
+
+use crate::analytic::{AnalyticModel, CandidateEval};
+use crate::error::OdinError;
+
+/// Which search explores the candidate space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SearchStrategy {
+    /// Local search within `k` ±1 steps of the policy's decision
+    /// (§III.B, K = 3 by default). Low overhead; the paper's choice.
+    ResourceBounded {
+        /// Maximum level distance explored around the seed.
+        k: usize,
+    },
+    /// Evaluate the whole grid (36 configurations on 128×128). Higher
+    /// quality early in adaptation, ~3× the comparator overhead (§V.B).
+    Exhaustive,
+}
+
+impl SearchStrategy {
+    /// The paper's resource-bounded default (K = 3).
+    #[must_use]
+    pub fn paper() -> Self {
+        SearchStrategy::ResourceBounded { k: 3 }
+    }
+}
+
+impl std::fmt::Display for SearchStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchStrategy::ResourceBounded { k } => write!(f, "RB(k={k})"),
+            SearchStrategy::Exhaustive => write!(f, "EX"),
+        }
+    }
+}
+
+/// The outcome of one search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// The best feasible candidate, or `None` when every explored
+    /// shape violates the non-ideality budget (reprogram time,
+    /// Algorithm 1 lines 7–8).
+    pub best: Option<CandidateEval>,
+    /// Candidates evaluated — the comparator-count overhead §V.B
+    /// compares between EX and RB.
+    pub evaluations: usize,
+}
+
+/// Searches the OU grid for the minimum-EDP feasible configuration.
+///
+/// # Errors
+///
+/// Propagates [`OdinError::Mapping`] from candidate evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use odin_core::{AnalyticModel, search};
+/// use odin_core::search::SearchStrategy;
+/// use odin_xbar::CrossbarConfig;
+/// use odin_dnn::zoo::{self, Dataset};
+/// use odin_units::Seconds;
+///
+/// let model = AnalyticModel::new(CrossbarConfig::paper_128())?;
+/// let net = zoo::vgg11(Dataset::Cifar10);
+/// let out = search::find_best(
+///     &model,
+///     &net.layers()[2],
+///     Seconds::ZERO,
+///     0.005,
+///     (2, 2),
+///     SearchStrategy::paper(),
+/// )?;
+/// assert!(out.best.is_some());
+/// # Ok::<(), odin_core::OdinError>(())
+/// ```
+pub fn find_best(
+    model: &AnalyticModel,
+    layer: &LayerDescriptor,
+    age: Seconds,
+    eta: f64,
+    seed_levels: (usize, usize),
+    strategy: SearchStrategy,
+) -> Result<SearchOutcome, OdinError> {
+    match strategy {
+        SearchStrategy::Exhaustive => {
+            let grid = model.grid();
+            let mut best: Option<CandidateEval> = None;
+            let mut evaluations = 0;
+            for shape in grid.iter() {
+                let eval = model.evaluate(layer, shape, age)?;
+                evaluations += 1;
+                if !eval.feasible(eta) {
+                    continue;
+                }
+                if best.map_or(true, |b| eval.edp < b.edp) {
+                    best = Some(eval);
+                }
+            }
+            Ok(SearchOutcome { best, evaluations })
+        }
+        SearchStrategy::ResourceBounded { k } => resource_bounded(model, layer, age, eta, seed_levels, k),
+    }
+}
+
+/// The §III.B local search: starting from the policy's decision, take
+/// up to `k` greedy steps; each step evaluates the four ±1-level
+/// neighbours (in R or C) and moves to the best feasible improvement.
+/// Roughly `4k + 1` evaluations versus the grid's 36 — the ~3× §V.B
+/// overhead gap at K = 3.
+fn resource_bounded(
+    model: &AnalyticModel,
+    layer: &LayerDescriptor,
+    age: Seconds,
+    eta: f64,
+    seed_levels: (usize, usize),
+    k: usize,
+) -> Result<SearchOutcome, OdinError> {
+    let grid = model.grid();
+    let n = grid.levels_per_axis() as isize;
+    let (mut r, mut c) = grid.clamp_levels(seed_levels.0, seed_levels.1);
+    let mut evaluations = 0;
+    let evaluate = |r: usize, c: usize, evals: &mut usize| -> Result<CandidateEval, OdinError> {
+        *evals += 1;
+        model.evaluate(layer, grid.shape(r, c), age)
+    };
+    let seed_eval = evaluate(r, c, &mut evaluations)?;
+    let mut best: Option<CandidateEval> = seed_eval.feasible(eta).then_some(seed_eval);
+    for _ in 0..k {
+        let mut improved = false;
+        let mut next = (r, c);
+        for (dr, dc) in [(-1isize, 0isize), (1, 0), (0, -1), (0, 1)] {
+            let (nr, nc) = (r as isize + dr, c as isize + dc);
+            if nr < 0 || nr >= n || nc < 0 || nc >= n {
+                continue;
+            }
+            let (nr, nc) = (nr as usize, nc as usize);
+            let eval = evaluate(nr, nc, &mut evaluations)?;
+            if !eval.feasible(eta) {
+                continue;
+            }
+            if best.map_or(true, |b| eval.edp < b.edp) {
+                best = Some(eval);
+                next = (nr, nc);
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+        (r, c) = next;
+    }
+    Ok(SearchOutcome { best, evaluations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odin_dnn::zoo::{self, Dataset};
+    use odin_xbar::CrossbarConfig;
+
+    fn model() -> AnalyticModel {
+        AnalyticModel::new(CrossbarConfig::paper_128()).unwrap()
+    }
+
+    fn layer(idx: usize) -> LayerDescriptor {
+        zoo::vgg11(Dataset::Cifar10).layers()[idx].clone()
+    }
+
+    #[test]
+    fn exhaustive_finds_global_optimum() {
+        let m = model();
+        let l = layer(4);
+        let out = find_best(&m, &l, Seconds::ZERO, 0.005, (0, 0), SearchStrategy::Exhaustive)
+            .unwrap();
+        assert_eq!(out.evaluations, 36);
+        let best = out.best.unwrap();
+        // No feasible grid shape may beat it.
+        for shape in m.grid().iter() {
+            let eval = m.evaluate(&l, shape, Seconds::ZERO).unwrap();
+            if eval.feasible(0.005) {
+                assert!(best.edp <= eval.edp, "{shape} beats the 'best'");
+            }
+        }
+    }
+
+    #[test]
+    fn rb_explores_fewer_candidates() {
+        let m = model();
+        let l = layer(4);
+        let rb = find_best(
+            &m,
+            &l,
+            Seconds::ZERO,
+            0.005,
+            (2, 2),
+            SearchStrategy::paper(),
+        )
+        .unwrap();
+        // K greedy steps of 4 neighbours plus the seed: ≤ 4K + 1.
+        assert!(rb.evaluations <= 13, "RB evaluated {}", rb.evaluations);
+        let ex = find_best(&m, &l, Seconds::ZERO, 0.005, (2, 2), SearchStrategy::Exhaustive)
+            .unwrap();
+        let ratio = ex.evaluations as f64 / rb.evaluations as f64;
+        assert!(ratio >= 2.0, "≈3× overhead (§V.B), got {ratio:.2}×");
+    }
+
+    #[test]
+    fn rb_with_good_seed_matches_exhaustive() {
+        let m = model();
+        let l = layer(4);
+        let ex = find_best(&m, &l, Seconds::ZERO, 0.005, (0, 0), SearchStrategy::Exhaustive)
+            .unwrap()
+            .best
+            .unwrap();
+        let seed = m.grid().levels_of(ex.shape).unwrap();
+        let rb = find_best(&m, &l, Seconds::ZERO, 0.005, seed, SearchStrategy::paper())
+            .unwrap()
+            .best
+            .unwrap();
+        assert_eq!(rb.shape, ex.shape);
+    }
+
+    #[test]
+    fn infeasible_everywhere_returns_none() {
+        let m = model();
+        let l = layer(0);
+        // Far future: severity enormous, nothing satisfies η.
+        let out = find_best(
+            &m,
+            &l,
+            Seconds::new(1e30),
+            0.005,
+            (0, 0),
+            SearchStrategy::Exhaustive,
+        )
+        .unwrap();
+        assert!(out.best.is_none());
+        assert_eq!(out.evaluations, 36);
+    }
+
+    #[test]
+    fn aged_search_prefers_smaller_ous() {
+        let m = model();
+        let l = layer(6);
+        let fresh = find_best(&m, &l, Seconds::ZERO, 0.005, (0, 0), SearchStrategy::Exhaustive)
+            .unwrap()
+            .best
+            .unwrap();
+        let aged = find_best(
+            &m,
+            &l,
+            Seconds::new(3e7),
+            0.005,
+            (0, 0),
+            SearchStrategy::Exhaustive,
+        )
+        .unwrap()
+        .best
+        .unwrap();
+        assert!(
+            aged.shape.rows() + aged.shape.cols() <= fresh.shape.rows() + fresh.shape.cols(),
+            "aged {} vs fresh {}",
+            aged.shape,
+            fresh.shape
+        );
+    }
+
+    #[test]
+    fn seed_levels_are_clamped() {
+        let m = model();
+        let l = layer(2);
+        let out = find_best(
+            &m,
+            &l,
+            Seconds::ZERO,
+            0.005,
+            (99, 99),
+            SearchStrategy::ResourceBounded { k: 1 },
+        )
+        .unwrap();
+        // Clamped to the top corner: seed + 2 in-bounds neighbours per
+        // step, one step.
+        assert!(out.evaluations <= 5, "evaluated {}", out.evaluations);
+    }
+
+    #[test]
+    fn strategy_display() {
+        assert_eq!(SearchStrategy::paper().to_string(), "RB(k=3)");
+        assert_eq!(SearchStrategy::Exhaustive.to_string(), "EX");
+    }
+}

@@ -1,0 +1,209 @@
+//! A single programmable multi-level ReRAM cell.
+
+use odin_units::{Seconds, Siemens};
+use rand::Rng;
+
+use crate::drift::DriftModel;
+use crate::noise::NoiseModel;
+use crate::params::DeviceParams;
+
+/// A discrete conductance level stored in a multi-level cell.
+///
+/// With 2 bits/cell (Table I) levels range over `0..=3`, level 0 being
+/// `G_OFF` and the maximum level `G_ON`.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    Default,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct CellLevel(pub u16);
+
+impl CellLevel {
+    /// The raw level index.
+    #[must_use]
+    pub fn index(self) -> u16 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for CellLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// One ReRAM cell: a target level, the residual programming error and
+/// the time it was last programmed.
+///
+/// The *effective* conductance observed during compute combines the
+/// programmed conductance, the one-shot programming error, and the
+/// multiplicative drift decay since the last program operation.
+///
+/// # Examples
+///
+/// ```
+/// use odin_device::{DeviceParams, ReramCell, CellLevel, NoiseModel};
+/// use odin_units::Seconds;
+/// use rand::SeedableRng;
+///
+/// let params = DeviceParams::paper();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut cell = ReramCell::new(&params);
+/// cell.program(CellLevel(3), Seconds::new(1.0), &params, &NoiseModel::disabled(), &mut rng);
+/// let fresh = cell.effective_conductance(Seconds::new(1.0), &params);
+/// let aged = cell.effective_conductance(Seconds::new(1e6), &params);
+/// assert!(aged < fresh);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReramCell {
+    level: CellLevel,
+    programmed_conductance: Siemens,
+    programmed_at: Seconds,
+    write_count: u64,
+}
+
+impl ReramCell {
+    /// A fresh cell in the erased (off) state.
+    #[must_use]
+    pub fn new(params: &DeviceParams) -> Self {
+        Self {
+            level: CellLevel(0),
+            programmed_conductance: params.g_off(),
+            programmed_at: params.program_reference_time(),
+            write_count: 0,
+        }
+    }
+
+    /// Programs the cell to `level` at wall-clock instant `now`,
+    /// applying one-shot programming variation from `noise`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is outside the device's level range.
+    pub fn program<R: Rng + ?Sized>(
+        &mut self,
+        level: CellLevel,
+        now: Seconds,
+        params: &DeviceParams,
+        noise: &NoiseModel,
+        rng: &mut R,
+    ) {
+        let target = params.level_conductance(level.index());
+        let achieved = noise.programming().perturb(target.value(), rng);
+        self.level = level;
+        self.programmed_conductance = Siemens::new(achieved);
+        self.programmed_at = now;
+        self.write_count += 1;
+    }
+
+    /// The stored level the cell was last programmed to.
+    #[must_use]
+    pub fn level(&self) -> CellLevel {
+        self.level
+    }
+
+    /// The conductance achieved immediately after the last program
+    /// operation (target ± programming error).
+    #[must_use]
+    pub fn programmed_conductance(&self) -> Siemens {
+        self.programmed_conductance
+    }
+
+    /// When the cell was last programmed.
+    #[must_use]
+    pub fn programmed_at(&self) -> Seconds {
+        self.programmed_at
+    }
+
+    /// How many times this cell has been written (endurance tracking).
+    #[must_use]
+    pub fn write_count(&self) -> u64 {
+        self.write_count
+    }
+
+    /// The conductance the cell presents at wall-clock time `now`,
+    /// after drift. Drift scales multiplicatively from the instant the
+    /// cell was programmed, so reprogramming resets the decay.
+    #[must_use]
+    pub fn effective_conductance(&self, now: Seconds, params: &DeviceParams) -> Siemens {
+        let drift = DriftModel::new(params);
+        let elapsed = Seconds::new(
+            (now.value() - self.programmed_at.value() + params.program_reference_time().value())
+                .max(params.program_reference_time().value()),
+        );
+        let scaled = self.programmed_conductance * drift.scale_at(elapsed);
+        scaled.max(params.g_off())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn fresh_cell_is_off() {
+        let p = DeviceParams::paper();
+        let cell = ReramCell::new(&p);
+        assert_eq!(cell.level(), CellLevel(0));
+        assert_eq!(cell.programmed_conductance(), p.g_off());
+        assert_eq!(cell.write_count(), 0);
+    }
+
+    #[test]
+    fn program_sets_level_and_counts_writes() {
+        let p = DeviceParams::paper();
+        let mut cell = ReramCell::new(&p);
+        let mut r = rng();
+        cell.program(CellLevel(2), Seconds::new(1.0), &p, &NoiseModel::disabled(), &mut r);
+        assert_eq!(cell.level(), CellLevel(2));
+        assert_eq!(cell.write_count(), 1);
+        assert_eq!(cell.programmed_conductance(), p.level_conductance(2));
+        cell.program(CellLevel(3), Seconds::new(2.0), &p, &NoiseModel::disabled(), &mut r);
+        assert_eq!(cell.write_count(), 2);
+    }
+
+    #[test]
+    fn drift_decays_then_reprogram_restores() {
+        let p = DeviceParams::paper();
+        let mut cell = ReramCell::new(&p);
+        let mut r = rng();
+        cell.program(CellLevel(3), Seconds::new(1.0), &p, &NoiseModel::disabled(), &mut r);
+        let aged = cell.effective_conductance(Seconds::new(1e6), &p);
+        assert!(aged < p.g_on());
+        // Reprogram at t = 1e6: conductance snaps back to G_ON.
+        cell.program(CellLevel(3), Seconds::new(1e6), &p, &NoiseModel::disabled(), &mut r);
+        let restored = cell.effective_conductance(Seconds::new(1e6), &p);
+        assert!((restored.value() - p.g_on().value()).abs() < 1e-15);
+        // …and decays again relative to the new programming instant.
+        let re_aged = cell.effective_conductance(Seconds::new(2e6), &p);
+        assert!(re_aged < restored);
+    }
+
+    #[test]
+    fn effective_conductance_never_below_off_state() {
+        let p = DeviceParams::paper();
+        let mut cell = ReramCell::new(&p);
+        let mut r = rng();
+        cell.program(CellLevel(1), Seconds::new(1.0), &p, &NoiseModel::disabled(), &mut r);
+        let g = cell.effective_conductance(Seconds::new(1e30), &p);
+        assert!(g >= p.g_off());
+    }
+
+    #[test]
+    fn display_of_level() {
+        assert_eq!(CellLevel(3).to_string(), "L3");
+    }
+}

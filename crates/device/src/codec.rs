@@ -1,0 +1,187 @@
+//! Quantization of signed DNN weights onto differential cell pairs.
+
+use crate::cell::CellLevel;
+use crate::error::DeviceError;
+use crate::params::DeviceParams;
+
+/// A signed weight encoded as a differential pair of cell levels:
+/// positive magnitude on the `plus` column, negative magnitude on the
+/// `minus` column. Analog accelerators subtract the two bitline
+/// currents to recover the signed product.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct DifferentialWeight {
+    /// Level programmed on the positive column.
+    pub plus: CellLevel,
+    /// Level programmed on the negative column.
+    pub minus: CellLevel,
+}
+
+impl DifferentialWeight {
+    /// `true` when both columns are in the erased state, i.e. the weight
+    /// is an exact zero that the OU scheduler can skip.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.plus == CellLevel(0) && self.minus == CellLevel(0)
+    }
+}
+
+/// Maps `f32` weights in `[-max_abs, max_abs]` onto differential
+/// [`CellLevel`] pairs and back.
+///
+/// The codec is the boundary between the DNN world (signed reals) and
+/// the device world (unsigned conductance levels). Encoding is
+/// symmetric: a weight and its negation swap their `plus`/`minus`
+/// columns.
+///
+/// # Examples
+///
+/// ```
+/// use odin_device::{DeviceParams, WeightCodec};
+///
+/// let codec = WeightCodec::new(&DeviceParams::paper(), 1.0);
+/// let w = codec.encode(0.7)?;
+/// let back = codec.decode(w);
+/// assert!((back - 0.7).abs() <= codec.quantization_step());
+/// # Ok::<(), odin_device::DeviceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WeightCodec {
+    max_abs: f64,
+    levels: u16,
+}
+
+impl WeightCodec {
+    /// Creates a codec for weights bounded by `max_abs` on a device with
+    /// `params.levels()` conductance levels per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_abs` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(params: &DeviceParams, max_abs: f64) -> Self {
+        assert!(
+            max_abs.is_finite() && max_abs > 0.0,
+            "max_abs must be positive and finite"
+        );
+        Self {
+            max_abs,
+            levels: params.levels(),
+        }
+    }
+
+    /// The magnitude represented by one level step.
+    #[must_use]
+    pub fn quantization_step(&self) -> f64 {
+        self.max_abs / f64::from(self.levels - 1)
+    }
+
+    /// The largest representable magnitude.
+    #[must_use]
+    pub fn max_abs(&self) -> f64 {
+        self.max_abs
+    }
+
+    /// Encodes a signed weight into a differential level pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::WeightOutOfRange`] if `|weight|` exceeds
+    /// `max_abs` (after a small tolerance) or `weight` is not finite.
+    pub fn encode(&self, weight: f64) -> Result<DifferentialWeight, DeviceError> {
+        if !weight.is_finite() || weight.abs() > self.max_abs * (1.0 + 1e-9) {
+            return Err(DeviceError::WeightOutOfRange { weight });
+        }
+        let magnitude = (weight.abs().min(self.max_abs) / self.quantization_step()).round() as u16;
+        let level = CellLevel(magnitude.min(self.levels - 1));
+        Ok(if weight >= 0.0 {
+            DifferentialWeight {
+                plus: level,
+                minus: CellLevel(0),
+            }
+        } else {
+            DifferentialWeight {
+                plus: CellLevel(0),
+                minus: level,
+            }
+        })
+    }
+
+    /// Decodes a differential pair back to a signed weight value.
+    #[must_use]
+    pub fn decode(&self, w: DifferentialWeight) -> f64 {
+        let step = self.quantization_step();
+        (f64::from(w.plus.index()) - f64::from(w.minus.index())) * step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn codec() -> WeightCodec {
+        WeightCodec::new(&DeviceParams::paper(), 1.0)
+    }
+
+    #[test]
+    fn zero_encodes_to_skippable_zero() {
+        let w = codec().encode(0.0).unwrap();
+        assert!(w.is_zero());
+        assert_eq!(codec().decode(w), 0.0);
+    }
+
+    #[test]
+    fn symmetric_encoding() {
+        let c = codec();
+        let pos = c.encode(0.66).unwrap();
+        let neg = c.encode(-0.66).unwrap();
+        assert_eq!(pos.plus, neg.minus);
+        assert_eq!(pos.minus, neg.plus);
+        assert!((c.decode(pos) + c.decode(neg)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_nonfinite() {
+        let c = codec();
+        assert!(matches!(
+            c.encode(1.5),
+            Err(DeviceError::WeightOutOfRange { .. })
+        ));
+        assert!(c.encode(f64::NAN).is_err());
+        assert!(c.encode(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn extremes_map_to_extreme_levels() {
+        let c = codec();
+        let top = c.encode(1.0).unwrap();
+        assert_eq!(top.plus, CellLevel(3));
+        let bottom = c.encode(-1.0).unwrap();
+        assert_eq!(bottom.minus, CellLevel(3));
+    }
+
+    #[test]
+    fn more_bits_give_finer_steps() {
+        let p4 = DeviceParams::paper().with_bits_per_cell(4).unwrap();
+        let fine = WeightCodec::new(&p4, 1.0);
+        assert!(fine.quantization_step() < codec().quantization_step());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_within_half_step(w in -1.0f64..1.0) {
+            let c = codec();
+            let enc = c.encode(w).unwrap();
+            let dec = c.decode(enc);
+            prop_assert!((dec - w).abs() <= c.quantization_step() / 2.0 + 1e-12);
+        }
+
+        #[test]
+        fn encode_never_uses_both_columns(w in -1.0f64..1.0) {
+            let enc = codec().encode(w).unwrap();
+            prop_assert!(enc.plus == CellLevel(0) || enc.minus == CellLevel(0));
+        }
+    }
+}

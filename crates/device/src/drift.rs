@@ -1,0 +1,186 @@
+//! Time-dependent conductance drift (Eq. 3).
+
+use odin_units::{Seconds, Siemens};
+
+use crate::params::DeviceParams;
+
+/// The conductance-drift model of Eq. 3:
+///
+/// ```text
+/// G_drift(t) = G_ON · (t / t₀)^(−v)
+/// ```
+///
+/// where `t₀` is the instant the device was programmed, `t ≥ t₀` the
+/// elapsed wall-clock time and `v` the drift coefficient (0.2 s⁻¹ in
+/// Table II). Drift is monotone non-increasing in `t` and clamped below
+/// at `G_OFF` — a device can depolarize no further than its off state.
+///
+/// # Examples
+///
+/// ```
+/// use odin_device::{DeviceParams, DriftModel};
+/// use odin_units::Seconds;
+///
+/// let params = DeviceParams::paper();
+/// let drift = DriftModel::new(&params);
+/// let early = drift.conductance_at(Seconds::new(10.0));
+/// let late = drift.conductance_at(Seconds::new(1e6));
+/// assert!(late < early);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DriftModel {
+    g_on: Siemens,
+    g_off: Siemens,
+    v: f64,
+    t0: Seconds,
+}
+
+impl DriftModel {
+    /// Builds a drift model from a device corner.
+    #[must_use]
+    pub fn new(params: &DeviceParams) -> Self {
+        Self {
+            g_on: params.g_on(),
+            g_off: params.g_off(),
+            v: params.drift_coefficient(),
+            t0: params.program_reference_time(),
+        }
+    }
+
+    /// The drifted on-state conductance `G_drift(t)` at elapsed time `t`.
+    ///
+    /// Times earlier than the programming reference `t₀` (including the
+    /// reprogramming instant itself) return the pristine `G_ON`.
+    #[must_use]
+    pub fn conductance_at(&self, t: Seconds) -> Siemens {
+        if t.value() <= self.t0.value() {
+            return self.g_on;
+        }
+        let ratio = t.value() / self.t0.value();
+        let g = self.g_on * ratio.powf(-self.v);
+        g.max(self.g_off)
+    }
+
+    /// The drift of an arbitrary programmed conductance, scaled by the
+    /// same decay factor as the on state. Used for multi-level cells,
+    /// whose intermediate states decay proportionally.
+    #[must_use]
+    pub fn scale_at(&self, t: Seconds) -> f64 {
+        if t.value() <= self.t0.value() {
+            return 1.0;
+        }
+        (t.value() / self.t0.value()).powf(-self.v)
+    }
+
+    /// Fraction of the pristine on-state conductance lost to drift at
+    /// time `t`, in `[0, 1)`.
+    #[must_use]
+    pub fn relative_loss_at(&self, t: Seconds) -> f64 {
+        1.0 - self.conductance_at(t) / self.g_on
+    }
+
+    /// The earliest time at which the drifted conductance falls below
+    /// `threshold`, or `None` if it never does (threshold at or below
+    /// `G_OFF`, or a zero drift coefficient).
+    ///
+    /// Solves `G_ON · (t/t₀)^(−v) = threshold` for `t`.
+    #[must_use]
+    pub fn time_to_reach(&self, threshold: Siemens) -> Option<Seconds> {
+        if threshold.value() >= self.g_on.value() {
+            return Some(self.t0);
+        }
+        if self.v == 0.0 || threshold.value() <= self.g_off.value() {
+            return None;
+        }
+        let ratio = (self.g_on.value() / threshold.value()).powf(1.0 / self.v);
+        Some(Seconds::new(self.t0.value() * ratio))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> DriftModel {
+        DriftModel::new(&DeviceParams::paper())
+    }
+
+    #[test]
+    fn pristine_at_or_before_t0() {
+        let m = model();
+        assert_eq!(m.conductance_at(Seconds::new(0.5)), m.g_on);
+        assert_eq!(m.conductance_at(Seconds::new(1.0)), m.g_on);
+        assert!((m.scale_at(Seconds::new(1.0)) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn matches_closed_form() {
+        let m = model();
+        // (1e4)^(-0.2) = 10^(-0.8)
+        let expect = 333e-6 * 10f64.powf(-0.8);
+        let got = m.conductance_at(Seconds::new(1e4)).value();
+        assert!((got - expect).abs() < 1e-12, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn clamped_at_g_off() {
+        let m = model();
+        // Far future: (t/t0)^(-0.2) would go below G_OFF/G_ON = 1e-3
+        // around t = 1e15; verify the clamp engages.
+        let g = m.conductance_at(Seconds::new(1e40));
+        assert_eq!(g, DeviceParams::paper().g_off());
+    }
+
+    #[test]
+    fn time_to_reach_inverts_conductance_at() {
+        let m = model();
+        let threshold = Siemens::from_micro(100.0);
+        let t = m.time_to_reach(threshold).expect("reachable threshold");
+        let g = m.conductance_at(t);
+        assert!((g.value() - threshold.value()).abs() < 1e-9 * threshold.value());
+    }
+
+    #[test]
+    fn unreachable_thresholds() {
+        let m = model();
+        assert_eq!(m.time_to_reach(Siemens::from_micro(400.0)), Some(m.t0));
+        assert!(m.time_to_reach(Siemens::from_micro(0.1)).is_none());
+        let frozen = DriftModel::new(
+            &DeviceParams::paper().with_drift_coefficient(0.0).unwrap(),
+        );
+        assert!(frozen.time_to_reach(Siemens::from_micro(100.0)).is_none());
+    }
+
+    #[test]
+    fn zero_drift_coefficient_is_constant() {
+        let p = DeviceParams::paper().with_drift_coefficient(0.0).unwrap();
+        let m = DriftModel::new(&p);
+        assert_eq!(m.conductance_at(Seconds::new(1e8)), p.g_on());
+    }
+
+    proptest! {
+        #[test]
+        fn drift_is_monotone_nonincreasing(t1 in 1.0f64..1e9, dt in 0.0f64..1e9) {
+            let m = model();
+            let g1 = m.conductance_at(Seconds::new(t1));
+            let g2 = m.conductance_at(Seconds::new(t1 + dt));
+            prop_assert!(g2 <= g1);
+        }
+
+        #[test]
+        fn drift_bounded_by_device_corner(t in 0.0f64..1e30) {
+            let m = model();
+            let g = m.conductance_at(Seconds::new(t));
+            let p = DeviceParams::paper();
+            prop_assert!(g <= p.g_on());
+            prop_assert!(g >= p.g_off());
+        }
+
+        #[test]
+        fn relative_loss_in_unit_interval(t in 0.0f64..1e30) {
+            let loss = model().relative_loss_at(Seconds::new(t));
+            prop_assert!((0.0..1.0).contains(&loss));
+        }
+    }
+}

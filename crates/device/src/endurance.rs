@@ -1,0 +1,142 @@
+//! Write-endurance accounting.
+//!
+//! ReRAM cells survive a bounded number of SET/RESET cycles (10⁶–10¹²
+//! depending on the device class). Reprogramming-heavy OU strategies
+//! therefore do not just burn energy — they consume array lifetime.
+//! This module turns a reprogramming cadence into a wear-out horizon,
+//! the companion metric to §V.C's reprogram counts.
+
+use odin_units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Endurance model: cycles-to-failure and the resulting lifetime under
+/// a periodic full-array reprogramming regime.
+///
+/// # Examples
+///
+/// ```
+/// use odin_device::EnduranceModel;
+/// use odin_units::Seconds;
+///
+/// let m = EnduranceModel::paper();
+/// // Reprogramming every 1.2e6 s (the 16×16 cadence):
+/// let life = m.lifetime(Seconds::new(1.2e6));
+/// // 1e8 write cycles × 1.2e6 s each ≈ 3.8e6 years — endurance is
+/// // not the binding constraint, energy is; but the ordering between
+/// // strategies is still meaningful.
+/// assert!(life.value() > 1e12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnduranceModel {
+    cycles_to_failure: f64,
+}
+
+impl EnduranceModel {
+    /// A representative HfOx multi-level corner: 10⁸ write cycles
+    /// (multi-level write-verify wears faster than binary switching).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            cycles_to_failure: 1e8,
+        }
+    }
+
+    /// Creates a model with an explicit cycles-to-failure figure.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cycles_to_failure` is positive and finite.
+    #[must_use]
+    pub fn new(cycles_to_failure: f64) -> Self {
+        assert!(
+            cycles_to_failure.is_finite() && cycles_to_failure > 0.0,
+            "cycles to failure must be positive"
+        );
+        Self { cycles_to_failure }
+    }
+
+    /// Cycles to failure.
+    #[must_use]
+    pub fn cycles_to_failure(&self) -> f64 {
+        self.cycles_to_failure
+    }
+
+    /// Array lifetime when every cell is rewritten once per
+    /// `reprogram_period`.
+    #[must_use]
+    pub fn lifetime(&self, reprogram_period: Seconds) -> Seconds {
+        Seconds::new(self.cycles_to_failure * reprogram_period.value())
+    }
+
+    /// Fraction of endurance consumed by `writes` programming passes.
+    #[must_use]
+    pub fn wear_fraction(&self, writes: u64) -> f64 {
+        writes as f64 / self.cycles_to_failure
+    }
+
+    /// Relative lifetime of strategy A versus strategy B given their
+    /// reprogram counts over the same horizon (A reprogramming half as
+    /// often lives twice as long).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b_reprograms` is zero.
+    #[must_use]
+    pub fn lifetime_ratio(&self, a_reprograms: u64, b_reprograms: u64) -> f64 {
+        assert!(b_reprograms > 0, "reference strategy must reprogram");
+        b_reprograms as f64 / a_reprograms.max(1) as f64
+    }
+}
+
+impl Default for EnduranceModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lifetime_scales_with_period() {
+        let m = EnduranceModel::paper();
+        let short = m.lifetime(Seconds::new(1.2e6));
+        let long = m.lifetime(Seconds::new(1.06e8));
+        assert!((long / short - 1.06e8 / 1.2e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wear_accounting() {
+        let m = EnduranceModel::new(1000.0);
+        assert!((m.wear_fraction(10) - 0.01).abs() < 1e-12);
+        assert!((m.wear_fraction(1000) - 1.0).abs() < 1e-12);
+        assert_eq!(m.cycles_to_failure(), 1000.0);
+        assert_eq!(EnduranceModel::default(), EnduranceModel::paper());
+    }
+
+    #[test]
+    fn strategy_lifetime_ratio() {
+        // §V.C: 16×16 reprograms 43×, Odin once → Odin's arrays last
+        // ~43× longer.
+        let m = EnduranceModel::paper();
+        assert!((m.lifetime_ratio(1, 43) - 43.0).abs() < 1e-12);
+        // Zero reprograms clamp to one pass (initial programming).
+        assert!((m.lifetime_ratio(0, 43) - 43.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_cycles_panics() {
+        let _ = EnduranceModel::new(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn wear_monotone(w1 in 0u64..1_000_000, extra in 0u64..1_000_000) {
+            let m = EnduranceModel::paper();
+            prop_assert!(m.wear_fraction(w1 + extra) >= m.wear_fraction(w1));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Device-layer error type.
+
+/// Errors produced by the ReRAM device layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A parameter failed validation when building a configuration.
+    InvalidParameter {
+        /// The parameter name.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// A weight magnitude exceeded the representable range of the codec.
+    WeightOutOfRange {
+        /// The offending weight value.
+        weight: f64,
+    },
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::InvalidParameter { name, reason } => {
+                write!(f, "invalid device parameter `{name}`: {reason}")
+            }
+            DeviceError::WeightOutOfRange { weight } => {
+                write!(f, "weight {weight} outside the codec's representable range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let e = DeviceError::InvalidParameter {
+            name: "g_on",
+            reason: "must be positive",
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("invalid"));
+        let e = DeviceError::WeightOutOfRange { weight: 2.0 };
+        assert!(e.to_string().contains("2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<DeviceError>();
+    }
+}

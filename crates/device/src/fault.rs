@@ -1,0 +1,179 @@
+//! Hard-fault injection: stuck-at cells.
+
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The kind of a hard cell fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FaultKind {
+    /// The cell is stuck at the on-state conductance regardless of what
+    /// is programmed (stuck-at-1 / SA1).
+    StuckOn,
+    /// The cell is stuck at the off-state conductance (stuck-at-0 / SA0).
+    StuckOff,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::StuckOn => write!(f, "stuck-on"),
+            FaultKind::StuckOff => write!(f, "stuck-off"),
+        }
+    }
+}
+
+/// A sparse map from `(row, col)` coordinates to hard faults within one
+/// crossbar.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FaultMap {
+    faults: HashMap<(usize, usize), FaultKind>,
+}
+
+impl FaultMap {
+    /// An empty (fault-free) map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a fault at `(row, col)`, replacing any previous fault
+    /// there. Returns the previous fault if one existed.
+    pub fn insert(&mut self, row: usize, col: usize, kind: FaultKind) -> Option<FaultKind> {
+        self.faults.insert((row, col), kind)
+    }
+
+    /// The fault at `(row, col)`, if any.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> Option<FaultKind> {
+        self.faults.get(&(row, col)).copied()
+    }
+
+    /// Number of faulty cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` when no cell is faulty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Iterates over `((row, col), kind)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(usize, usize), &FaultKind)> {
+        self.faults.iter()
+    }
+}
+
+/// Randomly sprinkles stuck-at faults over a crossbar at a given rate.
+///
+/// # Examples
+///
+/// ```
+/// use odin_device::FaultInjector;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let map = FaultInjector::new(0.01, 0.5).inject(128, 128, &mut rng);
+/// // ≈ 164 of 16384 cells faulty at 1 %
+/// assert!(map.len() > 80 && map.len() < 280);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FaultInjector {
+    rate: f64,
+    stuck_on_fraction: f64,
+}
+
+impl FaultInjector {
+    /// Creates an injector where each cell independently faults with
+    /// probability `rate`, and a faulty cell is stuck-on with
+    /// probability `stuck_on_fraction` (else stuck-off).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(rate: f64, stuck_on_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&stuck_on_fraction),
+            "stuck_on_fraction must be in [0,1]"
+        );
+        Self {
+            rate,
+            stuck_on_fraction,
+        }
+    }
+
+    /// Generates a fault map for a `rows × cols` crossbar.
+    pub fn inject<R: Rng + ?Sized>(&self, rows: usize, cols: usize, rng: &mut R) -> FaultMap {
+        let mut map = FaultMap::new();
+        if self.rate == 0.0 {
+            return map;
+        }
+        for row in 0..rows {
+            for col in 0..cols {
+                if rng.gen::<f64>() < self.rate {
+                    let kind = if rng.gen::<f64>() < self.stuck_on_fraction {
+                        FaultKind::StuckOn
+                    } else {
+                        FaultKind::StuckOff
+                    };
+                    map.insert(row, col, kind);
+                }
+            }
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let map = FaultInjector::new(0.0, 0.5).inject(64, 64, &mut rng);
+        assert!(map.is_empty());
+        assert_eq!(map.len(), 0);
+    }
+
+    #[test]
+    fn full_rate_faults_every_cell() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let map = FaultInjector::new(1.0, 1.0).inject(8, 8, &mut rng);
+        assert_eq!(map.len(), 64);
+        assert_eq!(map.get(3, 3), Some(FaultKind::StuckOn));
+    }
+
+    #[test]
+    fn stuck_fraction_controls_mix() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let map = FaultInjector::new(1.0, 0.0).inject(8, 8, &mut rng);
+        assert!(map.iter().all(|(_, k)| *k == FaultKind::StuckOff));
+    }
+
+    #[test]
+    fn insert_replaces_and_reports_previous() {
+        let mut map = FaultMap::new();
+        assert_eq!(map.insert(0, 0, FaultKind::StuckOn), None);
+        assert_eq!(map.insert(0, 0, FaultKind::StuckOff), Some(FaultKind::StuckOn));
+        assert_eq!(map.get(0, 0), Some(FaultKind::StuckOff));
+        assert_eq!(map.get(1, 1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0,1]")]
+    fn invalid_rate_panics() {
+        let _ = FaultInjector::new(1.5, 0.5);
+    }
+
+    #[test]
+    fn display_of_kinds() {
+        assert_eq!(FaultKind::StuckOn.to_string(), "stuck-on");
+        assert_eq!(FaultKind::StuckOff.to_string(), "stuck-off");
+    }
+}

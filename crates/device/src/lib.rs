@@ -1,0 +1,53 @@
+//! ReRAM device physics for the Odin PIM simulator.
+//!
+//! This crate models the non-volatile memory cells underneath every
+//! crossbar in the Odin stack:
+//!
+//! * [`DeviceParams`] — the Table II device corner (`G_ON`/`G_OFF`,
+//!   drift coefficient `v`, bits per cell, pulse costs).
+//! * [`DriftModel`] — time-dependent conductance drift, Eq. 3 of the
+//!   paper: `G_drift(t) = G_ON · (t/t₀)^(−v)`.
+//! * [`ReramCell`] — a programmable multi-level cell with programming
+//!   variation, read noise and stuck-at faults.
+//! * [`WeightCodec`] — quantization of signed DNN weights onto
+//!   differential pairs of multi-level cells.
+//! * [`ReprogramCost`] — the energy/latency ledger for rewriting arrays
+//!   when drift makes every OU size violate the non-ideality budget.
+//!
+//! # Examples
+//!
+//! ```
+//! use odin_device::{DeviceParams, DriftModel};
+//! use odin_units::Seconds;
+//!
+//! let params = DeviceParams::paper();
+//! let drift = DriftModel::new(&params);
+//! // After 1e4 s the on-state conductance has visibly decayed.
+//! let g = drift.conductance_at(Seconds::new(1e4));
+//! assert!(g < params.g_on());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod codec;
+mod drift;
+mod endurance;
+mod error;
+mod fault;
+mod noise;
+mod params;
+mod reprogram;
+mod thermal;
+
+pub use cell::{CellLevel, ReramCell};
+pub use codec::{DifferentialWeight, WeightCodec};
+pub use drift::DriftModel;
+pub use endurance::EnduranceModel;
+pub use error::DeviceError;
+pub use fault::{FaultInjector, FaultKind, FaultMap};
+pub use noise::{NoiseModel, ProgrammingNoise, ReadNoise};
+pub use params::DeviceParams;
+pub use reprogram::{ReprogramCost, ReprogramLedger};
+pub use thermal::ThermalModel;

@@ -1,0 +1,241 @@
+//! Stochastic device non-idealities: programming variation and read
+//! (thermal) noise.
+
+use rand::Rng;
+
+/// Gaussian programming variation applied once, when a cell is written.
+///
+/// Write-verify loops leave a residual error on the programmed
+/// conductance; the standard model is multiplicative Gaussian noise with
+/// a relative sigma of a few percent.
+///
+/// # Examples
+///
+/// ```
+/// use odin_device::ProgrammingNoise;
+/// use rand::SeedableRng;
+///
+/// let noise = ProgrammingNoise::new(0.02);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let g = noise.perturb(100e-6, &mut rng);
+/// assert!((g - 100e-6).abs() < 20e-6); // within ±20 %, overwhelmingly
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProgrammingNoise {
+    relative_sigma: f64,
+}
+
+impl ProgrammingNoise {
+    /// Creates a programming-noise model with the given relative sigma.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relative_sigma` is negative or not finite.
+    #[must_use]
+    pub fn new(relative_sigma: f64) -> Self {
+        assert!(
+            relative_sigma.is_finite() && relative_sigma >= 0.0,
+            "relative sigma must be finite and non-negative"
+        );
+        Self { relative_sigma }
+    }
+
+    /// A noiseless model (useful for deterministic tests).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            relative_sigma: 0.0,
+        }
+    }
+
+    /// The relative standard deviation.
+    #[must_use]
+    pub fn relative_sigma(&self) -> f64 {
+        self.relative_sigma
+    }
+
+    /// Applies multiplicative Gaussian noise to a target conductance
+    /// (in siemens, returned in siemens). Results are clamped at zero:
+    /// a cell cannot be programmed to negative conductance.
+    pub fn perturb<R: Rng + ?Sized>(&self, target: f64, rng: &mut R) -> f64 {
+        if self.relative_sigma == 0.0 {
+            return target;
+        }
+        let z = standard_normal(rng);
+        (target * (1.0 + self.relative_sigma * z)).max(0.0)
+    }
+}
+
+/// Additive thermal/shot noise on each analog read, relative to the
+/// full-scale on-state conductance.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReadNoise {
+    absolute_sigma: f64,
+}
+
+impl ReadNoise {
+    /// Creates a read-noise model with the given absolute sigma
+    /// (siemens).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `absolute_sigma` is negative or not finite.
+    #[must_use]
+    pub fn new(absolute_sigma: f64) -> Self {
+        assert!(
+            absolute_sigma.is_finite() && absolute_sigma >= 0.0,
+            "absolute sigma must be finite and non-negative"
+        );
+        Self { absolute_sigma }
+    }
+
+    /// A noiseless model.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            absolute_sigma: 0.0,
+        }
+    }
+
+    /// The absolute standard deviation in siemens.
+    #[must_use]
+    pub fn absolute_sigma(&self) -> f64 {
+        self.absolute_sigma
+    }
+
+    /// Applies additive Gaussian noise to an observed conductance.
+    pub fn perturb<R: Rng + ?Sized>(&self, observed: f64, rng: &mut R) -> f64 {
+        if self.absolute_sigma == 0.0 {
+            return observed;
+        }
+        (observed + self.absolute_sigma * standard_normal(rng)).max(0.0)
+    }
+}
+
+/// The bundle of stochastic models a crossbar consults during reads and
+/// writes.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NoiseModel {
+    programming: ProgrammingNoise,
+    read: ReadNoise,
+}
+
+impl NoiseModel {
+    /// Combines programming and read noise models.
+    #[must_use]
+    pub fn new(programming: ProgrammingNoise, read: ReadNoise) -> Self {
+        Self { programming, read }
+    }
+
+    /// A fully deterministic (noiseless) model.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            programming: ProgrammingNoise::disabled(),
+            read: ReadNoise::disabled(),
+        }
+    }
+
+    /// A representative 32 nm corner: 2 % programming sigma, 0.5 µS read
+    /// sigma.
+    #[must_use]
+    pub fn representative() -> Self {
+        Self {
+            programming: ProgrammingNoise::new(0.02),
+            read: ReadNoise::new(0.5e-6),
+        }
+    }
+
+    /// The programming-variation component.
+    #[must_use]
+    pub fn programming(&self) -> ProgrammingNoise {
+        self.programming
+    }
+
+    /// The read-noise component.
+    #[must_use]
+    pub fn read(&self) -> ReadNoise {
+        self.read
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Samples a standard normal via Box–Muller (avoids a dependency on
+/// `rand_distr`, which is outside the approved dependency set).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::EPSILON {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn disabled_noise_is_identity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(ProgrammingNoise::disabled().perturb(5.0, &mut rng), 5.0);
+        assert_eq!(ReadNoise::disabled().perturb(5.0, &mut rng), 5.0);
+    }
+
+    #[test]
+    fn programming_noise_statistics() {
+        let noise = ProgrammingNoise::new(0.05);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let target = 1.0;
+        let samples: Vec<f64> = (0..n).map(|_| noise.perturb(target, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        assert!((var.sqrt() - 0.05).abs() < 0.01, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn read_noise_statistics() {
+        let noise = ReadNoise::new(0.5e-6);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let n = 20_000;
+        let observed = 100e-6;
+        let mean = (0..n)
+            .map(|_| noise.perturb(observed, &mut rng))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - observed).abs() < 0.05e-6);
+    }
+
+    #[test]
+    fn never_negative() {
+        let noise = ProgrammingNoise::new(2.0); // absurdly noisy
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        for _ in 0..1000 {
+            assert!(noise.perturb(1e-6, &mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sigma_panics() {
+        let _ = ProgrammingNoise::new(-0.1);
+    }
+
+    #[test]
+    fn representative_corner() {
+        let m = NoiseModel::representative();
+        assert!((m.programming().relative_sigma() - 0.02).abs() < 1e-12);
+        assert!((m.read().absolute_sigma() - 0.5e-6).abs() < 1e-18);
+        assert_eq!(NoiseModel::default(), NoiseModel::disabled());
+    }
+}

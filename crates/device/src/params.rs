@@ -1,0 +1,276 @@
+//! Device parameter corners.
+
+use odin_units::{Joules, Seconds, Siemens, Volts};
+
+use crate::error::DeviceError;
+
+/// The physical parameters of one ReRAM device corner.
+///
+/// Defaults come from Table II of the paper: `G_ON` = 333 µS,
+/// `G_OFF` = 0.33 µS, drift coefficient `v` = 0.2 s⁻¹ and 2 bits per
+/// cell (Table I). Pulse costs are representative SET/RESET figures for
+/// 32 nm HfOx devices and only matter through the *relative* weight of
+/// reprogramming versus inference energy.
+///
+/// # Examples
+///
+/// ```
+/// use odin_device::DeviceParams;
+///
+/// let p = DeviceParams::paper();
+/// assert_eq!(p.levels(), 4); // 2 bits/cell
+/// assert!(p.g_on() > p.g_off());
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DeviceParams {
+    g_on: Siemens,
+    g_off: Siemens,
+    drift_coefficient: f64,
+    program_reference_time: Seconds,
+    bits_per_cell: u8,
+    read_voltage: Volts,
+    write_energy_per_cell: Joules,
+    write_latency_per_cell: Seconds,
+}
+
+impl DeviceParams {
+    /// The Table II corner used throughout the paper's evaluation.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            g_on: Siemens::from_micro(333.0),
+            g_off: Siemens::from_micro(0.33),
+            drift_coefficient: 0.2,
+            program_reference_time: Seconds::new(1.0),
+            bits_per_cell: 2,
+            read_voltage: Volts::new(0.2),
+            // SET/RESET pulse: ~2 V, ~50 µA, ~50 ns → ~5-10 pJ per raw
+            // pulse. Multi-level programming needs a write-verify train
+            // (~20 iterations) plus erase, charge-pump and peripheral
+            // energy, so the effective per-cell reprogramming cost is
+            // ~300 pJ — this is what makes frequent reprogramming (43
+            // passes for the homogeneous 16×16 OU, §V.C) dominate the
+            // coarse baselines' total energy.
+            write_energy_per_cell: Joules::from_picojoules(300.0),
+            write_latency_per_cell: Seconds::from_nanos(50.0),
+        }
+    }
+
+    /// Builder-style override of the ON-state conductance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if `g_on` is not strictly
+    /// greater than the current `g_off`.
+    pub fn with_g_on(mut self, g_on: Siemens) -> Result<Self, DeviceError> {
+        if g_on.value() <= self.g_off.value() {
+            return Err(DeviceError::InvalidParameter {
+                name: "g_on",
+                reason: "must be strictly greater than g_off",
+            });
+        }
+        self.g_on = g_on;
+        Ok(self)
+    }
+
+    /// Builder-style override of the drift coefficient `v` (Eq. 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if `v` is negative or
+    /// not finite.
+    pub fn with_drift_coefficient(mut self, v: f64) -> Result<Self, DeviceError> {
+        if !v.is_finite() || v < 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "drift_coefficient",
+                reason: "must be finite and non-negative",
+            });
+        }
+        self.drift_coefficient = v;
+        Ok(self)
+    }
+
+    /// Builder-style override of the number of bits stored per cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] for 0 bits or more than
+    /// 4 bits (16 levels), beyond which multi-level ReRAM programming is
+    /// not credible.
+    pub fn with_bits_per_cell(mut self, bits: u8) -> Result<Self, DeviceError> {
+        if bits == 0 || bits > 4 {
+            return Err(DeviceError::InvalidParameter {
+                name: "bits_per_cell",
+                reason: "must be in 1..=4",
+            });
+        }
+        self.bits_per_cell = bits;
+        Ok(self)
+    }
+
+    /// Builder-style override of the per-cell write energy (campaign
+    /// calibration hook).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] for non-finite or
+    /// negative energies.
+    pub fn with_write_energy_per_cell(mut self, e: Joules) -> Result<Self, DeviceError> {
+        if !e.value().is_finite() || e.value() < 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "write_energy_per_cell",
+                reason: "must be finite and non-negative",
+            });
+        }
+        self.write_energy_per_cell = e;
+        Ok(self)
+    }
+
+    /// Builder-style override of the per-cell write latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] for non-finite or
+    /// negative latencies.
+    pub fn with_write_latency_per_cell(mut self, t: Seconds) -> Result<Self, DeviceError> {
+        if !t.value().is_finite() || t.value() < 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "write_latency_per_cell",
+                reason: "must be finite and non-negative",
+            });
+        }
+        self.write_latency_per_cell = t;
+        Ok(self)
+    }
+
+    /// ON-state (lowest-resistance) conductance `G_ON`.
+    #[must_use]
+    pub fn g_on(&self) -> Siemens {
+        self.g_on
+    }
+
+    /// OFF-state (highest-resistance) conductance `G_OFF`.
+    #[must_use]
+    pub fn g_off(&self) -> Siemens {
+        self.g_off
+    }
+
+    /// Drift coefficient `v` of Eq. 3 (paper: 0.2 s⁻¹).
+    #[must_use]
+    pub fn drift_coefficient(&self) -> f64 {
+        self.drift_coefficient
+    }
+
+    /// Reference time `t₀` at which the cell was last programmed.
+    #[must_use]
+    pub fn program_reference_time(&self) -> Seconds {
+        self.program_reference_time
+    }
+
+    /// Bits of weight data stored per cell.
+    #[must_use]
+    pub fn bits_per_cell(&self) -> u8 {
+        self.bits_per_cell
+    }
+
+    /// Number of distinguishable conductance levels (`2^bits`).
+    #[must_use]
+    pub fn levels(&self) -> u16 {
+        1u16 << self.bits_per_cell
+    }
+
+    /// Read (sense) voltage applied on active wordlines.
+    #[must_use]
+    pub fn read_voltage(&self) -> Volts {
+        self.read_voltage
+    }
+
+    /// Energy cost of one write-verify programming pulse train.
+    #[must_use]
+    pub fn write_energy_per_cell(&self) -> Joules {
+        self.write_energy_per_cell
+    }
+
+    /// Latency of one write-verify programming pulse train.
+    #[must_use]
+    pub fn write_latency_per_cell(&self) -> Seconds {
+        self.write_latency_per_cell
+    }
+
+    /// The conductance corresponding to a stored level index.
+    ///
+    /// Levels are spaced linearly between `G_OFF` (level 0) and `G_ON`
+    /// (maximum level), the usual assumption for linear multi-level
+    /// programming with write-verify.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds [`DeviceParams::levels`]` - 1`.
+    #[must_use]
+    pub fn level_conductance(&self, level: u16) -> Siemens {
+        let max = self.levels() - 1;
+        assert!(level <= max, "level {level} out of range 0..={max}");
+        let frac = f64::from(level) / f64::from(max);
+        self.g_off + (self.g_on - self.g_off) * frac
+    }
+}
+
+impl Default for DeviceParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_corner_matches_table2() {
+        let p = DeviceParams::paper();
+        assert!((p.g_on().as_micro() - 333.0).abs() < 1e-9);
+        assert!((p.g_off().as_micro() - 0.33).abs() < 1e-9);
+        assert!((p.drift_coefficient() - 0.2).abs() < 1e-12);
+        assert_eq!(p.bits_per_cell(), 2);
+        assert_eq!(p.levels(), 4);
+    }
+
+    #[test]
+    fn level_conductances_span_range_monotonically() {
+        let p = DeviceParams::paper();
+        let mut prev = Siemens::ZERO;
+        for level in 0..p.levels() {
+            let g = p.level_conductance(level);
+            assert!(g > prev, "levels must be strictly increasing");
+            prev = g;
+        }
+        assert!((p.level_conductance(0).value() - p.g_off().value()).abs() < 1e-15);
+        assert!((p.level_conductance(3).value() - p.g_on().value()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn level_out_of_range_panics() {
+        let _ = DeviceParams::paper().level_conductance(4);
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(DeviceParams::paper()
+            .with_g_on(Siemens::from_micro(0.1))
+            .is_err());
+        assert!(DeviceParams::paper().with_drift_coefficient(-1.0).is_err());
+        assert!(DeviceParams::paper()
+            .with_drift_coefficient(f64::NAN)
+            .is_err());
+        assert!(DeviceParams::paper().with_bits_per_cell(0).is_err());
+        assert!(DeviceParams::paper().with_bits_per_cell(5).is_err());
+        let p = DeviceParams::paper().with_bits_per_cell(3).unwrap();
+        assert_eq!(p.levels(), 8);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(DeviceParams::default(), DeviceParams::paper());
+    }
+}

@@ -1,0 +1,181 @@
+//! Reprogramming cost model and ledger.
+//!
+//! When drift pushes the non-ideality ΔG above the threshold η for
+//! *every* candidate OU size, the runtime must rewrite the DNN weights
+//! into the arrays (Algorithm 1, lines 7–8). Reprogramming restores
+//! pristine conductances but costs energy and latency proportional to
+//! the number of programmed cells — this is exactly the overhead that
+//! makes coarse homogeneous OUs (which reprogram 43× for VGG11 over
+//! `t₀..1e8 s`) lose on *total* EDP despite winning on inference EDP.
+
+use odin_units::{Joules, Seconds};
+
+use crate::params::DeviceParams;
+
+/// The energy/latency cost of one full reprogramming pass over a set of
+/// cells.
+///
+/// # Examples
+///
+/// ```
+/// use odin_device::{DeviceParams, ReprogramCost};
+///
+/// let cost = ReprogramCost::for_cells(1_000_000, &DeviceParams::paper());
+/// assert!(cost.energy().as_microjoules() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReprogramCost {
+    cells: u64,
+    energy: Joules,
+    latency: Seconds,
+}
+
+impl ReprogramCost {
+    /// Cost of rewriting `cells` cells with the given device corner.
+    ///
+    /// Writes proceed row-parallel within a crossbar (one row of 128
+    /// cells per pulse train) and eight crossbar banks are programmed
+    /// concurrently, so latency scales with `cells / 1024` while
+    /// energy scales with every cell written.
+    #[must_use]
+    pub fn for_cells(cells: u64, params: &DeviceParams) -> Self {
+        const ROW_PARALLELISM: u64 = 128 * 8;
+        let pulses = cells.div_ceil(ROW_PARALLELISM);
+        Self {
+            cells,
+            energy: params.write_energy_per_cell() * cells as f64,
+            latency: params.write_latency_per_cell() * pulses as f64,
+        }
+    }
+
+    /// Number of cells rewritten.
+    #[must_use]
+    pub fn cells(&self) -> u64 {
+        self.cells
+    }
+
+    /// Total programming energy.
+    #[must_use]
+    pub fn energy(&self) -> Joules {
+        self.energy
+    }
+
+    /// Total programming latency.
+    #[must_use]
+    pub fn latency(&self) -> Seconds {
+        self.latency
+    }
+}
+
+/// Accumulates reprogramming events over an inference campaign.
+///
+/// The evaluation (Fig. 6–8) charges each OU strategy for the
+/// reprogramming passes it triggered; this ledger is how the harness
+/// keeps score.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReprogramLedger {
+    events: Vec<ReprogramEvent>,
+}
+
+/// One recorded reprogramming pass.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReprogramEvent {
+    /// Wall-clock time at which the pass happened.
+    pub at: Seconds,
+    /// Its cost.
+    pub cost: ReprogramCost,
+}
+
+impl ReprogramLedger {
+    /// An empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a reprogramming pass at time `at`.
+    pub fn record(&mut self, at: Seconds, cost: ReprogramCost) {
+        self.events.push(ReprogramEvent { at, cost });
+    }
+
+    /// Number of reprogramming passes so far.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Total energy spent reprogramming.
+    #[must_use]
+    pub fn total_energy(&self) -> Joules {
+        self.events.iter().map(|e| e.cost.energy()).sum()
+    }
+
+    /// Total latency spent reprogramming.
+    #[must_use]
+    pub fn total_latency(&self) -> Seconds {
+        self.events.iter().map(|e| e.cost.latency()).sum()
+    }
+
+    /// The recorded events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> &[ReprogramEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cost_scales_linearly_in_energy() {
+        let p = DeviceParams::paper();
+        let one = ReprogramCost::for_cells(1000, &p);
+        let ten = ReprogramCost::for_cells(10_000, &p);
+        assert!((ten.energy() / one.energy() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_uses_row_and_bank_parallelism() {
+        let p = DeviceParams::paper();
+        let c = ReprogramCost::for_cells(1024, &p);
+        assert!((c.latency().value() - p.write_latency_per_cell().value()).abs() < 1e-18);
+        let c2 = ReprogramCost::for_cells(1025, &p);
+        assert!((c2.latency() / c.latency() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cells_zero_cost() {
+        let c = ReprogramCost::for_cells(0, &DeviceParams::paper());
+        assert_eq!(c.energy(), Joules::ZERO);
+        assert_eq!(c.latency(), Seconds::ZERO);
+        assert_eq!(c.cells(), 0);
+    }
+
+    #[test]
+    fn ledger_accumulates() {
+        let p = DeviceParams::paper();
+        let mut ledger = ReprogramLedger::new();
+        assert_eq!(ledger.count(), 0);
+        ledger.record(Seconds::new(10.0), ReprogramCost::for_cells(100, &p));
+        ledger.record(Seconds::new(20.0), ReprogramCost::for_cells(100, &p));
+        assert_eq!(ledger.count(), 2);
+        let expect = ReprogramCost::for_cells(100, &p).energy() * 2.0;
+        assert!((ledger.total_energy().value() - expect.value()).abs() < 1e-18);
+        assert_eq!(ledger.events().len(), 2);
+        assert!(ledger.total_latency().value() > 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn energy_monotone_in_cells(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+            let p = DeviceParams::paper();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let cl = ReprogramCost::for_cells(lo, &p);
+            let ch = ReprogramCost::for_cells(hi, &p);
+            prop_assert!(ch.energy() >= cl.energy());
+            prop_assert!(ch.latency() >= cl.latency());
+        }
+    }
+}

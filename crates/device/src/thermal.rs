@@ -1,0 +1,151 @@
+//! Thermal acceleration of conductance drift.
+//!
+//! The authors' TEFLON work (cited as [26]) shows PIM tiles heat up
+//! with compute activity and that temperature accelerates ReRAM
+//! retention loss. This module provides the standard
+//! exponential-acceleration model: tile temperature rises linearly
+//! with dissipated power over the thermal resistance, and drift speeds
+//! up by a fixed factor per 10 °C above ambient (Arrhenius behaviour
+//! linearized over the operating window).
+//!
+//! Compose with the crossbar non-ideality model by dividing its drift
+//! timescale: `τ_effective = τ / acceleration`.
+
+use odin_units::Watts;
+use serde::{Deserialize, Serialize};
+
+/// Power → temperature → drift-acceleration model.
+///
+/// # Examples
+///
+/// ```
+/// use odin_device::ThermalModel;
+/// use odin_units::Watts;
+///
+/// let m = ThermalModel::paper();
+/// let idle = m.drift_acceleration(m.temperature(Watts::ZERO));
+/// assert!((idle - 1.0).abs() < 1e-12);
+/// let busy = m.drift_acceleration(m.temperature(Watts::new(2.0)));
+/// assert!(busy > idle);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    ambient_c: f64,
+    c_per_watt: f64,
+    acceleration_per_10c: f64,
+}
+
+impl ThermalModel {
+    /// A representative corner: 45 °C ambient-on-die, 10 °C/W tile
+    /// thermal resistance, drift doubling every 10 °C.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            ambient_c: 45.0,
+            c_per_watt: 10.0,
+            acceleration_per_10c: 2.0,
+        }
+    }
+
+    /// Creates a model with explicit constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all constants are finite, `c_per_watt ≥ 0` and
+    /// `acceleration_per_10c ≥ 1`.
+    #[must_use]
+    pub fn new(ambient_c: f64, c_per_watt: f64, acceleration_per_10c: f64) -> Self {
+        assert!(
+            ambient_c.is_finite() && c_per_watt.is_finite() && acceleration_per_10c.is_finite(),
+            "thermal constants must be finite"
+        );
+        assert!(c_per_watt >= 0.0, "thermal resistance must be non-negative");
+        assert!(
+            acceleration_per_10c >= 1.0,
+            "drift cannot decelerate with temperature"
+        );
+        Self {
+            ambient_c,
+            c_per_watt,
+            acceleration_per_10c,
+        }
+    }
+
+    /// Ambient (zero-power) die temperature in °C.
+    #[must_use]
+    pub fn ambient_c(&self) -> f64 {
+        self.ambient_c
+    }
+
+    /// Steady-state die temperature at a sustained power draw.
+    #[must_use]
+    pub fn temperature(&self, power: Watts) -> f64 {
+        self.ambient_c + self.c_per_watt * power.value()
+    }
+
+    /// Drift acceleration factor at a die temperature (1.0 at
+    /// ambient, ×`acceleration_per_10c` per 10 °C above it).
+    #[must_use]
+    pub fn drift_acceleration(&self, temperature_c: f64) -> f64 {
+        let delta = (temperature_c - self.ambient_c).max(0.0);
+        self.acceleration_per_10c.powf(delta / 10.0)
+    }
+
+    /// Convenience: acceleration straight from sustained power.
+    #[must_use]
+    pub fn acceleration_at_power(&self, power: Watts) -> f64 {
+        self.drift_acceleration(self.temperature(power))
+    }
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ambient_is_neutral() {
+        let m = ThermalModel::paper();
+        assert!((m.temperature(Watts::ZERO) - 45.0).abs() < 1e-12);
+        assert!((m.acceleration_at_power(Watts::ZERO) - 1.0).abs() < 1e-12);
+        assert_eq!(ThermalModel::default(), m);
+        assert!((m.ambient_c() - 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn doubling_per_ten_degrees() {
+        let m = ThermalModel::paper();
+        // 1 W → +10 °C → ×2; 2 W → +20 °C → ×4.
+        assert!((m.acceleration_at_power(Watts::new(1.0)) - 2.0).abs() < 1e-9);
+        assert!((m.acceleration_at_power(Watts::new(2.0)) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn below_ambient_clamps_to_one() {
+        let m = ThermalModel::paper();
+        assert!((m.drift_acceleration(20.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "decelerate")]
+    fn sub_unity_acceleration_panics() {
+        let _ = ThermalModel::new(45.0, 10.0, 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn acceleration_monotone_in_power(p1 in 0.0f64..100.0, dp in 0.0f64..100.0) {
+            let m = ThermalModel::paper();
+            prop_assert!(
+                m.acceleration_at_power(Watts::new(p1 + dp))
+                    >= m.acceleration_at_power(Watts::new(p1))
+            );
+        }
+    }
+}

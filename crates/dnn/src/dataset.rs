@@ -1,0 +1,244 @@
+//! Synthetic image-classification datasets.
+//!
+//! The reproduction has no network access, so CIFAR-10/100 and
+//! TinyImageNet are replaced by synthetic datasets with the same class
+//! counts and image geometry: each class is a Gaussian blob around a
+//! class-specific spatial template, which gives a learnable but
+//! non-trivial decision problem for the functional accuracy
+//! experiments (Fig. 7). DESIGN.md records the substitution.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor;
+
+/// One labelled sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// The image, shaped `[channels, height, width]`.
+    pub image: Tensor,
+    /// The class label.
+    pub label: usize,
+}
+
+/// A synthetic labelled dataset.
+///
+/// # Examples
+///
+/// ```
+/// use odin_dnn::dataset::SyntheticImages;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let data = SyntheticImages::generate(4, 1, 8, 60, 0.3, &mut rng);
+/// assert_eq!(data.len(), 60);
+/// assert!(data.samples().iter().all(|s| s.label < 4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticImages {
+    classes: usize,
+    channels: usize,
+    side: usize,
+    samples: Vec<Sample>,
+}
+
+impl SyntheticImages {
+    /// Generates `count` samples over `classes` classes of
+    /// `channels × side × side` images, with additive Gaussian noise of
+    /// standard deviation `noise`.
+    ///
+    /// Each class's template is a smooth sinusoidal pattern with a
+    /// class-specific frequency and phase, so classes are separable but
+    /// overlap under heavy noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size argument is zero or `noise` is negative.
+    pub fn generate<R: Rng + ?Sized>(
+        classes: usize,
+        channels: usize,
+        side: usize,
+        count: usize,
+        noise: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(classes > 0 && channels > 0 && side > 0, "sizes must be nonzero");
+        assert!(noise >= 0.0, "noise must be non-negative");
+        let samples = (0..count)
+            .map(|i| {
+                let label = i % classes;
+                let image = Self::template(label, classes, channels, side, noise, rng);
+                Sample { image, label }
+            })
+            .collect();
+        Self {
+            classes,
+            channels,
+            side,
+            samples,
+        }
+    }
+
+    fn template<R: Rng + ?Sized>(
+        label: usize,
+        classes: usize,
+        channels: usize,
+        side: usize,
+        noise: f64,
+        rng: &mut R,
+    ) -> Tensor {
+        let mut img = Tensor::zeros(vec![channels, side, side]);
+        let freq = 1.0 + label as f32 * 0.7;
+        let phase = label as f32 * std::f32::consts::TAU / classes as f32;
+        for c in 0..channels {
+            for y in 0..side {
+                for x in 0..side {
+                    let fy = y as f32 / side as f32;
+                    let fx = x as f32 / side as f32;
+                    let v = ((freq * std::f32::consts::TAU * fy + phase).sin()
+                        + (freq * std::f32::consts::TAU * fx + phase + c as f32).cos())
+                        / 2.0;
+                    let n = sample_normal(rng) as f32 * noise as f32;
+                    img.set(&[c, y, x], v + n);
+                }
+            }
+        }
+        img
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Image channels.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Image side length.
+    #[must_use]
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the dataset holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The samples.
+    #[must_use]
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Splits into `(train, test)` at `train_fraction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `train_fraction ∈ (0, 1)`.
+    #[must_use]
+    pub fn split(&self, train_fraction: f64) -> (Vec<Sample>, Vec<Sample>) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train fraction must be in (0, 1)"
+        );
+        let cut = ((self.samples.len() as f64) * train_fraction) as usize;
+        let (a, b) = self.samples.split_at(cut);
+        (a.to_vec(), b.to_vec())
+    }
+}
+
+/// Box–Muller standard normal (keeps `rand_distr` out of the
+/// dependency set).
+fn sample_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::EPSILON {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn generation_geometry() {
+        let d = SyntheticImages::generate(10, 3, 8, 50, 0.1, &mut rng());
+        assert_eq!(d.classes(), 10);
+        assert_eq!(d.channels(), 3);
+        assert_eq!(d.side(), 8);
+        assert_eq!(d.len(), 50);
+        assert!(!d.is_empty());
+        for s in d.samples() {
+            assert_eq!(s.image.shape(), &[3, 8, 8]);
+            assert!(s.label < 10);
+        }
+    }
+
+    #[test]
+    fn labels_are_balanced() {
+        let d = SyntheticImages::generate(5, 1, 4, 100, 0.1, &mut rng());
+        let mut counts = [0usize; 5];
+        for s in d.samples() {
+            counts[s.label] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 20));
+    }
+
+    #[test]
+    fn classes_are_distinguishable() {
+        // Noise-free templates of different classes differ.
+        let d = SyntheticImages::generate(3, 1, 8, 3, 0.0, &mut rng());
+        let a = &d.samples()[0].image;
+        let b = &d.samples()[1].image;
+        let dist: f32 = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (x - y).powi(2))
+            .sum();
+        assert!(dist > 0.5, "templates too close: {dist}");
+    }
+
+    #[test]
+    fn noise_free_templates_are_deterministic() {
+        let d1 = SyntheticImages::generate(3, 1, 8, 3, 0.0, &mut rng());
+        let d2 = SyntheticImages::generate(3, 1, 8, 3, 0.0, &mut rng());
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn split_partitions() {
+        let d = SyntheticImages::generate(2, 1, 4, 100, 0.1, &mut rng());
+        let (train, test) = d.split(0.8);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1)")]
+    fn bad_split_panics() {
+        let d = SyntheticImages::generate(2, 1, 4, 10, 0.1, &mut rng());
+        let _ = d.split(1.0);
+    }
+}

@@ -1,0 +1,367 @@
+//! Shape-level descriptions of DNN layers and networks — the features
+//! Odin's policy and analytical models consume.
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of computation a layer performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// A 2-D convolution.
+    Conv {
+        /// Square kernel side length.
+        kernel: usize,
+        /// Input channels.
+        in_channels: usize,
+        /// Output channels.
+        out_channels: usize,
+    },
+    /// A fully connected (or attention-projection) layer.
+    Linear {
+        /// Input width.
+        inputs: usize,
+        /// Output width.
+        outputs: usize,
+    },
+}
+
+/// One MVM-bearing neural layer as Odin sees it.
+///
+/// # Examples
+///
+/// ```
+/// use odin_dnn::{LayerDescriptor, LayerKind};
+///
+/// let conv = LayerDescriptor::new(
+///     0,
+///     "conv1".into(),
+///     LayerKind::Conv { kernel: 3, in_channels: 3, out_channels: 64 },
+///     1024, // 32×32 output positions
+///     0.5,
+///     1.0,
+/// );
+/// assert_eq!(conv.fan_in(), 27);
+/// assert_eq!(conv.weight_count(), 27 * 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerDescriptor {
+    index: usize,
+    name: String,
+    kind: LayerKind,
+    output_positions: usize,
+    sparsity: f64,
+    sensitivity: f64,
+    #[serde(default)]
+    activation_sparsity: f64,
+}
+
+impl LayerDescriptor {
+    /// Creates a layer descriptor.
+    ///
+    /// * `index` — position in the network (the Φ₁ feature).
+    /// * `output_positions` — spatial positions each filter slides
+    ///   over (1 for linear layers): the number of MVMs per inference.
+    /// * `sparsity` — fraction of fan-in rows pruned to zero (Φ₂).
+    /// * `sensitivity` — the layer's accuracy-impact weight: early
+    ///   feature-extraction layers sit near 1.0, late layers lower.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sparsity ∈ [0, 1]`, `sensitivity > 0` and
+    /// `output_positions > 0`.
+    #[must_use]
+    pub fn new(
+        index: usize,
+        name: String,
+        kind: LayerKind,
+        output_positions: usize,
+        sparsity: f64,
+        sensitivity: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
+        assert!(sensitivity > 0.0, "sensitivity must be positive");
+        assert!(output_positions > 0, "output positions must be nonzero");
+        Self {
+            index,
+            name,
+            kind,
+            output_positions,
+            sparsity,
+            sensitivity,
+            activation_sparsity: 0.0,
+        }
+    }
+
+    /// Sets the expected fraction of zero *input activations* this
+    /// layer sees at runtime (ReLU-dominated CNNs typically run at
+    /// 40–60 %). OU-based computation can skip wordlines whose input
+    /// is zero, multiplying with the weight-sparsity row skipping —
+    /// the joint exploitation pioneered by the Sparse ReRAM Engine
+    /// the paper builds on (§II).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `activation_sparsity ∈ [0, 1]`.
+    #[must_use]
+    pub fn with_activation_sparsity(mut self, activation_sparsity: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&activation_sparsity),
+            "activation sparsity must be in [0,1]"
+        );
+        self.activation_sparsity = activation_sparsity;
+        self
+    }
+
+    /// Position of this layer in the network (Φ₁).
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Human-readable layer name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer kind.
+    #[must_use]
+    pub fn kind(&self) -> LayerKind {
+        self.kind
+    }
+
+    /// Weight-matrix fan-in (crossbar rows): `k²·in_ch` for convs.
+    #[must_use]
+    pub fn fan_in(&self) -> usize {
+        match self.kind {
+            LayerKind::Conv {
+                kernel,
+                in_channels,
+                ..
+            } => kernel * kernel * in_channels,
+            LayerKind::Linear { inputs, .. } => inputs,
+        }
+    }
+
+    /// Weight-matrix fan-out (crossbar logical columns).
+    #[must_use]
+    pub fn fan_out(&self) -> usize {
+        match self.kind {
+            LayerKind::Conv { out_channels, .. } => out_channels,
+            LayerKind::Linear { outputs, .. } => outputs,
+        }
+    }
+
+    /// Total weights: `fan_in × fan_out`.
+    #[must_use]
+    pub fn weight_count(&self) -> usize {
+        self.fan_in() * self.fan_out()
+    }
+
+    /// The kernel-size feature Φ₃ (1 for linear layers).
+    #[must_use]
+    pub fn kernel_size(&self) -> usize {
+        match self.kind {
+            LayerKind::Conv { kernel, .. } => kernel,
+            LayerKind::Linear { .. } => 1,
+        }
+    }
+
+    /// MVMs executed per inference (output spatial positions).
+    #[must_use]
+    pub fn output_positions(&self) -> usize {
+        self.output_positions
+    }
+
+    /// The pruned row-sparsity feature Φ₂.
+    #[must_use]
+    pub fn sparsity(&self) -> f64 {
+        self.sparsity
+    }
+
+    /// The layer's accuracy-impact weight (early layers ≈ 1.0).
+    #[must_use]
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    /// Expected fraction of zero input activations at runtime.
+    #[must_use]
+    pub fn activation_sparsity(&self) -> f64 {
+        self.activation_sparsity
+    }
+}
+
+/// A full network as a sequence of MVM-bearing layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkDescriptor {
+    name: String,
+    dataset: String,
+    layers: Vec<LayerDescriptor>,
+}
+
+impl NetworkDescriptor {
+    /// Creates a network descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or layer indices are not `0..n`.
+    #[must_use]
+    pub fn new(name: String, dataset: String, layers: Vec<LayerDescriptor>) -> Self {
+        assert!(!layers.is_empty(), "network must have at least one layer");
+        for (i, layer) in layers.iter().enumerate() {
+            assert_eq!(layer.index(), i, "layer indices must be contiguous");
+        }
+        Self {
+            name,
+            dataset,
+            layers,
+        }
+    }
+
+    /// Model name (e.g. "resnet18").
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dataset name (e.g. "cifar10").
+    #[must_use]
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+
+    /// The layers, in execution order.
+    #[must_use]
+    pub fn layers(&self) -> &[LayerDescriptor] {
+        &self.layers
+    }
+
+    /// Total weights across all layers.
+    #[must_use]
+    pub fn total_weights(&self) -> usize {
+        self.layers.iter().map(LayerDescriptor::weight_count).sum()
+    }
+
+    /// Mean row sparsity across layers (weight-count weighted).
+    #[must_use]
+    pub fn mean_sparsity(&self) -> f64 {
+        let total = self.total_weights() as f64;
+        self.layers
+            .iter()
+            .map(|l| l.sparsity() * l.weight_count() as f64)
+            .sum::<f64>()
+            / total
+    }
+}
+
+/// The standard decreasing sensitivity profile: layer `j` of `n` gets
+/// `0.4 + 0.6·(1 − j/(n−1))²` — early layers near 1.0, late layers
+/// near 0.4, matching the observation that initial feature-extraction
+/// layers dominate accuracy impact (§III.A).
+///
+/// # Panics
+///
+/// Panics when `n` is zero or `j >= n`.
+#[must_use]
+pub fn default_sensitivity(j: usize, n: usize) -> f64 {
+    assert!(n > 0 && j < n, "layer {j} outside network of {n}");
+    if n == 1 {
+        return 1.0;
+    }
+    let depth = j as f64 / (n - 1) as f64;
+    0.4 + 0.6 * (1.0 - depth).powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn conv(index: usize) -> LayerDescriptor {
+        LayerDescriptor::new(
+            index,
+            format!("conv{index}"),
+            LayerKind::Conv {
+                kernel: 3,
+                in_channels: 64,
+                out_channels: 128,
+            },
+            256,
+            0.5,
+            1.0,
+        )
+    }
+
+    #[test]
+    fn conv_geometry() {
+        let l = conv(0);
+        assert_eq!(l.fan_in(), 576);
+        assert_eq!(l.fan_out(), 128);
+        assert_eq!(l.weight_count(), 576 * 128);
+        assert_eq!(l.kernel_size(), 3);
+        assert_eq!(l.output_positions(), 256);
+    }
+
+    #[test]
+    fn linear_geometry() {
+        let l = LayerDescriptor::new(
+            0,
+            "fc".into(),
+            LayerKind::Linear {
+                inputs: 512,
+                outputs: 10,
+            },
+            1,
+            0.0,
+            0.4,
+        );
+        assert_eq!(l.fan_in(), 512);
+        assert_eq!(l.fan_out(), 10);
+        assert_eq!(l.kernel_size(), 1);
+    }
+
+    #[test]
+    fn network_aggregates() {
+        let net = NetworkDescriptor::new(
+            "test".into(),
+            "cifar10".into(),
+            vec![conv(0), conv(1)],
+        );
+        assert_eq!(net.total_weights(), 2 * 576 * 128);
+        assert!((net.mean_sparsity() - 0.5).abs() < 1e-12);
+        assert_eq!(net.layers().len(), 2);
+        assert_eq!(net.name(), "test");
+        assert_eq!(net.dataset(), "cifar10");
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn non_contiguous_indices_panic() {
+        let _ = NetworkDescriptor::new("bad".into(), "x".into(), vec![conv(0), conv(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_network_panics() {
+        let _ = NetworkDescriptor::new("bad".into(), "x".into(), vec![]);
+    }
+
+    #[test]
+    fn sensitivity_profile_endpoints() {
+        assert!((default_sensitivity(0, 10) - 1.0).abs() < 1e-12);
+        assert!((default_sensitivity(9, 10) - 0.4).abs() < 1e-12);
+        assert_eq!(default_sensitivity(0, 1), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn sensitivity_decreases_with_depth(n in 2usize..100, j in 0usize..99) {
+            prop_assume!(j + 1 < n);
+            let a = default_sensitivity(j, n);
+            let b = default_sensitivity(j + 1, n);
+            prop_assert!(b <= a);
+            prop_assert!((0.4..=1.0).contains(&a));
+            prop_assert!((0.4..=1.0).contains(&b));
+        }
+    }
+}

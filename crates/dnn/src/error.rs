@@ -1,0 +1,56 @@
+//! DNN-layer error type.
+
+/// Errors produced by the DNN stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DnnError {
+    /// A tensor shape did not match what an operation expected.
+    ShapeMismatch {
+        /// Shape the operation expected.
+        expected: Vec<usize>,
+        /// Shape it received.
+        got: Vec<usize>,
+    },
+    /// A configuration value failed validation.
+    InvalidConfig {
+        /// The parameter name.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for DnnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DnnError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {got:?}")
+            }
+            DnnError::InvalidConfig { name, reason } => {
+                write!(f, "invalid configuration `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = DnnError::ShapeMismatch {
+            expected: vec![3, 2],
+            got: vec![2, 3],
+        };
+        assert!(e.to_string().contains("[3, 2]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<DnnError>();
+    }
+}

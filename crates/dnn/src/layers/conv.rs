@@ -1,0 +1,313 @@
+//! 2-D convolution.
+
+use rand::Rng;
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// A same-padding, stride-1 2-D convolution over `[C, H, W]` inputs
+/// with weights `[out_ch, in_ch, k, k]`.
+///
+/// Implemented as explicit loops — the functional half only runs small
+/// images (≤ 16×16), where clarity beats blocking.
+///
+/// # Examples
+///
+/// ```
+/// use odin_dnn::layers::{Conv2d, Layer};
+/// use odin_dnn::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut conv = Conv2d::new(3, 8, 3, &mut rng);
+/// let y = conv.forward(&Tensor::zeros(vec![3, 8, 8]), false);
+/// assert_eq!(y.shape(), &[8, 8, 8]);
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    weights: Tensor,
+    bias: Tensor,
+    grad_w: Tensor,
+    grad_b: Tensor,
+    cache: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-uniform initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the kernel is even (same
+    /// padding needs an odd kernel).
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(in_ch: usize, out_ch: usize, kernel: usize, rng: &mut R) -> Self {
+        assert!(in_ch > 0 && out_ch > 0 && kernel > 0, "dimensions must be nonzero");
+        assert!(kernel % 2 == 1, "same padding needs an odd kernel");
+        let fan_in = in_ch * kernel * kernel;
+        let bound = (6.0 / fan_in as f32).sqrt();
+        let n = out_ch * in_ch * kernel * kernel;
+        let data: Vec<f32> = (0..n).map(|_| rng.gen_range(-bound..bound)).collect();
+        Self {
+            in_ch,
+            out_ch,
+            kernel,
+            weights: Tensor::from_vec(vec![out_ch, in_ch, kernel, kernel], data).expect("sized"),
+            bias: Tensor::zeros(vec![out_ch]),
+            grad_w: Tensor::zeros(vec![out_ch, in_ch, kernel, kernel]),
+            grad_b: Tensor::zeros(vec![out_ch]),
+            cache: None,
+        }
+    }
+
+    /// Input channels.
+    #[must_use]
+    pub fn in_channels(&self) -> usize {
+        self.in_ch
+    }
+
+    /// Output channels.
+    #[must_use]
+    pub fn out_channels(&self) -> usize {
+        self.out_ch
+    }
+
+    /// Kernel size.
+    #[must_use]
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    fn check_input(&self, input: &Tensor) -> (usize, usize) {
+        let s = input.shape();
+        assert_eq!(s.len(), 3, "conv input must be [C, H, W]");
+        assert_eq!(s[0], self.in_ch, "conv input channel mismatch");
+        (s[1], s[2])
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let (h, w) = self.check_input(input);
+        if train {
+            self.cache = Some(input.clone());
+        }
+        let pad = self.kernel / 2;
+        let mut out = Tensor::zeros(vec![self.out_ch, h, w]);
+        for oc in 0..self.out_ch {
+            let b = self.bias.as_slice()[oc];
+            for y in 0..h {
+                for x in 0..w {
+                    let mut acc = b;
+                    for ic in 0..self.in_ch {
+                        for ky in 0..self.kernel {
+                            let sy = y + ky;
+                            if sy < pad || sy - pad >= h {
+                                continue;
+                            }
+                            for kx in 0..self.kernel {
+                                let sx = x + kx;
+                                if sx < pad || sx - pad >= w {
+                                    continue;
+                                }
+                                acc += self.weights.get(&[oc, ic, ky, kx])
+                                    * input.get(&[ic, sy - pad, sx - pad]);
+                            }
+                        }
+                    }
+                    out.set(&[oc, y, x], acc);
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cache.clone().expect("backward before forward");
+        let (h, w) = self.check_input(&input);
+        assert_eq!(grad_out.shape(), &[self.out_ch, h, w], "conv grad shape");
+        let pad = self.kernel / 2;
+        let mut grad_in = Tensor::zeros(vec![self.in_ch, h, w]);
+        for oc in 0..self.out_ch {
+            let mut gb = 0.0;
+            for y in 0..h {
+                for x in 0..w {
+                    let go = grad_out.get(&[oc, y, x]);
+                    if go == 0.0 {
+                        continue;
+                    }
+                    gb += go;
+                    for ic in 0..self.in_ch {
+                        for ky in 0..self.kernel {
+                            let sy = y + ky;
+                            if sy < pad || sy - pad >= h {
+                                continue;
+                            }
+                            for kx in 0..self.kernel {
+                                let sx = x + kx;
+                                if sx < pad || sx - pad >= w {
+                                    continue;
+                                }
+                                let xi = input.get(&[ic, sy - pad, sx - pad]);
+                                let old = self.grad_w.get(&[oc, ic, ky, kx]);
+                                self.grad_w.set(&[oc, ic, ky, kx], old + go * xi);
+                                let wv = self.weights.get(&[oc, ic, ky, kx]);
+                                let old_in = grad_in.get(&[ic, sy - pad, sx - pad]);
+                                grad_in.set(&[ic, sy - pad, sx - pad], old_in + go * wv);
+                            }
+                        }
+                    }
+                }
+            }
+            self.grad_b.as_mut_slice()[oc] += gb;
+        }
+        grad_in
+    }
+
+    fn apply_gradients(&mut self, lr: f32, batch: usize) {
+        let scale = lr / batch.max(1) as f32;
+        for (w, g) in self
+            .weights
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.grad_w.as_slice())
+        {
+            *w -= scale * g;
+        }
+        for (b, g) in self
+            .bias
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.grad_b.as_slice())
+        {
+            *b -= scale * g;
+        }
+        self.grad_w = Tensor::zeros(vec![self.out_ch, self.in_ch, self.kernel, self.kernel]);
+        self.grad_b = Tensor::zeros(vec![self.out_ch]);
+    }
+
+    fn weights(&self) -> Option<&Tensor> {
+        Some(&self.weights)
+    }
+
+    fn weights_mut(&mut self) -> Option<&mut Tensor> {
+        Some(&mut self.weights)
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(31)
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let mut conv = Conv2d::new(1, 1, 3, &mut rng());
+        // Zero all weights, set the center tap to 1.
+        for v in conv.weights_mut().unwrap().as_mut_slice() {
+            *v = 0.0;
+        }
+        conv.weights_mut().unwrap().set(&[0, 0, 1, 1], 1.0);
+        let x = Tensor::from_vec(vec![1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = conv.forward(&x, false);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn padding_zeroes_borders() {
+        let mut conv = Conv2d::new(1, 1, 3, &mut rng());
+        for v in conv.weights_mut().unwrap().as_mut_slice() {
+            *v = 1.0;
+        }
+        let x = Tensor::from_vec(vec![1, 3, 3], vec![1.0; 9]).unwrap();
+        let y = conv.forward(&x, false);
+        // Center sees all 9 ones; corner sees 4.
+        assert_eq!(y.get(&[0, 1, 1]), 9.0);
+        assert_eq!(y.get(&[0, 0, 0]), 4.0);
+    }
+
+    #[test]
+    fn gradient_check_numerical() {
+        let mut conv = Conv2d::new(1, 2, 3, &mut rng());
+        let x = Tensor::from_vec(
+            vec![1, 3, 3],
+            vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6, 0.7, 0.8, -0.9],
+        )
+        .unwrap();
+        let upstream = Tensor::from_vec(vec![2, 3, 3], (0..18).map(|i| (i as f32) / 9.0 - 1.0).collect()).unwrap();
+        let _ = conv.forward(&x, true);
+        let gin = conv.backward(&upstream);
+        let loss = |y: &Tensor| {
+            y.as_slice()
+                .iter()
+                .zip(upstream.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
+        let eps = 1e-3f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let numeric = (loss(&conv.forward(&xp, false)) - loss(&conv.forward(&xm, false)))
+                / (2.0 * eps);
+            assert!(
+                (numeric - gin.as_slice()[i]).abs() < 2e-2,
+                "grad[{i}]: numeric {numeric} vs analytic {}",
+                gin.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn training_fits_edge_detector() {
+        // Teach a 1→1 conv to emulate a fixed random target conv.
+        let mut target = Conv2d::new(1, 1, 3, &mut rng());
+        let mut student = Conv2d::new(1, 1, 3, &mut rng());
+        let mut r = rng();
+        let mut last = f32::INFINITY;
+        for _ in 0..300 {
+            let x = Tensor::from_vec(
+                vec![1, 4, 4],
+                (0..16).map(|_| r.gen_range(-1.0..1.0)).collect(),
+            )
+            .unwrap();
+            let want = target.forward(&x, false);
+            let got = student.forward(&x, true);
+            let grad: Vec<f32> = got
+                .as_slice()
+                .iter()
+                .zip(want.as_slice())
+                .map(|(a, b)| a - b)
+                .collect();
+            last = grad.iter().map(|g| g * g).sum::<f32>() / grad.len() as f32;
+            student.backward(&Tensor::from_vec(vec![1, 4, 4], grad).unwrap());
+            student.apply_gradients(0.05, 1);
+        }
+        assert!(last < 1e-3, "mse {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "odd kernel")]
+    fn even_kernel_panics() {
+        let _ = Conv2d::new(1, 1, 2, &mut rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn wrong_channels_panics() {
+        let mut conv = Conv2d::new(2, 1, 3, &mut rng());
+        let _ = conv.forward(&Tensor::zeros(vec![1, 4, 4]), false);
+    }
+}

@@ -1,0 +1,263 @@
+//! Fully connected layer.
+
+use rand::Rng;
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// A fully connected layer: `y = W·x + b` with `W` of shape
+/// `[fan_out, fan_in]`.
+///
+/// # Examples
+///
+/// ```
+/// use odin_dnn::layers::{Dense, Layer};
+/// use odin_dnn::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut fc = Dense::new(4, 2, &mut rng);
+/// let y = fc.forward(&Tensor::zeros(vec![4]), false);
+/// assert_eq!(y.shape(), &[2]);
+/// ```
+#[derive(Debug)]
+pub struct Dense {
+    fan_in: usize,
+    fan_out: usize,
+    weights: Tensor,
+    bias: Tensor,
+    grad_w: Tensor,
+    grad_b: Tensor,
+    cache: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-uniform initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Self {
+        assert!(fan_in > 0 && fan_out > 0, "dense dimensions must be nonzero");
+        let bound = (6.0 / fan_in as f32).sqrt();
+        let data: Vec<f32> = (0..fan_in * fan_out)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Self {
+            fan_in,
+            fan_out,
+            weights: Tensor::from_vec(vec![fan_out, fan_in], data).expect("sized"),
+            bias: Tensor::zeros(vec![fan_out]),
+            grad_w: Tensor::zeros(vec![fan_out, fan_in]),
+            grad_b: Tensor::zeros(vec![fan_out]),
+            cache: None,
+        }
+    }
+
+    /// Input width.
+    #[must_use]
+    pub fn fan_in(&self) -> usize {
+        self.fan_in
+    }
+
+    /// Output width.
+    #[must_use]
+    pub fn fan_out(&self) -> usize {
+        self.fan_out
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.len(), self.fan_in, "dense input width mismatch");
+        if train {
+            self.cache = Some(input.clone());
+        }
+        let x = input.as_slice();
+        let w = self.weights.as_slice();
+        let b = self.bias.as_slice();
+        let mut out = vec![0.0f32; self.fan_out];
+        for (o, out_v) in out.iter_mut().enumerate() {
+            let row = &w[o * self.fan_in..(o + 1) * self.fan_in];
+            let mut acc = b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            *out_v = acc;
+        }
+        Tensor::from_vec(vec![self.fan_out], out).expect("sized")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache.as_ref().expect("backward before forward");
+        assert_eq!(grad_out.len(), self.fan_out, "dense grad width mismatch");
+        let g = grad_out.as_slice();
+        let xs = x.as_slice();
+        let w = self.weights.as_slice();
+        // Parameter gradients.
+        {
+            let gw = self.grad_w.as_mut_slice();
+            for (o, &go) in g.iter().enumerate() {
+                if go == 0.0 {
+                    continue;
+                }
+                let row = &mut gw[o * self.fan_in..(o + 1) * self.fan_in];
+                for (gwi, &xi) in row.iter_mut().zip(xs) {
+                    *gwi += go * xi;
+                }
+            }
+            let gb = self.grad_b.as_mut_slice();
+            for (gbi, &go) in gb.iter_mut().zip(g) {
+                *gbi += go;
+            }
+        }
+        // Input gradient: Wᵀ·g.
+        let mut gin = vec![0.0f32; self.fan_in];
+        for (o, &go) in g.iter().enumerate() {
+            if go == 0.0 {
+                continue;
+            }
+            let row = &w[o * self.fan_in..(o + 1) * self.fan_in];
+            for (gi, &wi) in gin.iter_mut().zip(row) {
+                *gi += wi * go;
+            }
+        }
+        Tensor::from_vec(vec![self.fan_in], gin).expect("sized")
+    }
+
+    fn apply_gradients(&mut self, lr: f32, batch: usize) {
+        let scale = lr / batch.max(1) as f32;
+        for (w, g) in self
+            .weights
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.grad_w.as_slice())
+        {
+            *w -= scale * g;
+        }
+        for (b, g) in self
+            .bias
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.grad_b.as_slice())
+        {
+            *b -= scale * g;
+        }
+        self.grad_w = Tensor::zeros(vec![self.fan_out, self.fan_in]);
+        self.grad_b = Tensor::zeros(vec![self.fan_out]);
+    }
+
+    fn weights(&self) -> Option<&Tensor> {
+        Some(&self.weights)
+    }
+
+    fn weights_mut(&mut self) -> Option<&mut Tensor> {
+        Some(&mut self.weights)
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn forward_matches_manual_product() {
+        let mut fc = Dense::new(2, 2, &mut rng());
+        // Overwrite with known weights.
+        fc.weights_mut()
+            .unwrap()
+            .as_mut_slice()
+            .copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let y = fc.forward(&Tensor::from_vec(vec![2], vec![1.0, -1.0]).unwrap(), false);
+        assert_eq!(y.as_slice(), &[-1.0, -1.0]);
+    }
+
+    #[test]
+    fn gradient_check_numerical() {
+        // Finite-difference check on a tiny layer.
+        let mut fc = Dense::new(3, 2, &mut rng());
+        let x = Tensor::from_vec(vec![3], vec![0.5, -0.3, 0.8]).unwrap();
+        let upstream = Tensor::from_vec(vec![2], vec![1.0, -0.5]).unwrap();
+
+        let _ = fc.forward(&x, true);
+        let gin = fc.backward(&upstream);
+
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let yp = fc.forward(&xp, false);
+            let ym = fc.forward(&xm, false);
+            let loss = |y: &Tensor| {
+                y.as_slice()
+                    .iter()
+                    .zip(upstream.as_slice())
+                    .map(|(a, b)| a * b)
+                    .sum::<f32>()
+            };
+            let numeric = (loss(&yp) - loss(&ym)) / (2.0 * eps);
+            assert!(
+                (numeric - gin.as_slice()[i]).abs() < 1e-2,
+                "grad[{i}]: numeric {numeric} vs analytic {}",
+                gin.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_reduces_simple_loss() {
+        // Learn y = [1, -1] from x = [1].
+        let mut fc = Dense::new(1, 2, &mut rng());
+        let x = Tensor::from_vec(vec![1], vec![1.0]).unwrap();
+        let target = [1.0f32, -1.0];
+        let mut last = f32::INFINITY;
+        for _ in 0..200 {
+            let y = fc.forward(&x, true);
+            let grad: Vec<f32> = y
+                .as_slice()
+                .iter()
+                .zip(&target)
+                .map(|(a, t)| a - t)
+                .collect();
+            let loss: f32 = grad.iter().map(|g| g * g).sum::<f32>() / 2.0;
+            fc.backward(&Tensor::from_vec(vec![2], grad).unwrap());
+            fc.apply_gradients(0.1, 1);
+            last = loss;
+        }
+        assert!(last < 1e-4, "loss {last}");
+    }
+
+    #[test]
+    fn apply_gradients_clears_accumulators() {
+        let mut fc = Dense::new(2, 2, &mut rng());
+        let x = Tensor::from_vec(vec![2], vec![1.0, 1.0]).unwrap();
+        let _ = fc.forward(&x, true);
+        let _ = fc.backward(&Tensor::from_vec(vec![2], vec![1.0, 1.0]).unwrap());
+        let before = fc.weights().unwrap().clone();
+        fc.apply_gradients(0.0, 1); // lr 0: weights unchanged, grads cleared
+        assert_eq!(fc.weights().unwrap(), &before);
+        let w0 = before.clone();
+        // A second apply with lr > 0 must be a no-op now (grads cleared).
+        fc.apply_gradients(1.0, 1);
+        assert_eq!(fc.weights().unwrap(), &w0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_input_width_panics() {
+        let mut fc = Dense::new(3, 2, &mut rng());
+        let _ = fc.forward(&Tensor::zeros(vec![4]), false);
+    }
+}

@@ -1,0 +1,197 @@
+//! Trainable layers for the functional DNN half.
+//!
+//! Every layer implements [`Layer`]: a cached forward pass, a backward
+//! pass that accumulates parameter gradients and returns the input
+//! gradient, and SGD application. Samples flow through one at a time
+//! (shape `[C, H, W]` for convolutional layers, `[N]` for dense); the
+//! trainer accumulates gradients across a mini-batch before stepping.
+
+mod conv;
+mod dense;
+mod pool;
+
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use pool::{AvgPool2d, MaxPool2d};
+
+use crate::tensor::Tensor;
+
+/// A trainable (or stateless) network layer.
+pub trait Layer: std::fmt::Debug {
+    /// Computes the layer output. When `train` is `true` the layer may
+    /// cache activations needed by [`Layer::backward`].
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad_out` back through the cached forward pass,
+    /// accumulating parameter gradients. Returns the gradient with
+    /// respect to the layer input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when called before a `forward` with
+    /// `train = true`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Applies accumulated gradients with learning rate `lr` (scaled by
+    /// `1 / batch`) and clears them.
+    fn apply_gradients(&mut self, lr: f32, batch: usize);
+
+    /// The layer's weight tensor, if it has one (used for noise
+    /// injection and pruning).
+    fn weights(&self) -> Option<&Tensor> {
+        None
+    }
+
+    /// Mutable access to the weight tensor, if any.
+    fn weights_mut(&mut self) -> Option<&mut Tensor> {
+        None
+    }
+
+    /// A short human-readable layer name.
+    fn name(&self) -> &'static str;
+}
+
+/// The rectified-linear activation.
+#[derive(Debug, Default)]
+pub struct Relu {
+    cache: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cache = Some(input.clone());
+        }
+        input.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let mut grad = grad_out.clone();
+        for (g, &x) in grad.as_mut_slice().iter_mut().zip(cache.as_slice()) {
+            if x <= 0.0 {
+                *g = 0.0;
+            }
+        }
+        grad
+    }
+
+    fn apply_gradients(&mut self, _lr: f32, _batch: usize) {}
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+/// Flattens any input to rank 1 (and restores the shape on backward).
+#[derive(Debug, Default)]
+pub struct Flatten {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.input_shape = Some(input.shape().to_vec());
+        }
+        input
+            .reshape(vec![input.len()])
+            .expect("flatten preserves element count")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.input_shape.clone().expect("backward before forward");
+        grad_out.reshape(shape).expect("restore shape")
+    }
+
+    fn apply_gradients(&mut self, _lr: f32, _batch: usize) {}
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+/// Numerically stable softmax over a rank-1 tensor.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 1.
+#[must_use]
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().len(), 1, "softmax expects rank-1 logits");
+    let max = logits
+        .as_slice()
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.as_slice().iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    Tensor::from_vec(logits.shape().to_vec(), exps.iter().map(|e| e / sum).collect())
+        .expect("same shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![4], vec![-1.0, 0.0, 2.0, -3.0]).unwrap();
+        let y = relu.forward(&x, true);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+        let g = relu.backward(&Tensor::from_vec(vec![4], vec![1.0; 4]).unwrap());
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(vec![2, 3, 4]);
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[24]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let logits = Tensor::from_vec(vec![3], vec![1.0, 3.0, 2.0]).unwrap();
+        let p = softmax(&logits);
+        let sum: f32 = p.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert_eq!(p.argmax(), 1);
+        assert!(p.as_slice().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let logits = Tensor::from_vec(vec![2], vec![1000.0, 1001.0]).unwrap();
+        let p = softmax(&logits);
+        assert!(p.as_slice().iter().all(|v| v.is_finite()));
+        assert!((p.as_slice().iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn relu_backward_without_forward_panics() {
+        let mut relu = Relu::new();
+        let _ = relu.backward(&Tensor::zeros(vec![1]));
+    }
+}

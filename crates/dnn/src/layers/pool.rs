@@ -1,0 +1,248 @@
+//! Max pooling.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// 2×2, stride-2 max pooling over `[C, H, W]` inputs.
+///
+/// # Examples
+///
+/// ```
+/// use odin_dnn::layers::{Layer, MaxPool2d};
+/// use odin_dnn::Tensor;
+///
+/// let mut pool = MaxPool2d::new();
+/// let y = pool.forward(&Tensor::zeros(vec![4, 8, 8]), false);
+/// assert_eq!(y.shape(), &[4, 4, 4]);
+/// ```
+#[derive(Debug, Default)]
+pub struct MaxPool2d {
+    /// `(input shape, argmax flat indices per output element)`.
+    cache: Option<(Vec<usize>, Vec<usize>)>,
+}
+
+impl MaxPool2d {
+    /// Creates a 2×2 max-pool layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let s = input.shape();
+        assert_eq!(s.len(), 3, "pool input must be [C, H, W]");
+        let (c, h, w) = (s[0], s[1], s[2]);
+        assert!(h % 2 == 0 && w % 2 == 0, "pool needs even spatial dims");
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Tensor::zeros(vec![c, oh, ow]);
+        let mut argmax = Vec::with_capacity(c * oh * ow);
+        for ch in 0..c {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let (sy, sx) = (2 * y + dy, 2 * x + dx);
+                            let v = input.get(&[ch, sy, sx]);
+                            if v > best {
+                                best = v;
+                                best_idx = (ch * h + sy) * w + sx;
+                            }
+                        }
+                    }
+                    out.set(&[ch, y, x], best);
+                    argmax.push(best_idx);
+                }
+            }
+        }
+        if train {
+            self.cache = Some((s.to_vec(), argmax));
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (shape, argmax) = self.cache.as_ref().expect("backward before forward");
+        assert_eq!(grad_out.len(), argmax.len(), "pool grad size mismatch");
+        let mut grad_in = Tensor::zeros(shape.clone());
+        for (&flat, &g) in argmax.iter().zip(grad_out.as_slice()) {
+            grad_in.as_mut_slice()[flat] += g;
+        }
+        grad_in
+    }
+
+    fn apply_gradients(&mut self, _lr: f32, _batch: usize) {}
+
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+}
+
+/// 2×2, stride-2 average pooling over `[C, H, W]` inputs.
+///
+/// # Examples
+///
+/// ```
+/// use odin_dnn::layers::{AvgPool2d, Layer};
+/// use odin_dnn::Tensor;
+///
+/// let mut pool = AvgPool2d::new();
+/// let y = pool.forward(&Tensor::zeros(vec![4, 8, 8]), false);
+/// assert_eq!(y.shape(), &[4, 4, 4]);
+/// ```
+#[derive(Debug, Default)]
+pub struct AvgPool2d {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates a 2×2 average-pool layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let s = input.shape();
+        assert_eq!(s.len(), 3, "pool input must be [C, H, W]");
+        let (c, h, w) = (s[0], s[1], s[2]);
+        assert!(h % 2 == 0 && w % 2 == 0, "pool needs even spatial dims");
+        if train {
+            self.input_shape = Some(s.to_vec());
+        }
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Tensor::zeros(vec![c, oh, ow]);
+        for ch in 0..c {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut acc = 0.0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            acc += input.get(&[ch, 2 * y + dy, 2 * x + dx]);
+                        }
+                    }
+                    out.set(&[ch, y, x], acc / 4.0);
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.input_shape.clone().expect("backward before forward");
+        let (c, h, w) = (shape[0], shape[1], shape[2]);
+        let mut grad_in = Tensor::zeros(shape.clone());
+        for ch in 0..c {
+            for y in 0..h / 2 {
+                for x in 0..w / 2 {
+                    let g = grad_out.get(&[ch, y, x]) / 4.0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            grad_in.set(&[ch, 2 * y + dy, 2 * x + dx], g);
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn apply_gradients(&mut self, _lr: f32, _batch: usize) {}
+
+    fn name(&self) -> &'static str {
+        "avgpool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_averages_windows() {
+        let mut pool = AvgPool2d::new();
+        let x = Tensor::from_vec(vec![1, 2, 2], vec![1., 3., 5., 7.]).unwrap();
+        let y = pool.forward(&x, false);
+        assert_eq!(y.as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads_evenly() {
+        let mut pool = AvgPool2d::new();
+        let x = Tensor::from_vec(vec![1, 2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let _ = pool.forward(&x, true);
+        let g = pool.backward(&Tensor::from_vec(vec![1, 1, 1], vec![8.0]).unwrap());
+        assert_eq!(g.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn avg_pool_gradient_check() {
+        let mut pool = AvgPool2d::new();
+        let x = Tensor::from_vec(vec![1, 4, 4], (0..16).map(|i| i as f32 * 0.1).collect()).unwrap();
+        let up = Tensor::from_vec(vec![1, 2, 2], vec![1.0, -1.0, 0.5, 2.0]).unwrap();
+        let _ = pool.forward(&x, true);
+        let gin = pool.backward(&up);
+        let loss = |y: &Tensor| {
+            y.as_slice()
+                .iter()
+                .zip(up.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
+        let eps = 1e-2f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let numeric =
+                (loss(&pool.forward(&xp, false)) - loss(&pool.forward(&xm, false))) / (2.0 * eps);
+            assert!((numeric - gin.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn picks_window_maxima() {
+        let mut pool = MaxPool2d::new();
+        let x = Tensor::from_vec(
+            vec![1, 4, 4],
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+        )
+        .unwrap();
+        let y = pool.forward(&x, false);
+        assert_eq!(y.as_slice(), &[4., 8., 12., 16.]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax_only() {
+        let mut pool = MaxPool2d::new();
+        let x = Tensor::from_vec(vec![1, 2, 2], vec![1., 9., 3., 4.]).unwrap();
+        let _ = pool.forward(&x, true);
+        let g = pool.backward(&Tensor::from_vec(vec![1, 1, 1], vec![5.0]).unwrap());
+        assert_eq!(g.as_slice(), &[0., 5., 0., 0.]);
+    }
+
+    #[test]
+    fn multichannel_preserved() {
+        let mut pool = MaxPool2d::new();
+        let y = pool.forward(&Tensor::zeros(vec![3, 6, 6]), false);
+        assert_eq!(y.shape(), &[3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "even spatial")]
+    fn odd_dims_panic() {
+        let mut pool = MaxPool2d::new();
+        let _ = pool.forward(&Tensor::zeros(vec![1, 3, 4]), false);
+    }
+}

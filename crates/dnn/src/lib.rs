@@ -1,0 +1,49 @@
+//! From-scratch DNN stack for the Odin reproduction.
+//!
+//! Two halves live here:
+//!
+//! 1. **A functional half** — [`Tensor`], trainable [`layers`], the
+//!    [`Sequential`] container, SGD [`Trainer`], and synthetic
+//!    [`dataset`]s. This is what the accuracy experiments (Fig. 7) run:
+//!    small CNNs trained on synthetic Gaussian-blob image data, then
+//!    evaluated with non-ideality noise injected into their weights
+//!    (the PytorX substitution described in DESIGN.md).
+//!
+//! 2. **A descriptive half** — [`LayerDescriptor`] /
+//!    [`NetworkDescriptor`] and the [`zoo`] of the nine paper models
+//!    (ResNet18/34/50, VGG11/16/19, GoogLeNet, DenseNet121, ViT) with
+//!    shape-accurate layer geometry and crossbar-aware sparsity
+//!    profiles. Odin's analytical models consume only these features
+//!    (layer id, sparsity, kernel size, weight counts), so the
+//!    descriptors exercise the full decision path without trained
+//!    weights.
+//!
+//! # Examples
+//!
+//! ```
+//! use odin_dnn::zoo;
+//!
+//! let net = zoo::resnet18(zoo::Dataset::Cifar10);
+//! assert_eq!(net.layers().len(), 21); // incl. downsample convs + FC
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod layers;
+pub mod zoo;
+
+mod descriptor;
+mod error;
+mod model;
+mod pruning;
+mod tensor;
+mod train;
+
+pub use descriptor::{default_sensitivity, LayerDescriptor, LayerKind, NetworkDescriptor};
+pub use error::DnnError;
+pub use model::Sequential;
+pub use pruning::{prune_magnitude, prune_rows, row_sparsity};
+pub use tensor::Tensor;
+pub use train::{NoiseSpec, Trainer, TrainerConfig};

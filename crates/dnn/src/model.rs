@@ -1,0 +1,192 @@
+//! The sequential network container.
+
+use crate::layers::{softmax, Layer};
+use crate::tensor::Tensor;
+
+/// A stack of layers executed in order.
+///
+/// # Examples
+///
+/// ```
+/// use odin_dnn::layers::{Dense, Relu};
+/// use odin_dnn::{Sequential, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut net = Sequential::new();
+/// net.push(Dense::new(8, 16, &mut rng));
+/// net.push(Relu::new());
+/// net.push(Dense::new(16, 4, &mut rng));
+/// let logits = net.forward(&Tensor::zeros(vec![8]));
+/// assert_eq!(logits.shape(), &[4]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty network.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when the network has no layers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Inference forward pass (no caches).
+    #[must_use]
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.pass(input, false)
+    }
+
+    /// Training forward pass (caches activations for backward).
+    #[must_use]
+    pub fn forward_train(&mut self, input: &Tensor) -> Tensor {
+        self.pass(input, true)
+    }
+
+    fn pass(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Backpropagates `grad` through every layer (reverse order),
+    /// accumulating parameter gradients.
+    pub fn backward(&mut self, grad: &Tensor) {
+        let mut g = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+    }
+
+    /// Applies accumulated gradients everywhere.
+    pub fn apply_gradients(&mut self, lr: f32, batch: usize) {
+        for layer in &mut self.layers {
+            layer.apply_gradients(lr, batch);
+        }
+    }
+
+    /// Class prediction: argmax of the softmax output.
+    #[must_use]
+    pub fn predict(&mut self, input: &Tensor) -> usize {
+        softmax(&self.forward(input)).argmax()
+    }
+
+    /// Iterates over the weight tensors of parameterized layers.
+    pub fn weights(&self) -> impl Iterator<Item = &Tensor> {
+        self.layers.iter().filter_map(|l| l.weights())
+    }
+
+    /// Mutable iteration over weight tensors (noise injection and
+    /// pruning hooks).
+    pub fn weights_mut(&mut self) -> impl Iterator<Item = &mut Tensor> {
+        self.layers.iter_mut().filter_map(|l| l.weights_mut())
+    }
+
+    /// Total trainable weight count.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.weights().map(Tensor::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn cnn_shapes_flow() {
+        let mut r = rng();
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(1, 4, 3, &mut r));
+        net.push(Relu::new());
+        net.push(MaxPool2d::new());
+        net.push(Flatten::new());
+        net.push(Dense::new(4 * 4 * 4, 10, &mut r));
+        let y = net.forward(&Tensor::zeros(vec![1, 8, 8]));
+        assert_eq!(y.shape(), &[10]);
+        assert_eq!(net.len(), 5);
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn parameter_count_counts_weights() {
+        let mut r = rng();
+        let mut net = Sequential::new();
+        net.push(Dense::new(4, 8, &mut r));
+        net.push(Relu::new());
+        net.push(Dense::new(8, 2, &mut r));
+        assert_eq!(net.parameter_count(), 4 * 8 + 8 * 2);
+        assert_eq!(net.weights().count(), 2);
+    }
+
+    #[test]
+    fn predict_returns_class_index() {
+        let mut r = rng();
+        let mut net = Sequential::new();
+        net.push(Dense::new(3, 5, &mut r));
+        let class = net.predict(&Tensor::from_vec(vec![3], vec![1.0, 0.0, -1.0]).unwrap());
+        assert!(class < 5);
+    }
+
+    #[test]
+    fn end_to_end_gradient_flow_reduces_loss() {
+        let mut r = rng();
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 8, &mut r));
+        net.push(Relu::new());
+        net.push(Dense::new(8, 2, &mut r));
+        // XOR-ish separation.
+        let data = [
+            (vec![0.0, 0.0], 0usize),
+            (vec![1.0, 1.0], 0),
+            (vec![0.0, 1.0], 1),
+            (vec![1.0, 0.0], 1),
+        ];
+        let mut last = f32::INFINITY;
+        for _ in 0..400 {
+            let mut total = 0.0;
+            for (x, label) in &data {
+                let input = Tensor::from_vec(vec![2], x.clone()).unwrap();
+                let logits = net.forward_train(&input);
+                let p = softmax(&logits);
+                total -= p.as_slice()[*label].max(1e-7).ln();
+                let mut grad = p.clone();
+                grad.as_mut_slice()[*label] -= 1.0;
+                net.backward(&grad);
+            }
+            net.apply_gradients(0.5, data.len());
+            last = total / data.len() as f32;
+        }
+        assert!(last < 0.1, "cross-entropy {last}");
+        for (x, label) in &data {
+            let input = Tensor::from_vec(vec![2], x.clone()).unwrap();
+            assert_eq!(net.predict(&input), *label);
+        }
+    }
+}

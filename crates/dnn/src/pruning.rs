@@ -1,0 +1,182 @@
+//! Crossbar-aware weight pruning.
+//!
+//! §V.A: "We implement a crossbar-aware weight and activation pruning
+//! to obtain highly sparse pre-trained DNN models." OU-based
+//! computation skips *rows* of zeros inside an OU, so pruning is most
+//! effective when it zeroes entire fan-in rows — that is what
+//! [`prune_rows`] does. [`prune_magnitude`] is the unstructured
+//! baseline.
+
+use crate::tensor::Tensor;
+
+/// Zeroes the smallest-magnitude `sparsity` fraction of individual
+/// weights (unstructured magnitude pruning). Returns the number of
+/// weights zeroed.
+///
+/// # Panics
+///
+/// Panics unless `sparsity ∈ [0, 1]`.
+pub fn prune_magnitude(weights: &mut Tensor, sparsity: f64) -> usize {
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
+    let n = weights.len();
+    let k = ((n as f64) * sparsity).round() as usize;
+    if k == 0 {
+        return 0;
+    }
+    let mut magnitudes: Vec<(f32, usize)> = weights
+        .as_slice()
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (w.abs(), i))
+        .collect();
+    magnitudes.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let slice = weights.as_mut_slice();
+    for &(_, idx) in magnitudes.iter().take(k) {
+        slice[idx] = 0.0;
+    }
+    k
+}
+
+/// Zeroes entire fan-in rows of a `rows × cols` weight matrix by row
+/// L1 norm until `sparsity` of the rows are zero (crossbar-aware
+/// structured pruning). Returns the number of rows zeroed.
+///
+/// # Panics
+///
+/// Panics unless `weights` is rank 2 and `sparsity ∈ [0, 1]`.
+pub fn prune_rows(weights: &mut Tensor, sparsity: f64) -> usize {
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
+    let shape = weights.shape().to_vec();
+    assert_eq!(shape.len(), 2, "row pruning expects a rank-2 matrix");
+    let (rows, cols) = (shape[0], shape[1]);
+    let k = ((rows as f64) * sparsity).round() as usize;
+    if k == 0 {
+        return 0;
+    }
+    let mut norms: Vec<(f32, usize)> = (0..rows)
+        .map(|r| {
+            let norm: f32 = weights.as_slice()[r * cols..(r + 1) * cols]
+                .iter()
+                .map(|w| w.abs())
+                .sum();
+            (norm, r)
+        })
+        .collect();
+    norms.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let slice = weights.as_mut_slice();
+    for &(_, r) in norms.iter().take(k) {
+        for v in &mut slice[r * cols..(r + 1) * cols] {
+            *v = 0.0;
+        }
+    }
+    k
+}
+
+/// The fraction of fully-zero rows in a rank-2 weight matrix — the
+/// sparsity feature Φ₂ the Odin policy consumes.
+///
+/// # Panics
+///
+/// Panics unless `weights` is rank 2.
+#[must_use]
+pub fn row_sparsity(weights: &Tensor) -> f64 {
+    let shape = weights.shape();
+    assert_eq!(shape.len(), 2, "row sparsity expects a rank-2 matrix");
+    let (rows, cols) = (shape[0], shape[1]);
+    let zero_rows = (0..rows)
+        .filter(|&r| {
+            weights.as_slice()[r * cols..(r + 1) * cols]
+                .iter()
+                .all(|&w| w == 0.0)
+        })
+        .count();
+    zero_rows as f64 / rows as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn matrix(rows: usize, cols: usize) -> Tensor {
+        let data: Vec<f32> = (0..rows * cols).map(|i| (i + 1) as f32 / 10.0).collect();
+        Tensor::from_vec(vec![rows, cols], data).unwrap()
+    }
+
+    #[test]
+    fn magnitude_pruning_zeroes_smallest() {
+        let mut w = matrix(2, 4);
+        let zeroed = prune_magnitude(&mut w, 0.5);
+        assert_eq!(zeroed, 4);
+        // Smallest four entries (0.1..0.4) gone, largest kept.
+        assert_eq!(&w.as_slice()[..4], &[0.0; 4]);
+        assert!(w.as_slice()[4..].iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn row_pruning_zeroes_whole_rows() {
+        let mut w = matrix(4, 3);
+        let rows = prune_rows(&mut w, 0.5);
+        assert_eq!(rows, 2);
+        assert!((row_sparsity(&w) - 0.5).abs() < 1e-12);
+        // The two lowest-norm rows (first two) are fully zero.
+        assert!(w.as_slice()[..6].iter().all(|&v| v == 0.0));
+        assert!(w.as_slice()[6..].iter().all(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn zero_sparsity_is_noop() {
+        let mut w = matrix(3, 3);
+        let orig = w.clone();
+        assert_eq!(prune_magnitude(&mut w, 0.0), 0);
+        assert_eq!(prune_rows(&mut w, 0.0), 0);
+        assert_eq!(w, orig);
+        assert_eq!(row_sparsity(&w), 0.0);
+    }
+
+    #[test]
+    fn full_sparsity_kills_everything() {
+        let mut w = matrix(3, 3);
+        prune_rows(&mut w, 1.0);
+        assert_eq!(row_sparsity(&w), 1.0);
+        assert!(w.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "[0,1]")]
+    fn bad_sparsity_panics() {
+        let mut w = matrix(2, 2);
+        let _ = prune_magnitude(&mut w, -0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank-2")]
+    fn row_sparsity_needs_matrix() {
+        let _ = row_sparsity(&Tensor::zeros(vec![4]));
+    }
+
+    proptest! {
+        #[test]
+        fn row_sparsity_matches_request(
+            rows in 2usize..40, cols in 1usize..10, tenths in 0usize..=10
+        ) {
+            let sparsity = tenths as f64 / 10.0;
+            let mut w = matrix(rows, cols);
+            let pruned = prune_rows(&mut w, sparsity);
+            prop_assert_eq!(pruned, ((rows as f64) * sparsity).round() as usize);
+            let measured = row_sparsity(&w);
+            prop_assert!((measured - pruned as f64 / rows as f64).abs() < 1e-12);
+        }
+
+        #[test]
+        fn magnitude_pruning_never_increases_norm(
+            rows in 1usize..10, cols in 1usize..10, tenths in 0usize..=10
+        ) {
+            let mut w = matrix(rows, cols);
+            let before: f32 = w.as_slice().iter().map(|v| v.abs()).sum();
+            prune_magnitude(&mut w, tenths as f64 / 10.0);
+            let after: f32 = w.as_slice().iter().map(|v| v.abs()).sum();
+            prop_assert!(after <= before);
+        }
+    }
+}

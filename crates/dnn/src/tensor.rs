@@ -1,0 +1,235 @@
+//! A minimal dense tensor.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DnnError;
+
+/// A dense row-major `f32` tensor of arbitrary rank.
+///
+/// Deliberately small: just what the functional DNN half needs —
+/// shape-checked construction, element access, and map/zip helpers.
+/// Heavy math (conv, matmul) lives in the layer implementations where
+/// the loop structure is explicit.
+///
+/// # Examples
+///
+/// ```
+/// use odin_dnn::Tensor;
+///
+/// let t = Tensor::from_vec(vec![2, 3], (0..6).map(|i| i as f32).collect())?;
+/// assert_eq!(t.shape(), &[2, 3]);
+/// assert_eq!(t.get(&[1, 2]), 5.0);
+/// # Ok::<(), odin_dnn::DnnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// An all-zeros tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape has a zero dimension.
+    #[must_use]
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let n: usize = shape.iter().product();
+        assert!(n > 0, "tensor shape {shape:?} has a zero dimension");
+        Self {
+            data: vec![0.0; n],
+            shape,
+        }
+    }
+
+    /// Wraps existing data in a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] when `data.len()` differs
+    /// from the shape's element count.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Result<Self, DnnError> {
+        let n: usize = shape.iter().product();
+        if n != data.len() {
+            return Err(DnnError::ShapeMismatch {
+                expected: shape,
+                got: vec![data.len()],
+            });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// The tensor shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` for a tensor with no elements (cannot be constructed, so
+    /// always `false`; provided for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat read-only view of the data.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view of the data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.shape.len(),
+            "index rank {} != tensor rank {}",
+            index.len(),
+            self.shape.len()
+        );
+        let mut off = 0;
+        for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
+            assert!(ix < dim, "index {ix} out of bounds for axis {i} (dim {dim})");
+            off = off * dim + ix;
+        }
+        off
+    }
+
+    /// The element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds indices.
+    #[must_use]
+    pub fn get(&self, index: &[usize]) -> f32 {
+        self.data[self.offset(index)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds indices.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.offset(index);
+        self.data[off] = value;
+    }
+
+    /// A new tensor with `f` applied elementwise.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Reinterprets the data under a new shape with the same element
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::ShapeMismatch`] when element counts differ.
+    pub fn reshape(&self, shape: Vec<usize>) -> Result<Self, DnnError> {
+        Self::from_vec(shape, self.data.clone())
+    }
+
+    /// The index of the maximum element (ties broken by first
+    /// occurrence) — the classifier decision.
+    #[must_use]
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate().skip(1) {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut t = Tensor::zeros(vec![2, 2, 2]);
+        assert_eq!(t.len(), 8);
+        assert!(!t.is_empty());
+        t.set(&[1, 0, 1], 7.0);
+        assert_eq!(t.get(&[1, 0, 1]), 7.0);
+        assert_eq!(t.get(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn row_major_layout() {
+        let t = Tensor::from_vec(vec![2, 3], vec![0., 1., 2., 3., 4., 5.]).unwrap();
+        assert_eq!(t.get(&[0, 2]), 2.0);
+        assert_eq!(t.get(&[1, 0]), 3.0);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Tensor::from_vec(vec![2, 2], vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn map_and_reshape() {
+        let t = Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let doubled = t.map(|v| v * 2.0);
+        assert_eq!(doubled.as_slice(), &[2., 4., 6., 8.]);
+        let flat = t.reshape(vec![4]).unwrap();
+        assert_eq!(flat.shape(), &[4]);
+        assert!(t.reshape(vec![3]).is_err());
+    }
+
+    #[test]
+    fn argmax_and_ties() {
+        let t = Tensor::from_vec(vec![4], vec![0.1, 0.9, 0.9, 0.2]).unwrap();
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_panics() {
+        let t = Tensor::zeros(vec![2, 2]);
+        let _ = t.get(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dimension")]
+    fn zero_dim_panics() {
+        let _ = Tensor::zeros(vec![2, 0]);
+    }
+
+    proptest! {
+        #[test]
+        fn set_get_roundtrip(
+            a in 1usize..5, b in 1usize..5, c in 1usize..5,
+            v in -100.0f32..100.0
+        ) {
+            let mut t = Tensor::zeros(vec![a, b, c]);
+            t.set(&[a - 1, b - 1, c - 1], v);
+            prop_assert_eq!(t.get(&[a - 1, b - 1, c - 1]), v);
+        }
+    }
+}

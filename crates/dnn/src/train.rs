@@ -1,0 +1,290 @@
+//! SGD training and noise-injected evaluation.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Sample;
+use crate::error::DnnError;
+use crate::layers::softmax;
+use crate::model::Sequential;
+use crate::tensor::Tensor;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Training epochs.
+    pub epochs: usize,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.1,
+            batch_size: 8,
+            epochs: 10,
+        }
+    }
+}
+
+/// Per-layer multiplicative weight perturbation used to emulate the
+/// effect of crossbar non-idealities on a trained model (the PytorX
+/// substitution): each weight is scaled by `1 − impact` and jittered
+/// by Gaussian noise of relative sigma `impact / 2`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseSpec {
+    /// Relative non-ideality per parameterized layer, in forward order.
+    /// Must match the number of weight tensors in the network.
+    pub layer_impacts: Vec<f64>,
+}
+
+impl NoiseSpec {
+    /// A uniform impact across `layers` layers.
+    #[must_use]
+    pub fn uniform(impact: f64, layers: usize) -> Self {
+        Self {
+            layer_impacts: vec![impact; layers],
+        }
+    }
+}
+
+/// Cross-entropy SGD trainer with accuracy evaluation.
+///
+/// # Examples
+///
+/// ```no_run
+/// use odin_dnn::{Trainer, TrainerConfig, Sequential};
+/// use odin_dnn::dataset::SyntheticImages;
+/// use odin_dnn::layers::{Dense, Flatten, Relu};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let data = SyntheticImages::generate(4, 1, 8, 200, 0.2, &mut rng);
+/// let (train, test) = data.split(0.8);
+/// let mut net = Sequential::new();
+/// net.push(Flatten::new());
+/// net.push(Dense::new(64, 32, &mut rng));
+/// net.push(Relu::new());
+/// net.push(Dense::new(32, 4, &mut rng));
+/// let trainer = Trainer::new(TrainerConfig::default());
+/// trainer.fit(&mut net, &train);
+/// let acc = trainer.accuracy(&mut net, &test);
+/// assert!(acc > 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trainer {
+    config: TrainerConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    #[must_use]
+    pub fn new(config: TrainerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Trains the network in place, returning the mean cross-entropy of
+    /// the final epoch.
+    pub fn fit(&self, net: &mut Sequential, data: &[Sample]) -> f32 {
+        let mut last_epoch_loss = f32::INFINITY;
+        for _ in 0..self.config.epochs {
+            let mut epoch_loss = 0.0;
+            for batch in data.chunks(self.config.batch_size) {
+                for sample in batch {
+                    let logits = net.forward_train(&sample.image);
+                    let p = softmax(&logits);
+                    epoch_loss -= p.as_slice()[sample.label].max(1e-7).ln();
+                    let mut grad = p;
+                    grad.as_mut_slice()[sample.label] -= 1.0;
+                    net.backward(&grad);
+                }
+                net.apply_gradients(self.config.learning_rate, batch.len());
+            }
+            last_epoch_loss = epoch_loss / data.len().max(1) as f32;
+        }
+        last_epoch_loss
+    }
+
+    /// Top-1 accuracy on a dataset.
+    #[must_use]
+    pub fn accuracy(&self, net: &mut Sequential, data: &[Sample]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = data
+            .iter()
+            .filter(|s| net.predict(&s.image) == s.label)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Top-1 accuracy with per-layer non-ideality noise injected into
+    /// the weights for the duration of the evaluation (weights are
+    /// restored afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidConfig`] when the spec's layer count
+    /// does not match the network's parameterized layers.
+    pub fn noisy_accuracy<R: Rng + ?Sized>(
+        &self,
+        net: &mut Sequential,
+        data: &[Sample],
+        spec: &NoiseSpec,
+        rng: &mut R,
+    ) -> Result<f64, DnnError> {
+        let originals: Vec<Tensor> = net.weights().cloned().collect();
+        if originals.len() != spec.layer_impacts.len() {
+            return Err(DnnError::InvalidConfig {
+                name: "noise_spec",
+                reason: "layer impact count must match parameterized layers",
+            });
+        }
+        for (weights, &impact) in net.weights_mut().zip(&spec.layer_impacts) {
+            perturb(weights, impact, rng);
+        }
+        let acc = self.accuracy(net, data);
+        for (weights, original) in net.weights_mut().zip(originals) {
+            *weights = original;
+        }
+        Ok(acc)
+    }
+}
+
+/// Applies the non-ideality perturbation in place: scale by
+/// `1 − impact` (IR attenuation of the summed currents) plus additive
+/// Gaussian dispersion of sigma `impact × RMS(weights)` (per-cell
+/// drift/programming error, which does *not* cancel in the argmax the
+/// way a uniform scale would).
+fn perturb<R: Rng + ?Sized>(weights: &mut Tensor, impact: f64, rng: &mut R) {
+    let impact = impact.clamp(0.0, 1.0);
+    let n = weights.len().max(1) as f64;
+    let rms = (weights
+        .as_slice()
+        .iter()
+        .map(|&w| f64::from(w) * f64::from(w))
+        .sum::<f64>()
+        / n)
+        .sqrt();
+    let scale = 1.0 - impact;
+    let sigma = impact * rms;
+    for w in weights.as_mut_slice() {
+        let z = sample_normal(rng);
+        *w = (f64::from(*w) * scale + sigma * z) as f32;
+    }
+}
+
+fn sample_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::EPSILON {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SyntheticImages;
+    use crate::layers::{Dense, Flatten, Relu};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    fn mlp(rng: &mut rand::rngs::StdRng, inputs: usize, classes: usize) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Flatten::new());
+        net.push(Dense::new(inputs, 32, rng));
+        net.push(Relu::new());
+        net.push(Dense::new(32, classes, rng));
+        net
+    }
+
+    #[test]
+    fn training_beats_chance_substantially() {
+        let mut r = rng();
+        let data = SyntheticImages::generate(4, 1, 8, 240, 0.25, &mut r);
+        let (train, test) = data.split(0.8);
+        let mut net = mlp(&mut r, 64, 4);
+        let trainer = Trainer::new(TrainerConfig {
+            learning_rate: 0.1,
+            batch_size: 8,
+            epochs: 15,
+        });
+        let loss = trainer.fit(&mut net, &train);
+        assert!(loss < 0.5, "final loss {loss}");
+        let acc = trainer.accuracy(&mut net, &test);
+        assert!(acc > 0.8, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn noise_degrades_accuracy_monotonically_on_average() {
+        let mut r = rng();
+        let data = SyntheticImages::generate(4, 1, 8, 240, 0.25, &mut r);
+        let (train, test) = data.split(0.8);
+        let mut net = mlp(&mut r, 64, 4);
+        let trainer = Trainer::new(TrainerConfig {
+            learning_rate: 0.1,
+            batch_size: 8,
+            epochs: 15,
+        });
+        trainer.fit(&mut net, &train);
+        let clean = trainer.accuracy(&mut net, &test);
+        let light = trainer
+            .noisy_accuracy(&mut net, &test, &NoiseSpec::uniform(0.02, 2), &mut r)
+            .unwrap();
+        let heavy = trainer
+            .noisy_accuracy(&mut net, &test, &NoiseSpec::uniform(0.8, 2), &mut r)
+            .unwrap();
+        assert!(light >= clean - 0.1, "light noise ≈ clean: {light} vs {clean}");
+        assert!(heavy < clean - 0.2, "heavy noise hurts: {heavy} vs {clean}");
+    }
+
+    #[test]
+    fn noisy_eval_restores_weights() {
+        let mut r = rng();
+        let data = SyntheticImages::generate(2, 1, 4, 20, 0.2, &mut r);
+        let mut net = mlp(&mut r, 16, 2);
+        let before: Vec<Tensor> = net.weights().cloned().collect();
+        let trainer = Trainer::new(TrainerConfig::default());
+        trainer
+            .noisy_accuracy(&mut net, data.samples(), &NoiseSpec::uniform(0.5, 2), &mut r)
+            .unwrap();
+        let after: Vec<Tensor> = net.weights().cloned().collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn noise_spec_layer_count_checked() {
+        let mut r = rng();
+        let data = SyntheticImages::generate(2, 1, 4, 4, 0.2, &mut r);
+        let mut net = mlp(&mut r, 16, 2);
+        let trainer = Trainer::new(TrainerConfig::default());
+        let bad = NoiseSpec::uniform(0.1, 3);
+        assert!(trainer
+            .noisy_accuracy(&mut net, data.samples(), &bad, &mut r)
+            .is_err());
+    }
+
+    #[test]
+    fn accuracy_of_empty_dataset_is_zero() {
+        let mut r = rng();
+        let mut net = mlp(&mut r, 16, 2);
+        let trainer = Trainer::new(TrainerConfig::default());
+        assert_eq!(trainer.accuracy(&mut net, &[]), 0.0);
+    }
+}

@@ -1,0 +1,627 @@
+//! The model zoo: shape-accurate descriptors of the nine paper
+//! workloads.
+//!
+//! §V.A evaluates ResNet18, VGG11, GoogLeNet, DenseNet121 and a vision
+//! transformer on CIFAR-10; ResNet34 and VGG16 on CIFAR-100; ResNet50
+//! and VGG19 on TinyImageNet. The descriptors below reproduce each
+//! model's MVM-bearing layers (convolutions including residual
+//! downsample projections, attention/MLP projections, classifier
+//! heads) with the canonical channel progressions, adapted to the
+//! dataset's input geometry the way CIFAR variants of these networks
+//! are.
+//!
+//! Sparsity comes from a deterministic per-layer profile emulating the
+//! crossbar-aware pruning of §V.A (highly sparse, varying 30–90 %
+//! across layers as in Fig. 3); sensitivity follows
+//! [`crate::default_sensitivity`] (early layers matter most).
+
+use crate::descriptor::{default_sensitivity, LayerDescriptor, LayerKind, NetworkDescriptor};
+
+/// The image-classification datasets of §V.A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Dataset {
+    /// CIFAR-10: 32×32×3, 10 classes.
+    Cifar10,
+    /// CIFAR-100: 32×32×3, 100 classes.
+    Cifar100,
+    /// TinyImageNet: 64×64×3, 200 classes.
+    TinyImageNet,
+}
+
+impl Dataset {
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(self) -> usize {
+        match self {
+            Dataset::Cifar10 => 10,
+            Dataset::Cifar100 => 100,
+            Dataset::TinyImageNet => 200,
+        }
+    }
+
+    /// Input side length (square images).
+    #[must_use]
+    pub fn input_side(self) -> usize {
+        match self {
+            Dataset::Cifar10 | Dataset::Cifar100 => 32,
+            Dataset::TinyImageNet => 64,
+        }
+    }
+
+    /// Input channels (RGB).
+    #[must_use]
+    pub fn input_channels(self) -> usize {
+        3
+    }
+
+    /// Lower-case dataset name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Cifar10 => "cifar10",
+            Dataset::Cifar100 => "cifar100",
+            Dataset::TinyImageNet => "tinyimagenet",
+        }
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Incrementally builds a network, tracking spatial extent and input
+/// channels.
+struct ZooBuilder {
+    layers: Vec<(String, LayerKind, usize)>,
+    side: usize,
+    channels: usize,
+}
+
+impl ZooBuilder {
+    fn new(dataset: Dataset) -> Self {
+        Self {
+            layers: Vec::new(),
+            side: dataset.input_side(),
+            channels: dataset.input_channels(),
+        }
+    }
+
+    /// Adds a stride-1 same-padding convolution.
+    fn conv(&mut self, name: impl Into<String>, out_channels: usize, kernel: usize) -> &mut Self {
+        self.layers.push((
+            name.into(),
+            LayerKind::Conv {
+                kernel,
+                in_channels: self.channels,
+                out_channels,
+            },
+            self.side * self.side,
+        ));
+        self.channels = out_channels;
+        self
+    }
+
+    /// Adds a stride-2 convolution (halves the spatial extent).
+    fn conv_s2(&mut self, name: impl Into<String>, out_channels: usize, kernel: usize) -> &mut Self {
+        self.side = (self.side / 2).max(1);
+        self.conv(name, out_channels, kernel)
+    }
+
+    /// Adds a projection convolution with explicit input channels
+    /// (inception branches read the module input, not the running
+    /// channel count).
+    fn branch_conv(
+        &mut self,
+        name: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+    ) -> &mut Self {
+        self.layers.push((
+            name.into(),
+            LayerKind::Conv {
+                kernel,
+                in_channels,
+                out_channels,
+            },
+            self.side * self.side,
+        ));
+        self
+    }
+
+    /// Sets the running channel count (after concatenations).
+    fn set_channels(&mut self, channels: usize) -> &mut Self {
+        self.channels = channels;
+        self
+    }
+
+    /// 2×2 pooling (no weights; just halves the extent).
+    fn pool(&mut self) -> &mut Self {
+        self.side = (self.side / 2).max(1);
+        self
+    }
+
+    /// Global average pool: collapses the spatial extent to 1×1.
+    fn global_pool(&mut self) -> &mut Self {
+        self.side = 1;
+        self
+    }
+
+    /// Adds a fully connected layer reading the flattened activations.
+    fn linear(&mut self, name: impl Into<String>, outputs: usize) -> &mut Self {
+        let inputs = self.channels * self.side * self.side;
+        self.layers
+            .push((name.into(), LayerKind::Linear { inputs, outputs }, 1));
+        self.channels = outputs;
+        self.side = 1;
+        self
+    }
+
+    /// Adds a token-wise linear projection (ViT): one MVM per token.
+    fn token_linear(
+        &mut self,
+        name: impl Into<String>,
+        inputs: usize,
+        outputs: usize,
+        tokens: usize,
+    ) -> &mut Self {
+        self.layers
+            .push((name.into(), LayerKind::Linear { inputs, outputs }, tokens));
+        self
+    }
+
+    /// Finalizes with the deterministic sparsity profile.
+    fn finish(self, name: &str, dataset: Dataset, base_sparsity: f64) -> NetworkDescriptor {
+        let n = self.layers.len();
+        // ReLU-dominated CNNs see ~40–60 % zero activations; the first
+        // layer reads the dense input image, transformers (GELU) far
+        // less.
+        let act_base = if name == "vit" { 0.1 } else { 0.5 };
+        let layers = self
+            .layers
+            .into_iter()
+            .enumerate()
+            .map(|(j, (lname, kind, positions))| {
+                let wobble = 0.25 * (2.4 * j as f64 + base_sparsity * 10.0).sin();
+                let sparsity = (base_sparsity + wobble).clamp(0.05, 0.95);
+                let act = if j == 0 {
+                    0.0
+                } else {
+                    (act_base + 0.1 * (1.7 * j as f64).sin()).clamp(0.0, 0.9)
+                };
+                LayerDescriptor::new(
+                    j,
+                    lname,
+                    kind,
+                    positions,
+                    sparsity,
+                    default_sensitivity(j, n),
+                )
+                .with_activation_sparsity(act)
+            })
+            .collect();
+        NetworkDescriptor::new(name.to_string(), dataset.name().to_string(), layers)
+    }
+}
+
+/// VGG-style convolution stack with the given per-stage channel plan.
+fn vgg(name: &str, dataset: Dataset, stages: &[&[usize]], base_sparsity: f64) -> NetworkDescriptor {
+    let mut b = ZooBuilder::new(dataset);
+    let mut idx = 0;
+    for stage in stages {
+        for &ch in *stage {
+            b.conv(format!("conv{idx}"), ch, 3);
+            idx += 1;
+        }
+        b.pool();
+    }
+    b.linear("fc", dataset.classes());
+    b.finish(name, dataset, base_sparsity)
+}
+
+/// VGG11 (8 convs + classifier).
+#[must_use]
+pub fn vgg11(dataset: Dataset) -> NetworkDescriptor {
+    vgg(
+        "vgg11",
+        dataset,
+        &[&[64], &[128], &[256, 256], &[512, 512], &[512, 512]],
+        0.62,
+    )
+}
+
+/// VGG16 (13 convs + classifier).
+#[must_use]
+pub fn vgg16(dataset: Dataset) -> NetworkDescriptor {
+    vgg(
+        "vgg16",
+        dataset,
+        &[
+            &[64, 64],
+            &[128, 128],
+            &[256, 256, 256],
+            &[512, 512, 512],
+            &[512, 512, 512],
+        ],
+        0.65,
+    )
+}
+
+/// VGG19 (16 convs + classifier).
+#[must_use]
+pub fn vgg19(dataset: Dataset) -> NetworkDescriptor {
+    vgg(
+        "vgg19",
+        dataset,
+        &[
+            &[64, 64],
+            &[128, 128],
+            &[256, 256, 256, 256],
+            &[512, 512, 512, 512],
+            &[512, 512, 512, 512],
+        ],
+        0.66,
+    )
+}
+
+/// A ResNet basic-block stage: `blocks` blocks of two 3×3 convs, with
+/// a stride-2 first conv and a 1×1 downsample projection when the
+/// stage changes resolution/width.
+fn resnet_basic_stage(
+    b: &mut ZooBuilder,
+    stage: usize,
+    blocks: usize,
+    channels: usize,
+    downsample: bool,
+) {
+    for block in 0..blocks {
+        let tag = format!("s{stage}b{block}");
+        if block == 0 && downsample {
+            let in_ch = b.channels;
+            b.conv_s2(format!("{tag}_conv1"), channels, 3);
+            b.conv(format!("{tag}_conv2"), channels, 3);
+            b.branch_conv(format!("{tag}_down"), in_ch, channels, 1);
+        } else {
+            b.conv(format!("{tag}_conv1"), channels, 3);
+            b.conv(format!("{tag}_conv2"), channels, 3);
+        }
+    }
+}
+
+/// ResNet18 for CIFAR-style inputs: 21 MVM layers (Fig. 3's count),
+/// including the three downsample projections and the classifier.
+#[must_use]
+pub fn resnet18(dataset: Dataset) -> NetworkDescriptor {
+    let mut b = ZooBuilder::new(dataset);
+    b.conv("conv1", 64, 3);
+    resnet_basic_stage(&mut b, 1, 2, 64, false);
+    resnet_basic_stage(&mut b, 2, 2, 128, true);
+    resnet_basic_stage(&mut b, 3, 2, 256, true);
+    resnet_basic_stage(&mut b, 4, 2, 512, true);
+    b.global_pool();
+    b.linear("fc", dataset.classes());
+    b.finish("resnet18", dataset, 0.58)
+}
+
+/// ResNet34: 37 MVM layers.
+#[must_use]
+pub fn resnet34(dataset: Dataset) -> NetworkDescriptor {
+    let mut b = ZooBuilder::new(dataset);
+    b.conv("conv1", 64, 3);
+    resnet_basic_stage(&mut b, 1, 3, 64, false);
+    resnet_basic_stage(&mut b, 2, 4, 128, true);
+    resnet_basic_stage(&mut b, 3, 6, 256, true);
+    resnet_basic_stage(&mut b, 4, 3, 512, true);
+    b.global_pool();
+    b.linear("fc", dataset.classes());
+    b.finish("resnet34", dataset, 0.6)
+}
+
+/// A ResNet bottleneck stage (1×1 → 3×3 → 1×1 with 4× expansion).
+fn resnet_bottleneck_stage(
+    b: &mut ZooBuilder,
+    stage: usize,
+    blocks: usize,
+    width: usize,
+    stride2: bool,
+) {
+    let out = width * 4;
+    for block in 0..blocks {
+        let tag = format!("s{stage}b{block}");
+        let in_ch = b.channels;
+        if block == 0 {
+            if stride2 {
+                b.conv_s2(format!("{tag}_conv1"), width, 1);
+            } else {
+                b.conv(format!("{tag}_conv1"), width, 1);
+            }
+            b.conv(format!("{tag}_conv2"), width, 3);
+            b.conv(format!("{tag}_conv3"), out, 1);
+            b.branch_conv(format!("{tag}_down"), in_ch, out, 1);
+        } else {
+            b.conv(format!("{tag}_conv1"), width, 1);
+            b.conv(format!("{tag}_conv2"), width, 3);
+            b.conv(format!("{tag}_conv3"), out, 1);
+        }
+        b.set_channels(out);
+    }
+}
+
+/// ResNet50: 54 MVM layers.
+#[must_use]
+pub fn resnet50(dataset: Dataset) -> NetworkDescriptor {
+    let mut b = ZooBuilder::new(dataset);
+    b.conv("conv1", 64, 3);
+    resnet_bottleneck_stage(&mut b, 1, 3, 64, false);
+    resnet_bottleneck_stage(&mut b, 2, 4, 128, true);
+    resnet_bottleneck_stage(&mut b, 3, 6, 256, true);
+    resnet_bottleneck_stage(&mut b, 4, 3, 512, true);
+    b.global_pool();
+    b.linear("fc", dataset.classes());
+    b.finish("resnet50", dataset, 0.62)
+}
+
+/// One GoogLeNet inception module: `(b1, b2_in, b2, b3_in, b3, pool)`.
+type Inception = (usize, usize, usize, usize, usize, usize);
+
+/// GoogLeNet (CIFAR-adapted stem): 58 MVM layers.
+#[must_use]
+pub fn googlenet(dataset: Dataset) -> NetworkDescriptor {
+    let mut b = ZooBuilder::new(dataset);
+    b.conv("conv1", 64, 3);
+    b.conv("conv2", 64, 1);
+    b.conv("conv3", 192, 3);
+    b.pool();
+    let modules: [(&str, Inception); 9] = [
+        ("3a", (64, 96, 128, 16, 32, 32)),
+        ("3b", (128, 128, 192, 32, 96, 64)),
+        ("4a", (192, 96, 208, 16, 48, 64)),
+        ("4b", (160, 112, 224, 24, 64, 64)),
+        ("4c", (128, 128, 256, 24, 64, 64)),
+        ("4d", (112, 144, 288, 32, 64, 64)),
+        ("4e", (256, 160, 320, 32, 128, 128)),
+        ("5a", (256, 160, 320, 32, 128, 128)),
+        ("5b", (384, 192, 384, 48, 128, 128)),
+    ];
+    for (name, (b1, b2_in, b2, b3_in, b3, pool_proj)) in modules {
+        if name == "4a" || name == "5a" {
+            b.pool();
+        }
+        let in_ch = b.channels;
+        b.branch_conv(format!("inc{name}_b1"), in_ch, b1, 1);
+        b.branch_conv(format!("inc{name}_b2r"), in_ch, b2_in, 1);
+        b.branch_conv(format!("inc{name}_b2"), b2_in, b2, 3);
+        b.branch_conv(format!("inc{name}_b3r"), in_ch, b3_in, 1);
+        b.branch_conv(format!("inc{name}_b3"), b3_in, b3, 5);
+        b.branch_conv(format!("inc{name}_pool"), in_ch, pool_proj, 1);
+        b.set_channels(b1 + b2 + b3 + pool_proj);
+    }
+    b.global_pool();
+    b.linear("fc", dataset.classes());
+    b.finish("googlenet", dataset, 0.55)
+}
+
+/// DenseNet121 (growth 32, blocks 6/12/24/16): 121 MVM layers.
+#[must_use]
+pub fn densenet121(dataset: Dataset) -> NetworkDescriptor {
+    const GROWTH: usize = 32;
+    let mut b = ZooBuilder::new(dataset);
+    b.conv("conv1", 64, 3);
+    let mut channels = 64;
+    for (stage, block_layers) in [6usize, 12, 24, 16].into_iter().enumerate() {
+        for l in 0..block_layers {
+            b.branch_conv(format!("d{stage}l{l}_1x1"), channels, 4 * GROWTH, 1);
+            b.branch_conv(format!("d{stage}l{l}_3x3"), 4 * GROWTH, GROWTH, 3);
+            channels += GROWTH;
+        }
+        b.set_channels(channels);
+        if stage < 3 {
+            channels /= 2;
+            b.conv(format!("trans{stage}"), channels, 1);
+            b.pool();
+        }
+    }
+    b.global_pool();
+    b.linear("fc", dataset.classes());
+    b.finish("densenet121", dataset, 0.57)
+}
+
+/// A compact vision transformer (4×4 patches, dim 256, depth 7):
+/// 30 MVM layers.
+#[must_use]
+pub fn vit(dataset: Dataset) -> NetworkDescriptor {
+    const DIM: usize = 256;
+    const DEPTH: usize = 7;
+    let patch = 4;
+    let side = dataset.input_side() / patch;
+    let tokens = side * side;
+    let patch_dim = dataset.input_channels() * patch * patch;
+    let mut b = ZooBuilder::new(dataset);
+    b.token_linear("patch_embed", patch_dim, DIM, tokens);
+    for blk in 0..DEPTH {
+        b.token_linear(format!("blk{blk}_qkv"), DIM, 3 * DIM, tokens);
+        b.token_linear(format!("blk{blk}_proj"), DIM, DIM, tokens);
+        b.token_linear(format!("blk{blk}_fc1"), DIM, 4 * DIM, tokens);
+        b.token_linear(format!("blk{blk}_fc2"), 4 * DIM, DIM, tokens);
+    }
+    b.set_channels(DIM);
+    b.side = 1;
+    b.linear("head", dataset.classes());
+    b.finish("vit", dataset, 0.5)
+}
+
+/// The nine `(model, dataset)` workloads of §V.A, in Fig. 8 order.
+#[must_use]
+pub fn paper_workloads() -> Vec<NetworkDescriptor> {
+    vec![
+        resnet18(Dataset::Cifar10),
+        vgg11(Dataset::Cifar10),
+        googlenet(Dataset::Cifar10),
+        densenet121(Dataset::Cifar10),
+        vit(Dataset::Cifar10),
+        resnet34(Dataset::Cifar100),
+        vgg16(Dataset::Cifar100),
+        resnet50(Dataset::TinyImageNet),
+        vgg19(Dataset::TinyImageNet),
+    ]
+}
+
+/// Every zoo model on a given dataset — used for leave-one-out offline
+/// policy training (§V.A trains the offline policy on N−1 model
+/// families and adapts online to the held-out one).
+#[must_use]
+pub fn all_models(dataset: Dataset) -> Vec<NetworkDescriptor> {
+    vec![
+        resnet18(dataset),
+        resnet34(dataset),
+        resnet50(dataset),
+        vgg11(dataset),
+        vgg16(dataset),
+        vgg19(dataset),
+        googlenet(dataset),
+        densenet121(dataset),
+        vit(dataset),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_counts_match_paper() {
+        assert_eq!(resnet18(Dataset::Cifar10).layers().len(), 21);
+        assert_eq!(resnet34(Dataset::Cifar100).layers().len(), 37);
+        assert_eq!(resnet50(Dataset::TinyImageNet).layers().len(), 54);
+        assert_eq!(vgg11(Dataset::Cifar10).layers().len(), 9);
+        assert_eq!(vgg16(Dataset::Cifar100).layers().len(), 14);
+        assert_eq!(vgg19(Dataset::TinyImageNet).layers().len(), 17);
+        assert_eq!(googlenet(Dataset::Cifar10).layers().len(), 58);
+        assert_eq!(densenet121(Dataset::Cifar10).layers().len(), 121);
+        assert_eq!(vit(Dataset::Cifar10).layers().len(), 30);
+    }
+
+    #[test]
+    fn resnet18_weight_count_is_canonical() {
+        // Torchvision ResNet18 has ~11.2 M conv+fc weights; the CIFAR
+        // adaptation (3×3 stem) lands close.
+        let net = resnet18(Dataset::Cifar10);
+        let w = net.total_weights();
+        assert!((10_500_000..11_500_000).contains(&w), "weights {w}");
+    }
+
+    #[test]
+    fn vgg11_weight_count_is_cifar_scale() {
+        let net = vgg11(Dataset::Cifar10);
+        let w = net.total_weights();
+        // CIFAR VGG11 ≈ 9.2 M conv weights + 5 k classifier.
+        assert!((8_500_000..10_000_000).contains(&w), "weights {w}");
+    }
+
+    #[test]
+    fn channels_flow_consistently() {
+        for net in paper_workloads() {
+            for pair in net.layers().windows(2) {
+                // Fan-in of any layer must be producible from some
+                // earlier fan-out: weak sanity — just require nonzero.
+                assert!(pair[1].fan_in() > 0, "{}", pair[1].name());
+            }
+            assert!(net.total_weights() > 100_000, "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn densenet_counts_to_121() {
+        let net = densenet121(Dataset::Cifar10);
+        // 1 stem + 116 dense convs + 3 transitions + 1 fc.
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind(), LayerKind::Conv { .. }))
+            .count();
+        assert_eq!(convs, 120);
+    }
+
+    #[test]
+    fn sparsity_profile_in_paper_range() {
+        for net in paper_workloads() {
+            for l in net.layers() {
+                assert!(
+                    (0.05..=0.95).contains(&l.sparsity()),
+                    "{} {}",
+                    net.name(),
+                    l.name()
+                );
+            }
+            let mean = net.mean_sparsity();
+            assert!((0.2..0.95).contains(&mean), "{} mean {mean}", net.name());
+        }
+    }
+
+    #[test]
+    fn sensitivity_decreases_with_depth_in_every_model() {
+        for net in paper_workloads() {
+            let first = net.layers().first().unwrap().sensitivity();
+            let last = net.layers().last().unwrap().sensitivity();
+            assert!(first > last, "{}", net.name());
+            assert!((first - 1.0).abs() < 1e-9);
+            assert!((last - 0.4).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn classifier_reads_dataset_classes() {
+        assert_eq!(
+            resnet18(Dataset::Cifar10).layers().last().unwrap().fan_out(),
+            10
+        );
+        assert_eq!(
+            vgg16(Dataset::Cifar100).layers().last().unwrap().fan_out(),
+            100
+        );
+        assert_eq!(
+            vgg19(Dataset::TinyImageNet).layers().last().unwrap().fan_out(),
+            200
+        );
+    }
+
+    #[test]
+    fn tinyimagenet_vgg_has_larger_classifier_fanin() {
+        // 64×64 input leaves a 2×2 map after five pools.
+        let fc = vgg19(Dataset::TinyImageNet);
+        let fc_layer = fc.layers().last().unwrap();
+        assert_eq!(fc_layer.fan_in(), 512 * 2 * 2);
+        let c10 = vgg11(Dataset::Cifar10);
+        assert_eq!(c10.layers().last().unwrap().fan_in(), 512);
+    }
+
+    #[test]
+    fn vit_tokens_scale_with_input() {
+        let c10 = vit(Dataset::Cifar10);
+        assert_eq!(c10.layers()[1].output_positions(), 64);
+        let tiny = vit(Dataset::TinyImageNet);
+        assert_eq!(tiny.layers()[1].output_positions(), 256);
+    }
+
+    #[test]
+    fn workload_list_shape() {
+        let w = paper_workloads();
+        assert_eq!(w.len(), 9);
+        assert_eq!(all_models(Dataset::Cifar10).len(), 9);
+        let names: Vec<&str> = w.iter().map(|n| n.name()).collect();
+        assert!(names.contains(&"resnet18"));
+        assert!(names.contains(&"vit"));
+    }
+
+    #[test]
+    fn dataset_properties() {
+        assert_eq!(Dataset::Cifar10.classes(), 10);
+        assert_eq!(Dataset::Cifar100.classes(), 100);
+        assert_eq!(Dataset::TinyImageNet.classes(), 200);
+        assert_eq!(Dataset::TinyImageNet.input_side(), 64);
+        assert_eq!(Dataset::Cifar10.to_string(), "cifar10");
+        assert_eq!(Dataset::Cifar10.input_channels(), 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! Mesh congestion estimation.
+//!
+//! The transfer-cost model prices an uncontended wormhole transfer.
+//! Under load, channels queue: the standard first-order estimate is
+//! the M/D/1-style inflation `1 / (1 − ρ)` where `ρ` is the mean
+//! channel utilization implied by the offered traffic. This module
+//! turns offered flit rates into that inflation factor so campaign
+//! models can sanity-check that activation traffic stays far from
+//! saturation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mesh::MeshNoc;
+use crate::NocError;
+
+/// First-order congestion model over a mesh.
+///
+/// # Examples
+///
+/// ```
+/// use odin_noc::{CongestionModel, MeshNoc};
+///
+/// let m = CongestionModel::new(MeshNoc::paper_6x6());
+/// // Light load: essentially no queueing.
+/// assert!(m.latency_factor(0.05).unwrap() < 1.1);
+/// // Near saturation the factor blows up.
+/// assert!(m.latency_factor(0.95).unwrap() > 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CongestionModel {
+    mesh: MeshNoc,
+}
+
+impl CongestionModel {
+    /// Builds the model over a mesh.
+    #[must_use]
+    pub fn new(mesh: MeshNoc) -> Self {
+        Self { mesh }
+    }
+
+    /// The mesh.
+    #[must_use]
+    pub fn mesh(&self) -> &MeshNoc {
+        &self.mesh
+    }
+
+    /// Number of unidirectional links in the mesh
+    /// (`2·(2·w·h − w − h)` for a `w × h` mesh).
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        let (w, h) = (self.mesh.width(), self.mesh.height());
+        2 * (2 * w * h - w - h)
+    }
+
+    /// Mean channel utilization for uniform traffic where every node
+    /// offers `flits_per_node_per_cycle` flits per cycle: each flit
+    /// occupies `mean_hops` channels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mesh errors (cannot occur for valid meshes).
+    pub fn channel_utilization(&self, flits_per_node_per_cycle: f64) -> Result<f64, NocError> {
+        let nodes = self.mesh.nodes();
+        let mean_hops: f64 = (0..nodes)
+            .map(|i| {
+                self.mesh
+                    .mean_hops_from(crate::NodeId::new(i))
+                    .expect("node in range")
+            })
+            .sum::<f64>()
+            / nodes as f64;
+        Ok(flits_per_node_per_cycle * nodes as f64 * mean_hops / self.link_count() as f64)
+    }
+
+    /// Queueing inflation at a channel utilization `rho`:
+    /// `1 / (1 − ρ)`, saturating at 100× for `ρ ≥ 0.99`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::EmptyMesh`] never; `Result` kept for parity
+    /// with the utilization path. Negative utilizations are clamped.
+    pub fn latency_factor(&self, rho: f64) -> Result<f64, NocError> {
+        let rho = rho.clamp(0.0, 0.99);
+        Ok(1.0 / (1.0 - rho))
+    }
+
+    /// End-to-end factor straight from offered load.
+    ///
+    /// # Errors
+    ///
+    /// Propagates utilization errors.
+    pub fn latency_factor_at_load(
+        &self,
+        flits_per_node_per_cycle: f64,
+    ) -> Result<f64, NocError> {
+        let rho = self.channel_utilization(flits_per_node_per_cycle)?;
+        self.latency_factor(rho)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> CongestionModel {
+        CongestionModel::new(MeshNoc::paper_6x6())
+    }
+
+    #[test]
+    fn link_count_of_6x6() {
+        // 6×6 mesh: 2·(72 − 6 − 6) = 120 unidirectional links.
+        assert_eq!(model().link_count(), 120);
+    }
+
+    #[test]
+    fn utilization_scales_linearly() {
+        let m = model();
+        let u1 = m.channel_utilization(0.1).unwrap();
+        let u2 = m.channel_utilization(0.2).unwrap();
+        assert!((u2 / u1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        let m = model();
+        assert!((m.latency_factor(2.0).unwrap() - 100.0).abs() < 1e-9);
+        assert!((m.latency_factor(0.0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activation_traffic_is_far_from_saturation() {
+        // A tile produces at most one 32-bit flit every few cycles of
+        // a multi-nanosecond OU pipeline; even at one flit per node per
+        // ten cycles the mesh loafs.
+        let m = model();
+        let factor = m.latency_factor_at_load(0.1).unwrap();
+        assert!(factor < 1.25, "factor {factor}");
+    }
+
+    proptest! {
+        #[test]
+        fn factor_monotone_in_load(l1 in 0.0f64..0.3, dl in 0.0f64..0.3) {
+            let m = model();
+            let a = m.latency_factor_at_load(l1).unwrap();
+            let b = m.latency_factor_at_load(l1 + dl).unwrap();
+            prop_assert!(b >= a);
+            prop_assert!(a >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Mesh network-on-chip model for the Odin PIM accelerator.
+//!
+//! The paper's system connects 36 ReRAM processing elements through a
+//! conventional mesh NoC (§V.A); each router has 8 ports and moves
+//! 32-bit flits (Table I). This crate provides the topology, XY
+//! routing, and per-transfer latency/energy accounting that the
+//! architecture layer charges for inter-PE activations traffic.
+//!
+//! The NoC is *not* a variable under study in the paper — it
+//! contributes a per-layer data-movement term that is identical across
+//! OU strategies — so the model is analytic (hop counts × per-hop
+//! costs) rather than cycle-accurate.
+//!
+//! # Examples
+//!
+//! ```
+//! use odin_noc::{MeshNoc, NodeId};
+//!
+//! let noc = MeshNoc::paper_6x6();
+//! let cost = noc.transfer_cost(NodeId::new(0), NodeId::new(35), 1024)?;
+//! assert!(cost.hops == 10); // corner to corner of a 6×6 mesh
+//! # Ok::<(), odin_noc::NocError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod congestion;
+mod mesh;
+mod router;
+
+pub use congestion::CongestionModel;
+pub use mesh::{MeshNoc, NodeId, TransferCost};
+pub use router::RouterConfig;
+
+/// Errors produced by the NoC layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NocError {
+    /// A node id referenced a node outside the mesh.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the mesh.
+        nodes: usize,
+    },
+    /// A mesh dimension was zero.
+    EmptyMesh,
+}
+
+impl std::fmt::Display for NocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NocError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} outside mesh of {nodes} nodes")
+            }
+            NocError::EmptyMesh => write!(f, "mesh dimensions must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for NocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = NocError::NodeOutOfRange { node: 40, nodes: 36 };
+        assert!(e.to_string().contains("40"));
+        assert!(NocError::EmptyMesh.to_string().contains("nonzero"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<NocError>();
+    }
+}

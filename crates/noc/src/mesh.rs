@@ -1,0 +1,346 @@
+//! Mesh topology, XY routing and transfer cost accounting.
+
+use odin_units::{Cycles, Joules};
+use serde::{Deserialize, Serialize};
+
+use crate::router::RouterConfig;
+use crate::NocError;
+
+/// A node (PE) index in the mesh, row-major from the top-left corner.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Wraps a raw node index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PE{}", self.0)
+    }
+}
+
+/// The cost of moving one message across the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferCost {
+    /// Manhattan hop count between source and destination routers.
+    pub hops: u64,
+    /// Flits the message serializes into.
+    pub flits: u64,
+    /// Total cycles: wormhole head latency + serialization.
+    pub cycles: Cycles,
+    /// Total energy across all flit-hops.
+    pub energy: Joules,
+}
+
+/// A `width × height` mesh of PEs with XY (dimension-ordered) routing.
+///
+/// # Examples
+///
+/// ```
+/// use odin_noc::{MeshNoc, NodeId};
+///
+/// let noc = MeshNoc::paper_6x6();
+/// assert_eq!(noc.nodes(), 36);
+/// assert_eq!(noc.hops(NodeId::new(0), NodeId::new(7))?, 2);
+/// # Ok::<(), odin_noc::NocError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeshNoc {
+    width: usize,
+    height: usize,
+    router: RouterConfig,
+}
+
+impl MeshNoc {
+    /// The paper's 6×6 mesh of 36 PEs.
+    #[must_use]
+    pub fn paper_6x6() -> Self {
+        Self {
+            width: 6,
+            height: 6,
+            router: RouterConfig::paper(),
+        }
+    }
+
+    /// Builds a `width × height` mesh with the given router.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::EmptyMesh`] if either dimension is zero.
+    pub fn new(width: usize, height: usize, router: RouterConfig) -> Result<Self, NocError> {
+        if width == 0 || height == 0 {
+            return Err(NocError::EmptyMesh);
+        }
+        Ok(Self {
+            width,
+            height,
+            router,
+        })
+    }
+
+    /// Mesh width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mesh height.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total node count.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// The router model.
+    #[must_use]
+    pub fn router(&self) -> &RouterConfig {
+        &self.router
+    }
+
+    /// The `(x, y)` coordinates of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::NodeOutOfRange`] for an invalid node.
+    pub fn coordinates(&self, node: NodeId) -> Result<(usize, usize), NocError> {
+        if node.index() >= self.nodes() {
+            return Err(NocError::NodeOutOfRange {
+                node: node.index(),
+                nodes: self.nodes(),
+            });
+        }
+        Ok((node.index() % self.width, node.index() / self.width))
+    }
+
+    /// Manhattan hop count under XY routing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::NodeOutOfRange`] for invalid nodes.
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> Result<u64, NocError> {
+        let (sx, sy) = self.coordinates(src)?;
+        let (dx, dy) = self.coordinates(dst)?;
+        Ok((sx.abs_diff(dx) + sy.abs_diff(dy)) as u64)
+    }
+
+    /// The XY route from `src` to `dst` (inclusive of both endpoints):
+    /// first along X, then along Y.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::NodeOutOfRange`] for invalid nodes.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Result<Vec<NodeId>, NocError> {
+        let (sx, sy) = self.coordinates(src)?;
+        let (dx, dy) = self.coordinates(dst)?;
+        let mut path = vec![src];
+        let (mut x, mut y) = (sx, sy);
+        while x != dx {
+            x = if dx > x { x + 1 } else { x - 1 };
+            path.push(NodeId::new(y * self.width + x));
+        }
+        while y != dy {
+            y = if dy > y { y + 1 } else { y - 1 };
+            path.push(NodeId::new(y * self.width + x));
+        }
+        Ok(path)
+    }
+
+    /// The latency/energy cost of sending `bytes` from `src` to `dst`
+    /// under wormhole switching: head flit pays `hops × cycles_per_hop`,
+    /// the body streams one flit per cycle behind it, and every flit
+    /// pays link/switch energy on every hop.
+    ///
+    /// A local (same-node) transfer costs zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::NodeOutOfRange`] for invalid nodes.
+    pub fn transfer_cost(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> Result<TransferCost, NocError> {
+        let hops = self.hops(src, dst)?;
+        if hops == 0 {
+            return Ok(TransferCost {
+                hops: 0,
+                flits: 0,
+                cycles: Cycles::ZERO,
+                energy: Joules::ZERO,
+            });
+        }
+        let flits = self.router.flits_for(bytes);
+        let head = self.router.cycles_per_hop().count() * hops;
+        let serialization = flits - 1;
+        Ok(TransferCost {
+            hops,
+            flits,
+            cycles: Cycles(head + serialization),
+            energy: self.router.energy_per_flit_hop() * (flits * hops) as f64,
+        })
+    }
+
+    /// Average hop count from `src` to every other node — the uniform-
+    /// traffic figure used when a layer's outputs fan out to unknown
+    /// consumers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::NodeOutOfRange`] for an invalid source.
+    pub fn mean_hops_from(&self, src: NodeId) -> Result<f64, NocError> {
+        let n = self.nodes();
+        self.coordinates(src)?;
+        let total: u64 = (0..n)
+            .map(|i| self.hops(src, NodeId::new(i)).expect("in range"))
+            .sum();
+        Ok(total as f64 / (n - 1).max(1) as f64)
+    }
+}
+
+impl Default for MeshNoc {
+    fn default() -> Self {
+        Self::paper_6x6()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn noc() -> MeshNoc {
+        MeshNoc::paper_6x6()
+    }
+
+    #[test]
+    fn geometry() {
+        let n = noc();
+        assert_eq!(n.nodes(), 36);
+        assert_eq!(n.coordinates(NodeId::new(0)).unwrap(), (0, 0));
+        assert_eq!(n.coordinates(NodeId::new(35)).unwrap(), (5, 5));
+        assert_eq!(n.coordinates(NodeId::new(7)).unwrap(), (1, 1));
+        assert!(n.coordinates(NodeId::new(36)).is_err());
+    }
+
+    #[test]
+    fn hop_counts() {
+        let n = noc();
+        assert_eq!(n.hops(NodeId::new(0), NodeId::new(0)).unwrap(), 0);
+        assert_eq!(n.hops(NodeId::new(0), NodeId::new(5)).unwrap(), 5);
+        assert_eq!(n.hops(NodeId::new(0), NodeId::new(35)).unwrap(), 10);
+    }
+
+    #[test]
+    fn xy_route_goes_x_then_y() {
+        let n = noc();
+        let path = n.route(NodeId::new(0), NodeId::new(14)).unwrap();
+        // (0,0) → (1,0) → (2,0) → (2,1) → (2,2) = ids 0,1,2,8,14
+        let ids: Vec<usize> = path.iter().map(|p| p.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 8, 14]);
+    }
+
+    #[test]
+    fn route_reverse_direction() {
+        let n = noc();
+        let path = n.route(NodeId::new(14), NodeId::new(0)).unwrap();
+        let ids: Vec<usize> = path.iter().map(|p| p.index()).collect();
+        assert_eq!(ids, vec![14, 13, 12, 6, 0]);
+    }
+
+    #[test]
+    fn local_transfer_is_free() {
+        let n = noc();
+        let c = n.transfer_cost(NodeId::new(3), NodeId::new(3), 4096).unwrap();
+        assert_eq!(c.cycles, Cycles::ZERO);
+        assert_eq!(c.energy, Joules::ZERO);
+        assert_eq!(c.hops, 0);
+    }
+
+    #[test]
+    fn wormhole_cost_structure() {
+        let n = noc();
+        // 1 KiB = 256 flits, 10 hops corner to corner.
+        let c = n.transfer_cost(NodeId::new(0), NodeId::new(35), 1024).unwrap();
+        assert_eq!(c.flits, 256);
+        assert_eq!(c.hops, 10);
+        // head: 10 hops × 2 cycles, body: 255 cycles behind it.
+        assert_eq!(c.cycles, Cycles(20 + 255));
+        let expect = RouterConfig::paper().energy_per_flit_hop() * (256 * 10) as f64;
+        assert!((c.energy.value() - expect.value()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn mean_hops_symmetric_corners() {
+        let n = noc();
+        let a = n.mean_hops_from(NodeId::new(0)).unwrap();
+        let b = n.mean_hops_from(NodeId::new(35)).unwrap();
+        assert!((a - b).abs() < 1e-12, "corners are symmetric");
+        let center = n.mean_hops_from(NodeId::new(14)).unwrap();
+        assert!(center < a, "center is better connected than a corner");
+    }
+
+    #[test]
+    fn rejects_empty_mesh() {
+        assert!(MeshNoc::new(0, 6, RouterConfig::paper()).is_err());
+        assert!(MeshNoc::new(6, 0, RouterConfig::paper()).is_err());
+    }
+
+    #[test]
+    fn display_of_node() {
+        assert_eq!(NodeId::new(7).to_string(), "PE7");
+    }
+
+    proptest! {
+        #[test]
+        fn hops_are_symmetric(a in 0usize..36, b in 0usize..36) {
+            let n = noc();
+            prop_assert_eq!(
+                n.hops(NodeId::new(a), NodeId::new(b)).unwrap(),
+                n.hops(NodeId::new(b), NodeId::new(a)).unwrap()
+            );
+        }
+
+        #[test]
+        fn route_length_matches_hops(a in 0usize..36, b in 0usize..36) {
+            let n = noc();
+            let path = n.route(NodeId::new(a), NodeId::new(b)).unwrap();
+            let hops = n.hops(NodeId::new(a), NodeId::new(b)).unwrap();
+            prop_assert_eq!(path.len() as u64, hops + 1);
+            // Consecutive path nodes are mesh neighbours.
+            for w in path.windows(2) {
+                prop_assert_eq!(n.hops(w[0], w[1]).unwrap(), 1);
+            }
+        }
+
+        #[test]
+        fn cost_monotone_in_payload(
+            a in 0usize..36, b in 0usize..36,
+            small in 1u64..1000, extra in 0u64..1000
+        ) {
+            let n = noc();
+            let c1 = n.transfer_cost(NodeId::new(a), NodeId::new(b), small).unwrap();
+            let c2 = n.transfer_cost(NodeId::new(a), NodeId::new(b), small + extra).unwrap();
+            prop_assert!(c2.cycles >= c1.cycles);
+            prop_assert!(c2.energy >= c1.energy);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Router configuration and per-hop costs.
+
+use odin_units::{Cycles, Joules};
+use serde::{Deserialize, Serialize};
+
+/// One mesh router, per Table I: 32-bit flits, 8 ports, synthesized at
+/// 32 nm / 1.2 GHz.
+///
+/// Per-flit-hop costs are representative 32 nm figures (router
+/// traversal ≈ 2 cycles, link + switch energy ≈ 1 pJ/flit/hop); only
+/// their order of magnitude matters since the NoC term is common to
+/// all OU strategies.
+///
+/// # Examples
+///
+/// ```
+/// use odin_noc::RouterConfig;
+///
+/// let r = RouterConfig::paper();
+/// assert_eq!(r.flit_bits(), 32);
+/// assert_eq!(r.ports(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    flit_bits: u32,
+    ports: u32,
+    cycles_per_hop: Cycles,
+    energy_per_flit_hop: Joules,
+}
+
+impl RouterConfig {
+    /// The Table I router.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            flit_bits: 32,
+            ports: 8,
+            cycles_per_hop: Cycles(2),
+            energy_per_flit_hop: Joules::from_picojoules(1.0),
+        }
+    }
+
+    /// Flit width in bits.
+    #[must_use]
+    pub fn flit_bits(&self) -> u32 {
+        self.flit_bits
+    }
+
+    /// Router radix.
+    #[must_use]
+    pub fn ports(&self) -> u32 {
+        self.ports
+    }
+
+    /// Pipeline cycles per router hop.
+    #[must_use]
+    pub fn cycles_per_hop(&self) -> Cycles {
+        self.cycles_per_hop
+    }
+
+    /// Energy to move one flit across one hop (switch + link).
+    #[must_use]
+    pub fn energy_per_flit_hop(&self) -> Joules {
+        self.energy_per_flit_hop
+    }
+
+    /// Number of flits needed to carry `bytes` of payload.
+    #[must_use]
+    pub fn flits_for(&self, bytes: u64) -> u64 {
+        let bits = bytes * 8;
+        bits.div_ceil(u64::from(self.flit_bits)).max(1)
+    }
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_router() {
+        let r = RouterConfig::paper();
+        assert_eq!(r.flit_bits(), 32);
+        assert_eq!(r.ports(), 8);
+        assert_eq!(r.cycles_per_hop(), Cycles(2));
+        assert!(r.energy_per_flit_hop().as_picojoules() > 0.0);
+        assert_eq!(RouterConfig::default(), r);
+    }
+
+    #[test]
+    fn flit_packing() {
+        let r = RouterConfig::paper();
+        assert_eq!(r.flits_for(4), 1); // 32 bits exactly
+        assert_eq!(r.flits_for(5), 2);
+        assert_eq!(r.flits_for(0), 1); // header-only message
+        assert_eq!(r.flits_for(1024), 256);
+    }
+}

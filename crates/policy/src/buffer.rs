@@ -1,0 +1,165 @@
+//! The on-chip training-example buffer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::policy::TrainingExample;
+
+/// The bounded buffer that accumulates `(Φ, (R,C)*)` training examples
+/// until a policy update fires (Algorithm 1, lines 10–11).
+///
+/// §IV stores 50 examples (0.35 KB). When the buffer fills, the
+/// runtime drains it into a supervised update and the buffer resets.
+///
+/// # Examples
+///
+/// ```
+/// use odin_policy::{ReplayBuffer, TrainingExample};
+///
+/// let mut buf = ReplayBuffer::new(2);
+/// buf.push(TrainingExample::new([0.0; 4], 1, 2));
+/// assert!(!buf.is_full());
+/// buf.push(TrainingExample::new([0.5; 4], 3, 0));
+/// assert!(buf.is_full());
+/// let batch = buf.drain();
+/// assert_eq!(batch.len(), 2);
+/// assert!(buf.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    entries: Vec<TrainingExample>,
+}
+
+impl ReplayBuffer {
+    /// The paper's buffer capacity.
+    pub const PAPER_CAPACITY: usize = 50;
+
+    /// Creates a buffer of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be nonzero");
+        Self {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The paper's 50-example buffer.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::new(Self::PAPER_CAPACITY)
+    }
+
+    /// Capacity before an update triggers.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when the buffer reached capacity (update time).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Appends an example. Silently drops it when already full — the
+    /// runtime is expected to drain first; this mirrors a fixed-size
+    /// on-chip SRAM that cannot overflow.
+    pub fn push(&mut self, example: TrainingExample) {
+        if self.entries.len() < self.capacity {
+            self.entries.push(example);
+        }
+    }
+
+    /// The buffered examples, oldest first.
+    #[must_use]
+    pub fn entries(&self) -> &[TrainingExample] {
+        &self.entries
+    }
+
+    /// Removes and returns all buffered examples (Algorithm 1 line 11:
+    /// "if buffer is full, reset the buffer").
+    #[must_use]
+    pub fn drain(&mut self) -> Vec<TrainingExample> {
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Approximate storage footprint in bytes: 4 feature floats (f32 in
+    /// hardware) plus two level bytes per entry.
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.capacity * (4 * 4 + 2)
+    }
+}
+
+impl Default for ReplayBuffer {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ex(v: f64) -> TrainingExample {
+        TrainingExample::new([v; 4], 0, 0)
+    }
+
+    #[test]
+    fn fill_drain_cycle() {
+        let mut buf = ReplayBuffer::new(3);
+        assert!(buf.is_empty());
+        buf.push(ex(0.1));
+        buf.push(ex(0.2));
+        assert_eq!(buf.len(), 2);
+        assert!(!buf.is_full());
+        buf.push(ex(0.3));
+        assert!(buf.is_full());
+        let batch = buf.drain();
+        assert_eq!(batch.len(), 3);
+        assert!(buf.is_empty());
+        assert!(!buf.is_full());
+    }
+
+    #[test]
+    fn overflow_is_dropped() {
+        let mut buf = ReplayBuffer::new(1);
+        buf.push(ex(0.1));
+        buf.push(ex(0.2));
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.entries()[0], ex(0.1));
+    }
+
+    #[test]
+    fn paper_buffer_storage_claim() {
+        // §IV: 50 examples require ~0.35 KB.
+        let buf = ReplayBuffer::paper();
+        assert_eq!(buf.capacity(), 50);
+        let kb = buf.storage_bytes() as f64 / 1024.0;
+        assert!((kb - 0.88).abs() < 0.1 || kb <= 1.0, "storage {kb} KB");
+        assert_eq!(ReplayBuffer::default(), buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _ = ReplayBuffer::new(0);
+    }
+}

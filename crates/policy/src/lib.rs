@@ -1,0 +1,33 @@
+//! The Odin OU-configuration policy: a multi-output MLP classifier
+//! with a replay buffer and online supervised updates.
+//!
+//! §V.A fixes the architecture: one input layer of 4 neurons (the
+//! features Φ — layer id, sparsity, kernel size, inference time) with
+//! ReLU activation, and **two separate output heads of 6 neurons
+//! each** with softmax — one head classifying the OU row exponent
+//! `R ∈ {2²..2⁷}`, the other the column exponent. Training examples
+//! accumulate in a 50-entry buffer (0.35 KB, §IV); a full buffer
+//! triggers a supervised update (100 epochs, §V.E).
+//!
+//! # Examples
+//!
+//! ```
+//! use odin_policy::{OuPolicy, PolicyConfig, TrainingExample};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut policy = OuPolicy::new(PolicyConfig::paper(), &mut rng);
+//! let (row_level, col_level) = policy.predict(&[0.1, 0.6, 0.43, 0.2]);
+//! assert!(row_level < 6 && col_level < 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod mlp;
+mod policy;
+
+pub use buffer::ReplayBuffer;
+pub use mlp::MultiHeadMlp;
+pub use policy::{OuPolicy, PolicyConfig, TrainingExample};

@@ -1,0 +1,403 @@
+//! The two-headed MLP underlying the OU policy.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A small multi-layer perceptron with a shared ReLU hidden layer and
+/// two independent softmax classification heads.
+///
+/// Everything is `f64` and fixed-architecture: `inputs → hidden`
+/// (ReLU) → two `hidden → classes` heads. Gradients are plain SGD on
+/// the summed cross-entropy of both heads.
+///
+/// # Examples
+///
+/// ```
+/// use odin_policy::MultiHeadMlp;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mlp = MultiHeadMlp::new(4, 16, 6, &mut rng);
+/// let (a, b) = mlp.forward(&[0.5, 0.1, 0.9, 0.0]);
+/// assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// assert!((b.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiHeadMlp {
+    inputs: usize,
+    hidden: usize,
+    classes: usize,
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    w_head_a: Vec<f64>,
+    b_head_a: Vec<f64>,
+    w_head_b: Vec<f64>,
+    b_head_b: Vec<f64>,
+    #[serde(default)]
+    momentum: f64,
+    #[serde(default)]
+    velocity: Option<Velocity>,
+}
+
+/// Momentum state (one buffer per parameter block).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct Velocity {
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    w_head_a: Vec<f64>,
+    b_head_a: Vec<f64>,
+    w_head_b: Vec<f64>,
+    b_head_b: Vec<f64>,
+}
+
+impl MultiHeadMlp {
+    /// Creates an MLP with He-uniform initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(
+        inputs: usize,
+        hidden: usize,
+        classes: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            inputs > 0 && hidden > 0 && classes > 0,
+            "MLP dimensions must be nonzero"
+        );
+        let init = |n: usize, fan_in: usize, rng: &mut R| -> Vec<f64> {
+            let bound = (6.0 / fan_in as f64).sqrt();
+            (0..n).map(|_| rng.gen_range(-bound..bound)).collect()
+        };
+        Self {
+            inputs,
+            hidden,
+            classes,
+            w1: init(hidden * inputs, inputs, rng),
+            b1: vec![0.0; hidden],
+            w_head_a: init(classes * hidden, hidden, rng),
+            b_head_a: vec![0.0; classes],
+            w_head_b: init(classes * hidden, hidden, rng),
+            b_head_b: vec![0.0; classes],
+            momentum: 0.0,
+            velocity: None,
+        }
+    }
+
+    /// Enables classical momentum SGD with coefficient `beta`
+    /// (`v ← β·v + g`, `w ← w − lr·v`). `beta = 0` restores plain SGD.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta ∈ [0, 1)`.
+    #[must_use]
+    pub fn with_momentum(mut self, beta: f64) -> Self {
+        assert!((0.0..1.0).contains(&beta), "momentum must be in [0, 1)");
+        self.momentum = beta;
+        self.velocity = (beta > 0.0).then(|| Velocity {
+            w1: vec![0.0; self.w1.len()],
+            b1: vec![0.0; self.b1.len()],
+            w_head_a: vec![0.0; self.w_head_a.len()],
+            b_head_a: vec![0.0; self.b_head_a.len()],
+            w_head_b: vec![0.0; self.w_head_b.len()],
+            b_head_b: vec![0.0; self.b_head_b.len()],
+        });
+        self
+    }
+
+    /// The momentum coefficient (0 = plain SGD).
+    #[must_use]
+    pub fn momentum(&self) -> f64 {
+        self.momentum
+    }
+
+    /// Input width.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Hidden width.
+    #[must_use]
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Classes per head.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Total parameters (for the 0.35 KB storage claim of §IV).
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.w1.len()
+            + self.b1.len()
+            + self.w_head_a.len()
+            + self.b_head_a.len()
+            + self.w_head_b.len()
+            + self.b_head_b.len()
+    }
+
+    fn hidden_activations(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.inputs, "input width mismatch");
+        (0..self.hidden)
+            .map(|h| {
+                let row = &self.w1[h * self.inputs..(h + 1) * self.inputs];
+                let z: f64 = row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.b1[h];
+                z.max(0.0)
+            })
+            .collect()
+    }
+
+    fn head(&self, weights: &[f64], bias: &[f64], hidden: &[f64]) -> Vec<f64> {
+        let logits: Vec<f64> = (0..self.classes)
+            .map(|c| {
+                let row = &weights[c * self.hidden..(c + 1) * self.hidden];
+                row.iter().zip(hidden).map(|(w, h)| w * h).sum::<f64>() + bias[c]
+            })
+            .collect();
+        softmax(&logits)
+    }
+
+    /// Forward pass: the two heads' class probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    #[must_use]
+    pub fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let hidden = self.hidden_activations(x);
+        (
+            self.head(&self.w_head_a, &self.b_head_a, &hidden),
+            self.head(&self.w_head_b, &self.b_head_b, &hidden),
+        )
+    }
+
+    /// One SGD step on the summed cross-entropy of both heads for a
+    /// single example. Returns the example's loss before the step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width or a target class is out of
+    /// range.
+    pub fn train_step(&mut self, x: &[f64], target_a: usize, target_b: usize, lr: f64) -> f64 {
+        assert!(
+            target_a < self.classes && target_b < self.classes,
+            "target class out of range"
+        );
+        let hidden = self.hidden_activations(x);
+        let pa = self.head(&self.w_head_a, &self.b_head_a, &hidden);
+        let pb = self.head(&self.w_head_b, &self.b_head_b, &hidden);
+        let loss = -(pa[target_a].max(1e-12).ln() + pb[target_b].max(1e-12).ln());
+
+        // Softmax + CE gradient: p − one_hot.
+        let mut ga = pa;
+        ga[target_a] -= 1.0;
+        let mut gb = pb;
+        gb[target_b] -= 1.0;
+
+        // Momentum update helper: v ← β·v + g, param ← param − lr·v
+        // (plain SGD when no velocity buffer exists).
+        let beta = self.momentum;
+        let step = |param: &mut f64, grad: f64, vel: Option<&mut f64>| match vel {
+            Some(v) => {
+                *v = beta * *v + grad;
+                *param -= lr * *v;
+            }
+            None => *param -= lr * grad,
+        };
+
+        // Hidden gradient accumulates from both heads. Velocity is
+        // taken out of `self` for the duration so the parameter and
+        // velocity blocks borrow independently.
+        let mut gh = vec![0.0; self.hidden];
+        let mut vel = self.velocity.take();
+        // Heads, handled one at a time so the velocity blocks borrow
+        // cleanly.
+        for second in [false, true] {
+            let (weights, bias, g) = if second {
+                (&mut self.w_head_b, &mut self.b_head_b, &gb)
+            } else {
+                (&mut self.w_head_a, &mut self.b_head_a, &ga)
+            };
+            let (mut vw, mut vb) = match vel.as_mut() {
+                Some(v) if second => (Some(&mut v.w_head_b), Some(&mut v.b_head_b)),
+                Some(v) => (Some(&mut v.w_head_a), Some(&mut v.b_head_a)),
+                None => (None, None),
+            };
+            for (c, &gc) in g.iter().enumerate() {
+                let row = &mut weights[c * self.hidden..(c + 1) * self.hidden];
+                for (h, (w, &hv)) in row.iter_mut().zip(&hidden).enumerate() {
+                    gh[h] += *w * gc;
+                    step(
+                        w,
+                        gc * hv,
+                        vw.as_deref_mut().map(|v| &mut v[c * self.hidden + h]),
+                    );
+                }
+                step(&mut bias[c], gc, vb.as_deref_mut().map(|v| &mut v[c]));
+            }
+        }
+        // First layer (ReLU mask: hidden > 0).
+        for (h, (&ghv, &hv)) in gh.iter().zip(&hidden).enumerate() {
+            if hv <= 0.0 {
+                continue;
+            }
+            let row = &mut self.w1[h * self.inputs..(h + 1) * self.inputs];
+            for (i, (w, &xi)) in row.iter_mut().zip(x).enumerate() {
+                step(
+                    w,
+                    ghv * xi,
+                    vel.as_mut().map(|v| &mut v.w1[h * self.inputs + i]),
+                );
+            }
+            step(&mut self.b1[h], ghv, vel.as_mut().map(|v| &mut v.b1[h]));
+        }
+        self.velocity = vel;
+        loss
+    }
+}
+
+fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(13)
+    }
+
+    #[test]
+    fn forward_produces_distributions() {
+        let mlp = MultiHeadMlp::new(4, 8, 6, &mut rng());
+        let (a, b) = mlp.forward(&[0.2, -0.5, 1.0, 0.0]);
+        assert_eq!(a.len(), 6);
+        assert_eq!(b.len(), 6);
+        assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((b.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(a.iter().chain(&b).all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn parameter_count_is_small() {
+        // §IV: the policy fits in a fraction of a kilobyte of storage.
+        let mlp = MultiHeadMlp::new(4, 8, 6, &mut rng());
+        assert_eq!(
+            mlp.parameter_count(),
+            8 * 4 + 8 + 6 * 8 + 6 + 6 * 8 + 6
+        );
+        assert!(mlp.parameter_count() < 256);
+    }
+
+    #[test]
+    fn learns_a_deterministic_mapping() {
+        // Map quadrant of (x0, x1) to head classes.
+        let mut mlp = MultiHeadMlp::new(2, 16, 3, &mut rng());
+        let examples = [
+            ([0.9, 0.1], 0, 2),
+            ([0.1, 0.9], 1, 0),
+            ([0.9, 0.9], 2, 1),
+            ([0.1, 0.1], 0, 0),
+        ];
+        for _ in 0..1500 {
+            for (x, a, b) in &examples {
+                mlp.train_step(x, *a, *b, 0.1);
+            }
+        }
+        for (x, a, b) in &examples {
+            let (pa, pb) = mlp.forward(x);
+            let ca = pa.iter().enumerate().max_by(|u, v| u.1.total_cmp(v.1)).unwrap().0;
+            let cb = pb.iter().enumerate().max_by(|u, v| u.1.total_cmp(v.1)).unwrap().0;
+            assert_eq!(ca, *a);
+            assert_eq!(cb, *b);
+        }
+    }
+
+    #[test]
+    fn train_step_reduces_loss() {
+        let mut mlp = MultiHeadMlp::new(4, 8, 6, &mut rng());
+        let x = [0.3, 0.7, 0.1, 0.5];
+        let first = mlp.train_step(&x, 2, 4, 0.2);
+        let mut last = first;
+        for _ in 0..100 {
+            last = mlp.train_step(&x, 2, 4, 0.2);
+        }
+        assert!(last < first / 4.0, "loss {first} → {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_input_width_panics() {
+        let mlp = MultiHeadMlp::new(4, 8, 6, &mut rng());
+        let _ = mlp.forward(&[0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_target_panics() {
+        let mut mlp = MultiHeadMlp::new(4, 8, 6, &mut rng());
+        let _ = mlp.train_step(&[0.0; 4], 6, 0, 0.1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mlp = MultiHeadMlp::new(4, 8, 6, &mut rng());
+        let json = serde_json::to_string(&mlp).unwrap();
+        let back: MultiHeadMlp = serde_json::from_str(&json).unwrap();
+        assert_eq!(mlp, back);
+    }
+
+    #[test]
+    fn momentum_converges_at_least_as_fast_on_a_fixed_example() {
+        let plain = MultiHeadMlp::new(4, 8, 6, &mut rng());
+        let mut with_m = plain.clone().with_momentum(0.9);
+        let mut plain = plain;
+        assert!((with_m.momentum() - 0.9).abs() < 1e-12);
+        let x = [0.3, 0.7, 0.1, 0.5];
+        let mut loss_plain = 0.0;
+        let mut loss_m = 0.0;
+        for _ in 0..60 {
+            loss_plain = plain.train_step(&x, 2, 4, 0.05);
+            loss_m = with_m.train_step(&x, 2, 4, 0.05);
+        }
+        assert!(
+            loss_m <= loss_plain * 1.05,
+            "momentum {loss_m} vs plain {loss_plain}"
+        );
+        assert!(loss_m < 0.5, "momentum run must converge: {loss_m}");
+    }
+
+    #[test]
+    fn zero_momentum_is_plain_sgd() {
+        let a = MultiHeadMlp::new(4, 8, 6, &mut rng());
+        let mut b = a.clone().with_momentum(0.0);
+        let mut a = a;
+        let x = [0.1, 0.9, 0.4, 0.2];
+        for _ in 0..10 {
+            a.train_step(&x, 1, 3, 0.1);
+            b.train_step(&x, 1, 3, 0.1);
+        }
+        let (pa, _) = a.forward(&x);
+        let (pb, _) = b.forward(&x);
+        for (u, v) in pa.iter().zip(&pb) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1)")]
+    fn invalid_momentum_panics() {
+        let _ = MultiHeadMlp::new(4, 8, 6, &mut rng()).with_momentum(1.0);
+    }
+}

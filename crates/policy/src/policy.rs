@@ -1,0 +1,310 @@
+//! The OU-configuration policy wrapper.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::mlp::MultiHeadMlp;
+
+/// One supervised training example: normalized features Φ and the best
+/// OU decision `(R, C)*` expressed as grid level indices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingExample {
+    /// Normalized features `[layer id, sparsity, kernel size, time]`.
+    pub features: [f64; 4],
+    /// Target row level (index into the `2^L` grid).
+    pub row_level: usize,
+    /// Target column level.
+    pub col_level: usize,
+}
+
+impl TrainingExample {
+    /// Creates a training example.
+    #[must_use]
+    pub fn new(features: [f64; 4], row_level: usize, col_level: usize) -> Self {
+        Self {
+            features,
+            row_level,
+            col_level,
+        }
+    }
+}
+
+/// Policy hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyConfig {
+    /// Width of the shared hidden layer.
+    pub hidden: usize,
+    /// Discrete levels per output head (6 on a 128×128 crossbar).
+    pub levels: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Epochs per online update (§V.E: 100).
+    pub update_epochs: usize,
+}
+
+impl PolicyConfig {
+    /// The §V.A configuration: 4-input MLP, two 6-way heads, 100-epoch
+    /// updates.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            hidden: 16,
+            levels: 6,
+            learning_rate: 0.05,
+            update_epochs: 100,
+        }
+    }
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The learned mapping from layer features to OU grid levels
+/// (`π(Φ, Θ)` of Algorithm 1).
+///
+/// # Examples
+///
+/// ```
+/// use odin_policy::{OuPolicy, PolicyConfig, TrainingExample};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut policy = OuPolicy::new(PolicyConfig::paper(), &mut rng);
+/// // Bootstrap on a trivial rule and check it is absorbed.
+/// let data: Vec<_> = (0..40)
+///     .map(|i| {
+///         let x = i as f64 / 40.0;
+///         TrainingExample::new([x, 0.5, 0.4, 0.0], usize::from(x > 0.5), 2)
+///     })
+///     .collect();
+/// policy.fit(&data, 400);
+/// assert_eq!(policy.predict(&[0.9, 0.5, 0.4, 0.0]).0, 1);
+/// assert_eq!(policy.predict(&[0.1, 0.5, 0.4, 0.0]).0, 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OuPolicy {
+    config: PolicyConfig,
+    mlp: MultiHeadMlp,
+    updates: u64,
+}
+
+impl OuPolicy {
+    /// Creates an untrained policy.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(config: PolicyConfig, rng: &mut R) -> Self {
+        let mlp = MultiHeadMlp::new(4, config.hidden, config.levels, rng);
+        Self {
+            config,
+            mlp,
+            updates: 0,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &PolicyConfig {
+        &self.config
+    }
+
+    /// Number of supervised updates absorbed (offline fit counts as
+    /// one).
+    #[must_use]
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Predicts `(row_level, col_level)` for normalized features Φ.
+    #[must_use]
+    pub fn predict(&self, features: &[f64; 4]) -> (usize, usize) {
+        let (pa, pb) = self.mlp.forward(features);
+        (argmax(&pa), argmax(&pb))
+    }
+
+    /// The two heads' full class distributions (confidence inspection).
+    #[must_use]
+    pub fn predict_proba(&self, features: &[f64; 4]) -> (Vec<f64>, Vec<f64>) {
+        self.mlp.forward(features)
+    }
+
+    /// Supervised training over a dataset for `epochs` epochs.
+    /// Returns the mean per-example loss of the final epoch.
+    ///
+    /// Used both for the offline bootstrap (≤ 500 examples from known
+    /// DNNs, §V.A) and for online updates on a drained buffer
+    /// (Algorithm 1 line 11).
+    pub fn fit(&mut self, examples: &[TrainingExample], epochs: usize) -> f64 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let mut last = f64::INFINITY;
+        for _ in 0..epochs {
+            let mut total = 0.0;
+            for ex in examples {
+                total += self.mlp.train_step(
+                    &ex.features,
+                    ex.row_level,
+                    ex.col_level,
+                    self.config.learning_rate,
+                );
+            }
+            last = total / examples.len() as f64;
+        }
+        self.updates += 1;
+        last
+    }
+
+    /// An online update at the configured epoch count (§V.E: 100).
+    pub fn update_online(&mut self, examples: &[TrainingExample]) -> f64 {
+        self.fit(examples, self.config.update_epochs)
+    }
+
+    /// Fraction of examples whose prediction matches the target on
+    /// both heads.
+    #[must_use]
+    pub fn agreement(&self, examples: &[TrainingExample]) -> f64 {
+        self.agreement_within(examples, 0)
+    }
+
+    /// Fraction of examples whose prediction lands within Chebyshev
+    /// distance `k` of the target in level space. With `k` equal to
+    /// the resource-bounded search radius, this is exactly the rate at
+    /// which the policy's seed lets the RB search reach the optimum.
+    #[must_use]
+    pub fn agreement_within(&self, examples: &[TrainingExample], k: usize) -> f64 {
+        if examples.is_empty() {
+            return 1.0;
+        }
+        let hits = examples
+            .iter()
+            .filter(|ex| {
+                let (r, c) = self.predict(&ex.features);
+                r.abs_diff(ex.row_level) <= k && c.abs_diff(ex.col_level) <= k
+            })
+            .count();
+        hits as f64 / examples.len() as f64
+    }
+}
+
+fn argmax(p: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in p.iter().enumerate().skip(1) {
+        if v > p[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(23)
+    }
+
+    /// A synthetic "ground truth" rule resembling the paper's: early
+    /// (sensitive) layers get small OUs, sparse layers get small rows,
+    /// late drift shrinks everything.
+    fn rule(features: &[f64; 4]) -> (usize, usize) {
+        let [layer, sparsity, _kernel, time] = *features;
+        let base = 1.0 + 3.0 * layer - 2.0 * time;
+        let row = (base - sparsity).clamp(0.0, 5.0).round() as usize;
+        let col = (base * 0.8).clamp(0.0, 5.0).round() as usize;
+        (row, col)
+    }
+
+    fn dataset(n: usize, seed: u64) -> Vec<TrainingExample> {
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let f = [
+                    r.gen_range(0.0..1.0),
+                    r.gen_range(0.0..1.0),
+                    r.gen_range(0.0..1.0),
+                    r.gen_range(0.0..1.0),
+                ];
+                let (a, b) = rule(&f);
+                TrainingExample::new(f, a, b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn offline_bootstrap_learns_the_rule() {
+        let mut policy = OuPolicy::new(PolicyConfig::paper(), &mut rng());
+        let train = dataset(500, 1);
+        let test = dataset(200, 2);
+        let before = policy.agreement(&test);
+        let loss = policy.fit(&train, 300);
+        let after = policy.agreement(&test);
+        assert!(loss < 1.0, "final loss {loss}");
+        assert!(
+            after > before + 0.3 && after > 0.55,
+            "agreement {before} → {after}"
+        );
+        assert_eq!(policy.updates(), 1);
+    }
+
+    #[test]
+    fn online_update_improves_on_shifted_rule() {
+        // Bootstrap on one region, then adapt to examples from another.
+        let mut policy = OuPolicy::new(PolicyConfig::paper(), &mut rng());
+        policy.fit(&dataset(300, 3), 200);
+        // "Unseen DNN": features concentrated at high layer index.
+        let mut r = rand::rngs::StdRng::seed_from_u64(4);
+        let shifted: Vec<TrainingExample> = (0..50)
+            .map(|_| {
+                let f = [
+                    r.gen_range(0.8..1.0),
+                    r.gen_range(0.0..0.2),
+                    0.43,
+                    r.gen_range(0.0..0.1),
+                ];
+                let (a, b) = rule(&f);
+                TrainingExample::new(f, a, b)
+            })
+            .collect();
+        let before = policy.agreement(&shifted);
+        policy.update_online(&shifted);
+        let after = policy.agreement(&shifted);
+        assert!(after >= before, "agreement {before} → {after}");
+        assert!(after > 0.6, "post-update agreement {after}");
+        assert_eq!(policy.updates(), 2);
+    }
+
+    #[test]
+    fn empty_fit_is_noop() {
+        let mut policy = OuPolicy::new(PolicyConfig::paper(), &mut rng());
+        let initial = policy.clone();
+        assert_eq!(policy.fit(&[], 100), 0.0);
+        assert_eq!(policy.updates(), 0);
+        assert_eq!(policy, initial);
+    }
+
+    #[test]
+    fn predictions_always_on_grid() {
+        let policy = OuPolicy::new(PolicyConfig::paper(), &mut rng());
+        let mut r = rng();
+        for _ in 0..100 {
+            let f = [r.gen(), r.gen(), r.gen(), r.gen()];
+            let (a, b) = policy.predict(&f);
+            assert!(a < 6 && b < 6);
+            let (pa, pb) = policy.predict_proba(&f);
+            assert_eq!(pa.len(), 6);
+            assert_eq!(pb.len(), 6);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let policy = OuPolicy::new(PolicyConfig::paper(), &mut rng());
+        let json = serde_json::to_string(&policy).unwrap();
+        let back: OuPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(policy, back);
+    }
+}

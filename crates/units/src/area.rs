@@ -1,0 +1,52 @@
+//! Silicon area.
+
+use crate::quantity::quantity;
+
+quantity!(
+    /// Silicon area in square millimeters.
+    ///
+    /// Table I itemizes the 0.28 mm² ReRAM tile; §V.E reports the OU/ADC
+    /// controller overhead (0.005 mm²) and the total online-learning
+    /// hardware overhead (0.076 mm², 0.2 % of the 36-PE system).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use odin_units::SquareMillimeters;
+    /// let tile = SquareMillimeters::new(0.28);
+    /// let ctrl = SquareMillimeters::new(0.005);
+    /// assert!((ctrl / tile - 0.017857).abs() < 1e-4);
+    /// ```
+    SquareMillimeters,
+    "mm²"
+);
+
+impl SquareMillimeters {
+    /// The fraction this area represents of `total`, in percent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero.
+    #[must_use]
+    pub fn percent_of(self, total: SquareMillimeters) -> f64 {
+        assert!(total.value() != 0.0, "total area must be nonzero");
+        self.value() / total.value() * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_of_tile() {
+        let pct = SquareMillimeters::new(0.005).percent_of(SquareMillimeters::new(0.28));
+        assert!((pct - 1.7857).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn percent_of_zero_panics() {
+        let _ = SquareMillimeters::new(1.0).percent_of(SquareMillimeters::ZERO);
+    }
+}

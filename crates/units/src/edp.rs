@@ -1,0 +1,40 @@
+//! Energy-delay product.
+
+use crate::quantity::quantity;
+
+quantity!(
+    /// Energy-delay product (joule-seconds), the figure of merit the
+    /// paper's search and the learned policy both minimize.
+    ///
+    /// Constructed by multiplying [`crate::Joules`] by
+    /// [`crate::Seconds`]; direct construction via
+    /// [`EnergyDelayProduct::new`] is available for normalized values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use odin_units::{Joules, Seconds, EnergyDelayProduct};
+    /// let edp = Joules::new(1.5) * Seconds::new(2.0);
+    /// assert_eq!(edp, EnergyDelayProduct::new(3.0));
+    /// ```
+    EnergyDelayProduct,
+    "J·s"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_ratio() {
+        let a = EnergyDelayProduct::new(8.0);
+        let b = EnergyDelayProduct::new(2.0);
+        assert!(a > b);
+        assert!((a / b - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!EnergyDelayProduct::ZERO.to_string().is_empty());
+    }
+}

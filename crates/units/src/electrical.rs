@@ -1,0 +1,172 @@
+//! Electrical quantities: conductance, resistance, voltage, current, power.
+
+use crate::energy::Joules;
+use crate::quantity::quantity;
+use crate::time::Seconds;
+
+quantity!(
+    /// Electrical conductance in siemens.
+    ///
+    /// ReRAM cells store DNN weights as conductances between `G_OFF`
+    /// (0.33 µS) and `G_ON` (333 µS, Table II). Conductance drift and
+    /// IR-drop both manifest as changes to this quantity (Eq. 3–4).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use odin_units::Siemens;
+    /// let g_on = Siemens::from_micro(333.0);
+    /// assert!((g_on.value() - 333e-6).abs() < 1e-12);
+    /// ```
+    Siemens,
+    "S"
+);
+
+quantity!(
+    /// Electrical resistance in ohms (crossbar wire parasitics, Table II
+    /// uses `R_wire` = 1 Ω per cell segment).
+    Ohms,
+    "Ω"
+);
+
+quantity!(
+    /// Electrical potential in volts (read/program pulse amplitudes).
+    Volts,
+    "V"
+);
+
+quantity!(
+    /// Electrical current in amperes (bitline sums sensed by the S&H/ADC).
+    Amperes,
+    "A"
+);
+
+quantity!(
+    /// Power in watts (controller and policy-inference overheads are
+    /// reported in milliwatts in §V.E).
+    Watts,
+    "W"
+);
+
+impl Siemens {
+    /// Constructs a conductance from microsiemens.
+    #[must_use]
+    pub fn from_micro(us: f64) -> Self {
+        Self::new(us * 1e-6)
+    }
+
+    /// The conductance in microsiemens.
+    #[must_use]
+    pub fn as_micro(self) -> f64 {
+        self.value() * 1e6
+    }
+
+    /// The reciprocal resistance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conductance is zero.
+    #[must_use]
+    pub fn to_resistance(self) -> Ohms {
+        assert!(self.value() != 0.0, "zero conductance has no resistance");
+        Ohms::new(1.0 / self.value())
+    }
+}
+
+impl Ohms {
+    /// The reciprocal conductance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance is zero.
+    #[must_use]
+    pub fn to_conductance(self) -> Siemens {
+        assert!(self.value() != 0.0, "zero resistance has no conductance");
+        Siemens::new(1.0 / self.value())
+    }
+}
+
+impl Watts {
+    /// Constructs a power from milliwatts.
+    #[must_use]
+    pub fn from_milli(mw: f64) -> Self {
+        Self::new(mw * 1e-3)
+    }
+
+    /// The power in milliwatts.
+    #[must_use]
+    pub fn as_milli(self) -> f64 {
+        self.value() * 1e3
+    }
+}
+
+impl std::ops::Mul<Seconds> for Watts {
+    type Output = Joules;
+
+    /// Power sustained for a duration yields energy.
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.value() * rhs.value())
+    }
+}
+
+impl std::ops::Mul<Volts> for Amperes {
+    type Output = Watts;
+
+    /// Current at a potential dissipates power.
+    fn mul(self, rhs: Volts) -> Watts {
+        Watts::new(self.value() * rhs.value())
+    }
+}
+
+impl std::ops::Mul<Volts> for Siemens {
+    type Output = Amperes;
+
+    /// Ohm's law: `I = G · V`.
+    fn mul(self, rhs: Volts) -> Amperes {
+        Amperes::new(self.value() * rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn conductance_resistance_reciprocal() {
+        let g = Siemens::from_micro(333.0);
+        let r = g.to_resistance();
+        assert!((r.value() - 1.0 / 333e-6).abs() < 1e-6);
+        let back = r.to_conductance();
+        assert!((back.value() - g.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero conductance")]
+    fn zero_conductance_panics() {
+        let _ = Siemens::ZERO.to_resistance();
+    }
+
+    #[test]
+    fn ohms_law_chain() {
+        let i = Siemens::new(0.01) * Volts::new(0.5);
+        assert!((i.value() - 0.005).abs() < 1e-15);
+        let p = i * Volts::new(0.5);
+        assert!((p.value() - 0.0025).abs() < 1e-15);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Watts::from_milli(0.14) * Seconds::new(2.0);
+        assert!((e.value() - 0.28e-3).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn reciprocal_roundtrip(us in 1e-3f64..1e6) {
+            let g = Siemens::from_micro(us);
+            let rt = g.to_resistance().to_conductance();
+            prop_assert!((rt.value() - g.value()).abs() <= 1e-9 * g.value());
+        }
+    }
+}

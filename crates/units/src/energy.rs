@@ -1,0 +1,92 @@
+//! Energy.
+
+use crate::edp::EnergyDelayProduct;
+use crate::quantity::quantity;
+use crate::time::Seconds;
+
+quantity!(
+    /// An amount of energy in joules.
+    ///
+    /// ADC conversions, OU activations, NoC hops, eDRAM accesses and
+    /// reprogramming pulses all contribute joules; Odin's objective is
+    /// the product of total energy and total latency
+    /// ([`EnergyDelayProduct`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use odin_units::Joules;
+    /// let e = Joules::from_picojoules(2.0) + Joules::from_nanojoules(1.0);
+    /// assert!((e.as_picojoules() - 1002.0).abs() < 1e-9);
+    /// ```
+    Joules,
+    "J"
+);
+
+impl Joules {
+    /// Constructs an energy from picojoules.
+    #[must_use]
+    pub fn from_picojoules(pj: f64) -> Self {
+        Self::new(pj * 1e-12)
+    }
+
+    /// Constructs an energy from nanojoules.
+    #[must_use]
+    pub fn from_nanojoules(nj: f64) -> Self {
+        Self::new(nj * 1e-9)
+    }
+
+    /// Constructs an energy from microjoules.
+    #[must_use]
+    pub fn from_microjoules(uj: f64) -> Self {
+        Self::new(uj * 1e-6)
+    }
+
+    /// The energy in picojoules.
+    #[must_use]
+    pub fn as_picojoules(self) -> f64 {
+        self.value() * 1e12
+    }
+
+    /// The energy in microjoules.
+    #[must_use]
+    pub fn as_microjoules(self) -> f64 {
+        self.value() * 1e6
+    }
+}
+
+impl std::ops::Mul<Seconds> for Joules {
+    type Output = EnergyDelayProduct;
+
+    /// Energy × delay: the figure of merit minimized by Odin.
+    fn mul(self, rhs: Seconds) -> EnergyDelayProduct {
+        EnergyDelayProduct::new(self.value() * rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scaled_constructors() {
+        assert!((Joules::from_picojoules(1e12).value() - 1.0).abs() < 1e-9);
+        assert!((Joules::from_nanojoules(1e9).value() - 1.0).abs() < 1e-9);
+        assert!((Joules::from_microjoules(1e6).value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edp_from_product() {
+        let edp = Joules::new(2.0) * Seconds::new(3.0);
+        assert!((edp.value() - 6.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn product_commutes_with_raw(e in 0.0f64..1e3, t in 0.0f64..1e3) {
+            let edp = Joules::new(e) * Seconds::new(t);
+            prop_assert!((edp.value() - e * t).abs() <= 1e-9 * (e * t).max(1.0));
+        }
+    }
+}

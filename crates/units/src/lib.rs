@@ -1,0 +1,135 @@
+//! Typed physical quantities for the Odin ReRAM PIM simulator.
+//!
+//! Every analytical model in the Odin stack ([Eq. 1–4 of the paper])
+//! mixes quantities of different dimensions: seconds of drift time,
+//! joules of ADC energy, siemens of cell conductance, ohms of wire
+//! resistance, square millimeters of tile area. Passing them all around
+//! as bare `f64` invites the classic unit-confusion bugs, so this crate
+//! provides zero-cost newtypes with the arithmetic each dimension
+//! actually supports.
+//!
+//! # Examples
+//!
+//! ```
+//! use odin_units::{Seconds, Joules, EnergyDelayProduct};
+//!
+//! let energy = Joules::from_picojoules(250.0);
+//! let latency = Seconds::from_nanos(40.0);
+//! let edp: EnergyDelayProduct = energy * latency;
+//! assert!(edp.value() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod edp;
+mod electrical;
+mod energy;
+mod quantity;
+mod time;
+
+pub use area::SquareMillimeters;
+pub use edp::EnergyDelayProduct;
+pub use electrical::{Amperes, Ohms, Siemens, Volts, Watts};
+pub use energy::Joules;
+pub use time::Seconds;
+
+/// A count of discrete hardware cycles (OU compute cycles, NoC hops,
+/// ADC conversions). Kept as its own type so a cycle count is never
+/// accidentally used where wall-clock time is expected.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    Default,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// The raw cycle count.
+    #[must_use]
+    pub fn count(self) -> u64 {
+        self.0
+    }
+
+    /// Convert to wall-clock time at the given clock frequency in hertz.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use odin_units::Cycles;
+    /// let t = Cycles(1_200_000_000).at_frequency_hz(1.2e9);
+    /// assert!((t.value() - 1.0).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn at_frequency_hz(self, hz: f64) -> Seconds {
+        Seconds::new(self.0 as f64 / hz)
+    }
+}
+
+impl std::ops::Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl std::iter::Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl std::fmt::Display for Cycles {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_add_and_sum() {
+        let total: Cycles = [Cycles(1), Cycles(2), Cycles(3)].into_iter().sum();
+        assert_eq!(total, Cycles(6));
+        assert_eq!(Cycles(2) + Cycles(3), Cycles(5));
+        assert_eq!(Cycles(2) * 4, Cycles(8));
+    }
+
+    #[test]
+    fn cycles_to_time() {
+        let t = Cycles(2_400_000_000).at_frequency_hz(1.2e9);
+        assert!((t.value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_display_nonempty() {
+        assert_eq!(Cycles(7).to_string(), "7 cycles");
+    }
+}

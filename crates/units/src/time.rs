@@ -1,0 +1,92 @@
+//! Wall-clock time.
+
+use crate::quantity::quantity;
+
+quantity!(
+    /// A duration or instant expressed in seconds.
+    ///
+    /// Odin measures drift time `t` (Eq. 3) in seconds from the moment the
+    /// ReRAM arrays were last programmed; the paper sweeps `t` from `t₀`
+    /// (1 s) up to `1e8 s`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use odin_units::Seconds;
+    /// let t = Seconds::from_nanos(40.0);
+    /// assert!((t.value() - 4.0e-8).abs() < 1e-20);
+    /// ```
+    Seconds,
+    "s"
+);
+
+impl Seconds {
+    /// Constructs a duration from nanoseconds.
+    #[must_use]
+    pub fn from_nanos(ns: f64) -> Self {
+        Self::new(ns * 1e-9)
+    }
+
+    /// Constructs a duration from microseconds.
+    #[must_use]
+    pub fn from_micros(us: f64) -> Self {
+        Self::new(us * 1e-6)
+    }
+
+    /// Constructs a duration from milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::new(ms * 1e-3)
+    }
+
+    /// The duration in nanoseconds.
+    #[must_use]
+    pub fn as_nanos(self) -> f64 {
+        self.value() * 1e9
+    }
+
+    /// The duration in microseconds.
+    #[must_use]
+    pub fn as_micros(self) -> f64 {
+        self.value() * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = Seconds::from_micros(2.5);
+        assert!((t.as_micros() - 2.5).abs() < 1e-12);
+        assert!((t.as_nanos() - 2500.0).abs() < 1e-9);
+        assert!((Seconds::from_millis(1.0).value() - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Seconds::new(2.0);
+        let b = Seconds::new(0.5);
+        assert!(((a + b).value() - 2.5).abs() < 1e-12);
+        assert!(((a - b).value() - 1.5).abs() < 1e-12);
+        assert!(((a * 3.0).value() - 6.0).abs() < 1e-12);
+        assert!((a / b - 4.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn sum_matches_scalar_sum(values in proptest::collection::vec(0.0f64..1e6, 0..32)) {
+            let typed: Seconds = values.iter().map(|&v| Seconds::new(v)).sum();
+            let raw: f64 = values.iter().sum();
+            prop_assert!((typed.value() - raw).abs() <= 1e-9 * raw.max(1.0));
+        }
+
+        #[test]
+        fn nanos_roundtrip(ns in 0.0f64..1e12) {
+            let t = Seconds::from_nanos(ns);
+            prop_assert!((t.as_nanos() - ns).abs() <= 1e-9 * ns.max(1.0));
+        }
+    }
+}

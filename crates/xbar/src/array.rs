@@ -1,0 +1,329 @@
+//! The physical crossbar array.
+
+use odin_device::{CellLevel, DeviceParams, FaultKind, FaultMap, ReprogramCost, ReramCell};
+use odin_units::{Seconds, Siemens};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::CrossbarConfig;
+
+/// A `c × c` grid of ReRAM cells with an associated fault map.
+///
+/// The crossbar owns programming (with programming variation from the
+/// configured noise model), drift-aware conductance reads, and
+/// whole-array reprogramming. All analog behaviour above single cells —
+/// OU scheduling, IR-drop, MVM — lives in the sibling modules and takes
+/// the array by reference.
+///
+/// # Examples
+///
+/// ```
+/// use odin_xbar::{Crossbar, CrossbarConfig};
+/// use odin_device::CellLevel;
+/// use odin_units::Seconds;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut xbar = Crossbar::new(CrossbarConfig::paper_128());
+/// xbar.program_cell(0, 0, CellLevel(3), Seconds::new(1.0), &mut rng);
+/// let fresh = xbar.conductance(0, 0, Seconds::new(1.0));
+/// let aged = xbar.conductance(0, 0, Seconds::new(1e6));
+/// assert!(aged < fresh);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Crossbar {
+    config: CrossbarConfig,
+    cells: Vec<ReramCell>,
+    faults: FaultMap,
+    last_programmed: Seconds,
+    write_passes: u64,
+}
+
+impl Crossbar {
+    /// Creates a fault-free crossbar with every cell erased.
+    #[must_use]
+    pub fn new(config: CrossbarConfig) -> Self {
+        let n = config.size() * config.size();
+        let cells = vec![ReramCell::new(config.device()); n];
+        let t0 = config.device().program_reference_time();
+        Self {
+            config,
+            cells,
+            faults: FaultMap::new(),
+            last_programmed: t0,
+            write_passes: 0,
+        }
+    }
+
+    /// The static configuration.
+    #[must_use]
+    pub fn config(&self) -> &CrossbarConfig {
+        &self.config
+    }
+
+    /// The crossbar dimension `c`.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.config.size()
+    }
+
+    /// Installs a hard-fault map (replacing any previous one).
+    pub fn set_faults(&mut self, faults: FaultMap) {
+        self.faults = faults;
+    }
+
+    /// The installed fault map.
+    #[must_use]
+    pub fn faults(&self) -> &FaultMap {
+        &self.faults
+    }
+
+    /// When the array was last (re)programmed.
+    #[must_use]
+    pub fn last_programmed(&self) -> Seconds {
+        self.last_programmed
+    }
+
+    /// Age of the stored weights at wall-clock time `now` (zero when
+    /// `now` precedes the last programming pass).
+    #[must_use]
+    pub fn age_at(&self, now: Seconds) -> Seconds {
+        Seconds::new((now.value() - self.last_programmed.value()).max(0.0))
+    }
+
+    /// Number of full programming passes the array has absorbed.
+    #[must_use]
+    pub fn write_passes(&self) -> u64 {
+        self.write_passes
+    }
+
+    fn index(&self, row: usize, col: usize) -> usize {
+        let c = self.size();
+        assert!(row < c && col < c, "cell ({row},{col}) outside {c}×{c} array");
+        row * c + col
+    }
+
+    /// Programs one cell to `level` at wall-clock instant `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds or the level exceeds
+    /// the device range.
+    pub fn program_cell<R: Rng + ?Sized>(
+        &mut self,
+        row: usize,
+        col: usize,
+        level: CellLevel,
+        now: Seconds,
+        rng: &mut R,
+    ) {
+        let idx = self.index(row, col);
+        let noise = *self.config.noise();
+        let device = self.config.device().clone();
+        self.cells[idx].program(level, now, &device, &noise, rng);
+    }
+
+    /// Programs the whole array from a row-major level matrix at
+    /// wall-clock instant `now`, resetting the drift clock. Cells
+    /// beyond the matrix extent are erased to level 0. Returns the
+    /// programming cost of the pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is larger than the array.
+    pub fn program_matrix<R: Rng + ?Sized>(
+        &mut self,
+        levels: &[Vec<CellLevel>],
+        now: Seconds,
+        rng: &mut R,
+    ) -> ReprogramCost {
+        let c = self.size();
+        assert!(levels.len() <= c, "matrix has more rows than the array");
+        for (r, row) in levels.iter().enumerate() {
+            assert!(row.len() <= c, "matrix row {r} wider than the array");
+        }
+        for row in 0..c {
+            for col in 0..c {
+                let level = levels
+                    .get(row)
+                    .and_then(|r| r.get(col))
+                    .copied()
+                    .unwrap_or(CellLevel(0));
+                self.program_cell(row, col, level, now, rng);
+            }
+        }
+        self.last_programmed = now;
+        self.write_passes += 1;
+        ReprogramCost::for_cells((c * c) as u64, self.config.device())
+    }
+
+    /// Rewrites every cell to its currently stored level, restoring
+    /// pristine conductances (a reprogramming pass, Algorithm 1 line 8).
+    /// Returns the cost of the pass.
+    pub fn reprogram<R: Rng + ?Sized>(&mut self, now: Seconds, rng: &mut R) -> ReprogramCost {
+        let c = self.size();
+        for row in 0..c {
+            for col in 0..c {
+                let idx = self.index(row, col);
+                let level = self.cells[idx].level();
+                self.program_cell(row, col, level, now, rng);
+            }
+        }
+        self.last_programmed = now;
+        self.write_passes += 1;
+        ReprogramCost::for_cells((c * c) as u64, self.config.device())
+    }
+
+    /// The stored level of a cell.
+    #[must_use]
+    pub fn level(&self, row: usize, col: usize) -> CellLevel {
+        self.cells[self.index(row, col)].level()
+    }
+
+    /// The conductance a cell presents at wall-clock time `now`,
+    /// including drift and hard faults (stuck cells ignore their
+    /// programmed state).
+    #[must_use]
+    pub fn conductance(&self, row: usize, col: usize, now: Seconds) -> Siemens {
+        match self.faults.get(row, col) {
+            Some(FaultKind::StuckOn) => self.config.device().g_on(),
+            Some(FaultKind::StuckOff) => self.config.device().g_off(),
+            None => {
+                let idx = self.index(row, col);
+                self.cells[idx].effective_conductance(now, self.config.device())
+            }
+        }
+    }
+
+    /// The device corner (convenience passthrough).
+    #[must_use]
+    pub fn device(&self) -> &DeviceParams {
+        self.config.device()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odin_device::{FaultInjector, NoiseModel};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(17)
+    }
+
+    fn small() -> Crossbar {
+        Crossbar::new(CrossbarConfig::builder().size(8).build().unwrap())
+    }
+
+    #[test]
+    fn fresh_array_is_erased() {
+        let x = small();
+        assert_eq!(x.size(), 8);
+        assert_eq!(x.level(3, 3), CellLevel(0));
+        assert_eq!(x.write_passes(), 0);
+        let g = x.conductance(3, 3, Seconds::new(1.0));
+        assert_eq!(g, DeviceParams::paper().g_off());
+    }
+
+    #[test]
+    fn program_matrix_sets_levels_and_erases_rest() {
+        let mut x = small();
+        let mut r = rng();
+        let m = vec![vec![CellLevel(3), CellLevel(1)], vec![CellLevel(2)]];
+        let cost = x.program_matrix(&m, Seconds::new(1.0), &mut r);
+        assert_eq!(cost.cells(), 64);
+        assert_eq!(x.level(0, 0), CellLevel(3));
+        assert_eq!(x.level(0, 1), CellLevel(1));
+        assert_eq!(x.level(1, 0), CellLevel(2));
+        assert_eq!(x.level(7, 7), CellLevel(0));
+        assert_eq!(x.write_passes(), 1);
+    }
+
+    #[test]
+    fn reprogram_resets_drift_clock() {
+        let mut x = small();
+        let mut r = rng();
+        x.program_matrix(&[vec![CellLevel(3)]], Seconds::new(1.0), &mut r);
+        let aged = x.conductance(0, 0, Seconds::new(1e7));
+        assert!(aged < x.device().g_on());
+        x.reprogram(Seconds::new(1e7), &mut r);
+        assert_eq!(x.last_programmed(), Seconds::new(1e7));
+        assert_eq!(x.write_passes(), 2);
+        let restored = x.conductance(0, 0, Seconds::new(1e7));
+        assert!((restored.value() - x.device().g_on().value()).abs() < 1e-15);
+        assert_eq!(x.level(0, 0), CellLevel(3), "reprogram preserves data");
+    }
+
+    #[test]
+    fn age_at_saturates_at_zero() {
+        let mut x = small();
+        let mut r = rng();
+        x.program_matrix(&[], Seconds::new(100.0), &mut r);
+        assert_eq!(x.age_at(Seconds::new(50.0)), Seconds::ZERO);
+        assert_eq!(x.age_at(Seconds::new(150.0)), Seconds::new(50.0));
+    }
+
+    #[test]
+    fn stuck_faults_override_programming() {
+        let mut x = small();
+        let mut r = rng();
+        x.program_matrix(&[vec![CellLevel(3), CellLevel(3)]], Seconds::new(1.0), &mut r);
+        let mut faults = FaultMap::new();
+        faults.insert(0, 0, FaultKind::StuckOff);
+        faults.insert(0, 1, FaultKind::StuckOn);
+        x.set_faults(faults);
+        assert_eq!(x.conductance(0, 0, Seconds::new(1.0)), x.device().g_off());
+        assert_eq!(x.conductance(0, 1, Seconds::new(1.0)), x.device().g_on());
+        assert_eq!(x.faults().len(), 2);
+    }
+
+    #[test]
+    fn programming_noise_spreads_conductance() {
+        let cfg = CrossbarConfig::builder()
+            .size(8)
+            .noise(NoiseModel::representative())
+            .build()
+            .unwrap();
+        let mut x = Crossbar::new(cfg);
+        let mut r = rng();
+        let m: Vec<Vec<CellLevel>> = (0..8).map(|_| vec![CellLevel(3); 8]).collect();
+        x.program_matrix(&m, Seconds::new(1.0), &mut r);
+        let g_on = x.device().g_on().value();
+        let mut distinct = std::collections::HashSet::new();
+        for row in 0..8 {
+            for col in 0..8 {
+                let g = x.conductance(row, col, Seconds::new(1.0)).value();
+                assert!((g - g_on).abs() < 0.2 * g_on, "within ±20 % of target");
+                distinct.insert((g * 1e12) as i64);
+            }
+        }
+        assert!(distinct.len() > 32, "noise should spread values");
+    }
+
+    #[test]
+    fn fault_injection_composes() {
+        let mut x = small();
+        let mut r = rng();
+        let faults = FaultInjector::new(0.5, 0.5).inject(8, 8, &mut r);
+        let n = faults.len();
+        x.set_faults(faults);
+        assert_eq!(x.faults().len(), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_bounds_read_panics() {
+        let x = small();
+        let _ = x.conductance(8, 0, Seconds::new(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "more rows")]
+    fn oversized_matrix_panics() {
+        let mut x = small();
+        let mut r = rng();
+        let m = vec![vec![CellLevel(0)]; 9];
+        let _ = x.program_matrix(&m, Seconds::new(1.0), &mut r);
+    }
+}

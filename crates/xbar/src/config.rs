@@ -1,0 +1,188 @@
+//! Crossbar configuration.
+
+use odin_device::{DeviceParams, NoiseModel};
+use odin_units::Ohms;
+use serde::{Deserialize, Serialize};
+
+use crate::error::XbarError;
+
+/// Static configuration of one crossbar array.
+///
+/// The paper's baseline is a 128×128 array with 1 Ω of wire resistance
+/// per cell segment (Table II); the sensitivity study (Fig. 9) also
+/// uses 64×64 and 32×32.
+///
+/// # Examples
+///
+/// ```
+/// use odin_xbar::CrossbarConfig;
+///
+/// let cfg = CrossbarConfig::paper_128();
+/// assert_eq!(cfg.size(), 128);
+/// let small = CrossbarConfig::builder().size(32).build()?;
+/// assert_eq!(small.size(), 32);
+/// # Ok::<(), odin_xbar::XbarError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarConfig {
+    size: usize,
+    wire_resistance: Ohms,
+    device: DeviceParams,
+    noise: NoiseModel,
+}
+
+impl CrossbarConfig {
+    /// The paper's 128×128 corner (Table I/II).
+    #[must_use]
+    pub fn paper_128() -> Self {
+        Self {
+            size: 128,
+            wire_resistance: Ohms::new(1.0),
+            device: DeviceParams::paper(),
+            noise: NoiseModel::disabled(),
+        }
+    }
+
+    /// Starts building a configuration from the paper corner.
+    #[must_use]
+    pub fn builder() -> CrossbarConfigBuilder {
+        CrossbarConfigBuilder {
+            inner: Self::paper_128(),
+        }
+    }
+
+    /// Crossbar dimension `c` (the array is `c × c`).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Per-segment wire resistance `R_wire` (Eq. 4).
+    #[must_use]
+    pub fn wire_resistance(&self) -> Ohms {
+        self.wire_resistance
+    }
+
+    /// The ReRAM device corner.
+    #[must_use]
+    pub fn device(&self) -> &DeviceParams {
+        &self.device
+    }
+
+    /// The stochastic noise models applied on program/read.
+    #[must_use]
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+}
+
+impl Default for CrossbarConfig {
+    fn default() -> Self {
+        Self::paper_128()
+    }
+}
+
+/// Builder for [`CrossbarConfig`].
+#[derive(Debug, Clone)]
+pub struct CrossbarConfigBuilder {
+    inner: CrossbarConfig,
+}
+
+impl CrossbarConfigBuilder {
+    /// Sets the crossbar dimension (power of two, ≥ 4).
+    #[must_use]
+    pub fn size(mut self, size: usize) -> Self {
+        self.inner.size = size;
+        self
+    }
+
+    /// Sets the per-segment wire resistance.
+    #[must_use]
+    pub fn wire_resistance(mut self, r: Ohms) -> Self {
+        self.inner.wire_resistance = r;
+        self
+    }
+
+    /// Sets the device corner.
+    #[must_use]
+    pub fn device(mut self, device: DeviceParams) -> Self {
+        self.inner.device = device;
+        self
+    }
+
+    /// Sets the noise models.
+    #[must_use]
+    pub fn noise(mut self, noise: NoiseModel) -> Self {
+        self.inner.noise = noise;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidConfig`] when the size is not a power
+    /// of two in `[4, 1024]` or the wire resistance is negative.
+    pub fn build(self) -> Result<CrossbarConfig, XbarError> {
+        let c = &self.inner;
+        if !c.size.is_power_of_two() || c.size < 4 || c.size > 1024 {
+            return Err(XbarError::InvalidConfig {
+                name: "size",
+                reason: "must be a power of two in [4, 1024]",
+            });
+        }
+        if c.wire_resistance.value() < 0.0 || !c.wire_resistance.value().is_finite() {
+            return Err(XbarError::InvalidConfig {
+                name: "wire_resistance",
+                reason: "must be finite and non-negative",
+            });
+        }
+        Ok(self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_corner() {
+        let c = CrossbarConfig::paper_128();
+        assert_eq!(c.size(), 128);
+        assert!((c.wire_resistance().value() - 1.0).abs() < 1e-12);
+        assert_eq!(c.device(), &DeviceParams::paper());
+        assert_eq!(CrossbarConfig::default(), c);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = CrossbarConfig::builder()
+            .size(64)
+            .wire_resistance(Ohms::new(2.0))
+            .noise(NoiseModel::representative())
+            .build()
+            .unwrap();
+        assert_eq!(c.size(), 64);
+        assert!((c.wire_resistance().value() - 2.0).abs() < 1e-12);
+        assert_eq!(c.noise(), &NoiseModel::representative());
+    }
+
+    #[test]
+    fn builder_rejects_bad_sizes() {
+        assert!(CrossbarConfig::builder().size(100).build().is_err());
+        assert!(CrossbarConfig::builder().size(2).build().is_err());
+        assert!(CrossbarConfig::builder().size(2048).build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_bad_resistance() {
+        assert!(CrossbarConfig::builder()
+            .wire_resistance(Ohms::new(-1.0))
+            .build()
+            .is_err());
+        assert!(CrossbarConfig::builder()
+            .wire_resistance(Ohms::new(f64::NAN))
+            .build()
+            .is_err());
+    }
+}

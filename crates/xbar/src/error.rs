@@ -1,0 +1,75 @@
+//! Crossbar-layer error type.
+
+use crate::ou::OuShape;
+
+/// Errors produced by the crossbar layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum XbarError {
+    /// An OU shape does not fit inside the crossbar it was applied to.
+    OuExceedsCrossbar {
+        /// The offending shape.
+        shape: OuShape,
+        /// The crossbar dimension.
+        size: usize,
+    },
+    /// A weight matrix dimension was zero.
+    EmptyWeightMatrix,
+    /// The input vector length does not match the mapped fan-in.
+    InputLengthMismatch {
+        /// Length supplied by the caller.
+        got: usize,
+        /// Length the mapping expects.
+        expected: usize,
+    },
+    /// A configuration parameter failed validation.
+    InvalidConfig {
+        /// The parameter name.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for XbarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XbarError::OuExceedsCrossbar { shape, size } => {
+                write!(f, "operation unit {shape} exceeds crossbar size {size}×{size}")
+            }
+            XbarError::EmptyWeightMatrix => write!(f, "weight matrix has a zero dimension"),
+            XbarError::InputLengthMismatch { got, expected } => {
+                write!(f, "input vector length {got} does not match mapped fan-in {expected}")
+            }
+            XbarError::InvalidConfig { name, reason } => {
+                write!(f, "invalid crossbar configuration `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XbarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = XbarError::OuExceedsCrossbar {
+            shape: OuShape::new(256, 8),
+            size: 128,
+        };
+        assert!(e.to_string().contains("128×128"));
+        assert!(XbarError::EmptyWeightMatrix.to_string().contains("zero"));
+        let e = XbarError::InputLengthMismatch { got: 3, expected: 9 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<XbarError>();
+    }
+}

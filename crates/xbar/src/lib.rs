@@ -1,0 +1,58 @@
+//! ReRAM crossbar arrays with operation-unit (OU) based computation.
+//!
+//! A crossbar is a `c × c` grid of ReRAM cells whose stored conductances
+//! encode DNN weights. Activating all `c` wordlines at once maximizes
+//! throughput but also maximizes IR-drop and drift sensitivity, so
+//! computation proceeds in **operation units** ([`OuShape`]): only
+//! `R × C` cells are active per cycle, and all-zero rows inside an OU
+//! are skipped to exploit weight sparsity.
+//!
+//! The crate provides:
+//!
+//! * [`CrossbarConfig`] / [`Crossbar`] — the physical array (cells,
+//!   faults, programming, drift-aware reads).
+//! * [`OuShape`] and [`OuGrid`] — OU geometry and the discrete `2^L`
+//!   search grid the Odin policy predicts over.
+//! * [`LayerMapping`] — how a weight matrix spans multiple crossbars
+//!   with differential column pairs (yields `Xbar_j` of Eq. 2).
+//! * [`OuScheduler`] — exact OU cycle counting (`OU_j` of Eq. 1–2) with
+//!   zero-row skipping, and the activation schedule for functional MVM.
+//! * [`NonIdealityModel`] — Eq. 4's `ΔG` plus a per-cell IR-drop
+//!   attenuation used by the non-ideal MVM path.
+//! * [`mvm`] — ideal and non-ideal matrix-vector products.
+//!
+//! # Examples
+//!
+//! ```
+//! use odin_xbar::{OuShape, NonIdealityModel};
+//! use odin_device::DeviceParams;
+//! use odin_units::{Ohms, Seconds};
+//!
+//! let model = NonIdealityModel::new(DeviceParams::paper(), Ohms::new(1.0));
+//! let small = model.delta_g(OuShape::new(8, 4), Seconds::new(1e4));
+//! let large = model.delta_g(OuShape::new(64, 64), Seconds::new(1e4));
+//! assert!(small < large, "bigger OUs suffer more IR-drop");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod config;
+mod error;
+mod mapping;
+mod nonideal;
+mod ou;
+mod schedule;
+
+pub mod mvm;
+
+pub use array::Crossbar;
+pub use config::CrossbarConfig;
+pub use error::XbarError;
+pub use mapping::{unit_codec, LayerMapping, MappedTile};
+pub use nonideal::NonIdealityModel;
+pub use ou::{OuGrid, OuShape};
+pub use schedule::{
+    estimate_cycles, estimate_cycles_with_activations, OuActivation, OuSchedule, OuScheduler,
+};

@@ -1,0 +1,379 @@
+//! Mapping a logical weight matrix onto physical crossbar tiles.
+
+use odin_device::{CellLevel, DeviceParams, WeightCodec};
+use serde::{Deserialize, Serialize};
+
+use crate::error::XbarError;
+
+/// One crossbar-sized tile of a mapped layer: which logical weight rows
+/// and columns it holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MappedTile {
+    /// First logical weight row (fan-in index) stored in this tile.
+    pub row_start: usize,
+    /// One past the last logical weight row.
+    pub row_end: usize,
+    /// First logical weight column (fan-out index) stored in this tile.
+    pub col_start: usize,
+    /// One past the last logical weight column.
+    pub col_end: usize,
+}
+
+impl MappedTile {
+    /// Logical rows held by this tile.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.row_end - self.row_start
+    }
+
+    /// Logical columns held by this tile.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.col_end - self.col_start
+    }
+}
+
+/// How a `rows × cols` logical weight matrix spans crossbars of
+/// dimension `c`.
+///
+/// Signed weights use **differential column pairs**: each logical
+/// output column occupies two physical bitlines (plus/minus), so one
+/// crossbar holds `c` fan-in rows × `c/2` fan-out columns. The number
+/// of tiles is `Xbar_j` in Eq. 2.
+///
+/// # Examples
+///
+/// ```
+/// use odin_xbar::LayerMapping;
+///
+/// // A 3×3-kernel, 128-channel conv layer: fan-in 1152, fan-out 128.
+/// let m = LayerMapping::new(1152, 128, 128)?;
+/// assert_eq!(m.tiles_down(), 9);   // ceil(1152 / 128)
+/// assert_eq!(m.tiles_across(), 2); // ceil(128 / 64)
+/// assert_eq!(m.crossbar_count(), 18);
+/// # Ok::<(), odin_xbar::XbarError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerMapping {
+    rows: usize,
+    cols: usize,
+    crossbar_size: usize,
+}
+
+impl LayerMapping {
+    /// Creates a mapping for a `rows × cols` weight matrix on crossbars
+    /// of dimension `crossbar_size`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::EmptyWeightMatrix`] when either dimension is
+    /// zero, and [`XbarError::InvalidConfig`] when the crossbar is too
+    /// small to hold a differential pair.
+    pub fn new(rows: usize, cols: usize, crossbar_size: usize) -> Result<Self, XbarError> {
+        if rows == 0 || cols == 0 {
+            return Err(XbarError::EmptyWeightMatrix);
+        }
+        if crossbar_size < 2 {
+            return Err(XbarError::InvalidConfig {
+                name: "crossbar_size",
+                reason: "must hold at least one differential column pair",
+            });
+        }
+        Ok(Self {
+            rows,
+            cols,
+            crossbar_size,
+        })
+    }
+
+    /// Logical fan-in rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical fan-out columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The crossbar dimension tiles are cut to.
+    #[must_use]
+    pub fn crossbar_size(&self) -> usize {
+        self.crossbar_size
+    }
+
+    /// Logical fan-out columns that fit in one crossbar (`c / 2` due to
+    /// differential pairs).
+    #[must_use]
+    pub fn logical_cols_per_tile(&self) -> usize {
+        self.crossbar_size / 2
+    }
+
+    /// Tiles stacked vertically (`⌈rows / c⌉`).
+    #[must_use]
+    pub fn tiles_down(&self) -> usize {
+        self.rows.div_ceil(self.crossbar_size)
+    }
+
+    /// Tiles side by side (`⌈cols / (c/2)⌉`).
+    #[must_use]
+    pub fn tiles_across(&self) -> usize {
+        self.cols.div_ceil(self.logical_cols_per_tile())
+    }
+
+    /// Total crossbars needed — `Xbar_j` of Eq. 2.
+    #[must_use]
+    pub fn crossbar_count(&self) -> usize {
+        self.tiles_down() * self.tiles_across()
+    }
+
+    /// The tile at grid position `(down, across)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is outside the tile grid.
+    #[must_use]
+    pub fn tile(&self, down: usize, across: usize) -> MappedTile {
+        assert!(down < self.tiles_down(), "tile row {down} out of range");
+        assert!(
+            across < self.tiles_across(),
+            "tile column {across} out of range"
+        );
+        let lcpt = self.logical_cols_per_tile();
+        MappedTile {
+            row_start: down * self.crossbar_size,
+            row_end: ((down + 1) * self.crossbar_size).min(self.rows),
+            col_start: across * lcpt,
+            col_end: ((across + 1) * lcpt).min(self.cols),
+        }
+    }
+
+    /// Iterates over all tiles, row-major.
+    pub fn tiles(&self) -> impl Iterator<Item = MappedTile> + '_ {
+        let across = self.tiles_across();
+        (0..self.tiles_down())
+            .flat_map(move |d| (0..across).map(move |a| self.tile(d, a)))
+    }
+
+    /// Quantizes the slice of `weights` belonging to `tile` into a
+    /// physical level matrix (differential pairs interleaved:
+    /// plus at column `2k`, minus at `2k + 1`).
+    ///
+    /// `weights` is the full logical matrix, row-major, `rows × cols`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InputLengthMismatch`] when the matrix shape
+    /// does not match the mapping, or propagates codec range errors as
+    /// [`XbarError::InvalidConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` did not come from this mapping.
+    pub fn tile_levels(
+        &self,
+        weights: &[Vec<f64>],
+        tile: MappedTile,
+        codec: &WeightCodec,
+    ) -> Result<Vec<Vec<CellLevel>>, XbarError> {
+        self.check_shape(weights)?;
+        let mut out = Vec::with_capacity(tile.rows());
+        for r in tile.row_start..tile.row_end {
+            let mut row = Vec::with_capacity(tile.cols() * 2);
+            for k in tile.col_start..tile.col_end {
+                let w = weights[r][k].clamp(-codec.max_abs(), codec.max_abs());
+                let enc = codec.encode(w).map_err(|_| XbarError::InvalidConfig {
+                    name: "weights",
+                    reason: "weight not representable by the codec",
+                })?;
+                row.push(enc.plus);
+                row.push(enc.minus);
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    /// The nonzero mask of the tile's logical weights — `mask[r][k]` is
+    /// `true` when the weight at (local) row `r`, column `k` is nonzero.
+    /// This is what the OU scheduler consumes for zero-row skipping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InputLengthMismatch`] when the matrix shape
+    /// does not match the mapping.
+    pub fn tile_nonzero_mask(
+        &self,
+        weights: &[Vec<f64>],
+        tile: MappedTile,
+    ) -> Result<Vec<Vec<bool>>, XbarError> {
+        self.check_shape(weights)?;
+        Ok((tile.row_start..tile.row_end)
+            .map(|r| {
+                (tile.col_start..tile.col_end)
+                    .map(|k| weights[r][k] != 0.0)
+                    .collect()
+            })
+            .collect())
+    }
+
+    fn check_shape(&self, weights: &[Vec<f64>]) -> Result<(), XbarError> {
+        if weights.len() != self.rows {
+            return Err(XbarError::InputLengthMismatch {
+                got: weights.len(),
+                expected: self.rows,
+            });
+        }
+        if let Some(bad) = weights.iter().find(|r| r.len() != self.cols) {
+            return Err(XbarError::InputLengthMismatch {
+                got: bad.len(),
+                expected: self.cols,
+            });
+        }
+        Ok(())
+    }
+
+    /// Total programmed cells across all tiles (for reprogramming cost:
+    /// every mapped cell, including the differential partner, is
+    /// rewritten on a reprogram pass).
+    #[must_use]
+    pub fn programmed_cells(&self) -> u64 {
+        (self.rows as u64) * (self.cols as u64) * 2
+    }
+}
+
+/// Convenience: builds the codec matching a device corner with unit
+/// weight range, the default for normalized DNN layers.
+#[must_use]
+pub fn unit_codec(device: &DeviceParams) -> WeightCodec {
+    WeightCodec::new(device, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tiling_arithmetic() {
+        let m = LayerMapping::new(300, 100, 128).unwrap();
+        assert_eq!(m.tiles_down(), 3);
+        assert_eq!(m.logical_cols_per_tile(), 64);
+        assert_eq!(m.tiles_across(), 2);
+        assert_eq!(m.crossbar_count(), 6);
+        assert_eq!(m.programmed_cells(), 300 * 100 * 2);
+    }
+
+    #[test]
+    fn exact_fit_has_no_ragged_tiles() {
+        let m = LayerMapping::new(256, 128, 128).unwrap();
+        assert_eq!(m.crossbar_count(), 4);
+        for t in m.tiles() {
+            assert_eq!(t.rows(), 128);
+            assert_eq!(t.cols(), 64);
+        }
+    }
+
+    #[test]
+    fn ragged_edge_tiles_truncate() {
+        let m = LayerMapping::new(130, 65, 128).unwrap();
+        let last = m.tile(1, 1);
+        assert_eq!(last.rows(), 2);
+        assert_eq!(last.cols(), 1);
+    }
+
+    #[test]
+    fn tiles_cover_matrix_disjointly() {
+        let m = LayerMapping::new(200, 90, 64).unwrap();
+        let mut covered = vec![vec![0u8; 90]; 200];
+        for t in m.tiles() {
+            for r in t.row_start..t.row_end {
+                for c in t.col_start..t.col_end {
+                    covered[r][c] += 1;
+                }
+            }
+        }
+        assert!(covered.iter().flatten().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn rejects_empty_and_tiny() {
+        assert!(matches!(
+            LayerMapping::new(0, 4, 128),
+            Err(XbarError::EmptyWeightMatrix)
+        ));
+        assert!(matches!(
+            LayerMapping::new(4, 0, 128),
+            Err(XbarError::EmptyWeightMatrix)
+        ));
+        assert!(LayerMapping::new(4, 4, 1).is_err());
+    }
+
+    #[test]
+    fn tile_levels_interleave_differential_pairs() {
+        let m = LayerMapping::new(2, 2, 8).unwrap();
+        let codec = unit_codec(&DeviceParams::paper());
+        let weights = vec![vec![1.0, -1.0], vec![0.0, 0.5]];
+        let tile = m.tile(0, 0);
+        let levels = m.tile_levels(&weights, tile, &codec).unwrap();
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels[0].len(), 4);
+        // +1.0 → plus=3, minus=0; -1.0 → plus=0, minus=3.
+        assert_eq!(levels[0][0], CellLevel(3));
+        assert_eq!(levels[0][1], CellLevel(0));
+        assert_eq!(levels[0][2], CellLevel(0));
+        assert_eq!(levels[0][3], CellLevel(3));
+        // Zero → both erased.
+        assert_eq!(levels[1][0], CellLevel(0));
+        assert_eq!(levels[1][1], CellLevel(0));
+    }
+
+    #[test]
+    fn nonzero_mask_matches_weights() {
+        let m = LayerMapping::new(2, 3, 8).unwrap();
+        let weights = vec![vec![0.0, 0.4, 0.0], vec![-0.1, 0.0, 0.0]];
+        let mask = m.tile_nonzero_mask(&weights, m.tile(0, 0)).unwrap();
+        assert_eq!(mask, vec![vec![false, true, false], vec![true, false, false]]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let m = LayerMapping::new(2, 2, 8).unwrap();
+        let bad = vec![vec![0.0, 0.0]];
+        assert!(matches!(
+            m.tile_nonzero_mask(&bad, m.tile(0, 0)),
+            Err(XbarError::InputLengthMismatch { got: 1, expected: 2 })
+        ));
+        let ragged = vec![vec![0.0], vec![0.0, 0.0]];
+        assert!(m.tile_nonzero_mask(&ragged, m.tile(0, 0)).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn crossbar_count_lower_bound(
+            rows in 1usize..2000, cols in 1usize..2000
+        ) {
+            let m = LayerMapping::new(rows, cols, 128).unwrap();
+            // Each crossbar holds at most 128×64 logical weights.
+            let capacity = 128usize * 64;
+            let needed = (rows * cols).div_ceil(capacity);
+            prop_assert!(m.crossbar_count() >= needed);
+        }
+
+        #[test]
+        fn every_tile_fits_the_crossbar(
+            rows in 1usize..600, cols in 1usize..600,
+            size_exp in 3u32..8
+        ) {
+            let c = 1usize << size_exp;
+            let m = LayerMapping::new(rows, cols, c).unwrap();
+            for t in m.tiles() {
+                prop_assert!(t.rows() <= c);
+                prop_assert!(t.cols() * 2 <= c);
+                prop_assert!(t.rows() > 0 && t.cols() > 0);
+            }
+        }
+    }
+}

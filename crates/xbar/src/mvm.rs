@@ -1,0 +1,465 @@
+//! Matrix-vector multiplication: the ideal reference and the
+//! OU-by-OU non-ideal analog path.
+//!
+//! The non-ideal path reproduces what the hardware actually does: for
+//! every OU activation it reads drifted/faulty/noisy cell conductances,
+//! applies the IR-drop attenuation of the active OU shape, converts the
+//! differential bitline currents back to weight units, quantizes the
+//! partial sum at the ADC, and accumulates partials digitally.
+
+use odin_device::WeightCodec;
+use odin_units::Seconds;
+use rand::Rng;
+
+use crate::array::Crossbar;
+use crate::config::CrossbarConfig;
+use crate::error::XbarError;
+use crate::mapping::LayerMapping;
+use crate::nonideal::NonIdealityModel;
+use crate::ou::OuShape;
+use crate::schedule::OuScheduler;
+
+/// The ideal reference product: `y_k = Σ_r W[r][k] · x[r]`
+/// (weights row-major, rows = fan-in, cols = fan-out).
+///
+/// # Errors
+///
+/// Returns [`XbarError::InputLengthMismatch`] if `input` does not match
+/// the weight matrix fan-in, or [`XbarError::EmptyWeightMatrix`] for an
+/// empty matrix.
+///
+/// # Examples
+///
+/// ```
+/// let w = vec![vec![1.0, 0.0], vec![0.5, -1.0]];
+/// let y = odin_xbar::mvm::ideal(&w, &[2.0, 4.0])?;
+/// assert_eq!(y, vec![4.0, -4.0]);
+/// # Ok::<(), odin_xbar::XbarError>(())
+/// ```
+pub fn ideal(weights: &[Vec<f64>], input: &[f64]) -> Result<Vec<f64>, XbarError> {
+    let rows = weights.len();
+    if rows == 0 || weights[0].is_empty() {
+        return Err(XbarError::EmptyWeightMatrix);
+    }
+    let cols = weights[0].len();
+    if input.len() != rows {
+        return Err(XbarError::InputLengthMismatch {
+            got: input.len(),
+            expected: rows,
+        });
+    }
+    let mut out = vec![0.0; cols];
+    for (r, row) in weights.iter().enumerate() {
+        if row.len() != cols {
+            return Err(XbarError::InputLengthMismatch {
+                got: row.len(),
+                expected: cols,
+            });
+        }
+        let x = input[r];
+        if x == 0.0 {
+            continue;
+        }
+        for (k, w) in row.iter().enumerate() {
+            out[k] += w * x;
+        }
+    }
+    Ok(out)
+}
+
+/// Programs a layer's weight matrix into freshly allocated crossbars
+/// (one per mapping tile, row-major) at wall-clock instant `now`.
+///
+/// # Errors
+///
+/// Propagates mapping/codec errors.
+pub fn program_layer<R: Rng + ?Sized>(
+    mapping: &LayerMapping,
+    weights: &[Vec<f64>],
+    codec: &WeightCodec,
+    config: &CrossbarConfig,
+    now: Seconds,
+    rng: &mut R,
+) -> Result<Vec<Crossbar>, XbarError> {
+    let mut crossbars = Vec::with_capacity(mapping.crossbar_count());
+    for tile in mapping.tiles() {
+        let levels = mapping.tile_levels(weights, tile, codec)?;
+        let mut xbar = Crossbar::new(config.clone());
+        xbar.program_matrix(&levels, now, rng);
+        crossbars.push(xbar);
+    }
+    Ok(crossbars)
+}
+
+/// The OU-by-OU non-ideal analog MVM engine.
+///
+/// # Examples
+///
+/// ```
+/// use odin_xbar::{CrossbarConfig, LayerMapping, NonIdealityModel, OuShape};
+/// use odin_xbar::mvm::{self, NonIdealMvm};
+/// use odin_device::{DeviceParams, WeightCodec};
+/// use odin_units::Seconds;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let weights = vec![vec![1.0, -1.0], vec![0.0, 1.0]];
+/// let cfg = CrossbarConfig::builder().size(8).build()?;
+/// let mapping = LayerMapping::new(2, 2, 8)?;
+/// let codec = WeightCodec::new(&DeviceParams::paper(), 1.0);
+/// let now = Seconds::new(1.0);
+/// let xbars = mvm::program_layer(&mapping, &weights, &codec, &cfg, now, &mut rng)?;
+/// let nonideal = NonIdealityModel::for_config(&cfg);
+/// let engine = NonIdealMvm::new(&mapping, &xbars, &nonideal, &codec, OuShape::new(2, 2));
+/// let (y, cycles) = engine.execute(&weights, &[1.0, 1.0], now, &mut rng)?;
+/// assert_eq!(y.len(), 2);
+/// assert!(cycles > 0);
+/// # Ok::<(), odin_xbar::XbarError>(())
+/// ```
+#[derive(Debug)]
+pub struct NonIdealMvm<'a> {
+    mapping: &'a LayerMapping,
+    crossbars: &'a [Crossbar],
+    nonideal: &'a NonIdealityModel,
+    codec: &'a WeightCodec,
+    shape: OuShape,
+    adc_bits: Option<u8>,
+    gain_correction: bool,
+}
+
+impl<'a> NonIdealMvm<'a> {
+    /// Assembles the engine over programmed crossbars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crossbars.len()` does not match the mapping's tile
+    /// count.
+    #[must_use]
+    pub fn new(
+        mapping: &'a LayerMapping,
+        crossbars: &'a [Crossbar],
+        nonideal: &'a NonIdealityModel,
+        codec: &'a WeightCodec,
+        shape: OuShape,
+    ) -> Self {
+        assert_eq!(
+            crossbars.len(),
+            mapping.crossbar_count(),
+            "one crossbar per mapping tile"
+        );
+        Self {
+            mapping,
+            crossbars,
+            nonideal,
+            codec,
+            shape,
+            adc_bits: None,
+            gain_correction: false,
+        }
+    }
+
+    /// Enables digital gain correction: uniform conductance decay
+    /// (drift scales every programmed cell by the same factor) and the
+    /// OU's IR attenuation are both *predictable*, so the digital
+    /// accumulator can divide them back out. What survives correction
+    /// is the truly destructive part of the non-ideality — per-cell
+    /// programming error and read noise — which is why accelerators
+    /// still need reprogramming rather than gain tuning alone.
+    #[must_use]
+    pub fn with_gain_correction(mut self) -> Self {
+        self.gain_correction = true;
+        self
+    }
+
+    /// Enables ADC quantization of each OU partial sum at the given bit
+    /// precision (the reconfigurable ADC of the Odin tile runs at
+    /// `⌈log₂ R⌉` bits).
+    #[must_use]
+    pub fn with_adc_bits(mut self, bits: u8) -> Self {
+        self.adc_bits = Some(bits);
+        self
+    }
+
+    /// Executes the non-ideal MVM at wall-clock time `now`.
+    ///
+    /// Returns the output vector (fan-out length) and the total number
+    /// of OU cycles spent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InputLengthMismatch`] if `input` does not
+    /// match the mapped fan-in, or propagates mask extraction errors.
+    pub fn execute<R: Rng + ?Sized>(
+        &self,
+        weights: &[Vec<f64>],
+        input: &[f64],
+        now: Seconds,
+        rng: &mut R,
+    ) -> Result<(Vec<f64>, u64), XbarError> {
+        if input.len() != self.mapping.rows() {
+            return Err(XbarError::InputLengthMismatch {
+                got: input.len(),
+                expected: self.mapping.rows(),
+            });
+        }
+        let mut out = vec![0.0; self.mapping.cols()];
+        let mut cycles = 0u64;
+        let scheduler = OuScheduler::new(self.shape);
+        let step_w = self.codec.quantization_step();
+        let device = self.crossbars[0].device();
+        let step_g =
+            (device.g_on().value() - device.g_off().value()) / f64::from(device.levels() - 1);
+
+        for (tile_idx, tile) in self.mapping.tiles().enumerate() {
+            let xbar = &self.crossbars[tile_idx];
+            let age = xbar.age_at(now);
+            let attenuation = self.nonideal.attenuation(self.shape, age);
+            let gain = if self.gain_correction {
+                let drift = odin_device::DriftModel::new(xbar.device());
+                let elapsed = odin_units::Seconds::new(
+                    age.value() + xbar.device().program_reference_time().value(),
+                );
+                let predicted = attenuation * drift.scale_at(elapsed);
+                if predicted > 1e-6 {
+                    1.0 / predicted
+                } else {
+                    1.0
+                }
+            } else {
+                1.0
+            };
+            let mask = self.mapping.tile_nonzero_mask(weights, tile)?;
+            let schedule = scheduler.schedule(&mask);
+            cycles += schedule.cycles();
+            for act in schedule.activations() {
+                for k_local in act.col_start..act.col_end {
+                    let mut partial = 0.0;
+                    for &r_local in &act.rows {
+                        let x = input[tile.row_start + r_local];
+                        if x == 0.0 {
+                            continue;
+                        }
+                        let g_plus = self.read(xbar, r_local, 2 * k_local, now, rng);
+                        let g_minus = self.read(xbar, r_local, 2 * k_local + 1, now, rng);
+                        let w_eff = attenuation * (g_plus - g_minus) / step_g * step_w;
+                        partial += w_eff * x;
+                    }
+                    if let Some(bits) = self.adc_bits {
+                        partial = quantize_partial(partial, bits, self.shape, self.codec);
+                    }
+                    out[tile.col_start + k_local] += gain * partial;
+                }
+            }
+        }
+        Ok((out, cycles))
+    }
+
+    fn read<R: Rng + ?Sized>(
+        &self,
+        xbar: &Crossbar,
+        row: usize,
+        col: usize,
+        now: Seconds,
+        rng: &mut R,
+    ) -> f64 {
+        let g = xbar.conductance(row, col, now).value();
+        xbar.config().noise().read().perturb(g, rng)
+    }
+}
+
+/// Quantizes an OU partial sum to `bits` of ADC precision over the
+/// dynamic range `±R · max_abs` (all active rows at full scale).
+fn quantize_partial(partial: f64, bits: u8, shape: OuShape, codec: &WeightCodec) -> f64 {
+    let full_scale = shape.rows() as f64 * codec.max_abs();
+    if full_scale == 0.0 {
+        return partial;
+    }
+    let steps = f64::from((1u32 << bits.min(24)) - 1);
+    let clamped = partial.clamp(-full_scale, full_scale);
+    let quantized = (clamped / full_scale * steps / 2.0).round() * 2.0 * full_scale / steps;
+    quantized.clamp(-full_scale, full_scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odin_device::DeviceParams;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(11)
+    }
+
+    fn setup(
+        weights: &[Vec<f64>],
+        size: usize,
+    ) -> (LayerMapping, Vec<Crossbar>, NonIdealityModel, WeightCodec) {
+        let mut r = rng();
+        let cfg = CrossbarConfig::builder().size(size).build().unwrap();
+        let mapping = LayerMapping::new(weights.len(), weights[0].len(), size).unwrap();
+        let codec = WeightCodec::new(&DeviceParams::paper(), 1.0);
+        let xbars =
+            program_layer(&mapping, weights, &codec, &cfg, Seconds::new(1.0), &mut r).unwrap();
+        let nonideal = NonIdealityModel::for_config(&cfg);
+        (mapping, xbars, nonideal, codec)
+    }
+
+    #[test]
+    fn ideal_reference() {
+        let w = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let y = ideal(&w, &[1.0, 0.0, -1.0]).unwrap();
+        assert_eq!(y, vec![-4.0, -4.0]);
+    }
+
+    #[test]
+    fn ideal_rejects_bad_shapes() {
+        assert!(ideal(&[], &[]).is_err());
+        let w = vec![vec![1.0]];
+        assert!(matches!(
+            ideal(&w, &[1.0, 2.0]),
+            Err(XbarError::InputLengthMismatch { got: 2, expected: 1 })
+        ));
+        let ragged = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(ideal(&ragged, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn fresh_noiseless_mvm_matches_ideal_within_quantization() {
+        let weights = vec![
+            vec![0.75, -0.5, 0.0],
+            vec![0.0, 1.0, -1.0],
+            vec![0.33, 0.0, 0.66],
+            vec![-0.25, 0.25, 0.0],
+        ];
+        let (mapping, xbars, nonideal, codec) = setup(&weights, 8);
+        let engine = NonIdealMvm::new(&mapping, &xbars, &nonideal, &codec, OuShape::new(4, 4));
+        let input = vec![1.0, -0.5, 0.25, 2.0];
+        let (got, cycles) = engine
+            .execute(&weights, &input, Seconds::new(1.0), &mut rng())
+            .unwrap();
+        let want = ideal(&weights, &input).unwrap();
+        assert!(cycles > 0);
+        // 2-bit cells quantize weights to steps of 1/3; the output can
+        // deviate by roughly Σ|x|·step/2 plus the fresh IR attenuation.
+        let budget = input.iter().map(|x| x.abs()).sum::<f64>() * codec.quantization_step() / 2.0
+            + 0.05 * want.iter().map(|y| y.abs()).sum::<f64>();
+        for (g, w) in got.iter().zip(&want) {
+            assert!(
+                (g - w).abs() <= budget + 1e-9,
+                "got {g}, want {w}, budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn representable_weights_roundtrip_closely() {
+        // Weights on the exact quantization grid (steps of 1/3).
+        let s = 1.0 / 3.0;
+        let weights = vec![vec![3.0 * s, -2.0 * s], vec![s, 0.0]];
+        let (mapping, xbars, nonideal, codec) = setup(&weights, 8);
+        let engine = NonIdealMvm::new(&mapping, &xbars, &nonideal, &codec, OuShape::new(2, 2));
+        let input = vec![1.0, 1.0];
+        let (got, _) = engine
+            .execute(&weights, &input, Seconds::new(1.0), &mut rng())
+            .unwrap();
+        let want = ideal(&weights, &input).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            // Only the fresh IR attenuation (< 1 %) separates them.
+            assert!((g - w).abs() < 0.02 * (w.abs() + 1.0), "got {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn aged_mvm_degrades_more_than_fresh() {
+        let s = 1.0 / 3.0;
+        let weights = vec![vec![3.0 * s, 3.0 * s], vec![3.0 * s, -3.0 * s]];
+        let (mapping, xbars, nonideal, codec) = setup(&weights, 8);
+        let engine = NonIdealMvm::new(&mapping, &xbars, &nonideal, &codec, OuShape::new(2, 2));
+        let input = vec![1.0, 1.0];
+        let want = ideal(&weights, &input).unwrap();
+        let err_at = |t: f64| {
+            let (got, _) = engine
+                .execute(&weights, &input, Seconds::new(t), &mut rng())
+                .unwrap();
+            got.iter()
+                .zip(&want)
+                .map(|(g, w)| (g - w).abs())
+                .sum::<f64>()
+        };
+        assert!(err_at(1e8) > err_at(1.0));
+    }
+
+    #[test]
+    fn zero_input_rows_cost_nothing_numerically() {
+        let weights = vec![vec![1.0], vec![1.0]];
+        let (mapping, xbars, nonideal, codec) = setup(&weights, 8);
+        let engine = NonIdealMvm::new(&mapping, &xbars, &nonideal, &codec, OuShape::new(2, 2));
+        let (got, _) = engine
+            .execute(&weights, &[0.0, 0.0], Seconds::new(1.0), &mut rng())
+            .unwrap();
+        assert_eq!(got, vec![0.0]);
+    }
+
+    #[test]
+    fn input_length_checked() {
+        let weights = vec![vec![1.0], vec![1.0]];
+        let (mapping, xbars, nonideal, codec) = setup(&weights, 8);
+        let engine = NonIdealMvm::new(&mapping, &xbars, &nonideal, &codec, OuShape::new(2, 2));
+        assert!(engine
+            .execute(&weights, &[1.0], Seconds::new(1.0), &mut rng())
+            .is_err());
+    }
+
+    #[test]
+    fn gain_correction_recovers_aged_outputs() {
+        let s = 1.0 / 3.0;
+        let weights = vec![vec![3.0 * s, -3.0 * s], vec![3.0 * s, 3.0 * s]];
+        let (mapping, xbars, nonideal, codec) = setup(&weights, 8);
+        let input = vec![1.0, 0.5];
+        let want = ideal(&weights, &input).unwrap();
+        let aged = Seconds::new(1e6);
+
+        let raw = NonIdealMvm::new(&mapping, &xbars, &nonideal, &codec, OuShape::new(2, 2));
+        let (got_raw, _) = raw.execute(&weights, &input, aged, &mut rng()).unwrap();
+        let corrected = NonIdealMvm::new(&mapping, &xbars, &nonideal, &codec, OuShape::new(2, 2))
+            .with_gain_correction();
+        let (got_fix, _) = corrected.execute(&weights, &input, aged, &mut rng()).unwrap();
+
+        let err = |got: &[f64]| -> f64 {
+            got.iter().zip(&want).map(|(g, w)| (g - w).abs()).sum()
+        };
+        assert!(
+            err(&got_fix) < err(&got_raw) / 5.0,
+            "corrected {:?} vs raw {:?} (want {want:?})",
+            got_fix,
+            got_raw
+        );
+        // Near-exact after correction: only quantization and IR
+        // residue remain.
+        assert!(err(&got_fix) < 0.05 * want.iter().map(|w| w.abs()).sum::<f64>());
+    }
+
+    #[test]
+    fn adc_quantization_bounds_error() {
+        let s = 1.0 / 3.0;
+        let weights = vec![vec![3.0 * s], vec![3.0 * s]];
+        let (mapping, xbars, nonideal, codec) = setup(&weights, 8);
+        let engine = NonIdealMvm::new(&mapping, &xbars, &nonideal, &codec, OuShape::new(2, 2))
+            .with_adc_bits(6);
+        let (got, _) = engine
+            .execute(&weights, &[1.0, 1.0], Seconds::new(1.0), &mut rng())
+            .unwrap();
+        // Full scale is 2.0; 6 bits → step ≈ 0.063.
+        assert!((got[0] - 2.0).abs() < 0.1, "got {}", got[0]);
+    }
+
+    #[test]
+    fn quantize_partial_is_idempotent_at_extremes() {
+        let codec = WeightCodec::new(&DeviceParams::paper(), 1.0);
+        let shape = OuShape::new(4, 4);
+        let q = quantize_partial(10.0, 4, shape, &codec);
+        assert!((q - 4.0).abs() < 1e-12, "clamped to full scale, got {q}");
+        let q = quantize_partial(-10.0, 4, shape, &codec);
+        assert!((q + 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,402 @@
+//! Crossbar non-ideality models: Eq. 4's `ΔG` and the calibrated
+//! accuracy-impact surrogate used as the search constraint.
+//!
+//! # Calibration note (reproduction)
+//!
+//! Taking Table II literally (`G_ON` = 333 µS, `R_wire` = 1 Ω,
+//! `v` = 0.2, `t₀` = 1 s) makes Eq. 4 cross any sub-percent threshold
+//! within seconds of programming — pure power-law drift against the
+//! pristine `G_ON` dominates immediately — which contradicts the
+//! paper's own reported reprogramming cadences (43 reprograms for the
+//! 16×16 OU and 2 for 8×4 over `t₀..1e8 s`, §V.C). The paper gets its
+//! effective behaviour through the full PytorX/NeuroSim stack, which we
+//! do not have.
+//!
+//! This crate therefore exposes **both**:
+//!
+//! * [`NonIdealityModel::delta_g_eq4`] — Eq. 4 verbatim, for
+//!   parameter-fidelity tests and anyone wanting the raw equation; and
+//! * [`NonIdealityModel::accuracy_impact`] — the surrogate the Odin
+//!   runtime actually constrains by `η`. It keeps Eq. 4's structure
+//!   (IR term ∝ `R_wire · G_ON · (R_j + C_j)`, amplified over time by
+//!   drift) but with three calibrated knobs chosen so that the
+//!   *reported* behaviours re-emerge: OU feasibility at `t₀` matches
+//!   Fig. 3 (early layers ≤16×16, late layers up to ~32×32/64×16), the
+//!   16×16 reprogram cadence is ≈2.3e6 s and 8×4 ≈1e8 s (§V.C), and
+//!   the OU-size distribution shifts toward 8×4 by 1e8 s (Fig. 4).
+//!
+//! The surrogate is
+//!
+//! ```text
+//! impact(R, C, t) = κ · G_ON · R_wire · (R + C) · √(c / 128) · sev(t)
+//! sev(t)          = 1 + (t / τ_drift)^α
+//! ```
+//!
+//! with defaults κ = 0.4 (average IR path vs. the worst-case `R + C`
+//! sum), τ_drift = 5.5e7 s, α = 0.56. The `√(c/128)` factor models the
+//! shorter parasitic paths of smaller crossbars (Fig. 9's observation
+//! that non-idealities shrink with array size).
+
+use odin_device::{DeviceParams, DriftModel};
+use odin_units::{Ohms, Seconds, Siemens};
+use serde::{Deserialize, Serialize};
+
+use crate::config::CrossbarConfig;
+use crate::ou::OuShape;
+
+/// Eq. 4's `ΔG` plus the calibrated accuracy-impact surrogate.
+///
+/// # Examples
+///
+/// ```
+/// use odin_xbar::{NonIdealityModel, OuShape};
+/// use odin_device::DeviceParams;
+/// use odin_units::{Ohms, Seconds};
+///
+/// let m = NonIdealityModel::new(DeviceParams::paper(), Ohms::new(1.0));
+/// let now = Seconds::new(1.0);
+/// // Bigger OUs ⇒ more IR-drop ⇒ larger impact.
+/// assert!(m.accuracy_impact(OuShape::new(32, 32), now)
+///       > m.accuracy_impact(OuShape::new(8, 4), now));
+/// // Impact grows with drift time.
+/// assert!(m.accuracy_impact(OuShape::new(16, 16), Seconds::new(1e8))
+///       > m.accuracy_impact(OuShape::new(16, 16), now));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NonIdealityModel {
+    device: DeviceParams,
+    wire_resistance: Ohms,
+    crossbar_size: usize,
+    ir_path_fraction: f64,
+    drift_timescale: Seconds,
+    drift_exponent: f64,
+}
+
+impl NonIdealityModel {
+    /// Reference crossbar dimension for the parasitic-length scale.
+    pub const REFERENCE_SIZE: usize = 128;
+    /// Default effective IR path fraction κ.
+    pub const DEFAULT_IR_PATH_FRACTION: f64 = 0.4;
+    /// Default drift-amplification timescale τ_drift (seconds) —
+    /// calibrated so a homogeneous 16×16 OU violates η ≈ every
+    /// 1.2e6 s, reproducing the ~43 reprogramming passes §V.C reports
+    /// over `t₀..1e8 s` on the 200-run campaign schedule.
+    pub const DEFAULT_DRIFT_TIMESCALE: f64 = 2.75e7;
+    /// Default drift-amplification exponent α.
+    pub const DEFAULT_DRIFT_EXPONENT: f64 = 0.56;
+
+    /// Builds the model for a 128×128 crossbar with the given device
+    /// corner and wire resistance, using the calibrated defaults.
+    #[must_use]
+    pub fn new(device: DeviceParams, wire_resistance: Ohms) -> Self {
+        Self {
+            device,
+            wire_resistance,
+            crossbar_size: Self::REFERENCE_SIZE,
+            ir_path_fraction: Self::DEFAULT_IR_PATH_FRACTION,
+            drift_timescale: Seconds::new(Self::DEFAULT_DRIFT_TIMESCALE),
+            drift_exponent: Self::DEFAULT_DRIFT_EXPONENT,
+        }
+    }
+
+    /// Builds the model from a crossbar configuration (captures the
+    /// array size for the parasitic-length scale).
+    #[must_use]
+    pub fn for_config(config: &CrossbarConfig) -> Self {
+        let mut m = Self::new(config.device().clone(), config.wire_resistance());
+        m.crossbar_size = config.size();
+        m
+    }
+
+    /// Overrides the effective IR path fraction κ.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `kappa` is finite and positive.
+    #[must_use]
+    pub fn with_ir_path_fraction(mut self, kappa: f64) -> Self {
+        assert!(kappa.is_finite() && kappa > 0.0, "κ must be positive");
+        self.ir_path_fraction = kappa;
+        self
+    }
+
+    /// Overrides the drift-amplification timescale.
+    #[must_use]
+    pub fn with_drift_timescale(mut self, tau: Seconds) -> Self {
+        assert!(tau.value() > 0.0, "τ_drift must be positive");
+        self.drift_timescale = tau;
+        self
+    }
+
+    /// Overrides the drift-amplification exponent α.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `alpha` is finite and positive.
+    #[must_use]
+    pub fn with_drift_exponent(mut self, alpha: f64) -> Self {
+        assert!(alpha.is_finite() && alpha > 0.0, "α must be positive");
+        self.drift_exponent = alpha;
+        self
+    }
+
+    /// The device corner the model was built with.
+    #[must_use]
+    pub fn device(&self) -> &DeviceParams {
+        &self.device
+    }
+
+    /// The crossbar dimension the parasitic scale is computed from.
+    #[must_use]
+    pub fn crossbar_size(&self) -> usize {
+        self.crossbar_size
+    }
+
+    /// Eq. 4 verbatim: the absolute conductance change of a pristine
+    /// on-state cell after drift (Eq. 3) and series wire resistance
+    /// `R_wire · (R_j + C_j)`.
+    ///
+    /// ```text
+    /// ΔG = | G_ON − 1 / (1/G_drift(t) + R_wire·(R_j + C_j)) |
+    /// ```
+    #[must_use]
+    pub fn delta_g_eq4(&self, shape: OuShape, t: Seconds) -> Siemens {
+        let drift = DriftModel::new(&self.device);
+        let g_drift = drift.conductance_at(t);
+        let series = self.wire_resistance.value() * (shape.rows() + shape.cols()) as f64;
+        let effective = 1.0 / (1.0 / g_drift.value() + series);
+        Siemens::new((self.device.g_on().value() - effective).abs())
+    }
+
+    /// Shorthand: Eq. 4's ΔG as a fraction of `G_ON`.
+    #[must_use]
+    pub fn delta_g(&self, shape: OuShape, t: Seconds) -> f64 {
+        self.delta_g_eq4(shape, t).value() / self.device.g_on().value()
+    }
+
+    /// The IR-drop fraction at programming time: the fraction of the
+    /// stored conductance obscured by wire parasitics when an `R × C`
+    /// OU is activated. Grows linearly in `R + C` and with the
+    /// parasitic length scale `√(c/128)`.
+    #[must_use]
+    pub fn ir_fraction(&self, shape: OuShape) -> f64 {
+        let x = self.device.g_on().value() * self.wire_resistance.value();
+        let scale = (self.crossbar_size as f64 / Self::REFERENCE_SIZE as f64).sqrt();
+        self.ir_path_fraction * x * (shape.rows() + shape.cols()) as f64 * scale
+    }
+
+    /// The drift severity multiplier `sev(t) = 1 + (t/τ)^α` applied to
+    /// the IR fraction as programming age grows. `sev(0) = 1`.
+    #[must_use]
+    pub fn drift_severity(&self, elapsed: Seconds) -> f64 {
+        if elapsed.value() <= 0.0 {
+            return 1.0;
+        }
+        1.0 + (elapsed.value() / self.drift_timescale.value()).powf(self.drift_exponent)
+    }
+
+    /// The calibrated accuracy-impact surrogate the runtime constrains
+    /// by `η`: `ir_fraction(shape) · drift_severity(elapsed)`.
+    ///
+    /// `elapsed` is the time since the arrays were last programmed.
+    #[must_use]
+    pub fn accuracy_impact(&self, shape: OuShape, elapsed: Seconds) -> f64 {
+        self.ir_fraction(shape) * self.drift_severity(elapsed)
+    }
+
+    /// The per-cell signal attenuation applied by the non-ideal MVM
+    /// path: a cell read through an `R × C` OU at programming age
+    /// `elapsed` retains `1 − impact` of its conductance (clamped to
+    /// `[0, 1]`).
+    #[must_use]
+    pub fn attenuation(&self, shape: OuShape, elapsed: Seconds) -> f64 {
+        (1.0 - self.accuracy_impact(shape, elapsed)).clamp(0.0, 1.0)
+    }
+
+    /// The latest programming age at which `shape` still satisfies
+    /// `accuracy_impact ≤ budget`, or `None` when the shape violates
+    /// the budget even when fresh.
+    ///
+    /// Inverts `ir · (1 + (t/τ)^α) = budget`.
+    #[must_use]
+    pub fn age_limit(&self, shape: OuShape, budget: f64) -> Option<Seconds> {
+        let ir = self.ir_fraction(shape);
+        if ir > budget {
+            return None;
+        }
+        let margin = budget / ir - 1.0;
+        Some(Seconds::new(
+            self.drift_timescale.value() * margin.powf(1.0 / self.drift_exponent),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> NonIdealityModel {
+        NonIdealityModel::new(DeviceParams::paper(), Ohms::new(1.0))
+    }
+
+    #[test]
+    fn eq4_matches_hand_computation_at_t0() {
+        // At t = t0 there is no drift: G_drift = G_ON = 333 µS.
+        // Series resistance for 16×16: 32 Ω.
+        // effective = 1 / (1/333e-6 + 32); ΔG = G_ON - effective.
+        let m = model();
+        let d = m.delta_g_eq4(OuShape::new(16, 16), Seconds::new(1.0));
+        let effective = 1.0 / (1.0 / 333e-6 + 32.0);
+        let expect = 333e-6 - effective;
+        assert!((d.value() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eq4_grows_with_time_and_shape() {
+        let m = model();
+        let s = OuShape::new(16, 16);
+        assert!(m.delta_g(s, Seconds::new(1e6)) > m.delta_g(s, Seconds::new(1.0)));
+        assert!(
+            m.delta_g(OuShape::new(64, 64), Seconds::new(1.0))
+                > m.delta_g(OuShape::new(8, 8), Seconds::new(1.0))
+        );
+    }
+
+    #[test]
+    fn ir_fraction_matches_calibration() {
+        // κ·G_ON·R_wire·(R+C) at reference size:
+        // 0.4 · 333e-6 · 32 = 0.0042624 for 16×16.
+        let m = model();
+        let ir = m.ir_fraction(OuShape::new(16, 16));
+        assert!((ir - 0.4 * 333e-6 * 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feasibility_at_t0_matches_fig3_narrative() {
+        // With η = 0.5 %: a sensitivity-1.0 (early) layer fits 16×16 but
+        // not 32×32; a sensitivity-0.4 (late) layer fits 32×32.
+        let m = model();
+        let eta = 0.005;
+        let fresh = Seconds::ZERO;
+        assert!(m.accuracy_impact(OuShape::new(16, 16), fresh) < eta);
+        assert!(m.accuracy_impact(OuShape::new(32, 32), fresh) > eta);
+        assert!(0.4 * m.accuracy_impact(OuShape::new(32, 32), fresh) < eta);
+    }
+
+    #[test]
+    fn age_limit_reproduces_reprogram_cadence_ballpark() {
+        // §V.C: homogeneous 16×16 reprograms 43× over 1e8 s (≈ every
+        // 2.3e6 s); 8×4 reprograms ~2× (≈ every 3e7..1e8 s).
+        let m = model();
+        let eta = 0.005;
+        let t16 = m.age_limit(OuShape::new(16, 16), eta).unwrap().value();
+        assert!(
+            (5e5..1e7).contains(&t16),
+            "16×16 age limit {t16:.3e} outside ballpark"
+        );
+        let t84 = m.age_limit(OuShape::new(8, 4), eta).unwrap().value();
+        assert!(
+            (3e7..4e8).contains(&t84),
+            "8×4 age limit {t84:.3e} outside ballpark"
+        );
+        assert!(t84 / t16 > 5.0, "fine OUs must last much longer");
+    }
+
+    #[test]
+    fn age_limit_none_when_infeasible_fresh() {
+        let m = model();
+        assert!(m.age_limit(OuShape::new(128, 128), 0.005).is_none());
+    }
+
+    #[test]
+    fn age_limit_inverts_accuracy_impact() {
+        let m = model();
+        let shape = OuShape::new(16, 8);
+        let budget = 0.005;
+        let t = m.age_limit(shape, budget).unwrap();
+        let at_limit = m.accuracy_impact(shape, t);
+        assert!((at_limit - budget).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smaller_crossbars_have_smaller_impact() {
+        let cfg128 = CrossbarConfig::paper_128();
+        let cfg32 = CrossbarConfig::builder().size(32).build().unwrap();
+        let m128 = NonIdealityModel::for_config(&cfg128);
+        let m32 = NonIdealityModel::for_config(&cfg32);
+        let s = OuShape::new(16, 16);
+        assert!(m32.ir_fraction(s) < m128.ir_fraction(s));
+        assert_eq!(m32.crossbar_size(), 32);
+    }
+
+    #[test]
+    fn severity_is_one_when_fresh() {
+        let m = model();
+        assert!((m.drift_severity(Seconds::ZERO) - 1.0).abs() < 1e-12);
+        assert!(m.drift_severity(Seconds::new(1e8)) > 2.0);
+    }
+
+    #[test]
+    fn attenuation_complements_impact() {
+        let m = model();
+        let s = OuShape::new(16, 16);
+        let t = Seconds::new(1e6);
+        let att = m.attenuation(s, t);
+        assert!((att - (1.0 - m.accuracy_impact(s, t))).abs() < 1e-12);
+        // Extreme ages clamp to zero rather than going negative.
+        assert_eq!(m.attenuation(OuShape::new(128, 128), Seconds::new(1e30)), 0.0);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let m = model()
+            .with_ir_path_fraction(0.2)
+            .with_drift_timescale(Seconds::new(1e6))
+            .with_drift_exponent(1.0);
+        let ir = m.ir_fraction(OuShape::new(16, 16));
+        assert!((ir - 0.2 * 333e-6 * 32.0).abs() < 1e-12);
+        assert!((m.drift_severity(Seconds::new(1e6)) - 2.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn impact_monotone_in_time(
+            t1 in 0.0f64..1e9, dt in 0.0f64..1e9,
+            r in 2u32..8, c in 2u32..8
+        ) {
+            let m = model();
+            let s = OuShape::new(1 << r, 1 << c);
+            let a = m.accuracy_impact(s, Seconds::new(t1));
+            let b = m.accuracy_impact(s, Seconds::new(t1 + dt));
+            prop_assert!(b >= a);
+        }
+
+        #[test]
+        fn impact_monotone_in_shape(
+            r in 2u32..7, c in 2u32..7, t in 0.0f64..1e9
+        ) {
+            let m = model();
+            let small = OuShape::new(1 << r, 1 << c);
+            let big = OuShape::new(1 << (r + 1), 1 << c);
+            let ts = Seconds::new(t);
+            prop_assert!(m.accuracy_impact(big, ts) >= m.accuracy_impact(small, ts));
+        }
+
+        #[test]
+        fn age_limit_consistent_with_impact(
+            r in 2u32..6, c in 2u32..6, budget in 0.003f64..0.05
+        ) {
+            let m = model();
+            let s = OuShape::new(1 << r, 1 << c);
+            match m.age_limit(s, budget) {
+                None => prop_assert!(m.ir_fraction(s) > budget),
+                Some(limit) => {
+                    // Just inside the limit the budget holds.
+                    let inside = Seconds::new(limit.value() * 0.999);
+                    prop_assert!(m.accuracy_impact(s, inside) <= budget * (1.0 + 1e-6));
+                }
+            }
+        }
+    }
+}

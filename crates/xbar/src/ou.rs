@@ -1,0 +1,309 @@
+//! Operation-unit geometry and the discrete `2^L` search grid.
+
+use serde::{Deserialize, Serialize};
+
+/// The shape of an operation unit: `rows` wordlines × `cols` bitlines
+/// activated in one compute cycle (`R_j × C_j` in the paper).
+///
+/// Arbitrary shapes in `[1, c]²` are representable — homogeneous
+/// baselines like 9×8 are not powers of two — while Odin's own search
+/// space is the power-of-two [`OuGrid`].
+///
+/// # Examples
+///
+/// ```
+/// use odin_xbar::OuShape;
+///
+/// let ou = OuShape::new(16, 8);
+/// assert_eq!(ou.area(), 128);
+/// assert_eq!(ou.to_string(), "16×8");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct OuShape {
+    rows: usize,
+    cols: usize,
+}
+
+impl OuShape {
+    /// Creates an OU shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "OU dimensions must be nonzero");
+        Self { rows, cols }
+    }
+
+    /// Activated wordlines per cycle (`R_j`).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Activated bitlines per cycle (`C_j`).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Concurrently active cells (`R_j · C_j`), the x-axis of Fig. 3–5.
+    #[must_use]
+    pub fn area(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `true` if the shape fits in a `size × size` crossbar.
+    #[must_use]
+    pub fn fits(&self, size: usize) -> bool {
+        self.rows <= size && self.cols <= size
+    }
+}
+
+impl std::fmt::Display for OuShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}×{}", self.rows, self.cols)
+    }
+}
+
+/// The discrete OU search grid: `R, C ∈ {2^L : L ∈ [min_exp, max_exp]}`,
+/// capped by the crossbar size.
+///
+/// The paper uses `L ∈ [2, 7]` on a 128×128 crossbar — six levels per
+/// axis, 36 candidate shapes. On smaller crossbars the grid truncates
+/// (e.g. 32×32 → `L ∈ [2, 5]`, 16 shapes).
+///
+/// The grid indexes shapes by `(row_level, col_level)` so the MLP policy
+/// can treat OU prediction as two 6-way classifications.
+///
+/// # Examples
+///
+/// ```
+/// use odin_xbar::{OuGrid, OuShape};
+///
+/// let grid = OuGrid::for_crossbar(128);
+/// assert_eq!(grid.levels_per_axis(), 6);
+/// assert_eq!(grid.num_shapes(), 36);
+/// assert_eq!(grid.shape(2, 1), OuShape::new(16, 8));
+/// assert_eq!(grid.level_of_rows(16), Some(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OuGrid {
+    min_exp: u32,
+    max_exp: u32,
+}
+
+impl OuGrid {
+    /// The paper's minimum OU exponent (`2^2 = 4`).
+    pub const MIN_EXP: u32 = 2;
+    /// The paper's maximum OU exponent (`2^7 = 128`).
+    pub const MAX_EXP: u32 = 7;
+
+    /// The grid for a crossbar of dimension `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size < 4` (the smallest OU would not fit).
+    #[must_use]
+    pub fn for_crossbar(size: usize) -> Self {
+        assert!(size >= 4, "crossbar must be at least 4×4 for the OU grid");
+        let cap = (usize::BITS - 1 - size.leading_zeros()).min(Self::MAX_EXP);
+        Self {
+            min_exp: Self::MIN_EXP,
+            max_exp: cap.max(Self::MIN_EXP),
+        }
+    }
+
+    /// Number of discrete levels per axis (6 for a 128×128 crossbar).
+    #[must_use]
+    pub fn levels_per_axis(&self) -> usize {
+        (self.max_exp - self.min_exp + 1) as usize
+    }
+
+    /// Total number of candidate shapes (levels²).
+    #[must_use]
+    pub fn num_shapes(&self) -> usize {
+        self.levels_per_axis() * self.levels_per_axis()
+    }
+
+    /// The dimension value at a level index (level 0 → `2^min_exp`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= levels_per_axis()`.
+    #[must_use]
+    pub fn dim_at(&self, level: usize) -> usize {
+        assert!(level < self.levels_per_axis(), "level {level} out of range");
+        1usize << (self.min_exp + level as u32)
+    }
+
+    /// The OU shape at `(row_level, col_level)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either level is out of range.
+    #[must_use]
+    pub fn shape(&self, row_level: usize, col_level: usize) -> OuShape {
+        OuShape::new(self.dim_at(row_level), self.dim_at(col_level))
+    }
+
+    /// The level index whose dimension equals `rows`, or `None` if
+    /// `rows` is not on the grid.
+    #[must_use]
+    pub fn level_of_rows(&self, rows: usize) -> Option<usize> {
+        if !rows.is_power_of_two() {
+            return None;
+        }
+        let exp = rows.trailing_zeros();
+        if exp < self.min_exp || exp > self.max_exp {
+            return None;
+        }
+        Some((exp - self.min_exp) as usize)
+    }
+
+    /// The `(row_level, col_level)` of a shape, or `None` if the shape
+    /// is off-grid.
+    #[must_use]
+    pub fn levels_of(&self, shape: OuShape) -> Option<(usize, usize)> {
+        Some((
+            self.level_of_rows(shape.rows())?,
+            self.level_of_rows(shape.cols())?,
+        ))
+    }
+
+    /// Iterates over every shape on the grid, row-major.
+    pub fn iter(&self) -> impl Iterator<Item = OuShape> + '_ {
+        let n = self.levels_per_axis();
+        (0..n).flat_map(move |r| (0..n).map(move |c| self.shape(r, c)))
+    }
+
+    /// The shapes within Chebyshev distance `k` of `(row_level,
+    /// col_level)` in level space — the neighborhood explored by the
+    /// resource-bounded search (±1 per step, up to `K` steps).
+    #[must_use]
+    pub fn neighborhood(&self, row_level: usize, col_level: usize, k: usize) -> Vec<OuShape> {
+        let n = self.levels_per_axis() as isize;
+        let (r0, c0) = (row_level as isize, col_level as isize);
+        let k = k as isize;
+        let mut out = Vec::new();
+        for r in (r0 - k).max(0)..=(r0 + k).min(n - 1) {
+            for c in (c0 - k).max(0)..=(c0 + k).min(n - 1) {
+                out.push(self.shape(r as usize, c as usize));
+            }
+        }
+        out
+    }
+
+    /// Clamps arbitrary `(row_level, col_level)` indices onto the grid.
+    #[must_use]
+    pub fn clamp_levels(&self, row_level: usize, col_level: usize) -> (usize, usize) {
+        let max = self.levels_per_axis() - 1;
+        (row_level.min(max), col_level.min(max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_grid_dimensions() {
+        let g = OuGrid::for_crossbar(128);
+        assert_eq!(g.levels_per_axis(), 6);
+        assert_eq!(g.num_shapes(), 36);
+        assert_eq!(g.dim_at(0), 4);
+        assert_eq!(g.dim_at(5), 128);
+    }
+
+    #[test]
+    fn truncated_grids_for_small_crossbars() {
+        let g64 = OuGrid::for_crossbar(64);
+        assert_eq!(g64.levels_per_axis(), 5);
+        assert_eq!(g64.dim_at(4), 64);
+        let g32 = OuGrid::for_crossbar(32);
+        assert_eq!(g32.levels_per_axis(), 4);
+        assert_eq!(g32.num_shapes(), 16);
+    }
+
+    #[test]
+    fn level_lookups_roundtrip() {
+        let g = OuGrid::for_crossbar(128);
+        for level in 0..g.levels_per_axis() {
+            assert_eq!(g.level_of_rows(g.dim_at(level)), Some(level));
+        }
+        assert_eq!(g.level_of_rows(9), None);
+        assert_eq!(g.level_of_rows(2), None);
+        assert_eq!(g.level_of_rows(256), None);
+        assert_eq!(g.levels_of(OuShape::new(16, 8)), Some((2, 1)));
+        assert_eq!(g.levels_of(OuShape::new(9, 8)), None);
+    }
+
+    #[test]
+    fn iter_covers_all_shapes_once() {
+        let g = OuGrid::for_crossbar(128);
+        let shapes: Vec<_> = g.iter().collect();
+        assert_eq!(shapes.len(), 36);
+        let unique: std::collections::HashSet<_> = shapes.iter().collect();
+        assert_eq!(unique.len(), 36);
+        assert!(shapes.iter().all(|s| s.fits(128)));
+    }
+
+    #[test]
+    fn neighborhood_respects_bounds_and_k() {
+        let g = OuGrid::for_crossbar(128);
+        // Center of the grid, k=1 → 3×3 block.
+        assert_eq!(g.neighborhood(2, 2, 1).len(), 9);
+        // Corner, k=1 → 2×2 block.
+        assert_eq!(g.neighborhood(0, 0, 1).len(), 4);
+        // k=3 from the corner → 4×4 block.
+        assert_eq!(g.neighborhood(0, 0, 3).len(), 16);
+        // k large enough covers the full grid.
+        assert_eq!(g.neighborhood(0, 0, 10).len(), 36);
+    }
+
+    #[test]
+    fn clamp_levels() {
+        let g = OuGrid::for_crossbar(128);
+        assert_eq!(g.clamp_levels(99, 2), (5, 2));
+        assert_eq!(g.clamp_levels(1, 99), (1, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_shape_panics() {
+        let _ = OuShape::new(0, 4);
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let s = OuShape::new(32, 16);
+        assert_eq!(s.rows(), 32);
+        assert_eq!(s.cols(), 16);
+        assert_eq!(s.area(), 512);
+        assert!(s.fits(32));
+        assert!(!s.fits(16));
+    }
+
+    proptest! {
+        #[test]
+        fn neighborhood_always_contains_center(
+            r in 0usize..6, c in 0usize..6, k in 0usize..4
+        ) {
+            let g = OuGrid::for_crossbar(128);
+            let center = g.shape(r, c);
+            prop_assert!(g.neighborhood(r, c, k).contains(&center));
+        }
+
+        #[test]
+        fn neighborhood_size_bounded((r, c, k) in (0usize..6, 0usize..6, 0usize..4)) {
+            let g = OuGrid::for_crossbar(128);
+            let n = g.neighborhood(r, c, k).len();
+            prop_assert!(n <= (2 * k + 1) * (2 * k + 1));
+            prop_assert!(n >= 1);
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! OU scheduling: exact cycle counting with zero-row skipping.
+//!
+//! An operation unit activates `R` wordlines × `C` bitlines per cycle.
+//! With differential column pairs, `C` bitlines carry `C/2` logical
+//! output columns. For each column group, only rows that have at least
+//! one nonzero weight *in that group* are driven — rows of zeros are
+//! compressed away, which is how OU-based computation exploits weight
+//! sparsity (the `OU_j` term of Eq. 1–2 shrinks with sparsity).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ou::OuShape;
+
+/// One OU activation: the (tile-local) rows driven and the logical
+/// column range read out in a single compute cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OuActivation {
+    /// Tile-local row indices driven this cycle (≤ `R` of them).
+    pub rows: Vec<usize>,
+    /// First logical column in the group.
+    pub col_start: usize,
+    /// One past the last logical column in the group.
+    pub col_end: usize,
+}
+
+/// The complete activation schedule of one tile under one OU shape.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OuSchedule {
+    shape: OuShape,
+    activations: Vec<OuActivation>,
+}
+
+impl OuSchedule {
+    /// The OU shape the schedule was built for.
+    #[must_use]
+    pub fn shape(&self) -> OuShape {
+        self.shape
+    }
+
+    /// The activations, in execution order.
+    #[must_use]
+    pub fn activations(&self) -> &[OuActivation] {
+        &self.activations
+    }
+
+    /// Number of compute cycles (`OU_j` for this tile).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.activations.len() as u64
+    }
+}
+
+/// Builds OU schedules and cycle counts from tile nonzero masks.
+///
+/// # Examples
+///
+/// ```
+/// use odin_xbar::{OuScheduler, OuShape};
+///
+/// // 4 rows × 2 logical columns; row 2 is all-zero and gets skipped.
+/// let mask = vec![
+///     vec![true, false],
+///     vec![false, true],
+///     vec![false, false],
+///     vec![true, true],
+/// ];
+/// let sched = OuScheduler::new(OuShape::new(2, 4));
+/// // One column group (4 bitlines = 2 logical cols), 3 active rows,
+/// // R = 2 ⇒ ⌈3/2⌉ = 2 cycles.
+/// assert_eq!(sched.count_cycles(&mask), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OuScheduler {
+    shape: OuShape,
+}
+
+impl OuScheduler {
+    /// Creates a scheduler for the given OU shape.
+    #[must_use]
+    pub fn new(shape: OuShape) -> Self {
+        Self { shape }
+    }
+
+    /// The OU shape.
+    #[must_use]
+    pub fn shape(&self) -> OuShape {
+        self.shape
+    }
+
+    /// Logical columns covered per column group (`max(C/2, 1)`).
+    #[must_use]
+    pub fn logical_cols_per_group(&self) -> usize {
+        (self.shape.cols() / 2).max(1)
+    }
+
+    /// Exact OU cycle count for a tile-local nonzero mask
+    /// (`mask[r][k]`, `r` over tile rows, `k` over logical columns).
+    ///
+    /// Equivalent to `schedule(mask).cycles()` but without
+    /// materializing the activation list.
+    #[must_use]
+    pub fn count_cycles(&self, mask: &[Vec<bool>]) -> u64 {
+        let Some(cols) = mask.first().map(Vec::len) else {
+            return 0;
+        };
+        let group = self.logical_cols_per_group();
+        let r = self.shape.rows() as u64;
+        let mut cycles = 0u64;
+        let mut start = 0;
+        while start < cols {
+            let end = (start + group).min(cols);
+            let active = mask
+                .iter()
+                .filter(|row| row[start..end].iter().any(|&b| b))
+                .count() as u64;
+            cycles += active.div_ceil(r);
+            start = end;
+        }
+        cycles
+    }
+
+    /// Exact OU cycle count when the input activation vector is also
+    /// known: a row is driven only if it has a nonzero weight in the
+    /// column group *and* a nonzero input — the joint weight/activation
+    /// sparsity exploitation of the Sparse-ReRAM-engine lineage (§II).
+    ///
+    /// `active_inputs[r]` is `true` when the tile-local input `r` is
+    /// nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_inputs` is shorter than the mask's row count.
+    #[must_use]
+    pub fn count_cycles_with_inputs(&self, mask: &[Vec<bool>], active_inputs: &[bool]) -> u64 {
+        assert!(
+            active_inputs.len() >= mask.len(),
+            "need one input flag per tile row"
+        );
+        let Some(cols) = mask.first().map(Vec::len) else {
+            return 0;
+        };
+        let group = self.logical_cols_per_group();
+        let r = self.shape.rows() as u64;
+        let mut cycles = 0u64;
+        let mut start = 0;
+        while start < cols {
+            let end = (start + group).min(cols);
+            let active = mask
+                .iter()
+                .zip(active_inputs)
+                .filter(|(row, &alive)| alive && row[start..end].iter().any(|&b| b))
+                .count() as u64;
+            cycles += active.div_ceil(r);
+            start = end;
+        }
+        cycles
+    }
+
+    /// Materializes the full activation schedule for a tile-local
+    /// nonzero mask. Every nonzero cell is covered by exactly one
+    /// activation; all-zero rows are skipped per column group.
+    #[must_use]
+    pub fn schedule(&self, mask: &[Vec<bool>]) -> OuSchedule {
+        let cols = mask.first().map(Vec::len).unwrap_or(0);
+        let group = self.logical_cols_per_group();
+        let r = self.shape.rows();
+        let mut activations = Vec::new();
+        let mut start = 0;
+        while start < cols {
+            let end = (start + group).min(cols);
+            let active: Vec<usize> = mask
+                .iter()
+                .enumerate()
+                .filter(|(_, row)| row[start..end].iter().any(|&b| b))
+                .map(|(i, _)| i)
+                .collect();
+            for chunk in active.chunks(r) {
+                activations.push(OuActivation {
+                    rows: chunk.to_vec(),
+                    col_start: start,
+                    col_end: end,
+                });
+            }
+            start = end;
+        }
+        OuSchedule {
+            shape: self.shape,
+            activations,
+        }
+    }
+}
+
+/// The closed-form cycle estimate used by Odin's analytical models
+/// (Eq. 1–2): `⌈cols / (C/2)⌉ · ⌈rows · (1 − sparsity) / R⌉`.
+///
+/// `sparsity` is the fraction of *rows* that are entirely zero across
+/// the tile — the structured, crossbar-aware pruning regime the paper
+/// targets (§V.A). For patterns whose zero rows span all column groups
+/// the estimate matches [`OuScheduler::count_cycles`] exactly; for
+/// unstructured sparsity it is a conservative upper bound (each column
+/// group may activate fewer rows than the global nonzero-row count).
+///
+/// # Panics
+///
+/// Panics unless `sparsity ∈ [0, 1]`.
+#[must_use]
+pub fn estimate_cycles(rows: usize, cols: usize, sparsity: f64, shape: OuShape) -> u64 {
+    estimate_cycles_with_activations(rows, cols, sparsity, 0.0, shape)
+}
+
+/// The closed-form cycle estimate with joint weight *and* activation
+/// sparsity: active rows shrink multiplicatively, since a wordline is
+/// skipped when its weights are pruned **or** its input is zero this
+/// run. With `activation_sparsity = 0` this is exactly
+/// [`estimate_cycles`].
+///
+/// # Panics
+///
+/// Panics unless both sparsities are in `[0, 1]`.
+#[must_use]
+pub fn estimate_cycles_with_activations(
+    rows: usize,
+    cols: usize,
+    sparsity: f64,
+    activation_sparsity: f64,
+    shape: OuShape,
+) -> u64 {
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&activation_sparsity),
+        "activation sparsity must be in [0,1]"
+    );
+    let group = (shape.cols() / 2).max(1);
+    let col_groups = cols.div_ceil(group) as u64;
+    let active_rows =
+        ((rows as f64) * (1.0 - sparsity) * (1.0 - activation_sparsity)).ceil() as u64;
+    col_groups * active_rows.div_ceil(shape.rows() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn dense_mask(rows: usize, cols: usize) -> Vec<Vec<bool>> {
+        vec![vec![true; cols]; rows]
+    }
+
+    #[test]
+    fn dense_tile_cycle_count() {
+        // 128 rows × 64 logical cols, OU 16×16 (8 logical cols/group):
+        // 8 col groups × ⌈128/16⌉ = 8 × 8 = 64 cycles.
+        let s = OuScheduler::new(OuShape::new(16, 16));
+        assert_eq!(s.count_cycles(&dense_mask(128, 64)), 64);
+    }
+
+    #[test]
+    fn zero_rows_are_skipped_per_group() {
+        // Column group 0 active only in row 0; group 1 active in rows
+        // 1..4. OU 2×2 → group = 1 logical col.
+        let mask = vec![
+            vec![true, false],
+            vec![false, true],
+            vec![false, true],
+            vec![false, true],
+        ];
+        let s = OuScheduler::new(OuShape::new(2, 2));
+        // group 0: 1 active row → 1 cycle; group 1: 3 active → 2 cycles.
+        assert_eq!(s.count_cycles(&mask), 3);
+    }
+
+    #[test]
+    fn all_zero_tile_takes_no_cycles() {
+        let s = OuScheduler::new(OuShape::new(8, 8));
+        assert_eq!(s.count_cycles(&vec![vec![false; 16]; 16]), 0);
+        assert!(s.schedule(&vec![vec![false; 16]; 16]).activations().is_empty());
+    }
+
+    #[test]
+    fn empty_mask_is_zero_cycles() {
+        let s = OuScheduler::new(OuShape::new(8, 8));
+        assert_eq!(s.count_cycles(&[]), 0);
+        assert_eq!(s.schedule(&[]).cycles(), 0);
+    }
+
+    #[test]
+    fn schedule_covers_every_nonzero_exactly_once() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let rows = 40;
+        let cols = 24;
+        let mask: Vec<Vec<bool>> = (0..rows)
+            .map(|_| (0..cols).map(|_| rng.gen::<f64>() < 0.4).collect())
+            .collect();
+        let s = OuScheduler::new(OuShape::new(8, 8));
+        let sched = s.schedule(&mask);
+        let mut covered = vec![vec![0u32; cols]; rows];
+        for act in sched.activations() {
+            assert!(act.rows.len() <= 8, "≤ R rows per activation");
+            assert!(act.col_end - act.col_start <= 4, "≤ C/2 logical cols");
+            for &r in &act.rows {
+                for c in act.col_start..act.col_end {
+                    covered[r][c] += 1;
+                }
+            }
+        }
+        for r in 0..rows {
+            for c in 0..cols {
+                if mask[r][c] {
+                    assert_eq!(covered[r][c], 1, "nonzero ({r},{c}) covered once");
+                }
+            }
+        }
+        assert_eq!(sched.cycles(), sched.activations().len() as u64);
+    }
+
+    #[test]
+    fn bigger_ous_never_need_more_cycles() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mask: Vec<Vec<bool>> = (0..64)
+            .map(|_| (0..32).map(|_| rng.gen::<f64>() < 0.5).collect())
+            .collect();
+        let small = OuScheduler::new(OuShape::new(8, 8)).count_cycles(&mask);
+        let big = OuScheduler::new(OuShape::new(32, 32)).count_cycles(&mask);
+        assert!(big <= small);
+    }
+
+    #[test]
+    fn estimate_matches_exact_for_structured_sparsity() {
+        // Structured pattern: 8 of 32 rows entirely zero.
+        let rows = 32;
+        let cols = 16;
+        let mask: Vec<Vec<bool>> = (0..rows)
+            .map(|r| vec![r % 4 != 0; cols])
+            .collect();
+        let shape = OuShape::new(8, 8);
+        let exact = OuScheduler::new(shape).count_cycles(&mask);
+        let est = estimate_cycles(rows, cols, 0.25, shape);
+        assert_eq!(exact, est);
+    }
+
+    #[test]
+    fn estimate_closed_form() {
+        // 128 rows, 64 cols, 50 % row sparsity, OU 16×16:
+        // 8 groups × ⌈64/16⌉ = 8 × 4 = 32.
+        assert_eq!(estimate_cycles(128, 64, 0.5, OuShape::new(16, 16)), 32);
+        // Zero sparsity, OU width 2 → 1 logical col per group.
+        assert_eq!(estimate_cycles(4, 3, 0.0, OuShape::new(2, 2)), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0,1]")]
+    fn estimate_rejects_bad_sparsity() {
+        let _ = estimate_cycles(8, 8, 1.5, OuShape::new(4, 4));
+    }
+
+    #[test]
+    fn activation_sparsity_compounds_with_weight_sparsity() {
+        let shape = OuShape::new(16, 16);
+        let base = estimate_cycles_with_activations(128, 64, 0.5, 0.0, shape);
+        assert_eq!(base, estimate_cycles(128, 64, 0.5, shape));
+        let joint = estimate_cycles_with_activations(128, 64, 0.5, 0.5, shape);
+        // Active rows: 128·0.5·0.5 = 32 → ⌈32/16⌉ = 2 per group, 8
+        // groups = 16 cycles, vs 32 with weights alone.
+        assert_eq!(joint, 16);
+        assert!(joint < base);
+    }
+
+    #[test]
+    fn input_aware_counting_skips_dead_rows() {
+        // Two logical cols, OU 2×2 (one col per group); all weights
+        // nonzero but half the inputs are zero.
+        let mask = vec![vec![true, true]; 4];
+        let s = OuScheduler::new(OuShape::new(2, 2));
+        let all_alive = s.count_cycles_with_inputs(&mask, &[true; 4]);
+        assert_eq!(all_alive, s.count_cycles(&mask));
+        let half = s.count_cycles_with_inputs(&mask, &[true, false, true, false]);
+        assert_eq!(half, all_alive / 2);
+        let dead = s.count_cycles_with_inputs(&mask, &[false; 4]);
+        assert_eq!(dead, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input flag per tile row")]
+    fn input_flags_must_cover_rows() {
+        let mask = vec![vec![true]; 4];
+        let _ = OuScheduler::new(OuShape::new(2, 2)).count_cycles_with_inputs(&mask, &[true; 2]);
+    }
+
+    proptest! {
+        #[test]
+        fn estimate_upper_bounds_exact(
+            rows in 1usize..64, cols in 1usize..32,
+            density in 0.0f64..1.0, seed in 0u64..1000,
+            r_exp in 1u32..6, c_exp in 1u32..6
+        ) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mask: Vec<Vec<bool>> = (0..rows)
+                .map(|_| (0..cols).map(|_| rng.gen::<f64>() < density).collect())
+                .collect();
+            let zero_rows = mask.iter().filter(|r| r.iter().all(|&b| !b)).count();
+            let sparsity = zero_rows as f64 / rows as f64;
+            let shape = OuShape::new(1 << r_exp, 1 << c_exp);
+            let exact = OuScheduler::new(shape).count_cycles(&mask);
+            let est = estimate_cycles(rows, cols, sparsity, shape);
+            prop_assert!(exact <= est,
+                "estimate must upper-bound exact for matched sparsity: {est} vs {exact}");
+            // Exact equals schedule length.
+            prop_assert_eq!(exact, OuScheduler::new(shape).schedule(&mask).cycles());
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! The Fig. 9 sensitivity study through the public API: how Odin's
+//! advantage over homogeneous OUs changes with crossbar size.
+//!
+//! ```sh
+//! cargo run --example crossbar_scaling
+//! ```
+
+use odin::core::baselines::{paper_baselines, HomogeneousRuntime};
+use odin::core::{OdinConfig, OdinRuntime, TimeSchedule};
+use odin::dnn::zoo::{self, Dataset};
+use odin::xbar::CrossbarConfig;
+use rand::SeedableRng;
+
+fn main() {
+    let net = zoo::resnet34(Dataset::Cifar100);
+    let schedule = TimeSchedule::geometric(1.0, 1e8, 60);
+    println!(
+        "workload: {} on {} ({} layers)\n",
+        net.name(),
+        net.dataset(),
+        net.layers().len()
+    );
+    println!("total EDP of each homogeneous OU relative to Odin (higher = Odin wins more):");
+    print!("{:<10}", "crossbar");
+    for (label, _) in paper_baselines() {
+        print!(" {label:>8}");
+    }
+    println!();
+
+    for size in [128usize, 64, 32] {
+        let crossbar = CrossbarConfig::builder()
+            .size(size)
+            .build()
+            .expect("power-of-two size");
+        let config = OdinConfig::builder()
+            .crossbar(crossbar.clone())
+            .build()
+            .expect("valid config");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut odin = OdinRuntime::new(config.clone(), &mut rng);
+        let odin_edp = odin
+            .run_campaign(&net, &schedule)
+            .expect("ResNet34 maps")
+            .total_edp()
+            .value();
+
+        print!("{:<10}", format!("{size}×{size}"));
+        for (_, shape) in paper_baselines() {
+            let mut rt = HomogeneousRuntime::new(crossbar.clone(), shape, config.eta())
+                .expect("shape fits");
+            let edp = rt
+                .run_campaign(&net, &schedule)
+                .expect("ResNet34 maps")
+                .total_edp()
+                .value();
+            print!(" {:>8.2}", edp / odin_edp);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,82 @@
+//! Watch conductance drift push OU choices smaller and eventually
+//! force reprogramming — the dynamics behind Figs. 4 and 7.
+//!
+//! ```sh
+//! cargo run --example drift_and_reprogramming
+//! ```
+
+use odin::core::accuracy::AccuracyModel;
+use odin::core::{AnalyticModel, OdinConfig, OdinRuntime};
+use odin::device::{DeviceParams, DriftModel};
+use odin::dnn::zoo::{self, Dataset};
+use odin::units::Seconds;
+use odin::xbar::OuShape;
+use rand::SeedableRng;
+
+fn main() {
+    // Raw Eq. 3 drift of the device corner.
+    let params = DeviceParams::paper();
+    let drift = DriftModel::new(&params);
+    println!("Eq. 3 conductance drift of a pristine on-state cell:");
+    for t in [1.0, 1e2, 1e4, 1e6, 1e8] {
+        let g = drift.conductance_at(Seconds::new(t));
+        println!(
+            "  t = {:>8.0e} s  G = {:>8.2} µS  ({:>5.1}% of G_ON)",
+            t,
+            g.as_micro(),
+            g / params.g_on() * 100.0
+        );
+    }
+
+    // How the accuracy-impact surrogate gates OU shapes over time.
+    let config = OdinConfig::paper();
+    let analytic = AnalyticModel::new(config.crossbar().clone()).expect("paper crossbar");
+    let eta = config.eta();
+    println!("\nlatest programming age at which each OU still satisfies η = {eta}:");
+    for shape in [
+        OuShape::new(8, 4),
+        OuShape::new(16, 16),
+        OuShape::new(32, 32),
+        OuShape::new(64, 64),
+    ] {
+        match analytic.nonideality().age_limit(shape, eta) {
+            Some(limit) => println!("  {shape:>7}: {:>10.2e} s", limit.value()),
+            None => println!("  {shape:>7}: infeasible even when fresh"),
+        }
+    }
+
+    // An Odin campaign across the drift horizon: mean OU size shrinks,
+    // reprogramming happens only when even 4×4 violates the budget.
+    let net = zoo::resnet18(Dataset::Cifar10);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut odin = OdinRuntime::new(config, &mut rng);
+    let acc = AccuracyModel::new(0.92, 0.1);
+    println!("\nOdin on ResNet18 across the drift horizon:");
+    println!(
+        "{:>12} {:>14} {:>12} {:>10}",
+        "t (s)", "mean R·C", "reprogram?", "accuracy"
+    );
+    for t in [1.0, 1e2, 1e4, 1e6, 3e7, 1e8, 3e8, 1e9] {
+        let rec = odin
+            .run_inference(&net, Seconds::new(t))
+            .expect("ResNet18 maps");
+        let mean: f64 = rec
+            .decisions
+            .iter()
+            .map(|d| d.chosen.area() as f64)
+            .sum::<f64>()
+            / rec.decisions.len() as f64;
+        let worst = rec
+            .decisions
+            .iter()
+            .map(|d| d.eval.impact)
+            .fold(0.0, f64::max);
+        println!(
+            "{:>12.1e} {:>14.1} {:>12} {:>10.3}",
+            t,
+            mean,
+            if rec.reprogrammed { "yes" } else { "-" },
+            acc.accuracy(worst / 0.005)
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! The functional substrate end to end: program real weights into
+//! simulated ReRAM crossbars, execute OU-scheduled analog MVM with
+//! drift/IR non-idealities, and watch the numeric error grow with
+//! programming age — then see the same effect on a *trained* CNN's
+//! accuracy (the Fig. 7 functional path).
+//!
+//! ```sh
+//! cargo run --example functional_mvm
+//! ```
+
+use odin::device::{DeviceParams, WeightCodec};
+use odin::dnn::dataset::SyntheticImages;
+use odin::dnn::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
+use odin::dnn::{NoiseSpec, Sequential, Trainer, TrainerConfig};
+use odin::units::Seconds;
+use odin::xbar::mvm::{self, NonIdealMvm};
+use odin::xbar::{CrossbarConfig, LayerMapping, NonIdealityModel, OuShape};
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+
+    // A 64×32 weight matrix on a 128×128 crossbar.
+    let rows = 64;
+    let cols = 32;
+    let weights: Vec<Vec<f64>> = (0..rows)
+        .map(|_| (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let input: Vec<f64> = (0..rows).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+    let cfg = CrossbarConfig::paper_128();
+    let mapping = LayerMapping::new(rows, cols, cfg.size()).expect("nonempty matrix");
+    let codec = WeightCodec::new(&DeviceParams::paper(), 1.0);
+    let t_program = Seconds::new(1.0);
+    let xbars = mvm::program_layer(&mapping, &weights, &codec, &cfg, t_program, &mut rng)
+        .expect("weights in codec range");
+    let nonideal = NonIdealityModel::for_config(&cfg);
+    let reference = mvm::ideal(&weights, &input).expect("matching shapes");
+
+    println!("non-ideal OU-scheduled MVM error vs programming age:");
+    println!("{:>10} {:>10} {:>14} {:>10}", "age (s)", "OU", "rel. error", "cycles");
+    for shape in [OuShape::new(8, 4), OuShape::new(16, 16), OuShape::new(64, 64)] {
+        let engine = NonIdealMvm::new(&mapping, &xbars, &nonideal, &codec, shape);
+        for age in [0.0, 1e6, 1e8] {
+            let now = Seconds::new(1.0 + age);
+            let (got, cycles) = engine
+                .execute(&weights, &input, now, &mut rng)
+                .expect("matching shapes");
+            let err: f64 = got
+                .iter()
+                .zip(&reference)
+                .map(|(g, r)| (g - r).abs())
+                .sum::<f64>()
+                / reference.iter().map(|r| r.abs()).sum::<f64>();
+            println!("{age:>10.1e} {shape:>10} {err:>14.4} {cycles:>10}");
+        }
+    }
+
+    // The same physics on a trained classifier.
+    let data = SyntheticImages::generate(10, 1, 8, 400, 0.5, &mut rng);
+    let (train, test) = data.split(0.8);
+    let mut cnn = Sequential::new();
+    cnn.push(Conv2d::new(1, 6, 3, &mut rng));
+    cnn.push(Relu::new());
+    cnn.push(MaxPool2d::new());
+    cnn.push(Flatten::new());
+    cnn.push(Dense::new(6 * 4 * 4, 10, &mut rng));
+    let trainer = Trainer::new(TrainerConfig::default());
+    trainer.fit(&mut cnn, &train);
+    println!(
+        "\ntrained small CNN: clean accuracy {:.3}",
+        trainer.accuracy(&mut cnn, &test)
+    );
+    println!("accuracy under growing per-layer non-ideality:");
+    for impact in [0.0, 0.1, 0.3, 0.6, 0.9] {
+        let acc = trainer
+            .noisy_accuracy(&mut cnn, &test, &NoiseSpec::uniform(impact, 2), &mut rng)
+            .expect("two parameterized layers");
+        println!("  impact {impact:>4.1}: accuracy {acc:.3}");
+    }
+}

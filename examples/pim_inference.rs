@@ -1,0 +1,168 @@
+//! Full-stack PIM inference: train a small classifier, then execute
+//! its output layer on *simulated ReRAM crossbars* — weights
+//! quantized to 2-bit differential cells, OU-scheduled analog MVM,
+//! drift and IR non-idealities — and compare classification accuracy
+//! against the pure-digital model as the arrays age.
+//!
+//! ```sh
+//! cargo run --release --example pim_inference
+//! ```
+
+use odin::device::{DeviceParams, WeightCodec};
+use odin::dnn::dataset::{Sample, SyntheticImages};
+use odin::dnn::layers::{softmax, Conv2d, Dense, Flatten, Layer, MaxPool2d, Relu};
+use odin::dnn::{Sequential, Tensor, Trainer, TrainerConfig};
+use odin::units::Seconds;
+use odin::xbar::mvm::{self, NonIdealMvm};
+use odin::xbar::{Crossbar, CrossbarConfig, LayerMapping, NonIdealityModel, OuShape};
+use rand::SeedableRng;
+
+/// The trained feature extractor (everything but the classifier head).
+struct Features {
+    conv: Conv2d,
+    relu: Relu,
+    pool: MaxPool2d,
+    flatten: Flatten,
+}
+
+impl Features {
+    fn extract(&mut self, image: &Tensor) -> Tensor {
+        let x = self.conv.forward(image, false);
+        let x = self.relu.forward(&x, false);
+        let x = self.pool.forward(&x, false);
+        self.flatten.forward(&x, false)
+    }
+}
+
+/// The classifier head mapped onto physical crossbars.
+struct PimHead {
+    mapping: LayerMapping,
+    crossbars: Vec<Crossbar>,
+    nonideal: NonIdealityModel,
+    codec: WeightCodec,
+    weights: Vec<Vec<f64>>,
+    bias: Vec<f64>,
+    shape: OuShape,
+}
+
+impl PimHead {
+    fn classify(
+        &self,
+        features: &Tensor,
+        now: Seconds,
+        rng: &mut rand::rngs::StdRng,
+    ) -> usize {
+        let input: Vec<f64> = features.as_slice().iter().map(|&v| f64::from(v)).collect();
+        let engine = NonIdealMvm::new(
+            &self.mapping,
+            &self.crossbars,
+            &self.nonideal,
+            &self.codec,
+            self.shape,
+        )
+        .with_gain_correction();
+        let (mut logits, _) = engine
+            .execute(&self.weights, &input, now, rng)
+            .expect("head maps onto the fabric");
+        for (l, b) in logits.iter_mut().zip(&self.bias) {
+            *l += b;
+        }
+        let t = Tensor::from_vec(vec![logits.len()], logits.iter().map(|&v| v as f32).collect())
+            .expect("sized");
+        softmax(&t).argmax()
+    }
+}
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+
+    // 1. Train a digital baseline.
+    let classes = 10;
+    let data = SyntheticImages::generate(classes, 1, 8, 500, 0.45, &mut rng);
+    let (train, test) = data.split(0.8);
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(1, 6, 3, &mut rng));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new());
+    net.push(Flatten::new());
+    net.push(Dense::new(6 * 4 * 4, classes, &mut rng));
+    let trainer = Trainer::new(TrainerConfig {
+        learning_rate: 0.05,
+        batch_size: 8,
+        epochs: 15,
+    });
+    trainer.fit(&mut net, &train);
+    let digital_acc = trainer.accuracy(&mut net, &test);
+    println!("digital accuracy: {digital_acc:.3}");
+
+    // 2. Split the trained network: the convolutional front stays
+    //    digital, the classifier head moves onto crossbars. Copy the
+    //    trained parameters into the split copies.
+    let mut rng2 = rand::rngs::StdRng::seed_from_u64(99);
+    let mut conv = Conv2d::new(1, 6, 3, &mut rng2);
+    let mut head = Dense::new(6 * 4 * 4, classes, &mut rng2);
+    {
+        let trained: Vec<&Tensor> = net.weights().collect();
+        conv.weights_mut()
+            .unwrap()
+            .as_mut_slice()
+            .copy_from_slice(trained[0].as_slice());
+        head.weights_mut()
+            .unwrap()
+            .as_mut_slice()
+            .copy_from_slice(trained[1].as_slice());
+    }
+    let mut features = Features {
+        conv,
+        relu: Relu::new(),
+        pool: MaxPool2d::new(),
+        flatten: Flatten::new(),
+    };
+
+    // 3. Program the head onto crossbars.
+    let fan_in = 6 * 4 * 4;
+    let w = head.weights().unwrap();
+    let max_abs = w
+        .as_slice()
+        .iter()
+        .fold(0.0f32, |m, &v| m.max(v.abs()))
+        .max(1e-3) as f64;
+    let weights: Vec<Vec<f64>> = (0..fan_in)
+        .map(|r| {
+            (0..classes)
+                .map(|c| f64::from(w.get(&[c, r])))
+                .collect()
+        })
+        .collect();
+    let cfg = CrossbarConfig::paper_128();
+    let mapping = LayerMapping::new(fan_in, classes, cfg.size()).expect("small head");
+    let codec = WeightCodec::new(&DeviceParams::paper(), max_abs);
+    let t_program = Seconds::new(1.0);
+    let crossbars = mvm::program_layer(&mapping, &weights, &codec, &cfg, t_program, &mut rng)
+        .expect("weights in range");
+    let pim = PimHead {
+        mapping,
+        crossbars,
+        nonideal: NonIdealityModel::for_config(&cfg),
+        codec,
+        weights,
+        bias: vec![0.0; classes], // head bias stays digital and is ~0 here
+        shape: OuShape::new(16, 8),
+    };
+
+    // 4. Classify through the hybrid digital-front / PIM-head pipeline
+    //    at increasing array ages.
+    println!("\nhybrid (conv digital, head on ReRAM crossbars, 16×8 OUs, gain-corrected):");
+    for age in [0.0, 1e4, 1e6, 1e8] {
+        let now = Seconds::new(1.0 + age);
+        let correct = test
+            .iter()
+            .filter(|Sample { image, label }| {
+                let f = features.extract(image);
+                pim.classify(&f, now, &mut rng) == *label
+            })
+            .count();
+        let acc = correct as f64 / test.len() as f64;
+        println!("  age {age:>8.0e} s: accuracy {acc:.3}");
+    }
+}

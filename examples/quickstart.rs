@@ -1,0 +1,47 @@
+//! Quickstart: run Odin on ResNet18 and print what it decided.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use odin::core::{OdinConfig, OdinRuntime, TimeSchedule};
+use odin::dnn::zoo::{self, Dataset};
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let net = zoo::resnet18(Dataset::Cifar10);
+    println!(
+        "workload: {} on {} — {} MVM layers, {:.1} M weights",
+        net.name(),
+        net.dataset(),
+        net.layers().len(),
+        net.total_weights() as f64 / 1e6
+    );
+
+    let mut odin = OdinRuntime::new(OdinConfig::paper(), &mut rng);
+    let schedule = TimeSchedule::geometric(1.0, 1e6, 30);
+    let report = odin
+        .run_campaign(&net, &schedule)
+        .expect("ResNet18 maps onto the fabric");
+
+    println!("\nfirst run's layer-wise OU decisions:");
+    for d in &report.runs[0].decisions {
+        let layer = &net.layers()[d.layer_index];
+        println!(
+            "  layer {:>2} {:<14} sparsity {:>5.1}%  →  OU {}",
+            d.layer_index,
+            layer.name(),
+            layer.sparsity() * 100.0,
+            d.chosen
+        );
+    }
+
+    println!("\ncampaign over {} runs (t = 1 s … 1e6 s):", report.runs.len());
+    println!("  total energy   : {}", report.total_energy());
+    println!("  total latency  : {}", report.total_latency());
+    println!("  total EDP      : {}", report.total_edp());
+    println!("  reprogrammings : {}", report.reprogram_count());
+    println!("  policy updates : {}", report.policy_updates());
+    println!("  mismatch rate  : {:.1}%", report.mismatch_rate() * 100.0);
+}

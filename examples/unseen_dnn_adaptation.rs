@@ -1,0 +1,94 @@
+//! The paper's core scenario: adapt online to an *unseen* DNN.
+//!
+//! The offline policy is bootstrapped leave-one-out — the VGG family
+//! is excluded, so VGG11 arrives as a genuinely unseen workload — and
+//! Odin's online loop corrects the policy as mismatches accumulate.
+//! The same campaign is run against the static homogeneous 16×16
+//! baseline for comparison.
+//!
+//! ```sh
+//! cargo run --example unseen_dnn_adaptation
+//! ```
+
+use odin::core::baselines::HomogeneousRuntime;
+use odin::core::offline::{bootstrap_policy, leave_one_out};
+use odin::core::{AnalyticModel, OdinConfig, OdinRuntime, TimeSchedule};
+use odin::dnn::zoo::{self, Dataset};
+use odin::xbar::OuShape;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let config = OdinConfig::paper();
+    let target = zoo::vgg11(Dataset::Cifar10);
+
+    // Design time: label examples from every *other* model family and
+    // fit the offline policy.
+    let analytic = AnalyticModel::new(config.crossbar().clone()).expect("paper crossbar");
+    let known = leave_one_out(&zoo::all_models(Dataset::Cifar10), target.name());
+    println!(
+        "bootstrapping offline policy from {} known models ({}) …",
+        known.len(),
+        known
+            .iter()
+            .map(|n| n.name().to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let policy = bootstrap_policy(
+        &analytic,
+        &known,
+        config.eta(),
+        config.policy().clone(),
+        &mut rng,
+    )
+    .expect("offline labelling succeeds");
+
+    // Runtime: the unseen VGG11 arrives.
+    let schedule = TimeSchedule::geometric(1.0, 1e8, 120);
+    let mut odin = OdinRuntime::with_policy(config.clone(), policy);
+    let report = odin.run_campaign(&target, &schedule).expect("VGG11 maps");
+
+    println!("\nadaptation progress (policy-vs-search mismatches per run):");
+    for chunk in report.runs.chunks(24) {
+        let mism: usize = chunk
+            .iter()
+            .flat_map(|r| &r.decisions)
+            .filter(|d| d.mismatch)
+            .count();
+        let total: usize = chunk.iter().map(|r| r.decisions.len()).sum();
+        let t0 = chunk.first().map_or(0.0, |r| r.time.value());
+        println!(
+            "  from t = {:>9.2e} s: {:>5.1}% mismatch",
+            t0,
+            mism as f64 / total.max(1) as f64 * 100.0
+        );
+    }
+
+    let mut baseline = HomogeneousRuntime::new(
+        config.crossbar().clone(),
+        OuShape::new(16, 16),
+        config.eta(),
+    )
+    .expect("valid baseline");
+    let base_report = baseline.run_campaign(&target, &schedule).expect("VGG11 maps");
+
+    println!("\nOdin vs homogeneous 16×16 over the same campaign:");
+    println!(
+        "  energy : {:>12}  vs {:>12}  ({:.2}× better)",
+        report.total_energy(),
+        base_report.total_energy(),
+        base_report.total_energy() / report.total_energy()
+    );
+    println!(
+        "  EDP    : {:>12}  vs {:>12}  ({:.2}× better)",
+        report.total_edp(),
+        base_report.total_edp(),
+        base_report.total_edp() / report.total_edp()
+    );
+    println!(
+        "  reprogrammings: {} vs {}",
+        report.reprogram_count(),
+        base_report.reprogram_count()
+    );
+}

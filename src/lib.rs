@@ -1,0 +1,49 @@
+//! **Odin** — learning to optimize ReRAM operation-unit configuration
+//! for energy-efficient DNN inferencing.
+//!
+//! A from-scratch Rust reproduction of *Odin: Learning to Optimize
+//! Operation Unit Configuration for Energy-efficient DNN Inferencing*
+//! (Narang, Doppa, Pande — DATE 2025), including every substrate the
+//! paper's evaluation depends on:
+//!
+//! | Module | Crate | What it models |
+//! |---|---|---|
+//! | [`units`] | `odin-units` | Typed physical quantities |
+//! | [`device`] | `odin-device` | ReRAM cells, drift (Eq. 3), noise, reprogramming |
+//! | [`xbar`] | `odin-xbar` | Crossbars, OU scheduling, IR-drop, ΔG (Eq. 4), MVM |
+//! | [`noc`] | `odin-noc` | The 6×6 mesh NoC |
+//! | [`arch`] | `odin-arch` | Tiles, reconfigurable ADCs, Eq. 1–2 costs, §V.E overheads |
+//! | [`dnn`] | `odin-dnn` | Tensors, training, pruning, the 9-model zoo |
+//! | [`policy`] | `odin-policy` | The two-headed MLP policy + replay buffer |
+//! | [`core`] | `odin-core` | Algorithm 1: features, search, runtime, baselines |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use odin::core::{OdinConfig, OdinRuntime, TimeSchedule};
+//! use odin::dnn::zoo::{self, Dataset};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let net = zoo::resnet18(Dataset::Cifar10);
+//! let mut odin = OdinRuntime::new(OdinConfig::paper(), &mut rng);
+//! let report = odin
+//!     .run_campaign(&net, &TimeSchedule::geometric(1.0, 1e4, 10))
+//!     .expect("ResNet18 maps onto the fabric");
+//! println!("EDP: {}", report.total_edp());
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! binaries that regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use odin_arch as arch;
+pub use odin_core as core;
+pub use odin_device as device;
+pub use odin_dnn as dnn;
+pub use odin_noc as noc;
+pub use odin_policy as policy;
+pub use odin_units as units;
+pub use odin_xbar as xbar;

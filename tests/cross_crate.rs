@@ -1,0 +1,168 @@
+//! Cross-crate consistency: the analytic models (what Odin decides
+//! with) must agree with the functional substrate (what the hardware
+//! would actually do).
+
+use odin::core::{AnalyticModel, LayerFeatures};
+use odin::device::{DeviceParams, WeightCodec};
+use odin::dnn::zoo::{self, Dataset};
+use odin::dnn::{prune_rows, row_sparsity, Tensor};
+use odin::units::Seconds;
+use odin::xbar::mvm::{self, NonIdealMvm};
+use odin::xbar::{
+    estimate_cycles, CrossbarConfig, LayerMapping, NonIdealityModel, OuScheduler, OuShape,
+};
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn analytic_cycle_estimate_matches_functional_scheduler_for_pruned_rows() {
+    // Crossbar-aware row pruning produces exactly the structured
+    // sparsity the Eq. 1–2 estimate assumes; the exact scheduler and
+    // the closed form must then agree on every tile.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let rows = 200;
+    let cols = 90;
+    let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(0.1..1.0)).collect();
+    let mut weights = Tensor::from_vec(vec![rows, cols], data).unwrap();
+    prune_rows(&mut weights, 0.6);
+    let sparsity = row_sparsity(&weights);
+
+    let as_f64: Vec<Vec<f64>> = (0..rows)
+        .map(|r| {
+            (0..cols)
+                .map(|c| f64::from(weights.get(&[r, c])))
+                .collect()
+        })
+        .collect();
+    let mapping = LayerMapping::new(rows, cols, 128).unwrap();
+    let shape = OuShape::new(16, 16);
+    let scheduler = OuScheduler::new(shape);
+    let mut exact_total = 0u64;
+    for tile in mapping.tiles() {
+        let mask = mapping.tile_nonzero_mask(&as_f64, tile).unwrap();
+        exact_total += scheduler.count_cycles(&mask);
+    }
+    // The analytic estimate per tile with the measured global sparsity.
+    let mut est_total = 0u64;
+    for tile in mapping.tiles() {
+        est_total += estimate_cycles(tile.rows(), tile.cols(), sparsity, shape);
+    }
+    // The closed form is a conservative upper bound (pruned rows are
+    // not spread uniformly over tiles), and must stay within ceil-
+    // rounding distance of the exact schedule.
+    assert!(est_total >= exact_total, "estimate must upper-bound exact");
+    let rel = (est_total - exact_total) as f64 / exact_total as f64;
+    assert!(
+        rel < 0.35,
+        "estimate {est_total} vs exact {exact_total} ({:.1}% off)",
+        rel * 100.0
+    );
+}
+
+#[test]
+fn decisions_keep_functional_mvm_error_within_budget_when_fresh() {
+    // An OU the analytic model declares feasible at t₀ must execute on
+    // the functional crossbars with only quantization-scale error.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let model = AnalyticModel::new(CrossbarConfig::paper_128()).unwrap();
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let layer = &net.layers()[1];
+    let eval = model
+        .evaluate(layer, OuShape::new(16, 16), Seconds::ZERO)
+        .unwrap();
+    assert!(eval.feasible(0.005));
+
+    // Small surrogate matrix on the same fabric with the codec grid.
+    let step = 1.0 / 3.0;
+    let rows = 32;
+    let cols = 16;
+    let weights: Vec<Vec<f64>> = (0..rows)
+        .map(|_| {
+            (0..cols)
+                .map(|_| step * f64::from(rng.gen_range(-3i32..=3)))
+                .collect()
+        })
+        .collect();
+    let input: Vec<f64> = (0..rows).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let cfg = CrossbarConfig::paper_128();
+    let mapping = LayerMapping::new(rows, cols, cfg.size()).unwrap();
+    let codec = WeightCodec::new(&DeviceParams::paper(), 1.0);
+    let xbars =
+        mvm::program_layer(&mapping, &weights, &codec, &cfg, Seconds::new(1.0), &mut rng).unwrap();
+    let nonideal = NonIdealityModel::for_config(&cfg);
+    let engine = NonIdealMvm::new(&mapping, &xbars, &nonideal, &codec, OuShape::new(16, 16));
+    let (got, _) = engine
+        .execute(&weights, &input, Seconds::new(1.0), &mut rng)
+        .unwrap();
+    let want = mvm::ideal(&weights, &input).unwrap();
+    let denom: f64 = want.iter().map(|w| w.abs()).sum::<f64>().max(1e-9);
+    let err: f64 = got
+        .iter()
+        .zip(&want)
+        .map(|(g, w)| (g - w).abs())
+        .sum::<f64>()
+        / denom;
+    assert!(err < 0.02, "fresh feasible OU must be near-exact: {err}");
+}
+
+#[test]
+fn surrogate_and_raw_drift_agree_on_direction() {
+    // The calibrated accuracy-impact surrogate and the raw Eq. 3/4
+    // models must order shapes and times the same way.
+    let model = NonIdealityModel::new(DeviceParams::paper(), odin::units::Ohms::new(1.0));
+    let shapes = [OuShape::new(8, 4), OuShape::new(16, 16), OuShape::new(64, 64)];
+    let times = [1.0, 1e4, 1e8];
+    for w in shapes.windows(2) {
+        for &t in &times {
+            let t = Seconds::new(t);
+            assert!(model.accuracy_impact(w[0], t) <= model.accuracy_impact(w[1], t));
+            assert!(model.delta_g(w[0], t) <= model.delta_g(w[1], t));
+        }
+    }
+    for shape in shapes {
+        for w in times.windows(2) {
+            assert!(
+                model.accuracy_impact(shape, Seconds::new(w[0]))
+                    <= model.accuracy_impact(shape, Seconds::new(w[1]))
+            );
+            assert!(
+                model.delta_g(shape, Seconds::new(w[0]))
+                    <= model.delta_g(shape, Seconds::new(w[1]))
+            );
+        }
+    }
+}
+
+#[test]
+fn features_for_every_zoo_layer_are_policy_ready() {
+    for net in zoo::paper_workloads() {
+        let n = net.layers().len();
+        for layer in net.layers() {
+            for t in [0.0, 1e4, 1e8] {
+                let phi = LayerFeatures::extract(layer, n, Seconds::new(t));
+                for v in phi.as_array() {
+                    assert!((0.0..=1.0).contains(&v), "{} {}", net.name(), layer.name());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn zoo_models_fit_the_paper_accelerator() {
+    // 36 PEs × 4 tiles × 96 crossbars of 128×128 (differential pairs)
+    // must hold every workload's weights.
+    let system = odin::arch::SystemConfig::paper();
+    for net in zoo::paper_workloads() {
+        let mut needed = 0usize;
+        for layer in net.layers() {
+            let mapping = LayerMapping::new(layer.fan_in(), layer.fan_out(), 128).unwrap();
+            needed += mapping.crossbar_count();
+        }
+        assert!(
+            needed <= system.total_crossbars(),
+            "{} needs {needed} crossbars of {}",
+            net.name(),
+            system.total_crossbars()
+        );
+    }
+}

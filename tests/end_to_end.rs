@@ -1,0 +1,120 @@
+//! End-to-end integration: offline bootstrap → online adaptation →
+//! campaign economics, across every crate in the workspace.
+
+use odin::core::baselines::{paper_baselines, HomogeneousRuntime};
+use odin::core::offline::{bootstrap_policy, leave_one_out};
+use odin::core::{AnalyticModel, OdinConfig, OdinRuntime, TimeSchedule};
+use odin::dnn::zoo::{self, Dataset};
+use odin::xbar::OuShape;
+use rand::SeedableRng;
+
+fn schedule() -> TimeSchedule {
+    TimeSchedule::geometric(1.0, 1e8, 80)
+}
+
+#[test]
+fn odin_beats_every_homogeneous_baseline_on_total_edp() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let config = OdinConfig::paper();
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let analytic = AnalyticModel::new(config.crossbar().clone()).unwrap();
+    let known = leave_one_out(&zoo::all_models(Dataset::Cifar10), net.name());
+    let policy =
+        bootstrap_policy(&analytic, &known, config.eta(), config.policy().clone(), &mut rng)
+            .unwrap();
+    let mut odin = OdinRuntime::with_policy(config.clone(), policy);
+    let odin_report = odin.run_campaign(&net, &schedule()).unwrap();
+
+    for (label, shape) in paper_baselines() {
+        let mut rt =
+            HomogeneousRuntime::new(config.crossbar().clone(), shape, config.eta()).unwrap();
+        let base = rt.run_campaign(&net, &schedule()).unwrap();
+        let gain = base.total_edp() / odin_report.total_edp();
+        assert!(gain > 1.0, "odin must beat {label}: {gain:.2}×");
+    }
+}
+
+#[test]
+fn reprogram_cadence_ordering_matches_paper() {
+    // §V.C: 16×16 reprograms ~43×, 8×4 ~2×, Odin once at most, over
+    // t₀..1e8 s with a dense enough run schedule.
+    let config = OdinConfig::paper();
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let dense = TimeSchedule::geometric(1.0, 1e8, 200);
+
+    let count = |shape: OuShape| {
+        let mut rt =
+            HomogeneousRuntime::new(config.crossbar().clone(), shape, config.eta()).unwrap();
+        rt.run_campaign(&net, &dense).unwrap().reprogram_count()
+    };
+    let coarse = count(OuShape::new(16, 16));
+    let fine = count(OuShape::new(8, 4));
+    assert!(
+        (25..=60).contains(&coarse),
+        "16×16 reprograms {coarse} (paper: 43)"
+    );
+    assert!(fine <= 4, "8×4 reprograms {fine} (paper: 2)");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut odin = OdinRuntime::new(config, &mut rng);
+    let odin_count = odin.run_campaign(&net, &dense).unwrap().reprogram_count();
+    assert!(odin_count <= 2, "odin reprograms {odin_count} (paper: 1)");
+    assert!(odin_count < fine.max(1) * 3);
+    assert!(coarse > 10 * odin_count.max(1));
+}
+
+#[test]
+fn online_learning_actually_changes_the_policy() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let config = OdinConfig::builder().buffer_capacity(20).build().unwrap();
+    let mut odin = OdinRuntime::new(config, &mut rng);
+    let net = zoo::googlenet(Dataset::Cifar10);
+    let before = odin.policy().clone();
+    let report = odin
+        .run_campaign(&net, &TimeSchedule::linear(1.0, 1.0, 10))
+        .unwrap();
+    assert!(report.policy_updates() > 0);
+    assert_ne!(odin.policy(), &before, "updates must move the parameters");
+    assert!(odin.policy().updates() > 0);
+}
+
+#[test]
+fn every_workload_runs_through_the_full_stack() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let config = OdinConfig::paper();
+    let quick = TimeSchedule::geometric(1.0, 1e6, 5);
+    for net in zoo::paper_workloads() {
+        let mut odin = OdinRuntime::new(config.clone(), &mut rng);
+        let report = odin.run_campaign(&net, &quick).unwrap();
+        assert_eq!(report.runs.len(), 5, "{}", net.name());
+        assert!(report.total_energy().value() > 0.0, "{}", net.name());
+        assert!(report.total_latency().value() > 0.0, "{}", net.name());
+        for run in &report.runs {
+            assert_eq!(run.decisions.len(), net.layers().len());
+            for d in &run.decisions {
+                assert!(d.eval.feasible(config.eta()));
+            }
+        }
+    }
+}
+
+#[test]
+fn crossbar_size_sweep_runs_and_odin_wins_everywhere() {
+    let net = zoo::resnet34(Dataset::Cifar100);
+    let quick = TimeSchedule::geometric(1.0, 1e8, 30);
+    for size in [128usize, 64, 32] {
+        let crossbar = odin::xbar::CrossbarConfig::builder().size(size).build().unwrap();
+        let config = OdinConfig::builder().crossbar(crossbar.clone()).build().unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut odin = OdinRuntime::new(config.clone(), &mut rng);
+        let odin_edp = odin.run_campaign(&net, &quick).unwrap().total_edp();
+        let mut base =
+            HomogeneousRuntime::new(crossbar, OuShape::new(16, 16), config.eta()).unwrap();
+        let base_edp = base.run_campaign(&net, &quick).unwrap().total_edp();
+        assert!(
+            base_edp > odin_edp,
+            "odin must win at {size}×{size}: {:.2}×",
+            base_edp / odin_edp
+        );
+    }
+}

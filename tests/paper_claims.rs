@@ -1,0 +1,105 @@
+//! The paper's point claims, checked against the models: Table I/II
+//! constants, §IV storage, §V.B search budget, §V.E overheads.
+
+use odin::arch::{OverheadLedger, ReconfigurableAdc, SystemConfig, TileConfig};
+use odin::device::DeviceParams;
+use odin::policy::{MultiHeadMlp, ReplayBuffer};
+use odin::xbar::{CrossbarConfig, OuGrid};
+use rand::SeedableRng;
+
+#[test]
+fn table1_constants() {
+    let tile = TileConfig::paper();
+    assert!((tile.total_area().value() - 0.2822).abs() < 1e-9);
+    assert_eq!(tile.crossbars_per_tile(), 96);
+    assert_eq!(tile.crossbar_size(), 128);
+    assert_eq!(tile.bits_per_cell(), 2);
+    assert!((tile.clock_hz() - 1.2e9).abs() < 1.0);
+    assert_eq!(tile.edram_bytes(), 64 * 1024);
+    let adc = ReconfigurableAdc::paper();
+    assert_eq!(adc.min_bits(), 3);
+    assert_eq!(adc.max_bits(), 6);
+}
+
+#[test]
+fn table2_constants() {
+    let d = DeviceParams::paper();
+    assert!((d.g_on().as_micro() - 333.0).abs() < 1e-9);
+    assert!((d.g_off().as_micro() - 0.33).abs() < 1e-9);
+    assert!((d.drift_coefficient() - 0.2).abs() < 1e-12);
+    let c = CrossbarConfig::paper_128();
+    assert!((c.wire_resistance().value() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn section3_ou_grid_is_6_levels_36_shapes() {
+    // §V.A: R, C ∈ {2^L : L ∈ [2, 7]} — 6 discrete values each, 36
+    // configurations on the 128×128 crossbar.
+    let grid = OuGrid::for_crossbar(128);
+    assert_eq!(grid.levels_per_axis(), 6);
+    assert_eq!(grid.num_shapes(), 36);
+    assert_eq!(grid.dim_at(0), 4);
+    assert_eq!(grid.dim_at(5), 128);
+}
+
+#[test]
+fn section4_buffer_and_policy_storage() {
+    // §IV: 50 training examples ≈ 0.35 KB; the MLP is 4 inputs → two
+    // 6-way softmax heads and fits in a fraction of a KB.
+    let buffer = ReplayBuffer::paper();
+    assert_eq!(buffer.capacity(), 50);
+    assert!(buffer.storage_bytes() <= 1024);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mlp = MultiHeadMlp::new(4, 16, 6, &mut rng);
+    // f32 parameters in hardware: well under 2 KB.
+    assert!(mlp.parameter_count() * 4 < 2048);
+}
+
+#[test]
+fn section5b_search_budget_is_about_a_third_of_exhaustive() {
+    // RB at K = 3 evaluates ≤ 4K + 1 = 13 of the 36 shapes.
+    let budget = 4 * 3 + 1;
+    let ratio = 36.0 / f64::from(budget);
+    assert!((2.0..4.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn section5e_overhead_constants() {
+    let ledger = OverheadLedger::paper();
+    let system = SystemConfig::paper();
+    assert!((ledger.controller_area().value() - 0.005).abs() < 1e-12);
+    assert!((ledger.controller_tile_percent(&system) - 1.8).abs() < 0.1);
+    assert!((ledger.prediction_power().as_milli() - 0.14).abs() < 1e-12);
+    assert!((ledger.prediction_latency_penalty() - 0.009).abs() < 1e-12);
+    assert!((ledger.policy_update_energy().as_microjoules() - 0.22).abs() < 1e-12);
+    assert!((ledger.total_learning_area().value() - 0.076).abs() < 1e-12);
+    assert!((ledger.learning_system_percent(&system) - 0.19).abs() < 0.05);
+}
+
+#[test]
+fn section5a_workload_roster() {
+    // ResNet18, VGG11, GoogLeNet, DenseNet121, ViT on CIFAR-10;
+    // ResNet34, VGG16 on CIFAR-100; ResNet50, VGG19 on TinyImageNet.
+    let w = odin::dnn::zoo::paper_workloads();
+    let roster: Vec<(String, String)> = w
+        .iter()
+        .map(|n| (n.name().to_string(), n.dataset().to_string()))
+        .collect();
+    let expect = [
+        ("resnet18", "cifar10"),
+        ("vgg11", "cifar10"),
+        ("googlenet", "cifar10"),
+        ("densenet121", "cifar10"),
+        ("vit", "cifar10"),
+        ("resnet34", "cifar100"),
+        ("vgg16", "cifar100"),
+        ("resnet50", "tinyimagenet"),
+        ("vgg19", "tinyimagenet"),
+    ];
+    for (name, ds) in expect {
+        assert!(
+            roster.contains(&(name.to_string(), ds.to_string())),
+            "missing {name}/{ds}"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Cross-crate property tests: invariants that must hold for *any*
+//! layer geometry, OU shape, or drift age — not just the paper's
+//! corners.
+
+use odin::core::search::{find_best, SearchStrategy};
+use odin::core::{AnalyticModel, OdinConfig, OdinRuntime, TimeSchedule};
+use odin::dnn::{LayerDescriptor, LayerKind};
+use odin::units::Seconds;
+use odin::xbar::{CrossbarConfig, OuShape};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_layer() -> impl Strategy<Value = LayerDescriptor> {
+    (
+        1usize..4000,
+        1usize..600,
+        prop_oneof![Just(1usize), Just(3), Just(5), Just(7)],
+        0.0f64..0.95,
+        0.41f64..1.0,
+        1usize..256,
+    )
+        .prop_map(|(fan_in, fan_out, kernel, sparsity, sensitivity, positions)| {
+            let in_channels = fan_in.div_ceil(kernel * kernel).max(1);
+            LayerDescriptor::new(
+                0,
+                "arb".into(),
+                LayerKind::Conv {
+                    kernel,
+                    in_channels,
+                    out_channels: fan_out,
+                },
+                positions,
+                sparsity,
+                sensitivity,
+            )
+        })
+}
+
+fn arb_shape() -> impl Strategy<Value = OuShape> {
+    (2u32..8, 2u32..8).prop_map(|(r, c)| OuShape::new(1 << r, 1 << c))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn evaluation_is_finite_and_positive(layer in arb_layer(), shape in arb_shape(), t in 0.0f64..1e9) {
+        let model = AnalyticModel::new(CrossbarConfig::paper_128()).unwrap();
+        let eval = model.evaluate(&layer, shape, Seconds::new(t)).unwrap();
+        prop_assert!(eval.cost.energy.is_finite());
+        prop_assert!(eval.cost.energy.value() > 0.0);
+        prop_assert!(eval.cost.latency.value() > 0.0);
+        prop_assert!(eval.edp.value() > 0.0);
+        prop_assert!(eval.impact.is_finite() && eval.impact > 0.0);
+    }
+
+    #[test]
+    fn exhaustive_best_is_global_minimum(layer in arb_layer(), t in 0.0f64..1e7) {
+        let model = AnalyticModel::new(CrossbarConfig::paper_128()).unwrap();
+        let age = Seconds::new(t);
+        let out = find_best(&model, &layer, age, 0.005, (0, 0), SearchStrategy::Exhaustive).unwrap();
+        if let Some(best) = out.best {
+            for shape in model.grid().iter() {
+                let eval = model.evaluate(&layer, shape, age).unwrap();
+                if eval.feasible(0.005) {
+                    prop_assert!(best.edp <= eval.edp, "{shape} beats best {}", best.shape);
+                }
+            }
+        } else {
+            // Nothing feasible: even the smallest shape violates η.
+            let smallest = model.evaluate(&layer, OuShape::new(4, 4), age).unwrap();
+            prop_assert!(!smallest.feasible(0.005));
+        }
+    }
+
+    #[test]
+    fn rb_never_beats_exhaustive(layer in arb_layer(), seed_r in 0usize..6, seed_c in 0usize..6) {
+        let model = AnalyticModel::new(CrossbarConfig::paper_128()).unwrap();
+        let age = Seconds::new(1e2);
+        let ex = find_best(&model, &layer, age, 0.005, (0, 0), SearchStrategy::Exhaustive).unwrap();
+        let rb = find_best(&model, &layer, age, 0.005, (seed_r, seed_c), SearchStrategy::paper()).unwrap();
+        match (ex.best, rb.best) {
+            (Some(e), Some(r)) => prop_assert!(e.edp <= r.edp),
+            (None, Some(_)) => prop_assert!(false, "RB found something EX missed"),
+            _ => {}
+        }
+        prop_assert!(rb.evaluations <= ex.evaluations);
+    }
+}
+
+#[test]
+fn campaign_totals_equal_run_sums_for_many_seeds() {
+    for seed in 0..5u64 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = odin::dnn::zoo::googlenet(odin::dnn::zoo::Dataset::Cifar10);
+        let mut rt = OdinRuntime::new(OdinConfig::paper(), &mut rng);
+        let report = rt
+            .run_campaign(&net, &TimeSchedule::geometric(1.0, 1e5, 8))
+            .unwrap();
+        let e: f64 = report.runs.iter().map(|r| r.total_energy().value()).sum();
+        let t: f64 = report.runs.iter().map(|r| r.total_latency().value()).sum();
+        assert!((report.total_energy().value() - e).abs() <= 1e-12 * e);
+        assert!((report.total_latency().value() - t).abs() <= 1e-12 * t);
+        assert!((report.total_edp().value() - e * t).abs() <= 1e-9 * e * t);
+    }
+}
