@@ -164,6 +164,27 @@ impl Placement {
         self.crossbars_used as f64 / self.crossbars_available as f64
     }
 
+    /// Crossbars left unassigned after placement — the spare pool a
+    /// fault-tolerant runtime can remap worn or fault-clustered layers
+    /// onto.
+    #[must_use]
+    pub fn spare_crossbars(&self) -> usize {
+        self.crossbars_available.saturating_sub(self.crossbars_used)
+    }
+
+    /// How many spare groups of `group_size` crossbars the pool can
+    /// provision (a group must be large enough to rehost any single
+    /// layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size` is zero.
+    #[must_use]
+    pub fn spare_groups(&self, group_size: usize) -> usize {
+        assert!(group_size > 0, "group size must be nonzero");
+        self.spare_crossbars() / group_size
+    }
+
     /// The PE holding a given layer.
     #[must_use]
     pub fn pe_of(&self, layer: usize) -> Option<NodeId> {
@@ -209,6 +230,27 @@ mod tests {
             assert!(placement.utilization() <= 1.0, "{}", net.name());
             assert!(placement.utilization() > 0.0);
         }
+    }
+
+    #[test]
+    fn spare_pool_complements_usage() {
+        let system = SystemConfig::paper();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let placement = Placement::greedy(&net, &system).unwrap();
+        assert_eq!(
+            placement.spare_crossbars() + placement.crossbars_used(),
+            placement.crossbars_available()
+        );
+        let widest = placement
+            .assignments()
+            .iter()
+            .map(|a| a.crossbars)
+            .max()
+            .unwrap();
+        assert!(
+            placement.spare_groups(widest) >= 1,
+            "paper system should leave at least one layer-sized spare group"
+        );
     }
 
     #[test]

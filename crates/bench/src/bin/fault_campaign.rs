@@ -1,0 +1,13 @@
+//! Runs the stuck-at fault / write-endurance degradation campaign.
+//! Pass `--quick` for the reduced schedule.
+
+fn main() {
+    let ctx = odin_bench::context_from_args();
+    match odin_bench::experiments::fault_campaign::run(&ctx) {
+        Ok(result) => odin_bench::emit("fault_campaign", &result),
+        Err(e) => {
+            eprintln!("fault_campaign failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -5,8 +5,8 @@ use odin_device::ReprogramCost;
 use odin_dnn::{LayerDescriptor, NetworkDescriptor};
 use odin_units::{EnergyDelayProduct, Seconds};
 use odin_xbar::{
-    estimate_cycles_with_activations, CrossbarConfig, LayerMapping, NonIdealityModel, OuGrid,
-    OuShape,
+    estimate_cycles_with_activations, CrossbarConfig, FaultProfile, LayerMapping,
+    NonIdealityModel, OuGrid, OuShape,
 };
 use serde::{Deserialize, Serialize};
 
@@ -147,6 +147,29 @@ impl AnalyticModel {
         shape: OuShape,
         age: Seconds,
     ) -> Result<CandidateEval, OdinError> {
+        self.evaluate_faulty(layer, shape, age, None)
+    }
+
+    /// Evaluates one `(layer, shape)` pair with the hard-fault profile
+    /// of the crossbar group the layer is mapped to folded into the
+    /// non-ideality estimate.
+    ///
+    /// The fault term is additive on the *unweighted* non-ideality
+    /// (both the drift surrogate and the stuck-cell error are then
+    /// scaled by the layer's sensitivity), and an empty profile adds
+    /// exactly `0.0` — fault-free evaluation stays bit-identical to
+    /// [`evaluate`](Self::evaluate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::Mapping`] when the layer cannot be mapped.
+    pub fn evaluate_faulty(
+        &self,
+        layer: &LayerDescriptor,
+        shape: OuShape,
+        age: Seconds,
+        faults: Option<&FaultProfile>,
+    ) -> Result<CandidateEval, OdinError> {
         let mapping = LayerMapping::new(layer.fan_in(), layer.fan_out(), self.crossbar.size())?;
         let activation_sparsity = if self.use_activation_sparsity {
             layer.activation_sparsity()
@@ -173,7 +196,11 @@ impl AnalyticModel {
             critical * positions,
             mapping.crossbar_count(),
         );
-        let impact = layer.sensitivity() * self.nonideal.accuracy_impact(shape, age);
+        let mut nonideality = self.nonideal.accuracy_impact(shape, age);
+        if let Some(profile) = faults {
+            nonideality += self.nonideal.fault_impact(profile, shape);
+        }
+        let impact = layer.sensitivity() * nonideality;
         Ok(CandidateEval {
             shape,
             cost,
@@ -366,6 +393,34 @@ mod tests {
         assert!(j.cost.energy < b.cost.energy);
         assert!(j.cost.latency < b.cost.latency);
         assert!((j.impact - b.impact).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fault_profile_inflates_impact_but_not_cost() {
+        use odin_device::{FaultKind, FaultMap};
+
+        let m = model();
+        let layer = vgg_layer();
+        let shape = OuShape::new(16, 16);
+        let mut map = FaultMap::new();
+        for (r, c) in [(0, 0), (1, 2), (2, 1), (3, 3)] {
+            map.insert(r, c, FaultKind::StuckOn);
+        }
+        let profile = FaultProfile::from_map(&map, 128);
+        let clean = m.evaluate(&layer, shape, Seconds::ZERO).unwrap();
+        let faulty = m
+            .evaluate_faulty(&layer, shape, Seconds::ZERO, Some(&profile))
+            .unwrap();
+        assert!(faulty.impact > clean.impact);
+        assert_eq!(faulty.cost, clean.cost, "faults do not change Eq. 1–2");
+        // The inflation is the sensitivity-weighted fault term.
+        let expect = layer.sensitivity() * m.nonideality().fault_impact(&profile, shape);
+        assert!((faulty.impact - clean.impact - expect).abs() < 1e-15);
+        // An empty profile is bit-identical to the fault-free path.
+        let empty = m
+            .evaluate_faulty(&layer, shape, Seconds::ZERO, Some(&FaultProfile::empty(128)))
+            .unwrap();
+        assert_eq!(empty.impact.to_bits(), clean.impact.to_bits());
     }
 
     #[test]

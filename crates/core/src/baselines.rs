@@ -138,6 +138,7 @@ impl HomogeneousRuntime {
             inference,
             overhead: odin_arch::LayerCost::ZERO,
             policy_updated: false,
+            events: Vec::new(),
         })
     }
 
@@ -159,6 +160,7 @@ impl HomogeneousRuntime {
             network: network.name().to_string(),
             strategy: format!("homogeneous-{}", self.shape),
             runs,
+            skipped: Vec::new(),
         })
     }
 

@@ -13,6 +13,22 @@ pub enum OdinError {
     },
     /// A layer could not be mapped onto the crossbar fabric.
     Mapping(odin_xbar::XbarError),
+    /// No OU shape on the (possibly wear-capped) grid satisfies the
+    /// non-ideality budget for a layer, even freshly reprogrammed —
+    /// the degradation ladder is exhausted and degraded service is
+    /// disabled.
+    NoFeasibleOu {
+        /// The layer the search failed on.
+        layer: usize,
+    },
+    /// A crossbar group has consumed its write-endurance budget and no
+    /// spare capacity remains to rehost its layers.
+    EnduranceExhausted {
+        /// The exhausted crossbar group.
+        group: usize,
+    },
+    /// A device-layer failure (endurance, codec range, …).
+    Device(odin_device::DeviceError),
 }
 
 impl std::fmt::Display for OdinError {
@@ -22,6 +38,16 @@ impl std::fmt::Display for OdinError {
                 write!(f, "invalid odin configuration `{name}`: {reason}")
             }
             OdinError::Mapping(e) => write!(f, "layer mapping failed: {e}"),
+            OdinError::NoFeasibleOu { layer } => {
+                write!(f, "no feasible OU configuration for layer {layer}")
+            }
+            OdinError::EnduranceExhausted { group } => {
+                write!(
+                    f,
+                    "crossbar group {group} exhausted its write endurance with no spare available"
+                )
+            }
+            OdinError::Device(e) => write!(f, "device failure: {e}"),
         }
     }
 }
@@ -30,7 +56,10 @@ impl std::error::Error for OdinError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             OdinError::Mapping(e) => Some(e),
-            OdinError::InvalidConfig { .. } => None,
+            OdinError::Device(e) => Some(e),
+            OdinError::InvalidConfig { .. }
+            | OdinError::NoFeasibleOu { .. }
+            | OdinError::EnduranceExhausted { .. } => None,
         }
     }
 }
@@ -39,6 +68,13 @@ impl std::error::Error for OdinError {
 impl From<odin_xbar::XbarError> for OdinError {
     fn from(e: odin_xbar::XbarError) -> Self {
         OdinError::Mapping(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<odin_device::DeviceError> for OdinError {
+    fn from(e: odin_device::DeviceError) -> Self {
+        OdinError::Device(e)
     }
 }
 
@@ -58,6 +94,23 @@ mod tests {
         };
         assert!(e.source().is_none());
         assert!(e.to_string().contains("eta"));
+    }
+
+    #[test]
+    fn device_errors_propagate_through_source() {
+        use std::error::Error;
+        let inner = odin_device::DeviceError::EnduranceExceeded {
+            array: 2,
+            writes: 5,
+            budget: 5,
+        };
+        let e = OdinError::from(inner.clone());
+        assert!(e.to_string().contains("device failure"));
+        let source = e.source().expect("Device wraps its cause");
+        assert_eq!(source.to_string(), inner.to_string());
+        assert!(OdinError::NoFeasibleOu { layer: 3 }.source().is_none());
+        assert!(OdinError::NoFeasibleOu { layer: 3 }.to_string().contains("layer 3"));
+        assert!(OdinError::EnduranceExhausted { group: 1 }.to_string().contains("group 1"));
     }
 
     #[test]

@@ -1,0 +1,606 @@
+//! Fault- and wear-aware fabric health: the state behind the runtime's
+//! graceful-degradation ladder.
+//!
+//! The fabric is modelled as *crossbar groups* — one group per layer
+//! (the crossbars a layer's weights occupy) plus a FIFO pool of spare
+//! groups carved from the placement's unused capacity. Each group
+//! carries a stuck-at [`FaultProfile`] sampled once at manufacturing
+//! time and a position in a shared write-[`EnduranceLedger`]. The
+//! runtime consults this state on every run and descends a bounded
+//! ladder when the fabric pushes back:
+//!
+//! 1. **Steer** — fault clusters inflate the non-ideality of OU
+//!    windows that cover them, so the search avoids them for free.
+//! 2. **Shrink** — past [`DegradationPolicy::wear_shrink_threshold`]
+//!    the group's OU grid is capped at
+//!    [`DegradationPolicy::shrink_level_cap`] (small OUs stress fewer
+//!    cells per activation).
+//! 3. **Remap** — a reprogramming pass charges every hosting group one
+//!    write cycle; groups that refuse the charge are retired and their
+//!    layers move onto spares. Layers whose group admits no feasible OU
+//!    even fresh are also remapped, bounded by
+//!    [`DegradationPolicy::max_retries`].
+//! 4. **Back off** — after a failed reprogram the fabric refuses
+//!    further reprogramming until a deterministic multiple of the
+//!    failure time, so a worn fabric cannot livelock in
+//!    reprogram-retry cycles.
+//! 5. **Degrade** — with the ladder exhausted, inferences are served
+//!    at the smallest OU with the η constraint waived, flagged in the
+//!    record rather than silently dropped.
+
+use std::collections::VecDeque;
+
+use odin_device::{EnduranceLedger, EnduranceModel, FaultInjector};
+use odin_units::Seconds;
+use odin_xbar::FaultProfile;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::search::SearchContext;
+
+/// One rung-transition of the degradation ladder, recorded in the
+/// run's [`InferenceRecord`](crate::InferenceRecord).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DegradationEvent {
+    /// Wear crossed the shrink threshold: the group's OU grid is now
+    /// capped at `level_cap` per axis.
+    GridShrunk {
+        /// The worn crossbar group.
+        group: usize,
+        /// Highest usable level index on each grid axis.
+        level_cap: usize,
+    },
+    /// A layer moved from one crossbar group to another.
+    Remapped {
+        /// The remapped layer.
+        layer: usize,
+        /// The group it left.
+        from: usize,
+        /// The spare group it now occupies.
+        to: usize,
+    },
+    /// A group consumed its write-endurance budget and was retired.
+    OutOfService {
+        /// The retired group.
+        group: usize,
+        /// Write cycles it consumed.
+        writes: u64,
+    },
+    /// A layer was served at the smallest OU with the η constraint
+    /// waived (ladder exhausted, or its group is retired with no spare).
+    DegradedServe {
+        /// The degraded layer.
+        layer: usize,
+        /// The group it was served on.
+        group: usize,
+    },
+    /// A reprogramming pass was refused because the fabric is backing
+    /// off after an earlier failed pass.
+    ReprogramDeferred {
+        /// The schedule time at which reprogramming unlocks.
+        until: Seconds,
+    },
+}
+
+impl std::fmt::Display for DegradationEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradationEvent::GridShrunk { group, level_cap } => {
+                write!(f, "group {group}: OU grid shrunk to level cap {level_cap}")
+            }
+            DegradationEvent::Remapped { layer, from, to } => {
+                write!(f, "layer {layer}: remapped from group {from} to spare {to}")
+            }
+            DegradationEvent::OutOfService { group, writes } => {
+                write!(f, "group {group}: out of service after {writes} writes")
+            }
+            DegradationEvent::DegradedServe { layer, group } => {
+                write!(f, "layer {layer}: degraded serve on group {group}")
+            }
+            DegradationEvent::ReprogramDeferred { until } => {
+                write!(f, "reprogram deferred until t = {until}")
+            }
+        }
+    }
+}
+
+/// Bounds on how far (and how fast) the runtime may descend the
+/// ladder. All fields are public; [`DegradationPolicy::paper`] is the
+/// calibrated default.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradationPolicy {
+    /// Remap/re-decide attempts after a reprogramming pass before the
+    /// run is declared unservable at full quality.
+    pub max_retries: usize,
+    /// After a failed reprogram at time `t`, the next pass is refused
+    /// until `t × backoff_factor` (deterministic, in schedule time).
+    pub backoff_factor: f64,
+    /// Serve at the smallest OU with η waived instead of erroring when
+    /// the ladder is exhausted.
+    pub allow_degraded: bool,
+    /// Wear fraction (writes/budget) past which a group's OU grid is
+    /// capped.
+    pub wear_shrink_threshold: f64,
+    /// The level cap applied by the shrink rung (cap 1 ⇒ OUs ≤ 8×8 on
+    /// the paper grid).
+    pub shrink_level_cap: usize,
+}
+
+impl DegradationPolicy {
+    /// The default ladder bounds: 4 retries, 4× backoff, degraded mode
+    /// on, shrink to ≤ 8×8 at 75 % wear.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            max_retries: 4,
+            backoff_factor: 4.0,
+            allow_degraded: true,
+            wear_shrink_threshold: 0.75,
+            shrink_level_cap: 1,
+        }
+    }
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// One crossbar group's health: its manufacturing fault profile, any
+/// wear-driven OU grid cap, and whether it has been retired.
+#[derive(Debug, Clone)]
+pub struct GroupHealth {
+    faults: FaultProfile,
+    level_cap: Option<usize>,
+    retired: bool,
+}
+
+impl GroupHealth {
+    /// The group's stuck-at fault profile.
+    #[must_use]
+    pub fn faults(&self) -> &FaultProfile {
+        &self.faults
+    }
+
+    /// The wear-driven OU grid cap, if the shrink rung has engaged.
+    #[must_use]
+    pub fn level_cap(&self) -> Option<usize> {
+        self.level_cap
+    }
+
+    /// `true` once the group has been taken out of service.
+    #[must_use]
+    pub fn retired(&self) -> bool {
+        self.retired
+    }
+}
+
+/// The fabric-health state machine the runtime's degradation ladder
+/// runs on: per-group fault profiles, a shared endurance ledger, the
+/// layer→group assignment, the FIFO spare pool, and the reprogram
+/// backoff clock.
+///
+/// # Examples
+///
+/// ```
+/// use odin_core::fabric::{DegradationPolicy, FabricHealth};
+/// use odin_device::{EnduranceModel, FaultInjector};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let fabric = FabricHealth::new(
+///     9,                            // layers (≡ hosting groups)
+///     128,                          // crossbar dimension
+///     3,                            // spare groups
+///     &FaultInjector::paper(),
+///     EnduranceModel::paper(),
+///     DegradationPolicy::paper(),
+///     &mut rng,
+/// );
+/// assert_eq!(fabric.spares_remaining(), 3);
+/// assert_eq!(fabric.group_of(0), 0);
+/// // Initial programming charged each hosting group once.
+/// assert_eq!(fabric.ledger().writes(0), 1);
+/// assert_eq!(fabric.ledger().writes(9), 0); // spares are untouched
+/// ```
+#[derive(Debug, Clone)]
+pub struct FabricHealth {
+    groups: Vec<GroupHealth>,
+    assignment: Vec<usize>,
+    spares: VecDeque<usize>,
+    ledger: EnduranceLedger,
+    policy: DegradationPolicy,
+    backoff_until: Option<Seconds>,
+}
+
+impl FabricHealth {
+    /// Builds the fabric for a network of `layers` layers on
+    /// `crossbar_size`² arrays, with `spare_groups` spare groups, fault
+    /// profiles drawn from `injector`, and a write budget derived from
+    /// `endurance`. Each hosting group is charged its initial
+    /// programming pass.
+    ///
+    /// Fault maps are sampled group by group in index order, so the
+    /// whole fabric is a deterministic function of the RNG state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is zero.
+    pub fn new<R: Rng + ?Sized>(
+        layers: usize,
+        crossbar_size: usize,
+        spare_groups: usize,
+        injector: &FaultInjector,
+        endurance: EnduranceModel,
+        policy: DegradationPolicy,
+        rng: &mut R,
+    ) -> Self {
+        assert!(layers > 0, "a fabric must host at least one layer");
+        let total = layers + spare_groups;
+        let groups = (0..total)
+            .map(|_| GroupHealth {
+                faults: FaultProfile::from_map(
+                    &injector.inject(crossbar_size, crossbar_size, rng),
+                    crossbar_size,
+                ),
+                level_cap: None,
+                retired: false,
+            })
+            .collect();
+        let mut ledger = EnduranceLedger::new(endurance, total);
+        for group in 0..layers {
+            ledger
+                .charge(group)
+                .expect("a fresh ledger always admits the initial programming pass");
+        }
+        Self {
+            groups,
+            assignment: (0..layers).collect(),
+            spares: (layers..total).collect(),
+            ledger,
+            policy,
+            backoff_until: None,
+        }
+    }
+
+    /// The ladder bounds in force.
+    #[must_use]
+    pub fn policy(&self) -> &DegradationPolicy {
+        &self.policy
+    }
+
+    /// The shared write-endurance ledger (one slot per group).
+    #[must_use]
+    pub fn ledger(&self) -> &EnduranceLedger {
+        &self.ledger
+    }
+
+    /// The layer→group assignment, indexed by layer.
+    #[must_use]
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// The group currently hosting `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    #[must_use]
+    pub fn group_of(&self, layer: usize) -> usize {
+        self.assignment[layer]
+    }
+
+    /// A group's health record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    #[must_use]
+    pub fn group(&self, group: usize) -> &GroupHealth {
+        &self.groups[group]
+    }
+
+    /// Spare groups still available for remapping.
+    #[must_use]
+    pub fn spares_remaining(&self) -> usize {
+        self.spares.len()
+    }
+
+    /// Groups retired so far.
+    #[must_use]
+    pub fn out_of_service_count(&self) -> usize {
+        self.groups.iter().filter(|g| g.retired).count()
+    }
+
+    /// `true` when `layer` sits on a retired group with no spare left —
+    /// it can only be served degraded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    #[must_use]
+    pub fn stranded(&self, layer: usize) -> bool {
+        self.groups[self.assignment[layer]].retired
+    }
+
+    /// The search environment for `layer`: its group's fault profile
+    /// and any wear-driven grid cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    #[must_use]
+    pub fn search_context(&self, layer: usize) -> SearchContext<'_> {
+        let g = &self.groups[self.assignment[layer]];
+        SearchContext {
+            faults: Some(&g.faults),
+            max_level: g.level_cap,
+        }
+    }
+
+    /// The backoff deadline, when one is pending (even if expired).
+    #[must_use]
+    pub fn backoff_until(&self) -> Option<Seconds> {
+        self.backoff_until
+    }
+
+    /// The backoff deadline if it is still ahead of `now`.
+    #[must_use]
+    pub fn active_backoff(&self, now: Seconds) -> Option<Seconds> {
+        self.backoff_until.filter(|&until| now < until)
+    }
+
+    /// Records a failed reprogramming attempt at `now`: the next pass
+    /// is refused until `now × backoff_factor`.
+    pub fn note_reprogram_failure(&mut self, now: Seconds) {
+        self.backoff_until = Some(now * self.policy.backoff_factor);
+    }
+
+    /// Clears the backoff clock after a successful reprogram.
+    pub fn note_reprogram_success(&mut self) {
+        self.backoff_until = None;
+    }
+
+    /// Applies the shrink rung: any non-retired group whose wear has
+    /// crossed the threshold gets its OU grid capped. Idempotent —
+    /// already-capped groups emit no further events.
+    pub fn apply_wear_caps(&mut self) -> Vec<DegradationEvent> {
+        let mut events = Vec::new();
+        for (idx, group) in self.groups.iter_mut().enumerate() {
+            if group.retired || group.level_cap.is_some() {
+                continue;
+            }
+            if self.ledger.wear(idx) >= self.policy.wear_shrink_threshold {
+                group.level_cap = Some(self.policy.shrink_level_cap);
+                events.push(DegradationEvent::GridShrunk {
+                    group: idx,
+                    level_cap: self.policy.shrink_level_cap,
+                });
+            }
+        }
+        events
+    }
+
+    /// One endurance-charged reprogramming pass: every group currently
+    /// hosting a layer is charged a write cycle; a group that refuses
+    /// the charge is retired and its layers are remapped onto spares.
+    ///
+    /// Returns the events and, when some layer could not be rehosted
+    /// (spare pool dry), the retired group it is stranded on.
+    pub fn reprogram_pass(&mut self) -> (Vec<DegradationEvent>, Option<usize>) {
+        let mut events = Vec::new();
+        let mut stranded = None;
+        let mut hosted: Vec<usize> = Vec::new();
+        for &group in &self.assignment {
+            if !hosted.contains(&group) {
+                hosted.push(group);
+            }
+        }
+        for group in hosted {
+            if self.groups[group].retired {
+                // Already stranded from an earlier pass; nothing to
+                // charge.
+                stranded.get_or_insert(group);
+                continue;
+            }
+            if self.ledger.charge(group).is_ok() {
+                continue;
+            }
+            self.groups[group].retired = true;
+            events.push(DegradationEvent::OutOfService {
+                group,
+                writes: self.ledger.writes(group),
+            });
+            let layers: Vec<usize> = (0..self.assignment.len())
+                .filter(|&l| self.assignment[l] == group)
+                .collect();
+            for layer in layers {
+                match self.remap(layer) {
+                    Some((from, to)) => {
+                        events.push(DegradationEvent::Remapped { layer, from, to });
+                    }
+                    None => {
+                        stranded.get_or_insert(group);
+                    }
+                }
+            }
+        }
+        (events, stranded)
+    }
+
+    /// Moves `layer` onto the next usable spare group, charging the
+    /// spare its programming write. Unusable spares (retired, or
+    /// refusing the charge) are discarded. Returns `(from, to)` on
+    /// success, `None` when the pool is dry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn remap(&mut self, layer: usize) -> Option<(usize, usize)> {
+        while let Some(spare) = self.spares.pop_front() {
+            if self.groups[spare].retired {
+                continue;
+            }
+            if self.ledger.charge(spare).is_ok() {
+                let from = self.assignment[layer];
+                self.assignment[layer] = spare;
+                return Some((from, spare));
+            }
+            self.groups[spare].retired = true;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(99)
+    }
+
+    fn fabric(layers: usize, spares: usize, cycles: f64) -> FabricHealth {
+        FabricHealth::new(
+            layers,
+            128,
+            spares,
+            &FaultInjector::new(0.01, 0.5),
+            EnduranceModel::new(cycles),
+            DegradationPolicy::paper(),
+            &mut rng(),
+        )
+    }
+
+    #[test]
+    fn construction_charges_hosting_groups_only() {
+        let f = fabric(4, 2, 2.0);
+        assert_eq!(f.ledger().arrays(), 6);
+        assert_eq!(f.ledger().budget(), 2);
+        for g in 0..4 {
+            assert_eq!(f.ledger().writes(g), 1);
+            assert_eq!(f.group_of(g), g);
+            assert!(!f.stranded(g));
+        }
+        assert_eq!(f.ledger().writes(4), 0);
+        assert_eq!(f.spares_remaining(), 2);
+        assert_eq!(f.out_of_service_count(), 0);
+        // Every group got its own fault sample at 1 % over 128².
+        assert!(f.group(0).faults().fault_count() > 0);
+        assert!(f.search_context(0).faults.is_some());
+        assert_eq!(f.search_context(0).max_level, None);
+    }
+
+    #[test]
+    fn wear_caps_engage_once_past_threshold() {
+        let mut f = fabric(2, 1, 2.0);
+        // Wear 0.5 < 0.75: nothing shrinks.
+        assert!(f.apply_wear_caps().is_empty());
+        // One reprogram → wear 1.0 on hosting groups.
+        let (events, stranded) = f.reprogram_pass();
+        assert!(events.is_empty(), "budget 2 admits the first reprogram");
+        assert_eq!(stranded, None);
+        let events = f.apply_wear_caps();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[0],
+            DegradationEvent::GridShrunk { group: 0, level_cap: 1 }
+        ));
+        assert_eq!(f.search_context(0).max_level, Some(1));
+        // Idempotent.
+        assert!(f.apply_wear_caps().is_empty());
+    }
+
+    #[test]
+    fn exhausted_groups_retire_and_remap_to_spares_in_fifo_order() {
+        let mut f = fabric(2, 2, 2.0);
+        let (events, stranded) = f.reprogram_pass();
+        assert!(events.is_empty() && stranded.is_none());
+        // Second pass: both groups at budget → retire, remap onto
+        // spares 2 then 3.
+        let (events, stranded) = f.reprogram_pass();
+        assert_eq!(stranded, None);
+        assert_eq!(
+            events,
+            vec![
+                DegradationEvent::OutOfService { group: 0, writes: 2 },
+                DegradationEvent::Remapped { layer: 0, from: 0, to: 2 },
+                DegradationEvent::OutOfService { group: 1, writes: 2 },
+                DegradationEvent::Remapped { layer: 1, from: 1, to: 3 },
+            ]
+        );
+        assert_eq!(f.group_of(0), 2);
+        assert_eq!(f.group_of(1), 3);
+        assert_eq!(f.spares_remaining(), 0);
+        assert_eq!(f.out_of_service_count(), 2);
+        // The spares were charged their programming write.
+        assert_eq!(f.ledger().writes(2), 1);
+        // Third pass charges the spares (1 → 2): fine.
+        let (events, stranded) = f.reprogram_pass();
+        assert!(events.is_empty() && stranded.is_none());
+        // Fourth pass: spares exhausted, pool dry → stranded.
+        let (events, stranded) = f.reprogram_pass();
+        assert_eq!(stranded, Some(2));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, DegradationEvent::OutOfService { group: 2, .. })));
+        assert!(f.stranded(0));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_clearable() {
+        let mut f = fabric(1, 0, 2.0);
+        assert_eq!(f.active_backoff(Seconds::new(5.0)), None);
+        f.note_reprogram_failure(Seconds::new(10.0));
+        assert_eq!(f.backoff_until(), Some(Seconds::new(40.0)));
+        assert_eq!(f.active_backoff(Seconds::new(20.0)), Some(Seconds::new(40.0)));
+        assert_eq!(f.active_backoff(Seconds::new(40.0)), None);
+        f.note_reprogram_failure(Seconds::new(40.0));
+        assert!(f.active_backoff(Seconds::new(100.0)).is_some());
+        f.note_reprogram_success();
+        assert_eq!(f.backoff_until(), None);
+    }
+
+    #[test]
+    fn direct_remap_vacates_without_retiring() {
+        let mut f = fabric(2, 1, 10.0);
+        let (from, to) = f.remap(1).expect("one spare available");
+        assert_eq!((from, to), (1, 2));
+        assert_eq!(f.group_of(1), 2);
+        assert!(!f.group(1).retired(), "vacated group is not retired");
+        assert_eq!(f.remap(0), None, "pool is dry");
+        assert_eq!(f.out_of_service_count(), 0);
+    }
+
+    #[test]
+    fn policy_defaults_match_paper() {
+        let p = DegradationPolicy::default();
+        assert_eq!(p, DegradationPolicy::paper());
+        assert_eq!(p.max_retries, 4);
+        assert!((p.backoff_factor - 4.0).abs() < 1e-12);
+        assert!(p.allow_degraded);
+        assert_eq!(p.shrink_level_cap, 1);
+    }
+
+    #[test]
+    fn events_display_and_serde() {
+        let events = [
+            DegradationEvent::GridShrunk { group: 3, level_cap: 1 },
+            DegradationEvent::Remapped { layer: 2, from: 2, to: 9 },
+            DegradationEvent::OutOfService { group: 2, writes: 7 },
+            DegradationEvent::DegradedServe { layer: 0, group: 5 },
+            DegradationEvent::ReprogramDeferred {
+                until: Seconds::new(4.0),
+            },
+        ];
+        for e in &events {
+            assert!(!e.to_string().is_empty());
+            let json = serde_json::to_string(e).unwrap();
+            let back: DegradationEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, e);
+        }
+    }
+}

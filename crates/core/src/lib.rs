@@ -18,6 +18,10 @@
 //! 6. [`offline`] — leave-one-out bootstrap of the policy from known
 //!    DNNs (≤ 500 examples).
 //! 7. [`accuracy`] — the non-ideality → predictive-accuracy bridge.
+//! 8. [`fabric`] — fault- and wear-aware fabric health: stuck-at fault
+//!    profiles, write-endurance budgets, spare-pool remapping, and the
+//!    graceful-degradation ladder the runtime descends when the fabric
+//!    pushes back.
 //!
 //! # Examples
 //!
@@ -41,6 +45,7 @@
 
 pub mod accuracy;
 pub mod baselines;
+pub mod fabric;
 pub mod offline;
 pub mod search;
 
@@ -54,6 +59,7 @@ mod schedule;
 pub use analytic::{AnalyticModel, CandidateEval};
 pub use config::OdinConfig;
 pub use error::OdinError;
+pub use fabric::{DegradationEvent, DegradationPolicy, FabricHealth};
 pub use features::LayerFeatures;
-pub use runtime::{CampaignReport, InferenceRecord, LayerDecision, OdinRuntime};
+pub use runtime::{CampaignReport, InferenceRecord, LayerDecision, OdinRuntime, SkippedRun};
 pub use schedule::TimeSchedule;

@@ -1,8 +1,9 @@
-//! The Odin online-learning runtime (Algorithm 1).
+//! The Odin online-learning runtime (Algorithm 1), with an optional
+//! fault- and wear-aware degradation ladder (see [`crate::fabric`]).
 
 use odin_arch::{LayerCost, OverheadLedger};
 use odin_device::ReprogramCost;
-use odin_dnn::NetworkDescriptor;
+use odin_dnn::{LayerDescriptor, NetworkDescriptor};
 use odin_policy::{OuPolicy, ReplayBuffer, TrainingExample};
 use odin_units::{EnergyDelayProduct, Joules, Seconds};
 use odin_xbar::OuShape;
@@ -12,9 +13,10 @@ use serde::{Deserialize, Serialize};
 use crate::analytic::{AnalyticModel, CandidateEval};
 use crate::config::OdinConfig;
 use crate::error::OdinError;
+use crate::fabric::{DegradationEvent, FabricHealth};
 use crate::features::LayerFeatures;
 use crate::schedule::TimeSchedule;
-use crate::search::{find_best, SearchStrategy};
+use crate::search::{find_best_with, SearchContext, SearchOutcome, SearchStrategy};
 
 /// One layer's OU decision in one inference run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -31,6 +33,10 @@ pub struct LayerDecision {
     pub mismatch: bool,
     /// Candidates the search evaluated (§V.B overhead proxy).
     pub search_evaluations: usize,
+    /// `true` when the layer was served at the smallest OU with the η
+    /// constraint waived (degradation-ladder bottom rung).
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// The ledger of one inference run.
@@ -53,6 +59,10 @@ pub struct InferenceRecord {
     pub overhead: LayerCost,
     /// Whether the policy was updated after this run (line 11).
     pub policy_updated: bool,
+    /// Degradation-ladder events the run triggered (empty on a healthy
+    /// fabric, and always empty without fabric-health tracking).
+    #[serde(default)]
+    pub events: Vec<DegradationEvent>,
 }
 
 impl InferenceRecord {
@@ -77,6 +87,17 @@ impl InferenceRecord {
     }
 }
 
+/// A scheduled inference the runtime could not serve at all (the
+/// ladder bottomed out with degraded mode disabled, or a layer stopped
+/// mapping).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SkippedRun {
+    /// The schedule time of the unserved inference.
+    pub time: Seconds,
+    /// The error that stopped it, rendered as text.
+    pub reason: String,
+}
+
 /// The aggregated outcome of a campaign of inference runs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignReport {
@@ -87,6 +108,10 @@ pub struct CampaignReport {
     pub strategy: String,
     /// Per-run records, in time order.
     pub runs: Vec<InferenceRecord>,
+    /// Scheduled inferences that could not be served
+    /// (see [`OdinRuntime::run_campaign_resilient`]).
+    #[serde(default)]
+    pub skipped: Vec<SkippedRun>,
 }
 
 impl CampaignReport {
@@ -166,10 +191,75 @@ impl CampaignReport {
             .count();
         mismatches as f64 / total as f64
     }
+
+    /// Fraction of scheduled inferences actually served (1.0 when
+    /// nothing was skipped).
+    #[must_use]
+    pub fn fraction_served(&self) -> f64 {
+        let scheduled = self.runs.len() + self.skipped.len();
+        if scheduled == 0 {
+            return 1.0;
+        }
+        self.runs.len() as f64 / scheduled as f64
+    }
+
+    /// All degradation events across the campaign, in time order.
+    pub fn degradation_events(&self) -> impl Iterator<Item = &DegradationEvent> {
+        self.runs.iter().flat_map(|r| &r.events)
+    }
+
+    /// Layer remaps onto spare groups.
+    #[must_use]
+    pub fn remap_count(&self) -> usize {
+        self.degradation_events()
+            .filter(|e| matches!(e, DegradationEvent::Remapped { .. }))
+            .count()
+    }
+
+    /// Crossbar groups retired for endurance exhaustion.
+    #[must_use]
+    pub fn out_of_service_count(&self) -> usize {
+        self.degradation_events()
+            .filter(|e| matches!(e, DegradationEvent::OutOfService { .. }))
+            .count()
+    }
+
+    /// Wear-driven OU grid shrinks.
+    #[must_use]
+    pub fn grid_shrink_count(&self) -> usize {
+        self.degradation_events()
+            .filter(|e| matches!(e, DegradationEvent::GridShrunk { .. }))
+            .count()
+    }
+
+    /// Layer decisions served degraded (η waived at the smallest OU).
+    #[must_use]
+    pub fn degraded_decisions(&self) -> usize {
+        self.runs
+            .iter()
+            .flat_map(|r| &r.decisions)
+            .filter(|d| d.degraded)
+            .count()
+    }
+}
+
+/// The outcome of deciding every layer at one age.
+enum Decide {
+    /// Every layer has a feasible (or explicitly degraded-stranded)
+    /// decision.
+    Feasible(Vec<LayerDecision>),
+    /// Some layer admits no feasible OU anywhere on its (possibly
+    /// wear-capped) grid — the ladder must engage.
+    Infeasible {
+        /// The first layer the search failed on.
+        layer: usize,
+    },
 }
 
 /// The Odin online-learning runtime: policy prediction, bounded
-/// search, reprogramming, and buffered policy updates.
+/// search, reprogramming, and buffered policy updates — plus, when
+/// fabric-health tracking is attached, the graceful-degradation ladder
+/// of [`crate::fabric`].
 ///
 /// See the crate-level example for typical use.
 #[derive(Debug)]
@@ -180,6 +270,7 @@ pub struct OdinRuntime {
     buffer: ReplayBuffer,
     overheads: OverheadLedger,
     last_programmed: Seconds,
+    fabric: Option<FabricHealth>,
 }
 
 impl OdinRuntime {
@@ -215,7 +306,27 @@ impl OdinRuntime {
             buffer,
             overheads: OverheadLedger::paper(),
             last_programmed: Seconds::ZERO,
+            fabric: None,
         }
+    }
+
+    /// Attaches fault- and wear-aware fabric-health tracking: searches
+    /// steer around each group's stuck-at clusters, reprogramming
+    /// charges write endurance, and the runtime descends the
+    /// degradation ladder instead of assuming an indestructible fabric.
+    ///
+    /// A fault-free fabric with ample endurance leaves every decision
+    /// bit-identical to an untracked runtime.
+    #[must_use]
+    pub fn with_fabric_health(mut self, fabric: FabricHealth) -> Self {
+        self.fabric = Some(fabric);
+        self
+    }
+
+    /// The fabric-health state, when tracking is attached.
+    #[must_use]
+    pub fn fabric_health(&self) -> Option<&FabricHealth> {
+        self.fabric.as_ref()
     }
 
     /// The configuration.
@@ -248,23 +359,29 @@ impl OdinRuntime {
     /// # Errors
     ///
     /// Returns [`OdinError::Mapping`] when a layer cannot be mapped
-    /// onto the fabric.
+    /// onto the fabric. With fabric-health tracking attached and
+    /// degraded mode disabled, returns [`OdinError::NoFeasibleOu`]
+    /// when the ladder is exhausted and
+    /// [`OdinError::EnduranceExhausted`] when a layer's group is worn
+    /// out with no spare left.
     pub fn run_inference(
         &mut self,
         network: &NetworkDescriptor,
         now: Seconds,
     ) -> Result<InferenceRecord, OdinError> {
-        let age = Seconds::new((now.value() - self.last_programmed.value()).max(0.0));
-        let (decisions, reprogrammed) = match self.decide_all(network, age)? {
-            Some(decisions) => (decisions, false),
-            None => {
-                // Lines 7–8: no OU satisfies the constraint anywhere on
-                // the grid — reprogram and redo the run fresh.
-                self.last_programmed = now;
-                let fresh = self
-                    .decide_all(network, Seconds::ZERO)?
-                    .expect("fresh arrays always admit the smallest OU");
-                (fresh, true)
+        let mut events = Vec::new();
+        if let Some(fabric) = self.fabric.as_mut() {
+            events.extend(fabric.apply_wear_caps());
+        }
+        let age = self.age_at(now);
+        let mut decide_events = Vec::new();
+        let (decisions, reprogrammed) = match self.decide_all(network, age, &mut decide_events)? {
+            Decide::Feasible(d) => {
+                events.append(&mut decide_events);
+                (d, false)
+            }
+            Decide::Infeasible { layer } => {
+                self.descend_ladder(network, now, layer, &mut events)?
             }
         };
         let age = if reprogrammed { Seconds::ZERO } else { age };
@@ -272,17 +389,16 @@ impl OdinRuntime {
 
         // Lines 9–11: buffer corrections and update when full. The
         // reprogram branch skips learning for this run, as in the
-        // pseudocode.
+        // pseudocode; degraded decisions never mismatch, so the ladder
+        // cannot poison the replay buffer.
         let mut policy_updated = false;
         if !reprogrammed {
             for d in decisions.iter().filter(|d| d.mismatch) {
                 let layer = &network.layers()[d.layer_index];
                 let phi = LayerFeatures::extract(layer, network.layers().len(), age);
-                let (row, col) = self
-                    .model
-                    .grid()
-                    .levels_of(d.chosen)
-                    .expect("search results are on the grid");
+                let Some((row, col)) = self.model.grid().levels_of(d.chosen) else {
+                    continue;
+                };
                 self.buffer
                     .push(TrainingExample::new(phi.as_array(), row, col));
             }
@@ -317,6 +433,7 @@ impl OdinRuntime {
             inference,
             overhead,
             policy_updated,
+            events,
         })
     }
 
@@ -324,7 +441,10 @@ impl OdinRuntime {
     ///
     /// # Errors
     ///
-    /// Propagates the first mapping failure.
+    /// Propagates the first failed run (see
+    /// [`run_inference`](Self::run_inference));
+    /// [`run_campaign_resilient`](Self::run_campaign_resilient) records
+    /// failures instead of stopping.
     pub fn run_campaign(
         &mut self,
         network: &NetworkDescriptor,
@@ -338,21 +458,82 @@ impl OdinRuntime {
             network: network.name().to_string(),
             strategy: format!("odin-{}", self.config.strategy()),
             runs,
+            skipped: Vec::new(),
         })
     }
 
-    /// Decides every layer at a given age; `None` when some layer has
-    /// no feasible OU even under exhaustive search (reprogram needed).
+    /// Runs a whole campaign, recording unservable inferences as
+    /// [`SkippedRun`]s instead of aborting — the fault-campaign mode:
+    /// a worn, faulty fabric should keep serving what it can.
+    pub fn run_campaign_resilient(
+        &mut self,
+        network: &NetworkDescriptor,
+        schedule: &TimeSchedule,
+    ) -> CampaignReport {
+        let mut runs = Vec::with_capacity(schedule.runs());
+        let mut skipped = Vec::new();
+        for t in schedule.times() {
+            match self.run_inference(network, t) {
+                Ok(record) => runs.push(record),
+                Err(e) => skipped.push(SkippedRun {
+                    time: t,
+                    reason: e.to_string(),
+                }),
+            }
+        }
+        CampaignReport {
+            network: network.name().to_string(),
+            strategy: format!("odin-{}", self.config.strategy()),
+            runs,
+            skipped,
+        }
+    }
+
+    /// Programming age at wall-clock time `now`.
+    fn age_at(&self, now: Seconds) -> Seconds {
+        Seconds::new((now.value() - self.last_programmed.value()).max(0.0))
+    }
+
+    /// The search environment for one layer: fault profile and wear
+    /// cap of its crossbar group, or the pristine default without
+    /// fabric tracking.
+    fn layer_environment(&self, layer: usize) -> SearchContext<'_> {
+        self.fabric
+            .as_ref()
+            .map_or_else(SearchContext::default, |f| f.search_context(layer))
+    }
+
+    /// Decides every layer at a given age. Stranded layers (retired
+    /// group, no spare) are served degraded inline when the policy
+    /// allows it.
     fn decide_all(
         &self,
         network: &NetworkDescriptor,
         age: Seconds,
-    ) -> Result<Option<Vec<LayerDecision>>, OdinError> {
+        events: &mut Vec<DegradationEvent>,
+    ) -> Result<Decide, OdinError> {
         let n = network.layers().len();
         let grid = self.model.grid();
         let eta = self.config.eta();
         let mut decisions = Vec::with_capacity(n);
         for layer in network.layers() {
+            if let Some(fabric) = &self.fabric {
+                if fabric.stranded(layer.index()) {
+                    if !fabric.policy().allow_degraded {
+                        return Err(OdinError::EnduranceExhausted {
+                            group: fabric.group_of(layer.index()),
+                        });
+                    }
+                    let (decision, group) = self.degraded_decision(layer, age)?;
+                    events.push(DegradationEvent::DegradedServe {
+                        layer: layer.index(),
+                        group,
+                    });
+                    decisions.push(decision);
+                    continue;
+                }
+            }
+            let ctx = self.layer_environment(layer.index());
             let phi = LayerFeatures::extract(layer, n, age);
             let seed = self.policy.predict(&phi.as_array());
             let (seed_r, seed_c) = grid.clamp_levels(seed.0, seed.1);
@@ -372,33 +553,37 @@ impl OdinRuntime {
                 }
                 None => self.config.strategy(),
             };
-            let mut outcome = find_best(
+            let mut outcome = find_best_with(
                 &self.model,
                 layer,
                 age,
                 eta,
                 (seed_r, seed_c),
                 strategy,
+                ctx,
             )?;
             if outcome.best.is_none() && !matches!(strategy, SearchStrategy::Exhaustive) {
                 // The bounded neighborhood may miss feasible shapes far
                 // from the seed; verify on the full grid before pulling
                 // the reprogram trigger.
-                let escalated = find_best(
+                let escalated = find_best_with(
                     &self.model,
                     layer,
                     age,
                     eta,
                     (seed_r, seed_c),
                     SearchStrategy::Exhaustive,
+                    ctx,
                 )?;
-                outcome = crate::search::SearchOutcome {
+                outcome = SearchOutcome {
                     best: escalated.best,
                     evaluations: outcome.evaluations + escalated.evaluations,
                 };
             }
             let Some(eval) = outcome.best else {
-                return Ok(None);
+                return Ok(Decide::Infeasible {
+                    layer: layer.index(),
+                });
             };
             decisions.push(LayerDecision {
                 layer_index: layer.index(),
@@ -407,9 +592,167 @@ impl OdinRuntime {
                 eval,
                 mismatch: predicted != eval.shape,
                 search_evaluations: outcome.evaluations,
+                degraded: false,
             });
         }
-        Ok(Some(decisions))
+        Ok(Decide::Feasible(decisions))
+    }
+
+    /// A bottom-rung decision: the smallest OU with the η constraint
+    /// waived, evaluated against the hosting group's fault profile.
+    /// Never mismatches, so it is invisible to the learning loop.
+    fn degraded_decision(
+        &self,
+        layer: &LayerDescriptor,
+        age: Seconds,
+    ) -> Result<(LayerDecision, usize), OdinError> {
+        let shape = self.model.grid().shape(0, 0);
+        let ctx = self.layer_environment(layer.index());
+        let eval = self.model.evaluate_faulty(layer, shape, age, ctx.faults)?;
+        let group = self
+            .fabric
+            .as_ref()
+            .map_or(usize::MAX, |f| f.group_of(layer.index()));
+        let decision = LayerDecision {
+            layer_index: layer.index(),
+            predicted: shape,
+            chosen: shape,
+            eval,
+            mismatch: false,
+            search_evaluations: 1,
+            degraded: true,
+        };
+        Ok((decision, group))
+    }
+
+    /// Serves every layer degraded (ladder bottom).
+    fn decide_all_degraded(
+        &self,
+        network: &NetworkDescriptor,
+        age: Seconds,
+        events: &mut Vec<DegradationEvent>,
+    ) -> Result<Vec<LayerDecision>, OdinError> {
+        let mut decisions = Vec::with_capacity(network.layers().len());
+        for layer in network.layers() {
+            let (decision, group) = self.degraded_decision(layer, age)?;
+            events.push(DegradationEvent::DegradedServe {
+                layer: layer.index(),
+                group,
+            });
+            decisions.push(decision);
+        }
+        Ok(decisions)
+    }
+
+    /// Some layer has no feasible OU at the current age: reprogram —
+    /// and, with fabric tracking, descend the degradation ladder.
+    /// Returns the decisions and whether a reprogram happened.
+    fn descend_ladder(
+        &mut self,
+        network: &NetworkDescriptor,
+        now: Seconds,
+        failed_layer: usize,
+        events: &mut Vec<DegradationEvent>,
+    ) -> Result<(Vec<LayerDecision>, bool), OdinError> {
+        if self.fabric.is_some() {
+            return self.descend_fabric_ladder(network, now, failed_layer, events);
+        }
+        // Lines 7–8: reprogram and redo the run fresh. A fresh,
+        // fault-free array always admits the smallest OU for any layer
+        // the surrogate models; a failure here is a genuine
+        // infeasibility, not a panic.
+        self.last_programmed = now;
+        match self.decide_all(network, Seconds::ZERO, &mut Vec::new())? {
+            Decide::Feasible(d) => Ok((d, true)),
+            Decide::Infeasible { layer } => Err(OdinError::NoFeasibleOu { layer }),
+        }
+    }
+
+    /// The fabric-aware ladder: backoff gate → endurance-charged
+    /// reprogram pass (retiring worn groups, remapping onto spares) →
+    /// bounded remap retries for fault-clustered layers → deterministic
+    /// backoff plus degraded service.
+    fn descend_fabric_ladder(
+        &mut self,
+        network: &NetworkDescriptor,
+        now: Seconds,
+        failed_layer: usize,
+        events: &mut Vec<DegradationEvent>,
+    ) -> Result<(Vec<LayerDecision>, bool), OdinError> {
+        let allow_degraded = self
+            .fabric
+            .as_ref()
+            .is_some_and(|f| f.policy().allow_degraded);
+
+        // An earlier failed pass put the fabric in backoff: don't burn
+        // endurance again yet.
+        if let Some(until) = self.fabric.as_ref().and_then(|f| f.active_backoff(now)) {
+            events.push(DegradationEvent::ReprogramDeferred { until });
+            if !allow_degraded {
+                return Err(OdinError::NoFeasibleOu {
+                    layer: failed_layer,
+                });
+            }
+            let age = self.age_at(now);
+            let decisions = self.decide_all_degraded(network, age, events)?;
+            return Ok((decisions, false));
+        }
+
+        // One endurance-charged reprogram pass; worn groups retire and
+        // their layers move onto spares.
+        let stranded = {
+            let fabric = self
+                .fabric
+                .as_mut()
+                .expect("fabric ladder only runs with fabric tracking");
+            let (pass_events, stranded) = fabric.reprogram_pass();
+            events.extend(pass_events);
+            stranded
+        };
+        if let Some(group) = stranded {
+            if !allow_degraded {
+                return Err(OdinError::EnduranceExhausted { group });
+            }
+        }
+        self.last_programmed = now;
+
+        // Fresh decisions, remapping layers whose group admits no
+        // feasible OU even freshly programmed (fault clusters), bounded
+        // by the retry budget so a worn fabric cannot livelock.
+        let max_retries = self.fabric.as_ref().map_or(0, |f| f.policy().max_retries);
+        let mut last_failed = failed_layer;
+        for _ in 0..=max_retries {
+            let mut attempt_events = Vec::new();
+            match self.decide_all(network, Seconds::ZERO, &mut attempt_events)? {
+                Decide::Feasible(d) => {
+                    events.append(&mut attempt_events);
+                    if let Some(fabric) = self.fabric.as_mut() {
+                        fabric.note_reprogram_success();
+                    }
+                    return Ok((d, true));
+                }
+                Decide::Infeasible { layer } => {
+                    last_failed = layer;
+                    match self.fabric.as_mut().and_then(|f| f.remap(layer)) {
+                        Some((from, to)) => {
+                            events.push(DegradationEvent::Remapped { layer, from, to });
+                        }
+                        None => break, // spare pool dry
+                    }
+                }
+            }
+        }
+
+        // Retries exhausted: back off so the next runs don't burn
+        // endurance on the same doomed pass, then serve degraded.
+        if let Some(fabric) = self.fabric.as_mut() {
+            fabric.note_reprogram_failure(now);
+        }
+        if !allow_degraded {
+            return Err(OdinError::NoFeasibleOu { layer: last_failed });
+        }
+        let decisions = self.decide_all_degraded(network, Seconds::ZERO, events)?;
+        Ok((decisions, true))
     }
 }
 
@@ -420,6 +763,8 @@ fn max_prob(p: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fabric::DegradationPolicy;
+    use odin_device::{EnduranceModel, FaultInjector};
     use odin_dnn::zoo::{self, Dataset};
     use rand::SeedableRng;
 
@@ -431,6 +776,19 @@ mod tests {
         OdinRuntime::new(OdinConfig::paper(), &mut rng())
     }
 
+    fn fabric(rate: f64, spares: usize, cycles: f64, policy: DegradationPolicy) -> FabricHealth {
+        let mut fault_rng = rand::rngs::StdRng::seed_from_u64(1234);
+        FabricHealth::new(
+            9, // VGG11 layer count
+            128,
+            spares,
+            &FaultInjector::new(rate, 0.5),
+            EnduranceModel::new(cycles),
+            policy,
+            &mut fault_rng,
+        )
+    }
+
     #[test]
     fn fresh_run_needs_no_reprogramming() {
         let mut rt = runtime();
@@ -440,6 +798,7 @@ mod tests {
         assert_eq!(rec.decisions.len(), 9);
         assert!(rec.inference.energy.value() > 0.0);
         assert!(rec.total_energy() >= rec.inference.energy);
+        assert!(rec.events.is_empty());
     }
 
     #[test]
@@ -451,6 +810,7 @@ mod tests {
         for d in &rec.decisions {
             assert!(d.eval.feasible(rt.config().eta()), "layer {}", d.layer_index);
             assert!(grid.levels_of(d.chosen).is_some());
+            assert!(!d.degraded);
         }
     }
 
@@ -519,6 +879,8 @@ mod tests {
         assert!(report.total_edp() >= report.inference_edp());
         assert!(report.mismatch_rate() <= 1.0);
         assert!(report.strategy.starts_with("odin-RB"));
+        assert!(report.skipped.is_empty());
+        assert!((report.fraction_served() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -608,5 +970,115 @@ mod tests {
         let rec = rt.run_inference(&net, Seconds::new(1.0)).unwrap();
         let penalty = rec.overhead.latency / rec.inference.latency;
         assert!(penalty < 0.01, "latency penalty {penalty}");
+    }
+
+    #[test]
+    fn fault_free_fabric_is_bit_identical_to_untracked_runtime() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e8, 40);
+        let mut plain = runtime();
+        let plain_report = plain.run_campaign(&net, &schedule).unwrap();
+        let mut tracked = runtime()
+            .with_fabric_health(fabric(0.0, 2, 2.0, DegradationPolicy::paper()));
+        let tracked_report = tracked.run_campaign(&net, &schedule).unwrap();
+        assert_eq!(plain_report.runs, tracked_report.runs);
+        assert_eq!(
+            plain_report.total_edp().value().to_bits(),
+            tracked_report.total_edp().value().to_bits(),
+            "a fault-free fabric must not perturb a single bit"
+        );
+        assert_eq!(tracked_report.degradation_events().count(), 0);
+    }
+
+    #[test]
+    fn worn_faulty_fabric_descends_ladder_and_keeps_serving() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e8, 60);
+        let mut rt = runtime()
+            .with_fabric_health(fabric(0.01, 2, 2.0, DegradationPolicy::paper()));
+        let report = rt.run_campaign_resilient(&net, &schedule);
+        assert!(
+            report.fraction_served() >= 0.9,
+            "served {:.2}",
+            report.fraction_served()
+        );
+        assert!(report.reprogram_count() >= 1);
+        assert!(
+            report.remap_count() + report.degraded_decisions() >= 1,
+            "the ladder must have engaged"
+        );
+        assert!(report.out_of_service_count() >= 1, "budget 2 wears out");
+        let fabric = rt.fabric_health().unwrap();
+        assert!(fabric.out_of_service_count() >= 1);
+        // Wear shrink engaged after the first reprogram consumed the
+        // second (and last) write cycle.
+        assert!(report.grid_shrink_count() >= 1);
+    }
+
+    #[test]
+    fn fault_clusters_trigger_remaps_and_backoff_without_livelock() {
+        // Half the cells stuck: no OU anywhere satisfies η, so the
+        // ladder remaps layer 0 until the single spare is gone, then
+        // backs off and serves degraded — bounded work per run, no
+        // livelock, no panic.
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let mut rt = runtime()
+            .with_fabric_health(fabric(0.5, 1, 10.0, DegradationPolicy::paper()));
+        let rec1 = rt.run_inference(&net, Seconds::new(1.0)).unwrap();
+        assert!(rec1.reprogrammed);
+        assert!(rec1
+            .events
+            .iter()
+            .any(|e| matches!(e, DegradationEvent::Remapped { .. })));
+        assert!(rec1.decisions.iter().all(|d| d.degraded));
+        assert_eq!(rt.buffered_examples(), 0, "degraded runs must not train");
+        // Within the backoff window the runtime defers reprogramming.
+        let rec2 = rt.run_inference(&net, Seconds::new(2.0)).unwrap();
+        assert!(!rec2.reprogrammed);
+        assert!(rec2
+            .events
+            .iter()
+            .any(|e| matches!(e, DegradationEvent::ReprogramDeferred { .. })));
+        assert!(rec2.decisions.iter().all(|d| d.degraded));
+    }
+
+    #[test]
+    fn exhausted_fabric_without_degraded_mode_errors_typed() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let policy = DegradationPolicy {
+            allow_degraded: false,
+            ..DegradationPolicy::paper()
+        };
+        // Budget 1: the initial programming consumed it, so the first
+        // ladder descent finds every group worn with no spare.
+        let mut rt = runtime().with_fabric_health(fabric(0.0, 0, 1.0, policy));
+        let err = rt.run_inference(&net, Seconds::new(1e12)).unwrap_err();
+        assert!(matches!(err, OdinError::EnduranceExhausted { .. }));
+        // The resilient campaign records the skip instead of dying.
+        let report = rt.run_campaign_resilient(
+            &net,
+            &TimeSchedule::geometric(1e12, 1e13, 3),
+        );
+        assert!(report.fraction_served() < 1.0);
+        assert!(!report.skipped.is_empty());
+        assert!(report.skipped[0].reason.contains("endurance"));
+    }
+
+    #[test]
+    fn record_serde_preserves_events_and_degraded_flags() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let mut rt = runtime()
+            .with_fabric_health(fabric(0.5, 1, 10.0, DegradationPolicy::paper()));
+        let rec = rt.run_inference(&net, Seconds::new(1.0)).unwrap();
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: InferenceRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(rec, back);
+        // Old payloads without the new fields still deserialize.
+        let legacy = json
+            .replace(&format!(",\"events\":{}", serde_json::to_string(&rec.events).unwrap()), "")
+            .replace(",\"degraded\":true", "");
+        let old: InferenceRecord = serde_json::from_str(&legacy).unwrap();
+        assert!(old.events.is_empty());
+        assert!(old.decisions.iter().all(|d| !d.degraded));
     }
 }

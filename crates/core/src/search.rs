@@ -3,6 +3,7 @@
 
 use odin_dnn::LayerDescriptor;
 use odin_units::Seconds;
+use odin_xbar::FaultProfile;
 use serde::{Deserialize, Serialize};
 
 use crate::analytic::{AnalyticModel, CandidateEval};
@@ -37,6 +38,21 @@ impl std::fmt::Display for SearchStrategy {
             SearchStrategy::Exhaustive => write!(f, "EX"),
         }
     }
+}
+
+/// The fabric environment a search runs against: the hard-fault
+/// profile of the crossbar group holding the layer, and any wear-driven
+/// cap on the OU exponent grid. [`SearchContext::default`] (no faults,
+/// full grid) reproduces the fault-unaware search exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchContext<'a> {
+    /// Stuck-at fault profile of the layer's crossbar group; `None`
+    /// means fault-free.
+    pub faults: Option<&'a FaultProfile>,
+    /// Highest usable level index on each grid axis (inclusive), set by
+    /// the degradation ladder when wear crosses the shrink threshold;
+    /// `None` means the full grid.
+    pub max_level: Option<usize>,
 }
 
 /// The outcome of one search.
@@ -87,25 +103,64 @@ pub fn find_best(
     seed_levels: (usize, usize),
     strategy: SearchStrategy,
 ) -> Result<SearchOutcome, OdinError> {
+    find_best_with(
+        model,
+        layer,
+        age,
+        eta,
+        seed_levels,
+        strategy,
+        SearchContext::default(),
+    )
+}
+
+/// [`find_best`] with an explicit fabric environment: candidates are
+/// evaluated with the group's fault profile folded into the
+/// non-ideality estimate, and levels above `ctx.max_level` (a
+/// wear-shrunk grid) are never visited.
+///
+/// # Errors
+///
+/// Propagates [`OdinError::Mapping`] from candidate evaluation.
+pub fn find_best_with(
+    model: &AnalyticModel,
+    layer: &LayerDescriptor,
+    age: Seconds,
+    eta: f64,
+    seed_levels: (usize, usize),
+    strategy: SearchStrategy,
+    ctx: SearchContext<'_>,
+) -> Result<SearchOutcome, OdinError> {
     match strategy {
         SearchStrategy::Exhaustive => {
             let grid = model.grid();
+            let cap = level_cap(grid.levels_per_axis(), ctx.max_level);
             let mut best: Option<CandidateEval> = None;
             let mut evaluations = 0;
-            for shape in grid.iter() {
-                let eval = model.evaluate(layer, shape, age)?;
-                evaluations += 1;
-                if !eval.feasible(eta) {
-                    continue;
-                }
-                if best.map_or(true, |b| eval.edp < b.edp) {
-                    best = Some(eval);
+            for r in 0..=cap {
+                for c in 0..=cap {
+                    let eval = model.evaluate_faulty(layer, grid.shape(r, c), age, ctx.faults)?;
+                    evaluations += 1;
+                    if !eval.feasible(eta) {
+                        continue;
+                    }
+                    if best.map_or(true, |b| eval.edp < b.edp) {
+                        best = Some(eval);
+                    }
                 }
             }
             Ok(SearchOutcome { best, evaluations })
         }
-        SearchStrategy::ResourceBounded { k } => resource_bounded(model, layer, age, eta, seed_levels, k),
+        SearchStrategy::ResourceBounded { k } => {
+            resource_bounded(model, layer, age, eta, seed_levels, k, ctx)
+        }
     }
+}
+
+/// Highest visitable level index under an optional wear cap.
+fn level_cap(levels_per_axis: usize, max_level: Option<usize>) -> usize {
+    let full = levels_per_axis - 1;
+    max_level.map_or(full, |m| m.min(full))
 }
 
 /// The §III.B local search: starting from the policy's decision, take
@@ -120,14 +175,17 @@ fn resource_bounded(
     eta: f64,
     seed_levels: (usize, usize),
     k: usize,
+    ctx: SearchContext<'_>,
 ) -> Result<SearchOutcome, OdinError> {
     let grid = model.grid();
-    let n = grid.levels_per_axis() as isize;
+    let cap = level_cap(grid.levels_per_axis(), ctx.max_level);
+    let n = cap as isize + 1;
     let (mut r, mut c) = grid.clamp_levels(seed_levels.0, seed_levels.1);
+    (r, c) = (r.min(cap), c.min(cap));
     let mut evaluations = 0;
     let evaluate = |r: usize, c: usize, evals: &mut usize| -> Result<CandidateEval, OdinError> {
         *evals += 1;
-        model.evaluate(layer, grid.shape(r, c), age)
+        model.evaluate_faulty(layer, grid.shape(r, c), age, ctx.faults)
     };
     let seed_eval = evaluate(r, c, &mut evaluations)?;
     let mut best: Option<CandidateEval> = seed_eval.feasible(eta).then_some(seed_eval);
@@ -293,5 +351,100 @@ mod tests {
     fn strategy_display() {
         assert_eq!(SearchStrategy::paper().to_string(), "RB(k=3)");
         assert_eq!(SearchStrategy::Exhaustive.to_string(), "EX");
+    }
+
+    #[test]
+    fn wear_cap_shrinks_the_explored_grid() {
+        let m = model();
+        let l = layer(4);
+        let ctx = SearchContext {
+            faults: None,
+            max_level: Some(1),
+        };
+        let ex = find_best_with(
+            &m,
+            &l,
+            Seconds::ZERO,
+            0.005,
+            (5, 5),
+            SearchStrategy::Exhaustive,
+            ctx,
+        )
+        .unwrap();
+        // Levels {0, 1} per axis → 4 candidates, none larger than 8×8.
+        assert_eq!(ex.evaluations, 4);
+        let best = ex.best.unwrap();
+        assert!(best.shape.rows() <= 8 && best.shape.cols() <= 8);
+        // RB clamps an off-cap seed onto the shrunk grid too.
+        let rb = find_best_with(
+            &m,
+            &l,
+            Seconds::ZERO,
+            0.005,
+            (5, 5),
+            SearchStrategy::paper(),
+            ctx,
+        )
+        .unwrap()
+        .best
+        .unwrap();
+        assert!(rb.shape.rows() <= 8 && rb.shape.cols() <= 8);
+    }
+
+    #[test]
+    fn empty_fault_profile_is_bit_identical_to_fault_free() {
+        let m = model();
+        let l = layer(4);
+        let profile = odin_xbar::FaultProfile::empty(128);
+        let ctx = SearchContext {
+            faults: Some(&profile),
+            max_level: None,
+        };
+        for strategy in [SearchStrategy::Exhaustive, SearchStrategy::paper()] {
+            let clean = find_best(&m, &l, Seconds::new(1e7), 0.005, (2, 2), strategy).unwrap();
+            let faulty =
+                find_best_with(&m, &l, Seconds::new(1e7), 0.005, (2, 2), strategy, ctx).unwrap();
+            assert_eq!(clean.evaluations, faulty.evaluations);
+            let (a, b) = (clean.best.unwrap(), faulty.best.unwrap());
+            assert_eq!(a.shape, b.shape);
+            assert_eq!(a.edp.value().to_bits(), b.edp.value().to_bits());
+            assert_eq!(a.impact.to_bits(), b.impact.to_bits());
+        }
+    }
+
+    #[test]
+    fn fault_profiles_never_improve_the_optimum() {
+        let m = model();
+        let l = layer(4);
+        // A stuck-cell wall down column 0: every window touching it
+        // holds R faults, so the fault term only shrinks the feasible
+        // set — the best EDP can only rise.
+        let mut map = odin_device::FaultMap::new();
+        for row in 0..128 {
+            map.insert(row, 0, odin_device::FaultKind::StuckOff);
+        }
+        let profile = odin_xbar::FaultProfile::from_map(&map, 128);
+        let ctx = SearchContext {
+            faults: Some(&profile),
+            max_level: None,
+        };
+        let clean = find_best(&m, &l, Seconds::ZERO, 0.005, (0, 0), SearchStrategy::Exhaustive)
+            .unwrap()
+            .best
+            .unwrap();
+        let faulty = find_best_with(
+            &m,
+            &l,
+            Seconds::ZERO,
+            0.005,
+            (0, 0),
+            SearchStrategy::Exhaustive,
+            ctx,
+        )
+        .unwrap()
+        .best
+        .expect("small OUs stay feasible under a single-column wall");
+        assert!(faulty.edp >= clean.edp);
+        assert!(faulty.feasible(0.005));
     }
 }

@@ -9,6 +9,8 @@
 use odin_units::Seconds;
 use serde::{Deserialize, Serialize};
 
+use crate::error::DeviceError;
+
 /// Endurance model: cycles-to-failure and the resulting lifetime under
 /// a periodic full-array reprogramming regime.
 ///
@@ -94,6 +96,125 @@ impl Default for EnduranceModel {
     }
 }
 
+/// Per-array write-cycle accounting against a hard endurance budget.
+///
+/// Every full-array programming pass charges one write cycle; once an
+/// array has consumed its budget, [`charge`](Self::charge) refuses with
+/// [`DeviceError::EnduranceExceeded`] and the caller must degrade
+/// (remap to a spare, or take the array out of service). The budget is
+/// `max(1, ⌊cycles_to_failure⌋)`, so a fresh array always admits its
+/// initial programming pass.
+///
+/// # Examples
+///
+/// ```
+/// use odin_device::{EnduranceLedger, EnduranceModel};
+///
+/// let mut ledger = EnduranceLedger::new(EnduranceModel::new(2.0), 1);
+/// assert_eq!(ledger.charge(0), Ok(1));
+/// assert_eq!(ledger.charge(0), Ok(2));
+/// assert!(ledger.charge(0).is_err()); // budget of 2 exhausted
+/// assert!(!ledger.can_write(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnduranceLedger {
+    model: EnduranceModel,
+    budget: u64,
+    writes: Vec<u64>,
+}
+
+impl EnduranceLedger {
+    /// Creates a ledger tracking `arrays` arrays under `model`.
+    #[must_use]
+    pub fn new(model: EnduranceModel, arrays: usize) -> Self {
+        // Truncating keeps the budget conservative; the max(1) floor
+        // guarantees initial programming always succeeds.
+        let budget = (model.cycles_to_failure().floor() as u64).max(1);
+        Self {
+            model,
+            budget,
+            writes: vec![0; arrays],
+        }
+    }
+
+    /// The underlying endurance model.
+    #[must_use]
+    pub fn model(&self) -> &EnduranceModel {
+        &self.model
+    }
+
+    /// Write cycles each array may consume before failing.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Number of arrays tracked.
+    #[must_use]
+    pub fn arrays(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Write cycles charged to `array` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `array` is out of range.
+    #[must_use]
+    pub fn writes(&self, array: usize) -> u64 {
+        self.writes[array]
+    }
+
+    /// Total write cycles charged across all arrays.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.writes.iter().sum()
+    }
+
+    /// Fraction of `array`'s budget consumed (1.0 = exhausted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `array` is out of range.
+    #[must_use]
+    pub fn wear(&self, array: usize) -> f64 {
+        self.writes[array] as f64 / self.budget as f64
+    }
+
+    /// `true` while `array` still has budget for another write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `array` is out of range.
+    #[must_use]
+    pub fn can_write(&self, array: usize) -> bool {
+        self.writes[array] < self.budget
+    }
+
+    /// Charges one programming pass to `array`, returning the new write
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::EnduranceExceeded`] when the array's
+    /// budget is already consumed; the write is not recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `array` is out of range.
+    pub fn charge(&mut self, array: usize) -> Result<u64, DeviceError> {
+        if self.writes[array] >= self.budget {
+            return Err(DeviceError::EnduranceExceeded {
+                array,
+                writes: self.writes[array],
+                budget: self.budget,
+            });
+        }
+        self.writes[array] += 1;
+        Ok(self.writes[array])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +251,40 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn invalid_cycles_panics() {
         let _ = EnduranceModel::new(0.0);
+    }
+
+    #[test]
+    fn ledger_charges_until_budget_then_refuses() {
+        let mut ledger = EnduranceLedger::new(EnduranceModel::new(3.0), 2);
+        assert_eq!(ledger.budget(), 3);
+        assert_eq!(ledger.arrays(), 2);
+        assert_eq!(ledger.charge(0), Ok(1));
+        assert_eq!(ledger.charge(0), Ok(2));
+        assert!((ledger.wear(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ledger.charge(0), Ok(3));
+        assert!(!ledger.can_write(0));
+        assert_eq!(
+            ledger.charge(0),
+            Err(DeviceError::EnduranceExceeded {
+                array: 0,
+                writes: 3,
+                budget: 3,
+            })
+        );
+        // A refused charge is not recorded; other arrays are untouched.
+        assert_eq!(ledger.writes(0), 3);
+        assert_eq!(ledger.writes(1), 0);
+        assert!(ledger.can_write(1));
+        assert_eq!(ledger.total_writes(), 3);
+        assert_eq!(ledger.model(), &EnduranceModel::new(3.0));
+    }
+
+    #[test]
+    fn ledger_budget_floors_at_one() {
+        let mut ledger = EnduranceLedger::new(EnduranceModel::new(0.25), 1);
+        assert_eq!(ledger.budget(), 1);
+        assert_eq!(ledger.charge(0), Ok(1));
+        assert!(ledger.charge(0).is_err());
     }
 
     proptest! {

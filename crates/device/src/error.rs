@@ -16,6 +16,18 @@ pub enum DeviceError {
         /// The offending weight value.
         weight: f64,
     },
+    /// An array has consumed its write-endurance budget and can no
+    /// longer be reprogrammed.
+    EnduranceExceeded {
+        /// Index of the exhausted array in its [`EnduranceLedger`].
+        ///
+        /// [`EnduranceLedger`]: crate::EnduranceLedger
+        array: usize,
+        /// Write cycles already charged to the array.
+        writes: u64,
+        /// The array's total write-cycle budget.
+        budget: u64,
+    },
 }
 
 impl std::fmt::Display for DeviceError {
@@ -26,6 +38,16 @@ impl std::fmt::Display for DeviceError {
             }
             DeviceError::WeightOutOfRange { weight } => {
                 write!(f, "weight {weight} outside the codec's representable range")
+            }
+            DeviceError::EnduranceExceeded {
+                array,
+                writes,
+                budget,
+            } => {
+                write!(
+                    f,
+                    "array {array} exhausted its write endurance ({writes}/{budget} cycles)"
+                )
             }
         }
     }
@@ -47,6 +69,13 @@ mod tests {
         assert!(s.starts_with("invalid"));
         let e = DeviceError::WeightOutOfRange { weight: 2.0 };
         assert!(e.to_string().contains("2"));
+        let e = DeviceError::EnduranceExceeded {
+            array: 3,
+            writes: 7,
+            budget: 7,
+        };
+        assert!(e.to_string().contains("array 3"));
+        assert!(e.to_string().contains("7/7"));
     }
 
     #[test]

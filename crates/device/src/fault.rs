@@ -24,9 +24,40 @@ impl std::fmt::Display for FaultKind {
 
 /// A sparse map from `(row, col)` coordinates to hard faults within one
 /// crossbar.
+///
+/// Serialized as a sorted `[row, col, kind]` list rather than a map:
+/// JSON cannot key objects with tuples, and sorting makes the encoding
+/// canonical — two equal maps always produce byte-identical JSON.
 #[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FaultMap {
+    #[serde(
+        serialize_with = "serialize_faults",
+        deserialize_with = "deserialize_faults"
+    )]
     faults: HashMap<(usize, usize), FaultKind>,
+}
+
+fn serialize_faults<S>(
+    faults: &HashMap<(usize, usize), FaultKind>,
+    serializer: S,
+) -> Result<S::Ok, S::Error>
+where
+    S: serde::Serializer,
+{
+    let mut entries: Vec<(usize, usize, FaultKind)> =
+        faults.iter().map(|(&(r, c), &k)| (r, c, k)).collect();
+    entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+    serde::Serialize::serialize(&entries, serializer)
+}
+
+fn deserialize_faults<'de, D>(
+    deserializer: D,
+) -> Result<HashMap<(usize, usize), FaultKind>, D::Error>
+where
+    D: serde::Deserializer<'de>,
+{
+    let entries: Vec<(usize, usize, FaultKind)> = serde::Deserialize::deserialize(deserializer)?;
+    Ok(entries.into_iter().map(|(r, c, k)| ((r, c), k)).collect())
 }
 
 impl FaultMap {
@@ -106,7 +137,32 @@ impl FaultInjector {
         }
     }
 
+    /// The stuck-at density of §V-style fault sweeps: 0.1 % of cells
+    /// faulty, an even stuck-on/stuck-off mix — the midpoint of the
+    /// {0, 0.1 %, 1 %} evaluation sweep.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::new(0.001, 0.5)
+    }
+
+    /// Per-cell fault probability.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Probability that a faulty cell is stuck-on rather than stuck-off.
+    #[must_use]
+    pub fn stuck_on_fraction(&self) -> f64 {
+        self.stuck_on_fraction
+    }
+
     /// Generates a fault map for a `rows × cols` crossbar.
+    ///
+    /// Cells are visited in row-major order and every cell consumes
+    /// exactly two Bernoulli draws (faulty? stuck-on?), so the stream
+    /// position of any cell — and therefore its outcome under a given
+    /// seed — is independent of every other cell's outcome.
     pub fn inject<R: Rng + ?Sized>(&self, rows: usize, cols: usize, rng: &mut R) -> FaultMap {
         let mut map = FaultMap::new();
         if self.rate == 0.0 {
@@ -114,8 +170,10 @@ impl FaultInjector {
         }
         for row in 0..rows {
             for col in 0..cols {
-                if rng.gen::<f64>() < self.rate {
-                    let kind = if rng.gen::<f64>() < self.stuck_on_fraction {
+                let faulty = rng.gen_bool(self.rate);
+                let stuck_on = rng.gen_bool(self.stuck_on_fraction);
+                if faulty {
+                    let kind = if stuck_on {
                         FaultKind::StuckOn
                     } else {
                         FaultKind::StuckOff
@@ -175,5 +233,38 @@ mod tests {
     fn display_of_kinds() {
         assert_eq!(FaultKind::StuckOn.to_string(), "stuck-on");
         assert_eq!(FaultKind::StuckOff.to_string(), "stuck-off");
+    }
+
+    #[test]
+    fn paper_matches_sweep_midpoint() {
+        let inj = FaultInjector::paper();
+        assert_eq!(inj.rate(), 0.001);
+        assert_eq!(inj.stuck_on_fraction(), 0.5);
+    }
+
+    #[test]
+    fn fault_locations_independent_of_stuck_fraction() {
+        // Two draws per cell regardless of outcome: the *set* of faulty
+        // cells under a seed depends only on the rate, not on the
+        // stuck-on mix.
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(9);
+        let a = FaultInjector::new(0.05, 0.0).inject(32, 32, &mut rng_a);
+        let b = FaultInjector::new(0.05, 1.0).inject(32, 32, &mut rng_b);
+        assert_eq!(a.len(), b.len());
+        for (&(r, c), _) in a.iter() {
+            assert!(b.get(r, c).is_some(), "cell ({r},{c}) diverged");
+        }
+    }
+
+    #[test]
+    fn serde_is_canonical_and_roundtrips() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let map = FaultInjector::new(0.1, 0.3).inject(16, 16, &mut rng);
+        let json = serde_json::to_string(&map).unwrap();
+        let back: FaultMap = serde_json::from_str(&json).unwrap();
+        assert_eq!(map, back);
+        // Canonical: re-encoding the decoded map is byte-identical.
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
     }
 }

@@ -44,7 +44,7 @@ mod thermal;
 pub use cell::{CellLevel, ReramCell};
 pub use codec::{DifferentialWeight, WeightCodec};
 pub use drift::DriftModel;
-pub use endurance::EnduranceModel;
+pub use endurance::{EnduranceLedger, EnduranceModel};
 pub use error::DeviceError;
 pub use fault::{FaultInjector, FaultKind, FaultMap};
 pub use noise::{NoiseModel, ProgrammingNoise, ReadNoise};

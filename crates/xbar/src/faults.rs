@@ -1,0 +1,260 @@
+//! Crossbar-level summaries of hard stuck-at faults.
+//!
+//! The decision path does not care *which* conductance a cell is stuck
+//! at — any stuck cell inside an active OU window contributes a fixed
+//! error to the analog dot product that neither drift-aware scheduling
+//! nor reprogramming can remove. What the search needs is, for every
+//! candidate `(R_j, C_j)` shape, the worst-case number of stuck cells a
+//! single activation window can contain: that is the quantity the
+//! fault-aware ΔG term scales with. [`FaultProfile`] precomputes a 2-D
+//! prefix sum over a [`FaultMap`] so those worst-window counts cost
+//! `O(windows)` instead of `O(windows × cells)`, and caches them for
+//! every power-of-two shape on the OU grid.
+
+use odin_device::FaultMap;
+
+use crate::mapping::ou_windows;
+use crate::ou::OuShape;
+
+/// Exponent range of the cached power-of-two shapes (matches
+/// [`OuGrid`](crate::OuGrid)'s `2^2..2^7` span).
+const CACHE_MIN_EXP: u32 = 2;
+const CACHE_MAX_EXP: u32 = 7;
+const CACHE_AXIS: usize = (CACHE_MAX_EXP - CACHE_MIN_EXP + 1) as usize;
+
+/// A precomputed fault summary for one crossbar (or one representative
+/// array of a crossbar group).
+///
+/// # Examples
+///
+/// ```
+/// use odin_device::{FaultKind, FaultMap};
+/// use odin_xbar::{FaultProfile, OuShape};
+///
+/// let mut map = FaultMap::new();
+/// map.insert(3, 3, FaultKind::StuckOn);
+/// map.insert(4, 4, FaultKind::StuckOff);
+/// map.insert(100, 100, FaultKind::StuckOn);
+/// let profile = FaultProfile::from_map(&map, 128);
+/// assert_eq!(profile.fault_count(), 3);
+/// // A 4×4 window holds at most one of these faults; an 8×8 window
+/// // aligned at (0,0) captures both of the clustered ones.
+/// assert_eq!(profile.worst_window_faults(OuShape::new(4, 4)), 1);
+/// assert_eq!(profile.worst_window_faults(OuShape::new(8, 8)), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultProfile {
+    size: usize,
+    /// `(size + 1)²` row-major inclusive-exclusive prefix sums:
+    /// `prefix[i * (size+1) + j]` counts faults in `[0, i) × [0, j)`.
+    prefix: Vec<u32>,
+    total: usize,
+    /// Cached worst-window counts for the power-of-two grid shapes,
+    /// indexed by `(row_exp - 2) * 6 + (col_exp - 2)`.
+    worst: Vec<usize>,
+}
+
+impl FaultProfile {
+    /// Builds the profile of a `size × size` array from a fault map.
+    /// Faults outside the array bounds are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    #[must_use]
+    pub fn from_map(map: &FaultMap, size: usize) -> Self {
+        assert!(size > 0, "crossbar size must be nonzero");
+        let n = size + 1;
+        let mut prefix = vec![0u32; n * n];
+        for (&(r, c), _) in map.iter() {
+            if r < size && c < size {
+                prefix[(r + 1) * n + (c + 1)] += 1;
+            }
+        }
+        for i in 1..n {
+            for j in 1..n {
+                prefix[i * n + j] += prefix[(i - 1) * n + j] + prefix[i * n + (j - 1)];
+                prefix[i * n + j] -= prefix[(i - 1) * n + (j - 1)];
+            }
+        }
+        let total = prefix[n * n - 1] as usize;
+        let mut profile = Self {
+            size,
+            prefix,
+            total,
+            worst: vec![0; CACHE_AXIS * CACHE_AXIS],
+        };
+        if total > 0 {
+            for re in CACHE_MIN_EXP..=CACHE_MAX_EXP {
+                for ce in CACHE_MIN_EXP..=CACHE_MAX_EXP {
+                    let shape = OuShape::new(1 << re, 1 << ce);
+                    if let Some(idx) = cache_index(shape, size) {
+                        profile.worst[idx] = profile.compute_worst(shape);
+                    }
+                }
+            }
+        }
+        profile
+    }
+
+    /// The profile of a fault-free array.
+    #[must_use]
+    pub fn empty(size: usize) -> Self {
+        Self::from_map(&FaultMap::new(), size)
+    }
+
+    /// The array dimension this profile covers.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Total stuck cells in the array.
+    #[must_use]
+    pub fn fault_count(&self) -> usize {
+        self.total
+    }
+
+    /// Stuck cells as a fraction of all cells.
+    #[must_use]
+    pub fn fault_rate(&self) -> f64 {
+        self.total as f64 / (self.size * self.size) as f64
+    }
+
+    /// Stuck cells inside the window starting at `(row, col)` spanning
+    /// `rows × cols` cells (clipped to the array).
+    #[must_use]
+    pub fn window_faults(&self, row: usize, col: usize, rows: usize, cols: usize) -> usize {
+        let n = self.size + 1;
+        let r0 = row.min(self.size);
+        let c0 = col.min(self.size);
+        let r1 = row.saturating_add(rows).min(self.size);
+        let c1 = col.saturating_add(cols).min(self.size);
+        let at = |i: usize, j: usize| self.prefix[i * n + j] as usize;
+        at(r1, c1) + at(r0, c0) - at(r0, c1) - at(r1, c0)
+    }
+
+    /// The worst-case stuck-cell count over all aligned `shape` windows
+    /// — the quantity the fault-aware ΔG term scales with. Cached for
+    /// the power-of-two grid shapes, computed on demand for any other.
+    #[must_use]
+    pub fn worst_window_faults(&self, shape: OuShape) -> usize {
+        if self.total == 0 {
+            return 0;
+        }
+        if let Some(idx) = cache_index(shape, self.size) {
+            return self.worst[idx];
+        }
+        self.compute_worst(shape)
+    }
+
+    fn compute_worst(&self, shape: OuShape) -> usize {
+        ou_windows(self.size, shape)
+            .map(|(r, c)| self.window_faults(r, c, shape.rows(), shape.cols()))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Cache slot for `shape`, when both dims are powers of two in the grid
+/// exponent range and fit the array.
+fn cache_index(shape: OuShape, size: usize) -> Option<usize> {
+    let (r, c) = (shape.rows(), shape.cols());
+    if r > size || c > size || !r.is_power_of_two() || !c.is_power_of_two() {
+        return None;
+    }
+    let re = r.trailing_zeros();
+    let ce = c.trailing_zeros();
+    if !(CACHE_MIN_EXP..=CACHE_MAX_EXP).contains(&re)
+        || !(CACHE_MIN_EXP..=CACHE_MAX_EXP).contains(&ce)
+    {
+        return None;
+    }
+    Some(((re - CACHE_MIN_EXP) as usize) * CACHE_AXIS + (ce - CACHE_MIN_EXP) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odin_device::{FaultInjector, FaultKind};
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_profile_is_all_zero() {
+        let p = FaultProfile::empty(128);
+        assert_eq!(p.fault_count(), 0);
+        assert_eq!(p.fault_rate(), 0.0);
+        assert_eq!(p.worst_window_faults(OuShape::new(128, 128)), 0);
+        assert_eq!(p.window_faults(0, 0, 128, 128), 0);
+        assert_eq!(p.size(), 128);
+    }
+
+    #[test]
+    fn single_fault_lands_in_exactly_one_window() {
+        let mut map = FaultMap::new();
+        map.insert(17, 42, FaultKind::StuckOff);
+        let p = FaultProfile::from_map(&map, 128);
+        assert_eq!(p.fault_count(), 1);
+        let shape = OuShape::new(16, 16);
+        let hot: Vec<_> = ou_windows(128, shape)
+            .filter(|&(r, c)| p.window_faults(r, c, 16, 16) > 0)
+            .collect();
+        assert_eq!(hot, vec![(16, 32)]);
+        assert_eq!(p.worst_window_faults(shape), 1);
+    }
+
+    #[test]
+    fn cluster_dominates_worst_window() {
+        let mut map = FaultMap::new();
+        for (r, c) in [(0, 0), (1, 1), (2, 2), (3, 3), (64, 64)] {
+            map.insert(r, c, FaultKind::StuckOn);
+        }
+        let p = FaultProfile::from_map(&map, 128);
+        assert_eq!(p.worst_window_faults(OuShape::new(4, 4)), 4);
+        assert_eq!(p.worst_window_faults(OuShape::new(128, 128)), 5);
+        // Off-grid (non power-of-two) shapes bypass the cache but agree.
+        assert_eq!(p.worst_window_faults(OuShape::new(9, 8)), 4);
+    }
+
+    #[test]
+    fn out_of_bounds_faults_are_ignored() {
+        let mut map = FaultMap::new();
+        map.insert(500, 500, FaultKind::StuckOn);
+        map.insert(1, 1, FaultKind::StuckOn);
+        let p = FaultProfile::from_map(&map, 128);
+        assert_eq!(p.fault_count(), 1);
+    }
+
+    #[test]
+    fn prefix_sums_match_brute_force_counts() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let map = FaultInjector::new(0.05, 0.5).inject(64, 64, &mut rng);
+        let p = FaultProfile::from_map(&map, 64);
+        assert_eq!(p.fault_count(), map.len());
+        for &(r0, c0, rows, cols) in
+            &[(0, 0, 64, 64), (10, 20, 16, 8), (60, 60, 16, 16), (5, 5, 1, 1)]
+        {
+            let brute = map
+                .iter()
+                .filter(|(&(r, c), _)| {
+                    r >= r0 && r < (r0 + rows).min(64) && c >= c0 && c < (c0 + cols).min(64)
+                })
+                .count();
+            assert_eq!(p.window_faults(r0, c0, rows, cols), brute);
+        }
+    }
+
+    #[test]
+    fn worst_window_monotone_in_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let map = FaultInjector::new(0.02, 0.5).inject(128, 128, &mut rng);
+        let p = FaultProfile::from_map(&map, 128);
+        let mut last = 0;
+        for exp in 2u32..=7 {
+            let w = p.worst_window_faults(OuShape::new(1 << exp, 1 << exp));
+            assert!(w >= last, "worst count shrank at 2^{exp}");
+            last = w;
+        }
+        assert_eq!(last, p.fault_count());
+    }
+}

@@ -19,6 +19,8 @@
 //!   zero-row skipping, and the activation schedule for functional MVM.
 //! * [`NonIdealityModel`] — Eq. 4's `ΔG` plus a per-cell IR-drop
 //!   attenuation used by the non-ideal MVM path.
+//! * [`FaultProfile`] — prefix-summed stuck-at fault counts per OU
+//!   window, feeding the fault-aware ΔG term of the decision path.
 //! * [`mvm`] — ideal and non-ideal matrix-vector products.
 //!
 //! # Examples
@@ -40,6 +42,7 @@
 mod array;
 mod config;
 mod error;
+mod faults;
 mod mapping;
 mod nonideal;
 mod ou;
@@ -50,7 +53,8 @@ pub mod mvm;
 pub use array::Crossbar;
 pub use config::CrossbarConfig;
 pub use error::XbarError;
-pub use mapping::{unit_codec, LayerMapping, MappedTile};
+pub use faults::FaultProfile;
+pub use mapping::{ou_windows, unit_codec, LayerMapping, MappedTile};
 pub use nonideal::NonIdealityModel;
 pub use ou::{OuGrid, OuShape};
 pub use schedule::{

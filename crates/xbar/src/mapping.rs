@@ -4,6 +4,7 @@ use odin_device::{CellLevel, DeviceParams, WeightCodec};
 use serde::{Deserialize, Serialize};
 
 use crate::error::XbarError;
+use crate::ou::OuShape;
 
 /// One crossbar-sized tile of a mapped layer: which logical weight rows
 /// and columns it holds.
@@ -251,6 +252,28 @@ pub fn unit_codec(device: &DeviceParams) -> WeightCodec {
     WeightCodec::new(device, 1.0)
 }
 
+/// The aligned activation windows an `R × C` operation unit cuts a
+/// `size × size` crossbar into, as `(row, col)` origins in row-major
+/// order. Edge windows may be truncated; every cell of the array lies
+/// in exactly one window.
+///
+/// # Examples
+///
+/// ```
+/// use odin_xbar::{ou_windows, OuShape};
+///
+/// let origins: Vec<_> = ou_windows(128, OuShape::new(16, 16)).collect();
+/// assert_eq!(origins.len(), 64); // 8 × 8 grid of 16×16 windows
+/// assert_eq!(origins[0], (0, 0));
+/// assert_eq!(origins[9], (16, 16));
+/// ```
+pub fn ou_windows(size: usize, shape: OuShape) -> impl Iterator<Item = (usize, usize)> {
+    let (r, c) = (shape.rows(), shape.cols());
+    let down = size.div_ceil(r);
+    let across = size.div_ceil(c);
+    (0..down).flat_map(move |i| (0..across).map(move |j| (i * r, j * c)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,6 +371,20 @@ mod tests {
         ));
         let ragged = vec![vec![0.0], vec![0.0, 0.0]];
         assert!(m.tile_nonzero_mask(&ragged, m.tile(0, 0)).is_err());
+    }
+
+    #[test]
+    fn ou_windows_partition_the_array() {
+        // Non-dividing shape: 9×8 windows over a 32-cell array.
+        let mut covered = vec![vec![0u8; 32]; 32];
+        for (r0, c0) in ou_windows(32, OuShape::new(9, 8)) {
+            for r in r0..(r0 + 9).min(32) {
+                for c in c0..(c0 + 8).min(32) {
+                    covered[r][c] += 1;
+                }
+            }
+        }
+        assert!(covered.iter().flatten().all(|&n| n == 1));
     }
 
     proptest! {

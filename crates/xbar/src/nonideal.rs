@@ -42,6 +42,7 @@ use odin_units::{Ohms, Seconds, Siemens};
 use serde::{Deserialize, Serialize};
 
 use crate::config::CrossbarConfig;
+use crate::faults::FaultProfile;
 use crate::ou::OuShape;
 
 /// Eq. 4's `ΔG` plus the calibrated accuracy-impact surrogate.
@@ -70,6 +71,12 @@ pub struct NonIdealityModel {
     ir_path_fraction: f64,
     drift_timescale: Seconds,
     drift_exponent: f64,
+    #[serde(default = "default_fault_weight")]
+    fault_weight: f64,
+}
+
+fn default_fault_weight() -> f64 {
+    NonIdealityModel::DEFAULT_FAULT_WEIGHT
 }
 
 impl NonIdealityModel {
@@ -84,6 +91,16 @@ impl NonIdealityModel {
     pub const DEFAULT_DRIFT_TIMESCALE: f64 = 2.75e7;
     /// Default drift-amplification exponent α.
     pub const DEFAULT_DRIFT_EXPONENT: f64 = 0.56;
+    /// Default per-stuck-cell accuracy impact κ_f (see
+    /// [`fault_impact`](Self::fault_impact)). Calibrated so that at a
+    /// 1 % stuck-at density on a 128×128 array (worst 4×4 window ≈ 3
+    /// faults, worst 16×16 window ≈ 10) the smallest grid OU stays
+    /// feasible when fresh for a sensitivity-1.0 layer
+    /// (1.07e-3 + 3×1e-3 < η = 5e-3) while 16×16 windows are pushed
+    /// past η, steering the search toward fine OUs around fault
+    /// clusters and pulling the reprogram cadence inside the 1e8 s
+    /// campaign horizon.
+    pub const DEFAULT_FAULT_WEIGHT: f64 = 1e-3;
 
     /// Builds the model for a 128×128 crossbar with the given device
     /// corner and wire resistance, using the calibrated defaults.
@@ -96,6 +113,7 @@ impl NonIdealityModel {
             ir_path_fraction: Self::DEFAULT_IR_PATH_FRACTION,
             drift_timescale: Seconds::new(Self::DEFAULT_DRIFT_TIMESCALE),
             drift_exponent: Self::DEFAULT_DRIFT_EXPONENT,
+            fault_weight: Self::DEFAULT_FAULT_WEIGHT,
         }
     }
 
@@ -138,6 +156,28 @@ impl NonIdealityModel {
         assert!(alpha.is_finite() && alpha > 0.0, "α must be positive");
         self.drift_exponent = alpha;
         self
+    }
+
+    /// Overrides the per-stuck-cell accuracy impact κ_f. Zero disables
+    /// the fault term entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `kappa_f` is finite and non-negative.
+    #[must_use]
+    pub fn with_fault_weight(mut self, kappa_f: f64) -> Self {
+        assert!(
+            kappa_f.is_finite() && kappa_f >= 0.0,
+            "κ_f must be non-negative"
+        );
+        self.fault_weight = kappa_f;
+        self
+    }
+
+    /// The per-stuck-cell accuracy impact κ_f.
+    #[must_use]
+    pub fn fault_weight(&self) -> f64 {
+        self.fault_weight
     }
 
     /// The device corner the model was built with.
@@ -202,6 +242,28 @@ impl NonIdealityModel {
     #[must_use]
     pub fn accuracy_impact(&self, shape: OuShape, elapsed: Seconds) -> f64 {
         self.ir_fraction(shape) * self.drift_severity(elapsed)
+    }
+
+    /// The fault-aware ΔG term: the accuracy impact contributed by hard
+    /// stuck-at cells when `shape` windows are activated on an array
+    /// with the given fault profile.
+    ///
+    /// Stuck cells add a *time-independent* error — reprogramming does
+    /// not heal them — proportional to the worst-case stuck-cell count
+    /// a single activation window can contain:
+    ///
+    /// ```text
+    /// fault_impact = κ_f · max over aligned R×C windows of #stuck cells
+    /// ```
+    ///
+    /// Using the worst window (not the mean) is what steers the search
+    /// away from fault *clusters*: a shape whose windows dodge the
+    /// cluster scores lower than one that concentrates it. A fault-free
+    /// profile contributes exactly `0.0`, leaving the drift-only
+    /// surrogate bit-identical.
+    #[must_use]
+    pub fn fault_impact(&self, faults: &FaultProfile, shape: OuShape) -> f64 {
+        self.fault_weight * faults.worst_window_faults(shape) as f64
     }
 
     /// The per-cell signal attenuation applied by the non-ideal MVM
@@ -346,6 +408,41 @@ mod tests {
         assert!((att - (1.0 - m.accuracy_impact(s, t))).abs() < 1e-12);
         // Extreme ages clamp to zero rather than going negative.
         assert_eq!(m.attenuation(OuShape::new(128, 128), Seconds::new(1e30)), 0.0);
+    }
+
+    #[test]
+    fn fault_impact_scales_with_worst_window() {
+        use odin_device::{FaultKind, FaultMap};
+
+        let m = model();
+        let mut map = FaultMap::new();
+        for (r, c) in [(0, 0), (1, 1), (2, 2)] {
+            map.insert(r, c, FaultKind::StuckOn);
+        }
+        let profile = crate::FaultProfile::from_map(&map, 128);
+        let fine = m.fault_impact(&profile, OuShape::new(4, 4));
+        assert!((fine - 3.0 * NonIdealityModel::DEFAULT_FAULT_WEIGHT).abs() < 1e-15);
+        // Coarser windows can only capture at least as many faults.
+        assert!(m.fault_impact(&profile, OuShape::new(16, 16)) >= fine);
+        // Fault-free profiles contribute exactly zero.
+        assert_eq!(m.fault_impact(&crate::FaultProfile::empty(128), OuShape::new(16, 16)), 0.0);
+        // κ_f = 0 disables the term.
+        let off = model().with_fault_weight(0.0);
+        assert_eq!(off.fault_impact(&profile, OuShape::new(4, 4)), 0.0);
+        assert_eq!(off.fault_weight(), 0.0);
+    }
+
+    #[test]
+    fn fault_weight_survives_serde_and_defaults_on_old_payloads() {
+        let m = model().with_fault_weight(2e-3);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: NonIdealityModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        // Payloads predating the field pick up the calibrated default.
+        let stripped = json.replace(",\"fault_weight\":0.002", "");
+        assert!(stripped.len() < json.len(), "field not found in payload");
+        let old: NonIdealityModel = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(old.fault_weight(), NonIdealityModel::DEFAULT_FAULT_WEIGHT);
     }
 
     #[test]

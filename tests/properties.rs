@@ -4,6 +4,7 @@
 
 use odin::core::search::{find_best, SearchStrategy};
 use odin::core::{AnalyticModel, OdinConfig, OdinRuntime, TimeSchedule};
+use odin::device::{FaultInjector, FaultKind, FaultMap};
 use odin::dnn::{LayerDescriptor, LayerKind};
 use odin::units::Seconds;
 use odin::xbar::{CrossbarConfig, OuShape};
@@ -85,6 +86,44 @@ proptest! {
             _ => {}
         }
         prop_assert!(rb.evaluations <= ex.evaluations);
+    }
+
+    #[test]
+    fn fault_map_serde_roundtrips_exactly(
+        entries in proptest::collection::vec((0usize..256, 0usize..256, any::<bool>()), 0..80)
+    ) {
+        let mut map = FaultMap::new();
+        for (row, col, on) in entries {
+            let kind = if on { FaultKind::StuckOn } else { FaultKind::StuckOff };
+            map.insert(row, col, kind);
+        }
+        let json = serde_json::to_string(&map).unwrap();
+        let back: FaultMap = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&map, &back);
+        // The sorted-list encoding is canonical: re-encoding the decoded
+        // map is byte-identical.
+        prop_assert_eq!(json, serde_json::to_string(&back).unwrap());
+    }
+
+    #[test]
+    fn injection_rate_extremes_are_exact(
+        seed in any::<u64>(),
+        rows in 1usize..48,
+        cols in 1usize..48,
+        stuck_on in 0.0f64..=1.0,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let none = FaultInjector::new(0.0, stuck_on).inject(rows, cols, &mut rng);
+        prop_assert!(none.is_empty(), "rate 0 must inject nothing");
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let all = FaultInjector::new(1.0, stuck_on).inject(rows, cols, &mut rng);
+        prop_assert_eq!(all.len(), rows * cols, "rate 1 must fault every cell");
+        for row in 0..rows {
+            for col in 0..cols {
+                prop_assert!(all.get(row, col).is_some());
+            }
+        }
     }
 }
 
