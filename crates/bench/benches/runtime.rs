@@ -8,12 +8,13 @@ use odin_core::{OdinConfig, OdinRuntime};
 use odin_dnn::zoo::{self, Dataset};
 use odin_units::Seconds;
 use odin_xbar::{CrossbarConfig, OuShape};
-use rand::SeedableRng;
 
 fn bench_runtime(c: &mut Criterion) {
     let net = zoo::vgg11(Dataset::Cifar10);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-    let mut odin = OdinRuntime::new(OdinConfig::paper(), &mut rng);
+    let mut odin = OdinRuntime::builder(OdinConfig::paper())
+        .rng_seed(5)
+        .build()
+        .expect("paper config is valid");
     let mut t = 1.0f64;
     c.bench_function("odin_inference_vgg11", |b| {
         b.iter(|| {

@@ -76,7 +76,9 @@ pub fn buffer_sweep(ctx: &ExperimentContext) -> Result<BufferAblation, OdinError
             .buffer_capacity(capacity)
             .build()?;
         let base = ctx.odin_for(&net, Dataset::Cifar10)?;
-        let mut rt = OdinRuntime::with_policy(config, base.policy().clone());
+        let mut rt = OdinRuntime::builder(config)
+            .policy(base.policy().clone())
+            .build()?;
         let report = rt.run_campaign(&net, &ctx.schedule)?;
         rows.push(BufferRow {
             capacity,
@@ -138,7 +140,9 @@ pub fn k_sweep(ctx: &ExperimentContext) -> Result<KAblation, OdinError> {
     for strategy in strategies {
         let config = OdinConfig::builder().strategy(strategy).build()?;
         let base = ctx.odin_for(&net, Dataset::Cifar10)?;
-        let mut rt = OdinRuntime::with_policy(config, base.policy().clone());
+        let mut rt = OdinRuntime::builder(config)
+            .policy(base.policy().clone())
+            .build()?;
         let report = rt.run_campaign(&net, &ctx.schedule)?;
         let decisions: usize = report.runs.iter().map(|r| r.decisions.len()).sum();
         let evals: usize = report
@@ -295,7 +299,7 @@ pub fn activation_sweep(ctx: &ExperimentContext) -> Result<ActivationAblation, O
             let config = OdinConfig::builder()
                 .exploit_activation_sparsity(joint)
                 .build()?;
-            let mut rt = OdinRuntime::with_policy(config, policy);
+            let mut rt = OdinRuntime::builder(config).policy(policy).build()?;
             Ok(rt.run_campaign(&net, &ctx.schedule)?.total_edp().value())
         };
         let weight_only_edp = run(false, base_policy.clone())?;
@@ -468,7 +472,7 @@ pub fn eta_sweep(ctx: &ExperimentContext) -> Result<EtaAblation, OdinError> {
             ctx.config.policy().clone(),
             &mut rng,
         )?;
-        let mut rt = OdinRuntime::with_policy(config, policy);
+        let mut rt = OdinRuntime::builder(config).policy(policy).build()?;
         let fresh = rt.run_inference(&net, Seconds::new(1.0))?;
         let fresh_mean_product = fresh
             .decisions

@@ -165,7 +165,7 @@ pub fn run(ctx: &ExperimentContext) -> Result<FaultCampaignResult, OdinError> {
             &mut fault_rng,
         );
         endurance_budget = fabric.ledger().budget();
-        let mut odin = ctx.odin_for(&net, Dataset::Cifar10)?.with_fabric_health(fabric);
+        let mut odin = ctx.odin_for_on(&net, Dataset::Cifar10, fabric)?;
         let report = odin.run_campaign_resilient(&net, &ctx.schedule);
         rows.push(row_from(rate, &report, edp_ff));
     }

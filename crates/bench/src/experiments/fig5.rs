@@ -98,18 +98,15 @@ pub fn run(ctx: &ExperimentContext) -> Result<Fig5Result, OdinError> {
     let model = ctx.analytic();
     let eta = ctx.config.eta();
 
-    let rb_cfg = ctx.config.clone();
     let ex_cfg = OdinConfig::builder()
         .crossbar(ctx.config.crossbar().clone())
         .eta(eta)
         .strategy(SearchStrategy::Exhaustive)
         .build()?;
     let mut rb = ctx.odin_for(&net, Dataset::Cifar10)?;
-    let mut ex = odin_core::OdinRuntime::with_policy(
-        ex_cfg,
-        ctx.odin_for(&net, Dataset::Cifar10)?.policy().clone(),
-    );
-    drop(rb_cfg);
+    let mut ex = odin_core::OdinRuntime::builder(ex_cfg)
+        .policy(ctx.odin_for(&net, Dataset::Cifar10)?.policy().clone())
+        .build()?;
 
     // Warm the online runtimes over the schedule between panels.
     let mut panels = Vec::new();

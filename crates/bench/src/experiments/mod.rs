@@ -14,6 +14,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod overhead;
+pub mod parallel_campaign;
 pub mod search_overhead;
 pub mod table1;
 pub mod validate;

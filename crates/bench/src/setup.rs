@@ -2,10 +2,11 @@
 
 use odin_core::baselines::HomogeneousRuntime;
 use odin_core::offline::{bootstrap_policy, leave_one_out};
-use odin_core::{OdinConfig, OdinRuntime, TimeSchedule};
 use odin_core::{AnalyticModel, OdinError};
+use odin_core::{FabricHealth, OdinConfig, OdinRuntime, TimeSchedule};
 use odin_dnn::zoo::{self, Dataset};
 use odin_dnn::NetworkDescriptor;
+use odin_policy::OuPolicy;
 use odin_xbar::OuShape;
 use rand::SeedableRng;
 
@@ -59,9 +60,31 @@ impl ExperimentContext {
         AnalyticModel::new(self.config.crossbar().clone()).expect("validated crossbar")
     }
 
-    /// An Odin runtime bootstrapped leave-one-out for `target` (§V.A:
-    /// the offline policy comes from the other model families on the
-    /// same dataset).
+    /// The leave-one-out bootstrapped policy for `target` (§V.A: the
+    /// offline policy comes from the other model families on the same
+    /// dataset).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping failures from offline labelling.
+    pub fn policy_for(
+        &self,
+        target: &NetworkDescriptor,
+        dataset: Dataset,
+    ) -> Result<OuPolicy, OdinError> {
+        let mut rng = self.rng();
+        let all = zoo::all_models(dataset);
+        let known = leave_one_out(&all, target.name());
+        bootstrap_policy(
+            &self.analytic(),
+            &known,
+            self.config.eta(),
+            self.config.policy().clone(),
+            &mut rng,
+        )
+    }
+
+    /// An Odin runtime bootstrapped leave-one-out for `target`.
     ///
     /// # Errors
     ///
@@ -71,17 +94,27 @@ impl ExperimentContext {
         target: &NetworkDescriptor,
         dataset: Dataset,
     ) -> Result<OdinRuntime, OdinError> {
-        let mut rng = self.rng();
-        let all = zoo::all_models(dataset);
-        let known = leave_one_out(&all, target.name());
-        let policy = bootstrap_policy(
-            &self.analytic(),
-            &known,
-            self.config.eta(),
-            self.config.policy().clone(),
-            &mut rng,
-        )?;
-        Ok(OdinRuntime::with_policy(self.config.clone(), policy))
+        OdinRuntime::builder(self.config.clone())
+            .policy(self.policy_for(target, dataset)?)
+            .build()
+    }
+
+    /// Like [`ExperimentContext::odin_for`], but running on a tracked
+    /// (faulty / wearing) fabric instead of a pristine one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping failures from offline labelling.
+    pub fn odin_for_on(
+        &self,
+        target: &NetworkDescriptor,
+        dataset: Dataset,
+        fabric: FabricHealth,
+    ) -> Result<OdinRuntime, OdinError> {
+        OdinRuntime::builder(self.config.clone())
+            .policy(self.policy_for(target, dataset)?)
+            .fabric(fabric)
+            .build()
     }
 
     /// A homogeneous baseline runtime on this context's fabric.

@@ -170,6 +170,31 @@ impl AnalyticModel {
         age: Seconds,
         faults: Option<&FaultProfile>,
     ) -> Result<CandidateEval, OdinError> {
+        let cost = self.geometry_cost(layer, shape)?;
+        let impact = self.impact_of(layer, shape, age, faults);
+        Ok(CandidateEval {
+            shape,
+            cost,
+            edp: cost.edp(),
+            impact,
+        })
+    }
+
+    /// The energy/latency of one `(layer, shape)` pair — the mapping
+    /// and cycle-count half of [`evaluate_faulty`](Self::evaluate_faulty).
+    ///
+    /// This term depends only on the layer geometry and the OU shape,
+    /// never on programming age or fault state, which is what lets the
+    /// evaluation cache reuse it across drift epochs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::Mapping`] when the layer cannot be mapped.
+    pub fn geometry_cost(
+        &self,
+        layer: &LayerDescriptor,
+        shape: OuShape,
+    ) -> Result<LayerCost, OdinError> {
         let mapping = LayerMapping::new(layer.fan_in(), layer.fan_out(), self.crossbar.size())?;
         let activation_sparsity = if self.use_activation_sparsity {
             layer.activation_sparsity()
@@ -190,23 +215,30 @@ impl AnalyticModel {
             critical = critical.max(cycles);
         }
         let positions = layer.output_positions() as u64;
-        let cost = self.cost_model.layer_cost(
+        Ok(self.cost_model.layer_cost(
             shape,
             total_cycles * positions,
             critical * positions,
             mapping.crossbar_count(),
-        );
+        ))
+    }
+
+    /// The sensitivity-weighted non-ideality of one `(layer, shape)`
+    /// pair at programming age `age` — the constraint half of
+    /// [`evaluate_faulty`](Self::evaluate_faulty).
+    #[must_use]
+    pub fn impact_of(
+        &self,
+        layer: &LayerDescriptor,
+        shape: OuShape,
+        age: Seconds,
+        faults: Option<&FaultProfile>,
+    ) -> f64 {
         let mut nonideality = self.nonideal.accuracy_impact(shape, age);
         if let Some(profile) = faults {
             nonideality += self.nonideal.fault_impact(profile, shape);
         }
-        let impact = layer.sensitivity() * nonideality;
-        Ok(CandidateEval {
-            shape,
-            cost,
-            edp: cost.edp(),
-            impact,
-        })
+        layer.sensitivity() * nonideality
     }
 
     /// Evaluates every layer of a network at a fixed shape and age,

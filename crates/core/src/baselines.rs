@@ -161,6 +161,8 @@ impl HomogeneousRuntime {
             strategy: format!("homogeneous-{}", self.shape),
             runs,
             skipped: Vec::new(),
+            cache: crate::cache::CacheStats::default(),
+            engine: crate::engine::EngineStats::default(),
         })
     }
 

@@ -1,0 +1,362 @@
+//! Memoized OU candidate evaluation.
+//!
+//! `AnalyticModel::evaluate_faulty` is the hot path of Algorithm 1:
+//! every inference re-scores `(layer, shape)` candidates whose answer
+//! rarely changes between runs. This module caches those scores in two
+//! tiers while staying **bit-transparent** — a cached score is always
+//! the exact value the uncached path would have computed, so campaigns
+//! with the cache on replay the cache-off decision stream bit-for-bit.
+//!
+//! - **Tier 1** holds full [`CandidateEval`]s keyed on
+//!   `(layer, shape, drift age, fault-profile generation)`. The age and
+//!   generation key components make stale recalls impossible by
+//!   construction; the tier is additionally cleared whenever a run
+//!   reprograms the fabric or the degradation ladder emits events (the
+//!   conservative invalidation contract).
+//! - **Tier 2** holds the age- and fault-independent
+//!   [`geometry_cost`](AnalyticModel::geometry_cost) term keyed on
+//!   `(layer, shape)` only. It is never invalidated — the mapping and
+//!   cycle counts are pure layer/shape geometry — and it is what turns
+//!   a cross-drift-epoch miss into a cheap sensitivity multiply.
+
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use odin_arch::LayerCost;
+use odin_dnn::LayerDescriptor;
+use odin_units::Seconds;
+use odin_xbar::{OuGrid, OuShape};
+use serde::{Deserialize, Serialize};
+
+use crate::analytic::{AnalyticModel, CandidateEval};
+use crate::error::OdinError;
+use crate::search::{OuEvaluator, SearchContext};
+
+/// Hit/miss counters for the evaluation cache, surfaced per campaign
+/// in [`CampaignReport`](crate::CampaignReport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Evaluations answered entirely from tier 1 (full result recall).
+    pub full_hits: u64,
+    /// Evaluations that recomputed the drift/fault term but recalled
+    /// the expensive mapping/cycle-count term from tier 2.
+    pub geometry_hits: u64,
+    /// Evaluations computed from scratch.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total evaluations routed through the cache.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.full_hits + self.geometry_hits + self.misses
+    }
+
+    /// Fraction of evaluations served from either tier; `0.0` when no
+    /// evaluation was routed through the cache.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.full_hits + self.geometry_hits) as f64 / total as f64
+    }
+
+    /// Counter increments accumulated since `baseline` (a snapshot
+    /// taken earlier from the same monotonically-growing cache).
+    #[must_use]
+    pub fn since(&self, baseline: CacheStats) -> CacheStats {
+        CacheStats {
+            full_hits: self.full_hits - baseline.full_hits,
+            geometry_hits: self.geometry_hits - baseline.geometry_hits,
+            misses: self.misses - baseline.misses,
+        }
+    }
+
+    /// Component-wise sum (merging per-shard deltas).
+    #[must_use]
+    pub fn merged(&self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            full_hits: self.full_hits + other.full_hits,
+            geometry_hits: self.geometry_hits + other.geometry_hits,
+            misses: self.misses + other.misses,
+        }
+    }
+}
+
+/// Tier-1 key: layer identity, shape, exact drift age bits, and the
+/// fault-profile generation of the layer's crossbar group.
+type FullKey = (u64, usize, usize, u64, u64);
+/// Tier-2 key: layer identity and shape only.
+type GeometryKey = (u64, usize, usize);
+
+#[derive(Debug, Clone, Default)]
+struct CacheInner {
+    full: HashMap<FullKey, CandidateEval>,
+    geometry: HashMap<GeometryKey, LayerCost>,
+    stats: CacheStats,
+}
+
+/// A two-tier memo for [`AnalyticModel`] candidate evaluations.
+///
+/// Owned by one runtime (shards clone it), hence interior mutability
+/// via [`RefCell`] rather than locks: the cache is `Send` but not
+/// shared across threads.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EvalCache {
+    inner: RefCell<CacheInner>,
+}
+
+impl EvalCache {
+    /// Scores a candidate through the memo, bit-identical to
+    /// `model.evaluate_faulty(layer, shape, age, ctx.faults)`.
+    pub(crate) fn evaluate(
+        &self,
+        model: &AnalyticModel,
+        layer: &LayerDescriptor,
+        shape: OuShape,
+        age: Seconds,
+        ctx: SearchContext<'_>,
+    ) -> Result<CandidateEval, OdinError> {
+        let id = layer_fingerprint(layer);
+        let (rows, cols) = (shape.rows(), shape.cols());
+        let full_key = (id, rows, cols, age.value().to_bits(), ctx.generation);
+        let mut inner = self.inner.borrow_mut();
+        if let Some(&eval) = inner.full.get(&full_key) {
+            inner.stats.full_hits += 1;
+            return Ok(eval);
+        }
+        let geometry_key = (id, rows, cols);
+        let cost = match inner.geometry.get(&geometry_key) {
+            Some(&cost) => {
+                inner.stats.geometry_hits += 1;
+                cost
+            }
+            None => {
+                inner.stats.misses += 1;
+                let cost = model.geometry_cost(layer, shape)?;
+                inner.geometry.insert(geometry_key, cost);
+                cost
+            }
+        };
+        let eval = CandidateEval {
+            shape,
+            cost,
+            edp: cost.edp(),
+            impact: model.impact_of(layer, shape, age, ctx.faults),
+        };
+        inner.full.insert(full_key, eval);
+        Ok(eval)
+    }
+
+    /// Drops every tier-1 entry. Called after a run that reprogrammed
+    /// the fabric or emitted ladder events; tier 2 is pure geometry and
+    /// survives.
+    pub(crate) fn invalidate_dynamic(&self) {
+        self.inner.borrow_mut().full.clear();
+    }
+
+    /// A copy for a campaign shard: tier 2 and the counters carry over
+    /// (geometry is shareable and the committed shard's counters must
+    /// keep growing monotonically), tier 1 starts empty.
+    #[must_use]
+    pub(crate) fn fork(&self) -> EvalCache {
+        let inner = self.inner.borrow();
+        EvalCache {
+            inner: RefCell::new(CacheInner {
+                full: HashMap::new(),
+                geometry: inner.geometry.clone(),
+                stats: inner.stats,
+            }),
+        }
+    }
+
+    /// Snapshot of the hit/miss counters.
+    #[must_use]
+    pub(crate) fn stats(&self) -> CacheStats {
+        self.inner.borrow().stats
+    }
+}
+
+/// A deterministic identity for a layer descriptor, covering every
+/// field the analytic model reads: two layers with equal fingerprint
+/// inputs evaluate identically, so colliding on purpose (cloned
+/// descriptors) is exactly what the cache wants.
+fn layer_fingerprint(layer: &LayerDescriptor) -> u64 {
+    let mut h = DefaultHasher::new();
+    layer.index().hash(&mut h);
+    layer.fan_in().hash(&mut h);
+    layer.fan_out().hash(&mut h);
+    layer.output_positions().hash(&mut h);
+    layer.kernel_size().hash(&mut h);
+    layer.sparsity().to_bits().hash(&mut h);
+    layer.sensitivity().to_bits().hash(&mut h);
+    layer.activation_sparsity().to_bits().hash(&mut h);
+    h.finish()
+}
+
+/// An [`OuEvaluator`] that routes scores through an optional
+/// [`EvalCache`]; with `None` it is a zero-cost passthrough to the
+/// plain model.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CachedModel<'a> {
+    model: &'a AnalyticModel,
+    cache: Option<&'a EvalCache>,
+}
+
+impl<'a> CachedModel<'a> {
+    pub(crate) fn new(model: &'a AnalyticModel, cache: Option<&'a EvalCache>) -> Self {
+        CachedModel { model, cache }
+    }
+}
+
+impl OuEvaluator for CachedModel<'_> {
+    fn grid(&self) -> OuGrid {
+        self.model.grid()
+    }
+
+    fn evaluate_in(
+        &self,
+        layer: &LayerDescriptor,
+        shape: OuShape,
+        age: Seconds,
+        ctx: SearchContext<'_>,
+    ) -> Result<CandidateEval, OdinError> {
+        match self.cache {
+            Some(cache) => cache.evaluate(self.model, layer, shape, age, ctx),
+            None => self.model.evaluate_faulty(layer, shape, age, ctx.faults),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odin_dnn::zoo::{self, Dataset};
+    use odin_xbar::CrossbarConfig;
+
+    fn model() -> AnalyticModel {
+        AnalyticModel::new(CrossbarConfig::paper_128()).unwrap()
+    }
+
+    fn layer(idx: usize) -> LayerDescriptor {
+        zoo::vgg11(Dataset::Cifar10).layers()[idx].clone()
+    }
+
+    #[test]
+    fn cached_scores_are_bit_identical_to_uncached() {
+        let m = model();
+        let cache = EvalCache::default();
+        let l = layer(3);
+        let shape = m.grid().shape(2, 3);
+        for age in [0.0, 1e5, 3e7] {
+            let age = Seconds::new(age);
+            let ctx = SearchContext::default();
+            // Miss, then full hit: both must equal the direct path.
+            for _ in 0..2 {
+                let cached = cache.evaluate(&m, &l, shape, age, ctx).unwrap();
+                let direct = m.evaluate_faulty(&l, shape, age, None).unwrap();
+                assert_eq!(cached.edp.value().to_bits(), direct.edp.value().to_bits());
+                assert_eq!(cached.impact.to_bits(), direct.impact.to_bits());
+                assert_eq!(cached.cost, direct.cost);
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "one geometry computation for 3 ages");
+        assert_eq!(stats.geometry_hits, 2, "new ages reuse tier-2 geometry");
+        assert_eq!(stats.full_hits, 3, "repeats recall tier 1");
+    }
+
+    #[test]
+    fn generation_change_bypasses_tier_one() {
+        let m = model();
+        let cache = EvalCache::default();
+        let l = layer(2);
+        let shape = m.grid().shape(1, 1);
+        let age = Seconds::new(1e6);
+        let gen1 = SearchContext {
+            generation: 1,
+            ..SearchContext::default()
+        };
+        let gen2 = SearchContext {
+            generation: 2,
+            ..SearchContext::default()
+        };
+        cache.evaluate(&m, &l, shape, age, gen1).unwrap();
+        cache.evaluate(&m, &l, shape, age, gen2).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.full_hits, 0, "different generations never share tier 1");
+        assert_eq!(stats.geometry_hits, 1, "geometry is generation-independent");
+    }
+
+    #[test]
+    fn invalidation_clears_tier_one_but_keeps_geometry() {
+        let m = model();
+        let cache = EvalCache::default();
+        let l = layer(0);
+        let shape = m.grid().shape(0, 0);
+        let ctx = SearchContext::default();
+        cache.evaluate(&m, &l, shape, Seconds::ZERO, ctx).unwrap();
+        cache.invalidate_dynamic();
+        cache.evaluate(&m, &l, shape, Seconds::ZERO, ctx).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.full_hits, 0);
+        assert_eq!(stats.geometry_hits, 1, "tier 2 survives invalidation");
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn fork_keeps_geometry_and_counters_drops_tier_one() {
+        let m = model();
+        let cache = EvalCache::default();
+        let l = layer(5);
+        let shape = m.grid().shape(3, 3);
+        let ctx = SearchContext::default();
+        cache.evaluate(&m, &l, shape, Seconds::ZERO, ctx).unwrap();
+        let fork = cache.fork();
+        assert_eq!(fork.stats(), cache.stats());
+        fork.evaluate(&m, &l, shape, Seconds::ZERO, ctx).unwrap();
+        let stats = fork.stats();
+        assert_eq!(stats.full_hits, 0, "tier 1 does not cross a fork");
+        assert_eq!(stats.geometry_hits, 1, "tier 2 crosses the fork");
+    }
+
+    #[test]
+    fn stats_arithmetic() {
+        let a = CacheStats {
+            full_hits: 5,
+            geometry_hits: 3,
+            misses: 2,
+        };
+        let b = CacheStats {
+            full_hits: 1,
+            geometry_hits: 1,
+            misses: 1,
+        };
+        assert_eq!(a.total(), 10);
+        assert!((a.hit_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let d = a.since(b);
+        assert_eq!(d.full_hits, 4);
+        assert_eq!(d.geometry_hits, 2);
+        assert_eq!(d.misses, 1);
+        assert_eq!(b.merged(d), a);
+        let json = serde_json::to_string(&a).unwrap();
+        assert_eq!(serde_json::from_str::<CacheStats>(&json).unwrap(), a);
+    }
+
+    #[test]
+    fn distinct_layers_have_distinct_fingerprints() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let mut ids: Vec<u64> = net.layers().iter().map(layer_fingerprint).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), net.layers().len());
+        // A clone is the same layer and must collide.
+        let l = layer(4);
+        assert_eq!(layer_fingerprint(&l), layer_fingerprint(&l.clone()));
+    }
+}

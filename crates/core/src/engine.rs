@@ -1,0 +1,608 @@
+//! Parallel campaign execution across `std::thread` shards.
+//!
+//! [`CampaignEngine`] shards a campaign's inference stream across
+//! worker threads and merges the per-shard results back into one
+//! [`CampaignReport`]. Two execution models are offered:
+//!
+//! - [`ShardMode::Lockstep`] (default) — **speculative bulk-synchronous
+//!   execution**. Each round forks the runtime into one shard per
+//!   worker and runs the next `shards` scheduled inferences
+//!   concurrently, every worker against the same pre-round snapshot.
+//!   Workers are then committed in schedule order for as long as every
+//!   earlier accepted run was *state-pure*
+//!   ([`InferenceRecord::leaves_state_untouched`]); the first impure
+//!   run (mismatch buffered, policy update, reprogram, ladder event)
+//!   commits its own runtime and discards the rest of the round, which
+//!   is re-executed against the updated state. The committed stream is
+//!   therefore **bit-for-bit identical to the sequential path at every
+//!   shard count** — speculation only changes wall-clock, never a
+//!   record. Once the policy converges, most runs are pure and whole
+//!   rounds commit, which is where the speedup comes from.
+//! - [`ShardMode::Independent`] — **replica shards**. The schedule is
+//!   round-robin partitioned; each shard runs its slice on its own
+//!   fork of the runtime with no cross-shard coordination, and records
+//!   are merged back in schedule order (a deterministic sorted merge).
+//!   Leftover training examples buffered by each shard are applied to
+//!   the surviving runtime in shard order
+//!   ([`odin_policy::ReplayBuffer::merge_shards`]). Near-linear
+//!   scaling, deterministic for a fixed shard count, but each replica
+//!   learns from only its slice, so for `shards > 1` the result is
+//!   *not* the sequential stream. Shard count 1 is, again, exactly the
+//!   sequential path.
+//!
+//! Workers are plain `std::thread::scope` threads (the build targets
+//! no external dependencies); shards never share mutable state, so no
+//! locks are involved anywhere.
+
+use odin_dnn::NetworkDescriptor;
+use odin_units::Seconds;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::CacheStats;
+use crate::error::OdinError;
+use crate::runtime::{CampaignReport, InferenceRecord, OdinRuntime, SkippedRun};
+use crate::schedule::TimeSchedule;
+
+/// How the engine distributes a campaign across shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardMode {
+    /// Speculative bulk-synchronous rounds; bit-identical to the
+    /// sequential campaign at every shard count.
+    #[default]
+    Lockstep,
+    /// Round-robin replica shards with a sorted merge; deterministic,
+    /// maximally parallel, sequential-equivalent only at shard count 1.
+    Independent,
+}
+
+impl std::fmt::Display for ShardMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardMode::Lockstep => write!(f, "lockstep"),
+            ShardMode::Independent => write!(f, "independent"),
+        }
+    }
+}
+
+/// Execution metadata of one engine campaign, surfaced in
+/// [`CampaignReport::engine`]. [`EngineStats::default`] (1 shard, zero
+/// rounds) marks a report produced by the plain sequential path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Shards the engine ran with.
+    pub shards: usize,
+    /// Execution model used.
+    pub mode: ShardMode,
+    /// Synchronous rounds executed (lockstep) or schedule sweeps per
+    /// shard rounded up (independent).
+    pub rounds: u64,
+    /// Speculative runs launched across all rounds.
+    pub speculated: u64,
+    /// Schedule slots committed (every slot is committed exactly once).
+    pub committed: u64,
+    /// Speculative runs discarded because an earlier run in their
+    /// round changed the runtime state.
+    pub discarded: u64,
+}
+
+impl Default for EngineStats {
+    fn default() -> Self {
+        EngineStats {
+            shards: 1,
+            mode: ShardMode::default(),
+            rounds: 0,
+            speculated: 0,
+            committed: 0,
+            discarded: 0,
+        }
+    }
+}
+
+/// Deterministic per-shard seed stream (a splitmix64 step on the base
+/// seed): shard 0 always receives the base seed unchanged, so a
+/// single-shard stream is exactly the unsharded one.
+///
+/// The inference path itself draws no randomness after construction —
+/// this is the canonical way to derive per-shard RNG streams for
+/// stochastic extensions (per-shard fault sampling, exploration noise)
+/// and for seeding per-shard replica runtimes.
+#[must_use]
+pub fn shard_seed(base: u64, shard: usize) -> u64 {
+    if shard == 0 {
+        return base;
+    }
+    let mut z = base.wrapping_add((shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A multi-threaded campaign executor; see the [module docs](self)
+/// for the two execution models.
+///
+/// # Examples
+///
+/// Lockstep sharding reproduces the sequential campaign bit for bit:
+///
+/// ```
+/// use odin_core::{CampaignEngine, OdinConfig, OdinRuntime, TimeSchedule};
+/// use odin_dnn::zoo::{self, Dataset};
+///
+/// let net = zoo::vgg11(Dataset::Cifar10);
+/// let schedule = TimeSchedule::geometric(1.0, 1e7, 12);
+/// let mut sequential = OdinRuntime::builder(OdinConfig::paper()).build()?;
+/// let seq = sequential.run_campaign(&net, &schedule)?;
+/// let mut sharded = OdinRuntime::builder(OdinConfig::paper()).build()?;
+/// let par = CampaignEngine::new(4).run_campaign(&mut sharded, &net, &schedule)?;
+/// assert_eq!(seq.runs, par.runs);
+/// assert_eq!(par.engine.shards, 4);
+/// # Ok::<(), odin_core::OdinError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignEngine {
+    shards: usize,
+    mode: ShardMode,
+}
+
+impl CampaignEngine {
+    /// An engine running `shards` worker shards in the default
+    /// [`ShardMode::Lockstep`]; a shard count of 0 is treated as 1.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        CampaignEngine {
+            shards: shards.max(1),
+            mode: ShardMode::default(),
+        }
+    }
+
+    /// Selects the execution model.
+    #[must_use]
+    pub fn with_mode(mut self, mode: ShardMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The execution model.
+    #[must_use]
+    pub fn mode(&self) -> ShardMode {
+        self.mode
+    }
+
+    /// Runs a campaign across the shards, stopping at the first failed
+    /// inference exactly like [`OdinRuntime::run_campaign`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the schedule-order-first failed run.
+    pub fn run_campaign(
+        &self,
+        runtime: &mut OdinRuntime,
+        network: &NetworkDescriptor,
+        schedule: &TimeSchedule,
+    ) -> Result<CampaignReport, OdinError> {
+        self.run(runtime, network, schedule, false)
+    }
+
+    /// Runs a campaign across the shards, recording unservable
+    /// inferences as [`SkippedRun`]s exactly like
+    /// [`OdinRuntime::run_campaign_resilient`].
+    pub fn run_campaign_resilient(
+        &self,
+        runtime: &mut OdinRuntime,
+        network: &NetworkDescriptor,
+        schedule: &TimeSchedule,
+    ) -> CampaignReport {
+        self.run(runtime, network, schedule, true)
+            .expect("resilient campaigns record failures instead of propagating")
+    }
+
+    fn run(
+        &self,
+        runtime: &mut OdinRuntime,
+        network: &NetworkDescriptor,
+        schedule: &TimeSchedule,
+        resilient: bool,
+    ) -> Result<CampaignReport, OdinError> {
+        if self.shards == 1 {
+            // One shard is definitionally the sequential loop; skipping
+            // the fork keeps even the cache counters bit-identical.
+            let mut report = runtime.campaign_impl(network, schedule, resilient)?;
+            let slots = (report.runs.len() + report.skipped.len()) as u64;
+            report.engine = EngineStats {
+                shards: 1,
+                mode: self.mode,
+                rounds: slots,
+                speculated: slots,
+                committed: slots,
+                discarded: 0,
+            };
+            return Ok(report);
+        }
+        match self.mode {
+            ShardMode::Lockstep => self.run_lockstep(runtime, network, schedule, resilient),
+            ShardMode::Independent => self.run_independent(runtime, network, schedule, resilient),
+        }
+    }
+
+    fn run_lockstep(
+        &self,
+        runtime: &mut OdinRuntime,
+        network: &NetworkDescriptor,
+        schedule: &TimeSchedule,
+        resilient: bool,
+    ) -> Result<CampaignReport, OdinError> {
+        let times: Vec<Seconds> = schedule.times();
+        let cache_start = runtime.cache_stats();
+        let mut stats = EngineStats {
+            shards: self.shards,
+            mode: ShardMode::Lockstep,
+            ..EngineStats::default()
+        };
+        let mut runs = Vec::with_capacity(times.len());
+        let mut skipped = Vec::new();
+        let mut next = 0;
+        while next < times.len() {
+            let width = self.shards.min(times.len() - next);
+            stats.rounds += 1;
+            stats.speculated += width as u64;
+            let round = &times[next..next + width];
+            let mut slots: Vec<Option<(OdinRuntime, Result<InferenceRecord, OdinError>)>> =
+                Vec::new();
+            slots.resize_with(width, || None);
+            std::thread::scope(|scope| {
+                for (w, slot) in slots.iter_mut().enumerate() {
+                    let mut worker = runtime.fork_shard();
+                    let t = round[w];
+                    scope.spawn(move || {
+                        let outcome = worker.run_inference(network, t);
+                        *slot = Some((worker, outcome));
+                    });
+                }
+            });
+            // Greedy-prefix commit in schedule order: every run is
+            // valid for as long as all earlier runs of the round left
+            // the snapshot state untouched. The first state-changing
+            // run is committed last and its runtime adopted; anything
+            // speculated past it is discarded and re-run next round.
+            let mut accepted = 0;
+            for (w, slot) in slots.into_iter().enumerate() {
+                let (worker, outcome) = slot.expect("spawned worker fills its slot");
+                match outcome {
+                    Ok(record) => {
+                        let pure = record.leaves_state_untouched();
+                        runs.push(record);
+                        accepted = w + 1;
+                        if !pure || accepted == width {
+                            // Always adopt the last accepted worker:
+                            // for a pure run the semantic state equals
+                            // the snapshot, but its cache carries the
+                            // round's freshly computed entries.
+                            runtime.adopt(worker);
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        // All earlier runs this round were pure, so the
+                        // snapshot this worker mutated while failing is
+                        // exactly the sequential error state.
+                        accepted = w + 1;
+                        runtime.adopt(worker);
+                        if !resilient {
+                            return Err(e);
+                        }
+                        skipped.push(SkippedRun {
+                            time: round[w],
+                            reason: e.to_string(),
+                        });
+                        break;
+                    }
+                }
+            }
+            stats.committed += accepted as u64;
+            stats.discarded += (width - accepted) as u64;
+            next += accepted;
+        }
+        Ok(CampaignReport {
+            network: network.name().to_string(),
+            strategy: runtime.strategy_label(),
+            runs,
+            skipped,
+            cache: runtime.cache_stats().since(cache_start),
+            engine: stats,
+        })
+    }
+
+    fn run_independent(
+        &self,
+        runtime: &mut OdinRuntime,
+        network: &NetworkDescriptor,
+        schedule: &TimeSchedule,
+        resilient: bool,
+    ) -> Result<CampaignReport, OdinError> {
+        let times: Vec<Seconds> = schedule.times();
+        let shards = self.shards;
+        let cache_start = runtime.cache_stats();
+        let mut shard_runtimes: Vec<OdinRuntime> =
+            (0..shards).map(|_| runtime.fork_shard()).collect();
+        let mut outputs: Vec<Vec<(usize, Result<InferenceRecord, OdinError>)>> = Vec::new();
+        outputs.resize_with(shards, Vec::new);
+        std::thread::scope(|scope| {
+            for (shard, (shard_rt, out)) in
+                shard_runtimes.iter_mut().zip(outputs.iter_mut()).enumerate()
+            {
+                let slice: Vec<(usize, Seconds)> = times
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|(index, _)| index % shards == shard)
+                    .collect();
+                scope.spawn(move || {
+                    for (index, t) in slice {
+                        let outcome = shard_rt.run_inference(network, t);
+                        let failed = outcome.is_err();
+                        out.push((index, outcome));
+                        if failed && !resilient {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        // Deterministic sorted merge back into schedule order.
+        let mut merged: Vec<(usize, Result<InferenceRecord, OdinError>)> =
+            outputs.into_iter().flatten().collect();
+        merged.sort_by_key(|(index, _)| *index);
+        let mut runs = Vec::with_capacity(times.len());
+        let mut skipped = Vec::new();
+        for (index, outcome) in merged {
+            match outcome {
+                Ok(record) => runs.push(record),
+                Err(e) if resilient => skipped.push(SkippedRun {
+                    time: times[index],
+                    reason: e.to_string(),
+                }),
+                Err(e) => return Err(e),
+            }
+        }
+        // The first replica survives as the campaign's runtime; the
+        // other shards hand their leftover buffered (Φ, best) examples
+        // over in shard order — a deterministic merge regardless of
+        // thread scheduling.
+        let cache: CacheStats = shard_runtimes
+            .iter()
+            .map(|rt| rt.cache_stats().since(cache_start))
+            .fold(CacheStats::default(), |acc, d| acc.merged(d));
+        let mut replicas = shard_runtimes.into_iter();
+        runtime.adopt(replicas.next().expect("at least one shard"));
+        let leftovers: Vec<_> = replicas.map(|mut rt| rt.take_buffered()).collect();
+        runtime.absorb_shard_examples(leftovers);
+        let slots = times.len() as u64;
+        Ok(CampaignReport {
+            network: network.name().to_string(),
+            strategy: runtime.strategy_label(),
+            runs,
+            skipped,
+            cache,
+            engine: EngineStats {
+                shards,
+                mode: ShardMode::Independent,
+                rounds: slots.div_ceil(shards as u64),
+                speculated: slots,
+                committed: slots,
+                discarded: 0,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OdinConfig;
+    use crate::fabric::{DegradationPolicy, FabricHealth};
+    use odin_device::{EnduranceModel, FaultInjector};
+    use odin_dnn::zoo::{self, Dataset};
+    use rand::SeedableRng;
+
+    fn runtime() -> OdinRuntime {
+        OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(41)
+            .build()
+            .unwrap()
+    }
+
+    fn fabric(rate: f64, spares: usize, cycles: f64, policy: DegradationPolicy) -> FabricHealth {
+        let mut fault_rng = rand::rngs::StdRng::seed_from_u64(1234);
+        FabricHealth::new(
+            9, // VGG11 layer count
+            128,
+            spares,
+            &FaultInjector::new(rate, 0.5),
+            EnduranceModel::new(cycles),
+            policy,
+            &mut fault_rng,
+        )
+    }
+
+    fn runtime_on(fabric_health: FabricHealth) -> OdinRuntime {
+        OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(41)
+            .fabric(fabric_health)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lockstep_is_bit_identical_to_sequential_at_any_shard_count() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e7, 25);
+        let sequential = runtime().run_campaign(&net, &schedule).unwrap();
+        for shards in [1, 2, 3, 4, 8] {
+            let mut rt = runtime();
+            let report = CampaignEngine::new(shards)
+                .run_campaign(&mut rt, &net, &schedule)
+                .unwrap();
+            assert_eq!(report.runs, sequential.runs, "{shards} shards");
+            assert_eq!(
+                report.total_edp().value().to_bits(),
+                sequential.total_edp().value().to_bits(),
+                "{shards} shards"
+            );
+            assert_eq!(report.engine.shards, shards);
+            assert_eq!(
+                report.engine.committed,
+                sequential.runs.len() as u64,
+                "every slot commits exactly once"
+            );
+            assert_eq!(
+                report.engine.speculated,
+                report.engine.committed + report.engine.discarded
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_engine_matches_sequential_counters_exactly() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e7, 15);
+        let sequential = runtime().run_campaign(&net, &schedule).unwrap();
+        let mut rt = runtime();
+        let report = CampaignEngine::new(1)
+            .run_campaign(&mut rt, &net, &schedule)
+            .unwrap();
+        // Not just the records: the single-shard engine shares the
+        // sequential code path, so even cache counters agree.
+        assert_eq!(report.runs, sequential.runs);
+        assert_eq!(report.cache, sequential.cache);
+        assert_eq!(report.engine.shards, 1);
+    }
+
+    #[test]
+    fn lockstep_resilient_reproduces_the_sequential_skip_stream() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1e12, 1e13, 6);
+        let policy = DegradationPolicy {
+            allow_degraded: false,
+            ..DegradationPolicy::paper()
+        };
+        // Budget 1, no spares, no degraded mode: every slot fails.
+        let sequential =
+            runtime_on(fabric(0.0, 0, 1.0, policy.clone())).run_campaign_resilient(&net, &schedule);
+        assert!(!sequential.skipped.is_empty());
+        for shards in [2, 4] {
+            let mut rt = runtime_on(fabric(0.0, 0, 1.0, policy.clone()));
+            let report =
+                CampaignEngine::new(shards).run_campaign_resilient(&mut rt, &net, &schedule);
+            assert_eq!(report.runs, sequential.runs, "{shards} shards");
+            assert_eq!(report.skipped, sequential.skipped, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn lockstep_resilient_on_a_degrading_fabric_is_bit_identical() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e8, 40);
+        let sequential = runtime_on(fabric(0.01, 2, 2.0, DegradationPolicy::paper()))
+            .run_campaign_resilient(&net, &schedule);
+        assert!(sequential.degradation_events().count() > 0);
+        let mut rt = runtime_on(fabric(0.01, 2, 2.0, DegradationPolicy::paper()));
+        let report = CampaignEngine::new(4).run_campaign_resilient(&mut rt, &net, &schedule);
+        assert_eq!(report.runs, sequential.runs);
+        assert_eq!(report.skipped, sequential.skipped);
+    }
+
+    #[test]
+    fn lockstep_strict_mode_propagates_the_first_error() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let policy = DegradationPolicy {
+            allow_degraded: false,
+            ..DegradationPolicy::paper()
+        };
+        let mut rt = runtime_on(fabric(0.0, 0, 1.0, policy));
+        let err = CampaignEngine::new(4)
+            .run_campaign(&mut rt, &net, &TimeSchedule::geometric(1e12, 1e13, 6))
+            .unwrap_err();
+        assert!(matches!(err, OdinError::EnduranceExhausted { .. }));
+    }
+
+    #[test]
+    fn independent_mode_is_deterministic_and_sorted() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e7, 30);
+        let engine = CampaignEngine::new(4).with_mode(ShardMode::Independent);
+        let mut rt_a = runtime();
+        let a = engine.run_campaign(&mut rt_a, &net, &schedule).unwrap();
+        let mut rt_b = runtime();
+        let b = engine.run_campaign(&mut rt_b, &net, &schedule).unwrap();
+        // Thread interleaving must not leak into the report.
+        assert_eq!(a, b);
+        assert_eq!(a.runs.len(), 30);
+        for pair in a.runs.windows(2) {
+            assert!(pair[0].time < pair[1].time, "merge must restore time order");
+        }
+        assert_eq!(a.engine.mode, ShardMode::Independent);
+        assert_eq!(a.engine.committed, 30);
+    }
+
+    #[test]
+    fn independent_single_shard_is_the_sequential_path() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e7, 20);
+        let sequential = runtime().run_campaign(&net, &schedule).unwrap();
+        let mut rt = runtime();
+        let report = CampaignEngine::new(1)
+            .with_mode(ShardMode::Independent)
+            .run_campaign(&mut rt, &net, &schedule)
+            .unwrap();
+        assert_eq!(report.runs, sequential.runs);
+        assert_eq!(report.cache, sequential.cache);
+    }
+
+    #[test]
+    fn independent_mode_merges_shard_buffers_deterministically() {
+        // A short schedule leaves replica buffers partially full; the
+        // merge applies them in shard order onto the surviving runtime.
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e6, 8);
+        let engine = CampaignEngine::new(4).with_mode(ShardMode::Independent);
+        let mut rt_a = runtime();
+        engine.run_campaign(&mut rt_a, &net, &schedule).unwrap();
+        let mut rt_b = runtime();
+        engine.run_campaign(&mut rt_b, &net, &schedule).unwrap();
+        assert_eq!(rt_a.buffered_examples(), rt_b.buffered_examples());
+        assert!(
+            rt_a.buffered_examples() > 0,
+            "untrained replicas must have buffered mismatches"
+        );
+    }
+
+    #[test]
+    fn shard_seed_stream_is_deterministic_and_well_spread() {
+        assert_eq!(shard_seed(0xD47E, 0), 0xD47E, "shard 0 keeps the base seed");
+        let mut seeds: Vec<u64> = (0..64).map(|s| shard_seed(0xD47E, s)).collect();
+        assert_eq!(seeds, (0..64).map(|s| shard_seed(0xD47E, s)).collect::<Vec<_>>());
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 64, "no collisions across 64 shards");
+        assert_ne!(shard_seed(1, 1), shard_seed(2, 1), "base seed matters");
+    }
+
+    #[test]
+    fn engine_stats_serde_and_defaults() {
+        let stats = EngineStats::default();
+        assert_eq!(stats.shards, 1);
+        assert_eq!(stats.mode, ShardMode::Lockstep);
+        assert_eq!(stats.rounds, 0);
+        let json = serde_json::to_string(&stats).unwrap();
+        assert_eq!(serde_json::from_str::<EngineStats>(&json).unwrap(), stats);
+        assert_eq!(ShardMode::Lockstep.to_string(), "lockstep");
+        assert_eq!(ShardMode::Independent.to_string(), "independent");
+        assert_eq!(CampaignEngine::new(0).shards(), 1, "zero shards clamps to one");
+    }
+}

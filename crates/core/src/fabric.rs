@@ -212,6 +212,7 @@ pub struct FabricHealth {
     ledger: EnduranceLedger,
     policy: DegradationPolicy,
     backoff_until: Option<Seconds>,
+    generation: u64,
 }
 
 impl FabricHealth {
@@ -261,7 +262,17 @@ impl FabricHealth {
             ledger,
             policy,
             backoff_until: None,
+            generation: 1,
         }
+    }
+
+    /// The fault-profile generation: starts at 1 and advances whenever
+    /// a ladder action (wear cap, retirement, remap, reprogram pass)
+    /// changes a group's search environment. Evaluation caches key on
+    /// it so scores can never leak across a ladder event.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The ladder bounds in force.
@@ -337,6 +348,7 @@ impl FabricHealth {
         SearchContext {
             faults: Some(&g.faults),
             max_level: g.level_cap,
+            generation: self.generation,
         }
     }
 
@@ -379,6 +391,9 @@ impl FabricHealth {
                     level_cap: self.policy.shrink_level_cap,
                 });
             }
+        }
+        if !events.is_empty() {
+            self.generation += 1;
         }
         events
     }
@@ -427,6 +442,9 @@ impl FabricHealth {
                 }
             }
         }
+        if !events.is_empty() {
+            self.generation += 1;
+        }
         (events, stranded)
     }
 
@@ -446,6 +464,7 @@ impl FabricHealth {
             if self.ledger.charge(spare).is_ok() {
                 let from = self.assignment[layer];
                 self.assignment[layer] = spare;
+                self.generation += 1;
                 return Some((from, spare));
             }
             self.groups[spare].retired = true;

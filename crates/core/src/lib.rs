@@ -22,22 +22,28 @@
 //!    profiles, write-endurance budgets, spare-pool remapping, and the
 //!    graceful-degradation ladder the runtime descends when the fabric
 //!    pushes back.
+//! 9. [`engine`] — the parallel campaign engine: shards an inference
+//!    stream across `std::thread` workers (speculative lockstep or
+//!    independent replicas) on top of a memoized OU-evaluation cache,
+//!    and merges the shards into one deterministic [`CampaignReport`].
 //!
 //! # Examples
 //!
 //! ```
-//! use odin_core::{OdinConfig, OdinRuntime, TimeSchedule};
+//! use odin_core::prelude::*;
 //! use odin_dnn::zoo::{self, Dataset};
-//! use rand::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 //! let net = zoo::vgg11(Dataset::Cifar10);
-//! let mut runtime = OdinRuntime::new(OdinConfig::paper(), &mut rng);
+//! let mut runtime = OdinRuntime::builder(OdinConfig::paper())
+//!     .rng_seed(1)
+//!     .build()?;
 //! let report = runtime
 //!     .run_campaign(&net, &TimeSchedule::geometric(1.0, 1e4, 20))
 //!     .expect("VGG11 maps onto the fabric");
 //! assert_eq!(report.runs.len(), 20);
 //! assert!(report.total_energy().value() > 0.0);
+//! assert!(report.cache.hit_rate() > 0.0);
+//! # Ok::<(), odin_core::OdinError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -45,11 +51,14 @@
 
 pub mod accuracy;
 pub mod baselines;
+pub mod engine;
 pub mod fabric;
 pub mod offline;
+pub mod prelude;
 pub mod search;
 
 mod analytic;
+mod cache;
 mod config;
 mod error;
 mod features;
@@ -57,9 +66,14 @@ mod runtime;
 mod schedule;
 
 pub use analytic::{AnalyticModel, CandidateEval};
+pub use cache::CacheStats;
 pub use config::OdinConfig;
+pub use engine::{shard_seed, CampaignEngine, EngineStats, ShardMode};
 pub use error::OdinError;
 pub use fabric::{DegradationEvent, DegradationPolicy, FabricHealth};
 pub use features::LayerFeatures;
-pub use runtime::{CampaignReport, InferenceRecord, LayerDecision, OdinRuntime, SkippedRun};
+pub use runtime::{
+    CampaignReport, InferenceRecord, LayerDecision, OdinRuntime, RuntimeBuilder, SkippedRun,
+    DEFAULT_RNG_SEED,
+};
 pub use schedule::TimeSchedule;

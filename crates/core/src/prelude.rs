@@ -1,0 +1,31 @@
+//! One-stop imports for driving the Odin runtime.
+//!
+//! `use odin_core::prelude::*;` (or `use odin::prelude::*;` from the
+//! facade crate) brings in everything a typical campaign needs: the
+//! configuration, the [`RuntimeBuilder`] entry point, the parallel
+//! [`CampaignEngine`], and the report types campaigns produce.
+//!
+//! # Examples
+//!
+//! ```
+//! use odin_core::prelude::*;
+//! use odin_dnn::zoo::{self, Dataset};
+//!
+//! let net = zoo::vgg11(Dataset::Cifar10);
+//! let mut runtime = OdinRuntime::builder(OdinConfig::paper()).build()?;
+//! let report = CampaignEngine::new(2)
+//!     .run_campaign(&mut runtime, &net, &TimeSchedule::geometric(1.0, 1e4, 8))?;
+//! assert_eq!(report.runs.len(), 8);
+//! # Ok::<(), OdinError>(())
+//! ```
+
+pub use crate::cache::CacheStats;
+pub use crate::config::OdinConfig;
+pub use crate::engine::{shard_seed, CampaignEngine, EngineStats, ShardMode};
+pub use crate::error::OdinError;
+pub use crate::fabric::{DegradationEvent, DegradationPolicy, FabricHealth};
+pub use crate::runtime::{
+    CampaignReport, InferenceRecord, LayerDecision, OdinRuntime, RuntimeBuilder, SkippedRun,
+    DEFAULT_RNG_SEED,
+};
+pub use crate::schedule::TimeSchedule;

@@ -7,16 +7,20 @@ use odin_dnn::{LayerDescriptor, NetworkDescriptor};
 use odin_policy::{OuPolicy, ReplayBuffer, TrainingExample};
 use odin_units::{EnergyDelayProduct, Joules, Seconds};
 use odin_xbar::OuShape;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::analytic::{AnalyticModel, CandidateEval};
+use crate::cache::{CacheStats, CachedModel, EvalCache};
 use crate::config::OdinConfig;
+use crate::engine::EngineStats;
 use crate::error::OdinError;
 use crate::fabric::{DegradationEvent, FabricHealth};
 use crate::features::LayerFeatures;
 use crate::schedule::TimeSchedule;
-use crate::search::{find_best_with, SearchContext, SearchOutcome, SearchStrategy};
+use crate::search::{
+    find_best_with, OuEvaluator, SearchContext, SearchOutcome, SearchStrategy,
+};
 
 /// One layer's OU decision in one inference run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -66,6 +70,21 @@ pub struct InferenceRecord {
 }
 
 impl InferenceRecord {
+    /// `true` when producing this record left the runtime state exactly
+    /// as the run found it: no reprogram (clock reset, endurance
+    /// charge), no policy update, no ladder event (fabric mutation),
+    /// and no mismatch buffered. The campaign engine commits
+    /// speculative sibling runs only while every earlier accepted run
+    /// in the round was state-pure, which is what keeps sharded
+    /// execution bit-identical to the sequential path.
+    #[must_use]
+    pub fn leaves_state_untouched(&self) -> bool {
+        !self.reprogrammed
+            && !self.policy_updated
+            && self.events.is_empty()
+            && self.decisions.iter().all(|d| !d.mismatch)
+    }
+
     /// Total energy of the run including reprogramming and overheads.
     #[must_use]
     pub fn total_energy(&self) -> Joules {
@@ -112,6 +131,14 @@ pub struct CampaignReport {
     /// (see [`OdinRuntime::run_campaign_resilient`]).
     #[serde(default)]
     pub skipped: Vec<SkippedRun>,
+    /// Evaluation-cache hit/miss counters accumulated over the
+    /// campaign (all zero when the cache is disabled).
+    #[serde(default)]
+    pub cache: CacheStats,
+    /// How the campaign was executed (shards, speculation outcomes);
+    /// the default marks a plain sequential run.
+    #[serde(default)]
+    pub engine: EngineStats,
 }
 
 impl CampaignReport {
@@ -262,7 +289,7 @@ enum Decide {
 /// of [`crate::fabric`].
 ///
 /// See the crate-level example for typical use.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct OdinRuntime {
     config: OdinConfig,
     model: AnalyticModel,
@@ -271,43 +298,41 @@ pub struct OdinRuntime {
     overheads: OverheadLedger,
     last_programmed: Seconds,
     fabric: Option<FabricHealth>,
+    cache: Option<EvalCache>,
 }
 
-impl OdinRuntime {
-    /// Creates a runtime with a freshly initialized (untrained)
-    /// policy.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration's crossbar is degenerate (cannot
-    /// happen for configurations built via [`OdinConfig::builder`]).
-    #[must_use]
-    pub fn new<R: Rng + ?Sized>(config: OdinConfig, rng: &mut R) -> Self {
-        let policy = OuPolicy::new(config.policy().clone(), rng);
-        Self::with_policy(config, policy)
-    }
+/// Step-by-step construction of an [`OdinRuntime`] — the one front
+/// door that replaced the `new` / `with_policy` / `with_fabric_health`
+/// constructor sprawl.
+///
+/// # Examples
+///
+/// ```
+/// use odin_core::{OdinConfig, OdinRuntime};
+///
+/// let runtime = OdinRuntime::builder(OdinConfig::paper())
+///     .rng_seed(42)
+///     .build()?;
+/// assert_eq!(runtime.buffered_examples(), 0);
+/// # Ok::<(), odin_core::OdinError>(())
+/// ```
+#[derive(Debug)]
+pub struct RuntimeBuilder {
+    config: OdinConfig,
+    policy: Option<OuPolicy>,
+    fabric: Option<FabricHealth>,
+    rng_seed: u64,
+    eval_cache: bool,
+}
 
-    /// Creates a runtime seeded with an offline-bootstrapped policy
-    /// (§V.A trains on N−1 known DNNs first).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration's crossbar is degenerate.
+impl RuntimeBuilder {
+    /// Seeds the runtime with an offline-bootstrapped policy (§V.A
+    /// trains on N−1 known DNNs first). Without one, a freshly
+    /// initialized policy is drawn from [`rng_seed`](Self::rng_seed).
     #[must_use]
-    pub fn with_policy(config: OdinConfig, policy: OuPolicy) -> Self {
-        let model = AnalyticModel::new(config.crossbar().clone())
-            .expect("validated crossbar config")
-            .with_activation_sparsity(config.exploit_activation_sparsity());
-        let buffer = ReplayBuffer::new(config.buffer_capacity());
-        Self {
-            config,
-            model,
-            policy,
-            buffer,
-            overheads: OverheadLedger::paper(),
-            last_programmed: Seconds::ZERO,
-            fabric: None,
-        }
+    pub fn policy(mut self, policy: OuPolicy) -> Self {
+        self.policy = Some(policy);
+        self
     }
 
     /// Attaches fault- and wear-aware fabric-health tracking: searches
@@ -317,6 +342,128 @@ impl OdinRuntime {
     ///
     /// A fault-free fabric with ample endurance leaves every decision
     /// bit-identical to an untracked runtime.
+    #[must_use]
+    pub fn fabric(mut self, fabric: FabricHealth) -> Self {
+        self.fabric = Some(fabric);
+        self
+    }
+
+    /// Seed for the policy-initialization RNG stream (ignored when an
+    /// explicit [`policy`](Self::policy) is supplied). Defaults to
+    /// [`OdinRuntime::DEFAULT_RNG_SEED`].
+    #[must_use]
+    pub fn rng_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+
+    /// Enables or disables the memoized evaluation cache (on by
+    /// default). The cache is bit-transparent — it only changes how
+    /// fast candidate scores are produced, never their value — so
+    /// turning it off is purely a debugging/benchmarking knob.
+    #[must_use]
+    pub fn eval_cache(mut self, on: bool) -> Self {
+        self.eval_cache = on;
+        self
+    }
+
+    /// Builds the runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::InvalidConfig`] when the configuration's
+    /// crossbar is degenerate (cannot happen for configurations built
+    /// via [`OdinConfig::builder`]).
+    pub fn build(self) -> Result<OdinRuntime, OdinError> {
+        let policy = match self.policy {
+            Some(policy) => policy,
+            None => {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(self.rng_seed);
+                OuPolicy::new(self.config.policy().clone(), &mut rng)
+            }
+        };
+        OdinRuntime::assemble(self.config, policy, self.fabric, self.eval_cache)
+    }
+}
+
+impl OdinRuntime {
+    /// Default seed for the policy-initialization RNG stream when the
+    /// builder is given neither a policy nor a seed.
+    pub const DEFAULT_RNG_SEED: u64 = 0;
+
+    /// Starts building a runtime for `config`; see [`RuntimeBuilder`].
+    #[must_use]
+    pub fn builder(config: OdinConfig) -> RuntimeBuilder {
+        RuntimeBuilder {
+            config,
+            policy: None,
+            fabric: None,
+            rng_seed: Self::DEFAULT_RNG_SEED,
+            eval_cache: true,
+        }
+    }
+
+    /// Shared construction path behind the builder and the deprecated
+    /// constructors.
+    fn assemble(
+        config: OdinConfig,
+        policy: OuPolicy,
+        fabric: Option<FabricHealth>,
+        eval_cache: bool,
+    ) -> Result<Self, OdinError> {
+        let model = AnalyticModel::new(config.crossbar().clone())?
+            .with_activation_sparsity(config.exploit_activation_sparsity());
+        let buffer = ReplayBuffer::new(config.buffer_capacity());
+        Ok(Self {
+            config,
+            model,
+            policy,
+            buffer,
+            overheads: OverheadLedger::paper(),
+            last_programmed: Seconds::ZERO,
+            fabric,
+            cache: eval_cache.then(EvalCache::default),
+        })
+    }
+
+    /// Creates a runtime with a freshly initialized (untrained)
+    /// policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's crossbar is degenerate (cannot
+    /// happen for configurations built via [`OdinConfig::builder`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `OdinRuntime::builder(config).rng_seed(seed).build()`"
+    )]
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(config: OdinConfig, rng: &mut R) -> Self {
+        let policy = OuPolicy::new(config.policy().clone(), rng);
+        Self::assemble(config, policy, None, true).expect("validated crossbar config")
+    }
+
+    /// Creates a runtime seeded with an offline-bootstrapped policy
+    /// (§V.A trains on N−1 known DNNs first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's crossbar is degenerate.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `OdinRuntime::builder(config).policy(policy).build()`"
+    )]
+    #[must_use]
+    pub fn with_policy(config: OdinConfig, policy: OuPolicy) -> Self {
+        Self::assemble(config, policy, None, true).expect("validated crossbar config")
+    }
+
+    /// Attaches fault- and wear-aware fabric-health tracking after
+    /// construction.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `OdinRuntime::builder(config).fabric(fabric).build()`"
+    )]
     #[must_use]
     pub fn with_fabric_health(mut self, fabric: FabricHealth) -> Self {
         self.fabric = Some(fabric);
@@ -424,6 +571,17 @@ impl OdinRuntime {
             LayerCost::ZERO
         };
 
+        // Conservative cache invalidation: a reprogram resets every
+        // drift clock and a ladder event may have changed a group's
+        // search environment, so drop all dynamic (tier-1) entries.
+        // (The age/generation key components already make stale recalls
+        // impossible; this additionally bounds the map's footprint.)
+        if reprogrammed || !events.is_empty() {
+            if let Some(cache) = &self.cache {
+                cache.invalidate_dynamic();
+            }
+        }
+
         Ok(InferenceRecord {
             time: now,
             age,
@@ -450,16 +608,7 @@ impl OdinRuntime {
         network: &NetworkDescriptor,
         schedule: &TimeSchedule,
     ) -> Result<CampaignReport, OdinError> {
-        let mut runs = Vec::with_capacity(schedule.runs());
-        for t in schedule.times() {
-            runs.push(self.run_inference(network, t)?);
-        }
-        Ok(CampaignReport {
-            network: network.name().to_string(),
-            strategy: format!("odin-{}", self.config.strategy()),
-            runs,
-            skipped: Vec::new(),
-        })
+        self.campaign_impl(network, schedule, false)
     }
 
     /// Runs a whole campaign, recording unservable inferences as
@@ -470,23 +619,79 @@ impl OdinRuntime {
         network: &NetworkDescriptor,
         schedule: &TimeSchedule,
     ) -> CampaignReport {
+        self.campaign_impl(network, schedule, true)
+            .expect("resilient campaigns record failures instead of propagating")
+    }
+
+    /// The one per-inference campaign loop behind both campaign modes
+    /// (and, via the engine, behind every shard): `resilient` decides
+    /// whether a failed run aborts the campaign or is recorded as a
+    /// [`SkippedRun`].
+    pub(crate) fn campaign_impl(
+        &mut self,
+        network: &NetworkDescriptor,
+        schedule: &TimeSchedule,
+        resilient: bool,
+    ) -> Result<CampaignReport, OdinError> {
+        let cache_start = self.cache_stats();
         let mut runs = Vec::with_capacity(schedule.runs());
         let mut skipped = Vec::new();
         for t in schedule.times() {
             match self.run_inference(network, t) {
                 Ok(record) => runs.push(record),
-                Err(e) => skipped.push(SkippedRun {
+                Err(e) if resilient => skipped.push(SkippedRun {
                     time: t,
                     reason: e.to_string(),
                 }),
+                Err(e) => return Err(e),
             }
         }
-        CampaignReport {
+        Ok(CampaignReport {
             network: network.name().to_string(),
-            strategy: format!("odin-{}", self.config.strategy()),
+            strategy: self.strategy_label(),
             runs,
             skipped,
-        }
+            cache: self.cache_stats().since(cache_start),
+            engine: EngineStats::default(),
+        })
+    }
+
+    /// The strategy label campaign reports carry.
+    pub(crate) fn strategy_label(&self) -> String {
+        format!("odin-{}", self.config.strategy())
+    }
+
+    /// Snapshot of the evaluation-cache counters (zeros when the cache
+    /// is disabled).
+    pub(crate) fn cache_stats(&self) -> CacheStats {
+        self.cache.as_ref().map(EvalCache::stats).unwrap_or_default()
+    }
+
+    /// A copy of this runtime for a campaign shard: semantic state
+    /// (policy, buffer, fabric, drift clock) is identical; the cache
+    /// fork keeps shareable geometry entries and counters but drops
+    /// the dynamic tier.
+    pub(crate) fn fork_shard(&self) -> OdinRuntime {
+        let mut shard = self.clone();
+        shard.cache = self.cache.as_ref().map(EvalCache::fork);
+        shard
+    }
+
+    /// Replaces this runtime's state wholesale with a shard's — the
+    /// engine's commit step.
+    pub(crate) fn adopt(&mut self, shard: OdinRuntime) {
+        *self = shard;
+    }
+
+    /// Empties the replay buffer (shard-merge support).
+    pub(crate) fn take_buffered(&mut self) -> Vec<TrainingExample> {
+        self.buffer.drain()
+    }
+
+    /// Merges per-shard leftover training examples into this runtime's
+    /// replay buffer in shard order (see [`ReplayBuffer::merge_shards`]).
+    pub(crate) fn absorb_shard_examples(&mut self, shards: Vec<Vec<TrainingExample>>) {
+        self.buffer.merge_shards(shards);
     }
 
     /// Programming age at wall-clock time `now`.
@@ -515,6 +720,7 @@ impl OdinRuntime {
         let n = network.layers().len();
         let grid = self.model.grid();
         let eta = self.config.eta();
+        let evaluator = CachedModel::new(&self.model, self.cache.as_ref());
         let mut decisions = Vec::with_capacity(n);
         for layer in network.layers() {
             if let Some(fabric) = &self.fabric {
@@ -554,7 +760,7 @@ impl OdinRuntime {
                 None => self.config.strategy(),
             };
             let mut outcome = find_best_with(
-                &self.model,
+                &evaluator,
                 layer,
                 age,
                 eta,
@@ -567,7 +773,7 @@ impl OdinRuntime {
                 // from the seed; verify on the full grid before pulling
                 // the reprogram trigger.
                 let escalated = find_best_with(
-                    &self.model,
+                    &evaluator,
                     layer,
                     age,
                     eta,
@@ -608,7 +814,8 @@ impl OdinRuntime {
     ) -> Result<(LayerDecision, usize), OdinError> {
         let shape = self.model.grid().shape(0, 0);
         let ctx = self.layer_environment(layer.index());
-        let eval = self.model.evaluate_faulty(layer, shape, age, ctx.faults)?;
+        let eval = CachedModel::new(&self.model, self.cache.as_ref())
+            .evaluate_in(layer, shape, age, ctx)?;
         let group = self
             .fabric
             .as_ref()
@@ -773,7 +980,22 @@ mod tests {
     }
 
     fn runtime() -> OdinRuntime {
-        OdinRuntime::new(OdinConfig::paper(), &mut rng())
+        OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(41)
+            .build()
+            .unwrap()
+    }
+
+    fn runtime_with(config: OdinConfig) -> OdinRuntime {
+        OdinRuntime::builder(config).rng_seed(41).build().unwrap()
+    }
+
+    fn runtime_on(fabric_health: FabricHealth) -> OdinRuntime {
+        OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(41)
+            .fabric(fabric_health)
+            .build()
+            .unwrap()
     }
 
     fn fabric(rate: f64, spares: usize, cycles: f64, policy: DegradationPolicy) -> FabricHealth {
@@ -855,7 +1077,7 @@ mod tests {
         // An untrained policy disagrees with the search a lot; with a
         // small buffer, updates fire quickly.
         let cfg = OdinConfig::builder().buffer_capacity(10).build().unwrap();
-        let mut rt = OdinRuntime::new(cfg, &mut rng());
+        let mut rt = runtime_with(cfg);
         let net = zoo::vgg16(Dataset::Cifar100);
         let mut updated = false;
         for t in [1.0, 2.0, 3.0, 4.0] {
@@ -917,10 +1139,10 @@ mod tests {
             .confidence_escalation(Some(0.99))
             .build()
             .unwrap();
-        let mut rt_esc = OdinRuntime::new(escalating, &mut rng());
+        let mut rt_esc = runtime_with(escalating);
         let rec_esc = rt_esc.run_inference(&net, Seconds::new(1.0)).unwrap();
         let plain = OdinConfig::paper();
-        let mut rt_plain = OdinRuntime::new(plain, &mut rng());
+        let mut rt_plain = runtime_with(plain);
         let rec_plain = rt_plain.run_inference(&net, Seconds::new(1.0)).unwrap();
         let evals = |rec: &InferenceRecord| -> usize {
             rec.decisions.iter().map(|d| d.search_evaluations).sum()
@@ -956,7 +1178,7 @@ mod tests {
     #[test]
     fn overheads_can_be_disabled() {
         let cfg = OdinConfig::builder().count_overheads(false).build().unwrap();
-        let mut rt = OdinRuntime::new(cfg, &mut rng());
+        let mut rt = runtime_with(cfg);
         let net = zoo::vgg11(Dataset::Cifar10);
         let rec = rt.run_inference(&net, Seconds::new(1.0)).unwrap();
         assert_eq!(rec.overhead, LayerCost::ZERO);
@@ -978,8 +1200,7 @@ mod tests {
         let schedule = TimeSchedule::geometric(1.0, 1e8, 40);
         let mut plain = runtime();
         let plain_report = plain.run_campaign(&net, &schedule).unwrap();
-        let mut tracked = runtime()
-            .with_fabric_health(fabric(0.0, 2, 2.0, DegradationPolicy::paper()));
+        let mut tracked = runtime_on(fabric(0.0, 2, 2.0, DegradationPolicy::paper()));
         let tracked_report = tracked.run_campaign(&net, &schedule).unwrap();
         assert_eq!(plain_report.runs, tracked_report.runs);
         assert_eq!(
@@ -994,8 +1215,7 @@ mod tests {
     fn worn_faulty_fabric_descends_ladder_and_keeps_serving() {
         let net = zoo::vgg11(Dataset::Cifar10);
         let schedule = TimeSchedule::geometric(1.0, 1e8, 60);
-        let mut rt = runtime()
-            .with_fabric_health(fabric(0.01, 2, 2.0, DegradationPolicy::paper()));
+        let mut rt = runtime_on(fabric(0.01, 2, 2.0, DegradationPolicy::paper()));
         let report = rt.run_campaign_resilient(&net, &schedule);
         assert!(
             report.fraction_served() >= 0.9,
@@ -1022,8 +1242,7 @@ mod tests {
         // backs off and serves degraded — bounded work per run, no
         // livelock, no panic.
         let net = zoo::vgg11(Dataset::Cifar10);
-        let mut rt = runtime()
-            .with_fabric_health(fabric(0.5, 1, 10.0, DegradationPolicy::paper()));
+        let mut rt = runtime_on(fabric(0.5, 1, 10.0, DegradationPolicy::paper()));
         let rec1 = rt.run_inference(&net, Seconds::new(1.0)).unwrap();
         assert!(rec1.reprogrammed);
         assert!(rec1
@@ -1051,7 +1270,7 @@ mod tests {
         };
         // Budget 1: the initial programming consumed it, so the first
         // ladder descent finds every group worn with no spare.
-        let mut rt = runtime().with_fabric_health(fabric(0.0, 0, 1.0, policy));
+        let mut rt = runtime_on(fabric(0.0, 0, 1.0, policy));
         let err = rt.run_inference(&net, Seconds::new(1e12)).unwrap_err();
         assert!(matches!(err, OdinError::EnduranceExhausted { .. }));
         // The resilient campaign records the skip instead of dying.
@@ -1067,8 +1286,7 @@ mod tests {
     #[test]
     fn record_serde_preserves_events_and_degraded_flags() {
         let net = zoo::vgg11(Dataset::Cifar10);
-        let mut rt = runtime()
-            .with_fabric_health(fabric(0.5, 1, 10.0, DegradationPolicy::paper()));
+        let mut rt = runtime_on(fabric(0.5, 1, 10.0, DegradationPolicy::paper()));
         let rec = rt.run_inference(&net, Seconds::new(1.0)).unwrap();
         let json = serde_json::to_string(&rec).unwrap();
         let back: InferenceRecord = serde_json::from_str(&json).unwrap();
@@ -1080,5 +1298,117 @@ mod tests {
         let old: InferenceRecord = serde_json::from_str(&legacy).unwrap();
         assert!(old.events.is_empty());
         assert!(old.decisions.iter().all(|d| !d.degraded));
+        // And reports missing the new cache/engine sections default
+        // cleanly too.
+        let report_json = r#"{"network":"n","strategy":"odin-RB(k=3)","runs":[]}"#;
+        let report: CampaignReport = serde_json::from_str(report_json).unwrap();
+        assert_eq!(report.cache, CacheStats::default());
+        assert_eq!(report.engine, EngineStats::default());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_match_the_builder_bit_for_bit() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e7, 20);
+        let mut old = OdinRuntime::new(OdinConfig::paper(), &mut rng());
+        let mut new = runtime();
+        let a = old.run_campaign(&net, &schedule).unwrap();
+        let b = new.run_campaign(&net, &schedule).unwrap();
+        assert_eq!(a, b);
+        // with_policy ≡ builder().policy(..).
+        let policy = OuPolicy::new(OdinConfig::paper().policy().clone(), &mut rng());
+        let mut old = OdinRuntime::with_policy(OdinConfig::paper(), policy.clone());
+        let mut new = OdinRuntime::builder(OdinConfig::paper())
+            .policy(policy)
+            .build()
+            .unwrap();
+        let a = old.run_campaign(&net, &schedule).unwrap();
+        let b = new.run_campaign(&net, &schedule).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn builder_propagates_config_errors_instead_of_panicking() {
+        // A degenerate crossbar smuggled past the config builder via
+        // deserialization: the runtime builder reports it as a typed
+        // error instead of panicking.
+        let json = serde_json::to_string(&OdinConfig::paper())
+            .unwrap()
+            .replace("\"size\":128", "\"size\":2");
+        let config: OdinConfig = serde_json::from_str(&json).unwrap();
+        let err = OdinRuntime::builder(config).build().unwrap_err();
+        assert!(matches!(err, OdinError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn cache_is_bit_transparent_over_a_campaign() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e8, 30);
+        let mut cached = runtime();
+        let mut uncached = OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(41)
+            .eval_cache(false)
+            .build()
+            .unwrap();
+        let a = cached.run_campaign(&net, &schedule).unwrap();
+        let b = uncached.run_campaign(&net, &schedule).unwrap();
+        // Identical records (decisions, costs, events) bit for bit;
+        // only the counters differ.
+        assert_eq!(a.runs, b.runs);
+        assert_eq!(
+            a.total_edp().value().to_bits(),
+            b.total_edp().value().to_bits()
+        );
+        assert!(a.cache.total() > 0, "cache saw traffic");
+        assert!(a.cache.hit_rate() > 0.5, "hit rate {}", a.cache.hit_rate());
+        assert_eq!(b.cache, CacheStats::default(), "disabled cache stays silent");
+    }
+
+    #[test]
+    fn cache_transparency_holds_on_a_degrading_fabric() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e8, 40);
+        let mut cached = runtime_on(fabric(0.01, 2, 2.0, DegradationPolicy::paper()));
+        let mut uncached = OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(41)
+            .fabric(fabric(0.01, 2, 2.0, DegradationPolicy::paper()))
+            .eval_cache(false)
+            .build()
+            .unwrap();
+        let a = cached.run_campaign_resilient(&net, &schedule);
+        let b = uncached.run_campaign_resilient(&net, &schedule);
+        assert_eq!(a.runs, b.runs);
+        assert_eq!(a.skipped, b.skipped);
+        assert!(a.degradation_events().count() > 0, "ladder engaged");
+    }
+
+    #[test]
+    fn purity_predicate_tracks_state_mutations() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let mut rt = runtime();
+        // An untrained policy mismatches on the first run: impure.
+        let rec = rt.run_inference(&net, Seconds::new(1.0)).unwrap();
+        assert!(!rec.leaves_state_untouched());
+        // A far-future run reprograms: impure.
+        let rec = rt.run_inference(&net, Seconds::new(1e12)).unwrap();
+        assert!(rec.reprogrammed);
+        assert!(!rec.leaves_state_untouched());
+        // After enough adaptation the policy stops mismatching and
+        // steady-state runs become pure.
+        let report = rt
+            .run_campaign(&net, &TimeSchedule::linear(2e12, 1.0, 150))
+            .unwrap();
+        let pure = report
+            .runs
+            .iter()
+            .filter(|r| r.leaves_state_untouched())
+            .count();
+        assert!(pure > 0, "steady state never reached");
+        for run in report.runs.iter().filter(|r| r.leaves_state_untouched()) {
+            assert!(!run.reprogrammed && !run.policy_updated);
+            assert!(run.events.is_empty());
+            assert!(run.decisions.iter().all(|d| !d.mismatch));
+        }
     }
 }

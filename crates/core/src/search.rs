@@ -3,11 +3,53 @@
 
 use odin_dnn::LayerDescriptor;
 use odin_units::Seconds;
-use odin_xbar::FaultProfile;
+use odin_xbar::{FaultProfile, OuGrid, OuShape};
 use serde::{Deserialize, Serialize};
 
 use crate::analytic::{AnalyticModel, CandidateEval};
 use crate::error::OdinError;
+
+/// A source of candidate evaluations for the OU search.
+///
+/// The search algorithms are written against this trait so the same
+/// code serves the plain [`AnalyticModel`] and the runtime's memoized
+/// wrapper: the evaluator decides *how* a candidate score is produced
+/// (computed or recalled), the search only decides *which* candidates
+/// to score.
+pub trait OuEvaluator {
+    /// The discrete OU grid candidates are drawn from.
+    fn grid(&self) -> OuGrid;
+
+    /// Scores one `(layer, shape)` candidate at programming age `age`
+    /// under the search context's fault profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::Mapping`] when the layer cannot be mapped.
+    fn evaluate_in(
+        &self,
+        layer: &LayerDescriptor,
+        shape: OuShape,
+        age: Seconds,
+        ctx: SearchContext<'_>,
+    ) -> Result<CandidateEval, OdinError>;
+}
+
+impl OuEvaluator for AnalyticModel {
+    fn grid(&self) -> OuGrid {
+        AnalyticModel::grid(self)
+    }
+
+    fn evaluate_in(
+        &self,
+        layer: &LayerDescriptor,
+        shape: OuShape,
+        age: Seconds,
+        ctx: SearchContext<'_>,
+    ) -> Result<CandidateEval, OdinError> {
+        self.evaluate_faulty(layer, shape, age, ctx.faults)
+    }
+}
 
 /// Which search explores the candidate space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -53,6 +95,12 @@ pub struct SearchContext<'a> {
     /// the degradation ladder when wear crosses the shrink threshold;
     /// `None` means the full grid.
     pub max_level: Option<usize>,
+    /// Fault-profile generation of the layer's crossbar group: bumped
+    /// by the fabric ladder whenever wear caps, remaps, or reprogram
+    /// passes change the group's state. The analytic model ignores it;
+    /// the evaluation cache keys on it so stale scores can never be
+    /// recalled across a ladder event. `0` means "no tracked fabric".
+    pub generation: u64,
 }
 
 /// The outcome of one search.
@@ -95,8 +143,8 @@ pub struct SearchOutcome {
 /// assert!(out.best.is_some());
 /// # Ok::<(), odin_core::OdinError>(())
 /// ```
-pub fn find_best(
-    model: &AnalyticModel,
+pub fn find_best<E: OuEvaluator>(
+    model: &E,
     layer: &LayerDescriptor,
     age: Seconds,
     eta: f64,
@@ -122,8 +170,8 @@ pub fn find_best(
 /// # Errors
 ///
 /// Propagates [`OdinError::Mapping`] from candidate evaluation.
-pub fn find_best_with(
-    model: &AnalyticModel,
+pub fn find_best_with<E: OuEvaluator>(
+    model: &E,
     layer: &LayerDescriptor,
     age: Seconds,
     eta: f64,
@@ -139,7 +187,7 @@ pub fn find_best_with(
             let mut evaluations = 0;
             for r in 0..=cap {
                 for c in 0..=cap {
-                    let eval = model.evaluate_faulty(layer, grid.shape(r, c), age, ctx.faults)?;
+                    let eval = model.evaluate_in(layer, grid.shape(r, c), age, ctx)?;
                     evaluations += 1;
                     if !eval.feasible(eta) {
                         continue;
@@ -168,8 +216,8 @@ fn level_cap(levels_per_axis: usize, max_level: Option<usize>) -> usize {
 /// neighbours (in R or C) and moves to the best feasible improvement.
 /// Roughly `4k + 1` evaluations versus the grid's 36 — the ~3× §V.B
 /// overhead gap at K = 3.
-fn resource_bounded(
-    model: &AnalyticModel,
+fn resource_bounded<E: OuEvaluator>(
+    model: &E,
     layer: &LayerDescriptor,
     age: Seconds,
     eta: f64,
@@ -185,7 +233,7 @@ fn resource_bounded(
     let mut evaluations = 0;
     let evaluate = |r: usize, c: usize, evals: &mut usize| -> Result<CandidateEval, OdinError> {
         *evals += 1;
-        model.evaluate_faulty(layer, grid.shape(r, c), age, ctx.faults)
+        model.evaluate_in(layer, grid.shape(r, c), age, ctx)
     };
     let seed_eval = evaluate(r, c, &mut evaluations)?;
     let mut best: Option<CandidateEval> = seed_eval.feasible(eta).then_some(seed_eval);
@@ -360,6 +408,7 @@ mod tests {
         let ctx = SearchContext {
             faults: None,
             max_level: Some(1),
+            generation: 0,
         };
         let ex = find_best_with(
             &m,
@@ -399,6 +448,7 @@ mod tests {
         let ctx = SearchContext {
             faults: Some(&profile),
             max_level: None,
+            generation: 0,
         };
         for strategy in [SearchStrategy::Exhaustive, SearchStrategy::paper()] {
             let clean = find_best(&m, &l, Seconds::new(1e7), 0.005, (2, 2), strategy).unwrap();
@@ -427,6 +477,7 @@ mod tests {
         let ctx = SearchContext {
             faults: Some(&profile),
             max_level: None,
+            generation: 0,
         };
         let clean = find_best(&m, &l, Seconds::ZERO, 0.005, (0, 0), SearchStrategy::Exhaustive)
             .unwrap()

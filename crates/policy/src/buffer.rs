@@ -106,6 +106,23 @@ impl ReplayBuffer {
     pub fn storage_bytes(&self) -> usize {
         self.capacity * (4 * 4 + 2)
     }
+
+    /// Merges leftover examples drained from parallel campaign shards,
+    /// applying each shard's batch in the order given. Iteration order
+    /// is the only ordering used, so a merge over shards listed in
+    /// shard-index order is deterministic regardless of how the shard
+    /// threads were scheduled. Examples beyond capacity are silently
+    /// dropped, exactly like [`ReplayBuffer::push`].
+    pub fn merge_shards<I>(&mut self, shards: I)
+    where
+        I: IntoIterator<Item = Vec<TrainingExample>>,
+    {
+        for batch in shards {
+            for example in batch {
+                self.push(example);
+            }
+        }
+    }
 }
 
 impl Default for ReplayBuffer {
@@ -161,5 +178,26 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_capacity_panics() {
         let _ = ReplayBuffer::new(0);
+    }
+
+    #[test]
+    fn shard_merge_is_ordered_and_capacity_bounded() {
+        let mut buf = ReplayBuffer::new(4);
+        buf.push(ex(0.0));
+        buf.merge_shards([vec![ex(0.1), ex(0.2)], vec![], vec![ex(0.3), ex(0.4)]]);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(
+            buf.entries(),
+            [ex(0.0), ex(0.1), ex(0.2), ex(0.3)],
+            "shard order decides survivors, overflow is dropped"
+        );
+    }
+
+    #[test]
+    fn shard_merge_of_empty_batches_is_a_no_op() {
+        let mut buf = ReplayBuffer::new(2);
+        buf.merge_shards(Vec::<Vec<TrainingExample>>::new());
+        buf.merge_shards([vec![], vec![]]);
+        assert!(buf.is_empty());
     }
 }

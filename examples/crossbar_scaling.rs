@@ -6,10 +6,9 @@
 //! ```
 
 use odin::core::baselines::{paper_baselines, HomogeneousRuntime};
-use odin::core::{OdinConfig, OdinRuntime, TimeSchedule};
 use odin::dnn::zoo::{self, Dataset};
+use odin::prelude::*;
 use odin::xbar::CrossbarConfig;
-use rand::SeedableRng;
 
 fn main() {
     let net = zoo::resnet34(Dataset::Cifar100);
@@ -36,8 +35,10 @@ fn main() {
             .crossbar(crossbar.clone())
             .build()
             .expect("valid config");
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-        let mut odin = OdinRuntime::new(config.clone(), &mut rng);
+        let mut odin = OdinRuntime::builder(config.clone())
+            .rng_seed(42)
+            .build()
+            .expect("validated config");
         let odin_edp = odin
             .run_campaign(&net, &schedule)
             .expect("ResNet34 maps")

@@ -6,12 +6,12 @@
 //! ```
 
 use odin::core::accuracy::AccuracyModel;
-use odin::core::{AnalyticModel, OdinConfig, OdinRuntime};
+use odin::core::AnalyticModel;
 use odin::device::{DeviceParams, DriftModel};
 use odin::dnn::zoo::{self, Dataset};
+use odin::prelude::*;
 use odin::units::Seconds;
 use odin::xbar::OuShape;
-use rand::SeedableRng;
 
 fn main() {
     // Raw Eq. 3 drift of the device corner.
@@ -48,8 +48,10 @@ fn main() {
     // An Odin campaign across the drift horizon: mean OU size shrinks,
     // reprogramming happens only when even 4×4 violates the budget.
     let net = zoo::resnet18(Dataset::Cifar10);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-    let mut odin = OdinRuntime::new(config, &mut rng);
+    let mut odin = OdinRuntime::builder(config)
+        .rng_seed(3)
+        .build()
+        .expect("paper config is valid");
     let acc = AccuracyModel::new(0.92, 0.1);
     println!("\nOdin on ResNet18 across the drift horizon:");
     println!(

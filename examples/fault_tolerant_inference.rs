@@ -8,9 +8,9 @@
 //! cargo run --example fault_tolerant_inference
 //! ```
 
-use odin::core::{DegradationPolicy, FabricHealth, OdinConfig, OdinRuntime, TimeSchedule};
 use odin::device::{EnduranceModel, FaultInjector};
 use odin::dnn::zoo::{self, Dataset};
+use odin::prelude::*;
 use rand::SeedableRng;
 
 fn main() {
@@ -19,8 +19,10 @@ fn main() {
     let config = OdinConfig::paper();
 
     // Fault-free reference for the degradation denominator.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-    let mut reference = OdinRuntime::new(config.clone(), &mut rng);
+    let mut reference = OdinRuntime::builder(config.clone())
+        .rng_seed(3)
+        .build()
+        .expect("paper config is valid");
     let fault_free = reference
         .run_campaign(&net, &schedule)
         .expect("VGG11 maps onto the fabric");
@@ -47,8 +49,11 @@ fn main() {
         budget
     );
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-    let mut odin = OdinRuntime::new(config, &mut rng).with_fabric_health(fabric);
+    let mut odin = OdinRuntime::builder(config)
+        .rng_seed(3)
+        .fabric(fabric)
+        .build()
+        .expect("paper config is valid");
     let report = odin.run_campaign_resilient(&net, &schedule);
 
     println!("degradation-ladder event log:");

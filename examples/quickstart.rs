@@ -4,12 +4,10 @@
 //! cargo run --example quickstart
 //! ```
 
-use odin::core::{OdinConfig, OdinRuntime, TimeSchedule};
 use odin::dnn::zoo::{self, Dataset};
-use rand::SeedableRng;
+use odin::prelude::*;
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let net = zoo::resnet18(Dataset::Cifar10);
     println!(
         "workload: {} on {} — {} MVM layers, {:.1} M weights",
@@ -19,7 +17,10 @@ fn main() {
         net.total_weights() as f64 / 1e6
     );
 
-    let mut odin = OdinRuntime::new(OdinConfig::paper(), &mut rng);
+    let mut odin = OdinRuntime::builder(OdinConfig::paper())
+        .rng_seed(7)
+        .build()
+        .expect("paper config is valid");
     let schedule = TimeSchedule::geometric(1.0, 1e6, 30);
     let report = odin
         .run_campaign(&net, &schedule)

@@ -12,8 +12,9 @@
 
 use odin::core::baselines::HomogeneousRuntime;
 use odin::core::offline::{bootstrap_policy, leave_one_out};
-use odin::core::{AnalyticModel, OdinConfig, OdinRuntime, TimeSchedule};
+use odin::core::AnalyticModel;
 use odin::dnn::zoo::{self, Dataset};
+use odin::prelude::*;
 use odin::xbar::OuShape;
 use rand::SeedableRng;
 
@@ -46,7 +47,10 @@ fn main() {
 
     // Runtime: the unseen VGG11 arrives.
     let schedule = TimeSchedule::geometric(1.0, 1e8, 120);
-    let mut odin = OdinRuntime::with_policy(config.clone(), policy);
+    let mut odin = OdinRuntime::builder(config.clone())
+        .policy(policy)
+        .build()
+        .expect("paper config is valid");
     let report = odin.run_campaign(&target, &schedule).expect("VGG11 maps");
 
     println!("\nadaptation progress (policy-vs-search mismatches per run):");

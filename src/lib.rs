@@ -20,18 +20,23 @@
 //! # Quickstart
 //!
 //! ```
-//! use odin::core::{OdinConfig, OdinRuntime, TimeSchedule};
+//! use odin::prelude::*;
 //! use odin::dnn::zoo::{self, Dataset};
-//! use rand::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 //! let net = zoo::resnet18(Dataset::Cifar10);
-//! let mut odin = OdinRuntime::new(OdinConfig::paper(), &mut rng);
+//! let mut odin = OdinRuntime::builder(OdinConfig::paper())
+//!     .rng_seed(7)
+//!     .build()?;
 //! let report = odin
 //!     .run_campaign(&net, &TimeSchedule::geometric(1.0, 1e4, 10))
 //!     .expect("ResNet18 maps onto the fabric");
 //! println!("EDP: {}", report.total_edp());
+//! # Ok::<(), odin::core::OdinError>(())
 //! ```
+//!
+//! Campaigns can also be sharded across threads with
+//! [`CampaignEngine`](prelude::CampaignEngine); see
+//! `examples/parallel_campaign.rs`.
 //!
 //! See `examples/` for end-to-end scenarios and `crates/bench` for the
 //! binaries that regenerate every table and figure of the paper.
@@ -47,3 +52,11 @@ pub use odin_noc as noc;
 pub use odin_policy as policy;
 pub use odin_units as units;
 pub use odin_xbar as xbar;
+
+/// One-stop imports re-exported from [`odin_core::prelude`]: the
+/// configuration, [`RuntimeBuilder`](prelude::RuntimeBuilder), the
+/// parallel [`CampaignEngine`](prelude::CampaignEngine), and the
+/// campaign report types.
+pub mod prelude {
+    pub use odin_core::prelude::*;
+}

@@ -1,27 +1,31 @@
-//! Reproducibility: identical seeds give identical campaigns, and
-//! campaign reports survive JSON round-trips (the `results/` records
-//! the harness writes are faithful).
+//! Reproducibility: identical seeds give identical campaigns, campaign
+//! reports survive JSON round-trips (the `results/` records the
+//! harness writes are faithful), and the parallel engine's lockstep
+//! mode is shard-count invariant bit for bit.
 
-use odin::core::{
-    CampaignReport, DegradationPolicy, FabricHealth, OdinConfig, OdinRuntime, TimeSchedule,
-};
 use odin::device::{EnduranceModel, FaultInjector};
 use odin::dnn::zoo::{self, Dataset};
-use rand::SeedableRng;
+use odin::prelude::*;
+
+fn runtime(seed: u64) -> OdinRuntime {
+    OdinRuntime::builder(OdinConfig::paper())
+        .rng_seed(seed)
+        .build()
+        .expect("paper config is valid")
+}
 
 fn campaign(seed: u64) -> CampaignReport {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let net = zoo::vgg11(Dataset::Cifar10);
-    let mut odin = OdinRuntime::new(OdinConfig::paper(), &mut rng);
-    odin.run_campaign(&net, &TimeSchedule::geometric(1.0, 1e7, 30))
+    runtime(seed)
+        .run_campaign(&net, &TimeSchedule::geometric(1.0, 1e7, 30))
         .expect("VGG11 maps")
 }
 
-fn fault_campaign(policy_seed: u64, fault_seed: u64) -> CampaignReport {
+fn degrading_fabric(fault_seed: u64) -> FabricHealth {
+    use rand::SeedableRng;
     let net = zoo::vgg11(Dataset::Cifar10);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(policy_seed);
     let mut fault_rng = rand::rngs::StdRng::seed_from_u64(fault_seed);
-    let fabric = FabricHealth::new(
+    FabricHealth::new(
         net.layers().len(),
         128,
         2,
@@ -29,9 +33,21 @@ fn fault_campaign(policy_seed: u64, fault_seed: u64) -> CampaignReport {
         EnduranceModel::new(2.0),
         DegradationPolicy::paper(),
         &mut fault_rng,
-    );
-    let mut odin = OdinRuntime::new(OdinConfig::paper(), &mut rng).with_fabric_health(fabric);
-    odin.run_campaign_resilient(&net, &TimeSchedule::geometric(1.0, 1e8, 40))
+    )
+}
+
+fn fault_runtime(policy_seed: u64, fault_seed: u64) -> OdinRuntime {
+    OdinRuntime::builder(OdinConfig::paper())
+        .rng_seed(policy_seed)
+        .fabric(degrading_fabric(fault_seed))
+        .build()
+        .expect("paper config is valid")
+}
+
+fn fault_campaign(policy_seed: u64, fault_seed: u64) -> CampaignReport {
+    let net = zoo::vgg11(Dataset::Cifar10);
+    fault_runtime(policy_seed, fault_seed)
+        .run_campaign_resilient(&net, &TimeSchedule::geometric(1.0, 1e8, 40))
 }
 
 #[test]
@@ -117,4 +133,105 @@ fn schedule_and_config_roundtrip_through_json() {
     let config = OdinConfig::paper();
     let json = serde_json::to_string(&config).unwrap();
     assert_eq!(config, serde_json::from_str::<OdinConfig>(&json).unwrap());
+}
+
+#[test]
+fn lockstep_aggregates_are_shard_count_invariant() {
+    // The ISSUE's determinism bar: total EDP, mismatch rate, and
+    // fraction served are invariant across 1/2/4 lockstep shards for a
+    // fixed seed — compared on raw f64 bits, not approximately.
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let schedule = TimeSchedule::geometric(1.0, 1e7, 30);
+    let reference = runtime(42).run_campaign(&net, &schedule).expect("VGG11 maps");
+    for shards in [1usize, 2, 4] {
+        let mut rt = runtime(42);
+        let report = CampaignEngine::new(shards)
+            .run_campaign(&mut rt, &net, &schedule)
+            .expect("VGG11 maps");
+        assert_eq!(report.runs, reference.runs, "{shards} shards");
+        assert_eq!(
+            report.total_edp().value().to_bits(),
+            reference.total_edp().value().to_bits(),
+            "{shards} shards"
+        );
+        assert_eq!(
+            report.mismatch_rate().to_bits(),
+            reference.mismatch_rate().to_bits(),
+            "{shards} shards"
+        );
+        assert_eq!(
+            report.fraction_served().to_bits(),
+            reference.fraction_served().to_bits(),
+            "{shards} shards"
+        );
+    }
+}
+
+#[test]
+fn single_shard_engine_is_bit_identical_to_run_campaign() {
+    // The PR-1-style rate-0 guard: the engine at shard count 1 must
+    // reproduce the sequential path bit for bit — records, skips, and
+    // even the cache counters.
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let schedule = TimeSchedule::geometric(1.0, 1e8, 40);
+
+    let sequential = runtime(42)
+        .run_campaign(&net, &TimeSchedule::geometric(1.0, 1e7, 30))
+        .expect("VGG11 maps");
+    let mut rt = runtime(42);
+    let parallel = CampaignEngine::new(1)
+        .run_campaign(&mut rt, &net, &TimeSchedule::geometric(1.0, 1e7, 30))
+        .expect("VGG11 maps");
+    assert_eq!(parallel.runs, sequential.runs);
+    assert_eq!(parallel.skipped, sequential.skipped);
+    assert_eq!(parallel.cache, sequential.cache);
+
+    // Same guard on a degrading fabric, resilient mode: skips and
+    // ladder events included.
+    let seq_faulty = fault_runtime(42, 1234).run_campaign_resilient(&net, &schedule);
+    assert!(seq_faulty.degradation_events().count() > 0);
+    let mut rt = fault_runtime(42, 1234);
+    let par_faulty = CampaignEngine::new(1).run_campaign_resilient(&mut rt, &net, &schedule);
+    assert_eq!(par_faulty.runs, seq_faulty.runs);
+    assert_eq!(par_faulty.skipped, seq_faulty.skipped);
+    assert_eq!(par_faulty.cache, seq_faulty.cache);
+}
+
+#[test]
+fn lockstep_resilient_sharding_replays_the_degradation_trajectory() {
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let schedule = TimeSchedule::geometric(1.0, 1e8, 40);
+    let reference = fault_runtime(42, 1234).run_campaign_resilient(&net, &schedule);
+    for shards in [2usize, 4] {
+        let mut rt = fault_runtime(42, 1234);
+        let report = CampaignEngine::new(shards).run_campaign_resilient(&mut rt, &net, &schedule);
+        assert_eq!(report.runs, reference.runs, "{shards} shards");
+        assert_eq!(report.skipped, reference.skipped, "{shards} shards");
+    }
+}
+
+#[test]
+fn independent_mode_is_deterministic_per_shard_count() {
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let schedule = TimeSchedule::geometric(1.0, 1e7, 30);
+    let engine = CampaignEngine::new(4).with_mode(ShardMode::Independent);
+    let mut rt_a = runtime(42);
+    let a = engine.run_campaign(&mut rt_a, &net, &schedule).expect("VGG11 maps");
+    let mut rt_b = runtime(42);
+    let b = engine.run_campaign(&mut rt_b, &net, &schedule).expect("VGG11 maps");
+    assert_eq!(a, b, "thread scheduling must not leak into the report");
+    assert_eq!(a.engine.mode, ShardMode::Independent);
+}
+
+#[test]
+fn shard_seed_stream_is_stable() {
+    // The per-shard seed derivation is part of the determinism
+    // contract: frozen values, shard 0 passes the base seed through.
+    assert_eq!(shard_seed(42, 0), 42);
+    let derived: Vec<u64> = (0..8).map(|s| shard_seed(42, s)).collect();
+    assert_eq!(derived, (0..8).map(|s| shard_seed(42, s)).collect::<Vec<u64>>());
+    let mut unique = derived.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), 8, "derived shard seeds must not collide");
 }

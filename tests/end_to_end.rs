@@ -3,8 +3,10 @@
 
 use odin::core::baselines::{paper_baselines, HomogeneousRuntime};
 use odin::core::offline::{bootstrap_policy, leave_one_out};
-use odin::core::{AnalyticModel, OdinConfig, OdinRuntime, TimeSchedule};
+use odin::core::AnalyticModel;
 use odin::dnn::zoo::{self, Dataset};
+use odin::policy::OuPolicy;
+use odin::prelude::*;
 use odin::xbar::OuShape;
 use rand::SeedableRng;
 
@@ -22,7 +24,10 @@ fn odin_beats_every_homogeneous_baseline_on_total_edp() {
     let policy =
         bootstrap_policy(&analytic, &known, config.eta(), config.policy().clone(), &mut rng)
             .unwrap();
-    let mut odin = OdinRuntime::with_policy(config.clone(), policy);
+    let mut odin = OdinRuntime::builder(config.clone())
+        .policy(policy)
+        .build()
+        .unwrap();
     let odin_report = odin.run_campaign(&net, &schedule()).unwrap();
 
     for (label, shape) in paper_baselines() {
@@ -55,8 +60,7 @@ fn reprogram_cadence_ordering_matches_paper() {
     );
     assert!(fine <= 4, "8×4 reprograms {fine} (paper: 2)");
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-    let mut odin = OdinRuntime::new(config, &mut rng);
+    let mut odin = OdinRuntime::builder(config).rng_seed(2).build().unwrap();
     let odin_count = odin.run_campaign(&net, &dense).unwrap().reprogram_count();
     assert!(odin_count <= 2, "odin reprograms {odin_count} (paper: 1)");
     assert!(odin_count < fine.max(1) * 3);
@@ -65,9 +69,8 @@ fn reprogram_cadence_ordering_matches_paper() {
 
 #[test]
 fn online_learning_actually_changes_the_policy() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let config = OdinConfig::builder().buffer_capacity(20).build().unwrap();
-    let mut odin = OdinRuntime::new(config, &mut rng);
+    let mut odin = OdinRuntime::builder(config).rng_seed(3).build().unwrap();
     let net = zoo::googlenet(Dataset::Cifar10);
     let before = odin.policy().clone();
     let report = odin
@@ -80,11 +83,16 @@ fn online_learning_actually_changes_the_policy() {
 
 #[test]
 fn every_workload_runs_through_the_full_stack() {
+    // One RNG stream across all workloads: each runtime's policy draws
+    // the next initialization from it, like the pre-builder API did.
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
     let config = OdinConfig::paper();
     let quick = TimeSchedule::geometric(1.0, 1e6, 5);
     for net in zoo::paper_workloads() {
-        let mut odin = OdinRuntime::new(config.clone(), &mut rng);
+        let mut odin = OdinRuntime::builder(config.clone())
+            .policy(OuPolicy::new(config.policy().clone(), &mut rng))
+            .build()
+            .unwrap();
         let report = odin.run_campaign(&net, &quick).unwrap();
         assert_eq!(report.runs.len(), 5, "{}", net.name());
         assert!(report.total_energy().value() > 0.0, "{}", net.name());
@@ -105,8 +113,10 @@ fn crossbar_size_sweep_runs_and_odin_wins_everywhere() {
     for size in [128usize, 64, 32] {
         let crossbar = odin::xbar::CrossbarConfig::builder().size(size).build().unwrap();
         let config = OdinConfig::builder().crossbar(crossbar.clone()).build().unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let mut odin = OdinRuntime::new(config.clone(), &mut rng);
+        let mut odin = OdinRuntime::builder(config.clone())
+            .rng_seed(5)
+            .build()
+            .unwrap();
         let odin_edp = odin.run_campaign(&net, &quick).unwrap().total_edp();
         let mut base =
             HomogeneousRuntime::new(crossbar, OuShape::new(16, 16), config.eta()).unwrap();

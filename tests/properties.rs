@@ -130,9 +130,11 @@ proptest! {
 #[test]
 fn campaign_totals_equal_run_sums_for_many_seeds() {
     for seed in 0..5u64 {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let net = odin::dnn::zoo::googlenet(odin::dnn::zoo::Dataset::Cifar10);
-        let mut rt = OdinRuntime::new(OdinConfig::paper(), &mut rng);
+        let mut rt = OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(seed)
+            .build()
+            .unwrap();
         let report = rt
             .run_campaign(&net, &TimeSchedule::geometric(1.0, 1e5, 8))
             .unwrap();
@@ -141,5 +143,34 @@ fn campaign_totals_equal_run_sums_for_many_seeds() {
         assert!((report.total_energy().value() - e).abs() <= 1e-12 * e);
         assert!((report.total_latency().value() - t).abs() <= 1e-12 * t);
         assert!((report.total_edp().value() - e * t).abs() <= 1e-9 * e * t);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn eval_cache_never_changes_a_decision(seed in any::<u64>(), runs in 3usize..10) {
+        // The memoized evaluation cache must be bit-transparent for any
+        // policy initialization and schedule length: every LayerDecision
+        // — chosen shape, predicted shape, mismatch flag, and the f64
+        // evaluation payload — is identical with the cache on and off.
+        let net = odin::dnn::zoo::vgg11(odin::dnn::zoo::Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e7, runs);
+        let cached = OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(seed)
+            .build()
+            .unwrap()
+            .run_campaign(&net, &schedule)
+            .unwrap();
+        let uncached = OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(seed)
+            .eval_cache(false)
+            .build()
+            .unwrap()
+            .run_campaign(&net, &schedule)
+            .unwrap();
+        prop_assert_eq!(&cached.runs, &uncached.runs);
+        prop_assert!(cached.cache.total() > 0, "cache must actually be exercised");
+        prop_assert_eq!(uncached.cache.total(), 0, "disabled cache must stay silent");
     }
 }
