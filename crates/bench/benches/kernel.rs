@@ -1,0 +1,166 @@
+//! Criterion microbenchmarks of the hot-path kernels against their
+//! scalar references: the flat candidate-grid pass (`LayerKernel`),
+//! the scratch-buffer MLP forward, and the drift memo. The companion
+//! `kernel_perf` binary/test records the same comparisons into
+//! `BENCH_kernel.json`; this harness gives statistically rigorous
+//! per-kernel timings and regression detection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odin_core::kernel::{GridEvals, LayerKernel};
+use odin_core::search::{find_best_with, OuEvaluator, SearchContext, SearchStrategy};
+use odin_core::AnalyticModel;
+use odin_device::{DeviceParams, DriftMemo, DriftModel};
+use odin_dnn::zoo::{self, Dataset};
+use odin_policy::{MlpScratch, MultiHeadMlp};
+use odin_units::Seconds;
+use odin_xbar::CrossbarConfig;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_grid_pass(c: &mut Criterion) {
+    let model = AnalyticModel::new(CrossbarConfig::paper_128()).unwrap();
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let layer = net.layers()[4].clone();
+    let age = Seconds::new(1e4);
+    let ctx = SearchContext::default();
+    let grid = model.grid();
+    let levels = grid.levels_per_axis();
+
+    let mut group = c.benchmark_group("grid_pass");
+    group.bench_function("scalar_36_calls", |b| {
+        b.iter(|| {
+            let mut sum = 0.0;
+            for r in 0..levels {
+                for c in 0..levels {
+                    let eval = model
+                        .evaluate_in(black_box(&layer), grid.shape(r, c), age, ctx)
+                        .unwrap();
+                    sum += eval.edp.value();
+                }
+            }
+            sum
+        });
+    });
+    group.bench_function("kernel_fresh_build", |b| {
+        let mut evals = GridEvals::new();
+        b.iter(|| {
+            let kernel = LayerKernel::new(&model, black_box(&layer)).unwrap();
+            kernel.evaluate_grid_into(age, ctx, &mut evals);
+            evals.iter().map(|e| e.edp.value()).sum::<f64>()
+        });
+    });
+    group.bench_function("kernel_amortized", |b| {
+        let kernel = LayerKernel::new(&model, &layer).unwrap();
+        let mut evals = GridEvals::new();
+        b.iter(|| {
+            kernel.evaluate_grid_into(black_box(age), ctx, &mut evals);
+            evals.iter().map(|e| e.edp.value()).sum::<f64>()
+        });
+    });
+    group.finish();
+}
+
+fn bench_search_over_kernel(c: &mut Criterion) {
+    let model = AnalyticModel::new(CrossbarConfig::paper_128()).unwrap();
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let layer = net.layers()[4].clone();
+    let age = Seconds::new(1e2);
+    let ctx = SearchContext::default();
+    let kernel = LayerKernel::new(&model, &layer).unwrap();
+
+    let mut group = c.benchmark_group("exhaustive_search");
+    group.bench_function("over_model", |b| {
+        b.iter(|| {
+            find_best_with(
+                &model,
+                black_box(&layer),
+                age,
+                0.005,
+                (2, 2),
+                SearchStrategy::Exhaustive,
+                ctx,
+            )
+            .unwrap()
+            .evaluations
+        });
+    });
+    group.bench_function("over_prebuilt_kernel", |b| {
+        b.iter(|| {
+            find_best_with(
+                &kernel,
+                black_box(&layer),
+                age,
+                0.005,
+                (2, 2),
+                SearchStrategy::Exhaustive,
+                ctx,
+            )
+            .unwrap()
+            .evaluations
+        });
+    });
+    group.finish();
+}
+
+fn bench_mlp_forward(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mlp = MultiHeadMlp::new(4, 16, 6, &mut rng);
+    let x = [0.3, 0.6, 0.43, 0.1];
+
+    let mut group = c.benchmark_group("mlp_forward");
+    group.bench_function("allocating", |b| {
+        b.iter(|| {
+            let (pa, pb) = mlp.forward(black_box(&x));
+            pa[0] + pb[5]
+        });
+    });
+    group.bench_function("scratch", |b| {
+        let mut scratch = MlpScratch::new();
+        b.iter(|| {
+            mlp.forward_into(black_box(&x), &mut scratch);
+            scratch.head_a()[0] + scratch.head_b()[5]
+        });
+    });
+    group.bench_function("batch_of_9", |b| {
+        let flat: Vec<f64> = (0..9 * 4).map(|_| rng.gen::<f64>()).collect();
+        let mut scratch = MlpScratch::new();
+        let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+        b.iter(|| {
+            mlp.forward_batch(black_box(&flat), &mut scratch, &mut out_a, &mut out_b);
+            out_a[0] + out_b[53]
+        });
+    });
+    group.finish();
+}
+
+fn bench_drift_scale(c: &mut Criterion) {
+    let drift = DriftModel::new(&DeviceParams::paper());
+    let ages: Vec<Seconds> = (0..8).map(|i| Seconds::new(10f64.powi(i))).collect();
+
+    let mut group = c.benchmark_group("drift_scale");
+    group.bench_function("powf", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            drift.scale_at(black_box(ages[i % ages.len()]))
+        });
+    });
+    group.bench_function("memo", |b| {
+        let mut memo = DriftMemo::new(drift.clone());
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            memo.scale_at(black_box(ages[i % ages.len()]))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_grid_pass,
+    bench_search_over_kernel,
+    bench_mlp_forward,
+    bench_drift_scale
+);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Measures the hot-path kernels (flat grid pass, scratch MLP
+//! forward, drift memo) against their scalar references and records
+//! the numbers into `BENCH_kernel.json` at the workspace root. Pass
+//! `--quick` (or `ODIN_QUICK=1`) for a fast reduced run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("ODIN_QUICK").is_ok_and(|v| v == "1");
+    let iters = if quick { 40 } else { 400 };
+    let report = odin_bench::kernel_perf::run(iters);
+    println!("{report}");
+    if !report.parity {
+        eprintln!("kernel/scalar parity violated");
+        std::process::exit(1);
+    }
+    match odin_bench::kernel_perf::write_report(&report) {
+        Ok(path) => println!("[json: {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_kernel.json: {e}"),
+    }
+}

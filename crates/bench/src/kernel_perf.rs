@@ -1,0 +1,285 @@
+//! Wall-clock comparison of the hot-path kernels against their scalar
+//! references: the flat [`LayerKernel`] grid pass vs. 36 virtual
+//! [`OuEvaluator::evaluate_in`] calls, the scratch-buffer MLP forward
+//! vs. the allocating one, and the [`DriftMemo`] vs. a raw `powf` per
+//! query.
+//!
+//! Shared by the `kernel_perf` binary and the `kernel_perf`
+//! integration test; both record the numbers into `BENCH_kernel.json`
+//! at the workspace root, which DESIGN.md §10 and the README table
+//! quote.
+
+use std::fmt;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use odin_core::kernel::{GridEvals, LayerKernel};
+use odin_core::search::{OuEvaluator, SearchContext};
+use odin_core::AnalyticModel;
+use odin_device::{DeviceParams, DriftMemo, DriftModel};
+use odin_dnn::zoo::{self, Dataset};
+use odin_policy::{MlpScratch, MultiHeadMlp};
+use odin_units::Seconds;
+use odin_xbar::CrossbarConfig;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use crate::experiments::ratio;
+
+/// Measured nanoseconds-per-operation for one kernel/reference pair.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfRow {
+    /// What was measured.
+    pub name: String,
+    /// The scalar / allocating reference implementation, ns per op.
+    pub reference_ns: f64,
+    /// The hot-path implementation, ns per op.
+    pub kernel_ns: f64,
+    /// `reference_ns / kernel_ns`.
+    pub speedup: f64,
+}
+
+impl PerfRow {
+    fn new(name: &str, reference_ns: f64, kernel_ns: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            reference_ns,
+            kernel_ns,
+            speedup: reference_ns / kernel_ns.max(f64::MIN_POSITIVE),
+        }
+    }
+}
+
+/// The hot-path perf report (`BENCH_kernel.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelPerfReport {
+    /// Measurement rounds per kernel (each round covers every VGG11
+    /// layer × one programming age).
+    pub iters: usize,
+    /// One row per kernel/reference pair.
+    pub rows: Vec<PerfRow>,
+    /// `true` when the kernel and scalar grid sweeps accumulated
+    /// bit-identical EDP checksums — the parity contract, measured
+    /// rather than assumed.
+    pub parity: bool,
+}
+
+impl KernelPerfReport {
+    /// The row with the given name, if measured.
+    #[must_use]
+    pub fn row(&self, name: &str) -> Option<&PerfRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+}
+
+impl fmt::Display for KernelPerfReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "hot-path kernels vs scalar references ({} rounds)",
+            self.iters
+        )?;
+        writeln!(
+            f,
+            "{:<22} {:>14} {:>12} {:>9}",
+            "kernel", "reference ns", "kernel ns", "speedup"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<22} {:>14.0} {:>12.0} {:>9}",
+                row.name,
+                row.reference_ns,
+                row.kernel_ns,
+                ratio(row.speedup)
+            )?;
+        }
+        write!(
+            f,
+            "grid parity: {}",
+            if self.parity {
+                "bit-identical"
+            } else {
+                "MISMATCH"
+            }
+        )
+    }
+}
+
+/// Runs all measurements at `iters` rounds each and returns the
+/// report. Ages cycle through eight decades so the drift memo is
+/// exercised at a realistic (repeating) age mix.
+#[must_use]
+pub fn run(iters: usize) -> KernelPerfReport {
+    let model = AnalyticModel::new(CrossbarConfig::paper_128()).expect("paper crossbar is valid");
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let ctx = SearchContext::default();
+    let grid = model.grid();
+    let levels = grid.levels_per_axis();
+    let ages: Vec<Seconds> = (0..8).map(|i| Seconds::new(10f64.powi(i))).collect();
+    let grids = iters * net.layers().len();
+
+    // Scalar reference: one virtual evaluate_in call per grid shape,
+    // each rebuilding the layer mapping and recomputing the severity.
+    let mut scalar_sum = 0.0f64;
+    let start = Instant::now();
+    for round in 0..iters {
+        let age = ages[round % ages.len()];
+        for layer in net.layers() {
+            for r in 0..levels {
+                for c in 0..levels {
+                    let eval = model
+                        .evaluate_in(layer, grid.shape(r, c), age, ctx)
+                        .expect("every grid shape maps");
+                    scalar_sum += eval.edp.value();
+                }
+            }
+        }
+    }
+    let scalar_grid_ns = start.elapsed().as_nanos() as f64 / grids as f64;
+    black_box(scalar_sum);
+
+    // Kernel, fresh build per pass: exactly what the OuEvaluator seam
+    // does inside a search (`AnalyticModel::evaluate_grid`).
+    let mut evals = GridEvals::new();
+    let mut fresh_sum = 0.0f64;
+    let start = Instant::now();
+    for round in 0..iters {
+        let age = ages[round % ages.len()];
+        for layer in net.layers() {
+            let kernel = LayerKernel::new(&model, layer).expect("mappable layer");
+            kernel.evaluate_grid_into(age, ctx, &mut evals);
+            for e in evals.iter() {
+                fresh_sum += e.edp.value();
+            }
+        }
+    }
+    let fresh_grid_ns = start.elapsed().as_nanos() as f64 / grids as f64;
+    black_box(fresh_sum);
+
+    // Kernel, amortized: tables built once per (layer, fabric) and
+    // reused across ages — the steady state of a campaign.
+    let kernels: Vec<LayerKernel> = net
+        .layers()
+        .iter()
+        .map(|l| LayerKernel::new(&model, l).expect("mappable layer"))
+        .collect();
+    let mut amortized_sum = 0.0f64;
+    let start = Instant::now();
+    for round in 0..iters {
+        let age = ages[round % ages.len()];
+        for kernel in &kernels {
+            kernel.evaluate_grid_into(age, ctx, &mut evals);
+            for e in evals.iter() {
+                amortized_sum += e.edp.value();
+            }
+        }
+    }
+    let amortized_grid_ns = start.elapsed().as_nanos() as f64 / grids as f64;
+    black_box(amortized_sum);
+
+    // Both kernel modes accumulate in the scalar sweep's exact visit
+    // order, so bit-identical terms give bit-identical sums.
+    let parity = scalar_sum.to_bits() == fresh_sum.to_bits()
+        && scalar_sum.to_bits() == amortized_sum.to_bits();
+
+    // MLP forward: fresh Vec allocations per call vs. reused scratch.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mlp = MultiHeadMlp::new(4, 16, 6, &mut rng);
+    let feats: Vec<[f64; 4]> = (0..64)
+        .map(|_| [rng.gen(), rng.gen(), rng.gen(), rng.gen()])
+        .collect();
+    let forwards = iters * 200;
+    let mut alloc_acc = 0.0f64;
+    let start = Instant::now();
+    for i in 0..forwards {
+        let (pa, pb) = mlp.forward(&feats[i % feats.len()]);
+        alloc_acc += pa[0] + pb[5];
+    }
+    let alloc_forward_ns = start.elapsed().as_nanos() as f64 / forwards as f64;
+    black_box(alloc_acc);
+
+    let mut scratch = MlpScratch::new();
+    let mut scratch_acc = 0.0f64;
+    let start = Instant::now();
+    for i in 0..forwards {
+        mlp.forward_into(&feats[i % feats.len()], &mut scratch);
+        scratch_acc += scratch.head_a()[0] + scratch.head_b()[5];
+    }
+    let scratch_forward_ns = start.elapsed().as_nanos() as f64 / forwards as f64;
+    black_box(scratch_acc);
+
+    // Drift decay factor: a `powf` per query vs. the direct-mapped
+    // memo (the age mix repeats, as it does across a campaign round).
+    let drift = DriftModel::new(&DeviceParams::paper());
+    let mut memo = DriftMemo::new(drift.clone());
+    let queries = iters * 500;
+    let mut powf_acc = 0.0f64;
+    let start = Instant::now();
+    for i in 0..queries {
+        powf_acc += drift.scale_at(ages[i % ages.len()]);
+    }
+    let powf_ns = start.elapsed().as_nanos() as f64 / queries as f64;
+    black_box(powf_acc);
+
+    let mut memo_acc = 0.0f64;
+    let start = Instant::now();
+    for i in 0..queries {
+        memo_acc += memo.scale_at(ages[i % ages.len()]);
+    }
+    let memo_ns = start.elapsed().as_nanos() as f64 / queries as f64;
+    black_box(memo_acc);
+
+    KernelPerfReport {
+        iters,
+        rows: vec![
+            PerfRow::new("grid_pass_fresh", scalar_grid_ns, fresh_grid_ns),
+            PerfRow::new("grid_pass_amortized", scalar_grid_ns, amortized_grid_ns),
+            PerfRow::new("mlp_forward", alloc_forward_ns, scratch_forward_ns),
+            PerfRow::new("drift_scale", powf_ns, memo_ns),
+        ],
+        parity: parity && powf_acc.to_bits() == memo_acc.to_bits(),
+    }
+}
+
+/// Writes the report to `BENCH_kernel.json` at the workspace root
+/// (resolved relative to this crate's manifest, so it lands in the
+/// same place whether invoked via `cargo run`, `cargo test`, or from
+/// another directory).
+///
+/// # Errors
+///
+/// Returns I/O errors from writing the file.
+pub fn write_report(report: &KernelPerfReport) -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_kernel.json"
+    ));
+    let json = serde_json::to_string_pretty(report).map_err(std::io::Error::other)?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_reports_all_rows_with_parity() {
+        let report = run(2);
+        assert!(report.parity, "kernel sweeps must match the scalar path");
+        for name in [
+            "grid_pass_fresh",
+            "grid_pass_amortized",
+            "mlp_forward",
+            "drift_scale",
+        ] {
+            let row = report.row(name).expect(name);
+            assert!(row.reference_ns > 0.0 && row.kernel_ns > 0.0, "{name}");
+        }
+        assert!(report.row("nope").is_none());
+        let text = report.to_string();
+        assert!(text.contains("grid parity: bit-identical"), "{text}");
+    }
+}

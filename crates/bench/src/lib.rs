@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod kernel_perf;
 pub mod setup;
 
 pub use setup::ExperimentContext;

@@ -1,0 +1,187 @@
+//! Counting-allocator harness pinning the decision hot path at zero
+//! heap allocations after warmup: the flat grid kernel, the exhaustive
+//! search over it, the scratch-buffer MLP forward and training step,
+//! the replay-buffer drain/update cycle, and the drift memo.
+//!
+//! The counter wraps `std::alloc::System` and counts every
+//! `alloc`/`realloc`/`alloc_zeroed` call process-wide. Everything
+//! lives in ONE `#[test]` so no parallel test thread can allocate
+//! concurrently and pollute the counts. (The workspace libraries are
+//! `forbid(unsafe_code)`; the allocator shim below is the one place
+//! unsafe is warranted, and integration tests are a separate
+//! compilation unit, so the lint stays intact on every library.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use odin_core::kernel::{GridEvals, LayerKernel};
+use odin_core::search::{find_best_with, SearchContext, SearchStrategy};
+use odin_core::AnalyticModel;
+use odin_device::{DeviceParams, DriftMemo, DriftModel};
+use odin_dnn::zoo::{self, Dataset};
+use odin_policy::{MlpScratch, OuPolicy, PolicyConfig, ReplayBuffer, TrainingExample};
+use odin_units::Seconds;
+use odin_xbar::CrossbarConfig;
+use rand::SeedableRng;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocations performed while running `f`.
+fn allocations(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn hot_path_is_allocation_free_after_warmup() {
+    // Sanity: the counter actually sees heap traffic.
+    let observed = allocations(|| {
+        let v: Vec<u64> = Vec::with_capacity(32);
+        black_box(&v);
+    });
+    assert!(observed > 0, "counting allocator is not installed");
+
+    let model = AnalyticModel::new(CrossbarConfig::paper_128()).unwrap();
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let layer = &net.layers()[4];
+    let ctx = SearchContext::default();
+    let ages: Vec<Seconds> = (0..8).map(|i| Seconds::new(10f64.powi(i))).collect();
+
+    // --- Grid kernel pass into a reused buffer -----------------------
+    let kernel = LayerKernel::new(&model, layer).unwrap();
+    let mut evals = GridEvals::new();
+    kernel.evaluate_grid_into(ages[0], ctx, &mut evals); // warmup
+    let n = allocations(|| {
+        for age in &ages {
+            for _ in 0..50 {
+                kernel.evaluate_grid_into(*age, ctx, &mut evals);
+                black_box(evals.len());
+            }
+        }
+    });
+    assert_eq!(n, 0, "grid kernel pass allocated {n} times");
+
+    // --- Exhaustive search over a prebuilt kernel --------------------
+    let warm = find_best_with(
+        &kernel,
+        layer,
+        ages[2],
+        0.005,
+        (2, 2),
+        SearchStrategy::Exhaustive,
+        ctx,
+    )
+    .unwrap();
+    black_box(&warm);
+    let n = allocations(|| {
+        for age in &ages {
+            for _ in 0..50 {
+                let out = find_best_with(
+                    &kernel,
+                    layer,
+                    *age,
+                    0.005,
+                    (2, 2),
+                    SearchStrategy::Exhaustive,
+                    ctx,
+                )
+                .unwrap();
+                black_box(out.evaluations);
+            }
+        }
+    });
+    assert_eq!(n, 0, "exhaustive search over a kernel allocated {n} times");
+
+    // --- Resource-bounded search (the §III.B default) ----------------
+    let n = allocations(|| {
+        for age in &ages {
+            for _ in 0..50 {
+                let out = find_best_with(
+                    &kernel,
+                    layer,
+                    *age,
+                    0.005,
+                    (2, 2),
+                    SearchStrategy::ResourceBounded { k: 3 },
+                    ctx,
+                )
+                .unwrap();
+                black_box(out.evaluations);
+            }
+        }
+    });
+    assert_eq!(n, 0, "resource-bounded search allocated {n} times");
+
+    // --- Policy decision: scratch-buffer MLP forward -----------------
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut policy = OuPolicy::new(PolicyConfig::paper(), &mut rng);
+    let mut scratch = MlpScratch::new();
+    let features = [0.25, 0.6, 0.43, 0.1];
+    black_box(policy.predict_with(&features, &mut scratch)); // warmup sizes buffers
+    let n = allocations(|| {
+        for _ in 0..400 {
+            black_box(policy.predict_with(&features, &mut scratch));
+        }
+    });
+    assert_eq!(n, 0, "scratch MLP forward allocated {n} times");
+
+    // --- Replay-buffer cycle: fill, drain, 100-epoch update ----------
+    let mut buffer = ReplayBuffer::paper();
+    let mut examples: Vec<TrainingExample> = Vec::new();
+    // Warmup cycle: sizes the drain vector and the momentum buffers.
+    for i in 0..buffer.capacity() {
+        buffer.push(TrainingExample::new(features, i % 6, (i + 1) % 6));
+    }
+    buffer.drain_into(&mut examples);
+    policy.update_online_with(&examples, &mut scratch);
+    let n = allocations(|| {
+        for _ in 0..3 {
+            for i in 0..buffer.capacity() {
+                buffer.push(TrainingExample::new(features, i % 6, (i + 1) % 6));
+            }
+            buffer.drain_into(&mut examples);
+            black_box(policy.update_online_with(&examples, &mut scratch));
+        }
+    });
+    assert_eq!(n, 0, "replay-buffer update cycle allocated {n} times");
+
+    // --- Drift memo --------------------------------------------------
+    let mut memo = DriftMemo::new(DriftModel::new(&DeviceParams::paper()));
+    black_box(memo.scale_at(ages[0])); // warmup (memo storage is inline)
+    let n = allocations(|| {
+        for _ in 0..100 {
+            for age in &ages {
+                black_box(memo.scale_at(*age));
+            }
+        }
+    });
+    assert_eq!(n, 0, "drift memo allocated {n} times");
+}

@@ -1,0 +1,40 @@
+//! Perf-regression gate for the hot-path kernels: runs the shared
+//! `kernel_perf` measurement at a reduced round count, asserts the
+//! kernel/scalar parity contract, pins loose speedup floors, and
+//! records `BENCH_kernel.json` so a plain `cargo test` refreshes the
+//! numbers the README and DESIGN.md §10 quote.
+
+#[test]
+fn kernel_beats_scalar_reference_with_bit_parity() {
+    let report = odin_bench::kernel_perf::run(30);
+    assert!(
+        report.parity,
+        "kernel and scalar sweeps must be bit-identical:\n{report}"
+    );
+
+    // Loose floors, far below the typical margins (see BENCH_kernel
+    // .json), so a loaded CI box cannot flake the gate: the amortized
+    // grid pass and the drift memo must clearly beat their scalar
+    // references, and the fresh-build pass (table build + sweep, what
+    // the search seam actually runs) must at minimum not regress.
+    let amortized = report.row("grid_pass_amortized").expect("row exists");
+    assert!(
+        amortized.speedup > 1.2,
+        "amortized grid pass too slow:\n{report}"
+    );
+    let fresh = report.row("grid_pass_fresh").expect("row exists");
+    assert!(
+        fresh.speedup > 0.9,
+        "fresh-build grid pass regressed:\n{report}"
+    );
+    let drift = report.row("drift_scale").expect("row exists");
+    assert!(drift.speedup > 1.2, "drift memo too slow:\n{report}");
+    let mlp = report.row("mlp_forward").expect("row exists");
+    assert!(
+        mlp.speedup > 0.9,
+        "scratch MLP forward regressed:\n{report}"
+    );
+
+    let path = odin_bench::kernel_perf::write_report(&report).expect("BENCH_kernel.json written");
+    assert!(path.ends_with("BENCH_kernel.json"), "{}", path.display());
+}

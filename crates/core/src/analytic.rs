@@ -131,6 +131,18 @@ impl AnalyticModel {
         &self.nonideal
     }
 
+    /// The OU cost model (Eq. 1–2 with fixed per-cycle overheads).
+    #[must_use]
+    pub fn cost_model(&self) -> &OuCostModel {
+        &self.cost_model
+    }
+
+    /// Whether the OU scheduler additionally skips zero activations.
+    #[must_use]
+    pub fn uses_activation_sparsity(&self) -> bool {
+        self.use_activation_sparsity
+    }
+
     /// Evaluates one `(layer, shape)` pair at programming age `age`.
     ///
     /// Cycle counts come from the closed-form estimate (Eq. 1–2's

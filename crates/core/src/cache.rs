@@ -32,7 +32,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::analytic::{AnalyticModel, CandidateEval};
 use crate::error::OdinError;
-use crate::search::{OuEvaluator, SearchContext};
+use crate::kernel::GridEvals;
+use crate::search::{evaluate_grid_scalar, OuEvaluator, SearchContext};
 
 /// Hit/miss counters for the evaluation cache, surfaced per campaign
 /// in [`CampaignReport`](crate::CampaignReport).
@@ -228,6 +229,23 @@ impl OuEvaluator for CachedModel<'_> {
         match self.cache {
             Some(cache) => cache.evaluate(self.model, layer, shape, age, ctx),
             None => self.model.evaluate_faulty(layer, shape, age, ctx.faults),
+        }
+    }
+
+    /// With a cache attached, the grid sweep stays per-shape so every
+    /// candidate produces its usual tier-1/tier-2 cache traffic (the
+    /// hit/miss counters are part of the campaign report contract).
+    /// Without one, the sweep drops to the model's vectorized kernel.
+    fn evaluate_grid(
+        &self,
+        layer: &LayerDescriptor,
+        age: Seconds,
+        ctx: SearchContext<'_>,
+        out: &mut GridEvals,
+    ) -> Result<(), OdinError> {
+        match self.cache {
+            Some(_) => evaluate_grid_scalar(self, layer, age, ctx, out),
+            None => self.model.evaluate_grid(layer, age, ctx, out),
         }
     }
 }

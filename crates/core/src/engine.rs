@@ -31,8 +31,14 @@
 //!   sequential path.
 //!
 //! Workers are plain `std::thread::scope` threads (the build targets
-//! no external dependencies); shards never share mutable state, so no
-//! locks are involved anywhere.
+//! no external dependencies) held in a campaign-lifetime [`WorkerPool`]:
+//! the engine spawns one OS thread per shard **once per campaign** and
+//! feeds it per-round jobs over a channel, instead of re-spawning every
+//! thread every round. Shards never share mutable runtime state — the
+//! only lock anywhere guards the job queue's receive side.
+
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
 
 use odin_dnn::NetworkDescriptor;
 use odin_units::Seconds;
@@ -115,6 +121,51 @@ pub fn shard_seed(base: u64, shard: usize) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// A boxed unit of work fed to the pool; `'env` covers everything a
+/// job may borrow from outside the thread scope (the network, result
+/// channels).
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// A campaign-lifetime worker pool: `workers` scoped threads spawned
+/// once, each pulling boxed jobs off a shared channel until the pool —
+/// and with it the channel's send side — drops at the end of the
+/// campaign (or on an early error return, which disconnects the
+/// channel and lets the scope join cleanly). This replaces per-round
+/// `scope.spawn` calls, so a lockstep campaign pays thread start-up
+/// once per shard instead of once per shard per round.
+struct WorkerPool<'env> {
+    jobs: Sender<Job<'env>>,
+}
+
+impl<'env> WorkerPool<'env> {
+    /// Spawns `workers` pool threads on `scope`.
+    fn spawn<'scope>(scope: &'scope std::thread::Scope<'scope, 'env>, workers: usize) -> Self {
+        let (jobs, rx) = mpsc::channel::<Job<'env>>();
+        let rx = Arc::new(Mutex::new(rx));
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            scope.spawn(move || loop {
+                // The guard is held only while dequeueing (idle workers
+                // queue on the mutex, not on `recv`); it drops at the
+                // end of the match, before the job runs.
+                let job = match rx.lock().expect("pool queue poisoned").recv() {
+                    Ok(job) => job,
+                    Err(_) => break, // pool dropped: campaign over
+                };
+                job();
+            });
+        }
+        WorkerPool { jobs }
+    }
+
+    /// Queues one job; any idle worker picks it up.
+    fn submit(&self, job: impl FnOnce() + Send + 'env) {
+        self.jobs
+            .send(Box::new(job))
+            .expect("pool workers outlive submissions");
+    }
 }
 
 /// A multi-threaded campaign executor; see the [module docs](self)
@@ -246,68 +297,87 @@ impl CampaignEngine {
         };
         let mut runs = Vec::with_capacity(times.len());
         let mut skipped = Vec::new();
-        let mut next = 0;
-        while next < times.len() {
-            let width = self.shards.min(times.len() - next);
-            stats.rounds += 1;
-            stats.speculated += width as u64;
-            let round = &times[next..next + width];
-            let mut slots: Vec<Option<(OdinRuntime, Result<InferenceRecord, OdinError>)>> =
-                Vec::new();
-            slots.resize_with(width, || None);
-            std::thread::scope(|scope| {
-                for (w, slot) in slots.iter_mut().enumerate() {
+        let outcome: Result<(), OdinError> = std::thread::scope(|scope| {
+            let pool = WorkerPool::spawn(scope, self.shards);
+            let mut next = 0;
+            while next < times.len() {
+                let width = self.shards.min(times.len() - next);
+                stats.rounds += 1;
+                stats.speculated += width as u64;
+                let round = &times[next..next + width];
+                // Per-round result channel: every job owns a sender
+                // clone, so if a worker ever died mid-round the
+                // disconnect turns the receive below into a clean
+                // panic instead of a hang.
+                let (res_tx, res_rx) = mpsc::channel();
+                for (w, &t) in round.iter().enumerate() {
                     let mut worker = runtime.fork_shard();
-                    let t = round[w];
-                    scope.spawn(move || {
+                    let tx = res_tx.clone();
+                    pool.submit(move || {
                         let outcome = worker.run_inference(network, t);
-                        *slot = Some((worker, outcome));
+                        let _ = tx.send((w, worker, outcome));
                     });
                 }
-            });
-            // Greedy-prefix commit in schedule order: every run is
-            // valid for as long as all earlier runs of the round left
-            // the snapshot state untouched. The first state-changing
-            // run is committed last and its runtime adopted; anything
-            // speculated past it is discarded and re-run next round.
-            let mut accepted = 0;
-            for (w, slot) in slots.into_iter().enumerate() {
-                let (worker, outcome) = slot.expect("spawned worker fills its slot");
-                match outcome {
-                    Ok(record) => {
-                        let pure = record.leaves_state_untouched();
-                        runs.push(record);
-                        accepted = w + 1;
-                        if !pure || accepted == width {
-                            // Always adopt the last accepted worker:
-                            // for a pure run the semantic state equals
-                            // the snapshot, but its cache carries the
-                            // round's freshly computed entries.
+                drop(res_tx);
+                let mut slots: Vec<Option<(OdinRuntime, Result<InferenceRecord, OdinError>)>> =
+                    Vec::new();
+                slots.resize_with(width, || None);
+                for _ in 0..width {
+                    let (w, worker, outcome) =
+                        res_rx.recv().expect("a pool worker died mid-round");
+                    slots[w] = Some((worker, outcome));
+                }
+                // Greedy-prefix commit in schedule order: every run is
+                // valid for as long as all earlier runs of the round
+                // left the snapshot state untouched. The first
+                // state-changing run is committed last and its runtime
+                // adopted; anything speculated past it is discarded
+                // and re-run next round.
+                let mut accepted = 0;
+                for (w, slot) in slots.into_iter().enumerate() {
+                    let (worker, outcome) = slot.expect("every shard reports its slot");
+                    match outcome {
+                        Ok(record) => {
+                            let pure = record.leaves_state_untouched();
+                            runs.push(record);
+                            accepted = w + 1;
+                            if !pure || accepted == width {
+                                // Always adopt the last accepted worker:
+                                // for a pure run the semantic state equals
+                                // the snapshot, but its cache carries the
+                                // round's freshly computed entries.
+                                runtime.adopt(worker);
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            // All earlier runs this round were pure, so
+                            // the snapshot this worker mutated while
+                            // failing is exactly the sequential error
+                            // state.
+                            accepted = w + 1;
                             runtime.adopt(worker);
+                            if !resilient {
+                                // Dropping the pool on the way out
+                                // disconnects the job queue and lets
+                                // the scope join its workers.
+                                return Err(e);
+                            }
+                            skipped.push(SkippedRun {
+                                time: round[w],
+                                reason: e.to_string(),
+                            });
                             break;
                         }
                     }
-                    Err(e) => {
-                        // All earlier runs this round were pure, so the
-                        // snapshot this worker mutated while failing is
-                        // exactly the sequential error state.
-                        accepted = w + 1;
-                        runtime.adopt(worker);
-                        if !resilient {
-                            return Err(e);
-                        }
-                        skipped.push(SkippedRun {
-                            time: round[w],
-                            reason: e.to_string(),
-                        });
-                        break;
-                    }
                 }
+                stats.committed += accepted as u64;
+                stats.discarded += (width - accepted) as u64;
+                next += accepted;
             }
-            stats.committed += accepted as u64;
-            stats.discarded += (width - accepted) as u64;
-            next += accepted;
-        }
+            Ok(())
+        });
+        outcome?;
         Ok(CampaignReport {
             network: network.name().to_string(),
             strategy: runtime.strategy_label(),
@@ -333,6 +403,7 @@ impl CampaignEngine {
         let mut outputs: Vec<Vec<(usize, Result<InferenceRecord, OdinError>)>> = Vec::new();
         outputs.resize_with(shards, Vec::new);
         std::thread::scope(|scope| {
+            let pool = WorkerPool::spawn(scope, shards);
             for (shard, (shard_rt, out)) in
                 shard_runtimes.iter_mut().zip(outputs.iter_mut()).enumerate()
             {
@@ -342,7 +413,7 @@ impl CampaignEngine {
                     .enumerate()
                     .filter(|(index, _)| index % shards == shard)
                     .collect();
-                scope.spawn(move || {
+                pool.submit(move || {
                     for (index, t) in slice {
                         let outcome = shard_rt.run_inference(network, t);
                         let failed = outcome.is_err();

@@ -1,0 +1,564 @@
+//! Flat, SIMD-friendly evaluation of the whole OU candidate grid.
+//!
+//! The scalar path scores candidates one shape at a time through
+//! [`OuEvaluator::evaluate_in`]: every call rebuilds the layer's
+//! crossbar mapping, walks every mapped tile, and recomputes the drift
+//! severity (`powf`) even though neither depends on the shape being
+//! scored. For the exhaustive search that is 36 virtual calls per
+//! layer per decision, each doing redundant work.
+//!
+//! [`LayerKernel`] restructures the loop. At construction it
+//! precomputes everything shape-dependent but *age-independent* into
+//! fixed structure-of-arrays tables indexed by the row-major grid
+//! position `r · levels + c`:
+//!
+//! | table    | contents                                     | Eq.   |
+//! |----------|----------------------------------------------|-------|
+//! | `shapes` | the `(R, C)` candidate at each grid slot     | —     |
+//! | `cost`   | energy/latency of one inference at the shape | 1–2   |
+//! | `edp`    | `energy × latency`, the search objective     | —     |
+//! | `ir`     | IR-drop fraction (wire-resistance term)      | 4     |
+//!
+//! A grid evaluation is then one pass over flat `f64` tables: the
+//! drift severity is computed **once** per pass (the only `powf`),
+//! impacts are a fused multiply over `ir`, and results land in a
+//! stack-allocated [`GridEvals`] buffer — zero heap allocations per
+//! decision.
+//!
+//! # Parity contract
+//!
+//! The kernel is **bit-for-bit identical** to the scalar path. The
+//! cost tables are built by the same [`OuCostModel::layer_cost`] call
+//! the scalar path makes (the per-tile cycle loop is collapsed into at
+//! most four tile *classes*, whose exact integer cycle counts sum and
+//! max to the same values), and the impact arithmetic reproduces
+//! `sensitivity · (ir · severity + fault_term)` with the same
+//! association the scalar [`AnalyticModel::impact_of`] uses. The
+//! proptests below and the campaign-level tests in this module enforce
+//! this; any deviation is a bug, not a tolerance.
+//!
+//! [`OuCostModel::layer_cost`]: odin_arch::OuCostModel::layer_cost
+//! [`AnalyticModel::impact_of`]: crate::AnalyticModel::impact_of
+
+use odin_arch::LayerCost;
+use odin_dnn::LayerDescriptor;
+use odin_units::{EnergyDelayProduct, Seconds};
+use odin_xbar::{
+    estimate_cycles_with_activations, LayerMapping, NonIdealityModel, OuGrid, OuShape,
+};
+
+use crate::analytic::{AnalyticModel, CandidateEval};
+use crate::error::OdinError;
+use crate::search::{level_cap, OuEvaluator, SearchContext};
+
+/// The largest possible candidate grid: OU dimensions span 4..=128 in
+/// powers of two, i.e. at most 6 levels per axis → 36 shapes.
+pub const MAX_GRID_SHAPES: usize = 36;
+
+/// A fixed-capacity, stack-allocated buffer of candidate evaluations
+/// covering one (possibly wear-capped) grid pass in row-major `(r, c)`
+/// level order.
+///
+/// Reusing one `GridEvals` across decisions keeps the hot path free of
+/// heap allocations; `clear` resets the length without touching the
+/// storage.
+#[derive(Debug, Clone)]
+pub struct GridEvals {
+    items: [Option<CandidateEval>; MAX_GRID_SHAPES],
+    len: usize,
+}
+
+impl GridEvals {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            items: [None; MAX_GRID_SHAPES],
+            len: 0,
+        }
+    }
+
+    /// Empties the buffer (capacity is fixed; nothing is freed).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Appends an evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer already holds [`MAX_GRID_SHAPES`] entries.
+    pub fn push(&mut self, eval: CandidateEval) {
+        assert!(self.len < MAX_GRID_SHAPES, "grid buffer overflow");
+        self.items[self.len] = Some(eval);
+        self.len += 1;
+    }
+
+    /// Evaluations pushed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing has been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The evaluations in push order.
+    pub fn iter(&self) -> impl Iterator<Item = &CandidateEval> {
+        self.items[..self.len].iter().flatten()
+    }
+}
+
+impl Default for GridEvals {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Shape-dependent, age-independent evaluation tables for one layer:
+/// the vectorized counterpart of scoring the layer against every grid
+/// shape through [`AnalyticModel::evaluate_faulty`].
+///
+/// Build once per `(layer, fabric)` pair, then call
+/// [`evaluate_grid_into`](Self::evaluate_grid_into) per age — each
+/// call is a single pass over flat tables with one `powf`.
+///
+/// # Examples
+///
+/// ```
+/// use odin_core::kernel::{GridEvals, LayerKernel};
+/// use odin_core::search::SearchContext;
+/// use odin_core::AnalyticModel;
+/// use odin_dnn::zoo::{self, Dataset};
+/// use odin_units::Seconds;
+/// use odin_xbar::CrossbarConfig;
+///
+/// let model = AnalyticModel::new(CrossbarConfig::paper_128())?;
+/// let net = zoo::vgg11(Dataset::Cifar10);
+/// let kernel = LayerKernel::new(&model, &net.layers()[4])?;
+/// let mut evals = GridEvals::new();
+/// kernel.evaluate_grid_into(Seconds::new(1e3), SearchContext::default(), &mut evals);
+/// assert_eq!(evals.len(), 36);
+/// # Ok::<(), odin_core::OdinError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LayerKernel {
+    grid: OuGrid,
+    levels: usize,
+    layer_index: usize,
+    sensitivity: f64,
+    shapes: [OuShape; MAX_GRID_SHAPES],
+    cost: [LayerCost; MAX_GRID_SHAPES],
+    edp: [EnergyDelayProduct; MAX_GRID_SHAPES],
+    ir: [f64; MAX_GRID_SHAPES],
+    nonideal: NonIdealityModel,
+}
+
+impl LayerKernel {
+    /// Precomputes the grid tables for one layer on `model`'s fabric.
+    ///
+    /// The per-tile cycle loop of the scalar path is collapsed into at
+    /// most four tile classes (interior, right edge, bottom edge,
+    /// corner — every mapped tile is one of these), whose integer
+    /// cycle counts reproduce the tile loop's sum and max exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::Mapping`] when the layer cannot be mapped.
+    pub fn new(model: &AnalyticModel, layer: &LayerDescriptor) -> Result<Self, OdinError> {
+        let grid = model.grid();
+        let levels = grid.levels_per_axis();
+        let mapping =
+            LayerMapping::new(layer.fan_in(), layer.fan_out(), model.crossbar().size())?;
+        let activation_sparsity = if model.uses_activation_sparsity() {
+            layer.activation_sparsity()
+        } else {
+            0.0
+        };
+        let positions = layer.output_positions() as u64;
+        let size = mapping.crossbar_size();
+        let lcpt = mapping.logical_cols_per_tile();
+        let (td, ta) = (mapping.tiles_down(), mapping.tiles_across());
+        let r_last = mapping.rows() - (td - 1) * size;
+        let c_last = mapping.cols() - (ta - 1) * lcpt;
+        // (tile rows, tile cols, how many such tiles). Counts multiply
+        // the per-class cycle count; u64 sums are exact, so the total
+        // and critical match the scalar per-tile loop bit for bit.
+        let classes: [(usize, usize, u64); 4] = [
+            (size, lcpt, ((td - 1) * (ta - 1)) as u64),
+            (size, c_last, (td - 1) as u64),
+            (r_last, lcpt, (ta - 1) as u64),
+            (r_last, c_last, 1),
+        ];
+
+        let mut shapes = [grid.shape(0, 0); MAX_GRID_SHAPES];
+        let mut cost = [LayerCost::ZERO; MAX_GRID_SHAPES];
+        let mut edp = [LayerCost::ZERO.edp(); MAX_GRID_SHAPES];
+        let mut ir = [0.0f64; MAX_GRID_SHAPES];
+        for r in 0..levels {
+            for c in 0..levels {
+                let i = r * levels + c;
+                let shape = grid.shape(r, c);
+                let mut total = 0u64;
+                let mut critical = 0u64;
+                for &(tile_rows, tile_cols, count) in &classes {
+                    if count == 0 {
+                        continue;
+                    }
+                    let cycles = estimate_cycles_with_activations(
+                        tile_rows,
+                        tile_cols,
+                        layer.sparsity(),
+                        activation_sparsity,
+                        shape,
+                    );
+                    total += cycles * count;
+                    critical = critical.max(cycles);
+                }
+                shapes[i] = shape;
+                cost[i] = model.cost_model().layer_cost(
+                    shape,
+                    total * positions,
+                    critical * positions,
+                    mapping.crossbar_count(),
+                );
+                edp[i] = cost[i].edp();
+                ir[i] = model.nonideality().ir_fraction(shape);
+            }
+        }
+        Ok(Self {
+            grid,
+            levels,
+            layer_index: layer.index(),
+            sensitivity: layer.sensitivity(),
+            shapes,
+            cost,
+            edp,
+            ir,
+            nonideal: model.nonideality().clone(),
+        })
+    }
+
+    /// The index of the layer these tables were built for.
+    #[must_use]
+    pub fn layer_index(&self) -> usize {
+        self.layer_index
+    }
+
+    /// Scores the whole (possibly wear-capped) grid at programming age
+    /// `age` in one pass, appending into `out` in row-major level
+    /// order — the same visit order as the scalar exhaustive search.
+    ///
+    /// The drift severity is computed once (hoisting the `powf` out of
+    /// the loop is bit-safe: the scalar path multiplies the same two
+    /// factors in the same order per shape), impacts are one
+    /// multiply-add sweep over the flat `ir` table, and no heap is
+    /// touched.
+    pub fn evaluate_grid_into(&self, age: Seconds, ctx: SearchContext<'_>, out: &mut GridEvals) {
+        out.clear();
+        let cap = level_cap(self.levels, ctx.max_level);
+        let severity = self.nonideal.drift_severity(age);
+        let mut impacts = [0.0f64; MAX_GRID_SHAPES];
+        let n = self.levels * self.levels;
+        match ctx.faults {
+            // One flat sweep over the table; the compiler vectorizes
+            // this multiply.
+            None => {
+                for (impact, &ir) in impacts[..n].iter_mut().zip(&self.ir[..n]) {
+                    *impact = self.sensitivity * (ir * severity);
+                }
+            }
+            // Matches impact_of: the fault term joins the raw
+            // non-ideality before the sensitivity weighting.
+            Some(profile) => {
+                for (i, impact) in impacts[..n].iter_mut().enumerate() {
+                    *impact = self.sensitivity
+                        * (self.ir[i] * severity
+                            + self.nonideal.fault_impact(profile, self.shapes[i]));
+                }
+            }
+        }
+        for r in 0..=cap {
+            for c in 0..=cap {
+                let i = r * self.levels + c;
+                out.push(CandidateEval {
+                    shape: self.shapes[i],
+                    cost: self.cost[i],
+                    edp: self.edp[i],
+                    impact: impacts[i],
+                });
+            }
+        }
+    }
+}
+
+impl OuEvaluator for LayerKernel {
+    fn grid(&self) -> OuGrid {
+        self.grid
+    }
+
+    /// Single-shape lookup against the precomputed tables. The kernel
+    /// is pre-bound to its layer; `layer` is only sanity-checked.
+    fn evaluate_in(
+        &self,
+        layer: &LayerDescriptor,
+        shape: OuShape,
+        age: Seconds,
+        ctx: SearchContext<'_>,
+    ) -> Result<CandidateEval, OdinError> {
+        debug_assert_eq!(
+            layer.index(),
+            self.layer_index,
+            "kernel queried with a foreign layer"
+        );
+        let (r, c) = self.grid.levels_of(shape).ok_or(OdinError::InvalidConfig {
+            name: "shape",
+            reason: "not on the OU grid this kernel was built for",
+        })?;
+        let i = r * self.levels + c;
+        let mut nonideality = self.ir[i] * self.nonideal.drift_severity(age);
+        if let Some(profile) = ctx.faults {
+            nonideality += self.nonideal.fault_impact(profile, self.shapes[i]);
+        }
+        Ok(CandidateEval {
+            shape: self.shapes[i],
+            cost: self.cost[i],
+            edp: self.edp[i],
+            impact: self.sensitivity * nonideality,
+        })
+    }
+
+    fn evaluate_grid(
+        &self,
+        layer: &LayerDescriptor,
+        age: Seconds,
+        ctx: SearchContext<'_>,
+        out: &mut GridEvals,
+    ) -> Result<(), OdinError> {
+        debug_assert_eq!(
+            layer.index(),
+            self.layer_index,
+            "kernel queried with a foreign layer"
+        );
+        self.evaluate_grid_into(age, ctx, out);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{evaluate_grid_scalar, find_best_with, SearchStrategy};
+    use odin_device::{FaultKind, FaultMap};
+    use odin_dnn::zoo::{self, Dataset};
+    use odin_xbar::{CrossbarConfig, FaultProfile};
+    use proptest::prelude::*;
+
+    fn model() -> AnalyticModel {
+        AnalyticModel::new(CrossbarConfig::paper_128()).unwrap()
+    }
+
+    fn wall_profile(stride: usize) -> FaultProfile {
+        let mut map = FaultMap::new();
+        for row in (0..128).step_by(stride.max(1)) {
+            map.insert(row, row % 64, FaultKind::StuckOff);
+        }
+        FaultProfile::from_map(&map, 128)
+    }
+
+    fn assert_bit_identical(a: &CandidateEval, b: &CandidateEval) {
+        assert_eq!(a.shape, b.shape);
+        assert_eq!(a.cost.energy.value().to_bits(), b.cost.energy.value().to_bits());
+        assert_eq!(a.cost.latency.value().to_bits(), b.cost.latency.value().to_bits());
+        assert_eq!(a.edp.value().to_bits(), b.edp.value().to_bits());
+        assert_eq!(a.impact.to_bits(), b.impact.to_bits());
+    }
+
+    #[test]
+    fn kernel_matches_scalar_on_every_shape_and_layer() {
+        let m = model();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        for layer in net.layers() {
+            let kernel = LayerKernel::new(&m, layer).unwrap();
+            for age in [0.0, 1.0, 1e4, 2.75e7, 1e9] {
+                let age = Seconds::new(age);
+                for shape in m.grid().iter() {
+                    let scalar = m.evaluate_faulty(layer, shape, age, None).unwrap();
+                    let fast = kernel
+                        .evaluate_in(layer, shape, age, SearchContext::default())
+                        .unwrap();
+                    assert_bit_identical(&scalar, &fast);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_matches_scalar_under_faults() {
+        let m = model();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let profile = wall_profile(3);
+        let ctx = SearchContext {
+            faults: Some(&profile),
+            max_level: None,
+            generation: 7,
+        };
+        for layer in net.layers() {
+            let kernel = LayerKernel::new(&m, layer).unwrap();
+            let age = Seconds::new(1e6);
+            for shape in m.grid().iter() {
+                let scalar = m
+                    .evaluate_faulty(layer, shape, age, Some(&profile))
+                    .unwrap();
+                let fast = kernel.evaluate_in(layer, shape, age, ctx).unwrap();
+                assert_bit_identical(&scalar, &fast);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_pass_matches_scalar_sweep_order_and_bits() {
+        let m = model();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let profile = wall_profile(5);
+        for layer in net.layers() {
+            let kernel = LayerKernel::new(&m, layer).unwrap();
+            for (faults, max_level) in [
+                (None, None),
+                (None, Some(1)),
+                (Some(&profile), None),
+                (Some(&profile), Some(3)),
+            ] {
+                let ctx = SearchContext {
+                    faults,
+                    max_level,
+                    generation: 0,
+                };
+                let age = Seconds::new(3.3e5);
+                let mut fast = GridEvals::new();
+                kernel.evaluate_grid_into(age, ctx, &mut fast);
+                let mut scalar = GridEvals::new();
+                evaluate_grid_scalar(&m, layer, age, ctx, &mut scalar).unwrap();
+                assert_eq!(fast.len(), scalar.len());
+                for (a, b) in fast.iter().zip(scalar.iter()) {
+                    assert_bit_identical(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn off_grid_shape_is_rejected() {
+        let m = model();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let kernel = LayerKernel::new(&m, &net.layers()[0]).unwrap();
+        let err = kernel
+            .evaluate_in(
+                &net.layers()[0],
+                OuShape::new(3, 5),
+                Seconds::ZERO,
+                SearchContext::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, OdinError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn grid_buffer_reuse_is_clean() {
+        let m = model();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let kernel = LayerKernel::new(&m, &net.layers()[2]).unwrap();
+        let mut out = GridEvals::new();
+        kernel.evaluate_grid_into(Seconds::ZERO, SearchContext::default(), &mut out);
+        assert_eq!(out.len(), 36);
+        let capped = SearchContext {
+            faults: None,
+            max_level: Some(0),
+            generation: 0,
+        };
+        kernel.evaluate_grid_into(Seconds::new(5.0), capped, &mut out);
+        assert_eq!(out.len(), 1, "clear() resets stale entries");
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn grid_buffer_overflow_panics() {
+        let m = model();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let kernel = LayerKernel::new(&m, &net.layers()[0]).unwrap();
+        let mut out = GridEvals::new();
+        kernel.evaluate_grid_into(Seconds::ZERO, SearchContext::default(), &mut out);
+        let extra = *out.iter().next().unwrap();
+        out.push(extra);
+    }
+
+    #[test]
+    fn search_over_kernel_matches_search_over_model() {
+        let m = model();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let profile = wall_profile(2);
+        for layer in net.layers() {
+            let kernel = LayerKernel::new(&m, layer).unwrap();
+            for strategy in [SearchStrategy::Exhaustive, SearchStrategy::paper()] {
+                for faults in [None, Some(&profile)] {
+                    let ctx = SearchContext {
+                        faults,
+                        max_level: None,
+                        generation: 0,
+                    };
+                    let age = Seconds::new(1e5);
+                    let a =
+                        find_best_with(&m, layer, age, 0.005, (2, 2), strategy, ctx).unwrap();
+                    let b =
+                        find_best_with(&kernel, layer, age, 0.005, (2, 2), strategy, ctx)
+                            .unwrap();
+                    assert_eq!(a.evaluations, b.evaluations);
+                    match (a.best, b.best) {
+                        (Some(x), Some(y)) => assert_bit_identical(&x, &y),
+                        (None, None) => {}
+                        other => panic!("feasibility disagreement: {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn kernel_is_bit_identical_over_random_layers_ages_and_faults(
+            layer_idx in 0usize..9,
+            age in 0.0f64..1e9,
+            stride in 1usize..40,
+            use_faults in proptest::bool::ANY,
+            max_level in proptest::option::of(0usize..6),
+        ) {
+            let m = model();
+            let net = zoo::vgg11(Dataset::Cifar10);
+            let layer = &net.layers()[layer_idx];
+            let kernel = LayerKernel::new(&m, layer).unwrap();
+            let profile = wall_profile(stride);
+            let ctx = SearchContext {
+                faults: use_faults.then_some(&profile),
+                max_level,
+                generation: 1,
+            };
+            let age = Seconds::new(age);
+            let mut fast = GridEvals::new();
+            kernel.evaluate_grid_into(age, ctx, &mut fast);
+            let mut scalar = GridEvals::new();
+            evaluate_grid_scalar(&m, layer, age, ctx, &mut scalar).unwrap();
+            prop_assert_eq!(fast.len(), scalar.len());
+            for (a, b) in fast.iter().zip(scalar.iter()) {
+                prop_assert_eq!(a.shape, b.shape);
+                prop_assert_eq!(a.edp.value().to_bits(), b.edp.value().to_bits());
+                prop_assert_eq!(a.impact.to_bits(), b.impact.to_bits());
+                prop_assert_eq!(a.cost.energy.value().to_bits(), b.cost.energy.value().to_bits());
+                prop_assert_eq!(a.cost.latency.value().to_bits(), b.cost.latency.value().to_bits());
+            }
+        }
+    }
+}

@@ -53,6 +53,7 @@ pub mod accuracy;
 pub mod baselines;
 pub mod engine;
 pub mod fabric;
+pub mod kernel;
 pub mod offline;
 pub mod prelude;
 pub mod search;

@@ -24,6 +24,7 @@ pub use crate::config::OdinConfig;
 pub use crate::engine::{shard_seed, CampaignEngine, EngineStats, ShardMode};
 pub use crate::error::OdinError;
 pub use crate::fabric::{DegradationEvent, DegradationPolicy, FabricHealth};
+pub use crate::kernel::{GridEvals, LayerKernel};
 pub use crate::runtime::{
     CampaignReport, InferenceRecord, LayerDecision, OdinRuntime, RuntimeBuilder, SkippedRun,
     DEFAULT_RNG_SEED,

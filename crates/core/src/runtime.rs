@@ -1,10 +1,12 @@
 //! The Odin online-learning runtime (Algorithm 1), with an optional
 //! fault- and wear-aware degradation ladder (see [`crate::fabric`]).
 
+use std::cell::RefCell;
+
 use odin_arch::{LayerCost, OverheadLedger};
 use odin_device::ReprogramCost;
 use odin_dnn::{LayerDescriptor, NetworkDescriptor};
-use odin_policy::{OuPolicy, ReplayBuffer, TrainingExample};
+use odin_policy::{MlpScratch, OuPolicy, ReplayBuffer, TrainingExample};
 use odin_units::{EnergyDelayProduct, Joules, Seconds};
 use odin_xbar::OuShape;
 use rand::{Rng, SeedableRng};
@@ -283,6 +285,21 @@ enum Decide {
     },
 }
 
+/// Reusable hot-path buffers: the MLP forward/backward scratch, the
+/// per-run batched feature/probability arrays, and the drained
+/// training-example batch. Purely an allocation sink — nothing in here
+/// carries semantic state, so cloning or discarding it never changes a
+/// decision. Held behind [`RefCell`] because decision making borrows
+/// the runtime immutably.
+#[derive(Debug, Clone, Default)]
+struct RuntimeScratch {
+    mlp: MlpScratch,
+    features: Vec<f64>,
+    probs_a: Vec<f64>,
+    probs_b: Vec<f64>,
+    examples: Vec<TrainingExample>,
+}
+
 /// The Odin online-learning runtime: policy prediction, bounded
 /// search, reprogramming, and buffered policy updates — plus, when
 /// fabric-health tracking is attached, the graceful-degradation ladder
@@ -299,6 +316,7 @@ pub struct OdinRuntime {
     last_programmed: Seconds,
     fabric: Option<FabricHealth>,
     cache: Option<EvalCache>,
+    scratch: RefCell<RuntimeScratch>,
 }
 
 /// Step-by-step construction of an [`OdinRuntime`] — the one front
@@ -423,6 +441,7 @@ impl OdinRuntime {
             last_programmed: Seconds::ZERO,
             fabric,
             cache: eval_cache.then(EvalCache::default),
+            scratch: RefCell::new(RuntimeScratch::default()),
         })
     }
 
@@ -550,8 +569,11 @@ impl OdinRuntime {
                     .push(TrainingExample::new(phi.as_array(), row, col));
             }
             if self.buffer.is_full() {
-                let examples = self.buffer.drain();
-                self.policy.update_online(&examples);
+                let mut scratch = self.scratch.borrow_mut();
+                let scratch = &mut *scratch;
+                self.buffer.drain_into(&mut scratch.examples);
+                self.policy
+                    .update_online_with(&scratch.examples, &mut scratch.mlp);
                 policy_updated = true;
             }
         }
@@ -721,8 +743,28 @@ impl OdinRuntime {
         let grid = self.model.grid();
         let eta = self.config.eta();
         let evaluator = CachedModel::new(&self.model, self.cache.as_ref());
-        let mut decisions = Vec::with_capacity(n);
+        // One batched forward pass over every layer's features supplies
+        // both the argmax seeds and the confidence distributions —
+        // replacing up to 2n single-row passes, row arithmetic
+        // unchanged. The scratch buffers make the steady state
+        // allocation-free.
+        let mut scratch = self.scratch.borrow_mut();
+        let scratch = &mut *scratch;
+        scratch.features.clear();
         for layer in network.layers() {
+            scratch
+                .features
+                .extend_from_slice(&LayerFeatures::extract(layer, n, age).as_array());
+        }
+        self.policy.predict_batch(
+            &scratch.features,
+            &mut scratch.mlp,
+            &mut scratch.probs_a,
+            &mut scratch.probs_b,
+        );
+        let levels = self.policy.config().levels;
+        let mut decisions = Vec::with_capacity(n);
+        for (row, layer) in network.layers().iter().enumerate() {
             if let Some(fabric) = &self.fabric {
                 if fabric.stranded(layer.index()) {
                     if !fabric.policy().allow_degraded {
@@ -740,8 +782,9 @@ impl OdinRuntime {
                 }
             }
             let ctx = self.layer_environment(layer.index());
-            let phi = LayerFeatures::extract(layer, n, age);
-            let seed = self.policy.predict(&phi.as_array());
+            let pa = &scratch.probs_a[row * levels..(row + 1) * levels];
+            let pb = &scratch.probs_b[row * levels..(row + 1) * levels];
+            let seed = (argmax(pa), argmax(pb));
             let (seed_r, seed_c) = grid.clamp_levels(seed.0, seed.1);
             let predicted = grid.shape(seed_r, seed_c);
             // Uncertainty-aware extension: a low-confidence prediction
@@ -749,8 +792,7 @@ impl OdinRuntime {
             // budget on that layer instead.
             let strategy = match self.config.confidence_escalation() {
                 Some(threshold) => {
-                    let (pa, pb) = self.policy.predict_proba(&phi.as_array());
-                    let conf = max_prob(&pa) * max_prob(&pb);
+                    let conf = max_prob(pa) * max_prob(pb);
                     if conf < threshold {
                         SearchStrategy::Exhaustive
                     } else {
@@ -963,8 +1005,26 @@ impl OdinRuntime {
     }
 }
 
+/// Module-level alias of [`OdinRuntime::DEFAULT_RNG_SEED`] backing the
+/// crate-root and prelude re-exports (associated constants cannot be
+/// `use`d directly).
+pub const DEFAULT_RNG_SEED: u64 = OdinRuntime::DEFAULT_RNG_SEED;
+
 fn max_prob(p: &[f64]) -> f64 {
     p.iter().copied().fold(0.0, f64::max)
+}
+
+/// First-max argmax, bit-compatible with [`OuPolicy::predict`]'s head
+/// decision (strict `>`, earliest winner) so batched rows and
+/// single-row predictions always agree.
+fn argmax(p: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in p.iter().enumerate().skip(1) {
+        if v > p[best] {
+            best = i;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -973,6 +1033,7 @@ mod tests {
     use crate::fabric::DegradationPolicy;
     use odin_device::{EnduranceModel, FaultInjector};
     use odin_dnn::zoo::{self, Dataset};
+    use proptest::prelude::*;
     use rand::SeedableRng;
 
     fn rng() -> rand::rngs::StdRng {
@@ -1409,6 +1470,68 @@ mod tests {
             assert!(!run.reprogrammed && !run.policy_updated);
             assert!(run.events.is_empty());
             assert!(run.decisions.iter().all(|d| !d.mismatch));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The vectorized kernel path (`eval_cache(false)` routes
+        /// exhaustive sweeps through `LayerKernel`) must produce the
+        /// exact [`LayerDecision`] sequences of the scalar cached
+        /// path over random campaigns — strategies, seeds, schedules,
+        /// fault-free and fault-seeded fabrics alike.
+        #[test]
+        fn kernel_and_scalar_paths_agree_on_random_campaigns(
+            seed in 0u64..1_000,
+            exhaustive in proptest::bool::ANY,
+            fault_rate in prop_oneof![Just(0.0), 0.0005f64..0.02],
+            spares in 0usize..3,
+            cycles in 1e3f64..1e6,
+            fault_seed in 0u64..1_000,
+            steps in 6usize..12,
+            horizon_exp in 4i32..9,
+        ) {
+            let net = zoo::vgg11(Dataset::Cifar10);
+            let schedule = TimeSchedule::geometric(1.0, 10f64.powi(horizon_exp), steps);
+            let strategy = if exhaustive {
+                SearchStrategy::Exhaustive
+            } else {
+                SearchStrategy::paper()
+            };
+            let config = || {
+                OdinConfig::builder().strategy(strategy).build().unwrap()
+            };
+            let fabric = || {
+                let mut fault_rng = rand::rngs::StdRng::seed_from_u64(fault_seed);
+                FabricHealth::new(
+                    9,
+                    128,
+                    spares,
+                    &FaultInjector::new(fault_rate, 0.5),
+                    EnduranceModel::new(cycles),
+                    DegradationPolicy::paper(),
+                    &mut fault_rng,
+                )
+            };
+            let mut scalar = OdinRuntime::builder(config())
+                .rng_seed(seed)
+                .fabric(fabric())
+                .build()
+                .unwrap();
+            let mut kernel = OdinRuntime::builder(config())
+                .rng_seed(seed)
+                .fabric(fabric())
+                .eval_cache(false)
+                .build()
+                .unwrap();
+            let a = scalar.run_campaign_resilient(&net, &schedule);
+            let b = kernel.run_campaign_resilient(&net, &schedule);
+            for (ra, rb) in a.runs.iter().zip(&b.runs) {
+                prop_assert_eq!(&ra.decisions, &rb.decisions);
+            }
+            prop_assert_eq!(a.runs, b.runs);
+            prop_assert_eq!(a.skipped, b.skipped);
         }
     }
 }

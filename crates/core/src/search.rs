@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::analytic::{AnalyticModel, CandidateEval};
 use crate::error::OdinError;
+use crate::kernel::{GridEvals, LayerKernel};
 
 /// A source of candidate evaluations for the OU search.
 ///
@@ -33,6 +34,52 @@ pub trait OuEvaluator {
         age: Seconds,
         ctx: SearchContext<'_>,
     ) -> Result<CandidateEval, OdinError>;
+
+    /// Scores the whole (wear-capped) grid for one layer in row-major
+    /// level order, appending into `out`.
+    ///
+    /// The default implementation issues one [`evaluate_in`] call per
+    /// shape; evaluators with a vectorized kernel override it to score
+    /// the grid in a single flat pass. Either way the buffer contents
+    /// must be bit-identical — the override is an optimization, never
+    /// a semantic fork.
+    ///
+    /// [`evaluate_in`]: OuEvaluator::evaluate_in
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::Mapping`] when the layer cannot be mapped.
+    fn evaluate_grid(
+        &self,
+        layer: &LayerDescriptor,
+        age: Seconds,
+        ctx: SearchContext<'_>,
+        out: &mut GridEvals,
+    ) -> Result<(), OdinError> {
+        evaluate_grid_scalar(self, layer, age, ctx, out)
+    }
+}
+
+/// The reference grid sweep: one [`OuEvaluator::evaluate_in`] call per
+/// shape, row-major within the wear cap. Both the trait's default
+/// [`OuEvaluator::evaluate_grid`] and the cache-counting path use it,
+/// and the kernel parity tests diff against it.
+pub(crate) fn evaluate_grid_scalar<E: OuEvaluator + ?Sized>(
+    model: &E,
+    layer: &LayerDescriptor,
+    age: Seconds,
+    ctx: SearchContext<'_>,
+    out: &mut GridEvals,
+) -> Result<(), OdinError> {
+    let grid = model.grid();
+    let cap = level_cap(grid.levels_per_axis(), ctx.max_level);
+    out.clear();
+    for r in 0..=cap {
+        for c in 0..=cap {
+            out.push(model.evaluate_in(layer, grid.shape(r, c), age, ctx)?);
+        }
+    }
+    Ok(())
 }
 
 impl OuEvaluator for AnalyticModel {
@@ -48,6 +95,22 @@ impl OuEvaluator for AnalyticModel {
         ctx: SearchContext<'_>,
     ) -> Result<CandidateEval, OdinError> {
         self.evaluate_faulty(layer, shape, age, ctx.faults)
+    }
+
+    /// Full-grid scoring goes through the flat [`LayerKernel`]: one
+    /// mapping construction and one `powf` for the whole grid instead
+    /// of 36 of each. Bit-identical to the scalar sweep (enforced by
+    /// the kernel module's proptests).
+    fn evaluate_grid(
+        &self,
+        layer: &LayerDescriptor,
+        age: Seconds,
+        ctx: SearchContext<'_>,
+        out: &mut GridEvals,
+    ) -> Result<(), OdinError> {
+        let kernel = LayerKernel::new(self, layer)?;
+        kernel.evaluate_grid_into(age, ctx, out);
+        Ok(())
     }
 }
 
@@ -181,23 +244,26 @@ pub fn find_best_with<E: OuEvaluator>(
 ) -> Result<SearchOutcome, OdinError> {
     match strategy {
         SearchStrategy::Exhaustive => {
-            let grid = model.grid();
-            let cap = level_cap(grid.levels_per_axis(), ctx.max_level);
+            // Score the whole grid in one evaluator pass (vectorized
+            // where the evaluator supports it), then scan the flat
+            // buffer. The buffer preserves row-major visit order, so
+            // the min-EDP scan below breaks ties exactly like the old
+            // nested evaluate-as-you-go loop.
+            let mut evals = GridEvals::new();
+            model.evaluate_grid(layer, age, ctx, &mut evals)?;
             let mut best: Option<CandidateEval> = None;
-            let mut evaluations = 0;
-            for r in 0..=cap {
-                for c in 0..=cap {
-                    let eval = model.evaluate_in(layer, grid.shape(r, c), age, ctx)?;
-                    evaluations += 1;
-                    if !eval.feasible(eta) {
-                        continue;
-                    }
-                    if best.map_or(true, |b| eval.edp < b.edp) {
-                        best = Some(eval);
-                    }
+            for eval in evals.iter() {
+                if !eval.feasible(eta) {
+                    continue;
+                }
+                if best.map_or(true, |b| eval.edp < b.edp) {
+                    best = Some(*eval);
                 }
             }
-            Ok(SearchOutcome { best, evaluations })
+            Ok(SearchOutcome {
+                best,
+                evaluations: evals.len(),
+            })
         }
         SearchStrategy::ResourceBounded { k } => {
             resource_bounded(model, layer, age, eta, seed_levels, k, ctx)
@@ -206,7 +272,7 @@ pub fn find_best_with<E: OuEvaluator>(
 }
 
 /// Highest visitable level index under an optional wear cap.
-fn level_cap(levels_per_axis: usize, max_level: Option<usize>) -> usize {
+pub(crate) fn level_cap(levels_per_axis: usize, max_level: Option<usize>) -> usize {
     let full = levels_per_axis - 1;
     max_level.map_or(full, |m| m.min(full))
 }

@@ -97,6 +97,84 @@ impl DriftModel {
     }
 }
 
+/// A small memo over [`DriftModel`] decay factors, keyed on the exact
+/// bit pattern of the query time (one "age bucket" per distinct
+/// programming age), so repeated evaluations at the same age — a grid
+/// sweep, a campaign round, a batch of cells — pay the `powf` once.
+///
+/// The table is a fixed-size direct-mapped array: no heap, collisions
+/// simply recompute and replace. **Bit-transparent** by construction —
+/// a memoized answer is the exact value the wrapped model returns,
+/// because it *is* that value, stored.
+///
+/// # Examples
+///
+/// ```
+/// use odin_device::{DeviceParams, DriftMemo, DriftModel};
+/// use odin_units::Seconds;
+///
+/// let model = DriftModel::new(&DeviceParams::paper());
+/// let mut memo = DriftMemo::new(model.clone());
+/// let t = Seconds::new(1e4);
+/// assert_eq!(memo.scale_at(t), model.scale_at(t));
+/// assert_eq!(memo.scale_at(t), model.scale_at(t)); // memoized
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftMemo {
+    model: DriftModel,
+    slots: [(u64, f64); DriftMemo::SLOTS],
+}
+
+impl DriftMemo {
+    /// Direct-mapped slot count. The runtime sees a handful of ages per
+    /// round, so a small stack table suffices.
+    const SLOTS: usize = 16;
+    /// A key no finite time produces (an all-ones NaN pattern).
+    const EMPTY: u64 = u64::MAX;
+
+    /// Wraps a drift model with an empty memo.
+    #[must_use]
+    pub fn new(model: DriftModel) -> Self {
+        Self {
+            model,
+            slots: [(Self::EMPTY, 0.0); Self::SLOTS],
+        }
+    }
+
+    /// The wrapped model.
+    #[must_use]
+    pub fn model(&self) -> &DriftModel {
+        &self.model
+    }
+
+    /// Memoized [`DriftModel::scale_at`].
+    pub fn scale_at(&mut self, t: Seconds) -> f64 {
+        let bits = t.value().to_bits();
+        if bits == Self::EMPTY {
+            return self.model.scale_at(t);
+        }
+        let slot = (bits as usize) % Self::SLOTS;
+        let (key, cached) = self.slots[slot];
+        if key == bits {
+            return cached;
+        }
+        let scale = self.model.scale_at(t);
+        self.slots[slot] = (bits, scale);
+        scale
+    }
+
+    /// Memoized [`DriftModel::conductance_at`]: the clamp and the
+    /// pristine early-return are re-applied around the memoized decay
+    /// factor, reproducing the unmemoized result bit for bit.
+    pub fn conductance_at(&mut self, t: Seconds) -> Siemens {
+        if t.value() <= self.model.t0.value() {
+            return self.model.g_on;
+        }
+        let g = self.model.g_on * self.scale_at(t);
+        g.max(self.model.g_off)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,7 +237,51 @@ mod tests {
         assert_eq!(m.conductance_at(Seconds::new(1e8)), p.g_on());
     }
 
+    #[test]
+    fn memo_is_bit_identical_including_clamp_and_pristine_regions() {
+        let m = model();
+        let mut memo = DriftMemo::new(m.clone());
+        for t in [0.0, 0.5, 1.0, 2.0, 1e4, 1e4, 2.75e7, 1e40, 1e4] {
+            let t = Seconds::new(t);
+            assert_eq!(
+                memo.scale_at(t).to_bits(),
+                m.scale_at(t).to_bits(),
+                "scale at {t:?}"
+            );
+            assert_eq!(
+                memo.conductance_at(t).value().to_bits(),
+                m.conductance_at(t).value().to_bits(),
+                "conductance at {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn memo_collisions_recompute_correctly() {
+        let m = model();
+        let mut memo = DriftMemo::new(m.clone());
+        // Far more distinct ages than slots: every answer must still
+        // match the unmemoized model exactly.
+        for i in 0..200 {
+            let t = Seconds::new(1.0 + i as f64 * 17.3);
+            assert_eq!(memo.scale_at(t).to_bits(), m.scale_at(t).to_bits());
+        }
+        assert_eq!(memo.model(), &m);
+    }
+
     proptest! {
+        #[test]
+        fn memo_matches_model_for_arbitrary_times(t in 0.0f64..1e30) {
+            let m = model();
+            let mut memo = DriftMemo::new(m.clone());
+            let t = Seconds::new(t);
+            prop_assert_eq!(memo.scale_at(t).to_bits(), m.scale_at(t).to_bits());
+            prop_assert_eq!(
+                memo.conductance_at(t).value().to_bits(),
+                m.conductance_at(t).value().to_bits()
+            );
+        }
+
         #[test]
         fn drift_is_monotone_nonincreasing(t1 in 1.0f64..1e9, dt in 0.0f64..1e9) {
             let m = model();

@@ -43,7 +43,7 @@ mod thermal;
 
 pub use cell::{CellLevel, ReramCell};
 pub use codec::{DifferentialWeight, WeightCodec};
-pub use drift::DriftModel;
+pub use drift::{DriftMemo, DriftModel};
 pub use endurance::{EnduranceLedger, EnduranceModel};
 pub use error::DeviceError;
 pub use fault::{FaultInjector, FaultKind, FaultMap};

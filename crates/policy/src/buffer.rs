@@ -100,6 +100,16 @@ impl ReplayBuffer {
         std::mem::take(&mut self.entries)
     }
 
+    /// Drains into a caller-held vector instead of allocating a new
+    /// one: `out` is cleared, the buffered examples are appended oldest
+    /// first, and the buffer resets. With a reused `out` the steady
+    /// state performs no allocations. Same observable contents and
+    /// post-state as [`drain`](ReplayBuffer::drain).
+    pub fn drain_into(&mut self, out: &mut Vec<TrainingExample>) {
+        out.clear();
+        out.append(&mut self.entries);
+    }
+
     /// Approximate storage footprint in bytes: 4 feature floats (f32 in
     /// hardware) plus two level bytes per entry.
     #[must_use]
@@ -191,6 +201,24 @@ mod tests {
             [ex(0.0), ex(0.1), ex(0.2), ex(0.3)],
             "shard order decides survivors, overflow is dropped"
         );
+    }
+
+    #[test]
+    fn drain_into_matches_drain() {
+        let mut a = ReplayBuffer::new(3);
+        let mut b = ReplayBuffer::new(3);
+        for v in [0.1, 0.2, 0.3] {
+            a.push(ex(v));
+            b.push(ex(v));
+        }
+        let drained = a.drain();
+        let mut out = vec![ex(9.9)]; // stale contents must be cleared
+        b.drain_into(&mut out);
+        assert_eq!(out, drained);
+        assert!(b.is_empty());
+        // Buffer keeps working after a drain_into.
+        b.push(ex(0.4));
+        assert_eq!(b.len(), 1);
     }
 
     #[test]

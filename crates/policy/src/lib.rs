@@ -29,5 +29,5 @@ mod mlp;
 mod policy;
 
 pub use buffer::ReplayBuffer;
-pub use mlp::MultiHeadMlp;
+pub use mlp::{MlpScratch, MultiHeadMlp};
 pub use policy::{OuPolicy, PolicyConfig, TrainingExample};

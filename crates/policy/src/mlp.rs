@@ -10,6 +10,13 @@ use serde::{Deserialize, Serialize};
 /// (ReLU) → two `hidden → classes` heads. Gradients are plain SGD on
 /// the summed cross-entropy of both heads.
 ///
+/// The forward pass exists in two bit-identical forms: the allocating
+/// [`forward`](Self::forward) and the scratch-based
+/// [`forward_into`](Self::forward_into) /
+/// [`forward_batch`](Self::forward_batch), which reuse caller-held
+/// buffers so the steady-state decision loop performs no heap
+/// allocations.
+///
 /// # Examples
 ///
 /// ```
@@ -27,27 +34,85 @@ pub struct MultiHeadMlp {
     inputs: usize,
     hidden: usize,
     classes: usize,
-    w1: Vec<f64>,
-    b1: Vec<f64>,
-    w_head_a: Vec<f64>,
-    b_head_a: Vec<f64>,
-    w_head_b: Vec<f64>,
-    b_head_b: Vec<f64>,
+    /// Live weights. Flattened so the serialized form keeps the
+    /// original top-level field names (`w1`, `b1`, `w_head_a`, …).
+    #[serde(flatten)]
+    params: MlpParams,
     #[serde(default)]
     momentum: f64,
     #[serde(default)]
-    velocity: Option<Velocity>,
+    velocity: Option<MlpParams>,
 }
 
-/// Momentum state (one buffer per parameter block).
+/// One full set of parameter blocks. Used twice — as the live weights
+/// and as the momentum-velocity snapshot — so the two can never drift
+/// apart structurally.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-struct Velocity {
+struct MlpParams {
     w1: Vec<f64>,
     b1: Vec<f64>,
     w_head_a: Vec<f64>,
     b_head_a: Vec<f64>,
     w_head_b: Vec<f64>,
     b_head_b: Vec<f64>,
+}
+
+impl MlpParams {
+    /// A same-shaped, all-zero set of blocks (fresh velocity state).
+    fn zeros_like(other: &MlpParams) -> MlpParams {
+        MlpParams {
+            w1: vec![0.0; other.w1.len()],
+            b1: vec![0.0; other.b1.len()],
+            w_head_a: vec![0.0; other.w_head_a.len()],
+            b_head_a: vec![0.0; other.b_head_a.len()],
+            w_head_b: vec![0.0; other.w_head_b.len()],
+            b_head_b: vec![0.0; other.b_head_b.len()],
+        }
+    }
+
+    /// Total scalar parameters across all blocks.
+    fn len(&self) -> usize {
+        self.w1.len()
+            + self.b1.len()
+            + self.w_head_a.len()
+            + self.b_head_a.len()
+            + self.w_head_b.len()
+            + self.b_head_b.len()
+    }
+}
+
+/// Reusable buffers for the allocation-free forward/backward passes.
+///
+/// Hold one per decision loop (or per thread) and pass it to
+/// [`MultiHeadMlp::forward_into`] / [`MultiHeadMlp::train_step_with`];
+/// after the first call the buffers are warm and no further heap
+/// allocation occurs.
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    hidden: Vec<f64>,
+    head_a: Vec<f64>,
+    head_b: Vec<f64>,
+    grad_hidden: Vec<f64>,
+}
+
+impl MlpScratch {
+    /// Empty scratch; buffers grow to size on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Head-A probabilities from the most recent forward pass.
+    #[must_use]
+    pub fn head_a(&self) -> &[f64] {
+        &self.head_a
+    }
+
+    /// Head-B probabilities from the most recent forward pass.
+    #[must_use]
+    pub fn head_b(&self) -> &[f64] {
+        &self.head_b
+    }
 }
 
 impl MultiHeadMlp {
@@ -71,16 +136,19 @@ impl MultiHeadMlp {
             let bound = (6.0 / fan_in as f64).sqrt();
             (0..n).map(|_| rng.gen_range(-bound..bound)).collect()
         };
-        Self {
-            inputs,
-            hidden,
-            classes,
+        let params = MlpParams {
             w1: init(hidden * inputs, inputs, rng),
             b1: vec![0.0; hidden],
             w_head_a: init(classes * hidden, hidden, rng),
             b_head_a: vec![0.0; classes],
             w_head_b: init(classes * hidden, hidden, rng),
             b_head_b: vec![0.0; classes],
+        };
+        Self {
+            inputs,
+            hidden,
+            classes,
+            params,
             momentum: 0.0,
             velocity: None,
         }
@@ -96,14 +164,7 @@ impl MultiHeadMlp {
     pub fn with_momentum(mut self, beta: f64) -> Self {
         assert!((0.0..1.0).contains(&beta), "momentum must be in [0, 1)");
         self.momentum = beta;
-        self.velocity = (beta > 0.0).then(|| Velocity {
-            w1: vec![0.0; self.w1.len()],
-            b1: vec![0.0; self.b1.len()],
-            w_head_a: vec![0.0; self.w_head_a.len()],
-            b_head_a: vec![0.0; self.b_head_a.len()],
-            w_head_b: vec![0.0; self.w_head_b.len()],
-            b_head_b: vec![0.0; self.b_head_b.len()],
-        });
+        self.velocity = (beta > 0.0).then(|| MlpParams::zeros_like(&self.params));
         self
     }
 
@@ -134,33 +195,29 @@ impl MultiHeadMlp {
     /// Total parameters (for the 0.35 KB storage claim of §IV).
     #[must_use]
     pub fn parameter_count(&self) -> usize {
-        self.w1.len()
-            + self.b1.len()
-            + self.w_head_a.len()
-            + self.b_head_a.len()
-            + self.w_head_b.len()
-            + self.b_head_b.len()
+        self.params.len()
     }
 
-    fn hidden_activations(&self, x: &[f64]) -> Vec<f64> {
+    /// Hidden-layer activations written into `out` (cleared first).
+    fn hidden_into(&self, x: &[f64], out: &mut Vec<f64>) {
         assert_eq!(x.len(), self.inputs, "input width mismatch");
-        (0..self.hidden)
-            .map(|h| {
-                let row = &self.w1[h * self.inputs..(h + 1) * self.inputs];
-                let z: f64 = row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.b1[h];
-                z.max(0.0)
-            })
-            .collect()
+        out.clear();
+        out.extend((0..self.hidden).map(|h| {
+            let row = &self.params.w1[h * self.inputs..(h + 1) * self.inputs];
+            let z: f64 =
+                row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.params.b1[h];
+            z.max(0.0)
+        }));
     }
 
-    fn head(&self, weights: &[f64], bias: &[f64], hidden: &[f64]) -> Vec<f64> {
-        let logits: Vec<f64> = (0..self.classes)
-            .map(|c| {
-                let row = &weights[c * self.hidden..(c + 1) * self.hidden];
-                row.iter().zip(hidden).map(|(w, h)| w * h).sum::<f64>() + bias[c]
-            })
-            .collect();
-        softmax(&logits)
+    /// One head's class probabilities written over `out` (`out.len()`
+    /// must equal `classes`): logits in place, then in-place softmax.
+    fn head_into(&self, weights: &[f64], bias: &[f64], hidden: &[f64], out: &mut [f64]) {
+        for (c, slot) in out.iter_mut().enumerate() {
+            let row = &weights[c * self.hidden..(c + 1) * self.hidden];
+            *slot = row.iter().zip(hidden).map(|(w, h)| w * h).sum::<f64>() + bias[c];
+        }
+        softmax(out);
     }
 
     /// Forward pass: the two heads' class probabilities.
@@ -170,11 +227,78 @@ impl MultiHeadMlp {
     /// Panics if `x` has the wrong width.
     #[must_use]
     pub fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
-        let hidden = self.hidden_activations(x);
-        (
-            self.head(&self.w_head_a, &self.b_head_a, &hidden),
-            self.head(&self.w_head_b, &self.b_head_b, &hidden),
-        )
+        let mut scratch = MlpScratch::new();
+        self.forward_into(x, &mut scratch);
+        (scratch.head_a, scratch.head_b)
+    }
+
+    /// Allocation-free forward pass: probabilities land in
+    /// `scratch.head_a()` / `scratch.head_b()`. Bit-identical to
+    /// [`forward`](Self::forward).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    pub fn forward_into(&self, x: &[f64], scratch: &mut MlpScratch) {
+        let MlpScratch {
+            hidden,
+            head_a,
+            head_b,
+            ..
+        } = scratch;
+        self.hidden_into(x, hidden);
+        head_a.clear();
+        head_a.resize(self.classes, 0.0);
+        head_b.clear();
+        head_b.resize(self.classes, 0.0);
+        self.head_into(&self.params.w_head_a, &self.params.b_head_a, hidden, head_a);
+        self.head_into(&self.params.w_head_b, &self.params.b_head_b, hidden, head_b);
+    }
+
+    /// Batched forward: `inputs` is `rows` examples of width
+    /// [`inputs()`](Self::inputs) laid out contiguously; the two heads'
+    /// probabilities land row-major in `out_a` / `out_b`
+    /// (`rows × classes` each). Each row is computed by the same
+    /// arithmetic as [`forward_into`](Self::forward_into), so batching
+    /// never changes a single prediction bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is not a multiple of the input width.
+    pub fn forward_batch(
+        &self,
+        inputs: &[f64],
+        scratch: &mut MlpScratch,
+        out_a: &mut Vec<f64>,
+        out_b: &mut Vec<f64>,
+    ) {
+        assert_eq!(
+            inputs.len() % self.inputs,
+            0,
+            "batch length must be a multiple of the input width"
+        );
+        let rows = inputs.len() / self.inputs;
+        out_a.clear();
+        out_a.resize(rows * self.classes, 0.0);
+        out_b.clear();
+        out_b.resize(rows * self.classes, 0.0);
+        for row in 0..rows {
+            let x = &inputs[row * self.inputs..(row + 1) * self.inputs];
+            self.hidden_into(x, &mut scratch.hidden);
+            let span = row * self.classes..(row + 1) * self.classes;
+            self.head_into(
+                &self.params.w_head_a,
+                &self.params.b_head_a,
+                &scratch.hidden,
+                &mut out_a[span.clone()],
+            );
+            self.head_into(
+                &self.params.w_head_b,
+                &self.params.b_head_b,
+                &scratch.hidden,
+                &mut out_b[span],
+            );
+        }
     }
 
     /// One SGD step on the summed cross-entropy of both heads for a
@@ -185,20 +309,45 @@ impl MultiHeadMlp {
     /// Panics if `x` has the wrong width or a target class is out of
     /// range.
     pub fn train_step(&mut self, x: &[f64], target_a: usize, target_b: usize, lr: f64) -> f64 {
+        let mut scratch = MlpScratch::new();
+        self.train_step_with(x, target_a, target_b, lr, &mut scratch)
+    }
+
+    /// [`train_step`](Self::train_step) against caller-held scratch:
+    /// the replay-buffer update loop reuses one `MlpScratch` across
+    /// every example and epoch, keeping the training step
+    /// allocation-free after warmup. Identical arithmetic, identical
+    /// resulting weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width or a target class is out of
+    /// range.
+    pub fn train_step_with(
+        &mut self,
+        x: &[f64],
+        target_a: usize,
+        target_b: usize,
+        lr: f64,
+        scratch: &mut MlpScratch,
+    ) -> f64 {
         assert!(
             target_a < self.classes && target_b < self.classes,
             "target class out of range"
         );
-        let hidden = self.hidden_activations(x);
-        let pa = self.head(&self.w_head_a, &self.b_head_a, &hidden);
-        let pb = self.head(&self.w_head_b, &self.b_head_b, &hidden);
-        let loss = -(pa[target_a].max(1e-12).ln() + pb[target_b].max(1e-12).ln());
+        self.forward_into(x, scratch);
+        let MlpScratch {
+            hidden,
+            head_a,
+            head_b,
+            grad_hidden,
+        } = scratch;
+        let loss = -(head_a[target_a].max(1e-12).ln() + head_b[target_b].max(1e-12).ln());
 
-        // Softmax + CE gradient: p − one_hot.
-        let mut ga = pa;
-        ga[target_a] -= 1.0;
-        let mut gb = pb;
-        gb[target_b] -= 1.0;
+        // Softmax + CE gradient: p − one_hot, reusing the probability
+        // buffers in place.
+        head_a[target_a] -= 1.0;
+        head_b[target_b] -= 1.0;
 
         // Momentum update helper: v ← β·v + g, param ← param − lr·v
         // (plain SGD when no velocity buffer exists).
@@ -214,15 +363,16 @@ impl MultiHeadMlp {
         // Hidden gradient accumulates from both heads. Velocity is
         // taken out of `self` for the duration so the parameter and
         // velocity blocks borrow independently.
-        let mut gh = vec![0.0; self.hidden];
+        grad_hidden.clear();
+        grad_hidden.resize(self.hidden, 0.0);
         let mut vel = self.velocity.take();
         // Heads, handled one at a time so the velocity blocks borrow
         // cleanly.
         for second in [false, true] {
             let (weights, bias, g) = if second {
-                (&mut self.w_head_b, &mut self.b_head_b, &gb)
+                (&mut self.params.w_head_b, &mut self.params.b_head_b, &*head_b)
             } else {
-                (&mut self.w_head_a, &mut self.b_head_a, &ga)
+                (&mut self.params.w_head_a, &mut self.params.b_head_a, &*head_a)
             };
             let (mut vw, mut vb) = match vel.as_mut() {
                 Some(v) if second => (Some(&mut v.w_head_b), Some(&mut v.b_head_b)),
@@ -231,8 +381,8 @@ impl MultiHeadMlp {
             };
             for (c, &gc) in g.iter().enumerate() {
                 let row = &mut weights[c * self.hidden..(c + 1) * self.hidden];
-                for (h, (w, &hv)) in row.iter_mut().zip(&hidden).enumerate() {
-                    gh[h] += *w * gc;
+                for (h, (w, &hv)) in row.iter_mut().zip(hidden.iter()).enumerate() {
+                    grad_hidden[h] += *w * gc;
                     step(
                         w,
                         gc * hv,
@@ -243,11 +393,11 @@ impl MultiHeadMlp {
             }
         }
         // First layer (ReLU mask: hidden > 0).
-        for (h, (&ghv, &hv)) in gh.iter().zip(&hidden).enumerate() {
+        for (h, (&ghv, &hv)) in grad_hidden.iter().zip(hidden.iter()).enumerate() {
             if hv <= 0.0 {
                 continue;
             }
-            let row = &mut self.w1[h * self.inputs..(h + 1) * self.inputs];
+            let row = &mut self.params.w1[h * self.inputs..(h + 1) * self.inputs];
             for (i, (w, &xi)) in row.iter_mut().zip(x).enumerate() {
                 step(
                     w,
@@ -255,18 +405,25 @@ impl MultiHeadMlp {
                     vel.as_mut().map(|v| &mut v.w1[h * self.inputs + i]),
                 );
             }
-            step(&mut self.b1[h], ghv, vel.as_mut().map(|v| &mut v.b1[h]));
+            step(&mut self.params.b1[h], ghv, vel.as_mut().map(|v| &mut v.b1[h]));
         }
         self.velocity = vel;
         loss
     }
 }
 
-fn softmax(logits: &[f64]) -> Vec<f64> {
-    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let exps: Vec<f64> = logits.iter().map(|&v| (v - max).exp()).collect();
-    let sum: f64 = exps.iter().sum();
-    exps.iter().map(|e| e / sum).collect()
+/// In-place numerically-stable softmax: subtract the max, exponentiate,
+/// normalize — the exact operation sequence of the old allocating
+/// version, without the two intermediate `Vec`s.
+fn softmax(values: &mut [f64]) {
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    for v in values.iter_mut() {
+        *v = (*v - max).exp();
+    }
+    let sum: f64 = values.iter().sum();
+    for v in values.iter_mut() {
+        *v /= sum;
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +444,85 @@ mod tests {
         assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!((b.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(a.iter().chain(&b).all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn forward_into_is_bit_identical_and_reusable() {
+        let mlp = MultiHeadMlp::new(4, 8, 6, &mut rng());
+        let mut scratch = MlpScratch::new();
+        for x in [[0.2, -0.5, 1.0, 0.0], [0.9, 0.9, 0.1, 0.4], [0.0; 4]] {
+            let (a, b) = mlp.forward(&x);
+            mlp.forward_into(&x, &mut scratch);
+            for (u, v) in a.iter().zip(scratch.head_a()) {
+                assert_eq!(u.to_bits(), v.to_bits());
+            }
+            for (u, v) in b.iter().zip(scratch.head_b()) {
+                assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn forward_batch_matches_row_by_row_forward() {
+        let mlp = MultiHeadMlp::new(4, 8, 6, &mut rng());
+        let rows = [
+            [0.2, -0.5, 1.0, 0.0],
+            [0.9, 0.9, 0.1, 0.4],
+            [0.1, 0.2, 0.3, 0.4],
+        ];
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let mut scratch = MlpScratch::new();
+        let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+        mlp.forward_batch(&flat, &mut scratch, &mut out_a, &mut out_b);
+        assert_eq!(out_a.len(), 3 * 6);
+        assert_eq!(out_b.len(), 3 * 6);
+        for (r, x) in rows.iter().enumerate() {
+            let (a, b) = mlp.forward(x);
+            for (c, p) in a.iter().enumerate() {
+                assert_eq!(p.to_bits(), out_a[r * 6 + c].to_bits());
+            }
+            for (c, p) in b.iter().enumerate() {
+                assert_eq!(p.to_bits(), out_b[r * 6 + c].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the input width")]
+    fn ragged_batch_panics() {
+        let mlp = MultiHeadMlp::new(4, 8, 6, &mut rng());
+        let mut scratch = MlpScratch::new();
+        mlp.forward_batch(
+            &[0.0; 7],
+            &mut scratch,
+            &mut Vec::new(),
+            &mut Vec::new(),
+        );
+    }
+
+    #[test]
+    fn scratch_training_equals_fresh_scratch_training() {
+        // Reusing one scratch across steps must produce the exact
+        // weights a fresh scratch per step produces.
+        for beta in [0.0, 0.9] {
+            let base = if beta > 0.0 {
+                MultiHeadMlp::new(4, 8, 6, &mut rng()).with_momentum(beta)
+            } else {
+                MultiHeadMlp::new(4, 8, 6, &mut rng())
+            };
+            let mut fresh = base.clone();
+            let mut reused = base;
+            let mut scratch = MlpScratch::new();
+            let examples = [([0.3, 0.7, 0.1, 0.5], 2, 4), ([0.9, 0.1, 0.2, 0.8], 0, 5)];
+            for _ in 0..25 {
+                for (x, a, b) in &examples {
+                    let l1 = fresh.train_step(x, *a, *b, 0.1);
+                    let l2 = reused.train_step_with(x, *a, *b, 0.1, &mut scratch);
+                    assert_eq!(l1.to_bits(), l2.to_bits());
+                }
+            }
+            assert_eq!(fresh, reused);
+        }
     }
 
     #[test]
@@ -355,6 +591,23 @@ mod tests {
         let mlp = MultiHeadMlp::new(4, 8, 6, &mut rng());
         let json = serde_json::to_string(&mlp).unwrap();
         let back: MultiHeadMlp = serde_json::from_str(&json).unwrap();
+        assert_eq!(mlp, back);
+    }
+
+    #[test]
+    fn serde_layout_keeps_legacy_field_names() {
+        // The parameter-block hoist must not change the wire format:
+        // weight blocks stay top-level, velocity stays nested.
+        let mlp = MultiHeadMlp::new(4, 8, 6, &mut rng()).with_momentum(0.5);
+        let value: serde_json::Value = serde_json::to_value(&mlp).unwrap();
+        for key in ["w1", "b1", "w_head_a", "b_head_a", "w_head_b", "b_head_b"] {
+            assert!(value.get(key).is_some(), "missing top-level `{key}`");
+            assert!(
+                value["velocity"].get(key).is_some(),
+                "missing velocity `{key}`"
+            );
+        }
+        let back: MultiHeadMlp = serde_json::from_value(value).unwrap();
         assert_eq!(mlp, back);
     }
 

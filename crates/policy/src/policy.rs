@@ -3,7 +3,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::mlp::MultiHeadMlp;
+use crate::mlp::{MlpScratch, MultiHeadMlp};
 
 /// One supervised training example: normalized features Φ and the best
 /// OU decision `(R, C)*` expressed as grid level indices.
@@ -129,6 +129,37 @@ impl OuPolicy {
         self.mlp.forward(features)
     }
 
+    /// Allocation-free [`predict`](Self::predict): one forward pass
+    /// into caller-held scratch. The argmax decision is returned and
+    /// the full distributions stay readable in `scratch.head_a()` /
+    /// `scratch.head_b()`, so a confidence check needs **no second
+    /// forward pass**. Bit-identical to `predict` + `predict_proba`.
+    #[must_use]
+    pub fn predict_with(&self, features: &[f64; 4], scratch: &mut MlpScratch) -> (usize, usize) {
+        self.mlp.forward_into(features, scratch);
+        (argmax(scratch.head_a()), argmax(scratch.head_b()))
+    }
+
+    /// Batched prediction over `rows` feature vectors laid out
+    /// contiguously in `features` (`rows × 4`): both heads'
+    /// distributions land row-major in `out_a` / `out_b`
+    /// (`rows × levels` each). Row arithmetic is identical to
+    /// [`predict_with`](Self::predict_with), so batching never changes
+    /// a prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` is not a multiple of 4.
+    pub fn predict_batch(
+        &self,
+        features: &[f64],
+        scratch: &mut MlpScratch,
+        out_a: &mut Vec<f64>,
+        out_b: &mut Vec<f64>,
+    ) {
+        self.mlp.forward_batch(features, scratch, out_a, out_b);
+    }
+
     /// Supervised training over a dataset for `epochs` epochs.
     /// Returns the mean per-example loss of the final epoch.
     ///
@@ -136,6 +167,20 @@ impl OuPolicy {
     /// DNNs, §V.A) and for online updates on a drained buffer
     /// (Algorithm 1 line 11).
     pub fn fit(&mut self, examples: &[TrainingExample], epochs: usize) -> f64 {
+        let mut scratch = MlpScratch::new();
+        self.fit_with(examples, epochs, &mut scratch)
+    }
+
+    /// [`fit`](Self::fit) against caller-held scratch: one buffer set
+    /// serves every example of every epoch, so a replay-buffer update
+    /// performs no per-step allocations. Identical arithmetic,
+    /// identical resulting weights and loss.
+    pub fn fit_with(
+        &mut self,
+        examples: &[TrainingExample],
+        epochs: usize,
+        scratch: &mut MlpScratch,
+    ) -> f64 {
         if examples.is_empty() {
             return 0.0;
         }
@@ -143,11 +188,12 @@ impl OuPolicy {
         for _ in 0..epochs {
             let mut total = 0.0;
             for ex in examples {
-                total += self.mlp.train_step(
+                total += self.mlp.train_step_with(
                     &ex.features,
                     ex.row_level,
                     ex.col_level,
                     self.config.learning_rate,
+                    scratch,
                 );
             }
             last = total / examples.len() as f64;
@@ -159,6 +205,16 @@ impl OuPolicy {
     /// An online update at the configured epoch count (§V.E: 100).
     pub fn update_online(&mut self, examples: &[TrainingExample]) -> f64 {
         self.fit(examples, self.config.update_epochs)
+    }
+
+    /// [`update_online`](Self::update_online) against caller-held
+    /// scratch — the runtime's buffer-drain path.
+    pub fn update_online_with(
+        &mut self,
+        examples: &[TrainingExample],
+        scratch: &mut MlpScratch,
+    ) -> f64 {
+        self.fit_with(examples, self.config.update_epochs, scratch)
     }
 
     /// Fraction of examples whose prediction matches the target on
@@ -298,6 +354,62 @@ mod tests {
             assert_eq!(pa.len(), 6);
             assert_eq!(pb.len(), 6);
         }
+    }
+
+    #[test]
+    fn predict_with_matches_predict_and_proba() {
+        let policy = OuPolicy::new(PolicyConfig::paper(), &mut rng());
+        let mut scratch = MlpScratch::new();
+        let mut r = rng();
+        for _ in 0..50 {
+            let f = [r.gen(), r.gen(), r.gen(), r.gen()];
+            assert_eq!(policy.predict_with(&f, &mut scratch), policy.predict(&f));
+            let (pa, pb) = policy.predict_proba(&f);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(scratch.head_a()), bits(&pa));
+            assert_eq!(bits(scratch.head_b()), bits(&pb));
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_per_row_predict() {
+        let policy = OuPolicy::new(PolicyConfig::paper(), &mut rng());
+        let mut r = rng();
+        let rows: Vec<[f64; 4]> = (0..7).map(|_| [r.gen(), r.gen(), r.gen(), r.gen()]).collect();
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let mut scratch = MlpScratch::new();
+        let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+        policy.predict_batch(&flat, &mut scratch, &mut out_a, &mut out_b);
+        let levels = policy.config().levels;
+        for (i, f) in rows.iter().enumerate() {
+            let (pa, pb) = policy.predict_proba(f);
+            let span = i * levels..(i + 1) * levels;
+            assert_eq!(
+                out_a[span.clone()].iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                pa.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                out_b[span].iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                pb.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn fit_with_reused_scratch_matches_fit() {
+        let base = OuPolicy::new(PolicyConfig::paper(), &mut rng());
+        let data = dataset(40, 11);
+        let mut plain = base.clone();
+        let loss_plain = plain.fit(&data, 30);
+        let mut scratched = base.clone();
+        let mut scratch = MlpScratch::new();
+        // Dirty the scratch first: training must not depend on its
+        // incoming contents.
+        let _ = scratched.predict_with(&data[0].features, &mut scratch);
+        let loss_scratched = scratched.fit_with(&data, 30, &mut scratch);
+        assert_eq!(loss_plain.to_bits(), loss_scratched.to_bits());
+        assert_eq!(plain, scratched);
+        assert_eq!(scratched.updates(), 1);
     }
 
     #[test]
