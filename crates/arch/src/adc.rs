@@ -118,14 +118,8 @@ mod tests {
     fn latency_and_energy_scale_with_bits() {
         let adc = ReconfigurableAdc::paper();
         assert!(adc.conversion_latency(6) > adc.conversion_latency(3));
-        assert!(
-            adc.conversion_energy(6, 16).value()
-                > adc.conversion_energy(3, 16).value()
-        );
-        assert!(
-            adc.conversion_energy(4, 32).value()
-                > adc.conversion_energy(4, 16).value()
-        );
+        assert!(adc.conversion_energy(6, 16).value() > adc.conversion_energy(3, 16).value());
+        assert!(adc.conversion_energy(4, 32).value() > adc.conversion_energy(4, 16).value());
     }
 
     #[test]

@@ -218,7 +218,10 @@ mod tests {
         let (t84, c84, _) = cycles_for(OuShape::new(8, 4));
         let coarse = m.layer_cost(OuShape::new(16, 16), t16, c16, x);
         let fine = m.layer_cost(OuShape::new(8, 4), t84, c84, x);
-        assert!(fine.energy > coarse.energy, "fine {fine:?} vs coarse {coarse:?}");
+        assert!(
+            fine.energy > coarse.energy,
+            "fine {fine:?} vs coarse {coarse:?}"
+        );
         assert!(fine.latency > coarse.latency);
         assert!(fine.edp() > coarse.edp());
     }

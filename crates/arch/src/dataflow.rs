@@ -185,7 +185,10 @@ mod tests {
 
     #[test]
     fn stage_display_is_informative() {
-        assert_eq!(Stage::AdcConvert { bitline: 3 }.to_string(), "adc-convert[3]");
+        assert_eq!(
+            Stage::AdcConvert { bitline: 3 }.to_string(),
+            "adc-convert[3]"
+        );
         assert_eq!(Stage::FetchInputs.to_string(), "fetch-inputs");
     }
 
@@ -199,6 +202,10 @@ mod tests {
         // ADC part quadruples; fixed parts identical.
         let adc = |c: usize| c as f64 * 0.4e-9;
         let expect = (1.0e-9 + adc(32)) / (1.0e-9 + adc(8));
-        assert!(((a / b) - expect).abs() < 0.05, "ratio {} vs {expect}", a / b);
+        assert!(
+            ((a / b) - expect).abs() < 0.05,
+            "ratio {} vs {expect}",
+            a / b
+        );
     }
 }

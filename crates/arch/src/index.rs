@@ -47,13 +47,7 @@ impl IndexBufferModel {
     /// the right activation is fetched; every column group stores its
     /// output base index.
     #[must_use]
-    pub fn layer_bytes(
-        &self,
-        fan_in: usize,
-        fan_out: usize,
-        sparsity: f64,
-        shape: OuShape,
-    ) -> u64 {
+    pub fn layer_bytes(&self, fan_in: usize, fan_out: usize, sparsity: f64, shape: OuShape) -> u64 {
         let input_index_bits = bits_for(fan_in);
         let output_index_bits = bits_for(fan_out);
         let surviving_rows = ((fan_in as f64) * (1.0 - sparsity)).ceil() as u64;

@@ -90,8 +90,8 @@ impl DataMovementModel {
         let router = noc.router();
         let flits = router.flits_for(out_bytes);
         let hop_energy = router.energy_per_flit_hop() * (flits as f64 * self.mean_hops);
-        let hop_cycles =
-            router.cycles_per_hop().count() as f64 * self.mean_hops + (flits.saturating_sub(1)) as f64;
+        let hop_cycles = router.cycles_per_hop().count() as f64 * self.mean_hops
+            + (flits.saturating_sub(1)) as f64;
         let latency = Seconds::new(hop_cycles / self.system.tile().clock_hz());
         LayerCost {
             energy: edram + hop_energy,
@@ -130,8 +130,7 @@ impl DataMovementModel {
             if hops > 0 {
                 let flits = router.flits_for(out_bytes);
                 total.energy += router.energy_per_flit_hop() * (flits * hops) as f64;
-                let cycles =
-                    router.cycles_per_hop().count() * hops + flits.saturating_sub(1);
+                let cycles = router.cycles_per_hop().count() * hops + flits.saturating_sub(1);
                 total.latency += Seconds::new(cycles as f64 / self.system.tile().clock_hz());
             }
         }
@@ -152,7 +151,11 @@ mod tests {
         // Mean Manhattan distance on a 6×6 mesh is 4 exactly (over
         // ordered pairs with distinct endpoints it is 140/35 = 4).
         let m = model();
-        assert!((m.mean_hops() - 4.0).abs() < 0.1, "mean hops {}", m.mean_hops());
+        assert!(
+            (m.mean_hops() - 4.0).abs() < 0.1,
+            "mean hops {}",
+            m.mean_hops()
+        );
     }
 
     #[test]

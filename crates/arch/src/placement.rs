@@ -55,7 +55,10 @@ impl std::fmt::Display for PlacementError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PlacementError::InsufficientCapacity { needed, available } => {
-                write!(f, "network needs {needed} crossbars, system has {available}")
+                write!(
+                    f,
+                    "network needs {needed} crossbars, system has {available}"
+                )
             }
             PlacementError::Unmappable { layer } => {
                 write!(f, "layer {layer} cannot be mapped onto the crossbars")
@@ -76,7 +79,10 @@ impl Placement {
     /// Returns [`PlacementError::InsufficientCapacity`] when the
     /// network does not fit, or [`PlacementError::Unmappable`] for
     /// degenerate layers.
-    pub fn greedy(network: &NetworkDescriptor, system: &SystemConfig) -> Result<Self, PlacementError> {
+    pub fn greedy(
+        network: &NetworkDescriptor,
+        system: &SystemConfig,
+    ) -> Result<Self, PlacementError> {
         let per_pe = system.tiles_per_pe() * system.tile().crossbars_per_tile();
         let pes = system.pe_count();
         let crossbar_size = system.tile().crossbar_size();
@@ -224,8 +230,8 @@ mod tests {
     fn every_paper_workload_places() {
         let system = SystemConfig::paper();
         for net in zoo::paper_workloads() {
-            let placement = Placement::greedy(&net, &system)
-                .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+            let placement =
+                Placement::greedy(&net, &system).unwrap_or_else(|e| panic!("{}: {e}", net.name()));
             assert_eq!(placement.assignments().len(), net.layers().len());
             assert!(placement.utilization() <= 1.0, "{}", net.name());
             assert!(placement.utilization() > 0.0);
@@ -314,6 +320,8 @@ mod tests {
             available: 50,
         };
         assert!(e.to_string().contains("100"));
-        assert!(PlacementError::Unmappable { layer: 3 }.to_string().contains('3'));
+        assert!(PlacementError::Unmappable { layer: 3 }
+            .to_string()
+            .contains('3'));
     }
 }

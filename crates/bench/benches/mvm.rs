@@ -13,15 +13,15 @@ fn bench_cycle_count(c: &mut Criterion) {
         .map(|_| (0..64).map(|_| rng.gen::<f64>() < 0.4).collect())
         .collect();
     let mut group = c.benchmark_group("ou_cycle_count");
-    for shape in [OuShape::new(8, 4), OuShape::new(16, 16), OuShape::new(64, 64)] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(shape),
-            &shape,
-            |b, &s| {
-                let scheduler = OuScheduler::new(s);
-                b.iter(|| scheduler.count_cycles(std::hint::black_box(&mask)));
-            },
-        );
+    for shape in [
+        OuShape::new(8, 4),
+        OuShape::new(16, 16),
+        OuShape::new(64, 64),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(shape), &shape, |b, &s| {
+            let scheduler = OuScheduler::new(s);
+            b.iter(|| scheduler.count_cycles(std::hint::black_box(&mask)));
+        });
     }
     group.finish();
 }

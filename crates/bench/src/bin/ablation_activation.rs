@@ -1,12 +1,12 @@
 //! Extension study: joint weight/activation sparsity exploitation.
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = odin_bench::context_from_args();
     match odin_bench::experiments::ablations::activation_sweep(&ctx) {
         Ok(result) => odin_bench::emit("ablation_activation", &result),
         Err(e) => {
             eprintln!("ablation_activation failed: {e}");
-            std::process::exit(1);
+            std::process::ExitCode::FAILURE
         }
     }
 }

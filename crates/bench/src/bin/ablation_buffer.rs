@@ -1,12 +1,12 @@
 //! Ablation: training-buffer capacity sweep (DESIGN.md §5).
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = odin_bench::context_from_args();
     match odin_bench::experiments::ablations::buffer_sweep(&ctx) {
         Ok(result) => odin_bench::emit("ablation_buffer", &result),
         Err(e) => {
             eprintln!("ablation_buffer failed: {e}");
-            std::process::exit(1);
+            std::process::ExitCode::FAILURE
         }
     }
 }

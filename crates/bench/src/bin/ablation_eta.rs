@@ -1,12 +1,12 @@
 //! Ablation: non-ideality threshold η sweep.
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = odin_bench::context_from_args();
     match odin_bench::experiments::ablations::eta_sweep(&ctx) {
         Ok(result) => odin_bench::emit("ablation_eta", &result),
         Err(e) => {
             eprintln!("ablation_eta failed: {e}");
-            std::process::exit(1);
+            std::process::ExitCode::FAILURE
         }
     }
 }

@@ -1,12 +1,12 @@
 //! Ablation: masking policy input features (time Φ₄, sparsity Φ₂).
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = odin_bench::context_from_args();
     match odin_bench::experiments::ablations::feature_ablation(&ctx) {
         Ok(result) => odin_bench::emit("ablation_features", &result),
         Err(e) => {
             eprintln!("ablation_features failed: {e}");
-            std::process::exit(1);
+            std::process::ExitCode::FAILURE
         }
     }
 }

@@ -1,12 +1,12 @@
 //! Ablation: resource-bound K sweep versus exhaustive search.
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = odin_bench::context_from_args();
     match odin_bench::experiments::ablations::k_sweep(&ctx) {
         Ok(result) => odin_bench::emit("ablation_k", &result),
         Err(e) => {
             eprintln!("ablation_k failed: {e}");
-            std::process::exit(1);
+            std::process::ExitCode::FAILURE
         }
     }
 }

@@ -1,12 +1,12 @@
 //! Extension study: thermal drift acceleration (TEFLON lineage).
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = odin_bench::context_from_args();
     match odin_bench::experiments::ablations::thermal_sweep(&ctx) {
         Ok(result) => odin_bench::emit("ablation_thermal", &result),
         Err(e) => {
             eprintln!("ablation_thermal failed: {e}");
-            std::process::exit(1);
+            std::process::ExitCode::FAILURE
         }
     }
 }

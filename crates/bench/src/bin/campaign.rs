@@ -49,9 +49,8 @@ impl Args {
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| {
-                it.next().ok_or_else(|| format!("missing value for {name}"))
-            };
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
             match flag.as_str() {
                 "--model" => args.model = value("--model")?,
                 "--dataset" => args.dataset = value("--dataset")?,
@@ -180,9 +179,10 @@ fn run() -> Result<(), String> {
     );
 
     let report = if let Some(spec) = &args.homogeneous {
-        let mut rt = HomogeneousRuntime::new(crossbar, shape(spec)?, args.eta)
-            .map_err(|e| e.to_string())?;
-        rt.run_campaign(&net, &schedule).map_err(|e| e.to_string())?
+        let mut rt =
+            HomogeneousRuntime::new(crossbar, shape(spec)?, args.eta).map_err(|e| e.to_string())?;
+        rt.run_campaign(&net, &schedule)
+            .map_err(|e| e.to_string())?
     } else {
         let config = OdinConfig::builder()
             .crossbar(crossbar)
@@ -198,18 +198,20 @@ fn run() -> Result<(), String> {
             seed: args.seed,
         };
         let mut rt = ctx.odin_for(&net, ds).map_err(|e| e.to_string())?;
-        rt.run_campaign(&net, &schedule).map_err(|e| e.to_string())?
+        rt.run_campaign(&net, &schedule)
+            .map_err(|e| e.to_string())?
     };
     summarize(&report);
-    if let Ok(path) = odin_bench::experiments::write_json("campaign", &report) {
-        println!("[json: {}]", path.display());
-    }
+    let path = odin_bench::experiments::write_json("campaign", &report)
+        .map_err(|e| format!("could not write results/campaign.json: {e}"))?;
+    println!("[json: {}]", path.display());
     Ok(())
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     if let Err(e) = run() {
         eprintln!("{e}");
-        std::process::exit(1);
+        return std::process::ExitCode::FAILURE;
     }
+    std::process::ExitCode::SUCCESS
 }

@@ -1,0 +1,307 @@
+//! Chaos-recovery driver: kill a checkpointed campaign at seeded
+//! random points — tearing snapshot files between attempts to simulate
+//! mid-write power loss — resume it, and assert the stitched run is
+//! bit-for-bit equivalent to an uninterrupted one.
+//!
+//! ```sh
+//! # parent mode (the default): run the chaos trials
+//! cargo run --release -p odin-bench --bin chaos_campaign -- --quick --trials 2 --seed 7
+//! ```
+//!
+//! The parent re-invokes this same binary with `--child`, SIGKILLs it
+//! after a seeded delay one or more times, then lets a final attempt
+//! finish and compares digests. Exit codes: 0 success, 1 equivalence
+//! or usage failure, 2 I/O failure, 3 campaign failure.
+
+use std::io::Read as _;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode, Stdio};
+use std::time::{Duration, Instant};
+
+use odin_bench::experiments::chaos::{
+    campaign_digest, measure_overhead, splitmix64, write_report, ChaosReport, ChaosTrial,
+    ChaosWorkload,
+};
+use odin_core::prelude::*;
+
+const USAGE: &str = "usage: chaos_campaign [--quick] [--trials N] [--runs N] [--seed N]
+       chaos_campaign --child --dir D --runs N --seed N --shards N --mode lockstep|independent";
+
+struct Args {
+    child: bool,
+    dir: Option<PathBuf>,
+    trials: usize,
+    runs: usize,
+    seed: u64,
+    shards: usize,
+    mode: ShardMode,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        child: false,
+        dir: None,
+        trials: 3,
+        runs: 48,
+        seed: 0xC4A0_5CA0,
+        shards: 2,
+        mode: ShardMode::Lockstep,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--child" => args.child = true,
+            "--quick" => args.runs = args.runs.min(24),
+            "--dir" => args.dir = Some(PathBuf::from(value("--dir")?)),
+            "--trials" => {
+                args.trials = value("--trials")?
+                    .parse()
+                    .map_err(|e| format!("--trials: {e}"))?;
+            }
+            "--runs" => {
+                args.runs = value("--runs")?
+                    .parse()
+                    .map_err(|e| format!("--runs: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--mode" => {
+                args.mode = match value("--mode")?.as_str() {
+                    "lockstep" => ShardMode::Lockstep,
+                    "independent" => ShardMode::Independent,
+                    other => return Err(format!("unknown mode {other}")),
+                };
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Child role: run (or resume) the checkpointed campaign and print the
+/// digest as the last stdout line for the parent to parse.
+fn child(args: &Args) -> ExitCode {
+    let Some(dir) = &args.dir else {
+        eprintln!("--child requires --dir");
+        return ExitCode::from(1);
+    };
+    let workload = ChaosWorkload {
+        runs: args.runs,
+        shards: args.shards,
+        mode: args.mode,
+        seed: args.seed,
+    };
+    // Checkpoint every slot so any kill point has a recent generation
+    // to come back to; keep a few so torn newest files can fall back.
+    let policy = CheckpointPolicy::new(dir)
+        .every_runs(1)
+        .on_events(true)
+        .retain(4);
+    match workload.run_checkpointed(dir, policy) {
+        Ok((report, note)) => {
+            eprintln!("child: {note}");
+            println!("digest={:016x}", campaign_digest(&report));
+            ExitCode::SUCCESS
+        }
+        Err(OdinError::Snapshot(e)) => {
+            eprintln!("child: snapshot I/O failed: {e}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("child: campaign failed: {e}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+/// Truncates the newest snapshot generation in `dir` to half its
+/// length (a torn file the store must reject) and drops a garbage
+/// `.tmp` alongside it (an interrupted atomic write the store must
+/// sweep). Returns how many files were disturbed.
+fn tear_snapshots(dir: &Path) -> usize {
+    let mut newest: Option<PathBuf> = None;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.extension().is_some_and(|x| x == "snap")
+                && newest.as_ref().is_none_or(|n| path > *n)
+            {
+                newest = Some(path);
+            }
+        }
+    }
+    let mut torn = 0;
+    if let Some(path) = newest {
+        if let Ok(bytes) = std::fs::read(&path) {
+            if bytes.len() > 1 && std::fs::write(&path, &bytes[..bytes.len() / 2]).is_ok() {
+                torn += 1;
+            }
+        }
+    }
+    if std::fs::write(dir.join("campaign-99999999.snap.tmp"), b"torn mid-write").is_ok() {
+        torn += 1;
+    }
+    torn
+}
+
+fn spawn_child(args: &Args, dir: &Path, mode: ShardMode) -> std::io::Result<std::process::Child> {
+    Command::new(std::env::current_exe()?)
+        .args([
+            "--child",
+            "--dir",
+            &dir.display().to_string(),
+            "--runs",
+            &args.runs.to_string(),
+            "--seed",
+            &args.seed.to_string(),
+            "--shards",
+            &args.shards.to_string(),
+            "--mode",
+            &mode.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+}
+
+/// Parent role: for each trial, kill the child at seeded points
+/// (tearing snapshots between some attempts), let a survivor finish,
+/// and compare its digest to the uninterrupted in-process reference.
+fn parent(args: &Args) -> Result<ChaosReport, String> {
+    let mut stream = args.seed;
+    let mut trials = Vec::with_capacity(args.trials);
+    for trial in 0..args.trials {
+        let mode = if trial % 2 == 0 {
+            ShardMode::Lockstep
+        } else {
+            ShardMode::Independent
+        };
+        let workload = ChaosWorkload {
+            runs: args.runs,
+            shards: args.shards,
+            mode,
+            seed: args.seed,
+        };
+        let reference = workload
+            .reference_digest()
+            .map_err(|e| format!("reference campaign failed: {e}"))?;
+
+        let dir = std::env::temp_dir().join(format!(
+            "odin-chaos-{}-t{trial}-{:08x}",
+            std::process::id(),
+            splitmix64(&mut stream) as u32
+        ));
+        std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+
+        let kills = 1 + (splitmix64(&mut stream) % 3) as usize;
+        let mut torn_injections = 0;
+        for kill in 0..kills {
+            let mut chld =
+                spawn_child(args, &dir, mode).map_err(|e| format!("spawn child: {e}"))?;
+            let delay = 3 + splitmix64(&mut stream) % 40;
+            std::thread::sleep(Duration::from_millis(delay));
+            // SIGKILL: no destructors, no flush — exactly the crash the
+            // atomic write protocol must survive.
+            chld.kill().ok();
+            chld.wait().map_err(|e| format!("reap child: {e}"))?;
+            if kill % 2 == 1 {
+                torn_injections += tear_snapshots(&dir);
+            }
+        }
+
+        let start = Instant::now();
+        let mut survivor =
+            spawn_child(args, &dir, mode).map_err(|e| format!("spawn survivor: {e}"))?;
+        let mut stdout = String::new();
+        if let Some(out) = survivor.stdout.as_mut() {
+            out.read_to_string(&mut stdout)
+                .map_err(|e| format!("read survivor stdout: {e}"))?;
+        }
+        let status = survivor.wait().map_err(|e| format!("reap survivor: {e}"))?;
+        let recovery_ms = start.elapsed().as_secs_f64() * 1e3;
+        if !status.success() {
+            return Err(format!("survivor exited with {status}"));
+        }
+        let digest = stdout
+            .lines()
+            .rev()
+            .find_map(|l| l.strip_prefix("digest="))
+            .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+            .ok_or_else(|| format!("survivor printed no digest:\n{stdout}"))?;
+
+        trials.push(ChaosTrial {
+            trial,
+            mode: mode.to_string(),
+            shards: args.shards,
+            kills,
+            torn_injections,
+            recovery_ms,
+            digest_matches: digest == reference,
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    let overhead_workload = ChaosWorkload {
+        runs: args.runs,
+        shards: args.shards,
+        mode: ShardMode::Lockstep,
+        seed: args.seed,
+    };
+    let overhead_dir = std::env::temp_dir().join(format!(
+        "odin-chaos-{}-overhead-{:08x}",
+        std::process::id(),
+        splitmix64(&mut stream) as u32
+    ));
+    std::fs::create_dir_all(&overhead_dir)
+        .map_err(|e| format!("create {}: {e}", overhead_dir.display()))?;
+    let overhead = measure_overhead(&overhead_workload, &overhead_dir)
+        .map_err(|e| format!("overhead measurement failed: {e}"))?;
+    std::fs::remove_dir_all(&overhead_dir).ok();
+
+    Ok(ChaosReport::new(args.runs, args.seed, trials, overhead))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(1);
+        }
+    };
+    if args.child {
+        return child(&args);
+    }
+    let report = match parent(&args) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("chaos_campaign failed: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    println!("{report}");
+    let ok = report.all_equivalent;
+    match write_report(&report) {
+        Ok(path) => println!("[json: {}]", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write BENCH_chaos.json: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("kill/resume equivalence violated");
+        ExitCode::from(1)
+    }
+}

@@ -1,13 +1,13 @@
 //! Runs the stuck-at fault / write-endurance degradation campaign.
 //! Pass `--quick` for the reduced schedule.
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = odin_bench::context_from_args();
     match odin_bench::experiments::fault_campaign::run(&ctx) {
         Ok(result) => odin_bench::emit("fault_campaign", &result),
         Err(e) => {
             eprintln!("fault_campaign failed: {e}");
-            std::process::exit(1);
+            std::process::ExitCode::FAILURE
         }
     }
 }

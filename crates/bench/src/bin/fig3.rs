@@ -1,13 +1,13 @@
 //! Regenerates Fig. 3 of the paper. Pass `--quick` for the reduced
 //! schedule.
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = odin_bench::context_from_args();
     match odin_bench::experiments::fig3::run(&ctx) {
         Ok(result) => odin_bench::emit("fig3", &result),
         Err(e) => {
             eprintln!("fig3 failed: {e}");
-            std::process::exit(1);
+            std::process::ExitCode::FAILURE
         }
     }
 }

@@ -1,13 +1,13 @@
 //! Regenerates Fig. 7 of the paper. Pass `--quick` for the reduced
 //! schedule.
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = odin_bench::context_from_args();
     match odin_bench::experiments::fig7::run(&ctx) {
         Ok(result) => odin_bench::emit("fig7", &result),
         Err(e) => {
             eprintln!("fig7 failed: {e}");
-            std::process::exit(1);
+            std::process::ExitCode::FAILURE
         }
     }
 }

@@ -1,13 +1,13 @@
 //! Regenerates Fig. 9 of the paper. Pass `--quick` for the reduced
 //! schedule.
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = odin_bench::context_from_args();
     match odin_bench::experiments::fig9::run(&ctx) {
         Ok(result) => odin_bench::emit("fig9", &result),
         Err(e) => {
             eprintln!("fig9 failed: {e}");
-            std::process::exit(1);
+            std::process::ExitCode::FAILURE
         }
     }
 }

@@ -3,7 +3,7 @@
 //! the numbers into `BENCH_kernel.json` at the workspace root. Pass
 //! `--quick` (or `ODIN_QUICK=1`) for a fast reduced run.
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let quick = std::env::args().any(|a| a == "--quick")
         || std::env::var("ODIN_QUICK").is_ok_and(|v| v == "1");
     let iters = if quick { 40 } else { 400 };
@@ -11,10 +11,16 @@ fn main() {
     println!("{report}");
     if !report.parity {
         eprintln!("kernel/scalar parity violated");
-        std::process::exit(1);
+        return std::process::ExitCode::FAILURE;
     }
     match odin_bench::kernel_perf::write_report(&report) {
-        Ok(path) => println!("[json: {}]", path.display()),
-        Err(e) => eprintln!("warning: could not write BENCH_kernel.json: {e}"),
+        Ok(path) => {
+            println!("[json: {}]", path.display());
+            std::process::ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: could not write BENCH_kernel.json: {e}");
+            std::process::ExitCode::from(2)
+        }
     }
 }

@@ -1,12 +1,12 @@
 //! Regenerates the §V.E online-learning overhead analysis.
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = odin_bench::context_from_args();
     match odin_bench::experiments::overhead::run(&ctx) {
         Ok(result) => odin_bench::emit("overhead", &result),
         Err(e) => {
             eprintln!("overhead failed: {e}");
-            std::process::exit(1);
+            std::process::ExitCode::FAILURE
         }
     }
 }

@@ -2,13 +2,13 @@
 //! independent modes at 1/2/4/8 shards). Pass `--quick` for the
 //! reduced schedule.
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = odin_bench::context_from_args();
     match odin_bench::experiments::parallel_campaign::run(&ctx) {
         Ok(result) => odin_bench::emit("parallel_campaign", &result),
         Err(e) => {
             eprintln!("parallel_campaign failed: {e}");
-            std::process::exit(1);
+            std::process::ExitCode::FAILURE
         }
     }
 }

@@ -1,13 +1,13 @@
 //! Regenerates the §V.B exhaustive-vs-resource-bounded search
 //! overhead comparison.
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = odin_bench::context_from_args();
     match odin_bench::experiments::search_overhead::run(&ctx) {
         Ok(result) => odin_bench::emit("search_overhead", &result),
         Err(e) => {
             eprintln!("search_overhead failed: {e}");
-            std::process::exit(1);
+            std::process::ExitCode::FAILURE
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Regenerates Table I (tile configuration) and Table II (crossbar
 //! system parameters).
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let report = odin_bench::experiments::table1::run();
-    odin_bench::emit("table1", &report);
+    odin_bench::emit("table1", &report)
 }

@@ -1,12 +1,12 @@
 //! Model validation: analytic vs exact scheduler vs event simulation.
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let ctx = odin_bench::context_from_args();
     match odin_bench::experiments::validate::run(&ctx) {
         Ok(result) => odin_bench::emit("validate", &result),
         Err(e) => {
             eprintln!("validate failed: {e}");
-            std::process::exit(1);
+            std::process::ExitCode::FAILURE
         }
     }
 }

@@ -72,9 +72,7 @@ pub fn buffer_sweep(ctx: &ExperimentContext) -> Result<BufferAblation, OdinError
     let net = zoo::vgg11(Dataset::Cifar10);
     let mut rows = Vec::new();
     for capacity in [10usize, 25, 50, 100] {
-        let config = OdinConfig::builder()
-            .buffer_capacity(capacity)
-            .build()?;
+        let config = OdinConfig::builder().buffer_capacity(capacity).build()?;
         let base = ctx.odin_for(&net, Dataset::Cifar10)?;
         let mut rt = OdinRuntime::builder(config)
             .policy(base.policy().clone())
@@ -111,7 +109,11 @@ pub struct KAblation {
 impl std::fmt::Display for KAblation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Ablation — search bound K (paper: K = 3)")?;
-        writeln!(f, "{:<10} {:>14} {:>12}", "strategy", "EDP (J·s)", "evals/layer")?;
+        writeln!(
+            f,
+            "{:<10} {:>14} {:>12}",
+            "strategy", "EDP (J·s)", "evals/layer"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -204,13 +206,8 @@ pub fn feature_ablation(ctx: &ExperimentContext) -> Result<FeatureAblation, Odin
     let eta = ctx.config.eta();
     let net = zoo::vgg11(Dataset::Cifar10);
     let policy = ctx.odin_for(&net, Dataset::Cifar10)?.policy().clone();
-    let labels = offline::label_examples(
-        &model,
-        &[net],
-        eta,
-        &offline::default_sample_ages(),
-        500,
-    )?;
+    let labels =
+        offline::label_examples(&model, &[net], eta, &offline::default_sample_ages(), 500)?;
 
     let mask = |which: &str| -> Vec<odin_policy::TrainingExample> {
         labels
@@ -526,7 +523,10 @@ mod tests {
         let get = |m: &str| result.rows.iter().find(|r| r.masked == m).unwrap().clone();
         let none = get("none");
         let time = get("time");
-        assert!(none.agreement >= time.agreement, "time feature is load-bearing");
+        assert!(
+            none.agreement >= time.agreement,
+            "time feature is load-bearing"
+        );
         assert!(none.agreement_within_k > 0.8);
         assert!(result.to_string().contains("features"));
     }
@@ -540,7 +540,12 @@ mod tests {
         }
         // ReLU CNNs benefit more than the GELU transformer.
         let gain = |name: &str| result.rows.iter().find(|r| r.network == name).unwrap().gain;
-        assert!(gain("vgg11") > gain("vit"), "vgg {} vit {}", gain("vgg11"), gain("vit"));
+        assert!(
+            gain("vgg11") > gain("vit"),
+            "vgg {} vit {}",
+            gain("vgg11"),
+            gain("vit")
+        );
         assert!(result.to_string().contains("activation"));
     }
 

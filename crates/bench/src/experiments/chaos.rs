@@ -1,0 +1,404 @@
+//! Chaos-recovery harness: SIGKILL a checkpointed campaign at seeded
+//! random points — including mid-checkpoint-write — then resume it and
+//! prove the stitched-together run is bit-for-bit equivalent to an
+//! uninterrupted one.
+//!
+//! The `chaos_campaign` binary drives this module in two roles: the
+//! *parent* spawns itself as a *child* campaign, kills the child at
+//! seeded delays (tearing snapshot files between attempts to simulate
+//! mid-write power loss), lets a final attempt run to completion, and
+//! compares the survivor's campaign digest against an in-process
+//! uninterrupted reference. It also measures checkpoint overhead and
+//! records everything into `BENCH_chaos.json` at the workspace root.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use odin_core::prelude::*;
+use odin_dnn::zoo::{self, Dataset};
+use odin_dnn::NetworkDescriptor;
+use serde::Serialize;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over a byte slice (same construction the snapshot
+/// checksum uses; kept local so the digest is independent of it).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash = (hash ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// `splitmix64` step: the seeded stream the parent draws kill delays
+/// and corruption decisions from, so every chaos run is reproducible
+/// from `--seed` alone.
+#[must_use]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The equivalence digest: FNV-1a over the serialized inference
+/// records and skips, folded with the campaign EDP bits. Two reports
+/// share a digest iff they recorded the same decisions, costs, events,
+/// and aggregate EDP bit for bit.
+#[must_use]
+pub fn campaign_digest(report: &CampaignReport) -> u64 {
+    let body = serde_json::to_string(&(&report.runs, &report.skipped))
+        .expect("campaign reports serialize");
+    let mut digest = fnv1a64(body.as_bytes());
+    for byte in report.total_edp().value().to_bits().to_le_bytes() {
+        digest = (digest ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+    digest
+}
+
+/// One chaos workload: a VGG11/CIFAR-10 campaign with a fixed seed,
+/// shard count, and execution model, so the parent, the child, and the
+/// uninterrupted reference all describe the identical run.
+#[derive(Debug, Clone)]
+pub struct ChaosWorkload {
+    /// Scheduled inference count.
+    pub runs: usize,
+    /// Worker shards.
+    pub shards: usize,
+    /// Execution model.
+    pub mode: ShardMode,
+    /// Policy-initialization seed.
+    pub seed: u64,
+}
+
+impl ChaosWorkload {
+    /// The campaign network (VGG11 on CIFAR-10).
+    #[must_use]
+    pub fn network(&self) -> NetworkDescriptor {
+        zoo::vgg11(Dataset::Cifar10)
+    }
+
+    /// The campaign schedule: `runs` geometric slots over 1 s … 1e7 s.
+    #[must_use]
+    pub fn schedule(&self) -> TimeSchedule {
+        TimeSchedule::geometric(1.0, 1e7, self.runs)
+    }
+
+    /// A fresh runtime for this workload (untrained policy, seeded).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn runtime(&self) -> Result<OdinRuntime, OdinError> {
+        OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(self.seed)
+            .build()
+    }
+
+    /// The campaign engine for this workload (no checkpoint attached).
+    #[must_use]
+    pub fn engine(&self) -> CampaignEngine {
+        CampaignEngine::new(self.shards).with_mode(self.mode)
+    }
+
+    /// Runs the workload uninterrupted (no checkpointing) and returns
+    /// its equivalence digest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign failures.
+    pub fn reference_digest(&self) -> Result<u64, OdinError> {
+        let mut runtime = self.runtime()?;
+        let report = self
+            .engine()
+            .run_campaign(&mut runtime, &self.network(), &self.schedule())?;
+        Ok(campaign_digest(&report))
+    }
+
+    /// Runs the workload under `policy`, resuming from the newest
+    /// usable generation in the store if one exists and starting over
+    /// from slot 0 otherwise (empty store, or every generation torn /
+    /// corrupt — the rolled-back case). Returns the completed report
+    /// and a human-readable note saying which path was taken.
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign failures; snapshot errors are absorbed into
+    /// the restart-from-scratch path by design.
+    pub fn run_checkpointed(
+        &self,
+        dir: &Path,
+        policy: CheckpointPolicy,
+    ) -> Result<(CampaignReport, String), OdinError> {
+        let network = self.network();
+        let schedule = self.schedule();
+        let engine = self.engine().checkpoint(policy);
+        match engine.resume_from(dir, &network, &schedule) {
+            Ok((_, report)) => Ok((report, "resumed from snapshot store".to_string())),
+            Err(OdinError::Snapshot(e)) => {
+                let mut runtime = self.runtime()?;
+                let report = engine.run_campaign(&mut runtime, &network, &schedule)?;
+                Ok((
+                    report,
+                    format!("no usable snapshot ({e}); started from slot 0"),
+                ))
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Checkpoint cost at the default interval: the same campaign run
+/// twice, with and without a snapshot store attached.
+#[derive(Debug, Clone, Serialize)]
+pub struct CheckpointOverhead {
+    /// Uncheckpointed wall-clock, milliseconds.
+    pub baseline_ms: f64,
+    /// Checkpointed wall-clock, milliseconds.
+    pub checkpointed_ms: f64,
+    /// `(checkpointed − baseline) / baseline`, clamped at 0.
+    pub overhead_frac: f64,
+    /// Snapshot generations left in the store after the run (the
+    /// retention policy prunes older ones).
+    pub snapshots_retained: usize,
+    /// `true` iff the checkpointed run's digest equals the baseline's
+    /// — checkpointing must observe, never perturb.
+    pub perturbation_free: bool,
+}
+
+/// Measures checkpoint overhead for `workload` using `dir` as the
+/// snapshot store (default interval and retention).
+///
+/// # Errors
+///
+/// Propagates campaign failures.
+pub fn measure_overhead(
+    workload: &ChaosWorkload,
+    dir: &Path,
+) -> Result<CheckpointOverhead, OdinError> {
+    let network = workload.network();
+    let schedule = workload.schedule();
+
+    let mut runtime = workload.runtime()?;
+    let start = Instant::now();
+    let baseline = workload
+        .engine()
+        .run_campaign(&mut runtime, &network, &schedule)?;
+    let baseline_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let mut runtime = workload.runtime()?;
+    let start = Instant::now();
+    let checkpointed = workload
+        .engine()
+        .checkpoint(CheckpointPolicy::new(dir))
+        .run_campaign(&mut runtime, &network, &schedule)?;
+    let checkpointed_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let snapshots_retained = std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter(|e| e.path().extension().is_some_and(|x| x == "snap"))
+                .count()
+        })
+        .unwrap_or(0);
+
+    Ok(CheckpointOverhead {
+        baseline_ms,
+        checkpointed_ms,
+        overhead_frac: (checkpointed_ms - baseline_ms).max(0.0)
+            / baseline_ms.max(f64::MIN_POSITIVE),
+        snapshots_retained,
+        perturbation_free: campaign_digest(&baseline) == campaign_digest(&checkpointed),
+    })
+}
+
+/// One parent-driven kill/resume trial.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaosTrial {
+    /// Trial index.
+    pub trial: usize,
+    /// Execution model the child ran (`lockstep` / `independent`).
+    pub mode: String,
+    /// Worker shards in the child.
+    pub shards: usize,
+    /// SIGKILLs delivered before the surviving attempt.
+    pub kills: usize,
+    /// Snapshot files torn or garbage `.tmp` files dropped between
+    /// attempts (simulated mid-write power loss).
+    pub torn_injections: usize,
+    /// Wall-clock of the surviving attempt (resume + finish), ms.
+    pub recovery_ms: f64,
+    /// Whether the survivor's digest matched the uninterrupted
+    /// reference bit for bit.
+    pub digest_matches: bool,
+}
+
+/// The full chaos-harness record (`BENCH_chaos.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaosReport {
+    /// Scheduled inference count per trial.
+    pub runs: usize,
+    /// The seed every delay and corruption decision derives from.
+    pub seed: u64,
+    /// One row per kill/resume trial.
+    pub trials: Vec<ChaosTrial>,
+    /// Checkpoint cost at the default interval.
+    pub overhead: CheckpointOverhead,
+    /// `true` iff every trial's digest matched the reference.
+    pub all_equivalent: bool,
+    /// Slowest surviving attempt across trials, ms.
+    pub max_recovery_ms: f64,
+}
+
+impl ChaosReport {
+    /// Assembles the report from its trials and overhead measurement.
+    #[must_use]
+    pub fn new(
+        runs: usize,
+        seed: u64,
+        trials: Vec<ChaosTrial>,
+        overhead: CheckpointOverhead,
+    ) -> Self {
+        let all_equivalent = trials.iter().all(|t| t.digest_matches) && overhead.perturbation_free;
+        let max_recovery_ms = trials.iter().map(|t| t.recovery_ms).fold(0.0, f64::max);
+        Self {
+            runs,
+            seed,
+            trials,
+            overhead,
+            all_equivalent,
+            max_recovery_ms,
+        }
+    }
+}
+
+impl fmt::Display for ChaosReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "chaos campaign: {} runs/trial, seed {:#x}",
+            self.runs, self.seed
+        )?;
+        writeln!(
+            f,
+            "{:<6} {:<12} {:>6} {:>6} {:>6} {:>12} {:>8}",
+            "trial", "mode", "shards", "kills", "torn", "recovery", "equal"
+        )?;
+        for t in &self.trials {
+            writeln!(
+                f,
+                "{:<6} {:<12} {:>6} {:>6} {:>6} {:>9.1} ms {:>8}",
+                t.trial,
+                t.mode,
+                t.shards,
+                t.kills,
+                t.torn_injections,
+                t.recovery_ms,
+                if t.digest_matches { "yes" } else { "NO" }
+            )?;
+        }
+        writeln!(
+            f,
+            "checkpoint overhead: {:.1} ms → {:.1} ms ({:.2}% of wall-clock, {} generations retained)",
+            self.overhead.baseline_ms,
+            self.overhead.checkpointed_ms,
+            self.overhead.overhead_frac * 100.0,
+            self.overhead.snapshots_retained
+        )?;
+        write!(
+            f,
+            "all trials bit-equivalent to uninterrupted reference: {}",
+            if self.all_equivalent { "yes" } else { "NO" }
+        )
+    }
+}
+
+/// Records the chaos report into `BENCH_chaos.json` at the workspace
+/// root (same convention as `BENCH_kernel.json`: generated, never
+/// hand-edited).
+///
+/// # Errors
+///
+/// Returns I/O errors from writing the file.
+pub fn write_report(report: &ChaosReport) -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_chaos.json"
+    ));
+    let json = serde_json::to_string_pretty(report).map_err(std::io::Error::other)?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("odin-chaos-{tag}-{}-{n}", std::process::id()))
+    }
+
+    fn tiny() -> ChaosWorkload {
+        ChaosWorkload {
+            runs: 8,
+            shards: 1,
+            mode: ShardMode::Lockstep,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_nontrivial() {
+        let mut a = 42;
+        let mut b = 42;
+        let (x, y) = (splitmix64(&mut a), splitmix64(&mut b));
+        assert_eq!(x, y);
+        assert_ne!(splitmix64(&mut a), x, "stream advances");
+    }
+
+    #[test]
+    fn digest_separates_different_campaigns() {
+        let w = tiny();
+        let mut rt = w.runtime().unwrap();
+        let short = w
+            .engine()
+            .run_campaign(&mut rt, &w.network(), &TimeSchedule::geometric(1.0, 1e7, 4))
+            .unwrap();
+        let mut rt = w.runtime().unwrap();
+        let full = w
+            .engine()
+            .run_campaign(&mut rt, &w.network(), &w.schedule())
+            .unwrap();
+        assert_ne!(campaign_digest(&short), campaign_digest(&full));
+        assert_eq!(campaign_digest(&full), w.reference_digest().unwrap());
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_or_restarts_to_the_same_digest() {
+        let w = tiny();
+        let reference = w.reference_digest().unwrap();
+        let dir = scratch("roundtrip");
+        // Empty store: starts from slot 0.
+        let (report, note) = w
+            .run_checkpointed(&dir, CheckpointPolicy::new(&dir).every_runs(2))
+            .unwrap();
+        assert_eq!(campaign_digest(&report), reference);
+        assert!(note.contains("slot 0"), "{note}");
+        // Populated store: resumes (here, from the completed run).
+        let (report, note) = w
+            .run_checkpointed(&dir, CheckpointPolicy::new(&dir).every_runs(2))
+            .unwrap();
+        assert_eq!(campaign_digest(&report), reference);
+        assert!(note.contains("resumed"), "{note}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

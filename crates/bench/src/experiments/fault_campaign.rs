@@ -84,7 +84,15 @@ impl std::fmt::Display for FaultCampaignResult {
         writeln!(
             f,
             "{:>8} {:>12} {:>9} {:>10} {:>7} {:>8} {:>7} {:>9} {:>8}",
-            "rate", "EDP (J·s)", "EDP×", "reprogram", "remap", "shrink", "o-o-s", "degraded", "served"
+            "rate",
+            "EDP (J·s)",
+            "EDP×",
+            "reprogram",
+            "remap",
+            "shrink",
+            "o-o-s",
+            "degraded",
+            "served"
         )?;
         for row in &self.rows {
             writeln!(
@@ -197,13 +205,20 @@ mod tests {
             1.0f64.to_bits(),
             "rate 0 must be bit-identical to the fault-free runtime"
         );
-        assert_eq!(clean.remaps + clean.out_of_service + clean.degraded_decisions, 0);
+        assert_eq!(
+            clean.remaps + clean.out_of_service + clean.degraded_decisions,
+            0
+        );
         assert!((clean.fraction_served - 1.0).abs() < 1e-12);
 
         // 1 % faults: the campaign completes, serves ≥ 90 % of the
         // schedule, and the ladder demonstrably engaged.
         let worst = result.at_rate(0.01).unwrap();
-        assert!(worst.fraction_served >= 0.9, "served {}", worst.fraction_served);
+        assert!(
+            worst.fraction_served >= 0.9,
+            "served {}",
+            worst.fraction_served
+        );
         assert!(
             worst.remaps + worst.degraded_decisions >= 1,
             "ladder must engage at 1% faults"

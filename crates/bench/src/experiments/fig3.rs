@@ -90,7 +90,11 @@ mod tests {
         // Fig. 3's qualitative claim: initial layers get finer OUs
         // than the largest late-layer OUs.
         let first = result.rows.first().unwrap().ou_product;
-        let max_late = result.rows[10..].iter().map(|r| r.ou_product).max().unwrap();
+        let max_late = result.rows[10..]
+            .iter()
+            .map(|r| r.ou_product)
+            .max()
+            .unwrap();
         assert!(max_late > first, "late max {max_late} vs first {first}");
         // Sparsity profile is the "highly sparse" pruning regime.
         assert!(result.rows.iter().any(|r| r.sparsity_pct > 50.0));

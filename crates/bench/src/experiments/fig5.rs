@@ -58,8 +58,11 @@ impl std::fmt::Display for Fig5Result {
         for (t, series) in &self.panels {
             writeln!(f, "t = {t:.2e} s")?;
             for s in series {
-                let joined: Vec<String> =
-                    s.products.iter().map(std::string::ToString::to_string).collect();
+                let joined: Vec<String> = s
+                    .products
+                    .iter()
+                    .map(std::string::ToString::to_string)
+                    .collect();
                 writeln!(f, "  {:<10} [{}]", s.label, joined.join(", "))?;
             }
         }

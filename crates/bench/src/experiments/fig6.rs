@@ -58,7 +58,11 @@ impl std::fmt::Display for Fig6Result {
             "Fig. 6 — {} total energy/latency (normalized to 16×16 inference)",
             self.network
         )?;
-        writeln!(f, "{:<10} {:>12} {:>12} {:>11}", "config", "energy", "latency", "reprograms")?;
+        writeln!(
+            f,
+            "{:<10} {:>12} {:>12} {:>11}",
+            "config", "energy", "latency", "reprograms"
+        )?;
         for row in &self.rows {
             writeln!(
                 f,

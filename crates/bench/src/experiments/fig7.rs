@@ -216,7 +216,10 @@ mod tests {
         // Without reprogramming, 16×16 drops ≈ 22 % (0.12–0.32 band).
         let no_rep = result.final_accuracy("16×16 (no reprogram)").unwrap();
         let drop = IDEAL_ACCURACY - no_rep;
-        assert!((0.10..0.35).contains(&drop), "16×16 no-reprogram drop {drop}");
+        assert!(
+            (0.10..0.35).contains(&drop),
+            "16×16 no-reprogram drop {drop}"
+        );
         // Fine OUs degrade less without reprogramming.
         let fine = result.final_accuracy("8×4 (no reprogram)").unwrap();
         assert!(fine > no_rep);
@@ -228,6 +231,9 @@ mod tests {
         assert!(result.functional_clean_accuracy > 0.7);
         let f_first = result.functional_16x16_no_reprogram.first().unwrap();
         let f_last = result.functional_16x16_no_reprogram.last().unwrap();
-        assert!(f_last < f_first, "functional curve must degrade: {f_first} → {f_last}");
+        assert!(
+            f_last < f_first,
+            "functional curve must degrade: {f_first} → {f_last}"
+        );
     }
 }

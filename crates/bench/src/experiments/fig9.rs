@@ -89,12 +89,18 @@ pub fn run(ctx: &ExperimentContext) -> Result<Fig9Result, OdinError> {
             seed: ctx.seed,
         };
         let mut odin = sub_ctx.odin_for(&net, Dataset::Cifar100)?;
-        let odin_edp = odin.run_campaign(&net, &sub_ctx.schedule)?.total_edp().value();
+        let odin_edp = odin
+            .run_campaign(&net, &sub_ctx.schedule)?
+            .total_edp()
+            .value();
 
         let mut baselines = Vec::new();
         for (label, shape) in paper_baselines() {
             let mut rt = sub_ctx.homogeneous(shape)?;
-            let edp = rt.run_campaign(&net, &sub_ctx.schedule)?.total_edp().value();
+            let edp = rt
+                .run_campaign(&net, &sub_ctx.schedule)?
+                .total_edp()
+                .value();
             baselines.push((label.to_string(), edp / odin_edp));
         }
         rows.push(Fig9Row {

@@ -5,6 +5,7 @@
 //! table and drops a JSON record under `results/`.
 
 pub mod ablations;
+pub mod chaos;
 pub mod fault_campaign;
 pub mod fig3;
 pub mod fig4;

@@ -98,7 +98,11 @@ pub fn run(ctx: &ExperimentContext) -> Result<OverheadResult, OdinError> {
     let mut odin = ctx.odin_for(&net, Dataset::Cifar10)?;
     let report = odin.run_campaign(&net, &ctx.schedule)?;
 
-    let inference_latency: f64 = report.runs.iter().map(|r| r.inference.latency.value()).sum();
+    let inference_latency: f64 = report
+        .runs
+        .iter()
+        .map(|r| r.inference.latency.value())
+        .sum();
     let overhead_latency: f64 = report.runs.iter().map(|r| r.overhead.latency.value()).sum();
     let overhead_energy: f64 = report.runs.iter().map(|r| r.overhead.energy.value()).sum();
 

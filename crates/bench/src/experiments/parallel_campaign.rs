@@ -77,7 +77,16 @@ impl std::fmt::Display for ParallelCampaignResult {
         writeln!(
             f,
             "{:>12} {:>7} {:>10} {:>8} {:>12} {:>9} {:>7} {:>7} {:>10} {:>10}",
-            "mode", "shards", "wall (ms)", "speedup", "EDP (J·s)", "mismatch", "served", "cache", "committed", "discarded"
+            "mode",
+            "shards",
+            "wall (ms)",
+            "speedup",
+            "EDP (J·s)",
+            "mismatch",
+            "served",
+            "cache",
+            "committed",
+            "discarded"
         )?;
         for row in &self.rows {
             writeln!(
@@ -175,14 +184,18 @@ mod tests {
         // hardware-dependent, determinism is not).
         for shards in SHARD_COUNTS {
             let row = result.at(ShardMode::Lockstep, shards).unwrap();
-            assert_eq!(row.total_edp.to_bits(), one.total_edp.to_bits(), "{shards} shards");
+            assert_eq!(
+                row.total_edp.to_bits(),
+                one.total_edp.to_bits(),
+                "{shards} shards"
+            );
             assert_eq!(row.mismatch_rate.to_bits(), one.mismatch_rate.to_bits());
             assert_eq!(row.fraction_served.to_bits(), one.fraction_served.to_bits());
             assert_eq!(row.committed, ctx.schedule.runs() as u64);
         }
 
         // The memoized evaluation cache carries the sweep: ≥ 50% hits
-        // on the paper workload at every point (ISSUE acceptance bar).
+        // on the paper workload at every point (the engine's acceptance bar).
         for row in &result.rows {
             assert!(
                 row.cache_hit_rate > 0.5,
@@ -191,7 +204,10 @@ mod tests {
                 row.shards,
                 row.cache_hit_rate
             );
-            assert!((row.fraction_served - 1.0).abs() < 1e-12, "pristine fabric serves all");
+            assert!(
+                (row.fraction_served - 1.0).abs() < 1e-12,
+                "pristine fabric serves all"
+            );
         }
 
         // Independent replicas drift from the sequential stream but

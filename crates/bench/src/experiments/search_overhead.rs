@@ -34,10 +34,26 @@ pub struct SearchOverheadResult {
 impl std::fmt::Display for SearchOverheadResult {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "§V.B — search overhead: exhaustive vs resource-bounded")?;
-        writeln!(f, "RB evaluations/layer (measured): {:>6.1}", self.rb_evaluations)?;
-        writeln!(f, "EX evaluations/layer:            {:>6.1}", self.ex_evaluations)?;
-        writeln!(f, "EX/RB measured:                  {:>6.2}×", self.measured_ratio)?;
-        writeln!(f, "EX/RB budget (4K+1):             {:>6.2}× (paper ≈3×)", self.budget_ratio)?;
+        writeln!(
+            f,
+            "RB evaluations/layer (measured): {:>6.1}",
+            self.rb_evaluations
+        )?;
+        writeln!(
+            f,
+            "EX evaluations/layer:            {:>6.1}",
+            self.ex_evaluations
+        )?;
+        writeln!(
+            f,
+            "EX/RB measured:                  {:>6.2}×",
+            self.measured_ratio
+        )?;
+        writeln!(
+            f,
+            "EX/RB budget (4K+1):             {:>6.2}× (paper ≈3×)",
+            self.budget_ratio
+        )?;
         writeln!(
             f,
             "RB finds EX optimum:             {:>6.1}%",

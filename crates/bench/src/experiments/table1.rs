@@ -28,7 +28,11 @@ pub struct TableReport {
 impl std::fmt::Display for TableReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Table I — tile configuration (1.2 GHz, 32 nm)")?;
-        writeln!(f, "{:<24} {:<48} {:>10}", "component", "specification", "area mm²")?;
+        writeln!(
+            f,
+            "{:<24} {:<48} {:>10}",
+            "component", "specification", "area mm²"
+        )?;
         for (name, spec, area) in &self.tile_components {
             writeln!(f, "{name:<24} {spec:<48} {area:>10.4}")?;
         }

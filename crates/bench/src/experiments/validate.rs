@@ -49,7 +49,10 @@ impl ValidateResult {
     /// The largest estimate-vs-exact gap.
     #[must_use]
     pub fn max_estimate_gap(&self) -> f64 {
-        self.rows.iter().map(|r| r.estimate_gap.abs()).fold(0.0, f64::max)
+        self.rows
+            .iter()
+            .map(|r| r.estimate_gap.abs())
+            .fold(0.0, f64::max)
     }
 
     /// The largest simulated slowdown.
@@ -177,8 +180,8 @@ mod tests {
             "estimate gap {}",
             result.max_estimate_gap()
         );
-        let mean_gap: f64 = result.rows.iter().map(|r| r.estimate_gap).sum::<f64>()
-            / result.rows.len() as f64;
+        let mean_gap: f64 =
+            result.rows.iter().map(|r| r.estimate_gap).sum::<f64>() / result.rows.len() as f64;
         assert!(mean_gap.abs() < 0.10, "mean gap {mean_gap}");
         // With IR reuse (the real dataflow) the bus adds little on top
         // of Eq. 1; the pessimistic no-reuse bound shows why the IR
@@ -189,7 +192,11 @@ mod tests {
             result.max_slowdown()
         );
         for r in &result.rows {
-            assert!(r.sim_slowdown <= r.sim_slowdown_no_reuse + 1e-9, "{}", r.layer);
+            assert!(
+                r.sim_slowdown <= r.sim_slowdown_no_reuse + 1e-9,
+                "{}",
+                r.layer
+            );
         }
         assert!(result.to_string().contains("Validation"));
     }

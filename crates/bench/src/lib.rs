@@ -31,10 +31,24 @@ pub fn context_from_args() -> ExperimentContext {
 }
 
 /// Prints an experiment result and records its JSON under `results/`.
-pub fn emit<T: std::fmt::Display + serde::Serialize>(name: &str, result: &T) {
+///
+/// Returns the process exit status: success when the record was
+/// written, exit code 2 when the I/O failed — a binary that cannot
+/// persist its results must not report success.
+#[must_use = "carries the process exit status — return it from main"]
+pub fn emit<T: std::fmt::Display + serde::Serialize>(
+    name: &str,
+    result: &T,
+) -> std::process::ExitCode {
     println!("{result}");
     match experiments::write_json(name, result) {
-        Ok(path) => println!("[json: {}]", path.display()),
-        Err(e) => eprintln!("warning: could not write results/{name}.json: {e}"),
+        Ok(path) => {
+            println!("[json: {}]", path.display());
+            std::process::ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: could not write results/{name}.json: {e}");
+            std::process::ExitCode::from(2)
+        }
     }
 }

@@ -1,0 +1,29 @@
+//! End-to-end chaos gate: drives the `chaos_campaign` binary (the
+//! parent SIGKILLs child campaigns at seeded points, tears snapshot
+//! files mid-write, and resumes), asserting the whole kill/resume
+//! cycle stays bit-for-bit equivalent to an uninterrupted run.
+
+use std::process::Command;
+
+#[test]
+fn chaos_campaign_survives_seeded_kills_bit_for_bit() {
+    let out = Command::new(env!("CARGO_BIN_EXE_chaos_campaign"))
+        .args(["--quick", "--trials", "2", "--seed", "11"])
+        .output()
+        .expect("chaos_campaign spawns");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "chaos_campaign failed ({}):\n--- stdout\n{stdout}\n--- stderr\n{stderr}",
+        out.status
+    );
+    assert!(
+        stdout.contains("all trials bit-equivalent to uninterrupted reference: yes"),
+        "equivalence line missing:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("BENCH_chaos.json"),
+        "report not recorded:\n{stdout}"
+    );
+}

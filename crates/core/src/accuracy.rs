@@ -154,7 +154,8 @@ mod tests {
         let analytic = analytic();
         let net = zoo::vgg11(Dataset::Cifar10);
         let acc_model = AccuracyModel::new(0.92, 0.1);
-        let fresh = acc_model.accuracy_at(&analytic, &net, OuShape::new(16, 16), Seconds::ZERO, 0.005);
+        let fresh =
+            acc_model.accuracy_at(&analytic, &net, OuShape::new(16, 16), Seconds::ZERO, 0.005);
         assert_eq!(fresh, 0.92);
         let end = acc_model.accuracy_at(
             &analytic,

@@ -5,8 +5,8 @@ use odin_device::ReprogramCost;
 use odin_dnn::{LayerDescriptor, NetworkDescriptor};
 use odin_units::{EnergyDelayProduct, Seconds};
 use odin_xbar::{
-    estimate_cycles_with_activations, CrossbarConfig, FaultProfile, LayerMapping,
-    NonIdealityModel, OuGrid, OuShape,
+    estimate_cycles_with_activations, CrossbarConfig, FaultProfile, LayerMapping, NonIdealityModel,
+    OuGrid, OuShape,
 };
 use serde::{Deserialize, Serialize};
 
@@ -336,8 +336,12 @@ mod tests {
     fn bigger_ous_are_faster_but_riskier() {
         let m = model();
         let layer = vgg_layer();
-        let fine = m.evaluate(&layer, OuShape::new(8, 4), Seconds::ZERO).unwrap();
-        let coarse = m.evaluate(&layer, OuShape::new(32, 32), Seconds::ZERO).unwrap();
+        let fine = m
+            .evaluate(&layer, OuShape::new(8, 4), Seconds::ZERO)
+            .unwrap();
+        let coarse = m
+            .evaluate(&layer, OuShape::new(32, 32), Seconds::ZERO)
+            .unwrap();
         assert!(coarse.cost.latency < fine.cost.latency);
         assert!(coarse.impact > fine.impact);
     }
@@ -346,7 +350,9 @@ mod tests {
     fn impact_grows_with_age() {
         let m = model();
         let layer = vgg_layer();
-        let fresh = m.evaluate(&layer, OuShape::new(16, 16), Seconds::ZERO).unwrap();
+        let fresh = m
+            .evaluate(&layer, OuShape::new(16, 16), Seconds::ZERO)
+            .unwrap();
         let aged = m
             .evaluate(&layer, OuShape::new(16, 16), Seconds::new(1e8))
             .unwrap();
@@ -373,7 +379,9 @@ mod tests {
     fn feasibility_threshold() {
         let m = model();
         let layer = vgg_layer();
-        let eval = m.evaluate(&layer, OuShape::new(8, 8), Seconds::ZERO).unwrap();
+        let eval = m
+            .evaluate(&layer, OuShape::new(8, 8), Seconds::ZERO)
+            .unwrap();
         assert!(eval.feasible(0.005));
         assert!(!eval.feasible(eval.impact / 2.0));
     }
@@ -462,7 +470,12 @@ mod tests {
         assert!((faulty.impact - clean.impact - expect).abs() < 1e-15);
         // An empty profile is bit-identical to the fault-free path.
         let empty = m
-            .evaluate_faulty(&layer, shape, Seconds::ZERO, Some(&FaultProfile::empty(128)))
+            .evaluate_faulty(
+                &layer,
+                shape,
+                Seconds::ZERO,
+                Some(&FaultProfile::empty(128)),
+            )
             .unwrap();
         assert_eq!(empty.impact.to_bits(), clean.impact.to_bits());
     }

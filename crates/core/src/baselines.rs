@@ -118,8 +118,7 @@ impl HomogeneousRuntime {
     ) -> Result<InferenceRecord, OdinError> {
         let mut age = Seconds::new((now.value() - self.last_programmed.value()).max(0.0));
         let mut reprogrammed = false;
-        if self.reprogram_enabled && self.model.worst_impact(network, self.shape, age) >= self.eta
-        {
+        if self.reprogram_enabled && self.model.worst_impact(network, self.shape, age) >= self.eta {
             self.last_programmed = now;
             age = Seconds::ZERO;
             reprogrammed = true;

@@ -306,7 +306,10 @@ mod tests {
         cache.evaluate(&m, &l, shape, age, gen1).unwrap();
         cache.evaluate(&m, &l, shape, age, gen2).unwrap();
         let stats = cache.stats();
-        assert_eq!(stats.full_hits, 0, "different generations never share tier 1");
+        assert_eq!(
+            stats.full_hits, 0,
+            "different generations never share tier 1"
+        );
         assert_eq!(stats.geometry_hits, 1, "geometry is generation-independent");
     }
 

@@ -112,6 +112,77 @@ impl OdinConfig {
     pub fn confidence_escalation(&self) -> Option<f64> {
         self.confidence_escalation
     }
+
+    /// Validates every field, including values a builder never
+    /// produces but deserialization (configs, snapshots) can smuggle
+    /// in: NaN or out-of-range η, a zero buffer or resource bound, and
+    /// degenerate policy hyper-parameters (non-positive or NaN
+    /// learning rate, zero hidden width or update epochs, an OU level
+    /// count outside the grid's six exponents \[2, 7\]).
+    ///
+    /// [`OdinConfigBuilder::build`] and the runtime front doors
+    /// ([`RuntimeBuilder::build`](crate::RuntimeBuilder::build),
+    /// [`OdinRuntime::from_state`](crate::OdinRuntime::from_state))
+    /// all call this, so garbage is rejected with a descriptive error
+    /// instead of flowing silently downstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::InvalidConfig`] naming the offending
+    /// parameter.
+    pub fn validate(&self) -> Result<(), OdinError> {
+        if !self.eta.is_finite() || self.eta <= 0.0 || self.eta >= 1.0 {
+            return Err(OdinError::InvalidConfig {
+                name: "eta",
+                reason: "must be in (0, 1)",
+            });
+        }
+        if self.buffer_capacity == 0 {
+            return Err(OdinError::InvalidConfig {
+                name: "buffer_capacity",
+                reason: "must be nonzero",
+            });
+        }
+        if let SearchStrategy::ResourceBounded { k: 0 } = self.strategy {
+            return Err(OdinError::InvalidConfig {
+                name: "strategy",
+                reason: "resource bound k must be nonzero",
+            });
+        }
+        if let Some(t) = self.confidence_escalation {
+            if !t.is_finite() || !(0.0..=1.0).contains(&t) {
+                return Err(OdinError::InvalidConfig {
+                    name: "confidence_escalation",
+                    reason: "threshold must be in [0, 1]",
+                });
+            }
+        }
+        if !self.policy.learning_rate.is_finite() || self.policy.learning_rate <= 0.0 {
+            return Err(OdinError::InvalidConfig {
+                name: "policy.learning_rate",
+                reason: "must be a finite positive number",
+            });
+        }
+        if self.policy.hidden == 0 {
+            return Err(OdinError::InvalidConfig {
+                name: "policy.hidden",
+                reason: "hidden width must be nonzero",
+            });
+        }
+        if self.policy.levels == 0 || self.policy.levels > 6 {
+            return Err(OdinError::InvalidConfig {
+                name: "policy.levels",
+                reason: "OU level count must be in [1, 6] (grid exponents 2..=7)",
+            });
+        }
+        if self.policy.update_epochs == 0 {
+            return Err(OdinError::InvalidConfig {
+                name: "policy.update_epochs",
+                reason: "must be nonzero",
+            });
+        }
+        Ok(())
+    }
 }
 
 impl Default for OdinConfig {
@@ -184,40 +255,16 @@ impl OdinConfigBuilder {
         self
     }
 
-    /// Validates and produces the configuration.
+    /// Validates and produces the configuration (see
+    /// [`OdinConfig::validate`]).
     ///
     /// # Errors
     ///
     /// Returns [`OdinError::InvalidConfig`] for a non-positive η, a
-    /// zero buffer, or a zero-`k` resource bound.
+    /// zero buffer, a zero-`k` resource bound, or degenerate policy
+    /// hyper-parameters.
     pub fn build(self) -> Result<OdinConfig, OdinError> {
-        let c = &self.inner;
-        if !c.eta.is_finite() || c.eta <= 0.0 || c.eta >= 1.0 {
-            return Err(OdinError::InvalidConfig {
-                name: "eta",
-                reason: "must be in (0, 1)",
-            });
-        }
-        if c.buffer_capacity == 0 {
-            return Err(OdinError::InvalidConfig {
-                name: "buffer_capacity",
-                reason: "must be nonzero",
-            });
-        }
-        if let SearchStrategy::ResourceBounded { k: 0 } = c.strategy {
-            return Err(OdinError::InvalidConfig {
-                name: "strategy",
-                reason: "resource bound k must be nonzero",
-            });
-        }
-        if let Some(t) = c.confidence_escalation {
-            if !t.is_finite() || !(0.0..=1.0).contains(&t) {
-                return Err(OdinError::InvalidConfig {
-                    name: "confidence_escalation",
-                    reason: "threshold must be in [0, 1]",
-                });
-            }
-        }
+        self.inner.validate()?;
         Ok(self.inner)
     }
 }
@@ -254,5 +301,30 @@ mod tests {
             .unwrap();
         assert_eq!(ok.buffer_capacity(), 25);
         assert!(!ok.count_overheads());
+    }
+
+    #[test]
+    fn validate_rejects_nan_and_out_of_grid_policy_values() {
+        use odin_policy::PolicyConfig;
+        let broken = |f: &dyn Fn(&mut PolicyConfig)| {
+            let mut p = PolicyConfig::paper();
+            f(&mut p);
+            OdinConfig::builder().policy(p).build()
+        };
+        assert!(OdinConfig::builder().eta(f64::NAN).build().is_err());
+        assert!(OdinConfig::builder().eta(-0.1).build().is_err());
+        assert!(broken(&|p| p.learning_rate = f64::NAN).is_err());
+        assert!(broken(&|p| p.learning_rate = -0.05).is_err());
+        assert!(broken(&|p| p.learning_rate = 0.0).is_err());
+        assert!(broken(&|p| p.hidden = 0).is_err());
+        assert!(broken(&|p| p.levels = 0).is_err());
+        assert!(broken(&|p| p.levels = 7).is_err(), "exponent 8 is off-grid");
+        assert!(broken(&|p| p.update_epochs = 0).is_err());
+        // Every rejection is descriptive and typed.
+        let err = broken(&|p| p.levels = 9).unwrap_err();
+        assert!(matches!(err, OdinError::InvalidConfig { name, .. } if name == "policy.levels"));
+        assert!(err.to_string().contains("2..=7"));
+        // The full paper configuration validates standalone.
+        OdinConfig::paper().validate().unwrap();
     }
 }

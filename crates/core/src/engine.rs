@@ -37,6 +37,7 @@
 //! thread every round. Shards never share mutable runtime state — the
 //! only lock anywhere guards the job queue's receive side.
 
+use std::path::Path;
 use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Mutex};
 
@@ -45,9 +46,12 @@ use odin_units::Seconds;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheStats;
-use crate::error::OdinError;
+use crate::error::{OdinError, SnapshotError};
 use crate::runtime::{CampaignReport, InferenceRecord, OdinRuntime, SkippedRun};
 use crate::schedule::TimeSchedule;
+use crate::snapshot::{
+    CampaignProgress, CampaignSnapshot, CheckpointPolicy, RuntimeState, SnapshotStore,
+};
 
 /// How the engine distributes a campaign across shards.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -189,10 +193,11 @@ impl<'env> WorkerPool<'env> {
 /// assert_eq!(par.engine.shards, 4);
 /// # Ok::<(), odin_core::OdinError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignEngine {
     shards: usize,
     mode: ShardMode,
+    checkpoint: Option<CheckpointPolicy>,
 }
 
 impl CampaignEngine {
@@ -203,6 +208,7 @@ impl CampaignEngine {
         CampaignEngine {
             shards: shards.max(1),
             mode: ShardMode::default(),
+            checkpoint: None,
         }
     }
 
@@ -211,6 +217,27 @@ impl CampaignEngine {
     pub fn with_mode(mut self, mode: ShardMode) -> Self {
         self.mode = mode;
         self
+    }
+
+    /// Attaches a checkpoint policy: campaigns snapshot their complete
+    /// resumable state into the policy's directory at commit
+    /// boundaries — after interval-crossing commits, after every
+    /// eventful commit (reprogram, ladder event, skip) when the event
+    /// trigger is armed, and always after the final one (see
+    /// [`crate::snapshot`]). In [`ShardMode::Independent`] the engine
+    /// switches from free-running shards to barrier-synchronized
+    /// rounds so every snapshot captures a consistent cross-shard cut;
+    /// the committed records are identical either way.
+    #[must_use]
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
+    /// The checkpoint policy attached to this engine, if any.
+    #[must_use]
+    pub fn checkpoint_policy(&self) -> Option<&CheckpointPolicy> {
+        self.checkpoint.as_ref()
     }
 
     /// The shard count.
@@ -260,10 +287,34 @@ impl CampaignEngine {
         schedule: &TimeSchedule,
         resilient: bool,
     ) -> Result<CampaignReport, OdinError> {
+        self.run_with(runtime, network, schedule, resilient, None)
+    }
+
+    fn run_with(
+        &self,
+        runtime: &mut OdinRuntime,
+        network: &NetworkDescriptor,
+        schedule: &TimeSchedule,
+        resilient: bool,
+        resume: Option<&CampaignProgress>,
+    ) -> Result<CampaignReport, OdinError> {
         if self.shards == 1 {
             // One shard is definitionally the sequential loop; skipping
-            // the fork keeps even the cache counters bit-identical.
-            let mut report = runtime.campaign_impl(network, schedule, resilient)?;
+            // the fork keeps even the cache counters bit-identical. The
+            // engine's checkpoint policy takes precedence over one
+            // attached to the runtime at build time.
+            let ckpt = self
+                .checkpoint
+                .clone()
+                .or_else(|| runtime.checkpoint_policy().cloned());
+            let mut report = runtime.campaign_with_checkpoint(
+                network,
+                schedule,
+                resilient,
+                ckpt.as_ref(),
+                (self.mode, 1),
+                resume,
+            )?;
             let slots = (report.runs.len() + report.skipped.len()) as u64;
             report.engine = EngineStats {
                 shards: 1,
@@ -276,8 +327,13 @@ impl CampaignEngine {
             return Ok(report);
         }
         match self.mode {
-            ShardMode::Lockstep => self.run_lockstep(runtime, network, schedule, resilient),
-            ShardMode::Independent => self.run_independent(runtime, network, schedule, resilient),
+            ShardMode::Lockstep => self.run_lockstep(runtime, network, schedule, resilient, resume),
+            ShardMode::Independent => {
+                // Independent-mode resume needs restored shard replicas
+                // and enters through `resume_from` directly.
+                debug_assert!(resume.is_none());
+                self.run_independent(runtime, network, schedule, resilient, None)
+            }
         }
     }
 
@@ -287,19 +343,41 @@ impl CampaignEngine {
         network: &NetworkDescriptor,
         schedule: &TimeSchedule,
         resilient: bool,
+        resume: Option<&CampaignProgress>,
     ) -> Result<CampaignReport, OdinError> {
         let times: Vec<Seconds> = schedule.times();
         let cache_start = runtime.cache_stats();
-        let mut stats = EngineStats {
-            shards: self.shards,
-            mode: ShardMode::Lockstep,
-            ..EngineStats::default()
+        let mut store = match &self.checkpoint {
+            Some(policy) => Some(SnapshotStore::open(policy.dir(), policy.retained())?),
+            None => None,
         };
-        let mut runs = Vec::with_capacity(times.len());
-        let mut skipped = Vec::new();
+        // After every committed round the adopted runtime state equals
+        // the sequential state at `next`, so round boundaries are valid
+        // checkpoint cuts.
+        let (mut runs, mut skipped, cache_base, mut stats, start) = match resume {
+            Some(p) => (
+                p.runs.clone(),
+                p.skipped.clone(),
+                p.cache,
+                p.engine,
+                p.next_index,
+            ),
+            None => (
+                Vec::with_capacity(times.len()),
+                Vec::new(),
+                CacheStats::default(),
+                EngineStats {
+                    shards: self.shards,
+                    mode: ShardMode::Lockstep,
+                    ..EngineStats::default()
+                },
+                0,
+            ),
+        };
+        let mut since_save = 0usize;
         let outcome: Result<(), OdinError> = std::thread::scope(|scope| {
             let pool = WorkerPool::spawn(scope, self.shards);
-            let mut next = 0;
+            let mut next = start;
             while next < times.len() {
                 let width = self.shards.min(times.len() - next);
                 stats.rounds += 1;
@@ -323,8 +401,7 @@ impl CampaignEngine {
                     Vec::new();
                 slots.resize_with(width, || None);
                 for _ in 0..width {
-                    let (w, worker, outcome) =
-                        res_rx.recv().expect("a pool worker died mid-round");
+                    let (w, worker, outcome) = res_rx.recv().expect("a pool worker died mid-round");
                     slots[w] = Some((worker, outcome));
                 }
                 // Greedy-prefix commit in schedule order: every run is
@@ -334,11 +411,13 @@ impl CampaignEngine {
                 // adopted; anything speculated past it is discarded
                 // and re-run next round.
                 let mut accepted = 0;
+                let mut eventful = false;
                 for (w, slot) in slots.into_iter().enumerate() {
                     let (worker, outcome) = slot.expect("every shard reports its slot");
                     match outcome {
                         Ok(record) => {
                             let pure = record.leaves_state_untouched();
+                            eventful |= record.reprogrammed || !record.events.is_empty();
                             runs.push(record);
                             accepted = w + 1;
                             if !pure || accepted == width {
@@ -363,6 +442,7 @@ impl CampaignEngine {
                                 // the scope join its workers.
                                 return Err(e);
                             }
+                            eventful = true;
                             skipped.push(SkippedRun {
                                 time: round[w],
                                 reason: e.to_string(),
@@ -374,6 +454,28 @@ impl CampaignEngine {
                 stats.committed += accepted as u64;
                 stats.discarded += (width - accepted) as u64;
                 next += accepted;
+                since_save += accepted;
+                if let (Some(store), Some(policy)) = (store.as_mut(), self.checkpoint.as_ref()) {
+                    let done = next == times.len();
+                    if since_save >= policy.interval()
+                        || (policy.event_triggered() && eventful)
+                        || done
+                    {
+                        let progress = CampaignProgress {
+                            network: network.name().to_string(),
+                            mode: ShardMode::Lockstep,
+                            shards: self.shards,
+                            resilient,
+                            next_index: next,
+                            runs: runs.clone(),
+                            skipped: skipped.clone(),
+                            cache: cache_base.merged(runtime.cache_stats().since(cache_start)),
+                            engine: stats,
+                        };
+                        store.save(&[runtime.state()], &progress)?;
+                        since_save = 0;
+                    }
+                }
             }
             Ok(())
         });
@@ -383,7 +485,7 @@ impl CampaignEngine {
             strategy: runtime.strategy_label(),
             runs,
             skipped,
-            cache: runtime.cache_stats().since(cache_start),
+            cache: cache_base.merged(runtime.cache_stats().since(cache_start)),
             engine: stats,
         })
     }
@@ -394,7 +496,16 @@ impl CampaignEngine {
         network: &NetworkDescriptor,
         schedule: &TimeSchedule,
         resilient: bool,
+        resume: Option<IndependentResume<'_>>,
     ) -> Result<CampaignReport, OdinError> {
+        // Checkpointing (or resuming) needs consistent cross-shard
+        // cuts, which free-running shards cannot provide; switch to
+        // barrier-synchronized rounds. Each shard still executes
+        // exactly its round-robin slice in order against its own state,
+        // so the committed records are bit-identical to free-running.
+        if self.checkpoint.is_some() || resume.is_some() {
+            return self.run_independent_rounds(runtime, network, schedule, resilient, resume);
+        }
         let times: Vec<Seconds> = schedule.times();
         let shards = self.shards;
         let cache_start = runtime.cache_stats();
@@ -404,8 +515,10 @@ impl CampaignEngine {
         outputs.resize_with(shards, Vec::new);
         std::thread::scope(|scope| {
             let pool = WorkerPool::spawn(scope, shards);
-            for (shard, (shard_rt, out)) in
-                shard_runtimes.iter_mut().zip(outputs.iter_mut()).enumerate()
+            for (shard, (shard_rt, out)) in shard_runtimes
+                .iter_mut()
+                .zip(outputs.iter_mut())
+                .enumerate()
             {
                 let slice: Vec<(usize, Seconds)> = times
                     .iter()
@@ -470,6 +583,247 @@ impl CampaignEngine {
             },
         })
     }
+
+    /// The barrier-synchronized independent path used when
+    /// checkpointing or resuming: round `r` runs indices
+    /// `r*shards .. r*shards+width`, index `i` on replica `i % shards`
+    /// — exactly the round-robin slice each free-running replica
+    /// executes, in the same per-replica order, so the committed
+    /// records are bit-identical. The barrier after each round is what
+    /// makes `next_index` a consistent cut across every replica.
+    fn run_independent_rounds(
+        &self,
+        runtime: &mut OdinRuntime,
+        network: &NetworkDescriptor,
+        schedule: &TimeSchedule,
+        resilient: bool,
+        resume: Option<IndependentResume<'_>>,
+    ) -> Result<CampaignReport, OdinError> {
+        let times: Vec<Seconds> = schedule.times();
+        let shards = self.shards;
+        let cache_start = runtime.cache_stats();
+        let mut store = match &self.checkpoint {
+            Some(policy) => Some(SnapshotStore::open(policy.dir(), policy.retained())?),
+            None => None,
+        };
+        let (mut runs, mut skipped, cache_base, mut stats, start, replicas) = match resume {
+            Some(r) => (
+                r.progress.runs.clone(),
+                r.progress.skipped.clone(),
+                r.progress.cache,
+                r.progress.engine,
+                r.progress.next_index,
+                r.replicas,
+            ),
+            None => (
+                Vec::with_capacity(times.len()),
+                Vec::new(),
+                CacheStats::default(),
+                EngineStats {
+                    shards,
+                    mode: ShardMode::Independent,
+                    ..EngineStats::default()
+                },
+                0,
+                (0..shards).map(|_| runtime.fork_shard()).collect(),
+            ),
+        };
+        let mut slots_rt: Vec<Option<OdinRuntime>> = replicas.into_iter().map(Some).collect();
+        let mut since_save = 0usize;
+        let outcome: Result<(), OdinError> = std::thread::scope(|scope| {
+            let pool = WorkerPool::spawn(scope, shards);
+            let mut next = start;
+            while next < times.len() {
+                let width = shards.min(times.len() - next);
+                stats.rounds += 1;
+                stats.speculated += width as u64;
+                let (res_tx, res_rx) = mpsc::channel();
+                for (j, slot) in slots_rt.iter_mut().take(width).enumerate() {
+                    let mut shard_rt = slot.take().expect("replica present between rounds");
+                    let t = times[next + j];
+                    let tx = res_tx.clone();
+                    pool.submit(move || {
+                        let outcome = shard_rt.run_inference(network, t);
+                        let _ = tx.send((j, shard_rt, outcome));
+                    });
+                }
+                drop(res_tx);
+                let mut results: Vec<Option<Result<InferenceRecord, OdinError>>> = Vec::new();
+                results.resize_with(width, || None);
+                for _ in 0..width {
+                    let (j, shard_rt, outcome) =
+                        res_rx.recv().expect("a pool worker died mid-round");
+                    slots_rt[j] = Some(shard_rt);
+                    results[j] = Some(outcome);
+                }
+                let mut eventful = false;
+                for (j, outcome) in results.into_iter().enumerate() {
+                    match outcome.expect("every replica reports its slot") {
+                        Ok(record) => {
+                            eventful |= record.reprogrammed || !record.events.is_empty();
+                            runs.push(record);
+                        }
+                        Err(e) if resilient => {
+                            eventful = true;
+                            skipped.push(SkippedRun {
+                                time: times[next + j],
+                                reason: e.to_string(),
+                            });
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                stats.committed += width as u64;
+                next += width;
+                since_save += width;
+                if let (Some(store), Some(policy)) = (store.as_mut(), self.checkpoint.as_ref()) {
+                    let done = next == times.len();
+                    if since_save >= policy.interval()
+                        || (policy.event_triggered() && eventful)
+                        || done
+                    {
+                        let states: Vec<RuntimeState> =
+                            slots_rt.iter().flatten().map(OdinRuntime::state).collect();
+                        let cache = slots_rt
+                            .iter()
+                            .flatten()
+                            .map(|rt| rt.cache_stats().since(cache_start))
+                            .fold(cache_base, |acc, d| acc.merged(d));
+                        let progress = CampaignProgress {
+                            network: network.name().to_string(),
+                            mode: ShardMode::Independent,
+                            shards,
+                            resilient,
+                            next_index: next,
+                            runs: runs.clone(),
+                            skipped: skipped.clone(),
+                            cache,
+                            engine: stats,
+                        };
+                        store.save(&states, &progress)?;
+                        since_save = 0;
+                    }
+                }
+            }
+            Ok(())
+        });
+        outcome?;
+        let cache = slots_rt
+            .iter()
+            .flatten()
+            .map(|rt| rt.cache_stats().since(cache_start))
+            .fold(cache_base, |acc, d| acc.merged(d));
+        let mut replicas = slots_rt
+            .into_iter()
+            .map(|rt| rt.expect("replica present after the last round"));
+        runtime.adopt(replicas.next().expect("at least one shard"));
+        let leftovers: Vec<_> = replicas.map(|mut rt| rt.take_buffered()).collect();
+        runtime.absorb_shard_examples(leftovers);
+        Ok(CampaignReport {
+            network: network.name().to_string(),
+            strategy: runtime.strategy_label(),
+            runs,
+            skipped,
+            cache,
+            engine: stats,
+        })
+    }
+
+    /// Resumes a previously checkpointed campaign from `path` — a
+    /// snapshot file, or a snapshot directory (the newest valid
+    /// generation is used, falling back past corrupt or truncated
+    /// ones) — and runs it to completion under this engine. The
+    /// snapshot must have been written by a campaign with this
+    /// engine's shard count and mode on the same network; the headline
+    /// contract is that a campaign killed at any point and resumed
+    /// emits the identical [`LayerDecision`] sequence and EDP checksum
+    /// as an uninterrupted run. Checkpointing continues only when this
+    /// engine has a [`checkpoint`](Self::checkpoint) policy attached.
+    ///
+    /// Returns the resumed runtime alongside the full stitched
+    /// [`CampaignReport`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::Snapshot`] when no valid snapshot can be
+    /// loaded, and [`OdinError::InvalidConfig`] when the snapshot does
+    /// not match this engine, `network`, or `schedule`.
+    ///
+    /// [`LayerDecision`]: crate::LayerDecision
+    pub fn resume_from(
+        &self,
+        path: impl AsRef<Path>,
+        network: &NetworkDescriptor,
+        schedule: &TimeSchedule,
+    ) -> Result<(OdinRuntime, CampaignReport), OdinError> {
+        let path = path.as_ref();
+        let snapshot = if path.is_dir() {
+            let retain = self
+                .checkpoint
+                .as_ref()
+                .map_or(CheckpointPolicy::DEFAULT_RETAIN, CheckpointPolicy::retained);
+            let store = SnapshotStore::open(path, retain)?;
+            match store.load_latest()? {
+                Some((snapshot, _)) => snapshot,
+                None => {
+                    return Err(SnapshotError::Incomplete {
+                        path: path.display().to_string(),
+                        reason: "the snapshot store holds no generations".to_string(),
+                    }
+                    .into())
+                }
+            }
+        } else {
+            CampaignSnapshot::read(path)?
+        };
+        let progress = &snapshot.progress;
+        if progress.network != network.name() {
+            return Err(OdinError::InvalidConfig {
+                name: "resume",
+                reason: "snapshot records a different network than the one being resumed",
+            });
+        }
+        if progress.shards != self.shards || progress.mode != self.mode {
+            return Err(OdinError::InvalidConfig {
+                name: "resume",
+                reason: "snapshot shard mode/count differs from this engine",
+            });
+        }
+        if progress.next_index > schedule.runs() {
+            return Err(OdinError::InvalidConfig {
+                name: "resume",
+                reason: "snapshot schedule cursor exceeds the schedule being resumed",
+            });
+        }
+        let resilient = progress.resilient;
+        if self.shards > 1 && self.mode == ShardMode::Independent {
+            let replicas = snapshot
+                .states
+                .iter()
+                .map(OdinRuntime::from_state)
+                .collect::<Result<Vec<_>, _>>()?;
+            let mut runtime = OdinRuntime::from_state(&snapshot.states[0])?;
+            let report = self.run_independent(
+                &mut runtime,
+                network,
+                schedule,
+                resilient,
+                Some(IndependentResume { progress, replicas }),
+            )?;
+            return Ok((runtime, report));
+        }
+        let mut runtime = OdinRuntime::from_state(&snapshot.states[0])?;
+        let report = self.run_with(&mut runtime, network, schedule, resilient, Some(progress))?;
+        Ok((runtime, report))
+    }
+}
+
+/// Restored state handed to the round-based independent path by
+/// [`CampaignEngine::resume_from`]: the snapshot's progress plus one
+/// rebuilt runtime per shard replica.
+struct IndependentResume<'a> {
+    progress: &'a CampaignProgress,
+    replicas: Vec<OdinRuntime>,
 }
 
 #[cfg(test)]
@@ -657,7 +1011,10 @@ mod tests {
     fn shard_seed_stream_is_deterministic_and_well_spread() {
         assert_eq!(shard_seed(0xD47E, 0), 0xD47E, "shard 0 keeps the base seed");
         let mut seeds: Vec<u64> = (0..64).map(|s| shard_seed(0xD47E, s)).collect();
-        assert_eq!(seeds, (0..64).map(|s| shard_seed(0xD47E, s)).collect::<Vec<_>>());
+        assert_eq!(
+            seeds,
+            (0..64).map(|s| shard_seed(0xD47E, s)).collect::<Vec<_>>()
+        );
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 64, "no collisions across 64 shards");
@@ -674,6 +1031,10 @@ mod tests {
         assert_eq!(serde_json::from_str::<EngineStats>(&json).unwrap(), stats);
         assert_eq!(ShardMode::Lockstep.to_string(), "lockstep");
         assert_eq!(ShardMode::Independent.to_string(), "independent");
-        assert_eq!(CampaignEngine::new(0).shards(), 1, "zero shards clamps to one");
+        assert_eq!(
+            CampaignEngine::new(0).shards(),
+            1,
+            "zero shards clamps to one"
+        );
     }
 }

@@ -29,7 +29,82 @@ pub enum OdinError {
     },
     /// A device-layer failure (endurance, codec range, …).
     Device(odin_device::DeviceError),
+    /// A checkpoint/restore failure (see [`SnapshotError`]).
+    Snapshot(SnapshotError),
 }
+
+/// Why a campaign snapshot could not be written or restored.
+///
+/// Restore paths surface these as typed values instead of panicking, so
+/// callers can fall back to an older generation (which
+/// [`SnapshotStore::load_latest`](crate::snapshot::SnapshotStore::load_latest)
+/// does automatically) or start fresh. I/O errors are carried as
+/// rendered message strings so the error stays `Clone + PartialEq` like
+/// the rest of [`OdinError`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// The file's content checksum or structure does not match what the
+    /// header declares — a torn write, bit rot, or manual tampering.
+    Corrupt {
+        /// The offending snapshot file.
+        path: String,
+        /// What exactly failed to verify.
+        reason: String,
+    },
+    /// The snapshot was written by an incompatible format version.
+    VersionMismatch {
+        /// The offending snapshot file.
+        path: String,
+        /// The version the file declares.
+        found: u32,
+        /// The version this build supports.
+        supported: u32,
+    },
+    /// The file ends before the payload the header promises — a
+    /// truncated (partially flushed) write.
+    Incomplete {
+        /// The offending snapshot file.
+        path: String,
+        /// What is missing.
+        reason: String,
+    },
+    /// The underlying filesystem operation failed.
+    Io {
+        /// The path being operated on.
+        path: String,
+        /// The operation (`"create"`, `"rename"`, `"sync"`, …).
+        op: &'static str,
+        /// The rendered `std::io::Error`.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Corrupt { path, reason } => {
+                write!(f, "snapshot `{path}` is corrupt: {reason}")
+            }
+            SnapshotError::VersionMismatch {
+                path,
+                found,
+                supported,
+            } => write!(
+                f,
+                "snapshot `{path}` has format version {found}, this build supports {supported}"
+            ),
+            SnapshotError::Incomplete { path, reason } => {
+                write!(f, "snapshot `{path}` is incomplete: {reason}")
+            }
+            SnapshotError::Io { path, op, message } => {
+                write!(f, "snapshot {op} failed for `{path}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
 
 impl std::fmt::Display for OdinError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -48,6 +123,7 @@ impl std::fmt::Display for OdinError {
                 )
             }
             OdinError::Device(e) => write!(f, "device failure: {e}"),
+            OdinError::Snapshot(e) => write!(f, "{e}"),
         }
     }
 }
@@ -57,6 +133,7 @@ impl std::error::Error for OdinError {
         match self {
             OdinError::Mapping(e) => Some(e),
             OdinError::Device(e) => Some(e),
+            OdinError::Snapshot(e) => Some(e),
             OdinError::InvalidConfig { .. }
             | OdinError::NoFeasibleOu { .. }
             | OdinError::EnduranceExhausted { .. } => None,
@@ -75,6 +152,13 @@ impl From<odin_xbar::XbarError> for OdinError {
 impl From<odin_device::DeviceError> for OdinError {
     fn from(e: odin_device::DeviceError) -> Self {
         OdinError::Device(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<SnapshotError> for OdinError {
+    fn from(e: SnapshotError) -> Self {
+        OdinError::Snapshot(e)
     }
 }
 
@@ -109,8 +193,48 @@ mod tests {
         let source = e.source().expect("Device wraps its cause");
         assert_eq!(source.to_string(), inner.to_string());
         assert!(OdinError::NoFeasibleOu { layer: 3 }.source().is_none());
-        assert!(OdinError::NoFeasibleOu { layer: 3 }.to_string().contains("layer 3"));
-        assert!(OdinError::EnduranceExhausted { group: 1 }.to_string().contains("group 1"));
+        assert!(OdinError::NoFeasibleOu { layer: 3 }
+            .to_string()
+            .contains("layer 3"));
+        assert!(OdinError::EnduranceExhausted { group: 1 }
+            .to_string()
+            .contains("group 1"));
+    }
+
+    #[test]
+    fn snapshot_errors_display_and_propagate_through_source() {
+        use std::error::Error;
+        let cases = [
+            SnapshotError::Corrupt {
+                path: "a.snap".into(),
+                reason: "checksum mismatch".into(),
+            },
+            SnapshotError::VersionMismatch {
+                path: "a.snap".into(),
+                found: 9,
+                supported: 1,
+            },
+            SnapshotError::Incomplete {
+                path: "a.snap".into(),
+                reason: "payload truncated".into(),
+            },
+            SnapshotError::Io {
+                path: "a.snap".into(),
+                op: "rename",
+                message: "permission denied".into(),
+            },
+        ];
+        for inner in cases {
+            let text = inner.to_string();
+            assert!(text.contains("a.snap"), "{text}");
+            let e = OdinError::from(inner.clone());
+            assert_eq!(e.to_string(), text);
+            assert_eq!(
+                e.source().expect("Snapshot wraps its cause").to_string(),
+                text
+            );
+            assert_eq!(e, OdinError::Snapshot(inner));
+        }
     }
 
     #[test]

@@ -149,7 +149,7 @@ impl Default for DegradationPolicy {
 
 /// One crossbar group's health: its manufacturing fault profile, any
 /// wear-driven OU grid cap, and whether it has been retired.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GroupHealth {
     faults: FaultProfile,
     level_cap: Option<usize>,
@@ -204,7 +204,7 @@ impl GroupHealth {
 /// assert_eq!(fabric.ledger().writes(0), 1);
 /// assert_eq!(fabric.ledger().writes(9), 0); // spares are untouched
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FabricHealth {
     groups: Vec<GroupHealth>,
     assignment: Vec<usize>,
@@ -526,7 +526,10 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert!(matches!(
             events[0],
-            DegradationEvent::GridShrunk { group: 0, level_cap: 1 }
+            DegradationEvent::GridShrunk {
+                group: 0,
+                level_cap: 1
+            }
         ));
         assert_eq!(f.search_context(0).max_level, Some(1));
         // Idempotent.
@@ -545,10 +548,24 @@ mod tests {
         assert_eq!(
             events,
             vec![
-                DegradationEvent::OutOfService { group: 0, writes: 2 },
-                DegradationEvent::Remapped { layer: 0, from: 0, to: 2 },
-                DegradationEvent::OutOfService { group: 1, writes: 2 },
-                DegradationEvent::Remapped { layer: 1, from: 1, to: 3 },
+                DegradationEvent::OutOfService {
+                    group: 0,
+                    writes: 2
+                },
+                DegradationEvent::Remapped {
+                    layer: 0,
+                    from: 0,
+                    to: 2
+                },
+                DegradationEvent::OutOfService {
+                    group: 1,
+                    writes: 2
+                },
+                DegradationEvent::Remapped {
+                    layer: 1,
+                    from: 1,
+                    to: 3
+                },
             ]
         );
         assert_eq!(f.group_of(0), 2);
@@ -575,7 +592,10 @@ mod tests {
         assert_eq!(f.active_backoff(Seconds::new(5.0)), None);
         f.note_reprogram_failure(Seconds::new(10.0));
         assert_eq!(f.backoff_until(), Some(Seconds::new(40.0)));
-        assert_eq!(f.active_backoff(Seconds::new(20.0)), Some(Seconds::new(40.0)));
+        assert_eq!(
+            f.active_backoff(Seconds::new(20.0)),
+            Some(Seconds::new(40.0))
+        );
         assert_eq!(f.active_backoff(Seconds::new(40.0)), None);
         f.note_reprogram_failure(Seconds::new(40.0));
         assert!(f.active_backoff(Seconds::new(100.0)).is_some());
@@ -605,11 +625,42 @@ mod tests {
     }
 
     #[test]
+    fn fabric_health_serde_roundtrip_preserves_every_field() {
+        let mut f = fabric(3, 2, 2.0);
+        // Mutate into a mid-ladder state: one failed reprogram (backoff
+        // set), one remap, wear caps applied.
+        let _ = f.reprogram_pass();
+        let _ = f.apply_wear_caps();
+        let _ = f.remap(1);
+        f.note_reprogram_failure(Seconds::new(10.0));
+        let json = serde_json::to_string(&f).unwrap();
+        let back: FabricHealth = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(back.generation(), f.generation());
+        assert_eq!(back.backoff_until(), f.backoff_until());
+        assert_eq!(back.assignment(), f.assignment());
+        assert_eq!(back.spares_remaining(), f.spares_remaining());
+        for g in 0..3 {
+            assert_eq!(back.group(g), f.group(g));
+        }
+    }
+
+    #[test]
     fn events_display_and_serde() {
         let events = [
-            DegradationEvent::GridShrunk { group: 3, level_cap: 1 },
-            DegradationEvent::Remapped { layer: 2, from: 2, to: 9 },
-            DegradationEvent::OutOfService { group: 2, writes: 7 },
+            DegradationEvent::GridShrunk {
+                group: 3,
+                level_cap: 1,
+            },
+            DegradationEvent::Remapped {
+                layer: 2,
+                from: 2,
+                to: 9,
+            },
+            DegradationEvent::OutOfService {
+                group: 2,
+                writes: 7,
+            },
             DegradationEvent::DegradedServe { layer: 0, group: 5 },
             DegradationEvent::ReprogramDeferred {
                 until: Seconds::new(4.0),

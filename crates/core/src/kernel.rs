@@ -171,8 +171,7 @@ impl LayerKernel {
     pub fn new(model: &AnalyticModel, layer: &LayerDescriptor) -> Result<Self, OdinError> {
         let grid = model.grid();
         let levels = grid.levels_per_axis();
-        let mapping =
-            LayerMapping::new(layer.fan_in(), layer.fan_out(), model.crossbar().size())?;
+        let mapping = LayerMapping::new(layer.fan_in(), layer.fan_out(), model.crossbar().size())?;
         let activation_sparsity = if model.uses_activation_sparsity() {
             layer.activation_sparsity()
         } else {
@@ -371,8 +370,14 @@ mod tests {
 
     fn assert_bit_identical(a: &CandidateEval, b: &CandidateEval) {
         assert_eq!(a.shape, b.shape);
-        assert_eq!(a.cost.energy.value().to_bits(), b.cost.energy.value().to_bits());
-        assert_eq!(a.cost.latency.value().to_bits(), b.cost.latency.value().to_bits());
+        assert_eq!(
+            a.cost.energy.value().to_bits(),
+            b.cost.energy.value().to_bits()
+        );
+        assert_eq!(
+            a.cost.latency.value().to_bits(),
+            b.cost.latency.value().to_bits()
+        );
         assert_eq!(a.edp.value().to_bits(), b.edp.value().to_bits());
         assert_eq!(a.impact.to_bits(), b.impact.to_bits());
     }
@@ -511,11 +516,9 @@ mod tests {
                         generation: 0,
                     };
                     let age = Seconds::new(1e5);
-                    let a =
-                        find_best_with(&m, layer, age, 0.005, (2, 2), strategy, ctx).unwrap();
+                    let a = find_best_with(&m, layer, age, 0.005, (2, 2), strategy, ctx).unwrap();
                     let b =
-                        find_best_with(&kernel, layer, age, 0.005, (2, 2), strategy, ctx)
-                            .unwrap();
+                        find_best_with(&kernel, layer, age, 0.005, (2, 2), strategy, ctx).unwrap();
                     assert_eq!(a.evaluations, b.evaluations);
                     match (a.best, b.best) {
                         (Some(x), Some(y)) => assert_bit_identical(&x, &y),

@@ -26,6 +26,9 @@
 //!    stream across `std::thread` workers (speculative lockstep or
 //!    independent replicas) on top of a memoized OU-evaluation cache,
 //!    and merges the shards into one deterministic [`CampaignReport`].
+//! 10. [`snapshot`] — crash-consistent checkpoint/restore: versioned,
+//!     checksummed campaign snapshots with atomic writes, generation
+//!     rotation, and bit-for-bit resumable campaigns.
 //!
 //! # Examples
 //!
@@ -57,6 +60,7 @@ pub mod kernel;
 pub mod offline;
 pub mod prelude;
 pub mod search;
+pub mod snapshot;
 
 mod analytic;
 mod cache;
@@ -70,7 +74,7 @@ pub use analytic::{AnalyticModel, CandidateEval};
 pub use cache::CacheStats;
 pub use config::OdinConfig;
 pub use engine::{shard_seed, CampaignEngine, EngineStats, ShardMode};
-pub use error::OdinError;
+pub use error::{OdinError, SnapshotError};
 pub use fabric::{DegradationEvent, DegradationPolicy, FabricHealth};
 pub use features::LayerFeatures;
 pub use runtime::{
@@ -78,3 +82,4 @@ pub use runtime::{
     DEFAULT_RNG_SEED,
 };
 pub use schedule::TimeSchedule;
+pub use snapshot::{CampaignSnapshot, CheckpointPolicy, SnapshotStore};

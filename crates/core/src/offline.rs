@@ -137,8 +137,7 @@ mod tests {
     fn labelling_respects_cap() {
         let m = model();
         let nets = vec![zoo::resnet18(Dataset::Cifar10)];
-        let examples =
-            label_examples(&m, &nets, 0.005, &default_sample_ages(), 30).unwrap();
+        let examples = label_examples(&m, &nets, 0.005, &default_sample_ages(), 30).unwrap();
         assert_eq!(examples.len(), 30);
         for ex in &examples {
             assert!(ex.row_level < 6 && ex.col_level < 6);
@@ -154,15 +153,13 @@ mod tests {
         let all = zoo::all_models(Dataset::Cifar10);
         let known = leave_one_out(&all, "vgg11");
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let trained =
-            bootstrap_policy(&m, &known, 0.005, PolicyConfig::paper(), &mut rng).unwrap();
+        let trained = bootstrap_policy(&m, &known, 0.005, PolicyConfig::paper(), &mut rng).unwrap();
         let untrained = OuPolicy::new(PolicyConfig::paper(), &mut rng);
 
         // Score agreement against exhaustive labels on the held-out
         // network.
         let target = zoo::vgg11(Dataset::Cifar10);
-        let labels =
-            label_examples(&m, &[target], 0.005, &default_sample_ages(), 500).unwrap();
+        let labels = label_examples(&m, &[target], 0.005, &default_sample_ages(), 500).unwrap();
         let trained_score = trained.agreement(&labels);
         let untrained_score = untrained.agreement(&labels);
         assert!(

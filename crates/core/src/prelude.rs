@@ -22,7 +22,7 @@
 pub use crate::cache::CacheStats;
 pub use crate::config::OdinConfig;
 pub use crate::engine::{shard_seed, CampaignEngine, EngineStats, ShardMode};
-pub use crate::error::OdinError;
+pub use crate::error::{OdinError, SnapshotError};
 pub use crate::fabric::{DegradationEvent, DegradationPolicy, FabricHealth};
 pub use crate::kernel::{GridEvals, LayerKernel};
 pub use crate::runtime::{
@@ -30,3 +30,4 @@ pub use crate::runtime::{
     DEFAULT_RNG_SEED,
 };
 pub use crate::schedule::TimeSchedule;
+pub use crate::snapshot::{CampaignSnapshot, CheckpointPolicy, SnapshotStore};

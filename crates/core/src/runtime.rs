@@ -2,6 +2,7 @@
 //! fault- and wear-aware degradation ladder (see [`crate::fabric`]).
 
 use std::cell::RefCell;
+use std::path::Path;
 
 use odin_arch::{LayerCost, OverheadLedger};
 use odin_device::ReprogramCost;
@@ -15,14 +16,13 @@ use serde::{Deserialize, Serialize};
 use crate::analytic::{AnalyticModel, CandidateEval};
 use crate::cache::{CacheStats, CachedModel, EvalCache};
 use crate::config::OdinConfig;
-use crate::engine::EngineStats;
+use crate::engine::{CampaignEngine, EngineStats, ShardMode};
 use crate::error::OdinError;
 use crate::fabric::{DegradationEvent, FabricHealth};
 use crate::features::LayerFeatures;
 use crate::schedule::TimeSchedule;
-use crate::search::{
-    find_best_with, OuEvaluator, SearchContext, SearchOutcome, SearchStrategy,
-};
+use crate::search::{find_best_with, OuEvaluator, SearchContext, SearchOutcome, SearchStrategy};
+use crate::snapshot::{CampaignProgress, CheckpointPolicy, RuntimeState, SnapshotStore};
 
 /// One layer's OU decision in one inference run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -316,6 +316,8 @@ pub struct OdinRuntime {
     last_programmed: Seconds,
     fabric: Option<FabricHealth>,
     cache: Option<EvalCache>,
+    rng_seed: u64,
+    checkpoint: Option<CheckpointPolicy>,
     scratch: RefCell<RuntimeScratch>,
 }
 
@@ -341,6 +343,7 @@ pub struct RuntimeBuilder {
     fabric: Option<FabricHealth>,
     rng_seed: u64,
     eval_cache: bool,
+    checkpoint: Option<CheckpointPolicy>,
 }
 
 impl RuntimeBuilder {
@@ -385,14 +388,26 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Attaches a checkpoint policy: campaigns run on the built runtime
+    /// snapshot their complete resumable state into the policy's
+    /// directory at the configured interval and on every
+    /// reprogram/ladder event (see [`crate::snapshot`]).
+    #[must_use]
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
     /// Builds the runtime.
     ///
     /// # Errors
     ///
-    /// Returns [`OdinError::InvalidConfig`] when the configuration's
-    /// crossbar is degenerate (cannot happen for configurations built
-    /// via [`OdinConfig::builder`]).
+    /// Returns [`OdinError::InvalidConfig`] when the configuration
+    /// fails validation — a degenerate crossbar, or NaN/out-of-range
+    /// values smuggled past [`OdinConfig::builder`] via
+    /// deserialization.
     pub fn build(self) -> Result<OdinRuntime, OdinError> {
+        self.config.validate()?;
         let policy = match self.policy {
             Some(policy) => policy,
             None => {
@@ -400,7 +415,15 @@ impl RuntimeBuilder {
                 OuPolicy::new(self.config.policy().clone(), &mut rng)
             }
         };
-        OdinRuntime::assemble(self.config, policy, self.fabric, self.eval_cache)
+        let mut runtime = OdinRuntime::assemble(
+            self.config,
+            policy,
+            self.fabric,
+            self.eval_cache,
+            self.rng_seed,
+        )?;
+        runtime.checkpoint = self.checkpoint;
+        Ok(runtime)
     }
 }
 
@@ -418,6 +441,7 @@ impl OdinRuntime {
             fabric: None,
             rng_seed: Self::DEFAULT_RNG_SEED,
             eval_cache: true,
+            checkpoint: None,
         }
     }
 
@@ -428,6 +452,7 @@ impl OdinRuntime {
         policy: OuPolicy,
         fabric: Option<FabricHealth>,
         eval_cache: bool,
+        rng_seed: u64,
     ) -> Result<Self, OdinError> {
         let model = AnalyticModel::new(config.crossbar().clone())?
             .with_activation_sparsity(config.exploit_activation_sparsity());
@@ -441,8 +466,82 @@ impl OdinRuntime {
             last_programmed: Seconds::ZERO,
             fabric,
             cache: eval_cache.then(EvalCache::default),
+            rng_seed,
+            checkpoint: None,
             scratch: RefCell::new(RuntimeScratch::default()),
         })
+    }
+
+    /// The complete resumable state of this runtime — everything
+    /// [`from_state`](Self::from_state) needs to rebuild a
+    /// semantically identical runtime (the evaluation cache is
+    /// bit-transparent and restarts cold).
+    #[must_use]
+    pub fn state(&self) -> RuntimeState {
+        RuntimeState {
+            config: self.config.clone(),
+            policy: self.policy.clone(),
+            buffer: self.buffer.clone(),
+            last_programmed: self.last_programmed,
+            fabric: self.fabric.clone(),
+            eval_cache: self.cache.is_some(),
+            rng_seed: self.rng_seed,
+        }
+    }
+
+    /// Rebuilds a runtime from a captured [`RuntimeState`]: every
+    /// subsequent [`run_inference`](Self::run_inference) behaves bit
+    /// for bit as it would have on the captured runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::InvalidConfig`] when the snapshotted
+    /// configuration fails validation (e.g. a tampered snapshot that
+    /// still passed its checksum re-write).
+    pub fn from_state(state: &RuntimeState) -> Result<OdinRuntime, OdinError> {
+        state.config.validate()?;
+        let mut runtime = Self::assemble(
+            state.config.clone(),
+            state.policy.clone(),
+            state.fabric.clone(),
+            state.eval_cache,
+            state.rng_seed,
+        )?;
+        runtime.buffer = state.buffer.clone();
+        runtime.last_programmed = state.last_programmed;
+        Ok(runtime)
+    }
+
+    /// Resumes a previously checkpointed sequential campaign from
+    /// `path` — a snapshot file, or a snapshot directory (the newest
+    /// valid generation is used, falling back past corrupt ones) — and
+    /// runs it to completion. Returns the resumed runtime and the full
+    /// stitched report, bit-identical to an uninterrupted
+    /// [`run_campaign`](Self::run_campaign) with the same checkpoint
+    /// directory attached. Checkpointing continues into the snapshot's
+    /// directory with default [`CheckpointPolicy`] settings; use
+    /// [`CampaignEngine::checkpoint`] +
+    /// [`CampaignEngine::resume_from`] to control the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::Snapshot`] when no valid snapshot can be
+    /// loaded, and [`OdinError::InvalidConfig`] when the snapshot does
+    /// not match `network`/`schedule`.
+    pub fn resume_from(
+        path: impl AsRef<Path>,
+        network: &NetworkDescriptor,
+        schedule: &TimeSchedule,
+    ) -> Result<(OdinRuntime, CampaignReport), OdinError> {
+        let path = path.as_ref();
+        let dir = if path.is_dir() {
+            path.to_path_buf()
+        } else {
+            path.parent().map(Path::to_path_buf).unwrap_or_default()
+        };
+        CampaignEngine::new(1)
+            .checkpoint(CheckpointPolicy::new(dir))
+            .resume_from(path, network, schedule)
     }
 
     /// Creates a runtime with a freshly initialized (untrained)
@@ -459,7 +558,8 @@ impl OdinRuntime {
     #[must_use]
     pub fn new<R: Rng + ?Sized>(config: OdinConfig, rng: &mut R) -> Self {
         let policy = OuPolicy::new(config.policy().clone(), rng);
-        Self::assemble(config, policy, None, true).expect("validated crossbar config")
+        Self::assemble(config, policy, None, true, Self::DEFAULT_RNG_SEED)
+            .expect("validated crossbar config")
     }
 
     /// Creates a runtime seeded with an offline-bootstrapped policy
@@ -474,7 +574,8 @@ impl OdinRuntime {
     )]
     #[must_use]
     pub fn with_policy(config: OdinConfig, policy: OuPolicy) -> Self {
-        Self::assemble(config, policy, None, true).expect("validated crossbar config")
+        Self::assemble(config, policy, None, true, Self::DEFAULT_RNG_SEED)
+            .expect("validated crossbar config")
     }
 
     /// Attaches fault- and wear-aware fabric-health tracking after
@@ -655,17 +756,93 @@ impl OdinRuntime {
         schedule: &TimeSchedule,
         resilient: bool,
     ) -> Result<CampaignReport, OdinError> {
+        let ckpt = self.checkpoint.clone();
+        self.campaign_with_checkpoint(
+            network,
+            schedule,
+            resilient,
+            ckpt.as_ref(),
+            (ShardMode::Lockstep, 1),
+            None,
+        )
+    }
+
+    /// The sequential campaign loop with optional checkpointing and
+    /// resume: snapshots are taken after the run that crosses the
+    /// interval, after every eventful run (reprogram, ladder event, or
+    /// skip) when the policy's event trigger is armed, and always after
+    /// the final run. `stamp` is the `(mode, shards)` identity written
+    /// into each snapshot so resume can verify it is continuing the
+    /// same kind of campaign; `resume` seeds the committed prefix.
+    pub(crate) fn campaign_with_checkpoint(
+        &mut self,
+        network: &NetworkDescriptor,
+        schedule: &TimeSchedule,
+        resilient: bool,
+        ckpt: Option<&CheckpointPolicy>,
+        stamp: (ShardMode, usize),
+        resume: Option<&CampaignProgress>,
+    ) -> Result<CampaignReport, OdinError> {
         let cache_start = self.cache_stats();
-        let mut runs = Vec::with_capacity(schedule.runs());
-        let mut skipped = Vec::new();
-        for t in schedule.times() {
+        let mut store = match ckpt {
+            Some(policy) => Some(SnapshotStore::open(policy.dir(), policy.retained())?),
+            None => None,
+        };
+        let times = schedule.times();
+        let (mut runs, mut skipped, cache_base, start) = match resume {
+            Some(p) => (p.runs.clone(), p.skipped.clone(), p.cache, p.next_index),
+            None => (
+                Vec::with_capacity(times.len()),
+                Vec::new(),
+                CacheStats::default(),
+                0,
+            ),
+        };
+        let mut since_save = 0usize;
+        for (index, &t) in times.iter().enumerate().skip(start) {
+            let eventful;
             match self.run_inference(network, t) {
-                Ok(record) => runs.push(record),
-                Err(e) if resilient => skipped.push(SkippedRun {
-                    time: t,
-                    reason: e.to_string(),
-                }),
+                Ok(record) => {
+                    eventful = record.reprogrammed || !record.events.is_empty();
+                    runs.push(record);
+                }
+                Err(e) if resilient => {
+                    eventful = true;
+                    skipped.push(SkippedRun {
+                        time: t,
+                        reason: e.to_string(),
+                    });
+                }
                 Err(e) => return Err(e),
+            }
+            since_save += 1;
+            if let (Some(store), Some(policy)) = (store.as_mut(), ckpt) {
+                let next_index = index + 1;
+                let done = next_index == times.len();
+                if since_save >= policy.interval() || (policy.event_triggered() && eventful) || done
+                {
+                    let slots = next_index as u64;
+                    let progress = CampaignProgress {
+                        network: network.name().to_string(),
+                        mode: stamp.0,
+                        shards: stamp.1,
+                        resilient,
+                        next_index,
+                        runs: runs.clone(),
+                        skipped: skipped.clone(),
+                        cache: cache_base.merged(self.cache_stats().since(cache_start)),
+                        engine: EngineStats {
+                            shards: stamp.1,
+                            mode: stamp.0,
+                            rounds: slots,
+                            speculated: slots,
+                            committed: slots,
+                            discarded: 0,
+                        },
+                    };
+                    store.save(&[self.state()], &progress)?;
+                    since_save = 0;
+                }
             }
         }
         Ok(CampaignReport {
@@ -673,7 +850,7 @@ impl OdinRuntime {
             strategy: self.strategy_label(),
             runs,
             skipped,
-            cache: self.cache_stats().since(cache_start),
+            cache: cache_base.merged(self.cache_stats().since(cache_start)),
             engine: EngineStats::default(),
         })
     }
@@ -686,7 +863,10 @@ impl OdinRuntime {
     /// Snapshot of the evaluation-cache counters (zeros when the cache
     /// is disabled).
     pub(crate) fn cache_stats(&self) -> CacheStats {
-        self.cache.as_ref().map(EvalCache::stats).unwrap_or_default()
+        self.cache
+            .as_ref()
+            .map(EvalCache::stats)
+            .unwrap_or_default()
     }
 
     /// A copy of this runtime for a campaign shard: semantic state
@@ -696,13 +876,26 @@ impl OdinRuntime {
     pub(crate) fn fork_shard(&self) -> OdinRuntime {
         let mut shard = self.clone();
         shard.cache = self.cache.as_ref().map(EvalCache::fork);
+        // Only the campaign driver checkpoints; a shard snapshotting
+        // its speculative state would race the committed stream.
+        shard.checkpoint = None;
         shard
     }
 
+    /// The checkpoint policy attached at build time, if any.
+    #[must_use]
+    pub fn checkpoint_policy(&self) -> Option<&CheckpointPolicy> {
+        self.checkpoint.as_ref()
+    }
+
     /// Replaces this runtime's state wholesale with a shard's — the
-    /// engine's commit step.
+    /// engine's commit step. The checkpoint policy is not part of the
+    /// semantic state and stays with the adopting runtime (shards are
+    /// forked without one).
     pub(crate) fn adopt(&mut self, shard: OdinRuntime) {
+        let checkpoint = self.checkpoint.take();
         *self = shard;
+        self.checkpoint = checkpoint;
     }
 
     /// Empties the replay buffer (shard-merge support).
@@ -801,15 +994,8 @@ impl OdinRuntime {
                 }
                 None => self.config.strategy(),
             };
-            let mut outcome = find_best_with(
-                &evaluator,
-                layer,
-                age,
-                eta,
-                (seed_r, seed_c),
-                strategy,
-                ctx,
-            )?;
+            let mut outcome =
+                find_best_with(&evaluator, layer, age, eta, (seed_r, seed_c), strategy, ctx)?;
             if outcome.best.is_none() && !matches!(strategy, SearchStrategy::Exhaustive) {
                 // The bounded neighborhood may miss feasible shapes far
                 // from the seed; verify on the full grid before pulling
@@ -1091,7 +1277,11 @@ mod tests {
         let rec = rt.run_inference(&net, Seconds::new(1.0)).unwrap();
         let grid = rt.model().grid();
         for d in &rec.decisions {
-            assert!(d.eval.feasible(rt.config().eta()), "layer {}", d.layer_index);
+            assert!(
+                d.eval.feasible(rt.config().eta()),
+                "layer {}",
+                d.layer_index
+            );
             assert!(grid.levels_of(d.chosen).is_some());
             assert!(!d.degraded);
         }
@@ -1238,7 +1428,10 @@ mod tests {
 
     #[test]
     fn overheads_can_be_disabled() {
-        let cfg = OdinConfig::builder().count_overheads(false).build().unwrap();
+        let cfg = OdinConfig::builder()
+            .count_overheads(false)
+            .build()
+            .unwrap();
         let mut rt = runtime_with(cfg);
         let net = zoo::vgg11(Dataset::Cifar10);
         let rec = rt.run_inference(&net, Seconds::new(1.0)).unwrap();
@@ -1335,10 +1528,7 @@ mod tests {
         let err = rt.run_inference(&net, Seconds::new(1e12)).unwrap_err();
         assert!(matches!(err, OdinError::EnduranceExhausted { .. }));
         // The resilient campaign records the skip instead of dying.
-        let report = rt.run_campaign_resilient(
-            &net,
-            &TimeSchedule::geometric(1e12, 1e13, 3),
-        );
+        let report = rt.run_campaign_resilient(&net, &TimeSchedule::geometric(1e12, 1e13, 3));
         assert!(report.fraction_served() < 1.0);
         assert!(!report.skipped.is_empty());
         assert!(report.skipped[0].reason.contains("endurance"));
@@ -1354,7 +1544,13 @@ mod tests {
         assert_eq!(rec, back);
         // Old payloads without the new fields still deserialize.
         let legacy = json
-            .replace(&format!(",\"events\":{}", serde_json::to_string(&rec.events).unwrap()), "")
+            .replace(
+                &format!(
+                    ",\"events\":{}",
+                    serde_json::to_string(&rec.events).unwrap()
+                ),
+                "",
+            )
             .replace(",\"degraded\":true", "");
         let old: InferenceRecord = serde_json::from_str(&legacy).unwrap();
         assert!(old.events.is_empty());
@@ -1423,7 +1619,11 @@ mod tests {
         );
         assert!(a.cache.total() > 0, "cache saw traffic");
         assert!(a.cache.hit_rate() > 0.5, "hit rate {}", a.cache.hit_rate());
-        assert_eq!(b.cache, CacheStats::default(), "disabled cache stays silent");
+        assert_eq!(
+            b.cache,
+            CacheStats::default(),
+            "disabled cache stays silent"
+        );
     }
 
     #[test]

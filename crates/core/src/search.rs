@@ -348,8 +348,15 @@ mod tests {
     fn exhaustive_finds_global_optimum() {
         let m = model();
         let l = layer(4);
-        let out = find_best(&m, &l, Seconds::ZERO, 0.005, (0, 0), SearchStrategy::Exhaustive)
-            .unwrap();
+        let out = find_best(
+            &m,
+            &l,
+            Seconds::ZERO,
+            0.005,
+            (0, 0),
+            SearchStrategy::Exhaustive,
+        )
+        .unwrap();
         assert_eq!(out.evaluations, 36);
         let best = out.best.unwrap();
         // No feasible grid shape may beat it.
@@ -376,8 +383,15 @@ mod tests {
         .unwrap();
         // K greedy steps of 4 neighbours plus the seed: ≤ 4K + 1.
         assert!(rb.evaluations <= 13, "RB evaluated {}", rb.evaluations);
-        let ex = find_best(&m, &l, Seconds::ZERO, 0.005, (2, 2), SearchStrategy::Exhaustive)
-            .unwrap();
+        let ex = find_best(
+            &m,
+            &l,
+            Seconds::ZERO,
+            0.005,
+            (2, 2),
+            SearchStrategy::Exhaustive,
+        )
+        .unwrap();
         let ratio = ex.evaluations as f64 / rb.evaluations as f64;
         assert!(ratio >= 2.0, "≈3× overhead (§V.B), got {ratio:.2}×");
     }
@@ -386,10 +400,17 @@ mod tests {
     fn rb_with_good_seed_matches_exhaustive() {
         let m = model();
         let l = layer(4);
-        let ex = find_best(&m, &l, Seconds::ZERO, 0.005, (0, 0), SearchStrategy::Exhaustive)
-            .unwrap()
-            .best
-            .unwrap();
+        let ex = find_best(
+            &m,
+            &l,
+            Seconds::ZERO,
+            0.005,
+            (0, 0),
+            SearchStrategy::Exhaustive,
+        )
+        .unwrap()
+        .best
+        .unwrap();
         let seed = m.grid().levels_of(ex.shape).unwrap();
         let rb = find_best(&m, &l, Seconds::ZERO, 0.005, seed, SearchStrategy::paper())
             .unwrap()
@@ -420,10 +441,17 @@ mod tests {
     fn aged_search_prefers_smaller_ous() {
         let m = model();
         let l = layer(6);
-        let fresh = find_best(&m, &l, Seconds::ZERO, 0.005, (0, 0), SearchStrategy::Exhaustive)
-            .unwrap()
-            .best
-            .unwrap();
+        let fresh = find_best(
+            &m,
+            &l,
+            Seconds::ZERO,
+            0.005,
+            (0, 0),
+            SearchStrategy::Exhaustive,
+        )
+        .unwrap()
+        .best
+        .unwrap();
         let aged = find_best(
             &m,
             &l,
@@ -545,10 +573,17 @@ mod tests {
             max_level: None,
             generation: 0,
         };
-        let clean = find_best(&m, &l, Seconds::ZERO, 0.005, (0, 0), SearchStrategy::Exhaustive)
-            .unwrap()
-            .best
-            .unwrap();
+        let clean = find_best(
+            &m,
+            &l,
+            Seconds::ZERO,
+            0.005,
+            (0, 0),
+            SearchStrategy::Exhaustive,
+        )
+        .unwrap()
+        .best
+        .unwrap();
         let faulty = find_best_with(
             &m,
             &l,

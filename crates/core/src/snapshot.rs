@@ -1,0 +1,756 @@
+//! Crash-consistent checkpoint/restore for long-running campaigns.
+//!
+//! Odin's premise is *online* learning: policy weights, the replay
+//! buffer, the drift clock, and the fabric-health ledger all accumulate
+//! over hours of inferencing, and a process crash must not erase them.
+//! This module defines the versioned, checksummed [`CampaignSnapshot`]
+//! that captures the complete resumable state of a campaign, the
+//! atomic-write protocol that persists it, and the rotating
+//! [`SnapshotStore`] the runtime and engine checkpoint into.
+//!
+//! # File format
+//!
+//! A snapshot file is a one-line JSON header followed by a newline and
+//! the JSON payload:
+//!
+//! ```text
+//! {"magic":"odin-snapshot","version":1,"checksum":"<fnv1a64 hex>","bytes":<n>}
+//! <payload: CampaignSnapshot as JSON, exactly n bytes>
+//! ```
+//!
+//! Restore validates, in order: the header parses and carries the
+//! magic ([`SnapshotError::Corrupt`] otherwise), the format version is
+//! supported ([`SnapshotError::VersionMismatch`]), the payload is as
+//! long as the header promises ([`SnapshotError::Incomplete`] — a
+//! truncated write), the FNV-1a 64 checksum matches
+//! ([`SnapshotError::Corrupt`] — bit rot or tampering), and only then
+//! is the payload deserialized. Nothing in this path panics.
+//!
+//! # Atomic writes
+//!
+//! [`CampaignSnapshot::write_atomic`] writes to a `.tmp` sibling,
+//! `fsync`s it, renames it over the final name, and best-effort
+//! `fsync`s the directory. A crash at any instant therefore leaves
+//! either the previous generation or the new one — never a half-written
+//! `.snap` file; torn `.tmp` leftovers are ignored (and cleaned up) by
+//! [`SnapshotStore::open`].
+//!
+//! # Example
+//!
+//! ```no_run
+//! use odin_core::snapshot::CheckpointPolicy;
+//! use odin_core::{CampaignEngine, OdinConfig, OdinRuntime, TimeSchedule};
+//! use odin_dnn::zoo::{self, Dataset};
+//!
+//! let net = zoo::vgg11(Dataset::Cifar10);
+//! let schedule = TimeSchedule::paper();
+//! let policy = CheckpointPolicy::new("snapshots/").every_runs(10);
+//! // First process: checkpoints every 10 inferences and on events.
+//! let mut runtime = OdinRuntime::builder(OdinConfig::paper()).build()?;
+//! let engine = CampaignEngine::new(4).checkpoint(policy.clone());
+//! let report = engine.run_campaign(&mut runtime, &net, &schedule)?;
+//! // After a crash: resume from the newest valid generation; the
+//! // combined report is bit-identical to the uninterrupted run.
+//! let (runtime, report) = CampaignEngine::new(4)
+//!     .checkpoint(policy)
+//!     .resume_from("snapshots/", &net, &schedule)?;
+//! # let _ = (runtime, report);
+//! # Ok::<(), odin_core::OdinError>(())
+//! ```
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use odin_policy::{OuPolicy, ReplayBuffer};
+use odin_units::Seconds;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::CacheStats;
+use crate::config::OdinConfig;
+use crate::engine::{EngineStats, ShardMode};
+use crate::error::{OdinError, SnapshotError};
+use crate::fabric::FabricHealth;
+use crate::runtime::{InferenceRecord, SkippedRun};
+
+/// The snapshot format version this build reads and writes.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// The magic string identifying a snapshot file header.
+const MAGIC: &str = "odin-snapshot";
+
+/// Snapshot file name prefix/suffix: `campaign-<seq>.snap`.
+const FILE_PREFIX: &str = "campaign-";
+const FILE_SUFFIX: &str = ".snap";
+
+/// When and where a campaign checkpoints.
+///
+/// Attached via [`RuntimeBuilder::checkpoint`] or
+/// [`CampaignEngine::checkpoint`]; see the [module docs](self).
+///
+/// [`RuntimeBuilder::checkpoint`]: crate::RuntimeBuilder::checkpoint
+/// [`CampaignEngine::checkpoint`]: crate::CampaignEngine::checkpoint
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    dir: PathBuf,
+    every_runs: usize,
+    on_events: bool,
+    retain: usize,
+}
+
+impl CheckpointPolicy {
+    /// Default checkpoint interval, in committed inference slots.
+    pub const DEFAULT_EVERY_RUNS: usize = 25;
+    /// Default number of retained snapshot generations.
+    pub const DEFAULT_RETAIN: usize = 3;
+
+    /// A policy checkpointing into `dir` every
+    /// [`DEFAULT_EVERY_RUNS`](Self::DEFAULT_EVERY_RUNS) inferences and
+    /// on every reprogram/ladder event, retaining
+    /// [`DEFAULT_RETAIN`](Self::DEFAULT_RETAIN) generations.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            every_runs: Self::DEFAULT_EVERY_RUNS,
+            on_events: true,
+            retain: Self::DEFAULT_RETAIN,
+        }
+    }
+
+    /// Sets the interval trigger: checkpoint after every `n` committed
+    /// inference slots (clamped to ≥ 1).
+    #[must_use]
+    pub fn every_runs(mut self, n: usize) -> Self {
+        self.every_runs = n.max(1);
+        self
+    }
+
+    /// Enables or disables the event trigger (checkpoint on every
+    /// reprogram, ladder transition, or skipped run).
+    #[must_use]
+    pub fn on_events(mut self, on: bool) -> Self {
+        self.on_events = on;
+        self
+    }
+
+    /// Sets how many snapshot generations to retain (clamped to ≥ 1).
+    #[must_use]
+    pub fn retain(mut self, n: usize) -> Self {
+        self.retain = n.max(1);
+        self
+    }
+
+    /// The snapshot directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The interval trigger, in committed inference slots.
+    #[must_use]
+    pub fn interval(&self) -> usize {
+        self.every_runs
+    }
+
+    /// Whether the event trigger is armed.
+    #[must_use]
+    pub fn event_triggered(&self) -> bool {
+        self.on_events
+    }
+
+    /// Retained snapshot generations.
+    #[must_use]
+    pub fn retained(&self) -> usize {
+        self.retain
+    }
+}
+
+/// The complete resumable state of one [`OdinRuntime`] (or one shard
+/// replica): configuration, policy weights + optimizer velocity, replay
+/// buffer, drift clock, fabric health (spare remaps, wear ledger,
+/// backoff — the full ladder position), plus the construction knobs
+/// (cache flag, RNG seed) needed to rebuild an identical runtime.
+///
+/// [`OdinRuntime`]: crate::OdinRuntime
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeState {
+    /// The runtime configuration (re-validated on restore).
+    pub config: OdinConfig,
+    /// The learned policy: MLP parameters and momentum velocity.
+    pub policy: OuPolicy,
+    /// Buffered (Φ, best) training examples awaiting the next update.
+    pub buffer: ReplayBuffer,
+    /// Wall-clock time of the last reprogramming pass (drift clock).
+    pub last_programmed: Seconds,
+    /// Fabric-health state, when tracking is attached.
+    pub fabric: Option<FabricHealth>,
+    /// Whether the memoized evaluation cache was enabled. The cache
+    /// itself is bit-transparent and is rebuilt cold on restore.
+    pub eval_cache: bool,
+    /// The seed of the policy-initialization RNG stream the runtime was
+    /// built from (per-shard streams derive from it via
+    /// [`shard_seed`](crate::shard_seed)).
+    pub rng_seed: u64,
+}
+
+/// Where a campaign stood when a snapshot was taken: the schedule
+/// cursor plus every [`CampaignReport`] accumulator needed to finish
+/// the report after a resume.
+///
+/// [`CampaignReport`]: crate::CampaignReport
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignProgress {
+    /// The workload name (validated against the network on resume).
+    pub network: String,
+    /// The execution model the campaign ran under.
+    pub mode: ShardMode,
+    /// The shard count the campaign ran with.
+    pub shards: usize,
+    /// Whether the campaign records failures as skips instead of
+    /// aborting ([`run_campaign_resilient`]).
+    ///
+    /// [`run_campaign_resilient`]: crate::OdinRuntime::run_campaign_resilient
+    pub resilient: bool,
+    /// The schedule cursor: slots `0..next_index` are fully committed
+    /// in [`runs`](Self::runs)/[`skipped`](Self::skipped).
+    pub next_index: usize,
+    /// Committed inference records, in schedule order.
+    pub runs: Vec<InferenceRecord>,
+    /// Committed skipped slots.
+    pub skipped: Vec<SkippedRun>,
+    /// Evaluation-cache counters accumulated so far.
+    pub cache: CacheStats,
+    /// Engine counters accumulated so far.
+    pub engine: EngineStats,
+}
+
+/// One versioned, checksummed checkpoint of a whole campaign.
+///
+/// `states` holds one [`RuntimeState`] per shard replica: exactly one
+/// for sequential and lockstep execution (whose committed state *is*
+/// the sequential state), one per shard for independent-mode replicas.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSnapshot {
+    /// The format version that wrote this snapshot.
+    pub format_version: u32,
+    /// Monotonic generation number within the store.
+    pub sequence: u64,
+    /// Per-shard runtime states (length 1 unless independent mode).
+    pub states: Vec<RuntimeState>,
+    /// The campaign position and report accumulators.
+    pub progress: CampaignProgress,
+}
+
+impl CampaignSnapshot {
+    /// Writes the snapshot to `path` crash-consistently: serialize,
+    /// write to a `.tmp` sibling, `fsync`, rename over `path`, then
+    /// best-effort `fsync` the directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::Snapshot`] ([`SnapshotError::Io`]) when any
+    /// filesystem step fails.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), OdinError> {
+        let payload = serde_json::to_vec(self).map_err(|e| SnapshotError::Io {
+            path: path.display().to_string(),
+            op: "serialize",
+            message: e.to_string(),
+        })?;
+        let header = format!(
+            "{{\"magic\":\"{MAGIC}\",\"version\":{},\"checksum\":\"{:016x}\",\"bytes\":{}}}\n",
+            self.format_version,
+            fnv1a64(&payload),
+            payload.len()
+        );
+        let tmp = tmp_sibling(path);
+        let io_err = |op: &'static str, p: &Path| {
+            let p = p.display().to_string();
+            move |e: std::io::Error| SnapshotError::Io {
+                path: p.clone(),
+                op,
+                message: e.to_string(),
+            }
+        };
+        let mut file = fs::File::create(&tmp).map_err(io_err("create", &tmp))?;
+        file.write_all(header.as_bytes())
+            .and_then(|()| file.write_all(&payload))
+            .map_err(io_err("write", &tmp))?;
+        file.sync_all().map_err(io_err("sync", &tmp))?;
+        drop(file);
+        fs::rename(&tmp, path).map_err(io_err("rename", path))?;
+        // Persist the rename itself. Directory handles cannot be
+        // fsynced on every platform, so failures here are tolerated —
+        // the data file is already durable.
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads and fully validates a snapshot from `path` (see the
+    /// [module docs](self) for the validation order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::Snapshot`] with the precise
+    /// [`SnapshotError`]: `Io` when the file cannot be read, `Corrupt`
+    /// on structural or checksum damage, `VersionMismatch` for foreign
+    /// format versions, `Incomplete` for truncated payloads.
+    pub fn read(path: &Path) -> Result<CampaignSnapshot, OdinError> {
+        let shown = path.display().to_string();
+        let bytes = fs::read(path).map_err(|e| SnapshotError::Io {
+            path: shown.clone(),
+            op: "read",
+            message: e.to_string(),
+        })?;
+        let corrupt = |reason: &str| SnapshotError::Corrupt {
+            path: shown.clone(),
+            reason: reason.to_string(),
+        };
+        let newline = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| corrupt("missing header line"))?;
+        let header: Header = serde_json::from_slice(&bytes[..newline])
+            .map_err(|e| corrupt(&format!("unparseable header: {e}")))?;
+        if header.magic != MAGIC {
+            return Err(corrupt(&format!("bad magic `{}`", header.magic)).into());
+        }
+        if header.version != SNAPSHOT_FORMAT_VERSION {
+            return Err(SnapshotError::VersionMismatch {
+                path: shown,
+                found: header.version,
+                supported: SNAPSHOT_FORMAT_VERSION,
+            }
+            .into());
+        }
+        let payload = &bytes[newline + 1..];
+        if payload.len() < header.bytes {
+            return Err(SnapshotError::Incomplete {
+                path: shown,
+                reason: format!(
+                    "payload is {} bytes, header promises {}",
+                    payload.len(),
+                    header.bytes
+                ),
+            }
+            .into());
+        }
+        if payload.len() > header.bytes {
+            return Err(corrupt(&format!(
+                "payload is {} bytes, header promises {}",
+                payload.len(),
+                header.bytes
+            ))
+            .into());
+        }
+        let expected = u64::from_str_radix(&header.checksum, 16)
+            .map_err(|_| corrupt("unparseable checksum"))?;
+        let actual = fnv1a64(payload);
+        if actual != expected {
+            return Err(corrupt(&format!(
+                "checksum mismatch: file declares {expected:016x}, content hashes to {actual:016x}"
+            ))
+            .into());
+        }
+        let snapshot: CampaignSnapshot = serde_json::from_slice(payload)
+            .map_err(|e| corrupt(&format!("unparseable payload: {e}")))?;
+        snapshot.validate(&shown)?;
+        Ok(snapshot)
+    }
+
+    /// Structural consistency checks after a successful parse.
+    fn validate(&self, shown: &str) -> Result<(), SnapshotError> {
+        let incomplete = |reason: String| SnapshotError::Incomplete {
+            path: shown.to_string(),
+            reason,
+        };
+        let expected_states =
+            if self.progress.mode == ShardMode::Independent && self.progress.shards > 1 {
+                self.progress.shards
+            } else {
+                1
+            };
+        if self.states.len() != expected_states {
+            return Err(incomplete(format!(
+                "{} runtime states for a {}-shard {} campaign",
+                self.states.len(),
+                self.progress.shards,
+                self.progress.mode
+            )));
+        }
+        let committed = self.progress.runs.len() + self.progress.skipped.len();
+        if committed != self.progress.next_index {
+            return Err(incomplete(format!(
+                "schedule cursor at {} but {} slots recorded",
+                self.progress.next_index, committed
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The one-line snapshot file header.
+#[derive(Serialize, Deserialize)]
+struct Header {
+    magic: String,
+    version: u32,
+    checksum: String,
+    bytes: usize,
+}
+
+/// FNV-1a 64-bit content hash — dependency-free, deterministic across
+/// platforms, and plenty to reject torn or bit-flipped payloads.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The `.tmp` sibling a snapshot is staged in before the atomic rename.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// A directory of rotating snapshot generations
+/// (`campaign-<seq>.snap`), with fallback-aware loading.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    retain: usize,
+    next_sequence: u64,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) the store at `dir`, retaining
+    /// `retain` generations on [`save`](Self::save). Stale `.tmp`
+    /// leftovers from interrupted writes are removed; existing
+    /// generations are kept and the sequence continues after the newest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::Snapshot`] ([`SnapshotError::Io`]) when the
+    /// directory cannot be created or scanned.
+    pub fn open(dir: impl Into<PathBuf>, retain: usize) -> Result<Self, OdinError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| SnapshotError::Io {
+            path: dir.display().to_string(),
+            op: "create-dir",
+            message: e.to_string(),
+        })?;
+        let mut next_sequence = 1;
+        for (seq, path) in scan(&dir)? {
+            next_sequence = next_sequence.max(seq + 1);
+            let _ = path;
+        }
+        // A crash mid-write leaves a torn `.tmp` behind; it was never
+        // renamed into place, so it is dead weight.
+        if let Ok(entries) = fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                if name.to_string_lossy().ends_with(".tmp") {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(Self {
+            dir,
+            retain: retain.max(1),
+            next_sequence,
+        })
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The sequence number the next [`save`](Self::save) will use.
+    #[must_use]
+    pub fn next_sequence(&self) -> u64 {
+        self.next_sequence
+    }
+
+    /// Writes a new generation atomically and prunes the oldest ones
+    /// beyond the retention count. Returns the new snapshot's path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::Snapshot`] when writing fails; pruning
+    /// failures are tolerated (stale generations are merely dead
+    /// weight).
+    pub fn save(
+        &mut self,
+        states: &[RuntimeState],
+        progress: &CampaignProgress,
+    ) -> Result<PathBuf, OdinError> {
+        let snapshot = CampaignSnapshot {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            sequence: self.next_sequence,
+            states: states.to_vec(),
+            progress: progress.clone(),
+        };
+        let path = self.dir.join(format!(
+            "{FILE_PREFIX}{:08}{FILE_SUFFIX}",
+            self.next_sequence
+        ));
+        snapshot.write_atomic(&path)?;
+        self.next_sequence += 1;
+        let generations = self.generations()?;
+        if generations.len() > self.retain {
+            for old in &generations[..generations.len() - self.retain] {
+                let _ = fs::remove_file(old);
+            }
+        }
+        Ok(path)
+    }
+
+    /// All generation files currently in the store, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::Snapshot`] when the directory cannot be
+    /// scanned.
+    pub fn generations(&self) -> Result<Vec<PathBuf>, OdinError> {
+        let mut found = scan(&self.dir)?;
+        found.sort_by_key(|(seq, _)| *seq);
+        Ok(found.into_iter().map(|(_, path)| path).collect())
+    }
+
+    /// Loads the newest *valid* generation, falling back past corrupt,
+    /// truncated, or version-mismatched ones. Returns `Ok(None)` when
+    /// the store holds no generations at all; returns the newest
+    /// generation's error when every present generation is invalid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::Snapshot`] when the directory cannot be
+    /// scanned or no present generation validates.
+    pub fn load_latest(&self) -> Result<Option<(CampaignSnapshot, PathBuf)>, OdinError> {
+        let generations = self.generations()?;
+        let mut first_error = None;
+        for path in generations.into_iter().rev() {
+            match CampaignSnapshot::read(&path) {
+                Ok(snapshot) => return Ok(Some((snapshot, path))),
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Scans `dir` for `campaign-<seq>.snap` files.
+fn scan(dir: &Path) -> Result<Vec<(u64, PathBuf)>, OdinError> {
+    let entries = fs::read_dir(dir).map_err(|e| SnapshotError::Io {
+        path: dir.display().to_string(),
+        op: "read-dir",
+        message: e.to_string(),
+    })?;
+    let mut found = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix(FILE_PREFIX)
+            .and_then(|s| s.strip_suffix(FILE_SUFFIX))
+        else {
+            continue;
+        };
+        if let Ok(seq) = stem.parse::<u64>() {
+            found.push((seq, entry.path()));
+        }
+    }
+    Ok(found)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::OdinRuntime;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A unique scratch directory per test, without external crates.
+    fn scratch(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "odin-snapshot-test-{}-{tag}-{n}",
+            std::process::id()
+        ))
+    }
+
+    fn sample_snapshot() -> CampaignSnapshot {
+        let runtime = OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(7)
+            .build()
+            .unwrap();
+        CampaignSnapshot {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            sequence: 1,
+            states: vec![runtime.state()],
+            progress: CampaignProgress {
+                network: "vgg11".to_string(),
+                mode: ShardMode::Lockstep,
+                shards: 1,
+                resilient: false,
+                next_index: 0,
+                runs: Vec::new(),
+                skipped: Vec::new(),
+                cache: CacheStats::default(),
+                engine: EngineStats::default(),
+            },
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip_is_exact() {
+        let dir = scratch("roundtrip");
+        fs::create_dir_all(&dir).unwrap();
+        let snapshot = sample_snapshot();
+        let path = dir.join("campaign-00000001.snap");
+        snapshot.write_atomic(&path).unwrap();
+        let back = CampaignSnapshot::read(&path).unwrap();
+        assert_eq!(back, snapshot);
+        // Bit-equal through JSON too (float_roundtrip is enabled).
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(&snapshot).unwrap()
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_and_bitflips_yield_typed_errors() {
+        let dir = scratch("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        let snapshot = sample_snapshot();
+        let path = dir.join("campaign-00000001.snap");
+        snapshot.write_atomic(&path).unwrap();
+        let pristine = fs::read(&path).unwrap();
+        // Truncated payload ⇒ Incomplete.
+        fs::write(&path, &pristine[..pristine.len() - 40]).unwrap();
+        assert!(matches!(
+            CampaignSnapshot::read(&path),
+            Err(OdinError::Snapshot(SnapshotError::Incomplete { .. }))
+        ));
+        // Payload bit-flip ⇒ Corrupt (checksum).
+        let mut flipped = pristine.clone();
+        let k = flipped.len() - 100;
+        flipped[k] ^= 0x40;
+        fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            CampaignSnapshot::read(&path),
+            Err(OdinError::Snapshot(SnapshotError::Corrupt { .. }))
+        ));
+        // Foreign format version ⇒ VersionMismatch.
+        let text = String::from_utf8(pristine.clone()).unwrap();
+        fs::write(&path, text.replacen("\"version\":1", "\"version\":9", 1)).unwrap();
+        assert!(matches!(
+            CampaignSnapshot::read(&path),
+            Err(OdinError::Snapshot(SnapshotError::VersionMismatch {
+                found: 9,
+                ..
+            }))
+        ));
+        // Empty file ⇒ Corrupt; missing file ⇒ Io.
+        fs::write(&path, b"").unwrap();
+        assert!(matches!(
+            CampaignSnapshot::read(&path),
+            Err(OdinError::Snapshot(SnapshotError::Corrupt { .. }))
+        ));
+        fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            CampaignSnapshot::read(&path),
+            Err(OdinError::Snapshot(SnapshotError::Io { .. }))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_rotates_generations_and_falls_back_past_corruption() {
+        let dir = scratch("store");
+        let mut store = SnapshotStore::open(&dir, 2).unwrap();
+        let snapshot = sample_snapshot();
+        for _ in 0..3 {
+            store.save(&snapshot.states, &snapshot.progress).unwrap();
+        }
+        let generations = store.generations().unwrap();
+        assert_eq!(generations.len(), 2, "retention prunes the oldest");
+        assert_eq!(store.next_sequence(), 4);
+        let (latest, path) = store.load_latest().unwrap().unwrap();
+        assert_eq!(latest.sequence, 3);
+        // Corrupt the newest: load falls back to generation 2.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let (fallback, _) = store.load_latest().unwrap().unwrap();
+        assert_eq!(fallback.sequence, 2);
+        // Corrupt both: the newest generation's typed error surfaces.
+        for path in store.generations().unwrap() {
+            fs::write(&path, b"garbage").unwrap();
+        }
+        assert!(matches!(
+            store.load_latest(),
+            Err(OdinError::Snapshot(SnapshotError::Corrupt { .. }))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopened_store_continues_the_sequence_and_sweeps_tmp_files() {
+        let dir = scratch("reopen");
+        let mut store = SnapshotStore::open(&dir, 3).unwrap();
+        let snapshot = sample_snapshot();
+        store.save(&snapshot.states, &snapshot.progress).unwrap();
+        // Simulate a crash mid-write: a torn `.tmp` next to a good
+        // generation.
+        fs::write(dir.join("campaign-00000002.snap.tmp"), b"torn").unwrap();
+        let store = SnapshotStore::open(&dir, 3).unwrap();
+        assert_eq!(store.next_sequence(), 2);
+        assert!(!dir.join("campaign-00000002.snap.tmp").exists());
+        let (latest, _) = store.load_latest().unwrap().unwrap();
+        assert_eq!(latest.sequence, 1);
+        // An empty store distinguishes "nothing yet" from "all bad".
+        let empty = SnapshotStore::open(scratch("empty"), 3).unwrap();
+        assert!(empty.load_latest().unwrap().is_none());
+        fs::remove_dir_all(empty.dir()).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_structural_validation_catches_state_mismatches() {
+        let mut snapshot = sample_snapshot();
+        snapshot.progress.mode = ShardMode::Independent;
+        snapshot.progress.shards = 4;
+        let dir = scratch("structural");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign-00000001.snap");
+        snapshot.write_atomic(&path).unwrap();
+        // 1 state for a 4-shard independent campaign ⇒ Incomplete.
+        assert!(matches!(
+            CampaignSnapshot::read(&path),
+            Err(OdinError::Snapshot(SnapshotError::Incomplete { .. }))
+        ));
+        let mut snapshot = sample_snapshot();
+        snapshot.progress.next_index = 5; // no runs recorded
+        snapshot.write_atomic(&path).unwrap();
+        assert!(matches!(
+            CampaignSnapshot::read(&path),
+            Err(OdinError::Snapshot(SnapshotError::Incomplete { .. }))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

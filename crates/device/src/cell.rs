@@ -167,11 +167,23 @@ mod tests {
         let p = DeviceParams::paper();
         let mut cell = ReramCell::new(&p);
         let mut r = rng();
-        cell.program(CellLevel(2), Seconds::new(1.0), &p, &NoiseModel::disabled(), &mut r);
+        cell.program(
+            CellLevel(2),
+            Seconds::new(1.0),
+            &p,
+            &NoiseModel::disabled(),
+            &mut r,
+        );
         assert_eq!(cell.level(), CellLevel(2));
         assert_eq!(cell.write_count(), 1);
         assert_eq!(cell.programmed_conductance(), p.level_conductance(2));
-        cell.program(CellLevel(3), Seconds::new(2.0), &p, &NoiseModel::disabled(), &mut r);
+        cell.program(
+            CellLevel(3),
+            Seconds::new(2.0),
+            &p,
+            &NoiseModel::disabled(),
+            &mut r,
+        );
         assert_eq!(cell.write_count(), 2);
     }
 
@@ -180,11 +192,23 @@ mod tests {
         let p = DeviceParams::paper();
         let mut cell = ReramCell::new(&p);
         let mut r = rng();
-        cell.program(CellLevel(3), Seconds::new(1.0), &p, &NoiseModel::disabled(), &mut r);
+        cell.program(
+            CellLevel(3),
+            Seconds::new(1.0),
+            &p,
+            &NoiseModel::disabled(),
+            &mut r,
+        );
         let aged = cell.effective_conductance(Seconds::new(1e6), &p);
         assert!(aged < p.g_on());
         // Reprogram at t = 1e6: conductance snaps back to G_ON.
-        cell.program(CellLevel(3), Seconds::new(1e6), &p, &NoiseModel::disabled(), &mut r);
+        cell.program(
+            CellLevel(3),
+            Seconds::new(1e6),
+            &p,
+            &NoiseModel::disabled(),
+            &mut r,
+        );
         let restored = cell.effective_conductance(Seconds::new(1e6), &p);
         assert!((restored.value() - p.g_on().value()).abs() < 1e-15);
         // …and decays again relative to the new programming instant.
@@ -197,7 +221,13 @@ mod tests {
         let p = DeviceParams::paper();
         let mut cell = ReramCell::new(&p);
         let mut r = rng();
-        cell.program(CellLevel(1), Seconds::new(1.0), &p, &NoiseModel::disabled(), &mut r);
+        cell.program(
+            CellLevel(1),
+            Seconds::new(1.0),
+            &p,
+            &NoiseModel::disabled(),
+            &mut r,
+        );
         let g = cell.effective_conductance(Seconds::new(1e30), &p);
         assert!(g >= p.g_off());
     }

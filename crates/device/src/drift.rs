@@ -224,9 +224,7 @@ mod tests {
         let m = model();
         assert_eq!(m.time_to_reach(Siemens::from_micro(400.0)), Some(m.t0));
         assert!(m.time_to_reach(Siemens::from_micro(0.1)).is_none());
-        let frozen = DriftModel::new(
-            &DeviceParams::paper().with_drift_coefficient(0.0).unwrap(),
-        );
+        let frozen = DriftModel::new(&DeviceParams::paper().with_drift_coefficient(0.0).unwrap());
         assert!(frozen.time_to_reach(Siemens::from_micro(100.0)).is_none());
     }
 

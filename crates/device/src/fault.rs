@@ -218,7 +218,10 @@ mod tests {
     fn insert_replaces_and_reports_previous() {
         let mut map = FaultMap::new();
         assert_eq!(map.insert(0, 0, FaultKind::StuckOn), None);
-        assert_eq!(map.insert(0, 0, FaultKind::StuckOff), Some(FaultKind::StuckOn));
+        assert_eq!(
+            map.insert(0, 0, FaultKind::StuckOff),
+            Some(FaultKind::StuckOn)
+        );
         assert_eq!(map.get(0, 0), Some(FaultKind::StuckOff));
         assert_eq!(map.get(1, 1), None);
     }

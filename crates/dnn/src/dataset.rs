@@ -62,7 +62,10 @@ impl SyntheticImages {
         noise: f64,
         rng: &mut R,
     ) -> Self {
-        assert!(classes > 0 && channels > 0 && side > 0, "sizes must be nonzero");
+        assert!(
+            classes > 0 && channels > 0 && side > 0,
+            "sizes must be nonzero"
+        );
         assert!(noise >= 0.0, "noise must be non-negative");
         let samples = (0..count)
             .map(|i| {

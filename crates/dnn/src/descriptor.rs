@@ -322,11 +322,7 @@ mod tests {
 
     #[test]
     fn network_aggregates() {
-        let net = NetworkDescriptor::new(
-            "test".into(),
-            "cifar10".into(),
-            vec![conv(0), conv(1)],
-        );
+        let net = NetworkDescriptor::new("test".into(), "cifar10".into(), vec![conv(0), conv(1)]);
         assert_eq!(net.total_weights(), 2 * 576 * 128);
         assert!((net.mean_sparsity() - 0.5).abs() < 1e-12);
         assert_eq!(net.layers().len(), 2);

@@ -44,7 +44,10 @@ impl Conv2d {
     /// padding needs an odd kernel).
     #[must_use]
     pub fn new<R: Rng + ?Sized>(in_ch: usize, out_ch: usize, kernel: usize, rng: &mut R) -> Self {
-        assert!(in_ch > 0 && out_ch > 0 && kernel > 0, "dimensions must be nonzero");
+        assert!(
+            in_ch > 0 && out_ch > 0 && kernel > 0,
+            "dimensions must be nonzero"
+        );
         assert!(kernel % 2 == 1, "same padding needs an odd kernel");
         let fan_in = in_ch * kernel * kernel;
         let bound = (6.0 / fan_in as f32).sqrt();
@@ -244,7 +247,11 @@ mod tests {
             vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6, 0.7, 0.8, -0.9],
         )
         .unwrap();
-        let upstream = Tensor::from_vec(vec![2, 3, 3], (0..18).map(|i| (i as f32) / 9.0 - 1.0).collect()).unwrap();
+        let upstream = Tensor::from_vec(
+            vec![2, 3, 3],
+            (0..18).map(|i| (i as f32) / 9.0 - 1.0).collect(),
+        )
+        .unwrap();
         let _ = conv.forward(&x, true);
         let gin = conv.backward(&upstream);
         let loss = |y: &Tensor| {
@@ -260,8 +267,8 @@ mod tests {
             xp.as_mut_slice()[i] += eps;
             let mut xm = x.clone();
             xm.as_mut_slice()[i] -= eps;
-            let numeric = (loss(&conv.forward(&xp, false)) - loss(&conv.forward(&xm, false)))
-                / (2.0 * eps);
+            let numeric =
+                (loss(&conv.forward(&xp, false)) - loss(&conv.forward(&xm, false))) / (2.0 * eps);
             assert!(
                 (numeric - gin.as_slice()[i]).abs() < 2e-2,
                 "grad[{i}]: numeric {numeric} vs analytic {}",

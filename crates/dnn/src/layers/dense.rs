@@ -39,7 +39,10 @@ impl Dense {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Self {
-        assert!(fan_in > 0 && fan_out > 0, "dense dimensions must be nonzero");
+        assert!(
+            fan_in > 0 && fan_out > 0,
+            "dense dimensions must be nonzero"
+        );
         let bound = (6.0 / fan_in as f32).sqrt();
         let data: Vec<f32> = (0..fan_in * fan_out)
             .map(|_| rng.gen_range(-bound..bound))

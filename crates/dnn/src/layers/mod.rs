@@ -142,8 +142,11 @@ pub fn softmax(logits: &Tensor) -> Tensor {
         .fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = logits.as_slice().iter().map(|&v| (v - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
-    Tensor::from_vec(logits.shape().to_vec(), exps.iter().map(|e| e / sum).collect())
-        .expect("same shape")
+    Tensor::from_vec(
+        logits.shape().to_vec(),
+        exps.iter().map(|e| e / sum).collect(),
+    )
+    .expect("same shape")
 }
 
 #[cfg(test)]

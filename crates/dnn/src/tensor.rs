@@ -106,7 +106,10 @@ impl Tensor {
         );
         let mut off = 0;
         for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
-            assert!(ix < dim, "index {ix} out of bounds for axis {i} (dim {dim})");
+            assert!(
+                ix < dim,
+                "index {ix} out of bounds for axis {i} (dim {dim})"
+            );
             off = off * dim + ix;
         }
         off

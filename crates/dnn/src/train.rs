@@ -250,7 +250,10 @@ mod tests {
         let heavy = trainer
             .noisy_accuracy(&mut net, &test, &NoiseSpec::uniform(0.8, 2), &mut r)
             .unwrap();
-        assert!(light >= clean - 0.1, "light noise ≈ clean: {light} vs {clean}");
+        assert!(
+            light >= clean - 0.1,
+            "light noise ≈ clean: {light} vs {clean}"
+        );
         assert!(heavy < clean - 0.2, "heavy noise hurts: {heavy} vs {clean}");
     }
 
@@ -262,7 +265,12 @@ mod tests {
         let before: Vec<Tensor> = net.weights().cloned().collect();
         let trainer = Trainer::new(TrainerConfig::default());
         trainer
-            .noisy_accuracy(&mut net, data.samples(), &NoiseSpec::uniform(0.5, 2), &mut r)
+            .noisy_accuracy(
+                &mut net,
+                data.samples(),
+                &NoiseSpec::uniform(0.5, 2),
+                &mut r,
+            )
             .unwrap();
         let after: Vec<Tensor> = net.weights().cloned().collect();
         assert_eq!(before, after);

@@ -104,7 +104,12 @@ impl ZooBuilder {
     }
 
     /// Adds a stride-2 convolution (halves the spatial extent).
-    fn conv_s2(&mut self, name: impl Into<String>, out_channels: usize, kernel: usize) -> &mut Self {
+    fn conv_s2(
+        &mut self,
+        name: impl Into<String>,
+        out_channels: usize,
+        kernel: usize,
+    ) -> &mut Self {
         self.side = (self.side / 2).max(1);
         self.conv(name, out_channels, kernel)
     }
@@ -574,7 +579,11 @@ mod tests {
     #[test]
     fn classifier_reads_dataset_classes() {
         assert_eq!(
-            resnet18(Dataset::Cifar10).layers().last().unwrap().fan_out(),
+            resnet18(Dataset::Cifar10)
+                .layers()
+                .last()
+                .unwrap()
+                .fan_out(),
             10
         );
         assert_eq!(
@@ -582,7 +591,11 @@ mod tests {
             100
         );
         assert_eq!(
-            vgg19(Dataset::TinyImageNet).layers().last().unwrap().fan_out(),
+            vgg19(Dataset::TinyImageNet)
+                .layers()
+                .last()
+                .unwrap()
+                .fan_out(),
             200
         );
     }

@@ -89,10 +89,7 @@ impl CongestionModel {
     /// # Errors
     ///
     /// Propagates utilization errors.
-    pub fn latency_factor_at_load(
-        &self,
-        flits_per_node_per_cycle: f64,
-    ) -> Result<f64, NocError> {
+    pub fn latency_factor_at_load(&self, flits_per_node_per_cycle: f64) -> Result<f64, NocError> {
         let rho = self.channel_utilization(flits_per_node_per_cycle)?;
         self.latency_factor(rho)
     }

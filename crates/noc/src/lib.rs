@@ -67,7 +67,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = NocError::NodeOutOfRange { node: 40, nodes: 36 };
+        let e = NocError::NodeOutOfRange {
+            node: 40,
+            nodes: 36,
+        };
         assert!(e.to_string().contains("40"));
         assert!(NocError::EmptyMesh.to_string().contains("nonzero"));
     }

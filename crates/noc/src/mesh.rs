@@ -269,7 +269,9 @@ mod tests {
     #[test]
     fn local_transfer_is_free() {
         let n = noc();
-        let c = n.transfer_cost(NodeId::new(3), NodeId::new(3), 4096).unwrap();
+        let c = n
+            .transfer_cost(NodeId::new(3), NodeId::new(3), 4096)
+            .unwrap();
         assert_eq!(c.cycles, Cycles::ZERO);
         assert_eq!(c.energy, Joules::ZERO);
         assert_eq!(c.hops, 0);
@@ -279,7 +281,9 @@ mod tests {
     fn wormhole_cost_structure() {
         let n = noc();
         // 1 KiB = 256 flits, 10 hops corner to corner.
-        let c = n.transfer_cost(NodeId::new(0), NodeId::new(35), 1024).unwrap();
+        let c = n
+            .transfer_cost(NodeId::new(0), NodeId::new(35), 1024)
+            .unwrap();
         assert_eq!(c.flits, 256);
         assert_eq!(c.hops, 10);
         // head: 10 hops × 2 cycles, body: 255 cycles behind it.

@@ -122,12 +122,7 @@ impl MultiHeadMlp {
     ///
     /// Panics if any dimension is zero.
     #[must_use]
-    pub fn new<R: Rng + ?Sized>(
-        inputs: usize,
-        hidden: usize,
-        classes: usize,
-        rng: &mut R,
-    ) -> Self {
+    pub fn new<R: Rng + ?Sized>(inputs: usize, hidden: usize, classes: usize, rng: &mut R) -> Self {
         assert!(
             inputs > 0 && hidden > 0 && classes > 0,
             "MLP dimensions must be nonzero"
@@ -204,8 +199,7 @@ impl MultiHeadMlp {
         out.clear();
         out.extend((0..self.hidden).map(|h| {
             let row = &self.params.w1[h * self.inputs..(h + 1) * self.inputs];
-            let z: f64 =
-                row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.params.b1[h];
+            let z: f64 = row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.params.b1[h];
             z.max(0.0)
         }));
     }
@@ -370,9 +364,17 @@ impl MultiHeadMlp {
         // cleanly.
         for second in [false, true] {
             let (weights, bias, g) = if second {
-                (&mut self.params.w_head_b, &mut self.params.b_head_b, &*head_b)
+                (
+                    &mut self.params.w_head_b,
+                    &mut self.params.b_head_b,
+                    &*head_b,
+                )
             } else {
-                (&mut self.params.w_head_a, &mut self.params.b_head_a, &*head_a)
+                (
+                    &mut self.params.w_head_a,
+                    &mut self.params.b_head_a,
+                    &*head_a,
+                )
             };
             let (mut vw, mut vb) = match vel.as_mut() {
                 Some(v) if second => (Some(&mut v.w_head_b), Some(&mut v.b_head_b)),
@@ -405,7 +407,11 @@ impl MultiHeadMlp {
                     vel.as_mut().map(|v| &mut v.w1[h * self.inputs + i]),
                 );
             }
-            step(&mut self.params.b1[h], ghv, vel.as_mut().map(|v| &mut v.b1[h]));
+            step(
+                &mut self.params.b1[h],
+                ghv,
+                vel.as_mut().map(|v| &mut v.b1[h]),
+            );
         }
         self.velocity = vel;
         loss
@@ -492,12 +498,7 @@ mod tests {
     fn ragged_batch_panics() {
         let mlp = MultiHeadMlp::new(4, 8, 6, &mut rng());
         let mut scratch = MlpScratch::new();
-        mlp.forward_batch(
-            &[0.0; 7],
-            &mut scratch,
-            &mut Vec::new(),
-            &mut Vec::new(),
-        );
+        mlp.forward_batch(&[0.0; 7], &mut scratch, &mut Vec::new(), &mut Vec::new());
     }
 
     #[test]
@@ -529,10 +530,7 @@ mod tests {
     fn parameter_count_is_small() {
         // §IV: the policy fits in a fraction of a kilobyte of storage.
         let mlp = MultiHeadMlp::new(4, 8, 6, &mut rng());
-        assert_eq!(
-            mlp.parameter_count(),
-            8 * 4 + 8 + 6 * 8 + 6 + 6 * 8 + 6
-        );
+        assert_eq!(mlp.parameter_count(), 8 * 4 + 8 + 6 * 8 + 6 + 6 * 8 + 6);
         assert!(mlp.parameter_count() < 256);
     }
 
@@ -553,8 +551,18 @@ mod tests {
         }
         for (x, a, b) in &examples {
             let (pa, pb) = mlp.forward(x);
-            let ca = pa.iter().enumerate().max_by(|u, v| u.1.total_cmp(v.1)).unwrap().0;
-            let cb = pb.iter().enumerate().max_by(|u, v| u.1.total_cmp(v.1)).unwrap().0;
+            let ca = pa
+                .iter()
+                .enumerate()
+                .max_by(|u, v| u.1.total_cmp(v.1))
+                .unwrap()
+                .0;
+            let cb = pb
+                .iter()
+                .enumerate()
+                .max_by(|u, v| u.1.total_cmp(v.1))
+                .unwrap()
+                .0;
             assert_eq!(ca, *a);
             assert_eq!(cb, *b);
         }

@@ -375,7 +375,9 @@ mod tests {
     fn predict_batch_matches_per_row_predict() {
         let policy = OuPolicy::new(PolicyConfig::paper(), &mut rng());
         let mut r = rng();
-        let rows: Vec<[f64; 4]> = (0..7).map(|_| [r.gen(), r.gen(), r.gen(), r.gen()]).collect();
+        let rows: Vec<[f64; 4]> = (0..7)
+            .map(|_| [r.gen(), r.gen(), r.gen(), r.gen()])
+            .collect();
         let flat: Vec<f64> = rows.iter().flatten().copied().collect();
         let mut scratch = MlpScratch::new();
         let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
@@ -385,7 +387,10 @@ mod tests {
             let (pa, pb) = policy.predict_proba(f);
             let span = i * levels..(i + 1) * levels;
             assert_eq!(
-                out_a[span.clone()].iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                out_a[span.clone()]
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
                 pa.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
             );
             assert_eq!(

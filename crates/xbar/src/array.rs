@@ -99,7 +99,10 @@ impl Crossbar {
 
     fn index(&self, row: usize, col: usize) -> usize {
         let c = self.size();
-        assert!(row < c && col < c, "cell ({row},{col}) outside {c}×{c} array");
+        assert!(
+            row < c && col < c,
+            "cell ({row},{col}) outside {c}×{c} array"
+        );
         row * c + col
     }
 
@@ -268,7 +271,11 @@ mod tests {
     fn stuck_faults_override_programming() {
         let mut x = small();
         let mut r = rng();
-        x.program_matrix(&[vec![CellLevel(3), CellLevel(3)]], Seconds::new(1.0), &mut r);
+        x.program_matrix(
+            &[vec![CellLevel(3), CellLevel(3)]],
+            Seconds::new(1.0),
+            &mut r,
+        );
         let mut faults = FaultMap::new();
         faults.insert(0, 0, FaultKind::StuckOff);
         faults.insert(0, 1, FaultKind::StuckOn);

@@ -35,11 +35,17 @@ impl std::fmt::Display for XbarError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             XbarError::OuExceedsCrossbar { shape, size } => {
-                write!(f, "operation unit {shape} exceeds crossbar size {size}×{size}")
+                write!(
+                    f,
+                    "operation unit {shape} exceeds crossbar size {size}×{size}"
+                )
             }
             XbarError::EmptyWeightMatrix => write!(f, "weight matrix has a zero dimension"),
             XbarError::InputLengthMismatch { got, expected } => {
-                write!(f, "input vector length {got} does not match mapped fan-in {expected}")
+                write!(
+                    f,
+                    "input vector length {got} does not match mapped fan-in {expected}"
+                )
             }
             XbarError::InvalidConfig { name, reason } => {
                 write!(f, "invalid crossbar configuration `{name}`: {reason}")
@@ -62,7 +68,10 @@ mod tests {
         };
         assert!(e.to_string().contains("128×128"));
         assert!(XbarError::EmptyWeightMatrix.to_string().contains("zero"));
-        let e = XbarError::InputLengthMismatch { got: 3, expected: 9 };
+        let e = XbarError::InputLengthMismatch {
+            got: 3,
+            expected: 9,
+        };
         assert!(e.to_string().contains('3'));
         assert!(e.to_string().contains('9'));
     }

@@ -12,6 +12,7 @@
 //! every power-of-two shape on the OU grid.
 
 use odin_device::FaultMap;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
 use crate::mapping::ou_windows;
 use crate::ou::OuShape;
@@ -63,10 +64,23 @@ impl FaultProfile {
     /// Panics if `size` is zero.
     #[must_use]
     pub fn from_map(map: &FaultMap, size: usize) -> Self {
+        Self::from_positions(size, map.iter().map(|(&(r, c), _)| (r, c)))
+    }
+
+    /// Builds the profile from raw stuck-cell positions — the shared
+    /// constructor behind [`from_map`](Self::from_map) and the compact
+    /// serde representation. Positions outside the array are ignored;
+    /// duplicate positions accumulate (matching the prefix-sum
+    /// arithmetic of a multi-entry map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    fn from_positions(size: usize, positions: impl Iterator<Item = (usize, usize)>) -> Self {
         assert!(size > 0, "crossbar size must be nonzero");
         let n = size + 1;
         let mut prefix = vec![0u32; n * n];
-        for (&(r, c), _) in map.iter() {
+        for (r, c) in positions {
             if r < size && c < size {
                 prefix[(r + 1) * n + (c + 1)] += 1;
             }
@@ -173,6 +187,54 @@ fn cache_index(shape: OuShape, size: usize) -> Option<usize> {
     Some(((re - CACHE_MIN_EXP) as usize) * CACHE_AXIS + (ce - CACHE_MIN_EXP) as usize)
 }
 
+/// Compact on-disk form of a [`FaultProfile`]: the array size plus the
+/// sparse stuck-cell coordinate list. The `(size+1)²` prefix table and
+/// the worst-window cache are deterministic functions of those
+/// coordinates, so they are rebuilt on deserialization instead of being
+/// persisted — a 128×128 profile serializes in O(faults), not O(size²).
+#[derive(Serialize, Deserialize)]
+struct FaultProfileRepr {
+    size: usize,
+    faults: Vec<(u32, u32)>,
+}
+
+impl Serialize for FaultProfile {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut faults = Vec::with_capacity(self.total);
+        if self.total > 0 {
+            for r in 0..self.size {
+                for c in 0..self.size {
+                    for _ in 0..self.window_faults(r, c, 1, 1) {
+                        faults.push((r as u32, c as u32));
+                    }
+                }
+            }
+        }
+        FaultProfileRepr {
+            size: self.size,
+            faults,
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for FaultProfile {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = FaultProfileRepr::deserialize(deserializer)?;
+        if repr.size == 0 {
+            return Err(serde::de::Error::custom(
+                "fault profile size must be nonzero",
+            ));
+        }
+        Ok(FaultProfile::from_positions(
+            repr.size,
+            repr.faults
+                .into_iter()
+                .map(|(r, c)| (r as usize, c as usize)),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,9 +293,12 @@ mod tests {
         let map = FaultInjector::new(0.05, 0.5).inject(64, 64, &mut rng);
         let p = FaultProfile::from_map(&map, 64);
         assert_eq!(p.fault_count(), map.len());
-        for &(r0, c0, rows, cols) in
-            &[(0, 0, 64, 64), (10, 20, 16, 8), (60, 60, 16, 16), (5, 5, 1, 1)]
-        {
+        for &(r0, c0, rows, cols) in &[
+            (0, 0, 64, 64),
+            (10, 20, 16, 8),
+            (60, 60, 16, 16),
+            (5, 5, 1, 1),
+        ] {
             let brute = map
                 .iter()
                 .filter(|(&(r, c), _)| {
@@ -242,6 +307,28 @@ mod tests {
                 .count();
             assert_eq!(p.window_faults(r0, c0, rows, cols), brute);
         }
+    }
+
+    #[test]
+    fn serde_roundtrip_is_bit_equal_and_compact() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        let map = FaultInjector::new(0.01, 0.5).inject(128, 128, &mut rng);
+        let p = FaultProfile::from_map(&map, 128);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: FaultProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            back, p,
+            "prefix sums and worst-window cache rebuilt exactly"
+        );
+        // Sparse representation: far smaller than the dense prefix grid.
+        assert!(json.len() < 64 * 1024, "serialized {} bytes", json.len());
+        // Empty profiles stay tiny and roundtrip too.
+        let empty = FaultProfile::empty(64);
+        let json = serde_json::to_string(&empty).unwrap();
+        assert!(json.len() < 128);
+        assert_eq!(serde_json::from_str::<FaultProfile>(&json).unwrap(), empty);
+        // Degenerate payloads are rejected, not panicked on.
+        assert!(serde_json::from_str::<FaultProfile>(r#"{"size":0,"faults":[]}"#).is_err());
     }
 
     #[test]

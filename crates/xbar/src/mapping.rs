@@ -154,8 +154,7 @@ impl LayerMapping {
     /// Iterates over all tiles, row-major.
     pub fn tiles(&self) -> impl Iterator<Item = MappedTile> + '_ {
         let across = self.tiles_across();
-        (0..self.tiles_down())
-            .flat_map(move |d| (0..across).map(move |a| self.tile(d, a)))
+        (0..self.tiles_down()).flat_map(move |d| (0..across).map(move |a| self.tile(d, a)))
     }
 
     /// Quantizes the slice of `weights` belonging to `tile` into a
@@ -358,7 +357,10 @@ mod tests {
         let m = LayerMapping::new(2, 3, 8).unwrap();
         let weights = vec![vec![0.0, 0.4, 0.0], vec![-0.1, 0.0, 0.0]];
         let mask = m.tile_nonzero_mask(&weights, m.tile(0, 0)).unwrap();
-        assert_eq!(mask, vec![vec![false, true, false], vec![true, false, false]]);
+        assert_eq!(
+            mask,
+            vec![vec![false, true, false], vec![true, false, false]]
+        );
     }
 
     #[test]
@@ -367,7 +369,10 @@ mod tests {
         let bad = vec![vec![0.0, 0.0]];
         assert!(matches!(
             m.tile_nonzero_mask(&bad, m.tile(0, 0)),
-            Err(XbarError::InputLengthMismatch { got: 1, expected: 2 })
+            Err(XbarError::InputLengthMismatch {
+                got: 1,
+                expected: 2
+            })
         ));
         let ragged = vec![vec![0.0], vec![0.0, 0.0]];
         assert!(m.tile_nonzero_mask(&ragged, m.tile(0, 0)).is_err());

@@ -317,7 +317,10 @@ mod tests {
         let w = vec![vec![1.0]];
         assert!(matches!(
             ideal(&w, &[1.0, 2.0]),
-            Err(XbarError::InputLengthMismatch { got: 2, expected: 1 })
+            Err(XbarError::InputLengthMismatch {
+                got: 2,
+                expected: 1
+            })
         ));
         let ragged = vec![vec![1.0, 2.0], vec![1.0]];
         assert!(ideal(&ragged, &[1.0, 1.0]).is_err());
@@ -423,11 +426,11 @@ mod tests {
         let (got_raw, _) = raw.execute(&weights, &input, aged, &mut rng()).unwrap();
         let corrected = NonIdealMvm::new(&mapping, &xbars, &nonideal, &codec, OuShape::new(2, 2))
             .with_gain_correction();
-        let (got_fix, _) = corrected.execute(&weights, &input, aged, &mut rng()).unwrap();
+        let (got_fix, _) = corrected
+            .execute(&weights, &input, aged, &mut rng())
+            .unwrap();
 
-        let err = |got: &[f64]| -> f64 {
-            got.iter().zip(&want).map(|(g, w)| (g - w).abs()).sum()
-        };
+        let err = |got: &[f64]| -> f64 { got.iter().zip(&want).map(|(g, w)| (g - w).abs()).sum() };
         assert!(
             err(&got_fix) < err(&got_raw) / 5.0,
             "corrected {:?} vs raw {:?} (want {want:?})",

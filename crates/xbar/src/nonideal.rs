@@ -407,7 +407,10 @@ mod tests {
         let att = m.attenuation(s, t);
         assert!((att - (1.0 - m.accuracy_impact(s, t))).abs() < 1e-12);
         // Extreme ages clamp to zero rather than going negative.
-        assert_eq!(m.attenuation(OuShape::new(128, 128), Seconds::new(1e30)), 0.0);
+        assert_eq!(
+            m.attenuation(OuShape::new(128, 128), Seconds::new(1e30)),
+            0.0
+        );
     }
 
     #[test]
@@ -425,7 +428,10 @@ mod tests {
         // Coarser windows can only capture at least as many faults.
         assert!(m.fault_impact(&profile, OuShape::new(16, 16)) >= fine);
         // Fault-free profiles contribute exactly zero.
-        assert_eq!(m.fault_impact(&crate::FaultProfile::empty(128), OuShape::new(16, 16)), 0.0);
+        assert_eq!(
+            m.fault_impact(&crate::FaultProfile::empty(128), OuShape::new(16, 16)),
+            0.0
+        );
         // κ_f = 0 disables the term.
         let off = model().with_fault_weight(0.0);
         assert_eq!(off.fault_impact(&profile, OuShape::new(4, 4)), 0.0);

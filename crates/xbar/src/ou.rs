@@ -18,9 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(ou.area(), 128);
 /// assert_eq!(ou.to_string(), "16×8");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct OuShape {
     rows: usize,
     cols: usize,

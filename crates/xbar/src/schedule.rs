@@ -274,7 +274,10 @@ mod tests {
     fn all_zero_tile_takes_no_cycles() {
         let s = OuScheduler::new(OuShape::new(8, 8));
         assert_eq!(s.count_cycles(&vec![vec![false; 16]; 16]), 0);
-        assert!(s.schedule(&vec![vec![false; 16]; 16]).activations().is_empty());
+        assert!(s
+            .schedule(&vec![vec![false; 16]; 16])
+            .activations()
+            .is_empty());
     }
 
     #[test]
@@ -330,9 +333,7 @@ mod tests {
         // Structured pattern: 8 of 32 rows entirely zero.
         let rows = 32;
         let cols = 16;
-        let mask: Vec<Vec<bool>> = (0..rows)
-            .map(|r| vec![r % 4 != 0; cols])
-            .collect();
+        let mask: Vec<Vec<bool>> = (0..rows).map(|r| vec![r % 4 != 0; cols]).collect();
         let shape = OuShape::new(8, 8);
         let exact = OuScheduler::new(shape).count_cycles(&mask);
         let est = estimate_cycles(rows, cols, 0.25, shape);

@@ -47,8 +47,8 @@ fn main() {
 
         print!("{:<10}", format!("{size}×{size}"));
         for (_, shape) in paper_baselines() {
-            let mut rt = HomogeneousRuntime::new(crossbar.clone(), shape, config.eta())
-                .expect("shape fits");
+            let mut rt =
+                HomogeneousRuntime::new(crossbar.clone(), shape, config.eta()).expect("shape fits");
             let edp = rt
                 .run_campaign(&net, &schedule)
                 .expect("ResNet34 maps")

@@ -68,13 +68,22 @@ fn main() {
         println!("  (no events — the fabric never pushed back)");
     }
     for skip in &report.skipped {
-        println!("  t = {:>9.3e} s  SKIPPED: {}", skip.time.value(), skip.reason);
+        println!(
+            "  t = {:>9.3e} s  SKIPPED: {}",
+            skip.time.value(),
+            skip.reason
+        );
     }
 
     let served = report.fraction_served();
     let edp_ratio = report.total_edp().value() / fault_free.total_edp().value();
     println!("\ncampaign summary:");
-    println!("  inferences served   {:>6.1}% ({} of {})", served * 100.0, report.runs.len(), report.runs.len() + report.skipped.len());
+    println!(
+        "  inferences served   {:>6.1}% ({} of {})",
+        served * 100.0,
+        report.runs.len(),
+        report.runs.len() + report.skipped.len()
+    );
     println!("  EDP vs fault-free   {edp_ratio:>6.3}×");
     println!("  reprogram passes    {:>4}", report.reprogram_count());
     println!("  grid shrinks        {:>4}", report.grid_shrink_count());
@@ -82,5 +91,8 @@ fn main() {
     println!("  groups retired      {:>4}", report.out_of_service_count());
     println!("  degraded decisions  {:>4}", report.degraded_decisions());
 
-    assert!(served >= 0.9, "the ladder must keep ≥ 90% of the schedule alive");
+    assert!(
+        served >= 0.9,
+        "the ladder must keep ≥ 90% of the schedule alive"
+    );
 }

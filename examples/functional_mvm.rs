@@ -38,8 +38,15 @@ fn main() {
     let reference = mvm::ideal(&weights, &input).expect("matching shapes");
 
     println!("non-ideal OU-scheduled MVM error vs programming age:");
-    println!("{:>10} {:>10} {:>14} {:>10}", "age (s)", "OU", "rel. error", "cycles");
-    for shape in [OuShape::new(8, 4), OuShape::new(16, 16), OuShape::new(64, 64)] {
+    println!(
+        "{:>10} {:>10} {:>14} {:>10}",
+        "age (s)", "OU", "rel. error", "cycles"
+    );
+    for shape in [
+        OuShape::new(8, 4),
+        OuShape::new(16, 16),
+        OuShape::new(64, 64),
+    ] {
         let engine = NonIdealMvm::new(&mapping, &xbars, &nonideal, &codec, shape);
         for age in [0.0, 1e6, 1e8] {
             let now = Seconds::new(1.0 + age);

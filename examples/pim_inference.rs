@@ -46,12 +46,7 @@ struct PimHead {
 }
 
 impl PimHead {
-    fn classify(
-        &self,
-        features: &Tensor,
-        now: Seconds,
-        rng: &mut rand::rngs::StdRng,
-    ) -> usize {
+    fn classify(&self, features: &Tensor, now: Seconds, rng: &mut rand::rngs::StdRng) -> usize {
         let input: Vec<f64> = features.as_slice().iter().map(|&v| f64::from(v)).collect();
         let engine = NonIdealMvm::new(
             &self.mapping,
@@ -67,8 +62,11 @@ impl PimHead {
         for (l, b) in logits.iter_mut().zip(&self.bias) {
             *l += b;
         }
-        let t = Tensor::from_vec(vec![logits.len()], logits.iter().map(|&v| v as f32).collect())
-            .expect("sized");
+        let t = Tensor::from_vec(
+            vec![logits.len()],
+            logits.iter().map(|&v| v as f32).collect(),
+        )
+        .expect("sized");
         softmax(&t).argmax()
     }
 }
@@ -128,11 +126,7 @@ fn main() {
         .fold(0.0f32, |m, &v| m.max(v.abs()))
         .max(1e-3) as f64;
     let weights: Vec<Vec<f64>> = (0..fan_in)
-        .map(|r| {
-            (0..classes)
-                .map(|c| f64::from(w.get(&[c, r])))
-                .collect()
-        })
+        .map(|r| (0..classes).map(|c| f64::from(w.get(&[c, r]))).collect())
         .collect();
     let cfg = CrossbarConfig::paper_128();
     let mapping = LayerMapping::new(fan_in, classes, cfg.size()).expect("small head");

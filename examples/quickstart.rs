@@ -38,7 +38,10 @@ fn main() {
         );
     }
 
-    println!("\ncampaign over {} runs (t = 1 s … 1e6 s):", report.runs.len());
+    println!(
+        "\ncampaign over {} runs (t = 1 s … 1e6 s):",
+        report.runs.len()
+    );
     println!("  total energy   : {}", report.total_energy());
     println!("  total latency  : {}", report.total_latency());
     println!("  total EDP      : {}", report.total_edp());

@@ -13,7 +13,11 @@ fn main() {
     let adc = ReconfigurableAdc::paper();
 
     println!("one OU compute cycle through the Fig. 2 datapath:");
-    for shape in [OuShape::new(8, 4), OuShape::new(16, 16), OuShape::new(64, 64)] {
+    for shape in [
+        OuShape::new(8, 4),
+        OuShape::new(16, 16),
+        OuShape::new(64, 64),
+    ] {
         let trace = DataflowTrace::for_activation(shape, &adc);
         println!(
             "\nOU {shape} — ADC at {} bits, cycle {:.2} ns, {:.0}% spent converting",
@@ -46,7 +50,10 @@ fn main() {
     let cost = OuCostModel::paper();
     let work = vec![200u64; 96];
     println!("\nfull tile, 96 crossbars × 200 cycles, 16×16 OUs:");
-    for (label, reuse) in [("refetch every cycle", 1u64), ("IR reuse ×8 (real dataflow)", 8)] {
+    for (label, reuse) in [
+        ("refetch every cycle", 1u64),
+        ("IR reuse ×8 (real dataflow)", 8),
+    ] {
         let report = simulate_layer(&tile, &cost, OuShape::new(16, 16), &work, reuse);
         println!(
             "  {label:<28} makespan {:.2} µs, bus {:.0}% busy, {:.2}× the Eq. 1 latency",

@@ -75,7 +75,9 @@ fn main() {
         config.eta(),
     )
     .expect("valid baseline");
-    let base_report = baseline.run_campaign(&target, &schedule).expect("VGG11 maps");
+    let base_report = baseline
+        .run_campaign(&target, &schedule)
+        .expect("VGG11 maps");
 
     println!("\nOdin vs homogeneous 16×16 over the same campaign:");
     println!(

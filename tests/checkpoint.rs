@@ -1,0 +1,351 @@
+//! Crash consistency: a campaign killed at any inference index and
+//! resumed from its last checkpoint must emit the identical
+//! [`LayerDecision`] sequence and EDP checksum as an uninterrupted run
+//! — in the sequential loop and in both engine shard modes — and
+//! corrupted snapshot generations must be rejected with typed errors
+//! and rolled back to the newest valid older generation.
+//!
+//! Every snapshot generation in a store *is* a kill point: it is
+//! exactly the state a crashed process would come back to. Resuming
+//! from each generation therefore covers "killed at any index" without
+//! spawning processes (the `chaos_campaign` harness in `crates/bench`
+//! adds real SIGKILLs on top).
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use odin::device::{EnduranceModel, FaultInjector};
+use odin::dnn::zoo::{self, Dataset};
+use odin::dnn::NetworkDescriptor;
+use odin::prelude::*;
+
+/// A unique scratch directory per test invocation.
+fn scratch(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("odin-ckpt-test-{}-{tag}-{n}", std::process::id()))
+}
+
+fn net() -> NetworkDescriptor {
+    zoo::vgg11(Dataset::Cifar10)
+}
+
+fn schedule() -> TimeSchedule {
+    TimeSchedule::geometric(1.0, 1e7, 24)
+}
+
+fn runtime(seed: u64) -> OdinRuntime {
+    OdinRuntime::builder(OdinConfig::paper())
+        .rng_seed(seed)
+        .build()
+        .expect("paper config is valid")
+}
+
+/// Keep every generation: each one is a kill point to resume from.
+fn keep_all(dir: &PathBuf) -> CheckpointPolicy {
+    CheckpointPolicy::new(dir).every_runs(1).retain(1_000)
+}
+
+/// The headline contract: identical decision streams, identical skip
+/// streams, identical EDP bits. Cache and engine counters are
+/// legitimately excluded — the evaluation cache is bit-transparent and
+/// restarts cold after a resume.
+fn assert_equivalent(resumed: &CampaignReport, reference: &CampaignReport) {
+    assert_eq!(
+        resumed.runs, reference.runs,
+        "run records (decision streams) must be bit-identical"
+    );
+    assert_eq!(resumed.skipped, reference.skipped);
+    assert_eq!(
+        resumed.total_edp().value().to_bits(),
+        reference.total_edp().value().to_bits(),
+        "EDP checksum must match bit for bit"
+    );
+}
+
+#[test]
+fn sequential_kill_resume_is_bit_identical_at_every_checkpoint() {
+    let dir = scratch("seq");
+    let reference = runtime(42).run_campaign(&net(), &schedule()).unwrap();
+    let mut checkpointed = OdinRuntime::builder(OdinConfig::paper())
+        .rng_seed(42)
+        .checkpoint(keep_all(&dir))
+        .build()
+        .unwrap();
+    let full = checkpointed.run_campaign(&net(), &schedule()).unwrap();
+    assert_equivalent(&full, &reference);
+
+    let store = SnapshotStore::open(&dir, 1_000).unwrap();
+    let generations = store.generations().unwrap();
+    assert!(
+        generations.len() >= 10,
+        "need at least 10 kill points, have {}",
+        generations.len()
+    );
+    // A resume-only engine (no checkpoint policy) leaves the store
+    // untouched while we iterate its generations.
+    let resumer = CampaignEngine::new(1);
+    for generation in &generations {
+        let (_, resumed) = resumer
+            .resume_from(generation, &net(), &schedule())
+            .unwrap();
+        assert_equivalent(&resumed, &reference);
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_continues_checkpointing_into_the_same_store() {
+    let dir = scratch("seq-continue");
+    let mut checkpointed = OdinRuntime::builder(OdinConfig::paper())
+        .rng_seed(42)
+        .checkpoint(CheckpointPolicy::new(&dir).every_runs(4))
+        .build()
+        .unwrap();
+    let reference = checkpointed.run_campaign(&net(), &schedule()).unwrap();
+    // Wind the store back to an early generation by deleting the rest:
+    // the survivor becomes the newest, i.e. the crash point.
+    let store = SnapshotStore::open(&dir, 1_000).unwrap();
+    let generations = store.generations().unwrap();
+    for late in &generations[1..] {
+        fs::remove_file(late).unwrap();
+    }
+    let before = SnapshotStore::open(&dir, 1_000)
+        .unwrap()
+        .generations()
+        .unwrap()
+        .len();
+    // The runtime front door resumes *and* keeps checkpointing into
+    // the snapshot's own directory.
+    let (_, resumed) = OdinRuntime::resume_from(&dir, &net(), &schedule()).unwrap();
+    assert_equivalent(&resumed, &reference);
+    let after = SnapshotStore::open(&dir, 1_000)
+        .unwrap()
+        .generations()
+        .unwrap()
+        .len();
+    assert!(
+        after > before,
+        "the resumed campaign must write new generations ({before} -> {after})"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn lockstep_kill_resume_is_bit_identical_at_every_checkpoint() {
+    let dir = scratch("lockstep");
+    let reference = runtime(42).run_campaign(&net(), &schedule()).unwrap();
+    let engine = CampaignEngine::new(2).checkpoint(keep_all(&dir));
+    let full = engine
+        .run_campaign(&mut runtime(42), &net(), &schedule())
+        .unwrap();
+    assert_equivalent(&full, &reference);
+
+    let generations = SnapshotStore::open(&dir, 1_000)
+        .unwrap()
+        .generations()
+        .unwrap();
+    assert!(
+        generations.len() >= 10,
+        "every committed round is a kill point, have {}",
+        generations.len()
+    );
+    let resumer = CampaignEngine::new(2);
+    for generation in &generations {
+        let (_, resumed) = resumer
+            .resume_from(generation, &net(), &schedule())
+            .unwrap();
+        assert_equivalent(&resumed, &reference);
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn independent_kill_resume_is_bit_identical_at_every_checkpoint() {
+    let dir = scratch("independent");
+    let engine = CampaignEngine::new(2).with_mode(ShardMode::Independent);
+    let reference = engine
+        .run_campaign(&mut runtime(42), &net(), &schedule())
+        .unwrap();
+    // Checkpointing switches the independent engine to barrier rounds;
+    // the records must still be bit-identical to free-running shards.
+    let full = engine
+        .clone()
+        .checkpoint(keep_all(&dir))
+        .run_campaign(&mut runtime(42), &net(), &schedule())
+        .unwrap();
+    assert_equivalent(&full, &reference);
+
+    let generations = SnapshotStore::open(&dir, 1_000)
+        .unwrap()
+        .generations()
+        .unwrap();
+    assert!(
+        generations.len() >= 10,
+        "every barrier round is a kill point, have {}",
+        generations.len()
+    );
+    for generation in &generations {
+        let (_, resumed) = engine.resume_from(generation, &net(), &schedule()).unwrap();
+        assert_equivalent(&resumed, &reference);
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+fn degrading_fabric(fault_seed: u64) -> FabricHealth {
+    use rand::SeedableRng;
+    let mut fault_rng = rand::rngs::StdRng::seed_from_u64(fault_seed);
+    FabricHealth::new(
+        net().layers().len(),
+        128,
+        2,
+        &FaultInjector::new(0.01, 0.5),
+        EnduranceModel::new(2.0),
+        DegradationPolicy::paper(),
+        &mut fault_rng,
+    )
+}
+
+#[test]
+fn resilient_fault_campaign_resumes_identically_across_ladder_events() {
+    let dir = scratch("resilient");
+    let schedule = TimeSchedule::geometric(1.0, 1e8, 24);
+    let build = |ckpt: Option<CheckpointPolicy>| {
+        let mut builder = OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(41)
+            .fabric(degrading_fabric(7));
+        if let Some(policy) = ckpt {
+            builder = builder.checkpoint(policy);
+        }
+        builder.build().unwrap()
+    };
+    let reference = build(None).run_campaign_resilient(&net(), &schedule);
+    // Interval far beyond the schedule: every snapshot below is
+    // event-triggered (reprogram, ladder event, or skip).
+    let policy = CheckpointPolicy::new(&dir)
+        .every_runs(1_000)
+        .on_events(true)
+        .retain(1_000);
+    let full = build(Some(policy)).run_campaign_resilient(&net(), &schedule);
+    assert_equivalent(&full, &reference);
+
+    let generations = SnapshotStore::open(&dir, 1_000)
+        .unwrap()
+        .generations()
+        .unwrap();
+    assert!(
+        generations.len() >= 2,
+        "a degrading fabric must trigger event checkpoints, have {}",
+        generations.len()
+    );
+    let resumer = CampaignEngine::new(1);
+    for generation in &generations {
+        let (_, resumed) = resumer.resume_from(generation, &net(), &schedule).unwrap();
+        assert_equivalent(&resumed, &reference);
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_generations_are_rejected_and_rolled_back() {
+    let dir = scratch("corrupt");
+    let reference = runtime(42).run_campaign(&net(), &schedule()).unwrap();
+    let mut checkpointed = OdinRuntime::builder(OdinConfig::paper())
+        .rng_seed(42)
+        .checkpoint(keep_all(&dir))
+        .build()
+        .unwrap();
+    checkpointed.run_campaign(&net(), &schedule()).unwrap();
+    let generations = SnapshotStore::open(&dir, 1_000)
+        .unwrap()
+        .generations()
+        .unwrap();
+
+    // A torn `.tmp` from a crash mid-checkpoint-write is swept, not
+    // loaded.
+    fs::write(dir.join("campaign-99999999.snap.tmp"), b"torn mid-write").unwrap();
+
+    // Tear the newest generation (what a non-atomic writer would have
+    // left behind): it must be rejected with a typed error ...
+    let newest = generations.last().unwrap();
+    let bytes = fs::read(newest).unwrap();
+    fs::write(newest, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(matches!(
+        CampaignSnapshot::read(newest),
+        Err(OdinError::Snapshot(_))
+    ));
+
+    // ... and bit-flip the one before it for good measure.
+    let second = &generations[generations.len() - 2];
+    let mut bytes = fs::read(second).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    fs::write(second, bytes).unwrap();
+
+    // Resume falls back past both damaged generations and still
+    // reproduces the uninterrupted campaign bit for bit.
+    let (_, resumed) = CampaignEngine::new(1)
+        .resume_from(&dir, &net(), &schedule())
+        .unwrap();
+    assert_equivalent(&resumed, &reference);
+    assert!(!dir.join("campaign-99999999.snap.tmp").exists());
+
+    // With *every* generation damaged, the typed error of the newest
+    // generation surfaces instead of a panic.
+    for generation in &generations {
+        fs::write(generation, b"not a snapshot").unwrap();
+    }
+    assert!(matches!(
+        CampaignEngine::new(1).resume_from(&dir, &net(), &schedule()),
+        Err(OdinError::Snapshot(SnapshotError::Corrupt { .. }))
+    ));
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_validates_engine_network_and_schedule() {
+    let dir = scratch("mismatch");
+    let mut checkpointed = OdinRuntime::builder(OdinConfig::paper())
+        .rng_seed(42)
+        .checkpoint(CheckpointPolicy::new(&dir).every_runs(8))
+        .build()
+        .unwrap();
+    checkpointed.run_campaign(&net(), &schedule()).unwrap();
+
+    // Wrong shard count / mode.
+    assert!(matches!(
+        CampaignEngine::new(2).resume_from(&dir, &net(), &schedule()),
+        Err(OdinError::InvalidConfig { name: "resume", .. })
+    ));
+    assert!(matches!(
+        CampaignEngine::new(4)
+            .with_mode(ShardMode::Independent)
+            .resume_from(&dir, &net(), &schedule()),
+        Err(OdinError::InvalidConfig { name: "resume", .. })
+    ));
+    // Wrong network.
+    assert!(matches!(
+        CampaignEngine::new(1).resume_from(&dir, &zoo::resnet18(Dataset::Cifar10), &schedule()),
+        Err(OdinError::InvalidConfig { name: "resume", .. })
+    ));
+    // A schedule shorter than the snapshot's cursor.
+    assert!(matches!(
+        CampaignEngine::new(1).resume_from(&dir, &net(), &TimeSchedule::geometric(1.0, 1e7, 4)),
+        Err(OdinError::InvalidConfig { name: "resume", .. })
+    ));
+    // A store with no generations at all.
+    let empty = scratch("empty");
+    fs::create_dir_all(&empty).unwrap();
+    assert!(matches!(
+        CampaignEngine::new(1).resume_from(&empty, &net(), &schedule()),
+        Err(OdinError::Snapshot(SnapshotError::Incomplete { .. }))
+    ));
+    // A path that does not exist is a typed I/O error.
+    assert!(matches!(
+        CampaignEngine::new(1).resume_from(dir.join("nope.snap"), &net(), &schedule()),
+        Err(OdinError::Snapshot(SnapshotError::Io { .. }))
+    ));
+    fs::remove_dir_all(&empty).unwrap();
+    fs::remove_dir_all(&dir).unwrap();
+}

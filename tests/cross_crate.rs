@@ -27,11 +27,7 @@ fn analytic_cycle_estimate_matches_functional_scheduler_for_pruned_rows() {
     let sparsity = row_sparsity(&weights);
 
     let as_f64: Vec<Vec<f64>> = (0..rows)
-        .map(|r| {
-            (0..cols)
-                .map(|c| f64::from(weights.get(&[r, c])))
-                .collect()
-        })
+        .map(|r| (0..cols).map(|c| f64::from(weights.get(&[r, c]))).collect())
         .collect();
     let mapping = LayerMapping::new(rows, cols, 128).unwrap();
     let shape = OuShape::new(16, 16);
@@ -86,8 +82,15 @@ fn decisions_keep_functional_mvm_error_within_budget_when_fresh() {
     let cfg = CrossbarConfig::paper_128();
     let mapping = LayerMapping::new(rows, cols, cfg.size()).unwrap();
     let codec = WeightCodec::new(&DeviceParams::paper(), 1.0);
-    let xbars =
-        mvm::program_layer(&mapping, &weights, &codec, &cfg, Seconds::new(1.0), &mut rng).unwrap();
+    let xbars = mvm::program_layer(
+        &mapping,
+        &weights,
+        &codec,
+        &cfg,
+        Seconds::new(1.0),
+        &mut rng,
+    )
+    .unwrap();
     let nonideal = NonIdealityModel::for_config(&cfg);
     let engine = NonIdealMvm::new(&mapping, &xbars, &nonideal, &codec, OuShape::new(16, 16));
     let (got, _) = engine
@@ -109,7 +112,11 @@ fn surrogate_and_raw_drift_agree_on_direction() {
     // The calibrated accuracy-impact surrogate and the raw Eq. 3/4
     // models must order shapes and times the same way.
     let model = NonIdealityModel::new(DeviceParams::paper(), odin::units::Ohms::new(1.0));
-    let shapes = [OuShape::new(8, 4), OuShape::new(16, 16), OuShape::new(64, 64)];
+    let shapes = [
+        OuShape::new(8, 4),
+        OuShape::new(16, 16),
+        OuShape::new(64, 64),
+    ];
     let times = [1.0, 1e4, 1e8];
     for w in shapes.windows(2) {
         for &t in &times {

@@ -67,13 +67,12 @@ fn different_seed_different_policy_path() {
     assert_eq!(a.runs.len(), b.runs.len());
     // Energies may match (same best decisions), but at least the
     // mismatch trajectories differ for untrained policies.
-    let mismatches =
-        |r: &CampaignReport| -> Vec<usize> {
-            r.runs
-                .iter()
-                .map(|run| run.decisions.iter().filter(|d| d.mismatch).count())
-                .collect()
-        };
+    let mismatches = |r: &CampaignReport| -> Vec<usize> {
+        r.runs
+            .iter()
+            .map(|run| run.decisions.iter().filter(|d| d.mismatch).count())
+            .collect()
+    };
     assert_ne!(mismatches(&a), mismatches(&b));
 }
 
@@ -102,7 +101,10 @@ fn different_fault_seed_different_fault_placement() {
     // Same policy, different stuck-at placement: the campaigns must
     // still both complete, but the recorded trajectories (fault-term
     // inflated evaluations, ladder events) diverge.
-    assert_eq!(a.runs.len() + a.skipped.len(), b.runs.len() + b.skipped.len());
+    assert_eq!(
+        a.runs.len() + a.skipped.len(),
+        b.runs.len() + b.skipped.len()
+    );
     assert_ne!(a, b);
 }
 
@@ -137,12 +139,14 @@ fn schedule_and_config_roundtrip_through_json() {
 
 #[test]
 fn lockstep_aggregates_are_shard_count_invariant() {
-    // The ISSUE's determinism bar: total EDP, mismatch rate, and
+    // The engine's determinism contract: total EDP, mismatch rate, and
     // fraction served are invariant across 1/2/4 lockstep shards for a
     // fixed seed — compared on raw f64 bits, not approximately.
     let net = zoo::vgg11(Dataset::Cifar10);
     let schedule = TimeSchedule::geometric(1.0, 1e7, 30);
-    let reference = runtime(42).run_campaign(&net, &schedule).expect("VGG11 maps");
+    let reference = runtime(42)
+        .run_campaign(&net, &schedule)
+        .expect("VGG11 maps");
     for shards in [1usize, 2, 4] {
         let mut rt = runtime(42);
         let report = CampaignEngine::new(shards)
@@ -216,9 +220,13 @@ fn independent_mode_is_deterministic_per_shard_count() {
     let schedule = TimeSchedule::geometric(1.0, 1e7, 30);
     let engine = CampaignEngine::new(4).with_mode(ShardMode::Independent);
     let mut rt_a = runtime(42);
-    let a = engine.run_campaign(&mut rt_a, &net, &schedule).expect("VGG11 maps");
+    let a = engine
+        .run_campaign(&mut rt_a, &net, &schedule)
+        .expect("VGG11 maps");
     let mut rt_b = runtime(42);
-    let b = engine.run_campaign(&mut rt_b, &net, &schedule).expect("VGG11 maps");
+    let b = engine
+        .run_campaign(&mut rt_b, &net, &schedule)
+        .expect("VGG11 maps");
     assert_eq!(a, b, "thread scheduling must not leak into the report");
     assert_eq!(a.engine.mode, ShardMode::Independent);
 }
@@ -229,7 +237,10 @@ fn shard_seed_stream_is_stable() {
     // contract: frozen values, shard 0 passes the base seed through.
     assert_eq!(shard_seed(42, 0), 42);
     let derived: Vec<u64> = (0..8).map(|s| shard_seed(42, s)).collect();
-    assert_eq!(derived, (0..8).map(|s| shard_seed(42, s)).collect::<Vec<u64>>());
+    assert_eq!(
+        derived,
+        (0..8).map(|s| shard_seed(42, s)).collect::<Vec<u64>>()
+    );
     let mut unique = derived.clone();
     unique.sort_unstable();
     unique.dedup();

@@ -21,9 +21,14 @@ fn odin_beats_every_homogeneous_baseline_on_total_edp() {
     let net = zoo::vgg11(Dataset::Cifar10);
     let analytic = AnalyticModel::new(config.crossbar().clone()).unwrap();
     let known = leave_one_out(&zoo::all_models(Dataset::Cifar10), net.name());
-    let policy =
-        bootstrap_policy(&analytic, &known, config.eta(), config.policy().clone(), &mut rng)
-            .unwrap();
+    let policy = bootstrap_policy(
+        &analytic,
+        &known,
+        config.eta(),
+        config.policy().clone(),
+        &mut rng,
+    )
+    .unwrap();
     let mut odin = OdinRuntime::builder(config.clone())
         .policy(policy)
         .build()
@@ -111,8 +116,14 @@ fn crossbar_size_sweep_runs_and_odin_wins_everywhere() {
     let net = zoo::resnet34(Dataset::Cifar100);
     let quick = TimeSchedule::geometric(1.0, 1e8, 30);
     for size in [128usize, 64, 32] {
-        let crossbar = odin::xbar::CrossbarConfig::builder().size(size).build().unwrap();
-        let config = OdinConfig::builder().crossbar(crossbar.clone()).build().unwrap();
+        let crossbar = odin::xbar::CrossbarConfig::builder()
+            .size(size)
+            .build()
+            .unwrap();
+        let config = OdinConfig::builder()
+            .crossbar(crossbar.clone())
+            .build()
+            .unwrap();
         let mut odin = OdinRuntime::builder(config.clone())
             .rng_seed(5)
             .build()

@@ -20,21 +20,23 @@ fn arb_layer() -> impl Strategy<Value = LayerDescriptor> {
         0.41f64..1.0,
         1usize..256,
     )
-        .prop_map(|(fan_in, fan_out, kernel, sparsity, sensitivity, positions)| {
-            let in_channels = fan_in.div_ceil(kernel * kernel).max(1);
-            LayerDescriptor::new(
-                0,
-                "arb".into(),
-                LayerKind::Conv {
-                    kernel,
-                    in_channels,
-                    out_channels: fan_out,
-                },
-                positions,
-                sparsity,
-                sensitivity,
-            )
-        })
+        .prop_map(
+            |(fan_in, fan_out, kernel, sparsity, sensitivity, positions)| {
+                let in_channels = fan_in.div_ceil(kernel * kernel).max(1);
+                LayerDescriptor::new(
+                    0,
+                    "arb".into(),
+                    LayerKind::Conv {
+                        kernel,
+                        in_channels,
+                        out_channels: fan_out,
+                    },
+                    positions,
+                    sparsity,
+                    sensitivity,
+                )
+            },
+        )
 }
 
 fn arb_shape() -> impl Strategy<Value = OuShape> {
@@ -172,5 +174,116 @@ proptest! {
         prop_assert_eq!(&cached.runs, &uncached.runs);
         prop_assert!(cached.cache.total() > 0, "cache must actually be exercised");
         prop_assert_eq!(uncached.cache.total(), 0, "disabled cache must stay silent");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn snapshot_roundtrip_is_bit_exact(seed in any::<u64>(), sequence in any::<u64>(), eta_milli in 1u32..500) {
+        // Any snapshot written by the store must read back bit-equal:
+        // struct equality *and* byte-identical re-serialization (the
+        // workspace enables serde_json's float_roundtrip, so every f64
+        // in the policy weights survives exactly).
+        use odin::core::snapshot::{CampaignProgress, CampaignSnapshot, SNAPSHOT_FORMAT_VERSION};
+        use odin::core::{CacheStats, EngineStats, ShardMode};
+        let config = OdinConfig::builder()
+            .eta(f64::from(eta_milli) / 1000.0)
+            .build()
+            .unwrap();
+        let runtime = OdinRuntime::builder(config).rng_seed(seed).build().unwrap();
+        let snapshot = CampaignSnapshot {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            sequence,
+            states: vec![runtime.state()],
+            progress: CampaignProgress {
+                network: "vgg11".to_string(),
+                mode: ShardMode::Lockstep,
+                shards: 1,
+                resilient: false,
+                next_index: 0,
+                runs: Vec::new(),
+                skipped: Vec::new(),
+                cache: CacheStats::default(),
+                engine: EngineStats::default(),
+            },
+        };
+        let path = snapshot_scratch();
+        snapshot.write_atomic(&path).unwrap();
+        let back = CampaignSnapshot::read(&path).unwrap();
+        prop_assert_eq!(&back, &snapshot);
+        prop_assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(&snapshot).unwrap()
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_rejected_not_panicked_on(
+        cut_frac in 0.0f64..1.0,
+        flip_frac in 0.0f64..1.0,
+        mask in 1u8..,
+    ) {
+        // Truncating a snapshot anywhere, or flipping any bits of any
+        // byte, must surface a typed OdinError::Snapshot — never a
+        // panic, and never a silently wrong read.
+        use odin::core::snapshot::CampaignSnapshot;
+        use odin::core::OdinError;
+        let path = snapshot_scratch();
+        reference_snapshot().write_atomic(&path).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        let cut = ((pristine.len() as f64 * cut_frac) as usize).min(pristine.len() - 1);
+        std::fs::write(&path, &pristine[..cut]).unwrap();
+        prop_assert!(matches!(
+            CampaignSnapshot::read(&path),
+            Err(OdinError::Snapshot(_))
+        ));
+
+        let mut flipped = pristine.clone();
+        let pos = ((flipped.len() as f64 * flip_frac) as usize).min(flipped.len() - 1);
+        flipped[pos] ^= mask;
+        std::fs::write(&path, &flipped).unwrap();
+        prop_assert!(matches!(
+            CampaignSnapshot::read(&path),
+            Err(OdinError::Snapshot(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+/// A unique snapshot scratch path per call.
+fn snapshot_scratch() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("odin-snap-prop-{}-{n}.snap", std::process::id()))
+}
+
+/// One fixed snapshot for the corruption property (rebuilt per case is
+/// wasteful; the damage inputs are what vary).
+fn reference_snapshot() -> odin::core::snapshot::CampaignSnapshot {
+    use odin::core::snapshot::{CampaignProgress, CampaignSnapshot, SNAPSHOT_FORMAT_VERSION};
+    use odin::core::{CacheStats, EngineStats, ShardMode};
+    let runtime = OdinRuntime::builder(OdinConfig::paper())
+        .rng_seed(9)
+        .build()
+        .unwrap();
+    CampaignSnapshot {
+        format_version: SNAPSHOT_FORMAT_VERSION,
+        sequence: 1,
+        states: vec![runtime.state()],
+        progress: CampaignProgress {
+            network: "vgg11".to_string(),
+            mode: ShardMode::Lockstep,
+            shards: 1,
+            resilient: false,
+            next_index: 0,
+            runs: Vec::new(),
+            skipped: Vec::new(),
+            cache: CacheStats::default(),
+            engine: EngineStats::default(),
+        },
     }
 }
