@@ -1,0 +1,85 @@
+//! Telemetry profiling driver: runs the same lockstep campaign with
+//! telemetry off and on, proves the traced run is bit-identical and
+//! its counters reconcile with the report's cache/engine statistics,
+//! then records `BENCH_telemetry.json` at the workspace root and a
+//! Perfetto-loadable `results/trace_campaign.trace.json`.
+//!
+//! ```sh
+//! cargo run --release -p odin-bench --bin trace_campaign -- --quick
+//! ```
+//!
+//! Exit codes: 0 success, 1 equivalence/reconciliation failure,
+//! 2 I/O failure, 3 campaign failure.
+
+use std::process::ExitCode;
+
+use odin_bench::experiments::telemetry::{self, TraceWorkload};
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("ODIN_QUICK").is_ok_and(|v| v == "1");
+    let workload = if quick {
+        TraceWorkload::quick()
+    } else {
+        TraceWorkload::paper()
+    };
+
+    let outcome = match telemetry::run(&workload) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("error: trace campaign failed: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let mut report = outcome.report;
+
+    let trace_path = match telemetry::write_trace(&outcome.telemetry) {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("error: could not write trace artifact: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Prove the artifact is the well-formed Chrome trace_event JSON
+    // Perfetto expects before advertising it.
+    let parsed = std::fs::read_to_string(&trace_path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<serde_json::Value>(&text).ok());
+    let trace_events = match parsed {
+        Some(value) => value["traceEvents"].as_array().map_or(0, Vec::len),
+        None => {
+            eprintln!(
+                "error: trace artifact {} is not valid JSON",
+                trace_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    report.trace_path = Some(trace_path.display().to_string());
+
+    println!("{report}");
+    println!(
+        "[trace: {} ({trace_events} events; load in ui.perfetto.dev)]",
+        trace_path.display()
+    );
+    match telemetry::write_report(&report) {
+        Ok(path) => println!("[json: {}]", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write BENCH_telemetry.json: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if !(report.perturbation_free && report.counters_reconcile) {
+        eprintln!("error: telemetry invariants violated — see report above");
+        return ExitCode::from(1);
+    }
+    if !report.within_target {
+        eprintln!(
+            "warning: overhead {:.2}% exceeds the {:.2}% target on this machine",
+            report.overhead_frac * 100.0,
+            report.overhead_target_frac * 100.0
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -242,6 +242,9 @@ pub struct ChaosTrial {
 /// The full chaos-harness record (`BENCH_chaos.json`).
 #[derive(Debug, Clone, Serialize)]
 pub struct ChaosReport {
+    /// Schema version and configuration fingerprint shared by every
+    /// `BENCH_*.json` artifact.
+    pub meta: crate::BenchMeta,
     /// Scheduled inference count per trial.
     pub runs: usize,
     /// The seed every delay and corruption decision derives from.
@@ -268,6 +271,7 @@ impl ChaosReport {
         let all_equivalent = trials.iter().all(|t| t.digest_matches) && overhead.perturbation_free;
         let max_recovery_ms = trials.iter().map(|t| t.recovery_ms).fold(0.0, f64::max);
         Self {
+            meta: crate::BenchMeta::paper(),
             runs,
             seed,
             trials,

@@ -18,6 +18,7 @@ pub mod overhead;
 pub mod parallel_campaign;
 pub mod search_overhead;
 pub mod table1;
+pub mod telemetry;
 pub mod validate;
 
 use std::io::Write as _;

@@ -1,0 +1,336 @@
+//! Telemetry overhead and trace-artifact experiment: the same
+//! lockstep campaign run with telemetry off and on, proving the
+//! traced run is bit-identical to the untraced one, that the
+//! aggregated [`TelemetrySummary`] reconciles with the report's
+//! cache/engine counters, and that recording costs less than the
+//! 2 % wall-clock target.
+//!
+//! The `trace_campaign` binary drives this module: it records the
+//! comparison into `BENCH_telemetry.json` at the workspace root and
+//! flushes the traced run's event ring into
+//! `results/trace_campaign.trace.json`, a Chrome `trace_event` file
+//! loadable in [Perfetto](https://ui.perfetto.dev).
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use odin_core::prelude::*;
+use odin_dnn::zoo::{self, Dataset};
+use serde::Serialize;
+
+use crate::experiments::chaos::campaign_digest;
+use crate::BenchMeta;
+
+/// The overhead budget telemetry must stay under: 2 % of the
+/// untraced campaign's wall-clock.
+pub const OVERHEAD_TARGET_FRAC: f64 = 0.02;
+
+/// One trace-campaign workload: a VGG11/CIFAR-10 lockstep campaign
+/// with a fixed seed, run `samples` times per telemetry mode so the
+/// comparison uses best-of wall-clocks (robust to scheduler noise).
+#[derive(Debug, Clone)]
+pub struct TraceWorkload {
+    /// Scheduled inference count.
+    pub runs: usize,
+    /// Worker shards (lockstep).
+    pub shards: usize,
+    /// Timing samples per telemetry mode; the fastest counts.
+    pub samples: usize,
+    /// Policy-initialization seed.
+    pub seed: u64,
+}
+
+impl TraceWorkload {
+    /// The reduced smoke workload (`--quick`).
+    #[must_use]
+    pub fn quick() -> Self {
+        TraceWorkload {
+            runs: 24,
+            shards: 2,
+            samples: 2,
+            seed: 7,
+        }
+    }
+
+    /// The full workload.
+    #[must_use]
+    pub fn paper() -> Self {
+        TraceWorkload {
+            runs: 96,
+            shards: 2,
+            samples: 3,
+            seed: 7,
+        }
+    }
+
+    /// Runs one campaign sample under `telemetry` (disabled for the
+    /// baseline) and returns the traced recorder handle, the report,
+    /// and the wall-clock in milliseconds.
+    fn sample(&self, telemetry: Telemetry) -> Result<(Telemetry, CampaignReport, f64), OdinError> {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e7, self.runs);
+        let mut runtime = OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(self.seed)
+            .telemetry(telemetry)
+            .build()?;
+        let engine = CampaignEngine::new(self.shards).with_mode(ShardMode::Lockstep);
+        let start = Instant::now();
+        let report = engine.run_campaign(&mut runtime, &net, &schedule)?;
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        Ok((runtime.telemetry().clone(), report, ms))
+    }
+}
+
+/// The recorded comparison (`BENCH_telemetry.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceCampaignReport {
+    /// Schema version and configuration fingerprint shared by every
+    /// `BENCH_*.json` artifact.
+    pub meta: BenchMeta,
+    /// Scheduled inference count.
+    pub runs: usize,
+    /// Worker shards (lockstep).
+    pub shards: usize,
+    /// Timing samples per telemetry mode (best-of counts).
+    pub samples: usize,
+    /// Telemetry-off wall-clock, milliseconds (best of `samples`).
+    pub baseline_ms: f64,
+    /// Telemetry-on wall-clock, milliseconds (best of `samples`).
+    pub traced_ms: f64,
+    /// `(traced − baseline) / baseline`, clamped at 0.
+    pub overhead_frac: f64,
+    /// The budget ([`OVERHEAD_TARGET_FRAC`]).
+    pub overhead_target_frac: f64,
+    /// `overhead_frac ≤ overhead_target_frac`.
+    pub within_target: bool,
+    /// `true` iff the traced report's decisions, costs, and EDP are
+    /// bit-identical to the untraced run's AND the untraced report
+    /// carries the empty default summary — telemetry observes, never
+    /// perturbs.
+    pub perturbation_free: bool,
+    /// `true` iff the traced summary's counters reconcile with the
+    /// report's own cache and engine statistics
+    /// (see [`counters_reconcile`]).
+    pub counters_reconcile: bool,
+    /// Events held in the traced run's ring after the campaign.
+    pub events_captured: usize,
+    /// Events evicted from the ring during the campaign.
+    pub events_dropped: u64,
+    /// Where the Chrome-trace artifact was written, when it was.
+    pub trace_path: Option<String>,
+}
+
+impl fmt::Display for TraceCampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace campaign: {} runs × {} shards (lockstep), best of {} samples",
+            self.runs, self.shards, self.samples
+        )?;
+        writeln!(
+            f,
+            "telemetry off: {:.1} ms   on: {:.1} ms   overhead: {:.2}% (target ≤ {:.2}%: {})",
+            self.baseline_ms,
+            self.traced_ms,
+            self.overhead_frac * 100.0,
+            self.overhead_target_frac * 100.0,
+            if self.within_target { "yes" } else { "NO" }
+        )?;
+        writeln!(
+            f,
+            "perturbation-free (bit-identical report): {}",
+            if self.perturbation_free { "yes" } else { "NO" }
+        )?;
+        writeln!(
+            f,
+            "counters reconcile with cache/engine stats: {}",
+            if self.counters_reconcile { "yes" } else { "NO" }
+        )?;
+        write!(
+            f,
+            "events captured: {} ({} dropped)",
+            self.events_captured, self.events_dropped
+        )
+    }
+}
+
+/// Everything one experiment run produces: the serializable report
+/// plus the traced recorder, whose event ring the caller can flush
+/// into a trace sink.
+#[derive(Debug)]
+pub struct TraceOutcome {
+    /// The recorded comparison.
+    pub report: TraceCampaignReport,
+    /// The traced run's recorder (enabled, ring intact).
+    pub telemetry: Telemetry,
+}
+
+/// `true` iff `report.telemetry` reconciles with the report's own
+/// cache and engine statistics — the cross-subsystem invariant the
+/// runtime maintains by bumping telemetry counters at the exact sites
+/// that bump [`CacheStats`] and [`EngineStats`]. In fault-free
+/// lockstep, `runs_executed` follows the adopted lineage, one run per
+/// round.
+#[must_use]
+pub fn counters_reconcile(report: &CampaignReport) -> bool {
+    let t = &report.telemetry;
+    t.enabled
+        && t.counter("runs_executed") == report.engine.rounds
+        && t.counter("engine_rounds") == report.engine.rounds
+        && t.counter("engine_speculated") == report.engine.speculated
+        && t.counter("engine_committed") == report.engine.committed
+        && t.counter("engine_discarded") == report.engine.discarded
+        && t.counter("cache_full_hits") == report.cache.full_hits
+        && t.counter("cache_geometry_hits") == report.cache.geometry_hits
+        && t.counter("cache_misses") == report.cache.misses
+        && t.span("campaign").is_some_and(|s| s.count == 1)
+        && t.span("run")
+            .is_some_and(|s| s.count == report.engine.rounds)
+}
+
+/// Runs the comparison: `samples` untraced campaigns, `samples`
+/// traced ones, best-of wall-clocks, equivalence and reconciliation
+/// checks. The trace artifact is NOT written here — call
+/// [`write_trace`] with the returned recorder.
+///
+/// # Errors
+///
+/// Propagates campaign failures.
+pub fn run(workload: &TraceWorkload) -> Result<TraceOutcome, OdinError> {
+    let samples = workload.samples.max(1);
+
+    let mut baseline_ms = f64::INFINITY;
+    let mut baseline_report = None;
+    for _ in 0..samples {
+        let (_, report, ms) = workload.sample(Telemetry::disabled())?;
+        baseline_ms = baseline_ms.min(ms);
+        baseline_report = Some(report);
+    }
+    let baseline_report = baseline_report.expect("at least one sample");
+
+    let mut traced_ms = f64::INFINITY;
+    let mut traced = None;
+    for _ in 0..samples {
+        let (telemetry, report, ms) = workload.sample(Telemetry::enabled())?;
+        traced_ms = traced_ms.min(ms);
+        traced = Some((telemetry, report));
+    }
+    let (telemetry, traced_report) = traced.expect("at least one sample");
+
+    let overhead_frac = (traced_ms - baseline_ms).max(0.0) / baseline_ms.max(f64::MIN_POSITIVE);
+    let perturbation_free = campaign_digest(&baseline_report) == campaign_digest(&traced_report)
+        && baseline_report.telemetry == TelemetrySummary::default();
+
+    let report = TraceCampaignReport {
+        meta: BenchMeta::paper(),
+        runs: workload.runs,
+        shards: workload.shards,
+        samples,
+        baseline_ms,
+        traced_ms,
+        overhead_frac,
+        overhead_target_frac: OVERHEAD_TARGET_FRAC,
+        within_target: overhead_frac <= OVERHEAD_TARGET_FRAC,
+        perturbation_free,
+        counters_reconcile: counters_reconcile(&traced_report),
+        events_captured: telemetry.events().len(),
+        events_dropped: telemetry.dropped_events(),
+        trace_path: None,
+    };
+    Ok(TraceOutcome { report, telemetry })
+}
+
+/// Flushes `telemetry`'s event ring as a Chrome `trace_event` file at
+/// `path`, returning the number of events written.
+///
+/// # Errors
+///
+/// Returns I/O errors from writing the file.
+pub fn write_trace_to(telemetry: &Telemetry, path: &Path) -> io::Result<usize> {
+    let file = std::fs::File::create(path)?;
+    let mut sink = ChromeTraceSink::new(io::BufWriter::new(file));
+    telemetry.flush_to(&mut sink)
+}
+
+/// Flushes `telemetry`'s event ring into
+/// `results/trace_campaign.trace.json` (created on demand, workspace
+/// root when run via `cargo run`) and returns the path.
+///
+/// # Errors
+///
+/// Returns I/O errors from directory creation or writing.
+pub fn write_trace(telemetry: &Telemetry) -> io::Result<PathBuf> {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("trace_campaign.trace.json");
+    write_trace_to(telemetry, &path)?;
+    Ok(path)
+}
+
+/// Records the comparison into `BENCH_telemetry.json` at the
+/// workspace root (same convention as `BENCH_kernel.json` and
+/// `BENCH_chaos.json`: generated, never hand-edited).
+///
+/// # Errors
+///
+/// Returns I/O errors from writing the file.
+pub fn write_report(report: &TraceCampaignReport) -> io::Result<PathBuf> {
+    let path = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_telemetry.json"
+    ));
+    let json = serde_json::to_string_pretty(report).map_err(io::Error::other)?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("odin-trace-{tag}-{}-{n}.json", std::process::id()))
+    }
+
+    fn tiny() -> TraceWorkload {
+        TraceWorkload {
+            runs: 6,
+            shards: 2,
+            samples: 1,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn traced_campaign_is_equivalent_and_reconciled() {
+        let outcome = run(&tiny()).unwrap();
+        let r = &outcome.report;
+        assert!(r.perturbation_free, "telemetry must not perturb the run");
+        assert!(r.counters_reconcile, "summary must match cache/engine");
+        assert!(r.events_captured > 0, "the traced ring holds events");
+        assert!(outcome.telemetry.is_enabled());
+        assert_eq!(r.meta.schema_version, crate::BENCH_SCHEMA_VERSION);
+        assert_eq!(r.meta, BenchMeta::paper(), "fingerprint is deterministic");
+        let text = r.to_string();
+        assert!(text.contains("perturbation-free"), "{text}");
+    }
+
+    #[test]
+    fn trace_artifact_is_valid_chrome_trace_json() {
+        let outcome = run(&tiny()).unwrap();
+        let path = scratch("artifact");
+        let written = write_trace_to(&outcome.telemetry, &path).unwrap();
+        assert_eq!(written, outcome.report.events_captured);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).expect("trace parses");
+        let events = value["traceEvents"].as_array().expect("traceEvents array");
+        assert_eq!(events.len(), written);
+        assert!(events.iter().all(|e| e["ph"] == "X"));
+        std::fs::remove_file(&path).ok();
+    }
+}

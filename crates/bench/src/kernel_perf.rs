@@ -54,6 +54,9 @@ impl PerfRow {
 /// The hot-path perf report (`BENCH_kernel.json`).
 #[derive(Debug, Clone, Serialize)]
 pub struct KernelPerfReport {
+    /// Schema version and configuration fingerprint shared by every
+    /// `BENCH_*.json` artifact.
+    pub meta: crate::BenchMeta,
     /// Measurement rounds per kernel (each round covers every VGG11
     /// layer × one programming age).
     pub iters: usize,
@@ -232,6 +235,7 @@ pub fn run(iters: usize) -> KernelPerfReport {
     black_box(memo_acc);
 
     KernelPerfReport {
+        meta: crate::BenchMeta::paper(),
         iters,
         rows: vec![
             PerfRow::new("grid_pass_fresh", scalar_grid_ns, fresh_grid_ns),

@@ -16,6 +16,40 @@ pub mod setup;
 
 pub use setup::ExperimentContext;
 
+/// Schema version shared by every `BENCH_*.json` artifact at the
+/// workspace root. Bump when any artifact's shape changes
+/// incompatibly, so downstream tooling comparing trajectories across
+/// PRs can tell apart records it cannot mix.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Provenance header stamped into every `BENCH_*.json` writer: the
+/// shared schema version plus a fingerprint of the configuration the
+/// measurements ran under. Two artifacts are comparable iff their
+/// headers match.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct BenchMeta {
+    /// [`BENCH_SCHEMA_VERSION`] at the time of writing.
+    pub schema_version: u32,
+    /// FNV-1a 64 (hex) over the serialized `OdinConfig::paper()` —
+    /// equal fingerprints mean the same crossbar, policy, and search
+    /// configuration produced both records.
+    pub config_fingerprint: String,
+}
+
+impl BenchMeta {
+    /// The header for artifacts measured under `OdinConfig::paper()`
+    /// (which every `BENCH_*.json` workload uses).
+    #[must_use]
+    pub fn paper() -> Self {
+        let json = serde_json::to_string(&odin_core::OdinConfig::paper())
+            .expect("paper config serializes");
+        BenchMeta {
+            schema_version: BENCH_SCHEMA_VERSION,
+            config_fingerprint: format!("{:016x}", experiments::chaos::fnv1a64(json.as_bytes())),
+        }
+    }
+}
+
 /// Builds the experiment context for a binary: `--quick` (or
 /// `ODIN_QUICK=1`) selects the reduced 60-run schedule, anything else
 /// the full 200-run paper schedule.

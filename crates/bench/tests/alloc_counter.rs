@@ -1,7 +1,9 @@
 //! Counting-allocator harness pinning the decision hot path at zero
 //! heap allocations after warmup: the flat grid kernel, the exhaustive
 //! search over it, the scratch-buffer MLP forward and training step,
-//! the replay-buffer drain/update cycle, and the drift memo.
+//! the replay-buffer drain/update cycle, the drift memo, and the
+//! telemetry recorder (both the disabled no-op default and an enabled
+//! handle whose preallocated ring is overwriting at capacity).
 //!
 //! The counter wraps `std::alloc::System` and counts every
 //! `alloc`/`realloc`/`alloc_zeroed` call process-wide. Everything
@@ -16,6 +18,7 @@ use std::hint::black_box;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use odin_core::kernel::{GridEvals, LayerKernel};
+use odin_core::prelude::{CounterId, HistogramId, SpanId, Telemetry, TelemetryConfig};
 use odin_core::search::{find_best_with, SearchContext, SearchStrategy};
 use odin_core::AnalyticModel;
 use odin_device::{DeviceParams, DriftMemo, DriftModel};
@@ -184,4 +187,46 @@ fn hot_path_is_allocation_free_after_warmup() {
         }
     });
     assert_eq!(n, 0, "drift memo allocated {n} times");
+
+    // --- Telemetry, disabled (the default every runtime starts with):
+    // every recording call is an inlined early-return ----------------
+    let off = Telemetry::disabled();
+    let n = allocations(|| {
+        for _ in 0..500 {
+            off.incr(CounterId::RunsExecuted);
+            off.observe(HistogramId::SearchEvaluations, 9.0);
+            let token = off.start();
+            black_box(off.finish(SpanId::Run, token));
+        }
+    });
+    assert_eq!(n, 0, "disabled telemetry allocated {n} times");
+
+    // --- Telemetry, enabled: fixed metric arrays plus a preallocated
+    // ring that overwrites its oldest entry once full, so steady-state
+    // recording — including eviction — never touches the allocator ---
+    let telemetry = Telemetry::with_config(TelemetryConfig { event_capacity: 64 });
+    let warm = telemetry.start();
+    telemetry.finish(SpanId::Run, warm); // warmup
+    let n = allocations(|| {
+        for i in 0..500i64 {
+            telemetry.incr(CounterId::RunsExecuted);
+            telemetry.add(CounterId::SearchEvaluations, 9);
+            telemetry.observe(HistogramId::SearchEvaluations, 9.0);
+            let token = telemetry.start();
+            black_box(telemetry.finish_with(SpanId::Search, token, i));
+        }
+    });
+    assert_eq!(n, 0, "enabled telemetry recording allocated {n} times");
+    assert!(
+        telemetry.dropped_events() > 0,
+        "the ring wrapped during the measured loop, so eviction was covered"
+    );
+
+    // Snapshots copy into fixed inline arrays — also allocation-free.
+    let n = allocations(|| {
+        for _ in 0..100 {
+            black_box(telemetry.snapshot().counter(CounterId::RunsExecuted));
+        }
+    });
+    assert_eq!(n, 0, "telemetry snapshot allocated {n} times");
 }

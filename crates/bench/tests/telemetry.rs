@@ -1,0 +1,52 @@
+//! Telemetry gate: runs the shared trace-campaign comparison at a
+//! reduced size, asserts the observation-only and reconciliation
+//! invariants, and records `BENCH_telemetry.json` plus the Chrome
+//! trace artifact so a plain `cargo test` refreshes both.
+//!
+//! The <2 % overhead target is recorded, not asserted — wall-clock
+//! ratios on a loaded CI box flake; the invariants that cannot flake
+//! (bit-identical reports, counter reconciliation, artifact
+//! well-formedness) are the gate.
+
+use odin_bench::experiments::telemetry::{self, TraceWorkload};
+
+#[test]
+fn trace_campaign_is_equivalent_reconciled_and_perfetto_loadable() {
+    let workload = TraceWorkload {
+        runs: 12,
+        shards: 2,
+        samples: 1,
+        seed: 7,
+    };
+    let outcome = telemetry::run(&workload).unwrap();
+    let mut report = outcome.report;
+    assert!(
+        report.perturbation_free,
+        "telemetry must not change a single bit of the campaign:\n{report}"
+    );
+    assert!(
+        report.counters_reconcile,
+        "summary counters must match the report's cache/engine stats:\n{report}"
+    );
+    assert!(
+        report.events_captured > 0,
+        "traced ring is empty:\n{report}"
+    );
+    assert_eq!(report.meta.schema_version, odin_bench::BENCH_SCHEMA_VERSION);
+    assert_eq!(
+        report.meta.config_fingerprint.len(),
+        16,
+        "fingerprint is a 64-bit hex digest"
+    );
+
+    let trace_path = telemetry::write_trace(&outcome.telemetry).expect("trace artifact written");
+    let text = std::fs::read_to_string(&trace_path).expect("trace readable");
+    let value: serde_json::Value = serde_json::from_str(&text).expect("trace is valid JSON");
+    let events = value["traceEvents"].as_array().expect("traceEvents array");
+    assert_eq!(events.len(), report.events_captured);
+    assert!(events.iter().all(|e| e["ph"] == "X" && e["cat"] == "odin"));
+
+    report.trace_path = Some(trace_path.display().to_string());
+    let path = telemetry::write_report(&report).expect("BENCH_telemetry.json written");
+    assert!(path.ends_with("BENCH_telemetry.json"), "{}", path.display());
+}

@@ -162,6 +162,7 @@ impl HomogeneousRuntime {
             skipped: Vec::new(),
             cache: crate::cache::CacheStats::default(),
             engine: crate::engine::EngineStats::default(),
+            telemetry: crate::telemetry::TelemetrySummary::default(),
         })
     }
 

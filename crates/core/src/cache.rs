@@ -26,6 +26,7 @@ use std::hash::{Hash, Hasher};
 
 use odin_arch::LayerCost;
 use odin_dnn::LayerDescriptor;
+use odin_telemetry::{CounterId, Telemetry};
 use odin_units::Seconds;
 use odin_xbar::{OuGrid, OuShape};
 use serde::{Deserialize, Serialize};
@@ -114,6 +115,10 @@ pub(crate) struct EvalCache {
 impl EvalCache {
     /// Scores a candidate through the memo, bit-identical to
     /// `model.evaluate_faulty(layer, shape, age, ctx.faults)`.
+    ///
+    /// Telemetry tier counters are bumped at the same sites as
+    /// [`CacheStats`], so an enabled campaign's telemetry totals
+    /// reconcile exactly with the report's `cache` field.
     pub(crate) fn evaluate(
         &self,
         model: &AnalyticModel,
@@ -121,6 +126,7 @@ impl EvalCache {
         shape: OuShape,
         age: Seconds,
         ctx: SearchContext<'_>,
+        telemetry: &Telemetry,
     ) -> Result<CandidateEval, OdinError> {
         let id = layer_fingerprint(layer);
         let (rows, cols) = (shape.rows(), shape.cols());
@@ -128,16 +134,19 @@ impl EvalCache {
         let mut inner = self.inner.borrow_mut();
         if let Some(&eval) = inner.full.get(&full_key) {
             inner.stats.full_hits += 1;
+            telemetry.incr(CounterId::CacheFullHits);
             return Ok(eval);
         }
         let geometry_key = (id, rows, cols);
         let cost = match inner.geometry.get(&geometry_key) {
             Some(&cost) => {
                 inner.stats.geometry_hits += 1;
+                telemetry.incr(CounterId::CacheGeometryHits);
                 cost
             }
             None => {
                 inner.stats.misses += 1;
+                telemetry.incr(CounterId::CacheMisses);
                 let cost = model.geometry_cost(layer, shape)?;
                 inner.geometry.insert(geometry_key, cost);
                 cost
@@ -206,11 +215,20 @@ fn layer_fingerprint(layer: &LayerDescriptor) -> u64 {
 pub(crate) struct CachedModel<'a> {
     model: &'a AnalyticModel,
     cache: Option<&'a EvalCache>,
+    telemetry: &'a Telemetry,
 }
 
 impl<'a> CachedModel<'a> {
-    pub(crate) fn new(model: &'a AnalyticModel, cache: Option<&'a EvalCache>) -> Self {
-        CachedModel { model, cache }
+    pub(crate) fn new(
+        model: &'a AnalyticModel,
+        cache: Option<&'a EvalCache>,
+        telemetry: &'a Telemetry,
+    ) -> Self {
+        CachedModel {
+            model,
+            cache,
+            telemetry,
+        }
     }
 }
 
@@ -227,7 +245,7 @@ impl OuEvaluator for CachedModel<'_> {
         ctx: SearchContext<'_>,
     ) -> Result<CandidateEval, OdinError> {
         match self.cache {
-            Some(cache) => cache.evaluate(self.model, layer, shape, age, ctx),
+            Some(cache) => cache.evaluate(self.model, layer, shape, age, ctx, self.telemetry),
             None => self.model.evaluate_faulty(layer, shape, age, ctx.faults),
         }
     }
@@ -275,7 +293,9 @@ mod tests {
             let ctx = SearchContext::default();
             // Miss, then full hit: both must equal the direct path.
             for _ in 0..2 {
-                let cached = cache.evaluate(&m, &l, shape, age, ctx).unwrap();
+                let cached = cache
+                    .evaluate(&m, &l, shape, age, ctx, &Telemetry::disabled())
+                    .unwrap();
                 let direct = m.evaluate_faulty(&l, shape, age, None).unwrap();
                 assert_eq!(cached.edp.value().to_bits(), direct.edp.value().to_bits());
                 assert_eq!(cached.impact.to_bits(), direct.impact.to_bits());
@@ -303,8 +323,12 @@ mod tests {
             generation: 2,
             ..SearchContext::default()
         };
-        cache.evaluate(&m, &l, shape, age, gen1).unwrap();
-        cache.evaluate(&m, &l, shape, age, gen2).unwrap();
+        cache
+            .evaluate(&m, &l, shape, age, gen1, &Telemetry::disabled())
+            .unwrap();
+        cache
+            .evaluate(&m, &l, shape, age, gen2, &Telemetry::disabled())
+            .unwrap();
         let stats = cache.stats();
         assert_eq!(
             stats.full_hits, 0,
@@ -320,9 +344,13 @@ mod tests {
         let l = layer(0);
         let shape = m.grid().shape(0, 0);
         let ctx = SearchContext::default();
-        cache.evaluate(&m, &l, shape, Seconds::ZERO, ctx).unwrap();
+        cache
+            .evaluate(&m, &l, shape, Seconds::ZERO, ctx, &Telemetry::disabled())
+            .unwrap();
         cache.invalidate_dynamic();
-        cache.evaluate(&m, &l, shape, Seconds::ZERO, ctx).unwrap();
+        cache
+            .evaluate(&m, &l, shape, Seconds::ZERO, ctx, &Telemetry::disabled())
+            .unwrap();
         let stats = cache.stats();
         assert_eq!(stats.full_hits, 0);
         assert_eq!(stats.geometry_hits, 1, "tier 2 survives invalidation");
@@ -336,13 +364,40 @@ mod tests {
         let l = layer(5);
         let shape = m.grid().shape(3, 3);
         let ctx = SearchContext::default();
-        cache.evaluate(&m, &l, shape, Seconds::ZERO, ctx).unwrap();
+        cache
+            .evaluate(&m, &l, shape, Seconds::ZERO, ctx, &Telemetry::disabled())
+            .unwrap();
         let fork = cache.fork();
         assert_eq!(fork.stats(), cache.stats());
-        fork.evaluate(&m, &l, shape, Seconds::ZERO, ctx).unwrap();
+        fork.evaluate(&m, &l, shape, Seconds::ZERO, ctx, &Telemetry::disabled())
+            .unwrap();
         let stats = fork.stats();
         assert_eq!(stats.full_hits, 0, "tier 1 does not cross a fork");
         assert_eq!(stats.geometry_hits, 1, "tier 2 crosses the fork");
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_cache_stats() {
+        let m = model();
+        let cache = EvalCache::default();
+        let t = Telemetry::enabled();
+        let l = layer(1);
+        let shape = m.grid().shape(2, 2);
+        let ctx = SearchContext::default();
+        for age in [0.0, 0.0, 1e6] {
+            cache
+                .evaluate(&m, &l, shape, Seconds::new(age), ctx, &t)
+                .unwrap();
+        }
+        let stats = cache.stats();
+        let snap = t.snapshot();
+        assert_eq!(stats.total(), 3);
+        assert_eq!(snap.counter(CounterId::CacheFullHits), stats.full_hits);
+        assert_eq!(
+            snap.counter(CounterId::CacheGeometryHits),
+            stats.geometry_hits
+        );
+        assert_eq!(snap.counter(CounterId::CacheMisses), stats.misses);
     }
 
     #[test]

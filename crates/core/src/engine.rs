@@ -42,16 +42,18 @@ use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Mutex};
 
 use odin_dnn::NetworkDescriptor;
+use odin_telemetry::{CounterId, SpanId, TelemetrySnapshot};
 use odin_units::Seconds;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheStats;
 use crate::error::{OdinError, SnapshotError};
-use crate::runtime::{CampaignReport, InferenceRecord, OdinRuntime, SkippedRun};
+use crate::runtime::{checkpoint_save, CampaignReport, InferenceRecord, OdinRuntime, SkippedRun};
 use crate::schedule::TimeSchedule;
 use crate::snapshot::{
     CampaignProgress, CampaignSnapshot, CheckpointPolicy, RuntimeState, SnapshotStore,
 };
+use crate::telemetry::TelemetrySummary;
 
 /// How the engine distributes a campaign across shards.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -307,6 +309,7 @@ impl CampaignEngine {
                 .checkpoint
                 .clone()
                 .or_else(|| runtime.checkpoint_policy().cloned());
+            let telemetry_start = runtime.telemetry_snapshot();
             let mut report = runtime.campaign_with_checkpoint(
                 network,
                 schedule,
@@ -324,6 +327,17 @@ impl CampaignEngine {
                 committed: slots,
                 discarded: 0,
             };
+            // Mirror the synthesized per-slot engine stats into
+            // telemetry, counting only the slots this process executed
+            // (resume may have seeded a committed prefix).
+            let executed = slots - resume.map_or(0, |p| p.next_index as u64);
+            let telemetry = runtime.telemetry();
+            telemetry.add(CounterId::EngineRounds, executed);
+            telemetry.add(CounterId::EngineSpeculated, executed);
+            telemetry.add(CounterId::EngineCommitted, executed);
+            report.telemetry = TelemetrySummary::from_snapshot(
+                &runtime.telemetry_snapshot().since(&telemetry_start),
+            );
             return Ok(report);
         }
         match self.mode {
@@ -347,6 +361,8 @@ impl CampaignEngine {
     ) -> Result<CampaignReport, OdinError> {
         let times: Vec<Seconds> = schedule.times();
         let cache_start = runtime.cache_stats();
+        let telemetry_start = runtime.telemetry_snapshot();
+        let campaign_token = runtime.telemetry().start();
         let mut store = match &self.checkpoint {
             Some(policy) => Some(SnapshotStore::open(policy.dir(), policy.retained())?),
             None => None,
@@ -380,6 +396,7 @@ impl CampaignEngine {
             let mut next = start;
             while next < times.len() {
                 let width = self.shards.min(times.len() - next);
+                let round_token = runtime.telemetry().start();
                 stats.rounds += 1;
                 stats.speculated += width as u64;
                 let round = &times[next..next + width];
@@ -443,6 +460,7 @@ impl CampaignEngine {
                                 return Err(e);
                             }
                             eventful = true;
+                            runtime.telemetry().incr(CounterId::RunsSkipped);
                             skipped.push(SkippedRun {
                                 time: round[w],
                                 reason: e.to_string(),
@@ -453,6 +471,16 @@ impl CampaignEngine {
                 }
                 stats.committed += accepted as u64;
                 stats.discarded += (width - accepted) as u64;
+                // The adopted worker's recorder carries the committed
+                // lineage (exactly like the cache counters); the round's
+                // engine-level tallies are added here, at the commit
+                // barrier, so they stay deterministic under threading.
+                let telemetry = runtime.telemetry();
+                telemetry.incr(CounterId::EngineRounds);
+                telemetry.add(CounterId::EngineSpeculated, width as u64);
+                telemetry.add(CounterId::EngineCommitted, accepted as u64);
+                telemetry.add(CounterId::EngineDiscarded, (width - accepted) as u64);
+                telemetry.finish_with(SpanId::Round, round_token, accepted as i64);
                 next += accepted;
                 since_save += accepted;
                 if let (Some(store), Some(policy)) = (store.as_mut(), self.checkpoint.as_ref()) {
@@ -472,7 +500,7 @@ impl CampaignEngine {
                             cache: cache_base.merged(runtime.cache_stats().since(cache_start)),
                             engine: stats,
                         };
-                        store.save(&[runtime.state()], &progress)?;
+                        checkpoint_save(runtime.telemetry(), store, &[runtime.state()], &progress)?;
                         since_save = 0;
                     }
                 }
@@ -480,6 +508,9 @@ impl CampaignEngine {
             Ok(())
         });
         outcome?;
+        runtime
+            .telemetry()
+            .finish_with(SpanId::Campaign, campaign_token, runs.len() as i64);
         Ok(CampaignReport {
             network: network.name().to_string(),
             strategy: runtime.strategy_label(),
@@ -487,6 +518,9 @@ impl CampaignEngine {
             skipped,
             cache: cache_base.merged(runtime.cache_stats().since(cache_start)),
             engine: stats,
+            telemetry: TelemetrySummary::from_snapshot(
+                &runtime.telemetry_snapshot().since(&telemetry_start),
+            ),
         })
     }
 
@@ -509,6 +543,8 @@ impl CampaignEngine {
         let times: Vec<Seconds> = schedule.times();
         let shards = self.shards;
         let cache_start = runtime.cache_stats();
+        let telemetry_start = runtime.telemetry_snapshot();
+        let campaign_token = runtime.telemetry().start();
         let mut shard_runtimes: Vec<OdinRuntime> =
             (0..shards).map(|_| runtime.fork_shard()).collect();
         let mut outputs: Vec<Vec<(usize, Result<InferenceRecord, OdinError>)>> = Vec::new();
@@ -562,11 +598,27 @@ impl CampaignEngine {
             .iter()
             .map(|rt| rt.cache_stats().since(cache_start))
             .fold(CacheStats::default(), |acc, d| acc.merged(d));
+        // Every replica's work is committed, so — unlike lockstep —
+        // every replica's telemetry delta folds into the report, in
+        // shard order, mirroring the cache fold above.
+        let telemetry_others = shard_runtimes
+            .iter()
+            .skip(1)
+            .map(|rt| rt.telemetry_snapshot().since(&telemetry_start))
+            .fold(TelemetrySnapshot::default(), |acc, d| acc.merged(&d));
         let mut replicas = shard_runtimes.into_iter();
         runtime.adopt(replicas.next().expect("at least one shard"));
         let leftovers: Vec<_> = replicas.map(|mut rt| rt.take_buffered()).collect();
         runtime.absorb_shard_examples(leftovers);
         let slots = times.len() as u64;
+        let telemetry = runtime.telemetry();
+        telemetry.add(CounterId::RunsSkipped, skipped.len() as u64);
+        telemetry.add(CounterId::EngineRounds, slots.div_ceil(shards as u64));
+        telemetry.add(CounterId::EngineSpeculated, slots);
+        telemetry.add(CounterId::EngineCommitted, slots);
+        telemetry.finish_with(SpanId::Campaign, campaign_token, runs.len() as i64);
+        let telemetry_delta =
+            telemetry_others.merged(&runtime.telemetry_snapshot().since(&telemetry_start));
         Ok(CampaignReport {
             network: network.name().to_string(),
             strategy: runtime.strategy_label(),
@@ -581,6 +633,7 @@ impl CampaignEngine {
                 committed: slots,
                 discarded: 0,
             },
+            telemetry: TelemetrySummary::from_snapshot(&telemetry_delta),
         })
     }
 
@@ -602,6 +655,8 @@ impl CampaignEngine {
         let times: Vec<Seconds> = schedule.times();
         let shards = self.shards;
         let cache_start = runtime.cache_stats();
+        let telemetry_start = runtime.telemetry_snapshot();
+        let campaign_token = runtime.telemetry().start();
         let mut store = match &self.checkpoint {
             Some(policy) => Some(SnapshotStore::open(policy.dir(), policy.retained())?),
             None => None,
@@ -635,6 +690,15 @@ impl CampaignEngine {
             let mut next = start;
             while next < times.len() {
                 let width = shards.min(times.len() - next);
+                // Replica 0 is the one adopted after the final barrier,
+                // so round-level spans and engine tallies recorded on it
+                // survive into the campaign summary.
+                let round_token = slots_rt[0]
+                    .as_ref()
+                    .expect("replica present between rounds")
+                    .telemetry()
+                    .start();
+                let skipped_before = skipped.len();
                 stats.rounds += 1;
                 stats.speculated += width as u64;
                 let (res_tx, res_rx) = mpsc::channel();
@@ -674,6 +738,18 @@ impl CampaignEngine {
                     }
                 }
                 stats.committed += width as u64;
+                let telemetry = slots_rt[0]
+                    .as_ref()
+                    .expect("replica present between rounds")
+                    .telemetry();
+                telemetry.incr(CounterId::EngineRounds);
+                telemetry.add(CounterId::EngineSpeculated, width as u64);
+                telemetry.add(CounterId::EngineCommitted, width as u64);
+                telemetry.add(
+                    CounterId::RunsSkipped,
+                    (skipped.len() - skipped_before) as u64,
+                );
+                telemetry.finish_with(SpanId::Round, round_token, width as i64);
                 next += width;
                 since_save += width;
                 if let (Some(store), Some(policy)) = (store.as_mut(), self.checkpoint.as_ref()) {
@@ -700,7 +776,11 @@ impl CampaignEngine {
                             cache,
                             engine: stats,
                         };
-                        store.save(&states, &progress)?;
+                        let telemetry = slots_rt[0]
+                            .as_ref()
+                            .expect("replica present between rounds")
+                            .telemetry();
+                        checkpoint_save(telemetry, store, &states, &progress)?;
                         since_save = 0;
                     }
                 }
@@ -713,12 +793,23 @@ impl CampaignEngine {
             .flatten()
             .map(|rt| rt.cache_stats().since(cache_start))
             .fold(cache_base, |acc, d| acc.merged(d));
+        let telemetry_others = slots_rt
+            .iter()
+            .flatten()
+            .skip(1)
+            .map(|rt| rt.telemetry_snapshot().since(&telemetry_start))
+            .fold(TelemetrySnapshot::default(), |acc, d| acc.merged(&d));
         let mut replicas = slots_rt
             .into_iter()
             .map(|rt| rt.expect("replica present after the last round"));
         runtime.adopt(replicas.next().expect("at least one shard"));
         let leftovers: Vec<_> = replicas.map(|mut rt| rt.take_buffered()).collect();
         runtime.absorb_shard_examples(leftovers);
+        runtime
+            .telemetry()
+            .finish_with(SpanId::Campaign, campaign_token, runs.len() as i64);
+        let telemetry_delta =
+            telemetry_others.merged(&runtime.telemetry_snapshot().since(&telemetry_start));
         Ok(CampaignReport {
             network: network.name().to_string(),
             strategy: runtime.strategy_label(),
@@ -726,6 +817,7 @@ impl CampaignEngine {
             skipped,
             cache,
             engine: stats,
+            telemetry: TelemetrySummary::from_snapshot(&telemetry_delta),
         })
     }
 
@@ -1005,6 +1097,111 @@ mod tests {
             rt_a.buffered_examples() > 0,
             "untrained replicas must have buffered mismatches"
         );
+    }
+
+    fn traced_runtime() -> OdinRuntime {
+        OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(41)
+            .telemetry(odin_telemetry::Telemetry::enabled())
+            .build()
+            .unwrap()
+    }
+
+    /// A unique scratch directory per test, without external crates.
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("odin-engine-tel-{}-{tag}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn lockstep_telemetry_reconciles_with_engine_and_cache_stats() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e7, 25);
+        let sequential = runtime().run_campaign(&net, &schedule).unwrap();
+        let mut rt = traced_runtime();
+        let report = CampaignEngine::new(4)
+            .run_campaign(&mut rt, &net, &schedule)
+            .unwrap();
+        // Recording never perturbs the speculative commit stream.
+        assert_eq!(report.runs, sequential.runs);
+        let t = &report.telemetry;
+        assert!(t.enabled);
+        assert_eq!(t.counter("engine_rounds"), report.engine.rounds);
+        assert_eq!(t.counter("engine_speculated"), report.engine.speculated);
+        assert_eq!(t.counter("engine_committed"), report.engine.committed);
+        assert_eq!(t.counter("engine_discarded"), report.engine.discarded);
+        // Per-run telemetry follows the adopted lineage — the same
+        // fork/commit discipline as the cache counters, so both
+        // reconcile with the report exactly.
+        assert_eq!(t.counter("cache_full_hits"), report.cache.full_hits);
+        assert_eq!(t.counter("cache_geometry_hits"), report.cache.geometry_hits);
+        assert_eq!(t.counter("cache_misses"), report.cache.misses);
+        assert_eq!(t.counter("runs_executed"), report.engine.rounds);
+        assert_eq!(t.span("run").unwrap().count, report.engine.rounds);
+        assert_eq!(t.span("round").unwrap().count, report.engine.rounds);
+        assert_eq!(t.span("campaign").unwrap().count, 1);
+    }
+
+    #[test]
+    fn independent_telemetry_folds_every_replica() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e7, 30);
+        let mut rt = traced_runtime();
+        let report = CampaignEngine::new(4)
+            .with_mode(ShardMode::Independent)
+            .run_campaign(&mut rt, &net, &schedule)
+            .unwrap();
+        let t = &report.telemetry;
+        assert!(t.enabled);
+        // Every replica's work commits, so every replica's recorder
+        // folds into the summary.
+        assert_eq!(t.counter("runs_executed"), report.runs.len() as u64);
+        assert_eq!(t.span("run").unwrap().count, report.runs.len() as u64);
+        assert_eq!(t.counter("engine_rounds"), report.engine.rounds);
+        assert_eq!(t.counter("engine_speculated"), report.engine.speculated);
+        assert_eq!(t.counter("engine_committed"), report.engine.committed);
+        assert_eq!(t.counter("cache_full_hits"), report.cache.full_hits);
+        assert_eq!(t.counter("cache_geometry_hits"), report.cache.geometry_hits);
+        assert_eq!(t.counter("cache_misses"), report.cache.misses);
+    }
+
+    #[test]
+    fn single_shard_engine_telemetry_carries_engine_rows() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e7, 15);
+        let mut rt = traced_runtime();
+        let report = CampaignEngine::new(1)
+            .run_campaign(&mut rt, &net, &schedule)
+            .unwrap();
+        let t = &report.telemetry;
+        assert!(t.enabled);
+        assert_eq!(t.counter("runs_executed"), report.runs.len() as u64);
+        assert_eq!(t.counter("engine_rounds"), report.engine.rounds);
+        assert_eq!(t.counter("engine_speculated"), report.engine.speculated);
+        assert_eq!(t.counter("engine_committed"), report.engine.committed);
+        assert_eq!(t.counter("engine_discarded"), 0);
+    }
+
+    #[test]
+    fn checkpointed_lockstep_records_save_telemetry() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e7, 12);
+        let dir = scratch("lockstep-saves");
+        let mut rt = traced_runtime();
+        let report = CampaignEngine::new(2)
+            .checkpoint(CheckpointPolicy::new(&dir).every_runs(4))
+            .run_campaign(&mut rt, &net, &schedule)
+            .unwrap();
+        let t = &report.telemetry;
+        let saves = t.counter("checkpoint_saves");
+        assert!(saves >= 1, "the final round always checkpoints");
+        assert!(t.counter("checkpoint_bytes") > 0);
+        assert_eq!(t.span("checkpoint").unwrap().count, saves);
+        assert_eq!(t.histogram("checkpoint_kib").unwrap().count, saves);
+        assert_eq!(t.histogram("checkpoint_latency_us").unwrap().count, saves);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -29,6 +29,10 @@
 //! 10. [`snapshot`] — crash-consistent checkpoint/restore: versioned,
 //!     checksummed campaign snapshots with atomic writes, generation
 //!     rotation, and bit-for-bit resumable campaigns.
+//! 11. [`telemetry`] — the serializable [`TelemetrySummary`] bridge
+//!     from the dependency-free `odin-telemetry` recorder into
+//!     [`CampaignReport`]: spans, counters, and histograms aggregated
+//!     per campaign, `Default`-empty whenever telemetry is off.
 //!
 //! # Examples
 //!
@@ -61,6 +65,7 @@ pub mod offline;
 pub mod prelude;
 pub mod search;
 pub mod snapshot;
+pub mod telemetry;
 
 mod analytic;
 mod cache;
@@ -83,3 +88,4 @@ pub use runtime::{
 };
 pub use schedule::TimeSchedule;
 pub use snapshot::{CampaignSnapshot, CheckpointPolicy, SnapshotStore};
+pub use telemetry::{CounterSummary, HistogramSummary, SpanSummary, TelemetrySummary};

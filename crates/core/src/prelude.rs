@@ -31,3 +31,8 @@ pub use crate::runtime::{
 };
 pub use crate::schedule::TimeSchedule;
 pub use crate::snapshot::{CampaignSnapshot, CheckpointPolicy, SnapshotStore};
+pub use crate::telemetry::{CounterSummary, HistogramSummary, SpanSummary, TelemetrySummary};
+pub use odin_telemetry::{
+    ChromeTraceSink, CounterId, Event, HistogramId, JsonLinesSink, SpanId, Telemetry,
+    TelemetryConfig, TelemetrySnapshot,
+};

@@ -8,9 +8,10 @@ use odin_arch::{LayerCost, OverheadLedger};
 use odin_device::ReprogramCost;
 use odin_dnn::{LayerDescriptor, NetworkDescriptor};
 use odin_policy::{MlpScratch, OuPolicy, ReplayBuffer, TrainingExample};
+use odin_telemetry::{CounterId, HistogramId, SpanId, Telemetry, TelemetrySnapshot};
 use odin_units::{EnergyDelayProduct, Joules, Seconds};
 use odin_xbar::OuShape;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::analytic::{AnalyticModel, CandidateEval};
@@ -23,6 +24,7 @@ use crate::features::LayerFeatures;
 use crate::schedule::TimeSchedule;
 use crate::search::{find_best_with, OuEvaluator, SearchContext, SearchOutcome, SearchStrategy};
 use crate::snapshot::{CampaignProgress, CheckpointPolicy, RuntimeState, SnapshotStore};
+use crate::telemetry::TelemetrySummary;
 
 /// One layer's OU decision in one inference run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -141,6 +143,12 @@ pub struct CampaignReport {
     /// the default marks a plain sequential run.
     #[serde(default)]
     pub engine: EngineStats,
+    /// Aggregated telemetry (counters, span timings, histograms)
+    /// recorded over the campaign; exactly
+    /// [`TelemetrySummary::default`] when the runtime was built without
+    /// [`RuntimeBuilder::telemetry`].
+    #[serde(default)]
+    pub telemetry: TelemetrySummary,
 }
 
 impl CampaignReport {
@@ -318,12 +326,13 @@ pub struct OdinRuntime {
     cache: Option<EvalCache>,
     rng_seed: u64,
     checkpoint: Option<CheckpointPolicy>,
+    telemetry: Telemetry,
     scratch: RefCell<RuntimeScratch>,
 }
 
 /// Step-by-step construction of an [`OdinRuntime`] — the one front
-/// door that replaced the `new` / `with_policy` / `with_fabric_health`
-/// constructor sprawl.
+/// door for configuring policies, fabric health, caching, telemetry,
+/// and checkpointing.
 ///
 /// # Examples
 ///
@@ -344,6 +353,7 @@ pub struct RuntimeBuilder {
     rng_seed: u64,
     eval_cache: bool,
     checkpoint: Option<CheckpointPolicy>,
+    telemetry: Telemetry,
 }
 
 impl RuntimeBuilder {
@@ -398,6 +408,21 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Attaches a telemetry handle (e.g. [`Telemetry::enabled`]):
+    /// runs, decisions, searches, cache tiers, ladder transitions, and
+    /// checkpoints record spans/counters/histograms through it, and
+    /// campaigns surface the aggregate as
+    /// [`CampaignReport::telemetry`]. The default is the zero-overhead
+    /// [`Telemetry::disabled`] handle, under which the instrumented
+    /// paths read no clock and allocate nothing. Telemetry is purely
+    /// observational — it never changes a decision, a record, or a
+    /// report body.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Builds the runtime.
     ///
     /// # Errors
@@ -423,6 +448,7 @@ impl RuntimeBuilder {
             self.rng_seed,
         )?;
         runtime.checkpoint = self.checkpoint;
+        runtime.telemetry = self.telemetry;
         Ok(runtime)
     }
 }
@@ -442,11 +468,12 @@ impl OdinRuntime {
             rng_seed: Self::DEFAULT_RNG_SEED,
             eval_cache: true,
             checkpoint: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
-    /// Shared construction path behind the builder and the deprecated
-    /// constructors.
+    /// Shared construction path behind the builder and
+    /// [`from_state`](Self::from_state).
     fn assemble(
         config: OdinConfig,
         policy: OuPolicy,
@@ -468,6 +495,7 @@ impl OdinRuntime {
             cache: eval_cache.then(EvalCache::default),
             rng_seed,
             checkpoint: None,
+            telemetry: Telemetry::disabled(),
             scratch: RefCell::new(RuntimeScratch::default()),
         })
     }
@@ -544,50 +572,19 @@ impl OdinRuntime {
             .resume_from(path, network, schedule)
     }
 
-    /// Creates a runtime with a freshly initialized (untrained)
-    /// policy.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration's crossbar is degenerate (cannot
-    /// happen for configurations built via [`OdinConfig::builder`]).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `OdinRuntime::builder(config).rng_seed(seed).build()`"
-    )]
+    /// The telemetry handle this runtime records through — the
+    /// disabled no-op handle unless one was attached via
+    /// [`RuntimeBuilder::telemetry`]. Use it to snapshot counters or
+    /// flush the event ring into a sink after a campaign.
     #[must_use]
-    pub fn new<R: Rng + ?Sized>(config: OdinConfig, rng: &mut R) -> Self {
-        let policy = OuPolicy::new(config.policy().clone(), rng);
-        Self::assemble(config, policy, None, true, Self::DEFAULT_RNG_SEED)
-            .expect("validated crossbar config")
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
-    /// Creates a runtime seeded with an offline-bootstrapped policy
-    /// (§V.A trains on N−1 known DNNs first).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration's crossbar is degenerate.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `OdinRuntime::builder(config).policy(policy).build()`"
-    )]
-    #[must_use]
-    pub fn with_policy(config: OdinConfig, policy: OuPolicy) -> Self {
-        Self::assemble(config, policy, None, true, Self::DEFAULT_RNG_SEED)
-            .expect("validated crossbar config")
-    }
-
-    /// Attaches fault- and wear-aware fabric-health tracking after
-    /// construction.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `OdinRuntime::builder(config).fabric(fabric).build()`"
-    )]
-    #[must_use]
-    pub fn with_fabric_health(mut self, fabric: FabricHealth) -> Self {
-        self.fabric = Some(fabric);
-        self
+    /// Snapshot of every telemetry counter/span/histogram (the
+    /// disabled handle yields the empty default snapshot).
+    pub(crate) fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
     }
 
     /// The fabric-health state, when tracking is attached.
@@ -636,6 +633,39 @@ impl OdinRuntime {
         network: &NetworkDescriptor,
         now: Seconds,
     ) -> Result<InferenceRecord, OdinError> {
+        let run_token = self.telemetry.start();
+        let result = self.run_inference_inner(network, now);
+        if let Ok(record) = &result {
+            self.telemetry.incr(CounterId::RunsExecuted);
+            if record.reprogrammed {
+                self.telemetry.incr(CounterId::Reprograms);
+            }
+            for event in &record.events {
+                self.telemetry.incr(match event {
+                    DegradationEvent::GridShrunk { .. } => CounterId::LadderGridShrunk,
+                    DegradationEvent::Remapped { .. } => CounterId::LadderRemapped,
+                    DegradationEvent::OutOfService { .. } => CounterId::LadderOutOfService,
+                    DegradationEvent::DegradedServe { .. } => CounterId::LadderDegradedServe,
+                    DegradationEvent::ReprogramDeferred { .. } => {
+                        CounterId::LadderReprogramDeferred
+                    }
+                });
+            }
+            let dur_ns =
+                self.telemetry
+                    .finish_with(SpanId::Run, run_token, record.decisions.len() as i64);
+            self.telemetry
+                .observe(HistogramId::RunLatencyUs, dur_ns as f64 / 1e3);
+        }
+        result
+    }
+
+    /// The uninstrumented body of [`run_inference`](Self::run_inference).
+    fn run_inference_inner(
+        &mut self,
+        network: &NetworkDescriptor,
+        now: Seconds,
+    ) -> Result<InferenceRecord, OdinError> {
         let mut events = Vec::new();
         if let Some(fabric) = self.fabric.as_mut() {
             events.extend(fabric.apply_wear_caps());
@@ -648,7 +678,11 @@ impl OdinRuntime {
                 (d, false)
             }
             Decide::Infeasible { layer } => {
-                self.descend_ladder(network, now, layer, &mut events)?
+                let ladder_token = self.telemetry.start();
+                let outcome = self.descend_ladder(network, now, layer, &mut events)?;
+                self.telemetry
+                    .finish_with(SpanId::Reprogram, ladder_token, i64::from(outcome.1));
+                outcome
             }
         };
         let age = if reprogrammed { Seconds::ZERO } else { age };
@@ -668,14 +702,22 @@ impl OdinRuntime {
                 };
                 self.buffer
                     .push(TrainingExample::new(phi.as_array(), row, col));
+                self.telemetry.incr(CounterId::ExamplesBuffered);
             }
             if self.buffer.is_full() {
+                let update_token = self.telemetry.start();
                 let mut scratch = self.scratch.borrow_mut();
                 let scratch = &mut *scratch;
                 self.buffer.drain_into(&mut scratch.examples);
                 self.policy
                     .update_online_with(&scratch.examples, &mut scratch.mlp);
                 policy_updated = true;
+                self.telemetry.incr(CounterId::PolicyUpdates);
+                self.telemetry.finish_with(
+                    SpanId::PolicyUpdate,
+                    update_token,
+                    scratch.examples.len() as i64,
+                );
             }
         }
 
@@ -757,14 +799,18 @@ impl OdinRuntime {
         resilient: bool,
     ) -> Result<CampaignReport, OdinError> {
         let ckpt = self.checkpoint.clone();
-        self.campaign_with_checkpoint(
+        let telemetry_start = self.telemetry_snapshot();
+        let mut report = self.campaign_with_checkpoint(
             network,
             schedule,
             resilient,
             ckpt.as_ref(),
             (ShardMode::Lockstep, 1),
             None,
-        )
+        )?;
+        report.telemetry =
+            TelemetrySummary::from_snapshot(&self.telemetry_snapshot().since(&telemetry_start));
+        Ok(report)
     }
 
     /// The sequential campaign loop with optional checkpointing and
@@ -783,6 +829,7 @@ impl OdinRuntime {
         stamp: (ShardMode, usize),
         resume: Option<&CampaignProgress>,
     ) -> Result<CampaignReport, OdinError> {
+        let campaign_token = self.telemetry.start();
         let cache_start = self.cache_stats();
         let mut store = match ckpt {
             Some(policy) => Some(SnapshotStore::open(policy.dir(), policy.retained())?),
@@ -808,6 +855,7 @@ impl OdinRuntime {
                 }
                 Err(e) if resilient => {
                     eventful = true;
+                    self.telemetry.incr(CounterId::RunsSkipped);
                     skipped.push(SkippedRun {
                         time: t,
                         reason: e.to_string(),
@@ -840,11 +888,13 @@ impl OdinRuntime {
                             discarded: 0,
                         },
                     };
-                    store.save(&[self.state()], &progress)?;
+                    checkpoint_save(&self.telemetry, store, &[self.state()], &progress)?;
                     since_save = 0;
                 }
             }
         }
+        self.telemetry
+            .finish_with(SpanId::Campaign, campaign_token, runs.len() as i64);
         Ok(CampaignReport {
             network: network.name().to_string(),
             strategy: self.strategy_label(),
@@ -852,6 +902,7 @@ impl OdinRuntime {
             skipped,
             cache: cache_base.merged(self.cache_stats().since(cache_start)),
             engine: EngineStats::default(),
+            telemetry: TelemetrySummary::default(),
         })
     }
 
@@ -876,6 +927,11 @@ impl OdinRuntime {
     pub(crate) fn fork_shard(&self) -> OdinRuntime {
         let mut shard = self.clone();
         shard.cache = self.cache.as_ref().map(EvalCache::fork);
+        // The telemetry fork mirrors the cache fork: aggregates carry
+        // over monotonically (so the committed shard's totals keep
+        // growing), the event ring starts empty and is spliced back at
+        // the commit barrier by `adopt`.
+        shard.telemetry = self.telemetry.fork();
         // Only the campaign driver checkpoints; a shard snapshotting
         // its speculative state would race the committed stream.
         shard.checkpoint = None;
@@ -894,7 +950,14 @@ impl OdinRuntime {
     /// forked without one).
     pub(crate) fn adopt(&mut self, shard: OdinRuntime) {
         let checkpoint = self.checkpoint.take();
+        // Commit-barrier ring splice: the shard's ring holds only the
+        // events it recorded since its fork, so prepending the
+        // adopter's history keeps the event stream chronological
+        // across commits. Aggregates need no merge — the shard's
+        // counters grew on top of the adopter's (see `fork_shard`).
+        let earlier_events = self.telemetry.take_events();
         *self = shard;
+        self.telemetry.prepend_events(earlier_events);
         self.checkpoint = checkpoint;
     }
 
@@ -935,7 +998,8 @@ impl OdinRuntime {
         let n = network.layers().len();
         let grid = self.model.grid();
         let eta = self.config.eta();
-        let evaluator = CachedModel::new(&self.model, self.cache.as_ref());
+        let decide_token = self.telemetry.start();
+        let evaluator = CachedModel::new(&self.model, self.cache.as_ref(), &self.telemetry);
         // One batched forward pass over every layer's features supplies
         // both the argmax seeds and the confidence distributions —
         // replacing up to 2n single-row passes, row arithmetic
@@ -994,12 +1058,19 @@ impl OdinRuntime {
                 }
                 None => self.config.strategy(),
             };
+            self.telemetry.incr(match strategy {
+                SearchStrategy::ResourceBounded { .. } => CounterId::SearchesResourceBounded,
+                SearchStrategy::Exhaustive => CounterId::SearchesExhaustive,
+            });
+            let search_token = self.telemetry.start();
             let mut outcome =
                 find_best_with(&evaluator, layer, age, eta, (seed_r, seed_c), strategy, ctx)?;
             if outcome.best.is_none() && !matches!(strategy, SearchStrategy::Exhaustive) {
                 // The bounded neighborhood may miss feasible shapes far
                 // from the seed; verify on the full grid before pulling
                 // the reprogram trigger.
+                self.telemetry.incr(CounterId::SearchesEscalated);
+                self.telemetry.incr(CounterId::SearchesExhaustive);
                 let escalated = find_best_with(
                     &evaluator,
                     layer,
@@ -1014,11 +1085,27 @@ impl OdinRuntime {
                     evaluations: outcome.evaluations + escalated.evaluations,
                 };
             }
+            self.telemetry
+                .finish_with(SpanId::Search, search_token, outcome.evaluations as i64);
+            self.telemetry
+                .add(CounterId::SearchEvaluations, outcome.evaluations as u64);
+            self.telemetry
+                .observe(HistogramId::SearchEvaluations, outcome.evaluations as f64);
             let Some(eval) = outcome.best else {
+                self.telemetry.finish_with(SpanId::Decide, decide_token, -1);
                 return Ok(Decide::Infeasible {
                     layer: layer.index(),
                 });
             };
+            if eta > 0.0 {
+                // ΔG feasibility margin at decision time: how much of
+                // the non-ideality budget the chosen shape leaves
+                // unspent (1.0 = untouched, 0.0 = at the η boundary).
+                self.telemetry.observe(
+                    HistogramId::MarginFraction,
+                    ((eta - eval.impact) / eta).clamp(0.0, 1.0),
+                );
+            }
             decisions.push(LayerDecision {
                 layer_index: layer.index(),
                 predicted,
@@ -1029,6 +1116,8 @@ impl OdinRuntime {
                 degraded: false,
             });
         }
+        self.telemetry
+            .finish_with(SpanId::Decide, decide_token, decisions.len() as i64);
         Ok(Decide::Feasible(decisions))
     }
 
@@ -1042,7 +1131,7 @@ impl OdinRuntime {
     ) -> Result<(LayerDecision, usize), OdinError> {
         let shape = self.model.grid().shape(0, 0);
         let ctx = self.layer_environment(layer.index());
-        let eval = CachedModel::new(&self.model, self.cache.as_ref())
+        let eval = CachedModel::new(&self.model, self.cache.as_ref(), &self.telemetry)
             .evaluate_in(layer, shape, age, ctx)?;
         let group = self
             .fabric
@@ -1196,6 +1285,31 @@ impl OdinRuntime {
 /// `use`d directly).
 pub const DEFAULT_RNG_SEED: u64 = OdinRuntime::DEFAULT_RNG_SEED;
 
+/// The one instrumented checkpoint-save path shared by the sequential
+/// campaign loop and both engine modes: wraps [`SnapshotStore::save`]
+/// in a [`SpanId::Checkpoint`] span and records save count, bytes
+/// written, size, and latency.
+pub(crate) fn checkpoint_save(
+    telemetry: &Telemetry,
+    store: &mut SnapshotStore,
+    states: &[RuntimeState],
+    progress: &CampaignProgress,
+) -> Result<(), OdinError> {
+    let token = telemetry.start();
+    let path = store.save(states, progress)?;
+    let bytes = if telemetry.is_enabled() {
+        std::fs::metadata(&path).map_or(0, |m| m.len())
+    } else {
+        0
+    };
+    let dur_ns = telemetry.finish_with(SpanId::Checkpoint, token, bytes as i64);
+    telemetry.incr(CounterId::CheckpointSaves);
+    telemetry.add(CounterId::CheckpointBytes, bytes);
+    telemetry.observe(HistogramId::CheckpointKib, bytes as f64 / 1024.0);
+    telemetry.observe(HistogramId::CheckpointLatencyUs, dur_ns as f64 / 1e3);
+    Ok(())
+}
+
 fn max_prob(p: &[f64]) -> f64 {
     p.iter().copied().fold(0.0, f64::max)
 }
@@ -1221,10 +1335,6 @@ mod tests {
     use odin_dnn::zoo::{self, Dataset};
     use proptest::prelude::*;
     use rand::SeedableRng;
-
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(41)
-    }
 
     fn runtime() -> OdinRuntime {
         OdinRuntime::builder(OdinConfig::paper())
@@ -1564,25 +1674,107 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_match_the_builder_bit_for_bit() {
+    fn explicit_policy_matches_seeded_builder_bit_for_bit() {
+        // `.policy(OuPolicy::new(cfg, rng(seed)))` and `.rng_seed(seed)`
+        // are the same construction path and must agree exactly.
         let net = zoo::vgg11(Dataset::Cifar10);
         let schedule = TimeSchedule::geometric(1.0, 1e7, 20);
-        let mut old = OdinRuntime::new(OdinConfig::paper(), &mut rng());
-        let mut new = runtime();
-        let a = old.run_campaign(&net, &schedule).unwrap();
-        let b = new.run_campaign(&net, &schedule).unwrap();
-        assert_eq!(a, b);
-        // with_policy ≡ builder().policy(..).
-        let policy = OuPolicy::new(OdinConfig::paper().policy().clone(), &mut rng());
-        let mut old = OdinRuntime::with_policy(OdinConfig::paper(), policy.clone());
-        let mut new = OdinRuntime::builder(OdinConfig::paper())
+        let mut seed_rng = rand::rngs::StdRng::seed_from_u64(41);
+        let policy = OuPolicy::new(OdinConfig::paper().policy().clone(), &mut seed_rng);
+        let mut explicit = OdinRuntime::builder(OdinConfig::paper())
             .policy(policy)
             .build()
             .unwrap();
-        let a = old.run_campaign(&net, &schedule).unwrap();
-        let b = new.run_campaign(&net, &schedule).unwrap();
+        let mut seeded = runtime();
+        let a = explicit.run_campaign(&net, &schedule).unwrap();
+        let b = seeded.run_campaign(&net, &schedule).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn telemetry_is_observation_only_and_off_by_default() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e6, 20);
+        let mut plain = runtime();
+        let mut traced = OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(41)
+            .telemetry(Telemetry::enabled())
+            .build()
+            .unwrap();
+        let a = plain.run_campaign(&net, &schedule).unwrap();
+        let b = traced.run_campaign(&net, &schedule).unwrap();
+        assert_eq!(
+            a.telemetry,
+            TelemetrySummary::default(),
+            "telemetry-off reports carry the empty default summary"
+        );
+        assert!(b.telemetry.enabled);
+        // Recording never perturbs the campaign body.
+        assert_eq!(a.runs, b.runs);
+        assert_eq!(a.cache, b.cache);
+        assert_eq!(
+            a.total_edp().value().to_bits(),
+            b.total_edp().value().to_bits()
+        );
+        assert!(!traced.telemetry().events().is_empty());
+    }
+
+    #[test]
+    fn telemetry_counters_reconcile_with_the_report() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        // Small ages: no reprogram, no infeasible pass, no degraded
+        // service — every search the counters saw is in a record.
+        let schedule = TimeSchedule::linear(1.0, 1.0, 30);
+        let mut rt = OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(41)
+            .telemetry(Telemetry::enabled())
+            .build()
+            .unwrap();
+        let report = rt.run_campaign(&net, &schedule).unwrap();
+        assert_eq!(report.reprogram_count(), 0, "schedule must stay fresh");
+        let t = &report.telemetry;
+        let runs = report.runs.len() as u64;
+        let layers = net.layers().len() as u64;
+        assert_eq!(t.counter("runs_executed"), runs);
+        assert_eq!(t.counter("runs_skipped"), 0);
+        assert_eq!(t.counter("cache_full_hits"), report.cache.full_hits);
+        assert_eq!(t.counter("cache_geometry_hits"), report.cache.geometry_hits);
+        assert_eq!(t.counter("cache_misses"), report.cache.misses);
+        assert_eq!(t.counter("reprograms"), 0);
+        assert_eq!(t.counter("policy_updates"), report.policy_updates() as u64);
+        assert_eq!(t.counter("searches_resource_bounded"), runs * layers);
+        let mismatches: u64 = report
+            .runs
+            .iter()
+            .flat_map(|r| &r.decisions)
+            .filter(|d| d.mismatch)
+            .count() as u64;
+        assert_eq!(t.counter("examples_buffered"), mismatches);
+        let evals: u64 = report
+            .runs
+            .iter()
+            .flat_map(|r| &r.decisions)
+            .map(|d| d.search_evaluations as u64)
+            .sum();
+        assert_eq!(t.counter("search_evaluations"), evals);
+        // A plain sequential campaign involves no engine.
+        assert_eq!(t.counter("engine_rounds"), 0);
+        assert_eq!(t.counter("checkpoint_saves"), 0);
+        // Span hierarchy: one campaign, a run/decide per slot, a
+        // search per layer decision.
+        assert_eq!(t.span("campaign").unwrap().count, 1);
+        assert_eq!(t.span("run").unwrap().count, runs);
+        assert_eq!(t.span("decide").unwrap().count, runs);
+        assert_eq!(t.span("search").unwrap().count, runs * layers);
+        assert!(t.span("run").unwrap().total_ns >= t.span("run").unwrap().max_ns);
+        // Histograms reconcile with their counter/span twins.
+        let h = t.histogram("search_evaluations").unwrap();
+        assert_eq!(h.count, runs * layers);
+        assert_eq!(h.sum as u64, evals);
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+        let margin = t.histogram("margin_fraction").unwrap();
+        assert_eq!(margin.count, runs * layers);
+        assert_eq!(t.histogram("run_latency_us").unwrap().count, runs);
     }
 
     #[test]

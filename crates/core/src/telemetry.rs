@@ -1,0 +1,199 @@
+//! Campaign-level telemetry aggregation.
+//!
+//! The `odin-telemetry` crate deliberately carries no dependencies, so
+//! its [`TelemetrySnapshot`] is a plain fixed-array value without serde
+//! support. This module bridges it into the report world:
+//! [`TelemetrySummary`] is the serializable, named-field rendering of a
+//! snapshot delta that [`CampaignReport`](crate::CampaignReport)
+//! carries — `Default` (empty, `enabled: false`) for every campaign run
+//! with telemetry off, so pre-telemetry reports and telemetry-off
+//! reports stay bit-identical and old JSON payloads still deserialize.
+
+use odin_telemetry::{CounterId, HistogramId, SpanId, TelemetrySnapshot};
+use serde::{Deserialize, Serialize};
+
+/// One named counter total.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSummary {
+    /// The counter's stable snake_case name (e.g. `"cache_full_hits"`).
+    pub name: String,
+    /// Total increments over the campaign.
+    pub value: u64,
+}
+
+/// One named span aggregate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanSummary {
+    /// The span's stable snake_case name (e.g. `"search"`).
+    pub name: String,
+    /// Spans recorded.
+    pub count: u64,
+    /// Summed duration, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// One named histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// The histogram's stable snake_case name (e.g. `"run_latency_us"`).
+    pub name: String,
+    /// Upper bucket edges (values ≤ edge land in the bucket); one
+    /// implicit overflow bucket follows the last edge.
+    pub edges: Vec<f64>,
+    /// Per-bucket observation counts, `edges.len() + 1` entries.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+/// The aggregated telemetry of one campaign, carried in
+/// [`CampaignReport::telemetry`](crate::CampaignReport).
+///
+/// A campaign run with telemetry disabled (the default) produces
+/// exactly `TelemetrySummary::default()` — empty vectors, `enabled:
+/// false` — which keeps telemetry-off reports bit-identical to
+/// pre-telemetry ones. An enabled campaign lists every counter, span
+/// aggregate, and histogram in declaration order, zeros included, so
+/// consumers can index by name without presence checks.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TelemetrySummary {
+    /// Whether telemetry was recording during the campaign.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Every counter total, in [`CounterId::ALL`] order.
+    #[serde(default)]
+    pub counters: Vec<CounterSummary>,
+    /// Every span aggregate, in [`SpanId::ALL`] order.
+    #[serde(default)]
+    pub spans: Vec<SpanSummary>,
+    /// Every histogram, in [`HistogramId::ALL`] order.
+    #[serde(default)]
+    pub histograms: Vec<HistogramSummary>,
+}
+
+impl TelemetrySummary {
+    /// Renders a snapshot (typically a `since`-delta covering one
+    /// campaign) into named summary rows. A disabled snapshot renders
+    /// as [`TelemetrySummary::default`].
+    #[must_use]
+    pub fn from_snapshot(snapshot: &TelemetrySnapshot) -> TelemetrySummary {
+        if !snapshot.enabled {
+            return TelemetrySummary::default();
+        }
+        let counters = CounterId::ALL
+            .iter()
+            .map(|&id| CounterSummary {
+                name: id.name().to_string(),
+                value: snapshot.counter(id),
+            })
+            .collect();
+        let spans = SpanId::ALL
+            .iter()
+            .map(|&id| {
+                let stat = snapshot.span(id);
+                SpanSummary {
+                    name: id.name().to_string(),
+                    count: stat.count,
+                    total_ns: stat.total_ns,
+                    max_ns: stat.max_ns,
+                }
+            })
+            .collect();
+        let histograms = HistogramId::ALL
+            .iter()
+            .map(|&id| {
+                let h = snapshot.histogram(id);
+                let edges = id.edges();
+                HistogramSummary {
+                    name: id.name().to_string(),
+                    edges: edges.to_vec(),
+                    buckets: h.buckets[..=edges.len()].to_vec(),
+                    count: h.count,
+                    sum: h.sum,
+                }
+            })
+            .collect();
+        TelemetrySummary {
+            enabled: true,
+            counters,
+            spans,
+            histograms,
+        }
+    }
+
+    /// The total of the counter named `name`, zero when absent (a
+    /// disabled summary has no rows).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// The span aggregate named `name`, if recorded.
+    #[must_use]
+    pub fn span(&self, name: &str) -> Option<&SpanSummary> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// The histogram named `name`, if recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odin_telemetry::Telemetry;
+
+    #[test]
+    fn disabled_snapshot_renders_as_default() {
+        let t = Telemetry::disabled();
+        let summary = TelemetrySummary::from_snapshot(&t.snapshot());
+        assert_eq!(summary, TelemetrySummary::default());
+        assert!(!summary.enabled);
+        assert_eq!(summary.counter("runs_executed"), 0);
+        assert!(summary.span("run").is_none());
+    }
+
+    #[test]
+    fn enabled_snapshot_lists_every_row_by_name() {
+        let t = Telemetry::enabled();
+        t.add(CounterId::SearchEvaluations, 13);
+        let token = t.start();
+        t.finish_with(SpanId::Search, token, 13);
+        t.observe(HistogramId::MarginFraction, 0.4);
+        let summary = TelemetrySummary::from_snapshot(&t.snapshot());
+        assert!(summary.enabled);
+        assert_eq!(summary.counters.len(), CounterId::ALL.len());
+        assert_eq!(summary.spans.len(), SpanId::ALL.len());
+        assert_eq!(summary.histograms.len(), HistogramId::ALL.len());
+        assert_eq!(summary.counter("search_evaluations"), 13);
+        assert_eq!(summary.counter("no_such_counter"), 0);
+        assert_eq!(summary.span("search").unwrap().count, 1);
+        let margin = summary.histogram("margin_fraction").unwrap();
+        assert_eq!(margin.count, 1);
+        assert_eq!(margin.buckets.len(), margin.edges.len() + 1);
+        assert_eq!(margin.buckets.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn summary_serde_round_trips_and_legacy_reports_default() {
+        let t = Telemetry::enabled();
+        t.incr(CounterId::RunsExecuted);
+        let summary = TelemetrySummary::from_snapshot(&t.snapshot());
+        let json = serde_json::to_string(&summary).unwrap();
+        let back: TelemetrySummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(summary, back);
+        // A pre-telemetry payload deserializes to the default summary.
+        let legacy: TelemetrySummary = serde_json::from_str("{}").unwrap();
+        assert_eq!(legacy, TelemetrySummary::default());
+    }
+}

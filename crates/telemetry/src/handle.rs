@@ -1,0 +1,421 @@
+//! The [`Telemetry`] handle — the one object instrumented code talks
+//! to.
+
+use std::cell::RefCell;
+use std::io;
+use std::time::Instant;
+
+use crate::metrics::{CounterId, Histogram, HistogramId};
+use crate::ring::EventRing;
+use crate::sink::TelemetrySink;
+use crate::snapshot::TelemetrySnapshot;
+use crate::span::{Event, SpanId, SpanStat, SpanToken};
+
+/// Tuning knobs for an enabled recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Maximum events held in the ring buffer; the full backing store
+    /// is allocated up front, and a full ring overwrites its oldest
+    /// entry. Zero disables event capture while keeping counters,
+    /// spans, and histograms live.
+    pub event_capacity: usize,
+}
+
+impl TelemetryConfig {
+    /// Default ring capacity (16 Ki events ≈ 512 KiB).
+    pub const DEFAULT_EVENT_CAPACITY: usize = 16 * 1024;
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            event_capacity: Self::DEFAULT_EVENT_CAPACITY,
+        }
+    }
+}
+
+/// Everything an enabled handle records into. Interior-mutable behind
+/// [`RefCell`] (recording goes through `&self` so immutable runtime
+/// borrows can instrument themselves); owned by one runtime, never
+/// shared across threads — campaign shards each fork their own.
+#[derive(Debug, Clone)]
+struct Recorder {
+    /// The shared time origin: set when telemetry was first enabled and
+    /// inherited by every fork/clone, so all shard timestamps live on
+    /// one comparable timeline.
+    epoch: Instant,
+    counters: [u64; CounterId::COUNT],
+    spans: [SpanStat; SpanId::COUNT],
+    histograms: [Histogram; HistogramId::COUNT],
+    ring: EventRing,
+}
+
+impl Recorder {
+    fn new(config: TelemetryConfig) -> Recorder {
+        Recorder {
+            epoch: Instant::now(),
+            counters: [0; CounterId::COUNT],
+            spans: [SpanStat::default(); SpanId::COUNT],
+            histograms: [Histogram::default(); HistogramId::COUNT],
+            ring: EventRing::new(config.event_capacity),
+        }
+    }
+}
+
+/// The telemetry handle instrumented code records through.
+///
+/// The default state is **disabled**: a `None` recorder, constructible
+/// in `const` context, whose every recording method is an inlined
+/// early-return — no clock reads, no allocation, nothing for the
+/// optimizer to keep. An enabled handle owns a [`Recorder`] with
+/// fixed-size metric arrays and a preallocated event ring, so the
+/// recording hot path allocates nothing either.
+///
+/// Shard semantics mirror the runtime's evaluation cache:
+/// [`fork`](Telemetry::fork) hands a shard a recorder whose aggregates
+/// continue from the parent's (monotonic counters survive commit
+/// adoption) but whose event ring starts empty; at a commit barrier
+/// the adopting side splices rings back together with
+/// [`take_events`](Telemetry::take_events) /
+/// [`prepend_events`](Telemetry::prepend_events).
+///
+/// # Examples
+///
+/// ```
+/// use odin_telemetry::{CounterId, SpanId, Telemetry};
+///
+/// let telemetry = Telemetry::enabled();
+/// let token = telemetry.start();
+/// telemetry.incr(CounterId::RunsExecuted);
+/// telemetry.finish(SpanId::Run, token);
+/// let snap = telemetry.snapshot();
+/// assert_eq!(snap.counter(CounterId::RunsExecuted), 1);
+/// assert_eq!(snap.span(SpanId::Run).count, 1);
+///
+/// // The disabled default records nothing.
+/// let off = Telemetry::disabled();
+/// off.incr(CounterId::RunsExecuted);
+/// assert!(off.snapshot().is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Box<RefCell<Recorder>>>,
+}
+
+impl Telemetry {
+    /// The no-op handle: records nothing, reads no clock, allocates
+    /// nothing. This is the default every runtime starts with.
+    #[must_use]
+    pub const fn disabled() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle with default configuration.
+    #[must_use]
+    pub fn enabled() -> Telemetry {
+        Telemetry::with_config(TelemetryConfig::default())
+    }
+
+    /// An enabled handle with an explicit configuration.
+    #[must_use]
+    pub fn with_config(config: TelemetryConfig) -> Telemetry {
+        Telemetry {
+            inner: Some(Box::new(RefCell::new(Recorder::new(config)))),
+        }
+    }
+
+    /// `true` when this handle is recording.
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn incr(&self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Increments a counter by `n`.
+    #[inline]
+    pub fn add(&self, id: CounterId, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().counters[id.index()] += n;
+        }
+    }
+
+    /// Records one histogram observation.
+    #[inline]
+    pub fn observe(&self, id: HistogramId, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().histograms[id.index()].observe(id.edges(), value);
+        }
+    }
+
+    /// Opens a span: captures the monotonic clock on an enabled handle,
+    /// returns an inert token on a disabled one. Pass the token to
+    /// [`finish`](Telemetry::finish) to record the span; dropping it
+    /// records nothing.
+    #[inline]
+    #[must_use]
+    pub fn start(&self) -> SpanToken {
+        if self.inner.is_some() {
+            SpanToken(Some(Instant::now()))
+        } else {
+            SpanToken::INERT
+        }
+    }
+
+    /// Closes a span opened by [`start`](Telemetry::start), returning
+    /// the measured duration in nanoseconds (zero on a disabled handle
+    /// or inert token).
+    #[inline]
+    pub fn finish(&self, id: SpanId, token: SpanToken) -> u64 {
+        self.finish_with(id, token, 0)
+    }
+
+    /// Closes a span with a payload value (evaluations, bytes, …)
+    /// carried into the event ring. Returns the measured duration in
+    /// nanoseconds (zero on a disabled handle or inert token), handy
+    /// for feeding a latency histogram without a second clock read.
+    #[inline]
+    pub fn finish_with(&self, id: SpanId, token: SpanToken, arg: i64) -> u64 {
+        let (Some(inner), Some(start)) = (&self.inner, token.0) else {
+            return 0;
+        };
+        let now = Instant::now();
+        let mut rec = inner.borrow_mut();
+        let dur_ns = now.duration_since(start).as_nanos() as u64;
+        let ts_ns = start.duration_since(rec.epoch).as_nanos() as u64;
+        rec.spans[id.index()].record(dur_ns);
+        rec.ring.push(Event {
+            ts_ns,
+            dur_ns,
+            span: id,
+            arg,
+        });
+        dur_ns
+    }
+
+    /// A copy of every counter, span aggregate, and histogram.
+    #[must_use]
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        match &self.inner {
+            Some(inner) => {
+                let rec = inner.borrow();
+                TelemetrySnapshot::new(true, rec.counters, rec.spans, rec.histograms)
+            }
+            None => TelemetrySnapshot::default(),
+        }
+    }
+
+    /// A recorder for a campaign shard: counters, span aggregates, and
+    /// histograms carry over (so the committed shard's totals keep
+    /// growing monotonically, exactly like the evaluation cache's
+    /// counters), the event ring starts empty, and the epoch is shared
+    /// so shard timestamps stay on the parent's timeline. A disabled
+    /// handle forks disabled.
+    #[must_use]
+    pub fn fork(&self) -> Telemetry {
+        match &self.inner {
+            Some(inner) => {
+                let rec = inner.borrow();
+                Telemetry {
+                    inner: Some(Box::new(RefCell::new(Recorder {
+                        epoch: rec.epoch,
+                        counters: rec.counters,
+                        spans: rec.spans,
+                        histograms: rec.histograms,
+                        ring: EventRing::new(rec.ring.capacity()),
+                    }))),
+                }
+            }
+            None => Telemetry::disabled(),
+        }
+    }
+
+    /// Events currently held in the ring, oldest first (the ring is
+    /// left intact).
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(inner) => inner.borrow().ring.iter().copied().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drains the ring, returning its events oldest first.
+    #[must_use]
+    pub fn take_events(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(inner) => inner.borrow_mut().ring.drain_ordered(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Splices `earlier` events in front of whatever the ring holds —
+    /// the commit-barrier merge: the adopting runtime takes its own
+    /// ring's history, adopts the shard (whose ring holds only the
+    /// round's new events), then prepends the history. If the combined
+    /// stream exceeds capacity the oldest events are evicted, as on any
+    /// push.
+    pub fn prepend_events(&self, earlier: Vec<Event>) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        if earlier.is_empty() {
+            return;
+        }
+        let mut rec = inner.borrow_mut();
+        let current = rec.ring.drain_ordered();
+        for e in earlier {
+            rec.ring.push(e);
+        }
+        for e in current {
+            rec.ring.push(e);
+        }
+    }
+
+    /// Events evicted from (or refused by) the ring so far.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.borrow().ring.dropped(),
+            None => 0,
+        }
+    }
+
+    /// Flushes every held event into `sink` (begin → events oldest
+    /// first → finish), leaving the ring intact. Returns the number of
+    /// events written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the sink.
+    pub fn flush_to(&self, sink: &mut dyn TelemetrySink) -> io::Result<usize> {
+        sink.begin()?;
+        let mut written = 0;
+        if let Some(inner) = &self.inner {
+            let rec = inner.borrow();
+            for event in rec.ring.iter() {
+                sink.event(event)?;
+                written += 1;
+            }
+        }
+        sink.finish()?;
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.incr(CounterId::Reprograms);
+        t.observe(HistogramId::RunLatencyUs, 5.0);
+        let token = t.start();
+        assert_eq!(t.finish(SpanId::Run, token), 0);
+        assert!(t.snapshot().is_empty());
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped_events(), 0);
+        assert!(!t.fork().is_enabled());
+        let mut sink = MemorySink::default();
+        assert_eq!(t.flush_to(&mut sink).unwrap(), 0);
+        // Default is the disabled handle.
+        assert!(!Telemetry::default().is_enabled());
+    }
+
+    #[test]
+    fn spans_record_stats_and_events() {
+        let t = Telemetry::enabled();
+        let token = t.start();
+        std::hint::black_box(0);
+        t.finish_with(SpanId::Search, token, 13);
+        let snap = t.snapshot();
+        assert_eq!(snap.span(SpanId::Search).count, 1);
+        let events = t.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].span, SpanId::Search);
+        assert_eq!(events[0].arg, 13);
+    }
+
+    #[test]
+    fn fork_carries_aggregates_but_not_events() {
+        let t = Telemetry::enabled();
+        t.add(CounterId::SearchEvaluations, 7);
+        let token = t.start();
+        t.finish(SpanId::Run, token);
+        let shard = t.fork();
+        assert!(shard.is_enabled());
+        let snap = shard.snapshot();
+        assert_eq!(snap.counter(CounterId::SearchEvaluations), 7);
+        assert_eq!(snap.span(SpanId::Run).count, 1);
+        assert!(shard.events().is_empty(), "events do not cross a fork");
+        // Shard keeps recording on top of the carried totals.
+        shard.incr(CounterId::SearchEvaluations);
+        assert_eq!(shard.snapshot().counter(CounterId::SearchEvaluations), 8);
+        assert_eq!(t.snapshot().counter(CounterId::SearchEvaluations), 7);
+    }
+
+    #[test]
+    fn ring_splice_preserves_history_order() {
+        let t = Telemetry::enabled();
+        let a = t.start();
+        t.finish_with(SpanId::Run, a, 1);
+        let shard = t.fork();
+        let b = shard.start();
+        shard.finish_with(SpanId::Run, b, 2);
+        // Commit barrier: preserve the adopter's history, adopt the
+        // shard, splice.
+        let history = t.take_events();
+        shard.prepend_events(history);
+        let merged = shard.events();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].arg, 1);
+        assert_eq!(merged[1].arg, 2);
+        // Prepending nothing is a no-op.
+        shard.prepend_events(Vec::new());
+        assert_eq!(shard.events().len(), 2);
+    }
+
+    #[test]
+    fn clone_deep_copies_the_recorder() {
+        let t = Telemetry::enabled();
+        t.incr(CounterId::RunsExecuted);
+        let c = t.clone();
+        c.incr(CounterId::RunsExecuted);
+        assert_eq!(t.snapshot().counter(CounterId::RunsExecuted), 1);
+        assert_eq!(c.snapshot().counter(CounterId::RunsExecuted), 2);
+    }
+
+    #[test]
+    fn zero_capacity_keeps_metrics_without_events() {
+        let t = Telemetry::with_config(TelemetryConfig { event_capacity: 0 });
+        let token = t.start();
+        t.finish(SpanId::Decide, token);
+        assert_eq!(t.snapshot().span(SpanId::Decide).count, 1);
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped_events(), 1);
+    }
+
+    #[test]
+    fn flush_to_memory_sink() {
+        let t = Telemetry::enabled();
+        for arg in 0..3 {
+            let token = t.start();
+            t.finish_with(SpanId::Search, token, arg);
+        }
+        let mut sink = MemorySink::default();
+        assert_eq!(t.flush_to(&mut sink).unwrap(), 3);
+        assert_eq!(sink.events.len(), 3);
+        assert_eq!(sink.events[2].arg, 2);
+        // Flushing leaves the ring intact.
+        assert_eq!(t.events().len(), 3);
+    }
+}

@@ -1,0 +1,59 @@
+//! **odin-telemetry**: zero-overhead tracing, metrics, and profiling
+//! for the Odin runtime.
+//!
+//! The crate provides one handle — [`Telemetry`] — behind which live:
+//!
+//! - **Spans** ([`SpanId`], [`SpanToken`]): monotonic-clock-timed
+//!   scopes forming the campaign ⊃ round ⊃ run ⊃ decide ⊃ search
+//!   hierarchy by wall-clock containment.
+//! - **Counters** ([`CounterId`]): typed, fixed-set counters for
+//!   search launches, cache hits by tier, reprograms, ladder
+//!   transitions, checkpoint bytes, and engine commit outcomes.
+//! - **Histograms** ([`HistogramId`], [`Histogram`]): fixed-bucket
+//!   distributions (search evaluations, ΔG feasibility margin,
+//!   checkpoint size/latency, run latency).
+//! - **An event ring** ([`EventRing`]): a bounded, preallocated,
+//!   overwrite-oldest buffer of completed spans.
+//! - **Sinks** ([`TelemetrySink`]): [`MemorySink`] for tests,
+//!   [`JsonLinesSink`] for log pipelines, and [`ChromeTraceSink`]
+//!   emitting the Chrome `trace_event` format Perfetto loads directly.
+//!
+//! # The zero-overhead contract
+//!
+//! [`Telemetry::disabled`] is a `const` no-op handle: every recording
+//! method inlines to an early return without touching the clock, and
+//! the handle itself holds no allocation. An *enabled* handle
+//! preallocates everything up front (fixed metric arrays, a
+//! full-capacity ring), so even with telemetry on the recording path
+//! performs no allocation — the property the workspace's
+//! allocation-counter test pins down.
+//!
+//! # Shard semantics
+//!
+//! [`Telemetry::fork`] and the
+//! [`take_events`](Telemetry::take_events) /
+//! [`prepend_events`](Telemetry::prepend_events) splice mirror the
+//! runtime evaluation cache's fork/commit discipline, and
+//! [`TelemetrySnapshot`] carries the same `since`/`merged` delta
+//! algebra — so per-shard recorders merge deterministically at commit
+//! barriers and campaign totals reconcile exactly with the runtime's
+//! own cache/engine counters at any shard count.
+//!
+//! The crate depends on nothing but `std` and contains no `unsafe`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod handle;
+mod metrics;
+mod ring;
+mod sink;
+mod snapshot;
+mod span;
+
+pub use handle::{Telemetry, TelemetryConfig};
+pub use metrics::{CounterId, Histogram, HistogramId, MAX_BUCKETS};
+pub use ring::EventRing;
+pub use sink::{ChromeTraceSink, JsonLinesSink, MemorySink, TelemetrySink};
+pub use snapshot::TelemetrySnapshot;
+pub use span::{Event, SpanId, SpanStat, SpanToken};

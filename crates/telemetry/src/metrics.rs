@@ -1,0 +1,338 @@
+//! Typed counters and fixed-bucket histograms.
+//!
+//! Both metric families live in fixed-size arrays indexed by the enums
+//! below, so recording never allocates and snapshots are plain
+//! element-wise arithmetic.
+
+/// A monotonically increasing runtime counter.
+///
+/// Every counter the instrumented runtime bumps has a variant here;
+/// the fixed set is what lets recorders store counts in a flat array
+/// and merge shard deltas without any keying machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterId {
+    /// Inference runs executed to completion.
+    RunsExecuted,
+    /// Scheduled inferences skipped (resilient campaigns record the
+    /// failure instead of serving the run).
+    RunsSkipped,
+    /// Resource-bounded (±1-level hill-climb) searches launched.
+    SearchesResourceBounded,
+    /// Exhaustive full-grid searches launched (including confidence
+    /// escalations).
+    SearchesExhaustive,
+    /// Bounded searches that found nothing feasible and re-ran
+    /// exhaustively before pulling the reprogram trigger.
+    SearchesEscalated,
+    /// Candidate evaluations performed across all searches.
+    SearchEvaluations,
+    /// Evaluations answered entirely from the cache's full-result tier.
+    CacheFullHits,
+    /// Evaluations that recalled only the geometry term from tier 2.
+    CacheGeometryHits,
+    /// Evaluations computed from scratch.
+    CacheMisses,
+    /// Reprogramming passes (drift-triggered or ladder-driven).
+    Reprograms,
+    /// Wear-driven OU grid shrinks emitted by the degradation ladder.
+    LadderGridShrunk,
+    /// Layer remaps onto spare crossbar groups.
+    LadderRemapped,
+    /// Crossbar groups retired for endurance exhaustion.
+    LadderOutOfService,
+    /// Layers served degraded (η waived at the smallest OU).
+    LadderDegradedServe,
+    /// Reprogram passes refused by the backoff gate.
+    LadderReprogramDeferred,
+    /// Online policy updates (replay buffer drained into the MLP).
+    PolicyUpdates,
+    /// Mismatch examples pushed into the replay buffer.
+    ExamplesBuffered,
+    /// Checkpoint snapshots written by the campaign driver.
+    CheckpointSaves,
+    /// Bytes written across all checkpoint snapshots.
+    CheckpointBytes,
+    /// Engine rounds executed (one per bulk-synchronous barrier).
+    EngineRounds,
+    /// Speculative runs launched across all engine rounds.
+    EngineSpeculated,
+    /// Schedule slots committed by the engine.
+    EngineCommitted,
+    /// Speculative runs discarded at commit barriers.
+    EngineDiscarded,
+}
+
+impl CounterId {
+    /// Number of counter variants (the metric array length).
+    pub const COUNT: usize = 23;
+
+    /// Every counter, in declaration order — the canonical iteration
+    /// order for snapshots, summaries, and sinks.
+    pub const ALL: [CounterId; CounterId::COUNT] = [
+        CounterId::RunsExecuted,
+        CounterId::RunsSkipped,
+        CounterId::SearchesResourceBounded,
+        CounterId::SearchesExhaustive,
+        CounterId::SearchesEscalated,
+        CounterId::SearchEvaluations,
+        CounterId::CacheFullHits,
+        CounterId::CacheGeometryHits,
+        CounterId::CacheMisses,
+        CounterId::Reprograms,
+        CounterId::LadderGridShrunk,
+        CounterId::LadderRemapped,
+        CounterId::LadderOutOfService,
+        CounterId::LadderDegradedServe,
+        CounterId::LadderReprogramDeferred,
+        CounterId::PolicyUpdates,
+        CounterId::ExamplesBuffered,
+        CounterId::CheckpointSaves,
+        CounterId::CheckpointBytes,
+        CounterId::EngineRounds,
+        CounterId::EngineSpeculated,
+        CounterId::EngineCommitted,
+        CounterId::EngineDiscarded,
+    ];
+
+    /// The flat-array slot of this counter.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used by every sink and summary.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            CounterId::RunsExecuted => "runs_executed",
+            CounterId::RunsSkipped => "runs_skipped",
+            CounterId::SearchesResourceBounded => "searches_resource_bounded",
+            CounterId::SearchesExhaustive => "searches_exhaustive",
+            CounterId::SearchesEscalated => "searches_escalated",
+            CounterId::SearchEvaluations => "search_evaluations",
+            CounterId::CacheFullHits => "cache_full_hits",
+            CounterId::CacheGeometryHits => "cache_geometry_hits",
+            CounterId::CacheMisses => "cache_misses",
+            CounterId::Reprograms => "reprograms",
+            CounterId::LadderGridShrunk => "ladder_grid_shrunk",
+            CounterId::LadderRemapped => "ladder_remapped",
+            CounterId::LadderOutOfService => "ladder_out_of_service",
+            CounterId::LadderDegradedServe => "ladder_degraded_serve",
+            CounterId::LadderReprogramDeferred => "ladder_reprogram_deferred",
+            CounterId::PolicyUpdates => "policy_updates",
+            CounterId::ExamplesBuffered => "examples_buffered",
+            CounterId::CheckpointSaves => "checkpoint_saves",
+            CounterId::CheckpointBytes => "checkpoint_bytes",
+            CounterId::EngineRounds => "engine_rounds",
+            CounterId::EngineSpeculated => "engine_speculated",
+            CounterId::EngineCommitted => "engine_committed",
+            CounterId::EngineDiscarded => "engine_discarded",
+        }
+    }
+}
+
+/// Maximum bucket count of any histogram: the longest edge table plus
+/// one overflow bucket. Histograms with fewer edges leave their tail
+/// buckets permanently zero.
+pub const MAX_BUCKETS: usize = 9;
+
+/// A fixed-bucket distribution tracked by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HistogramId {
+    /// Candidate evaluations per search (§V.B comparator overhead:
+    /// RB ≈ 4K+1 vs EX = 36).
+    SearchEvaluations,
+    /// Normalized ΔG feasibility margin at decision time:
+    /// `(η − impact) / η`, clamped to `[0, 1]` — how much non-ideality
+    /// headroom the chosen OU left.
+    MarginFraction,
+    /// Checkpoint snapshot size in KiB.
+    CheckpointKib,
+    /// Checkpoint write latency in microseconds (serialize + fsync +
+    /// rename).
+    CheckpointLatencyUs,
+    /// Wall-clock latency of one inference run in microseconds.
+    RunLatencyUs,
+}
+
+impl HistogramId {
+    /// Number of histogram variants (the metric array length).
+    pub const COUNT: usize = 5;
+
+    /// Every histogram, in declaration order.
+    pub const ALL: [HistogramId; HistogramId::COUNT] = [
+        HistogramId::SearchEvaluations,
+        HistogramId::MarginFraction,
+        HistogramId::CheckpointKib,
+        HistogramId::CheckpointLatencyUs,
+        HistogramId::RunLatencyUs,
+    ];
+
+    /// The flat-array slot of this histogram.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used by every sink and summary.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            HistogramId::SearchEvaluations => "search_evaluations",
+            HistogramId::MarginFraction => "margin_fraction",
+            HistogramId::CheckpointKib => "checkpoint_kib",
+            HistogramId::CheckpointLatencyUs => "checkpoint_latency_us",
+            HistogramId::RunLatencyUs => "run_latency_us",
+        }
+    }
+
+    /// Inclusive upper bucket edges (`value <= edge`); values above the
+    /// last edge land in the overflow bucket. At most
+    /// [`MAX_BUCKETS`]` - 1` edges.
+    #[must_use]
+    pub const fn edges(self) -> &'static [f64] {
+        match self {
+            // Seed-only degraded decisions (1), RB at K=3 (≤13), EX
+            // (36), and escalated RB+EX (≤49).
+            HistogramId::SearchEvaluations => &[1.0, 5.0, 9.0, 13.0, 21.0, 36.0, 49.0],
+            HistogramId::MarginFraction => &[0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99],
+            HistogramId::CheckpointKib => &[4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0],
+            HistogramId::CheckpointLatencyUs => &[100.0, 300.0, 1e3, 3e3, 1e4, 3e4, 1e5, 3e5],
+            HistogramId::RunLatencyUs => &[30.0, 100.0, 300.0, 1e3, 3e3, 1e4, 3e4, 1e5],
+        }
+    }
+}
+
+/// Aggregated state of one fixed-bucket histogram: per-bucket counts
+/// (the last used bucket is the overflow), the observation count, and
+/// the running sum. Deltas subtract element-wise, merges add — the
+/// same `since`/`merged` algebra the runtime's cache counters use.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Histogram {
+    /// Observations per bucket; bucket `i` counts values `<= edges[i]`
+    /// that missed every earlier bucket, and bucket `edges.len()` is
+    /// the overflow. Slots past the overflow stay zero.
+    pub buckets: [u64; MAX_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    /// Records one observation against the given edge table.
+    pub fn observe(&mut self, edges: &'static [f64], value: f64) {
+        let slot = edges
+            .iter()
+            .position(|&edge| value <= edge)
+            .unwrap_or(edges.len());
+        self.buckets[slot] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean of the observed values; `0.0` before the first observation.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum / self.count as f64
+    }
+
+    /// Increments accumulated since `baseline` (an earlier snapshot of
+    /// the same monotonically-growing histogram).
+    #[must_use]
+    pub fn since(&self, baseline: &Histogram) -> Histogram {
+        let mut buckets = [0u64; MAX_BUCKETS];
+        for (slot, b) in buckets.iter_mut().enumerate() {
+            *b = self.buckets[slot] - baseline.buckets[slot];
+        }
+        Histogram {
+            buckets,
+            count: self.count - baseline.count,
+            sum: self.sum - baseline.sum,
+        }
+    }
+
+    /// Element-wise sum (merging per-shard deltas).
+    #[must_use]
+    pub fn merged(&self, other: &Histogram) -> Histogram {
+        let mut buckets = [0u64; MAX_BUCKETS];
+        for (slot, b) in buckets.iter_mut().enumerate() {
+            *b = self.buckets[slot] + other.buckets[slot];
+        }
+        Histogram {
+            buckets,
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_table_is_consistent() {
+        assert_eq!(CounterId::ALL.len(), CounterId::COUNT);
+        let mut names: Vec<&str> = CounterId::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CounterId::COUNT, "duplicate counter name");
+        for (slot, c) in CounterId::ALL.iter().enumerate() {
+            assert_eq!(c.index(), slot, "{} out of order", c.name());
+        }
+    }
+
+    #[test]
+    fn histogram_table_is_consistent() {
+        assert_eq!(HistogramId::ALL.len(), HistogramId::COUNT);
+        for (slot, h) in HistogramId::ALL.iter().enumerate() {
+            assert_eq!(h.index(), slot);
+            assert!(!h.edges().is_empty());
+            assert!(
+                h.edges().len() < MAX_BUCKETS,
+                "{} needs an overflow",
+                h.name()
+            );
+            assert!(
+                h.edges().windows(2).all(|w| w[0] < w[1]),
+                "{} edges not strictly increasing",
+                h.name()
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let edges = HistogramId::SearchEvaluations.edges();
+        let mut h = Histogram::default();
+        h.observe(edges, 1.0); // first bucket (<= 1)
+        h.observe(edges, 13.0); // <= 13
+        h.observe(edges, 1000.0); // overflow
+        assert_eq!(h.count, 3);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[3], 1);
+        assert_eq!(h.buckets[edges.len()], 1);
+        assert!((h.mean() - (1014.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(Histogram::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_delta_algebra_round_trips() {
+        let edges = HistogramId::MarginFraction.edges();
+        let mut base = Histogram::default();
+        base.observe(edges, 0.3);
+        let mut grown = base;
+        grown.observe(edges, 0.95);
+        grown.observe(edges, 2.0);
+        let delta = grown.since(&base);
+        assert_eq!(delta.count, 2);
+        let merged = base.merged(&delta);
+        assert_eq!(merged.buckets, grown.buckets);
+        assert_eq!(merged.count, grown.count);
+        assert!((merged.sum - grown.sum).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,132 @@
+//! The bounded event ring buffer.
+//!
+//! Storage is allocated once, in full, when telemetry is enabled;
+//! pushing an event into a full ring overwrites the oldest entry (and
+//! counts it as dropped) instead of growing, which is what keeps the
+//! instrumented hot path allocation-free.
+
+use crate::span::Event;
+
+/// A fixed-capacity overwrite-oldest ring of [`Event`]s.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events. The full backing
+    /// store is allocated here; a capacity of zero records nothing.
+    #[must_use]
+    pub fn new(capacity: usize) -> EventRing {
+        EventRing {
+            buf: Vec::with_capacity(capacity),
+            cap: capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest when full.
+    pub fn push(&mut self, event: Event) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() < self.cap {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when no event is held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events evicted (or refused by a zero-capacity ring) so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    /// Removes and returns every event, oldest → newest. The backing
+    /// allocation is retained.
+    pub fn drain_ordered(&mut self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend(self.iter().copied());
+        self.buf.clear();
+        self.head = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanId;
+
+    fn event(ts: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            dur_ns: 1,
+            span: SpanId::Run,
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn ring_preserves_order_and_overwrites_oldest() {
+        let mut ring = EventRing::new(3);
+        assert!(ring.is_empty());
+        for ts in 0..5 {
+            ring.push(event(ts));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let order: Vec<u64> = ring.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(order, vec![2, 3, 4]);
+        let drained = ring.drain_ordered();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained[0].ts_ns, 2);
+        assert!(ring.is_empty());
+        // Refilling after a drain starts clean.
+        ring.push(event(9));
+        assert_eq!(ring.iter().next().unwrap().ts_ns, 9);
+    }
+
+    #[test]
+    fn zero_capacity_ring_counts_refusals() {
+        let mut ring = EventRing::new(0);
+        ring.push(event(1));
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+}

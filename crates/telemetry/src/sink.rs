@@ -1,0 +1,224 @@
+//! Pluggable event sinks: in-memory, JSON-lines, and Chrome
+//! `trace_event` format.
+//!
+//! All JSON is emitted by hand — the crate carries no dependencies —
+//! and only from fixed-format numeric fields and `&'static str` names,
+//! so no escaping is ever required.
+
+use std::io::{self, Write};
+
+use crate::span::Event;
+
+/// A destination for drained telemetry events.
+///
+/// [`Telemetry::flush_to`](crate::Telemetry::flush_to) calls
+/// [`begin`](TelemetrySink::begin) once, then
+/// [`event`](TelemetrySink::event) per ring entry oldest → newest,
+/// then [`finish`](TelemetrySink::finish) once.
+pub trait TelemetrySink {
+    /// Called once before the first event (headers, opening brackets).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the underlying writer.
+    fn begin(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Called once per event, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the underlying writer.
+    fn event(&mut self, event: &Event) -> io::Result<()>;
+
+    /// Called once after the last event (footers, closing brackets).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the underlying writer.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Collects events into a `Vec` — the test sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// Everything flushed so far, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl TelemetrySink for MemorySink {
+    fn event(&mut self, event: &Event) -> io::Result<()> {
+        self.events.push(*event);
+        Ok(())
+    }
+}
+
+/// Writes one JSON object per line:
+/// `{"span":"search","ts_ns":1200,"dur_ns":340,"arg":13}`.
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// A sink writing JSON lines to `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonLinesSink { writer }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> TelemetrySink for JsonLinesSink<W> {
+    fn event(&mut self, event: &Event) -> io::Result<()> {
+        writeln!(
+            self.writer,
+            "{{\"span\":\"{}\",\"ts_ns\":{},\"dur_ns\":{},\"arg\":{}}}",
+            event.span.name(),
+            event.ts_ns,
+            event.dur_ns,
+            event.arg
+        )
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Writes the Chrome `trace_event` JSON format: a single
+/// `{"traceEvents":[...]}` object of complete (`"ph":"X"`) events,
+/// loadable in `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
+///
+/// Timestamps and durations are microseconds (the format's unit),
+/// written with nanosecond precision as fractional values.
+#[derive(Debug)]
+pub struct ChromeTraceSink<W: Write> {
+    writer: W,
+    first: bool,
+}
+
+impl<W: Write> ChromeTraceSink<W> {
+    /// A sink writing one Chrome trace to `writer`.
+    pub fn new(writer: W) -> Self {
+        ChromeTraceSink {
+            writer,
+            first: true,
+        }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> TelemetrySink for ChromeTraceSink<W> {
+    fn begin(&mut self) -> io::Result<()> {
+        self.first = true;
+        write!(
+            self.writer,
+            "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+        )
+    }
+
+    fn event(&mut self, event: &Event) -> io::Result<()> {
+        let sep = if self.first { "" } else { "," };
+        self.first = false;
+        write!(
+            self.writer,
+            "{sep}\n{{\"name\":\"{}\",\"cat\":\"odin\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":1,\"args\":{{\"arg\":{}}}}}",
+            event.span.name(),
+            event.ts_ns as f64 / 1e3,
+            event.dur_ns as f64 / 1e3,
+            event.arg
+        )
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        writeln!(self.writer, "\n]}}")?;
+        self.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanId;
+
+    fn events() -> [Event; 2] {
+        [
+            Event {
+                ts_ns: 1_500,
+                dur_ns: 250,
+                span: SpanId::Search,
+                arg: 13,
+            },
+            Event {
+                ts_ns: 2_000,
+                dur_ns: 4_000,
+                span: SpanId::Run,
+                arg: 0,
+            },
+        ]
+    }
+
+    fn flush(sink: &mut impl TelemetrySink) {
+        sink.begin().unwrap();
+        for e in &events() {
+            sink.event(e).unwrap();
+        }
+        sink.finish().unwrap();
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let mut sink = MemorySink::default();
+        flush(&mut sink);
+        assert_eq!(sink.events.len(), 2);
+        assert_eq!(sink.events[0].span, SpanId::Search);
+    }
+
+    #[test]
+    fn json_lines_format() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        flush(&mut sink);
+        let out = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"span\":\"search\",\"ts_ns\":1500,\"dur_ns\":250,\"arg\":13}"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_format_is_well_formed() {
+        let mut sink = ChromeTraceSink::new(Vec::new());
+        flush(&mut sink);
+        let out = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(out.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(out.trim_end().ends_with("]}"));
+        assert!(out.contains("\"name\":\"search\""));
+        assert!(out.contains("\"ts\":1.500"));
+        assert!(out.contains("\"dur\":4.000"));
+        assert_eq!(out.matches("\"ph\":\"X\"").count(), 2);
+        // Exactly one separating comma between the two events.
+        assert_eq!(out.matches(",\n{").count(), 1);
+    }
+
+    #[test]
+    fn empty_chrome_trace_is_still_valid() {
+        let mut sink = ChromeTraceSink::new(Vec::new());
+        sink.begin().unwrap();
+        sink.finish().unwrap();
+        let out = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(out.contains("\"traceEvents\":[\n]}"));
+    }
+}

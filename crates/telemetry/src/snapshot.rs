@@ -1,0 +1,139 @@
+//! Point-in-time aggregates with `since`/`merged` delta algebra.
+
+use crate::metrics::{CounterId, Histogram, HistogramId};
+use crate::span::{SpanId, SpanStat};
+
+/// A copy of every counter, span aggregate, and histogram at one
+/// instant.
+///
+/// Snapshots obey the same algebra as the runtime's cache counters:
+/// [`since`](TelemetrySnapshot::since) subtracts an earlier baseline of
+/// the same monotonically-growing recorder, and
+/// [`merged`](TelemetrySnapshot::merged) folds per-shard deltas — which
+/// is how campaign summaries stay exact across forked shard recorders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Whether the handle that produced this snapshot was recording.
+    pub enabled: bool,
+    counters: [u64; CounterId::COUNT],
+    spans: [SpanStat; SpanId::COUNT],
+    histograms: [Histogram; HistogramId::COUNT],
+}
+
+impl Default for TelemetrySnapshot {
+    fn default() -> Self {
+        TelemetrySnapshot {
+            enabled: false,
+            counters: [0; CounterId::COUNT],
+            spans: [SpanStat::default(); SpanId::COUNT],
+            histograms: [Histogram::default(); HistogramId::COUNT],
+        }
+    }
+}
+
+impl TelemetrySnapshot {
+    pub(crate) fn new(
+        enabled: bool,
+        counters: [u64; CounterId::COUNT],
+        spans: [SpanStat; SpanId::COUNT],
+        histograms: [Histogram; HistogramId::COUNT],
+    ) -> Self {
+        TelemetrySnapshot {
+            enabled,
+            counters,
+            spans,
+            histograms,
+        }
+    }
+
+    /// The value of one counter.
+    #[must_use]
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters[id.index()]
+    }
+
+    /// The aggregate of one span kind.
+    #[must_use]
+    pub fn span(&self, id: SpanId) -> SpanStat {
+        self.spans[id.index()]
+    }
+
+    /// One histogram's aggregated state.
+    #[must_use]
+    pub fn histogram(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.index()]
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|&c| c == 0) && self.spans.iter().all(|s| s.count == 0)
+    }
+
+    /// Increments accumulated since `baseline` (a snapshot taken
+    /// earlier from the same recorder, or from a recorder this one was
+    /// forked from — forks carry aggregates monotonically).
+    #[must_use]
+    pub fn since(&self, baseline: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let mut out = *self;
+        for id in CounterId::ALL {
+            out.counters[id.index()] -= baseline.counters[id.index()];
+        }
+        for id in SpanId::ALL {
+            out.spans[id.index()] = self.spans[id.index()].since(baseline.spans[id.index()]);
+        }
+        for id in HistogramId::ALL {
+            out.histograms[id.index()] =
+                self.histograms[id.index()].since(&baseline.histograms[id.index()]);
+        }
+        out
+    }
+
+    /// Component-wise sum of two deltas (merging per-shard recorders).
+    #[must_use]
+    pub fn merged(&self, other: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let mut out = *self;
+        out.enabled = self.enabled || other.enabled;
+        for id in CounterId::ALL {
+            out.counters[id.index()] += other.counters[id.index()];
+        }
+        for id in SpanId::ALL {
+            out.spans[id.index()] = self.spans[id.index()].merged(other.spans[id.index()]);
+        }
+        for id in HistogramId::ALL {
+            out.histograms[id.index()] =
+                self.histograms[id.index()].merged(&other.histograms[id.index()]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    #[test]
+    fn snapshot_delta_algebra_round_trips() {
+        let t = Telemetry::enabled();
+        t.incr(CounterId::RunsExecuted);
+        t.observe(HistogramId::MarginFraction, 0.4);
+        let base = t.snapshot();
+        t.add(CounterId::SearchEvaluations, 13);
+        t.observe(HistogramId::MarginFraction, 0.8);
+        let now = t.snapshot();
+        let delta = now.since(&base);
+        assert_eq!(delta.counter(CounterId::RunsExecuted), 0);
+        assert_eq!(delta.counter(CounterId::SearchEvaluations), 13);
+        assert_eq!(delta.histogram(HistogramId::MarginFraction).count, 1);
+        let merged = base.merged(&delta);
+        for id in CounterId::ALL {
+            assert_eq!(merged.counter(id), now.counter(id));
+        }
+        for id in HistogramId::ALL {
+            assert_eq!(merged.histogram(id).count, now.histogram(id).count);
+        }
+        assert!(!delta.is_empty());
+        assert!(TelemetrySnapshot::default().is_empty());
+    }
+}

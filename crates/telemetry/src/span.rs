@@ -1,0 +1,194 @@
+//! Hierarchical, monotonic-clock-timed spans.
+//!
+//! A span is opened by taking a [`SpanToken`] from
+//! [`Telemetry::start`](crate::Telemetry::start) and closed by handing
+//! it back to [`Telemetry::finish`](crate::Telemetry::finish) with the
+//! [`SpanId`] naming what was measured. Tokens are `Copy` timestamps
+//! rather than RAII guards, so span boundaries can straddle `&mut self`
+//! runtime calls without borrow gymnastics; nesting is expressed purely
+//! by wall-clock containment (campaign ⊃ round ⊃ run ⊃ decide ⊃
+//! search), which is exactly what the Chrome trace viewer reconstructs
+//! a flamegraph from.
+
+use std::time::Instant;
+
+/// The span taxonomy: one variant per instrumented scope of the
+/// runtime. The fixed set lets recorders aggregate span statistics in
+/// a flat array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanId {
+    /// A whole campaign over a time schedule.
+    Campaign,
+    /// One engine round (fork, speculate, commit barrier).
+    Round,
+    /// One inference run (Algorithm 1 lines 3–13).
+    Run,
+    /// Deciding every layer at one age (batched predict + per-layer
+    /// searches).
+    Decide,
+    /// One OU search for one layer (RB hill-climb or EX sweep,
+    /// including an escalated re-search).
+    Search,
+    /// A ladder descent: reprogram pass, remap retries, backoff.
+    Reprogram,
+    /// Draining the replay buffer into an online policy update.
+    PolicyUpdate,
+    /// Writing one checkpoint snapshot (serialize + fsync + rename).
+    Checkpoint,
+}
+
+impl SpanId {
+    /// Number of span variants (the aggregate array length).
+    pub const COUNT: usize = 8;
+
+    /// Every span, in declaration order.
+    pub const ALL: [SpanId; SpanId::COUNT] = [
+        SpanId::Campaign,
+        SpanId::Round,
+        SpanId::Run,
+        SpanId::Decide,
+        SpanId::Search,
+        SpanId::Reprogram,
+        SpanId::PolicyUpdate,
+        SpanId::Checkpoint,
+    ];
+
+    /// The flat-array slot of this span.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used by every sink and summary.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            SpanId::Campaign => "campaign",
+            SpanId::Round => "round",
+            SpanId::Run => "run",
+            SpanId::Decide => "decide",
+            SpanId::Search => "search",
+            SpanId::Reprogram => "reprogram",
+            SpanId::PolicyUpdate => "policy_update",
+            SpanId::Checkpoint => "checkpoint",
+        }
+    }
+}
+
+/// Aggregate timing of one span kind.
+///
+/// `count` and `total_ns` subtract cleanly in
+/// [`since`](SpanStat::since) deltas; `max_ns` is a lifetime maximum
+/// and is carried through unchanged (a delta's maximum is bounded
+/// above by it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Completed spans of this kind.
+    pub count: u64,
+    /// Summed duration in nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    /// Records one completed span.
+    pub fn record(&mut self, dur_ns: u64) {
+        self.count += 1;
+        self.total_ns += dur_ns;
+        self.max_ns = self.max_ns.max(dur_ns);
+    }
+
+    /// Increments accumulated since `baseline`.
+    #[must_use]
+    pub fn since(&self, baseline: SpanStat) -> SpanStat {
+        SpanStat {
+            count: self.count - baseline.count,
+            total_ns: self.total_ns - baseline.total_ns,
+            max_ns: self.max_ns,
+        }
+    }
+
+    /// Component-wise merge of two deltas (maxima combine with `max`).
+    #[must_use]
+    pub fn merged(&self, other: SpanStat) -> SpanStat {
+        SpanStat {
+            count: self.count + other.count,
+            total_ns: self.total_ns + other.total_ns,
+            max_ns: self.max_ns.max(other.max_ns),
+        }
+    }
+
+    /// Mean span duration in nanoseconds; `0` before the first span.
+    #[must_use]
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        self.total_ns / self.count
+    }
+}
+
+/// An open-span timestamp returned by
+/// [`Telemetry::start`](crate::Telemetry::start).
+///
+/// On a disabled handle the token is inert (no clock was read); on an
+/// enabled one it captures the monotonic start instant. Dropping a
+/// token without finishing it records nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanToken(pub(crate) Option<Instant>);
+
+impl SpanToken {
+    /// The inert token a disabled handle returns.
+    pub(crate) const INERT: SpanToken = SpanToken(None);
+}
+
+/// One completed span in the bounded event ring: timestamps are
+/// nanoseconds relative to the recorder's epoch (set when telemetry
+/// was enabled and inherited by every fork, so all shards share one
+/// timeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Span start, nanoseconds since the telemetry epoch.
+    pub ts_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+    /// What was measured.
+    pub span: SpanId,
+    /// A span-specific payload (e.g. evaluations for a search, bytes
+    /// for a checkpoint); `0` when the span carries none.
+    pub arg: i64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_table_is_consistent() {
+        assert_eq!(SpanId::ALL.len(), SpanId::COUNT);
+        for (slot, s) in SpanId::ALL.iter().enumerate() {
+            assert_eq!(s.index(), slot, "{} out of order", s.name());
+        }
+    }
+
+    #[test]
+    fn span_stat_algebra() {
+        let mut a = SpanStat::default();
+        a.record(10);
+        a.record(30);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.total_ns, 40);
+        assert_eq!(a.max_ns, 30);
+        assert_eq!(a.mean_ns(), 20);
+        let mut b = a;
+        b.record(100);
+        let d = b.since(a);
+        assert_eq!(d.count, 1);
+        assert_eq!(d.total_ns, 100);
+        assert_eq!(a.merged(d).count, b.count);
+        assert_eq!(a.merged(d).total_ns, b.total_ns);
+        assert_eq!(a.merged(d).max_ns, 100);
+        assert_eq!(SpanStat::default().mean_ns(), 0);
+    }
+}

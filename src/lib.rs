@@ -15,6 +15,7 @@
 //! | [`arch`] | `odin-arch` | Tiles, reconfigurable ADCs, Eq. 1–2 costs, §V.E overheads |
 //! | [`dnn`] | `odin-dnn` | Tensors, training, pruning, the 9-model zoo |
 //! | [`policy`] | `odin-policy` | The two-headed MLP policy + replay buffer |
+//! | [`telemetry`] | `odin-telemetry` | Zero-overhead spans, counters, histograms, trace sinks |
 //! | [`core`] | `odin-core` | Algorithm 1: features, search, runtime, baselines |
 //!
 //! # Quickstart
@@ -50,6 +51,7 @@ pub use odin_device as device;
 pub use odin_dnn as dnn;
 pub use odin_noc as noc;
 pub use odin_policy as policy;
+pub use odin_telemetry as telemetry;
 pub use odin_units as units;
 pub use odin_xbar as xbar;
 
