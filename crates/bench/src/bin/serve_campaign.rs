@@ -1,0 +1,74 @@
+//! Serving-campaign driver: runs the multi-tenant serving engine over
+//! a healthy fabric and a fault-storm fabric, prints the tail-latency
+//! and goodput tables, and records `BENCH_serving.json` at the
+//! workspace root.
+//!
+//! ```sh
+//! cargo run --release -p odin-bench --bin serve_campaign -- --quick
+//! ```
+//!
+//! Exit codes: 0 success, 1 invariant/gate failure or bad usage,
+//! 2 I/O failure, 3 campaign failure.
+
+use std::process::ExitCode;
+
+use odin_bench::experiments::serving::{self, ServingWorkload};
+
+const USAGE: &str = "usage: serve_campaign [--quick] [--seed N]";
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("ODIN_QUICK").is_ok_and(|v| v == "1");
+    let mut workload = if quick {
+        ServingWorkload::quick()
+    } else {
+        ServingWorkload::paper()
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => {}
+            "--seed" => {
+                let Some(seed) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--seed needs an integer\n{USAGE}");
+                    return ExitCode::from(1);
+                };
+                workload.seed = seed;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    let report = match serving::run(&workload) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: serving campaign failed: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    println!("{report}");
+    match serving::write_report(&report) {
+        Ok(path) => println!("[json: {}]", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write BENCH_serving.json: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let ok = report.healthy.balanced
+        && report.storm.balanced
+        && report.replay_matches
+        && report.storm_gate_passed;
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: serving invariants violated — see report above");
+        ExitCode::from(1)
+    }
+}

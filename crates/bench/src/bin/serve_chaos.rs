@@ -1,0 +1,385 @@
+//! Fault-storm chaos gate for the serving layer: run the storm
+//! serving campaign checkpointed, SIGKILL it at seeded points —
+//! tearing snapshot generations between attempts to simulate
+//! mid-write power loss — resume it, and assert three gates per
+//! trial:
+//!
+//! 1. **equivalence** — the stitched run's outcome digest is
+//!    bit-identical to an uninterrupted in-process reference;
+//! 2. **accounting** — the survivor's ledger balances: every
+//!    generated request has exactly one typed outcome, zero silent
+//!    drops, across however many kills landed;
+//! 3. **goodput** — the gold class stays at or above the 90 % floor
+//!    even mid-storm.
+//!
+//! Trials ramp the storm's stuck-cell fault rate from calm to
+//! violent.
+//!
+//! ```sh
+//! cargo run --release -p odin-bench --bin serve_chaos -- --quick
+//! ```
+//!
+//! The parent re-invokes this same binary with `--child`. Exit codes:
+//! 0 success, 1 gate or usage failure, 2 I/O failure, 3 campaign
+//! failure.
+
+use std::fmt;
+use std::io::Read as _;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode, Stdio};
+use std::time::{Duration, Instant};
+
+use odin_bench::experiments::chaos::splitmix64;
+use odin_bench::experiments::serving::{storm_config, storm_runtime, GOLD_GOODPUT_FLOOR};
+use odin_bench::BenchMeta;
+use odin_core::prelude::*;
+use odin_serve::{QosClass, ServeEngine, ServeReport};
+use serde::Serialize;
+
+const USAGE: &str = "usage: serve_chaos [--quick] [--trials N] [--duration-ms F] [--seed N]
+       serve_chaos --child --dir D --seed N --duration-ms F --fault-rate F";
+
+/// The ramp of stuck-cell fault rates the trials cycle through.
+const STORM_RAMP: [f64; 3] = [0.0, 0.05, 0.15];
+
+struct Args {
+    child: bool,
+    dir: Option<PathBuf>,
+    trials: usize,
+    duration_ms: f64,
+    seed: u64,
+    fault_rate: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        child: false,
+        dir: None,
+        trials: 3,
+        duration_ms: 600.0,
+        seed: 0x5E12_7E40,
+        fault_rate: 0.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--child" => args.child = true,
+            "--quick" => {
+                args.trials = args.trials.min(2);
+                args.duration_ms = args.duration_ms.min(400.0);
+            }
+            "--dir" => args.dir = Some(PathBuf::from(value("--dir")?)),
+            "--trials" => {
+                args.trials = value("--trials")?
+                    .parse()
+                    .map_err(|e| format!("--trials: {e}"))?;
+            }
+            "--duration-ms" => {
+                args.duration_ms = value("--duration-ms")?
+                    .parse()
+                    .map_err(|e| format!("--duration-ms: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--fault-rate" => {
+                args.fault_rate = value("--fault-rate")?
+                    .parse()
+                    .map_err(|e| format!("--fault-rate: {e}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Runs (or resumes) the storm serving campaign against the
+/// checkpoint store in `dir`.
+fn run_or_resume(
+    dir: &Path,
+    seed: u64,
+    duration_ms: f64,
+    fault_rate: f64,
+) -> Result<ServeReport, OdinError> {
+    let config = storm_config(duration_ms, seed);
+    let engine = ServeEngine::new(config.clone())
+        .checkpoint(dir, 4)
+        .retain(8);
+    match engine.resume_from(dir) {
+        Ok((_, report)) => Ok(report),
+        // Empty or fully-torn store: nothing to resume, start fresh.
+        Err(OdinError::Snapshot(_)) => {
+            let mut runtime = storm_runtime(&config, fault_rate)?;
+            engine.run(&mut runtime)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Child role: run or resume the checkpointed storm campaign and
+/// print the gate inputs, digest last, for the parent to parse.
+fn child(args: &Args) -> ExitCode {
+    let Some(dir) = &args.dir else {
+        eprintln!("--child requires --dir");
+        return ExitCode::from(1);
+    };
+    match run_or_resume(dir, args.seed, args.duration_ms, args.fault_rate) {
+        Ok(report) => {
+            println!("balanced={}", report.balanced());
+            println!("gold_goodput={:.6}", report.goodput(QosClass::Gold));
+            println!("digest={:016x}", report.digest);
+            ExitCode::SUCCESS
+        }
+        Err(OdinError::Snapshot(e)) => {
+            eprintln!("child: snapshot I/O failed: {e}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("child: serving campaign failed: {e}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+/// Truncates the newest snapshot generation to half its length (a
+/// torn file the store must skip) and drops a garbage `.tmp` (an
+/// interrupted atomic write the store must sweep).
+fn tear_snapshots(dir: &Path) -> usize {
+    let mut newest: Option<PathBuf> = None;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.extension().is_some_and(|x| x == "snap")
+                && newest.as_ref().is_none_or(|n| path > *n)
+            {
+                newest = Some(path);
+            }
+        }
+    }
+    let mut torn = 0;
+    if let Some(path) = newest {
+        if let Ok(bytes) = std::fs::read(&path) {
+            if bytes.len() > 1 && std::fs::write(&path, &bytes[..bytes.len() / 2]).is_ok() {
+                torn += 1;
+            }
+        }
+    }
+    if std::fs::write(dir.join("serve-99999999.snap.tmp"), b"torn mid-write").is_ok() {
+        torn += 1;
+    }
+    torn
+}
+
+fn spawn_child(args: &Args, dir: &Path, fault_rate: f64) -> std::io::Result<std::process::Child> {
+    Command::new(std::env::current_exe()?)
+        .args([
+            "--child",
+            "--dir",
+            &dir.display().to_string(),
+            "--seed",
+            &args.seed.to_string(),
+            "--duration-ms",
+            &args.duration_ms.to_string(),
+            "--fault-rate",
+            &fault_rate.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+}
+
+/// One recorded trial.
+#[derive(Debug, Clone, Serialize)]
+struct ServeChaosTrial {
+    trial: usize,
+    fault_rate: f64,
+    kills: usize,
+    torn_injections: usize,
+    recovery_ms: f64,
+    digest_matches: bool,
+    balanced: bool,
+    gold_goodput: f64,
+    goodput_ok: bool,
+}
+
+/// The recorded chaos report (`results/serve_chaos.json`).
+#[derive(Debug, Clone, Serialize)]
+struct ServeChaosReport {
+    meta: BenchMeta,
+    duration_ms: f64,
+    seed: u64,
+    gold_goodput_floor: f64,
+    trials: Vec<ServeChaosTrial>,
+    all_gates_passed: bool,
+}
+
+impl fmt::Display for ServeChaosReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "serve chaos: {} trials × {:.0} ms horizon, seed {}, gold floor {:.2}",
+            self.trials.len(),
+            self.duration_ms,
+            self.seed,
+            self.gold_goodput_floor
+        )?;
+        for t in &self.trials {
+            writeln!(
+                f,
+                "trial {}: fault {:.2} | {} kills, {} tears | recovery {:.0} ms | \
+                 digest {} | balanced {} | gold goodput {:.3} ({})",
+                t.trial,
+                t.fault_rate,
+                t.kills,
+                t.torn_injections,
+                t.recovery_ms,
+                if t.digest_matches {
+                    "match"
+                } else {
+                    "MISMATCH"
+                },
+                if t.balanced { "yes" } else { "NO" },
+                t.gold_goodput,
+                if t.goodput_ok { "ok" } else { "BELOW FLOOR" }
+            )?;
+        }
+        write!(
+            f,
+            "all gates passed: {}",
+            if self.all_gates_passed { "yes" } else { "NO" }
+        )
+    }
+}
+
+/// Parent role: per trial, compute the uninterrupted in-process
+/// reference, kill the child at seeded points (tearing snapshots
+/// between some attempts), then let a survivor finish and check the
+/// three gates.
+fn parent(args: &Args) -> Result<ServeChaosReport, String> {
+    let mut stream = args.seed;
+    let mut trials = Vec::with_capacity(args.trials);
+    for trial in 0..args.trials {
+        let fault_rate = STORM_RAMP[trial % STORM_RAMP.len()];
+        let config = storm_config(args.duration_ms, args.seed);
+        let mut reference_runtime = storm_runtime(&config, fault_rate)
+            .map_err(|e| format!("reference runtime failed: {e}"))?;
+        let reference = ServeEngine::new(config)
+            .run(&mut reference_runtime)
+            .map_err(|e| format!("reference serving run failed: {e}"))?;
+
+        let dir = std::env::temp_dir().join(format!(
+            "odin-serve-chaos-{}-t{trial}-{:08x}",
+            std::process::id(),
+            splitmix64(&mut stream) as u32
+        ));
+        std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+
+        let kills = 1 + (splitmix64(&mut stream) % 3) as usize;
+        let mut torn_injections = 0;
+        for kill in 0..kills {
+            let mut chld =
+                spawn_child(args, &dir, fault_rate).map_err(|e| format!("spawn child: {e}"))?;
+            let delay = 3 + splitmix64(&mut stream) % 40;
+            std::thread::sleep(Duration::from_millis(delay));
+            // SIGKILL: no destructors, no flush — exactly the crash
+            // the atomic write protocol must survive.
+            chld.kill().ok();
+            chld.wait().map_err(|e| format!("reap child: {e}"))?;
+            if kill % 2 == 1 {
+                torn_injections += tear_snapshots(&dir);
+            }
+        }
+
+        let start = Instant::now();
+        let mut survivor =
+            spawn_child(args, &dir, fault_rate).map_err(|e| format!("spawn survivor: {e}"))?;
+        let mut stdout = String::new();
+        if let Some(out) = survivor.stdout.as_mut() {
+            out.read_to_string(&mut stdout)
+                .map_err(|e| format!("read survivor stdout: {e}"))?;
+        }
+        let status = survivor.wait().map_err(|e| format!("reap survivor: {e}"))?;
+        let recovery_ms = start.elapsed().as_secs_f64() * 1e3;
+        if !status.success() {
+            return Err(format!("survivor exited with {status}"));
+        }
+        let field = |key: &str| {
+            stdout
+                .lines()
+                .rev()
+                .find_map(|l| l.strip_prefix(key))
+                .map(str::trim)
+                .ok_or_else(|| format!("survivor printed no {key} line:\n{stdout}"))
+        };
+        let digest = u64::from_str_radix(field("digest=")?, 16)
+            .map_err(|e| format!("bad digest line: {e}"))?;
+        let balanced = field("balanced=")? == "true";
+        let gold_goodput: f64 = field("gold_goodput=")?
+            .parse()
+            .map_err(|e| format!("bad gold_goodput line: {e}"))?;
+
+        trials.push(ServeChaosTrial {
+            trial,
+            fault_rate,
+            kills,
+            torn_injections,
+            recovery_ms,
+            digest_matches: digest == reference.digest,
+            balanced,
+            gold_goodput,
+            goodput_ok: gold_goodput >= GOLD_GOODPUT_FLOOR,
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    let all = trials
+        .iter()
+        .all(|t| t.digest_matches && t.balanced && t.goodput_ok);
+    Ok(ServeChaosReport {
+        meta: BenchMeta::paper(),
+        duration_ms: args.duration_ms,
+        seed: args.seed,
+        gold_goodput_floor: GOLD_GOODPUT_FLOOR,
+        trials,
+        all_gates_passed: all,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(1);
+        }
+    };
+    if args.child {
+        return child(&args);
+    }
+    let report = match parent(&args) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("serve_chaos failed: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    println!("{report}");
+    let ok = report.all_gates_passed;
+    match odin_bench::experiments::write_json("serve_chaos", &report) {
+        Ok(path) => println!("[json: {}]", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write results/serve_chaos.json: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("serve chaos gates violated");
+        ExitCode::from(1)
+    }
+}

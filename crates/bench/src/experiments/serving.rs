@@ -1,0 +1,398 @@
+//! Multi-tenant serving campaign: the `odin-serve` engine driven over
+//! a healthy fabric and a fault-storm fabric, recording tail latency,
+//! goodput, per-tenant fairness, and the resilience counters into
+//! `BENCH_serving.json` at the workspace root.
+//!
+//! Two scenarios run back-to-back:
+//!
+//! - **healthy** — the demo three-tenant fleet (gold/silver/bronze)
+//!   over a fault-free runtime: the throughput/latency baseline, plus
+//!   a replay check (the same seed must reproduce the same digest).
+//! - **storm** — a gentler-rate fleet over a fabric seeded with stuck
+//!   cells and `allow_degraded` off, so ladder exhaustion surfaces as
+//!   transient errors the serving layer must absorb with retries,
+//!   breakers, and degraded bottom-rung service. The storm must keep
+//!   the ledger balanced and gold goodput at or above
+//!   [`GOLD_GOODPUT_FLOOR`].
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+use odin_core::prelude::*;
+use odin_device::{EnduranceModel, FaultInjector};
+use odin_serve::{
+    BurstWindow, QosClass, ServeConfig, ServeEngine, ServeReport, TenantSpec, TraceConfig,
+};
+use rand::SeedableRng;
+use serde::Serialize;
+
+use crate::BenchMeta;
+
+/// The storm gate on the highest QoS class: even under a fault storm,
+/// at least this fraction of generated gold requests must be served
+/// (full-fidelity or degraded).
+pub const GOLD_GOODPUT_FLOOR: f64 = 0.9;
+
+/// One serving-campaign workload.
+#[derive(Debug, Clone)]
+pub struct ServingWorkload {
+    /// Healthy-scenario trace horizon, virtual milliseconds.
+    pub duration_ms: f64,
+    /// Storm-scenario trace horizon, virtual milliseconds.
+    pub storm_duration_ms: f64,
+    /// Seed for traces, jitter, and the storm fabric.
+    pub seed: u64,
+    /// Stuck-cell fault rate of the storm fabric.
+    pub fault_rate: f64,
+}
+
+impl ServingWorkload {
+    /// The reduced smoke workload (`--quick`).
+    #[must_use]
+    pub fn quick() -> Self {
+        ServingWorkload {
+            duration_ms: 400.0,
+            storm_duration_ms: 400.0,
+            seed: 7,
+            fault_rate: 0.15,
+        }
+    }
+
+    /// The full workload.
+    #[must_use]
+    pub fn paper() -> Self {
+        ServingWorkload {
+            duration_ms: 1_500.0,
+            storm_duration_ms: 800.0,
+            seed: 7,
+            fault_rate: 0.15,
+        }
+    }
+}
+
+/// The storm-scenario serving configuration: the same three-tenant
+/// shape as [`ServeConfig::demo`] but moderate rates and generous
+/// deadlines, so the gate measures resilience to *faults*, not to
+/// overload. The breaker trips on the first full-fidelity failure and
+/// its cooldown outlasts the horizon: under a persistent fault
+/// cluster (the worst case the ladder can produce with degraded mode
+/// off), each tenant loses at most one request before degraded
+/// serving takes over — which is what keeps gold goodput above the
+/// floor no matter how the storm lands.
+#[must_use]
+pub fn storm_config(duration_ms: f64, seed: u64) -> ServeConfig {
+    let mut config = ServeConfig::demo(seed);
+    config.trace = TraceConfig {
+        duration_ms,
+        diurnal_amplitude: 0.3,
+        diurnal_period_ms: 500.0,
+        bursts: vec![BurstWindow {
+            start_ms: duration_ms * 0.4,
+            end_ms: duration_ms * 0.6,
+            multiplier: 2.0,
+        }],
+    };
+    for (tenant, rate) in config.tenants.iter_mut().zip([80.0, 25.0, 15.0]) {
+        tenant.rate_rps = rate;
+        tenant.queue_capacity = 128;
+    }
+    config.deadline_ms = [1_000.0, 2_000.0, 4_000.0];
+    config.retry.max_retries = 2;
+    config.breaker.failure_threshold = 1;
+    config.breaker.cooldown_ms = 10_000.0;
+    config
+}
+
+/// Builds the storm runtime for `config`: a fabric with stuck cells at
+/// `fault_rate`, one spare group, and degraded mode *disabled* — so an
+/// exhausted ladder yields transient `NoFeasibleOu` instead of
+/// self-healing, and the serving layer has to do the absorbing.
+///
+/// # Errors
+///
+/// Propagates configuration and build failures.
+pub fn storm_runtime(config: &ServeConfig, fault_rate: f64) -> Result<OdinRuntime, OdinError> {
+    let layers = config.max_layers()?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let policy = DegradationPolicy {
+        allow_degraded: false,
+        ..DegradationPolicy::paper()
+    };
+    let fabric = FabricHealth::new(
+        layers,
+        128,
+        1,
+        &FaultInjector::new(fault_rate, 0.5),
+        EnduranceModel::new(1e6),
+        policy,
+        &mut rng,
+    );
+    OdinRuntime::builder(OdinConfig::paper())
+        .rng_seed(config.seed)
+        .fabric(fabric)
+        .build()
+}
+
+/// One latency row of the recorded report.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyRow {
+    /// QoS class name.
+    pub qos: String,
+    /// Served requests in the class.
+    pub count: u64,
+    /// Median end-to-end latency, virtual milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency.
+    pub p99_ms: f64,
+    /// 99.9th-percentile latency.
+    pub p999_ms: f64,
+    /// Worst latency.
+    pub max_ms: f64,
+}
+
+/// One scenario of the recorded report, distilled from a
+/// [`ServeReport`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ServingScenario {
+    /// Requests the arrival trace generated.
+    pub generated: u64,
+    /// Served at full fidelity.
+    pub served: u64,
+    /// Served degraded (breaker open).
+    pub served_degraded: u64,
+    /// Shed, all reasons.
+    pub shed: u64,
+    /// Failed, all classes.
+    pub failed: u64,
+    /// Transient-error retries.
+    pub retries: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// `(served + served_degraded) / generated`.
+    pub goodput: f64,
+    /// Goodput of the gold class alone.
+    pub gold_goodput: f64,
+    /// Jain fairness index over per-tenant goodput.
+    pub fairness: f64,
+    /// Virtual time at which the last outcome landed.
+    pub makespan_ms: f64,
+    /// `generated / makespan` in requests per virtual second.
+    pub sustained_rps: f64,
+    /// Per-class tail latency.
+    pub latency: Vec<LatencyRow>,
+    /// The total-accounting invariant: every generated request has
+    /// exactly one typed outcome.
+    pub balanced: bool,
+    /// Outcome digest (hex) — replay-stable for a fixed seed.
+    pub digest: String,
+}
+
+impl ServingScenario {
+    /// Distills a [`ServeReport`] into the recorded row set.
+    #[must_use]
+    pub fn from_report(report: &ServeReport) -> ServingScenario {
+        let makespan_s = (report.makespan_ms / 1e3).max(f64::MIN_POSITIVE);
+        ServingScenario {
+            generated: report.totals.generated,
+            served: report.totals.served,
+            served_degraded: report.totals.served_degraded,
+            shed: report.totals.shed_total(),
+            failed: report.totals.failed_total(),
+            retries: report.totals.retries,
+            breaker_trips: report.totals.breaker_trips,
+            goodput: report.totals.goodput(),
+            gold_goodput: report.goodput(QosClass::Gold),
+            fairness: report.fairness,
+            makespan_ms: report.makespan_ms,
+            sustained_rps: report.totals.generated as f64 / makespan_s,
+            latency: report
+                .latency
+                .iter()
+                .map(|row| LatencyRow {
+                    qos: row.qos.name().to_string(),
+                    count: row.count,
+                    p50_ms: row.p50_ms,
+                    p99_ms: row.p99_ms,
+                    p999_ms: row.p999_ms,
+                    max_ms: row.max_ms,
+                })
+                .collect(),
+            balanced: report.balanced(),
+            digest: format!("{:016x}", report.digest),
+        }
+    }
+}
+
+/// The recorded serving campaign (`BENCH_serving.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ServingReport {
+    /// Schema version and configuration fingerprint shared by every
+    /// `BENCH_*.json` artifact.
+    pub meta: BenchMeta,
+    /// Trace/jitter/fabric seed.
+    pub seed: u64,
+    /// Healthy-scenario horizon, virtual milliseconds.
+    pub duration_ms: f64,
+    /// Storm-scenario horizon, virtual milliseconds.
+    pub storm_duration_ms: f64,
+    /// Storm fabric's stuck-cell fault rate.
+    pub fault_rate: f64,
+    /// `true` iff a second healthy run with the same seed reproduced
+    /// the identical digest.
+    pub replay_matches: bool,
+    /// The gate the storm's gold goodput must clear.
+    pub gold_goodput_floor: f64,
+    /// `storm.balanced && storm.gold_goodput ≥ gold_goodput_floor`.
+    pub storm_gate_passed: bool,
+    /// Demo fleet over a fault-free runtime.
+    pub healthy: ServingScenario,
+    /// Gentle fleet over the fault-storm runtime.
+    pub storm: ServingScenario,
+}
+
+impl fmt::Display for ServingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "serving campaign: seed {} | healthy {:.0} ms, storm {:.0} ms @ fault rate {:.2}",
+            self.seed, self.duration_ms, self.storm_duration_ms, self.fault_rate
+        )?;
+        for (name, s) in [("healthy", &self.healthy), ("storm", &self.storm)] {
+            writeln!(
+                f,
+                "[{name}] {} generated @ {:.0} req/s | served {} (+{} degraded) shed {} failed {} | \
+                 goodput {:.3} (gold {:.3}) fairness {:.3} | retries {} trips {} | balanced: {} | digest {}",
+                s.generated,
+                s.sustained_rps,
+                s.served,
+                s.served_degraded,
+                s.shed,
+                s.failed,
+                s.goodput,
+                s.gold_goodput,
+                s.fairness,
+                s.retries,
+                s.breaker_trips,
+                if s.balanced { "yes" } else { "NO" },
+                s.digest
+            )?;
+            for row in &s.latency {
+                writeln!(
+                    f,
+                    "[{name}]   {:<6} n={:<5} p50 {:.2} ms  p99 {:.2} ms  p999 {:.2} ms  max {:.2} ms",
+                    row.qos, row.count, row.p50_ms, row.p99_ms, row.p999_ms, row.max_ms
+                )?;
+            }
+        }
+        write!(
+            f,
+            "replay bit-identical: {} | storm gate (balanced, gold goodput ≥ {:.2}): {}",
+            if self.replay_matches { "yes" } else { "NO" },
+            self.gold_goodput_floor,
+            if self.storm_gate_passed { "yes" } else { "NO" }
+        )
+    }
+}
+
+/// Runs both scenarios plus the healthy replay check.
+///
+/// # Errors
+///
+/// Propagates configuration, build, and engine failures. Inference
+/// errors inside the storm do **not** propagate — absorbing them into
+/// typed outcomes is the point.
+pub fn run(workload: &ServingWorkload) -> Result<ServingReport, OdinError> {
+    let mut healthy_config = ServeConfig::demo(workload.seed);
+    healthy_config.trace.duration_ms = workload.duration_ms;
+    let engine = ServeEngine::new(healthy_config.clone());
+    let healthy_runtime = || {
+        OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(workload.seed)
+            .build()
+    };
+    let healthy = engine.run(&mut healthy_runtime()?)?;
+    let replay = engine.run(&mut healthy_runtime()?)?;
+    let replay_matches = replay.digest == healthy.digest && replay.totals == healthy.totals;
+
+    let storm_cfg = storm_config(workload.storm_duration_ms, workload.seed);
+    let mut runtime = storm_runtime(&storm_cfg, workload.fault_rate)?;
+    let storm = ServeEngine::new(storm_cfg).run(&mut runtime)?;
+
+    let healthy = ServingScenario::from_report(&healthy);
+    let storm = ServingScenario::from_report(&storm);
+    Ok(ServingReport {
+        meta: BenchMeta::paper(),
+        seed: workload.seed,
+        duration_ms: workload.duration_ms,
+        storm_duration_ms: workload.storm_duration_ms,
+        fault_rate: workload.fault_rate,
+        replay_matches,
+        gold_goodput_floor: GOLD_GOODPUT_FLOOR,
+        storm_gate_passed: storm.balanced && storm.gold_goodput >= GOLD_GOODPUT_FLOOR,
+        healthy,
+        storm,
+    })
+}
+
+/// Records the campaign into `BENCH_serving.json` at the workspace
+/// root (same convention as the other `BENCH_*.json` artifacts:
+/// generated, never hand-edited).
+///
+/// # Errors
+///
+/// Returns I/O errors from writing the file.
+pub fn write_report(report: &ServingReport) -> io::Result<PathBuf> {
+    let path = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_serving.json"
+    ));
+    let json = serde_json::to_string_pretty(report).map_err(io::Error::other)?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ServingWorkload {
+        ServingWorkload {
+            duration_ms: 150.0,
+            storm_duration_ms: 400.0,
+            seed: 7,
+            fault_rate: 0.15,
+        }
+    }
+
+    #[test]
+    fn campaign_is_balanced_and_replayable() {
+        let report = run(&tiny()).unwrap();
+        assert!(report.healthy.balanced);
+        assert!(report.storm.balanced);
+        assert!(report.replay_matches, "same seed must reproduce the digest");
+        assert!(report.healthy.generated > 0);
+        assert_eq!(report.meta.schema_version, crate::BENCH_SCHEMA_VERSION);
+        let text = report.to_string();
+        assert!(text.contains("storm gate"), "{text}");
+    }
+
+    #[test]
+    fn storm_clears_the_gold_goodput_gate() {
+        let report = run(&tiny()).unwrap();
+        assert!(
+            report.storm_gate_passed,
+            "storm gate failed: gold goodput {:.3}, balanced {}",
+            report.storm.gold_goodput, report.storm.balanced
+        );
+    }
+
+    #[test]
+    fn report_serializes_with_both_scenarios() {
+        let report = run(&tiny()).unwrap();
+        let json = serde_json::to_value(&report).unwrap();
+        assert!(json["healthy"]["digest"].is_string());
+        assert!(json["storm"]["latency"].is_array());
+        assert!(json["meta"]["config_fingerprint"].is_string());
+    }
+}

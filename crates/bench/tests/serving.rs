@@ -1,0 +1,39 @@
+//! End-to-end serving gates: drive the `serve_campaign` and
+//! `serve_chaos` binaries the way CI does and assert their own gates
+//! hold — balanced accounting, bit-identical replay, the storm's gold
+//! goodput floor, and kill/resume equivalence under the fault-storm
+//! ramp.
+
+use std::process::Command;
+
+#[test]
+fn serve_campaign_emits_a_balanced_gated_report() {
+    let out = Command::new(env!("CARGO_BIN_EXE_serve_campaign"))
+        .args(["--quick", "--seed", "11"])
+        .output()
+        .expect("serve_campaign spawns");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "serve_campaign failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stdout.contains("replay bit-identical: yes"), "{stdout}");
+    assert!(stdout.contains("balanced: yes"), "{stdout}");
+    assert!(stdout.contains("BENCH_serving.json"), "{stdout}");
+}
+
+#[test]
+fn serve_chaos_survives_seeded_kills_through_the_storm_ramp() {
+    let out = Command::new(env!("CARGO_BIN_EXE_serve_chaos"))
+        .args(["--quick", "--trials", "2", "--seed", "11"])
+        .output()
+        .expect("serve_chaos spawns");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "serve_chaos failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stdout.contains("all gates passed: yes"), "{stdout}");
+}

@@ -80,6 +80,23 @@ pub enum SnapshotError {
     },
 }
 
+impl SnapshotError {
+    /// `true` when retrying the same operation later can plausibly
+    /// succeed: only [`SnapshotError::Io`] qualifies (a full disk or
+    /// EINTR may clear). Structural damage — corruption, version skew,
+    /// truncation — is a property of the bytes on disk and no retry
+    /// will repair it.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            SnapshotError::Io { .. } => true,
+            SnapshotError::Corrupt { .. }
+            | SnapshotError::VersionMismatch { .. }
+            | SnapshotError::Incomplete { .. } => false,
+        }
+    }
+}
+
 impl std::fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -105,6 +122,49 @@ impl std::fmt::Display for SnapshotError {
 }
 
 impl std::error::Error for SnapshotError {}
+
+impl OdinError {
+    /// `true` when a later retry of the same request can plausibly
+    /// succeed without any external intervention, so a serving-layer
+    /// retry policy may re-attempt it (with backoff):
+    ///
+    /// - [`OdinError::NoFeasibleOu`] — the degradation ladder hit its
+    ///   reprogram-backoff gate or a transiently hostile search
+    ///   environment; once the backoff window passes, a reprogramming
+    ///   pass can restore feasibility.
+    /// - [`OdinError::Snapshot`] with [`SnapshotError::Io`] — the
+    ///   filesystem said no *this time* (disk pressure, interruption).
+    ///
+    /// Everything else is a terminal property of the configuration,
+    /// the workload, or the hardware's remaining lifetime — retrying
+    /// burns work (and possibly endurance) to reach the same answer.
+    ///
+    /// The match is exhaustive on purpose: adding an `OdinError`
+    /// variant without deciding its retry class is a compile error
+    /// here, so the retry policy can never silently mis-retry a new
+    /// fatal error.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            OdinError::NoFeasibleOu { .. } => true,
+            OdinError::Snapshot(e) => e.is_transient(),
+            OdinError::InvalidConfig { .. }
+            | OdinError::Mapping(_)
+            | OdinError::EnduranceExhausted { .. }
+            | OdinError::Device(_) => false,
+        }
+    }
+
+    /// The complement of [`is_transient`](Self::is_transient): the
+    /// error names a condition no retry will clear (invalid
+    /// configuration, unmappable layer, exhausted endurance, damaged
+    /// snapshot bytes). A serving layer must fail the request — or
+    /// route it to an explicitly degraded path — instead of retrying.
+    #[must_use]
+    pub fn is_fatal(&self) -> bool {
+        !self.is_transient()
+    }
+}
 
 impl std::fmt::Display for OdinError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -241,5 +301,144 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
         assert_bounds::<OdinError>();
+    }
+
+    /// One instance of every `OdinError` variant with its expected
+    /// retry class. Extending `OdinError` without extending this table
+    /// (and the `is_transient` match) is a compile/test failure, never
+    /// a silent mis-classification.
+    fn classification_table() -> Vec<(OdinError, bool)> {
+        vec![
+            (
+                OdinError::InvalidConfig {
+                    name: "eta",
+                    reason: "must be positive",
+                },
+                false,
+            ),
+            (
+                OdinError::Mapping(odin_xbar::XbarError::EmptyWeightMatrix),
+                false,
+            ),
+            (OdinError::NoFeasibleOu { layer: 3 }, true),
+            (OdinError::EnduranceExhausted { group: 1 }, false),
+            (
+                OdinError::Device(odin_device::DeviceError::InvalidParameter {
+                    name: "g_on",
+                    reason: "must be positive",
+                }),
+                false,
+            ),
+            (
+                OdinError::Device(odin_device::DeviceError::WeightOutOfRange { weight: 9.0 }),
+                false,
+            ),
+            (
+                OdinError::Device(odin_device::DeviceError::EnduranceExceeded {
+                    array: 0,
+                    writes: 8,
+                    budget: 8,
+                }),
+                false,
+            ),
+            (
+                OdinError::Snapshot(SnapshotError::Corrupt {
+                    path: "a.snap".into(),
+                    reason: "checksum".into(),
+                }),
+                false,
+            ),
+            (
+                OdinError::Snapshot(SnapshotError::VersionMismatch {
+                    path: "a.snap".into(),
+                    found: 2,
+                    supported: 1,
+                }),
+                false,
+            ),
+            (
+                OdinError::Snapshot(SnapshotError::Incomplete {
+                    path: "a.snap".into(),
+                    reason: "truncated".into(),
+                }),
+                false,
+            ),
+            (
+                OdinError::Snapshot(SnapshotError::Io {
+                    path: "a.snap".into(),
+                    op: "rename",
+                    message: "no space left on device".into(),
+                }),
+                true,
+            ),
+        ]
+    }
+
+    #[test]
+    fn transient_fatal_partition_is_exhaustive_and_consistent() {
+        let table = classification_table();
+        // Every `OdinError` variant appears at least once, and every
+        // `SnapshotError`/`DeviceError` sub-variant exactly once.
+        assert!(table
+            .iter()
+            .any(|(e, _)| matches!(e, OdinError::InvalidConfig { .. })));
+        assert!(table
+            .iter()
+            .any(|(e, _)| matches!(e, OdinError::Mapping(_))));
+        assert!(table
+            .iter()
+            .any(|(e, _)| matches!(e, OdinError::NoFeasibleOu { .. })));
+        assert!(table
+            .iter()
+            .any(|(e, _)| matches!(e, OdinError::EnduranceExhausted { .. })));
+        assert_eq!(
+            table
+                .iter()
+                .filter(|(e, _)| matches!(e, OdinError::Device(_)))
+                .count(),
+            3,
+            "one row per DeviceError variant"
+        );
+        assert_eq!(
+            table
+                .iter()
+                .filter(|(e, _)| matches!(e, OdinError::Snapshot(_)))
+                .count(),
+            4,
+            "one row per SnapshotError variant"
+        );
+        for (error, transient) in table {
+            assert_eq!(error.is_transient(), transient, "{error}");
+            // The partition is total: exactly one of the two holds.
+            assert_eq!(error.is_fatal(), !transient, "{error}");
+        }
+    }
+
+    #[test]
+    fn snapshot_error_transience_matches_wrapped_classification() {
+        let cases = [
+            SnapshotError::Corrupt {
+                path: "x".into(),
+                reason: "r".into(),
+            },
+            SnapshotError::VersionMismatch {
+                path: "x".into(),
+                found: 7,
+                supported: 1,
+            },
+            SnapshotError::Incomplete {
+                path: "x".into(),
+                reason: "r".into(),
+            },
+            SnapshotError::Io {
+                path: "x".into(),
+                op: "sync",
+                message: "interrupted".into(),
+            },
+        ];
+        for inner in cases {
+            let direct = inner.is_transient();
+            assert_eq!(OdinError::Snapshot(inner).is_transient(), direct);
+        }
     }
 }

@@ -336,6 +336,41 @@ impl FabricHealth {
         self.groups[self.assignment[layer]].retired
     }
 
+    /// `true` when any hosted layer is stranded on a retired group —
+    /// the fabric can only serve (at least some of) its layers
+    /// degraded. Admission control uses this as the "ladder bottomed
+    /// out" signal.
+    #[must_use]
+    pub fn any_stranded(&self) -> bool {
+        self.assignment
+            .iter()
+            .any(|&group| self.groups[group].retired)
+    }
+
+    /// Remaining write-endurance budget across the whole fleet
+    /// (hosting groups and spares alike), as a fraction of the
+    /// combined budget (1.0 = factory fresh, 0.0 = everything
+    /// exhausted). Retired groups contribute zero remaining budget, so
+    /// the fraction is monotone non-increasing over the fabric's life.
+    /// Admission control consults this before accepting work whose QoS
+    /// class doesn't justify spending the fleet's remaining lifetime.
+    #[must_use]
+    pub fn remaining_endurance_fraction(&self) -> f64 {
+        let budget = self.ledger.budget();
+        let total = budget.saturating_mul(self.groups.len() as u64);
+        if total == 0 {
+            return 0.0;
+        }
+        let remaining: u64 = self
+            .groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.retired)
+            .map(|(idx, _)| budget.saturating_sub(self.ledger.writes(idx)))
+            .sum();
+        remaining as f64 / total as f64
+    }
+
     /// The search environment for `layer`: its group's fault profile
     /// and any wear-driven grid cap.
     ///
@@ -642,6 +677,195 @@ mod tests {
         assert_eq!(back.spares_remaining(), f.spares_remaining());
         for g in 0..3 {
             assert_eq!(back.group(g), f.group(g));
+        }
+    }
+
+    #[test]
+    fn admission_hooks_track_ladder_state() {
+        let mut f = fabric(2, 2, 2.0);
+        assert!(!f.any_stranded());
+        // Fresh: hosting groups charged 1/2 each, spares untouched →
+        // remaining = (1 + 1 + 2 + 2) / 8.
+        assert!((f.remaining_endurance_fraction() - 0.75).abs() < 1e-12);
+        let _ = f.reprogram_pass(); // hosting groups at 2/2
+        assert!((f.remaining_endurance_fraction() - 0.5).abs() < 1e-12);
+        // Next pass retires both hosting groups, layers remap onto the
+        // spares (charged 1/2 each): retired groups contribute nothing.
+        let _ = f.reprogram_pass();
+        assert!(!f.any_stranded());
+        assert!((f.remaining_endurance_fraction() - 0.25).abs() < 1e-12);
+        // Exhaust the spares too: everything retired → stranded, zero.
+        let _ = f.reprogram_pass();
+        let _ = f.reprogram_pass();
+        assert!(f.any_stranded());
+        assert!(f.remaining_endurance_fraction() < 1e-12);
+    }
+
+    /// One mutation step of the ladder state machine, for the re-entry
+    /// property tests below.
+    #[derive(Debug, Clone, Copy)]
+    enum LadderOp {
+        WearCaps,
+        ReprogramPass,
+        Remap(usize),
+        NoteFailure(u64),
+        NoteSuccess,
+    }
+
+    fn apply_op(f: &mut FabricHealth, op: LadderOp) -> Vec<DegradationEvent> {
+        match op {
+            LadderOp::WearCaps => f.apply_wear_caps(),
+            LadderOp::ReprogramPass => f.reprogram_pass().0,
+            LadderOp::Remap(layer) => {
+                let layer = layer % f.assignment().len();
+                f.remap(layer)
+                    .map(|(from, to)| vec![DegradationEvent::Remapped { layer, from, to }])
+                    .unwrap_or_default()
+            }
+            LadderOp::NoteFailure(t) => {
+                f.note_reprogram_failure(Seconds::new(1.0 + t as f64));
+                Vec::new()
+            }
+            LadderOp::NoteSuccess => {
+                f.note_reprogram_success();
+                Vec::new()
+            }
+        }
+    }
+
+    fn ladder_op_strategy() -> impl Strategy<Value = LadderOp> {
+        prop_oneof![
+            Just(LadderOp::WearCaps),
+            Just(LadderOp::ReprogramPass),
+            (0usize..8).prop_map(LadderOp::Remap),
+            (0u64..1000).prop_map(LadderOp::NoteFailure),
+            Just(LadderOp::NoteSuccess),
+        ]
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Replaying any op sequence on an identically-seeded fabric
+        /// reproduces the same state and the same event stream, in the
+        /// same order — the determinism interleaved tenants rely on:
+        /// the event order is a function of the op order alone, never
+        /// of who (which tenant's request) triggered each op.
+        #[test]
+        fn ladder_descent_is_deterministic(
+            layers in 1usize..5,
+            spares in 0usize..4,
+            cycles in 1u64..6,
+            ops in proptest::collection::vec(ladder_op_strategy(), 1..40),
+        ) {
+            let mut a = fabric(layers, spares, cycles as f64);
+            let mut b = fabric(layers, spares, cycles as f64);
+            for &op in &ops {
+                let ea = apply_op(&mut a, op);
+                let eb = apply_op(&mut b, op);
+                prop_assert_eq!(ea, eb);
+            }
+            prop_assert_eq!(a, b);
+        }
+
+        /// Repeated backoff/descend cycles are idempotent and monotone:
+        /// no rung is skipped (groups shrink only past the wear
+        /// threshold and retire only at an exhausted budget), nothing
+        /// re-ascends (retired stays retired, caps stay capped, spares
+        /// never return), and a layer's group changes only when an
+        /// explicit remap event names it.
+        #[test]
+        fn ladder_reentry_is_monotone_and_never_reascends(
+            layers in 1usize..5,
+            spares in 0usize..4,
+            cycles in 1u64..6,
+            ops in proptest::collection::vec(ladder_op_strategy(), 1..40),
+        ) {
+            let mut f = fabric(layers, spares, cycles as f64);
+            let total = layers + spares;
+            let budget = f.ledger().budget();
+            let threshold = f.policy().wear_shrink_threshold;
+            let mut retired: Vec<bool> = (0..total).map(|g| f.group(g).retired()).collect();
+            let mut capped: Vec<bool> =
+                (0..total).map(|g| f.group(g).level_cap().is_some()).collect();
+            let mut assignment = f.assignment().to_vec();
+            let mut generation = f.generation();
+            let mut spares_left = f.spares_remaining();
+            for &op in &ops {
+                let events = apply_op(&mut f, op);
+                // No rung skipped: every emitted transition carries the
+                // evidence for its rung.
+                for event in &events {
+                    match *event {
+                        DegradationEvent::GridShrunk { group, level_cap } => {
+                            prop_assert_eq!(level_cap, f.policy().shrink_level_cap);
+                            prop_assert!(f.ledger().wear(group) >= threshold);
+                        }
+                        DegradationEvent::OutOfService { group, writes } => {
+                            prop_assert_eq!(writes, budget, "retired before exhaustion");
+                            prop_assert_eq!(f.ledger().writes(group), budget);
+                        }
+                        DegradationEvent::Remapped { layer, from, to } => {
+                            prop_assert_eq!(assignment[layer], from);
+                            prop_assert!(to >= layers, "remap target must be a spare group");
+                        }
+                        _ => {}
+                    }
+                }
+                // Monotone: no re-ascent on any axis.
+                prop_assert!(f.generation() >= generation);
+                prop_assert!(f.spares_remaining() <= spares_left);
+                for g in 0..total {
+                    prop_assert!(!retired[g] || f.group(g).retired(), "group {} un-retired", g);
+                    prop_assert!(
+                        !capped[g] || f.group(g).level_cap().is_some(),
+                        "group {} uncapped",
+                        g
+                    );
+                }
+                // Assignment changes require an explicit remap event.
+                for (layer, &group) in f.assignment().iter().enumerate() {
+                    if group != assignment[layer] {
+                        prop_assert!(events.iter().any(|e| matches!(
+                            e,
+                            DegradationEvent::Remapped { layer: l, to, .. }
+                                if *l == layer && *to == group
+                        )));
+                    }
+                }
+                retired = (0..total).map(|g| f.group(g).retired()).collect();
+                capped = (0..total).map(|g| f.group(g).level_cap().is_some()).collect();
+                assignment = f.assignment().to_vec();
+                generation = f.generation();
+                spares_left = f.spares_remaining();
+            }
+            // Idempotence at rest: with no wear added since the last
+            // pass, re-applying the shrink rung emits nothing.
+            prop_assert!(f.apply_wear_caps().is_empty());
+            prop_assert!(f.apply_wear_caps().is_empty());
+        }
+
+        /// `remaining_endurance_fraction` is monotone non-increasing
+        /// under every ladder op and stays inside [0, 1].
+        #[test]
+        fn remaining_endurance_monotone(
+            layers in 1usize..5,
+            spares in 0usize..4,
+            cycles in 1u64..6,
+            ops in proptest::collection::vec(ladder_op_strategy(), 1..30),
+        ) {
+            let mut f = fabric(layers, spares, cycles as f64);
+            let mut last = f.remaining_endurance_fraction();
+            prop_assert!((0.0..=1.0).contains(&last));
+            for &op in &ops {
+                let _ = apply_op(&mut f, op);
+                let now = f.remaining_endurance_fraction();
+                prop_assert!((0.0..=1.0).contains(&now));
+                prop_assert!(now <= last + 1e-12, "endurance re-ascended: {} > {}", now, last);
+                last = now;
+            }
         }
     }
 

@@ -660,6 +660,64 @@ impl OdinRuntime {
         result
     }
 
+    /// Executes one inference run at wall-clock time `now` with every
+    /// layer served at the ladder's bottom rung: the smallest OU, η
+    /// constraint waived, evaluated against each group's fault profile.
+    ///
+    /// This is the explicit degraded-service door a serving layer uses
+    /// when it must not fail closed — e.g. while a tenant's circuit
+    /// breaker is open — without waiting for the fabric to strand the
+    /// layers on its own. It never searches, never reprograms, never
+    /// learns, and never mutates fabric state, so it is cheap,
+    /// deterministic, and invisible to the online-learning loop; each
+    /// layer is flagged [`LayerDecision::degraded`] and recorded as a
+    /// [`DegradationEvent::DegradedServe`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::Mapping`] when a layer cannot be mapped
+    /// onto the fabric even at the smallest OU.
+    pub fn run_inference_degraded(
+        &mut self,
+        network: &NetworkDescriptor,
+        now: Seconds,
+    ) -> Result<InferenceRecord, OdinError> {
+        let run_token = self.telemetry.start();
+        let age = self.age_at(now);
+        let mut events = Vec::new();
+        let decisions = self.decide_all_degraded(network, age, &mut events)?;
+        let compute: LayerCost = decisions.iter().map(|d| d.eval.cost).sum();
+        let inference = compute.seq(self.model.movement_cost(network));
+        let overhead = if self.config.count_overheads() {
+            LayerCost {
+                energy: self.overheads.prediction_energy(inference.latency),
+                latency: self.overheads.prediction_latency(inference.latency),
+            }
+        } else {
+            LayerCost::ZERO
+        };
+        self.telemetry.incr(CounterId::RunsExecuted);
+        for _ in &events {
+            self.telemetry.incr(CounterId::LadderDegradedServe);
+        }
+        let dur_ns = self
+            .telemetry
+            .finish_with(SpanId::Run, run_token, decisions.len() as i64);
+        self.telemetry
+            .observe(HistogramId::RunLatencyUs, dur_ns as f64 / 1e3);
+        Ok(InferenceRecord {
+            time: now,
+            age,
+            reprogrammed: false,
+            reprogram: None,
+            decisions,
+            inference,
+            overhead,
+            policy_updated: false,
+            events,
+        })
+    }
+
     /// The uninstrumented body of [`run_inference`](Self::run_inference).
     fn run_inference_inner(
         &mut self,

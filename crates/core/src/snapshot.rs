@@ -252,42 +252,7 @@ impl CampaignSnapshot {
     /// Returns [`OdinError::Snapshot`] ([`SnapshotError::Io`]) when any
     /// filesystem step fails.
     pub fn write_atomic(&self, path: &Path) -> Result<(), OdinError> {
-        let payload = serde_json::to_vec(self).map_err(|e| SnapshotError::Io {
-            path: path.display().to_string(),
-            op: "serialize",
-            message: e.to_string(),
-        })?;
-        let header = format!(
-            "{{\"magic\":\"{MAGIC}\",\"version\":{},\"checksum\":\"{:016x}\",\"bytes\":{}}}\n",
-            self.format_version,
-            fnv1a64(&payload),
-            payload.len()
-        );
-        let tmp = tmp_sibling(path);
-        let io_err = |op: &'static str, p: &Path| {
-            let p = p.display().to_string();
-            move |e: std::io::Error| SnapshotError::Io {
-                path: p.clone(),
-                op,
-                message: e.to_string(),
-            }
-        };
-        let mut file = fs::File::create(&tmp).map_err(io_err("create", &tmp))?;
-        file.write_all(header.as_bytes())
-            .and_then(|()| file.write_all(&payload))
-            .map_err(io_err("write", &tmp))?;
-        file.sync_all().map_err(io_err("sync", &tmp))?;
-        drop(file);
-        fs::rename(&tmp, path).map_err(io_err("rename", path))?;
-        // Persist the rename itself. Directory handles cannot be
-        // fsynced on every platform, so failures here are tolerated —
-        // the data file is already durable.
-        if let Some(dir) = path.parent() {
-            if let Ok(d) = fs::File::open(dir) {
-                let _ = d.sync_all();
-            }
-        }
-        Ok(())
+        write_payload_atomic(path, MAGIC, self.format_version, self)
     }
 
     /// Reads and fully validates a snapshot from `path` (see the
@@ -300,65 +265,8 @@ impl CampaignSnapshot {
     /// on structural or checksum damage, `VersionMismatch` for foreign
     /// format versions, `Incomplete` for truncated payloads.
     pub fn read(path: &Path) -> Result<CampaignSnapshot, OdinError> {
-        let shown = path.display().to_string();
-        let bytes = fs::read(path).map_err(|e| SnapshotError::Io {
-            path: shown.clone(),
-            op: "read",
-            message: e.to_string(),
-        })?;
-        let corrupt = |reason: &str| SnapshotError::Corrupt {
-            path: shown.clone(),
-            reason: reason.to_string(),
-        };
-        let newline = bytes
-            .iter()
-            .position(|&b| b == b'\n')
-            .ok_or_else(|| corrupt("missing header line"))?;
-        let header: Header = serde_json::from_slice(&bytes[..newline])
-            .map_err(|e| corrupt(&format!("unparseable header: {e}")))?;
-        if header.magic != MAGIC {
-            return Err(corrupt(&format!("bad magic `{}`", header.magic)).into());
-        }
-        if header.version != SNAPSHOT_FORMAT_VERSION {
-            return Err(SnapshotError::VersionMismatch {
-                path: shown,
-                found: header.version,
-                supported: SNAPSHOT_FORMAT_VERSION,
-            }
-            .into());
-        }
-        let payload = &bytes[newline + 1..];
-        if payload.len() < header.bytes {
-            return Err(SnapshotError::Incomplete {
-                path: shown,
-                reason: format!(
-                    "payload is {} bytes, header promises {}",
-                    payload.len(),
-                    header.bytes
-                ),
-            }
-            .into());
-        }
-        if payload.len() > header.bytes {
-            return Err(corrupt(&format!(
-                "payload is {} bytes, header promises {}",
-                payload.len(),
-                header.bytes
-            ))
-            .into());
-        }
-        let expected = u64::from_str_radix(&header.checksum, 16)
-            .map_err(|_| corrupt("unparseable checksum"))?;
-        let actual = fnv1a64(payload);
-        if actual != expected {
-            return Err(corrupt(&format!(
-                "checksum mismatch: file declares {expected:016x}, content hashes to {actual:016x}"
-            ))
-            .into());
-        }
-        let snapshot: CampaignSnapshot = serde_json::from_slice(payload)
-            .map_err(|e| corrupt(&format!("unparseable payload: {e}")))?;
-        snapshot.validate(&shown)?;
+        let snapshot: CampaignSnapshot = read_payload(path, MAGIC, SNAPSHOT_FORMAT_VERSION)?;
+        snapshot.validate(&path.display().to_string())?;
         Ok(snapshot)
     }
 
@@ -400,6 +308,142 @@ struct Header {
     version: u32,
     checksum: String,
     bytes: usize,
+}
+
+/// Writes any serializable payload to `path` through the snapshot
+/// module's crash-consistent protocol: serialize, prefix the
+/// checksummed one-line header carrying `magic`/`version`, write to a
+/// `.tmp` sibling, `fsync`, rename over `path`, then best-effort
+/// `fsync` the directory. This is the generic seam behind
+/// [`CampaignSnapshot::write_atomic`]; other subsystems (the serving
+/// layer's checkpoints) persist their own state through the identical
+/// path by choosing their own magic string.
+///
+/// # Errors
+///
+/// Returns [`OdinError::Snapshot`] ([`SnapshotError::Io`]) when any
+/// filesystem step fails.
+pub fn write_payload_atomic<T: Serialize>(
+    path: &Path,
+    magic: &str,
+    version: u32,
+    payload: &T,
+) -> Result<(), OdinError> {
+    let payload = serde_json::to_vec(payload).map_err(|e| SnapshotError::Io {
+        path: path.display().to_string(),
+        op: "serialize",
+        message: e.to_string(),
+    })?;
+    let header = format!(
+        "{{\"magic\":\"{magic}\",\"version\":{version},\"checksum\":\"{:016x}\",\"bytes\":{}}}\n",
+        fnv1a64(&payload),
+        payload.len()
+    );
+    let tmp = tmp_sibling(path);
+    let io_err = |op: &'static str, p: &Path| {
+        let p = p.display().to_string();
+        move |e: std::io::Error| SnapshotError::Io {
+            path: p.clone(),
+            op,
+            message: e.to_string(),
+        }
+    };
+    let mut file = fs::File::create(&tmp).map_err(io_err("create", &tmp))?;
+    file.write_all(header.as_bytes())
+        .and_then(|()| file.write_all(&payload))
+        .map_err(io_err("write", &tmp))?;
+    file.sync_all().map_err(io_err("sync", &tmp))?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(io_err("rename", path))?;
+    // Persist the rename itself. Directory handles cannot be
+    // fsynced on every platform, so failures here are tolerated —
+    // the data file is already durable.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads and fully validates a payload written by
+/// [`write_payload_atomic`] with the same `magic`: the header must
+/// parse and carry the magic ([`SnapshotError::Corrupt`] otherwise),
+/// declare `supported_version` ([`SnapshotError::VersionMismatch`]),
+/// promise exactly the payload present ([`SnapshotError::Incomplete`]
+/// when truncated, `Corrupt` when over-long), and checksum-match the
+/// content before deserialization is attempted. Nothing in this path
+/// panics.
+///
+/// # Errors
+///
+/// Returns [`OdinError::Snapshot`] with the precise
+/// [`SnapshotError`]: `Io` when the file cannot be read, `Corrupt` on
+/// structural or checksum damage, `VersionMismatch` for foreign
+/// format versions, `Incomplete` for truncated payloads.
+pub fn read_payload<T: serde::de::DeserializeOwned>(
+    path: &Path,
+    magic: &str,
+    supported_version: u32,
+) -> Result<T, OdinError> {
+    let shown = path.display().to_string();
+    let bytes = fs::read(path).map_err(|e| SnapshotError::Io {
+        path: shown.clone(),
+        op: "read",
+        message: e.to_string(),
+    })?;
+    let corrupt = |reason: &str| SnapshotError::Corrupt {
+        path: shown.clone(),
+        reason: reason.to_string(),
+    };
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| corrupt("missing header line"))?;
+    let header: Header = serde_json::from_slice(&bytes[..newline])
+        .map_err(|e| corrupt(&format!("unparseable header: {e}")))?;
+    if header.magic != magic {
+        return Err(corrupt(&format!("bad magic `{}`", header.magic)).into());
+    }
+    if header.version != supported_version {
+        return Err(SnapshotError::VersionMismatch {
+            path: shown,
+            found: header.version,
+            supported: supported_version,
+        }
+        .into());
+    }
+    let payload = &bytes[newline + 1..];
+    if payload.len() < header.bytes {
+        return Err(SnapshotError::Incomplete {
+            path: shown,
+            reason: format!(
+                "payload is {} bytes, header promises {}",
+                payload.len(),
+                header.bytes
+            ),
+        }
+        .into());
+    }
+    if payload.len() > header.bytes {
+        return Err(corrupt(&format!(
+            "payload is {} bytes, header promises {}",
+            payload.len(),
+            header.bytes
+        ))
+        .into());
+    }
+    let expected =
+        u64::from_str_radix(&header.checksum, 16).map_err(|_| corrupt("unparseable checksum"))?;
+    let actual = fnv1a64(payload);
+    if actual != expected {
+        return Err(corrupt(&format!(
+            "checksum mismatch: file declares {expected:016x}, content hashes to {actual:016x}"
+        ))
+        .into());
+    }
+    serde_json::from_slice(payload)
+        .map_err(|e| corrupt(&format!("unparseable payload: {e}")).into())
 }
 
 /// FNV-1a 64-bit content hash — dependency-free, deterministic across

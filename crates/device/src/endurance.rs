@@ -293,5 +293,55 @@ mod tests {
             let m = EnduranceModel::paper();
             prop_assert!(m.wear_fraction(w1 + extra) >= m.wear_fraction(w1));
         }
+
+        /// Boundary behaviour at exhaustion: exactly `budget` charges
+        /// succeed (returning 1..=budget), the write at the boundary
+        /// fails with the precise [`DeviceError::EnduranceExceeded`]
+        /// payload, and any number of refused retries saturates — the
+        /// counter never moves past the budget, so it can never wrap.
+        #[test]
+        fn charges_saturate_exactly_at_budget(
+            budget in 1u64..64,
+            refused_retries in 1usize..16,
+        ) {
+            let mut ledger = EnduranceLedger::new(EnduranceModel::new(budget as f64), 2);
+            prop_assert_eq!(ledger.budget(), budget);
+            for i in 1..=budget {
+                prop_assert!(ledger.can_write(0));
+                prop_assert_eq!(ledger.charge(0), Ok(i));
+                prop_assert!(ledger.wear(0) <= 1.0);
+            }
+            // Exhausted exactly at the last admitted cycle.
+            prop_assert_eq!(ledger.writes(0), budget);
+            prop_assert_eq!(ledger.wear(0), 1.0);
+            prop_assert!(!ledger.can_write(0));
+            for _ in 0..refused_retries {
+                prop_assert_eq!(
+                    ledger.charge(0),
+                    Err(DeviceError::EnduranceExceeded {
+                        array: 0,
+                        writes: budget,
+                        budget,
+                    })
+                );
+                // Refused charges are never recorded: no creep, no wrap.
+                prop_assert_eq!(ledger.writes(0), budget);
+            }
+            // The sibling array is untouched by array 0's exhaustion.
+            prop_assert_eq!(ledger.writes(1), 0);
+            prop_assert!(ledger.can_write(1));
+            prop_assert_eq!(ledger.total_writes(), budget);
+        }
+
+        /// The budget is the conservative floor of cycles-to-failure,
+        /// never rounding a fractional cycle up, with a floor of one so
+        /// initial programming always succeeds.
+        #[test]
+        fn budget_is_conservative_floor(cycles in 0.01f64..1_000.0) {
+            let ledger = EnduranceLedger::new(EnduranceModel::new(cycles), 1);
+            let expected = (cycles.floor() as u64).max(1);
+            prop_assert_eq!(ledger.budget(), expected);
+            prop_assert!(ledger.budget() as f64 <= cycles.max(1.0));
+        }
     }
 }

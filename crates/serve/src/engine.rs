@@ -1,0 +1,1217 @@
+//! The request-driven serving engine.
+//!
+//! [`ServeEngine`] plays an [`ArrivalTrace`] through an
+//! [`OdinRuntime`] as a deterministic single-server discrete-event
+//! loop in virtual time:
+//!
+//! - **Admission** (at arrival): bounded per-tenant queues shed on
+//!   overflow; the controller consults
+//!   [`FabricHealth::any_stranded`](odin_core::FabricHealth::any_stranded)
+//!   (stranded fabric ⇒ shed best-effort traffic) and
+//!   [`FabricHealth::remaining_endurance_fraction`](odin_core::FabricHealth::remaining_endurance_fraction)
+//!   (below the class floor ⇒ shed to preserve writes for higher
+//!   classes).
+//! - **Dispatch** (server free): highest-QoS first, FIFO within a
+//!   class by admission order. A request whose deadline budget expired
+//!   while queued is shed, consuming no server time.
+//! - **Retry**: transient errors ([`OdinError::is_transient`]) retry
+//!   inline with exponential backoff plus seeded jitter. Retries block
+//!   the single server (head-of-line blocking by design: this models a
+//!   serving core pinned to one fabric, and keeping the timeline
+//!   single-threaded is what makes replay bit-exact).
+//! - **Circuit breaker**: per tenant, `Closed → Open(until) →
+//!   HalfOpen`. While open, the tenant is served through
+//!   [`OdinRuntime::run_inference_degraded`] — the ladder's bottom
+//!   rung — instead of failing closed; a half-open probe at full
+//!   fidelity decides between closing and re-opening.
+//!
+//! Everything the loop mutates lives in [`ServeProgress`], which is
+//! serializable; together with
+//! [`RuntimeState`](odin_core::snapshot::RuntimeState) it forms a
+//! [`ServeSnapshot`](crate::ServeSnapshot) that resumes bit-exactly
+//! after a SIGKILL: same outcomes, same digest.
+
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+
+use odin_core::snapshot::RuntimeState;
+use odin_core::{OdinError, OdinRuntime, SnapshotError, TelemetrySummary};
+use odin_dnn::zoo::{self, Dataset};
+use odin_dnn::NetworkDescriptor;
+use odin_telemetry::{CounterId, HistogramId, Telemetry};
+use odin_units::Seconds;
+use serde::{Deserialize, Serialize};
+
+use crate::report::{
+    ClassLatency, FailureClass, ServeReport, ServeTotals, ShedReason, TenantReport,
+};
+use crate::snapshot::{self, ServeSnapshot};
+use crate::trace::{
+    splitmix64, unit_open, ArrivalTrace, BurstWindow, QosClass, Request, TenantSpec, TraceConfig,
+};
+
+/// Default checkpoint cadence: one snapshot every this many dispatch
+/// outcomes.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 16;
+
+/// Default snapshot generations retained in the store.
+pub const DEFAULT_CHECKPOINT_RETAIN: usize = 4;
+
+/// Retry policy for transient errors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum retries per request (0 disables retrying).
+    pub max_retries: u32,
+    /// First backoff delay, virtual milliseconds; doubles per retry.
+    pub base_backoff_ms: f64,
+    /// Backoff ceiling, virtual milliseconds.
+    pub max_backoff_ms: f64,
+    /// Jitter fraction: each backoff is stretched by up to this
+    /// fraction of itself, drawn from the seeded jitter stream.
+    pub jitter_frac: f64,
+}
+
+/// Circuit-breaker policy, per tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakerPolicy {
+    /// Consecutive full-fidelity failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open, virtual milliseconds.
+    pub cooldown_ms: f64,
+}
+
+/// Per-tenant circuit-breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Breaker {
+    /// Normal service; counts consecutive full-fidelity failures.
+    Closed {
+        /// Failures since the last success.
+        consecutive_failures: u32,
+    },
+    /// Tripped: the tenant is served degraded until the cooldown
+    /// passes.
+    Open {
+        /// Virtual time at which a half-open probe is allowed.
+        until_ms: f64,
+    },
+    /// Cooldown elapsed: the next dispatch is a single full-fidelity
+    /// probe that either closes the breaker or re-opens it.
+    HalfOpen,
+}
+
+impl Default for Breaker {
+    fn default() -> Self {
+        Breaker::Closed {
+            consecutive_failures: 0,
+        }
+    }
+}
+
+/// The complete serving configuration: tenants, arrival shape, QoS
+/// budgets, and the resilience policies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// The tenant fleet.
+    pub tenants: Vec<TenantSpec>,
+    /// Arrival-process shape shared by every tenant.
+    pub trace: TraceConfig,
+    /// Seed for the arrival trace and the retry-jitter stream.
+    pub seed: u64,
+    /// Deadline budget per QoS class (arrival → dispatch start),
+    /// indexed by [`QosClass::index`], virtual milliseconds.
+    pub deadline_ms: [f64; QosClass::COUNT],
+    /// Admission floor on
+    /// [`FabricHealth::remaining_endurance_fraction`](odin_core::FabricHealth::remaining_endurance_fraction)
+    /// per QoS class: below it, the class is shed to preserve writes.
+    pub endurance_floor: [f64; QosClass::COUNT],
+    /// Host-side per-request overhead added to every service time
+    /// (pre/post-processing), virtual milliseconds.
+    pub host_overhead_ms: f64,
+    /// Transient-error retry policy.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker policy.
+    pub breaker: BreakerPolicy,
+}
+
+impl ServeConfig {
+    /// A three-tenant demonstration fleet (gold/silver/bronze over the
+    /// model zoo) with a diurnal rate swing and two burst windows —
+    /// the workload the quickstart and the serving bench use.
+    #[must_use]
+    pub fn demo(seed: u64) -> ServeConfig {
+        ServeConfig {
+            tenants: vec![
+                TenantSpec {
+                    name: "interactive".into(),
+                    model: "vgg11".into(),
+                    qos: QosClass::Gold,
+                    rate_rps: 120.0,
+                    queue_capacity: 64,
+                },
+                TenantSpec {
+                    name: "batch".into(),
+                    model: "vgg11".into(),
+                    qos: QosClass::Silver,
+                    rate_rps: 80.0,
+                    queue_capacity: 32,
+                },
+                TenantSpec {
+                    name: "best-effort".into(),
+                    model: "vgg16".into(),
+                    qos: QosClass::Bronze,
+                    rate_rps: 60.0,
+                    queue_capacity: 16,
+                },
+            ],
+            trace: TraceConfig {
+                duration_ms: 2_000.0,
+                diurnal_amplitude: 0.4,
+                diurnal_period_ms: 1_000.0,
+                bursts: vec![
+                    BurstWindow {
+                        start_ms: 500.0,
+                        end_ms: 700.0,
+                        multiplier: 3.0,
+                    },
+                    BurstWindow {
+                        start_ms: 1_200.0,
+                        end_ms: 1_500.0,
+                        multiplier: 4.0,
+                    },
+                ],
+            },
+            seed,
+            deadline_ms: [50.0, 200.0, 1_000.0],
+            endurance_floor: [0.0, 0.02, 0.10],
+            host_overhead_ms: 0.25,
+            retry: RetryPolicy {
+                max_retries: 3,
+                base_backoff_ms: 2.0,
+                max_backoff_ms: 50.0,
+                jitter_frac: 0.5,
+            },
+            breaker: BreakerPolicy {
+                failure_threshold: 3,
+                cooldown_ms: 250.0,
+            },
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::InvalidConfig`] naming the offending
+    /// parameter.
+    pub fn validate(&self) -> Result<(), OdinError> {
+        if self.tenants.is_empty() {
+            return Err(OdinError::InvalidConfig {
+                name: "serve.tenants",
+                reason: "at least one tenant is required",
+            });
+        }
+        for spec in &self.tenants {
+            resolve_model(&spec.model)?;
+            if !(spec.rate_rps.is_finite() && spec.rate_rps > 0.0) {
+                return Err(OdinError::InvalidConfig {
+                    name: "serve.tenants.rate_rps",
+                    reason: "arrival rate must be positive and finite",
+                });
+            }
+            if spec.queue_capacity == 0 {
+                return Err(OdinError::InvalidConfig {
+                    name: "serve.tenants.queue_capacity",
+                    reason: "queue capacity must be at least one",
+                });
+            }
+        }
+        if !(self.trace.duration_ms.is_finite() && self.trace.duration_ms > 0.0) {
+            return Err(OdinError::InvalidConfig {
+                name: "serve.trace.duration_ms",
+                reason: "trace duration must be positive and finite",
+            });
+        }
+        if !(0.0..1.0).contains(&self.trace.diurnal_amplitude) {
+            return Err(OdinError::InvalidConfig {
+                name: "serve.trace.diurnal_amplitude",
+                reason: "diurnal amplitude must lie in [0, 1)",
+            });
+        }
+        if !(self.trace.diurnal_period_ms.is_finite() && self.trace.diurnal_period_ms > 0.0) {
+            return Err(OdinError::InvalidConfig {
+                name: "serve.trace.diurnal_period_ms",
+                reason: "diurnal period must be positive and finite",
+            });
+        }
+        for w in &self.trace.bursts {
+            if !(w.start_ms < w.end_ms && w.multiplier.is_finite() && w.multiplier > 0.0) {
+                return Err(OdinError::InvalidConfig {
+                    name: "serve.trace.bursts",
+                    reason: "burst windows need start < end and a positive finite multiplier",
+                });
+            }
+        }
+        if self
+            .deadline_ms
+            .iter()
+            .any(|d| !(d.is_finite() && *d > 0.0))
+        {
+            return Err(OdinError::InvalidConfig {
+                name: "serve.deadline_ms",
+                reason: "deadline budgets must be positive and finite",
+            });
+        }
+        if self
+            .endurance_floor
+            .iter()
+            .any(|f| !(0.0..=1.0).contains(f))
+        {
+            return Err(OdinError::InvalidConfig {
+                name: "serve.endurance_floor",
+                reason: "endurance floors must lie in [0, 1]",
+            });
+        }
+        if !(self.host_overhead_ms.is_finite() && self.host_overhead_ms >= 0.0) {
+            return Err(OdinError::InvalidConfig {
+                name: "serve.host_overhead_ms",
+                reason: "host overhead must be non-negative and finite",
+            });
+        }
+        if !(self.retry.base_backoff_ms.is_finite()
+            && self.retry.base_backoff_ms >= 0.0
+            && self.retry.max_backoff_ms.is_finite()
+            && self.retry.max_backoff_ms >= self.retry.base_backoff_ms)
+        {
+            return Err(OdinError::InvalidConfig {
+                name: "serve.retry",
+                reason: "backoff bounds must be finite with base ≤ max",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.retry.jitter_frac) {
+            return Err(OdinError::InvalidConfig {
+                name: "serve.retry.jitter_frac",
+                reason: "jitter fraction must lie in [0, 1]",
+            });
+        }
+        if self.breaker.failure_threshold == 0 {
+            return Err(OdinError::InvalidConfig {
+                name: "serve.breaker.failure_threshold",
+                reason: "breaker threshold must be at least one",
+            });
+        }
+        if !(self.breaker.cooldown_ms.is_finite() && self.breaker.cooldown_ms > 0.0) {
+            return Err(OdinError::InvalidConfig {
+                name: "serve.breaker.cooldown_ms",
+                reason: "breaker cooldown must be positive and finite",
+            });
+        }
+        Ok(())
+    }
+
+    /// Resolves every tenant's network descriptor, in tenant order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::InvalidConfig`] for an unknown model name.
+    pub fn networks(&self) -> Result<Vec<NetworkDescriptor>, OdinError> {
+        self.tenants
+            .iter()
+            .map(|t| resolve_model(&t.model))
+            .collect()
+    }
+
+    /// The largest layer count across the tenant fleet — the number of
+    /// hosting groups a shared fabric must provide (layer `j` of any
+    /// tenant maps to fabric group `j`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::InvalidConfig`] for an unknown model name.
+    pub fn max_layers(&self) -> Result<usize, OdinError> {
+        Ok(self
+            .networks()?
+            .iter()
+            .map(|n| n.layers().len())
+            .max()
+            .unwrap_or(0))
+    }
+
+    /// Generates this configuration's arrival trace.
+    #[must_use]
+    pub fn arrival_trace(&self) -> ArrivalTrace {
+        ArrivalTrace::generate(&self.tenants, &self.trace, self.seed)
+    }
+}
+
+/// Resolves a model-zoo name to its network descriptor.
+fn resolve_model(name: &str) -> Result<NetworkDescriptor, OdinError> {
+    let network = match name {
+        "vgg11" => zoo::vgg11(Dataset::Cifar10),
+        "vgg16" => zoo::vgg16(Dataset::Cifar10),
+        "vgg19" => zoo::vgg19(Dataset::Cifar10),
+        "resnet18" => zoo::resnet18(Dataset::Cifar10),
+        "resnet34" => zoo::resnet34(Dataset::Cifar10),
+        "resnet50" => zoo::resnet50(Dataset::Cifar10),
+        "googlenet" => zoo::googlenet(Dataset::Cifar10),
+        "densenet121" => zoo::densenet121(Dataset::Cifar10),
+        "vit" => zoo::vit(Dataset::Cifar10),
+        _ => {
+            return Err(OdinError::InvalidConfig {
+                name: "serve.tenants.model",
+                reason: "unknown model name (known: vgg11, vgg16, vgg19, resnet18, resnet34, \
+                         resnet50, googlenet, densenet121, vit)",
+            })
+        }
+    };
+    Ok(network)
+}
+
+/// A request waiting in its tenant queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub(crate) struct Queued {
+    pub(crate) id: u64,
+    pub(crate) tenant: usize,
+    pub(crate) qos: QosClass,
+    pub(crate) arrival_ms: f64,
+    pub(crate) seq: u64,
+}
+
+/// Everything the serving loop mutates, in one serializable struct —
+/// the resumable half of a [`ServeSnapshot`](crate::ServeSnapshot).
+/// Restoring it (plus the runtime state) and replaying the remaining
+/// trace reproduces the uninterrupted run bit for bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeProgress {
+    pub(crate) next_arrival: usize,
+    pub(crate) seq: u64,
+    pub(crate) server_free_ms: f64,
+    pub(crate) makespan_ms: f64,
+    pub(crate) queues: Vec<VecDeque<Queued>>,
+    pub(crate) breakers: Vec<Breaker>,
+    pub(crate) rng: u64,
+    pub(crate) digest: u64,
+    pub(crate) completed: u64,
+    pub(crate) totals: ServeTotals,
+    pub(crate) tenant_totals: Vec<ServeTotals>,
+    pub(crate) latencies: Vec<Vec<f64>>,
+}
+
+impl ServeProgress {
+    /// Fresh progress for `config`: empty queues, closed breakers,
+    /// jitter stream derived from the config seed.
+    #[must_use]
+    pub fn fresh(config: &ServeConfig) -> ServeProgress {
+        let tenants = config.tenants.len();
+        ServeProgress {
+            next_arrival: 0,
+            seq: 0,
+            server_free_ms: 0.0,
+            makespan_ms: 0.0,
+            queues: vec![VecDeque::new(); tenants],
+            breakers: vec![Breaker::default(); tenants],
+            // A distinct stream from the trace's: fold the seed through
+            // one splitmix step with a fixed tweak.
+            rng: config.seed ^ 0x5e7e_5e7e_5e7e_5e7e,
+            digest: 0xcbf2_9ce4_8422_2325,
+            completed: 0,
+            totals: ServeTotals::default(),
+            tenant_totals: vec![ServeTotals::default(); tenants],
+            latencies: vec![Vec::new(); QosClass::COUNT],
+        }
+    }
+
+    /// Requests that reached a terminal outcome so far.
+    #[must_use]
+    pub fn outcomes(&self) -> u64 {
+        self.totals.outcomes()
+    }
+
+    /// The running replay digest.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Folds one terminal outcome into the replay digest.
+    fn fold(&mut self, id: u64, tag: u8, time_ms: f64) {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut d = self.digest;
+        for b in id
+            .to_le_bytes()
+            .into_iter()
+            .chain(std::iter::once(tag))
+            .chain(time_ms.to_bits().to_le_bytes())
+        {
+            d = (d ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        self.digest = d;
+    }
+}
+
+/// Checkpointing configuration attached to an engine.
+#[derive(Debug, Clone)]
+struct CheckpointSpec {
+    dir: PathBuf,
+    every: u64,
+    retain: usize,
+}
+
+/// The serving engine: owns the configuration, a telemetry handle for
+/// the `serve_*` counters, and (optionally) a checkpoint store.
+#[derive(Debug, Clone)]
+pub struct ServeEngine {
+    config: ServeConfig,
+    telemetry: Telemetry,
+    checkpoint: Option<CheckpointSpec>,
+}
+
+impl ServeEngine {
+    /// Creates an engine for `config` (telemetry disabled, no
+    /// checkpointing).
+    #[must_use]
+    pub fn new(config: ServeConfig) -> ServeEngine {
+        ServeEngine {
+            config,
+            telemetry: Telemetry::disabled(),
+            checkpoint: None,
+        }
+    }
+
+    /// Attaches a telemetry handle: the engine records `serve_*`
+    /// counters and the latency/queue-depth histograms through it, and
+    /// summarizes it into [`ServeReport::telemetry`]. Counters are
+    /// process-local observability — after a kill/resume they cover
+    /// only the resumed portion; [`ServeTotals`] (carried in the
+    /// snapshot) stays authoritative.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> ServeEngine {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Enables checkpointing into `dir`: one [`ServeSnapshot`]
+    /// generation per `every` dispatch outcomes, written through the
+    /// atomic snapshot protocol, retaining
+    /// [`DEFAULT_CHECKPOINT_RETAIN`] generations.
+    #[must_use]
+    pub fn checkpoint(mut self, dir: impl Into<PathBuf>, every: u64) -> ServeEngine {
+        self.checkpoint = Some(CheckpointSpec {
+            dir: dir.into(),
+            every: every.max(1),
+            retain: DEFAULT_CHECKPOINT_RETAIN,
+        });
+        self
+    }
+
+    /// Overrides how many snapshot generations the store retains.
+    #[must_use]
+    pub fn retain(mut self, retain: usize) -> ServeEngine {
+        if let Some(cp) = &mut self.checkpoint {
+            cp.retain = retain.max(1);
+        }
+        self
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Serves the full arrival trace through `runtime` from a fresh
+    /// start and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::InvalidConfig`] for a bad configuration
+    /// and [`OdinError::Snapshot`] when a checkpoint write fails.
+    /// Inference errors do **not** abort the run — they are accounted
+    /// as typed request outcomes.
+    pub fn run(&self, runtime: &mut OdinRuntime) -> Result<ServeReport, OdinError> {
+        self.config.validate()?;
+        let networks = self.config.networks()?;
+        let trace = self.config.arrival_trace();
+        let mut progress = ServeProgress::fresh(&self.config);
+        self.drive(runtime, &networks, &trace, &mut progress)
+    }
+
+    /// Resumes a checkpointed serving run from the newest usable
+    /// snapshot generation in `dir` (falling back past torn or corrupt
+    /// ones) and serves the remaining trace to completion. The resumed
+    /// run is bit-identical to an uninterrupted one: same outcomes,
+    /// same digest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::Snapshot`] when no usable generation
+    /// exists, and [`OdinError::InvalidConfig`] when the snapshot was
+    /// produced by a different serving configuration.
+    pub fn resume_from(&self, dir: &Path) -> Result<(OdinRuntime, ServeReport), OdinError> {
+        self.config.validate()?;
+        let Some((snap, _path)) = snapshot::load_latest(dir)? else {
+            return Err(OdinError::Snapshot(SnapshotError::Io {
+                path: dir.display().to_string(),
+                op: "resume",
+                message: "no usable serve snapshot generation".to_string(),
+            }));
+        };
+        if snap.config != self.config {
+            return Err(OdinError::InvalidConfig {
+                name: "serve.resume",
+                reason: "snapshot was produced by a different serving configuration",
+            });
+        }
+        let mut runtime = OdinRuntime::from_state(&snap.runtime)?;
+        let networks = self.config.networks()?;
+        let trace = self.config.arrival_trace();
+        let mut progress = snap.progress;
+        let report = self.drive(&mut runtime, &networks, &trace, &mut progress)?;
+        Ok((runtime, report))
+    }
+
+    /// The deterministic event loop: interleaves arrivals and
+    /// dispatches in virtual-time order until the trace is exhausted
+    /// and every queue is drained.
+    fn drive(
+        &self,
+        runtime: &mut OdinRuntime,
+        networks: &[NetworkDescriptor],
+        trace: &ArrivalTrace,
+        progress: &mut ServeProgress,
+    ) -> Result<ServeReport, OdinError> {
+        loop {
+            let head = Self::pick_head(progress);
+            let arrival = trace.requests.get(progress.next_arrival).copied();
+            match (arrival, head) {
+                (None, None) => break,
+                (Some(r), None) => {
+                    self.admit(runtime, progress, r);
+                    progress.next_arrival += 1;
+                }
+                (Some(r), Some((tenant, head_arrival_ms))) => {
+                    // The server could start the queued head at `start`;
+                    // any arrival at or before that instant lands first.
+                    let start = progress.server_free_ms.max(head_arrival_ms);
+                    if r.arrival_ms <= start {
+                        self.admit(runtime, progress, r);
+                        progress.next_arrival += 1;
+                    } else {
+                        self.dispatch(runtime, networks, progress, tenant);
+                        self.maybe_checkpoint(runtime, progress)?;
+                    }
+                }
+                (None, Some((tenant, _))) => {
+                    self.dispatch(runtime, networks, progress, tenant);
+                    self.maybe_checkpoint(runtime, progress)?;
+                }
+            }
+        }
+        Ok(self.finish(progress))
+    }
+
+    /// The tenant whose queue head dispatches next: highest QoS class
+    /// first, then FIFO by admission order. Returns the tenant index
+    /// and the head's arrival time.
+    fn pick_head(progress: &ServeProgress) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, QosClass, u64, f64)> = None;
+        for (tenant, queue) in progress.queues.iter().enumerate() {
+            if let Some(front) = queue.front() {
+                let candidate = (tenant, front.qos, front.seq, front.arrival_ms);
+                let better = match &best {
+                    None => true,
+                    Some((_, qos, seq, _)) => (front.qos.index(), front.seq) < (qos.index(), *seq),
+                };
+                if better {
+                    best = Some(candidate);
+                }
+            }
+        }
+        best.map(|(tenant, _, _, arrival_ms)| (tenant, arrival_ms))
+    }
+
+    /// Admission control for one arrival.
+    fn admit(&self, runtime: &OdinRuntime, progress: &mut ServeProgress, r: Request) {
+        progress.totals.generated += 1;
+        progress.tenant_totals[r.tenant].generated += 1;
+        let spec = &self.config.tenants[r.tenant];
+        if progress.queues[r.tenant].len() >= spec.queue_capacity {
+            self.shed(
+                progress,
+                r.id,
+                r.tenant,
+                ShedReason::QueueFull,
+                r.arrival_ms,
+            );
+            return;
+        }
+        if let Some(fabric) = runtime.fabric_health() {
+            if fabric.any_stranded() && r.qos == QosClass::Bronze {
+                self.shed(
+                    progress,
+                    r.id,
+                    r.tenant,
+                    ShedReason::FabricDegraded,
+                    r.arrival_ms,
+                );
+                return;
+            }
+            if fabric.remaining_endurance_fraction() < self.config.endurance_floor[r.qos.index()] {
+                self.shed(
+                    progress,
+                    r.id,
+                    r.tenant,
+                    ShedReason::EnduranceBudget,
+                    r.arrival_ms,
+                );
+                return;
+            }
+        }
+        progress.totals.admitted += 1;
+        progress.tenant_totals[r.tenant].admitted += 1;
+        self.telemetry.incr(CounterId::ServeAdmitted);
+        let seq = progress.seq;
+        progress.seq += 1;
+        progress.queues[r.tenant].push_back(Queued {
+            id: r.id,
+            tenant: r.tenant,
+            qos: r.qos,
+            arrival_ms: r.arrival_ms,
+            seq,
+        });
+        self.telemetry.observe(
+            HistogramId::ServeQueueDepth,
+            progress.queues[r.tenant].len() as f64,
+        );
+    }
+
+    /// Records a shed outcome.
+    fn shed(
+        &self,
+        progress: &mut ServeProgress,
+        id: u64,
+        tenant: usize,
+        reason: ShedReason,
+        time_ms: f64,
+    ) {
+        progress.totals.shed[reason.index()] += 1;
+        progress.tenant_totals[tenant].shed[reason.index()] += 1;
+        self.telemetry.incr(CounterId::ServeShed);
+        progress.fold(id, 2 + reason.index() as u8, time_ms);
+    }
+
+    /// Dispatches the head of `tenant`'s queue.
+    fn dispatch(
+        &self,
+        runtime: &mut OdinRuntime,
+        networks: &[NetworkDescriptor],
+        progress: &mut ServeProgress,
+        tenant: usize,
+    ) {
+        let q = progress.queues[tenant]
+            .pop_front()
+            .expect("pick_head returned a non-empty queue");
+        progress.completed += 1;
+        let start = progress.server_free_ms.max(q.arrival_ms);
+        let deadline = q.arrival_ms + self.config.deadline_ms[q.qos.index()];
+        if start > deadline {
+            // Expired while queued: shed at dispatch, no server time.
+            self.shed(progress, q.id, tenant, ShedReason::DeadlineExpired, start);
+            return;
+        }
+        let network = &networks[tenant];
+        match progress.breakers[tenant] {
+            Breaker::Open { until_ms } if start < until_ms => {
+                self.serve_degraded(runtime, network, progress, q, start);
+            }
+            Breaker::Open { .. } => {
+                // Cooldown elapsed: single full-fidelity probe.
+                progress.breakers[tenant] = Breaker::HalfOpen;
+                self.serve_attempts(runtime, network, progress, q, start, 0);
+            }
+            Breaker::Closed { .. } | Breaker::HalfOpen => {
+                self.serve_attempts(
+                    runtime,
+                    network,
+                    progress,
+                    q,
+                    start,
+                    self.config.retry.max_retries,
+                );
+            }
+        }
+    }
+
+    /// Full-fidelity service with up to `max_retries` inline retries
+    /// for transient errors. Backoff time blocks the server
+    /// (head-of-line) and is charged to this request's service time.
+    fn serve_attempts(
+        &self,
+        runtime: &mut OdinRuntime,
+        network: &NetworkDescriptor,
+        progress: &mut ServeProgress,
+        q: Queued,
+        start: f64,
+        max_retries: u32,
+    ) {
+        let mut service_ms = 0.0;
+        let mut attempt: u32 = 0;
+        loop {
+            let now = Seconds::new((start + service_ms) / 1e3);
+            match runtime.run_inference(network, now) {
+                Ok(record) => {
+                    service_ms +=
+                        record.total_latency().value() * 1e3 + self.config.host_overhead_ms;
+                    self.complete(progress, q, start, service_ms, false);
+                    progress.breakers[q.tenant] = Breaker::Closed {
+                        consecutive_failures: 0,
+                    };
+                    return;
+                }
+                Err(e) if e.is_transient() && attempt < max_retries => {
+                    attempt += 1;
+                    progress.totals.retries += 1;
+                    progress.tenant_totals[q.tenant].retries += 1;
+                    self.telemetry.incr(CounterId::ServeRetries);
+                    let backoff = (self.config.retry.base_backoff_ms
+                        * 2f64.powi(attempt as i32 - 1))
+                    .min(self.config.retry.max_backoff_ms);
+                    let jitter = backoff
+                        * self.config.retry.jitter_frac
+                        * unit_open(splitmix64(&mut progress.rng));
+                    service_ms += backoff + jitter;
+                }
+                Err(e) => {
+                    service_ms += self.config.host_overhead_ms;
+                    self.fail(progress, q, start, service_ms, FailureClass::of(&e));
+                    self.note_breaker_failure(progress, q.tenant, start + service_ms);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Degraded service while the tenant's breaker is open: the
+    /// ladder's bottom rung, no retries, no learning. A degraded
+    /// success does not close the breaker.
+    fn serve_degraded(
+        &self,
+        runtime: &mut OdinRuntime,
+        network: &NetworkDescriptor,
+        progress: &mut ServeProgress,
+        q: Queued,
+        start: f64,
+    ) {
+        let now = Seconds::new(start / 1e3);
+        match runtime.run_inference_degraded(network, now) {
+            Ok(record) => {
+                let service_ms =
+                    record.total_latency().value() * 1e3 + self.config.host_overhead_ms;
+                self.complete(progress, q, start, service_ms, true);
+            }
+            Err(e) => {
+                self.fail(
+                    progress,
+                    q,
+                    start,
+                    self.config.host_overhead_ms,
+                    FailureClass::of(&e),
+                );
+            }
+        }
+    }
+
+    /// Records a served outcome and occupies the server.
+    fn complete(
+        &self,
+        progress: &mut ServeProgress,
+        q: Queued,
+        start: f64,
+        service_ms: f64,
+        degraded: bool,
+    ) {
+        let completion = start + service_ms;
+        let latency = completion - q.arrival_ms;
+        progress.server_free_ms = completion;
+        progress.makespan_ms = progress.makespan_ms.max(completion);
+        let tag = if degraded {
+            progress.totals.served_degraded += 1;
+            progress.tenant_totals[q.tenant].served_degraded += 1;
+            self.telemetry.incr(CounterId::ServeServedDegraded);
+            1
+        } else {
+            progress.totals.served += 1;
+            progress.tenant_totals[q.tenant].served += 1;
+            self.telemetry.incr(CounterId::ServeServed);
+            0
+        };
+        progress.latencies[q.qos.index()].push(latency);
+        self.telemetry.observe(HistogramId::ServeLatencyMs, latency);
+        progress.fold(q.id, tag, completion);
+    }
+
+    /// Records a failed outcome and occupies the server for the time
+    /// the attempts consumed.
+    fn fail(
+        &self,
+        progress: &mut ServeProgress,
+        q: Queued,
+        start: f64,
+        service_ms: f64,
+        class: FailureClass,
+    ) {
+        let completion = start + service_ms;
+        progress.server_free_ms = completion;
+        progress.makespan_ms = progress.makespan_ms.max(completion);
+        progress.totals.failed[class.index()] += 1;
+        progress.tenant_totals[q.tenant].failed[class.index()] += 1;
+        self.telemetry.incr(CounterId::ServeFailed);
+        progress.fold(q.id, 6 + class.index() as u8, completion);
+    }
+
+    /// Counts a full-fidelity failure against the tenant's breaker,
+    /// tripping it open at the threshold.
+    fn note_breaker_failure(&self, progress: &mut ServeProgress, tenant: usize, now_ms: f64) {
+        let trip_until = now_ms + self.config.breaker.cooldown_ms;
+        let (next, tripped) = match progress.breakers[tenant] {
+            Breaker::Closed {
+                consecutive_failures,
+            } => {
+                let n = consecutive_failures + 1;
+                if n >= self.config.breaker.failure_threshold {
+                    (
+                        Breaker::Open {
+                            until_ms: trip_until,
+                        },
+                        true,
+                    )
+                } else {
+                    (
+                        Breaker::Closed {
+                            consecutive_failures: n,
+                        },
+                        false,
+                    )
+                }
+            }
+            // A failed half-open probe (or a failure while already
+            // open) re-opens for a fresh cooldown.
+            Breaker::HalfOpen | Breaker::Open { .. } => (
+                Breaker::Open {
+                    until_ms: trip_until,
+                },
+                true,
+            ),
+        };
+        progress.breakers[tenant] = next;
+        if tripped {
+            progress.totals.breaker_trips += 1;
+            progress.tenant_totals[tenant].breaker_trips += 1;
+            self.telemetry.incr(CounterId::ServeBreakerTrips);
+        }
+    }
+
+    /// Writes a snapshot generation when the cadence says so.
+    fn maybe_checkpoint(
+        &self,
+        runtime: &OdinRuntime,
+        progress: &ServeProgress,
+    ) -> Result<(), OdinError> {
+        let Some(cp) = &self.checkpoint else {
+            return Ok(());
+        };
+        if progress.completed % cp.every != 0 {
+            return Ok(());
+        }
+        let snap = ServeSnapshot {
+            config: self.config.clone(),
+            runtime: runtime.state(),
+            progress: progress.clone(),
+        };
+        snapshot::save_generation(&cp.dir, cp.retain, &snap)?;
+        Ok(())
+    }
+
+    /// Builds the final report from finished progress.
+    fn finish(&self, progress: &ServeProgress) -> ServeReport {
+        let latency = QosClass::ALL
+            .iter()
+            .map(|c| ClassLatency::from_samples(*c, &progress.latencies[c.index()]))
+            .collect();
+        let tenants: Vec<TenantReport> = self
+            .config
+            .tenants
+            .iter()
+            .zip(progress.tenant_totals.iter())
+            .map(|(spec, totals)| TenantReport {
+                name: spec.name.clone(),
+                qos: spec.qos,
+                totals: *totals,
+            })
+            .collect();
+        let fractions: Vec<f64> = tenants
+            .iter()
+            .filter(|t| t.totals.generated > 0)
+            .map(|t| t.totals.goodput())
+            .collect();
+        let fairness = jain_index(&fractions);
+        let report = ServeReport {
+            totals: progress.totals,
+            tenants,
+            latency,
+            makespan_ms: progress.makespan_ms,
+            fairness,
+            digest: progress.digest,
+            telemetry: TelemetrySummary::from_snapshot(&self.telemetry.snapshot()),
+        };
+        debug_assert!(report.balanced(), "serving ledger must balance");
+        report
+    }
+}
+
+/// Jain's fairness index over non-negative allocations: `(Σx)² / (n·Σx²)`,
+/// 1.0 for perfectly even allocations (and for the empty/all-zero case).
+fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odin_core::{DegradationPolicy, FabricHealth, OdinConfig};
+    use odin_device::{EnduranceModel, FaultInjector};
+    use rand::SeedableRng;
+
+    fn tiny_config(seed: u64) -> ServeConfig {
+        let mut config = ServeConfig::demo(seed);
+        config.trace.duration_ms = 400.0;
+        config
+    }
+
+    fn healthy_runtime(seed: u64) -> OdinRuntime {
+        OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(seed)
+            .build()
+            .expect("paper config builds")
+    }
+
+    /// A fabric under pressure: elevated fault rate, tiny endurance
+    /// budget, degraded mode disabled so ladder exhaustion surfaces as
+    /// transient `NoFeasibleOu` — the storm that exercises retries,
+    /// breakers, and degraded serving.
+    fn stormy_runtime(seed: u64, layers: usize, fault_rate: f64, cycles: f64) -> OdinRuntime {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let policy = DegradationPolicy {
+            allow_degraded: false,
+            ..DegradationPolicy::paper()
+        };
+        let fabric = FabricHealth::new(
+            layers,
+            128,
+            1,
+            &FaultInjector::new(fault_rate, 0.5),
+            EnduranceModel::new(cycles),
+            policy,
+            &mut rng,
+        );
+        OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(seed)
+            .fabric(fabric)
+            .build()
+            .expect("paper config builds")
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut c = tiny_config(1);
+        c.tenants.clear();
+        assert!(c.validate().is_err());
+
+        let mut c = tiny_config(1);
+        c.tenants[0].model = "transformer-9000".into();
+        assert!(c.validate().is_err());
+
+        let mut c = tiny_config(1);
+        c.tenants[0].queue_capacity = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = tiny_config(1);
+        c.trace.diurnal_amplitude = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = tiny_config(1);
+        c.retry.max_backoff_ms = c.retry.base_backoff_ms / 2.0;
+        assert!(c.validate().is_err());
+
+        assert!(tiny_config(1).validate().is_ok());
+    }
+
+    #[test]
+    fn healthy_run_is_balanced_and_mostly_served() {
+        let config = tiny_config(11);
+        let mut runtime = healthy_runtime(11);
+        let report = ServeEngine::new(config).run(&mut runtime).unwrap();
+        assert!(report.balanced());
+        assert!(report.totals.generated > 0);
+        assert!(report.totals.served > 0);
+        assert_eq!(report.outcomes(), report.totals.generated);
+        assert!(report.fairness > 0.0 && report.fairness <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn replay_is_bit_identical_for_a_fixed_seed() {
+        let config = tiny_config(23);
+        let a = ServeEngine::new(config.clone())
+            .run(&mut healthy_runtime(23))
+            .unwrap();
+        let b = ServeEngine::new(config)
+            .run(&mut healthy_runtime(23))
+            .unwrap();
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.totals, b.totals);
+        let c = ServeEngine::new(tiny_config(24))
+            .run(&mut healthy_runtime(23))
+            .unwrap();
+        assert_ne!(a.digest, c.digest, "different trace, different digest");
+    }
+
+    #[test]
+    fn tiny_queues_shed_with_backpressure() {
+        let mut config = tiny_config(5);
+        for t in &mut config.tenants {
+            t.queue_capacity = 1;
+            t.rate_rps *= 4.0;
+        }
+        // Make service slow enough that queues actually overflow.
+        config.host_overhead_ms = 20.0;
+        let mut runtime = healthy_runtime(5);
+        let report = ServeEngine::new(config).run(&mut runtime).unwrap();
+        assert!(report.balanced());
+        assert!(
+            report.totals.shed[ShedReason::QueueFull.index()] > 0,
+            "saturated single-slot queues must shed: {report}"
+        );
+    }
+
+    #[test]
+    fn deadline_budgets_shed_stale_requests() {
+        let mut config = tiny_config(9);
+        config.deadline_ms = [0.5, 0.5, 0.5];
+        config.host_overhead_ms = 25.0;
+        let mut runtime = healthy_runtime(9);
+        let report = ServeEngine::new(config).run(&mut runtime).unwrap();
+        assert!(report.balanced());
+        assert!(
+            report.totals.shed[ShedReason::DeadlineExpired.index()] > 0,
+            "sub-millisecond deadlines behind a 25 ms server must expire: {report}"
+        );
+    }
+
+    #[test]
+    fn fault_storm_trips_breakers_into_degraded_service() {
+        let mut config = tiny_config(3);
+        config.trace.duration_ms = 600.0;
+        // Give the breaker room to trip quickly.
+        config.breaker.failure_threshold = 2;
+        config.retry.max_retries = 1;
+        let layers = config.max_layers().unwrap();
+        // Fault rate high enough that some groups are infeasible at
+        // full fidelity; degraded mode off, so the runtime fails and
+        // the serving layer must absorb it.
+        let mut runtime = stormy_runtime(3, layers, 0.2, 4.0);
+        let report = ServeEngine::new(config).run(&mut runtime).unwrap();
+        assert!(
+            report.balanced(),
+            "storm must not break accounting: {report}"
+        );
+        assert!(
+            report.totals.retries > 0 || report.totals.failed_total() > 0,
+            "a storm this violent should surface errors: {report}"
+        );
+        if report.totals.breaker_trips > 0 {
+            assert!(
+                report.totals.served_degraded > 0,
+                "open breakers must serve degraded, not fail closed: {report}"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_from_earlier_generation_matches_uninterrupted_digest() {
+        let dir = std::env::temp_dir().join(format!(
+            "odin-serve-resume-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = tiny_config(31);
+
+        // Uninterrupted reference.
+        let reference = ServeEngine::new(config.clone())
+            .run(&mut healthy_runtime(31))
+            .unwrap();
+
+        // Checkpointed run, then resume from an *earlier* generation
+        // (dropping the newest ones simulates lost progress after a
+        // crash) and replay to completion.
+        let engine = ServeEngine::new(config.clone())
+            .checkpoint(&dir, 8)
+            .retain(16);
+        let _ = engine.run(&mut healthy_runtime(31)).unwrap();
+        let mut generations: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "snap"))
+            .collect();
+        generations.sort();
+        assert!(generations.len() > 1, "expected several generations");
+        // Keep only the oldest surviving generation.
+        for stale in &generations[1..] {
+            std::fs::remove_file(stale).unwrap();
+        }
+        let (_, resumed) = engine.resume_from(&dir).unwrap();
+        assert_eq!(resumed.digest, reference.digest);
+        assert_eq!(resumed.totals, reference.totals);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config_and_empty_store() {
+        let dir = std::env::temp_dir().join(format!(
+            "odin-serve-mismatch-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = tiny_config(41);
+        let engine = ServeEngine::new(config.clone()).checkpoint(&dir, 4);
+        assert!(matches!(
+            engine.resume_from(&dir),
+            Err(OdinError::Snapshot(_))
+        ));
+        let _ = engine.run(&mut healthy_runtime(41)).unwrap();
+        let other = ServeEngine::new(tiny_config(42));
+        assert!(matches!(
+            other.resume_from(&dir),
+            Err(OdinError::InvalidConfig { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[0.5, 0.5, 0.5]) - 1.0).abs() < 1e-12);
+        let skewed = jain_index(&[1.0, 0.0, 0.0]);
+        assert!((skewed - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

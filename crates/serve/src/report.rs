@@ -1,0 +1,517 @@
+//! Typed serving outcomes and the total-accounting report.
+//!
+//! The invariant this module exists to state: **every generated
+//! request ends in exactly one outcome** — served at full fidelity,
+//! served degraded, shed with a typed [`ShedReason`], or failed with a
+//! typed [`FailureClass`]. [`ServeTotals::balanced`] checks the ledger
+//! arithmetically; the chaos harness asserts it across SIGKILL/resume
+//! boundaries.
+
+use std::fmt;
+
+use odin_core::{OdinError, TelemetrySummary};
+use serde::{Deserialize, Serialize};
+
+use crate::trace::QosClass;
+
+/// Why a request was deliberately not served. The first three are
+/// admission-time decisions; `DeadlineExpired` is decided at dispatch,
+/// after the request already waited in its queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedReason {
+    /// The tenant's bounded queue was full (backpressure).
+    QueueFull,
+    /// The fabric ladder has stranded layers and the request's QoS
+    /// class is not entitled to degraded capacity.
+    FabricDegraded,
+    /// The remaining fleet endurance budget fell below the class
+    /// floor; writes are being preserved for higher classes.
+    EnduranceBudget,
+    /// The request's deadline budget had already expired when the
+    /// server reached it.
+    DeadlineExpired,
+}
+
+impl ShedReason {
+    /// Number of shed reasons.
+    pub const COUNT: usize = 4;
+
+    /// Every reason, in counter-array order.
+    pub const ALL: [ShedReason; 4] = [
+        ShedReason::QueueFull,
+        ShedReason::FabricDegraded,
+        ShedReason::EnduranceBudget,
+        ShedReason::DeadlineExpired,
+    ];
+
+    /// Stable index into shed-counter arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable reason name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::FabricDegraded => "fabric_degraded",
+            ShedReason::EnduranceBudget => "endurance_budget",
+            ShedReason::DeadlineExpired => "deadline_expired",
+        }
+    }
+}
+
+/// Typed classification of a request that failed after admission —
+/// the error survived every retry the policy allowed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureClass {
+    /// A transient error ([`OdinError::is_transient`]) that outlived
+    /// the retry budget.
+    Transient,
+    /// A layer stopped mapping onto the fabric.
+    Mapping,
+    /// A crossbar group exhausted its write endurance with no spare.
+    Endurance,
+    /// A device-layer fault.
+    Device,
+    /// A fatal snapshot error surfaced mid-serve.
+    Snapshot,
+    /// A configuration rejection.
+    Config,
+    /// Any error variant this crate does not know by name
+    /// (`OdinError` is `#[non_exhaustive]`).
+    Other,
+}
+
+impl FailureClass {
+    /// Number of failure classes.
+    pub const COUNT: usize = 7;
+
+    /// Every class, in counter-array order.
+    pub const ALL: [FailureClass; 7] = [
+        FailureClass::Transient,
+        FailureClass::Mapping,
+        FailureClass::Endurance,
+        FailureClass::Device,
+        FailureClass::Snapshot,
+        FailureClass::Config,
+        FailureClass::Other,
+    ];
+
+    /// Stable index into failure-counter arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable class name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureClass::Transient => "transient",
+            FailureClass::Mapping => "mapping",
+            FailureClass::Endurance => "endurance",
+            FailureClass::Device => "device",
+            FailureClass::Snapshot => "snapshot",
+            FailureClass::Config => "config",
+            FailureClass::Other => "other",
+        }
+    }
+
+    /// Classifies an [`OdinError`]: transient errors (retryable by
+    /// policy) first, then the known fatal families, with a wildcard
+    /// so future error variants are still accounted, never dropped.
+    #[must_use]
+    pub fn of(error: &OdinError) -> FailureClass {
+        if error.is_transient() {
+            return FailureClass::Transient;
+        }
+        match error {
+            OdinError::Mapping(_) => FailureClass::Mapping,
+            OdinError::EnduranceExhausted { .. } => FailureClass::Endurance,
+            OdinError::Device(_) => FailureClass::Device,
+            OdinError::Snapshot(_) => FailureClass::Snapshot,
+            OdinError::InvalidConfig { .. } => FailureClass::Config,
+            _ => FailureClass::Other,
+        }
+    }
+}
+
+/// The request-accounting ledger: one counter bump per request
+/// outcome, kept both fleet-wide and per tenant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeTotals {
+    /// Requests the trace generated.
+    pub generated: u64,
+    /// Requests admitted past the admission controller into a queue.
+    pub admitted: u64,
+    /// Requests served at full fidelity.
+    pub served: u64,
+    /// Requests served at the ladder's bottom rung while a breaker
+    /// was open.
+    pub served_degraded: u64,
+    /// Shed counts, indexed by [`ShedReason::index`].
+    pub shed: [u64; ShedReason::COUNT],
+    /// Failure counts, indexed by [`FailureClass::index`].
+    pub failed: [u64; FailureClass::COUNT],
+    /// Transient-error retries performed (not requests: one request
+    /// may retry several times).
+    pub retries: u64,
+    /// Circuit-breaker transitions into the open state.
+    pub breaker_trips: u64,
+}
+
+impl ServeTotals {
+    /// Requests shed for any reason.
+    #[must_use]
+    pub fn shed_total(&self) -> u64 {
+        self.shed.iter().sum()
+    }
+
+    /// Requests shed at admission (before entering a queue).
+    #[must_use]
+    pub fn shed_at_admission(&self) -> u64 {
+        self.shed_total() - self.shed[ShedReason::DeadlineExpired.index()]
+    }
+
+    /// Requests that failed after admission, any class.
+    #[must_use]
+    pub fn failed_total(&self) -> u64 {
+        self.failed.iter().sum()
+    }
+
+    /// Requests that reached *some* terminal outcome.
+    #[must_use]
+    pub fn outcomes(&self) -> u64 {
+        self.served + self.served_degraded + self.shed_total() + self.failed_total()
+    }
+
+    /// The total accounting invariant: every generated request was
+    /// either admitted or shed at admission, and every admitted
+    /// request was served (possibly degraded), shed at dispatch for an
+    /// expired deadline, or failed with a typed error. Zero silent
+    /// drops.
+    #[must_use]
+    pub fn balanced(&self) -> bool {
+        self.generated == self.admitted + self.shed_at_admission()
+            && self.admitted
+                == self.served
+                    + self.served_degraded
+                    + self.shed[ShedReason::DeadlineExpired.index()]
+                    + self.failed_total()
+    }
+
+    /// Folds another ledger into this one (used to cross-check that
+    /// per-tenant ledgers sum to the fleet ledger).
+    pub fn accumulate(&mut self, other: &ServeTotals) {
+        self.generated += other.generated;
+        self.admitted += other.admitted;
+        self.served += other.served;
+        self.served_degraded += other.served_degraded;
+        for (a, b) in self.shed.iter_mut().zip(other.shed.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.failed.iter_mut().zip(other.failed.iter()) {
+            *a += b;
+        }
+        self.retries += other.retries;
+        self.breaker_trips += other.breaker_trips;
+    }
+
+    /// Fraction of generated requests that were served, degraded
+    /// included — the goodput of this ledger (1.0 when nothing was
+    /// generated).
+    #[must_use]
+    pub fn goodput(&self) -> f64 {
+        if self.generated == 0 {
+            return 1.0;
+        }
+        (self.served + self.served_degraded) as f64 / self.generated as f64
+    }
+}
+
+/// One tenant's slice of the serving report.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// The tenant's QoS class.
+    pub qos: QosClass,
+    /// The tenant's outcome ledger.
+    pub totals: ServeTotals,
+}
+
+/// Tail-latency summary of one QoS class (completion − arrival, in
+/// virtual milliseconds, over served requests including degraded).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ClassLatency {
+    /// The class.
+    pub qos: QosClass,
+    /// Served requests the percentiles are drawn from.
+    pub count: usize,
+    /// Median latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, ms.
+    pub p99_ms: f64,
+    /// 99.9th-percentile latency, ms.
+    pub p999_ms: f64,
+    /// Worst observed latency, ms.
+    pub max_ms: f64,
+}
+
+impl ClassLatency {
+    /// Computes the summary from raw samples (nearest-rank
+    /// percentiles; zeros when no requests completed).
+    #[must_use]
+    pub fn from_samples(qos: QosClass, samples: &[f64]) -> ClassLatency {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let pick = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        ClassLatency {
+            qos,
+            count: sorted.len(),
+            p50_ms: pick(0.50),
+            p99_ms: pick(0.99),
+            p999_ms: pick(0.999),
+            max_ms: sorted.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// The complete outcome of one serving run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServeReport {
+    /// Fleet-wide outcome ledger.
+    pub totals: ServeTotals,
+    /// Per-tenant ledgers, in tenant order.
+    pub tenants: Vec<TenantReport>,
+    /// Per-class tail-latency summaries, in [`QosClass::ALL`] order.
+    pub latency: Vec<ClassLatency>,
+    /// Virtual time at which the last request completed, ms.
+    pub makespan_ms: f64,
+    /// Jain's fairness index over per-tenant goodput fractions
+    /// (1.0 = perfectly even service across tenants).
+    pub fairness: f64,
+    /// Running FNV-1a digest over `(request id, outcome tag,
+    /// time bits)` for every terminal outcome — two runs are
+    /// bit-identical iff their digests match.
+    pub digest: u64,
+    /// Serving-layer telemetry (serve_* counters and histograms),
+    /// empty when the engine ran with telemetry disabled.
+    pub telemetry: TelemetrySummary,
+}
+
+impl ServeReport {
+    /// The total accounting invariant, checked fleet-wide, per tenant,
+    /// and across the tenant→fleet roll-up.
+    #[must_use]
+    pub fn balanced(&self) -> bool {
+        if !self.totals.balanced() {
+            return false;
+        }
+        let mut rollup = ServeTotals::default();
+        for tenant in &self.tenants {
+            if !tenant.totals.balanced() {
+                return false;
+            }
+            rollup.accumulate(&tenant.totals);
+        }
+        rollup == self.totals
+    }
+
+    /// Requests that reached a terminal outcome.
+    #[must_use]
+    pub fn outcomes(&self) -> u64 {
+        self.totals.outcomes()
+    }
+
+    /// Goodput of one QoS class: served (degraded included) over
+    /// generated, aggregated across the class's tenants.
+    #[must_use]
+    pub fn goodput(&self, qos: QosClass) -> f64 {
+        let mut class = ServeTotals::default();
+        for tenant in self.tenants.iter().filter(|t| t.qos == qos) {
+            class.accumulate(&tenant.totals);
+        }
+        class.goodput()
+    }
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "serving: {} generated, {} admitted, {} served (+{} degraded), {} shed, {} failed, {} retries, {} breaker trips",
+            self.totals.generated,
+            self.totals.admitted,
+            self.totals.served,
+            self.totals.served_degraded,
+            self.totals.shed_total(),
+            self.totals.failed_total(),
+            self.totals.retries,
+            self.totals.breaker_trips,
+        )?;
+        writeln!(
+            f,
+            "{:<14} {:<7} {:>9} {:>9} {:>7} {:>9} {:>7} {:>7} {:>8}",
+            "tenant",
+            "qos",
+            "generated",
+            "admitted",
+            "served",
+            "degraded",
+            "shed",
+            "failed",
+            "goodput"
+        )?;
+        for t in &self.tenants {
+            writeln!(
+                f,
+                "{:<14} {:<7} {:>9} {:>9} {:>7} {:>9} {:>7} {:>7} {:>7.1}%",
+                t.name,
+                t.qos.name(),
+                t.totals.generated,
+                t.totals.admitted,
+                t.totals.served,
+                t.totals.served_degraded,
+                t.totals.shed_total(),
+                t.totals.failed_total(),
+                t.totals.goodput() * 100.0,
+            )?;
+        }
+        for reason in ShedReason::ALL {
+            let n = self.totals.shed[reason.index()];
+            if n > 0 {
+                writeln!(f, "  shed[{}] = {n}", reason.name())?;
+            }
+        }
+        for class in FailureClass::ALL {
+            let n = self.totals.failed[class.index()];
+            if n > 0 {
+                writeln!(f, "  failed[{}] = {n}", class.name())?;
+            }
+        }
+        for l in &self.latency {
+            writeln!(
+                f,
+                "latency[{}]: n={} p50={:.2} ms p99={:.2} ms p999={:.2} ms max={:.2} ms",
+                l.qos.name(),
+                l.count,
+                l.p50_ms,
+                l.p99_ms,
+                l.p999_ms,
+                l.max_ms
+            )?;
+        }
+        write!(
+            f,
+            "makespan {:.1} ms, fairness {:.3}, accounting {}, digest {:016x}",
+            self.makespan_ms,
+            self.fairness,
+            if self.balanced() {
+                "balanced"
+            } else {
+                "UNBALANCED"
+            },
+            self.digest
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_tables_are_consistent() {
+        assert_eq!(ShedReason::ALL.len(), ShedReason::COUNT);
+        assert_eq!(FailureClass::ALL.len(), FailureClass::COUNT);
+        for (i, r) in ShedReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert!(!r.name().is_empty());
+        }
+        for (i, c) in FailureClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert!(!c.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn failure_classification_covers_every_error_family() {
+        use odin_core::SnapshotError;
+        let cases = [
+            (
+                OdinError::NoFeasibleOu { layer: 0 },
+                FailureClass::Transient,
+            ),
+            (
+                OdinError::Snapshot(SnapshotError::Io {
+                    path: "p".into(),
+                    op: "read",
+                    message: "m".into(),
+                }),
+                FailureClass::Transient,
+            ),
+            (
+                OdinError::Snapshot(SnapshotError::Corrupt {
+                    path: "p".into(),
+                    reason: "r".into(),
+                }),
+                FailureClass::Snapshot,
+            ),
+            (
+                OdinError::EnduranceExhausted { group: 1 },
+                FailureClass::Endurance,
+            ),
+            (
+                OdinError::InvalidConfig {
+                    name: "n",
+                    reason: "r",
+                },
+                FailureClass::Config,
+            ),
+        ];
+        for (error, expected) in cases {
+            assert_eq!(FailureClass::of(&error), expected, "{error}");
+        }
+    }
+
+    #[test]
+    fn totals_balance_arithmetic() {
+        let mut t = ServeTotals::default();
+        assert!(t.balanced());
+        t.generated = 10;
+        t.admitted = 7;
+        t.shed[ShedReason::QueueFull.index()] = 2;
+        t.shed[ShedReason::EnduranceBudget.index()] = 1;
+        t.shed[ShedReason::DeadlineExpired.index()] = 1;
+        t.served = 4;
+        t.served_degraded = 1;
+        t.failed[FailureClass::Transient.index()] = 1;
+        assert!(t.balanced());
+        assert_eq!(t.outcomes(), 10);
+        // One silent drop breaks the ledger.
+        t.served -= 1;
+        assert!(!t.balanced());
+    }
+
+    #[test]
+    fn class_latency_percentiles() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let l = ClassLatency::from_samples(QosClass::Gold, &samples);
+        assert_eq!(l.count, 100);
+        assert!((l.p50_ms - 51.0).abs() < 1.5);
+        assert!((l.p99_ms - 99.0).abs() < 1.5);
+        assert_eq!(l.max_ms, 100.0);
+        let empty = ClassLatency::from_samples(QosClass::Bronze, &[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.max_ms, 0.0);
+    }
+}

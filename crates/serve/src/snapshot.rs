@@ -1,0 +1,266 @@
+//! Crash-consistent serve checkpoints.
+//!
+//! A [`ServeSnapshot`] captures everything a serving run needs to
+//! resume bit-exactly: the configuration (so a resume can refuse a
+//! mismatched one and regenerate the identical arrival trace), the
+//! runtime's [`RuntimeState`], and the engine's [`ServeProgress`].
+//! Files go through
+//! [`odin_core::snapshot::write_payload_atomic`] — the same
+//! header/checksum/tmp-fsync-rename protocol campaign snapshots use —
+//! under this store's own magic string, so torn or corrupt
+//! generations are detected and skipped on load rather than trusted.
+//!
+//! The store keeps rotating generations `serve-<seq>.snap` in one
+//! directory; [`load_latest`] walks them newest-first and returns the
+//! first one that validates.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use odin_core::snapshot::{read_payload, write_payload_atomic, RuntimeState};
+use odin_core::{OdinError, SnapshotError};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{ServeConfig, ServeProgress};
+
+/// Magic string identifying serve snapshot files.
+pub const SERVE_SNAPSHOT_MAGIC: &str = "odin-serve-snapshot";
+
+/// Current serve snapshot format version.
+pub const SERVE_SNAPSHOT_VERSION: u32 = 1;
+
+/// One resumable generation of a serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeSnapshot {
+    /// The serving configuration that produced this run. A resume
+    /// validates its own configuration against this and regenerates
+    /// the arrival trace from it.
+    pub config: ServeConfig,
+    /// The runtime's complete resumable state.
+    pub runtime: RuntimeState,
+    /// The serving loop's complete resumable state.
+    pub progress: ServeProgress,
+}
+
+impl ServeSnapshot {
+    /// Writes this snapshot to `path` through the atomic snapshot
+    /// protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::Snapshot`] when any filesystem step fails.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), OdinError> {
+        write_payload_atomic(path, SERVE_SNAPSHOT_MAGIC, SERVE_SNAPSHOT_VERSION, self)
+    }
+
+    /// Reads and fully validates a snapshot from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::Snapshot`] with the precise
+    /// [`SnapshotError`]: `Io` when unreadable, `Corrupt` on
+    /// structural or checksum damage, `VersionMismatch` for foreign
+    /// versions, `Incomplete` for truncated payloads.
+    pub fn read(path: &Path) -> Result<ServeSnapshot, OdinError> {
+        read_payload(path, SERVE_SNAPSHOT_MAGIC, SERVE_SNAPSHOT_VERSION)
+    }
+}
+
+/// The file name of generation `seq`.
+fn generation_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("serve-{seq:08}.snap"))
+}
+
+/// Parses `serve-<seq>.snap` back to its sequence number.
+fn parse_generation(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let seq = name.strip_prefix("serve-")?.strip_suffix(".snap")?;
+    seq.parse().ok()
+}
+
+/// All generation sequence numbers present in `dir`, ascending. A
+/// missing directory is an empty store.
+fn generations(dir: &Path) -> Result<Vec<u64>, OdinError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => {
+            return Err(OdinError::Snapshot(SnapshotError::Io {
+                path: dir.display().to_string(),
+                op: "read_dir",
+                message: e.to_string(),
+            }))
+        }
+    };
+    let mut seqs: Vec<u64> = entries
+        .filter_map(Result::ok)
+        .filter_map(|e| parse_generation(&e.path()))
+        .collect();
+    seqs.sort_unstable();
+    Ok(seqs)
+}
+
+/// Writes `snap` as the next generation in `dir`, creating the
+/// directory on first use, then prunes to the newest `retain`
+/// generations and sweeps stale `.tmp` leftovers. Pruning and
+/// sweeping are best-effort — the new generation is already durable.
+///
+/// # Errors
+///
+/// Returns [`OdinError::Snapshot`] when the directory cannot be
+/// created or the snapshot write itself fails.
+pub fn save_generation(
+    dir: &Path,
+    retain: usize,
+    snap: &ServeSnapshot,
+) -> Result<PathBuf, OdinError> {
+    fs::create_dir_all(dir).map_err(|e| SnapshotError::Io {
+        path: dir.display().to_string(),
+        op: "create_dir",
+        message: e.to_string(),
+    })?;
+    let seqs = generations(dir)?;
+    let next = seqs.last().map_or(0, |s| s + 1);
+    let path = generation_path(dir, next);
+    snap.write_atomic(&path)?;
+    let retain = retain.max(1);
+    let mut all = seqs;
+    all.push(next);
+    if all.len() > retain {
+        for stale in &all[..all.len() - retain] {
+            let _ = fs::remove_file(generation_path(dir, *stale));
+        }
+    }
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.filter_map(Result::ok) {
+            let p = entry.path();
+            if p.extension().is_some_and(|x| x == "tmp") {
+                let _ = fs::remove_file(&p);
+            }
+        }
+    }
+    Ok(path)
+}
+
+/// Loads the newest usable generation from `dir`, walking backwards
+/// past torn, corrupt, or foreign-version files. Returns `Ok(None)`
+/// when the store is empty or no generation validates — including
+/// when `dir` does not exist.
+///
+/// # Errors
+///
+/// Returns [`OdinError::Snapshot`] only when the directory exists but
+/// cannot be listed.
+pub fn load_latest(dir: &Path) -> Result<Option<(ServeSnapshot, PathBuf)>, OdinError> {
+    let seqs = generations(dir)?;
+    for seq in seqs.into_iter().rev() {
+        let path = generation_path(dir, seq);
+        if let Ok(snap) = ServeSnapshot::read(&path) {
+            return Ok(Some((snap, path)));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeEngine;
+    use odin_core::{OdinConfig, OdinRuntime};
+    use std::io::Write as _;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("odin-serve-snap-{}-{tag}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn sample_snapshot(seed: u64) -> ServeSnapshot {
+        let config = ServeConfig::demo(seed);
+        let runtime = OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(seed)
+            .build()
+            .expect("paper config builds");
+        ServeSnapshot {
+            progress: ServeProgress::fresh(&config),
+            runtime: runtime.state(),
+            config,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let dir = scratch("roundtrip");
+        fs::create_dir_all(&dir).unwrap();
+        let snap = sample_snapshot(7);
+        let path = dir.join("one.snap");
+        snap.write_atomic(&path).unwrap();
+        let back = ServeSnapshot::read(&path).unwrap();
+        assert_eq!(back, snap);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_retains_only_the_newest_generations() {
+        let dir = scratch("rotation");
+        let snap = sample_snapshot(9);
+        for _ in 0..6 {
+            save_generation(&dir, 3, &snap).unwrap();
+        }
+        let seqs = generations(&dir).unwrap();
+        assert_eq!(seqs, vec![3, 4, 5]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_latest_skips_torn_generations() {
+        let dir = scratch("torn");
+        let snap = sample_snapshot(11);
+        let first = save_generation(&dir, 8, &snap).unwrap();
+        let second = save_generation(&dir, 8, &snap).unwrap();
+        // Tear the newest generation in half and drop tmp garbage.
+        let bytes = fs::read(&second).unwrap();
+        fs::write(&second, &bytes[..bytes.len() / 2]).unwrap();
+        let mut tmp = fs::File::create(dir.join("serve-zzzzzz.snap.tmp")).unwrap();
+        tmp.write_all(b"garbage").unwrap();
+        let (loaded, path) = load_latest(&dir)
+            .unwrap()
+            .expect("first generation survives");
+        assert_eq!(path, first);
+        assert_eq!(loaded, snap);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_or_missing_store_loads_none() {
+        let dir = scratch("missing");
+        assert!(load_latest(&dir).unwrap().is_none());
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("serve-00000000.snap"), b"not a snapshot").unwrap();
+        assert!(load_latest(&dir).unwrap().is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpointed_engine_produces_loadable_generations() {
+        let dir = scratch("engine");
+        let mut config = ServeConfig::demo(13);
+        config.trace.duration_ms = 300.0;
+        let mut runtime = OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(13)
+            .build()
+            .unwrap();
+        let report = ServeEngine::new(config.clone())
+            .checkpoint(&dir, 8)
+            .run(&mut runtime)
+            .unwrap();
+        assert!(report.balanced());
+        let (snap, _) = load_latest(&dir)
+            .unwrap()
+            .expect("generations were written");
+        assert_eq!(snap.config, config);
+        assert!(snap.progress.outcomes() > 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

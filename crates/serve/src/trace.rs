@@ -1,0 +1,338 @@
+//! Seeded open-loop arrival traces.
+//!
+//! Serving is driven by *arrivals*, not a schedule: each tenant emits
+//! requests at its own rate, modulated by a diurnal sinusoid and
+//! explicit burst windows. The process is nonhomogeneous Poisson,
+//! sampled by thinning against the peak rate, with every random draw
+//! taken from a `splitmix64` stream derived from the config seed — so
+//! a trace is a pure function of its configuration and seed, with no
+//! wall clock anywhere.
+
+use serde::{Deserialize, Serialize};
+
+/// Advances a `splitmix64` stream one step. The only random-number
+/// generator in this crate: dependency-free, deterministic, and cheap
+/// enough to re-derive mid-resume.
+#[must_use]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Maps a `splitmix64` draw onto `(0, 1]` — the open lower bound keeps
+/// `ln` finite in the exponential-gap transform.
+#[must_use]
+pub(crate) fn unit_open(x: u64) -> f64 {
+    ((x >> 11) + 1) as f64 / (1u64 << 53) as f64
+}
+
+/// Quality-of-service class of a tenant, highest first. The class
+/// decides the deadline budget, the dispatch priority, and how far the
+/// admission controller will let the fabric degrade before shedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum QosClass {
+    /// Interactive traffic: first priority, tightest deadline, never
+    /// shed for fabric health or endurance.
+    Gold,
+    /// Standard traffic: mid priority, shed only near endurance
+    /// exhaustion.
+    Silver,
+    /// Best-effort traffic: last priority, first to shed when the
+    /// fabric degrades or the endurance budget runs low.
+    Bronze,
+}
+
+impl QosClass {
+    /// Number of QoS classes.
+    pub const COUNT: usize = 3;
+
+    /// Every class, highest priority first.
+    pub const ALL: [QosClass; 3] = [QosClass::Gold, QosClass::Silver, QosClass::Bronze];
+
+    /// Stable index of this class (0 = highest priority).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable class name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            QosClass::Gold => "gold",
+            QosClass::Silver => "silver",
+            QosClass::Bronze => "bronze",
+        }
+    }
+}
+
+/// One tenant of the serving fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Tenant name (reports and fairness rows key on it).
+    pub name: String,
+    /// Model-zoo network this tenant serves (`"vgg11"`, `"resnet18"`,
+    /// …); resolved against `odin_dnn::zoo` at engine start.
+    pub model: String,
+    /// The tenant's QoS class.
+    pub qos: QosClass,
+    /// Mean arrival rate in requests per (virtual) second, before
+    /// diurnal/burst modulation.
+    pub rate_rps: f64,
+    /// Bounded queue depth; arrivals past it are shed with
+    /// [`ShedReason::QueueFull`](crate::ShedReason::QueueFull).
+    pub queue_capacity: usize,
+}
+
+/// A window of elevated (or suppressed) arrival rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstWindow {
+    /// Window start, virtual milliseconds.
+    pub start_ms: f64,
+    /// Window end (exclusive), virtual milliseconds.
+    pub end_ms: f64,
+    /// Rate multiplier inside the window.
+    pub multiplier: f64,
+}
+
+/// Shape of the arrival process shared by every tenant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Trace horizon, virtual milliseconds; no arrival lands at or
+    /// past it.
+    pub duration_ms: f64,
+    /// Diurnal swing in `[0, 1)`: the instantaneous rate is scaled by
+    /// `1 + amplitude · sin(2πt / period)`.
+    pub diurnal_amplitude: f64,
+    /// Period of the diurnal sinusoid, virtual milliseconds.
+    pub diurnal_period_ms: f64,
+    /// Burst windows, applied multiplicatively where they overlap.
+    pub bursts: Vec<BurstWindow>,
+}
+
+impl TraceConfig {
+    /// Instantaneous rate multiplier at `t_ms` (diurnal × bursts).
+    #[must_use]
+    pub fn modulation(&self, t_ms: f64) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * t_ms / self.diurnal_period_ms;
+        let mut m = 1.0 + self.diurnal_amplitude * phase.sin();
+        for w in &self.bursts {
+            if w.start_ms <= t_ms && t_ms < w.end_ms {
+                m *= w.multiplier;
+            }
+        }
+        m
+    }
+
+    /// An upper bound on [`modulation`](Self::modulation) over the
+    /// whole horizon — the thinning envelope.
+    #[must_use]
+    pub fn peak_modulation(&self) -> f64 {
+        let mut peak = 1.0 + self.diurnal_amplitude;
+        for w in &self.bursts {
+            peak *= w.multiplier.max(1.0);
+        }
+        peak
+    }
+}
+
+/// One generated request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Dense global id in arrival order (ties broken by tenant index).
+    pub id: u64,
+    /// Index into the tenant list.
+    pub tenant: usize,
+    /// The tenant's QoS class, copied here for convenience.
+    pub qos: QosClass,
+    /// Arrival time, virtual milliseconds.
+    pub arrival_ms: f64,
+}
+
+/// A fully materialized arrival trace: every tenant's requests merged
+/// into one global arrival order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTrace {
+    /// Requests sorted by `(arrival_ms, tenant, per-tenant order)`.
+    pub requests: Vec<Request>,
+}
+
+impl ArrivalTrace {
+    /// Generates the trace for `tenants` under `trace`, deterministic
+    /// in `seed`: per-tenant `splitmix64` streams drive an
+    /// exponential-gap / thinning sampler against the peak rate.
+    #[must_use]
+    pub fn generate(tenants: &[TenantSpec], trace: &TraceConfig, seed: u64) -> ArrivalTrace {
+        let peak_modulation = trace.peak_modulation();
+        let mut root = seed;
+        let mut merged: Vec<(f64, usize, u64)> = Vec::new();
+        for (tenant, spec) in tenants.iter().enumerate() {
+            let mut stream = splitmix64(&mut root);
+            let peak_per_ms = spec.rate_rps / 1e3 * peak_modulation;
+            if peak_per_ms <= 0.0 {
+                continue;
+            }
+            let mut t = 0.0;
+            let mut k = 0u64;
+            loop {
+                let gap = -unit_open(splitmix64(&mut stream)).ln() / peak_per_ms;
+                t += gap;
+                if t >= trace.duration_ms {
+                    break;
+                }
+                let accept = unit_open(splitmix64(&mut stream));
+                if accept * peak_modulation <= trace.modulation(t) {
+                    merged.push((t, tenant, k));
+                    k += 1;
+                }
+            }
+        }
+        merged.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let requests = merged
+            .into_iter()
+            .enumerate()
+            .map(|(id, (arrival_ms, tenant, _))| Request {
+                id: id as u64,
+                tenant,
+                qos: tenants[tenant].qos,
+                arrival_ms,
+            })
+            .collect();
+        ArrivalTrace { requests }
+    }
+
+    /// Number of requests in the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// `true` when no requests were generated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenants() -> Vec<TenantSpec> {
+        vec![
+            TenantSpec {
+                name: "a".into(),
+                model: "vgg11".into(),
+                qos: QosClass::Gold,
+                rate_rps: 200.0,
+                queue_capacity: 8,
+            },
+            TenantSpec {
+                name: "b".into(),
+                model: "vgg11".into(),
+                qos: QosClass::Bronze,
+                rate_rps: 100.0,
+                queue_capacity: 8,
+            },
+        ]
+    }
+
+    fn config() -> TraceConfig {
+        TraceConfig {
+            duration_ms: 4_000.0,
+            diurnal_amplitude: 0.4,
+            diurnal_period_ms: 1_000.0,
+            bursts: vec![BurstWindow {
+                start_ms: 1_000.0,
+                end_ms: 1_500.0,
+                multiplier: 3.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn qos_tables_are_consistent() {
+        assert_eq!(QosClass::ALL.len(), QosClass::COUNT);
+        for (i, c) in QosClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert!(!c.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace_different_seed_different_trace() {
+        let (tenants, cfg) = (tenants(), config());
+        let a = ArrivalTrace::generate(&tenants, &cfg, 7);
+        let b = ArrivalTrace::generate(&tenants, &cfg, 7);
+        let c = ArrivalTrace::generate(&tenants, &cfg, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn trace_is_sorted_with_dense_ids_inside_horizon() {
+        let (tenants, cfg) = (tenants(), config());
+        let trace = ArrivalTrace::generate(&tenants, &cfg, 42);
+        for (i, pair) in trace.requests.windows(2).enumerate() {
+            assert!(pair[0].arrival_ms <= pair[1].arrival_ms, "sorted at {i}");
+        }
+        for (i, r) in trace.requests.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert!(r.arrival_ms >= 0.0 && r.arrival_ms < cfg.duration_ms);
+            assert_eq!(r.qos, tenants[r.tenant].qos);
+        }
+    }
+
+    #[test]
+    fn burst_window_concentrates_arrivals() {
+        let (tenants, cfg) = (tenants(), config());
+        let trace = ArrivalTrace::generate(&tenants, &cfg, 3);
+        let in_burst = trace
+            .requests
+            .iter()
+            .filter(|r| (1_000.0..1_500.0).contains(&r.arrival_ms))
+            .count();
+        let baseline = trace
+            .requests
+            .iter()
+            .filter(|r| (2_000.0..2_500.0).contains(&r.arrival_ms))
+            .count();
+        assert!(
+            in_burst > baseline,
+            "burst window should outdraw an equal-width baseline window: {in_burst} vs {baseline}"
+        );
+    }
+
+    #[test]
+    fn rate_scales_request_volume() {
+        let cfg = config();
+        let slow = vec![TenantSpec {
+            rate_rps: 50.0,
+            ..tenants().remove(0)
+        }];
+        let fast = vec![TenantSpec {
+            rate_rps: 400.0,
+            ..slow[0].clone()
+        }];
+        let n_slow = ArrivalTrace::generate(&slow, &cfg, 5).len();
+        let n_fast = ArrivalTrace::generate(&fast, &cfg, 5).len();
+        assert!(
+            n_fast > 4 * n_slow,
+            "8× the rate should draw far more arrivals: {n_fast} vs {n_slow}"
+        );
+    }
+
+    #[test]
+    fn peak_modulation_bounds_instantaneous_modulation() {
+        let cfg = config();
+        let peak = cfg.peak_modulation();
+        for i in 0..4_000 {
+            let t = f64::from(i);
+            assert!(cfg.modulation(t) <= peak + 1e-12, "bound violated at {t}");
+        }
+    }
+}

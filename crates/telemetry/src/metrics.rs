@@ -60,11 +60,28 @@ pub enum CounterId {
     EngineCommitted,
     /// Speculative runs discarded at commit barriers.
     EngineDiscarded,
+    /// Requests admitted into serving accounting (every request the
+    /// serve engine took responsibility for).
+    ServeAdmitted,
+    /// Requests served at full quality.
+    ServeServed,
+    /// Requests served degraded (breaker open, or ladder bottom rung).
+    ServeServedDegraded,
+    /// Requests shed by admission control, backpressure, or deadline
+    /// expiry (all typed shed reasons combined).
+    ServeShed,
+    /// Requests that terminated in a typed failure (retries exhausted,
+    /// or a fatal error).
+    ServeFailed,
+    /// Retry attempts launched after transient serving failures.
+    ServeRetries,
+    /// Per-tenant circuit-breaker trips (closed → open transitions).
+    ServeBreakerTrips,
 }
 
 impl CounterId {
     /// Number of counter variants (the metric array length).
-    pub const COUNT: usize = 23;
+    pub const COUNT: usize = 30;
 
     /// Every counter, in declaration order — the canonical iteration
     /// order for snapshots, summaries, and sinks.
@@ -92,6 +109,13 @@ impl CounterId {
         CounterId::EngineSpeculated,
         CounterId::EngineCommitted,
         CounterId::EngineDiscarded,
+        CounterId::ServeAdmitted,
+        CounterId::ServeServed,
+        CounterId::ServeServedDegraded,
+        CounterId::ServeShed,
+        CounterId::ServeFailed,
+        CounterId::ServeRetries,
+        CounterId::ServeBreakerTrips,
     ];
 
     /// The flat-array slot of this counter.
@@ -127,6 +151,13 @@ impl CounterId {
             CounterId::EngineSpeculated => "engine_speculated",
             CounterId::EngineCommitted => "engine_committed",
             CounterId::EngineDiscarded => "engine_discarded",
+            CounterId::ServeAdmitted => "serve_admitted",
+            CounterId::ServeServed => "serve_served",
+            CounterId::ServeServedDegraded => "serve_served_degraded",
+            CounterId::ServeShed => "serve_shed",
+            CounterId::ServeFailed => "serve_failed",
+            CounterId::ServeRetries => "serve_retries",
+            CounterId::ServeBreakerTrips => "serve_breaker_trips",
         }
     }
 }
@@ -153,11 +184,16 @@ pub enum HistogramId {
     CheckpointLatencyUs,
     /// Wall-clock latency of one inference run in microseconds.
     RunLatencyUs,
+    /// End-to-end response latency of one served request in virtual
+    /// milliseconds (queueing + retries + service).
+    ServeLatencyMs,
+    /// Tenant queue depth sampled at every admission decision.
+    ServeQueueDepth,
 }
 
 impl HistogramId {
     /// Number of histogram variants (the metric array length).
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 7;
 
     /// Every histogram, in declaration order.
     pub const ALL: [HistogramId; HistogramId::COUNT] = [
@@ -166,6 +202,8 @@ impl HistogramId {
         HistogramId::CheckpointKib,
         HistogramId::CheckpointLatencyUs,
         HistogramId::RunLatencyUs,
+        HistogramId::ServeLatencyMs,
+        HistogramId::ServeQueueDepth,
     ];
 
     /// The flat-array slot of this histogram.
@@ -183,6 +221,8 @@ impl HistogramId {
             HistogramId::CheckpointKib => "checkpoint_kib",
             HistogramId::CheckpointLatencyUs => "checkpoint_latency_us",
             HistogramId::RunLatencyUs => "run_latency_us",
+            HistogramId::ServeLatencyMs => "serve_latency_ms",
+            HistogramId::ServeQueueDepth => "serve_queue_depth",
         }
     }
 
@@ -199,6 +239,8 @@ impl HistogramId {
             HistogramId::CheckpointKib => &[4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0],
             HistogramId::CheckpointLatencyUs => &[100.0, 300.0, 1e3, 3e3, 1e4, 3e4, 1e5, 3e5],
             HistogramId::RunLatencyUs => &[30.0, 100.0, 300.0, 1e3, 3e3, 1e4, 3e4, 1e5],
+            HistogramId::ServeLatencyMs => &[1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1e3, 3e3],
+            HistogramId::ServeQueueDepth => &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
         }
     }
 }

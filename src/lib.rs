@@ -17,6 +17,7 @@
 //! | [`policy`] | `odin-policy` | The two-headed MLP policy + replay buffer |
 //! | [`telemetry`] | `odin-telemetry` | Zero-overhead spans, counters, histograms, trace sinks |
 //! | [`core`] | `odin-core` | Algorithm 1: features, search, runtime, baselines |
+//! | [`serve`] | `odin-serve` | Overload-safe multi-tenant serving on the runtime |
 //!
 //! # Quickstart
 //!
@@ -51,6 +52,7 @@ pub use odin_device as device;
 pub use odin_dnn as dnn;
 pub use odin_noc as noc;
 pub use odin_policy as policy;
+pub use odin_serve as serve;
 pub use odin_telemetry as telemetry;
 pub use odin_units as units;
 pub use odin_xbar as xbar;
