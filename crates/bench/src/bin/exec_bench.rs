@@ -1,0 +1,70 @@
+//! Executor-layer driver: sweeps the work-stealing scheduler across
+//! worker counts, gates campaign parity against the sequential
+//! runtime, gates the serving layer's executor and fusion paths, and
+//! records `BENCH_exec.json` at the workspace root.
+//!
+//! ```sh
+//! cargo run --release -p odin-bench --bin exec_bench -- --quick
+//! ```
+//!
+//! Exit codes: 0 success, 1 gate failure or bad usage, 2 I/O failure,
+//! 3 campaign failure.
+
+use std::process::ExitCode;
+
+use odin_bench::experiments::exec::{self, ExecWorkload};
+
+const USAGE: &str = "usage: exec_bench [--quick] [--seed N]";
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("ODIN_QUICK").is_ok_and(|v| v == "1");
+    let mut workload = if quick {
+        ExecWorkload::quick()
+    } else {
+        ExecWorkload::paper()
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => {}
+            "--seed" => {
+                let Some(seed) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--seed needs an integer\n{USAGE}");
+                    return ExitCode::from(1);
+                };
+                workload.seed = seed;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    let report = match exec::run(&workload) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: executor campaign failed: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    println!("{report}");
+    match exec::write_report(&report) {
+        Ok(path) => println!("[json: {}]", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write BENCH_exec.json: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if report.gates_passed {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: executor gates violated — see report above");
+        ExitCode::from(1)
+    }
+}

@@ -106,9 +106,10 @@ fn run_or_resume(
     fault_rate: f64,
 ) -> Result<ServeReport, OdinError> {
     let config = storm_config(duration_ms, seed);
-    let engine = ServeEngine::new(config.clone())
+    let engine = ServeEngine::builder(config.clone())
         .checkpoint(dir, 4)
-        .retain(8);
+        .retain(8)
+        .build()?;
     match engine.resume_from(dir) {
         Ok((_, report)) => Ok(report),
         // Empty or fully-torn store: nothing to resume, start fresh.
@@ -267,7 +268,9 @@ fn parent(args: &Args) -> Result<ServeChaosReport, String> {
         let config = storm_config(args.duration_ms, args.seed);
         let mut reference_runtime = storm_runtime(&config, fault_rate)
             .map_err(|e| format!("reference runtime failed: {e}"))?;
-        let reference = ServeEngine::new(config)
+        let reference = ServeEngine::builder(config)
+            .build()
+            .map_err(|e| format!("reference engine build failed: {e}"))?
             .run(&mut reference_runtime)
             .map_err(|e| format!("reference serving run failed: {e}"))?;
 

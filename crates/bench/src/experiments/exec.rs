@@ -1,0 +1,617 @@
+//! Executor-layer campaign: scheduler scaling, engine parity, and
+//! serve-fusion gates for the shared `odin-exec` execution layer,
+//! recorded into `BENCH_exec.json` at the workspace root.
+//!
+//! Three sections run back-to-back:
+//!
+//! - **scaling** — a synthetic round workload driven through
+//!   [`Executor`] at 1/2/4/8 workers: wall-clock, speedup over one
+//!   worker, and the steal/park/barrier counters. The commit-order
+//!   checksum must be identical at every worker count — the
+//!   determinism contract both engines lean on.
+//! - **campaign parity** — the paper workload through
+//!   [`CampaignEngine`] in both shard modes at 1/2/4/8 shards.
+//!   Lockstep must reproduce the sequential
+//!   [`OdinRuntime::run_campaign`] decision stream bit for bit at
+//!   every shard count; independent mode must be replay-stable.
+//! - **serving** — the demo fleet once inline and once bounced
+//!   through a pooled executor (digests must match), a congested
+//!   fleet with cross-tenant fusion enabled (ledger balanced, replay
+//!   stable, fused passes counted), and the fault-storm fleet with
+//!   fusion on (gold goodput must still clear
+//!   [`GOLD_GOODPUT_FLOOR`]).
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use odin_core::prelude::*;
+use odin_dnn::zoo::{self, Dataset};
+use odin_serve::{ServeConfig, ServeEngine, ServeReport};
+use serde::Serialize;
+
+use crate::experiments::chaos::fnv1a64;
+use crate::experiments::serving::{self, GOLD_GOODPUT_FLOOR};
+use crate::BenchMeta;
+
+/// The swept executor worker counts.
+pub const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The swept campaign shard counts.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One executor-bench workload.
+#[derive(Debug, Clone)]
+pub struct ExecWorkload {
+    /// Synthetic rounds submitted per worker count.
+    pub rounds: usize,
+    /// Tasks per synthetic round.
+    pub tasks_per_round: usize,
+    /// Xorshift iterations each synthetic task spins.
+    pub spin_iters: u32,
+    /// Scheduled inferences in the parity campaigns.
+    pub campaign_runs: usize,
+    /// Healthy serve-trace horizon, virtual milliseconds.
+    pub serve_duration_ms: f64,
+    /// Storm serve-trace horizon, virtual milliseconds.
+    pub storm_duration_ms: f64,
+    /// Stuck-cell fault rate of the storm fabric.
+    pub fault_rate: f64,
+    /// Fusion window of the fused scenarios.
+    pub fusion_window: usize,
+    /// Seed for the executor, campaigns, and serve traces.
+    pub seed: u64,
+}
+
+impl ExecWorkload {
+    /// The reduced smoke workload (`--quick`).
+    #[must_use]
+    pub fn quick() -> Self {
+        ExecWorkload {
+            rounds: 8,
+            tasks_per_round: 32,
+            spin_iters: 2_000,
+            campaign_runs: 6,
+            serve_duration_ms: 400.0,
+            storm_duration_ms: 400.0,
+            fault_rate: 0.15,
+            fusion_window: 4,
+            seed: 7,
+        }
+    }
+
+    /// The full workload.
+    #[must_use]
+    pub fn paper() -> Self {
+        ExecWorkload {
+            rounds: 64,
+            tasks_per_round: 128,
+            spin_iters: 20_000,
+            campaign_runs: 16,
+            serve_duration_ms: 1_500.0,
+            storm_duration_ms: 800.0,
+            fault_rate: 0.15,
+            fusion_window: 4,
+            seed: 7,
+        }
+    }
+}
+
+/// One worker-count point of the scaling sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingRow {
+    /// Executor workers.
+    pub workers: usize,
+    /// Wall-clock for all rounds, milliseconds.
+    pub wall_ms: f64,
+    /// Speedup over the one-worker point.
+    pub speedup: f64,
+    /// Tasks executed.
+    pub executed: u64,
+    /// Tasks stolen across deques.
+    pub stolen: u64,
+    /// Worker park events.
+    pub parked: u64,
+    /// Microseconds callers spent blocked on commit barriers.
+    pub barrier_wait_us: u64,
+    /// Commit-order checksum (hex) — must match every other row.
+    pub checksum: String,
+}
+
+/// One (mode, shard count) point of the campaign-parity sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParityRow {
+    /// Execution model (`lockstep` / `independent`).
+    pub mode: String,
+    /// Worker shards.
+    pub shards: usize,
+    /// Campaign EDP (J·s).
+    pub total_edp: f64,
+    /// Checksum (hex) over the per-layer decision stream.
+    pub decision_checksum: String,
+    /// Schedule slots committed by the engine.
+    pub committed: u64,
+    /// `true` when the decision stream is bit-identical to the
+    /// sequential runtime (gated for every lockstep row).
+    pub matches_sequential: bool,
+}
+
+/// One serving scenario of the executor campaign.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Fusion window in force.
+    pub fusion_window: usize,
+    /// Requests the arrival trace generated.
+    pub generated: u64,
+    /// Requests that shared a fused pass beyond its head.
+    pub fused: u64,
+    /// `(served + served_degraded) / generated`.
+    pub goodput: f64,
+    /// Goodput of the gold class alone.
+    pub gold_goodput: f64,
+    /// The total-accounting invariant.
+    pub balanced: bool,
+    /// Outcome digest (hex).
+    pub digest: String,
+}
+
+impl ServeRow {
+    fn from_report(scenario: &str, window: usize, report: &ServeReport) -> ServeRow {
+        ServeRow {
+            scenario: scenario.to_string(),
+            fusion_window: window,
+            generated: report.totals.generated,
+            fused: report.telemetry.counter("serve_fused"),
+            goodput: report.totals.goodput(),
+            gold_goodput: report.goodput(odin_serve::QosClass::Gold),
+            balanced: report.balanced(),
+            digest: format!("{:016x}", report.digest),
+        }
+    }
+}
+
+/// The recorded executor campaign (`BENCH_exec.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ExecBenchReport {
+    /// Schema version and configuration fingerprint shared by every
+    /// `BENCH_*.json` artifact.
+    pub meta: BenchMeta,
+    /// Executor/campaign/trace seed.
+    pub seed: u64,
+    /// Scaling sweep, one row per worker count.
+    pub scaling: Vec<ScalingRow>,
+    /// `true` iff every scaling row committed the same checksum.
+    pub scheduler_deterministic: bool,
+    /// Parity sweep, one row per (mode, shard count).
+    pub parity: Vec<ParityRow>,
+    /// `true` iff every lockstep row matched the sequential stream.
+    pub lockstep_parity: bool,
+    /// `true` iff a replayed independent campaign reproduced its
+    /// decision checksum at every shard count.
+    pub independent_replay_stable: bool,
+    /// `true` iff the pooled-executor serve digest equalled inline.
+    pub serve_locus_invariant: bool,
+    /// `true` iff a fused replay reproduced the fused digest.
+    pub fused_replay_matches: bool,
+    /// The gate the fused storm's gold goodput must clear.
+    pub gold_goodput_floor: f64,
+    /// Serving scenarios: inline, pooled, fused, fused storm.
+    pub serve: Vec<ServeRow>,
+    /// Every gate above, conjoined.
+    pub gates_passed: bool,
+}
+
+impl fmt::Display for ExecBenchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "executor campaign: seed {}", self.seed)?;
+        writeln!(
+            f,
+            "{:>8} {:>10} {:>8} {:>9} {:>8} {:>8} {:>12} {:>18}",
+            "workers",
+            "wall (ms)",
+            "speedup",
+            "executed",
+            "stolen",
+            "parked",
+            "barrier (µs)",
+            "checksum"
+        )?;
+        for row in &self.scaling {
+            writeln!(
+                f,
+                "{:>8} {:>10.1} {:>7.2}× {:>9} {:>8} {:>8} {:>12} {:>18}",
+                row.workers,
+                row.wall_ms,
+                row.speedup,
+                row.executed,
+                row.stolen,
+                row.parked,
+                row.barrier_wait_us,
+                row.checksum
+            )?;
+        }
+        writeln!(
+            f,
+            "scheduler deterministic: {}",
+            if self.scheduler_deterministic {
+                "yes"
+            } else {
+                "NO"
+            }
+        )?;
+        writeln!(
+            f,
+            "{:>12} {:>7} {:>12} {:>18} {:>10} {:>8}",
+            "mode", "shards", "EDP (J·s)", "decisions", "committed", "parity"
+        )?;
+        for row in &self.parity {
+            writeln!(
+                f,
+                "{:>12} {:>7} {:>12.4e} {:>18} {:>10} {:>8}",
+                row.mode,
+                row.shards,
+                row.total_edp,
+                row.decision_checksum,
+                row.committed,
+                if row.matches_sequential { "yes" } else { "—" }
+            )?;
+        }
+        writeln!(
+            f,
+            "lockstep parity: {} | independent replay-stable: {}",
+            if self.lockstep_parity { "yes" } else { "NO" },
+            if self.independent_replay_stable {
+                "yes"
+            } else {
+                "NO"
+            }
+        )?;
+        for row in &self.serve {
+            writeln!(
+                f,
+                "[{}] window {} | {} generated, {} fused | goodput {:.3} (gold {:.3}) | balanced: {} | digest {}",
+                row.scenario,
+                row.fusion_window,
+                row.generated,
+                row.fused,
+                row.goodput,
+                row.gold_goodput,
+                if row.balanced { "yes" } else { "NO" },
+                row.digest
+            )?;
+        }
+        write!(
+            f,
+            "serve locus-invariant: {} | fused replay: {} | gold goodput floor {:.2} | gates: {}",
+            if self.serve_locus_invariant {
+                "yes"
+            } else {
+                "NO"
+            },
+            if self.fused_replay_matches {
+                "yes"
+            } else {
+                "NO"
+            },
+            self.gold_goodput_floor,
+            if self.gates_passed { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// One deterministic synthetic task: an xorshift spin seeded by the
+/// (round, slot) coordinates, so the result is a pure function of the
+/// task identity and the commit-order checksum is a pure function of
+/// the executor's ordering contract.
+fn spin(seed: u64, iters: u32) -> u64 {
+    let mut x = seed | 1;
+    for _ in 0..iters {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    x
+}
+
+/// Order-sensitive fold of one committed result into the checksum.
+fn fold(hash: u64, value: u64) -> u64 {
+    fnv1a64(&(hash.rotate_left(5) ^ value).to_le_bytes())
+}
+
+fn scaling_sweep(workload: &ExecWorkload) -> Vec<ScalingRow> {
+    let mut rows = Vec::new();
+    let mut base_wall = None;
+    for workers in WORKER_COUNTS {
+        let exec = Executor::new(workers, workload.seed);
+        let before = exec.stats();
+        let mut checksum = 0u64;
+        let start = Instant::now();
+        for round in 0..workload.rounds {
+            let iters = workload.spin_iters;
+            let tasks: Vec<odin_exec::RoundTask<u64>> = (0..workload.tasks_per_round)
+                .map(|slot| {
+                    let seed = workload
+                        .seed
+                        .wrapping_add((round as u64) << 32)
+                        .wrapping_add(slot as u64);
+                    Box::new(move || spin(seed, iters)) as odin_exec::RoundTask<u64>
+                })
+                .collect();
+            for value in exec.run_round(tasks) {
+                checksum = fold(checksum, value);
+            }
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let delta = exec.stats().since(&before);
+        let base = *base_wall.get_or_insert(wall_ms);
+        rows.push(ScalingRow {
+            workers,
+            wall_ms,
+            speedup: base / wall_ms,
+            executed: delta.executed,
+            stolen: delta.stolen,
+            parked: delta.parked,
+            barrier_wait_us: delta.barrier_wait_ns / 1_000,
+            checksum: format!("{checksum:016x}"),
+        });
+    }
+    rows
+}
+
+/// Checksum over a campaign's full per-layer decision stream: layer
+/// index, predicted and chosen shapes, mismatch flag, and the chosen
+/// evaluation's EDP bits, in run order. Bit-identical decision
+/// streams — the lockstep parity contract — produce equal checksums.
+#[must_use]
+pub fn decision_checksum(report: &CampaignReport) -> u64 {
+    let mut hash = 0u64;
+    for run in &report.runs {
+        for d in &run.decisions {
+            hash = fold(hash, d.layer_index as u64);
+            hash = fold(
+                hash,
+                ((d.predicted.rows() as u64) << 48)
+                    | ((d.predicted.cols() as u64) << 32)
+                    | ((d.chosen.rows() as u64) << 16)
+                    | (d.chosen.cols() as u64),
+            );
+            hash = fold(hash, u64::from(d.mismatch));
+            hash = fold(hash, d.eval.edp.value().to_bits());
+        }
+        hash = fold(hash, run.inference.energy.value().to_bits());
+    }
+    hash
+}
+
+fn fresh_runtime(seed: u64) -> Result<OdinRuntime, OdinError> {
+    OdinRuntime::builder(OdinConfig::paper())
+        .rng_seed(seed)
+        .build()
+}
+
+fn parity_sweep(workload: &ExecWorkload) -> Result<(Vec<ParityRow>, bool, bool), OdinError> {
+    let net = zoo::vgg11(Dataset::Cifar10);
+    let schedule = TimeSchedule::geometric(1.0, 1e4, workload.campaign_runs);
+
+    let sequential = fresh_runtime(workload.seed)?.run_campaign(&net, &schedule)?;
+    let sequential_checksum = decision_checksum(&sequential);
+    let sequential_edp = sequential.total_edp().value();
+
+    let mut rows = Vec::new();
+    let mut lockstep_parity = true;
+    let mut independent_replay_stable = true;
+    for mode in [ShardMode::Lockstep, ShardMode::Independent] {
+        for shards in SHARD_COUNTS {
+            let engine = CampaignEngine::new(shards).with_mode(mode);
+            let mut rt = fresh_runtime(workload.seed)?;
+            let report = engine.run_campaign(&mut rt, &net, &schedule)?;
+            let checksum = decision_checksum(&report);
+            let matches_sequential = checksum == sequential_checksum
+                && report.total_edp().value().to_bits() == sequential_edp.to_bits();
+            match mode {
+                ShardMode::Lockstep => lockstep_parity &= matches_sequential,
+                ShardMode::Independent => {
+                    let mut rt2 = fresh_runtime(workload.seed)?;
+                    let replay = engine.run_campaign(&mut rt2, &net, &schedule)?;
+                    independent_replay_stable &= decision_checksum(&replay) == checksum;
+                }
+            }
+            rows.push(ParityRow {
+                mode: mode.to_string(),
+                shards,
+                total_edp: report.total_edp().value(),
+                decision_checksum: format!("{checksum:016x}"),
+                committed: report.engine.committed,
+                matches_sequential,
+            });
+        }
+    }
+    Ok((rows, lockstep_parity, independent_replay_stable))
+}
+
+/// The congested fused fleet: the demo three-tenant shape with a 20 ms
+/// host pass, so queues build and compatible tenants actually share
+/// fused passes.
+#[must_use]
+pub fn fused_config(duration_ms: f64, seed: u64, window: usize) -> ServeConfig {
+    let mut config = ServeConfig::demo(seed);
+    config.trace.duration_ms = duration_ms;
+    config.host_overhead_ms = 20.0;
+    config.deadline_ms = [400.0; odin_serve::QosClass::COUNT];
+    config.fusion_window = window;
+    config
+}
+
+fn serve_sweep(workload: &ExecWorkload) -> Result<(Vec<ServeRow>, bool, bool), OdinError> {
+    let mut demo = ServeConfig::demo(workload.seed);
+    demo.trace.duration_ms = workload.serve_duration_ms;
+
+    let inline = ServeEngine::builder(demo.clone())
+        .build()?
+        .run(&mut fresh_runtime(workload.seed)?)?;
+    let pooled_exec = Arc::new(Executor::new(3, workload.seed));
+    let pooled = ServeEngine::builder(demo)
+        .executor(Arc::clone(&pooled_exec))
+        .build()?
+        .run(&mut fresh_runtime(workload.seed)?)?;
+    let locus_invariant = pooled.digest == inline.digest && pooled.totals == inline.totals;
+
+    let fused_cfg = fused_config(
+        workload.serve_duration_ms,
+        workload.seed,
+        workload.fusion_window,
+    );
+    let fused_engine = ServeEngine::builder(fused_cfg)
+        .telemetry(Telemetry::enabled())
+        .build()?;
+    let fused = fused_engine.run(&mut fresh_runtime(workload.seed)?)?;
+    let fused_replay = fused_engine.run(&mut fresh_runtime(workload.seed)?)?;
+    let fused_replay_matches =
+        fused_replay.digest == fused.digest && fused_replay.totals == fused.totals;
+
+    let mut storm_cfg = serving::storm_config(workload.storm_duration_ms, workload.seed);
+    storm_cfg.fusion_window = workload.fusion_window;
+    let mut storm_rt = serving::storm_runtime(&storm_cfg, workload.fault_rate)?;
+    let window = storm_cfg.fusion_window;
+    let storm = ServeEngine::builder(storm_cfg)
+        .telemetry(Telemetry::enabled())
+        .build()?
+        .run(&mut storm_rt)?;
+
+    let rows = vec![
+        ServeRow::from_report("inline", 1, &inline),
+        ServeRow::from_report("pooled", 1, &pooled),
+        ServeRow::from_report("fused", workload.fusion_window, &fused),
+        ServeRow::from_report("fused-storm", window, &storm),
+    ];
+    Ok((rows, locus_invariant, fused_replay_matches))
+}
+
+/// Runs all three sections and conjoins the gates.
+///
+/// # Errors
+///
+/// Propagates configuration, build, and campaign failures.
+pub fn run(workload: &ExecWorkload) -> Result<ExecBenchReport, OdinError> {
+    let scaling = scaling_sweep(workload);
+    let scheduler_deterministic = scaling
+        .iter()
+        .all(|row| row.checksum == scaling[0].checksum);
+
+    let (parity, lockstep_parity, independent_replay_stable) = parity_sweep(workload)?;
+    let (serve, serve_locus_invariant, fused_replay_matches) = serve_sweep(workload)?;
+
+    let fused_balanced = serve
+        .iter()
+        .filter(|row| row.scenario.starts_with("fused"))
+        .all(|row| row.balanced);
+    let storm_gate = serve
+        .iter()
+        .find(|row| row.scenario == "fused-storm")
+        .is_some_and(|row| row.balanced && row.gold_goodput >= GOLD_GOODPUT_FLOOR);
+
+    let gates_passed = scheduler_deterministic
+        && lockstep_parity
+        && independent_replay_stable
+        && serve_locus_invariant
+        && fused_replay_matches
+        && fused_balanced
+        && storm_gate;
+
+    Ok(ExecBenchReport {
+        meta: BenchMeta::paper(),
+        seed: workload.seed,
+        scaling,
+        scheduler_deterministic,
+        parity,
+        lockstep_parity,
+        independent_replay_stable,
+        serve_locus_invariant,
+        fused_replay_matches,
+        gold_goodput_floor: GOLD_GOODPUT_FLOOR,
+        serve,
+        gates_passed,
+    })
+}
+
+/// Records the campaign into `BENCH_exec.json` at the workspace root
+/// (same convention as the other `BENCH_*.json` artifacts: generated,
+/// never hand-edited).
+///
+/// # Errors
+///
+/// Propagates serialization and filesystem failures.
+pub fn write_report(report: &ExecBenchReport) -> io::Result<PathBuf> {
+    let path = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_exec.json"
+    ));
+    let json = serde_json::to_string_pretty(report).map_err(io::Error::other)?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExecWorkload {
+        ExecWorkload {
+            rounds: 2,
+            tasks_per_round: 8,
+            spin_iters: 200,
+            campaign_runs: 3,
+            serve_duration_ms: 200.0,
+            storm_duration_ms: 200.0,
+            fault_rate: 0.15,
+            fusion_window: 3,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn scaling_checksums_agree_at_every_worker_count() {
+        let rows = scaling_sweep(&tiny());
+        assert_eq!(rows.len(), WORKER_COUNTS.len());
+        for row in &rows {
+            assert_eq!(row.checksum, rows[0].checksum, "{} workers", row.workers);
+            assert_eq!(row.executed, (2 * 8) as u64);
+        }
+    }
+
+    #[test]
+    fn campaign_gates_hold_on_the_tiny_workload() {
+        let (rows, lockstep, independent) = parity_sweep(&tiny()).unwrap();
+        assert_eq!(rows.len(), 2 * SHARD_COUNTS.len());
+        assert!(lockstep, "lockstep must match the sequential stream");
+        assert!(independent, "independent replay must be stable");
+    }
+
+    #[test]
+    fn serve_gates_hold_on_the_tiny_workload() {
+        let (rows, locus_invariant, fused_replay) = serve_sweep(&tiny()).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert!(locus_invariant, "pooled digest must equal inline");
+        assert!(fused_replay, "fused replay must reproduce the digest");
+        for row in &rows {
+            assert!(row.balanced, "{}: ledger must balance", row.scenario);
+        }
+    }
+
+    #[test]
+    fn report_renders_and_serializes() {
+        let workload = tiny();
+        let report = run(&workload).unwrap();
+        assert!(report.scheduler_deterministic);
+        assert!(report.lockstep_parity);
+        let table = report.to_string();
+        assert!(table.contains("lockstep"));
+        assert!(table.contains("fused-storm"));
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"gates_passed\""));
+    }
+}

@@ -6,6 +6,7 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod exec;
 pub mod fault_campaign;
 pub mod fig3;
 pub mod fig4;

@@ -305,7 +305,7 @@ impl fmt::Display for ServingReport {
 pub fn run(workload: &ServingWorkload) -> Result<ServingReport, OdinError> {
     let mut healthy_config = ServeConfig::demo(workload.seed);
     healthy_config.trace.duration_ms = workload.duration_ms;
-    let engine = ServeEngine::new(healthy_config.clone());
+    let engine = ServeEngine::builder(healthy_config.clone()).build()?;
     let healthy_runtime = || {
         OdinRuntime::builder(OdinConfig::paper())
             .rng_seed(workload.seed)
@@ -317,7 +317,7 @@ pub fn run(workload: &ServingWorkload) -> Result<ServingReport, OdinError> {
 
     let storm_cfg = storm_config(workload.storm_duration_ms, workload.seed);
     let mut runtime = storm_runtime(&storm_cfg, workload.fault_rate)?;
-    let storm = ServeEngine::new(storm_cfg).run(&mut runtime)?;
+    let storm = ServeEngine::builder(storm_cfg).build()?.run(&mut runtime)?;
 
     let healthy = ServingScenario::from_report(&healthy);
     let storm = ServingScenario::from_report(&storm);

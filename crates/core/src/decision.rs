@@ -1,0 +1,296 @@
+//! Pure per-layer decision logic — the sans-IO half of Algorithm 1.
+//!
+//! Everything in this module is state-in/state-out: [`DecisionCtx`]
+//! borrows the runtime's semantic state immutably, decides every layer
+//! of a network at a given programming age, and returns the outcome as
+//! a value. Nothing here reprograms, learns, checkpoints, spawns a
+//! thread, or touches a clock beyond the telemetry recorder (which is
+//! observational by contract). The effectful counterparts — the
+//! degradation ladder, replay-buffer training, and campaign
+//! orchestration — live in [`crate::runtime`] and [`crate::engine`],
+//! which schedule work onto the [`odin_exec`] executor; the boundary
+//! between the two is exactly the boundary between "compute a
+//! decision" and "act on one".
+
+use odin_dnn::{LayerDescriptor, NetworkDescriptor};
+use odin_policy::{MlpScratch, OuPolicy, TrainingExample};
+use odin_telemetry::{CounterId, HistogramId, SpanId, Telemetry};
+use odin_units::Seconds;
+
+use crate::analytic::AnalyticModel;
+use crate::cache::{CachedModel, EvalCache};
+use crate::config::OdinConfig;
+use crate::error::OdinError;
+use crate::fabric::{DegradationEvent, FabricHealth};
+use crate::features::LayerFeatures;
+use crate::runtime::LayerDecision;
+use crate::search::{find_best_with, OuEvaluator, SearchContext, SearchOutcome, SearchStrategy};
+
+/// The outcome of deciding every layer at one age.
+pub(crate) enum Decide {
+    /// Every layer has a feasible (or explicitly degraded-stranded)
+    /// decision.
+    Feasible(Vec<LayerDecision>),
+    /// Some layer admits no feasible OU anywhere on its (possibly
+    /// wear-capped) grid — the ladder must engage.
+    Infeasible {
+        /// The first layer the search failed on.
+        layer: usize,
+    },
+}
+
+/// Reusable hot-path buffers: the MLP forward/backward scratch, the
+/// per-run batched feature/probability arrays, and the drained
+/// training-example batch. Purely an allocation sink — nothing in here
+/// carries semantic state, so cloning or discarding it never changes a
+/// decision.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RuntimeScratch {
+    pub(crate) mlp: MlpScratch,
+    pub(crate) features: Vec<f64>,
+    pub(crate) probs_a: Vec<f64>,
+    pub(crate) probs_b: Vec<f64>,
+    pub(crate) examples: Vec<TrainingExample>,
+}
+
+/// An immutable borrow of exactly the runtime state decision making
+/// reads — the argument pack of the pure decision functions. Built per
+/// call by `OdinRuntime::decision_ctx`; constructing one is free.
+pub(crate) struct DecisionCtx<'a> {
+    pub(crate) config: &'a OdinConfig,
+    pub(crate) model: &'a AnalyticModel,
+    pub(crate) policy: &'a OuPolicy,
+    pub(crate) fabric: Option<&'a FabricHealth>,
+    pub(crate) cache: Option<&'a EvalCache>,
+    pub(crate) telemetry: &'a Telemetry,
+}
+
+impl DecisionCtx<'_> {
+    /// The search environment for one layer: fault profile and wear
+    /// cap of its crossbar group, or the pristine default without
+    /// fabric tracking.
+    fn layer_environment(&self, layer: usize) -> SearchContext<'_> {
+        self.fabric
+            .map_or_else(SearchContext::default, |f| f.search_context(layer))
+    }
+
+    /// Decides every layer at a given age. Stranded layers (retired
+    /// group, no spare) are served degraded inline when the policy
+    /// allows it.
+    pub(crate) fn decide_all(
+        &self,
+        network: &NetworkDescriptor,
+        age: Seconds,
+        events: &mut Vec<DegradationEvent>,
+        scratch: &mut RuntimeScratch,
+    ) -> Result<Decide, OdinError> {
+        let n = network.layers().len();
+        let grid = self.model.grid();
+        let eta = self.config.eta();
+        let decide_token = self.telemetry.start();
+        let evaluator = CachedModel::new(self.model, self.cache, self.telemetry);
+        // One batched forward pass over every layer's features supplies
+        // both the argmax seeds and the confidence distributions —
+        // replacing up to 2n single-row passes, row arithmetic
+        // unchanged. The scratch buffers make the steady state
+        // allocation-free.
+        scratch.features.clear();
+        for layer in network.layers() {
+            scratch
+                .features
+                .extend_from_slice(&LayerFeatures::extract(layer, n, age).as_array());
+        }
+        self.policy.predict_batch(
+            &scratch.features,
+            &mut scratch.mlp,
+            &mut scratch.probs_a,
+            &mut scratch.probs_b,
+        );
+        let levels = self.policy.config().levels;
+        let mut decisions = Vec::with_capacity(n);
+        for (row, layer) in network.layers().iter().enumerate() {
+            if let Some(fabric) = self.fabric {
+                if fabric.stranded(layer.index()) {
+                    if !fabric.policy().allow_degraded {
+                        return Err(OdinError::EnduranceExhausted {
+                            group: fabric.group_of(layer.index()),
+                        });
+                    }
+                    let (decision, group) = self.degraded_decision(layer, age)?;
+                    events.push(DegradationEvent::DegradedServe {
+                        layer: layer.index(),
+                        group,
+                    });
+                    decisions.push(decision);
+                    continue;
+                }
+            }
+            let ctx = self.layer_environment(layer.index());
+            let pa = &scratch.probs_a[row * levels..(row + 1) * levels];
+            let pb = &scratch.probs_b[row * levels..(row + 1) * levels];
+            let seed = (argmax(pa), argmax(pb));
+            let (seed_r, seed_c) = grid.clamp_levels(seed.0, seed.1);
+            let predicted = grid.shape(seed_r, seed_c);
+            // Uncertainty-aware extension: a low-confidence prediction
+            // is a poor hill-climb seed, so spend the exhaustive
+            // budget on that layer instead.
+            let strategy = match self.config.confidence_escalation() {
+                Some(threshold) => {
+                    let conf = max_prob(pa) * max_prob(pb);
+                    if conf < threshold {
+                        SearchStrategy::Exhaustive
+                    } else {
+                        self.config.strategy()
+                    }
+                }
+                None => self.config.strategy(),
+            };
+            self.telemetry.incr(match strategy {
+                SearchStrategy::ResourceBounded { .. } => CounterId::SearchesResourceBounded,
+                SearchStrategy::Exhaustive => CounterId::SearchesExhaustive,
+            });
+            let search_token = self.telemetry.start();
+            let mut outcome =
+                find_best_with(&evaluator, layer, age, eta, (seed_r, seed_c), strategy, ctx)?;
+            if outcome.best.is_none() && !matches!(strategy, SearchStrategy::Exhaustive) {
+                // The bounded neighborhood may miss feasible shapes far
+                // from the seed; verify on the full grid before pulling
+                // the reprogram trigger.
+                self.telemetry.incr(CounterId::SearchesEscalated);
+                self.telemetry.incr(CounterId::SearchesExhaustive);
+                let escalated = find_best_with(
+                    &evaluator,
+                    layer,
+                    age,
+                    eta,
+                    (seed_r, seed_c),
+                    SearchStrategy::Exhaustive,
+                    ctx,
+                )?;
+                outcome = SearchOutcome {
+                    best: escalated.best,
+                    evaluations: outcome.evaluations + escalated.evaluations,
+                };
+            }
+            self.telemetry
+                .finish_with(SpanId::Search, search_token, outcome.evaluations as i64);
+            self.telemetry
+                .add(CounterId::SearchEvaluations, outcome.evaluations as u64);
+            self.telemetry
+                .observe(HistogramId::SearchEvaluations, outcome.evaluations as f64);
+            let Some(eval) = outcome.best else {
+                self.telemetry.finish_with(SpanId::Decide, decide_token, -1);
+                return Ok(Decide::Infeasible {
+                    layer: layer.index(),
+                });
+            };
+            if eta > 0.0 {
+                // ΔG feasibility margin at decision time: how much of
+                // the non-ideality budget the chosen shape leaves
+                // unspent (1.0 = untouched, 0.0 = at the η boundary).
+                self.telemetry.observe(
+                    HistogramId::MarginFraction,
+                    ((eta - eval.impact) / eta).clamp(0.0, 1.0),
+                );
+            }
+            decisions.push(LayerDecision {
+                layer_index: layer.index(),
+                predicted,
+                chosen: eval.shape,
+                eval,
+                mismatch: predicted != eval.shape,
+                search_evaluations: outcome.evaluations,
+                degraded: false,
+            });
+        }
+        self.telemetry
+            .finish_with(SpanId::Decide, decide_token, decisions.len() as i64);
+        Ok(Decide::Feasible(decisions))
+    }
+
+    /// A bottom-rung decision: the smallest OU with the η constraint
+    /// waived, evaluated against the hosting group's fault profile.
+    /// Never mismatches, so it is invisible to the learning loop.
+    pub(crate) fn degraded_decision(
+        &self,
+        layer: &LayerDescriptor,
+        age: Seconds,
+    ) -> Result<(LayerDecision, usize), OdinError> {
+        let shape = self.model.grid().shape(0, 0);
+        let ctx = self.layer_environment(layer.index());
+        let eval = CachedModel::new(self.model, self.cache, self.telemetry)
+            .evaluate_in(layer, shape, age, ctx)?;
+        let group = self
+            .fabric
+            .map_or(usize::MAX, |f| f.group_of(layer.index()));
+        let decision = LayerDecision {
+            layer_index: layer.index(),
+            predicted: shape,
+            chosen: shape,
+            eval,
+            mismatch: false,
+            search_evaluations: 1,
+            degraded: true,
+        };
+        Ok((decision, group))
+    }
+
+    /// Serves every layer degraded (ladder bottom).
+    pub(crate) fn decide_all_degraded(
+        &self,
+        network: &NetworkDescriptor,
+        age: Seconds,
+        events: &mut Vec<DegradationEvent>,
+    ) -> Result<Vec<LayerDecision>, OdinError> {
+        let mut decisions = Vec::with_capacity(network.layers().len());
+        for layer in network.layers() {
+            let (decision, group) = self.degraded_decision(layer, age)?;
+            events.push(DegradationEvent::DegradedServe {
+                layer: layer.index(),
+                group,
+            });
+            decisions.push(decision);
+        }
+        Ok(decisions)
+    }
+}
+
+pub(crate) fn max_prob(p: &[f64]) -> f64 {
+    p.iter().copied().fold(0.0, f64::max)
+}
+
+/// First-max argmax, bit-compatible with [`OuPolicy::predict`]'s head
+/// decision (strict `>`, earliest winner) so batched rows and
+/// single-row predictions always agree.
+pub(crate) fn argmax(p: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in p.iter().enumerate().skip(1) {
+        if v > p[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_takes_the_earliest_strict_winner() {
+        assert_eq!(argmax(&[0.1, 0.5, 0.5, 0.2]), 1, "ties keep the first max");
+        assert_eq!(argmax(&[0.9]), 0);
+        assert_eq!(argmax(&[]), 0, "an empty row seeds level 0");
+    }
+
+    #[test]
+    fn max_prob_folds_from_zero() {
+        assert_eq!(max_prob(&[0.2, 0.7, 0.1]), 0.7);
+        assert_eq!(max_prob(&[]), 0.0);
+        assert_eq!(
+            max_prob(&[-1.0]),
+            0.0,
+            "probabilities never fold below zero"
+        );
+    }
+}

@@ -1,4 +1,5 @@
-//! Parallel campaign execution across `std::thread` shards.
+//! Parallel campaign execution on the `odin-exec` work-stealing
+//! executor.
 //!
 //! [`CampaignEngine`] shards a campaign's inference stream across
 //! worker threads and merges the per-shard results back into one
@@ -30,19 +31,27 @@
 //!   *not* the sequential stream. Shard count 1 is, again, exactly the
 //!   sequential path.
 //!
-//! Workers are plain `std::thread::scope` threads (the build targets
-//! no external dependencies) held in a campaign-lifetime [`WorkerPool`]:
-//! the engine spawns one OS thread per shard **once per campaign** and
-//! feeds it per-round jobs over a channel, instead of re-spawning every
-//! thread every round. Shards never share mutable runtime state — the
-//! only lock anywhere guards the job queue's receive side.
+//! Execution itself lives in the sans-IO [`odin_exec`] layer: the
+//! engine forks runtimes, builds a round of owned tasks, and submits
+//! them to a work-stealing [`Executor`] whose commit [`Barrier`]
+//! returns results in canonical submission order — so thread
+//! interleaving can never leak into a report. The executor is either
+//! injected through [`RuntimeBuilder::executor`] (shared with serving,
+//! embedded in a host process) or owned by the campaign, in which case
+//! it is spawned once per campaign and joined — never leaked — when
+//! the campaign ends, per the executor's `shutdown`/`Drop` contract.
+//! Shards never share mutable runtime state.
+//!
+//! [`Executor`]: odin_exec::Executor
+//! [`Barrier`]: odin_exec::Barrier
+//! [`RuntimeBuilder::executor`]: crate::RuntimeBuilder::executor
 
 use std::path::Path;
-use std::sync::mpsc::{self, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use odin_dnn::NetworkDescriptor;
-use odin_telemetry::{CounterId, SpanId, TelemetrySnapshot};
+use odin_exec::{Executor, RoundTask};
+use odin_telemetry::{CounterId, HistogramId, SpanId, TelemetrySnapshot};
 use odin_units::Seconds;
 use serde::{Deserialize, Serialize};
 
@@ -129,49 +138,23 @@ pub fn shard_seed(base: u64, shard: usize) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A boxed unit of work fed to the pool; `'env` covers everything a
-/// job may borrow from outside the thread scope (the network, result
-/// channels).
-type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+/// Seed base for campaign-owned executors; victim selection only, so
+/// it steers steal order (wall-clock), never a committed record.
+const EXEC_SEED: u64 = 0x0D1E_5EED;
 
-/// A campaign-lifetime worker pool: `workers` scoped threads spawned
-/// once, each pulling boxed jobs off a shared channel until the pool —
-/// and with it the channel's send side — drops at the end of the
-/// campaign (or on an early error return, which disconnects the
-/// channel and lets the scope join cleanly). This replaces per-round
-/// `scope.spawn` calls, so a lockstep campaign pays thread start-up
-/// once per shard instead of once per shard per round.
-struct WorkerPool<'env> {
-    jobs: Sender<Job<'env>>,
-}
-
-impl<'env> WorkerPool<'env> {
-    /// Spawns `workers` pool threads on `scope`.
-    fn spawn<'scope>(scope: &'scope std::thread::Scope<'scope, 'env>, workers: usize) -> Self {
-        let (jobs, rx) = mpsc::channel::<Job<'env>>();
-        let rx = Arc::new(Mutex::new(rx));
-        for _ in 0..workers {
-            let rx = Arc::clone(&rx);
-            scope.spawn(move || loop {
-                // The guard is held only while dequeueing (idle workers
-                // queue on the mutex, not on `recv`); it drops at the
-                // end of the match, before the job runs.
-                let job = match rx.lock().expect("pool queue poisoned").recv() {
-                    Ok(job) => job,
-                    Err(_) => break, // pool dropped: campaign over
-                };
-                job();
-            });
-        }
-        WorkerPool { jobs }
-    }
-
-    /// Queues one job; any idle worker picks it up.
-    fn submit(&self, job: impl FnOnce() + Send + 'env) {
-        self.jobs
-            .send(Box::new(job))
-            .expect("pool workers outlive submissions");
-    }
+/// Folds one commit barrier's executor-stat delta into the committed
+/// lineage's telemetry. `executed` is deterministic (one task per
+/// speculated run); steal and park counts depend on OS scheduling and
+/// are recorded for observability only — no report field or gate
+/// compares them across runs.
+fn record_exec_delta(telemetry: &odin_telemetry::Telemetry, delta: odin_exec::ExecStats) {
+    telemetry.add(CounterId::ExecTasks, delta.executed);
+    telemetry.add(CounterId::ExecSteals, delta.stolen);
+    telemetry.add(CounterId::ExecParks, delta.parked);
+    telemetry.observe(
+        HistogramId::ExecBarrierWaitUs,
+        delta.barrier_wait_ns as f64 / 1_000.0,
+    );
 }
 
 /// A multi-threaded campaign executor; see the [module docs](self)
@@ -252,6 +235,21 @@ impl CampaignEngine {
     #[must_use]
     pub fn mode(&self) -> ShardMode {
         self.mode
+    }
+
+    /// The executor campaign rounds are scheduled onto: the shared one
+    /// injected through [`RuntimeBuilder::executor`] when present,
+    /// otherwise a campaign-owned pool with one worker per shard,
+    /// joined (via the executor's `Drop`) when the campaign returns.
+    ///
+    /// [`RuntimeBuilder::executor`]: crate::RuntimeBuilder::executor
+    fn executor_handle(&self, runtime: &OdinRuntime) -> Arc<Executor> {
+        runtime.executor().cloned().unwrap_or_else(|| {
+            Arc::new(Executor::new(
+                self.shards,
+                shard_seed(EXEC_SEED, self.shards),
+            ))
+        })
     }
 
     /// Runs a campaign across the shards, stopping at the first failed
@@ -391,123 +389,114 @@ impl CampaignEngine {
             ),
         };
         let mut since_save = 0usize;
-        let outcome: Result<(), OdinError> = std::thread::scope(|scope| {
-            let pool = WorkerPool::spawn(scope, self.shards);
-            let mut next = start;
-            while next < times.len() {
-                let width = self.shards.min(times.len() - next);
-                let round_token = runtime.telemetry().start();
-                stats.rounds += 1;
-                stats.speculated += width as u64;
-                let round = &times[next..next + width];
-                // Per-round result channel: every job owns a sender
-                // clone, so if a worker ever died mid-round the
-                // disconnect turns the receive below into a clean
-                // panic instead of a hang.
-                let (res_tx, res_rx) = mpsc::channel();
-                for (w, &t) in round.iter().enumerate() {
-                    let mut worker = runtime.fork_shard();
-                    let tx = res_tx.clone();
-                    pool.submit(move || {
-                        let outcome = worker.run_inference(network, t);
-                        let _ = tx.send((w, worker, outcome));
-                    });
-                }
-                drop(res_tx);
-                let mut slots: Vec<Option<(OdinRuntime, Result<InferenceRecord, OdinError>)>> =
-                    Vec::new();
-                slots.resize_with(width, || None);
-                for _ in 0..width {
-                    let (w, worker, outcome) = res_rx.recv().expect("a pool worker died mid-round");
-                    slots[w] = Some((worker, outcome));
-                }
-                // Greedy-prefix commit in schedule order: every run is
-                // valid for as long as all earlier runs of the round
-                // left the snapshot state untouched. The first
-                // state-changing run is committed last and its runtime
-                // adopted; anything speculated past it is discarded
-                // and re-run next round.
-                let mut accepted = 0;
-                let mut eventful = false;
-                for (w, slot) in slots.into_iter().enumerate() {
-                    let (worker, outcome) = slot.expect("every shard reports its slot");
-                    match outcome {
-                        Ok(record) => {
-                            let pure = record.leaves_state_untouched();
-                            eventful |= record.reprogrammed || !record.events.is_empty();
-                            runs.push(record);
-                            accepted = w + 1;
-                            if !pure || accepted == width {
-                                // Always adopt the last accepted worker:
-                                // for a pure run the semantic state equals
-                                // the snapshot, but its cache carries the
-                                // round's freshly computed entries.
-                                runtime.adopt(worker);
-                                break;
-                            }
-                        }
-                        Err(e) => {
-                            // All earlier runs this round were pure, so
-                            // the snapshot this worker mutated while
-                            // failing is exactly the sequential error
-                            // state.
-                            accepted = w + 1;
+        // Tasks moved onto the executor are `'static`: each owns its
+        // forked runtime and a handle on a shared copy of the network.
+        let exec = self.executor_handle(runtime);
+        let network_shared = Arc::new(network.clone());
+        let mut next = start;
+        while next < times.len() {
+            let width = self.shards.min(times.len() - next);
+            let round_token = runtime.telemetry().start();
+            stats.rounds += 1;
+            stats.speculated += width as u64;
+            let round = &times[next..next + width];
+            let exec_before = exec.stats();
+            let mut tasks: Vec<RoundTask<(OdinRuntime, Result<InferenceRecord, OdinError>)>> =
+                Vec::with_capacity(width);
+            for &t in round {
+                let mut worker = runtime.fork_shard();
+                let net = Arc::clone(&network_shared);
+                tasks.push(Box::new(move || {
+                    let outcome = worker.run_inference(&net, t);
+                    (worker, outcome)
+                }));
+            }
+            // The barrier hands slots back in submission order no
+            // matter which executor thread ran which task.
+            let slots = exec.run_round(tasks);
+            // Greedy-prefix commit in schedule order: every run is
+            // valid for as long as all earlier runs of the round
+            // left the snapshot state untouched. The first
+            // state-changing run is committed last and its runtime
+            // adopted; anything speculated past it is discarded
+            // and re-run next round.
+            let mut accepted = 0;
+            let mut eventful = false;
+            for (w, (worker, outcome)) in slots.into_iter().enumerate() {
+                match outcome {
+                    Ok(record) => {
+                        let pure = record.leaves_state_untouched();
+                        eventful |= record.reprogrammed || !record.events.is_empty();
+                        runs.push(record);
+                        accepted = w + 1;
+                        if !pure || accepted == width {
+                            // Always adopt the last accepted worker:
+                            // for a pure run the semantic state equals
+                            // the snapshot, but its cache carries the
+                            // round's freshly computed entries.
                             runtime.adopt(worker);
-                            if !resilient {
-                                // Dropping the pool on the way out
-                                // disconnects the job queue and lets
-                                // the scope join its workers.
-                                return Err(e);
-                            }
-                            eventful = true;
-                            runtime.telemetry().incr(CounterId::RunsSkipped);
-                            skipped.push(SkippedRun {
-                                time: round[w],
-                                reason: e.to_string(),
-                            });
                             break;
                         }
                     }
-                }
-                stats.committed += accepted as u64;
-                stats.discarded += (width - accepted) as u64;
-                // The adopted worker's recorder carries the committed
-                // lineage (exactly like the cache counters); the round's
-                // engine-level tallies are added here, at the commit
-                // barrier, so they stay deterministic under threading.
-                let telemetry = runtime.telemetry();
-                telemetry.incr(CounterId::EngineRounds);
-                telemetry.add(CounterId::EngineSpeculated, width as u64);
-                telemetry.add(CounterId::EngineCommitted, accepted as u64);
-                telemetry.add(CounterId::EngineDiscarded, (width - accepted) as u64);
-                telemetry.finish_with(SpanId::Round, round_token, accepted as i64);
-                next += accepted;
-                since_save += accepted;
-                if let (Some(store), Some(policy)) = (store.as_mut(), self.checkpoint.as_ref()) {
-                    let done = next == times.len();
-                    if since_save >= policy.interval()
-                        || (policy.event_triggered() && eventful)
-                        || done
-                    {
-                        let progress = CampaignProgress {
-                            network: network.name().to_string(),
-                            mode: ShardMode::Lockstep,
-                            shards: self.shards,
-                            resilient,
-                            next_index: next,
-                            runs: runs.clone(),
-                            skipped: skipped.clone(),
-                            cache: cache_base.merged(runtime.cache_stats().since(cache_start)),
-                            engine: stats,
-                        };
-                        checkpoint_save(runtime.telemetry(), store, &[runtime.state()], &progress)?;
-                        since_save = 0;
+                    Err(e) => {
+                        // All earlier runs this round were pure, so
+                        // the snapshot this worker mutated while
+                        // failing is exactly the sequential error
+                        // state.
+                        accepted = w + 1;
+                        runtime.adopt(worker);
+                        if !resilient {
+                            // A campaign-owned executor drops with
+                            // `exec` on the way out, joining its
+                            // workers; an injected one stays up for
+                            // its owner.
+                            return Err(e);
+                        }
+                        eventful = true;
+                        runtime.telemetry().incr(CounterId::RunsSkipped);
+                        skipped.push(SkippedRun {
+                            time: round[w],
+                            reason: e.to_string(),
+                        });
+                        break;
                     }
                 }
             }
-            Ok(())
-        });
-        outcome?;
+            stats.committed += accepted as u64;
+            stats.discarded += (width - accepted) as u64;
+            // The adopted worker's recorder carries the committed
+            // lineage (exactly like the cache counters); the round's
+            // engine-level tallies are added here, at the commit
+            // barrier, so they stay deterministic under threading.
+            let telemetry = runtime.telemetry();
+            telemetry.incr(CounterId::EngineRounds);
+            telemetry.add(CounterId::EngineSpeculated, width as u64);
+            telemetry.add(CounterId::EngineCommitted, accepted as u64);
+            telemetry.add(CounterId::EngineDiscarded, (width - accepted) as u64);
+            record_exec_delta(telemetry, exec.stats().since(&exec_before));
+            telemetry.finish_with(SpanId::Round, round_token, accepted as i64);
+            next += accepted;
+            since_save += accepted;
+            if let (Some(store), Some(policy)) = (store.as_mut(), self.checkpoint.as_ref()) {
+                let done = next == times.len();
+                if since_save >= policy.interval() || (policy.event_triggered() && eventful) || done
+                {
+                    let progress = CampaignProgress {
+                        network: network.name().to_string(),
+                        mode: ShardMode::Lockstep,
+                        shards: self.shards,
+                        resilient,
+                        next_index: next,
+                        runs: runs.clone(),
+                        skipped: skipped.clone(),
+                        cache: cache_base.merged(runtime.cache_stats().since(cache_start)),
+                        engine: stats,
+                    };
+                    checkpoint_save(runtime.telemetry(), store, &[runtime.state()], &progress)?;
+                    since_save = 0;
+                }
+            }
+        }
         runtime
             .telemetry()
             .finish_with(SpanId::Campaign, campaign_token, runs.len() as i64);
@@ -545,35 +534,48 @@ impl CampaignEngine {
         let cache_start = runtime.cache_stats();
         let telemetry_start = runtime.telemetry_snapshot();
         let campaign_token = runtime.telemetry().start();
-        let mut shard_runtimes: Vec<OdinRuntime> =
-            (0..shards).map(|_| runtime.fork_shard()).collect();
-        let mut outputs: Vec<Vec<(usize, Result<InferenceRecord, OdinError>)>> = Vec::new();
-        outputs.resize_with(shards, Vec::new);
-        std::thread::scope(|scope| {
-            let pool = WorkerPool::spawn(scope, shards);
-            for (shard, (shard_rt, out)) in shard_runtimes
-                .iter_mut()
-                .zip(outputs.iter_mut())
+        let exec = self.executor_handle(runtime);
+        let exec_before = exec.stats();
+        let network_shared = Arc::new(network.clone());
+        // One long-running task per replica: each owns its forked
+        // runtime, walks its round-robin slice, and hands both back
+        // through the barrier — which returns them in shard order, so
+        // the merge below never sees thread interleaving.
+        let mut tasks: Vec<
+            RoundTask<(
+                OdinRuntime,
+                Vec<(usize, Result<InferenceRecord, OdinError>)>,
+            )>,
+        > = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let mut shard_rt = runtime.fork_shard();
+            let net = Arc::clone(&network_shared);
+            let slice: Vec<(usize, Seconds)> = times
+                .iter()
+                .copied()
                 .enumerate()
-            {
-                let slice: Vec<(usize, Seconds)> = times
-                    .iter()
-                    .copied()
-                    .enumerate()
-                    .filter(|(index, _)| index % shards == shard)
-                    .collect();
-                pool.submit(move || {
-                    for (index, t) in slice {
-                        let outcome = shard_rt.run_inference(network, t);
-                        let failed = outcome.is_err();
-                        out.push((index, outcome));
-                        if failed && !resilient {
-                            break;
-                        }
+                .filter(|(index, _)| index % shards == shard)
+                .collect();
+            tasks.push(Box::new(move || {
+                let mut out = Vec::with_capacity(slice.len());
+                for (index, t) in slice {
+                    let outcome = shard_rt.run_inference(&net, t);
+                    let failed = outcome.is_err();
+                    out.push((index, outcome));
+                    if failed && !resilient {
+                        break;
                     }
-                });
-            }
-        });
+                }
+                (shard_rt, out)
+            }));
+        }
+        let mut shard_runtimes: Vec<OdinRuntime> = Vec::with_capacity(shards);
+        let mut outputs: Vec<Vec<(usize, Result<InferenceRecord, OdinError>)>> =
+            Vec::with_capacity(shards);
+        for (shard_rt, out) in exec.run_round(tasks) {
+            shard_runtimes.push(shard_rt);
+            outputs.push(out);
+        }
         // Deterministic sorted merge back into schedule order.
         let mut merged: Vec<(usize, Result<InferenceRecord, OdinError>)> =
             outputs.into_iter().flatten().collect();
@@ -616,6 +618,7 @@ impl CampaignEngine {
         telemetry.add(CounterId::EngineRounds, slots.div_ceil(shards as u64));
         telemetry.add(CounterId::EngineSpeculated, slots);
         telemetry.add(CounterId::EngineCommitted, slots);
+        record_exec_delta(telemetry, exec.stats().since(&exec_before));
         telemetry.finish_with(SpanId::Campaign, campaign_token, runs.len() as i64);
         let telemetry_delta =
             telemetry_others.merged(&runtime.telemetry_snapshot().since(&telemetry_start));
@@ -685,109 +688,105 @@ impl CampaignEngine {
         };
         let mut slots_rt: Vec<Option<OdinRuntime>> = replicas.into_iter().map(Some).collect();
         let mut since_save = 0usize;
-        let outcome: Result<(), OdinError> = std::thread::scope(|scope| {
-            let pool = WorkerPool::spawn(scope, shards);
-            let mut next = start;
-            while next < times.len() {
-                let width = shards.min(times.len() - next);
-                // Replica 0 is the one adopted after the final barrier,
-                // so round-level spans and engine tallies recorded on it
-                // survive into the campaign summary.
-                let round_token = slots_rt[0]
-                    .as_ref()
-                    .expect("replica present between rounds")
-                    .telemetry()
-                    .start();
-                let skipped_before = skipped.len();
-                stats.rounds += 1;
-                stats.speculated += width as u64;
-                let (res_tx, res_rx) = mpsc::channel();
-                for (j, slot) in slots_rt.iter_mut().take(width).enumerate() {
-                    let mut shard_rt = slot.take().expect("replica present between rounds");
-                    let t = times[next + j];
-                    let tx = res_tx.clone();
-                    pool.submit(move || {
-                        let outcome = shard_rt.run_inference(network, t);
-                        let _ = tx.send((j, shard_rt, outcome));
-                    });
-                }
-                drop(res_tx);
-                let mut results: Vec<Option<Result<InferenceRecord, OdinError>>> = Vec::new();
-                results.resize_with(width, || None);
-                for _ in 0..width {
-                    let (j, shard_rt, outcome) =
-                        res_rx.recv().expect("a pool worker died mid-round");
-                    slots_rt[j] = Some(shard_rt);
-                    results[j] = Some(outcome);
-                }
-                let mut eventful = false;
-                for (j, outcome) in results.into_iter().enumerate() {
-                    match outcome.expect("every replica reports its slot") {
-                        Ok(record) => {
-                            eventful |= record.reprogrammed || !record.events.is_empty();
-                            runs.push(record);
-                        }
-                        Err(e) if resilient => {
-                            eventful = true;
-                            skipped.push(SkippedRun {
-                                time: times[next + j],
-                                reason: e.to_string(),
-                            });
-                        }
-                        Err(e) => return Err(e),
+        let exec = self.executor_handle(runtime);
+        let network_shared = Arc::new(network.clone());
+        let mut next = start;
+        while next < times.len() {
+            let width = shards.min(times.len() - next);
+            // Replica 0 is the one adopted after the final barrier,
+            // so round-level spans and engine tallies recorded on it
+            // survive into the campaign summary.
+            let round_token = slots_rt[0]
+                .as_ref()
+                .expect("replica present between rounds")
+                .telemetry()
+                .start();
+            let skipped_before = skipped.len();
+            stats.rounds += 1;
+            stats.speculated += width as u64;
+            let exec_before = exec.stats();
+            let mut tasks: Vec<RoundTask<(OdinRuntime, Result<InferenceRecord, OdinError>)>> =
+                Vec::with_capacity(width);
+            for (j, slot) in slots_rt.iter_mut().take(width).enumerate() {
+                let mut shard_rt = slot.take().expect("replica present between rounds");
+                let t = times[next + j];
+                let net = Arc::clone(&network_shared);
+                tasks.push(Box::new(move || {
+                    let outcome = shard_rt.run_inference(&net, t);
+                    (shard_rt, outcome)
+                }));
+            }
+            // Replicas come back through the barrier in submission
+            // order, i.e. replica j in slot j.
+            let mut results: Vec<Result<InferenceRecord, OdinError>> = Vec::with_capacity(width);
+            for (j, (shard_rt, outcome)) in exec.run_round(tasks).into_iter().enumerate() {
+                slots_rt[j] = Some(shard_rt);
+                results.push(outcome);
+            }
+            let mut eventful = false;
+            for (j, outcome) in results.into_iter().enumerate() {
+                match outcome {
+                    Ok(record) => {
+                        eventful |= record.reprogrammed || !record.events.is_empty();
+                        runs.push(record);
                     }
-                }
-                stats.committed += width as u64;
-                let telemetry = slots_rt[0]
-                    .as_ref()
-                    .expect("replica present between rounds")
-                    .telemetry();
-                telemetry.incr(CounterId::EngineRounds);
-                telemetry.add(CounterId::EngineSpeculated, width as u64);
-                telemetry.add(CounterId::EngineCommitted, width as u64);
-                telemetry.add(
-                    CounterId::RunsSkipped,
-                    (skipped.len() - skipped_before) as u64,
-                );
-                telemetry.finish_with(SpanId::Round, round_token, width as i64);
-                next += width;
-                since_save += width;
-                if let (Some(store), Some(policy)) = (store.as_mut(), self.checkpoint.as_ref()) {
-                    let done = next == times.len();
-                    if since_save >= policy.interval()
-                        || (policy.event_triggered() && eventful)
-                        || done
-                    {
-                        let states: Vec<RuntimeState> =
-                            slots_rt.iter().flatten().map(OdinRuntime::state).collect();
-                        let cache = slots_rt
-                            .iter()
-                            .flatten()
-                            .map(|rt| rt.cache_stats().since(cache_start))
-                            .fold(cache_base, |acc, d| acc.merged(d));
-                        let progress = CampaignProgress {
-                            network: network.name().to_string(),
-                            mode: ShardMode::Independent,
-                            shards,
-                            resilient,
-                            next_index: next,
-                            runs: runs.clone(),
-                            skipped: skipped.clone(),
-                            cache,
-                            engine: stats,
-                        };
-                        let telemetry = slots_rt[0]
-                            .as_ref()
-                            .expect("replica present between rounds")
-                            .telemetry();
-                        checkpoint_save(telemetry, store, &states, &progress)?;
-                        since_save = 0;
+                    Err(e) if resilient => {
+                        eventful = true;
+                        skipped.push(SkippedRun {
+                            time: times[next + j],
+                            reason: e.to_string(),
+                        });
                     }
+                    Err(e) => return Err(e),
                 }
             }
-            Ok(())
-        });
-        outcome?;
+            stats.committed += width as u64;
+            let telemetry = slots_rt[0]
+                .as_ref()
+                .expect("replica present between rounds")
+                .telemetry();
+            telemetry.incr(CounterId::EngineRounds);
+            telemetry.add(CounterId::EngineSpeculated, width as u64);
+            telemetry.add(CounterId::EngineCommitted, width as u64);
+            telemetry.add(
+                CounterId::RunsSkipped,
+                (skipped.len() - skipped_before) as u64,
+            );
+            record_exec_delta(telemetry, exec.stats().since(&exec_before));
+            telemetry.finish_with(SpanId::Round, round_token, width as i64);
+            next += width;
+            since_save += width;
+            if let (Some(store), Some(policy)) = (store.as_mut(), self.checkpoint.as_ref()) {
+                let done = next == times.len();
+                if since_save >= policy.interval() || (policy.event_triggered() && eventful) || done
+                {
+                    let states: Vec<RuntimeState> =
+                        slots_rt.iter().flatten().map(OdinRuntime::state).collect();
+                    let cache = slots_rt
+                        .iter()
+                        .flatten()
+                        .map(|rt| rt.cache_stats().since(cache_start))
+                        .fold(cache_base, |acc, d| acc.merged(d));
+                    let progress = CampaignProgress {
+                        network: network.name().to_string(),
+                        mode: ShardMode::Independent,
+                        shards,
+                        resilient,
+                        next_index: next,
+                        runs: runs.clone(),
+                        skipped: skipped.clone(),
+                        cache,
+                        engine: stats,
+                    };
+                    let telemetry = slots_rt[0]
+                        .as_ref()
+                        .expect("replica present between rounds")
+                        .telemetry();
+                    checkpoint_save(telemetry, store, &states, &progress)?;
+                    since_save = 0;
+                }
+            }
+        }
         let cache = slots_rt
             .iter()
             .flatten()
@@ -1216,6 +1215,80 @@ mod tests {
         seeds.dedup();
         assert_eq!(seeds.len(), 64, "no collisions across 64 shards");
         assert_ne!(shard_seed(1, 1), shard_seed(2, 1), "base seed matters");
+    }
+
+    #[test]
+    fn injected_executor_is_shared_and_joined_only_by_its_owner() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e7, 20);
+        let sequential = runtime().run_campaign(&net, &schedule).unwrap();
+        let exec = Arc::new(Executor::new(4, 7));
+        let mut rt = OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(41)
+            .executor(Arc::clone(&exec))
+            .build()
+            .unwrap();
+        let report = CampaignEngine::new(4)
+            .run_campaign(&mut rt, &net, &schedule)
+            .unwrap();
+        assert_eq!(
+            report.runs, sequential.runs,
+            "the injected executor must not change a record"
+        );
+        assert_eq!(
+            exec.stats().executed,
+            report.engine.speculated,
+            "lockstep schedules one task per speculated run"
+        );
+        assert!(
+            rt.executor().is_some(),
+            "adopt must keep the executor handle on the committed runtime"
+        );
+        assert_eq!(
+            exec.alive_workers(),
+            4,
+            "a campaign never tears down an injected executor"
+        );
+        // The same pool serves independent-mode campaigns too.
+        let mut rt2 = OdinRuntime::builder(OdinConfig::paper())
+            .rng_seed(41)
+            .executor(Arc::clone(&exec))
+            .build()
+            .unwrap();
+        let indep = CampaignEngine::new(4)
+            .with_mode(ShardMode::Independent)
+            .run_campaign(&mut rt2, &net, &schedule)
+            .unwrap();
+        assert_eq!(indep.engine.committed, 20);
+        drop(rt);
+        drop(rt2);
+        exec.shutdown();
+        assert_eq!(
+            exec.alive_workers(),
+            0,
+            "no worker outlives its executor's shutdown"
+        );
+    }
+
+    #[test]
+    fn lockstep_telemetry_carries_executor_rows() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e7, 25);
+        let mut rt = traced_runtime();
+        let report = CampaignEngine::new(4)
+            .run_campaign(&mut rt, &net, &schedule)
+            .unwrap();
+        let t = &report.telemetry;
+        assert_eq!(
+            t.counter("exec_tasks"),
+            report.engine.speculated,
+            "every speculated run is exactly one executor task"
+        );
+        assert_eq!(
+            t.histogram("exec_barrier_wait_us").unwrap().count,
+            report.engine.rounds,
+            "one barrier wait observation per committed round"
+        );
     }
 
     #[test]

@@ -23,9 +23,12 @@
 //!    graceful-degradation ladder the runtime descends when the fabric
 //!    pushes back.
 //! 9. [`engine`] — the parallel campaign engine: shards an inference
-//!    stream across `std::thread` workers (speculative lockstep or
-//!    independent replicas) on top of a memoized OU-evaluation cache,
-//!    and merges the shards into one deterministic [`CampaignReport`].
+//!    stream across the work-stealing `odin-exec` executor
+//!    (speculative lockstep or independent replicas) on top of a
+//!    memoized OU-evaluation cache, and merges the shards into one
+//!    deterministic [`CampaignReport`]. Decision making itself is
+//!    sans-IO (pure state-in/state-out, module `decision`); only the
+//!    engine and runtime orchestrate threads and I/O.
 //! 10. [`snapshot`] — crash-consistent checkpoint/restore: versioned,
 //!     checksummed campaign snapshots with atomic writes, generation
 //!     rotation, and bit-for-bit resumable campaigns.
@@ -70,6 +73,7 @@ pub mod telemetry;
 mod analytic;
 mod cache;
 mod config;
+mod decision;
 mod error;
 mod features;
 mod runtime;
@@ -84,7 +88,6 @@ pub use fabric::{DegradationEvent, DegradationPolicy, FabricHealth};
 pub use features::LayerFeatures;
 pub use runtime::{
     CampaignReport, InferenceRecord, LayerDecision, OdinRuntime, RuntimeBuilder, SkippedRun,
-    DEFAULT_RNG_SEED,
 };
 pub use schedule::TimeSchedule;
 pub use snapshot::{CampaignSnapshot, CheckpointPolicy, SnapshotStore};

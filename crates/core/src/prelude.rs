@@ -27,11 +27,11 @@ pub use crate::fabric::{DegradationEvent, DegradationPolicy, FabricHealth};
 pub use crate::kernel::{GridEvals, LayerKernel};
 pub use crate::runtime::{
     CampaignReport, InferenceRecord, LayerDecision, OdinRuntime, RuntimeBuilder, SkippedRun,
-    DEFAULT_RNG_SEED,
 };
 pub use crate::schedule::TimeSchedule;
 pub use crate::snapshot::{CampaignSnapshot, CheckpointPolicy, SnapshotStore};
 pub use crate::telemetry::{CounterSummary, HistogramSummary, SpanSummary, TelemetrySummary};
+pub use odin_exec::{ExecStats, Executor};
 pub use odin_telemetry::{
     ChromeTraceSink, CounterId, Event, HistogramId, JsonLinesSink, SpanId, Telemetry,
     TelemetryConfig, TelemetrySnapshot,

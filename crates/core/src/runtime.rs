@@ -3,11 +3,13 @@
 
 use std::cell::RefCell;
 use std::path::Path;
+use std::sync::Arc;
 
 use odin_arch::{LayerCost, OverheadLedger};
 use odin_device::ReprogramCost;
-use odin_dnn::{LayerDescriptor, NetworkDescriptor};
-use odin_policy::{MlpScratch, OuPolicy, ReplayBuffer, TrainingExample};
+use odin_dnn::NetworkDescriptor;
+use odin_exec::Executor;
+use odin_policy::{OuPolicy, ReplayBuffer, TrainingExample};
 use odin_telemetry::{CounterId, HistogramId, SpanId, Telemetry, TelemetrySnapshot};
 use odin_units::{EnergyDelayProduct, Joules, Seconds};
 use odin_xbar::OuShape;
@@ -15,14 +17,14 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::analytic::{AnalyticModel, CandidateEval};
-use crate::cache::{CacheStats, CachedModel, EvalCache};
+use crate::cache::{CacheStats, EvalCache};
 use crate::config::OdinConfig;
+use crate::decision::{Decide, DecisionCtx, RuntimeScratch};
 use crate::engine::{CampaignEngine, EngineStats, ShardMode};
 use crate::error::OdinError;
 use crate::fabric::{DegradationEvent, FabricHealth};
 use crate::features::LayerFeatures;
 use crate::schedule::TimeSchedule;
-use crate::search::{find_best_with, OuEvaluator, SearchContext, SearchOutcome, SearchStrategy};
 use crate::snapshot::{CampaignProgress, CheckpointPolicy, RuntimeState, SnapshotStore};
 use crate::telemetry::TelemetrySummary;
 
@@ -241,6 +243,7 @@ impl CampaignReport {
     }
 
     /// All degradation events across the campaign, in time order.
+    #[must_use]
     pub fn degradation_events(&self) -> impl Iterator<Item = &DegradationEvent> {
         self.runs.iter().flat_map(|r| &r.events)
     }
@@ -280,33 +283,11 @@ impl CampaignReport {
     }
 }
 
-/// The outcome of deciding every layer at one age.
-enum Decide {
-    /// Every layer has a feasible (or explicitly degraded-stranded)
-    /// decision.
-    Feasible(Vec<LayerDecision>),
-    /// Some layer admits no feasible OU anywhere on its (possibly
-    /// wear-capped) grid — the ladder must engage.
-    Infeasible {
-        /// The first layer the search failed on.
-        layer: usize,
-    },
-}
-
-/// Reusable hot-path buffers: the MLP forward/backward scratch, the
-/// per-run batched feature/probability arrays, and the drained
-/// training-example batch. Purely an allocation sink — nothing in here
-/// carries semantic state, so cloning or discarding it never changes a
-/// decision. Held behind [`RefCell`] because decision making borrows
-/// the runtime immutably.
-#[derive(Debug, Clone, Default)]
-struct RuntimeScratch {
-    mlp: MlpScratch,
-    features: Vec<f64>,
-    probs_a: Vec<f64>,
-    probs_b: Vec<f64>,
-    examples: Vec<TrainingExample>,
-}
+// `Decide` and `RuntimeScratch` moved to the sans-IO decision module
+// (`crate::decision`) together with the pure per-layer decision
+// functions; the runtime keeps thin delegating methods below. The
+// scratch is held behind [`RefCell`] because decision making borrows
+// the runtime immutably.
 
 /// The Odin online-learning runtime: policy prediction, bounded
 /// search, reprogramming, and buffered policy updates — plus, when
@@ -327,6 +308,7 @@ pub struct OdinRuntime {
     rng_seed: u64,
     checkpoint: Option<CheckpointPolicy>,
     telemetry: Telemetry,
+    executor: Option<Arc<Executor>>,
     scratch: RefCell<RuntimeScratch>,
 }
 
@@ -354,6 +336,7 @@ pub struct RuntimeBuilder {
     eval_cache: bool,
     checkpoint: Option<CheckpointPolicy>,
     telemetry: Telemetry,
+    executor: Option<Arc<Executor>>,
 }
 
 impl RuntimeBuilder {
@@ -423,6 +406,24 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Injects a shared work-stealing [`Executor`] from the sans-IO
+    /// [`odin_exec`] layer. Campaigns run on the built runtime by a
+    /// [`CampaignEngine`] schedule their speculative rounds onto this
+    /// executor instead of spawning a campaign-owned one, so one thread
+    /// pool can be shared across engines (and with a serving loop) in
+    /// an embedding host process. The committed stream is bit-identical
+    /// either way — the executor only carries tasks; commit order is
+    /// fixed by the engine's barriers.
+    ///
+    /// The caller keeps ownership of the executor's lifecycle: the
+    /// runtime never shuts an injected executor down. The sequential
+    /// single-shard path does not use an executor at all.
+    #[must_use]
+    pub fn executor(mut self, executor: Arc<Executor>) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
     /// Builds the runtime.
     ///
     /// # Errors
@@ -449,6 +450,7 @@ impl RuntimeBuilder {
         )?;
         runtime.checkpoint = self.checkpoint;
         runtime.telemetry = self.telemetry;
+        runtime.executor = self.executor;
         Ok(runtime)
     }
 }
@@ -469,6 +471,7 @@ impl OdinRuntime {
             eval_cache: true,
             checkpoint: None,
             telemetry: Telemetry::disabled(),
+            executor: None,
         }
     }
 
@@ -496,6 +499,7 @@ impl OdinRuntime {
             rng_seed,
             checkpoint: None,
             telemetry: Telemetry::disabled(),
+            executor: None,
             scratch: RefCell::new(RuntimeScratch::default()),
         })
     }
@@ -993,7 +997,18 @@ impl OdinRuntime {
         // Only the campaign driver checkpoints; a shard snapshotting
         // its speculative state would race the committed stream.
         shard.checkpoint = None;
+        // Shards are payloads moved onto the executor, not schedulers
+        // themselves; keeping a handle would cycle a task back into the
+        // pool that runs it.
+        shard.executor = None;
         shard
+    }
+
+    /// The shared executor injected at build time, if any; campaigns
+    /// schedule their rounds onto it instead of spawning their own.
+    #[must_use]
+    pub fn executor(&self) -> Option<&Arc<Executor>> {
+        self.executor.as_ref()
     }
 
     /// The checkpoint policy attached at build time, if any.
@@ -1008,6 +1023,10 @@ impl OdinRuntime {
     /// forked without one).
     pub(crate) fn adopt(&mut self, shard: OdinRuntime) {
         let checkpoint = self.checkpoint.take();
+        // Like the checkpoint policy, the executor handle is plumbing,
+        // not semantic state: it stays with the adopting runtime
+        // (shards are forked without one).
+        let executor = self.executor.take();
         // Commit-barrier ring splice: the shard's ring holds only the
         // events it recorded since its fork, so prepending the
         // adopter's history keeps the event stream chronological
@@ -1017,6 +1036,7 @@ impl OdinRuntime {
         *self = shard;
         self.telemetry.prepend_events(earlier_events);
         self.checkpoint = checkpoint;
+        self.executor = executor;
     }
 
     /// Empties the replay buffer (shard-merge support).
@@ -1035,195 +1055,42 @@ impl OdinRuntime {
         Seconds::new((now.value() - self.last_programmed.value()).max(0.0))
     }
 
-    /// The search environment for one layer: fault profile and wear
-    /// cap of its crossbar group, or the pristine default without
-    /// fabric tracking.
-    fn layer_environment(&self, layer: usize) -> SearchContext<'_> {
-        self.fabric
-            .as_ref()
-            .map_or_else(SearchContext::default, |f| f.search_context(layer))
+    /// The immutable borrow pack handed to the pure decision functions
+    /// of [`crate::decision`] — exactly the state decision making
+    /// reads, nothing it could mutate.
+    fn decision_ctx(&self) -> DecisionCtx<'_> {
+        DecisionCtx {
+            config: &self.config,
+            model: &self.model,
+            policy: &self.policy,
+            fabric: self.fabric.as_ref(),
+            cache: self.cache.as_ref(),
+            telemetry: &self.telemetry,
+        }
     }
 
-    /// Decides every layer at a given age. Stranded layers (retired
-    /// group, no spare) are served degraded inline when the policy
-    /// allows it.
+    /// Decides every layer at a given age; see
+    /// [`DecisionCtx::decide_all`].
     fn decide_all(
         &self,
         network: &NetworkDescriptor,
         age: Seconds,
         events: &mut Vec<DegradationEvent>,
     ) -> Result<Decide, OdinError> {
-        let n = network.layers().len();
-        let grid = self.model.grid();
-        let eta = self.config.eta();
-        let decide_token = self.telemetry.start();
-        let evaluator = CachedModel::new(&self.model, self.cache.as_ref(), &self.telemetry);
-        // One batched forward pass over every layer's features supplies
-        // both the argmax seeds and the confidence distributions —
-        // replacing up to 2n single-row passes, row arithmetic
-        // unchanged. The scratch buffers make the steady state
-        // allocation-free.
-        let mut scratch = self.scratch.borrow_mut();
-        let scratch = &mut *scratch;
-        scratch.features.clear();
-        for layer in network.layers() {
-            scratch
-                .features
-                .extend_from_slice(&LayerFeatures::extract(layer, n, age).as_array());
-        }
-        self.policy.predict_batch(
-            &scratch.features,
-            &mut scratch.mlp,
-            &mut scratch.probs_a,
-            &mut scratch.probs_b,
-        );
-        let levels = self.policy.config().levels;
-        let mut decisions = Vec::with_capacity(n);
-        for (row, layer) in network.layers().iter().enumerate() {
-            if let Some(fabric) = &self.fabric {
-                if fabric.stranded(layer.index()) {
-                    if !fabric.policy().allow_degraded {
-                        return Err(OdinError::EnduranceExhausted {
-                            group: fabric.group_of(layer.index()),
-                        });
-                    }
-                    let (decision, group) = self.degraded_decision(layer, age)?;
-                    events.push(DegradationEvent::DegradedServe {
-                        layer: layer.index(),
-                        group,
-                    });
-                    decisions.push(decision);
-                    continue;
-                }
-            }
-            let ctx = self.layer_environment(layer.index());
-            let pa = &scratch.probs_a[row * levels..(row + 1) * levels];
-            let pb = &scratch.probs_b[row * levels..(row + 1) * levels];
-            let seed = (argmax(pa), argmax(pb));
-            let (seed_r, seed_c) = grid.clamp_levels(seed.0, seed.1);
-            let predicted = grid.shape(seed_r, seed_c);
-            // Uncertainty-aware extension: a low-confidence prediction
-            // is a poor hill-climb seed, so spend the exhaustive
-            // budget on that layer instead.
-            let strategy = match self.config.confidence_escalation() {
-                Some(threshold) => {
-                    let conf = max_prob(pa) * max_prob(pb);
-                    if conf < threshold {
-                        SearchStrategy::Exhaustive
-                    } else {
-                        self.config.strategy()
-                    }
-                }
-                None => self.config.strategy(),
-            };
-            self.telemetry.incr(match strategy {
-                SearchStrategy::ResourceBounded { .. } => CounterId::SearchesResourceBounded,
-                SearchStrategy::Exhaustive => CounterId::SearchesExhaustive,
-            });
-            let search_token = self.telemetry.start();
-            let mut outcome =
-                find_best_with(&evaluator, layer, age, eta, (seed_r, seed_c), strategy, ctx)?;
-            if outcome.best.is_none() && !matches!(strategy, SearchStrategy::Exhaustive) {
-                // The bounded neighborhood may miss feasible shapes far
-                // from the seed; verify on the full grid before pulling
-                // the reprogram trigger.
-                self.telemetry.incr(CounterId::SearchesEscalated);
-                self.telemetry.incr(CounterId::SearchesExhaustive);
-                let escalated = find_best_with(
-                    &evaluator,
-                    layer,
-                    age,
-                    eta,
-                    (seed_r, seed_c),
-                    SearchStrategy::Exhaustive,
-                    ctx,
-                )?;
-                outcome = SearchOutcome {
-                    best: escalated.best,
-                    evaluations: outcome.evaluations + escalated.evaluations,
-                };
-            }
-            self.telemetry
-                .finish_with(SpanId::Search, search_token, outcome.evaluations as i64);
-            self.telemetry
-                .add(CounterId::SearchEvaluations, outcome.evaluations as u64);
-            self.telemetry
-                .observe(HistogramId::SearchEvaluations, outcome.evaluations as f64);
-            let Some(eval) = outcome.best else {
-                self.telemetry.finish_with(SpanId::Decide, decide_token, -1);
-                return Ok(Decide::Infeasible {
-                    layer: layer.index(),
-                });
-            };
-            if eta > 0.0 {
-                // ΔG feasibility margin at decision time: how much of
-                // the non-ideality budget the chosen shape leaves
-                // unspent (1.0 = untouched, 0.0 = at the η boundary).
-                self.telemetry.observe(
-                    HistogramId::MarginFraction,
-                    ((eta - eval.impact) / eta).clamp(0.0, 1.0),
-                );
-            }
-            decisions.push(LayerDecision {
-                layer_index: layer.index(),
-                predicted,
-                chosen: eval.shape,
-                eval,
-                mismatch: predicted != eval.shape,
-                search_evaluations: outcome.evaluations,
-                degraded: false,
-            });
-        }
-        self.telemetry
-            .finish_with(SpanId::Decide, decide_token, decisions.len() as i64);
-        Ok(Decide::Feasible(decisions))
+        self.decision_ctx()
+            .decide_all(network, age, events, &mut self.scratch.borrow_mut())
     }
 
-    /// A bottom-rung decision: the smallest OU with the η constraint
-    /// waived, evaluated against the hosting group's fault profile.
-    /// Never mismatches, so it is invisible to the learning loop.
-    fn degraded_decision(
-        &self,
-        layer: &LayerDescriptor,
-        age: Seconds,
-    ) -> Result<(LayerDecision, usize), OdinError> {
-        let shape = self.model.grid().shape(0, 0);
-        let ctx = self.layer_environment(layer.index());
-        let eval = CachedModel::new(&self.model, self.cache.as_ref(), &self.telemetry)
-            .evaluate_in(layer, shape, age, ctx)?;
-        let group = self
-            .fabric
-            .as_ref()
-            .map_or(usize::MAX, |f| f.group_of(layer.index()));
-        let decision = LayerDecision {
-            layer_index: layer.index(),
-            predicted: shape,
-            chosen: shape,
-            eval,
-            mismatch: false,
-            search_evaluations: 1,
-            degraded: true,
-        };
-        Ok((decision, group))
-    }
-
-    /// Serves every layer degraded (ladder bottom).
+    /// Serves every layer degraded (ladder bottom); see
+    /// [`DecisionCtx::decide_all_degraded`].
     fn decide_all_degraded(
         &self,
         network: &NetworkDescriptor,
         age: Seconds,
         events: &mut Vec<DegradationEvent>,
     ) -> Result<Vec<LayerDecision>, OdinError> {
-        let mut decisions = Vec::with_capacity(network.layers().len());
-        for layer in network.layers() {
-            let (decision, group) = self.degraded_decision(layer, age)?;
-            events.push(DegradationEvent::DegradedServe {
-                layer: layer.index(),
-                group,
-            });
-            decisions.push(decision);
-        }
-        Ok(decisions)
+        self.decision_ctx()
+            .decide_all_degraded(network, age, events)
     }
 
     /// Some layer has no feasible OU at the current age: reprogram —
@@ -1338,11 +1205,6 @@ impl OdinRuntime {
     }
 }
 
-/// Module-level alias of [`OdinRuntime::DEFAULT_RNG_SEED`] backing the
-/// crate-root and prelude re-exports (associated constants cannot be
-/// `use`d directly).
-pub const DEFAULT_RNG_SEED: u64 = OdinRuntime::DEFAULT_RNG_SEED;
-
 /// The one instrumented checkpoint-save path shared by the sequential
 /// campaign loop and both engine modes: wraps [`SnapshotStore::save`]
 /// in a [`SpanId::Checkpoint`] span and records save count, bytes
@@ -1368,27 +1230,11 @@ pub(crate) fn checkpoint_save(
     Ok(())
 }
 
-fn max_prob(p: &[f64]) -> f64 {
-    p.iter().copied().fold(0.0, f64::max)
-}
-
-/// First-max argmax, bit-compatible with [`OuPolicy::predict`]'s head
-/// decision (strict `>`, earliest winner) so batched rows and
-/// single-row predictions always agree.
-fn argmax(p: &[f64]) -> usize {
-    let mut best = 0;
-    for (i, &v) in p.iter().enumerate().skip(1) {
-        if v > p[best] {
-            best = i;
-        }
-    }
-    best
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fabric::DegradationPolicy;
+    use crate::search::SearchStrategy;
     use odin_device::{EnduranceModel, FaultInjector};
     use odin_dnn::zoo::{self, Dataset};
     use proptest::prelude::*;

@@ -1,0 +1,599 @@
+//! **odin-exec**: a dependency-free work-stealing executor with
+//! deterministic commit barriers.
+//!
+//! This crate is the orchestration half of Odin's sans-IO split. The
+//! decision logic in `odin-core` (predict → search → reprogram) is
+//! pure state-in/state-out; *when* and *where* those computations run
+//! is decided here, and only here. Both the campaign engine and the
+//! serving engine schedule onto the same [`Executor`], so one
+//! scheduler implementation carries everything from offline sweeps to
+//! multi-tenant serving.
+//!
+//! # Scheduling discipline
+//!
+//! The executor keeps one bounded-lock deque per worker plus a shared
+//! injector queue:
+//!
+//! * a round submitted through [`Executor::submit_round`] is dealt
+//!   round-robin across the per-worker deques;
+//! * each worker pops its **own** deque from the back (LIFO — newest,
+//!   cache-warm work first) and steals from **other** deques from the
+//!   front (FIFO — oldest work first, the classic work-stealing
+//!   discipline);
+//! * victim order is drawn from a per-worker `splitmix64` stream
+//!   seeded from the executor seed, so the steal schedule is a pure
+//!   function of `(seed, worker)` — there is no global RNG and no
+//!   wall-clock dependence in victim selection;
+//! * idle workers park on a condvar and are woken by new submissions.
+//!
+//! # Deterministic commit
+//!
+//! Out-of-order *execution* never leaks into results: a
+//! [`Barrier`] collects each task's output tagged with its
+//! [`CommitSeq`] and [`Barrier::wait`] returns the round in canonical
+//! submission order, whatever interleaving the workers actually ran.
+//! Engines built on this property stay bit-identical at any worker
+//! count.
+//!
+//! # Shutdown contract
+//!
+//! [`Executor::shutdown`] (also run on [`Drop`]) drains every queued
+//! task, then joins every worker before returning — no worker thread
+//! ever outlives the executor that spawned it.
+//!
+//! # Examples
+//!
+//! ```
+//! use odin_exec::Executor;
+//!
+//! let exec = Executor::new(4, 42);
+//! let tasks: Vec<_> = (0..8u64)
+//!     .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> u64 + Send>)
+//!     .collect();
+//! let squares = exec.run_round(tasks);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A fire-and-forget task: any `'static` closure. Results travel back
+/// through the [`Barrier`] channel, never through the task itself.
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// One task of a round: produces a `T` that the round's [`Barrier`]
+/// commits in canonical order.
+pub type RoundTask<T> = Box<dyn FnOnce() -> T + Send + 'static>;
+
+/// Advances a `splitmix64` stream one step — the only randomness in
+/// this crate, used for seeded victim selection.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Canonical position of a task within its round. Barriers commit
+/// results in ascending `CommitSeq`, independent of execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CommitSeq(usize);
+
+impl CommitSeq {
+    /// The slot index this sequence number commits into.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Monotonic scheduler counters, snapshotted by [`Executor::stats`].
+///
+/// Counters only ever grow; take a baseline before a round and
+/// [`ExecStats::since`] after it to attribute activity to that round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Tasks executed to completion (panicked tasks included).
+    pub executed: u64,
+    /// Tasks a worker stole from another worker's deque.
+    pub stolen: u64,
+    /// Times a worker parked with no work anywhere.
+    pub parked: u64,
+    /// Commit barriers waited on.
+    pub rounds: u64,
+    /// Total nanoseconds callers spent blocked in [`Barrier::wait`].
+    pub barrier_wait_ns: u64,
+}
+
+impl ExecStats {
+    /// Counter deltas accumulated since `baseline`.
+    #[must_use]
+    pub fn since(&self, baseline: &ExecStats) -> ExecStats {
+        ExecStats {
+            executed: self.executed - baseline.executed,
+            stolen: self.stolen - baseline.stolen,
+            parked: self.parked - baseline.parked,
+            rounds: self.rounds - baseline.rounds,
+            barrier_wait_ns: self.barrier_wait_ns - baseline.barrier_wait_ns,
+        }
+    }
+}
+
+/// Wake/shutdown state guarded by the park mutex.
+struct ParkState {
+    /// Bumped on every submission; a worker that saw ticket `t` before
+    /// scanning only parks if the ticket is still `t`, so a submission
+    /// racing the scan can never be slept through.
+    ticket: u64,
+    /// Set once by [`Executor::shutdown`]; workers drain and exit.
+    shutdown: bool,
+}
+
+/// State shared between the executor handle and its workers.
+struct Inner {
+    /// Per-worker deques: owner pops back, thieves pop front.
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Overflow/external submissions, drained FIFO by any worker.
+    injector: Mutex<VecDeque<Task>>,
+    park: Mutex<ParkState>,
+    wake: Condvar,
+    seed: u64,
+    executed: AtomicU64,
+    stolen: AtomicU64,
+    parked: AtomicU64,
+    rounds: AtomicU64,
+    barrier_wait_ns: AtomicU64,
+    alive: AtomicUsize,
+}
+
+impl Inner {
+    /// Bumps the wake ticket and wakes every parked worker.
+    fn notify(&self) {
+        let mut park = self.park.lock().expect("park mutex");
+        park.ticket = park.ticket.wrapping_add(1);
+        drop(park);
+        self.wake.notify_all();
+    }
+
+    /// One scheduling scan for worker `me`: own deque back → injector
+    /// front → steal a victim's front in seeded order.
+    fn find_task(&self, me: usize, rng: &mut u64) -> Option<Task> {
+        if let Some(task) = self.queues[me].lock().expect("queue mutex").pop_back() {
+            return Some(task);
+        }
+        if let Some(task) = self.injector.lock().expect("injector mutex").pop_front() {
+            return Some(task);
+        }
+        let n = self.queues.len();
+        if n > 1 {
+            let start = (splitmix64(rng) % n as u64) as usize;
+            for i in 0..n {
+                let victim = (start + i) % n;
+                if victim == me {
+                    continue;
+                }
+                if let Some(task) = self.queues[victim].lock().expect("queue mutex").pop_front() {
+                    self.stolen.fetch_add(1, Ordering::Relaxed);
+                    return Some(task);
+                }
+            }
+        }
+        None
+    }
+
+    /// Worker main loop: scan, run, park; exit once shutdown is set
+    /// and every queue has drained.
+    fn work(&self, me: usize) {
+        let mut rng = self.seed ^ splitmix64(&mut (me as u64).wrapping_add(1));
+        loop {
+            let seen = self.park.lock().expect("park mutex").ticket;
+            if let Some(task) = self.find_task(me, &mut rng) {
+                // A panicking task must not take the worker (and its
+                // deque) down with it; the round's barrier surfaces
+                // the panic to the submitter instead.
+                let _ = catch_unwind(AssertUnwindSafe(task));
+                self.executed.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let park = self.park.lock().expect("park mutex");
+            if park.shutdown {
+                return;
+            }
+            if park.ticket != seen {
+                continue;
+            }
+            self.parked.fetch_add(1, Ordering::Relaxed);
+            drop(self.wake.wait(park).expect("park mutex"));
+        }
+    }
+}
+
+/// A work-stealing thread-pool executor with deterministic commit
+/// barriers. See the [crate docs](crate) for the scheduling and
+/// shutdown contracts.
+pub struct Executor {
+    inner: Arc<Inner>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    workers: usize,
+    /// Round-robin cursor for external task placement.
+    next_queue: AtomicUsize,
+}
+
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.workers)
+            .field("alive", &self.alive_workers())
+            .field("seed", &self.inner.seed)
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Spawns an executor with `workers` worker threads (clamped to at
+    /// least one). `seed` drives victim selection only — results never
+    /// depend on it.
+    #[must_use]
+    pub fn new(workers: usize, seed: u64) -> Executor {
+        let workers = workers.max(1);
+        let inner = Arc::new(Inner {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            park: Mutex::new(ParkState {
+                ticket: 0,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            seed,
+            executed: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            parked: AtomicU64::new(0),
+            rounds: AtomicU64::new(0),
+            barrier_wait_ns: AtomicU64::new(0),
+            alive: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|me| {
+                let inner = Arc::clone(&inner);
+                inner.alive.fetch_add(1, Ordering::SeqCst);
+                std::thread::Builder::new()
+                    .name(format!("odin-exec-{me}"))
+                    .spawn(move || {
+                        inner.work(me);
+                        inner.alive.fetch_sub(1, Ordering::SeqCst);
+                    })
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        Executor {
+            inner,
+            handles: Mutex::new(handles),
+            workers,
+            next_queue: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of worker threads this executor was built with.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Worker threads currently running (0 after [`shutdown`]
+    /// completes).
+    ///
+    /// [`shutdown`]: Executor::shutdown
+    #[must_use]
+    pub fn alive_workers(&self) -> usize {
+        self.inner.alive.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of the monotonic scheduler counters.
+    #[must_use]
+    pub fn stats(&self) -> ExecStats {
+        ExecStats {
+            executed: self.inner.executed.load(Ordering::Relaxed),
+            stolen: self.inner.stolen.load(Ordering::Relaxed),
+            parked: self.inner.parked.load(Ordering::Relaxed),
+            rounds: self.inner.rounds.load(Ordering::Relaxed),
+            barrier_wait_ns: self.inner.barrier_wait_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Submits a fire-and-forget task onto the next worker deque in
+    /// round-robin order.
+    pub fn spawn(&self, task: Task) {
+        let slot = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.workers;
+        self.inner.queues[slot]
+            .lock()
+            .expect("queue mutex")
+            .push_back(task);
+        self.inner.notify();
+    }
+
+    /// Submits a round of tasks, dealt round-robin across the worker
+    /// deques, and returns the [`Barrier`] that commits their results
+    /// in submission order.
+    #[must_use = "the Barrier must be waited on to commit the round"]
+    pub fn submit_round<T: Send + 'static>(&self, tasks: Vec<RoundTask<T>>) -> Barrier<T> {
+        let width = tasks.len();
+        let (tx, rx): (Sender<(CommitSeq, T)>, Receiver<(CommitSeq, T)>) = channel();
+        for (seq, task) in tasks.into_iter().enumerate() {
+            let tx = tx.clone();
+            let job: Task = Box::new(move || {
+                let out = task();
+                let _ = tx.send((CommitSeq(seq), out));
+            });
+            self.inner.queues[seq % self.workers]
+                .lock()
+                .expect("queue mutex")
+                .push_back(job);
+        }
+        self.inner.notify();
+        Barrier {
+            rx,
+            width,
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Runs a round to completion: [`submit_round`] + [`Barrier::wait`].
+    ///
+    /// [`submit_round`]: Executor::submit_round
+    #[must_use]
+    pub fn run_round<T: Send + 'static>(&self, tasks: Vec<RoundTask<T>>) -> Vec<T> {
+        self.submit_round(tasks).wait()
+    }
+
+    /// Drains every queued task, then joins every worker. Idempotent;
+    /// also runs on [`Drop`], so an executor going out of scope never
+    /// leaks a thread.
+    pub fn shutdown(&self) {
+        {
+            let mut park = self.inner.park.lock().expect("park mutex");
+            park.shutdown = true;
+            park.ticket = park.ticket.wrapping_add(1);
+        }
+        self.inner.wake.notify_all();
+        let handles = std::mem::take(&mut *self.handles.lock().expect("handles mutex"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// An in-flight round: holds the result channel until every task has
+/// reported, then commits in canonical [`CommitSeq`] order.
+pub struct Barrier<T> {
+    rx: Receiver<(CommitSeq, T)>,
+    width: usize,
+    inner: Arc<Inner>,
+}
+
+impl<T> fmt::Debug for Barrier<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Barrier")
+            .field("width", &self.width)
+            .finish()
+    }
+}
+
+impl<T> Barrier<T> {
+    /// Number of tasks this barrier is waiting on.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Blocks until every task in the round has completed and returns
+    /// their results in submission order — the deterministic commit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task of the round panicked instead of producing a
+    /// result.
+    #[must_use]
+    pub fn wait(self) -> Vec<T> {
+        let started = Instant::now();
+        let mut slots: Vec<Option<T>> = (0..self.width).map(|_| None).collect();
+        for _ in 0..self.width {
+            let (seq, value) = self
+                .rx
+                .recv()
+                .expect("a task of this round panicked before committing");
+            slots[seq.index()] = Some(value);
+        }
+        let waited = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.inner.rounds.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .barrier_wait_ns
+            .fetch_add(waited, Ordering::Relaxed);
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every commit sequence filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+    use std::time::Duration;
+
+    #[test]
+    fn round_commits_in_submission_order_despite_reversed_completion() {
+        let exec = Executor::new(4, 1);
+        let tasks: Vec<RoundTask<usize>> = (0..8)
+            .map(|i| {
+                Box::new(move || {
+                    // Later tasks finish first; commit order must not care.
+                    std::thread::sleep(Duration::from_millis(2 * (8 - i as u64)));
+                    i
+                }) as RoundTask<usize>
+            })
+            .collect();
+        assert_eq!(exec.run_round(tasks), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_round_commits_immediately() {
+        let exec = Executor::new(2, 0);
+        let out: Vec<u32> = exec.run_round(Vec::new());
+        assert!(out.is_empty());
+        assert_eq!(exec.stats().rounds, 1);
+    }
+
+    #[test]
+    fn idle_workers_steal_from_a_loaded_deque() {
+        let exec = Executor::new(2, 7);
+        // Even commit slots land on worker 0 and sleep; odd slots are
+        // no-ops on worker 1, which then has nothing left but theft.
+        let tasks: Vec<RoundTask<usize>> = (0..8)
+            .map(|i| {
+                Box::new(move || {
+                    if i % 2 == 0 {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    i
+                }) as RoundTask<usize>
+            })
+            .collect();
+        let out = exec.run_round(tasks);
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        let stats = exec.stats();
+        assert_eq!(stats.executed, 8);
+        assert!(stats.stolen > 0, "expected steals, got {stats:?}");
+        assert_eq!(stats.rounds, 1);
+    }
+
+    #[test]
+    fn stats_since_reports_per_round_deltas() {
+        let exec = Executor::new(2, 3);
+        let before = exec.stats();
+        let _ = exec.run_round(
+            (0..4)
+                .map(|i| Box::new(move || i) as RoundTask<usize>)
+                .collect(),
+        );
+        let delta = exec.stats().since(&before);
+        assert_eq!(delta.executed, 4);
+        assert_eq!(delta.rounds, 1);
+    }
+
+    #[test]
+    fn shutdown_joins_every_worker_and_is_idempotent() {
+        let exec = Executor::new(4, 9);
+        // Give the workers a moment to come up before shutting down.
+        assert_eq!(exec.worker_count(), 4);
+        exec.shutdown();
+        assert_eq!(exec.alive_workers(), 0);
+        exec.shutdown();
+        assert_eq!(exec.alive_workers(), 0);
+    }
+
+    #[test]
+    fn drop_drains_queued_tasks_before_joining() {
+        let ran = Arc::new(TestCounter::new(0));
+        {
+            let exec = Executor::new(2, 5);
+            for _ in 0..16 {
+                let ran = Arc::clone(&ran);
+                exec.spawn(Box::new(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+            // Drop runs shutdown: every queued task executes first.
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_its_worker() {
+        let exec = Executor::new(1, 11);
+        exec.spawn(Box::new(|| panic!("task panic")));
+        let out = exec.run_round(vec![Box::new(|| 7u32) as RoundTask<u32>]);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked before committing")]
+    fn barrier_surfaces_a_round_task_panic() {
+        let exec = Executor::new(2, 13);
+        let tasks: Vec<RoundTask<u32>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("round task panic"))];
+        let _ = exec.run_round(tasks);
+    }
+
+    #[test]
+    fn commit_seq_orders_by_index() {
+        assert!(CommitSeq(0) < CommitSeq(1));
+        assert_eq!(CommitSeq(3).index(), 3);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// Same seed + same task set ⇒ identical commit order at
+            /// every worker count — determinism by construction.
+            #[test]
+            fn commit_order_is_identical_at_every_worker_count(
+                inputs in proptest::collection::vec(0u64..1_000_000, 1..32),
+                seed in 0u64..1_000,
+            ) {
+                let expected: Vec<u64> =
+                    inputs.iter().map(|x| x.wrapping_mul(2_654_435_761)).collect();
+                for workers in [1usize, 2, 4, 8] {
+                    let exec = Executor::new(workers, seed);
+                    let tasks: Vec<RoundTask<u64>> = inputs
+                        .iter()
+                        .map(|&x| {
+                            Box::new(move || x.wrapping_mul(2_654_435_761)) as RoundTask<u64>
+                        })
+                        .collect();
+                    let out = exec.run_round(tasks);
+                    prop_assert_eq!(&out, &expected, "workers = {}", workers);
+                    prop_assert_eq!(exec.stats().executed, inputs.len() as u64);
+                }
+            }
+
+            /// Multi-round submissions commit each round in order too.
+            #[test]
+            fn consecutive_rounds_each_commit_in_order(
+                rounds in proptest::collection::vec(
+                    proptest::collection::vec(0u64..1_000, 0..8), 1..4),
+            ) {
+                let exec = Executor::new(4, 17);
+                for round in &rounds {
+                    let tasks: Vec<RoundTask<u64>> = round
+                        .iter()
+                        .map(|&x| Box::new(move || x + 1) as RoundTask<u64>)
+                        .collect();
+                    let out = exec.run_round(tasks);
+                    let expected: Vec<u64> = round.iter().map(|x| x + 1).collect();
+                    prop_assert_eq!(out, expected);
+                }
+            }
+        }
+    }
+}

@@ -24,6 +24,22 @@
 //!   [`OdinRuntime::run_inference_degraded`] — the ladder's bottom
 //!   rung — instead of failing closed; a half-open probe at full
 //!   fidelity decides between closing and re-opening.
+//! - **Cross-tenant batch fusion** (when
+//!   [`ServeConfig::fusion_window`] > 1): a dispatch whose head tenant
+//!   is healthy drains further queued requests for the *same model*
+//!   (any tenant, breaker closed, already arrived) and serves the
+//!   whole batch with **one** matrix pass — the members share the pass
+//!   latency and each pays only the host overhead. A window of 1
+//!   disables fusion and reproduces the unfused timeline bit for bit.
+//!
+//! Engines are constructed through [`ServeEngine::builder`]; an
+//! optional [`Executor`](odin_exec::Executor) — the same work-stealing
+//! executor the campaign engine schedules onto — can be attached
+//! there (or inherited from the runtime via
+//! [`RuntimeBuilder::executor`](odin_core::RuntimeBuilder::executor)),
+//! in which case every inference pass runs as a pool task instead of
+//! inline. The virtual timeline is single-server either way, so the
+//! replay digest does not depend on where passes execute.
 //!
 //! Everything the loop mutates lives in [`ServeProgress`], which is
 //! serializable; together with
@@ -33,11 +49,13 @@
 
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use odin_core::snapshot::RuntimeState;
-use odin_core::{OdinError, OdinRuntime, SnapshotError, TelemetrySummary};
+use odin_core::{InferenceRecord, OdinError, OdinRuntime, SnapshotError, TelemetrySummary};
 use odin_dnn::zoo::{self, Dataset};
 use odin_dnn::NetworkDescriptor;
+use odin_exec::{Executor, RoundTask};
 use odin_telemetry::{CounterId, HistogramId, Telemetry};
 use odin_units::Seconds;
 use serde::{Deserialize, Serialize};
@@ -131,6 +149,18 @@ pub struct ServeConfig {
     pub retry: RetryPolicy,
     /// Circuit-breaker policy.
     pub breaker: BreakerPolicy,
+    /// Cross-tenant batch-fusion window: the most requests one matrix
+    /// pass may serve. Only same-model requests whose breakers are
+    /// closed and that have already arrived are fused. `1` (the
+    /// default) disables fusion and reproduces the unfused timeline —
+    /// and replay digest — bit for bit.
+    #[serde(default = "default_fusion_window")]
+    pub fusion_window: usize,
+}
+
+/// Serde default for [`ServeConfig::fusion_window`]: fusion off.
+fn default_fusion_window() -> usize {
+    1
 }
 
 impl ServeConfig {
@@ -194,6 +224,7 @@ impl ServeConfig {
                 failure_threshold: 3,
                 cooldown_ms: 250.0,
             },
+            fusion_window: 1,
         }
     }
 
@@ -303,6 +334,12 @@ impl ServeConfig {
             return Err(OdinError::InvalidConfig {
                 name: "serve.breaker.cooldown_ms",
                 reason: "breaker cooldown must be positive and finite",
+            });
+        }
+        if self.fusion_window == 0 {
+            return Err(OdinError::InvalidConfig {
+                name: "serve.fusion_window",
+                reason: "fusion window must be at least one (one disables fusion)",
             });
         }
         Ok(())
@@ -456,27 +493,102 @@ struct CheckpointSpec {
     retain: usize,
 }
 
-/// The serving engine: owns the configuration, a telemetry handle for
-/// the `serve_*` counters, and (optionally) a checkpoint store.
-#[derive(Debug, Clone)]
-pub struct ServeEngine {
-    config: ServeConfig,
-    telemetry: Telemetry,
-    checkpoint: Option<CheckpointSpec>,
+/// Where inference passes execute for one serving run: inline on the
+/// borrowed runtime, or as tasks on a shared work-stealing
+/// [`Executor`]. The timeline is single-server either way — passes
+/// run one at a time in virtual-time order — so the choice never
+/// affects outcomes or the replay digest.
+enum ServerCtx<'a> {
+    /// Sequential: every pass runs on the caller's runtime in place.
+    Inline(&'a mut OdinRuntime),
+    /// Pooled: an owned runtime bounces through the executor one task
+    /// per pass and is written back when the run finishes.
+    Pooled {
+        exec: Arc<Executor>,
+        slot: Option<OdinRuntime>,
+    },
 }
 
-impl ServeEngine {
-    /// Creates an engine for `config` (telemetry disabled, no
-    /// checkpointing).
-    #[must_use]
-    pub fn new(config: ServeConfig) -> ServeEngine {
-        ServeEngine {
-            config,
-            telemetry: Telemetry::disabled(),
-            checkpoint: None,
+impl<'a> ServerCtx<'a> {
+    fn attach(runtime: &'a mut OdinRuntime, exec: Option<Arc<Executor>>) -> ServerCtx<'a> {
+        match exec {
+            Some(exec) => ServerCtx::Pooled {
+                exec,
+                slot: Some(runtime.clone()),
+            },
+            None => ServerCtx::Inline(runtime),
         }
     }
 
+    /// The runtime at rest, for reads (fabric health, snapshots).
+    fn runtime(&self) -> &OdinRuntime {
+        match self {
+            ServerCtx::Inline(rt) => rt,
+            ServerCtx::Pooled { slot, .. } => slot.as_ref().expect("runtime at rest"),
+        }
+    }
+
+    /// Consumes the context; pooled contexts hand their runtime back
+    /// so the caller can write it to the original borrow.
+    fn into_runtime(self) -> Option<OdinRuntime> {
+        match self {
+            ServerCtx::Inline(_) => None,
+            ServerCtx::Pooled { slot, .. } => slot,
+        }
+    }
+
+    /// One inference pass at virtual time `now`, at full fidelity or
+    /// on the ladder's bottom rung.
+    fn infer(
+        &mut self,
+        network: &Arc<NetworkDescriptor>,
+        now: Seconds,
+        degraded: bool,
+    ) -> Result<InferenceRecord, OdinError> {
+        match self {
+            ServerCtx::Inline(rt) => {
+                if degraded {
+                    rt.run_inference_degraded(network, now)
+                } else {
+                    rt.run_inference(network, now)
+                }
+            }
+            ServerCtx::Pooled { exec, slot } => {
+                let mut rt = slot.take().expect("runtime at rest");
+                let net = Arc::clone(network);
+                let task: RoundTask<(OdinRuntime, Result<InferenceRecord, OdinError>)> =
+                    Box::new(move || {
+                        let outcome = if degraded {
+                            rt.run_inference_degraded(&net, now)
+                        } else {
+                            rt.run_inference(&net, now)
+                        };
+                        (rt, outcome)
+                    });
+                let (rt, outcome) = exec
+                    .run_round(vec![task])
+                    .pop()
+                    .expect("one task commits one slot");
+                *slot = Some(rt);
+                outcome
+            }
+        }
+    }
+}
+
+/// Builds a [`ServeEngine`]: the configuration up front, then optional
+/// telemetry, checkpointing, and executor dispatch, validated at
+/// [`build`](ServeEngineBuilder::build). Mirrors
+/// [`RuntimeBuilder`](odin_core::RuntimeBuilder).
+#[derive(Debug, Clone)]
+pub struct ServeEngineBuilder {
+    config: ServeConfig,
+    telemetry: Telemetry,
+    checkpoint: Option<CheckpointSpec>,
+    executor: Option<Arc<Executor>>,
+}
+
+impl ServeEngineBuilder {
     /// Attaches a telemetry handle: the engine records `serve_*`
     /// counters and the latency/queue-depth histograms through it, and
     /// summarizes it into [`ServeReport::telemetry`]. Counters are
@@ -484,7 +596,7 @@ impl ServeEngine {
     /// only the resumed portion; [`ServeTotals`] (carried in the
     /// snapshot) stays authoritative.
     #[must_use]
-    pub fn telemetry(mut self, telemetry: Telemetry) -> ServeEngine {
+    pub fn telemetry(mut self, telemetry: Telemetry) -> ServeEngineBuilder {
         self.telemetry = telemetry;
         self
     }
@@ -493,6 +605,112 @@ impl ServeEngine {
     /// generation per `every` dispatch outcomes, written through the
     /// atomic snapshot protocol, retaining
     /// [`DEFAULT_CHECKPOINT_RETAIN`] generations.
+    #[must_use]
+    pub fn checkpoint(mut self, dir: impl Into<PathBuf>, every: u64) -> ServeEngineBuilder {
+        self.checkpoint = Some(CheckpointSpec {
+            dir: dir.into(),
+            every: every.max(1),
+            retain: DEFAULT_CHECKPOINT_RETAIN,
+        });
+        self
+    }
+
+    /// Overrides how many snapshot generations the store retains.
+    #[must_use]
+    pub fn retain(mut self, retain: usize) -> ServeEngineBuilder {
+        if let Some(cp) = &mut self.checkpoint {
+            cp.retain = retain.max(1);
+        }
+        self
+    }
+
+    /// Dispatches every inference pass onto `executor` — the same
+    /// work-stealing pool the campaign engine uses — instead of
+    /// running it inline. The caller owns the executor's lifecycle;
+    /// the engine never shuts it down. The virtual timeline is
+    /// single-server either way, so attaching an executor never
+    /// changes outcomes or the replay digest.
+    #[must_use]
+    pub fn executor(mut self, executor: Arc<Executor>) -> ServeEngineBuilder {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// Validates the configuration and builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdinError::InvalidConfig`] naming the offending
+    /// parameter.
+    pub fn build(self) -> Result<ServeEngine, OdinError> {
+        self.config.validate()?;
+        Ok(ServeEngine {
+            config: self.config,
+            telemetry: self.telemetry,
+            checkpoint: self.checkpoint,
+            executor: self.executor,
+        })
+    }
+}
+
+/// The serving engine: owns the configuration, a telemetry handle for
+/// the `serve_*` counters, and (optionally) a checkpoint store and an
+/// executor to dispatch inference passes onto.
+#[derive(Debug, Clone)]
+pub struct ServeEngine {
+    config: ServeConfig,
+    telemetry: Telemetry,
+    checkpoint: Option<CheckpointSpec>,
+    executor: Option<Arc<Executor>>,
+}
+
+impl ServeEngine {
+    /// Starts a builder for `config` — the supported way to construct
+    /// an engine.
+    #[must_use]
+    pub fn builder(config: ServeConfig) -> ServeEngineBuilder {
+        ServeEngineBuilder {
+            config,
+            telemetry: Telemetry::disabled(),
+            checkpoint: None,
+            executor: None,
+        }
+    }
+
+    /// Creates an engine for `config` (telemetry disabled, no
+    /// checkpointing).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ServeEngine::builder(config)` and `.build()` instead"
+    )]
+    #[must_use]
+    pub fn new(config: ServeConfig) -> ServeEngine {
+        ServeEngine {
+            config,
+            telemetry: Telemetry::disabled(),
+            checkpoint: None,
+            executor: None,
+        }
+    }
+
+    /// Attaches a telemetry handle (see
+    /// [`ServeEngineBuilder::telemetry`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ServeEngine::builder(config).telemetry(..)` instead"
+    )]
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> ServeEngine {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Enables checkpointing into `dir` (see
+    /// [`ServeEngineBuilder::checkpoint`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ServeEngine::builder(config).checkpoint(..)` instead"
+    )]
     #[must_use]
     pub fn checkpoint(mut self, dir: impl Into<PathBuf>, every: u64) -> ServeEngine {
         self.checkpoint = Some(CheckpointSpec {
@@ -503,7 +721,12 @@ impl ServeEngine {
         self
     }
 
-    /// Overrides how many snapshot generations the store retains.
+    /// Overrides how many snapshot generations the store retains (see
+    /// [`ServeEngineBuilder::retain`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ServeEngine::builder(config).checkpoint(..).retain(..)` instead"
+    )]
     #[must_use]
     pub fn retain(mut self, retain: usize) -> ServeEngine {
         if let Some(cp) = &mut self.checkpoint {
@@ -579,13 +802,22 @@ impl ServeEngine {
         trace: &ArrivalTrace,
         progress: &mut ServeProgress,
     ) -> Result<ServeReport, OdinError> {
+        let networks: Vec<Arc<NetworkDescriptor>> =
+            networks.iter().map(|n| Arc::new(n.clone())).collect();
+        // An engine-attached executor wins; otherwise inherit the
+        // runtime's injected one; otherwise run inline.
+        let exec = self
+            .executor
+            .clone()
+            .or_else(|| runtime.executor().cloned());
+        let mut server = ServerCtx::attach(runtime, exec);
         loop {
             let head = Self::pick_head(progress);
             let arrival = trace.requests.get(progress.next_arrival).copied();
             match (arrival, head) {
                 (None, None) => break,
                 (Some(r), None) => {
-                    self.admit(runtime, progress, r);
+                    self.admit(server.runtime(), progress, r);
                     progress.next_arrival += 1;
                 }
                 (Some(r), Some((tenant, head_arrival_ms))) => {
@@ -593,18 +825,21 @@ impl ServeEngine {
                     // any arrival at or before that instant lands first.
                     let start = progress.server_free_ms.max(head_arrival_ms);
                     if r.arrival_ms <= start {
-                        self.admit(runtime, progress, r);
+                        self.admit(server.runtime(), progress, r);
                         progress.next_arrival += 1;
                     } else {
-                        self.dispatch(runtime, networks, progress, tenant);
-                        self.maybe_checkpoint(runtime, progress)?;
+                        self.dispatch(&mut server, &networks, progress, tenant);
+                        self.maybe_checkpoint(server.runtime(), progress)?;
                     }
                 }
                 (None, Some((tenant, _))) => {
-                    self.dispatch(runtime, networks, progress, tenant);
-                    self.maybe_checkpoint(runtime, progress)?;
+                    self.dispatch(&mut server, &networks, progress, tenant);
+                    self.maybe_checkpoint(server.runtime(), progress)?;
                 }
             }
+        }
+        if let Some(finished) = server.into_runtime() {
+            *runtime = finished;
         }
         Ok(self.finish(progress))
     }
@@ -702,8 +937,8 @@ impl ServeEngine {
     /// Dispatches the head of `tenant`'s queue.
     fn dispatch(
         &self,
-        runtime: &mut OdinRuntime,
-        networks: &[NetworkDescriptor],
+        server: &mut ServerCtx<'_>,
+        networks: &[Arc<NetworkDescriptor>],
         progress: &mut ServeProgress,
         tenant: usize,
     ) {
@@ -721,16 +956,33 @@ impl ServeEngine {
         let network = &networks[tenant];
         match progress.breakers[tenant] {
             Breaker::Open { until_ms } if start < until_ms => {
-                self.serve_degraded(runtime, network, progress, q, start);
+                self.serve_degraded(server, network, progress, q, start);
             }
             Breaker::Open { .. } => {
                 // Cooldown elapsed: single full-fidelity probe.
                 progress.breakers[tenant] = Breaker::HalfOpen;
-                self.serve_attempts(runtime, network, progress, q, start, 0);
+                self.serve_attempts(server, network, progress, q, start, 0);
+            }
+            // Fusion engages only from a healthy head — half-open
+            // probes and degraded service stay strictly single.
+            Breaker::Closed { .. } if self.config.fusion_window > 1 => {
+                let batch = self.drain_batch(progress, q, start);
+                if batch.len() == 1 {
+                    self.serve_attempts(
+                        server,
+                        network,
+                        progress,
+                        q,
+                        start,
+                        self.config.retry.max_retries,
+                    );
+                } else {
+                    self.serve_batch(server, network, progress, batch, start);
+                }
             }
             Breaker::Closed { .. } | Breaker::HalfOpen => {
                 self.serve_attempts(
-                    runtime,
+                    server,
                     network,
                     progress,
                     q,
@@ -741,13 +993,145 @@ impl ServeEngine {
         }
     }
 
+    /// Drains up to `fusion_window − 1` requests compatible with
+    /// `head` into one batch: same model (any tenant), breaker closed,
+    /// already arrived by `start`. Members are taken in dispatch
+    /// priority order (QoS class, then admission order) and only from
+    /// queue fronts, preserving per-tenant FIFO.
+    fn drain_batch(&self, progress: &mut ServeProgress, head: Queued, start: f64) -> Vec<Queued> {
+        let model = &self.config.tenants[head.tenant].model;
+        let mut batch = vec![head];
+        while batch.len() < self.config.fusion_window {
+            let mut best: Option<(usize, QosClass, u64)> = None;
+            for (tenant, queue) in progress.queues.iter().enumerate() {
+                if !matches!(progress.breakers[tenant], Breaker::Closed { .. })
+                    || self.config.tenants[tenant].model != *model
+                {
+                    continue;
+                }
+                let Some(front) = queue.front() else { continue };
+                if front.arrival_ms > start {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some((_, qos, seq)) => (front.qos.index(), front.seq) < (qos.index(), *seq),
+                };
+                if better {
+                    best = Some((tenant, front.qos, front.seq));
+                }
+            }
+            let Some((tenant, _, _)) = best else { break };
+            let member = progress.queues[tenant]
+                .pop_front()
+                .expect("candidate front exists");
+            progress.completed += 1;
+            batch.push(member);
+        }
+        batch
+    }
+
+    /// Serves a fused batch with one matrix pass: every member shares
+    /// the pass latency and pays the host overhead, completing at the
+    /// same instant in drain order. A pass that still fails after the
+    /// batch's retries does **not** take the whole batch down: the
+    /// burned time is charged to the server and the members fall back
+    /// to individual service, so one poisoned pass cannot multiply a
+    /// single failure by the window.
+    fn serve_batch(
+        &self,
+        server: &mut ServerCtx<'_>,
+        network: &Arc<NetworkDescriptor>,
+        progress: &mut ServeProgress,
+        batch: Vec<Queued>,
+        start: f64,
+    ) {
+        // The head's deadline was checked by `dispatch`; drained
+        // members get the same check at batch start.
+        let mut live = Vec::with_capacity(batch.len());
+        for q in batch {
+            let deadline = q.arrival_ms + self.config.deadline_ms[q.qos.index()];
+            if start > deadline {
+                self.shed(progress, q.id, q.tenant, ShedReason::DeadlineExpired, start);
+            } else {
+                live.push(q);
+            }
+        }
+        let Some(&head) = live.first() else { return };
+        let mut service_ms = 0.0;
+        let mut attempt: u32 = 0;
+        loop {
+            let now = Seconds::new((start + service_ms) / 1e3);
+            match server.infer(network, now, false) {
+                Ok(record) => {
+                    service_ms += record.total_latency().value() * 1e3
+                        + self.config.host_overhead_ms * live.len() as f64;
+                    self.telemetry
+                        .add(CounterId::ServeFused, live.len() as u64 - 1);
+                    for &q in &live {
+                        self.complete(progress, q, start, service_ms, false);
+                        progress.breakers[q.tenant] = Breaker::Closed {
+                            consecutive_failures: 0,
+                        };
+                    }
+                    return;
+                }
+                Err(e) if e.is_transient() && attempt < self.config.retry.max_retries => {
+                    // The batch retries as a unit; the retry is
+                    // accounted to the head's tenant.
+                    attempt += 1;
+                    progress.totals.retries += 1;
+                    progress.tenant_totals[head.tenant].retries += 1;
+                    self.telemetry.incr(CounterId::ServeRetries);
+                    let backoff = (self.config.retry.base_backoff_ms
+                        * 2f64.powi(attempt as i32 - 1))
+                    .min(self.config.retry.max_backoff_ms);
+                    let jitter = backoff
+                        * self.config.retry.jitter_frac
+                        * unit_open(splitmix64(&mut progress.rng));
+                    service_ms += backoff + jitter;
+                }
+                Err(_) => {
+                    // Unfuse: charge what the failed pass burned, then
+                    // give every member its own attempt sequence.
+                    let burned = start + service_ms + self.config.host_overhead_ms;
+                    progress.server_free_ms = progress.server_free_ms.max(burned);
+                    progress.makespan_ms = progress.makespan_ms.max(burned);
+                    for q in live {
+                        let start_q = progress.server_free_ms.max(q.arrival_ms);
+                        let deadline = q.arrival_ms + self.config.deadline_ms[q.qos.index()];
+                        if start_q > deadline {
+                            self.shed(
+                                progress,
+                                q.id,
+                                q.tenant,
+                                ShedReason::DeadlineExpired,
+                                start_q,
+                            );
+                            continue;
+                        }
+                        self.serve_attempts(
+                            server,
+                            network,
+                            progress,
+                            q,
+                            start_q,
+                            self.config.retry.max_retries,
+                        );
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
     /// Full-fidelity service with up to `max_retries` inline retries
     /// for transient errors. Backoff time blocks the server
     /// (head-of-line) and is charged to this request's service time.
     fn serve_attempts(
         &self,
-        runtime: &mut OdinRuntime,
-        network: &NetworkDescriptor,
+        server: &mut ServerCtx<'_>,
+        network: &Arc<NetworkDescriptor>,
         progress: &mut ServeProgress,
         q: Queued,
         start: f64,
@@ -757,7 +1141,7 @@ impl ServeEngine {
         let mut attempt: u32 = 0;
         loop {
             let now = Seconds::new((start + service_ms) / 1e3);
-            match runtime.run_inference(network, now) {
+            match server.infer(network, now, false) {
                 Ok(record) => {
                     service_ms +=
                         record.total_latency().value() * 1e3 + self.config.host_overhead_ms;
@@ -795,14 +1179,14 @@ impl ServeEngine {
     /// success does not close the breaker.
     fn serve_degraded(
         &self,
-        runtime: &mut OdinRuntime,
-        network: &NetworkDescriptor,
+        server: &mut ServerCtx<'_>,
+        network: &Arc<NetworkDescriptor>,
         progress: &mut ServeProgress,
         q: Queued,
         start: f64,
     ) {
         let now = Seconds::new(start / 1e3);
-        match runtime.run_inference_degraded(network, now) {
+        match server.infer(network, now, true) {
             Ok(record) => {
                 let service_ms =
                     record.total_latency().value() * 1e3 + self.config.host_overhead_ms;
@@ -995,6 +1379,10 @@ mod tests {
         config
     }
 
+    fn engine(config: ServeConfig) -> ServeEngine {
+        ServeEngine::builder(config).build().expect("valid config")
+    }
+
     fn healthy_runtime(seed: u64) -> OdinRuntime {
         OdinRuntime::builder(OdinConfig::paper())
             .rng_seed(seed)
@@ -1050,6 +1438,10 @@ mod tests {
         c.retry.max_backoff_ms = c.retry.base_backoff_ms / 2.0;
         assert!(c.validate().is_err());
 
+        let mut c = tiny_config(1);
+        c.fusion_window = 0;
+        assert!(c.validate().is_err());
+
         assert!(tiny_config(1).validate().is_ok());
     }
 
@@ -1057,7 +1449,7 @@ mod tests {
     fn healthy_run_is_balanced_and_mostly_served() {
         let config = tiny_config(11);
         let mut runtime = healthy_runtime(11);
-        let report = ServeEngine::new(config).run(&mut runtime).unwrap();
+        let report = engine(config).run(&mut runtime).unwrap();
         assert!(report.balanced());
         assert!(report.totals.generated > 0);
         assert!(report.totals.served > 0);
@@ -1068,15 +1460,13 @@ mod tests {
     #[test]
     fn replay_is_bit_identical_for_a_fixed_seed() {
         let config = tiny_config(23);
-        let a = ServeEngine::new(config.clone())
+        let a = engine(config.clone())
             .run(&mut healthy_runtime(23))
             .unwrap();
-        let b = ServeEngine::new(config)
-            .run(&mut healthy_runtime(23))
-            .unwrap();
+        let b = engine(config).run(&mut healthy_runtime(23)).unwrap();
         assert_eq!(a.digest, b.digest);
         assert_eq!(a.totals, b.totals);
-        let c = ServeEngine::new(tiny_config(24))
+        let c = engine(tiny_config(24))
             .run(&mut healthy_runtime(23))
             .unwrap();
         assert_ne!(a.digest, c.digest, "different trace, different digest");
@@ -1092,7 +1482,7 @@ mod tests {
         // Make service slow enough that queues actually overflow.
         config.host_overhead_ms = 20.0;
         let mut runtime = healthy_runtime(5);
-        let report = ServeEngine::new(config).run(&mut runtime).unwrap();
+        let report = engine(config).run(&mut runtime).unwrap();
         assert!(report.balanced());
         assert!(
             report.totals.shed[ShedReason::QueueFull.index()] > 0,
@@ -1106,7 +1496,7 @@ mod tests {
         config.deadline_ms = [0.5, 0.5, 0.5];
         config.host_overhead_ms = 25.0;
         let mut runtime = healthy_runtime(9);
-        let report = ServeEngine::new(config).run(&mut runtime).unwrap();
+        let report = engine(config).run(&mut runtime).unwrap();
         assert!(report.balanced());
         assert!(
             report.totals.shed[ShedReason::DeadlineExpired.index()] > 0,
@@ -1126,7 +1516,7 @@ mod tests {
         // full fidelity; degraded mode off, so the runtime fails and
         // the serving layer must absorb it.
         let mut runtime = stormy_runtime(3, layers, 0.2, 4.0);
-        let report = ServeEngine::new(config).run(&mut runtime).unwrap();
+        let report = engine(config).run(&mut runtime).unwrap();
         assert!(
             report.balanced(),
             "storm must not break accounting: {report}"
@@ -1154,16 +1544,18 @@ mod tests {
         let config = tiny_config(31);
 
         // Uninterrupted reference.
-        let reference = ServeEngine::new(config.clone())
+        let reference = engine(config.clone())
             .run(&mut healthy_runtime(31))
             .unwrap();
 
         // Checkpointed run, then resume from an *earlier* generation
         // (dropping the newest ones simulates lost progress after a
         // crash) and replay to completion.
-        let engine = ServeEngine::new(config.clone())
+        let engine = ServeEngine::builder(config.clone())
             .checkpoint(&dir, 8)
-            .retain(16);
+            .retain(16)
+            .build()
+            .unwrap();
         let _ = engine.run(&mut healthy_runtime(31)).unwrap();
         let mut generations: Vec<_> = std::fs::read_dir(&dir)
             .unwrap()
@@ -1192,13 +1584,16 @@ mod tests {
         ));
         std::fs::remove_dir_all(&dir).ok();
         let config = tiny_config(41);
-        let engine = ServeEngine::new(config.clone()).checkpoint(&dir, 4);
+        let engine = ServeEngine::builder(config.clone())
+            .checkpoint(&dir, 4)
+            .build()
+            .unwrap();
         assert!(matches!(
             engine.resume_from(&dir),
             Err(OdinError::Snapshot(_))
         ));
         let _ = engine.run(&mut healthy_runtime(41)).unwrap();
-        let other = ServeEngine::new(tiny_config(42));
+        let other = ServeEngine::builder(tiny_config(42)).build().unwrap();
         assert!(matches!(
             other.resume_from(&dir),
             Err(OdinError::InvalidConfig { .. })
@@ -1213,5 +1608,149 @@ mod tests {
         assert!((jain_index(&[0.5, 0.5, 0.5]) - 1.0).abs() < 1e-12);
         let skewed = jain_index(&[1.0, 0.0, 0.0]);
         assert!((skewed - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_match_the_builder() {
+        let config = tiny_config(55);
+        let legacy = ServeEngine::new(config.clone())
+            .telemetry(Telemetry::disabled())
+            .run(&mut healthy_runtime(55))
+            .unwrap();
+        let built = engine(config).run(&mut healthy_runtime(55)).unwrap();
+        assert_eq!(legacy.digest, built.digest);
+        assert_eq!(legacy.totals, built.totals);
+    }
+
+    #[test]
+    fn executor_dispatch_reproduces_the_inline_digest() {
+        let config = tiny_config(17);
+        let inline = engine(config.clone())
+            .run(&mut healthy_runtime(17))
+            .unwrap();
+        let exec = Arc::new(Executor::new(3, 0xfeed));
+        let pooled_engine = ServeEngine::builder(config.clone())
+            .executor(Arc::clone(&exec))
+            .build()
+            .unwrap();
+        let mut runtime = healthy_runtime(17);
+        let pooled = pooled_engine.run(&mut runtime).unwrap();
+        assert_eq!(pooled.digest, inline.digest, "pool must not change time");
+        assert_eq!(pooled.totals, inline.totals);
+        assert!(
+            exec.stats().executed > 0,
+            "passes must actually run on the pool"
+        );
+        assert_eq!(
+            exec.alive_workers(),
+            3,
+            "the engine never shuts a caller-owned executor down"
+        );
+
+        // A runtime-injected executor is inherited the same way.
+        let mut runtime = OdinRuntime::builder(odin_core::OdinConfig::paper())
+            .rng_seed(17)
+            .executor(Arc::clone(&exec))
+            .build()
+            .unwrap();
+        let inherited = engine(config).run(&mut runtime).unwrap();
+        assert_eq!(inherited.digest, inline.digest);
+    }
+
+    /// A config whose service time is slow enough that same-model
+    /// queues (gold + silver both run vgg11) hold several arrived
+    /// requests at dispatch — fusion opportunities are guaranteed.
+    fn congested_config(seed: u64, fusion_window: usize) -> ServeConfig {
+        let mut config = tiny_config(seed);
+        config.host_overhead_ms = 20.0;
+        config.deadline_ms = [400.0, 400.0, 400.0];
+        config.fusion_window = fusion_window;
+        config
+    }
+
+    #[test]
+    fn fused_batches_share_passes_and_keep_the_ledger() {
+        let report = ServeEngine::builder(congested_config(77, 4))
+            .telemetry(Telemetry::enabled())
+            .build()
+            .unwrap()
+            .run(&mut healthy_runtime(77))
+            .unwrap();
+        assert!(report.balanced(), "fusion must not break accounting");
+        assert_eq!(report.outcomes(), report.totals.generated);
+        assert!(report.totals.served > 0);
+        assert!(
+            report.telemetry.counter("serve_fused") > 0,
+            "a congested same-model fleet must fuse batches: {report}"
+        );
+
+        // Replay determinism holds with fusion enabled.
+        let again = engine(congested_config(77, 4))
+            .run(&mut healthy_runtime(77))
+            .unwrap();
+        assert_eq!(again.digest, report.digest);
+        assert_eq!(again.totals, report.totals);
+    }
+
+    #[test]
+    fn fault_storm_with_fusion_stays_balanced() {
+        let mut config = congested_config(13, 4);
+        config.trace.duration_ms = 600.0;
+        config.breaker.failure_threshold = 2;
+        config.retry.max_retries = 1;
+        let layers = config.max_layers().unwrap();
+        let mut runtime = stormy_runtime(13, layers, 0.2, 4.0);
+        let report = engine(config).run(&mut runtime).unwrap();
+        assert!(
+            report.balanced(),
+            "fused storm must not break accounting: {report}"
+        );
+        assert_eq!(report.outcomes(), report.totals.generated);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            /// Fusion at any window keeps the outcome ledger exact:
+            /// every generated request reaches exactly one terminal
+            /// outcome, and the run replays bit-identically.
+            #[test]
+            fn fusion_conserves_outcomes_at_any_window(
+                seed in 0u64..1_000,
+                window in 2usize..6,
+            ) {
+                let config = congested_config(seed, window);
+                let report = engine(config.clone())
+                    .run(&mut healthy_runtime(seed))
+                    .unwrap();
+                prop_assert!(report.balanced());
+                prop_assert_eq!(report.outcomes(), report.totals.generated);
+                let again = engine(config)
+                    .run(&mut healthy_runtime(seed))
+                    .unwrap();
+                prop_assert_eq!(again.digest, report.digest);
+            }
+
+            /// Fusion changes scheduling, never the workload: the
+            /// same seed generates the same arrivals, and both the
+            /// fused and unfused timelines account for all of them.
+            #[test]
+            fn fusion_preserves_the_generated_workload(seed in 0u64..1_000) {
+                let unfused = engine(congested_config(seed, 1))
+                    .run(&mut healthy_runtime(seed))
+                    .unwrap();
+                let fused = engine(congested_config(seed, 4))
+                    .run(&mut healthy_runtime(seed))
+                    .unwrap();
+                prop_assert_eq!(fused.totals.generated, unfused.totals.generated);
+                prop_assert!(unfused.balanced());
+                prop_assert!(fused.balanced());
+            }
+        }
     }
 }

@@ -251,8 +251,10 @@ mod tests {
             .rng_seed(13)
             .build()
             .unwrap();
-        let report = ServeEngine::new(config.clone())
+        let report = ServeEngine::builder(config.clone())
             .checkpoint(&dir, 8)
+            .build()
+            .unwrap()
             .run(&mut runtime)
             .unwrap();
         assert!(report.balanced());

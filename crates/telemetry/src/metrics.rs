@@ -77,11 +77,20 @@ pub enum CounterId {
     ServeRetries,
     /// Per-tenant circuit-breaker trips (closed → open transitions).
     ServeBreakerTrips,
+    /// Requests that shared a fused matrix pass beyond its head (a
+    /// batch of `k` adds `k − 1`).
+    ServeFused,
+    /// Tasks the work-stealing executor ran to completion.
+    ExecTasks,
+    /// Tasks a worker stole from another worker's deque.
+    ExecSteals,
+    /// Times an executor worker parked with no work anywhere.
+    ExecParks,
 }
 
 impl CounterId {
     /// Number of counter variants (the metric array length).
-    pub const COUNT: usize = 30;
+    pub const COUNT: usize = 34;
 
     /// Every counter, in declaration order — the canonical iteration
     /// order for snapshots, summaries, and sinks.
@@ -116,6 +125,10 @@ impl CounterId {
         CounterId::ServeFailed,
         CounterId::ServeRetries,
         CounterId::ServeBreakerTrips,
+        CounterId::ServeFused,
+        CounterId::ExecTasks,
+        CounterId::ExecSteals,
+        CounterId::ExecParks,
     ];
 
     /// The flat-array slot of this counter.
@@ -158,6 +171,10 @@ impl CounterId {
             CounterId::ServeFailed => "serve_failed",
             CounterId::ServeRetries => "serve_retries",
             CounterId::ServeBreakerTrips => "serve_breaker_trips",
+            CounterId::ServeFused => "serve_fused",
+            CounterId::ExecTasks => "exec_tasks",
+            CounterId::ExecSteals => "exec_steal",
+            CounterId::ExecParks => "exec_park",
         }
     }
 }
@@ -189,11 +206,14 @@ pub enum HistogramId {
     ServeLatencyMs,
     /// Tenant queue depth sampled at every admission decision.
     ServeQueueDepth,
+    /// Time an engine spent blocked at one executor commit barrier, in
+    /// microseconds.
+    ExecBarrierWaitUs,
 }
 
 impl HistogramId {
     /// Number of histogram variants (the metric array length).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Every histogram, in declaration order.
     pub const ALL: [HistogramId; HistogramId::COUNT] = [
@@ -204,6 +224,7 @@ impl HistogramId {
         HistogramId::RunLatencyUs,
         HistogramId::ServeLatencyMs,
         HistogramId::ServeQueueDepth,
+        HistogramId::ExecBarrierWaitUs,
     ];
 
     /// The flat-array slot of this histogram.
@@ -223,6 +244,7 @@ impl HistogramId {
             HistogramId::RunLatencyUs => "run_latency_us",
             HistogramId::ServeLatencyMs => "serve_latency_ms",
             HistogramId::ServeQueueDepth => "serve_queue_depth",
+            HistogramId::ExecBarrierWaitUs => "exec_barrier_wait_us",
         }
     }
 
@@ -241,6 +263,7 @@ impl HistogramId {
             HistogramId::RunLatencyUs => &[30.0, 100.0, 300.0, 1e3, 3e3, 1e4, 3e4, 1e5],
             HistogramId::ServeLatencyMs => &[1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1e3, 3e3],
             HistogramId::ServeQueueDepth => &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+            HistogramId::ExecBarrierWaitUs => &[10.0, 30.0, 100.0, 300.0, 1e3, 3e3, 1e4, 1e5],
         }
     }
 }

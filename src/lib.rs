@@ -16,6 +16,7 @@
 //! | [`dnn`] | `odin-dnn` | Tensors, training, pruning, the 9-model zoo |
 //! | [`policy`] | `odin-policy` | The two-headed MLP policy + replay buffer |
 //! | [`telemetry`] | `odin-telemetry` | Zero-overhead spans, counters, histograms, trace sinks |
+//! | [`exec`] | `odin-exec` | Work-stealing executor with deterministic commit barriers |
 //! | [`core`] | `odin-core` | Algorithm 1: features, search, runtime, baselines |
 //! | [`serve`] | `odin-serve` | Overload-safe multi-tenant serving on the runtime |
 //!
@@ -50,6 +51,7 @@ pub use odin_arch as arch;
 pub use odin_core as core;
 pub use odin_device as device;
 pub use odin_dnn as dnn;
+pub use odin_exec as exec;
 pub use odin_noc as noc;
 pub use odin_policy as policy;
 pub use odin_serve as serve;
@@ -57,10 +59,13 @@ pub use odin_telemetry as telemetry;
 pub use odin_units as units;
 pub use odin_xbar as xbar;
 
-/// One-stop imports re-exported from [`odin_core::prelude`]: the
-/// configuration, [`RuntimeBuilder`](prelude::RuntimeBuilder), the
-/// parallel [`CampaignEngine`](prelude::CampaignEngine), and the
-/// campaign report types.
+/// One-stop imports for embedding the runtime: everything from
+/// [`odin_core::prelude`] — the configuration,
+/// [`RuntimeBuilder`](prelude::RuntimeBuilder), the parallel
+/// [`CampaignEngine`](prelude::CampaignEngine), the
+/// [`Executor`](prelude::Executor) both engines schedule onto, and the
+/// campaign report types — plus the serving layer's entry points.
 pub mod prelude {
     pub use odin_core::prelude::*;
+    pub use odin_serve::{ServeConfig, ServeEngine, ServeEngineBuilder, ServeReport};
 }
