@@ -1,8 +1,10 @@
 //! Wall-clock comparison of the hot-path kernels against their scalar
 //! references: the flat [`LayerKernel`] grid pass vs. 36 virtual
-//! [`OuEvaluator::evaluate_in`] calls, the scratch-buffer MLP forward
-//! vs. the allocating one, and the [`DriftMemo`] vs. a raw `powf` per
-//! query.
+//! [`OuEvaluator::evaluate_in`] calls (with a SIMD lane-width
+//! ablation), the scratch-buffer MLP forward vs. the allocating one,
+//! the batched SIMD forward vs. per-row calls (plus its lane ablation
+//! and the guarded-INT8 precision ablation), and the [`DriftMemo`]
+//! vs. a raw `powf` per query.
 //!
 //! Shared by the `kernel_perf` binary and the `kernel_perf`
 //! integration test; both record the numbers into `BENCH_kernel.json`
@@ -19,7 +21,10 @@ use odin_core::search::{OuEvaluator, SearchContext};
 use odin_core::AnalyticModel;
 use odin_device::{DeviceParams, DriftMemo, DriftModel};
 use odin_dnn::zoo::{self, Dataset};
-use odin_policy::{MlpScratch, MultiHeadMlp};
+use odin_policy::{
+    MlpScratch, MultiHeadMlp, OuPolicy, PolicyConfig, QuantizedPolicy, TrainingExample,
+};
+use odin_simd::Backend;
 use odin_units::Seconds;
 use odin_xbar::CrossbarConfig;
 use rand::{Rng, SeedableRng};
@@ -57,6 +62,9 @@ pub struct KernelPerfReport {
     /// Schema version and configuration fingerprint shared by every
     /// `BENCH_*.json` artifact.
     pub meta: crate::BenchMeta,
+    /// The resolved SIMD backend the un-forced rows ran under (the
+    /// lane-ablation rows force their own; see `ODIN_SIMD`).
+    pub backend: String,
     /// Measurement rounds per kernel (each round covers every VGG11
     /// layer × one programming age).
     pub iters: usize,
@@ -80,8 +88,8 @@ impl fmt::Display for KernelPerfReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "hot-path kernels vs scalar references ({} rounds)",
-            self.iters
+            "hot-path kernels vs scalar references ({} rounds, backend {})",
+            self.iters, self.backend
         )?;
         writeln!(
             f,
@@ -182,10 +190,39 @@ pub fn run(iters: usize) -> KernelPerfReport {
     let amortized_grid_ns = start.elapsed().as_nanos() as f64 / grids as f64;
     black_box(amortized_sum);
 
+    // Lane-width ablation: the amortized pass forced through each
+    // explicit backend (lanes1 is the scalar path inside the SIMD
+    // seam). The backends are bit-identical by contract, so their
+    // checksums feed the parity bit too.
+    let mut lane_rows = Vec::new();
+    let mut lanes_parity = true;
+    for (name, backend) in [
+        ("grid_pass_lanes1", Backend::Scalar),
+        ("grid_pass_lanes2", Backend::Lanes2),
+        ("grid_pass_lanes4", Backend::Lanes4),
+    ] {
+        let mut lane_sum = 0.0f64;
+        let start = Instant::now();
+        for round in 0..iters {
+            let age = ages[round % ages.len()];
+            for kernel in &kernels {
+                kernel.evaluate_grid_into_with(backend, age, ctx, &mut evals);
+                for e in evals.iter() {
+                    lane_sum += e.edp.value();
+                }
+            }
+        }
+        let lane_ns = start.elapsed().as_nanos() as f64 / grids as f64;
+        black_box(lane_sum);
+        lanes_parity &= lane_sum.to_bits() == amortized_sum.to_bits();
+        lane_rows.push(PerfRow::new(name, scalar_grid_ns, lane_ns));
+    }
+
     // Both kernel modes accumulate in the scalar sweep's exact visit
     // order, so bit-identical terms give bit-identical sums.
     let parity = scalar_sum.to_bits() == fresh_sum.to_bits()
-        && scalar_sum.to_bits() == amortized_sum.to_bits();
+        && scalar_sum.to_bits() == amortized_sum.to_bits()
+        && lanes_parity;
 
     // MLP forward: fresh Vec allocations per call vs. reused scratch.
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
@@ -213,6 +250,99 @@ pub fn run(iters: usize) -> KernelPerfReport {
     let scratch_forward_ns = start.elapsed().as_nanos() as f64 / forwards as f64;
     black_box(scratch_acc);
 
+    // Batched forward — the decide-all path: per-row allocating
+    // `forward` calls vs one SIMD `forward_batch` over the whole
+    // feature matrix, plus the same lane-width ablation as the grid.
+    let flat: Vec<f64> = feats.iter().flat_map(|f| f.iter().copied()).collect();
+    let batch_rows = feats.len();
+    let batches = iters * 4;
+    let row_count = batches * batch_rows;
+    let mut batch_ref_acc = 0.0f64;
+    let start = Instant::now();
+    for _ in 0..batches {
+        for f in &feats {
+            let (pa, pb) = mlp.forward(f);
+            batch_ref_acc += pa[0] + pb[5];
+        }
+    }
+    let batch_ref_ns = start.elapsed().as_nanos() as f64 / row_count as f64;
+    black_box(batch_ref_acc);
+
+    let mut probs_a = Vec::new();
+    let mut probs_b = Vec::new();
+    let mut batch_acc = 0.0f64;
+    let start = Instant::now();
+    for _ in 0..batches {
+        mlp.forward_batch(&flat, &mut scratch, &mut probs_a, &mut probs_b);
+        batch_acc += probs_a[0] + probs_b[probs_b.len() - 1];
+    }
+    let batch_ns = start.elapsed().as_nanos() as f64 / row_count as f64;
+    black_box(batch_acc);
+
+    let mut batch_lane_rows = Vec::new();
+    let mut batch_parity = true;
+    for (name, backend) in [
+        ("forward_batch_lanes1", Backend::Scalar),
+        ("forward_batch_lanes2", Backend::Lanes2),
+        ("forward_batch_lanes4", Backend::Lanes4),
+    ] {
+        let mut lane_acc = 0.0f64;
+        let start = Instant::now();
+        for _ in 0..batches {
+            mlp.forward_batch_with(backend, &flat, &mut scratch, &mut probs_a, &mut probs_b);
+            lane_acc += probs_a[0] + probs_b[probs_b.len() - 1];
+        }
+        let lane_ns = start.elapsed().as_nanos() as f64 / row_count as f64;
+        black_box(lane_acc);
+        batch_parity &= lane_acc.to_bits() == batch_acc.to_bits();
+        batch_lane_rows.push(PerfRow::new(name, batch_ref_ns, lane_ns));
+    }
+
+    // Precision ablation: the f64 batched forward vs the guarded INT8
+    // path on a policy trained far enough that most rows clear the
+    // parity guard. (The INT8 row is informative, not floored — its
+    // win is energy/footprint, and every ambiguous row pays for both
+    // passes.)
+    let mut prng = rand::rngs::StdRng::seed_from_u64(19);
+    let mut policy = OuPolicy::new(PolicyConfig::paper(), &mut prng);
+    let examples: Vec<TrainingExample> = (0..200)
+        .map(|_| {
+            let f: [f64; 4] = [prng.gen(), prng.gen(), prng.gen(), prng.gen()];
+            let row = ((f[0] * 5.0).round() as usize).min(5);
+            let col = ((f[1] * 5.0).round() as usize).min(5);
+            TrainingExample::new(f, row, col)
+        })
+        .collect();
+    policy.fit_with(&examples, 60, &mut scratch);
+    let quant = QuantizedPolicy::calibrate(&policy, &[]);
+
+    let mut f64_acc = 0.0f64;
+    let start = Instant::now();
+    for _ in 0..batches {
+        policy.predict_batch(&flat, &mut scratch, &mut probs_a, &mut probs_b);
+        f64_acc += probs_a[0] + probs_b[probs_b.len() - 1];
+    }
+    let f64_batch_ns = start.elapsed().as_nanos() as f64 / row_count as f64;
+    black_box(f64_acc);
+
+    let mut int8_acc = 0.0f64;
+    let mut fallbacks = 0u64;
+    let start = Instant::now();
+    for _ in 0..batches {
+        fallbacks += quant.predict_batch_guarded(
+            &policy,
+            &flat,
+            None,
+            &mut scratch,
+            &mut probs_a,
+            &mut probs_b,
+        );
+        int8_acc += probs_a[0] + probs_b[probs_b.len() - 1];
+    }
+    let int8_batch_ns = start.elapsed().as_nanos() as f64 / row_count as f64;
+    black_box(int8_acc);
+    black_box(fallbacks);
+
     // Drift decay factor: a `powf` per query vs. the direct-mapped
     // memo (the age mix repeats, as it does across a campaign round).
     let drift = DriftModel::new(&DeviceParams::paper());
@@ -234,16 +364,27 @@ pub fn run(iters: usize) -> KernelPerfReport {
     let memo_ns = start.elapsed().as_nanos() as f64 / queries as f64;
     black_box(memo_acc);
 
+    let mut rows = vec![
+        PerfRow::new("grid_pass_fresh", scalar_grid_ns, fresh_grid_ns),
+        PerfRow::new("grid_pass_amortized", scalar_grid_ns, amortized_grid_ns),
+    ];
+    rows.extend(lane_rows);
+    rows.push(PerfRow::new(
+        "mlp_forward",
+        alloc_forward_ns,
+        scratch_forward_ns,
+    ));
+    rows.push(PerfRow::new("forward_batch", batch_ref_ns, batch_ns));
+    rows.extend(batch_lane_rows);
+    rows.push(PerfRow::new("policy_int8", f64_batch_ns, int8_batch_ns));
+    rows.push(PerfRow::new("drift_scale", powf_ns, memo_ns));
+
     KernelPerfReport {
         meta: crate::BenchMeta::paper(),
+        backend: Backend::active().resolved().to_string(),
         iters,
-        rows: vec![
-            PerfRow::new("grid_pass_fresh", scalar_grid_ns, fresh_grid_ns),
-            PerfRow::new("grid_pass_amortized", scalar_grid_ns, amortized_grid_ns),
-            PerfRow::new("mlp_forward", alloc_forward_ns, scratch_forward_ns),
-            PerfRow::new("drift_scale", powf_ns, memo_ns),
-        ],
-        parity: parity && powf_acc.to_bits() == memo_acc.to_bits(),
+        rows,
+        parity: parity && batch_parity && powf_acc.to_bits() == memo_acc.to_bits(),
     }
 }
 
@@ -276,13 +417,22 @@ mod tests {
         for name in [
             "grid_pass_fresh",
             "grid_pass_amortized",
+            "grid_pass_lanes1",
+            "grid_pass_lanes2",
+            "grid_pass_lanes4",
             "mlp_forward",
+            "forward_batch",
+            "forward_batch_lanes1",
+            "forward_batch_lanes2",
+            "forward_batch_lanes4",
+            "policy_int8",
             "drift_scale",
         ] {
             let row = report.row(name).expect(name);
             assert!(row.reference_ns > 0.0 && row.kernel_ns > 0.0, "{name}");
         }
         assert!(report.row("nope").is_none());
+        assert!(!report.backend.is_empty());
         let text = report.to_string();
         assert!(text.contains("grid parity: bit-identical"), "{text}");
     }

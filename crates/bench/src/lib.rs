@@ -20,7 +20,11 @@ pub use setup::ExperimentContext;
 /// workspace root. Bump when any artifact's shape changes
 /// incompatibly, so downstream tooling comparing trajectories across
 /// PRs can tell apart records it cannot mix.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `BENCH_kernel.json` gained the `backend` field and the
+/// lane-width (`*_lanes{1,2,4}`) and precision (`policy_int8`)
+/// ablation rows.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// Provenance header stamped into every `BENCH_*.json` writer: the
 /// shared schema version plus a fingerprint of the configuration the

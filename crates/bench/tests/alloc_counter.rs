@@ -1,6 +1,7 @@
 //! Counting-allocator harness pinning the decision hot path at zero
 //! heap allocations after warmup: the flat grid kernel, the exhaustive
 //! search over it, the scratch-buffer MLP forward and training step,
+//! the batched SIMD forward, the INT8 guarded predict path,
 //! the replay-buffer drain/update cycle, the drift memo, and the
 //! telemetry recorder (both the disabled no-op default and an enabled
 //! handle whose preallocated ring is overwriting at capacity).
@@ -23,7 +24,9 @@ use odin_core::search::{find_best_with, SearchContext, SearchStrategy};
 use odin_core::AnalyticModel;
 use odin_device::{DeviceParams, DriftMemo, DriftModel};
 use odin_dnn::zoo::{self, Dataset};
-use odin_policy::{MlpScratch, OuPolicy, PolicyConfig, ReplayBuffer, TrainingExample};
+use odin_policy::{
+    MlpScratch, OuPolicy, PolicyConfig, QuantizedPolicy, ReplayBuffer, TrainingExample,
+};
 use odin_units::Seconds;
 use odin_xbar::CrossbarConfig;
 use rand::SeedableRng;
@@ -155,6 +158,51 @@ fn hot_path_is_allocation_free_after_warmup() {
         }
     });
     assert_eq!(n, 0, "scratch MLP forward allocated {n} times");
+
+    // --- Batched forward: the decide-all path. The column-major
+    // weight transposes the SIMD matvec reads live in the scratch and
+    // are rebuilt in place each call ---------------------------------
+    let mut probs_a = Vec::new();
+    let mut probs_b = Vec::new();
+    let batch: Vec<f64> = (0..12)
+        .flat_map(|i| {
+            let t = f64::from(i) / 12.0;
+            [t, 1.0 - t, 0.5 * t, t * t]
+        })
+        .collect();
+    policy.predict_batch(&batch, &mut scratch, &mut probs_a, &mut probs_b); // warmup
+    let n = allocations(|| {
+        for _ in 0..200 {
+            policy.predict_batch(&batch, &mut scratch, &mut probs_a, &mut probs_b);
+            black_box(probs_a.len());
+        }
+    });
+    assert_eq!(n, 0, "batched MLP forward allocated {n} times");
+
+    // --- INT8 guarded predict: integer matvecs, with ambiguous rows
+    // recomputed through the already-warmed f64 scratch ---------------
+    let quant = QuantizedPolicy::calibrate(&policy, &[]);
+    black_box(quant.predict_batch_guarded(
+        &policy,
+        &batch,
+        Some(0.7),
+        &mut scratch,
+        &mut probs_a,
+        &mut probs_b,
+    )); // warmup sizes the i8 buffers
+    let n = allocations(|| {
+        for _ in 0..200 {
+            black_box(quant.predict_batch_guarded(
+                &policy,
+                &batch,
+                Some(0.7),
+                &mut scratch,
+                &mut probs_a,
+                &mut probs_b,
+            ));
+        }
+    });
+    assert_eq!(n, 0, "INT8 guarded predict allocated {n} times");
 
     // --- Replay-buffer cycle: fill, drain, 100-epoch update ----------
     let mut buffer = ReplayBuffer::paper();

@@ -1,8 +1,12 @@
 //! Perf-regression gate for the hot-path kernels: runs the shared
 //! `kernel_perf` measurement at a reduced round count, asserts the
-//! kernel/scalar parity contract, pins loose speedup floors, and
-//! records `BENCH_kernel.json` so a plain `cargo test` refreshes the
-//! numbers the README and DESIGN.md §10 quote.
+//! kernel/scalar parity contract, pins speedup floors, and records
+//! `BENCH_kernel.json` so a plain `cargo test` refreshes the numbers
+//! the README and DESIGN.md §10/§15 quote.
+//!
+//! Floors are gated on the build profile: release builds (what CI's
+//! perf job runs) demand the ≥2× SIMD wins; debug builds only pin
+//! "not slower", because unoptimized lane code is not representative.
 
 #[test]
 fn kernel_beats_scalar_reference_with_bit_parity() {
@@ -12,20 +16,28 @@ fn kernel_beats_scalar_reference_with_bit_parity() {
         "kernel and scalar sweeps must be bit-identical:\n{report}"
     );
 
-    // Loose floors, far below the typical margins (see BENCH_kernel
-    // .json), so a loaded CI box cannot flake the gate: the amortized
-    // grid pass and the drift memo must clearly beat their scalar
-    // references, and the fresh-build pass (table build + sweep, what
-    // the search seam actually runs) must at minimum not regress.
+    // Release floors sit far below the typical margins (see
+    // BENCH_kernel.json) so a loaded CI box cannot flake the gate,
+    // but high enough that losing the vectorization would trip them.
+    let (grid_floor, batch_floor) = if cfg!(debug_assertions) {
+        (0.9, 0.9)
+    } else {
+        (2.0, 2.0)
+    };
     let amortized = report.row("grid_pass_amortized").expect("row exists");
     assert!(
-        amortized.speedup > 1.2,
+        amortized.speedup > grid_floor,
         "amortized grid pass too slow:\n{report}"
     );
     let fresh = report.row("grid_pass_fresh").expect("row exists");
     assert!(
         fresh.speedup > 0.9,
         "fresh-build grid pass regressed:\n{report}"
+    );
+    let batch = report.row("forward_batch").expect("row exists");
+    assert!(
+        batch.speedup > batch_floor,
+        "batched MLP forward too slow:\n{report}"
     );
     let drift = report.row("drift_scale").expect("row exists");
     assert!(drift.speedup > 1.2, "drift memo too slow:\n{report}");
@@ -35,6 +47,41 @@ fn kernel_beats_scalar_reference_with_bit_parity() {
         "scratch MLP forward regressed:\n{report}"
     );
 
+    // The ablation rows must be present and measured — they are the
+    // record DESIGN.md §15 quotes; the INT8 row is informative (its
+    // win is energy/footprint, not wall clock) so it carries no floor.
+    for name in [
+        "grid_pass_lanes1",
+        "grid_pass_lanes2",
+        "grid_pass_lanes4",
+        "forward_batch_lanes1",
+        "forward_batch_lanes2",
+        "forward_batch_lanes4",
+        "policy_int8",
+    ] {
+        let row = report.row(name).expect(name);
+        assert!(row.kernel_ns > 0.0, "{name} not measured:\n{report}");
+    }
+
     let path = odin_bench::kernel_perf::write_report(&report).expect("BENCH_kernel.json written");
     assert!(path.ends_with("BENCH_kernel.json"), "{}", path.display());
+
+    // Schema gate on the artifact actually written: the BenchMeta
+    // header must carry the current schema version and the paper-config
+    // fingerprint, or downstream trajectory tooling would mix records
+    // it cannot compare.
+    let written = std::fs::read_to_string(&path).expect("artifact readable");
+    let value: serde_json::Value = serde_json::from_str(&written).expect("artifact is JSON");
+    assert_eq!(
+        value["meta"]["schema_version"],
+        serde_json::json!(odin_bench::BENCH_SCHEMA_VERSION)
+    );
+    let expected = odin_bench::BenchMeta::paper();
+    assert_eq!(
+        value["meta"]["config_fingerprint"]
+            .as_str()
+            .expect("fingerprint is a string"),
+        expected.config_fingerprint
+    );
+    assert!(value["backend"].is_string(), "backend field missing");
 }

@@ -13,7 +13,7 @@
 //! decision" and "act on one".
 
 use odin_dnn::{LayerDescriptor, NetworkDescriptor};
-use odin_policy::{MlpScratch, OuPolicy, TrainingExample};
+use odin_policy::{MlpScratch, OuPolicy, QuantizedPolicy, TrainingExample};
 use odin_telemetry::{CounterId, HistogramId, SpanId, Telemetry};
 use odin_units::Seconds;
 
@@ -63,6 +63,10 @@ pub(crate) struct DecisionCtx<'a> {
     pub(crate) fabric: Option<&'a FabricHealth>,
     pub(crate) cache: Option<&'a EvalCache>,
     pub(crate) telemetry: &'a Telemetry,
+    /// The calibrated INT8 policy tables when the runtime was built
+    /// with [`crate::runtime::RuntimeBuilder::policy_precision`] set to
+    /// `Precision::Int8`; `None` runs the f64 forward pass.
+    pub(crate) quant: Option<&'a QuantizedPolicy>,
 }
 
 impl DecisionCtx<'_> {
@@ -100,12 +104,41 @@ impl DecisionCtx<'_> {
                 .features
                 .extend_from_slice(&LayerFeatures::extract(layer, n, age).as_array());
         }
-        self.policy.predict_batch(
-            &scratch.features,
-            &mut scratch.mlp,
-            &mut scratch.probs_a,
-            &mut scratch.probs_b,
-        );
+        match self.quant {
+            // INT8 fast path: integer matvecs with a per-row
+            // decision-parity guard — rows whose argmax margin (or
+            // confidence-threshold distance) falls inside the
+            // calibrated quantization error bound are recomputed in
+            // f64, so the emitted `LayerDecision` sequence is
+            // bit-identical to the f64 path by construction.
+            Some(quant) => {
+                let rows = n as u64;
+                let fallbacks = quant.predict_batch_guarded(
+                    self.policy,
+                    &scratch.features,
+                    self.config.confidence_escalation(),
+                    &mut scratch.mlp,
+                    &mut scratch.probs_a,
+                    &mut scratch.probs_b,
+                );
+                self.telemetry
+                    .add(CounterId::PolicyQuantRows, rows - fallbacks);
+                self.telemetry
+                    .add(CounterId::PolicyQuantFallback, fallbacks);
+                if rows > 0 {
+                    self.telemetry.observe(
+                        HistogramId::QuantFallbackFraction,
+                        fallbacks as f64 / rows as f64,
+                    );
+                }
+            }
+            None => self.policy.predict_batch(
+                &scratch.features,
+                &mut scratch.mlp,
+                &mut scratch.probs_a,
+                &mut scratch.probs_b,
+            ),
+        }
         let levels = self.policy.config().levels;
         let mut decisions = Vec::with_capacity(n);
         for (row, layer) in network.layers().iter().enumerate() {

@@ -21,7 +21,9 @@
 //!
 //! A grid evaluation is then one pass over flat `f64` tables: the
 //! drift severity is computed **once** per pass (the only `powf`),
-//! impacts are a fused multiply over `ir`, and results land in a
+//! impacts are an explicit SIMD sweep over `ir` in f64×4 lanes
+//! (AVX2 when the host has it, the portable array-of-lanes fallback
+//! otherwise — see [`odin_simd::Backend`]), and results land in a
 //! stack-allocated [`GridEvals`] buffer — zero heap allocations per
 //! decision.
 //!
@@ -42,6 +44,7 @@
 
 use odin_arch::LayerCost;
 use odin_dnn::LayerDescriptor;
+use odin_simd::Backend;
 use odin_units::{EnergyDelayProduct, Seconds};
 use odin_xbar::{
     estimate_cycles_with_activations, LayerMapping, NonIdealityModel, OuGrid, OuShape,
@@ -253,31 +256,59 @@ impl LayerKernel {
     ///
     /// The drift severity is computed once (hoisting the `powf` out of
     /// the loop is bit-safe: the scalar path multiplies the same two
-    /// factors in the same order per shape), impacts are one
-    /// multiply-add sweep over the flat `ir` table, and no heap is
-    /// touched.
+    /// factors in the same order per shape), impacts are one explicit
+    /// SIMD sweep over the flat `ir` table on [`Backend::active`], and
+    /// no heap is touched.
     pub fn evaluate_grid_into(&self, age: Seconds, ctx: SearchContext<'_>, out: &mut GridEvals) {
+        self.evaluate_grid_into_with(Backend::active(), age, ctx, out);
+    }
+
+    /// [`evaluate_grid_into`](Self::evaluate_grid_into) on an explicit
+    /// SIMD backend — every backend is bit-identical; this exists for
+    /// the lane-width ablations in `kernel_perf` and the CI
+    /// portable-lanes smoke job.
+    pub fn evaluate_grid_into_with(
+        &self,
+        backend: Backend,
+        age: Seconds,
+        ctx: SearchContext<'_>,
+        out: &mut GridEvals,
+    ) {
         out.clear();
         let cap = level_cap(self.levels, ctx.max_level);
         let severity = self.nonideal.drift_severity(age);
         let mut impacts = [0.0f64; MAX_GRID_SHAPES];
         let n = self.levels * self.levels;
         match ctx.faults {
-            // One flat sweep over the table; the compiler vectorizes
-            // this multiply.
+            // One flat f64×4 lane sweep over the table:
+            // `sensitivity * (ir * severity)` per slot, exactly the
+            // scalar association.
             None => {
-                for (impact, &ir) in impacts[..n].iter_mut().zip(&self.ir[..n]) {
-                    *impact = self.sensitivity * (ir * severity);
-                }
+                odin_simd::scale_mul_with(
+                    backend,
+                    &mut impacts[..n],
+                    &self.ir[..n],
+                    severity,
+                    self.sensitivity,
+                );
             }
             // Matches impact_of: the fault term joins the raw
-            // non-ideality before the sensitivity weighting.
+            // non-ideality before the sensitivity weighting. The
+            // per-shape fault terms are gathered scalar (they walk the
+            // fault map), then combined in lanes.
             Some(profile) => {
-                for (i, impact) in impacts[..n].iter_mut().enumerate() {
-                    *impact = self.sensitivity
-                        * (self.ir[i] * severity
-                            + self.nonideal.fault_impact(profile, self.shapes[i]));
+                let mut faults = [0.0f64; MAX_GRID_SHAPES];
+                for (fault, shape) in faults[..n].iter_mut().zip(&self.shapes[..n]) {
+                    *fault = self.nonideal.fault_impact(profile, *shape);
                 }
+                odin_simd::scale_mul_add_with(
+                    backend,
+                    &mut impacts[..n],
+                    &self.ir[..n],
+                    &faults[..n],
+                    severity,
+                    self.sensitivity,
+                );
             }
         }
         for r in 0..=cap {
@@ -450,6 +481,34 @@ mod tests {
                 assert_eq!(fast.len(), scalar.len());
                 for (a, b) in fast.iter().zip(scalar.iter()) {
                     assert_bit_identical(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_simd_backend_is_bit_identical_to_the_scalar_reference() {
+        let m = model();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let profile = wall_profile(4);
+        for layer in net.layers() {
+            let kernel = LayerKernel::new(&m, layer).unwrap();
+            for (faults, max_level) in [(None, None), (Some(&profile), None), (None, Some(2))] {
+                let ctx = SearchContext {
+                    faults,
+                    max_level,
+                    generation: 0,
+                };
+                let age = Seconds::new(7.7e6);
+                let mut scalar = GridEvals::new();
+                evaluate_grid_scalar(&m, layer, age, ctx, &mut scalar).unwrap();
+                for backend in Backend::ALL {
+                    let mut fast = GridEvals::new();
+                    kernel.evaluate_grid_into_with(backend, age, ctx, &mut fast);
+                    assert_eq!(fast.len(), scalar.len(), "{backend}");
+                    for (a, b) in fast.iter().zip(scalar.iter()) {
+                        assert_bit_identical(a, b);
+                    }
                 }
             }
         }

@@ -86,6 +86,7 @@ pub use engine::{shard_seed, CampaignEngine, EngineStats, ShardMode};
 pub use error::{OdinError, SnapshotError};
 pub use fabric::{DegradationEvent, DegradationPolicy, FabricHealth};
 pub use features::LayerFeatures;
+pub use odin_policy::{Precision, QuantizedPolicy};
 pub use runtime::{
     CampaignReport, InferenceRecord, LayerDecision, OdinRuntime, RuntimeBuilder, SkippedRun,
 };

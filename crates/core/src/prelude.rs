@@ -32,6 +32,7 @@ pub use crate::schedule::TimeSchedule;
 pub use crate::snapshot::{CampaignSnapshot, CheckpointPolicy, SnapshotStore};
 pub use crate::telemetry::{CounterSummary, HistogramSummary, SpanSummary, TelemetrySummary};
 pub use odin_exec::{ExecStats, Executor};
+pub use odin_policy::{Precision, QuantizedPolicy};
 pub use odin_telemetry::{
     ChromeTraceSink, CounterId, Event, HistogramId, JsonLinesSink, SpanId, Telemetry,
     TelemetryConfig, TelemetrySnapshot,

@@ -9,7 +9,7 @@ use odin_arch::{LayerCost, OverheadLedger};
 use odin_device::ReprogramCost;
 use odin_dnn::NetworkDescriptor;
 use odin_exec::Executor;
-use odin_policy::{OuPolicy, ReplayBuffer, TrainingExample};
+use odin_policy::{OuPolicy, Precision, QuantizedPolicy, ReplayBuffer, TrainingExample};
 use odin_telemetry::{CounterId, HistogramId, SpanId, Telemetry, TelemetrySnapshot};
 use odin_units::{EnergyDelayProduct, Joules, Seconds};
 use odin_xbar::OuShape;
@@ -309,6 +309,8 @@ pub struct OdinRuntime {
     checkpoint: Option<CheckpointPolicy>,
     telemetry: Telemetry,
     executor: Option<Arc<Executor>>,
+    precision: Precision,
+    quant: Option<QuantizedPolicy>,
     scratch: RefCell<RuntimeScratch>,
 }
 
@@ -337,6 +339,7 @@ pub struct RuntimeBuilder {
     checkpoint: Option<CheckpointPolicy>,
     telemetry: Telemetry,
     executor: Option<Arc<Executor>>,
+    precision: Precision,
 }
 
 impl RuntimeBuilder {
@@ -424,6 +427,24 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Selects the numeric precision of the policy inference path.
+    /// The default, [`Precision::F64`], runs the MLP forward pass in
+    /// double precision. [`Precision::Int8`] calibrates a
+    /// per-tensor-quantized copy of the policy at build time and
+    /// serves predictions through integer matvecs, recomputing in f64
+    /// any row whose argmax margin falls inside the calibrated
+    /// quantization error bound (counted by the
+    /// `policy_quant_fallback` telemetry counter). The guard makes the
+    /// emitted decision sequence bit-identical to the f64 path, so
+    /// precision is a performance knob, not semantic state — it is
+    /// deliberately excluded from [`RuntimeState`], and resumed
+    /// runtimes default back to f64.
+    #[must_use]
+    pub fn policy_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
     /// Builds the runtime.
     ///
     /// # Errors
@@ -451,6 +472,10 @@ impl RuntimeBuilder {
         runtime.checkpoint = self.checkpoint;
         runtime.telemetry = self.telemetry;
         runtime.executor = self.executor;
+        runtime.precision = self.precision;
+        if self.precision == Precision::Int8 {
+            runtime.quant = Some(QuantizedPolicy::calibrate(&runtime.policy, &[]));
+        }
         Ok(runtime)
     }
 }
@@ -472,6 +497,7 @@ impl OdinRuntime {
             checkpoint: None,
             telemetry: Telemetry::disabled(),
             executor: None,
+            precision: Precision::F64,
         }
     }
 
@@ -500,6 +526,8 @@ impl OdinRuntime {
             checkpoint: None,
             telemetry: Telemetry::disabled(),
             executor: None,
+            precision: Precision::F64,
+            quant: None,
             scratch: RefCell::new(RuntimeScratch::default()),
         })
     }
@@ -507,7 +535,12 @@ impl OdinRuntime {
     /// The complete resumable state of this runtime — everything
     /// [`from_state`](Self::from_state) needs to rebuild a
     /// semantically identical runtime (the evaluation cache is
-    /// bit-transparent and restarts cold).
+    /// bit-transparent and restarts cold). The policy precision and
+    /// its calibrated INT8 tables are likewise excluded: the
+    /// decision-parity guard makes the INT8 path semantically
+    /// invisible, so a resumed runtime defaults to f64 and can be
+    /// re-opted into INT8 via
+    /// [`RuntimeBuilder::policy_precision`]-built runtimes only.
     #[must_use]
     pub fn state(&self) -> RuntimeState {
         RuntimeState {
@@ -773,6 +806,14 @@ impl OdinRuntime {
                 self.buffer.drain_into(&mut scratch.examples);
                 self.policy
                     .update_online_with(&scratch.examples, &mut scratch.mlp);
+                // The quantized tables snapshot the f64 weights, so an
+                // online update invalidates them: recalibrate against
+                // the new weights, folding the freshly observed feature
+                // rows into the calibration set so the error bounds
+                // track the live input distribution.
+                if let Some(quant) = self.quant.as_mut() {
+                    quant.recalibrate(&self.policy, &scratch.examples);
+                }
                 policy_updated = true;
                 self.telemetry.incr(CounterId::PolicyUpdates);
                 self.telemetry.finish_with(
@@ -1017,6 +1058,13 @@ impl OdinRuntime {
         self.checkpoint.as_ref()
     }
 
+    /// The numeric precision the policy inference path runs at (see
+    /// [`RuntimeBuilder::policy_precision`]).
+    #[must_use]
+    pub fn policy_precision(&self) -> Precision {
+        self.precision
+    }
+
     /// Replaces this runtime's state wholesale with a shard's — the
     /// engine's commit step. The checkpoint policy is not part of the
     /// semantic state and stays with the adopting runtime (shards are
@@ -1066,6 +1114,7 @@ impl OdinRuntime {
             fabric: self.fabric.as_ref(),
             cache: self.cache.as_ref(),
             telemetry: &self.telemetry,
+            quant: self.quant.as_ref(),
         }
     }
 

@@ -61,10 +61,12 @@ pub trait OuEvaluator {
 }
 
 /// The reference grid sweep: one [`OuEvaluator::evaluate_in`] call per
-/// shape, row-major within the wear cap. Both the trait's default
-/// [`OuEvaluator::evaluate_grid`] and the cache-counting path use it,
-/// and the kernel parity tests diff against it.
-pub(crate) fn evaluate_grid_scalar<E: OuEvaluator + ?Sized>(
+/// shape, row-major within the wear cap. This is the single shared
+/// scalar reference — the trait's default [`OuEvaluator::evaluate_grid`]
+/// and the cache-counting fallback call it, the kernel parity tests
+/// diff the SIMD backends against it, and the bench harness uses it as
+/// the speedup baseline.
+pub fn evaluate_grid_scalar<E: OuEvaluator + ?Sized>(
     model: &E,
     layer: &LayerDescriptor,
     age: Seconds,

@@ -27,7 +27,9 @@
 mod buffer;
 mod mlp;
 mod policy;
+mod quant;
 
 pub use buffer::ReplayBuffer;
 pub use mlp::{MlpScratch, MultiHeadMlp};
 pub use policy::{OuPolicy, PolicyConfig, TrainingExample};
+pub use quant::{Precision, QuantizedPolicy, QUANT_SAFETY_FACTOR};

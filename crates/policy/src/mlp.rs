@@ -1,5 +1,14 @@
 //! The two-headed MLP underlying the OU policy.
+//!
+//! The matrix passes run on explicit SIMD lanes ([`odin_simd`]):
+//! matrix–vector products lane across independent outputs while each
+//! output accumulates in strict scalar order, ReLU and the softmax
+//! max/exp/sum stay scalar, and only the softmax normalization is
+//! laned (elementwise division is IEEE-exact). Every backend is
+//! therefore bit-identical to the scalar reference — vectorization is
+//! an optimization, never a semantic fork.
 
+use odin_simd::Backend;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -93,6 +102,16 @@ pub struct MlpScratch {
     head_a: Vec<f64>,
     head_b: Vec<f64>,
     grad_hidden: Vec<f64>,
+    /// Column-major weight transposes, rebuilt at the top of every
+    /// [`MultiHeadMlp::forward_batch`] call (amortized over the batch)
+    /// so contiguous lane loads never require caching state on the
+    /// model itself.
+    wt1: Vec<f64>,
+    wt_a: Vec<f64>,
+    wt_b: Vec<f64>,
+    /// INT8 staging buffers for the quantized inference path.
+    pub(crate) q_in: Vec<i8>,
+    pub(crate) q_hidden: Vec<i8>,
 }
 
 impl MlpScratch {
@@ -193,25 +212,67 @@ impl MultiHeadMlp {
         self.params.len()
     }
 
-    /// Hidden-layer activations written into `out` (cleared first).
-    fn hidden_into(&self, x: &[f64], out: &mut Vec<f64>) {
+    /// Hidden-layer activations written into `out` (cleared first):
+    /// a laned row-major matvec, then the shared scalar ReLU.
+    fn hidden_into(&self, backend: Backend, x: &[f64], out: &mut Vec<f64>) {
         assert_eq!(x.len(), self.inputs, "input width mismatch");
         out.clear();
-        out.extend((0..self.hidden).map(|h| {
-            let row = &self.params.w1[h * self.inputs..(h + 1) * self.inputs];
-            let z: f64 = row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.params.b1[h];
-            z.max(0.0)
-        }));
+        out.resize(self.hidden, 0.0);
+        odin_simd::matvec_rowmajor_with(backend, out, &self.params.w1, x, &self.params.b1);
+        odin_simd::relu_in_place(out);
     }
 
     /// One head's class probabilities written over `out` (`out.len()`
     /// must equal `classes`): logits in place, then in-place softmax.
-    fn head_into(&self, weights: &[f64], bias: &[f64], hidden: &[f64], out: &mut [f64]) {
-        for (c, slot) in out.iter_mut().enumerate() {
-            let row = &weights[c * self.hidden..(c + 1) * self.hidden];
-            *slot = row.iter().zip(hidden).map(|(w, h)| w * h).sum::<f64>() + bias[c];
-        }
-        softmax(out);
+    fn head_into(
+        &self,
+        backend: Backend,
+        weights: &[f64],
+        bias: &[f64],
+        hidden: &[f64],
+        out: &mut [f64],
+    ) {
+        odin_simd::matvec_rowmajor_with(backend, out, weights, hidden, bias);
+        softmax_with(backend, out);
+    }
+
+    /// Pre-softmax head logits for one example, written over `out_a` /
+    /// `out_b` (each `classes` wide). The quantization calibrator uses
+    /// this to measure empirical logit error against the f64 reference.
+    pub(crate) fn head_logits_into(&self, hidden: &[f64], out_a: &mut [f64], out_b: &mut [f64]) {
+        let backend = Backend::active();
+        odin_simd::matvec_rowmajor_with(
+            backend,
+            out_a,
+            &self.params.w_head_a,
+            hidden,
+            &self.params.b_head_a,
+        );
+        odin_simd::matvec_rowmajor_with(
+            backend,
+            out_b,
+            &self.params.w_head_b,
+            hidden,
+            &self.params.b_head_b,
+        );
+    }
+
+    /// Hidden activations for one example (calibration helper).
+    pub(crate) fn hidden_activations_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        self.hidden_into(Backend::active(), x, out);
+    }
+
+    /// Raw parameter blocks, in `(w1, b1, w_head_a, b_head_a, w_head_b,
+    /// b_head_b)` order — the quantizer snapshots these.
+    pub(crate) fn raw_params(&self) -> (&[f64], &[f64], &[f64], &[f64], &[f64], &[f64]) {
+        (
+            &self.params.w1,
+            &self.params.b1,
+            &self.params.w_head_a,
+            &self.params.b_head_a,
+            &self.params.w_head_b,
+            &self.params.b_head_b,
+        )
     }
 
     /// Forward pass: the two heads' class probabilities.
@@ -234,19 +295,41 @@ impl MultiHeadMlp {
     ///
     /// Panics if `x` has the wrong width.
     pub fn forward_into(&self, x: &[f64], scratch: &mut MlpScratch) {
+        self.forward_into_with(Backend::active(), x, scratch);
+    }
+
+    /// [`forward_into`](Self::forward_into) on an explicit SIMD
+    /// backend. Every backend produces bit-identical probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    pub fn forward_into_with(&self, backend: Backend, x: &[f64], scratch: &mut MlpScratch) {
         let MlpScratch {
             hidden,
             head_a,
             head_b,
             ..
         } = scratch;
-        self.hidden_into(x, hidden);
+        self.hidden_into(backend, x, hidden);
         head_a.clear();
         head_a.resize(self.classes, 0.0);
         head_b.clear();
         head_b.resize(self.classes, 0.0);
-        self.head_into(&self.params.w_head_a, &self.params.b_head_a, hidden, head_a);
-        self.head_into(&self.params.w_head_b, &self.params.b_head_b, hidden, head_b);
+        self.head_into(
+            backend,
+            &self.params.w_head_a,
+            &self.params.b_head_a,
+            hidden,
+            head_a,
+        );
+        self.head_into(
+            backend,
+            &self.params.w_head_b,
+            &self.params.b_head_b,
+            hidden,
+            head_b,
+        );
     }
 
     /// Batched forward: `inputs` is `rows` examples of width
@@ -266,6 +349,27 @@ impl MultiHeadMlp {
         out_a: &mut Vec<f64>,
         out_b: &mut Vec<f64>,
     ) {
+        self.forward_batch_with(Backend::active(), inputs, scratch, out_a, out_b);
+    }
+
+    /// [`forward_batch`](Self::forward_batch) on an explicit SIMD
+    /// backend. The weight matrices are transposed into `scratch` once
+    /// per call (amortized over the batch) so each lane load is
+    /// contiguous; the accumulation order is unchanged, so every
+    /// backend and both layouts stay bit-identical to
+    /// [`forward_into`](Self::forward_into).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is not a multiple of the input width.
+    pub fn forward_batch_with(
+        &self,
+        backend: Backend,
+        inputs: &[f64],
+        scratch: &mut MlpScratch,
+        out_a: &mut Vec<f64>,
+        out_b: &mut Vec<f64>,
+    ) {
         assert_eq!(
             inputs.len() % self.inputs,
             0,
@@ -276,22 +380,29 @@ impl MultiHeadMlp {
         out_a.resize(rows * self.classes, 0.0);
         out_b.clear();
         out_b.resize(rows * self.classes, 0.0);
+        let MlpScratch {
+            hidden,
+            wt1,
+            wt_a,
+            wt_b,
+            ..
+        } = scratch;
+        odin_simd::transpose_into(&self.params.w1, self.hidden, self.inputs, wt1);
+        odin_simd::transpose_into(&self.params.w_head_a, self.classes, self.hidden, wt_a);
+        odin_simd::transpose_into(&self.params.w_head_b, self.classes, self.hidden, wt_b);
+        hidden.clear();
+        hidden.resize(self.hidden, 0.0);
         for row in 0..rows {
             let x = &inputs[row * self.inputs..(row + 1) * self.inputs];
-            self.hidden_into(x, &mut scratch.hidden);
+            odin_simd::matvec_colmajor_with(backend, hidden, wt1, x, &self.params.b1);
+            odin_simd::relu_in_place(hidden);
             let span = row * self.classes..(row + 1) * self.classes;
-            self.head_into(
-                &self.params.w_head_a,
-                &self.params.b_head_a,
-                &scratch.hidden,
-                &mut out_a[span.clone()],
-            );
-            self.head_into(
-                &self.params.w_head_b,
-                &self.params.b_head_b,
-                &scratch.hidden,
-                &mut out_b[span],
-            );
+            let head = &mut out_a[span.clone()];
+            odin_simd::matvec_colmajor_with(backend, head, wt_a, hidden, &self.params.b_head_a);
+            softmax_with(backend, head);
+            let head = &mut out_b[span];
+            odin_simd::matvec_colmajor_with(backend, head, wt_b, hidden, &self.params.b_head_b);
+            softmax_with(backend, head);
         }
     }
 
@@ -325,16 +436,37 @@ impl MultiHeadMlp {
         lr: f64,
         scratch: &mut MlpScratch,
     ) -> f64 {
+        self.train_step_backend(Backend::active(), x, target_a, target_b, lr, scratch)
+    }
+
+    /// The backend-explicit training step. Plain SGD (no velocity
+    /// buffer) takes the vectorized fast path: per class the backprop
+    /// `grad_hidden += w_row · gc` accumulation reads the whole
+    /// pre-update row before the laned `w -= lr·(gc·hidden)` update
+    /// touches it — the scalar loop interleaves the two per element
+    /// but also reads each weight before updating it, so the split is
+    /// bit-identical. Momentum runs the original scalar loop (the
+    /// velocity read-modify-write chains elements together).
+    fn train_step_backend(
+        &mut self,
+        backend: Backend,
+        x: &[f64],
+        target_a: usize,
+        target_b: usize,
+        lr: f64,
+        scratch: &mut MlpScratch,
+    ) -> f64 {
         assert!(
             target_a < self.classes && target_b < self.classes,
             "target class out of range"
         );
-        self.forward_into(x, scratch);
+        self.forward_into_with(backend, x, scratch);
         let MlpScratch {
             hidden,
             head_a,
             head_b,
             grad_hidden,
+            ..
         } = scratch;
         let loss = -(head_a[target_a].max(1e-12).ln() + head_b[target_b].max(1e-12).ln());
 
@@ -360,6 +492,40 @@ impl MultiHeadMlp {
         grad_hidden.clear();
         grad_hidden.resize(self.hidden, 0.0);
         let mut vel = self.velocity.take();
+        if vel.is_none() {
+            // Vectorized plain-SGD fast path.
+            for second in [false, true] {
+                let (weights, bias, g) = if second {
+                    (
+                        &mut self.params.w_head_b,
+                        &mut self.params.b_head_b,
+                        &*head_b,
+                    )
+                } else {
+                    (
+                        &mut self.params.w_head_a,
+                        &mut self.params.b_head_a,
+                        &*head_a,
+                    )
+                };
+                for (c, &gc) in g.iter().enumerate() {
+                    let row = &mut weights[c * self.hidden..(c + 1) * self.hidden];
+                    odin_simd::axpy_with(backend, grad_hidden, row, gc);
+                    odin_simd::sub_scaled_with(backend, row, hidden, gc, lr);
+                    bias[c] -= lr * gc;
+                }
+            }
+            // First layer (ReLU mask: hidden > 0).
+            for (h, (&ghv, &hv)) in grad_hidden.iter().zip(hidden.iter()).enumerate() {
+                if hv <= 0.0 {
+                    continue;
+                }
+                let row = &mut self.params.w1[h * self.inputs..(h + 1) * self.inputs];
+                odin_simd::sub_scaled_with(backend, row, x, ghv, lr);
+                self.params.b1[h] -= lr * ghv;
+            }
+            return loss;
+        }
         // Heads, handled one at a time so the velocity blocks borrow
         // cleanly.
         for second in [false, true] {
@@ -421,20 +587,24 @@ impl MultiHeadMlp {
 /// In-place numerically-stable softmax: subtract the max, exponentiate,
 /// normalize — the exact operation sequence of the old allocating
 /// version, without the two intermediate `Vec`s.
-fn softmax(values: &mut [f64]) {
+///
+/// The max fold, `exp`, and the normalizing sum stay scalar (laning
+/// the sum would reassociate it); only the final division is laned,
+/// which is elementwise-exact and therefore bit-identical on every
+/// backend.
+pub(crate) fn softmax_with(backend: Backend, values: &mut [f64]) {
     let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     for v in values.iter_mut() {
         *v = (*v - max).exp();
     }
     let sum: f64 = values.iter().sum();
-    for v in values.iter_mut() {
-        *v /= sum;
-    }
+    odin_simd::div_in_place_with(backend, values, sum);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::SeedableRng;
 
     fn rng() -> rand::rngs::StdRng {
@@ -660,5 +830,103 @@ mod tests {
     #[should_panic(expected = "[0, 1)")]
     fn invalid_momentum_panics() {
         let _ = MultiHeadMlp::new(4, 8, 6, &mut rng()).with_momentum(1.0);
+    }
+
+    #[test]
+    fn every_backend_is_bit_identical_on_forward_and_batch() {
+        let mlp = MultiHeadMlp::new(4, 8, 6, &mut rng());
+        let rows = [[0.2, -0.5, 1.0, 0.0], [0.9, 0.9, 0.1, 0.4], [0.0; 4]];
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let mut scratch = MlpScratch::new();
+        let (mut ref_a, mut ref_b) = (Vec::new(), Vec::new());
+        mlp.forward_batch_with(Backend::Scalar, &flat, &mut scratch, &mut ref_a, &mut ref_b);
+        for backend in Backend::ALL {
+            let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+            mlp.forward_batch_with(backend, &flat, &mut scratch, &mut out_a, &mut out_b);
+            for (u, v) in ref_a.iter().zip(&out_a).chain(ref_b.iter().zip(&out_b)) {
+                assert_eq!(u.to_bits(), v.to_bits(), "{backend}");
+            }
+            for (r, x) in rows.iter().enumerate() {
+                mlp.forward_into_with(backend, x, &mut scratch);
+                for (c, p) in scratch.head_a().iter().enumerate() {
+                    assert_eq!(p.to_bits(), ref_a[r * 6 + c].to_bits(), "{backend}");
+                }
+                for (c, p) in scratch.head_b().iter().enumerate() {
+                    assert_eq!(p.to_bits(), ref_b[r * 6 + c].to_bits(), "{backend}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_backend_trains_to_identical_weights() {
+        let base = MultiHeadMlp::new(4, 8, 6, &mut rng());
+        let examples = [([0.3, 0.7, 0.1, 0.5], 2, 4), ([0.9, 0.1, 0.2, 0.8], 0, 5)];
+        let mut scratch = MlpScratch::new();
+        let mut reference = base.clone();
+        for _ in 0..10 {
+            for (x, a, b) in &examples {
+                reference.train_step_backend(Backend::Scalar, x, *a, *b, 0.1, &mut scratch);
+            }
+        }
+        for backend in Backend::ALL {
+            let mut trained = base.clone();
+            for _ in 0..10 {
+                for (x, a, b) in &examples {
+                    trained.train_step_backend(backend, x, *a, *b, 0.1, &mut scratch);
+                }
+            }
+            assert_eq!(reference, trained, "{backend}");
+        }
+    }
+
+    fn logit_strategy() -> impl Strategy<Value = Vec<f64>> {
+        let cases = prop_oneof![
+            Just(0.0),
+            Just(-0.0),
+            Just(5e-324), // smallest positive subnormal
+            Just(-5e-324),
+            Just(1e-310), // subnormal
+            Just(709.0),  // exp overflow edge
+            Just(-745.0), // exp underflow edge
+            Just(1e300),
+            Just(-1e300),
+            -50.0..50.0f64,
+        ];
+        proptest::collection::vec(cases, 1..12)
+    }
+
+    proptest! {
+        /// Stability: extreme, all-equal, and subnormal logits must
+        /// yield a finite distribution, and every SIMD backend must
+        /// normalize to the exact same bits.
+        #[test]
+        fn softmax_is_stable_and_backend_invariant(values in logit_strategy()) {
+            let mut reference = values.clone();
+            softmax_with(Backend::Scalar, &mut reference);
+            let sum: f64 = reference.iter().sum();
+            prop_assert!(
+                reference.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)),
+                "non-distribution output {reference:?}"
+            );
+            prop_assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+            for backend in Backend::ALL {
+                let mut laned = values.clone();
+                softmax_with(backend, &mut laned);
+                for (u, v) in reference.iter().zip(&laned) {
+                    prop_assert_eq!(u.to_bits(), v.to_bits(), "{}", backend);
+                }
+            }
+        }
+
+        /// All-equal logits — however extreme — softmax to uniform.
+        #[test]
+        fn softmax_of_equal_logits_is_uniform(v in -1e300f64..1e300, n in 1usize..10) {
+            let mut values = vec![v; n];
+            softmax_with(Backend::active(), &mut values);
+            for p in &values {
+                prop_assert!((p - 1.0 / n as f64).abs() < 1e-12);
+            }
+        }
     }
 }

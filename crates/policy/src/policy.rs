@@ -109,6 +109,12 @@ impl OuPolicy {
         &self.config
     }
 
+    /// The underlying MLP — the quantization calibrator snapshots its
+    /// weights and measures error against its f64 forward pass.
+    pub(crate) fn mlp(&self) -> &MultiHeadMlp {
+        &self.mlp
+    }
+
     /// Number of supervised updates absorbed (offline fit counts as
     /// one).
     #[must_use]

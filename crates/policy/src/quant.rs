@@ -1,0 +1,540 @@
+//! Static-INT8 quantized policy inference with a guarded f64 fallback.
+//!
+//! The policy MLP is tiny (4 → 16 → 2×6), so the win from INT8 is not
+//! memory — it is replacing the f64 multiply-accumulate chains of the
+//! matrix passes with i8×i8→i32 integer arithmetic, which the hardware
+//! the paper targets (and any host CPU) executes at a multiple of the
+//! f64 rate. Weights and activations are quantized **per tensor** with
+//! symmetric scales (`scale = max|v| / 127`) calibrated offline: weight
+//! ranges come straight from the parameter blocks, activation ranges
+//! from a forward sweep over a dense feature lattice plus any observed
+//! replay-buffer rows.
+//!
+//! # The decision-parity guard
+//!
+//! Odin's decisions must not change when the precision knob does: the
+//! acceptance gate requires the INT8 path to pick the exact same
+//! `LayerDecision` sequence as the f64 reference. Quantization error is
+//! bounded empirically during calibration: the maximum observed
+//! logit/probability deviation from the f64 reference over the
+//! calibration set, times [`QUANT_SAFETY_FACTOR`]. At inference time a
+//! layer falls back to the f64 path whenever the quantized result is
+//! *ambiguous* — its argmax margin (logits or probabilities) is within
+//! twice the calibrated bound, or a confidence-escalation threshold
+//! sits within twice the probability bound of the quantized confidence
+//! product. Outside those windows the f64 path provably agrees on the
+//! argmax and on which side of the threshold the confidence lands, so
+//! the decision stream is bit-identical; inside them the reference
+//! answer is computed directly. Fallbacks are counted so the runtime
+//! can expose a `policy_quant_fallback` telemetry counter.
+//!
+//! The bounds are empirical, not analytic — they are re-tightened by
+//! [`QuantizedPolicy::recalibrate`] after every online policy update
+//! (folding the freshly drained replay examples into the calibration
+//! set), floored at `1e-9` to cover exact-tie pathologies, and the
+//! nine-model zoo parity gate in the workspace test-suite hard-fails
+//! if the guard ever lets a divergent decision through.
+
+use odin_simd::Backend;
+use serde::{Deserialize, Serialize};
+
+use crate::mlp::{softmax_with, MlpScratch};
+use crate::policy::{OuPolicy, TrainingExample};
+
+/// Numeric precision of the policy-inference path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// Full-precision f64 inference — the reference path.
+    #[default]
+    F64,
+    /// Per-tensor static-INT8 weights and activations, guarded by a
+    /// calibrated f64 fallback so decisions never change.
+    Int8,
+}
+
+/// Safety factor applied to the empirically-calibrated quantization
+/// error bounds before they gate the f64 fallback.
+pub const QUANT_SAFETY_FACTOR: f64 = 2.0;
+
+/// Floor for the calibrated bounds: covers the pathological case of an
+/// exact probability tie that rounding could re-order.
+const BOUND_FLOOR: f64 = 1e-9;
+
+/// Symmetric per-tensor scale: `max|v| / 127` (1.0 for an all-zero
+/// tensor, where any scale round-trips exactly).
+fn scale_for(max_abs: f64) -> f64 {
+    if max_abs > 0.0 {
+        max_abs / 127.0
+    } else {
+        1.0
+    }
+}
+
+/// One value quantized to the symmetric INT8 grid.
+fn quantize_one(v: f64, scale: f64) -> i8 {
+    (v / scale).round().clamp(-127.0, 127.0) as i8
+}
+
+/// Quantizes a tensor into `out` (cleared first; warm buffers never
+/// reallocate).
+fn quantize_into(values: &[f64], scale: f64, out: &mut Vec<i8>) {
+    out.clear();
+    out.extend(values.iter().map(|&v| quantize_one(v, scale)));
+}
+
+/// Argmax margin: distance between the largest and second-largest
+/// entry (`+∞` for slices shorter than two).
+fn margin(values: &[f64]) -> f64 {
+    let mut top = f64::NEG_INFINITY;
+    let mut second = f64::NEG_INFINITY;
+    for &v in values {
+        if v > top {
+            second = top;
+            top = v;
+        } else if v > second {
+            second = v;
+        }
+    }
+    if second == f64::NEG_INFINITY {
+        f64::INFINITY
+    } else {
+        top - second
+    }
+}
+
+fn max_of(values: &[f64]) -> f64 {
+    values.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
+}
+
+/// The dense calibration lattice: every corner of a 5-step grid over
+/// the normalized feature cube `[0, 1]⁴` (625 rows). Layer features
+/// are normalized into the unit cube upstream, so the lattice brackets
+/// every input the policy will ever see.
+fn feature_lattice() -> Vec<[f64; 4]> {
+    const STEPS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let mut rows = Vec::with_capacity(STEPS.len().pow(4));
+    for &a in &STEPS {
+        for &b in &STEPS {
+            for &c in &STEPS {
+                for &d in &STEPS {
+                    rows.push([a, b, c, d]);
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// A frozen INT8 snapshot of an [`OuPolicy`]'s MLP plus the calibrated
+/// error bounds that guard its decisions.
+///
+/// Built with [`calibrate`](Self::calibrate) and re-frozen with
+/// [`recalibrate`](Self::recalibrate) whenever the underlying policy
+/// absorbs an online update (static quantization snapshots weights; a
+/// stale snapshot would silently diverge).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedPolicy {
+    inputs: usize,
+    hidden: usize,
+    classes: usize,
+    /// INT8 weight blocks (row-major, same layout as the f64 model).
+    w1: Vec<i8>,
+    wa: Vec<i8>,
+    wb: Vec<i8>,
+    /// Biases stay f64 — they join after dequantization, off the
+    /// integer multiply-accumulate chain.
+    b1: Vec<f64>,
+    ba: Vec<f64>,
+    bb: Vec<f64>,
+    s_in: f64,
+    s_h: f64,
+    s_w1: f64,
+    s_wa: f64,
+    s_wb: f64,
+    logit_bound: f64,
+    prob_bound: f64,
+}
+
+impl QuantizedPolicy {
+    /// Quantizes `policy`'s weights and calibrates activation scales
+    /// and error bounds over the feature lattice plus `extra` observed
+    /// feature rows.
+    #[must_use]
+    pub fn calibrate(policy: &OuPolicy, extra: &[[f64; 4]]) -> Self {
+        let mlp = policy.mlp();
+        let (w1, b1, wa, ba, wb, bb) = mlp.raw_params();
+        let mut rows = feature_lattice();
+        rows.extend_from_slice(extra);
+
+        // Pass 1: activation ranges over the calibration set.
+        let mut max_in = 0.0f64;
+        let mut max_h = 0.0f64;
+        let mut hidden_buf = Vec::new();
+        for row in &rows {
+            for &v in row {
+                max_in = max_in.max(v.abs());
+            }
+            mlp.hidden_activations_into(row, &mut hidden_buf);
+            for &h in &hidden_buf {
+                max_h = max_h.max(h.abs());
+            }
+        }
+        let max_abs = |v: &[f64]| v.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+
+        let mut quant = Self {
+            inputs: mlp.inputs(),
+            hidden: mlp.hidden(),
+            classes: mlp.classes(),
+            w1: Vec::new(),
+            wa: Vec::new(),
+            wb: Vec::new(),
+            b1: b1.to_vec(),
+            ba: ba.to_vec(),
+            bb: bb.to_vec(),
+            s_in: scale_for(max_in),
+            s_h: scale_for(max_h),
+            s_w1: scale_for(max_abs(w1)),
+            s_wa: scale_for(max_abs(wa)),
+            s_wb: scale_for(max_abs(wb)),
+            logit_bound: BOUND_FLOOR,
+            prob_bound: BOUND_FLOOR,
+        };
+        quantize_into(w1, quant.s_w1, &mut quant.w1);
+        quantize_into(wa, quant.s_wa, &mut quant.wa);
+        quantize_into(wb, quant.s_wb, &mut quant.wb);
+
+        // Pass 2: empirical logit/probability error vs the f64
+        // reference over the same set.
+        let backend = Backend::active();
+        let classes = quant.classes;
+        let (mut q_in, mut q_hidden) = (Vec::new(), Vec::new());
+        let mut qa = vec![0.0; classes];
+        let mut qb = vec![0.0; classes];
+        let mut fa = vec![0.0; classes];
+        let mut fb = vec![0.0; classes];
+        let mut logit_err = 0.0f64;
+        let mut prob_err = 0.0f64;
+        for row in &rows {
+            quant.int8_logits(row, &mut q_in, &mut q_hidden, &mut qa, &mut qb);
+            mlp.hidden_activations_into(row, &mut hidden_buf);
+            mlp.head_logits_into(&hidden_buf, &mut fa, &mut fb);
+            for (q, f) in qa.iter().zip(&fa).chain(qb.iter().zip(&fb)) {
+                logit_err = logit_err.max((q - f).abs());
+            }
+            for head in [&mut qa, &mut fa, &mut qb, &mut fb] {
+                softmax_with(backend, head);
+            }
+            for (q, f) in qa.iter().zip(&fa).chain(qb.iter().zip(&fb)) {
+                prob_err = prob_err.max((q - f).abs());
+            }
+        }
+        quant.logit_bound = (logit_err * QUANT_SAFETY_FACTOR).max(BOUND_FLOOR);
+        quant.prob_bound = (prob_err * QUANT_SAFETY_FACTOR).max(BOUND_FLOOR);
+        quant
+    }
+
+    /// Re-freezes the snapshot from `policy`'s current weights,
+    /// folding the given replay examples into the calibration set.
+    /// Call after every online update — the runtime does.
+    pub fn recalibrate(&mut self, policy: &OuPolicy, examples: &[TrainingExample]) {
+        let extra: Vec<[f64; 4]> = examples.iter().map(|e| e.features).collect();
+        *self = Self::calibrate(policy, &extra);
+    }
+
+    /// The calibrated worst-case logit deviation from the f64 path.
+    #[must_use]
+    pub fn logit_bound(&self) -> f64 {
+        self.logit_bound
+    }
+
+    /// The calibrated worst-case probability deviation from the f64
+    /// path.
+    #[must_use]
+    pub fn prob_bound(&self) -> f64 {
+        self.prob_bound
+    }
+
+    /// The integer forward pass: quantize the input, i32
+    /// multiply-accumulate through the hidden layer, ReLU + requantize,
+    /// i32 multiply-accumulate through both heads, dequantized logits
+    /// out.
+    fn int8_logits(
+        &self,
+        x: &[f64],
+        q_in: &mut Vec<i8>,
+        q_hidden: &mut Vec<i8>,
+        out_a: &mut [f64],
+        out_b: &mut [f64],
+    ) {
+        debug_assert_eq!(x.len(), self.inputs);
+        quantize_into(x, self.s_in, q_in);
+        let deq1 = self.s_w1 * self.s_in;
+        q_hidden.clear();
+        q_hidden.extend((0..self.hidden).map(|h| {
+            let row = &self.w1[h * self.inputs..(h + 1) * self.inputs];
+            let acc: i32 = row
+                .iter()
+                .zip(q_in.iter())
+                .map(|(&w, &q)| i32::from(w) * i32::from(q))
+                .sum();
+            let z = f64::from(acc) * deq1 + self.b1[h];
+            // ReLU, then requantize onto the non-negative half-range.
+            (z.max(0.0) / self.s_h).round().clamp(0.0, 127.0) as i8
+        }));
+        for (head, weights, bias, scale) in [
+            (&mut *out_a, &self.wa, &self.ba, self.s_wa),
+            (&mut *out_b, &self.wb, &self.bb, self.s_wb),
+        ] {
+            let deq = scale * self.s_h;
+            for (c, slot) in head.iter_mut().enumerate() {
+                let row = &weights[c * self.hidden..(c + 1) * self.hidden];
+                let acc: i32 = row
+                    .iter()
+                    .zip(q_hidden.iter())
+                    .map(|(&w, &q)| i32::from(w) * i32::from(q))
+                    .sum();
+                *slot = f64::from(acc) * deq + bias[c];
+            }
+        }
+    }
+
+    /// Batched guarded prediction: both heads' probabilities land
+    /// row-major in `out_a` / `out_b` exactly like
+    /// [`OuPolicy::predict_batch`], computed on the INT8 path except
+    /// where the ambiguity guard routes a row through the f64
+    /// reference. Returns the number of fallback rows.
+    ///
+    /// When `confidence_threshold` is set (the runtime's
+    /// confidence-escalation knob), rows whose quantized confidence
+    /// product sits within the guard window of the threshold also fall
+    /// back, so the escalate/trust decision matches the f64 path too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` is not a multiple of the input
+    /// width.
+    pub fn predict_batch_guarded(
+        &self,
+        policy: &OuPolicy,
+        features: &[f64],
+        confidence_threshold: Option<f64>,
+        scratch: &mut MlpScratch,
+        out_a: &mut Vec<f64>,
+        out_b: &mut Vec<f64>,
+    ) -> u64 {
+        assert_eq!(
+            features.len() % self.inputs,
+            0,
+            "batch length must be a multiple of the input width"
+        );
+        let rows = features.len() / self.inputs;
+        out_a.clear();
+        out_a.resize(rows * self.classes, 0.0);
+        out_b.clear();
+        out_b.resize(rows * self.classes, 0.0);
+        let backend = Backend::active();
+        let logit_guard = 2.0 * self.logit_bound;
+        let prob_guard = 2.0 * self.prob_bound;
+        let mut fallbacks = 0u64;
+        for row in 0..rows {
+            let x = &features[row * self.inputs..(row + 1) * self.inputs];
+            let span = row * self.classes..(row + 1) * self.classes;
+            self.int8_logits(
+                x,
+                &mut scratch.q_in,
+                &mut scratch.q_hidden,
+                &mut out_a[span.clone()],
+                &mut out_b[span.clone()],
+            );
+            let mut ambiguous = margin(&out_a[span.clone()]) <= logit_guard
+                || margin(&out_b[span.clone()]) <= logit_guard;
+            softmax_with(backend, &mut out_a[span.clone()]);
+            softmax_with(backend, &mut out_b[span.clone()]);
+            ambiguous = ambiguous
+                || margin(&out_a[span.clone()]) <= prob_guard
+                || margin(&out_b[span.clone()]) <= prob_guard;
+            if let Some(threshold) = confidence_threshold {
+                // |a·b − a'·b'| ≤ |a−a'| + |b−b'| for probabilities,
+                // so outside this window both paths land on the same
+                // side of the threshold.
+                let confidence = max_of(&out_a[span.clone()]) * max_of(&out_b[span.clone()]);
+                ambiguous = ambiguous || (confidence - threshold).abs() <= prob_guard;
+            }
+            if ambiguous {
+                fallbacks += 1;
+                policy.mlp().forward_into(x, scratch);
+                out_a[span.clone()].copy_from_slice(scratch.head_a());
+                out_b[span].copy_from_slice(scratch.head_b());
+            }
+        }
+        fallbacks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyConfig;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn trained_policy() -> OuPolicy {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let mut policy = OuPolicy::new(PolicyConfig::paper(), &mut rng);
+        let data: Vec<TrainingExample> = (0..200)
+            .map(|_| {
+                let f = [rng.gen(), rng.gen(), rng.gen(), rng.gen()];
+                let row = ((f[0] * 4.0 + f[1]).round() as usize).min(5);
+                let col = ((f[2] * 3.0 + f[3] * 2.0).round() as usize).min(5);
+                TrainingExample::new(f, row, col)
+            })
+            .collect();
+        policy.fit(&data, 150);
+        policy
+    }
+
+    fn random_batch(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n * 4).map(|_| rng.gen()).collect()
+    }
+
+    fn argmax(p: &[f64]) -> usize {
+        let mut best = 0;
+        for (i, &v) in p.iter().enumerate().skip(1) {
+            if v > p[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn guarded_int8_matches_f64_argmax_and_confidence_side() {
+        let policy = trained_policy();
+        let quant = QuantizedPolicy::calibrate(&policy, &[]);
+        let flat = random_batch(300, 7);
+        let mut scratch = MlpScratch::new();
+        let (mut qa, mut qb) = (Vec::new(), Vec::new());
+        let (mut fa, mut fb) = (Vec::new(), Vec::new());
+        let threshold = 0.7;
+        let fallbacks = quant.predict_batch_guarded(
+            &policy,
+            &flat,
+            Some(threshold),
+            &mut scratch,
+            &mut qa,
+            &mut qb,
+        );
+        policy.predict_batch(&flat, &mut scratch, &mut fa, &mut fb);
+        assert!(fallbacks <= 300);
+        let levels = policy.config().levels;
+        for row in 0..300 {
+            let span = row * levels..(row + 1) * levels;
+            assert_eq!(
+                argmax(&qa[span.clone()]),
+                argmax(&fa[span.clone()]),
+                "head A argmax diverged on row {row}"
+            );
+            assert_eq!(
+                argmax(&qb[span.clone()]),
+                argmax(&fb[span.clone()]),
+                "head B argmax diverged on row {row}"
+            );
+            let conf_q = max_of(&qa[span.clone()]) * max_of(&qb[span.clone()]);
+            let conf_f = max_of(&fa[span.clone()]) * max_of(&fb[span]);
+            assert_eq!(
+                conf_q > threshold,
+                conf_f > threshold,
+                "confidence side diverged on row {row}"
+            );
+        }
+    }
+
+    #[test]
+    fn inflated_bounds_force_fallback_and_bit_identical_output() {
+        let policy = trained_policy();
+        let mut quant = QuantizedPolicy::calibrate(&policy, &[]);
+        quant.logit_bound = f64::INFINITY;
+        let flat = random_batch(40, 11);
+        let mut scratch = MlpScratch::new();
+        let (mut qa, mut qb) = (Vec::new(), Vec::new());
+        let (mut fa, mut fb) = (Vec::new(), Vec::new());
+        let fallbacks =
+            quant.predict_batch_guarded(&policy, &flat, None, &mut scratch, &mut qa, &mut qb);
+        assert_eq!(fallbacks, 40, "infinite bound must route every row to f64");
+        policy.predict_batch(&flat, &mut scratch, &mut fa, &mut fb);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&qa), bits(&fa));
+        assert_eq!(bits(&qb), bits(&fb));
+    }
+
+    #[test]
+    fn recalibrate_tracks_updated_weights() {
+        let mut policy = trained_policy();
+        let mut quant = QuantizedPolicy::calibrate(&policy, &[]);
+        let before = quant.clone();
+        let examples: Vec<TrainingExample> = (0..20)
+            .map(|i| {
+                let x = i as f64 / 20.0;
+                TrainingExample::new([x, 1.0 - x, 0.5, x], (x * 5.0) as usize, 1)
+            })
+            .collect();
+        policy.update_online(&examples);
+        quant.recalibrate(&policy, &examples);
+        assert_ne!(before, quant, "new weights must produce a new snapshot");
+    }
+
+    #[test]
+    fn zero_policy_weights_calibrate_without_panicking() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let policy = OuPolicy::new(PolicyConfig::paper(), &mut rng);
+        let quant = QuantizedPolicy::calibrate(&policy, &[]);
+        assert!(quant.logit_bound() >= 1e-9);
+        assert!(quant.prob_bound() >= 1e-9);
+    }
+
+    proptest! {
+        /// Round-trip error of symmetric INT8 quantization is within
+        /// half a quantization step for every in-range value.
+        #[test]
+        fn int8_round_trip_error_is_within_half_a_step(
+            values in proptest::collection::vec(-1e6f64..1e6, 1..64)
+        ) {
+            let max_abs = values.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+            let scale = scale_for(max_abs);
+            for &v in &values {
+                let deq = f64::from(quantize_one(v, scale)) * scale;
+                prop_assert!(
+                    (v - deq).abs() <= scale * 0.5 + 1e-12,
+                    "v={v} deq={deq} scale={scale}"
+                );
+            }
+        }
+
+    }
+
+    #[test]
+    fn guard_is_sound_over_many_random_batches() {
+        // One trained policy, many random batches: every row — guarded
+        // or not — must agree with the f64 path on both argmaxes.
+        let policy = trained_policy();
+        let quant = QuantizedPolicy::calibrate(&policy, &[]);
+        let mut scratch = MlpScratch::new();
+        let (mut qa, mut qb) = (Vec::new(), Vec::new());
+        let (mut fa, mut fb) = (Vec::new(), Vec::new());
+        for seed in 0..100u64 {
+            let flat = random_batch(8, 1000 + seed);
+            quant.predict_batch_guarded(&policy, &flat, None, &mut scratch, &mut qa, &mut qb);
+            policy.predict_batch(&flat, &mut scratch, &mut fa, &mut fb);
+            for row in 0..8 {
+                let span = row * 6..(row + 1) * 6;
+                assert_eq!(
+                    argmax(&qa[span.clone()]),
+                    argmax(&fa[span.clone()]),
+                    "seed {seed}"
+                );
+                assert_eq!(argmax(&qb[span.clone()]), argmax(&fb[span]), "seed {seed}");
+            }
+        }
+    }
+}

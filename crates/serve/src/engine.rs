@@ -677,64 +677,6 @@ impl ServeEngine {
         }
     }
 
-    /// Creates an engine for `config` (telemetry disabled, no
-    /// checkpointing).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ServeEngine::builder(config)` and `.build()` instead"
-    )]
-    #[must_use]
-    pub fn new(config: ServeConfig) -> ServeEngine {
-        ServeEngine {
-            config,
-            telemetry: Telemetry::disabled(),
-            checkpoint: None,
-            executor: None,
-        }
-    }
-
-    /// Attaches a telemetry handle (see
-    /// [`ServeEngineBuilder::telemetry`]).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ServeEngine::builder(config).telemetry(..)` instead"
-    )]
-    #[must_use]
-    pub fn telemetry(mut self, telemetry: Telemetry) -> ServeEngine {
-        self.telemetry = telemetry;
-        self
-    }
-
-    /// Enables checkpointing into `dir` (see
-    /// [`ServeEngineBuilder::checkpoint`]).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ServeEngine::builder(config).checkpoint(..)` instead"
-    )]
-    #[must_use]
-    pub fn checkpoint(mut self, dir: impl Into<PathBuf>, every: u64) -> ServeEngine {
-        self.checkpoint = Some(CheckpointSpec {
-            dir: dir.into(),
-            every: every.max(1),
-            retain: DEFAULT_CHECKPOINT_RETAIN,
-        });
-        self
-    }
-
-    /// Overrides how many snapshot generations the store retains (see
-    /// [`ServeEngineBuilder::retain`]).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ServeEngine::builder(config).checkpoint(..).retain(..)` instead"
-    )]
-    #[must_use]
-    pub fn retain(mut self, retain: usize) -> ServeEngine {
-        if let Some(cp) = &mut self.checkpoint {
-            cp.retain = retain.max(1);
-        }
-        self
-    }
-
     /// The engine's configuration.
     #[must_use]
     pub fn config(&self) -> &ServeConfig {
@@ -1608,19 +1550,6 @@ mod tests {
         assert!((jain_index(&[0.5, 0.5, 0.5]) - 1.0).abs() < 1e-12);
         let skewed = jain_index(&[1.0, 0.0, 0.0]);
         assert!((skewed - 1.0 / 3.0).abs() < 1e-12);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_match_the_builder() {
-        let config = tiny_config(55);
-        let legacy = ServeEngine::new(config.clone())
-            .telemetry(Telemetry::disabled())
-            .run(&mut healthy_runtime(55))
-            .unwrap();
-        let built = engine(config).run(&mut healthy_runtime(55)).unwrap();
-        assert_eq!(legacy.digest, built.digest);
-        assert_eq!(legacy.totals, built.totals);
     }
 
     #[test]

@@ -1,0 +1,868 @@
+//! Explicit SIMD lanes for Odin's hot kernels.
+//!
+//! The decide-all hot path spends its cycles in two places: the flat
+//! 36-shape grid sweep of `odin_core::kernel::LayerKernel` and the
+//! batched MLP passes of `odin_policy`. Both are elementwise or
+//! independent-output loops, so they vectorize without changing a
+//! single result bit — *as long as every lane preserves the scalar
+//! per-element operation order*. This crate provides those loops in
+//! four interchangeable [`Backend`]s:
+//!
+//! * [`Backend::Scalar`] — the plain loop, the bit-parity reference.
+//! * [`Backend::Lanes2`] / [`Backend::Lanes4`] — portable
+//!   array-of-lanes forms (safe code; the compiler lowers them to
+//!   SSE2/AVX on x86). These keep `forbid(unsafe_code)` callers on a
+//!   fully safe path.
+//! * [`Backend::Avx2`] — `core::arch::x86_64` intrinsics behind
+//!   runtime feature detection (`is_x86_feature_detected!`), falling
+//!   back to the portable 4-wide form when the host lacks AVX2 or the
+//!   target is not x86-64.
+//!
+//! # The bit-parity contract
+//!
+//! Every operation here is *elementwise* or accumulates strictly in
+//! the scalar iteration order per output: lanes run across
+//! *independent outputs*, never across a single reduction. No FMA is
+//! ever used — multiplies and adds stay separate instructions, which
+//! IEEE 754 defines exactly per element — so all four backends return
+//! bit-identical results and the kernel-vs-scalar parity proptests in
+//! `odin-core`/`odin-policy` hold on every backend.
+//!
+//! The active backend is chosen once per process by
+//! [`Backend::active`]: the `ODIN_SIMD` environment variable
+//! (`scalar`, `lanes2`, `portable`/`lanes4`, `avx2`) overrides the
+//! default of AVX2-when-detected. CI's `simd-smoke` job forces
+//! `ODIN_SIMD=portable` so the safe path is exercised on any host.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+
+/// The additive identity `Iterator::sum::<f64>()` folds from. The
+/// standard library starts its fold at `-0.0` (the true IEEE additive
+/// identity: `-0.0 + x == x` for every `x`, including `-0.0` itself),
+/// so every accumulator here must start there too — starting at `0.0`
+/// would flip the sign bit of all-signed-zero sums and break the
+/// bit-parity contract with the scalar `iter().sum()` reference.
+const SUM_IDENTITY: f64 = -0.0;
+
+/// A vectorization strategy for the lane operations in this crate.
+///
+/// All backends are bit-identical; they differ only in speed. Use
+/// [`Backend::active`] for the process-wide choice, or pass an
+/// explicit backend for lane-width ablations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Plain scalar loops — the bit-parity reference (1 lane).
+    Scalar,
+    /// Portable 2-wide array-of-lanes (safe code).
+    Lanes2,
+    /// Portable 4-wide array-of-lanes (safe code).
+    Lanes4,
+    /// AVX2 `core::arch` intrinsics behind runtime detection; resolves
+    /// to [`Backend::Lanes4`] when the host cannot run them.
+    Avx2,
+}
+
+impl Backend {
+    /// Every backend, in ascending lane width.
+    pub const ALL: [Backend; 4] = [
+        Backend::Scalar,
+        Backend::Lanes2,
+        Backend::Lanes4,
+        Backend::Avx2,
+    ];
+
+    /// Lane width of this backend (`f64`s processed per step).
+    #[must_use]
+    pub fn lanes(self) -> usize {
+        match self {
+            Backend::Scalar => 1,
+            Backend::Lanes2 => 2,
+            Backend::Lanes4 | Backend::Avx2 => 4,
+        }
+    }
+
+    /// Stable lowercase name, also accepted by [`Backend::parse`].
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Lanes2 => "lanes2",
+            Backend::Lanes4 => "lanes4",
+            Backend::Avx2 => "avx2",
+        }
+    }
+
+    /// Parse a backend name as used by the `ODIN_SIMD` env override.
+    #[must_use]
+    pub fn parse(value: &str) -> Option<Backend> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "scalar" | "lanes1" | "off" => Some(Backend::Scalar),
+            "lanes2" | "portable2" => Some(Backend::Lanes2),
+            "lanes4" | "portable4" | "portable" => Some(Backend::Lanes4),
+            "avx2" | "native" => Some(Backend::Avx2),
+            _ => None,
+        }
+    }
+
+    /// Whether this backend can execute its own code path on this
+    /// host (portable backends always can).
+    #[must_use]
+    pub fn is_available(self) -> bool {
+        match self {
+            Backend::Avx2 => avx2_available(),
+            _ => true,
+        }
+    }
+
+    /// Collapse to a backend executable on this host: [`Backend::Avx2`]
+    /// becomes [`Backend::Lanes4`] when AVX2 is absent.
+    #[must_use]
+    pub fn resolved(self) -> Backend {
+        if self == Backend::Avx2 && !avx2_available() {
+            Backend::Lanes4
+        } else {
+            self
+        }
+    }
+
+    /// The process-wide backend: the `ODIN_SIMD` environment variable
+    /// if set to a recognized name, else AVX2 when the host supports
+    /// it, else the portable 4-wide lanes. Evaluated once and cached.
+    #[must_use]
+    pub fn active() -> Backend {
+        static ACTIVE: OnceLock<Backend> = OnceLock::new();
+        *ACTIVE.get_or_init(|| {
+            std::env::var("ODIN_SIMD")
+                .ok()
+                .and_then(|v| Backend::parse(&v))
+                .unwrap_or(Backend::Avx2)
+                .resolved()
+        })
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_available() -> bool {
+    false
+}
+
+/// Dispatch an op over the resolved backend. The AVX2 arm only exists
+/// on x86-64; `resolved()` guarantees it is never selected elsewhere.
+macro_rules! dispatch {
+    ($backend:expr, $lanes:ident($($arg:expr),*), $avx2:path) => {
+        match $backend.resolved() {
+            Backend::Scalar => $lanes::<1>($($arg),*),
+            Backend::Lanes2 => $lanes::<2>($($arg),*),
+            Backend::Lanes4 => $lanes::<4>($($arg),*),
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => $avx2($($arg),*),
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::Avx2 => $lanes::<4>($($arg),*),
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// Elementwise kernels (grid-impact sweep, softmax division)
+// ---------------------------------------------------------------------
+
+/// `out[i] = k2 * (a[i] * k1)` — the fault-free grid-impact sweep
+/// (`sensitivity * (ir * severity)`), on the given backend.
+pub fn scale_mul_with(backend: Backend, out: &mut [f64], a: &[f64], k1: f64, k2: f64) {
+    debug_assert_eq!(out.len(), a.len());
+    dispatch!(backend, scale_mul_lanes(out, a, k1, k2), avx2::scale_mul);
+}
+
+/// [`scale_mul_with`] on [`Backend::active`].
+pub fn scale_mul(out: &mut [f64], a: &[f64], k1: f64, k2: f64) {
+    scale_mul_with(Backend::active(), out, a, k1, k2);
+}
+
+/// `out[i] = k2 * (a[i] * k1 + b[i])` — the faulted grid-impact sweep
+/// (`sensitivity * (ir * severity + fault)`), on the given backend.
+pub fn scale_mul_add_with(
+    backend: Backend,
+    out: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    k1: f64,
+    k2: f64,
+) {
+    debug_assert_eq!(out.len(), a.len());
+    debug_assert_eq!(out.len(), b.len());
+    dispatch!(
+        backend,
+        scale_mul_add_lanes(out, a, b, k1, k2),
+        avx2::scale_mul_add
+    );
+}
+
+/// [`scale_mul_add_with`] on [`Backend::active`].
+pub fn scale_mul_add(out: &mut [f64], a: &[f64], b: &[f64], k1: f64, k2: f64) {
+    scale_mul_add_with(Backend::active(), out, a, b, k1, k2);
+}
+
+/// `v[i] /= divisor` — the in-place softmax normalization. Division
+/// is elementwise-exact, so lanes cannot change a bit.
+pub fn div_in_place_with(backend: Backend, v: &mut [f64], divisor: f64) {
+    dispatch!(backend, div_lanes(v, divisor), avx2::div_in_place);
+}
+
+/// [`div_in_place_with`] on [`Backend::active`].
+pub fn div_in_place(v: &mut [f64], divisor: f64) {
+    div_in_place_with(Backend::active(), v, divisor);
+}
+
+// ---------------------------------------------------------------------
+// Matrix-vector kernels (MLP hidden + head passes)
+// ---------------------------------------------------------------------
+
+/// Dense matrix–vector product `out[o] = Σ_i w[o·n_in + i]·x[i] + bias[o]`
+/// with **row-major** weights, lanes across independent outputs.
+///
+/// Each output's accumulator starts at the `-0.0` additive identity
+/// and adds products in ascending `i` — exactly the scalar
+/// `iter().sum()` fold — so the result is bit-identical on every
+/// backend. On [`Backend::Avx2`] the
+/// row-major layout would need strided gathers, which do not pay on
+/// the policy's short rows, so it runs the portable 4-wide form.
+pub fn matvec_rowmajor_with(backend: Backend, out: &mut [f64], w: &[f64], x: &[f64], bias: &[f64]) {
+    debug_assert_eq!(w.len(), out.len() * x.len());
+    debug_assert_eq!(bias.len(), out.len());
+    match backend.resolved() {
+        Backend::Scalar => matvec_rowmajor_lanes::<1>(out, w, x, bias),
+        Backend::Lanes2 => matvec_rowmajor_lanes::<2>(out, w, x, bias),
+        Backend::Lanes4 | Backend::Avx2 => matvec_rowmajor_lanes::<4>(out, w, x, bias),
+    }
+}
+
+/// Dense matrix–vector product with **column-major** (transposed)
+/// weights `wt[i·n_out + o]`: `out[o] = Σ_i wt[i·n_out + o]·x[i] + bias[o]`.
+///
+/// The transposed layout makes each lane load contiguous, which is
+/// what the AVX2 path wants; build `wt` once per batch with
+/// [`transpose_into`]. Accumulation order per output is identical to
+/// [`matvec_rowmajor_with`], so both layouts agree bit for bit.
+pub fn matvec_colmajor_with(
+    backend: Backend,
+    out: &mut [f64],
+    wt: &[f64],
+    x: &[f64],
+    bias: &[f64],
+) {
+    debug_assert_eq!(wt.len(), out.len() * x.len());
+    debug_assert_eq!(bias.len(), out.len());
+    dispatch!(
+        backend,
+        matvec_colmajor_lanes(out, wt, x, bias),
+        avx2::matvec_colmajor
+    );
+}
+
+/// `out[c·rows + r] = src[r·cols + c]` — transpose a row-major
+/// `rows × cols` matrix into `out`, resizing it to `rows·cols`.
+/// Reuses `out`'s capacity, so a warmed buffer never reallocates.
+pub fn transpose_into(src: &[f64], rows: usize, cols: usize, out: &mut Vec<f64>) {
+    debug_assert_eq!(src.len(), rows * cols);
+    out.clear();
+    out.resize(rows * cols, 0.0);
+    for (r, row) in src.chunks_exact(cols).enumerate() {
+        for (c, &v) in row.iter().enumerate() {
+            out[c * rows + r] = v;
+        }
+    }
+}
+
+/// `out[i] = out[i].max(0.0)` — ReLU. Kept scalar (and shared by all
+/// backends) so the `f64::max` NaN/signed-zero semantics of the
+/// scalar reference are preserved exactly.
+pub fn relu_in_place(out: &mut [f64]) {
+    for v in out {
+        *v = v.max(0.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Training kernels (SGD head pass)
+// ---------------------------------------------------------------------
+
+/// `acc[i] += a[i] * k` — the backprop `grad_hidden += w_row · gc`
+/// accumulation, on the given backend.
+pub fn axpy_with(backend: Backend, acc: &mut [f64], a: &[f64], k: f64) {
+    debug_assert_eq!(acc.len(), a.len());
+    dispatch!(backend, axpy_lanes(acc, a, k), avx2::axpy);
+}
+
+/// `w[i] -= k2 * (k1 * a[i])` — the plain-SGD weight update
+/// `w -= lr · (gc · activation)`, on the given backend.
+pub fn sub_scaled_with(backend: Backend, w: &mut [f64], a: &[f64], k1: f64, k2: f64) {
+    debug_assert_eq!(w.len(), a.len());
+    dispatch!(backend, sub_scaled_lanes(w, a, k1, k2), avx2::sub_scaled);
+}
+
+// ---------------------------------------------------------------------
+// Portable array-of-lanes implementations
+// ---------------------------------------------------------------------
+
+fn scale_mul_lanes<const L: usize>(out: &mut [f64], a: &[f64], k1: f64, k2: f64) {
+    let mut out_it = out.chunks_exact_mut(L);
+    let mut a_it = a.chunks_exact(L);
+    for (o, av) in (&mut out_it).zip(&mut a_it) {
+        let mut t = [0.0f64; L];
+        for (tl, &al) in t.iter_mut().zip(av) {
+            *tl = al * k1;
+        }
+        for (ol, &tl) in o.iter_mut().zip(&t) {
+            *ol = k2 * tl;
+        }
+    }
+    for (ol, &al) in out_it.into_remainder().iter_mut().zip(a_it.remainder()) {
+        *ol = k2 * (al * k1);
+    }
+}
+
+fn scale_mul_add_lanes<const L: usize>(out: &mut [f64], a: &[f64], b: &[f64], k1: f64, k2: f64) {
+    let mut out_it = out.chunks_exact_mut(L);
+    let mut a_it = a.chunks_exact(L);
+    let mut b_it = b.chunks_exact(L);
+    for ((o, av), bv) in (&mut out_it).zip(&mut a_it).zip(&mut b_it) {
+        let mut t = [0.0f64; L];
+        for ((tl, &al), &bl) in t.iter_mut().zip(av).zip(bv) {
+            *tl = al * k1 + bl;
+        }
+        for (ol, &tl) in o.iter_mut().zip(&t) {
+            *ol = k2 * tl;
+        }
+    }
+    for ((ol, &al), &bl) in out_it
+        .into_remainder()
+        .iter_mut()
+        .zip(a_it.remainder())
+        .zip(b_it.remainder())
+    {
+        *ol = k2 * (al * k1 + bl);
+    }
+}
+
+fn div_lanes<const L: usize>(v: &mut [f64], divisor: f64) {
+    let mut it = v.chunks_exact_mut(L);
+    for chunk in &mut it {
+        for vl in chunk.iter_mut() {
+            *vl /= divisor;
+        }
+    }
+    for vl in it.into_remainder() {
+        *vl /= divisor;
+    }
+}
+
+fn matvec_rowmajor_lanes<const L: usize>(out: &mut [f64], w: &[f64], x: &[f64], bias: &[f64]) {
+    let n_in = x.len();
+    let n_out = out.len();
+    let mut o = 0;
+    while o + L <= n_out {
+        // -0.0 is the additive identity `iter().sum::<f64>()` folds
+        // from; starting anywhere else flips signed-zero bits.
+        let mut acc = [SUM_IDENTITY; L];
+        for (i, &xi) in x.iter().enumerate() {
+            for (l, al) in acc.iter_mut().enumerate() {
+                *al += w[(o + l) * n_in + i] * xi;
+            }
+        }
+        for (l, &al) in acc.iter().enumerate() {
+            out[o + l] = al + bias[o + l];
+        }
+        o += L;
+    }
+    while o < n_out {
+        let row = &w[o * n_in..(o + 1) * n_in];
+        let mut acc = SUM_IDENTITY;
+        for (&wv, &xi) in row.iter().zip(x) {
+            acc += wv * xi;
+        }
+        out[o] = acc + bias[o];
+        o += 1;
+    }
+}
+
+fn matvec_colmajor_lanes<const L: usize>(out: &mut [f64], wt: &[f64], x: &[f64], bias: &[f64]) {
+    let n_out = out.len();
+    let mut o = 0;
+    while o + L <= n_out {
+        // -0.0 is the additive identity `iter().sum::<f64>()` folds
+        // from; starting anywhere else flips signed-zero bits.
+        let mut acc = [SUM_IDENTITY; L];
+        for (i, &xi) in x.iter().enumerate() {
+            let base = i * n_out + o;
+            for (al, &wv) in acc.iter_mut().zip(&wt[base..base + L]) {
+                *al += wv * xi;
+            }
+        }
+        for (l, &al) in acc.iter().enumerate() {
+            out[o + l] = al + bias[o + l];
+        }
+        o += L;
+    }
+    while o < n_out {
+        let mut acc = SUM_IDENTITY;
+        for (i, &xi) in x.iter().enumerate() {
+            acc += wt[i * n_out + o] * xi;
+        }
+        out[o] = acc + bias[o];
+        o += 1;
+    }
+}
+
+fn axpy_lanes<const L: usize>(acc: &mut [f64], a: &[f64], k: f64) {
+    let mut acc_it = acc.chunks_exact_mut(L);
+    let mut a_it = a.chunks_exact(L);
+    for (av, src) in (&mut acc_it).zip(&mut a_it) {
+        let mut t = [0.0f64; L];
+        for (tl, &sl) in t.iter_mut().zip(src) {
+            *tl = sl * k;
+        }
+        for (al, &tl) in av.iter_mut().zip(&t) {
+            *al += tl;
+        }
+    }
+    for (al, &sl) in acc_it.into_remainder().iter_mut().zip(a_it.remainder()) {
+        *al += sl * k;
+    }
+}
+
+fn sub_scaled_lanes<const L: usize>(w: &mut [f64], a: &[f64], k1: f64, k2: f64) {
+    let mut w_it = w.chunks_exact_mut(L);
+    let mut a_it = a.chunks_exact(L);
+    for (wv, av) in (&mut w_it).zip(&mut a_it) {
+        let mut t = [0.0f64; L];
+        for (tl, &al) in t.iter_mut().zip(av) {
+            *tl = k2 * (k1 * al);
+        }
+        for (wl, &tl) in wv.iter_mut().zip(&t) {
+            *wl -= tl;
+        }
+    }
+    for (wl, &al) in w_it.into_remainder().iter_mut().zip(a_it.remainder()) {
+        *wl -= k2 * (k1 * al);
+    }
+}
+
+// ---------------------------------------------------------------------
+// AVX2 intrinsics (x86-64 only, runtime-detected)
+// ---------------------------------------------------------------------
+
+/// The one place unsafe code is warranted in this workspace's
+/// libraries: `core::arch::x86_64` intrinsics. Every public function
+/// here re-checks `is_x86_feature_detected!("avx2")` (a cached atomic
+/// load) and falls back to the portable 4-wide form, so calling them
+/// is sound on any x86-64 host. No FMA: multiplies and adds stay
+/// separate `vmulpd`/`vaddpd`, which are IEEE-exact per element and
+/// therefore bit-identical to the scalar reference.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx2 {
+    use core::arch::x86_64::{
+        _mm256_add_pd, _mm256_div_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd,
+        _mm256_storeu_pd, _mm256_sub_pd,
+    };
+
+    const W: usize = 4;
+
+    pub fn scale_mul(out: &mut [f64], a: &[f64], k1: f64, k2: f64) {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { scale_mul_impl(out, a, k1, k2) }
+        } else {
+            super::scale_mul_lanes::<W>(out, a, k1, k2);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn scale_mul_impl(out: &mut [f64], a: &[f64], k1: f64, k2: f64) {
+        let n = out.len();
+        let k1v = _mm256_set1_pd(k1);
+        let k2v = _mm256_set1_pd(k2);
+        let mut i = 0;
+        while i + W <= n {
+            let av = _mm256_loadu_pd(a.as_ptr().add(i));
+            let t = _mm256_mul_pd(av, k1v);
+            _mm256_storeu_pd(out.as_mut_ptr().add(i), _mm256_mul_pd(k2v, t));
+            i += W;
+        }
+        while i < n {
+            out[i] = k2 * (a[i] * k1);
+            i += 1;
+        }
+    }
+
+    pub fn scale_mul_add(out: &mut [f64], a: &[f64], b: &[f64], k1: f64, k2: f64) {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { scale_mul_add_impl(out, a, b, k1, k2) }
+        } else {
+            super::scale_mul_add_lanes::<W>(out, a, b, k1, k2);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn scale_mul_add_impl(out: &mut [f64], a: &[f64], b: &[f64], k1: f64, k2: f64) {
+        let n = out.len();
+        let k1v = _mm256_set1_pd(k1);
+        let k2v = _mm256_set1_pd(k2);
+        let mut i = 0;
+        while i + W <= n {
+            let av = _mm256_loadu_pd(a.as_ptr().add(i));
+            let bv = _mm256_loadu_pd(b.as_ptr().add(i));
+            let t = _mm256_add_pd(_mm256_mul_pd(av, k1v), bv);
+            _mm256_storeu_pd(out.as_mut_ptr().add(i), _mm256_mul_pd(k2v, t));
+            i += W;
+        }
+        while i < n {
+            out[i] = k2 * (a[i] * k1 + b[i]);
+            i += 1;
+        }
+    }
+
+    pub fn div_in_place(v: &mut [f64], divisor: f64) {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { div_in_place_impl(v, divisor) }
+        } else {
+            super::div_lanes::<W>(v, divisor);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn div_in_place_impl(v: &mut [f64], divisor: f64) {
+        let n = v.len();
+        let dv = _mm256_set1_pd(divisor);
+        let mut i = 0;
+        while i + W <= n {
+            let xv = _mm256_loadu_pd(v.as_ptr().add(i));
+            _mm256_storeu_pd(v.as_mut_ptr().add(i), _mm256_div_pd(xv, dv));
+            i += W;
+        }
+        while i < n {
+            v[i] /= divisor;
+            i += 1;
+        }
+    }
+
+    pub fn matvec_colmajor(out: &mut [f64], wt: &[f64], x: &[f64], bias: &[f64]) {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { matvec_colmajor_impl(out, wt, x, bias) }
+        } else {
+            super::matvec_colmajor_lanes::<W>(out, wt, x, bias);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn matvec_colmajor_impl(out: &mut [f64], wt: &[f64], x: &[f64], bias: &[f64]) {
+        let n_out = out.len();
+        let mut o = 0;
+        while o + W <= n_out {
+            let mut acc = _mm256_set1_pd(super::SUM_IDENTITY);
+            for (i, &xi) in x.iter().enumerate() {
+                let wv = _mm256_loadu_pd(wt.as_ptr().add(i * n_out + o));
+                let xv = _mm256_set1_pd(xi);
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(wv, xv));
+            }
+            let bv = _mm256_loadu_pd(bias.as_ptr().add(o));
+            _mm256_storeu_pd(out.as_mut_ptr().add(o), _mm256_add_pd(acc, bv));
+            o += W;
+        }
+        while o < n_out {
+            let mut acc = super::SUM_IDENTITY;
+            for (i, &xi) in x.iter().enumerate() {
+                acc += wt[i * n_out + o] * xi;
+            }
+            out[o] = acc + bias[o];
+            o += 1;
+        }
+    }
+
+    pub fn axpy(acc: &mut [f64], a: &[f64], k: f64) {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { axpy_impl(acc, a, k) }
+        } else {
+            super::axpy_lanes::<W>(acc, a, k);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn axpy_impl(acc: &mut [f64], a: &[f64], k: f64) {
+        let n = acc.len();
+        let kv = _mm256_set1_pd(k);
+        let mut i = 0;
+        while i + W <= n {
+            let av = _mm256_loadu_pd(a.as_ptr().add(i));
+            let cur = _mm256_loadu_pd(acc.as_ptr().add(i));
+            let t = _mm256_mul_pd(av, kv);
+            _mm256_storeu_pd(acc.as_mut_ptr().add(i), _mm256_add_pd(cur, t));
+            i += W;
+        }
+        while i < n {
+            acc[i] += a[i] * k;
+            i += 1;
+        }
+    }
+
+    pub fn sub_scaled(w: &mut [f64], a: &[f64], k1: f64, k2: f64) {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { sub_scaled_impl(w, a, k1, k2) }
+        } else {
+            super::sub_scaled_lanes::<W>(w, a, k1, k2);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn sub_scaled_impl(w: &mut [f64], a: &[f64], k1: f64, k2: f64) {
+        let n = w.len();
+        let k1v = _mm256_set1_pd(k1);
+        let k2v = _mm256_set1_pd(k2);
+        let mut i = 0;
+        while i + W <= n {
+            let av = _mm256_loadu_pd(a.as_ptr().add(i));
+            let t = _mm256_mul_pd(k2v, _mm256_mul_pd(k1v, av));
+            let cur = _mm256_loadu_pd(w.as_ptr().add(i));
+            _mm256_storeu_pd(w.as_mut_ptr().add(i), _mm256_sub_pd(cur, t));
+            i += W;
+        }
+        while i < n {
+            w[i] -= k2 * (k1 * a[i]);
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// splitmix64 — deterministic pseudo-random doubles in (-2, 2)
+    /// plus a sprinkling of exact zeros and subnormals, with no
+    /// dependency on `rand`.
+    struct Mix(u64);
+
+    impl Mix {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn next_f64(&mut self) -> f64 {
+            match self.next_u64() % 16 {
+                0 => 0.0,
+                1 => -0.0,
+                2 => f64::MIN_POSITIVE / 2.0,
+                _ => {
+                    let u = self.next_u64() >> 11; // 53 bits
+                    (u as f64 / (1u64 << 52) as f64) - 1.0
+                }
+            }
+        }
+
+        fn vec(&mut self, n: usize) -> Vec<f64> {
+            (0..n).map(|_| self.next_f64()).collect()
+        }
+    }
+
+    fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}[{i}]: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::parse(b.name()), Some(b));
+        }
+        assert_eq!(Backend::parse("portable"), Some(Backend::Lanes4));
+        assert_eq!(Backend::parse("  AVX2  "), Some(Backend::Avx2));
+        assert_eq!(Backend::parse("neon"), None);
+        assert!(Backend::Scalar.is_available());
+        assert!(Backend::Lanes4.is_available());
+        assert!(Backend::ALL.contains(&Backend::active()));
+        assert!(Backend::active().is_available());
+        assert_eq!(Backend::Scalar.lanes(), 1);
+        assert_eq!(Backend::Avx2.lanes(), 4);
+        assert_eq!(Backend::Avx2.resolved().lanes(), 4);
+    }
+
+    #[test]
+    fn elementwise_ops_are_bit_identical_across_backends() {
+        let mut mix = Mix(7);
+        // Odd lengths exercise every remainder path.
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 15, 16, 33, 36, 64] {
+            let a = mix.vec(n);
+            let b = mix.vec(n);
+            let k1 = mix.next_f64() * 3.0;
+            let k2 = mix.next_f64() * 3.0;
+            let mut reference = vec![0.0; n];
+            scale_mul_with(Backend::Scalar, &mut reference, &a, k1, k2);
+            for (i, (&r, &av)) in reference.iter().zip(&a).enumerate() {
+                assert_eq!(r.to_bits(), (k2 * (av * k1)).to_bits(), "scalar def [{i}]");
+            }
+            for backend in Backend::ALL {
+                let mut out = vec![0.0; n];
+                scale_mul_with(backend, &mut out, &a, k1, k2);
+                assert_bits_eq(&out, &reference, &format!("scale_mul/{backend}/n={n}"));
+            }
+
+            let mut reference = vec![0.0; n];
+            scale_mul_add_with(Backend::Scalar, &mut reference, &a, &b, k1, k2);
+            for backend in Backend::ALL {
+                let mut out = vec![0.0; n];
+                scale_mul_add_with(backend, &mut out, &a, &b, k1, k2);
+                assert_bits_eq(&out, &reference, &format!("scale_mul_add/{backend}/n={n}"));
+            }
+
+            let divisor = 1.0 + mix.next_f64().abs();
+            let mut reference = a.clone();
+            div_in_place_with(Backend::Scalar, &mut reference, divisor);
+            for backend in Backend::ALL {
+                let mut out = a.clone();
+                div_in_place_with(backend, &mut out, divisor);
+                assert_bits_eq(&out, &reference, &format!("div/{backend}/n={n}"));
+            }
+
+            let k = mix.next_f64();
+            let mut reference = b.clone();
+            axpy_with(Backend::Scalar, &mut reference, &a, k);
+            for backend in Backend::ALL {
+                let mut out = b.clone();
+                axpy_with(backend, &mut out, &a, k);
+                assert_bits_eq(&out, &reference, &format!("axpy/{backend}/n={n}"));
+            }
+
+            let mut reference = b.clone();
+            sub_scaled_with(Backend::Scalar, &mut reference, &a, k1, k2);
+            for backend in Backend::ALL {
+                let mut out = b.clone();
+                sub_scaled_with(backend, &mut out, &a, k1, k2);
+                assert_bits_eq(&out, &reference, &format!("sub_scaled/{backend}/n={n}"));
+            }
+        }
+    }
+
+    /// The scalar matvec reference: the exact `iter().sum()` fold the
+    /// policy MLP uses, per output row.
+    fn matvec_reference(w: &[f64], x: &[f64], bias: &[f64]) -> Vec<f64> {
+        bias.iter()
+            .enumerate()
+            .map(|(o, &b)| {
+                let row = &w[o * x.len()..(o + 1) * x.len()];
+                row.iter().zip(x).map(|(&wv, &xi)| wv * xi).sum::<f64>() + b
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matvec_layouts_and_backends_are_bit_identical() {
+        let mut mix = Mix(41);
+        for (n_out, n_in) in [(1, 1), (2, 3), (4, 4), (6, 16), (16, 4), (17, 5), (31, 9)] {
+            let w = mix.vec(n_out * n_in);
+            let x = mix.vec(n_in);
+            let bias = mix.vec(n_out);
+            let reference = matvec_reference(&w, &x, &bias);
+            let mut wt = Vec::new();
+            transpose_into(&w, n_out, n_in, &mut wt);
+            for backend in Backend::ALL {
+                let mut out = vec![0.0; n_out];
+                matvec_rowmajor_with(backend, &mut out, &w, &x, &bias);
+                assert_bits_eq(
+                    &out,
+                    &reference,
+                    &format!("rowmajor/{backend}/{n_out}x{n_in}"),
+                );
+                let mut out = vec![0.0; n_out];
+                matvec_colmajor_with(backend, &mut out, &wt, &x, &bias);
+                assert_bits_eq(
+                    &out,
+                    &reference,
+                    &format!("colmajor/{backend}/{n_out}x{n_in}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_round_trips_and_reuses_capacity() {
+        let mut mix = Mix(3);
+        let src = mix.vec(6 * 4);
+        let mut t = Vec::new();
+        transpose_into(&src, 6, 4, &mut t);
+        let mut back = Vec::new();
+        transpose_into(&t, 4, 6, &mut back);
+        assert_bits_eq(&back, &src, "transpose round trip");
+        let cap = t.capacity();
+        transpose_into(&src, 6, 4, &mut t);
+        assert_eq!(t.capacity(), cap, "warmed transpose must not reallocate");
+    }
+
+    #[test]
+    fn relu_matches_scalar_max() {
+        let mut v = vec![-1.0, -0.0, 0.0, 2.5, f64::NAN, f64::MIN_POSITIVE / 4.0];
+        let reference: Vec<f64> = v.iter().map(|x| x.max(0.0)).collect();
+        relu_in_place(&mut v);
+        assert_bits_eq(&v, &reference, "relu");
+    }
+
+    /// Randomized sweep: shapes 1..24 on both axes, magnitudes
+    /// spanning subnormal to huge via power-of-two scaling — every
+    /// backend reproduces the scalar fold bit for bit.
+    #[test]
+    fn matvec_parity_over_random_matrices() {
+        let mut mix = Mix(0xD1CE);
+        for case in 0u64..200 {
+            let n_out = 1 + (mix.next_u64() % 23) as usize;
+            let n_in = 1 + (mix.next_u64() % 23) as usize;
+            let scale_exp = (mix.next_u64() % 600) as i32 - 300;
+            let scale = 2f64.powi(scale_exp);
+            let w: Vec<f64> = (0..n_out * n_in).map(|_| mix.next_f64() * scale).collect();
+            let x = mix.vec(n_in);
+            let bias = mix.vec(n_out);
+            let reference = matvec_reference(&w, &x, &bias);
+            let mut wt = Vec::new();
+            transpose_into(&w, n_out, n_in, &mut wt);
+            for backend in Backend::ALL {
+                let mut out = vec![0.0; n_out];
+                matvec_rowmajor_with(backend, &mut out, &w, &x, &bias);
+                assert_bits_eq(
+                    &out,
+                    &reference,
+                    &format!("rowmajor/{backend}/case{case}/{n_out}x{n_in}"),
+                );
+                let mut out = vec![0.0; n_out];
+                matvec_colmajor_with(backend, &mut out, &wt, &x, &bias);
+                assert_bits_eq(
+                    &out,
+                    &reference,
+                    &format!("colmajor/{backend}/case{case}/{n_out}x{n_in}"),
+                );
+            }
+        }
+    }
+}

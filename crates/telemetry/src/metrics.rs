@@ -86,11 +86,16 @@ pub enum CounterId {
     ExecSteals,
     /// Times an executor worker parked with no work anywhere.
     ExecParks,
+    /// Layer decisions served by the INT8 quantized policy path.
+    PolicyQuantRows,
+    /// Layer decisions the quantization ambiguity guard routed back
+    /// through the f64 reference path.
+    PolicyQuantFallback,
 }
 
 impl CounterId {
     /// Number of counter variants (the metric array length).
-    pub const COUNT: usize = 34;
+    pub const COUNT: usize = 36;
 
     /// Every counter, in declaration order — the canonical iteration
     /// order for snapshots, summaries, and sinks.
@@ -129,6 +134,8 @@ impl CounterId {
         CounterId::ExecTasks,
         CounterId::ExecSteals,
         CounterId::ExecParks,
+        CounterId::PolicyQuantRows,
+        CounterId::PolicyQuantFallback,
     ];
 
     /// The flat-array slot of this counter.
@@ -175,6 +182,8 @@ impl CounterId {
             CounterId::ExecTasks => "exec_tasks",
             CounterId::ExecSteals => "exec_steal",
             CounterId::ExecParks => "exec_park",
+            CounterId::PolicyQuantRows => "policy_quant_rows",
+            CounterId::PolicyQuantFallback => "policy_quant_fallback",
         }
     }
 }
@@ -209,11 +218,14 @@ pub enum HistogramId {
     /// Time an engine spent blocked at one executor commit barrier, in
     /// microseconds.
     ExecBarrierWaitUs,
+    /// Fraction of a decide-all batch the quantization guard routed to
+    /// the f64 fallback (one observation per INT8 batch).
+    QuantFallbackFraction,
 }
 
 impl HistogramId {
     /// Number of histogram variants (the metric array length).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every histogram, in declaration order.
     pub const ALL: [HistogramId; HistogramId::COUNT] = [
@@ -225,6 +237,7 @@ impl HistogramId {
         HistogramId::ServeLatencyMs,
         HistogramId::ServeQueueDepth,
         HistogramId::ExecBarrierWaitUs,
+        HistogramId::QuantFallbackFraction,
     ];
 
     /// The flat-array slot of this histogram.
@@ -245,6 +258,7 @@ impl HistogramId {
             HistogramId::ServeLatencyMs => "serve_latency_ms",
             HistogramId::ServeQueueDepth => "serve_queue_depth",
             HistogramId::ExecBarrierWaitUs => "exec_barrier_wait_us",
+            HistogramId::QuantFallbackFraction => "policy_quant_fallback_fraction",
         }
     }
 
@@ -264,6 +278,7 @@ impl HistogramId {
             HistogramId::ServeLatencyMs => &[1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1e3, 3e3],
             HistogramId::ServeQueueDepth => &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
             HistogramId::ExecBarrierWaitUs => &[10.0, 30.0, 100.0, 300.0, 1e3, 3e3, 1e4, 1e5],
+            HistogramId::QuantFallbackFraction => &[0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0],
         }
     }
 }

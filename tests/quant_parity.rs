@@ -1,0 +1,113 @@
+//! The INT8 decision-parity gate: a runtime built with
+//! `Precision::Int8` must emit a `LayerDecision` stream bit-identical
+//! to the f64 runtime it quantizes, across the whole nine-model zoo.
+//!
+//! This is the hard acceptance gate for the quantized policy fast
+//! path. The guard inside `QuantizedPolicy::predict_batch_guarded`
+//! recomputes in f64 any row whose argmax margin (or distance to the
+//! confidence-escalation threshold) falls within the calibrated
+//! quantization error bound, so parity here is by construction — the
+//! test exists to catch any regression in that construction: a stale
+//! calibration after an online update, a miscounted bound, a head
+//! whose margin check was skipped.
+
+use odin::dnn::zoo::{self, Dataset};
+use odin::prelude::*;
+
+fn runtime(seed: u64, precision: Precision) -> OdinRuntime {
+    OdinRuntime::builder(OdinConfig::paper())
+        .rng_seed(seed)
+        .policy_precision(precision)
+        .telemetry(Telemetry::enabled())
+        .build()
+        .expect("paper config is valid")
+}
+
+#[test]
+fn int8_policy_decisions_match_f64_across_the_zoo() {
+    let schedule = TimeSchedule::geometric(1.0, 1e7, 12);
+    let mut quant_rows_total = 0u64;
+    for net in zoo::all_models(Dataset::Cifar10) {
+        let mut f64_rt = runtime(42, Precision::F64);
+        let f64_report = f64_rt
+            .run_campaign(&net, &schedule)
+            .expect("zoo model maps");
+
+        let mut int8_rt = runtime(42, Precision::Int8);
+        let int8_report = int8_rt
+            .run_campaign(&net, &schedule)
+            .expect("zoo model maps");
+
+        // The full record stream — decisions, costs, reprogram flags,
+        // policy-update markers — must be bit-identical, not just the
+        // argmax winners. PartialEq on InferenceRecord compares f64
+        // payloads exactly.
+        assert_eq!(
+            int8_report.runs,
+            f64_report.runs,
+            "INT8 decision stream diverged from f64 on {}",
+            net.name()
+        );
+        assert_eq!(int8_report.skipped, f64_report.skipped, "{}", net.name());
+
+        let snapshot = int8_rt.telemetry().snapshot();
+        quant_rows_total += snapshot.counter(CounterId::PolicyQuantRows);
+        // The f64 runtime must never touch the quant counters.
+        let f64_snapshot = f64_rt.telemetry().snapshot();
+        assert_eq!(f64_snapshot.counter(CounterId::PolicyQuantRows), 0);
+        assert_eq!(f64_snapshot.counter(CounterId::PolicyQuantFallback), 0);
+    }
+    // The gate is vacuous if every row fell back to f64: require that
+    // the integer path actually served a meaningful share of rows.
+    assert!(
+        quant_rows_total > 0,
+        "INT8 path never served a row — parity gate is vacuous"
+    );
+}
+
+#[test]
+fn int8_runtime_with_confidence_escalation_matches_f64() {
+    // The guard also covers the confidence side: with escalation
+    // enabled, a quantized confidence landing on the other side of the
+    // threshold would flip the search strategy. Cross-check on one
+    // model with the paper's escalation knob turned on.
+    let config = OdinConfig::builder()
+        .confidence_escalation(Some(0.6))
+        .build()
+        .expect("valid config");
+    let net = zoo::vgg16(Dataset::Cifar10);
+    let schedule = TimeSchedule::geometric(1.0, 1e7, 12);
+
+    let build = |precision: Precision| {
+        OdinRuntime::builder(config.clone())
+            .rng_seed(7)
+            .policy_precision(precision)
+            .telemetry(Telemetry::enabled())
+            .build()
+            .expect("valid config")
+    };
+    let mut f64_rt = build(Precision::F64);
+    let f64_report = f64_rt.run_campaign(&net, &schedule).expect("VGG16 maps");
+    let mut int8_rt = build(Precision::Int8);
+    let int8_report = int8_rt.run_campaign(&net, &schedule).expect("VGG16 maps");
+    assert_eq!(int8_report.runs, f64_report.runs);
+}
+
+#[test]
+fn precision_is_not_semantic_state() {
+    // RuntimeState excludes precision by design — the parity guard
+    // makes INT8 semantically invisible, so a resumed runtime defaults
+    // to f64 and replays the same decision stream.
+    let int8_rt = runtime(3, Precision::Int8);
+    let resumed = OdinRuntime::from_state(&int8_rt.state()).expect("state is valid");
+    assert_eq!(resumed.policy_precision(), Precision::F64);
+    assert_eq!(int8_rt.policy_precision(), Precision::Int8);
+
+    let net = zoo::googlenet(Dataset::Cifar10);
+    let schedule = TimeSchedule::geometric(1.0, 1e6, 6);
+    let mut a = runtime(3, Precision::Int8);
+    let mut b = OdinRuntime::from_state(&runtime(3, Precision::Int8).state()).expect("valid");
+    let ra = a.run_campaign(&net, &schedule).expect("GoogLeNet maps");
+    let rb = b.run_campaign(&net, &schedule).expect("GoogLeNet maps");
+    assert_eq!(ra.runs, rb.runs);
+}
