@@ -124,34 +124,11 @@ fn child(args: &Args) -> ExitCode {
     }
 }
 
-/// Truncates the newest snapshot generation in `dir` to half its
-/// length (a torn file the store must reject) and drops a garbage
-/// `.tmp` alongside it (an interrupted atomic write the store must
-/// sweep). Returns how many files were disturbed.
+/// Disturbs the snapshot store the way a mid-write power loss would,
+/// via the shared fault plane (`odin_chaos::tear`): the newest
+/// generation is torn in half and a garbage `.tmp` sibling is dropped.
 fn tear_snapshots(dir: &Path) -> usize {
-    let mut newest: Option<PathBuf> = None;
-    if let Ok(entries) = std::fs::read_dir(dir) {
-        for entry in entries.filter_map(Result::ok) {
-            let path = entry.path();
-            if path.extension().is_some_and(|x| x == "snap")
-                && newest.as_ref().is_none_or(|n| path > *n)
-            {
-                newest = Some(path);
-            }
-        }
-    }
-    let mut torn = 0;
-    if let Some(path) = newest {
-        if let Ok(bytes) = std::fs::read(&path) {
-            if bytes.len() > 1 && std::fs::write(&path, &bytes[..bytes.len() / 2]).is_ok() {
-                torn += 1;
-            }
-        }
-    }
-    if std::fs::write(dir.join("campaign-99999999.snap.tmp"), b"torn mid-write").is_ok() {
-        torn += 1;
-    }
-    torn
+    odin_chaos::tear::tear_snapshots(dir, "campaign-99999999.snap.tmp")
 }
 
 fn spawn_child(args: &Args, dir: &Path, mode: ShardMode) -> std::io::Result<std::process::Child> {

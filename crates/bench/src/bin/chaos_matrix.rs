@@ -1,0 +1,429 @@
+//! Fault-class × rate sweep asserting the self-healing contract on
+//! both engines, in process and bit-for-bit:
+//!
+//! - **campaign rows** — every injectable class (eval transients, task
+//!   panics/stalls, the four snapshot I/O faults, weight poison) runs
+//!   under the supervised [`CampaignEngine`] twice per cell; gates:
+//!   same-plan digest determinism, healed digest equal to the clean
+//!   (plan-disabled) reference, `fraction_served` at or above the
+//!   floor, and the ledger/digest invariants from
+//!   [`odin_chaos::invariant`];
+//! - **serve rows** — clock skew, burst amplification, infer-boundary
+//!   transients, and weight poison through
+//!   [`ServeEngineBuilder::chaos`]; reshape classes are exempt from
+//!   the clean-match gate (they change the workload itself), poison
+//!   must heal back to the clean digest;
+//! - **legacy section** — the original tear/resume record (snapshot
+//!   store torn between checkpointed attempts, resumed, digests
+//!   compared) plus checkpoint overhead, kept under `legacy` in the
+//!   schema-v2 `BENCH_chaos.json`.
+//!
+//! ```sh
+//! cargo run --release -p odin-bench --bin chaos_matrix -- --quick
+//! ```
+//!
+//! Exit codes: 0 success, 1 gate or usage failure, 2 I/O failure,
+//! 3 campaign failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use odin_bench::experiments::chaos::{
+    campaign_digest, measure_overhead, write_report_with_matrix, ChaosMatrix, ChaosReport,
+    ChaosTrial, ChaosWorkload, FaultMatrixRow,
+};
+use odin_chaos::invariant::{check_balance, check_digest_equal, InvariantError, InvariantSet};
+use odin_chaos::{FaultClass, FaultPlan};
+use odin_core::prelude::*;
+use odin_serve::{ServeConfig, ServeEngine, ServeReport};
+
+const USAGE: &str = "usage: chaos_matrix [--quick] [--runs N] [--seed N] [--duration-ms F]";
+
+/// Self-healing floor asserted on injection rows (ISSUE acceptance:
+/// under faults at these rates, at least 95 % of the scheduled work
+/// must still be served).
+const FRACTION_SERVED_FLOOR: f64 = 0.95;
+
+/// Injection-schedule prefix length hashed by the determinism witness.
+const SCHEDULE_WITNESS_LEN: u64 = 4096;
+
+/// The campaign sweep: every class the supervised engine can inject,
+/// each at the rates listed. `--quick` keeps only the first rate.
+const CAMPAIGN_SWEEP: &[(FaultClass, &[f64])] = &[
+    (FaultClass::EvalTransient, &[0.02, 0.08]),
+    (FaultClass::TaskPanic, &[0.02, 0.08]),
+    (FaultClass::TaskStall, &[0.05]),
+    (FaultClass::SnapshotTorn, &[0.3]),
+    (FaultClass::SnapshotShortRead, &[0.3]),
+    (FaultClass::SnapshotRename, &[0.3]),
+    (FaultClass::SnapshotNoSpace, &[0.3]),
+    (FaultClass::WeightPoison, &[0.05]),
+];
+
+/// The serve sweep: the classes the serving engine injects at its own
+/// sites (trace reshaping, infer-boundary transients, poison).
+const SERVE_SWEEP: &[(FaultClass, f64)] = &[
+    (FaultClass::ClockSkew, 0.4),
+    (FaultClass::Burst, 0.3),
+    (FaultClass::EvalTransient, 0.2),
+    (FaultClass::WeightPoison, 0.1),
+];
+
+struct Args {
+    quick: bool,
+    runs: usize,
+    seed: u64,
+    duration_ms: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        runs: 32,
+        seed: 0x0D1A_317C,
+        duration_ms: 500.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--quick" => {
+                args.quick = true;
+                args.runs = args.runs.min(16);
+                args.duration_ms = args.duration_ms.min(400.0);
+            }
+            "--runs" => {
+                args.runs = value("--runs")?
+                    .parse()
+                    .map_err(|e| format!("--runs: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--duration-ms" => {
+                args.duration_ms = value("--duration-ms")?
+                    .parse()
+                    .map_err(|e| format!("--duration-ms: {e}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn scratch(label: &str) -> Result<PathBuf, String> {
+    let dir =
+        std::env::temp_dir().join(format!("odin-chaos-matrix-{}-{label}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    Ok(dir)
+}
+
+/// Same seed, same class, same rate ⇒ two independently constructed
+/// plans must agree on the whole injection-schedule prefix.
+fn schedule_deterministic(seed: u64, class: FaultClass, rate: f64) -> bool {
+    let a = FaultPlan::new(seed).with_rate(class, rate);
+    let b = FaultPlan::new(seed).with_rate(class, rate);
+    a.schedule_digest(class, SCHEDULE_WITNESS_LEN) == b.schedule_digest(class, SCHEDULE_WITNESS_LEN)
+}
+
+/// One supervised campaign run under `plan`, checkpointed into `dir`
+/// (the store is what arms the snapshot fault classes and gives the
+/// poison sentinel its rollback floor).
+fn campaign_run(
+    workload: &ChaosWorkload,
+    plan: &FaultPlan,
+    class: FaultClass,
+    dir: &std::path::Path,
+) -> Result<CampaignReport, OdinError> {
+    let mut sup = SupervisorConfig::new()
+        .max_retries(3)
+        .quarantine_strikes(3)
+        .plan(plan.clone());
+    if class == FaultClass::TaskStall {
+        // Stalls sleep past twice this budget; without it they would
+        // merely run slow instead of tripping the watchdog.
+        sup = sup.watchdog(Duration::from_millis(250));
+    }
+    let mut runtime = workload.runtime()?;
+    workload
+        .engine()
+        .checkpoint(CheckpointPolicy::new(dir).every_runs(4).retain(4))
+        .supervise(sup)
+        .run_campaign(&mut runtime, &workload.network(), &workload.schedule())
+}
+
+/// One campaign cell: run the same plan twice, gate on determinism,
+/// clean-match, the served floor, and the ledger invariants.
+fn campaign_row(
+    workload: &ChaosWorkload,
+    reference: u64,
+    class: FaultClass,
+    rate: f64,
+) -> Result<FaultMatrixRow, String> {
+    let plan = FaultPlan::new(workload.seed).with_rate(class, rate);
+    let mut digests = [0u64; 2];
+    let mut first: Option<CampaignReport> = None;
+    for (attempt, digest) in digests.iter_mut().enumerate() {
+        let dir = scratch(&format!("campaign-{}-{rate}-{attempt}", class.name()))?;
+        let report = campaign_run(workload, &plan, class, &dir)
+            .map_err(|e| format!("campaign {} @ {rate}: {e}", class.name()))?;
+        std::fs::remove_dir_all(&dir).ok();
+        *digest = campaign_digest(&report);
+        if first.is_none() {
+            first = Some(report);
+        }
+    }
+    let report = first.expect("two attempts ran");
+
+    let committed = report.runs.len() as u64;
+    let skipped = report.skipped.len() as u64;
+    let mut inv = InvariantSet::new();
+    inv.record(check_balance(
+        "campaign-ledger",
+        committed + skipped,
+        &[("committed", committed), ("skipped", skipped)],
+    ));
+    inv.record(check_digest_equal(
+        "campaign-repeat",
+        digests[0],
+        digests[1],
+    ));
+    inv.record(check_digest_equal("campaign-clean", digests[0], reference));
+
+    let fraction_served = report.fraction_served();
+    let digest_deterministic = digests[0] == digests[1];
+    let sup = &report.supervisor;
+    let gates_passed = digest_deterministic
+        && digests[0] == reference
+        && fraction_served >= FRACTION_SERVED_FLOOR
+        && inv.all_held();
+    Ok(FaultMatrixRow {
+        engine: "campaign".to_string(),
+        class: class.name().to_string(),
+        rate,
+        fraction_served,
+        retries: sup.retries,
+        panics_recovered: sup.panics_recovered,
+        timeouts_recovered: sup.timeouts_recovered,
+        injected_faults: sup.injected_faults,
+        quarantines: sup.quarantines.len(),
+        rollbacks: sup.rollbacks,
+        poison_detected: sup.poison_detected,
+        snapshot_skips: sup.snapshot_skips,
+        digest_deterministic,
+        matches_clean: Some(digests[0] == reference),
+        invariants_checked: inv.checked(),
+        invariant_violations: inv.violations().iter().map(ToString::to_string).collect(),
+        gates_passed,
+    })
+}
+
+fn serve_run(config: &ServeConfig, seed: u64, plan: FaultPlan) -> Result<ServeReport, OdinError> {
+    let mut runtime = OdinRuntime::builder(OdinConfig::paper())
+        .rng_seed(seed)
+        .build()?;
+    ServeEngine::builder(config.clone())
+        .chaos(plan)
+        .telemetry(Telemetry::enabled())
+        .build()?
+        .run(&mut runtime)
+}
+
+/// One serve cell. Reshape classes (skew/burst) and retry-shifting
+/// transients change the outcome stream by design, so only poison —
+/// which is injected and healed at the same commit barrier — carries
+/// the clean-match gate.
+fn serve_row(
+    config: &ServeConfig,
+    seed: u64,
+    clean: &ServeReport,
+    class: FaultClass,
+    rate: f64,
+) -> Result<FaultMatrixRow, String> {
+    let plan = FaultPlan::new(seed).with_rate(class, rate);
+    let r1 = serve_run(config, seed, plan.clone())
+        .map_err(|e| format!("serve {} @ {rate}: {e}", class.name()))?;
+    let r2 = serve_run(config, seed, plan)
+        .map_err(|e| format!("serve {} repeat @ {rate}: {e}", class.name()))?;
+
+    let mut inv = InvariantSet::new();
+    inv.record(if r1.balanced() {
+        Ok(())
+    } else {
+        Err(InvariantError {
+            name: "serve-ledger",
+            detail: "generated ≠ admitted + shed, or outcomes do not sum".to_string(),
+        })
+    });
+    inv.record(check_digest_equal("serve-repeat", r1.digest, r2.digest));
+
+    let poison_gate = class == FaultClass::WeightPoison;
+    let matches_clean = poison_gate.then_some(r1.digest == clean.digest);
+    if poison_gate {
+        inv.record(check_digest_equal("serve-clean", r1.digest, clean.digest));
+    }
+    // Skew/burst reshape the offered load rather than injecting
+    // failures, so the served floor gates only the failure classes.
+    let floor_gated = matches!(class, FaultClass::EvalTransient | FaultClass::WeightPoison);
+    let fraction_served = r1.totals.goodput();
+    let digest_deterministic = r1.digest == r2.digest;
+    let gates_passed = digest_deterministic
+        && matches_clean.unwrap_or(true)
+        && (!floor_gated || fraction_served >= FRACTION_SERVED_FLOOR)
+        && inv.all_held();
+    Ok(FaultMatrixRow {
+        engine: "serve".to_string(),
+        class: class.name().to_string(),
+        rate,
+        fraction_served,
+        retries: r1.totals.retries,
+        panics_recovered: 0,
+        timeouts_recovered: 0,
+        injected_faults: 0,
+        quarantines: 0,
+        rollbacks: r1.telemetry.counter("supervisor_rollbacks"),
+        poison_detected: r1.telemetry.counter("supervisor_poison_detected"),
+        snapshot_skips: 0,
+        digest_deterministic,
+        matches_clean,
+        invariants_checked: inv.checked(),
+        invariant_violations: inv.violations().iter().map(ToString::to_string).collect(),
+        gates_passed,
+    })
+}
+
+/// The original kill/resume record, produced in process: run the
+/// checkpointed workload to completion, tear the newest snapshot
+/// generation (simulated mid-write power loss), resume from the store,
+/// and require both attempts to match the uninterrupted reference.
+fn legacy_trials(args: &Args) -> Result<Vec<ChaosTrial>, String> {
+    let mut trials = Vec::with_capacity(2);
+    for trial in 0..2usize {
+        let mode = if trial % 2 == 0 {
+            ShardMode::Lockstep
+        } else {
+            ShardMode::Independent
+        };
+        let workload = ChaosWorkload {
+            runs: args.runs,
+            shards: 3,
+            mode,
+            seed: args.seed,
+        };
+        let reference = workload
+            .reference_digest()
+            .map_err(|e| format!("reference campaign failed: {e}"))?;
+        let dir = scratch(&format!("legacy-{trial}"))?;
+        let policy = CheckpointPolicy::new(&dir).every_runs(2).retain(4);
+        let (first, _) = workload
+            .run_checkpointed(&dir, policy.clone())
+            .map_err(|e| format!("checkpointed campaign failed: {e}"))?;
+        let torn_injections = odin_chaos::tear::tear_snapshots(&dir, "campaign-99999999.snap.tmp");
+        let start = Instant::now();
+        let (resumed, _) = workload
+            .run_checkpointed(&dir, policy)
+            .map_err(|e| format!("resumed campaign failed: {e}"))?;
+        let recovery_ms = start.elapsed().as_secs_f64() * 1e3;
+        std::fs::remove_dir_all(&dir).ok();
+        trials.push(ChaosTrial {
+            trial,
+            mode: mode.to_string(),
+            shards: workload.shards,
+            kills: 0,
+            torn_injections,
+            recovery_ms,
+            digest_matches: campaign_digest(&first) == reference
+                && campaign_digest(&resumed) == reference,
+        });
+    }
+    Ok(trials)
+}
+
+fn run(args: &Args) -> Result<(ChaosMatrix, ChaosReport), String> {
+    let workload = ChaosWorkload {
+        runs: args.runs,
+        shards: 3,
+        mode: ShardMode::Lockstep,
+        seed: args.seed,
+    };
+    let campaign_reference = workload
+        .reference_digest()
+        .map_err(|e| format!("clean campaign reference failed: {e}"))?;
+
+    let mut schedule_digests_deterministic = true;
+    let mut rows = Vec::new();
+    for &(class, rates) in CAMPAIGN_SWEEP {
+        let rates = if args.quick { &rates[..1] } else { rates };
+        for &rate in rates {
+            schedule_digests_deterministic &= schedule_deterministic(args.seed, class, rate);
+            rows.push(campaign_row(&workload, campaign_reference, class, rate)?);
+        }
+    }
+
+    let mut serve_config = ServeConfig::demo(args.seed);
+    serve_config.trace.duration_ms = args.duration_ms;
+    let clean = serve_run(&serve_config, args.seed, FaultPlan::disabled())
+        .map_err(|e| format!("clean serve reference failed: {e}"))?;
+    for &(class, rate) in SERVE_SWEEP {
+        schedule_digests_deterministic &= schedule_deterministic(args.seed, class, rate);
+        rows.push(serve_row(&serve_config, args.seed, &clean, class, rate)?);
+    }
+
+    let all_gates_passed = schedule_digests_deterministic && rows.iter().all(|r| r.gates_passed);
+    let matrix = ChaosMatrix {
+        seed: args.seed,
+        campaign_runs: args.runs,
+        serve_duration_ms: args.duration_ms,
+        fraction_served_floor: FRACTION_SERVED_FLOOR,
+        schedule_digests_deterministic,
+        rows,
+        all_gates_passed,
+    };
+
+    let trials = legacy_trials(args)?;
+    let overhead_dir = scratch("overhead")?;
+    let overhead = measure_overhead(&workload, &overhead_dir)
+        .map_err(|e| format!("overhead measurement failed: {e}"))?;
+    std::fs::remove_dir_all(&overhead_dir).ok();
+    let report = ChaosReport::new(args.runs, args.seed, trials, overhead);
+
+    Ok((matrix, report))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(1);
+        }
+    };
+    let (matrix, report) = match run(&args) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("chaos_matrix failed: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    println!("{matrix}");
+    println!("{report}");
+    let ok = matrix.all_gates_passed && report.all_equivalent;
+    match write_report_with_matrix(&report, &matrix) {
+        Ok(path) => println!("[json: {}]", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write BENCH_chaos.json: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("fault-matrix gates violated");
+        ExitCode::from(1)
+    }
+}

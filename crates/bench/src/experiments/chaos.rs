@@ -323,21 +323,193 @@ impl fmt::Display for ChaosReport {
     }
 }
 
+/// One cell of the fault-class × rate sweep `chaos_matrix` runs: which
+/// engine was driven, what was injected, what the supervisor did about
+/// it, and whether the row's gates held.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultMatrixRow {
+    /// Which engine the cell drove (`campaign` / `serve`).
+    pub engine: String,
+    /// Armed [`odin_chaos::FaultClass`] name.
+    pub class: String,
+    /// Armed per-occurrence injection rate.
+    pub rate: f64,
+    /// Fraction of the scheduled work that was served (campaign:
+    /// committed / scheduled; serve: goodput over generated).
+    pub fraction_served: f64,
+    /// Supervisor retries (campaign) or serve-layer retries.
+    pub retries: u64,
+    /// Panicked shard slots the supervisor recovered.
+    pub panics_recovered: u64,
+    /// Watchdog-expired slots the supervisor recovered.
+    pub timeouts_recovered: u64,
+    /// Faults the plan injected on engine-owned sites.
+    pub injected_faults: u64,
+    /// Shard slots quarantined.
+    pub quarantines: usize,
+    /// Poison rollbacks performed.
+    pub rollbacks: u64,
+    /// Poison-sentinel trips.
+    pub poison_detected: u64,
+    /// Checkpoint saves skipped after I/O-fault retries were exhausted.
+    pub snapshot_skips: u64,
+    /// Two runs under the same plan produced the same digest.
+    pub digest_deterministic: bool,
+    /// The healed digest matched the clean (plan-disabled) reference;
+    /// `None` when the class legitimately reshapes the outcome stream
+    /// (clock skew / burst change the workload itself).
+    pub matches_clean: Option<bool>,
+    /// Invariant checks recorded for this row.
+    pub invariants_checked: usize,
+    /// Human-readable invariant violations (empty when all held).
+    pub invariant_violations: Vec<String>,
+    /// All of this row's gates held.
+    pub gates_passed: bool,
+}
+
+/// The `matrix` block of `BENCH_chaos.json` schema v2: the sweep's
+/// shape, every row, and the aggregate verdicts.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaosMatrix {
+    /// The seed every fault plan in the sweep derives from.
+    pub seed: u64,
+    /// Campaign schedule slots per cell.
+    pub campaign_runs: usize,
+    /// Serve trace horizon per cell, virtual milliseconds.
+    pub serve_duration_ms: f64,
+    /// Self-healing floor asserted on injection rows.
+    pub fraction_served_floor: f64,
+    /// Same-seed plans reproduced bit-identical injection schedules.
+    pub schedule_digests_deterministic: bool,
+    /// One row per (engine, class, rate) cell.
+    pub rows: Vec<FaultMatrixRow>,
+    /// Every row's gates held.
+    pub all_gates_passed: bool,
+}
+
+impl fmt::Display for ChaosMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "chaos matrix: seed {:#x}, {} campaign runs, {:.0} ms serve horizon, floor {:.2}",
+            self.seed, self.campaign_runs, self.serve_duration_ms, self.fraction_served_floor
+        )?;
+        writeln!(
+            f,
+            "{:<9} {:<20} {:>6} {:>7} {:>7} {:>5} {:>5} {:>5} {:>6} {:>6} {:>6}",
+            "engine",
+            "class",
+            "rate",
+            "served",
+            "retries",
+            "panic",
+            "tmo",
+            "quar",
+            "rollbk",
+            "det",
+            "gates"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<9} {:<20} {:>6.3} {:>6.1}% {:>7} {:>5} {:>5} {:>5} {:>6} {:>6} {:>6}",
+                r.engine,
+                r.class,
+                r.rate,
+                r.fraction_served * 100.0,
+                r.retries,
+                r.panics_recovered,
+                r.timeouts_recovered,
+                r.quarantines,
+                r.rollbacks,
+                if r.digest_deterministic { "yes" } else { "NO" },
+                if r.gates_passed { "ok" } else { "FAIL" }
+            )?;
+            for v in &r.invariant_violations {
+                writeln!(f, "    violation: {v}")?;
+            }
+        }
+        write!(
+            f,
+            "schedule digests deterministic: {} | all gates passed: {}",
+            if self.schedule_digests_deterministic {
+                "yes"
+            } else {
+                "NO"
+            },
+            if self.all_gates_passed { "yes" } else { "NO" }
+        )
+    }
+}
+
+/// `BENCH_chaos.json` schema v2 on disk: the shared provenance header,
+/// the optional fault-matrix block (present when `chaos_matrix` wrote
+/// the artifact), and the original kill/resume record preserved
+/// verbatim under `legacy`.
+#[derive(Debug, Serialize)]
+struct ChaosArtifact<'a> {
+    meta: &'a crate::BenchMeta,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    matrix: Option<&'a ChaosMatrix>,
+    legacy: LegacyChaos<'a>,
+}
+
+/// The pre-v2 `BENCH_chaos.json` fields, nested under `legacy`.
+#[derive(Debug, Serialize)]
+struct LegacyChaos<'a> {
+    runs: usize,
+    seed: u64,
+    trials: &'a [ChaosTrial],
+    overhead: &'a CheckpointOverhead,
+    all_equivalent: bool,
+    max_recovery_ms: f64,
+}
+
+fn write_artifact(report: &ChaosReport, matrix: Option<&ChaosMatrix>) -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_chaos.json"
+    ));
+    let artifact = ChaosArtifact {
+        meta: &report.meta,
+        matrix,
+        legacy: LegacyChaos {
+            runs: report.runs,
+            seed: report.seed,
+            trials: &report.trials,
+            overhead: &report.overhead,
+            all_equivalent: report.all_equivalent,
+            max_recovery_ms: report.max_recovery_ms,
+        },
+    };
+    let json = serde_json::to_string_pretty(&artifact).map_err(std::io::Error::other)?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
 /// Records the chaos report into `BENCH_chaos.json` at the workspace
 /// root (same convention as `BENCH_kernel.json`: generated, never
-/// hand-edited).
+/// hand-edited). Schema v2: provenance under `meta`, the kill/resume
+/// record under `legacy`.
 ///
 /// # Errors
 ///
 /// Returns I/O errors from writing the file.
 pub fn write_report(report: &ChaosReport) -> std::io::Result<PathBuf> {
-    let path = PathBuf::from(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../BENCH_chaos.json"
-    ));
-    let json = serde_json::to_string_pretty(report).map_err(std::io::Error::other)?;
-    std::fs::write(&path, json)?;
-    Ok(path)
+    write_artifact(report, None)
+}
+
+/// Like [`write_report`], with the fault-matrix block included — the
+/// `chaos_matrix` binary's writer.
+///
+/// # Errors
+///
+/// Returns I/O errors from writing the file.
+pub fn write_report_with_matrix(
+    report: &ChaosReport,
+    matrix: &ChaosMatrix,
+) -> std::io::Result<PathBuf> {
+    write_artifact(report, Some(matrix))
 }
 
 #[cfg(test)]

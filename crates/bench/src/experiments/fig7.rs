@@ -163,7 +163,9 @@ pub fn run(ctx: &ExperimentContext) -> Result<Fig7Result, OdinError> {
         batch_size: 8,
         epochs: 12,
     });
-    trainer.fit(&mut cnn, &train);
+    trainer
+        .fit(&mut cnn, &train)
+        .expect("fit pairs every backward with a training forward");
     let clean = trainer.accuracy(&mut cnn, &test);
 
     // Map the VGG11 analytic impacts onto the 2 parameterized layers

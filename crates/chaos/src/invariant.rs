@@ -1,0 +1,264 @@
+//! Reusable invariant checkers asserted by the chaos harnesses.
+//!
+//! Each checker is a pure function over plain data returning
+//! `Result<(), InvariantError>`; [`InvariantSet`] accumulates violations so
+//! a sweep can report every broken invariant instead of stopping at the
+//! first. The checkers encode the workspace's standing contracts:
+//!
+//! * **accounting balance** — every serve request gets exactly one typed
+//!   outcome, so outcome counts must sum to the admitted total;
+//! * **digest equality** — two runs that claim determinism must agree bit
+//!   for bit;
+//! * **ladder monotonicity** — a degradation ladder only ever descends;
+//! * **conservation** — endurance spend must balance the ledger;
+//! * **commit order** — executor rounds commit in submission order.
+
+use std::fmt;
+
+/// A named invariant violation with a human-readable detail string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantError {
+    /// Which invariant broke (stable machine-readable name).
+    pub name: &'static str,
+    /// What was observed vs. expected.
+    pub detail: String,
+}
+
+impl fmt::Display for InvariantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariant `{}` violated: {}", self.name, self.detail)
+    }
+}
+
+impl std::error::Error for InvariantError {}
+
+fn violated(name: &'static str, detail: String) -> Result<(), InvariantError> {
+    Err(InvariantError { name, detail })
+}
+
+/// Accounting balance: `parts` must sum exactly to `total`.
+///
+/// Used for serve outcome accounting (admitted = served + degraded +
+/// deadline-missed + shed + failed) and for campaign run accounting
+/// (scheduled = committed + skipped + quarantined).
+pub fn check_balance(
+    name: &'static str,
+    total: u64,
+    parts: &[(&str, u64)],
+) -> Result<(), InvariantError> {
+    let sum: u64 = parts.iter().map(|&(_, v)| v).sum();
+    if sum != total {
+        let breakdown: Vec<String> = parts.iter().map(|&(k, v)| format!("{k}={v}")).collect();
+        return violated(
+            name,
+            format!(
+                "parts sum {} != total {} ({})",
+                sum,
+                total,
+                breakdown.join(", ")
+            ),
+        );
+    }
+    Ok(())
+}
+
+/// Digest equality: two runs that claim determinism must agree bit for bit.
+pub fn check_digest_equal(
+    name: &'static str,
+    expected: u64,
+    actual: u64,
+) -> Result<(), InvariantError> {
+    if expected != actual {
+        return violated(
+            name,
+            format!("digest {actual:#018x} != expected {expected:#018x}"),
+        );
+    }
+    Ok(())
+}
+
+/// Ladder monotonicity: `levels` must be non-increasing (a degradation
+/// ladder only descends within a run).
+pub fn check_non_increasing(name: &'static str, levels: &[u64]) -> Result<(), InvariantError> {
+    for (i, pair) in levels.windows(2).enumerate() {
+        if pair[1] > pair[0] {
+            return violated(
+                name,
+                format!(
+                    "level rose from {} to {} at step {}",
+                    pair[0],
+                    pair[1],
+                    i + 1
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Conservation: `before - spent == after`, with no underflow.
+///
+/// Encodes the endurance-ledger law: budget never appears from nowhere.
+pub fn check_conservation(
+    name: &'static str,
+    before: u64,
+    spent: u64,
+    after: u64,
+) -> Result<(), InvariantError> {
+    match before.checked_sub(spent) {
+        Some(rest) if rest == after => Ok(()),
+        Some(rest) => violated(
+            name,
+            format!("before {before} - spent {spent} = {rest}, but after = {after}"),
+        ),
+        None => violated(name, format!("spent {spent} exceeds before {before}")),
+    }
+}
+
+/// Commit order: executor round results must arrive in submission order,
+/// i.e. `indices` is exactly `0, 1, 2, …` (panicked slots removed upstream
+/// must preserve relative order of the survivors).
+pub fn check_commit_order(name: &'static str, indices: &[usize]) -> Result<(), InvariantError> {
+    for pair in indices.windows(2) {
+        if pair[1] <= pair[0] {
+            return violated(
+                name,
+                format!(
+                    "index {} committed after {}, out of submission order",
+                    pair[1], pair[0]
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// All finite: a weight/counter scan must contain no NaN or infinity.
+pub fn check_all_finite(name: &'static str, values: &[f64]) -> Result<(), InvariantError> {
+    for (i, v) in values.iter().enumerate() {
+        if !v.is_finite() {
+            return violated(name, format!("value[{i}] = {v} is not finite"));
+        }
+    }
+    Ok(())
+}
+
+/// Accumulates violations across many checks so a sweep reports everything
+/// that broke, not just the first failure.
+#[derive(Debug, Default)]
+pub struct InvariantSet {
+    violations: Vec<InvariantError>,
+    checked: usize,
+}
+
+impl InvariantSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> InvariantSet {
+        InvariantSet::default()
+    }
+
+    /// Record the outcome of one check.
+    pub fn record(&mut self, result: Result<(), InvariantError>) {
+        self.checked += 1;
+        if let Err(err) = result {
+            self.violations.push(err);
+        }
+    }
+
+    /// How many checks have been recorded.
+    #[must_use]
+    pub fn checked(&self) -> usize {
+        self.checked
+    }
+
+    /// The violations recorded so far.
+    #[must_use]
+    pub fn violations(&self) -> &[InvariantError] {
+        &self.violations
+    }
+
+    /// True if every recorded check passed.
+    #[must_use]
+    pub fn all_held(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for InvariantSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.violations.is_empty() {
+            return write!(f, "{} invariants held", self.checked);
+        }
+        writeln!(
+            f,
+            "{}/{} invariants violated:",
+            self.violations.len(),
+            self.checked
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balance_holds_and_breaks() {
+        assert!(check_balance("bal", 10, &[("a", 4), ("b", 6)]).is_ok());
+        let err = check_balance("bal", 10, &[("a", 4), ("b", 5)]).unwrap_err();
+        assert_eq!(err.name, "bal");
+        assert!(err.detail.contains("a=4"));
+    }
+
+    #[test]
+    fn digest_equality() {
+        assert!(check_digest_equal("digest", 1, 1).is_ok());
+        assert!(check_digest_equal("digest", 1, 2).is_err());
+    }
+
+    #[test]
+    fn ladder_only_descends() {
+        assert!(check_non_increasing("ladder", &[5, 5, 3, 1]).is_ok());
+        assert!(check_non_increasing("ladder", &[5, 3, 4]).is_err());
+        assert!(check_non_increasing("ladder", &[]).is_ok());
+    }
+
+    #[test]
+    fn conservation_law() {
+        assert!(check_conservation("endurance", 100, 40, 60).is_ok());
+        assert!(check_conservation("endurance", 100, 40, 61).is_err());
+        assert!(check_conservation("endurance", 10, 40, 0).is_err());
+    }
+
+    #[test]
+    fn commit_order_strictly_increasing() {
+        assert!(check_commit_order("order", &[0, 1, 2, 5]).is_ok());
+        assert!(check_commit_order("order", &[0, 2, 1]).is_err());
+        assert!(check_commit_order("order", &[]).is_ok());
+    }
+
+    #[test]
+    fn finite_scan() {
+        assert!(check_all_finite("weights", &[0.0, -1.5, 3.25]).is_ok());
+        assert!(check_all_finite("weights", &[0.0, f64::NAN]).is_err());
+        assert!(check_all_finite("weights", &[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn set_accumulates() {
+        let mut set = InvariantSet::new();
+        set.record(check_digest_equal("a", 1, 1));
+        set.record(check_digest_equal("b", 1, 2));
+        set.record(check_balance("c", 3, &[("x", 1)]));
+        assert_eq!(set.checked(), 3);
+        assert_eq!(set.violations().len(), 2);
+        assert!(!set.all_held());
+        let text = set.to_string();
+        assert!(text.contains("2/3"));
+    }
+}

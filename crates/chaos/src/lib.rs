@@ -1,0 +1,26 @@
+//! # odin-chaos — the deterministic fault-injection plane
+//!
+//! Every chaos harness in the workspace used to carry its own ad-hoc
+//! injection logic (torn-write loops in `chaos_campaign`, storm phases in
+//! `serve_chaos`). This crate re-founds all of it on one seeded, replayable
+//! primitive: a [`FaultPlan`] maps a `(fault class, site sequence number)`
+//! pair to a fire/no-fire decision through a pure hash of a single `u64`
+//! seed. Two runs with the same plan see bit-identical injection schedules;
+//! a plan with every rate at zero is indistinguishable from no plan at all.
+//!
+//! The crate is dependency-free and IO is confined to [`tear`], the
+//! torn-write utilities used by out-of-process harnesses. [`invariant`]
+//! holds the reusable checkers (accounting balance, digest equality,
+//! monotone ladders, conservation laws, commit order) asserted by
+//! `chaos_matrix` and the engine tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod invariant;
+pub mod plan;
+pub mod tear;
+
+pub use invariant::{InvariantError, InvariantSet};
+pub use plan::{splitmix64, FaultClass, FaultPlan, SiteCursor};

@@ -1,0 +1,366 @@
+//! Seeded, deterministic fault plans.
+//!
+//! A [`FaultPlan`] is a pure function from `(class, sequence)` to a
+//! fire/no-fire decision. There is no shared mutable state inside the plan:
+//! every injection site keeps its own monotonically increasing sequence
+//! number (see [`SiteCursor`]) and asks the plan whether that particular
+//! occurrence fires. Because the decision is a hash of the seed, the class
+//! tag, and the sequence number, the schedule is bit-for-bit replayable
+//! from the single `u64` seed regardless of thread interleaving — as long
+//! as each site draws its sequence numbers deterministically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// splitmix64 finalizer — the workspace-standard seeded hash.
+///
+/// The same mixing function `odin-exec` uses for victim order and
+/// `odin-core` uses for shard seeds; exported here so every chaos consumer
+/// derives decision streams the same way.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Typed fault-injection sites, one variant per failure mode the plane can
+/// exercise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultClass {
+    /// Transient `OuEvaluator` evaluation error surfaced as a typed
+    /// `OdinError` (retryable).
+    EvalTransient,
+    /// Snapshot payload written only partially before the write "crashes"
+    /// (torn write).
+    SnapshotTorn,
+    /// Snapshot read returns fewer bytes than the file holds.
+    SnapshotShortRead,
+    /// The atomic tmp→final rename fails, leaving only the tmp sibling.
+    SnapshotRename,
+    /// Simulated `ENOSPC`: the write fails cleanly before any byte lands.
+    SnapshotNoSpace,
+    /// A shard task panics mid-round inside the executor.
+    TaskPanic,
+    /// A shard task stalls (never commits), exercising the round watchdog.
+    TaskStall,
+    /// Serve-side clock skew: an arrival's timestamp is dragged forward,
+    /// compressing inter-arrival gaps.
+    ClockSkew,
+    /// Serve-side burst amplification: an arrival is duplicated into a
+    /// micro-burst.
+    Burst,
+    /// NaN poison written into adopted MLP weights at a commit barrier.
+    WeightPoison,
+}
+
+impl FaultClass {
+    /// Every class, in a fixed order (stable across runs — used by sweeps
+    /// and by the rate table layout).
+    pub const ALL: [FaultClass; 10] = [
+        FaultClass::EvalTransient,
+        FaultClass::SnapshotTorn,
+        FaultClass::SnapshotShortRead,
+        FaultClass::SnapshotRename,
+        FaultClass::SnapshotNoSpace,
+        FaultClass::TaskPanic,
+        FaultClass::TaskStall,
+        FaultClass::ClockSkew,
+        FaultClass::Burst,
+        FaultClass::WeightPoison,
+    ];
+
+    /// Stable machine-readable name (used in reports and CLI flags).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::EvalTransient => "eval_transient",
+            FaultClass::SnapshotTorn => "snapshot_torn",
+            FaultClass::SnapshotShortRead => "snapshot_short_read",
+            FaultClass::SnapshotRename => "snapshot_rename",
+            FaultClass::SnapshotNoSpace => "snapshot_nospace",
+            FaultClass::TaskPanic => "task_panic",
+            FaultClass::TaskStall => "task_stall",
+            FaultClass::ClockSkew => "clock_skew",
+            FaultClass::Burst => "burst",
+            FaultClass::WeightPoison => "weight_poison",
+        }
+    }
+
+    /// Parse a machine-readable name back into a class.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<FaultClass> {
+        FaultClass::ALL.iter().copied().find(|c| c.name() == name)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultClass::EvalTransient => 0,
+            FaultClass::SnapshotTorn => 1,
+            FaultClass::SnapshotShortRead => 2,
+            FaultClass::SnapshotRename => 3,
+            FaultClass::SnapshotNoSpace => 4,
+            FaultClass::TaskPanic => 5,
+            FaultClass::TaskStall => 6,
+            FaultClass::ClockSkew => 7,
+            FaultClass::Burst => 8,
+            FaultClass::WeightPoison => 9,
+        }
+    }
+
+    /// Per-class domain-separation tag mixed into the decision hash so two
+    /// classes at the same sequence number draw independent streams.
+    fn tag(self) -> u64 {
+        splitmix64(0xC4A0_5EED_0000_0000 ^ self.index() as u64)
+    }
+}
+
+/// A seeded, deterministic injection schedule over every [`FaultClass`].
+///
+/// The plan is plain data (`Clone + PartialEq`); decisions are pure. Rates
+/// are probabilities in `[0, 1]` per site occurrence. The default plan (and
+/// [`FaultPlan::disabled`]) has every rate at zero and reports
+/// [`FaultPlan::is_enabled`]` == false`, which consumers use to skip the
+/// injection code paths entirely — the zero-overhead gate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: [f64; FaultClass::ALL.len()],
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::disabled()
+    }
+}
+
+impl FaultPlan {
+    /// A plan with every rate at zero: never fires, never observable.
+    #[must_use]
+    pub fn disabled() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            rates: [0.0; FaultClass::ALL.len()],
+        }
+    }
+
+    /// A plan with the given seed and every rate at zero; chain
+    /// [`FaultPlan::with_rate`] to arm classes.
+    #[must_use]
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rates: [0.0; FaultClass::ALL.len()],
+        }
+    }
+
+    /// Arm `class` at `rate` (clamped to `[0, 1]`; NaN treated as zero).
+    #[must_use]
+    pub fn with_rate(mut self, class: FaultClass, rate: f64) -> FaultPlan {
+        let rate = if rate.is_nan() {
+            0.0
+        } else {
+            rate.clamp(0.0, 1.0)
+        };
+        self.rates[class.index()] = rate;
+        self
+    }
+
+    /// The seed the schedule derives from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The armed rate for `class`.
+    #[must_use]
+    pub fn rate(&self, class: FaultClass) -> f64 {
+        self.rates[class.index()]
+    }
+
+    /// True if any class has a non-zero rate. Consumers gate every
+    /// injection branch on this so a disabled plan stays bit-transparent.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.rates.iter().any(|&r| r > 0.0)
+    }
+
+    /// The pure fire/no-fire decision for occurrence `seq` of `class`.
+    ///
+    /// Deterministic in `(seed, class, seq)` alone. The hash output is
+    /// mapped to `[0, 1)` with 53-bit precision and compared against the
+    /// armed rate.
+    #[must_use]
+    pub fn fires(&self, class: FaultClass, seq: u64) -> bool {
+        let rate = self.rates[class.index()];
+        if rate <= 0.0 {
+            return false;
+        }
+        let h = splitmix64(self.seed ^ class.tag() ^ splitmix64(seq.wrapping_add(1)));
+        let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < rate
+    }
+
+    /// Deterministic auxiliary draw for occurrence `seq` of `class`
+    /// (e.g. how many bytes of a torn write survive, or how far a clock
+    /// skews). Uniform in `[0, 1)`, independent of the fire decision.
+    #[must_use]
+    pub fn draw(&self, class: FaultClass, seq: u64) -> f64 {
+        let h = splitmix64(
+            self.seed
+                ^ class.tag().rotate_left(17)
+                ^ splitmix64(seq.wrapping_mul(2).wrapping_add(1)),
+        );
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// FNV-style fold of the fire schedule for the first `n` occurrences of
+    /// `class` — the determinism witness asserted by `chaos_matrix` (same
+    /// seed ⇒ same digest, bit for bit).
+    #[must_use]
+    pub fn schedule_digest(&self, class: FaultClass, n: u64) -> u64 {
+        let mut acc = 0xcbf2_9ce4_8422_2325u64;
+        for seq in 0..n {
+            let bit = u64::from(self.fires(class, seq));
+            acc ^= splitmix64(seq ^ (bit << 63));
+            acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        acc
+    }
+}
+
+/// A monotonically increasing per-site sequence counter.
+///
+/// Each physical injection site (one snapshot store, one engine, one serve
+/// loop) owns a cursor per class and calls [`SiteCursor::next`] exactly
+/// once per potential injection point, in deterministic order. The cursor
+/// is atomic so sites shared behind `Arc` (e.g. a `SnapshotIo` used by a
+/// store) stay safe, but determinism is the caller's contract: draw
+/// sequence numbers in a deterministic order.
+#[derive(Debug, Default)]
+pub struct SiteCursor {
+    seq: AtomicU64,
+}
+
+impl SiteCursor {
+    /// A fresh cursor starting at sequence zero.
+    #[must_use]
+    pub fn new() -> SiteCursor {
+        SiteCursor {
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The next sequence number (starts at 0, increments by 1).
+    pub fn next(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// How many occurrences have been drawn so far.
+    pub fn drawn(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let plan = FaultPlan::disabled();
+        assert!(!plan.is_enabled());
+        for class in FaultClass::ALL {
+            for seq in 0..256 {
+                assert!(!plan.fires(class, seq));
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultPlan::new(42).with_rate(FaultClass::TaskPanic, 0.25);
+        let b = FaultPlan::new(42).with_rate(FaultClass::TaskPanic, 0.25);
+        assert_eq!(
+            a.schedule_digest(FaultClass::TaskPanic, 4096),
+            b.schedule_digest(FaultClass::TaskPanic, 4096)
+        );
+    }
+
+    #[test]
+    fn different_seed_different_schedule() {
+        let a = FaultPlan::new(1).with_rate(FaultClass::SnapshotTorn, 0.5);
+        let b = FaultPlan::new(2).with_rate(FaultClass::SnapshotTorn, 0.5);
+        assert_ne!(
+            a.schedule_digest(FaultClass::SnapshotTorn, 4096),
+            b.schedule_digest(FaultClass::SnapshotTorn, 4096)
+        );
+    }
+
+    #[test]
+    fn classes_draw_independent_streams() {
+        let plan = FaultPlan::new(7)
+            .with_rate(FaultClass::TaskPanic, 0.5)
+            .with_rate(FaultClass::TaskStall, 0.5);
+        let panics = plan.schedule_digest(FaultClass::TaskPanic, 1024);
+        let stalls = plan.schedule_digest(FaultClass::TaskStall, 1024);
+        assert_ne!(panics, stalls);
+    }
+
+    #[test]
+    fn empirical_rate_tracks_armed_rate() {
+        let plan = FaultPlan::new(0xDEAD_BEEF).with_rate(FaultClass::EvalTransient, 0.1);
+        let n = 100_000u64;
+        let fired = (0..n)
+            .filter(|&s| plan.fires(FaultClass::EvalTransient, s))
+            .count();
+        let observed = fired as f64 / n as f64;
+        assert!((observed - 0.1).abs() < 0.01, "observed rate {observed}");
+    }
+
+    #[test]
+    fn rate_one_always_fires_rate_zero_never() {
+        let plan = FaultPlan::new(3).with_rate(FaultClass::WeightPoison, 1.0);
+        for seq in 0..512 {
+            assert!(plan.fires(FaultClass::WeightPoison, seq));
+            assert!(!plan.fires(FaultClass::Burst, seq));
+        }
+    }
+
+    #[test]
+    fn nan_and_out_of_range_rates_are_clamped() {
+        let plan = FaultPlan::new(1).with_rate(FaultClass::Burst, f64::NAN);
+        assert!(!plan.is_enabled());
+        let plan = FaultPlan::new(1).with_rate(FaultClass::Burst, 7.0);
+        assert_eq!(plan.rate(FaultClass::Burst), 1.0);
+        let plan = FaultPlan::new(1).with_rate(FaultClass::Burst, -3.0);
+        assert_eq!(plan.rate(FaultClass::Burst), 0.0);
+    }
+
+    #[test]
+    fn draw_is_deterministic_and_unit_range() {
+        let plan = FaultPlan::new(99).with_rate(FaultClass::SnapshotTorn, 1.0);
+        for seq in 0..256 {
+            let a = plan.draw(FaultClass::SnapshotTorn, seq);
+            let b = plan.draw(FaultClass::SnapshotTorn, seq);
+            assert_eq!(a.to_bits(), b.to_bits());
+            assert!((0.0..1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn name_round_trips() {
+        for class in FaultClass::ALL {
+            assert_eq!(FaultClass::from_name(class.name()), Some(class));
+        }
+        assert_eq!(FaultClass::from_name("nope"), None);
+    }
+
+    #[test]
+    fn cursor_counts_from_zero() {
+        let cursor = SiteCursor::new();
+        assert_eq!(cursor.next(), 0);
+        assert_eq!(cursor.next(), 1);
+        assert_eq!(cursor.drawn(), 2);
+    }
+}

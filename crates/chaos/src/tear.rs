@@ -1,0 +1,122 @@
+//! Torn-write utilities for out-of-process chaos harnesses.
+//!
+//! `chaos_campaign` and `serve_chaos` used to carry private copies of this
+//! logic; both now call here. These functions disturb a snapshot directory
+//! the way a mid-write power loss would: the newest generation is truncated
+//! (a torn file the store must reject and fall back past) and a garbage
+//! `.tmp` sibling is dropped (an interrupted atomic write the store must
+//! sweep on open).
+
+use std::path::{Path, PathBuf};
+
+/// The newest `*.snap` generation in `dir` by lexicographic path order
+/// (generation filenames are zero-padded, so this is the newest sequence).
+#[must_use]
+pub fn newest_snapshot(dir: &Path) -> Option<PathBuf> {
+    let mut newest: Option<PathBuf> = None;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.extension().is_some_and(|x| x == "snap")
+                && newest.as_ref().is_none_or(|n| path > *n)
+            {
+                newest = Some(path);
+            }
+        }
+    }
+    newest
+}
+
+/// Truncates `path` to `keep_fraction` of its length (clamped so at least
+/// one byte is cut). Returns `true` if the file was actually shortened.
+pub fn truncate_to_fraction(path: &Path, keep_fraction: f64) -> bool {
+    let Ok(bytes) = std::fs::read(path) else {
+        return false;
+    };
+    if bytes.len() < 2 {
+        return false;
+    }
+    let keep_fraction = if keep_fraction.is_nan() {
+        0.5
+    } else {
+        keep_fraction.clamp(0.0, 1.0)
+    };
+    let keep = ((bytes.len() as f64 * keep_fraction) as usize).min(bytes.len() - 1);
+    std::fs::write(path, &bytes[..keep]).is_ok()
+}
+
+/// Tears the newest snapshot generation in `dir` in half and drops a
+/// garbage tmp sibling named `tmp_name` (e.g. `campaign-99999999.snap.tmp`).
+/// Returns how many files were disturbed.
+pub fn tear_snapshots(dir: &Path, tmp_name: &str) -> usize {
+    let mut torn = 0;
+    if let Some(path) = newest_snapshot(dir) {
+        if truncate_to_fraction(&path, 0.5) {
+            torn += 1;
+        }
+    }
+    if std::fs::write(dir.join(tmp_name), b"torn mid-write").is_ok() {
+        torn += 1;
+    }
+    torn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("odin-chaos-tear-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn newest_picks_highest_generation() {
+        let dir = temp_dir("newest");
+        std::fs::write(dir.join("campaign-00000001.snap"), b"one").unwrap();
+        std::fs::write(dir.join("campaign-00000003.snap"), b"three").unwrap();
+        std::fs::write(dir.join("campaign-00000002.snap"), b"two").unwrap();
+        std::fs::write(dir.join("notes.txt"), b"ignored").unwrap();
+        let newest = newest_snapshot(&dir).expect("some snapshot");
+        assert!(newest.ends_with("campaign-00000003.snap"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_always_removes_at_least_one_byte() {
+        let dir = temp_dir("trunc");
+        let path = dir.join("gen.snap");
+        std::fs::write(&path, vec![7u8; 100]).unwrap();
+        assert!(truncate_to_fraction(&path, 1.0));
+        assert_eq!(std::fs::read(&path).unwrap().len(), 99);
+        assert!(truncate_to_fraction(&path, 0.5));
+        assert_eq!(std::fs::read(&path).unwrap().len(), 49);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tear_disturbs_newest_and_drops_tmp() {
+        let dir = temp_dir("tear");
+        std::fs::write(dir.join("serve-00000009.snap"), vec![1u8; 64]).unwrap();
+        let torn = tear_snapshots(&dir, "serve-99999999.snap.tmp");
+        assert_eq!(torn, 2);
+        assert_eq!(
+            std::fs::read(dir.join("serve-00000009.snap"))
+                .unwrap()
+                .len(),
+            32
+        );
+        assert!(dir.join("serve-99999999.snap.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_dir_only_drops_tmp() {
+        let dir = temp_dir("empty");
+        let torn = tear_snapshots(&dir, "campaign-99999999.snap.tmp");
+        assert_eq!(torn, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -327,4 +327,90 @@ mod tests {
         // The full paper configuration validates standalone.
         OdinConfig::paper().validate().unwrap();
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use serde_json::Value;
+
+        /// JSON splice helper: a finite float becomes a number token, a
+        /// non-finite one becomes `null` (strict JSON cannot spell NaN,
+        /// so the deserializer itself must reject it — typed, no panic).
+        fn num_or_null(x: f64) -> Value {
+            serde_json::Number::from_f64(x).map_or(Value::Null, Value::Number)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Arbitrary bytes thrown at the JSON front door never
+            /// panic: either the parse fails with a typed serde error,
+            /// or the parsed config reaches a typed validate verdict.
+            #[test]
+            fn arbitrary_json_never_panics(input in "\\PC*") {
+                if let Ok(cfg) = serde_json::from_str::<OdinConfig>(&input) {
+                    let _ = cfg.validate();
+                }
+            }
+
+            /// Every (η, learning-rate, buffer, levels, epochs) tuple —
+            /// NaN and infinities included — flows through the
+            /// builder/validate funnel to exactly the verdict the field
+            /// predicates demand, and every rejection is a typed
+            /// [`OdinError::InvalidConfig`].
+            #[test]
+            fn validate_verdict_matches_field_predicates(
+                eta in proptest::num::f64::ANY,
+                lr in proptest::num::f64::ANY,
+                buffer in proptest::num::usize::ANY,
+                levels in 0usize..10,
+                epochs in 0usize..4,
+            ) {
+                let mut policy = PolicyConfig::paper();
+                policy.learning_rate = lr;
+                policy.levels = levels;
+                policy.update_epochs = epochs;
+                let result = OdinConfig::builder()
+                    .eta(eta)
+                    .buffer_capacity(buffer)
+                    .policy(policy)
+                    .build();
+                let want_ok = eta.is_finite()
+                    && eta > 0.0
+                    && eta < 1.0
+                    && buffer > 0
+                    && lr.is_finite()
+                    && lr > 0.0
+                    && (1..=6).contains(&levels)
+                    && epochs > 0;
+                prop_assert_eq!(result.is_ok(), want_ok, "eta {} lr {}", eta, lr);
+                if let Err(e) = result {
+                    prop_assert!(matches!(e, OdinError::InvalidConfig { .. }));
+                }
+            }
+
+            /// Numeric mutations spliced into the serialized paper
+            /// config survive the serde → validate funnel without a
+            /// panic, and out-of-range survivors are rejected typed.
+            #[test]
+            fn mutated_paper_json_is_rejected_typed(
+                eta in proptest::num::f64::ANY,
+                buffer in proptest::num::u64::ANY,
+            ) {
+                let mut v = serde_json::to_value(OdinConfig::paper()).unwrap();
+                v["eta"] = num_or_null(eta);
+                v["buffer_capacity"] = Value::from(buffer);
+                match serde_json::from_value::<OdinConfig>(v) {
+                    Ok(cfg) => {
+                        let want_ok =
+                            eta.is_finite() && eta > 0.0 && eta < 1.0 && buffer > 0;
+                        prop_assert_eq!(cfg.validate().is_ok(), want_ok);
+                    }
+                    // Only a non-finite η (spliced as null) can fail
+                    // deserialization of an otherwise-valid envelope.
+                    Err(_) => prop_assert!(!eta.is_finite()),
+                }
+            }
+        }
+    }
 }

@@ -48,9 +48,11 @@
 
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
+use odin_chaos::FaultClass;
 use odin_dnn::NetworkDescriptor;
-use odin_exec::{Executor, RoundTask};
+use odin_exec::{Executor, RoundTask, RoundWait, TaskFate, TaskHook};
 use odin_telemetry::{CounterId, HistogramId, SpanId, TelemetrySnapshot};
 use odin_units::Seconds;
 use serde::{Deserialize, Serialize};
@@ -60,8 +62,9 @@ use crate::error::{OdinError, SnapshotError};
 use crate::runtime::{checkpoint_save, CampaignReport, InferenceRecord, OdinRuntime, SkippedRun};
 use crate::schedule::TimeSchedule;
 use crate::snapshot::{
-    CampaignProgress, CampaignSnapshot, CheckpointPolicy, RuntimeState, SnapshotStore,
+    CampaignProgress, CampaignSnapshot, CheckpointPolicy, FaultyIo, RuntimeState, SnapshotStore,
 };
+use crate::supervisor::{QuarantineEvent, SupervisorConfig, SupervisorReport};
 use crate::telemetry::TelemetrySummary;
 
 /// How the engine distributes a campaign across shards.
@@ -157,6 +160,36 @@ fn record_exec_delta(telemetry: &odin_telemetry::Telemetry, delta: odin_exec::Ex
     );
 }
 
+/// Clears the executor's task hook when the supervised loop exits by
+/// any path, so a shared executor never leaks injected fates into the
+/// next campaign (or into concurrent serving traffic).
+struct HookClear(Arc<Executor>);
+
+impl Drop for HookClear {
+    fn drop(&mut self) {
+        self.0.set_task_hook(None);
+    }
+}
+
+/// The supervised checkpoint-save path: one bounded retry, then skip
+/// and count — a campaign that survives torn snapshot writes on the
+/// previous generation beats one that aborts mid-flight.
+fn supervised_save(
+    telemetry: &odin_telemetry::Telemetry,
+    store: &mut SnapshotStore,
+    states: &[RuntimeState],
+    progress: &CampaignProgress,
+    srep: &mut SupervisorReport,
+) {
+    if checkpoint_save(telemetry, store, states, progress).is_ok() {
+        return;
+    }
+    srep.retries += 1;
+    if checkpoint_save(telemetry, store, states, progress).is_err() {
+        srep.snapshot_skips += 1;
+    }
+}
+
 /// A multi-threaded campaign executor; see the [module docs](self)
 /// for the two execution models.
 ///
@@ -178,11 +211,12 @@ fn record_exec_delta(telemetry: &odin_telemetry::Telemetry, delta: odin_exec::Ex
 /// assert_eq!(par.engine.shards, 4);
 /// # Ok::<(), odin_core::OdinError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignEngine {
     shards: usize,
     mode: ShardMode,
     checkpoint: Option<CheckpointPolicy>,
+    supervisor: Option<SupervisorConfig>,
 }
 
 impl CampaignEngine {
@@ -194,6 +228,7 @@ impl CampaignEngine {
             shards: shards.max(1),
             mode: ShardMode::default(),
             checkpoint: None,
+            supervisor: None,
         }
     }
 
@@ -223,6 +258,31 @@ impl CampaignEngine {
     #[must_use]
     pub fn checkpoint_policy(&self) -> Option<&CheckpointPolicy> {
         self.checkpoint.as_ref()
+    }
+
+    /// Attaches the self-healing supervisor (see [`crate::supervisor`]):
+    /// panicked, hung, or transiently-failed shard tasks are recovered
+    /// by bounded inline re-execution, repeat offenders are
+    /// quarantined, a watchdog converts hung rounds into typed
+    /// [`OdinError::RoundTimeout`]s, and poisoned commits roll back to
+    /// the last valid checkpoint generation. The config's
+    /// [`odin_chaos::FaultPlan`] drives every injection site, including
+    /// the snapshot store's I/O when any snapshot fault class is armed.
+    ///
+    /// Supervised campaigns always execute with lockstep semantics
+    /// (the committed stream is the sequential stream at every shard
+    /// count), regardless of [`with_mode`](Self::with_mode), and their
+    /// snapshots are stamped [`ShardMode::Lockstep`] accordingly.
+    #[must_use]
+    pub fn supervise(mut self, config: SupervisorConfig) -> Self {
+        self.supervisor = Some(config);
+        self
+    }
+
+    /// The supervisor config attached to this engine, if any.
+    #[must_use]
+    pub fn supervisor(&self) -> Option<&SupervisorConfig> {
+        self.supervisor.as_ref()
     }
 
     /// The shard count.
@@ -298,6 +358,12 @@ impl CampaignEngine {
         resilient: bool,
         resume: Option<&CampaignProgress>,
     ) -> Result<CampaignReport, OdinError> {
+        if self.supervisor.is_some() {
+            // The supervised loop subsumes every shard count (width-1
+            // rounds are the sequential stream) and both modes
+            // (supervision always runs lockstep semantics).
+            return self.run_supervised(runtime, network, schedule, resilient, resume);
+        }
         if self.shards == 1 {
             // One shard is definitionally the sequential loop; skipping
             // the fork keeps even the cache counters bit-identical. The
@@ -510,6 +576,350 @@ impl CampaignEngine {
             telemetry: TelemetrySummary::from_snapshot(
                 &runtime.telemetry_snapshot().since(&telemetry_start),
             ),
+            supervisor: SupervisorReport::default(),
+        })
+    }
+
+    /// The supervised lockstep loop (see [`crate::supervisor`]): the
+    /// unsupervised greedy-prefix commit rule wrapped in fault
+    /// injection, inline recovery, quarantine, a round watchdog, and
+    /// commit-barrier poison scans with checkpoint rollback. Whenever
+    /// every fault is healed, the committed records are bit-identical
+    /// to the unsupervised lockstep stream — recovery re-derives the
+    /// deterministic result from the same pre-round fork state.
+    fn run_supervised(
+        &self,
+        runtime: &mut OdinRuntime,
+        network: &NetworkDescriptor,
+        schedule: &TimeSchedule,
+        resilient: bool,
+        resume: Option<&CampaignProgress>,
+    ) -> Result<CampaignReport, OdinError> {
+        let sup = self
+            .supervisor
+            .as_ref()
+            .expect("run_supervised requires an attached supervisor");
+        let plan = sup.fault_plan().clone();
+        let times: Vec<Seconds> = schedule.times();
+        let mut cache_start = runtime.cache_stats();
+        let telemetry_start = runtime.telemetry_snapshot();
+        let campaign_token = runtime.telemetry().start();
+        let snapshot_faults = [
+            FaultClass::SnapshotTorn,
+            FaultClass::SnapshotShortRead,
+            FaultClass::SnapshotRename,
+            FaultClass::SnapshotNoSpace,
+        ]
+        .iter()
+        .any(|&class| plan.rate(class) > 0.0);
+        let mut store = match &self.checkpoint {
+            Some(policy) => {
+                let opened = SnapshotStore::open(policy.dir(), policy.retained())?;
+                // Snapshot-fault classes reroute the store through the
+                // plan-driven faulty I/O layer; rollback then exercises
+                // the store's fallback-past-corruption path for real.
+                Some(if snapshot_faults {
+                    opened.with_io(Arc::new(FaultyIo::new(plan.clone())))
+                } else {
+                    opened
+                })
+            }
+            None => None,
+        };
+        let (mut runs, mut skipped, mut cache_base, mut stats, start) = match resume {
+            Some(p) => (
+                p.runs.clone(),
+                p.skipped.clone(),
+                p.cache,
+                p.engine,
+                p.next_index,
+            ),
+            None => (
+                Vec::with_capacity(times.len()),
+                Vec::new(),
+                CacheStats::default(),
+                EngineStats {
+                    shards: self.shards,
+                    mode: ShardMode::Lockstep,
+                    ..EngineStats::default()
+                },
+                0,
+            ),
+        };
+        let mut srep = SupervisorReport::default();
+        let mut strikes: Vec<u32> = vec![0; self.shards];
+        let mut active_slots = self.shards;
+        let mut consecutive_rollbacks = 0u32;
+        let mut eval_seq = 0u64;
+        let mut poison_seq = 0u64;
+        let mut since_save = 0usize;
+        let exec = self.executor_handle(runtime);
+        // Injected task fates ride the executor's hook; the guard
+        // clears it on every exit path so a shared executor never
+        // leaks fates into another campaign.
+        let _hook_guard = HookClear(Arc::clone(&exec));
+        if plan.is_enabled()
+            && (plan.rate(FaultClass::TaskPanic) > 0.0 || plan.rate(FaultClass::TaskStall) > 0.0)
+        {
+            let hook_plan = plan.clone();
+            let stall = sup
+                .watchdog_budget()
+                .map_or(Duration::from_millis(10), |b| b.saturating_mul(2));
+            let hook: TaskHook = Arc::new(move |round, slot, _width| {
+                let seq = round.wrapping_mul(4096).wrapping_add(slot as u64);
+                if hook_plan.fires(FaultClass::TaskPanic, seq) {
+                    TaskFate::Panic
+                } else if hook_plan.fires(FaultClass::TaskStall, seq) {
+                    TaskFate::Stall(stall)
+                } else {
+                    TaskFate::Run
+                }
+            });
+            exec.set_task_hook(Some(hook));
+        }
+        let network_shared = Arc::new(network.clone());
+        // A genesis generation guarantees the poison sentinel always
+        // has a rollback floor, even before the first interval save.
+        if let Some(store) = store.as_mut() {
+            if resume.is_none() {
+                let progress = CampaignProgress {
+                    network: network.name().to_string(),
+                    mode: ShardMode::Lockstep,
+                    shards: self.shards,
+                    resilient,
+                    next_index: 0,
+                    runs: Vec::new(),
+                    skipped: Vec::new(),
+                    cache: CacheStats::default(),
+                    engine: stats,
+                };
+                supervised_save(
+                    runtime.telemetry(),
+                    store,
+                    &[runtime.state()],
+                    &progress,
+                    &mut srep,
+                );
+            }
+        }
+        let mut next = start;
+        while next < times.len() {
+            let width = active_slots.max(1).min(times.len() - next);
+            let round_token = runtime.telemetry().start();
+            stats.rounds += 1;
+            stats.speculated += width as u64;
+            let round = &times[next..next + width];
+            let exec_before = exec.stats();
+            let mut tasks: Vec<RoundTask<(OdinRuntime, Result<InferenceRecord, OdinError>)>> =
+                Vec::with_capacity(width);
+            for &t in round {
+                // The injection decision is drawn on the driver thread,
+                // so the schedule is a pure function of the plan seed —
+                // never of executor interleaving.
+                let inject_eval =
+                    plan.is_enabled() && plan.fires(FaultClass::EvalTransient, eval_seq);
+                eval_seq += 1;
+                if inject_eval {
+                    srep.injected_faults += 1;
+                }
+                let mut worker = runtime.fork_shard();
+                let net = Arc::clone(&network_shared);
+                tasks.push(Box::new(move || {
+                    let outcome = if inject_eval {
+                        Err(OdinError::Injected { site: "evaluate" })
+                    } else {
+                        worker.run_inference(&net, t)
+                    };
+                    (worker, outcome)
+                }));
+            }
+            let barrier = exec.submit_round(tasks);
+            let (slots, timed_out) = match sup.watchdog_budget() {
+                Some(budget) => match barrier.wait_outcomes_for(budget) {
+                    RoundWait::Complete(slots) => (slots, false),
+                    RoundWait::TimedOut(slots) => (slots, true),
+                },
+                None => (barrier.wait_outcomes(), false),
+            };
+            // Heal: lost slots (panicked or hung) and injected
+            // transients re-derive their result inline against the
+            // same pre-round state every healthy task forked from.
+            let mut healed: Vec<(OdinRuntime, Result<InferenceRecord, OdinError>)> =
+                Vec::with_capacity(width);
+            for (w, slot) in slots.into_iter().enumerate() {
+                let entry = match slot {
+                    Some((_, Err(OdinError::Injected { .. }))) if sup.retries() > 0 => {
+                        srep.retries += 1;
+                        let mut retry = runtime.fork_shard();
+                        let outcome = retry.run_inference(&network_shared, round[w]);
+                        (retry, outcome)
+                    }
+                    Some(entry) => entry,
+                    None => {
+                        let reason = if timed_out {
+                            srep.timeouts_recovered += 1;
+                            "round watchdog expired"
+                        } else {
+                            srep.panics_recovered += 1;
+                            "task panicked before committing"
+                        };
+                        strikes[w] += 1;
+                        if strikes[w] == sup.strikes() && active_slots > 1 {
+                            active_slots -= 1;
+                            srep.quarantines.push(QuarantineEvent {
+                                shard: w,
+                                round: stats.rounds,
+                                strikes: strikes[w],
+                                reason: reason.to_string(),
+                            });
+                        }
+                        if sup.retries() == 0 {
+                            let err = if timed_out {
+                                OdinError::RoundTimeout {
+                                    round: stats.rounds as usize,
+                                }
+                            } else {
+                                OdinError::Injected { site: "task-panic" }
+                            };
+                            (runtime.fork_shard(), Err(err))
+                        } else {
+                            srep.retries += 1;
+                            let mut retry = runtime.fork_shard();
+                            let outcome = retry.run_inference(&network_shared, round[w]);
+                            (retry, outcome)
+                        }
+                    }
+                };
+                healed.push(entry);
+            }
+            // Commit: the unsupervised greedy-prefix rule, verbatim.
+            let mut accepted = 0;
+            let mut eventful = false;
+            for (w, (worker, outcome)) in healed.into_iter().enumerate() {
+                match outcome {
+                    Ok(record) => {
+                        let pure = record.leaves_state_untouched();
+                        eventful |= record.reprogrammed || !record.events.is_empty();
+                        runs.push(record);
+                        accepted = w + 1;
+                        if !pure || accepted == width {
+                            runtime.adopt(worker);
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        accepted = w + 1;
+                        runtime.adopt(worker);
+                        if !resilient {
+                            return Err(e);
+                        }
+                        eventful = true;
+                        runtime.telemetry().incr(CounterId::RunsSkipped);
+                        skipped.push(SkippedRun {
+                            time: round[w],
+                            reason: e.to_string(),
+                        });
+                        break;
+                    }
+                }
+            }
+            stats.committed += accepted as u64;
+            stats.discarded += (width - accepted) as u64;
+            let telemetry = runtime.telemetry();
+            telemetry.incr(CounterId::EngineRounds);
+            telemetry.add(CounterId::EngineSpeculated, width as u64);
+            telemetry.add(CounterId::EngineCommitted, accepted as u64);
+            telemetry.add(CounterId::EngineDiscarded, (width - accepted) as u64);
+            record_exec_delta(telemetry, exec.stats().since(&exec_before));
+            telemetry.finish_with(SpanId::Round, round_token, accepted as i64);
+            next += accepted;
+            since_save += accepted;
+            // Weight-poison injection lands on the committed state —
+            // exactly where an undetected corruption would sit.
+            if plan.is_enabled() && plan.fires(FaultClass::WeightPoison, poison_seq) {
+                runtime.poison_policy_weight();
+                srep.injected_faults += 1;
+            }
+            poison_seq += 1;
+            if sup.poison_scan_enabled() && !runtime.state_is_finite() {
+                srep.poison_detected += 1;
+                consecutive_rollbacks += 1;
+                let rewound = store
+                    .as_mut()
+                    .filter(|_| consecutive_rollbacks <= sup.rollback_bound())
+                    .and_then(|store| store.load_latest().ok().flatten());
+                let Some((snapshot, _generation)) = rewound else {
+                    return Err(OdinError::StatePoisoned {
+                        what: "campaign-state",
+                    });
+                };
+                let restored = OdinRuntime::from_state(&snapshot.states[0])?;
+                runtime.restore_from(restored);
+                let p = snapshot.progress;
+                srep.slots_rewound += next.saturating_sub(p.next_index) as u64;
+                srep.rollbacks += 1;
+                next = p.next_index;
+                runs = p.runs;
+                skipped = p.skipped;
+                cache_base = p.cache;
+                stats = p.engine;
+                cache_start = runtime.cache_stats();
+                since_save = 0;
+                continue;
+            }
+            consecutive_rollbacks = 0;
+            if let (Some(store), Some(policy)) = (store.as_mut(), self.checkpoint.as_ref()) {
+                let done = next == times.len();
+                if since_save >= policy.interval() || (policy.event_triggered() && eventful) || done
+                {
+                    let progress = CampaignProgress {
+                        network: network.name().to_string(),
+                        mode: ShardMode::Lockstep,
+                        shards: self.shards,
+                        resilient,
+                        next_index: next,
+                        runs: runs.clone(),
+                        skipped: skipped.clone(),
+                        cache: cache_base.merged(runtime.cache_stats().since(cache_start)),
+                        engine: stats,
+                    };
+                    supervised_save(
+                        runtime.telemetry(),
+                        store,
+                        &[runtime.state()],
+                        &progress,
+                        &mut srep,
+                    );
+                    since_save = 0;
+                }
+            }
+        }
+        let telemetry = runtime.telemetry();
+        telemetry.add(CounterId::SupervisorRetries, srep.retries);
+        telemetry.add(CounterId::SupervisorPanicsRecovered, srep.panics_recovered);
+        telemetry.add(
+            CounterId::SupervisorTimeoutsRecovered,
+            srep.timeouts_recovered,
+        );
+        telemetry.add(
+            CounterId::SupervisorQuarantines,
+            srep.quarantines.len() as u64,
+        );
+        telemetry.add(CounterId::SupervisorRollbacks, srep.rollbacks);
+        telemetry.add(CounterId::SupervisorPoisonDetected, srep.poison_detected);
+        telemetry.add(CounterId::SupervisorSnapshotSkips, srep.snapshot_skips);
+        telemetry.finish_with(SpanId::Campaign, campaign_token, runs.len() as i64);
+        Ok(CampaignReport {
+            network: network.name().to_string(),
+            strategy: runtime.strategy_label(),
+            runs,
+            skipped,
+            cache: cache_base.merged(runtime.cache_stats().since(cache_start)),
+            engine: stats,
+            telemetry: TelemetrySummary::from_snapshot(
+                &runtime.telemetry_snapshot().since(&telemetry_start),
+            ),
+            supervisor: srep,
         })
     }
 
@@ -637,6 +1047,7 @@ impl CampaignEngine {
                 discarded: 0,
             },
             telemetry: TelemetrySummary::from_snapshot(&telemetry_delta),
+            supervisor: SupervisorReport::default(),
         })
     }
 
@@ -817,6 +1228,7 @@ impl CampaignEngine {
             cache,
             engine: stats,
             telemetry: TelemetrySummary::from_snapshot(&telemetry_delta),
+            supervisor: SupervisorReport::default(),
         })
     }
 
@@ -1306,5 +1718,172 @@ mod tests {
             1,
             "zero shards clamps to one"
         );
+    }
+
+    use crate::supervisor::SupervisorConfig;
+    use odin_chaos::{FaultClass, FaultPlan};
+
+    #[test]
+    fn supervised_with_disabled_plan_matches_the_sequential_stream() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e7, 20);
+        let sequential = runtime().run_campaign(&net, &schedule).unwrap();
+        for shards in [1, 3] {
+            let mut rt = runtime();
+            let report = CampaignEngine::new(shards)
+                .supervise(SupervisorConfig::new())
+                .run_campaign(&mut rt, &net, &schedule)
+                .unwrap();
+            assert_eq!(report.runs, sequential.runs, "{shards} shards");
+            assert!(
+                report.supervisor.is_quiet(),
+                "nothing to heal without injection"
+            );
+        }
+    }
+
+    #[test]
+    fn supervised_heals_injected_task_panics_bit_for_bit() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e7, 20);
+        let sequential = runtime().run_campaign(&net, &schedule).unwrap();
+        let plan = FaultPlan::new(0xC4A0).with_rate(FaultClass::TaskPanic, 0.3);
+        let mut rt = runtime();
+        let report = CampaignEngine::new(4)
+            .supervise(SupervisorConfig::new().plan(plan))
+            .run_campaign(&mut rt, &net, &schedule)
+            .unwrap();
+        assert_eq!(
+            report.runs, sequential.runs,
+            "healing re-derives the deterministic stream"
+        );
+        assert!(report.supervisor.panics_recovered > 0, "panics must fire");
+        assert_eq!(report.supervisor.retries, report.supervisor.recoveries());
+        assert!((report.fraction_served() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn supervised_heals_injected_eval_transients() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e7, 16);
+        let sequential = runtime().run_campaign(&net, &schedule).unwrap();
+        let plan = FaultPlan::new(0xE7A1).with_rate(FaultClass::EvalTransient, 0.25);
+        let mut rt = runtime();
+        let report = CampaignEngine::new(2)
+            .supervise(SupervisorConfig::new().plan(plan))
+            .run_campaign(&mut rt, &net, &schedule)
+            .unwrap();
+        assert_eq!(report.runs, sequential.runs);
+        assert!(report.supervisor.injected_faults > 0);
+        assert!(report.supervisor.retries > 0);
+        assert!(report.skipped.is_empty());
+    }
+
+    #[test]
+    fn supervised_quarantines_repeat_offenders_and_still_finishes() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e7, 12);
+        let sequential = runtime().run_campaign(&net, &schedule).unwrap();
+        let plan = FaultPlan::new(9).with_rate(FaultClass::TaskPanic, 1.0);
+        let mut rt = runtime();
+        let report = CampaignEngine::new(4)
+            .supervise(SupervisorConfig::new().plan(plan).quarantine_strikes(2))
+            .run_campaign(&mut rt, &net, &schedule)
+            .unwrap();
+        assert_eq!(report.runs, sequential.runs);
+        assert_eq!(
+            report.supervisor.quarantines.len(),
+            3,
+            "every slot but the last survivor is pulled"
+        );
+        for event in &report.supervisor.quarantines {
+            assert_eq!(event.strikes, 2);
+            assert!(event.reason.contains("panicked"));
+        }
+    }
+
+    #[test]
+    fn supervised_watchdog_times_out_stalled_rounds_and_recovers() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e7, 6);
+        let sequential = runtime().run_campaign(&net, &schedule).unwrap();
+        let plan = FaultPlan::new(3).with_rate(FaultClass::TaskStall, 1.0);
+        let mut rt = runtime();
+        let report = CampaignEngine::new(2)
+            .supervise(
+                SupervisorConfig::new()
+                    .plan(plan)
+                    .watchdog(std::time::Duration::from_millis(150)),
+            )
+            .run_campaign(&mut rt, &net, &schedule)
+            .unwrap();
+        assert_eq!(report.runs, sequential.runs);
+        assert!(
+            report.supervisor.timeouts_recovered > 0,
+            "every task stalls past the budget"
+        );
+    }
+
+    #[test]
+    fn supervised_poison_rolls_back_to_a_checkpoint_and_finishes() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e7, 18);
+        let sequential = runtime().run_campaign(&net, &schedule).unwrap();
+        let dir = scratch("supervised-poison");
+        let plan = FaultPlan::new(0x90150).with_rate(FaultClass::WeightPoison, 0.15);
+        let mut rt = runtime();
+        let report = CampaignEngine::new(2)
+            .checkpoint(CheckpointPolicy::new(&dir).every_runs(2))
+            .supervise(SupervisorConfig::new().plan(plan))
+            .run_campaign(&mut rt, &net, &schedule)
+            .unwrap();
+        assert_eq!(
+            report.runs, sequential.runs,
+            "rollback + re-execution reproduces the stream"
+        );
+        assert!(report.supervisor.poison_detected > 0, "poison must fire");
+        assert_eq!(
+            report.supervisor.rollbacks,
+            report.supervisor.poison_detected
+        );
+        assert!(report.supervisor.slots_rewound > 0);
+        assert!(
+            rt.state_is_finite(),
+            "the surviving runtime must be clean after healing"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn supervised_poison_without_checkpoints_fails_closed() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e7, 8);
+        let plan = FaultPlan::new(1).with_rate(FaultClass::WeightPoison, 1.0);
+        let mut rt = runtime();
+        let err = CampaignEngine::new(2)
+            .supervise(SupervisorConfig::new().plan(plan))
+            .run_campaign(&mut rt, &net, &schedule)
+            .unwrap_err();
+        assert!(matches!(err, OdinError::StatePoisoned { .. }));
+    }
+
+    #[test]
+    fn supervised_survives_torn_snapshot_writes() {
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let schedule = TimeSchedule::geometric(1.0, 1e7, 12);
+        let sequential = runtime().run_campaign(&net, &schedule).unwrap();
+        let dir = scratch("supervised-torn");
+        let plan = FaultPlan::new(0x7042).with_rate(FaultClass::SnapshotTorn, 0.5);
+        let mut rt = runtime();
+        let report = CampaignEngine::new(2)
+            .checkpoint(CheckpointPolicy::new(&dir).every_runs(2))
+            .supervise(SupervisorConfig::new().plan(plan))
+            .run_campaign(&mut rt, &net, &schedule)
+            .unwrap();
+        assert_eq!(
+            report.runs, sequential.runs,
+            "torn snapshot writes never touch the committed stream"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

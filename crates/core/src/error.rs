@@ -31,6 +31,28 @@ pub enum OdinError {
     Device(odin_device::DeviceError),
     /// A checkpoint/restore failure (see [`SnapshotError`]).
     Snapshot(SnapshotError),
+    /// A supervised round exceeded its watchdog budget: at least one
+    /// shard task neither committed nor panicked in time. Retrying the
+    /// round can clear a transient stall.
+    RoundTimeout {
+        /// The engine round (commit-barrier index) that hung.
+        round: usize,
+    },
+    /// A fault deliberately injected by an armed chaos plan (see
+    /// `odin_chaos::FaultPlan`). Never produced in production: a
+    /// disabled plan injects nothing. Classified transient so retry
+    /// and supervision paths treat it like the real fault it models.
+    Injected {
+        /// The injection site, e.g. `"evaluate"`.
+        site: &'static str,
+    },
+    /// A poison sentinel found a non-finite value (NaN/Inf) in live
+    /// state — policy weights, drift ages, or endurance counters — and
+    /// no valid checkpoint generation was available to roll back to.
+    StatePoisoned {
+        /// Which scan tripped, e.g. `"mlp-weights"`.
+        what: &'static str,
+    },
 }
 
 /// Why a campaign snapshot could not be written or restored.
@@ -146,12 +168,15 @@ impl OdinError {
     #[must_use]
     pub fn is_transient(&self) -> bool {
         match self {
-            OdinError::NoFeasibleOu { .. } => true,
+            OdinError::NoFeasibleOu { .. }
+            | OdinError::RoundTimeout { .. }
+            | OdinError::Injected { .. } => true,
             OdinError::Snapshot(e) => e.is_transient(),
             OdinError::InvalidConfig { .. }
             | OdinError::Mapping(_)
             | OdinError::EnduranceExhausted { .. }
-            | OdinError::Device(_) => false,
+            | OdinError::Device(_)
+            | OdinError::StatePoisoned { .. } => false,
         }
     }
 
@@ -184,6 +209,18 @@ impl std::fmt::Display for OdinError {
             }
             OdinError::Device(e) => write!(f, "device failure: {e}"),
             OdinError::Snapshot(e) => write!(f, "{e}"),
+            OdinError::RoundTimeout { round } => {
+                write!(f, "round {round} exceeded its watchdog budget")
+            }
+            OdinError::Injected { site } => {
+                write!(f, "injected fault at `{site}` (chaos plan armed)")
+            }
+            OdinError::StatePoisoned { what } => {
+                write!(
+                    f,
+                    "non-finite value detected in `{what}` with no checkpoint to roll back to"
+                )
+            }
         }
     }
 }
@@ -196,7 +233,10 @@ impl std::error::Error for OdinError {
             OdinError::Snapshot(e) => Some(e),
             OdinError::InvalidConfig { .. }
             | OdinError::NoFeasibleOu { .. }
-            | OdinError::EnduranceExhausted { .. } => None,
+            | OdinError::EnduranceExhausted { .. }
+            | OdinError::RoundTimeout { .. }
+            | OdinError::Injected { .. }
+            | OdinError::StatePoisoned { .. } => None,
         }
     }
 }
@@ -371,6 +411,14 @@ mod tests {
                 }),
                 true,
             ),
+            (OdinError::RoundTimeout { round: 4 }, true),
+            (OdinError::Injected { site: "evaluate" }, true),
+            (
+                OdinError::StatePoisoned {
+                    what: "mlp-weights",
+                },
+                false,
+            ),
         ]
     }
 
@@ -391,6 +439,15 @@ mod tests {
         assert!(table
             .iter()
             .any(|(e, _)| matches!(e, OdinError::EnduranceExhausted { .. })));
+        assert!(table
+            .iter()
+            .any(|(e, _)| matches!(e, OdinError::RoundTimeout { .. })));
+        assert!(table
+            .iter()
+            .any(|(e, _)| matches!(e, OdinError::Injected { .. })));
+        assert!(table
+            .iter()
+            .any(|(e, _)| matches!(e, OdinError::StatePoisoned { .. })));
         assert_eq!(
             table
                 .iter()

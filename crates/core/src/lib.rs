@@ -68,6 +68,7 @@ pub mod offline;
 pub mod prelude;
 pub mod search;
 pub mod snapshot;
+pub mod supervisor;
 pub mod telemetry;
 
 mod analytic;
@@ -91,5 +92,8 @@ pub use runtime::{
     CampaignReport, InferenceRecord, LayerDecision, OdinRuntime, RuntimeBuilder, SkippedRun,
 };
 pub use schedule::TimeSchedule;
-pub use snapshot::{CampaignSnapshot, CheckpointPolicy, SnapshotStore};
+pub use snapshot::{
+    CampaignSnapshot, CheckpointPolicy, FaultyIo, RealIo, SnapshotIo, SnapshotStore,
+};
+pub use supervisor::{QuarantineEvent, SupervisorConfig, SupervisorReport};
 pub use telemetry::{CounterSummary, HistogramSummary, SpanSummary, TelemetrySummary};

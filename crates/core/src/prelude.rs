@@ -30,6 +30,7 @@ pub use crate::runtime::{
 };
 pub use crate::schedule::TimeSchedule;
 pub use crate::snapshot::{CampaignSnapshot, CheckpointPolicy, SnapshotStore};
+pub use crate::supervisor::{QuarantineEvent, SupervisorConfig, SupervisorReport};
 pub use crate::telemetry::{CounterSummary, HistogramSummary, SpanSummary, TelemetrySummary};
 pub use odin_exec::{ExecStats, Executor};
 pub use odin_policy::{Precision, QuantizedPolicy};

@@ -26,6 +26,7 @@ use crate::fabric::{DegradationEvent, FabricHealth};
 use crate::features::LayerFeatures;
 use crate::schedule::TimeSchedule;
 use crate::snapshot::{CampaignProgress, CheckpointPolicy, RuntimeState, SnapshotStore};
+use crate::supervisor::SupervisorReport;
 use crate::telemetry::TelemetrySummary;
 
 /// One layer's OU decision in one inference run.
@@ -151,6 +152,10 @@ pub struct CampaignReport {
     /// [`RuntimeBuilder::telemetry`].
     #[serde(default)]
     pub telemetry: TelemetrySummary,
+    /// Self-healing actions taken while producing this report; exactly
+    /// [`SupervisorReport::default`] for unsupervised campaigns.
+    #[serde(default)]
+    pub supervisor: SupervisorReport,
 }
 
 impl CampaignReport {
@@ -654,6 +659,31 @@ impl OdinRuntime {
         self.buffer.len()
     }
 
+    /// Poison sentinel: `true` when every value that feeds future
+    /// decisions is finite — MLP weights, the drift clock, and the
+    /// fabric's remaining-endurance accounting. A non-finite value in
+    /// any of them corrupts every subsequent decision without failing
+    /// loudly, which is exactly the failure mode supervised campaigns
+    /// scan for at commit barriers (see [`crate::supervisor`]).
+    #[must_use]
+    pub fn state_is_finite(&self) -> bool {
+        self.policy.weights_are_finite()
+            && self.last_programmed.value().is_finite()
+            && self
+                .fabric
+                .as_ref()
+                .is_none_or(|f| f.remaining_endurance_fraction().is_finite())
+    }
+
+    /// Poisons one policy weight with NaN (chaos-harness fault
+    /// injection only; see [`OuPolicy::poison_weight`]).
+    ///
+    /// [`OuPolicy::poison_weight`]: odin_policy::OuPolicy
+    #[doc(hidden)]
+    pub fn poison_policy_weight(&mut self) {
+        self.policy.poison_weight(f64::NAN);
+    }
+
     /// Executes one inference run at wall-clock time `now`
     /// (Algorithm 1 lines 3–13).
     ///
@@ -1006,6 +1036,7 @@ impl OdinRuntime {
             cache: cache_base.merged(self.cache_stats().since(cache_start)),
             engine: EngineStats::default(),
             telemetry: TelemetrySummary::default(),
+            supervisor: SupervisorReport::default(),
         })
     }
 
@@ -1083,6 +1114,23 @@ impl OdinRuntime {
         let earlier_events = self.telemetry.take_events();
         *self = shard;
         self.telemetry.prepend_events(earlier_events);
+        self.checkpoint = checkpoint;
+        self.executor = executor;
+    }
+
+    /// Replaces this runtime's semantic state with a snapshot-restored
+    /// one while keeping its plumbing — telemetry lineage, checkpoint
+    /// policy, executor handle — exactly like [`adopt`](Self::adopt)
+    /// keeps them across commits. This is the supervisor's rollback
+    /// step: the restored runtime arrives with a fresh default
+    /// telemetry handle, and swapping that in would reset (and
+    /// underflow) the campaign's monotonic counter deltas.
+    pub(crate) fn restore_from(&mut self, restored: OdinRuntime) {
+        let telemetry = std::mem::take(&mut self.telemetry);
+        let checkpoint = self.checkpoint.take();
+        let executor = self.executor.take();
+        *self = restored;
+        self.telemetry = telemetry;
         self.checkpoint = checkpoint;
         self.executor = executor;
     }

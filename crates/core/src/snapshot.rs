@@ -61,7 +61,9 @@
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use odin_chaos::{FaultClass, FaultPlan, SiteCursor};
 use odin_policy::{OuPolicy, ReplayBuffer};
 use odin_units::Seconds;
 use serde::{Deserialize, Serialize};
@@ -255,6 +257,16 @@ impl CampaignSnapshot {
         write_payload_atomic(path, MAGIC, self.format_version, self)
     }
 
+    /// [`write_atomic`](Self::write_atomic) through an explicit
+    /// [`SnapshotIo`].
+    ///
+    /// # Errors
+    ///
+    /// Identical contract to [`write_atomic`](Self::write_atomic).
+    pub fn write_atomic_with(&self, io: &dyn SnapshotIo, path: &Path) -> Result<(), OdinError> {
+        write_payload_atomic_with(io, path, MAGIC, self.format_version, self)
+    }
+
     /// Reads and fully validates a snapshot from `path` (see the
     /// [module docs](self) for the validation order).
     ///
@@ -265,7 +277,17 @@ impl CampaignSnapshot {
     /// on structural or checksum damage, `VersionMismatch` for foreign
     /// format versions, `Incomplete` for truncated payloads.
     pub fn read(path: &Path) -> Result<CampaignSnapshot, OdinError> {
-        let snapshot: CampaignSnapshot = read_payload(path, MAGIC, SNAPSHOT_FORMAT_VERSION)?;
+        CampaignSnapshot::read_with(&RealIo, path)
+    }
+
+    /// [`read`](Self::read) through an explicit [`SnapshotIo`].
+    ///
+    /// # Errors
+    ///
+    /// Identical contract to [`read`](Self::read).
+    pub fn read_with(io: &dyn SnapshotIo, path: &Path) -> Result<CampaignSnapshot, OdinError> {
+        let snapshot: CampaignSnapshot =
+            read_payload_with(io, path, MAGIC, SNAPSHOT_FORMAT_VERSION)?;
         snapshot.validate(&path.display().to_string())?;
         Ok(snapshot)
     }
@@ -310,6 +332,129 @@ struct Header {
     bytes: usize,
 }
 
+/// The filesystem operations the snapshot protocol performs, as a seam.
+///
+/// Every byte the checkpoint layer moves passes through exactly three
+/// operations: a durable staging write, a whole-file read, and the atomic
+/// tmp→final rename. [`RealIo`] is the production implementation;
+/// [`FaultyIo`] wraps it to inject the failure modes a hostile disk can
+/// produce (torn writes, short reads, rename failures, `ENOSPC`) on a
+/// seeded, replayable schedule. Directory creation/scanning/pruning stay
+/// on plain `std::fs` — they are not part of the fault surface.
+pub trait SnapshotIo: Send + Sync + std::fmt::Debug {
+    /// Writes `bytes` to `path` and makes them durable (`fsync`).
+    fn write(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()>;
+    /// Reads the entire file at `path`.
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>>;
+    /// Renames `from` over `to` (the atomic commit of a staged write).
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()>;
+}
+
+/// The production [`SnapshotIo`]: plain `std::fs` with `fsync` on write.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl SnapshotIo for RealIo {
+    fn write(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        let mut file = fs::File::create(path)?;
+        file.write_all(bytes)?;
+        file.sync_all()
+    }
+
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        fs::rename(from, to)
+    }
+}
+
+/// A [`SnapshotIo`] that injects disk failures on a seeded schedule.
+///
+/// Four [`FaultClass`]es apply, each with its own site cursor so the
+/// schedule is a pure function of the plan seed and the operation order:
+///
+/// * [`FaultClass::SnapshotNoSpace`] — the write fails cleanly before any
+///   byte lands (simulated `ENOSPC`);
+/// * [`FaultClass::SnapshotTorn`] — only a seeded prefix of the bytes is
+///   written and the operation *reports success*: the tear surfaces later,
+///   when validation rejects the generation and the store falls back;
+/// * [`FaultClass::SnapshotShortRead`] — the read returns a seeded prefix
+///   of the file;
+/// * [`FaultClass::SnapshotRename`] — the atomic commit fails, leaving
+///   only the staged tmp sibling (which the store sweeps on reopen).
+#[derive(Debug)]
+pub struct FaultyIo {
+    inner: RealIo,
+    plan: FaultPlan,
+    nospace: SiteCursor,
+    torn: SiteCursor,
+    short_read: SiteCursor,
+    rename_fail: SiteCursor,
+}
+
+impl FaultyIo {
+    /// Wraps [`RealIo`] with the given injection plan.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> FaultyIo {
+        FaultyIo {
+            inner: RealIo,
+            plan,
+            nospace: SiteCursor::new(),
+            torn: SiteCursor::new(),
+            short_read: SiteCursor::new(),
+            rename_fail: SiteCursor::new(),
+        }
+    }
+
+    /// The injection plan this IO layer runs under.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl SnapshotIo for FaultyIo {
+    fn write(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        let seq = self.nospace.next();
+        if self.plan.fires(FaultClass::SnapshotNoSpace, seq) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::StorageFull,
+                "injected: no space left on device",
+            ));
+        }
+        let seq = self.torn.next();
+        if self.plan.fires(FaultClass::SnapshotTorn, seq) && bytes.len() > 1 {
+            let draw = self.plan.draw(FaultClass::SnapshotTorn, seq);
+            let keep = ((bytes.len() as f64 * draw) as usize).clamp(1, bytes.len() - 1);
+            // The tear is silent — exactly like power loss after a
+            // partial write: the caller believes the write landed.
+            return self.inner.write(path, &bytes[..keep]);
+        }
+        self.inner.write(path, bytes)
+    }
+
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        let seq = self.short_read.next();
+        let mut bytes = self.inner.read(path)?;
+        if self.plan.fires(FaultClass::SnapshotShortRead, seq) && bytes.len() > 1 {
+            let draw = self.plan.draw(FaultClass::SnapshotShortRead, seq);
+            let keep = ((bytes.len() as f64 * draw) as usize).clamp(1, bytes.len() - 1);
+            bytes.truncate(keep);
+        }
+        Ok(bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        let seq = self.rename_fail.next();
+        if self.plan.fires(FaultClass::SnapshotRename, seq) {
+            return Err(std::io::Error::other("injected: rename failure"));
+        }
+        self.inner.rename(from, to)
+    }
+}
+
 /// Writes any serializable payload to `path` through the snapshot
 /// module's crash-consistent protocol: serialize, prefix the
 /// checksummed one-line header carrying `magic`/`version`, write to a
@@ -329,6 +474,24 @@ pub fn write_payload_atomic<T: Serialize>(
     version: u32,
     payload: &T,
 ) -> Result<(), OdinError> {
+    write_payload_atomic_with(&RealIo, path, magic, version, payload)
+}
+
+/// [`write_payload_atomic`] through an explicit [`SnapshotIo`] — the
+/// entry point chaos harnesses use to run the identical protocol over a
+/// fault-injecting disk.
+///
+/// # Errors
+///
+/// Returns [`OdinError::Snapshot`] ([`SnapshotError::Io`]) when any
+/// filesystem step fails.
+pub fn write_payload_atomic_with<T: Serialize>(
+    io: &dyn SnapshotIo,
+    path: &Path,
+    magic: &str,
+    version: u32,
+    payload: &T,
+) -> Result<(), OdinError> {
     let payload = serde_json::to_vec(payload).map_err(|e| SnapshotError::Io {
         path: path.display().to_string(),
         op: "serialize",
@@ -339,6 +502,9 @@ pub fn write_payload_atomic<T: Serialize>(
         fnv1a64(&payload),
         payload.len()
     );
+    let mut bytes = Vec::with_capacity(header.len() + payload.len());
+    bytes.extend_from_slice(header.as_bytes());
+    bytes.extend_from_slice(&payload);
     let tmp = tmp_sibling(path);
     let io_err = |op: &'static str, p: &Path| {
         let p = p.display().to_string();
@@ -348,13 +514,8 @@ pub fn write_payload_atomic<T: Serialize>(
             message: e.to_string(),
         }
     };
-    let mut file = fs::File::create(&tmp).map_err(io_err("create", &tmp))?;
-    file.write_all(header.as_bytes())
-        .and_then(|()| file.write_all(&payload))
-        .map_err(io_err("write", &tmp))?;
-    file.sync_all().map_err(io_err("sync", &tmp))?;
-    drop(file);
-    fs::rename(&tmp, path).map_err(io_err("rename", path))?;
+    io.write(&tmp, &bytes).map_err(io_err("write", &tmp))?;
+    io.rename(&tmp, path).map_err(io_err("rename", path))?;
     // Persist the rename itself. Directory handles cannot be
     // fsynced on every platform, so failures here are tolerated —
     // the data file is already durable.
@@ -386,8 +547,25 @@ pub fn read_payload<T: serde::de::DeserializeOwned>(
     magic: &str,
     supported_version: u32,
 ) -> Result<T, OdinError> {
+    read_payload_with(&RealIo, path, magic, supported_version)
+}
+
+/// [`read_payload`] through an explicit [`SnapshotIo`] — the read half of
+/// the chaos seam. All validation (magic, version, length, checksum) runs
+/// on whatever bytes the IO layer returned, so injected short reads
+/// surface as the same typed errors a genuinely truncated file would.
+///
+/// # Errors
+///
+/// Identical contract to [`read_payload`].
+pub fn read_payload_with<T: serde::de::DeserializeOwned>(
+    io: &dyn SnapshotIo,
+    path: &Path,
+    magic: &str,
+    supported_version: u32,
+) -> Result<T, OdinError> {
     let shown = path.display().to_string();
-    let bytes = fs::read(path).map_err(|e| SnapshotError::Io {
+    let bytes = io.read(path).map_err(|e| SnapshotError::Io {
         path: shown.clone(),
         op: "read",
         message: e.to_string(),
@@ -471,6 +649,7 @@ pub struct SnapshotStore {
     dir: PathBuf,
     retain: usize,
     next_sequence: u64,
+    io: Arc<dyn SnapshotIo>,
 }
 
 impl SnapshotStore {
@@ -509,7 +688,17 @@ impl SnapshotStore {
             dir,
             retain: retain.max(1),
             next_sequence,
+            io: Arc::new(RealIo),
         })
+    }
+
+    /// Replaces the store's IO layer — the chaos seam. All subsequent
+    /// saves and loads run through `io`; the protocol is otherwise
+    /// unchanged.
+    #[must_use]
+    pub fn with_io(mut self, io: Arc<dyn SnapshotIo>) -> Self {
+        self.io = io;
+        self
     }
 
     /// The store directory.
@@ -547,7 +736,7 @@ impl SnapshotStore {
             "{FILE_PREFIX}{:08}{FILE_SUFFIX}",
             self.next_sequence
         ));
-        snapshot.write_atomic(&path)?;
+        snapshot.write_atomic_with(self.io.as_ref(), &path)?;
         self.next_sequence += 1;
         let generations = self.generations()?;
         if generations.len() > self.retain {
@@ -583,7 +772,7 @@ impl SnapshotStore {
         let generations = self.generations()?;
         let mut first_error = None;
         for path in generations.into_iter().rev() {
-            match CampaignSnapshot::read(&path) {
+            match CampaignSnapshot::read_with(self.io.as_ref(), &path) {
                 Ok(snapshot) => return Ok(Some((snapshot, path))),
                 Err(e) => {
                     first_error.get_or_insert(e);
@@ -771,6 +960,79 @@ mod tests {
         let empty = SnapshotStore::open(scratch("empty"), 3).unwrap();
         assert!(empty.load_latest().unwrap().is_none());
         fs::remove_dir_all(empty.dir()).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faulty_io_injects_every_snapshot_fault_class() {
+        let dir = scratch("faulty");
+        fs::create_dir_all(&dir).unwrap();
+        let snapshot = sample_snapshot();
+        let path = dir.join("campaign-00000001.snap");
+        let tmp = dir.join("campaign-00000001.snap.tmp");
+
+        // ENOSPC: the write fails cleanly, nothing lands.
+        let nospace = FaultyIo::new(FaultPlan::new(1).with_rate(FaultClass::SnapshotNoSpace, 1.0));
+        assert!(matches!(
+            snapshot.write_atomic_with(&nospace, &path),
+            Err(OdinError::Snapshot(SnapshotError::Io { op: "write", .. }))
+        ));
+        assert!(!path.exists());
+        assert!(!tmp.exists());
+
+        // Rename failure: only the staged tmp sibling is left behind.
+        let renamey = FaultyIo::new(FaultPlan::new(2).with_rate(FaultClass::SnapshotRename, 1.0));
+        assert!(matches!(
+            snapshot.write_atomic_with(&renamey, &path),
+            Err(OdinError::Snapshot(SnapshotError::Io { op: "rename", .. }))
+        ));
+        assert!(!path.exists());
+        assert!(tmp.exists());
+        fs::remove_file(&tmp).unwrap();
+
+        // Torn write: reports success, but validation rejects the file.
+        let torn = FaultyIo::new(FaultPlan::new(3).with_rate(FaultClass::SnapshotTorn, 1.0));
+        snapshot.write_atomic_with(&torn, &path).unwrap();
+        assert!(matches!(
+            CampaignSnapshot::read(&path),
+            Err(OdinError::Snapshot(_))
+        ));
+
+        // Short read: a pristine file read through a faulty disk is
+        // rejected the same way a truncated one would be.
+        snapshot.write_atomic(&path).unwrap();
+        let shorty = FaultyIo::new(FaultPlan::new(4).with_rate(FaultClass::SnapshotShortRead, 1.0));
+        assert!(matches!(
+            CampaignSnapshot::read_with(&shorty, &path),
+            Err(OdinError::Snapshot(_))
+        ));
+
+        // A disabled plan is bit-transparent.
+        let clean = FaultyIo::new(FaultPlan::disabled());
+        assert_eq!(
+            CampaignSnapshot::read_with(&clean, &path).unwrap(),
+            snapshot
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_with_torn_io_falls_back_to_an_older_generation() {
+        let dir = scratch("faulty-store");
+        let snapshot = sample_snapshot();
+        let mut store = SnapshotStore::open(&dir, 4).unwrap();
+        store.save(&snapshot.states, &snapshot.progress).unwrap();
+        store.save(&snapshot.states, &snapshot.progress).unwrap();
+        // Reopen the same store over an always-tearing disk: the next
+        // generation lands torn, and loading falls back past it.
+        let mut store = SnapshotStore::open(&dir, 4)
+            .unwrap()
+            .with_io(Arc::new(FaultyIo::new(
+                FaultPlan::new(5).with_rate(FaultClass::SnapshotTorn, 1.0),
+            )));
+        store.save(&snapshot.states, &snapshot.progress).unwrap();
+        let (latest, _) = store.load_latest().unwrap().unwrap();
+        assert_eq!(latest.sequence, 2, "torn newest generation is skipped");
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,329 @@
+//! Self-healing supervision for campaign execution.
+//!
+//! A [`SupervisorConfig`] attached through
+//! [`CampaignEngine::supervise`] arms three independent defenses
+//! around the engine's commit barrier:
+//!
+//! 1. **Bounded retries + quarantine** — a shard task that panics,
+//!    stalls past the watchdog, or fails with an injected transient
+//!    error is re-executed inline against the same pre-round state (the
+//!    lockstep fork discipline makes the re-run bit-identical to what
+//!    the healthy task would have produced). Each recovery strikes the
+//!    shard slot; after [`SupervisorConfig::quarantine_strikes`] the
+//!    slot is quarantined — removed from every later round, its work
+//!    deterministically redistributed over the surviving slots — and a
+//!    [`QuarantineEvent`] is recorded.
+//! 2. **Watchdog** — with [`SupervisorConfig::watchdog`] set, a round
+//!    that has not committed within the budget is timed out at the
+//!    barrier; completed slots are kept, hung slots are re-executed
+//!    inline, and the recovery is counted as a round timeout instead of
+//!    hanging the campaign forever.
+//! 3. **Poison sentinel + rollback** — after every commit the adopted
+//!    runtime is scanned for non-finite state (MLP weights, drift
+//!    clock, endurance accounting; see
+//!    [`OdinRuntime::state_is_finite`]). A poisoned commit rolls the
+//!    campaign back to the newest valid checkpoint generation and
+//!    resumes from there; without a checkpoint store (or after
+//!    [`SupervisorConfig::max_rollbacks`] consecutive rollbacks) the
+//!    campaign fails closed with [`OdinError::StatePoisoned`].
+//!
+//! Faults are injected — never invented — by an [`odin_chaos::FaultPlan`]
+//! carried in the config: the plan's seeded schedule decides which round
+//! slots panic or stall, which evaluations fail transiently, and which
+//! commits poison a weight, so every chaos run is replayable from a
+//! single `u64` seed. A supervisor with the default disabled plan heals
+//! only faults the environment produces on its own.
+//!
+//! The committed record stream of a supervised campaign is bit-identical
+//! to the unsupervised lockstep stream whenever every fault is healed:
+//! recovery re-derives the deterministic result, it never fabricates
+//! one.
+//!
+//! [`CampaignEngine::supervise`]: crate::CampaignEngine::supervise
+//! [`OdinRuntime::state_is_finite`]: crate::OdinRuntime::state_is_finite
+//! [`OdinError::StatePoisoned`]: crate::OdinError
+
+use std::time::Duration;
+
+use odin_chaos::FaultPlan;
+use serde::{Deserialize, Serialize};
+
+/// Tuning for the self-healing supervisor; see the [module
+/// docs](self).
+///
+/// The default configuration retries twice, quarantines after three
+/// strikes, runs the poison sentinel, arms no watchdog, tolerates four
+/// consecutive rollbacks, and injects nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisorConfig {
+    max_retries: u32,
+    quarantine_strikes: u32,
+    watchdog: Option<Duration>,
+    poison_scan: bool,
+    max_rollbacks: u32,
+    plan: FaultPlan,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_retries: 2,
+            quarantine_strikes: 3,
+            watchdog: None,
+            poison_scan: true,
+            max_rollbacks: 4,
+            plan: FaultPlan::disabled(),
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// The default supervisor: heal-only, nothing injected.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inline re-executions allowed per failing slot per round before
+    /// the slot's failure is surfaced through the normal strict or
+    /// resilient path (0 disables retries).
+    #[must_use]
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Strikes (recovered panics or timeouts) before a shard slot is
+    /// quarantined. 0 is clamped to 1; the engine never quarantines its
+    /// last surviving slot.
+    #[must_use]
+    pub fn quarantine_strikes(mut self, strikes: u32) -> Self {
+        self.quarantine_strikes = strikes.max(1);
+        self
+    }
+
+    /// Arms the round watchdog: a round not committed within `budget`
+    /// is timed out at the barrier and its hung slots are recovered
+    /// inline.
+    #[must_use]
+    pub fn watchdog(mut self, budget: Duration) -> Self {
+        self.watchdog = Some(budget);
+        self
+    }
+
+    /// Enables or disables the commit-barrier poison sentinel (on by
+    /// default).
+    #[must_use]
+    pub fn poison_scan(mut self, on: bool) -> Self {
+        self.poison_scan = on;
+        self
+    }
+
+    /// Consecutive poison rollbacks tolerated before the campaign
+    /// fails closed with [`OdinError::StatePoisoned`].
+    ///
+    /// [`OdinError::StatePoisoned`]: crate::OdinError
+    #[must_use]
+    pub fn max_rollbacks(mut self, rollbacks: u32) -> Self {
+        self.max_rollbacks = rollbacks;
+        self
+    }
+
+    /// Attaches a seeded fault plan; the plan's schedule drives every
+    /// injection site the supervised engine exposes (task panic/stall,
+    /// transient evaluation failure, weight poisoning, snapshot I/O
+    /// faults).
+    #[must_use]
+    pub fn plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// The retry budget.
+    #[must_use]
+    pub fn retries(&self) -> u32 {
+        self.max_retries
+    }
+
+    /// The quarantine strike threshold.
+    #[must_use]
+    pub fn strikes(&self) -> u32 {
+        self.quarantine_strikes
+    }
+
+    /// The watchdog budget, when armed.
+    #[must_use]
+    pub fn watchdog_budget(&self) -> Option<Duration> {
+        self.watchdog
+    }
+
+    /// Whether the poison sentinel runs.
+    #[must_use]
+    pub fn poison_scan_enabled(&self) -> bool {
+        self.poison_scan
+    }
+
+    /// The consecutive-rollback bound.
+    #[must_use]
+    pub fn rollback_bound(&self) -> u32 {
+        self.max_rollbacks
+    }
+
+    /// The attached fault plan.
+    #[must_use]
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+/// One shard slot removed from service by the supervisor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineEvent {
+    /// The quarantined shard slot index.
+    pub shard: usize,
+    /// The engine round (1-based) whose recovery crossed the strike
+    /// threshold.
+    pub round: u64,
+    /// Strikes accumulated when the slot was pulled.
+    pub strikes: u32,
+    /// Human-readable reason for the final strike.
+    pub reason: String,
+}
+
+/// Ledger of every self-healing action one supervised campaign took;
+/// carried on [`CampaignReport::supervisor`] and exactly
+/// [`SupervisorReport::default`] when nothing needed healing (or no
+/// supervisor was attached).
+///
+/// [`CampaignReport::supervisor`]: crate::CampaignReport
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SupervisorReport {
+    /// Inline re-executions launched (every recovery is at least one).
+    #[serde(default)]
+    pub retries: u64,
+    /// Slots recovered after their executor task panicked.
+    #[serde(default)]
+    pub panics_recovered: u64,
+    /// Slots recovered after the round watchdog expired.
+    #[serde(default)]
+    pub timeouts_recovered: u64,
+    /// Faults the attached plan injected on the engine's own sites
+    /// (transient evaluation failures and weight poisonings; task
+    /// panics/stalls surface in the recovery counters instead).
+    #[serde(default)]
+    pub injected_faults: u64,
+    /// Shard slots quarantined, in quarantine order.
+    #[serde(default)]
+    pub quarantines: Vec<QuarantineEvent>,
+    /// Poisoned commits rolled back to a valid checkpoint generation.
+    #[serde(default)]
+    pub rollbacks: u64,
+    /// Committed schedule slots rewound (and re-executed) across all
+    /// rollbacks.
+    #[serde(default)]
+    pub slots_rewound: u64,
+    /// Commit-barrier poison-sentinel trips.
+    #[serde(default)]
+    pub poison_detected: u64,
+    /// Checkpoint saves skipped after injected or real snapshot-I/O
+    /// failures exhausted their retry (the campaign continues on the
+    /// previous generation).
+    #[serde(default)]
+    pub snapshot_skips: u64,
+}
+
+impl SupervisorReport {
+    /// `true` when the supervisor never had to act — no retries, no
+    /// quarantines, no rollbacks, no skipped snapshots.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.retries == 0
+            && self.panics_recovered == 0
+            && self.timeouts_recovered == 0
+            && self.injected_faults == 0
+            && self.quarantines.is_empty()
+            && self.rollbacks == 0
+            && self.poison_detected == 0
+            && self.snapshot_skips == 0
+    }
+
+    /// Total recoveries of either kind (panic or timeout).
+    #[must_use]
+    pub fn recoveries(&self) -> u64 {
+        self.panics_recovered + self.timeouts_recovered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_heal_only() {
+        let config = SupervisorConfig::default();
+        assert_eq!(config.retries(), 2);
+        assert_eq!(config.strikes(), 3);
+        assert_eq!(config.watchdog_budget(), None);
+        assert!(config.poison_scan_enabled());
+        assert_eq!(config.rollback_bound(), 4);
+        assert!(!config.fault_plan().is_enabled());
+    }
+
+    #[test]
+    fn config_builders_round_trip() {
+        let plan = FaultPlan::new(7).with_rate(odin_chaos::FaultClass::TaskPanic, 0.5);
+        let config = SupervisorConfig::new()
+            .max_retries(5)
+            .quarantine_strikes(0)
+            .watchdog(Duration::from_millis(250))
+            .poison_scan(false)
+            .max_rollbacks(1)
+            .plan(plan.clone());
+        assert_eq!(config.retries(), 5);
+        assert_eq!(config.strikes(), 1, "zero strikes clamps to one");
+        assert_eq!(config.watchdog_budget(), Some(Duration::from_millis(250)));
+        assert!(!config.poison_scan_enabled());
+        assert_eq!(config.rollback_bound(), 1);
+        assert_eq!(config.fault_plan(), &plan);
+    }
+
+    #[test]
+    fn quiet_report_detection() {
+        let mut report = SupervisorReport::default();
+        assert!(report.is_quiet());
+        assert_eq!(report.recoveries(), 0);
+        report.panics_recovered = 1;
+        report.retries = 1;
+        assert!(!report.is_quiet());
+        assert_eq!(report.recoveries(), 1);
+    }
+
+    #[test]
+    fn report_serde_round_trips_and_tolerates_missing_fields() {
+        let report = SupervisorReport {
+            retries: 3,
+            panics_recovered: 2,
+            timeouts_recovered: 1,
+            injected_faults: 4,
+            quarantines: vec![QuarantineEvent {
+                shard: 2,
+                round: 9,
+                strikes: 3,
+                reason: "injected task panic".to_string(),
+            }],
+            rollbacks: 1,
+            slots_rewound: 6,
+            poison_detected: 1,
+            snapshot_skips: 0,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        assert_eq!(
+            serde_json::from_str::<SupervisorReport>(&json).unwrap(),
+            report
+        );
+        // Reports written before a field existed still deserialize.
+        let sparse: SupervisorReport = serde_json::from_str("{\"retries\":7}").unwrap();
+        assert_eq!(sparse.retries, 7);
+        assert!(sparse.quarantines.is_empty());
+    }
+}

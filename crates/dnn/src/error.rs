@@ -18,6 +18,14 @@ pub enum DnnError {
         /// Why it was rejected.
         reason: &'static str,
     },
+    /// [`Layer::backward`] was called before a training-mode forward
+    /// pass cached the activations it needs.
+    ///
+    /// [`Layer::backward`]: crate::layers::Layer::backward
+    BackwardBeforeForward {
+        /// The layer that had no cached forward pass.
+        layer: &'static str,
+    },
 }
 
 impl std::fmt::Display for DnnError {
@@ -28,6 +36,12 @@ impl std::fmt::Display for DnnError {
             }
             DnnError::InvalidConfig { name, reason } => {
                 write!(f, "invalid configuration `{name}`: {reason}")
+            }
+            DnnError::BackwardBeforeForward { layer } => {
+                write!(
+                    f,
+                    "backward before forward: `{layer}` has no cached training pass"
+                )
             }
         }
     }

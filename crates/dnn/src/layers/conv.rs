@@ -2,6 +2,7 @@
 
 use rand::Rng;
 
+use crate::error::DnnError;
 use crate::layers::Layer;
 use crate::tensor::Tensor;
 
@@ -127,8 +128,11 @@ impl Layer for Conv2d {
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self.cache.clone().expect("backward before forward");
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DnnError> {
+        let input = self
+            .cache
+            .clone()
+            .ok_or(DnnError::BackwardBeforeForward { layer: "conv2d" })?;
         let (h, w) = self.check_input(&input);
         assert_eq!(grad_out.shape(), &[self.out_ch, h, w], "conv grad shape");
         let pad = self.kernel / 2;
@@ -166,7 +170,7 @@ impl Layer for Conv2d {
             }
             self.grad_b.as_mut_slice()[oc] += gb;
         }
-        grad_in
+        Ok(grad_in)
     }
 
     fn apply_gradients(&mut self, lr: f32, batch: usize) {
@@ -253,7 +257,7 @@ mod tests {
         )
         .unwrap();
         let _ = conv.forward(&x, true);
-        let gin = conv.backward(&upstream);
+        let gin = conv.backward(&upstream).unwrap();
         let loss = |y: &Tensor| {
             y.as_slice()
                 .iter()
@@ -299,7 +303,9 @@ mod tests {
                 .map(|(a, b)| a - b)
                 .collect();
             last = grad.iter().map(|g| g * g).sum::<f32>() / grad.len() as f32;
-            student.backward(&Tensor::from_vec(vec![1, 4, 4], grad).unwrap());
+            student
+                .backward(&Tensor::from_vec(vec![1, 4, 4], grad).unwrap())
+                .unwrap();
             student.apply_gradients(0.05, 1);
         }
         assert!(last < 1e-3, "mse {last}");

@@ -2,6 +2,7 @@
 
 use rand::Rng;
 
+use crate::error::DnnError;
 use crate::layers::Layer;
 use crate::tensor::Tensor;
 
@@ -92,8 +93,11 @@ impl Layer for Dense {
         Tensor::from_vec(vec![self.fan_out], out).expect("sized")
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cache.as_ref().expect("backward before forward");
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DnnError> {
+        let x = self
+            .cache
+            .as_ref()
+            .ok_or(DnnError::BackwardBeforeForward { layer: "dense" })?;
         assert_eq!(grad_out.len(), self.fan_out, "dense grad width mismatch");
         let g = grad_out.as_slice();
         let xs = x.as_slice();
@@ -126,7 +130,7 @@ impl Layer for Dense {
                 *gi += wi * go;
             }
         }
-        Tensor::from_vec(vec![self.fan_in], gin).expect("sized")
+        Tensor::from_vec(vec![self.fan_in], gin)
     }
 
     fn apply_gradients(&mut self, lr: f32, batch: usize) {
@@ -193,7 +197,7 @@ mod tests {
         let upstream = Tensor::from_vec(vec![2], vec![1.0, -0.5]).unwrap();
 
         let _ = fc.forward(&x, true);
-        let gin = fc.backward(&upstream);
+        let gin = fc.backward(&upstream).unwrap();
 
         let eps = 1e-3f32;
         for i in 0..3 {
@@ -235,7 +239,8 @@ mod tests {
                 .map(|(a, t)| a - t)
                 .collect();
             let loss: f32 = grad.iter().map(|g| g * g).sum::<f32>() / 2.0;
-            fc.backward(&Tensor::from_vec(vec![2], grad).unwrap());
+            fc.backward(&Tensor::from_vec(vec![2], grad).unwrap())
+                .unwrap();
             fc.apply_gradients(0.1, 1);
             last = loss;
         }
@@ -247,7 +252,9 @@ mod tests {
         let mut fc = Dense::new(2, 2, &mut rng());
         let x = Tensor::from_vec(vec![2], vec![1.0, 1.0]).unwrap();
         let _ = fc.forward(&x, true);
-        let _ = fc.backward(&Tensor::from_vec(vec![2], vec![1.0, 1.0]).unwrap());
+        let _ = fc
+            .backward(&Tensor::from_vec(vec![2], vec![1.0, 1.0]).unwrap())
+            .unwrap();
         let before = fc.weights().unwrap().clone();
         fc.apply_gradients(0.0, 1); // lr 0: weights unchanged, grads cleared
         assert_eq!(fc.weights().unwrap(), &before);

@@ -14,6 +14,7 @@ pub use conv::Conv2d;
 pub use dense::Dense;
 pub use pool::{AvgPool2d, MaxPool2d};
 
+use crate::error::DnnError;
 use crate::tensor::Tensor;
 
 /// A trainable (or stateless) network layer.
@@ -26,11 +27,11 @@ pub trait Layer: std::fmt::Debug {
     /// accumulating parameter gradients. Returns the gradient with
     /// respect to the layer input.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Implementations panic when called before a `forward` with
-    /// `train = true`.
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+    /// Returns [`DnnError::BackwardBeforeForward`] when called before
+    /// a `forward` with `train = true` cached the activations.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DnnError>;
 
     /// Applies accumulated gradients with learning rate `lr` (scaled by
     /// `1 / batch`) and clears them.
@@ -73,15 +74,18 @@ impl Layer for Relu {
         input.map(|v| v.max(0.0))
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("backward before forward");
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DnnError> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(DnnError::BackwardBeforeForward { layer: "relu" })?;
         let mut grad = grad_out.clone();
         for (g, &x) in grad.as_mut_slice().iter_mut().zip(cache.as_slice()) {
             if x <= 0.0 {
                 *g = 0.0;
             }
         }
-        grad
+        Ok(grad)
     }
 
     fn apply_gradients(&mut self, _lr: f32, _batch: usize) {}
@@ -115,9 +119,12 @@ impl Layer for Flatten {
             .expect("flatten preserves element count")
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.input_shape.clone().expect("backward before forward");
-        grad_out.reshape(shape).expect("restore shape")
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DnnError> {
+        let shape = self
+            .input_shape
+            .clone()
+            .ok_or(DnnError::BackwardBeforeForward { layer: "flatten" })?;
+        grad_out.reshape(shape)
     }
 
     fn apply_gradients(&mut self, _lr: f32, _batch: usize) {}
@@ -159,7 +166,9 @@ mod tests {
         let x = Tensor::from_vec(vec![4], vec![-1.0, 0.0, 2.0, -3.0]).unwrap();
         let y = relu.forward(&x, true);
         assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
-        let g = relu.backward(&Tensor::from_vec(vec![4], vec![1.0; 4]).unwrap());
+        let g = relu
+            .backward(&Tensor::from_vec(vec![4], vec![1.0; 4]).unwrap())
+            .unwrap();
         assert_eq!(g.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
     }
 
@@ -169,7 +178,7 @@ mod tests {
         let x = Tensor::zeros(vec![2, 3, 4]);
         let y = f.forward(&x, true);
         assert_eq!(y.shape(), &[24]);
-        let g = f.backward(&y);
+        let g = f.backward(&y).unwrap();
         assert_eq!(g.shape(), &[2, 3, 4]);
     }
 
@@ -192,9 +201,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "backward before forward")]
-    fn relu_backward_without_forward_panics() {
+    fn backward_without_forward_is_a_typed_error() {
         let mut relu = Relu::new();
-        let _ = relu.backward(&Tensor::zeros(vec![1]));
+        let err = relu.backward(&Tensor::zeros(vec![1])).unwrap_err();
+        assert_eq!(err, DnnError::BackwardBeforeForward { layer: "relu" });
+        let mut flat = Flatten::new();
+        let err = flat.backward(&Tensor::zeros(vec![1])).unwrap_err();
+        assert_eq!(err, DnnError::BackwardBeforeForward { layer: "flatten" });
+        assert!(err.to_string().contains("backward before forward"));
     }
 }

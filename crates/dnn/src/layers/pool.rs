@@ -1,5 +1,6 @@
 //! Max pooling.
 
+use crate::error::DnnError;
 use crate::layers::Layer;
 use crate::tensor::Tensor;
 
@@ -64,14 +65,17 @@ impl Layer for MaxPool2d {
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (shape, argmax) = self.cache.as_ref().expect("backward before forward");
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DnnError> {
+        let (shape, argmax) = self
+            .cache
+            .as_ref()
+            .ok_or(DnnError::BackwardBeforeForward { layer: "maxpool2d" })?;
         assert_eq!(grad_out.len(), argmax.len(), "pool grad size mismatch");
         let mut grad_in = Tensor::zeros(shape.clone());
         for (&flat, &g) in argmax.iter().zip(grad_out.as_slice()) {
             grad_in.as_mut_slice()[flat] += g;
         }
-        grad_in
+        Ok(grad_in)
     }
 
     fn apply_gradients(&mut self, _lr: f32, _batch: usize) {}
@@ -133,8 +137,11 @@ impl Layer for AvgPool2d {
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.input_shape.clone().expect("backward before forward");
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, DnnError> {
+        let shape = self
+            .input_shape
+            .clone()
+            .ok_or(DnnError::BackwardBeforeForward { layer: "avgpool2d" })?;
         let (c, h, w) = (shape[0], shape[1], shape[2]);
         let mut grad_in = Tensor::zeros(shape.clone());
         for ch in 0..c {
@@ -149,7 +156,7 @@ impl Layer for AvgPool2d {
                 }
             }
         }
-        grad_in
+        Ok(grad_in)
     }
 
     fn apply_gradients(&mut self, _lr: f32, _batch: usize) {}
@@ -176,7 +183,9 @@ mod tests {
         let mut pool = AvgPool2d::new();
         let x = Tensor::from_vec(vec![1, 2, 2], vec![1., 2., 3., 4.]).unwrap();
         let _ = pool.forward(&x, true);
-        let g = pool.backward(&Tensor::from_vec(vec![1, 1, 1], vec![8.0]).unwrap());
+        let g = pool
+            .backward(&Tensor::from_vec(vec![1, 1, 1], vec![8.0]).unwrap())
+            .unwrap();
         assert_eq!(g.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
     }
 
@@ -186,7 +195,7 @@ mod tests {
         let x = Tensor::from_vec(vec![1, 4, 4], (0..16).map(|i| i as f32 * 0.1).collect()).unwrap();
         let up = Tensor::from_vec(vec![1, 2, 2], vec![1.0, -1.0, 0.5, 2.0]).unwrap();
         let _ = pool.forward(&x, true);
-        let gin = pool.backward(&up);
+        let gin = pool.backward(&up).unwrap();
         let loss = |y: &Tensor| {
             y.as_slice()
                 .iter()
@@ -228,7 +237,9 @@ mod tests {
         let mut pool = MaxPool2d::new();
         let x = Tensor::from_vec(vec![1, 2, 2], vec![1., 9., 3., 4.]).unwrap();
         let _ = pool.forward(&x, true);
-        let g = pool.backward(&Tensor::from_vec(vec![1, 1, 1], vec![5.0]).unwrap());
+        let g = pool
+            .backward(&Tensor::from_vec(vec![1, 1, 1], vec![5.0]).unwrap())
+            .unwrap();
         assert_eq!(g.as_slice(), &[0., 5., 0., 0.]);
     }
 

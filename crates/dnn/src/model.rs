@@ -1,5 +1,6 @@
 //! The sequential network container.
 
+use crate::error::DnnError;
 use crate::layers::{softmax, Layer};
 use crate::tensor::Tensor;
 
@@ -71,11 +72,17 @@ impl Sequential {
 
     /// Backpropagates `grad` through every layer (reverse order),
     /// accumulating parameter gradients.
-    pub fn backward(&mut self, grad: &Tensor) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::BackwardBeforeForward`] when a layer has no
+    /// cached training pass (no preceding [`Sequential::forward_train`]).
+    pub fn backward(&mut self, grad: &Tensor) -> Result<(), DnnError> {
         let mut g = grad.clone();
         for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+            g = layer.backward(&g)?;
         }
+        Ok(())
     }
 
     /// Applies accumulated gradients everywhere.
@@ -178,7 +185,7 @@ mod tests {
                 total -= p.as_slice()[*label].max(1e-7).ln();
                 let mut grad = p.clone();
                 grad.as_mut_slice()[*label] -= 1.0;
-                net.backward(&grad);
+                net.backward(&grad).unwrap();
             }
             net.apply_gradients(0.5, data.len());
             last = total / data.len() as f32;

@@ -70,7 +70,7 @@ impl NoiseSpec {
 /// net.push(Relu::new());
 /// net.push(Dense::new(32, 4, &mut rng));
 /// let trainer = Trainer::new(TrainerConfig::default());
-/// trainer.fit(&mut net, &train);
+/// trainer.fit(&mut net, &train).expect("forward_train precedes backward");
 /// let acc = trainer.accuracy(&mut net, &test);
 /// assert!(acc > 0.5);
 /// ```
@@ -94,7 +94,12 @@ impl Trainer {
 
     /// Trains the network in place, returning the mean cross-entropy of
     /// the final epoch.
-    pub fn fit(&self, net: &mut Sequential, data: &[Sample]) -> f32 {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DnnError`] from the backward pass (shape mismatches
+    /// between layers of a miswired network).
+    pub fn fit(&self, net: &mut Sequential, data: &[Sample]) -> Result<f32, DnnError> {
         let mut last_epoch_loss = f32::INFINITY;
         for _ in 0..self.config.epochs {
             let mut epoch_loss = 0.0;
@@ -105,13 +110,13 @@ impl Trainer {
                     epoch_loss -= p.as_slice()[sample.label].max(1e-7).ln();
                     let mut grad = p;
                     grad.as_mut_slice()[sample.label] -= 1.0;
-                    net.backward(&grad);
+                    net.backward(&grad)?;
                 }
                 net.apply_gradients(self.config.learning_rate, batch.len());
             }
             last_epoch_loss = epoch_loss / data.len().max(1) as f32;
         }
-        last_epoch_loss
+        Ok(last_epoch_loss)
     }
 
     /// Top-1 accuracy on a dataset.
@@ -225,7 +230,7 @@ mod tests {
             batch_size: 8,
             epochs: 15,
         });
-        let loss = trainer.fit(&mut net, &train);
+        let loss = trainer.fit(&mut net, &train).unwrap();
         assert!(loss < 0.5, "final loss {loss}");
         let acc = trainer.accuracy(&mut net, &test);
         assert!(acc > 0.8, "test accuracy {acc}");
@@ -242,7 +247,7 @@ mod tests {
             batch_size: 8,
             epochs: 15,
         });
-        trainer.fit(&mut net, &train);
+        trainer.fit(&mut net, &train).unwrap();
         let clean = trainer.accuracy(&mut net, &test);
         let light = trainer
             .noisy_accuracy(&mut net, &test, &NoiseSpec::uniform(0.02, 2), &mut r)

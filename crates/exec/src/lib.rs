@@ -61,10 +61,10 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A fire-and-forget task: any `'static` closure. Results travel back
 /// through the [`Barrier`] channel, never through the task itself.
@@ -73,6 +73,41 @@ pub type Task = Box<dyn FnOnce() + Send + 'static>;
 /// One task of a round: produces a `T` that the round's [`Barrier`]
 /// commits in canonical order.
 pub type RoundTask<T> = Box<dyn FnOnce() -> T + Send + 'static>;
+
+/// What a [`TaskHook`] decides for one round task before it runs.
+///
+/// This is the executor's fault-injection seam: a chaos harness installs a
+/// hook via [`Executor::set_task_hook`] and maps `(round, slot)` pairs to
+/// fates; with no hook installed (the default) every task simply runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskFate {
+    /// Run the task normally.
+    Run,
+    /// Panic instead of running the task — the slot commits nothing and
+    /// surfaces as `None` through [`Barrier::wait_outcomes`].
+    Panic,
+    /// Sleep for the given duration, then run the task — a stall that a
+    /// round watchdog ([`Barrier::wait_outcomes_for`]) can convert into a
+    /// timeout.
+    Stall(Duration),
+}
+
+/// Decides the fate of each round task: `(round, slot, width) -> TaskFate`.
+///
+/// Called once per task at submission, in deterministic submission order,
+/// so a seeded hook yields a bit-for-bit replayable injection schedule.
+pub type TaskHook = Arc<dyn Fn(u64, usize, usize) -> TaskFate + Send + Sync>;
+
+/// How a round ended when waited on with a watchdog budget.
+#[derive(Debug)]
+pub enum RoundWait<T> {
+    /// Every task reported or terminally panicked; panicked slots are
+    /// `None`, all others hold their result in submission order.
+    Complete(Vec<Option<T>>),
+    /// The budget elapsed with at least one task still running; the slots
+    /// committed so far are inside (submission order, stragglers `None`).
+    TimedOut(Vec<Option<T>>),
+}
 
 /// Advances a `splitmix64` stream one step — the only randomness in
 /// this crate, used for seeded victim selection.
@@ -148,6 +183,10 @@ struct Inner {
     park: Mutex<ParkState>,
     wake: Condvar,
     seed: u64,
+    /// Fault-injection seam; `None` (the default) means every task runs.
+    hook: Mutex<Option<TaskHook>>,
+    /// Rounds submitted so far — the `round` argument hooks see.
+    rounds_submitted: AtomicU64,
     executed: AtomicU64,
     stolen: AtomicU64,
     parked: AtomicU64,
@@ -255,6 +294,8 @@ impl Executor {
             }),
             wake: Condvar::new(),
             seed,
+            hook: Mutex::new(None),
+            rounds_submitted: AtomicU64::new(0),
             executed: AtomicU64::new(0),
             stolen: AtomicU64::new(0),
             parked: AtomicU64::new(0),
@@ -321,16 +362,37 @@ impl Executor {
         self.inner.notify();
     }
 
+    /// Installs (or clears, with `None`) the fault-injection hook
+    /// consulted for every subsequently submitted round task. With no
+    /// hook installed the submission path is unchanged.
+    pub fn set_task_hook(&self, hook: Option<TaskHook>) {
+        *self.inner.hook.lock().expect("hook mutex") = hook;
+    }
+
     /// Submits a round of tasks, dealt round-robin across the worker
     /// deques, and returns the [`Barrier`] that commits their results
     /// in submission order.
     #[must_use = "the Barrier must be waited on to commit the round"]
     pub fn submit_round<T: Send + 'static>(&self, tasks: Vec<RoundTask<T>>) -> Barrier<T> {
         let width = tasks.len();
+        let hook = self.inner.hook.lock().expect("hook mutex").clone();
+        let round = self.inner.rounds_submitted.fetch_add(1, Ordering::Relaxed);
         let (tx, rx): (Sender<(CommitSeq, T)>, Receiver<(CommitSeq, T)>) = channel();
         for (seq, task) in tasks.into_iter().enumerate() {
             let tx = tx.clone();
+            let fate = hook
+                .as_ref()
+                .map_or(TaskFate::Run, |h| h(round, seq, width));
             let job: Task = Box::new(move || {
+                match fate {
+                    TaskFate::Run => {}
+                    TaskFate::Panic => {
+                        // The sender clone drops unsent: the slot surfaces
+                        // as `None` through `wait_outcomes`.
+                        panic!("injected task panic (round {round}, slot {seq})");
+                    }
+                    TaskFate::Stall(delay) => std::thread::sleep(delay),
+                }
                 let out = task();
                 let _ = tx.send((CommitSeq(seq), out));
             });
@@ -407,27 +469,76 @@ impl<T> Barrier<T> {
     /// # Panics
     ///
     /// Panics if any task of the round panicked instead of producing a
-    /// result.
+    /// result. Supervised callers use [`Barrier::wait_outcomes`] to
+    /// observe panicked slots as `None` instead.
     #[must_use]
     pub fn wait(self) -> Vec<T> {
+        self.wait_outcomes()
+            .into_iter()
+            .map(|slot| slot.expect("a task of this round panicked before committing"))
+            .collect()
+    }
+
+    /// Blocks until every task has either committed or terminally
+    /// panicked, then returns the slots in submission order — `None`
+    /// marks a panicked task, every other slot holds its result.
+    ///
+    /// Termination relies on the round's sender clones: a panicking task
+    /// drops its sender unsent, so once every task has finished (by any
+    /// fate) the channel disconnects and the collected slots are final.
+    #[must_use]
+    pub fn wait_outcomes(self) -> Vec<Option<T>> {
         let started = Instant::now();
         let mut slots: Vec<Option<T>> = (0..self.width).map(|_| None).collect();
-        for _ in 0..self.width {
-            let (seq, value) = self
-                .rx
-                .recv()
-                .expect("a task of this round panicked before committing");
-            slots[seq.index()] = Some(value);
+        loop {
+            match self.rx.recv() {
+                Ok((seq, value)) => slots[seq.index()] = Some(value),
+                Err(_) => break,
+            }
         }
+        self.commit_stats(started);
+        slots
+    }
+
+    /// Like [`Barrier::wait_outcomes`], but gives up after `budget` — the
+    /// round watchdog. A round whose stragglers have not committed when
+    /// the budget elapses returns [`RoundWait::TimedOut`] with the slots
+    /// collected so far; the caller decides whether to retry or fail.
+    ///
+    /// A timed-out round's stragglers keep their workers until they
+    /// finish; their late results go to a dropped receiver and vanish.
+    #[must_use]
+    pub fn wait_outcomes_for(self, budget: Duration) -> RoundWait<T> {
+        let started = Instant::now();
+        let deadline = started + budget;
+        let mut slots: Vec<Option<T>> = (0..self.width).map(|_| None).collect();
+        loop {
+            let now = Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now) else {
+                self.commit_stats(started);
+                return RoundWait::TimedOut(slots);
+            };
+            match self.rx.recv_timeout(remaining) {
+                Ok((seq, value)) => slots[seq.index()] = Some(value),
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.commit_stats(started);
+                    return RoundWait::Complete(slots);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    self.commit_stats(started);
+                    return RoundWait::TimedOut(slots);
+                }
+            }
+        }
+    }
+
+    /// Accounts one waited round into the monotonic counters.
+    fn commit_stats(&self, started: Instant) {
         let waited = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.inner.rounds.fetch_add(1, Ordering::Relaxed);
         self.inner
             .barrier_wait_ns
             .fetch_add(waited, Ordering::Relaxed);
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every commit sequence filled"))
-            .collect()
     }
 }
 
@@ -441,7 +552,7 @@ mod tests {
     fn round_commits_in_submission_order_despite_reversed_completion() {
         let exec = Executor::new(4, 1);
         let tasks: Vec<RoundTask<usize>> = (0..8)
-            .map(|i| {
+            .map(|i: usize| {
                 Box::new(move || {
                     // Later tasks finish first; commit order must not care.
                     std::thread::sleep(Duration::from_millis(2 * (8 - i as u64)));
@@ -466,7 +577,7 @@ mod tests {
         // Even commit slots land on worker 0 and sleep; odd slots are
         // no-ops on worker 1, which then has nothing left but theft.
         let tasks: Vec<RoundTask<usize>> = (0..8)
-            .map(|i| {
+            .map(|i: usize| {
                 Box::new(move || {
                     if i % 2 == 0 {
                         std::thread::sleep(Duration::from_millis(10));
@@ -489,7 +600,7 @@ mod tests {
         let before = exec.stats();
         let _ = exec.run_round(
             (0..4)
-                .map(|i| Box::new(move || i) as RoundTask<usize>)
+                .map(|i: usize| Box::new(move || i) as RoundTask<usize>)
                 .collect(),
         );
         let delta = exec.stats().since(&before);
@@ -545,6 +656,106 @@ mod tests {
     fn commit_seq_orders_by_index() {
         assert!(CommitSeq(0) < CommitSeq(1));
         assert_eq!(CommitSeq(3).index(), 3);
+    }
+
+    /// Regression: a worker panic mid-round must not disturb the
+    /// submission order of the surviving slots, and the scheduler
+    /// counters must stay monotonic through the panic.
+    #[test]
+    fn panicked_round_task_yields_ordered_outcomes_and_monotonic_stats() {
+        let exec = Executor::new(2, 21);
+        let before = exec.stats();
+        let tasks: Vec<RoundTask<usize>> = (0..6)
+            .map(|i: usize| {
+                Box::new(move || {
+                    if i == 2 || i == 4 {
+                        panic!("mid-round task panic");
+                    }
+                    // Shuffle completion order so order must come from
+                    // commit sequencing, not timing.
+                    std::thread::sleep(Duration::from_millis(2 * (6 - i as u64)));
+                    i * 10
+                }) as RoundTask<usize>
+            })
+            .collect();
+        let outcomes = exec.submit_round(tasks).wait_outcomes();
+        assert_eq!(
+            outcomes,
+            vec![Some(0), Some(10), None, Some(30), None, Some(50)]
+        );
+        let delta = exec.stats().since(&before);
+        // `since` underflows (and panics) if any counter regressed, so
+        // reaching these asserts proves monotonicity.
+        assert_eq!(delta.executed, 6, "panicked tasks still count as executed");
+        assert_eq!(delta.rounds, 1);
+        // The executor survives: a fresh round commits normally.
+        let out = exec.run_round(vec![Box::new(|| 1u32) as RoundTask<u32>]);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn task_hook_injects_panics_without_killing_the_round() {
+        let exec = Executor::new(2, 23);
+        exec.set_task_hook(Some(Arc::new(|_round, slot, _width| {
+            if slot == 1 {
+                TaskFate::Panic
+            } else {
+                TaskFate::Run
+            }
+        })));
+        let tasks: Vec<RoundTask<u32>> = (0..4)
+            .map(|i: u32| Box::new(move || i) as RoundTask<u32>)
+            .collect();
+        let outcomes = exec.submit_round(tasks).wait_outcomes();
+        assert_eq!(outcomes, vec![Some(0), None, Some(2), Some(3)]);
+        // Clearing the hook restores the unfaulted path.
+        exec.set_task_hook(None);
+        let tasks: Vec<RoundTask<u32>> = (0..4)
+            .map(|i: u32| Box::new(move || i) as RoundTask<u32>)
+            .collect();
+        assert_eq!(exec.run_round(tasks), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn watchdog_times_out_a_stalled_round() {
+        let exec = Executor::new(2, 29);
+        exec.set_task_hook(Some(Arc::new(|_round, slot, _width| {
+            if slot == 0 {
+                TaskFate::Stall(Duration::from_millis(400))
+            } else {
+                TaskFate::Run
+            }
+        })));
+        let tasks: Vec<RoundTask<u32>> = (0..2)
+            .map(|i: u32| Box::new(move || i) as RoundTask<u32>)
+            .collect();
+        match exec
+            .submit_round(tasks)
+            .wait_outcomes_for(Duration::from_millis(40))
+        {
+            RoundWait::TimedOut(slots) => {
+                assert_eq!(slots.len(), 2);
+                assert_eq!(slots[0], None, "stalled slot must not have committed");
+            }
+            RoundWait::Complete(_) => panic!("a 400 ms stall beat a 40 ms watchdog"),
+        }
+    }
+
+    #[test]
+    fn watchdog_passes_a_healthy_round_through() {
+        let exec = Executor::new(2, 33);
+        let tasks: Vec<RoundTask<u32>> = (0..4)
+            .map(|i: u32| Box::new(move || i + 1) as RoundTask<u32>)
+            .collect();
+        match exec
+            .submit_round(tasks)
+            .wait_outcomes_for(Duration::from_secs(30))
+        {
+            RoundWait::Complete(slots) => {
+                assert_eq!(slots, vec![Some(1), Some(2), Some(3), Some(4)]);
+            }
+            RoundWait::TimedOut(_) => panic!("healthy round timed out"),
+        }
     }
 
     mod properties {

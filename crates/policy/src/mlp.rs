@@ -212,6 +212,28 @@ impl MultiHeadMlp {
         self.params.len()
     }
 
+    /// `true` when every live parameter is finite. A single NaN or Inf
+    /// anywhere in the weights silently corrupts every subsequent
+    /// prediction, so supervisors scan this at commit barriers and roll
+    /// back to the last valid checkpoint when it trips.
+    #[must_use]
+    pub fn params_are_finite(&self) -> bool {
+        let (w1, b1, wa, ba, wb, bb) = self.raw_params();
+        [w1, b1, wa, ba, wb, bb]
+            .iter()
+            .all(|block| block.iter().all(|v| v.is_finite()))
+    }
+
+    /// Overwrites the first hidden weight with a non-finite value —
+    /// fault-injection support for chaos harnesses, never called on a
+    /// production path.
+    #[doc(hidden)]
+    pub fn poison_first_weight(&mut self, value: f64) {
+        if let Some(w) = self.params.w1.first_mut() {
+            *w = value;
+        }
+    }
+
     /// Hidden-layer activations written into `out` (cleared first):
     /// a laned row-major matvec, then the shared scalar ReLU.
     fn hidden_into(&self, backend: Backend, x: &[f64], out: &mut Vec<f64>) {

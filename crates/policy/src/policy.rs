@@ -122,6 +122,22 @@ impl OuPolicy {
         self.updates
     }
 
+    /// `true` when every MLP parameter is finite (see
+    /// [`MultiHeadMlp::params_are_finite`]).
+    ///
+    /// [`MultiHeadMlp::params_are_finite`]: crate::MultiHeadMlp::params_are_finite
+    #[must_use]
+    pub fn weights_are_finite(&self) -> bool {
+        self.mlp.params_are_finite()
+    }
+
+    /// Poisons one MLP weight with a non-finite value (chaos-harness
+    /// fault injection only).
+    #[doc(hidden)]
+    pub fn poison_weight(&mut self, value: f64) {
+        self.mlp.poison_first_weight(value);
+    }
+
     /// Predicts `(row_level, col_level)` for normalized features Φ.
     #[must_use]
     pub fn predict(&self, features: &[f64; 4]) -> (usize, usize) {

@@ -31,6 +31,12 @@
 //!   whole batch with **one** matrix pass — the members share the pass
 //!   latency and each pays only the host overhead. A window of 1
 //!   disables fusion and reproduces the unfused timeline bit for bit.
+//! - **Chaos plane** (when a [`FaultPlan`] is armed via
+//!   [`ServeEngineBuilder::chaos`]): deterministic clock-skew/burst
+//!   reshaping of the arrival trace, typed [`OdinError::Injected`]
+//!   faults at the inference boundary, and a NaN poison sentinel that
+//!   heals by rolling runtime *and* progress back to the last clean
+//!   in-memory generation. A disabled plan is bit-transparent.
 //!
 //! Engines are constructed through [`ServeEngine::builder`]; an
 //! optional [`Executor`](odin_exec::Executor) — the same work-stealing
@@ -51,6 +57,7 @@ use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use odin_chaos::{FaultClass, FaultPlan};
 use odin_core::snapshot::RuntimeState;
 use odin_core::{InferenceRecord, OdinError, OdinRuntime, SnapshotError, TelemetrySummary};
 use odin_dnn::zoo::{self, Dataset};
@@ -493,6 +500,21 @@ struct CheckpointSpec {
     retain: usize,
 }
 
+/// Dirty scans in a row (without an intervening clean commit) before
+/// the serve supervisor stops rolling back and fails closed.
+const MAX_SERVE_ROLLBACKS: u32 = 8;
+
+/// Mutable chaos bookkeeping for one `drive` call. The poison sequence
+/// is monotonic and never rewound on rollback — a healed run draws a
+/// *fresh* decision for the replayed commit instead of re-poisoning
+/// itself forever — and `last_good` holds the newest clean in-memory
+/// generation (runtime + progress) the sentinel can roll back to.
+struct ChaosCommit {
+    poison_seq: u64,
+    consecutive_rollbacks: u32,
+    last_good: Option<(OdinRuntime, ServeProgress)>,
+}
+
 /// Where inference passes execute for one serving run: inline on the
 /// borrowed runtime, or as tasks on a shared work-stealing
 /// [`Executor`]. The timeline is single-server either way — passes
@@ -525,6 +547,14 @@ impl<'a> ServerCtx<'a> {
         match self {
             ServerCtx::Inline(rt) => rt,
             ServerCtx::Pooled { slot, .. } => slot.as_ref().expect("runtime at rest"),
+        }
+    }
+
+    /// The runtime at rest, mutably — the chaos poison/rollback seam.
+    fn runtime_mut(&mut self) -> &mut OdinRuntime {
+        match self {
+            ServerCtx::Inline(rt) => rt,
+            ServerCtx::Pooled { slot, .. } => slot.as_mut().expect("runtime at rest"),
         }
     }
 
@@ -586,6 +616,7 @@ pub struct ServeEngineBuilder {
     telemetry: Telemetry,
     checkpoint: Option<CheckpointSpec>,
     executor: Option<Arc<Executor>>,
+    chaos: FaultPlan,
 }
 
 impl ServeEngineBuilder {
@@ -636,6 +667,30 @@ impl ServeEngineBuilder {
         self
     }
 
+    /// Arms a chaos [`FaultPlan`] on the engine. Three serve-side
+    /// fault families respond to it:
+    ///
+    /// - [`FaultClass::ClockSkew`] / [`FaultClass::Burst`] reshape the
+    ///   arrival trace deterministically before serving — skew drags
+    ///   arrivals toward their predecessor (compressing gaps), burst
+    ///   duplicates arrivals into same-instant micro-bursts.
+    /// - [`FaultClass::EvalTransient`] injects typed
+    ///   [`OdinError::Injected`] faults at the inference boundary,
+    ///   exercising the retry/breaker/degraded ladder.
+    /// - [`FaultClass::WeightPoison`] writes NaN into the policy at
+    ///   commit barriers; the engine's poison sentinel detects it and
+    ///   rolls back to the last clean in-memory generation, so the
+    ///   healed run reproduces the clean digest bit for bit.
+    ///
+    /// A disabled plan (the default) is bit-transparent: every
+    /// injection branch is skipped and outcomes match an engine built
+    /// without this call.
+    #[must_use]
+    pub fn chaos(mut self, plan: FaultPlan) -> ServeEngineBuilder {
+        self.chaos = plan;
+        self
+    }
+
     /// Validates the configuration and builds the engine.
     ///
     /// # Errors
@@ -649,6 +704,7 @@ impl ServeEngineBuilder {
             telemetry: self.telemetry,
             checkpoint: self.checkpoint,
             executor: self.executor,
+            chaos: self.chaos,
         })
     }
 }
@@ -662,6 +718,7 @@ pub struct ServeEngine {
     telemetry: Telemetry,
     checkpoint: Option<CheckpointSpec>,
     executor: Option<Arc<Executor>>,
+    chaos: FaultPlan,
 }
 
 impl ServeEngine {
@@ -674,6 +731,7 @@ impl ServeEngine {
             telemetry: Telemetry::disabled(),
             checkpoint: None,
             executor: None,
+            chaos: FaultPlan::disabled(),
         }
     }
 
@@ -681,6 +739,106 @@ impl ServeEngine {
     #[must_use]
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// Applies the armed clock-skew/burst transform to `trace`.
+    ///
+    /// Pure in the plan and the input trace, so a resumed run (same
+    /// plan, same config) replays the identical reshaped trace. Skew
+    /// drags a fired arrival back toward its predecessor by the plan's
+    /// auxiliary draw — gaps compress, order is preserved — and burst
+    /// clones a fired arrival into a same-instant micro-burst. Ids are
+    /// re-densified afterwards so outcome digests stay well-defined.
+    fn chaos_trace(&self, trace: ArrivalTrace) -> ArrivalTrace {
+        let skew = self.chaos.rate(FaultClass::ClockSkew) > 0.0;
+        let burst = self.chaos.rate(FaultClass::Burst) > 0.0;
+        if !skew && !burst {
+            return trace;
+        }
+        let mut requests: Vec<Request> = Vec::with_capacity(trace.requests.len());
+        let mut last_ms = 0.0f64;
+        for (i, mut r) in trace.requests.into_iter().enumerate() {
+            let seq = i as u64;
+            if skew && self.chaos.fires(FaultClass::ClockSkew, seq) {
+                let frac = self.chaos.draw(FaultClass::ClockSkew, seq);
+                r.arrival_ms = last_ms + (r.arrival_ms - last_ms) * (1.0 - frac);
+            }
+            r.arrival_ms = r.arrival_ms.max(last_ms);
+            last_ms = r.arrival_ms;
+            requests.push(r);
+            if burst && self.chaos.fires(FaultClass::Burst, seq) {
+                let clones = 1 + (self.chaos.draw(FaultClass::Burst, seq) * 3.0) as usize;
+                for _ in 0..clones {
+                    requests.push(r);
+                }
+            }
+        }
+        for (id, r) in requests.iter_mut().enumerate() {
+            r.id = id as u64;
+        }
+        ArrivalTrace { requests }
+    }
+
+    /// One inference pass through the chaos gate: when the plan arms
+    /// [`FaultClass::EvalTransient`], occurrence `seq` may surface a
+    /// typed [`OdinError::Injected`] instead of running the pass —
+    /// feeding the retry/breaker machinery the same transient faults
+    /// a flaky fabric would.
+    fn infer(
+        &self,
+        server: &mut ServerCtx<'_>,
+        network: &Arc<NetworkDescriptor>,
+        now: Seconds,
+        degraded: bool,
+        seq: u64,
+    ) -> Result<InferenceRecord, OdinError> {
+        if self.chaos.fires(FaultClass::EvalTransient, seq) {
+            return Err(OdinError::Injected {
+                site: "serve-infer",
+            });
+        }
+        server.infer(network, now, degraded)
+    }
+
+    /// The serve-side commit barrier, run after every dispatch while
+    /// [`FaultClass::WeightPoison`] is armed: inject poison on the
+    /// plan's schedule, scan the runtime for non-finite state, and heal
+    /// by rolling runtime *and* progress back to the last clean
+    /// generation — replay from there reproduces the clean outcome
+    /// stream bit for bit. Returns `true` when a rollback happened (the
+    /// caller skips checkpointing for that commit). Fails closed with
+    /// [`OdinError::StatePoisoned`] once the scan stays dirty past
+    /// [`MAX_SERVE_ROLLBACKS`] or before any clean generation exists.
+    fn chaos_commit(
+        &self,
+        server: &mut ServerCtx<'_>,
+        progress: &mut ServeProgress,
+        chaos: &mut ChaosCommit,
+    ) -> Result<bool, OdinError> {
+        if self.chaos.fires(FaultClass::WeightPoison, chaos.poison_seq) {
+            server.runtime_mut().poison_policy_weight();
+        }
+        chaos.poison_seq += 1;
+        if server.runtime().state_is_finite() {
+            chaos.consecutive_rollbacks = 0;
+            chaos.last_good = Some((server.runtime().clone(), progress.clone()));
+            return Ok(false);
+        }
+        self.telemetry.incr(CounterId::SupervisorPoisonDetected);
+        chaos.consecutive_rollbacks += 1;
+        let Some((rt, prog)) = chaos
+            .last_good
+            .as_ref()
+            .filter(|_| chaos.consecutive_rollbacks <= MAX_SERVE_ROLLBACKS)
+        else {
+            return Err(OdinError::StatePoisoned {
+                what: "serve-state",
+            });
+        };
+        *server.runtime_mut() = rt.clone();
+        *progress = prog.clone();
+        self.telemetry.incr(CounterId::SupervisorRollbacks);
+        Ok(true)
     }
 
     /// Serves the full arrival trace through `runtime` from a fresh
@@ -695,7 +853,7 @@ impl ServeEngine {
     pub fn run(&self, runtime: &mut OdinRuntime) -> Result<ServeReport, OdinError> {
         self.config.validate()?;
         let networks = self.config.networks()?;
-        let trace = self.config.arrival_trace();
+        let trace = self.chaos_trace(self.config.arrival_trace());
         let mut progress = ServeProgress::fresh(&self.config);
         self.drive(runtime, &networks, &trace, &mut progress)
     }
@@ -728,7 +886,7 @@ impl ServeEngine {
         }
         let mut runtime = OdinRuntime::from_state(&snap.runtime)?;
         let networks = self.config.networks()?;
-        let trace = self.config.arrival_trace();
+        let trace = self.chaos_trace(self.config.arrival_trace());
         let mut progress = snap.progress;
         let report = self.drive(&mut runtime, &networks, &trace, &mut progress)?;
         Ok((runtime, report))
@@ -753,6 +911,12 @@ impl ServeEngine {
             .clone()
             .or_else(|| runtime.executor().cloned());
         let mut server = ServerCtx::attach(runtime, exec);
+        let poison_armed = self.chaos.rate(FaultClass::WeightPoison) > 0.0;
+        let mut chaos = ChaosCommit {
+            poison_seq: 0,
+            consecutive_rollbacks: 0,
+            last_good: poison_armed.then(|| (server.runtime().clone(), progress.clone())),
+        };
         loop {
             let head = Self::pick_head(progress);
             let arrival = trace.requests.get(progress.next_arrival).copied();
@@ -771,11 +935,17 @@ impl ServeEngine {
                         progress.next_arrival += 1;
                     } else {
                         self.dispatch(&mut server, &networks, progress, tenant);
+                        if poison_armed && self.chaos_commit(&mut server, progress, &mut chaos)? {
+                            continue;
+                        }
                         self.maybe_checkpoint(server.runtime(), progress)?;
                     }
                 }
                 (None, Some((tenant, _))) => {
                     self.dispatch(&mut server, &networks, progress, tenant);
+                    if poison_armed && self.chaos_commit(&mut server, progress, &mut chaos)? {
+                        continue;
+                    }
                     self.maybe_checkpoint(server.runtime(), progress)?;
                 }
             }
@@ -1004,7 +1174,14 @@ impl ServeEngine {
         let mut attempt: u32 = 0;
         loop {
             let now = Seconds::new((start + service_ms) / 1e3);
-            match server.infer(network, now, false) {
+            // Batch attempts draw from the head's injection stream,
+            // offset past the individual-attempt range so an unfused
+            // retry sequence sees fresh decisions.
+            let seq = head
+                .id
+                .wrapping_mul(64)
+                .wrapping_add(u64::from(attempt) + 32);
+            match self.infer(server, network, now, false, seq) {
                 Ok(record) => {
                     service_ms += record.total_latency().value() * 1e3
                         + self.config.host_overhead_ms * live.len() as f64;
@@ -1083,7 +1260,8 @@ impl ServeEngine {
         let mut attempt: u32 = 0;
         loop {
             let now = Seconds::new((start + service_ms) / 1e3);
-            match server.infer(network, now, false) {
+            let seq = q.id.wrapping_mul(64).wrapping_add(u64::from(attempt));
+            match self.infer(server, network, now, false, seq) {
                 Ok(record) => {
                     service_ms +=
                         record.total_latency().value() * 1e3 + self.config.host_overhead_ms;
@@ -1128,7 +1306,10 @@ impl ServeEngine {
         start: f64,
     ) {
         let now = Seconds::new(start / 1e3);
-        match server.infer(network, now, true) {
+        // The single degraded attempt draws the last slot of the
+        // request's injection stream.
+        let seq = q.id.wrapping_mul(64).wrapping_add(63);
+        match self.infer(server, network, now, true, seq) {
             Ok(record) => {
                 let service_ms =
                     record.total_latency().value() * 1e3 + self.config.host_overhead_ms;
@@ -1638,6 +1819,122 @@ mod tests {
         assert_eq!(report.outcomes(), report.totals.generated);
     }
 
+    #[test]
+    fn disabled_chaos_plan_is_bit_transparent() {
+        let config = tiny_config(51);
+        let clean = engine(config.clone())
+            .run(&mut healthy_runtime(51))
+            .unwrap();
+        let gated = ServeEngine::builder(config)
+            .chaos(FaultPlan::disabled())
+            .build()
+            .unwrap()
+            .run(&mut healthy_runtime(51))
+            .unwrap();
+        assert_eq!(gated.digest, clean.digest);
+        assert_eq!(gated.totals, clean.totals);
+    }
+
+    #[test]
+    fn skew_and_burst_reshape_the_trace_deterministically() {
+        let config = tiny_config(53);
+        let clean = engine(config.clone())
+            .run(&mut healthy_runtime(53))
+            .unwrap();
+        let plan = FaultPlan::new(0xA11CE)
+            .with_rate(FaultClass::ClockSkew, 0.4)
+            .with_rate(FaultClass::Burst, 0.3);
+        let run = |seed: u64| {
+            ServeEngine::builder(config.clone())
+                .chaos(plan.clone())
+                .build()
+                .unwrap()
+                .run(&mut healthy_runtime(seed))
+                .unwrap()
+        };
+        let a = run(53);
+        let b = run(53);
+        assert_eq!(a.digest, b.digest, "reshaped trace must replay bit-exact");
+        assert_eq!(a.totals, b.totals);
+        assert!(a.balanced(), "reshaped workload keeps the ledger: {a}");
+        assert!(
+            a.totals.generated > clean.totals.generated,
+            "burst amplification must add arrivals: {} vs {}",
+            a.totals.generated,
+            clean.totals.generated
+        );
+    }
+
+    #[test]
+    fn injected_infer_faults_exercise_retries_and_stay_accounted() {
+        let config = tiny_config(57);
+        let plan = FaultPlan::new(0xFA17).with_rate(FaultClass::EvalTransient, 0.3);
+        let run = || {
+            ServeEngine::builder(config.clone())
+                .chaos(plan.clone())
+                .build()
+                .unwrap()
+                .run(&mut healthy_runtime(57))
+                .unwrap()
+        };
+        let a = run();
+        assert!(a.balanced(), "injected faults must stay accounted: {a}");
+        assert_eq!(a.outcomes(), a.totals.generated);
+        assert!(
+            a.totals.retries > 0,
+            "a 30% injection rate must trigger retries: {a}"
+        );
+        let b = run();
+        assert_eq!(b.digest, a.digest, "injection schedule must be seeded");
+    }
+
+    #[test]
+    fn weight_poison_heals_back_to_the_clean_digest() {
+        let config = tiny_config(61);
+        let clean = engine(config.clone())
+            .run(&mut healthy_runtime(61))
+            .unwrap();
+        let plan = FaultPlan::new(0x9015).with_rate(FaultClass::WeightPoison, 0.25);
+        let mut runtime = healthy_runtime(61);
+        let healed = ServeEngine::builder(config)
+            .chaos(plan)
+            .telemetry(Telemetry::enabled())
+            .build()
+            .unwrap()
+            .run(&mut runtime)
+            .unwrap();
+        // Poison is injected and detected at the same commit barrier,
+        // so the rolled-back replay reproduces the clean stream
+        // bit for bit — self-healing leaves no trace in the outcomes.
+        assert_eq!(healed.digest, clean.digest);
+        assert_eq!(healed.totals, clean.totals);
+        assert!(runtime.state_is_finite(), "healed runtime must end clean");
+        assert!(
+            healed.telemetry.counter("supervisor_poison_detected") > 0,
+            "a 25% poison rate must trip the sentinel: {healed}"
+        );
+        assert_eq!(
+            healed.telemetry.counter("supervisor_rollbacks"),
+            healed.telemetry.counter("supervisor_poison_detected"),
+            "every detection heals by rollback: {healed}"
+        );
+    }
+
+    #[test]
+    fn relentless_poison_fails_closed_with_a_typed_error() {
+        let config = tiny_config(63);
+        let plan = FaultPlan::new(7).with_rate(FaultClass::WeightPoison, 1.0);
+        let result = ServeEngine::builder(config)
+            .chaos(plan)
+            .build()
+            .unwrap()
+            .run(&mut healthy_runtime(63));
+        assert!(
+            matches!(result, Err(OdinError::StatePoisoned { .. })),
+            "poison on every commit must exhaust the rollback bound"
+        );
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -1679,6 +1976,68 @@ mod tests {
                 prop_assert_eq!(fused.totals.generated, unfused.totals.generated);
                 prop_assert!(unfused.balanced());
                 prop_assert!(fused.balanced());
+            }
+        }
+
+        /// JSON splice helper: a finite float becomes a number token, a
+        /// non-finite one becomes `null` (strict JSON cannot spell NaN,
+        /// so the deserializer itself must reject it — typed, no panic).
+        fn num_or_null(x: f64) -> serde_json::Value {
+            serde_json::Number::from_f64(x)
+                .map_or(serde_json::Value::Null, serde_json::Value::Number)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Arbitrary bytes thrown at the JSON front door never
+            /// panic: either the parse fails with a typed serde error,
+            /// or the parsed config reaches a typed validate verdict.
+            #[test]
+            fn arbitrary_json_never_panics(input in "\\PC*") {
+                if let Ok(cfg) = serde_json::from_str::<ServeConfig>(&input) {
+                    let _ = cfg.validate();
+                }
+            }
+
+            /// Numeric mutations spliced into the serialized demo fleet
+            /// — rates, durations, jitter fractions, queue depths —
+            /// survive the serde → validate funnel without a panic, and
+            /// every out-of-range survivor is rejected with a typed
+            /// [`OdinError::InvalidConfig`].
+            #[test]
+            fn mutated_demo_json_validates_or_rejects_typed(
+                rate in proptest::num::f64::ANY,
+                duration in proptest::num::f64::ANY,
+                jitter in proptest::num::f64::ANY,
+                queue in proptest::num::u16::ANY,
+            ) {
+                let mut v = serde_json::to_value(ServeConfig::demo(1)).unwrap();
+                v["tenants"][0]["rate_rps"] = num_or_null(rate);
+                v["tenants"][0]["queue_capacity"] =
+                    serde_json::Value::from(u64::from(queue));
+                v["trace"]["duration_ms"] = num_or_null(duration);
+                v["retry"]["jitter_frac"] = num_or_null(jitter);
+                match serde_json::from_value::<ServeConfig>(v) {
+                    Ok(cfg) => {
+                        let want_ok = rate.is_finite()
+                            && rate > 0.0
+                            && queue > 0
+                            && duration.is_finite()
+                            && duration > 0.0
+                            && (0.0..=1.0).contains(&jitter);
+                        let verdict = cfg.validate();
+                        prop_assert_eq!(verdict.is_ok(), want_ok);
+                        if let Err(e) = verdict {
+                            prop_assert!(matches!(e, OdinError::InvalidConfig { .. }));
+                        }
+                    }
+                    // Only a non-finite splice (serialized as null) can
+                    // fail deserialization of the demo envelope.
+                    Err(_) => prop_assert!(
+                        !(rate.is_finite() && duration.is_finite() && jitter.is_finite())
+                    ),
+                }
             }
         }
     }

@@ -79,6 +79,10 @@ pub enum FailureClass {
     Snapshot,
     /// A configuration rejection.
     Config,
+    /// The poison sentinel found non-finite live state and no clean
+    /// generation was available to roll back to
+    /// ([`OdinError::StatePoisoned`]).
+    Poisoned,
     /// Any error variant this crate does not know by name
     /// (`OdinError` is `#[non_exhaustive]`).
     Other,
@@ -86,16 +90,17 @@ pub enum FailureClass {
 
 impl FailureClass {
     /// Number of failure classes.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Every class, in counter-array order.
-    pub const ALL: [FailureClass; 7] = [
+    pub const ALL: [FailureClass; 8] = [
         FailureClass::Transient,
         FailureClass::Mapping,
         FailureClass::Endurance,
         FailureClass::Device,
         FailureClass::Snapshot,
         FailureClass::Config,
+        FailureClass::Poisoned,
         FailureClass::Other,
     ];
 
@@ -115,6 +120,7 @@ impl FailureClass {
             FailureClass::Device => "device",
             FailureClass::Snapshot => "snapshot",
             FailureClass::Config => "config",
+            FailureClass::Poisoned => "poisoned",
             FailureClass::Other => "other",
         }
     }
@@ -133,6 +139,7 @@ impl FailureClass {
             OdinError::Device(_) => FailureClass::Device,
             OdinError::Snapshot(_) => FailureClass::Snapshot,
             OdinError::InvalidConfig { .. } => FailureClass::Config,
+            OdinError::StatePoisoned { .. } => FailureClass::Poisoned,
             _ => FailureClass::Other,
         }
     }
@@ -476,6 +483,22 @@ mod tests {
                     reason: "r",
                 },
                 FailureClass::Config,
+            ),
+            (
+                OdinError::RoundTimeout { round: 3 },
+                FailureClass::Transient,
+            ),
+            (
+                OdinError::Injected {
+                    site: "serve-infer",
+                },
+                FailureClass::Transient,
+            ),
+            (
+                OdinError::StatePoisoned {
+                    what: "serve-state",
+                },
+                FailureClass::Poisoned,
             ),
         ];
         for (error, expected) in cases {

@@ -91,11 +91,28 @@ pub enum CounterId {
     /// Layer decisions the quantization ambiguity guard routed back
     /// through the f64 reference path.
     PolicyQuantFallback,
+    /// Inline re-executions the supervisor launched to recover failed
+    /// or lost shard tasks (includes checkpoint-save retries).
+    SupervisorRetries,
+    /// Shard slots the supervisor recovered after their task panicked.
+    SupervisorPanicsRecovered,
+    /// Shard slots the supervisor recovered after the round watchdog
+    /// expired.
+    SupervisorTimeoutsRecovered,
+    /// Shard slots quarantined after repeated strikes.
+    SupervisorQuarantines,
+    /// Poisoned commits rolled back to a valid checkpoint generation.
+    SupervisorRollbacks,
+    /// Commit-barrier poison-sentinel trips (non-finite state
+    /// detected).
+    SupervisorPoisonDetected,
+    /// Checkpoint saves skipped after their bounded retry failed.
+    SupervisorSnapshotSkips,
 }
 
 impl CounterId {
     /// Number of counter variants (the metric array length).
-    pub const COUNT: usize = 36;
+    pub const COUNT: usize = 43;
 
     /// Every counter, in declaration order — the canonical iteration
     /// order for snapshots, summaries, and sinks.
@@ -136,6 +153,13 @@ impl CounterId {
         CounterId::ExecParks,
         CounterId::PolicyQuantRows,
         CounterId::PolicyQuantFallback,
+        CounterId::SupervisorRetries,
+        CounterId::SupervisorPanicsRecovered,
+        CounterId::SupervisorTimeoutsRecovered,
+        CounterId::SupervisorQuarantines,
+        CounterId::SupervisorRollbacks,
+        CounterId::SupervisorPoisonDetected,
+        CounterId::SupervisorSnapshotSkips,
     ];
 
     /// The flat-array slot of this counter.
@@ -184,6 +208,13 @@ impl CounterId {
             CounterId::ExecParks => "exec_park",
             CounterId::PolicyQuantRows => "policy_quant_rows",
             CounterId::PolicyQuantFallback => "policy_quant_fallback",
+            CounterId::SupervisorRetries => "supervisor_retries",
+            CounterId::SupervisorPanicsRecovered => "supervisor_panics_recovered",
+            CounterId::SupervisorTimeoutsRecovered => "supervisor_timeouts_recovered",
+            CounterId::SupervisorQuarantines => "supervisor_quarantines",
+            CounterId::SupervisorRollbacks => "supervisor_rollbacks",
+            CounterId::SupervisorPoisonDetected => "supervisor_poison_detected",
+            CounterId::SupervisorSnapshotSkips => "supervisor_snapshot_skips",
         }
     }
 }
