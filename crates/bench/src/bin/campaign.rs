@@ -100,7 +100,7 @@ impl Args {
 
 const USAGE: &str = "usage: campaign [--model NAME] [--dataset cifar10|cifar100|tinyimagenet]
                 [--crossbar 128|64|32] [--eta F] [--runs N] [--start S] [--end S]
-                [--strategy rb1|rb3|rb5|ex] [--homogeneous RxC]
+                [--strategy rb1|rb3|rb5|ex|bo|pareto] [--homogeneous RxC]
                 [--activation-sparsity] [--confidence F] [--seed N]";
 
 fn dataset(name: &str) -> Result<Dataset, String> {
@@ -133,6 +133,8 @@ fn strategy(name: &str) -> Result<SearchStrategy, String> {
         "rb3" => Ok(SearchStrategy::ResourceBounded { k: 3 }),
         "rb5" => Ok(SearchStrategy::ResourceBounded { k: 5 }),
         "ex" => Ok(SearchStrategy::Exhaustive),
+        "bo" => Ok(SearchStrategy::bayesian()),
+        "pareto" => Ok(SearchStrategy::pareto()),
         other => Err(format!("unknown strategy {other}")),
     }
 }

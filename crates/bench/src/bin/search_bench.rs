@@ -1,0 +1,57 @@
+//! Search-strategy driver: sweeps RB/EX/BO/NSGA-II campaigns over the
+//! nine-model zoo, gates BO quality/cost against exhaustive, gates
+//! every NSGA-II front against brute-force dominance, gates seeded
+//! replay and checkpoint/resume determinism, and records
+//! `BENCH_search.json` at the workspace root.
+//!
+//! ```sh
+//! cargo run --release -p odin-bench --bin search_bench -- --quick
+//! ```
+//!
+//! Exit codes: 0 success, 1 gate failure or bad usage, 2 I/O failure,
+//! 3 campaign failure.
+
+use std::process::ExitCode;
+
+use odin_bench::experiments::search_bench;
+
+const USAGE: &str = "usage: search_bench [--quick]";
+
+fn main() -> ExitCode {
+    for flag in std::env::args().skip(1) {
+        match flag.as_str() {
+            "--quick" => {}
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let ctx = odin_bench::context_from_args();
+
+    let report = match search_bench::run(&ctx) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: strategy sweep failed: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    println!("{report}");
+    match search_bench::write_report(&report) {
+        Ok(path) => println!("[json: {}]", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write BENCH_search.json: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if report.gates_passed {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: search gates violated — see report above");
+        ExitCode::from(1)
+    }
+}

@@ -17,6 +17,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod overhead;
 pub mod parallel_campaign;
+pub mod search_bench;
 pub mod search_overhead;
 pub mod serving;
 pub mod table1;

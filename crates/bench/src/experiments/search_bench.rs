@@ -1,0 +1,577 @@
+//! The pluggable-search strategy sweep (`BENCH_search.json`): RB, EX,
+//! BO, and NSGA-II campaigns over the nine-model zoo, with hard gates.
+//!
+//! Gates, all conjoined into `gates_passed`:
+//!
+//! - **BO quality**: the Bayesian-optimization campaigns' zoo-total EDP
+//!   is within 2 % of the exhaustive campaigns' ([`BO_EDP_CEILING`]).
+//! - **BO cost**: on every workload, BO spends at most 50 % of the
+//!   exhaustive probe count ([`BO_PROBE_CEILING`]).
+//! - **Front exactness**: every NSGA-II per-layer front (at full
+//!   population the searcher probes all 36 cells) equals the
+//!   brute-force non-dominated feasible set over the grid, point for
+//!   point, bit for bit, knee on the front.
+//! - **Replay**: re-running any strategy's campaign with the same seed
+//!   reproduces the decision checksum; a lockstep engine run matches
+//!   the sequential stream; a campaign resumed from its *oldest*
+//!   surviving checkpoint generation replays to the identical
+//!   checksum.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+use odin_core::search::{pareto_front_with, OuEvaluator, SearchContext, SearchStrategy};
+use odin_core::snapshot::CheckpointPolicy;
+use odin_core::{AnalyticModel, CampaignEngine, CampaignReport, OdinConfig, OdinError};
+use odin_dnn::zoo::{self, Dataset};
+use odin_dnn::{LayerDescriptor, NetworkDescriptor};
+use odin_units::Seconds;
+use odin_xbar::OuShape;
+use serde::Serialize;
+
+use crate::experiments::exec::decision_checksum;
+use crate::setup::{workload_dataset, ExperimentContext};
+use crate::BenchMeta;
+
+/// BO zoo-total EDP must stay within this factor of exhaustive.
+pub const BO_EDP_CEILING: f64 = 1.02;
+/// BO must spend at most this fraction of exhaustive's probes,
+/// per workload.
+pub const BO_PROBE_CEILING: f64 = 0.5;
+
+/// Programming ages the per-layer front exactness check runs at: fresh
+/// arrays and deep into the drift horizon.
+const FRONT_AGES: [f64; 2] = [1.0, 1e6];
+
+/// The four swept strategies, in report order.
+fn strategies() -> [SearchStrategy; 4] {
+    [
+        SearchStrategy::paper(),
+        SearchStrategy::Exhaustive,
+        SearchStrategy::bayesian(),
+        SearchStrategy::pareto(),
+    ]
+}
+
+/// One campaign: a workload under one strategy.
+#[derive(Debug, Clone, Serialize)]
+pub struct StrategyRow {
+    /// Workload (zoo model) name.
+    pub workload: String,
+    /// Strategy label (`RB(k=3)`, `EX`, `BO(b=16)`, `NSGA(p=36,g=8)`).
+    pub strategy: String,
+    /// Campaign total EDP (J·s).
+    pub total_edp: f64,
+    /// Total search probes: Σ per-decision `search_evaluations`.
+    pub probes: u64,
+    /// Non-empty Pareto fronts recorded by the campaign.
+    pub fronts: u64,
+    /// Total members across those fronts.
+    pub front_members: u64,
+    /// Decision-stream checksum (hex).
+    pub decision_checksum: String,
+}
+
+/// Per-workload BO-vs-EX comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadGate {
+    /// Workload name.
+    pub workload: String,
+    /// BO / EX total-EDP ratio.
+    pub bo_edp_ratio: f64,
+    /// BO / EX probe-count ratio.
+    pub bo_probe_ratio: f64,
+    /// `bo_probe_ratio` under [`BO_PROBE_CEILING`].
+    pub probe_gate: bool,
+}
+
+/// Seeded-replay and checkpoint/resume verdict for one strategy.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplayRow {
+    /// Strategy label.
+    pub strategy: String,
+    /// A same-seed rerun reproduced the decision checksum.
+    pub repeat_identical: bool,
+    /// A 2-shard lockstep engine run matched the sequential stream.
+    pub engine_matches: bool,
+    /// Resuming from the oldest surviving snapshot generation replayed
+    /// to the identical checksum.
+    pub resume_identical: bool,
+}
+
+/// The recorded strategy sweep (`BENCH_search.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct SearchBenchReport {
+    /// Schema version and configuration fingerprint shared by every
+    /// `BENCH_*.json` artifact.
+    pub meta: BenchMeta,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Schedule length (runs per campaign).
+    pub runs: usize,
+    /// One row per workload × strategy.
+    pub rows: Vec<StrategyRow>,
+    /// The BO quality ceiling ([`BO_EDP_CEILING`]).
+    pub bo_edp_ceiling: f64,
+    /// The BO cost ceiling ([`BO_PROBE_CEILING`]).
+    pub bo_probe_ceiling: f64,
+    /// Zoo-total BO / EX EDP ratio.
+    pub bo_total_edp_ratio: f64,
+    /// Per-workload BO-vs-EX ratios.
+    pub workload_gates: Vec<WorkloadGate>,
+    /// `bo_total_edp_ratio` under the ceiling AND every per-workload
+    /// probe gate.
+    pub bo_gates_passed: bool,
+    /// Layer × age fronts compared against brute-force dominance.
+    pub pareto_fronts_checked: usize,
+    /// Every front matched the brute-force non-dominated feasible set.
+    pub pareto_fronts_exact: bool,
+    /// Replay/resume verdicts, one per strategy.
+    pub replay: Vec<ReplayRow>,
+    /// Every replay row fully identical.
+    pub replay_stable: bool,
+    /// Every gate above, conjoined.
+    pub gates_passed: bool,
+}
+
+impl fmt::Display for SearchBenchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "search strategy sweep: seed {:#x}, {} runs/campaign",
+            self.seed, self.runs
+        )?;
+        writeln!(
+            f,
+            "{:>12} {:>14} {:>12} {:>8} {:>7} {:>8} {:>18}",
+            "workload", "strategy", "EDP (J·s)", "probes", "fronts", "members", "checksum"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:>12} {:>14} {:>12.4e} {:>8} {:>7} {:>8} {:>18}",
+                row.workload,
+                row.strategy,
+                row.total_edp,
+                row.probes,
+                row.fronts,
+                row.front_members,
+                row.decision_checksum
+            )?;
+        }
+        for gate in &self.workload_gates {
+            writeln!(
+                f,
+                "[{:>12}] BO/EX EDP {:.4} | probes {:.3} ({})",
+                gate.workload,
+                gate.bo_edp_ratio,
+                gate.bo_probe_ratio,
+                if gate.probe_gate { "ok" } else { "OVER" }
+            )?;
+        }
+        writeln!(
+            f,
+            "BO zoo-total EDP ratio: {:.4} (ceiling {:.2}) | BO gates: {}",
+            self.bo_total_edp_ratio,
+            self.bo_edp_ceiling,
+            if self.bo_gates_passed { "pass" } else { "FAIL" }
+        )?;
+        writeln!(
+            f,
+            "Pareto fronts vs brute force: {} checked, exact: {}",
+            self.pareto_fronts_checked,
+            if self.pareto_fronts_exact {
+                "yes"
+            } else {
+                "NO"
+            }
+        )?;
+        for row in &self.replay {
+            writeln!(
+                f,
+                "[{:>14}] repeat: {} | engine: {} | resume: {}",
+                row.strategy,
+                if row.repeat_identical {
+                    "ok"
+                } else {
+                    "DIVERGED"
+                },
+                if row.engine_matches { "ok" } else { "DIVERGED" },
+                if row.resume_identical {
+                    "ok"
+                } else {
+                    "DIVERGED"
+                }
+            )?;
+        }
+        write!(
+            f,
+            "replay stable: {} | gates: {}",
+            if self.replay_stable { "yes" } else { "NO" },
+            if self.gates_passed { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// A context whose config swaps in `strategy`, everything else paper.
+fn context_with(
+    ctx: &ExperimentContext,
+    strategy: SearchStrategy,
+) -> Result<ExperimentContext, OdinError> {
+    let config = OdinConfig::builder()
+        .crossbar(ctx.config.crossbar().clone())
+        .eta(ctx.config.eta())
+        .strategy(strategy)
+        .build()?;
+    Ok(ExperimentContext {
+        config,
+        schedule: ctx.schedule.clone(),
+        seed: ctx.seed,
+    })
+}
+
+fn campaign(
+    ctx: &ExperimentContext,
+    net: &NetworkDescriptor,
+    strategy: SearchStrategy,
+) -> Result<CampaignReport, OdinError> {
+    let sctx = context_with(ctx, strategy)?;
+    let mut rt = sctx.odin_for(net, workload_dataset(net.name()))?;
+    rt.run_campaign(net, &sctx.schedule)
+}
+
+fn total_probes(report: &CampaignReport) -> u64 {
+    report
+        .runs
+        .iter()
+        .flat_map(|r| &r.decisions)
+        .map(|d| d.search_evaluations as u64)
+        .sum()
+}
+
+fn row_from(
+    net: &NetworkDescriptor,
+    strategy: SearchStrategy,
+    report: &CampaignReport,
+) -> StrategyRow {
+    StrategyRow {
+        workload: net.name().to_string(),
+        strategy: strategy.to_string(),
+        total_edp: report.total_edp().value(),
+        probes: total_probes(report),
+        fronts: report.search.pareto_fronts,
+        front_members: report.search.pareto_front_members,
+        decision_checksum: format!("{:016x}", decision_checksum(report)),
+    }
+}
+
+/// The brute-force non-dominated feasible set for one layer at one
+/// age: evaluate all 36 cells, keep feasible ones, peel the strict
+/// Pareto-minimal `[energy, latency, wear]` points, ascending
+/// row-major. Among feasible points Deb-constrained dominance reduces
+/// to plain Pareto dominance, and infeasible points never dominate
+/// feasible ones, so this is exactly the front the exact-regime
+/// NSGA-II searcher must report.
+fn brute_force_front(
+    model: &AnalyticModel,
+    layer: &LayerDescriptor,
+    age: Seconds,
+    eta: f64,
+) -> Result<Vec<(OuShape, [f64; 3])>, OdinError> {
+    let grid = model.grid();
+    let n = grid.levels_per_axis();
+    let mut feasible = Vec::new();
+    for r in 0..n {
+        for c in 0..n {
+            let eval = model.evaluate_in(layer, grid.shape(r, c), age, SearchContext::default())?;
+            if !eval.feasible(eta) {
+                continue;
+            }
+            let wear = model.wear_rate(layer, eval.shape, eta);
+            feasible.push((
+                eval.shape,
+                [eval.cost.energy.value(), eval.cost.latency.value(), wear],
+            ));
+        }
+    }
+    let dominates = |a: &[f64; 3], b: &[f64; 3]| {
+        a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
+    };
+    Ok(feasible
+        .iter()
+        .filter(|(_, objs)| !feasible.iter().any(|(_, other)| dominates(other, objs)))
+        .cloned()
+        .collect())
+}
+
+/// Checks every layer of every workload at each [`FRONT_AGES`] age:
+/// the NSGA-II front from [`pareto_front_with`] (full population, so
+/// the searcher probes the whole grid) must equal the brute-force
+/// front bit for bit. Returns `(fronts checked, all exact)`.
+fn front_exactness(ctx: &ExperimentContext) -> Result<(usize, bool), OdinError> {
+    let model = ctx.analytic();
+    let eta = ctx.config.eta();
+    let strategy = SearchStrategy::pareto();
+    let mut checked = 0usize;
+    let mut exact = true;
+    for net in zoo::paper_workloads() {
+        for layer in net.layers() {
+            for age in FRONT_AGES {
+                let age = Seconds::new(age);
+                let front = pareto_front_with(
+                    &model,
+                    layer,
+                    age,
+                    eta,
+                    (0, 0),
+                    strategy,
+                    SearchContext::default(),
+                )?;
+                let brute = brute_force_front(&model, layer, age, eta)?;
+                checked += 1;
+                let matches = front.points.len() == brute.len()
+                    && front.points.iter().zip(&brute).all(|(p, (shape, objs))| {
+                        p.eval.shape == *shape
+                            && p.eval.cost.energy.value().to_bits() == objs[0].to_bits()
+                            && p.eval.cost.latency.value().to_bits() == objs[1].to_bits()
+                            && p.wear.to_bits() == objs[2].to_bits()
+                    })
+                    && front.knee.is_some() == !brute.is_empty()
+                    && front.knee.is_none_or(|k| k < front.points.len());
+                exact &= matches;
+            }
+        }
+    }
+    Ok((checked, exact))
+}
+
+/// Seeded-repeat, lockstep-engine, and checkpoint/resume replay checks
+/// for one strategy on the given workload. The checkpointed engine run
+/// retains every generation; all but the *oldest* are then deleted
+/// (simulating a crash that lost most of the store) and the campaign
+/// is resumed and replayed to completion.
+fn replay_check(
+    ctx: &ExperimentContext,
+    net: &NetworkDescriptor,
+    strategy: SearchStrategy,
+    reference: &CampaignReport,
+) -> Result<ReplayRow, OdinError> {
+    let reference_checksum = decision_checksum(reference);
+    let repeat = campaign(ctx, net, strategy)?;
+    let repeat_identical = decision_checksum(&repeat) == reference_checksum;
+
+    let dir = std::env::temp_dir().join(format!(
+        "odin-search-bench-{}-{}",
+        std::process::id(),
+        strategy.to_string().replace(['(', ')', ',', '='], "-")
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let every = (ctx.schedule.runs() / 8).max(1);
+    let engine = CampaignEngine::new(2)
+        .checkpoint(CheckpointPolicy::new(&dir).every_runs(every).retain(1024));
+    let sctx = context_with(ctx, strategy)?;
+    let mut rt = sctx.odin_for(net, workload_dataset(net.name()))?;
+    let engined = engine.run_campaign(&mut rt, net, &sctx.schedule)?;
+    let engine_matches = decision_checksum(&engined) == reference_checksum;
+
+    let mut generations: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .map_err(|e| {
+            OdinError::Snapshot(odin_core::SnapshotError::Io {
+                path: dir.display().to_string(),
+                op: "list",
+                message: e.to_string(),
+            })
+        })?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "snap"))
+        .collect();
+    generations.sort();
+    for stale in generations.iter().skip(1) {
+        std::fs::remove_file(stale).ok();
+    }
+    let (_, resumed) = engine.resume_from(&dir, net, &sctx.schedule)?;
+    let resume_identical = decision_checksum(&resumed) == reference_checksum;
+    std::fs::remove_dir_all(&dir).ok();
+
+    Ok(ReplayRow {
+        strategy: strategy.to_string(),
+        repeat_identical,
+        engine_matches,
+        resume_identical,
+    })
+}
+
+/// Runs the full sweep and evaluates every gate.
+///
+/// # Errors
+///
+/// Propagates campaign and snapshot failures.
+pub fn run(ctx: &ExperimentContext) -> Result<SearchBenchReport, OdinError> {
+    let mut rows = Vec::new();
+    let mut workload_gates = Vec::new();
+    let mut bo_edp_sum = 0.0f64;
+    let mut ex_edp_sum = 0.0f64;
+    let mut probe_gates = true;
+    for net in zoo::paper_workloads() {
+        let mut ex: Option<CampaignReport> = None;
+        let mut bo: Option<CampaignReport> = None;
+        for strategy in strategies() {
+            let report = campaign(ctx, &net, strategy)?;
+            rows.push(row_from(&net, strategy, &report));
+            match strategy {
+                SearchStrategy::Exhaustive => ex = Some(report),
+                SearchStrategy::Bayesian { .. } => bo = Some(report),
+                _ => {}
+            }
+        }
+        let (ex, bo) = (ex.expect("EX is swept"), bo.expect("BO is swept"));
+        let bo_edp_ratio = bo.total_edp().value() / ex.total_edp().value();
+        let bo_probe_ratio = total_probes(&bo) as f64 / total_probes(&ex) as f64;
+        let probe_gate = bo_probe_ratio <= BO_PROBE_CEILING;
+        probe_gates &= probe_gate;
+        bo_edp_sum += bo.total_edp().value();
+        ex_edp_sum += ex.total_edp().value();
+        workload_gates.push(WorkloadGate {
+            workload: net.name().to_string(),
+            bo_edp_ratio,
+            bo_probe_ratio,
+            probe_gate,
+        });
+    }
+    let bo_total_edp_ratio = bo_edp_sum / ex_edp_sum;
+    let bo_gates_passed = bo_total_edp_ratio <= BO_EDP_CEILING && probe_gates;
+
+    let (pareto_fronts_checked, pareto_fronts_exact) = front_exactness(ctx)?;
+
+    let replay_net = zoo::vgg11(Dataset::Cifar10);
+    let mut replay = Vec::new();
+    let mut replay_stable = true;
+    for strategy in strategies() {
+        let reference = campaign(ctx, &replay_net, strategy)?;
+        let row = replay_check(ctx, &replay_net, strategy, &reference)?;
+        replay_stable &= row.repeat_identical && row.engine_matches && row.resume_identical;
+        replay.push(row);
+    }
+
+    let gates_passed = bo_gates_passed && pareto_fronts_exact && replay_stable;
+    Ok(SearchBenchReport {
+        meta: BenchMeta::paper(),
+        seed: ctx.seed,
+        runs: ctx.schedule.runs(),
+        rows,
+        bo_edp_ceiling: BO_EDP_CEILING,
+        bo_probe_ceiling: BO_PROBE_CEILING,
+        bo_total_edp_ratio,
+        workload_gates,
+        bo_gates_passed,
+        pareto_fronts_checked,
+        pareto_fronts_exact,
+        replay,
+        replay_stable,
+        gates_passed,
+    })
+}
+
+/// Records the sweep into `BENCH_search.json` at the workspace root
+/// (same convention as the other `BENCH_*.json` artifacts: generated,
+/// never hand-edited).
+///
+/// # Errors
+///
+/// Propagates serialization and filesystem failures.
+pub fn write_report(report: &SearchBenchReport) -> io::Result<PathBuf> {
+    let path = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_search.json"
+    ));
+    let json = serde_json::to_string_pretty(report).map_err(io::Error::other)?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odin_core::TimeSchedule;
+
+    /// A few-run context so the tier-1 suite stays fast; the strict
+    /// sweep gates run in the `search_bench` binary / CI smoke job.
+    fn tiny() -> ExperimentContext {
+        ExperimentContext {
+            schedule: TimeSchedule::geometric(1.0, 1e4, 4),
+            ..ExperimentContext::paper()
+        }
+    }
+
+    #[test]
+    fn bo_halves_the_probe_count_at_near_exhaustive_quality() {
+        let ctx = tiny();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let ex = campaign(&ctx, &net, SearchStrategy::Exhaustive).unwrap();
+        let bo = campaign(&ctx, &net, SearchStrategy::bayesian()).unwrap();
+        let probe_ratio = total_probes(&bo) as f64 / total_probes(&ex) as f64;
+        assert!(probe_ratio <= BO_PROBE_CEILING, "probe ratio {probe_ratio}");
+        let edp_ratio = bo.total_edp().value() / ex.total_edp().value();
+        assert!(edp_ratio <= 1.10, "BO EDP ratio {edp_ratio}");
+        assert!(bo.search.bayesian_searches > 0);
+        assert_eq!(total_probes(&bo), bo.search.bayesian_probes);
+    }
+
+    #[test]
+    fn exact_regime_fronts_match_brute_force_on_vgg11() {
+        let ctx = ExperimentContext::paper();
+        let model = ctx.analytic();
+        let eta = ctx.config.eta();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        for layer in net.layers() {
+            for age in FRONT_AGES {
+                let age = Seconds::new(age);
+                let front = pareto_front_with(
+                    &model,
+                    layer,
+                    age,
+                    eta,
+                    (0, 0),
+                    SearchStrategy::pareto(),
+                    SearchContext::default(),
+                )
+                .unwrap();
+                let brute = brute_force_front(&model, layer, age, eta).unwrap();
+                assert_eq!(front.points.len(), brute.len(), "front size");
+                for (p, (shape, objs)) in front.points.iter().zip(&brute) {
+                    assert_eq!(p.eval.shape, *shape);
+                    assert_eq!(p.wear.to_bits(), objs[2].to_bits());
+                }
+                assert_eq!(front.knee.is_some(), !brute.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn new_strategies_replay_and_resume_bit_identically() {
+        let ctx = tiny();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        for strategy in [SearchStrategy::bayesian(), SearchStrategy::pareto()] {
+            let reference = campaign(&ctx, &net, strategy).unwrap();
+            let row = replay_check(&ctx, &net, strategy, &reference).unwrap();
+            assert!(row.repeat_identical, "{strategy} repeat diverged");
+            assert!(row.engine_matches, "{strategy} engine diverged");
+            assert!(row.resume_identical, "{strategy} resume diverged");
+        }
+    }
+
+    #[test]
+    fn pareto_campaigns_record_front_telemetry() {
+        let ctx = tiny();
+        let net = zoo::vgg11(Dataset::Cifar10);
+        let report = campaign(&ctx, &net, SearchStrategy::pareto()).unwrap();
+        assert!(report.search.pareto_searches > 0);
+        assert!(report.search.pareto_fronts > 0);
+        assert!(report.search.pareto_front_members >= report.search.pareto_fronts);
+        let row = row_from(&net, SearchStrategy::pareto(), &report);
+        assert_eq!(row.fronts, report.search.pareto_fronts);
+        assert!(row.decision_checksum.len() == 16);
+    }
+}

@@ -75,7 +75,9 @@ pub fn run(ctx: &ExperimentContext) -> Result<SearchOverheadResult, OdinError> {
     let age = Seconds::new(1e2);
     let k = match ctx.config.strategy() {
         SearchStrategy::ResourceBounded { k } => k,
-        SearchStrategy::Exhaustive => 3,
+        SearchStrategy::Exhaustive
+        | SearchStrategy::Bayesian { .. }
+        | SearchStrategy::Pareto { .. } => 3,
     };
     let mut rb_total = 0usize;
     let mut ex_total = 0usize;

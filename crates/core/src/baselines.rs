@@ -161,8 +161,10 @@ impl HomogeneousRuntime {
             runs,
             skipped: Vec::new(),
             cache: crate::cache::CacheStats::default(),
+            search: crate::search::SearchStats::default(),
             engine: crate::engine::EngineStats::default(),
             telemetry: crate::telemetry::TelemetrySummary::default(),
+            supervisor: crate::supervisor::SupervisorReport::default(),
         })
     }
 

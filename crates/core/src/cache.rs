@@ -266,6 +266,12 @@ impl OuEvaluator for CachedModel<'_> {
             None => self.model.evaluate_grid(layer, age, ctx, out),
         }
     }
+
+    /// Wear is age- and fault-independent, so there is nothing to
+    /// cache: delegate straight to the model.
+    fn wear_rate(&self, layer: &LayerDescriptor, shape: OuShape, eta: f64) -> f64 {
+        self.model.wear_rate(layer, shape, eta)
+    }
 }
 
 #[cfg(test)]

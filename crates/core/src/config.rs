@@ -149,6 +149,20 @@ impl OdinConfig {
                 reason: "resource bound k must be nonzero",
             });
         }
+        if let SearchStrategy::Bayesian { budget: 0, .. } = self.strategy {
+            return Err(OdinError::InvalidConfig {
+                name: "strategy",
+                reason: "Bayesian probe budget must be nonzero",
+            });
+        }
+        if let SearchStrategy::Pareto { population, .. } = self.strategy {
+            if population < 2 {
+                return Err(OdinError::InvalidConfig {
+                    name: "strategy",
+                    reason: "NSGA-II population must be at least 2",
+                });
+            }
+        }
         if let Some(t) = self.confidence_escalation {
             if !t.is_finite() || !(0.0..=1.0).contains(&t) {
                 return Err(OdinError::InvalidConfig {
@@ -292,6 +306,26 @@ mod tests {
             .strategy(SearchStrategy::ResourceBounded { k: 0 })
             .build()
             .is_err());
+        assert!(OdinConfig::builder()
+            .strategy(SearchStrategy::Bayesian { budget: 0, seed: 7 })
+            .build()
+            .is_err());
+        assert!(OdinConfig::builder()
+            .strategy(SearchStrategy::Pareto {
+                population: 1,
+                generations: 4,
+                seed: 0,
+            })
+            .build()
+            .is_err());
+        assert!(OdinConfig::builder()
+            .strategy(SearchStrategy::bayesian())
+            .build()
+            .is_ok());
+        assert!(OdinConfig::builder()
+            .strategy(SearchStrategy::pareto())
+            .build()
+            .is_ok());
         let ok = OdinConfig::builder()
             .eta(0.01)
             .buffer_capacity(25)

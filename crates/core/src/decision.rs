@@ -24,7 +24,9 @@ use crate::error::OdinError;
 use crate::fabric::{DegradationEvent, FabricHealth};
 use crate::features::LayerFeatures;
 use crate::runtime::LayerDecision;
-use crate::search::{find_best_with, OuEvaluator, SearchContext, SearchOutcome, SearchStrategy};
+use crate::search::{
+    find_best_with, OuEvaluator, SearchContext, SearchOutcome, SearchStrategy, SearchTally,
+};
 
 /// The outcome of deciding every layer at one age.
 pub(crate) enum Decide {
@@ -67,6 +69,10 @@ pub(crate) struct DecisionCtx<'a> {
     /// with [`crate::runtime::RuntimeBuilder::policy_precision`] set to
     /// `Precision::Int8`; `None` runs the f64 forward pass.
     pub(crate) quant: Option<&'a QuantizedPolicy>,
+    /// The runtime's per-strategy search accounting, bumped once per
+    /// model-guided (BO/NSGA-II) layer search. Interior-mutable so the
+    /// decision path stays an immutable borrow.
+    pub(crate) search: &'a SearchTally,
 }
 
 impl DecisionCtx<'_> {
@@ -181,6 +187,8 @@ impl DecisionCtx<'_> {
             self.telemetry.incr(match strategy {
                 SearchStrategy::ResourceBounded { .. } => CounterId::SearchesResourceBounded,
                 SearchStrategy::Exhaustive => CounterId::SearchesExhaustive,
+                SearchStrategy::Bayesian { .. } => CounterId::SearchesBayesian,
+                SearchStrategy::Pareto { .. } => CounterId::SearchesPareto,
             });
             let search_token = self.telemetry.start();
             let mut outcome =
@@ -203,7 +211,33 @@ impl DecisionCtx<'_> {
                 outcome = SearchOutcome {
                     best: escalated.best,
                     evaluations: outcome.evaluations + escalated.evaluations,
+                    front_size: outcome.front_size.or(escalated.front_size),
                 };
+            }
+            match strategy {
+                SearchStrategy::Bayesian { .. } => {
+                    self.search.record(|s| {
+                        s.bayesian_searches += 1;
+                        s.bayesian_probes += outcome.evaluations as u64;
+                    });
+                }
+                SearchStrategy::Pareto { .. } => {
+                    let members = outcome.front_size.unwrap_or(0) as u64;
+                    self.search.record(|s| {
+                        s.pareto_searches += 1;
+                        s.pareto_probes += outcome.evaluations as u64;
+                        if members > 0 {
+                            s.pareto_fronts += 1;
+                            s.pareto_front_members += members;
+                        }
+                    });
+                    if members > 0 {
+                        self.telemetry.incr(CounterId::SearchParetoFronts);
+                        self.telemetry
+                            .add(CounterId::SearchParetoFrontMembers, members);
+                    }
+                }
+                SearchStrategy::ResourceBounded { .. } | SearchStrategy::Exhaustive => {}
             }
             self.telemetry
                 .finish_with(SpanId::Search, search_token, outcome.evaluations as i64);

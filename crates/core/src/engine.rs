@@ -61,6 +61,7 @@ use crate::cache::CacheStats;
 use crate::error::{OdinError, SnapshotError};
 use crate::runtime::{checkpoint_save, CampaignReport, InferenceRecord, OdinRuntime, SkippedRun};
 use crate::schedule::TimeSchedule;
+use crate::search::SearchStats;
 use crate::snapshot::{
     CampaignProgress, CampaignSnapshot, CheckpointPolicy, FaultyIo, RuntimeState, SnapshotStore,
 };
@@ -425,6 +426,7 @@ impl CampaignEngine {
     ) -> Result<CampaignReport, OdinError> {
         let times: Vec<Seconds> = schedule.times();
         let cache_start = runtime.cache_stats();
+        let search_start = runtime.search_stats();
         let telemetry_start = runtime.telemetry_snapshot();
         let campaign_token = runtime.telemetry().start();
         let mut store = match &self.checkpoint {
@@ -434,11 +436,12 @@ impl CampaignEngine {
         // After every committed round the adopted runtime state equals
         // the sequential state at `next`, so round boundaries are valid
         // checkpoint cuts.
-        let (mut runs, mut skipped, cache_base, mut stats, start) = match resume {
+        let (mut runs, mut skipped, cache_base, search_base, mut stats, start) = match resume {
             Some(p) => (
                 p.runs.clone(),
                 p.skipped.clone(),
                 p.cache,
+                p.search,
                 p.engine,
                 p.next_index,
             ),
@@ -446,6 +449,7 @@ impl CampaignEngine {
                 Vec::with_capacity(times.len()),
                 Vec::new(),
                 CacheStats::default(),
+                SearchStats::default(),
                 EngineStats {
                     shards: self.shards,
                     mode: ShardMode::Lockstep,
@@ -556,6 +560,7 @@ impl CampaignEngine {
                         runs: runs.clone(),
                         skipped: skipped.clone(),
                         cache: cache_base.merged(runtime.cache_stats().since(cache_start)),
+                        search: search_base.merged(runtime.search_stats().since(search_start)),
                         engine: stats,
                     };
                     checkpoint_save(runtime.telemetry(), store, &[runtime.state()], &progress)?;
@@ -572,6 +577,7 @@ impl CampaignEngine {
             runs,
             skipped,
             cache: cache_base.merged(runtime.cache_stats().since(cache_start)),
+            search: search_base.merged(runtime.search_stats().since(search_start)),
             engine: stats,
             telemetry: TelemetrySummary::from_snapshot(
                 &runtime.telemetry_snapshot().since(&telemetry_start),
@@ -602,6 +608,7 @@ impl CampaignEngine {
         let plan = sup.fault_plan().clone();
         let times: Vec<Seconds> = schedule.times();
         let mut cache_start = runtime.cache_stats();
+        let mut search_start = runtime.search_stats();
         let telemetry_start = runtime.telemetry_snapshot();
         let campaign_token = runtime.telemetry().start();
         let snapshot_faults = [
@@ -626,26 +633,29 @@ impl CampaignEngine {
             }
             None => None,
         };
-        let (mut runs, mut skipped, mut cache_base, mut stats, start) = match resume {
-            Some(p) => (
-                p.runs.clone(),
-                p.skipped.clone(),
-                p.cache,
-                p.engine,
-                p.next_index,
-            ),
-            None => (
-                Vec::with_capacity(times.len()),
-                Vec::new(),
-                CacheStats::default(),
-                EngineStats {
-                    shards: self.shards,
-                    mode: ShardMode::Lockstep,
-                    ..EngineStats::default()
-                },
-                0,
-            ),
-        };
+        let (mut runs, mut skipped, mut cache_base, mut search_base, mut stats, start) =
+            match resume {
+                Some(p) => (
+                    p.runs.clone(),
+                    p.skipped.clone(),
+                    p.cache,
+                    p.search,
+                    p.engine,
+                    p.next_index,
+                ),
+                None => (
+                    Vec::with_capacity(times.len()),
+                    Vec::new(),
+                    CacheStats::default(),
+                    SearchStats::default(),
+                    EngineStats {
+                        shards: self.shards,
+                        mode: ShardMode::Lockstep,
+                        ..EngineStats::default()
+                    },
+                    0,
+                ),
+            };
         let mut srep = SupervisorReport::default();
         let mut strikes: Vec<u32> = vec![0; self.shards];
         let mut active_slots = self.shards;
@@ -691,6 +701,7 @@ impl CampaignEngine {
                     runs: Vec::new(),
                     skipped: Vec::new(),
                     cache: CacheStats::default(),
+                    search: SearchStats::default(),
                     engine: stats,
                 };
                 supervised_save(
@@ -862,8 +873,10 @@ impl CampaignEngine {
                 runs = p.runs;
                 skipped = p.skipped;
                 cache_base = p.cache;
+                search_base = p.search;
                 stats = p.engine;
                 cache_start = runtime.cache_stats();
+                search_start = runtime.search_stats();
                 since_save = 0;
                 continue;
             }
@@ -881,6 +894,7 @@ impl CampaignEngine {
                         runs: runs.clone(),
                         skipped: skipped.clone(),
                         cache: cache_base.merged(runtime.cache_stats().since(cache_start)),
+                        search: search_base.merged(runtime.search_stats().since(search_start)),
                         engine: stats,
                     };
                     supervised_save(
@@ -915,6 +929,7 @@ impl CampaignEngine {
             runs,
             skipped,
             cache: cache_base.merged(runtime.cache_stats().since(cache_start)),
+            search: search_base.merged(runtime.search_stats().since(search_start)),
             engine: stats,
             telemetry: TelemetrySummary::from_snapshot(
                 &runtime.telemetry_snapshot().since(&telemetry_start),
@@ -942,6 +957,7 @@ impl CampaignEngine {
         let times: Vec<Seconds> = schedule.times();
         let shards = self.shards;
         let cache_start = runtime.cache_stats();
+        let search_start = runtime.search_stats();
         let telemetry_start = runtime.telemetry_snapshot();
         let campaign_token = runtime.telemetry().start();
         let exec = self.executor_handle(runtime);
@@ -1010,6 +1026,10 @@ impl CampaignEngine {
             .iter()
             .map(|rt| rt.cache_stats().since(cache_start))
             .fold(CacheStats::default(), |acc, d| acc.merged(d));
+        let search: SearchStats = shard_runtimes
+            .iter()
+            .map(|rt| rt.search_stats().since(search_start))
+            .fold(SearchStats::default(), |acc, d| acc.merged(d));
         // Every replica's work is committed, so — unlike lockstep —
         // every replica's telemetry delta folds into the report, in
         // shard order, mirroring the cache fold above.
@@ -1038,6 +1058,7 @@ impl CampaignEngine {
             runs,
             skipped,
             cache,
+            search,
             engine: EngineStats {
                 shards,
                 mode: ShardMode::Independent,
@@ -1069,34 +1090,38 @@ impl CampaignEngine {
         let times: Vec<Seconds> = schedule.times();
         let shards = self.shards;
         let cache_start = runtime.cache_stats();
+        let search_start = runtime.search_stats();
         let telemetry_start = runtime.telemetry_snapshot();
         let campaign_token = runtime.telemetry().start();
         let mut store = match &self.checkpoint {
             Some(policy) => Some(SnapshotStore::open(policy.dir(), policy.retained())?),
             None => None,
         };
-        let (mut runs, mut skipped, cache_base, mut stats, start, replicas) = match resume {
-            Some(r) => (
-                r.progress.runs.clone(),
-                r.progress.skipped.clone(),
-                r.progress.cache,
-                r.progress.engine,
-                r.progress.next_index,
-                r.replicas,
-            ),
-            None => (
-                Vec::with_capacity(times.len()),
-                Vec::new(),
-                CacheStats::default(),
-                EngineStats {
-                    shards,
-                    mode: ShardMode::Independent,
-                    ..EngineStats::default()
-                },
-                0,
-                (0..shards).map(|_| runtime.fork_shard()).collect(),
-            ),
-        };
+        let (mut runs, mut skipped, cache_base, search_base, mut stats, start, replicas) =
+            match resume {
+                Some(r) => (
+                    r.progress.runs.clone(),
+                    r.progress.skipped.clone(),
+                    r.progress.cache,
+                    r.progress.search,
+                    r.progress.engine,
+                    r.progress.next_index,
+                    r.replicas,
+                ),
+                None => (
+                    Vec::with_capacity(times.len()),
+                    Vec::new(),
+                    CacheStats::default(),
+                    SearchStats::default(),
+                    EngineStats {
+                        shards,
+                        mode: ShardMode::Independent,
+                        ..EngineStats::default()
+                    },
+                    0,
+                    (0..shards).map(|_| runtime.fork_shard()).collect(),
+                ),
+            };
         let mut slots_rt: Vec<Option<OdinRuntime>> = replicas.into_iter().map(Some).collect();
         let mut since_save = 0usize;
         let exec = self.executor_handle(runtime);
@@ -1178,6 +1203,11 @@ impl CampaignEngine {
                         .flatten()
                         .map(|rt| rt.cache_stats().since(cache_start))
                         .fold(cache_base, |acc, d| acc.merged(d));
+                    let search = slots_rt
+                        .iter()
+                        .flatten()
+                        .map(|rt| rt.search_stats().since(search_start))
+                        .fold(search_base, |acc, d| acc.merged(d));
                     let progress = CampaignProgress {
                         network: network.name().to_string(),
                         mode: ShardMode::Independent,
@@ -1187,6 +1217,7 @@ impl CampaignEngine {
                         runs: runs.clone(),
                         skipped: skipped.clone(),
                         cache,
+                        search,
                         engine: stats,
                     };
                     let telemetry = slots_rt[0]
@@ -1203,6 +1234,11 @@ impl CampaignEngine {
             .flatten()
             .map(|rt| rt.cache_stats().since(cache_start))
             .fold(cache_base, |acc, d| acc.merged(d));
+        let search = slots_rt
+            .iter()
+            .flatten()
+            .map(|rt| rt.search_stats().since(search_start))
+            .fold(search_base, |acc, d| acc.merged(d));
         let telemetry_others = slots_rt
             .iter()
             .flatten()
@@ -1226,6 +1262,7 @@ impl CampaignEngine {
             runs,
             skipped,
             cache,
+            search,
             engine: stats,
             telemetry: TelemetrySummary::from_snapshot(&telemetry_delta),
             supervisor: SupervisorReport::default(),

@@ -53,6 +53,15 @@ pub enum OdinError {
         /// Which scan tripped, e.g. `"mlp-weights"`.
         what: &'static str,
     },
+    /// A model-guided search failed numerically: the GP surrogate's
+    /// kernel matrix stayed non-positive-definite after the jitter
+    /// ladder was exhausted. A property of the probe design and
+    /// hyperparameters, not of transient state — retrying the same
+    /// search reproduces the same matrix, so this is fatal.
+    Search {
+        /// Which numerical stage failed, e.g. `"gp-fit"`.
+        what: &'static str,
+    },
 }
 
 /// Why a campaign snapshot could not be written or restored.
@@ -176,7 +185,8 @@ impl OdinError {
             | OdinError::Mapping(_)
             | OdinError::EnduranceExhausted { .. }
             | OdinError::Device(_)
-            | OdinError::StatePoisoned { .. } => false,
+            | OdinError::StatePoisoned { .. }
+            | OdinError::Search { .. } => false,
         }
     }
 
@@ -221,6 +231,9 @@ impl std::fmt::Display for OdinError {
                     "non-finite value detected in `{what}` with no checkpoint to roll back to"
                 )
             }
+            OdinError::Search { what } => {
+                write!(f, "search numerical failure in `{what}`")
+            }
         }
     }
 }
@@ -236,7 +249,8 @@ impl std::error::Error for OdinError {
             | OdinError::EnduranceExhausted { .. }
             | OdinError::RoundTimeout { .. }
             | OdinError::Injected { .. }
-            | OdinError::StatePoisoned { .. } => None,
+            | OdinError::StatePoisoned { .. }
+            | OdinError::Search { .. } => None,
         }
     }
 }
@@ -419,6 +433,7 @@ mod tests {
                 },
                 false,
             ),
+            (OdinError::Search { what: "gp-fit" }, false),
         ]
     }
 
@@ -448,6 +463,9 @@ mod tests {
         assert!(table
             .iter()
             .any(|(e, _)| matches!(e, OdinError::StatePoisoned { .. })));
+        assert!(table
+            .iter()
+            .any(|(e, _)| matches!(e, OdinError::Search { .. })));
         assert_eq!(
             table
                 .iter()

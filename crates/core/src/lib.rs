@@ -36,6 +36,12 @@
 //!     from the dependency-free `odin-telemetry` recorder into
 //!     [`CampaignReport`]: spans, counters, and histograms aggregated
 //!     per campaign, `Default`-empty whenever telemetry is off.
+//! 12. Pluggable search (`odin-search`): the scalar RB/EX searches are
+//!     joined by a seeded Bayesian-optimization surrogate
+//!     ([`search::SearchStrategy::Bayesian`]) and an NSGA-II
+//!     multi-objective searcher ([`search::SearchStrategy::Pareto`])
+//!     whose per-layer fronts are exposed through
+//!     [`search::pareto_front_with`].
 //!
 //! # Examples
 //!
@@ -58,6 +64,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod accuracy;
 pub mod baselines;
@@ -92,6 +99,7 @@ pub use runtime::{
     CampaignReport, InferenceRecord, LayerDecision, OdinRuntime, RuntimeBuilder, SkippedRun,
 };
 pub use schedule::TimeSchedule;
+pub use search::{pareto_front_with, ParetoFront, ParetoPoint, SearchStats, SearchStrategy};
 pub use snapshot::{
     CampaignSnapshot, CheckpointPolicy, FaultyIo, RealIo, SnapshotIo, SnapshotStore,
 };

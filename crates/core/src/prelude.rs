@@ -29,6 +29,7 @@ pub use crate::runtime::{
     CampaignReport, InferenceRecord, LayerDecision, OdinRuntime, RuntimeBuilder, SkippedRun,
 };
 pub use crate::schedule::TimeSchedule;
+pub use crate::search::{pareto_front_with, ParetoFront, ParetoPoint, SearchStats, SearchStrategy};
 pub use crate::snapshot::{CampaignSnapshot, CheckpointPolicy, SnapshotStore};
 pub use crate::supervisor::{QuarantineEvent, SupervisorConfig, SupervisorReport};
 pub use crate::telemetry::{CounterSummary, HistogramSummary, SpanSummary, TelemetrySummary};

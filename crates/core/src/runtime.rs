@@ -25,6 +25,7 @@ use crate::error::OdinError;
 use crate::fabric::{DegradationEvent, FabricHealth};
 use crate::features::LayerFeatures;
 use crate::schedule::TimeSchedule;
+use crate::search::{SearchStats, SearchTally};
 use crate::snapshot::{CampaignProgress, CheckpointPolicy, RuntimeState, SnapshotStore};
 use crate::supervisor::SupervisorReport;
 use crate::telemetry::TelemetrySummary;
@@ -142,6 +143,11 @@ pub struct CampaignReport {
     /// campaign (all zero when the cache is disabled).
     #[serde(default)]
     pub cache: CacheStats,
+    /// Per-strategy search accounting (BO/NSGA-II probe counts and
+    /// Pareto front sizes) accumulated over the campaign; all zero
+    /// under the scalar RB/EX strategies.
+    #[serde(default)]
+    pub search: SearchStats,
     /// How the campaign was executed (shards, speculation outcomes);
     /// the default marks a plain sequential run.
     #[serde(default)]
@@ -317,6 +323,7 @@ pub struct OdinRuntime {
     precision: Precision,
     quant: Option<QuantizedPolicy>,
     scratch: RefCell<RuntimeScratch>,
+    search: SearchTally,
 }
 
 /// Step-by-step construction of an [`OdinRuntime`] — the one front
@@ -534,6 +541,7 @@ impl OdinRuntime {
             precision: Precision::F64,
             quant: None,
             scratch: RefCell::new(RuntimeScratch::default()),
+            search: SearchTally::default(),
         })
     }
 
@@ -964,17 +972,25 @@ impl OdinRuntime {
     ) -> Result<CampaignReport, OdinError> {
         let campaign_token = self.telemetry.start();
         let cache_start = self.cache_stats();
+        let search_start = self.search_stats();
         let mut store = match ckpt {
             Some(policy) => Some(SnapshotStore::open(policy.dir(), policy.retained())?),
             None => None,
         };
         let times = schedule.times();
-        let (mut runs, mut skipped, cache_base, start) = match resume {
-            Some(p) => (p.runs.clone(), p.skipped.clone(), p.cache, p.next_index),
+        let (mut runs, mut skipped, cache_base, search_base, start) = match resume {
+            Some(p) => (
+                p.runs.clone(),
+                p.skipped.clone(),
+                p.cache,
+                p.search,
+                p.next_index,
+            ),
             None => (
                 Vec::with_capacity(times.len()),
                 Vec::new(),
                 CacheStats::default(),
+                SearchStats::default(),
                 0,
             ),
         };
@@ -1012,6 +1028,7 @@ impl OdinRuntime {
                         runs: runs.clone(),
                         skipped: skipped.clone(),
                         cache: cache_base.merged(self.cache_stats().since(cache_start)),
+                        search: search_base.merged(self.search_stats().since(search_start)),
                         engine: EngineStats {
                             shards: stamp.1,
                             mode: stamp.0,
@@ -1034,6 +1051,7 @@ impl OdinRuntime {
             runs,
             skipped,
             cache: cache_base.merged(self.cache_stats().since(cache_start)),
+            search: search_base.merged(self.search_stats().since(search_start)),
             engine: EngineStats::default(),
             telemetry: TelemetrySummary::default(),
             supervisor: SupervisorReport::default(),
@@ -1052,6 +1070,12 @@ impl OdinRuntime {
             .as_ref()
             .map(EvalCache::stats)
             .unwrap_or_default()
+    }
+
+    /// Snapshot of the per-strategy search counters (all zero under
+    /// the scalar RB/EX strategies).
+    pub(crate) fn search_stats(&self) -> SearchStats {
+        self.search.stats()
     }
 
     /// A copy of this runtime for a campaign shard: semantic state
@@ -1163,6 +1187,7 @@ impl OdinRuntime {
             cache: self.cache.as_ref(),
             telemetry: &self.telemetry,
             quant: self.quant.as_ref(),
+            search: &self.search,
         }
     }
 
@@ -1872,12 +1897,12 @@ mod tests {
         /// The vectorized kernel path (`eval_cache(false)` routes
         /// exhaustive sweeps through `LayerKernel`) must produce the
         /// exact [`LayerDecision`] sequences of the scalar cached
-        /// path over random campaigns — strategies, seeds, schedules,
-        /// fault-free and fault-seeded fabrics alike.
+        /// path over random campaigns — all four strategies, seeds,
+        /// schedules, fault-free and fault-seeded fabrics alike.
         #[test]
         fn kernel_and_scalar_paths_agree_on_random_campaigns(
             seed in 0u64..1_000,
-            exhaustive in proptest::bool::ANY,
+            strat in 0usize..4,
             fault_rate in prop_oneof![Just(0.0), 0.0005f64..0.02],
             spares in 0usize..3,
             cycles in 1e3f64..1e6,
@@ -1887,10 +1912,11 @@ mod tests {
         ) {
             let net = zoo::vgg11(Dataset::Cifar10);
             let schedule = TimeSchedule::geometric(1.0, 10f64.powi(horizon_exp), steps);
-            let strategy = if exhaustive {
-                SearchStrategy::Exhaustive
-            } else {
-                SearchStrategy::paper()
+            let strategy = match strat {
+                0 => SearchStrategy::paper(),
+                1 => SearchStrategy::Exhaustive,
+                2 => SearchStrategy::bayesian(),
+                _ => SearchStrategy::pareto(),
             };
             let config = || {
                 OdinConfig::builder().strategy(strategy).build().unwrap()

@@ -74,6 +74,7 @@ use crate::engine::{EngineStats, ShardMode};
 use crate::error::{OdinError, SnapshotError};
 use crate::fabric::FabricHealth;
 use crate::runtime::{InferenceRecord, SkippedRun};
+use crate::search::SearchStats;
 
 /// The snapshot format version this build reads and writes.
 pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
@@ -223,6 +224,11 @@ pub struct CampaignProgress {
     pub skipped: Vec<SkippedRun>,
     /// Evaluation-cache counters accumulated so far.
     pub cache: CacheStats,
+    /// Per-strategy search counters accumulated so far. Defaults on
+    /// deserialize so snapshots written before multi-objective search
+    /// still load.
+    #[serde(default)]
+    pub search: SearchStats,
     /// Engine counters accumulated so far.
     pub engine: EngineStats,
 }
@@ -844,6 +850,7 @@ mod tests {
                 runs: Vec::new(),
                 skipped: Vec::new(),
                 cache: CacheStats::default(),
+                search: SearchStats::default(),
                 engine: EngineStats::default(),
             },
         }

@@ -1,0 +1,277 @@
+//! Seeded, deterministic Bayesian optimization over the OU grid.
+//!
+//! The searcher spends a fixed probe budget: an initial space-filling
+//! design (the caller's seed cell, the four grid corners, and the
+//! center), then one probe per iteration at the unprobed cell
+//! maximizing expected improvement under a GP surrogate fitted to
+//! everything probed so far. Infeasible probes stay in the design with
+//! a constant penalty added to their (log-scale) objective, steering
+//! the surrogate away from constraint-violating regions without
+//! discarding the information they carry.
+//!
+//! Determinism: cells are enumerated row-major, the acquisition argmax
+//! breaks ties toward the earliest cell, and the only randomness — the
+//! fallback pick when the acquisition surface degenerates to zero —
+//! comes from a [`SplitMix64`] stream derived from the searcher's
+//! seed. The same `(budget, seed, oracle)` always probes the same
+//! cells in the same order.
+
+use crate::gp::{expected_improvement, GpParams, Surrogate};
+use crate::rng::SplitMix64;
+use crate::{Cell, CellEval, GridScan, GridSpace, SearchFailure, Searcher, Selection};
+
+/// Penalty added to the log-scale objective of infeasible probes. At 8
+/// natural-log units (≈ 3000×) an infeasible cell can never look more
+/// promising than any feasible one, yet the surrogate still learns the
+/// shape of the infeasible region.
+const INFEASIBLE_PENALTY: f64 = 8.0;
+
+/// The Bayesian-optimization searcher.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoSearcher {
+    /// Total probe budget (oracle calls). A budget at or above the
+    /// cell count degrades to the exhaustive [`GridScan`].
+    pub budget: usize,
+    /// Seed for the degenerate-acquisition fallback stream.
+    pub seed: u64,
+    /// GP hyperparameters.
+    pub params: GpParams,
+}
+
+impl BoSearcher {
+    /// A searcher with the default GP hyperparameters.
+    #[must_use]
+    pub fn new(budget: usize, seed: u64) -> Self {
+        BoSearcher {
+            budget,
+            seed,
+            params: GpParams::default(),
+        }
+    }
+}
+
+/// The penalized log-scale target the surrogate regresses on.
+fn target(eval: &CellEval) -> f64 {
+    let y = eval.objective.max(f64::MIN_POSITIVE).ln();
+    if eval.feasible {
+        y
+    } else {
+        y + INFEASIBLE_PENALTY
+    }
+}
+
+impl Searcher for BoSearcher {
+    fn select<E>(
+        &self,
+        space: GridSpace,
+        seed: Cell,
+        oracle: &mut dyn FnMut(Cell) -> Result<CellEval, E>,
+    ) -> Result<Selection, SearchFailure<E>> {
+        let total = space.len();
+        if self.budget >= total {
+            // Nothing to model: the budget covers the whole grid.
+            return GridScan.select(space, seed, oracle);
+        }
+        let cap = space.cap();
+        let denom = cap.max(1) as f64;
+        let normalize =
+            |cell: Cell| -> [f64; 2] { [cell.row as f64 / denom, cell.col as f64 / denom] };
+        let mut probed: Vec<Option<CellEval>> = vec![None; total];
+        let mut order: Vec<Cell> = Vec::with_capacity(self.budget);
+        let mut probe = |cell: Cell,
+                         probed: &mut Vec<Option<CellEval>>,
+                         order: &mut Vec<Cell>|
+         -> Result<(), SearchFailure<E>> {
+            let idx = space.index(cell);
+            if probed[idx].is_none() {
+                probed[idx] = Some(oracle(cell).map_err(SearchFailure::Oracle)?);
+                order.push(cell);
+            }
+            Ok(())
+        };
+        // Initial design: seed, corners, center — deduplicated by the
+        // memoization above, truncated by the budget check below.
+        let design = [
+            space.clamp(seed),
+            Cell::new(0, 0),
+            Cell::new(0, cap),
+            Cell::new(cap, 0),
+            Cell::new(cap, cap),
+            Cell::new(cap / 2, cap / 2),
+        ];
+        for cell in design {
+            if order.len() >= self.budget {
+                break;
+            }
+            probe(cell, &mut probed, &mut order)?;
+        }
+        let mut rng = SplitMix64::new(self.seed);
+        while order.len() < self.budget {
+            let xs: Vec<[f64; 2]> = order.iter().map(|&c| normalize(c)).collect();
+            let ys: Vec<f64> = order
+                .iter()
+                .map(|&c| {
+                    let eval = probed[space.index(c)].expect("probed cells are recorded");
+                    target(&eval)
+                })
+                .collect();
+            let surrogate = Surrogate::fit(&xs, &ys, self.params)
+                .map_err(|_| SearchFailure::Numeric { what: "gp-fit" })?;
+            let incumbent = surrogate.standardize(ys.iter().copied().fold(f64::INFINITY, f64::min));
+            // Acquisition argmax over unprobed cells, row-major,
+            // strict > — ties resolve to the earliest cell.
+            let mut best: Option<(Cell, f64)> = None;
+            for cell in space.cells() {
+                if probed[space.index(cell)].is_some() {
+                    continue;
+                }
+                let (mean, var) = surrogate.predict(normalize(cell));
+                let ei = expected_improvement(mean, var, incumbent);
+                if !ei.is_finite() || ei <= 0.0 {
+                    continue;
+                }
+                if best.is_none_or(|(_, b)| ei > b) {
+                    best = Some((cell, ei));
+                }
+            }
+            let next = match best {
+                Some((cell, _)) => cell,
+                None => {
+                    // Degenerate acquisition surface (flat posterior):
+                    // spend the remaining budget on a seeded-uniform
+                    // draw over the unprobed cells.
+                    let unprobed: Vec<Cell> = space
+                        .cells()
+                        .filter(|&c| probed[space.index(c)].is_none())
+                        .collect();
+                    unprobed[rng.below(unprobed.len())]
+                }
+            };
+            probe(next, &mut probed, &mut order)?;
+        }
+        // Winner: strictly best feasible probe, in probe order.
+        let mut best: Option<(Cell, f64)> = None;
+        for &cell in &order {
+            let eval = probed[space.index(cell)].expect("probed cells are recorded");
+            if !eval.feasible {
+                continue;
+            }
+            if best.is_none_or(|(_, obj)| eval.objective < obj) {
+                best = Some((cell, eval.objective));
+            }
+        }
+        Ok(Selection {
+            best: best.map(|(c, _)| c),
+            probes: order.len(),
+            front: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Bowl;
+
+    fn bowl(opt: Cell) -> Bowl {
+        Bowl {
+            space: GridSpace::new(6),
+            opt,
+            feasible_budget: 10,
+        }
+    }
+
+    #[test]
+    fn full_budget_degrades_to_grid_scan() {
+        let b = bowl(Cell::new(1, 4));
+        let sel = BoSearcher::new(36, 9)
+            .select(b.space, Cell::new(0, 0), &mut b.oracle())
+            .expect("infallible oracle");
+        assert_eq!(sel.probes, 36);
+        assert_eq!(sel.best, Some(Cell::new(1, 4)));
+    }
+
+    #[test]
+    fn finds_the_optimum_well_under_the_exhaustive_probe_count() {
+        for (r, c) in [(0, 0), (2, 3), (5, 1), (4, 4), (1, 5)] {
+            let b = bowl(Cell::new(r, c));
+            let sel = BoSearcher::new(16, 2025)
+                .select(b.space, Cell::new(2, 2), &mut b.oracle())
+                .expect("infallible oracle");
+            assert_eq!(sel.probes, 16);
+            assert_eq!(sel.best, Some(Cell::new(r, c)), "missed optimum ({r},{c})");
+        }
+    }
+
+    #[test]
+    fn seeded_repeats_probe_identically() {
+        let b = bowl(Cell::new(3, 2));
+        let run = |seed: u64| {
+            let mut visits = Vec::new();
+            let mut inner = b.oracle();
+            let mut tracing = |cell: Cell| {
+                visits.push(cell);
+                inner(cell)
+            };
+            let sel = BoSearcher::new(14, seed)
+                .select(b.space, Cell::new(5, 5), &mut tracing)
+                .expect("infallible oracle");
+            (visits, sel)
+        };
+        assert_eq!(run(7), run(7));
+        // A different seed may (and here does) diverge only via the
+        // degenerate fallback; the selected best must still agree on
+        // this easy landscape.
+        assert_eq!(run(7).1.best, run(8).1.best);
+    }
+
+    #[test]
+    fn respects_feasibility() {
+        // Optimum sits outside the feasible wedge: BO must return the
+        // best *feasible* probe instead.
+        let b = Bowl {
+            space: GridSpace::new(6),
+            opt: Cell::new(5, 5),
+            feasible_budget: 4,
+        };
+        let sel = BoSearcher::new(16, 3)
+            .select(b.space, Cell::new(0, 0), &mut b.oracle())
+            .expect("infallible oracle");
+        let best = sel.best.expect("feasible cells exist");
+        assert!(best.row + best.col <= 4, "infeasible winner {best:?}");
+    }
+
+    #[test]
+    fn zero_variance_landscape_spends_the_budget_without_panicking() {
+        let space = GridSpace::new(6);
+        let mut flat = |_: Cell| -> Result<CellEval, std::convert::Infallible> {
+            Ok(CellEval {
+                objective: 2.5,
+                objectives: [1.0, 1.0, 1.0],
+                feasible: true,
+                violation: 0.0,
+            })
+        };
+        let sel = BoSearcher::new(12, 11)
+            .select(space, Cell::new(2, 2), &mut flat)
+            .expect("flat landscape is fine");
+        assert_eq!(sel.probes, 12);
+        assert!(sel.best.is_some());
+    }
+
+    #[test]
+    fn exhausted_jitter_ladder_surfaces_as_numeric_failure() {
+        let b = bowl(Cell::new(2, 2));
+        let mut searcher = BoSearcher::new(16, 1);
+        searcher.params.noise = 0.0;
+        searcher.params.max_jitter = 0.0;
+        // An enormous length scale makes every kernel entry equal to
+        // the signal variance — a numerically rank-1 matrix that no
+        // forbidden jitter can rescue.
+        searcher.params.length_scale = 1e9;
+        let err = searcher
+            .select(b.space, Cell::new(0, 0), &mut b.oracle())
+            .expect_err("singular kernel with jitter forbidden");
+        assert!(matches!(err, SearchFailure::Numeric { what: "gp-fit" }));
+    }
+}

@@ -1,0 +1,383 @@
+//! A lightweight Gaussian-process surrogate for Bayesian optimization
+//! over the OU grid.
+//!
+//! The design stays deliberately small: the search space holds at most
+//! 36 points, so the GP fits a dense `n × n` kernel matrix (n ≤ 36)
+//! with a plain Cholesky factorization — no approximations, no
+//! external linear-algebra crate. Targets are standardized internally
+//! and the RBF kernel operates on grid coordinates normalized to
+//! `[0, 1]²`, so one set of default hyperparameters serves every layer
+//! without per-layer tuning.
+//!
+//! Numerical robustness is a contract, not best-effort: a degenerate
+//! design (duplicate probe coordinates, zero-variance targets) must
+//! never panic. Duplicates are absorbed by an escalating diagonal
+//! jitter ladder; zero-variance targets by a standard-deviation floor.
+//! Only when the kernel matrix stays non-positive-definite through the
+//! whole ladder does [`Surrogate::fit`] return a typed [`GpError`] for
+//! the caller to surface.
+
+/// Hyperparameters of the RBF-kernel Gaussian process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpParams {
+    /// RBF length scale in normalized-coordinate units. The default
+    /// (0.3) makes probes two grid levels apart meaningfully
+    /// correlated while keeping opposite corners nearly independent.
+    pub length_scale: f64,
+    /// Prior signal variance (kernel amplitude).
+    pub signal_variance: f64,
+    /// Observation-noise variance added to the kernel diagonal. The
+    /// oracle is deterministic, so this is a numerical regularizer
+    /// more than a noise model.
+    pub noise: f64,
+    /// Largest diagonal jitter the Cholesky ladder may add before
+    /// giving up with [`GpError::Singular`]. Set to `0.0` to forbid
+    /// any rescue jitter (used by the robustness tests to force the
+    /// typed failure path).
+    pub max_jitter: f64,
+}
+
+impl Default for GpParams {
+    fn default() -> Self {
+        GpParams {
+            length_scale: 0.3,
+            signal_variance: 1.0,
+            noise: 1e-6,
+            max_jitter: 1e-2,
+        }
+    }
+}
+
+/// Why a surrogate could not be fitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpError {
+    /// The kernel matrix was not positive-definite even after the
+    /// jitter ladder was exhausted.
+    Singular,
+    /// The design was empty or the coordinate/target lengths differ.
+    EmptyDesign,
+}
+
+impl std::fmt::Display for GpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpError::Singular => {
+                write!(f, "kernel matrix stayed singular through the jitter ladder")
+            }
+            GpError::EmptyDesign => write!(f, "cannot fit a GP on an empty design"),
+        }
+    }
+}
+
+impl std::error::Error for GpError {}
+
+/// A fitted GP posterior over `[0, 1]²`.
+///
+/// Targets are standardized at fit time; [`Surrogate::predict`]
+/// returns the posterior mean and variance *in standardized space*.
+/// Acquisition functions (expected improvement) are invariant to that
+/// affine map, so callers compare against
+/// [`Surrogate::standardize`]`(best_raw)` instead of de-standardizing
+/// every prediction.
+#[derive(Debug, Clone)]
+pub struct Surrogate {
+    xs: Vec<[f64; 2]>,
+    /// Lower-triangular Cholesky factor of `K + (noise + jitter)·I`,
+    /// row-major `n × n`.
+    chol: Vec<f64>,
+    /// `K⁻¹ y` (standardized targets).
+    alpha: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+    params: GpParams,
+}
+
+/// Floor on the target standard deviation: below this the design is
+/// treated as zero-variance and standardized with σ = 1 so the fit
+/// degrades to a flat posterior instead of dividing by ~0.
+const STD_FLOOR: f64 = 1e-12;
+
+/// First rung of the diagonal jitter ladder.
+const BASE_JITTER: f64 = 1e-8;
+
+impl Surrogate {
+    /// Fits the GP to `xs` (normalized coordinates) and `ys` (raw
+    /// targets, standardized internally).
+    ///
+    /// # Errors
+    ///
+    /// [`GpError::EmptyDesign`] on an empty or length-mismatched
+    /// design; [`GpError::Singular`] when the kernel matrix is not
+    /// positive-definite even at `params.max_jitter`.
+    pub fn fit(xs: &[[f64; 2]], ys: &[f64], params: GpParams) -> Result<Surrogate, GpError> {
+        let n = xs.len();
+        if n == 0 || ys.len() != n {
+            return Err(GpError::EmptyDesign);
+        }
+        let y_mean = ys.iter().sum::<f64>() / n as f64;
+        let var = ys.iter().map(|y| (y - y_mean).powi(2)).sum::<f64>() / n as f64;
+        let y_std = if var.sqrt() < STD_FLOOR {
+            1.0
+        } else {
+            var.sqrt()
+        };
+        let ys_std: Vec<f64> = ys.iter().map(|y| (y - y_mean) / y_std).collect();
+        let mut jitter = 0.0;
+        loop {
+            let mut k = vec![0.0; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    k[i * n + j] = rbf(xs[i], xs[j], params);
+                }
+                k[i * n + i] += params.noise + jitter;
+            }
+            if let Some(chol) = cholesky(&k, n) {
+                let alpha = solve_cholesky(&chol, n, &ys_std);
+                return Ok(Surrogate {
+                    xs: xs.to_vec(),
+                    chol,
+                    alpha,
+                    y_mean,
+                    y_std,
+                    params,
+                });
+            }
+            jitter = if jitter == 0.0 {
+                BASE_JITTER
+            } else {
+                jitter * 10.0
+            };
+            if jitter > params.max_jitter {
+                return Err(GpError::Singular);
+            }
+        }
+    }
+
+    /// Posterior `(mean, variance)` at `x`, in standardized target
+    /// space. The variance is clamped to be non-negative.
+    #[must_use]
+    pub fn predict(&self, x: [f64; 2]) -> (f64, f64) {
+        let n = self.xs.len();
+        let kstar: Vec<f64> = self.xs.iter().map(|xi| rbf(*xi, x, self.params)).collect();
+        let mean = kstar
+            .iter()
+            .zip(&self.alpha)
+            .map(|(k, a)| k * a)
+            .sum::<f64>();
+        // v = L⁻¹ k*  (forward substitution), var = k(x,x) − ‖v‖².
+        let mut v = kstar;
+        for i in 0..n {
+            let dot: f64 = self.chol[i * n..i * n + i]
+                .iter()
+                .zip(&v[..i])
+                .map(|(l, vj)| l * vj)
+                .sum();
+            v[i] = (v[i] - dot) / self.chol[i * n + i];
+        }
+        let prior = rbf(x, x, self.params) + self.params.noise;
+        let var = (prior - v.iter().map(|vi| vi * vi).sum::<f64>()).max(0.0);
+        (mean, var)
+    }
+
+    /// Maps a raw target value into the surrogate's standardized
+    /// space (for comparing an incumbent against predictions).
+    #[must_use]
+    pub fn standardize(&self, y: f64) -> f64 {
+        (y - self.y_mean) / self.y_std
+    }
+}
+
+/// RBF (squared-exponential) kernel.
+fn rbf(a: [f64; 2], b: [f64; 2], params: GpParams) -> f64 {
+    let d2 = (a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2);
+    params.signal_variance * (-d2 / (2.0 * params.length_scale * params.length_scale)).exp()
+}
+
+/// Dense Cholesky factorization of a symmetric matrix (row-major,
+/// `n × n`). Returns `None` when the matrix is not positive-definite.
+fn cholesky(k: &[f64], n: usize) -> Option<Vec<f64>> {
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let dot: f64 = l[i * n..i * n + j]
+                .iter()
+                .zip(&l[j * n..j * n + j])
+                .map(|(a, b)| a * b)
+                .sum();
+            let s = k[i * n + j] - dot;
+            if i == j {
+                if !(s.is_finite() && s > 0.0) {
+                    return None;
+                }
+                l[i * n + i] = s.sqrt();
+            } else {
+                l[i * n + j] = s / l[j * n + j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `L Lᵀ x = y` by forward then back substitution.
+fn solve_cholesky(l: &[f64], n: usize, y: &[f64]) -> Vec<f64> {
+    let mut x = y.to_vec();
+    for i in 0..n {
+        let dot: f64 = l[i * n..i * n + i]
+            .iter()
+            .zip(&x[..i])
+            .map(|(a, b)| a * b)
+            .sum();
+        x[i] = (x[i] - dot) / l[i * n + i];
+    }
+    for i in (0..n).rev() {
+        let dot: f64 = ((i + 1)..n).map(|j| l[j * n + i] * x[j]).sum();
+        x[i] = (x[i] - dot) / l[i * n + i];
+    }
+    x
+}
+
+/// Expected improvement for *minimization*, given a posterior
+/// `(mean, variance)` and the incumbent best target — all in the same
+/// (standardized) space. Returns 0 for a vanishing posterior standard
+/// deviation unless the mean already beats the incumbent.
+#[must_use]
+pub fn expected_improvement(mean: f64, variance: f64, best: f64) -> f64 {
+    let s = variance.max(0.0).sqrt();
+    let improvement = best - mean;
+    if s < 1e-12 {
+        return improvement.max(0.0);
+    }
+    let z = improvement / s;
+    improvement * normal_cdf(z) + s * normal_pdf(z)
+}
+
+/// Standard normal CDF via [`erf`].
+fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal PDF.
+fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Error function, Abramowitz & Stegun 7.1.26 (max absolute error
+/// ≈ 1.5 × 10⁻⁷ — far below anything the acquisition argmax can
+/// distinguish on a 36-cell grid).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = ((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+        * t
+        + 0.254_829_592;
+    sign * (1.0 - poly * t * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design() -> (Vec<[f64; 2]>, Vec<f64>) {
+        let xs: Vec<[f64; 2]> = vec![[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0], [0.5, 0.5]];
+        let ys = xs
+            .iter()
+            .map(|x| (x[0] - 0.4).powi(2) + (x[1] - 0.6).powi(2))
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn posterior_interpolates_observations() {
+        let (xs, ys) = design();
+        let gp = Surrogate::fit(&xs, &ys, GpParams::default()).expect("well-posed design");
+        for (x, y) in xs.iter().zip(&ys) {
+            let (mean, var) = gp.predict(*x);
+            let resid = (mean - gp.standardize(*y)).abs();
+            assert!(resid < 1e-2, "residual {resid} at {x:?}");
+            assert!(var < 1e-3, "variance {var} at an observed point");
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_the_design() {
+        let (xs, ys) = design();
+        let gp = Surrogate::fit(&xs, &ys, GpParams::default()).expect("well-posed design");
+        let (_, at_obs) = gp.predict([0.0, 0.0]);
+        let (_, far) = gp.predict([0.2, 0.85]);
+        assert!(far > at_obs, "far {far} ≤ observed {at_obs}");
+    }
+
+    #[test]
+    fn duplicate_probes_are_rescued_by_jitter() {
+        let xs = vec![[0.5, 0.5]; 6];
+        let ys = vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0];
+        // Zero declared noise: the kernel matrix is exactly rank-1 and
+        // only the jitter ladder can make it factorizable.
+        let params = GpParams {
+            noise: 0.0,
+            ..GpParams::default()
+        };
+        let gp = Surrogate::fit(&xs, &ys, params).expect("jitter rescues duplicates");
+        let (mean, _) = gp.predict([0.5, 0.5]);
+        assert!(mean.is_finite());
+    }
+
+    #[test]
+    fn zero_variance_targets_do_not_panic() {
+        let xs = vec![[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]];
+        let ys = vec![3.0; 3];
+        let gp = Surrogate::fit(&xs, &ys, GpParams::default()).expect("std floor handles it");
+        let (mean, var) = gp.predict([0.5, 0.5]);
+        assert!(mean.is_finite() && var.is_finite());
+        // Standardizing the common value is exactly zero (σ floored).
+        assert_eq!(gp.standardize(3.0), 0.0);
+    }
+
+    #[test]
+    fn exhausted_jitter_ladder_is_a_typed_error() {
+        let xs = vec![[0.5, 0.5]; 4];
+        let ys = vec![1.0, 2.0, 3.0, 4.0];
+        let params = GpParams {
+            noise: 0.0,
+            max_jitter: 0.0,
+            ..GpParams::default()
+        };
+        let err = Surrogate::fit(&xs, &ys, params).expect_err("no jitter allowed");
+        assert_eq!(err, GpError::Singular);
+        assert!(err.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn empty_design_is_a_typed_error() {
+        assert_eq!(
+            Surrogate::fit(&[], &[], GpParams::default()).expect_err("empty"),
+            GpError::EmptyDesign
+        );
+        assert_eq!(
+            Surrogate::fit(&[[0.0, 0.0]], &[], GpParams::default()).expect_err("mismatch"),
+            GpError::EmptyDesign
+        );
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 2e-7);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 2e-7);
+        assert!((erf(2.0) - 0.995_322_26).abs() < 2e-7);
+    }
+
+    #[test]
+    fn expected_improvement_behaves_at_the_limits() {
+        // No variance, mean worse than best → no improvement.
+        assert_eq!(expected_improvement(1.0, 0.0, 0.5), 0.0);
+        // No variance, mean better than best → the full gap.
+        assert!((expected_improvement(0.2, 0.0, 0.5) - 0.3).abs() < 1e-12);
+        // More variance at the same mean → more expected improvement.
+        let low = expected_improvement(0.5, 0.01, 0.5);
+        let high = expected_improvement(0.5, 1.0, 0.5);
+        assert!(high > low);
+        assert!(low > 0.0);
+    }
+}

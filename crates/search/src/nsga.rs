@@ -1,0 +1,555 @@
+//! NSGA-II multi-objective search over the OU grid.
+//!
+//! Three objectives — energy, latency, wear — are minimized jointly
+//! under the feasibility constraint, using Deb's constrained-domination
+//! rule: a feasible cell always dominates an infeasible one, two
+//! infeasible cells compare by violation magnitude, and two feasible
+//! cells compare by plain Pareto dominance. The searcher memoizes
+//! oracle probes (distinct cells only), runs the standard generational
+//! loop (binary tournament on rank then crowding, uniform coordinate
+//! crossover, ±1-level mutation), and reports the non-dominated front
+//! of the *entire probed archive* — never just the final population —
+//! so no dominated point can masquerade as front member.
+//!
+//! When the population covers the whole grid the searcher skips the
+//! generational loop and probes every cell, making the reported front
+//! exactly the brute-force non-dominated set. The runtime's default
+//! `Pareto` strategy uses that regime, which is what lets the bench
+//! harness gate every reported front against an independent
+//! brute-force dominance check.
+//!
+//! A single winner is still required by the runtime, so the front is
+//! scalarized at its *knee point*: objectives are normalized to the
+//! front's own range and the point closest (L2) to the per-objective
+//! ideal wins; ties resolve to the lowest row-major cell index.
+
+use crate::rng::SplitMix64;
+use crate::{Cell, CellEval, GridSpace, SearchFailure, Searcher, Selection, NUM_OBJECTIVES};
+
+/// Mutation probability per coordinate axis.
+const MUTATION_RATE: f64 = 0.3;
+
+/// Deb's constrained-domination: does `a` dominate `b`?
+#[must_use]
+pub fn dominates(a: &CellEval, b: &CellEval) -> bool {
+    match (a.feasible, b.feasible) {
+        (true, false) => true,
+        (false, true) => false,
+        (false, false) => a.violation < b.violation,
+        (true, true) => {
+            let mut strictly = false;
+            for k in 0..NUM_OBJECTIVES {
+                if a.objectives[k] > b.objectives[k] {
+                    return false;
+                }
+                if a.objectives[k] < b.objectives[k] {
+                    strictly = true;
+                }
+            }
+            strictly
+        }
+    }
+}
+
+/// Deb's fast non-dominated sort: partitions `0..evals.len()` into
+/// fronts; front 0 holds the non-dominated set, front `i+1` what
+/// becomes non-dominated once fronts `0..=i` are removed. Within a
+/// front, indices stay in ascending order (determinism).
+#[must_use]
+pub fn fast_non_dominated_sort(evals: &[CellEval]) -> Vec<Vec<usize>> {
+    let n = evals.len();
+    let mut dominated_by: Vec<usize> = vec![0; n];
+    let mut dominates_set: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if dominates(&evals[i], &evals[j]) {
+                dominates_set[i].push(j);
+            } else if dominates(&evals[j], &evals[i]) {
+                dominated_by[i] += 1;
+            }
+        }
+        if dominated_by[i] == 0 {
+            current.push(i);
+        }
+    }
+    while !current.is_empty() {
+        let mut next: Vec<usize> = Vec::new();
+        for &i in &current {
+            for &j in &dominates_set[i] {
+                dominated_by[j] -= 1;
+                if dominated_by[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        next.sort_unstable();
+        fronts.push(std::mem::replace(&mut current, next));
+    }
+    fronts
+}
+
+/// Crowding distance of each member of `front` (positions parallel to
+/// `front`): boundary points on every objective get `∞`, interior
+/// points the normalized side-length sum of their bounding cuboid.
+/// Sorting uses `total_cmp` with index tie-breaks, so the result is
+/// deterministic even under duplicate objective values.
+#[must_use]
+pub fn crowding_distance(front: &[usize], evals: &[CellEval]) -> Vec<f64> {
+    let m = front.len();
+    let mut distance = vec![0.0f64; m];
+    if m == 0 {
+        return distance;
+    }
+    if m <= 2 {
+        return vec![f64::INFINITY; m];
+    }
+    for k in 0..NUM_OBJECTIVES {
+        let mut by_obj: Vec<usize> = (0..m).collect();
+        by_obj.sort_by(|&a, &b| {
+            evals[front[a]].objectives[k]
+                .total_cmp(&evals[front[b]].objectives[k])
+                .then(front[a].cmp(&front[b]))
+        });
+        let lo = evals[front[by_obj[0]]].objectives[k];
+        let hi = evals[front[by_obj[m - 1]]].objectives[k];
+        distance[by_obj[0]] = f64::INFINITY;
+        distance[by_obj[m - 1]] = f64::INFINITY;
+        let span = hi - lo;
+        if span <= 0.0 {
+            continue;
+        }
+        for w in 1..m - 1 {
+            let gap = evals[front[by_obj[w + 1]]].objectives[k]
+                - evals[front[by_obj[w - 1]]].objectives[k];
+            distance[by_obj[w]] += gap / span;
+        }
+    }
+    distance
+}
+
+/// One member of a [`ParetoFront`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontPoint {
+    /// The grid cell.
+    pub cell: Cell,
+    /// Its evaluation.
+    pub eval: CellEval,
+}
+
+/// The non-dominated feasible set over everything a search probed,
+/// in row-major cell order, with its knee point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoFront {
+    /// Non-dominated feasible points, ascending row-major.
+    pub points: Vec<FrontPoint>,
+    /// Index into `points` of the knee point; `None` iff the front is
+    /// empty (no feasible cell was probed).
+    pub knee: Option<usize>,
+}
+
+impl ParetoFront {
+    /// The knee point, when the front is non-empty.
+    #[must_use]
+    pub fn knee_point(&self) -> Option<&FrontPoint> {
+        self.knee.and_then(|k| self.points.get(k))
+    }
+}
+
+/// Deterministic knee selection: normalize each objective to the
+/// front's own `[min, max]` range (degenerate ranges collapse to 0),
+/// then pick the point with the smallest L2 distance to the ideal
+/// (all-zeros) corner. Strict `<` comparison in ascending index order
+/// makes ties resolve to the lowest index.
+#[must_use]
+pub fn knee_index(points: &[FrontPoint]) -> Option<usize> {
+    if points.is_empty() {
+        return None;
+    }
+    let mut lo = [f64::INFINITY; NUM_OBJECTIVES];
+    let mut hi = [f64::NEG_INFINITY; NUM_OBJECTIVES];
+    for p in points {
+        for k in 0..NUM_OBJECTIVES {
+            lo[k] = lo[k].min(p.eval.objectives[k]);
+            hi[k] = hi[k].max(p.eval.objectives[k]);
+        }
+    }
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, p) in points.iter().enumerate() {
+        let mut d = 0.0;
+        for k in 0..NUM_OBJECTIVES {
+            let span = hi[k] - lo[k];
+            if span > 0.0 {
+                let z = (p.eval.objectives[k] - lo[k]) / span;
+                d += z * z;
+            }
+        }
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// The NSGA-II searcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NsgaSearcher {
+    /// Population size. At or above the grid's cell count the searcher
+    /// probes every cell and the front is exact.
+    pub population: usize,
+    /// Generations of the evolutionary loop (ignored in the probe-all
+    /// regime).
+    pub generations: usize,
+    /// Seed for sampling, tournaments, crossover, and mutation.
+    pub seed: u64,
+}
+
+impl NsgaSearcher {
+    /// Builds a searcher.
+    #[must_use]
+    pub fn new(population: usize, generations: usize, seed: u64) -> Self {
+        NsgaSearcher {
+            population,
+            generations,
+            seed,
+        }
+    }
+}
+
+impl Searcher for NsgaSearcher {
+    fn select<E>(
+        &self,
+        space: GridSpace,
+        seed: Cell,
+        oracle: &mut dyn FnMut(Cell) -> Result<CellEval, E>,
+    ) -> Result<Selection, SearchFailure<E>> {
+        let total = space.len();
+        let mut evals: Vec<Option<CellEval>> = vec![None; total];
+        let mut probes = 0usize;
+        let mut probe = |idx: usize,
+                         evals: &mut Vec<Option<CellEval>>,
+                         probes: &mut usize|
+         -> Result<CellEval, SearchFailure<E>> {
+            if let Some(e) = evals[idx] {
+                return Ok(e);
+            }
+            let e = oracle(space.cell(idx)).map_err(SearchFailure::Oracle)?;
+            evals[idx] = Some(e);
+            *probes += 1;
+            Ok(e)
+        };
+        if self.population >= total {
+            // Exact regime: the population covers the grid, so skip
+            // the generational loop and probe everything.
+            for idx in 0..total {
+                probe(idx, &mut evals, &mut probes)?;
+            }
+        } else {
+            let mut rng = SplitMix64::new(self.seed);
+            let pop_size = self.population.max(2);
+            let mut pop: Vec<usize> = vec![space.index(space.clamp(seed))];
+            while pop.len() < pop_size {
+                pop.push(rng.below(total));
+            }
+            for &idx in &pop {
+                probe(idx, &mut evals, &mut probes)?;
+            }
+            for _ in 0..self.generations {
+                let pe: Vec<CellEval> = pop
+                    .iter()
+                    .map(|&i| evals[i].expect("population members are probed"))
+                    .collect();
+                let fronts = fast_non_dominated_sort(&pe);
+                let mut rank = vec![0usize; pop.len()];
+                let mut crowd = vec![0.0f64; pop.len()];
+                for (fr, members) in fronts.iter().enumerate() {
+                    let dist = crowding_distance(members, &pe);
+                    for (pos, &member) in members.iter().enumerate() {
+                        rank[member] = fr;
+                        crowd[member] = dist[pos];
+                    }
+                }
+                // Binary tournament on (rank asc, crowding desc),
+                // position tie-break for determinism.
+                let tournament = |rng: &mut SplitMix64| -> usize {
+                    let a = rng.below(pop.len());
+                    let b = rng.below(pop.len());
+                    if rank[a] != rank[b] {
+                        if rank[a] < rank[b] {
+                            a
+                        } else {
+                            b
+                        }
+                    } else if crowd[a] != crowd[b] {
+                        if crowd[a] > crowd[b] {
+                            a
+                        } else {
+                            b
+                        }
+                    } else {
+                        a.min(b)
+                    }
+                };
+                let mut offspring: Vec<usize> = Vec::with_capacity(pop_size);
+                for _ in 0..pop_size {
+                    let p1 = space.cell(pop[tournament(&mut rng)]);
+                    let p2 = space.cell(pop[tournament(&mut rng)]);
+                    // Uniform coordinate crossover …
+                    let mut row = if rng.coin() { p1.row } else { p2.row };
+                    let mut col = if rng.coin() { p1.col } else { p2.col };
+                    // … then ±1-level mutation per axis.
+                    if rng.next_f64() < MUTATION_RATE {
+                        row = step(row, space.cap(), &mut rng);
+                    }
+                    if rng.next_f64() < MUTATION_RATE {
+                        col = step(col, space.cap(), &mut rng);
+                    }
+                    let child = space.index(Cell::new(row, col));
+                    probe(child, &mut evals, &mut probes)?;
+                    offspring.push(child);
+                }
+                // Environmental selection over parents ∪ offspring.
+                let combined: Vec<usize> = pop.iter().copied().chain(offspring).collect();
+                let ce: Vec<CellEval> = combined
+                    .iter()
+                    .map(|&i| evals[i].expect("combined members are probed"))
+                    .collect();
+                let fronts = fast_non_dominated_sort(&ce);
+                let mut next_pop: Vec<usize> = Vec::with_capacity(pop_size);
+                for members in &fronts {
+                    if next_pop.len() + members.len() <= pop_size {
+                        next_pop.extend(members.iter().map(|&p| combined[p]));
+                    } else {
+                        let dist = crowding_distance(members, &ce);
+                        let mut order: Vec<usize> = (0..members.len()).collect();
+                        order.sort_by(|&a, &b| {
+                            dist[b]
+                                .total_cmp(&dist[a])
+                                .then(members[a].cmp(&members[b]))
+                        });
+                        for &pos in &order {
+                            if next_pop.len() == pop_size {
+                                break;
+                            }
+                            next_pop.push(combined[members[pos]]);
+                        }
+                    }
+                    if next_pop.len() == pop_size {
+                        break;
+                    }
+                }
+                pop = next_pop;
+            }
+        }
+        // Report the front of the whole probed archive, not the final
+        // population: memoization makes the archive a superset, and
+        // front membership must survive everything we learned.
+        let archive: Vec<usize> = (0..total).filter(|&i| evals[i].is_some()).collect();
+        let ae: Vec<CellEval> = archive
+            .iter()
+            .map(|&i| evals[i].expect("archive members are probed"))
+            .collect();
+        let fronts = fast_non_dominated_sort(&ae);
+        let points: Vec<FrontPoint> = fronts
+            .first()
+            .map(|members| {
+                members
+                    .iter()
+                    .filter(|&&p| ae[p].feasible)
+                    .map(|&p| FrontPoint {
+                        cell: space.cell(archive[p]),
+                        eval: ae[p],
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let knee = knee_index(&points);
+        let best = knee.map(|k| points[k].cell);
+        Ok(Selection {
+            best,
+            probes,
+            front: Some(ParetoFront { points, knee }),
+        })
+    }
+}
+
+/// One ±1 step along an axis, clamped to `[0, cap]`; at a boundary the
+/// only legal direction is taken.
+fn step(level: usize, cap: usize, rng: &mut SplitMix64) -> usize {
+    if cap == 0 {
+        return 0;
+    }
+    if level == 0 {
+        1
+    } else if level == cap {
+        cap - 1
+    } else if rng.coin() {
+        level + 1
+    } else {
+        level - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Bowl;
+
+    fn eval(objs: [f64; 3], feasible: bool, violation: f64) -> CellEval {
+        CellEval {
+            objective: objs[0] * objs[1],
+            objectives: objs,
+            feasible,
+            violation,
+        }
+    }
+
+    #[test]
+    fn constrained_domination_rules() {
+        let feas_good = eval([1.0, 1.0, 1.0], true, 0.0);
+        let feas_bad = eval([2.0, 2.0, 2.0], true, 0.0);
+        let feas_mixed = eval([0.5, 3.0, 1.0], true, 0.0);
+        let infeas_near = eval([0.1, 0.1, 0.1], false, 0.5);
+        let infeas_far = eval([0.1, 0.1, 0.1], false, 2.0);
+        assert!(dominates(&feas_good, &feas_bad));
+        assert!(!dominates(&feas_bad, &feas_good));
+        // Incomparable feasible pair: neither dominates.
+        assert!(!dominates(&feas_good, &feas_mixed));
+        assert!(!dominates(&feas_mixed, &feas_good));
+        // Feasible beats infeasible regardless of objectives.
+        assert!(dominates(&feas_bad, &infeas_near));
+        assert!(!dominates(&infeas_near, &feas_bad));
+        // Infeasible pair: lower violation wins.
+        assert!(dominates(&infeas_near, &infeas_far));
+        assert!(!dominates(&infeas_far, &infeas_near));
+        // Equal points never dominate each other.
+        assert!(!dominates(&feas_good, &feas_good));
+    }
+
+    #[test]
+    fn sort_produces_layered_fronts() {
+        let evals = vec![
+            eval([1.0, 1.0, 1.0], true, 0.0),  // front 0
+            eval([2.0, 2.0, 2.0], true, 0.0),  // front 1 (dominated by 0)
+            eval([0.5, 3.0, 1.0], true, 0.0),  // front 0 (incomparable)
+            eval([3.0, 3.0, 3.0], true, 0.0),  // front 2
+            eval([9.0, 9.0, 9.0], false, 1.0), // last (infeasible)
+        ];
+        let fronts = fast_non_dominated_sort(&evals);
+        assert_eq!(fronts[0], vec![0, 2]);
+        assert_eq!(fronts[1], vec![1]);
+        assert_eq!(fronts[2], vec![3]);
+        assert_eq!(fronts[3], vec![4]);
+    }
+
+    #[test]
+    fn crowding_keeps_boundaries_infinite() {
+        let evals = vec![
+            eval([0.0, 4.0, 0.0], true, 0.0),
+            eval([1.0, 3.0, 0.0], true, 0.0),
+            eval([2.0, 2.0, 0.0], true, 0.0),
+            eval([4.0, 0.0, 0.0], true, 0.0),
+        ];
+        let front: Vec<usize> = (0..4).collect();
+        let d = crowding_distance(&front, &evals);
+        assert_eq!(d[0], f64::INFINITY);
+        assert_eq!(d[3], f64::INFINITY);
+        assert!(d[1].is_finite() && d[1] > 0.0);
+        assert!(d[2].is_finite() && d[2] > 0.0);
+    }
+
+    #[test]
+    fn knee_prefers_the_balanced_point() {
+        let points = vec![
+            FrontPoint {
+                cell: Cell::new(0, 0),
+                eval: eval([0.0, 10.0, 0.0], true, 0.0),
+            },
+            FrontPoint {
+                cell: Cell::new(1, 1),
+                eval: eval([1.0, 1.0, 0.0], true, 0.0),
+            },
+            FrontPoint {
+                cell: Cell::new(2, 2),
+                eval: eval([10.0, 0.0, 0.0], true, 0.0),
+            },
+        ];
+        assert_eq!(knee_index(&points), Some(1));
+        assert_eq!(knee_index(&[]), None);
+    }
+
+    #[test]
+    fn probe_all_regime_reports_the_exact_front() {
+        let bowl = Bowl {
+            space: GridSpace::new(6),
+            opt: Cell::new(2, 3),
+            feasible_budget: 7,
+        };
+        let sel = NsgaSearcher::new(36, 8, 1)
+            .select(bowl.space, Cell::new(0, 0), &mut bowl.oracle())
+            .expect("infallible oracle");
+        assert_eq!(sel.probes, 36);
+        let front = sel.front.expect("NSGA always reports a front");
+        assert!(!front.points.is_empty());
+        // Brute-force check: every feasible cell is either on the
+        // front or dominated by a front member, and no front member
+        // dominates another.
+        let mut oracle = bowl.oracle();
+        for cell in bowl.space.cells() {
+            let e = oracle(cell).expect("infallible oracle");
+            if !e.feasible {
+                assert!(!front.points.iter().any(|p| p.cell == cell));
+                continue;
+            }
+            let on_front = front.points.iter().any(|p| p.cell == cell);
+            let dominated = front.points.iter().any(|p| dominates(&p.eval, &e));
+            assert!(on_front || dominated, "{cell:?} unaccounted for");
+        }
+        for a in &front.points {
+            for b in &front.points {
+                assert!(!dominates(&a.eval, &b.eval) || a.cell == b.cell);
+            }
+        }
+        assert!(sel.best.is_some());
+        assert_eq!(sel.best, front.knee_point().map(|p| p.cell));
+    }
+
+    #[test]
+    fn evolutionary_regime_is_seed_deterministic() {
+        let bowl = Bowl {
+            space: GridSpace::new(6),
+            opt: Cell::new(4, 1),
+            feasible_budget: 8,
+        };
+        let run = |seed: u64| {
+            NsgaSearcher::new(10, 6, seed)
+                .select(bowl.space, Cell::new(2, 2), &mut bowl.oracle())
+                .expect("infallible oracle")
+        };
+        assert_eq!(run(5), run(5));
+        let sel = run(5);
+        assert!(sel.probes <= 36, "memoization caps distinct probes");
+        assert!(sel.best.is_some());
+    }
+
+    #[test]
+    fn all_infeasible_yields_an_empty_front_and_no_best() {
+        let space = GridSpace::new(4);
+        let mut hostile = |_: Cell| -> Result<CellEval, std::convert::Infallible> {
+            Ok(eval([1.0, 1.0, 1.0], false, 3.0))
+        };
+        let sel = NsgaSearcher::new(16, 4, 2)
+            .select(space, Cell::new(0, 0), &mut hostile)
+            .expect("infallible oracle");
+        assert_eq!(sel.best, None);
+        let front = sel.front.expect("front is always reported");
+        assert!(front.points.is_empty());
+        assert_eq!(front.knee, None);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests for the NSGA-II building blocks: the fast
+//! non-dominated sort against a brute-force O(n²) peeling oracle,
+//! crowding-distance boundary retention, and seeded-repeat determinism
+//! of whole searches — including the fronts they report.
+
+use std::convert::Infallible;
+
+use odin_search::{
+    crowding_distance, dominates, fast_non_dominated_sort, Cell, CellEval, GridSpace, NsgaSearcher,
+    Searcher, NUM_OBJECTIVES,
+};
+use proptest::prelude::*;
+
+/// Quantized random evaluations: small integer objective levels make
+/// ties and exact duplicates common, which is exactly where sorting and
+/// crowding determinism can go wrong.
+fn arb_eval() -> impl Strategy<Value = CellEval> {
+    ((0u8..6, 0u8..6, 0u8..6), any::<bool>(), 0u8..4).prop_map(|((a, b, c), feasible, v)| {
+        CellEval {
+            objective: f64::from(a) + 0.1 * f64::from(b),
+            objectives: [f64::from(a), f64::from(b), f64::from(c)],
+            feasible,
+            violation: if feasible { 0.0 } else { 1.0 + f64::from(v) },
+        }
+    })
+}
+
+/// The brute-force layering oracle: repeatedly peel off the set of
+/// points not dominated by any other remaining point. Constrained
+/// domination is a strict partial order, so every peel is non-empty.
+fn brute_force_fronts(evals: &[CellEval]) -> Vec<Vec<usize>> {
+    let mut remaining: Vec<usize> = (0..evals.len()).collect();
+    let mut fronts = Vec::new();
+    while !remaining.is_empty() {
+        let front: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&i| {
+                !remaining
+                    .iter()
+                    .any(|&j| j != i && dominates(&evals[j], &evals[i]))
+            })
+            .collect();
+        assert!(!front.is_empty(), "strict partial orders have minima");
+        remaining.retain(|i| !front.contains(i));
+        fronts.push(front);
+    }
+    fronts
+}
+
+/// A deterministic synthetic landscape with a real three-way trade-off:
+/// energy pulls toward `opt`'s row, latency toward its column, wear
+/// toward the origin, and feasibility cuts a diagonal wedge.
+fn landscape(opt: Cell, budget: usize) -> impl FnMut(Cell) -> Result<CellEval, Infallible> {
+    move |cell| {
+        let dr = cell.row.abs_diff(opt.row) as f64;
+        let dc = cell.col.abs_diff(opt.col) as f64;
+        let energy = 1.0 + dr * dr + 0.5 * dc;
+        let latency = 1.0 + dc * dc + 0.5 * dr;
+        let wear = (cell.row + cell.col) as f64;
+        let feasible = cell.row + cell.col <= budget;
+        Ok(CellEval {
+            objective: energy * latency,
+            objectives: [energy, latency, wear],
+            feasible,
+            violation: if feasible {
+                0.0
+            } else {
+                (cell.row + cell.col - budget) as f64
+            },
+        })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `fast_non_dominated_sort` must agree with the O(n²) peeling
+    /// oracle exactly — same fronts, same ascending index order within
+    /// each front — over random mixes of feasible, infeasible, tied,
+    /// and duplicated evaluations.
+    #[test]
+    fn sort_matches_brute_force_peeling(
+        evals in proptest::collection::vec(arb_eval(), 1..24),
+    ) {
+        let fast = fast_non_dominated_sort(&evals);
+        let brute = brute_force_fronts(&evals);
+        prop_assert_eq!(&fast, &brute);
+        // The fronts partition every index exactly once.
+        let mut seen: Vec<usize> = fast.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..evals.len()).collect::<Vec<_>>());
+    }
+
+    /// Crowding distance must retain the boundary point of every
+    /// objective at infinite distance (so environmental selection can
+    /// never drop the extremes of a front), stay non-negative, and
+    /// collapse to all-infinite for fronts of one or two members.
+    #[test]
+    fn crowding_distance_retains_boundaries(
+        evals in proptest::collection::vec(arb_eval(), 1..16),
+    ) {
+        let front: Vec<usize> = (0..evals.len()).collect();
+        let d = crowding_distance(&front, &evals);
+        prop_assert_eq!(d.len(), front.len());
+        for &v in &d {
+            prop_assert!(v >= 0.0);
+        }
+        let m = front.len();
+        if m <= 2 {
+            for &v in &d {
+                prop_assert!(v.is_infinite());
+            }
+            return Ok(());
+        }
+        for k in 0..NUM_OBJECTIVES {
+            // The same (value, index) tie-break rule the implementation
+            // sorts by: its first and last entries are the objective's
+            // boundary holders.
+            let mut by: Vec<usize> = (0..m).collect();
+            by.sort_by(|&a, &b| {
+                evals[a].objectives[k]
+                    .total_cmp(&evals[b].objectives[k])
+                    .then(a.cmp(&b))
+            });
+            prop_assert!(d[by[0]].is_infinite(), "objective {k} min not retained");
+            prop_assert!(d[by[m - 1]].is_infinite(), "objective {k} max not retained");
+        }
+    }
+
+    /// A seeded NSGA-II search repeated with identical inputs must
+    /// reproduce the identical selection — probes, winner, and the full
+    /// front — in both the evolutionary and the probe-all regimes; the
+    /// reported front must contain only feasible, mutually
+    /// non-dominated points in ascending row-major order.
+    #[test]
+    fn seeded_repeats_reproduce_identical_fronts(
+        levels in 2usize..7,
+        opt_r in 0usize..7,
+        opt_c in 0usize..7,
+        budget in 1usize..12,
+        population in 2usize..40,
+        generations in 0usize..8,
+        seed in proptest::num::u64::ANY,
+        start_r in 0usize..7,
+        start_c in 0usize..7,
+    ) {
+        let space = GridSpace::new(levels);
+        let opt = space.clamp(Cell::new(opt_r, opt_c));
+        let start = Cell::new(start_r, start_c);
+        let searcher = NsgaSearcher::new(population, generations, seed);
+        let run = || {
+            searcher
+                .select(space, start, &mut landscape(opt, budget))
+                .expect("infallible oracle")
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.probes <= space.len(), "memoized probes exceed the grid");
+        let front = a.front.expect("NSGA always reports a front");
+        for (i, p) in front.points.iter().enumerate() {
+            prop_assert!(p.eval.feasible, "infeasible front member {:?}", p.cell);
+            if let Some(q) = front.points.get(i + 1) {
+                prop_assert!(
+                    space.index(p.cell) < space.index(q.cell),
+                    "front not in ascending row-major order"
+                );
+            }
+            for q in &front.points {
+                prop_assert!(
+                    !dominates(&p.eval, &q.eval) || p.cell == q.cell,
+                    "front member dominates another"
+                );
+            }
+        }
+        prop_assert_eq!(a.best, front.knee_point().map(|p| p.cell));
+    }
+}

@@ -108,11 +108,19 @@ pub enum CounterId {
     SupervisorPoisonDetected,
     /// Checkpoint saves skipped after their bounded retry failed.
     SupervisorSnapshotSkips,
+    /// Bayesian-optimization (GP surrogate) searches launched.
+    SearchesBayesian,
+    /// NSGA-II multi-objective searches launched.
+    SearchesPareto,
+    /// Non-empty Pareto fronts produced by NSGA-II searches.
+    SearchParetoFronts,
+    /// Total members across all produced Pareto fronts.
+    SearchParetoFrontMembers,
 }
 
 impl CounterId {
     /// Number of counter variants (the metric array length).
-    pub const COUNT: usize = 43;
+    pub const COUNT: usize = 47;
 
     /// Every counter, in declaration order — the canonical iteration
     /// order for snapshots, summaries, and sinks.
@@ -160,6 +168,10 @@ impl CounterId {
         CounterId::SupervisorRollbacks,
         CounterId::SupervisorPoisonDetected,
         CounterId::SupervisorSnapshotSkips,
+        CounterId::SearchesBayesian,
+        CounterId::SearchesPareto,
+        CounterId::SearchParetoFronts,
+        CounterId::SearchParetoFrontMembers,
     ];
 
     /// The flat-array slot of this counter.
@@ -215,6 +227,10 @@ impl CounterId {
             CounterId::SupervisorRollbacks => "supervisor_rollbacks",
             CounterId::SupervisorPoisonDetected => "supervisor_poison_detected",
             CounterId::SupervisorSnapshotSkips => "supervisor_snapshot_skips",
+            CounterId::SearchesBayesian => "searches_bayesian",
+            CounterId::SearchesPareto => "searches_pareto",
+            CounterId::SearchParetoFronts => "search_pareto_fronts",
+            CounterId::SearchParetoFrontMembers => "search_pareto_front_members",
         }
     }
 }
